@@ -1,0 +1,148 @@
+// Ablation: bitmap index design (paper §III-D4).
+//
+// Part 1 (tables): index size as a fraction of data (paper reports FastBit
+// at 15–17 %), candidate-set size, and the partial-load saving (reading
+// only query-overlapping bins instead of the whole region index) — all as
+// a function of bin count (FastBit's "precision" knob).
+// Part 2 (google-benchmark): WAH logical ops and index build throughput.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "bitmap/binned_index.h"
+#include "bitmap/wah.h"
+#include "common/rng.h"
+#include "common/serial.h"
+#include "workloads/vpic.h"
+
+namespace {
+
+using pdc::bitmap::BinnedBitmapIndex;
+using pdc::bitmap::IndexConfig;
+using pdc::bitmap::PartitionedIndexView;
+using pdc::bitmap::WahBitVector;
+
+std::vector<float> vpic_energy(std::uint64_t n) {
+  pdc::workloads::VpicConfig cfg;
+  cfg.num_particles = n;
+  return pdc::workloads::generate_vpic(cfg).energy;
+}
+
+void index_size_table() {
+  const auto energy = vpic_energy(1 << 20);
+  constexpr std::size_t kRegion = 1 << 16;  // 256 KiB of floats
+  const double data_bytes = static_cast<double>(kRegion * sizeof(float));
+  std::printf(
+      "\n# Ablation: index size, candidates and partial-load fraction vs\n"
+      "# FastBit precision (0 = equi-depth quantile bins), VPIC energy,\n"
+      "# query 2.1<E<2.2\n"
+      "precision index_pct_of_data candidates_pct partial_load_pct\n");
+  const auto q = pdc::ValueInterval::from_op(pdc::QueryOp::kGT, 2.1)
+                     .intersect(
+                         pdc::ValueInterval::from_op(pdc::QueryOp::kLT, 2.2));
+  for (const std::uint32_t precision : {0u, 1u, 2u, 3u}) {
+    IndexConfig cfg;
+    cfg.precision = precision;
+    cfg.num_bins = 128;
+    double index_bytes = 0.0;
+    double candidates = 0.0;
+    double partial_bytes = 0.0;
+    std::size_t regions = 0;
+    for (std::size_t off = 0; off + kRegion <= energy.size();
+         off += kRegion) {
+      const auto idx = BinnedBitmapIndex::Build<float>(
+          std::span<const float>(energy).subspan(off, kRegion), cfg);
+      pdc::SerialWriter w;
+      idx.serialize(w);
+      index_bytes += static_cast<double>(w.size());
+      const auto probe = idx.probe(q);
+      candidates += static_cast<double>(probe.candidates.size());
+
+      // Partial load: header + only the bins the query touches.
+      const auto blob = w.take();
+      auto view = PartitionedIndexView::ParseHeader(
+          std::span<const std::uint8_t>(blob).first(
+              static_cast<std::size_t>(idx.header_bytes())));
+      double loaded = static_cast<double>(idx.header_bytes());
+      if (view.ok()) {
+        const auto selection = view->select_bins(q);
+        for (const auto b : selection.full) loaded += view->bin_extent(b).count;
+        for (const auto b : selection.partial) {
+          loaded += view->bin_extent(b).count;
+        }
+      }
+      partial_bytes += loaded;
+      ++regions;
+    }
+    const double r = static_cast<double>(regions);
+    std::printf("%9u %17.2f %14.4f %16.3f\n", precision,
+                100.0 * index_bytes / (data_bytes * r),
+                100.0 * candidates / (static_cast<double>(kRegion) * r),
+                100.0 * partial_bytes / (data_bytes * r));
+  }
+}
+
+void BM_WahAnd(benchmark::State& state) {
+  const double density = static_cast<double>(state.range(0)) / 1000.0;
+  pdc::Rng rng(7);
+  WahBitVector a;
+  WahBitVector b;
+  for (int i = 0; i < 1 << 20; ++i) {
+    a.append_bit(rng.next_double() < density);
+    b.append_bit(rng.next_double() < density);
+  }
+  for (auto _ : state) {
+    auto r = WahBitVector::And(a, b);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * (1 << 20));
+}
+BENCHMARK(BM_WahAnd)->Arg(1)->Arg(50)->Arg(500);
+
+void BM_WahAppendRun(benchmark::State& state) {
+  for (auto _ : state) {
+    WahBitVector v;
+    for (int i = 0; i < 1000; ++i) {
+      v.append_run(false, 10000);
+      v.append_bit(true);
+    }
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_WahAppendRun);
+
+void BM_IndexBuild(benchmark::State& state) {
+  const auto energy = vpic_energy(1 << 17);
+  IndexConfig cfg;
+  cfg.num_bins = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    auto idx = BinnedBitmapIndex::Build<float>(
+        std::span<const float>(energy), cfg);
+    benchmark::DoNotOptimize(idx);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(energy.size()));
+}
+BENCHMARK(BM_IndexBuild)->Arg(16)->Arg(64);
+
+void BM_IndexProbe(benchmark::State& state) {
+  const auto energy = vpic_energy(1 << 17);
+  const auto idx =
+      BinnedBitmapIndex::Build<float>(std::span<const float>(energy));
+  const auto q = pdc::ValueInterval::from_op(pdc::QueryOp::kGT, 2.0);
+  for (auto _ : state) {
+    auto probe = idx.probe(q);
+    benchmark::DoNotOptimize(probe);
+  }
+}
+BENCHMARK(BM_IndexProbe);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  index_size_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

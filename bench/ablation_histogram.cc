@@ -1,0 +1,122 @@
+// Ablation: the global-histogram design (paper §III-D2, §IV).
+//
+// Part 1 (table): selectivity-estimation quality — lower/upper bound
+// tightness vs bin count, and the cost of merging local histograms into the
+// global one (the operation Algorithm 1's power-of-two lattice makes
+// possible without re-reading data).
+// Part 2 (google-benchmark): build / merge / estimate throughput.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/timer.h"
+#include "histogram/histogram.h"
+#include "workloads/vpic.h"
+
+namespace {
+
+using pdc::hist::HistogramConfig;
+using pdc::hist::MergeableHistogram;
+
+std::vector<float> vpic_energy(std::uint64_t n) {
+  pdc::workloads::VpicConfig cfg;
+  cfg.num_particles = n;
+  return pdc::workloads::generate_vpic(cfg).energy;
+}
+
+void estimation_quality_table() {
+  const auto energy = vpic_energy(1 << 20);
+  std::printf(
+      "\n# Ablation: selectivity estimate tightness vs target bin count\n"
+      "bins actual_bins sel_true_pct sel_lower_pct sel_upper_pct\n");
+  const auto q = pdc::ValueInterval::from_op(pdc::QueryOp::kGT, 2.1)
+                     .intersect(pdc::ValueInterval::from_op(pdc::QueryOp::kLT,
+                                                            2.2));
+  std::uint64_t truth = 0;
+  for (const float e : energy) truth += q.contains(e);
+  const double n = static_cast<double>(energy.size());
+  for (const std::uint32_t bins : {8u, 16u, 32u, 64u, 128u, 256u}) {
+    HistogramConfig cfg;
+    cfg.target_bins = bins;
+    const auto h =
+        MergeableHistogram::Build<float>(std::span<const float>(energy), cfg);
+    const auto est = h.estimate(q);
+    std::printf("%4u %11zu %12.5f %13.5f %13.5f\n", bins, h.num_bins(),
+                100.0 * truth / n, 100.0 * est.lower / n,
+                100.0 * est.upper / n);
+  }
+}
+
+void merge_cost_table() {
+  const auto energy = vpic_energy(1 << 20);
+  std::printf(
+      "\n# Ablation: global-histogram merge cost vs number of regions\n"
+      "regions merge_wall_ms global_bins\n");
+  for (const std::size_t regions : {16u, 64u, 256u, 1024u}) {
+    const std::size_t per = energy.size() / regions;
+    std::vector<MergeableHistogram> locals;
+    locals.reserve(regions);
+    for (std::size_t r = 0; r < regions; ++r) {
+      locals.push_back(MergeableHistogram::Build<float>(
+          std::span<const float>(energy).subspan(r * per, per)));
+    }
+    pdc::WallTimer timer;
+    const auto global = MergeableHistogram::Merge(locals);
+    std::printf("%7zu %13.3f %11zu\n", regions,
+                1000.0 * timer.elapsed_seconds(), global.num_bins());
+  }
+}
+
+void BM_HistogramBuild(benchmark::State& state) {
+  const auto energy = vpic_energy(1 << 18);
+  HistogramConfig cfg;
+  cfg.target_bins = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    auto h =
+        MergeableHistogram::Build<float>(std::span<const float>(energy), cfg);
+    benchmark::DoNotOptimize(h);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(energy.size()));
+}
+BENCHMARK(BM_HistogramBuild)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_HistogramMerge(benchmark::State& state) {
+  const auto energy = vpic_energy(1 << 18);
+  const auto regions = static_cast<std::size_t>(state.range(0));
+  const std::size_t per = energy.size() / regions;
+  std::vector<MergeableHistogram> locals;
+  for (std::size_t r = 0; r < regions; ++r) {
+    locals.push_back(MergeableHistogram::Build<float>(
+        std::span<const float>(energy).subspan(r * per, per)));
+  }
+  for (auto _ : state) {
+    auto global = MergeableHistogram::Merge(locals);
+    benchmark::DoNotOptimize(global);
+  }
+}
+BENCHMARK(BM_HistogramMerge)->Arg(16)->Arg(256);
+
+void BM_SelectivityEstimate(benchmark::State& state) {
+  const auto energy = vpic_energy(1 << 18);
+  const auto h =
+      MergeableHistogram::Build<float>(std::span<const float>(energy));
+  const auto q = pdc::ValueInterval::from_op(pdc::QueryOp::kGT, 2.0);
+  for (auto _ : state) {
+    auto est = h.estimate(q);
+    benchmark::DoNotOptimize(est);
+  }
+}
+BENCHMARK(BM_SelectivityEstimate);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  estimation_quality_table();
+  merge_cost_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

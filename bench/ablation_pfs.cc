@@ -1,0 +1,103 @@
+// Ablation: read aggregation & striping in the PFS layer (paper §III-E:
+// PDC "uses aggregation methods to merge small reads into bigger ones",
+// which it credits for the 2x read advantage over tuned HDF5/Lustre).
+//
+// Tables: simulated cost of a scattered-read workload with aggregation on
+// vs off, across gap thresholds; effective bandwidth vs stripe count and
+// reader concurrency.  Micro-benchmarks: the aggregation planner itself.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <vector>
+
+#include "common/rng.h"
+#include "pfs/pfs.h"
+#include "pfs/read_aggregator.h"
+
+namespace {
+
+using pdc::CostLedger;
+using pdc::Extent1D;
+using pdc::pfs::AggregationPolicy;
+using pdc::pfs::PfsCluster;
+using pdc::pfs::PfsConfig;
+
+void aggregation_table() {
+  const std::string root = "/tmp/pdc_bench/ablation_pfs";
+  std::filesystem::remove_all(root);
+  PfsConfig cfg;
+  cfg.root_dir = root;
+  auto cluster = std::move(PfsCluster::Create(cfg)).value();
+  auto file = std::move(cluster->create("scatter.dat")).value();
+  std::vector<std::uint8_t> data(16 << 20, 1);
+  (void)file.write(0, data);
+
+  // 4096 scattered 64-byte reads, 4 KiB apart — a candidate-check pattern.
+  std::vector<Extent1D> extents;
+  std::vector<std::vector<std::uint8_t>> buffers;
+  std::vector<std::span<std::uint8_t>> dests;
+  for (int i = 0; i < 4096; ++i) {
+    extents.push_back({static_cast<std::uint64_t>(i) * 4096, 64});
+    buffers.emplace_back(64);
+  }
+  for (auto& b : buffers) dests.emplace_back(b);
+
+  std::printf(
+      "\n# Ablation: read aggregation (4096 x 64B reads, 4KiB apart)\n"
+      "max_gap_bytes read_ops sim_io_s bytes_read\n");
+  for (const std::uint64_t gap : {0ull, 1024ull, 8192ull, 65536ull,
+                                  1048576ull}) {
+    AggregationPolicy policy;
+    policy.max_gap_bytes = gap;
+    CostLedger ledger;
+    (void)pdc::pfs::aggregated_read(file, extents, dests, policy,
+                                    {&ledger, 1});
+    std::printf("%13llu %8llu %9.4f %10llu\n",
+                static_cast<unsigned long long>(gap),
+                static_cast<unsigned long long>(ledger.read_ops()),
+                ledger.io_seconds(),
+                static_cast<unsigned long long>(ledger.bytes_read()));
+  }
+
+  std::printf(
+      "\n# Ablation: effective read bandwidth (GB/s) vs stripes x readers\n"
+      "stripes readers_1 readers_8 readers_64\n");
+  for (const std::uint32_t stripes : {1u, 2u, 4u, 8u}) {
+    std::printf("%7u", stripes);
+    for (const std::uint32_t readers : {1u, 8u, 64u}) {
+      std::printf(" %9.2f",
+                  cluster->effective_read_bandwidth(stripes, readers) / 1e9);
+    }
+    std::printf("\n");
+  }
+  std::filesystem::remove_all(root);
+}
+
+void BM_AggregationPlan(benchmark::State& state) {
+  pdc::Rng rng(3);
+  std::vector<Extent1D> extents;
+  std::uint64_t offset = 0;
+  for (int i = 0; i < 10000; ++i) {
+    offset += 64 + rng.bounded(8192);
+    extents.push_back({offset, 64});
+    offset += 64;
+  }
+  AggregationPolicy policy;
+  policy.max_gap_bytes = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    auto plan = pdc::pfs::plan_aggregated_reads(extents, policy);
+    benchmark::DoNotOptimize(plan);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_AggregationPlan)->Arg(0)->Arg(4096)->Arg(65536);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  aggregation_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

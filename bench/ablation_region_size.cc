@@ -1,0 +1,60 @@
+// Ablation: region-size selection (paper §III-B and §VI-A discussion).
+//
+// For a fixed selective query, sweeps the region size and reports the
+// pruning rate, bytes read and simulated query time under PDC-H — isolating
+// the tradeoff the paper describes: small regions prune better but pay
+// per-read latency and metadata overhead; large regions read data they do
+// not need.
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace pdc::bench {
+
+int run() {
+  BenchWorld world = BenchWorld::create("ablation_region_size");
+
+  print_header(
+      "Ablation: region size vs pruning and query time (PDC-H, "
+      "2.5<Energy<2.6)",
+      "region_kb regions bytes_read read_ops query_s hits");
+  for (const std::uint64_t region_bytes :
+       {8192ull, 32768ull, 131072ull, 524288ull, 2097152ull, 8388608ull}) {
+    pfs::PfsConfig cfg = world.cluster->config();
+    cfg.root_dir = world.scratch_dir + "/rs_" + std::to_string(region_bytes);
+    auto cluster = unwrap(pfs::PfsCluster::Create(cfg), "sub-cluster");
+    obj::ObjectStore store(*cluster);
+    const ObjectId container =
+        unwrap(store.create_container("vpic"), "container");
+    obj::ImportOptions options;
+    options.region_size_bytes = region_bytes;
+    const ObjectId energy = unwrap(
+        store.import_object<float>(container, "Energy",
+                                   std::span<const float>(world.data.energy),
+                                   options),
+        "import");
+
+    query::ServiceOptions service_options;
+    service_options.strategy = server::Strategy::kHistogram;
+    service_options.num_servers = world.num_servers;
+    query::QueryService service(store, service_options);
+
+    const auto q = query::q_and(query::create(energy, QueryOp::kGT, 2.5),
+                                query::create(energy, QueryOp::kLT, 2.6));
+    const std::uint64_t hits = unwrap(service.get_num_hits(q), "nhits");
+    const auto& stats = service.last_stats();
+    const auto desc = unwrap(store.get(energy), "desc");
+    std::printf("%9llu %7zu %10llu %8llu %10.6f %llu\n",
+                static_cast<unsigned long long>(region_bytes / 1024),
+                desc->regions.size(),
+                static_cast<unsigned long long>(stats.server_bytes_read),
+                static_cast<unsigned long long>(stats.server_read_ops),
+                stats.sim_elapsed_seconds,
+                static_cast<unsigned long long>(hits));
+  }
+  return 0;
+}
+
+}  // namespace pdc::bench
+
+int main() { return pdc::bench::run(); }

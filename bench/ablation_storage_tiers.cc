@@ -1,0 +1,69 @@
+// Ablation: the deep memory hierarchy (paper §II — "a region ... can
+// reside on any layer of the memory/storage hierarchy").
+//
+// Places the queried object's regions on disk, NVRAM and remote memory in
+// turn and reports the simulated query time of an identical PDC-H query
+// (caches disabled to isolate the storage layer).  Also shows a mixed
+// placement where only the hot (energetic) regions are promoted — the
+// placement the PDC runtime would converge to for this workload.
+#include "bench/bench_util.h"
+
+namespace pdc::bench {
+
+int run() {
+  BenchWorld world = BenchWorld::create("ablation_tiers");
+  obj::ObjectStore store(*world.cluster);
+  const ObjectId container =
+      unwrap(store.create_container("vpic"), "container");
+  obj::ImportOptions options;
+  options.region_size_bytes = 131072;
+  const ObjectId energy = unwrap(
+      store.import_object<float>(container, "Energy",
+                                 std::span<const float>(world.data.energy),
+                                 options),
+      "import");
+
+  const auto q = query::q_and(query::create(energy, QueryOp::kGT, 2.1),
+                              query::create(energy, QueryOp::kLT, 2.4));
+  const auto run_once = [&](const char* label) {
+    query::ServiceOptions service_options;
+    service_options.num_servers = world.num_servers;
+    service_options.cache_capacity_bytes = 0;  // isolate the storage layer
+    query::QueryService service(store, service_options);
+    const std::uint64_t hits = unwrap(service.get_num_hits(q), "nhits");
+    std::printf("%-22s %10.6f %llu\n", label,
+                service.last_stats().sim_elapsed_seconds,
+                static_cast<unsigned long long>(hits));
+  };
+
+  print_header("Ablation: region placement across the memory hierarchy "
+               "(PDC-H, 2.1<Energy<2.4, caches off)",
+               "placement query_s hits");
+  check(store.set_object_tier(energy, obj::StorageTier::kDisk), "tier");
+  run_once("all-disk");
+  check(store.set_object_tier(energy, obj::StorageTier::kNvram), "tier");
+  run_once("all-nvram");
+  check(store.set_object_tier(energy, obj::StorageTier::kMemory), "tier");
+  run_once("all-memory");
+
+  // Mixed: promote only regions that can hold energetic particles.
+  check(store.set_object_tier(energy, obj::StorageTier::kDisk), "tier");
+  const auto desc = unwrap(store.get(energy), "desc");
+  std::size_t promoted = 0;
+  for (const auto& region : desc->regions) {
+    if (region.histogram.max_value() > 2.0) {
+      check(store.set_region_tier(energy, region.index,
+                                  obj::StorageTier::kNvram),
+            "tier");
+      ++promoted;
+    }
+  }
+  std::printf("# promoted %zu of %zu regions to NVRAM\n", promoted,
+              desc->regions.size());
+  run_once("hot-regions-nvram");
+  return 0;
+}
+
+}  // namespace pdc::bench
+
+int main() { return pdc::bench::run(); }

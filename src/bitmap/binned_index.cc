@@ -1,0 +1,407 @@
+#include "bitmap/binned_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <type_traits>
+
+#include "common/rng.h"
+
+namespace pdc::bitmap {
+
+template <PdcElement T>
+BinnedBitmapIndex BinnedBitmapIndex::Build(std::span<const T> data,
+                                           const IndexConfig& config) {
+  BinnedBitmapIndex idx;
+  if (data.empty()) return idx;
+  const std::uint64_t n = data.size();
+
+  // Exact value range first (one cheap pass): the bin grid must reach the
+  // true extremes, or the far tail collapses into one huge edge bin and
+  // tail queries drown in candidates.
+  idx.min_ = std::numeric_limits<double>::infinity();
+  idx.max_ = -std::numeric_limits<double>::infinity();
+  for (const T& v : data) {
+    const double d = static_cast<double>(v);
+    idx.min_ = std::min(idx.min_, d);
+    idx.max_ = std::max(idx.max_, d);
+  }
+
+  // Equi-depth bin edges from a sample (FastBit picks one representative
+  // key per bin; quantile edges achieve the same balanced occupancy).
+  std::vector<double> sample;
+  const std::uint64_t sample_size = std::min<std::uint64_t>(
+      std::max<std::uint64_t>(config.edge_sample, 2 * config.num_bins), n);
+  sample.reserve(static_cast<std::size_t>(sample_size));
+  if (sample_size >= n) {
+    for (const T& v : data) sample.push_back(static_cast<double>(v));
+  } else {
+    Rng rng(config.seed);
+    for (std::uint64_t i = 0; i < sample_size; ++i) {
+      sample.push_back(static_cast<double>(data[rng.bounded(n)]));
+    }
+  }
+  std::sort(sample.begin(), sample.end());
+
+  const std::uint32_t want_bins = std::max<std::uint32_t>(
+      1, std::min<std::uint32_t>(config.num_bins,
+                                 static_cast<std::uint32_t>(n / 64)));
+  std::vector<double> edges;
+  // FastBit-style precision binning: one bin per `precision`-digit decimal
+  // value between min and max (e.g. ..., 3.4, 3.5, 3.6, ... for
+  // precision=2 above 1.0).  Query constants written with that many digits
+  // then align exactly with bin edges, so far-tail range queries have tiny
+  // candidate sets — the property the paper relies on ("precision = 2 ...
+  // is sufficient for the queries evaluated").  Falls back to equi-depth
+  // sample quantiles (with snapped interior edges) when the value range is
+  // not strictly positive or the grid would be too fine.
+  if (config.precision > 0 && idx.min_ > 0.0 && idx.max_ > idx.min_) {
+    // Wide dynamic ranges would need too many grid points at the requested
+    // precision; coarsen digit by digit rather than break edge alignment.
+    for (std::uint32_t digits = config.precision;
+         digits >= 1 && edges.size() < 2; --digits) {
+      edges = detail::precision_grid(idx.min_, idx.max_, digits,
+                                     /*max_edges=*/2048);
+    }
+  }
+  if (edges.size() < 2) {
+    edges.clear();
+    edges.reserve(want_bins + 1);
+    for (std::uint32_t i = 0; i <= want_bins; ++i) {
+      const std::size_t k = static_cast<std::size_t>(
+          (static_cast<std::uint64_t>(i) * (sample.size() - 1)) / want_bins);
+      double e = sample[k];
+      if (config.precision > 0 && i > 0 && i < want_bins) {
+        e = snap_to_precision(e, config.precision);
+      }
+      if (edges.empty() || e > edges.back()) edges.push_back(e);
+    }
+  }
+  if (edges.size() < 2) {
+    // Degenerate (near-constant data): a single bin covering everything.
+    edges = {sample.front(), sample.back() + 1.0};
+  }
+  idx.edges_ = std::move(edges);
+  const std::size_t nbins = idx.edges_.size() - 1;
+
+  // One pass: record each element's position in its bin's list, then turn
+  // position lists into WAH vectors (far cheaper than appending a 0-bit to
+  // every other bin per element).
+  std::vector<std::vector<std::uint64_t>> positions(nbins);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const double v = static_cast<double>(data[i]);
+    auto it = std::upper_bound(idx.edges_.begin(), idx.edges_.end(), v);
+    std::size_t bin = it == idx.edges_.begin()
+                          ? 0
+                          : static_cast<std::size_t>(it - idx.edges_.begin()) - 1;
+    bin = std::min(bin, nbins - 1);
+    positions[bin].push_back(i);
+  }
+
+  idx.bins_.resize(nbins);
+  for (std::size_t b = 0; b < nbins; ++b) {
+    WahBitVector& bv = idx.bins_[b];
+    std::uint64_t cursor = 0;
+    for (const std::uint64_t pos : positions[b]) {
+      bv.append_run(false, pos - cursor);
+      bv.append_bit(true);
+      cursor = pos + 1;
+    }
+    bv.append_run(false, n - cursor);
+  }
+  idx.count_ = n;
+  idx.continuous_ = std::is_floating_point_v<T>;
+  return idx;
+}
+
+namespace detail {
+
+/// All `digits`-significant-decimal grid points covering [lo, hi], built
+/// decade by decade so no floating-point drift accumulates.  Returns an
+/// empty vector when more than `max_edges` points would be needed (caller
+/// falls back to quantile edges).
+std::vector<double> precision_grid(double lo, double hi, std::uint32_t digits,
+                                   std::size_t max_edges) {
+  std::vector<double> edges;
+  const double steps_per_decade = std::pow(10.0, digits) -
+                                  std::pow(10.0, digits - 1);
+  const double decades = std::log10(hi / lo);
+  if (decades * steps_per_decade > static_cast<double>(max_edges) * 8.0) {
+    return edges;  // hopelessly fine; let the caller fall back
+  }
+  const int k_lo = static_cast<int>(std::floor(std::log10(lo)));
+  const int k_hi = static_cast<int>(std::floor(std::log10(hi)));
+  const std::int64_t mant_lo = static_cast<std::int64_t>(
+      std::pow(10.0, digits - 1));
+  const std::int64_t mant_hi = static_cast<std::int64_t>(std::pow(10.0, digits));
+  for (int k = k_lo; k <= k_hi; ++k) {
+    // Edge = mantissa * 10^(k-digits+1), computed as a DIVISION by an
+    // exact power of ten when the exponent is negative: one correctly-
+    // rounded operation, which is bit-identical to how decimal literals
+    // like 2.9 parse — so query constants compare equal to edges.
+    const int exponent = k - static_cast<int>(digits) + 1;
+    const double scale = std::pow(10.0, std::abs(exponent));
+    for (std::int64_t m = mant_lo; m < mant_hi; ++m) {
+      const double e = exponent < 0 ? static_cast<double>(m) / scale
+                                    : static_cast<double>(m) * scale;
+      if (e > hi) {
+        edges.push_back(e);  // one closing edge beyond max
+        return edges;
+      }
+      // The first kept edge is the grid point at or just below lo; `next`
+      // must use the same division form so the comparison is exact.
+      const double next = exponent < 0 ? static_cast<double>(m + 1) / scale
+                                       : static_cast<double>(m + 1) * scale;
+      if (next <= lo) continue;
+      if (edges.size() >= max_edges) return {};  // caller coarsens
+      edges.push_back(e);
+    }
+  }
+  edges.push_back(std::pow(10.0, k_hi + 1));
+  return edges;
+}
+
+std::vector<double> thin_edges(std::vector<double> edges,
+                               std::size_t max_edges) {
+  if (edges.size() <= max_edges) return edges;
+  const std::size_t stride = (edges.size() + max_edges - 1) / max_edges;
+  std::vector<double> thinned;
+  thinned.reserve(edges.size() / stride + 2);
+  for (std::size_t i = 0; i < edges.size(); i += stride) {
+    thinned.push_back(edges[i]);
+  }
+  if (thinned.back() != edges.back()) thinned.push_back(edges.back());
+  return thinned;
+}
+
+}  // namespace detail
+
+double snap_to_precision(double x, std::uint32_t digits) noexcept {
+  if (x == 0.0 || !std::isfinite(x) || digits == 0) return x;
+  const double magnitude = std::pow(
+      10.0, std::floor(std::log10(std::fabs(x))) -
+                (static_cast<double>(digits) - 1.0));
+  return std::round(x / magnitude) * magnitude;
+}
+
+namespace {
+
+/// Shared bin-classification logic: which bins does `q` fully cover (all
+/// set bits are hits) and which does it merely touch (candidates)?
+///
+/// Bin b holds values in [edges[b], edges[b+1]) — left-closed — except the
+/// last bin, which is closed above; the edge bins also absorb out-of-range
+/// values, bounded by the exact observed min/max.  The half-open semantics
+/// are exploited exactly: a bin whose upper edge equals a strict query
+/// upper bound is still FULL (its values are strictly below the edge),
+/// which is what makes precision-aligned query constants candidate-free on
+/// that side.
+void classify_bins(const std::vector<double>& edges, double min_v,
+                   double max_v, bool continuous, const ValueInterval& q,
+                   std::vector<std::uint32_t>& full,
+                   std::vector<std::uint32_t>& partial) {
+  const std::size_t nbins = edges.size() - 1;
+  for (std::size_t b = 0; b < nbins; ++b) {
+    const bool last = b + 1 == nbins;
+    // Exact content bounds.  Bin 0 absorbs everything below edges[0], so
+    // its true lower bound is the observed minimum; the last bin stays
+    // half-open at its grid edge unless out-of-grid values were absorbed,
+    // in which case it closes at the observed maximum.
+    const double lo = b == 0 ? std::min(min_v, edges[0]) : edges[b];
+    const bool hi_open = !last || max_v < edges[nbins];
+    const double hi = hi_open ? edges[b + 1] : max_v;
+
+    // Overlap: does some v in [lo, hi) - or [lo, hi] when closed - satisfy
+    // q?
+    if (q.hi < lo || (q.hi == lo && !q.hi_inclusive)) continue;
+    if (hi_open ? (q.lo >= hi)
+                : (q.lo > hi || (q.lo == hi && !q.lo_inclusive))) {
+      continue;
+    }
+
+    // Full: every v in the bin satisfies q.  For CONTINUOUS element types
+    // an OPEN query lower bound equal to the bin edge still counts as
+    // full: a float value exactly equal to a decimal edge constant is
+    // measure-zero, and this is FastBit's documented guarantee that
+    // constants with <= precision digits are answered from bitmaps alone.
+    // The edge holding the exact observed minimum keeps strict semantics
+    // regardless (that value is guaranteed present), as do integer-typed
+    // indexes (values sit exactly on edges) and a closed last bin.
+    const bool relax_open_lower = continuous && lo != min_v;
+    const bool lower_ok =
+        q.lo < lo || (q.lo == lo && (q.lo_inclusive || relax_open_lower));
+    const bool upper_ok =
+        hi_open ? (q.hi >= hi)
+                : (q.hi > hi || (q.hi == hi && q.hi_inclusive));
+    if (lower_ok && upper_ok) {
+      full.push_back(static_cast<std::uint32_t>(b));
+    } else {
+      partial.push_back(static_cast<std::uint32_t>(b));
+    }
+  }
+}
+
+}  // namespace
+
+IndexProbe BinnedBitmapIndex::probe(const ValueInterval& q) const {
+  IndexProbe out;
+  if (count_ == 0) return out;
+  std::vector<std::uint32_t> full;
+  std::vector<std::uint32_t> partial;
+  classify_bins(edges_, min_, max_, continuous_, q, full, partial);
+  for (const std::uint32_t b : full) {
+    bins_[b].for_each_set(
+        [&out](std::uint64_t pos) { out.definite.push_back(pos); });
+  }
+  for (const std::uint32_t b : partial) {
+    bins_[b].for_each_set(
+        [&out](std::uint64_t pos) { out.candidates.push_back(pos); });
+  }
+  std::sort(out.definite.begin(), out.definite.end());
+  std::sort(out.candidates.begin(), out.candidates.end());
+  return out;
+}
+
+std::uint64_t BinnedBitmapIndex::compressed_bytes() const noexcept {
+  std::uint64_t bytes = edges_.size() * sizeof(double) + 2 * sizeof(std::uint64_t);
+  for (const WahBitVector& bv : bins_) bytes += bv.compressed_bytes();
+  return bytes;
+}
+
+namespace {
+
+/// Header body: count, min, max, edges, per-bin serialized sizes.
+void write_header_body(SerialWriter& w, std::uint64_t count, double min_v,
+                       double max_v, bool continuous,
+                       const std::vector<double>& edges,
+                       const std::vector<std::uint64_t>& bin_bytes) {
+  w.put(count);
+  w.put(min_v);
+  w.put(max_v);
+  w.put<std::uint8_t>(continuous ? 1 : 0);
+  w.put_vector(edges);
+  w.put_vector(bin_bytes);
+}
+
+}  // namespace
+
+void BinnedBitmapIndex::serialize(SerialWriter& w) const {
+  std::vector<SerialWriter> bin_blobs;
+  std::vector<std::uint64_t> bin_bytes;
+  bin_blobs.reserve(bins_.size());
+  bin_bytes.reserve(bins_.size());
+  for (const WahBitVector& bv : bins_) {
+    SerialWriter bw;
+    bv.serialize(bw);
+    bin_bytes.push_back(bw.size());
+    bin_blobs.push_back(std::move(bw));
+  }
+  SerialWriter header;
+  write_header_body(header, count_, min_, max_, continuous_, edges_,
+                    bin_bytes);
+  w.put<std::uint64_t>(header.size());
+  const auto header_bytes = header.take();
+  w.put_raw(header_bytes);
+  for (SerialWriter& bw : bin_blobs) {
+    const auto blob = bw.take();
+    w.put_raw(blob);
+  }
+}
+
+std::uint64_t BinnedBitmapIndex::header_bytes() const {
+  std::vector<std::uint64_t> bin_bytes(bins_.size(), 0);
+  SerialWriter header;
+  write_header_body(header, count_, min_, max_, continuous_, edges_,
+                    bin_bytes);
+  return sizeof(std::uint64_t) + header.size();
+}
+
+Result<BinnedBitmapIndex> BinnedBitmapIndex::Deserialize(SerialReader& r) {
+  BinnedBitmapIndex idx;
+  std::uint64_t header_len = 0;
+  PDC_RETURN_IF_ERROR(r.get(header_len));
+  std::vector<std::uint64_t> bin_bytes;
+  PDC_RETURN_IF_ERROR(r.get(idx.count_));
+  PDC_RETURN_IF_ERROR(r.get(idx.min_));
+  PDC_RETURN_IF_ERROR(r.get(idx.max_));
+  std::uint8_t continuous = 0;
+  PDC_RETURN_IF_ERROR(r.get(continuous));
+  idx.continuous_ = continuous != 0;
+  PDC_RETURN_IF_ERROR(r.get_vector(idx.edges_));
+  PDC_RETURN_IF_ERROR(r.get_vector(bin_bytes));
+  if (idx.count_ > 0 &&
+      (idx.edges_.size() < 2 || bin_bytes.size() + 1 != idx.edges_.size())) {
+    return Status::Corruption("bitmap index header inconsistent");
+  }
+  idx.bins_.reserve(bin_bytes.size());
+  for (std::size_t b = 0; b < bin_bytes.size(); ++b) {
+    PDC_ASSIGN_OR_RETURN(WahBitVector bv, WahBitVector::Deserialize(r));
+    idx.bins_.push_back(std::move(bv));
+  }
+  return idx;
+}
+
+Result<PartitionedIndexView> PartitionedIndexView::ParseHeader(
+    std::span<const std::uint8_t> prefix) {
+  SerialReader r(prefix);
+  std::uint64_t header_len = 0;
+  PDC_RETURN_IF_ERROR(r.get(header_len));
+  if (header_len > prefix.size() - sizeof(std::uint64_t)) {
+    return Status::Corruption("index header prefix too short");
+  }
+  PartitionedIndexView view;
+  PDC_RETURN_IF_ERROR(r.get(view.count_));
+  PDC_RETURN_IF_ERROR(r.get(view.min_));
+  PDC_RETURN_IF_ERROR(r.get(view.max_));
+  std::uint8_t continuous = 0;
+  PDC_RETURN_IF_ERROR(r.get(continuous));
+  view.continuous_ = continuous != 0;
+  PDC_RETURN_IF_ERROR(r.get_vector(view.edges_));
+  PDC_RETURN_IF_ERROR(r.get_vector(view.bin_bytes_));
+  if (view.count_ > 0 &&
+      (view.edges_.size() < 2 ||
+       view.bin_bytes_.size() + 1 != view.edges_.size())) {
+    return Status::Corruption("bitmap index header inconsistent");
+  }
+  view.bin_offset_.resize(view.bin_bytes_.size());
+  std::uint64_t offset = sizeof(std::uint64_t) + header_len;
+  for (std::size_t b = 0; b < view.bin_bytes_.size(); ++b) {
+    view.bin_offset_[b] = offset;
+    offset += view.bin_bytes_[b];
+  }
+  return view;
+}
+
+PartitionedIndexView::BinSelection PartitionedIndexView::select_bins(
+    const ValueInterval& q) const {
+  BinSelection selection;
+  if (count_ == 0) return selection;
+  classify_bins(edges_, min_, max_, continuous_, q, selection.full,
+                selection.partial);
+  return selection;
+}
+
+Extent1D PartitionedIndexView::bin_extent(std::uint32_t b) const {
+  return {bin_offset_[b], bin_bytes_[b]};
+}
+
+Result<WahBitVector> PartitionedIndexView::DecodeBin(
+    std::span<const std::uint8_t> bytes) {
+  SerialReader r(bytes);
+  return WahBitVector::Deserialize(r);
+}
+
+template BinnedBitmapIndex BinnedBitmapIndex::Build<float>(
+    std::span<const float>, const IndexConfig&);
+template BinnedBitmapIndex BinnedBitmapIndex::Build<double>(
+    std::span<const double>, const IndexConfig&);
+template BinnedBitmapIndex BinnedBitmapIndex::Build<std::int32_t>(
+    std::span<const std::int32_t>, const IndexConfig&);
+template BinnedBitmapIndex BinnedBitmapIndex::Build<std::uint32_t>(
+    std::span<const std::uint32_t>, const IndexConfig&);
+template BinnedBitmapIndex BinnedBitmapIndex::Build<std::int64_t>(
+    std::span<const std::int64_t>, const IndexConfig&);
+template BinnedBitmapIndex BinnedBitmapIndex::Build<std::uint64_t>(
+    std::span<const std::uint64_t>, const IndexConfig&);
+
+}  // namespace pdc::bitmap

@@ -1,0 +1,157 @@
+// Binned bitmap index over one region's values (FastBit-style, §III-D4).
+//
+// Values are partitioned into bins by value range (equi-depth edges chosen
+// from a sample, mirroring FastBit's `precision=2` binning); each bin owns a
+// WAH-compressed bitvector with one bit per element.  A range query then
+// decomposes into
+//   - bins fully inside the query interval: every set bit is a definite hit,
+//   - the (at most two) boundary bins: set bits are *candidates* whose raw
+//     values must be checked — the only data the query has to read.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bitmap/wah.h"
+#include "common/interval.h"
+#include "common/serial.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace pdc::bitmap {
+
+/// Index build parameters.
+struct IndexConfig {
+  /// Number of value bins (upper bound; clamped to num_elements/64 so tiny
+  /// regions keep useful occupancy).  Fewer bins shrink the index but widen
+  /// the candidate range.  The default approximates FastBit's precision=2,
+  /// which yields O(100) distinct two-digit bin edges.
+  std::uint32_t num_bins = 128;
+  /// Sample size used to place equi-depth bin edges.
+  std::uint64_t edge_sample = 4096;
+  /// FastBit-style precision: snap bin edges to this many significant
+  /// decimal digits, so query constants written with few digits (the
+  /// paper's "2.1 < Energy < 2.2") align exactly with edges and need
+  /// little or no candidate checking.  0 disables snapping.
+  std::uint32_t precision = 2;
+  std::uint64_t seed = 0xB17B17ULL;
+};
+
+/// Round `x` to `digits` significant decimal digits (FastBit precision).
+[[nodiscard]] double snap_to_precision(double x, std::uint32_t digits) noexcept;
+
+namespace detail {
+/// All `digits`-significant-decimal grid points covering [lo, hi]
+/// (0 < lo < hi), or empty if more than `max_edges` would be needed.
+[[nodiscard]] std::vector<double> precision_grid(double lo, double hi,
+                                                 std::uint32_t digits,
+                                                 std::size_t max_edges);
+/// Subsample `edges` down to at most `max_edges`, keeping the last edge.
+[[nodiscard]] std::vector<double> thin_edges(std::vector<double> edges,
+                                             std::size_t max_edges);
+}  // namespace detail
+
+/// Result of evaluating an interval against the index.
+struct IndexProbe {
+  /// Element positions (region-local) guaranteed to match.
+  std::vector<std::uint64_t> definite;
+  /// Element positions that MAY match; caller must check raw values.
+  std::vector<std::uint64_t> candidates;
+};
+
+class BinnedBitmapIndex {
+ public:
+  BinnedBitmapIndex() = default;
+
+  /// Build the index over one region's values.
+  template <PdcElement T>
+  static BinnedBitmapIndex Build(std::span<const T> data,
+                                 const IndexConfig& config = {});
+
+  /// Decompose a query interval into definite hits and candidates.
+  [[nodiscard]] IndexProbe probe(const ValueInterval& q) const;
+
+  /// Number of elements indexed.
+  [[nodiscard]] std::uint64_t num_elements() const noexcept { return count_; }
+  [[nodiscard]] std::size_t num_bins() const noexcept { return bins_.size(); }
+
+  /// On-disk footprint (what the query pays to load the index).
+  [[nodiscard]] std::uint64_t compressed_bytes() const noexcept;
+
+  /// Partitioned wire format: [u64 header_len][header][bin 0]...[bin n-1].
+  /// The header alone suffices to decide which bins a query needs (see
+  /// PartitionedIndexView), so readers can fetch a small prefix plus only
+  /// the overlapping bins — the way FastBit avoids loading whole indexes.
+  void serialize(SerialWriter& w) const;
+  static Result<BinnedBitmapIndex> Deserialize(SerialReader& r);
+
+  /// Size in bytes of [u64 header_len][header] for this index.
+  [[nodiscard]] std::uint64_t header_bytes() const;
+
+ private:
+  /// `edges_` has num_bins+1 ascending entries; bin i covers
+  /// [edges_[i], edges_[i+1]) except the last bin, which is closed above.
+  /// The first/last bins additionally absorb values outside the sampled
+  /// edge range, bounded by the exact observed min_/max_.
+  std::vector<double> edges_;
+  std::vector<WahBitVector> bins_;
+  std::uint64_t count_ = 0;
+  double min_ = 0.0;  ///< exact observed minimum
+  double max_ = 0.0;  ///< exact observed maximum
+  /// Floating-point element type: open query bounds equal to a bin edge
+  /// may be treated as aligned (value-at-edge is measure-zero).  Integer
+  /// indexes keep strict edge semantics.
+  bool continuous_ = true;
+};
+
+/// Header-only view over a serialized index: plans which bins a query
+/// needs and where their bytes live, without touching bin data.
+class PartitionedIndexView {
+ public:
+  /// Parse from the first `header_bytes` of a serialized index.
+  static Result<PartitionedIndexView> ParseHeader(
+      std::span<const std::uint8_t> prefix);
+
+  /// Which bins a query interval needs.
+  struct BinSelection {
+    std::vector<std::uint32_t> full;     ///< all set bits are definite hits
+    std::vector<std::uint32_t> partial;  ///< set bits are candidates
+  };
+  [[nodiscard]] BinSelection select_bins(const ValueInterval& q) const;
+
+  /// Byte extent of bin `b` within the serialized index blob.
+  [[nodiscard]] Extent1D bin_extent(std::uint32_t b) const;
+
+  /// Decode one bin previously located via bin_extent().
+  static Result<WahBitVector> DecodeBin(std::span<const std::uint8_t> bytes);
+
+  [[nodiscard]] std::uint64_t num_elements() const noexcept { return count_; }
+  [[nodiscard]] std::size_t num_bins() const noexcept {
+    return bin_bytes_.size();
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  bool continuous_ = true;
+  std::vector<double> edges_;
+  std::vector<std::uint64_t> bin_bytes_;   ///< serialized size per bin
+  std::vector<std::uint64_t> bin_offset_;  ///< absolute offset in the blob
+};
+
+extern template BinnedBitmapIndex BinnedBitmapIndex::Build<float>(
+    std::span<const float>, const IndexConfig&);
+extern template BinnedBitmapIndex BinnedBitmapIndex::Build<double>(
+    std::span<const double>, const IndexConfig&);
+extern template BinnedBitmapIndex BinnedBitmapIndex::Build<std::int32_t>(
+    std::span<const std::int32_t>, const IndexConfig&);
+extern template BinnedBitmapIndex BinnedBitmapIndex::Build<std::uint32_t>(
+    std::span<const std::uint32_t>, const IndexConfig&);
+extern template BinnedBitmapIndex BinnedBitmapIndex::Build<std::int64_t>(
+    std::span<const std::int64_t>, const IndexConfig&);
+extern template BinnedBitmapIndex BinnedBitmapIndex::Build<std::uint64_t>(
+    std::span<const std::uint64_t>, const IndexConfig&);
+
+}  // namespace pdc::bitmap

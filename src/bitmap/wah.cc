@@ -1,0 +1,225 @@
+#include "bitmap/wah.h"
+
+#include <bit>
+
+namespace pdc::bitmap {
+namespace {
+
+/// Streaming decoder over the complete (compressed) groups of a vector.
+class RunDecoder {
+ public:
+  explicit RunDecoder(std::span<const std::uint32_t> words) : words_(words) {}
+
+  /// Make sure a current run is loaded; false when exhausted.
+  bool ensure() {
+    while (groups_left_ == 0) {
+      if (i_ >= words_.size()) return false;
+      const std::uint32_t w = words_[i_++];
+      if (w & 0x80000000u) {
+        is_fill_ = true;
+        fill_bit_ = (w & 0x40000000u) != 0;
+        groups_left_ = w & 0x3FFFFFFFu;
+      } else {
+        is_fill_ = false;
+        literal_ = w;
+        groups_left_ = 1;
+      }
+    }
+    return true;
+  }
+
+  void consume(std::uint64_t n) { groups_left_ -= n; }
+
+  [[nodiscard]] bool is_fill() const { return is_fill_; }
+  [[nodiscard]] bool fill_bit() const { return fill_bit_; }
+  [[nodiscard]] std::uint64_t groups_left() const { return groups_left_; }
+  [[nodiscard]] std::uint32_t literal_group() const {
+    return is_fill_ ? (fill_bit_ ? 0x7FFFFFFFu : 0u) : literal_;
+  }
+
+ private:
+  std::span<const std::uint32_t> words_;
+  std::size_t i_ = 0;
+  bool is_fill_ = false;
+  bool fill_bit_ = false;
+  std::uint32_t literal_ = 0;
+  std::uint64_t groups_left_ = 0;
+};
+
+}  // namespace
+
+void WahBitVector::push_group(std::uint32_t literal) {
+  literal &= kLiteralMask;
+  if (literal == 0 || literal == kLiteralMask) {
+    const bool bit = literal != 0;
+    // Try to extend a trailing fill of the same polarity.
+    if (!words_.empty()) {
+      std::uint32_t& last = words_.back();
+      if ((last & kFillFlag) && ((last & kFillBit) != 0) == bit &&
+          (last & kMaxFillGroups) < kMaxFillGroups) {
+        ++last;
+        return;
+      }
+    }
+    words_.push_back(kFillFlag | (bit ? kFillBit : 0u) | 1u);
+  } else {
+    words_.push_back(literal);
+  }
+}
+
+void WahBitVector::append_bit(bool bit) {
+  if (bit) {
+    active_ |= 1u << active_bits_;
+    ++num_set_;
+  }
+  ++num_bits_;
+  if (++active_bits_ == kGroupBits) {
+    push_group(active_);
+    active_ = 0;
+    active_bits_ = 0;
+  }
+}
+
+void WahBitVector::append_run(bool bit, std::uint64_t count) {
+  // Fill the partial group first.
+  while (count > 0 && active_bits_ != 0) {
+    append_bit(bit);
+    --count;
+  }
+  // Whole groups as fills.
+  std::uint64_t groups = count / kGroupBits;
+  count -= groups * kGroupBits;
+  num_bits_ += groups * kGroupBits;
+  if (bit) num_set_ += groups * kGroupBits;
+  while (groups > 0) {
+    // Extend trailing fill if possible, else start a new fill word.
+    std::uint64_t room = 0;
+    if (!words_.empty()) {
+      const std::uint32_t last = words_.back();
+      if ((last & kFillFlag) && ((last & kFillBit) != 0) == bit) {
+        room = kMaxFillGroups - (last & kMaxFillGroups);
+      }
+    }
+    if (room > 0) {
+      const std::uint64_t take = std::min(room, groups);
+      words_.back() += static_cast<std::uint32_t>(take);
+      groups -= take;
+    } else {
+      const std::uint64_t take = std::min<std::uint64_t>(kMaxFillGroups, groups);
+      words_.push_back(kFillFlag | (bit ? kFillBit : 0u) |
+                       static_cast<std::uint32_t>(take));
+      groups -= take;
+    }
+  }
+  // Trailing partial bits.
+  while (count > 0) {
+    append_bit(bit);
+    --count;
+  }
+}
+
+void WahBitVector::for_each_set(
+    const std::function<void(std::uint64_t)>& fn) const {
+  std::uint64_t pos = 0;
+  for (const std::uint32_t w : words_) {
+    if (w & kFillFlag) {
+      const std::uint64_t bits =
+          static_cast<std::uint64_t>(w & kMaxFillGroups) * kGroupBits;
+      if (w & kFillBit) {
+        for (std::uint64_t i = 0; i < bits; ++i) fn(pos + i);
+      }
+      pos += bits;
+    } else {
+      std::uint32_t bits = w;
+      while (bits != 0) {
+        fn(pos + static_cast<std::uint64_t>(std::countr_zero(bits)));
+        bits &= bits - 1;
+      }
+      pos += kGroupBits;
+    }
+  }
+  std::uint32_t bits = active_;
+  while (bits != 0) {
+    fn(pos + static_cast<std::uint64_t>(std::countr_zero(bits)));
+    bits &= bits - 1;
+  }
+}
+
+std::vector<std::uint64_t> WahBitVector::to_positions() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(static_cast<std::size_t>(num_set_));
+  for_each_set([&out](std::uint64_t p) { out.push_back(p); });
+  return out;
+}
+
+template <bool kIsOr>
+Result<WahBitVector> WahBitVector::Combine(const WahBitVector& a,
+                                           const WahBitVector& b) {
+  if (a.num_bits_ != b.num_bits_) {
+    return Status::InvalidArgument("WAH combine: size mismatch");
+  }
+  WahBitVector out;
+  RunDecoder da(a.words_);
+  RunDecoder db(b.words_);
+  while (da.ensure() && db.ensure()) {
+    if (da.is_fill() && db.is_fill()) {
+      const std::uint64_t n = std::min(da.groups_left(), db.groups_left());
+      const bool bit = kIsOr ? (da.fill_bit() || db.fill_bit())
+                             : (da.fill_bit() && db.fill_bit());
+      out.append_run(bit, n * kGroupBits);
+      da.consume(n);
+      db.consume(n);
+    } else {
+      const std::uint32_t g =
+          kIsOr ? (da.literal_group() | db.literal_group())
+                : (da.literal_group() & db.literal_group());
+      out.push_group(g);
+      out.num_bits_ += kGroupBits;
+      out.num_set_ += std::popcount(g);
+      da.consume(1);
+      db.consume(1);
+    }
+  }
+  if (da.ensure() || db.ensure()) {
+    return Status::Internal("WAH combine: group streams diverged");
+  }
+  // Combine the partial trailing groups (equal lengths by the size check).
+  out.active_ = kIsOr ? (a.active_ | b.active_) : (a.active_ & b.active_);
+  out.active_bits_ = a.active_bits_;
+  out.num_bits_ += a.active_bits_;
+  out.num_set_ += std::popcount(out.active_);
+  return out;
+}
+
+Result<WahBitVector> WahBitVector::And(const WahBitVector& a,
+                                       const WahBitVector& b) {
+  return Combine<false>(a, b);
+}
+
+Result<WahBitVector> WahBitVector::Or(const WahBitVector& a,
+                                      const WahBitVector& b) {
+  return Combine<true>(a, b);
+}
+
+void WahBitVector::serialize(SerialWriter& w) const {
+  w.put(num_bits_);
+  w.put(num_set_);
+  w.put(active_);
+  w.put(active_bits_);
+  w.put_vector(words_);
+}
+
+Result<WahBitVector> WahBitVector::Deserialize(SerialReader& r) {
+  WahBitVector v;
+  PDC_RETURN_IF_ERROR(r.get(v.num_bits_));
+  PDC_RETURN_IF_ERROR(r.get(v.num_set_));
+  PDC_RETURN_IF_ERROR(r.get(v.active_));
+  PDC_RETURN_IF_ERROR(r.get(v.active_bits_));
+  PDC_RETURN_IF_ERROR(r.get_vector(v.words_));
+  if (v.active_bits_ >= kGroupBits || (v.active_ & ~kLiteralMask) != 0) {
+    return Status::Corruption("WAH trailer invalid");
+  }
+  return v;
+}
+
+}  // namespace pdc::bitmap

@@ -1,0 +1,77 @@
+// Word-Aligned Hybrid (WAH) compressed bitvector.
+//
+// The compression scheme used by FastBit (Wu et al.), re-implemented from
+// scratch: a sequence of 32-bit words where
+//   - a *literal* word (MSB = 0) carries 31 raw bitmap bits, and
+//   - a *fill* word (MSB = 1) carries a fill bit (bit 30) and a 30-bit
+//     repeat count measured in 31-bit groups.
+// Logical AND/OR operate directly on the compressed form, skipping over
+// fills without decompression.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/serial.h"
+#include "common/status.h"
+
+namespace pdc::bitmap {
+
+class WahBitVector {
+ public:
+  /// Append a single bit at the end.
+  void append_bit(bool bit);
+
+  /// Append `count` copies of `bit` (fast path for long runs).
+  void append_run(bool bit, std::uint64_t count);
+
+  /// Logical length in bits.
+  [[nodiscard]] std::uint64_t size() const noexcept { return num_bits_; }
+
+  /// Number of set bits.
+  [[nodiscard]] std::uint64_t count() const noexcept { return num_set_; }
+
+  /// Compressed footprint in bytes (words + trailer), as stored on disk.
+  [[nodiscard]] std::uint64_t compressed_bytes() const noexcept {
+    return (words_.size() + 1) * sizeof(std::uint32_t) + 2 * sizeof(std::uint64_t);
+  }
+
+  /// Invoke `fn(position)` for every set bit in ascending order.
+  void for_each_set(const std::function<void(std::uint64_t)>& fn) const;
+
+  /// All set-bit positions, ascending.
+  [[nodiscard]] std::vector<std::uint64_t> to_positions() const;
+
+  /// Bitwise AND / OR of two vectors of equal logical size.
+  static Result<WahBitVector> And(const WahBitVector& a, const WahBitVector& b);
+  static Result<WahBitVector> Or(const WahBitVector& a, const WahBitVector& b);
+
+  void serialize(SerialWriter& w) const;
+  static Result<WahBitVector> Deserialize(SerialReader& r);
+
+  bool operator==(const WahBitVector&) const = default;
+
+ private:
+  static constexpr std::uint32_t kGroupBits = 31;
+  static constexpr std::uint32_t kFillFlag = 0x80000000u;
+  static constexpr std::uint32_t kFillBit = 0x40000000u;
+  static constexpr std::uint32_t kMaxFillGroups = 0x3FFFFFFFu;
+  static constexpr std::uint32_t kLiteralMask = 0x7FFFFFFFu;
+
+  /// Append one complete 31-bit group, coalescing fills.
+  void push_group(std::uint32_t literal);
+
+  template <bool kIsOr>
+  static Result<WahBitVector> Combine(const WahBitVector& a,
+                                      const WahBitVector& b);
+
+  std::vector<std::uint32_t> words_;  ///< complete groups, compressed
+  std::uint32_t active_ = 0;          ///< partial trailing group (literal bits)
+  std::uint32_t active_bits_ = 0;     ///< bits used in active_ (0..30)
+  std::uint64_t num_bits_ = 0;
+  std::uint64_t num_set_ = 0;
+};
+
+}  // namespace pdc::bitmap

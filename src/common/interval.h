@@ -1,0 +1,91 @@
+// Value-domain intervals for query conditions.
+//
+// A simple condition (`Energy > 2.0`) and any AND-combination of conditions
+// on the same object reduce to one interval of the value domain.  Histogram
+// estimation, bitmap-bin selection, sorted-replica range lookup and region
+// min/max pruning all consume this form.
+#pragma once
+
+#include <limits>
+
+#include "common/types.h"
+
+namespace pdc {
+
+/// An interval of the (real) value domain with independently open/closed
+/// endpoints.  Default-constructed: the whole line.
+struct ValueInterval {
+  double lo = -std::numeric_limits<double>::infinity();
+  double hi = std::numeric_limits<double>::infinity();
+  bool lo_inclusive = true;
+  bool hi_inclusive = true;
+
+  /// Interval selected by a single comparison `x <op> value`.
+  [[nodiscard]] static ValueInterval from_op(QueryOp op, double value) noexcept {
+    ValueInterval r;
+    switch (op) {
+      case QueryOp::kGT:
+        r.lo = value;
+        r.lo_inclusive = false;
+        break;
+      case QueryOp::kGTE:
+        r.lo = value;
+        break;
+      case QueryOp::kLT:
+        r.hi = value;
+        r.hi_inclusive = false;
+        break;
+      case QueryOp::kLTE:
+        r.hi = value;
+        break;
+      case QueryOp::kEQ:
+        r.lo = r.hi = value;
+        break;
+    }
+    return r;
+  }
+
+  /// True if no value satisfies the interval.
+  [[nodiscard]] bool empty() const noexcept {
+    if (lo > hi) return true;
+    if (lo == hi) return !(lo_inclusive && hi_inclusive);
+    return false;
+  }
+
+  [[nodiscard]] bool contains(double v) const noexcept {
+    if (v < lo || v > hi) return false;
+    if (v == lo && !lo_inclusive) return false;
+    if (v == hi && !hi_inclusive) return false;
+    return true;
+  }
+
+  /// Conjunction of two conditions on the same variable.
+  [[nodiscard]] ValueInterval intersect(const ValueInterval& o) const noexcept {
+    ValueInterval r = *this;
+    if (o.lo > r.lo || (o.lo == r.lo && !o.lo_inclusive)) {
+      r.lo = o.lo;
+      r.lo_inclusive = o.lo_inclusive;
+    }
+    if (o.hi < r.hi || (o.hi == r.hi && !o.hi_inclusive)) {
+      r.hi = o.hi;
+      r.hi_inclusive = o.hi_inclusive;
+    }
+    return r;
+  }
+
+  /// True if the interval intersects the closed range [min_v, max_v]
+  /// (used for region pruning against stored min/max).
+  [[nodiscard]] bool overlaps_closed(double min_v, double max_v) const noexcept {
+    if (max_v < lo || (max_v == lo && !lo_inclusive)) return false;
+    if (min_v > hi || (min_v == hi && !hi_inclusive)) return false;
+    return true;
+  }
+
+  /// True if the whole closed range [min_v, max_v] satisfies the interval
+  /// (region is all-hits; no element check needed).
+  [[nodiscard]] bool covers_closed(double min_v, double max_v) const noexcept {
+    return contains(min_v) && contains(max_v);
+  }
+};
+
+}  // namespace pdc

@@ -1,0 +1,49 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace pdc {
+namespace {
+
+std::atomic<int> g_level = [] {
+  if (const char* env = std::getenv("PDC_LOG_LEVEL")) {
+    return std::atoi(env);
+  }
+  return static_cast<int>(LogLevel::kWarn);
+}();
+
+std::mutex g_log_mu;
+
+constexpr std::string_view level_tag(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() noexcept {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void log_line(LogLevel level, std::string_view msg) {
+  if (level < log_level()) return;
+  std::lock_guard lock(g_log_mu);
+  std::fprintf(stderr, "[pdc %.*s] %.*s\n",
+               static_cast<int>(level_tag(level).size()), level_tag(level).data(),
+               static_cast<int>(msg.size()), msg.data());
+}
+
+}  // namespace pdc

@@ -1,0 +1,86 @@
+// Deterministic, platform-independent random number generation.
+//
+// Workload generators and the histogram sampling step (Algorithm 1, line 1)
+// must be reproducible across runs and machines, so we ship our own
+// xoshiro256** instead of relying on libstdc++ distribution internals.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace pdc {
+
+/// SplitMix64 — used only to seed Xoshiro256 from a single 64-bit seed.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : s_) word = splitmix64(sm);
+  }
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t bounded(std::uint64_t bound) noexcept {
+    if (bound == 0) return 0;
+    const unsigned __int128 product =
+        static_cast<unsigned __int128>(next_u64()) * bound;
+    return static_cast<std::uint64_t>(product >> 64);
+  }
+
+  /// Standard normal via Box–Muller (deterministic, no cached spare).
+  double normal() noexcept {
+    double u1 = next_double();
+    const double u2 = next_double();
+    // Avoid log(0).
+    if (u1 <= 0.0) u1 = 0x1.0p-53;
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(6.283185307179586 * u2);
+  }
+
+  /// Exponential with rate `lambda`.
+  double exponential(double lambda) noexcept {
+    double u = next_double();
+    if (u <= 0.0) u = 0x1.0p-53;
+    return -std::log(u) / lambda;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4] = {};
+};
+
+}  // namespace pdc

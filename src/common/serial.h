@@ -1,0 +1,146 @@
+// Bounds-checked binary (de)serialization buffers.
+//
+// Everything that crosses a client<->server boundary in this codebase is
+// serialized through these two classes — queries, region metadata,
+// histograms, bitmap indexes, result selections.  That forces the same
+// no-shared-memory discipline the real PDC system has over Mercury RPC, and
+// gives a single place to audit wire-format safety.
+//
+// Format: little-endian, fixed-width integers, no alignment padding.
+// Variable-length payloads are length-prefixed with a u64.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "common/status.h"
+
+namespace pdc {
+
+/// Append-only binary writer.
+class SerialWriter {
+ public:
+  SerialWriter() = default;
+  explicit SerialWriter(std::size_t reserve_bytes) { buf_.reserve(reserve_bytes); }
+
+  /// Write one trivially-copyable scalar.
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void put(const T& v) {
+    const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+    buf_.insert(buf_.end(), p, p + sizeof(T));
+  }
+
+  /// Append raw bytes with no length prefix (caller manages framing).
+  void put_raw(std::span<const std::uint8_t> bytes) {
+    buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  }
+
+  /// Write a length-prefixed byte blob.
+  void put_bytes(std::span<const std::uint8_t> bytes) {
+    put<std::uint64_t>(bytes.size());
+    buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  }
+
+  /// Write a length-prefixed string.
+  void put_string(std::string_view s) {
+    put_bytes({reinterpret_cast<const std::uint8_t*>(s.data()), s.size()});
+  }
+
+  /// Write a length-prefixed vector of trivially-copyable elements.
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void put_vector(const std::vector<T>& v) {
+    put<std::uint64_t>(v.size());
+    const auto* p = reinterpret_cast<const std::uint8_t*>(v.data());
+    buf_.insert(buf_.end(), p, p + v.size() * sizeof(T));
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+  [[nodiscard]] std::span<const std::uint8_t> bytes() const noexcept {
+    return buf_;
+  }
+
+  /// Move the accumulated buffer out; the writer is empty afterwards.
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked binary reader over a borrowed byte span.
+/// The underlying bytes must outlive the reader.
+class SerialReader {
+ public:
+  explicit SerialReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  /// Read one scalar; fails with Corruption on underrun.
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  Status get(T& out) {
+    if (pos_ + sizeof(T) > bytes_.size()) {
+      return Status::Corruption("serial underrun reading scalar");
+    }
+    std::memcpy(&out, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return Status::Ok();
+  }
+
+  /// Read a length-prefixed string.
+  Status get_string(std::string& out) {
+    std::uint64_t n = 0;
+    PDC_RETURN_IF_ERROR(get(n));
+    if (pos_ + n > bytes_.size()) {
+      return Status::Corruption("serial underrun reading string");
+    }
+    out.assign(reinterpret_cast<const char*>(bytes_.data() + pos_),
+               static_cast<std::size_t>(n));
+    pos_ += static_cast<std::size_t>(n);
+    return Status::Ok();
+  }
+
+  /// Read a length-prefixed vector of trivially-copyable elements.
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  Status get_vector(std::vector<T>& out) {
+    std::uint64_t n = 0;
+    PDC_RETURN_IF_ERROR(get(n));
+    const std::uint64_t nbytes = n * sizeof(T);
+    if (n > bytes_.size() || pos_ + nbytes > bytes_.size()) {
+      return Status::Corruption("serial underrun reading vector");
+    }
+    out.resize(static_cast<std::size_t>(n));
+    std::memcpy(out.data(), bytes_.data() + pos_,
+                static_cast<std::size_t>(nbytes));
+    pos_ += static_cast<std::size_t>(nbytes);
+    return Status::Ok();
+  }
+
+  /// Read a length-prefixed blob as a borrowed view (no copy).
+  Status get_bytes_view(std::span<const std::uint8_t>& out) {
+    std::uint64_t n = 0;
+    PDC_RETURN_IF_ERROR(get(n));
+    if (pos_ + n > bytes_.size()) {
+      return Status::Corruption("serial underrun reading bytes");
+    }
+    out = bytes_.subspan(pos_, static_cast<std::size_t>(n));
+    pos_ += static_cast<std::size_t>(n);
+    return Status::Ok();
+  }
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return bytes_.size() - pos_;
+  }
+  [[nodiscard]] bool exhausted() const noexcept { return remaining() == 0; }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace pdc

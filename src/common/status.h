@@ -1,0 +1,146 @@
+// Status / Result error-handling primitives for the PDC-Query codebase.
+//
+// All fallible public APIs return either a `Status` (operations with no
+// payload) or a `Result<T>` (operations producing a value).  Exceptions are
+// reserved for programming errors (contract violations); expected runtime
+// failures (missing object, I/O error, malformed query) travel as statuses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace pdc {
+
+/// Error category for a failed operation.
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument,   ///< caller passed something malformed
+  kNotFound,          ///< object / region / attribute does not exist
+  kAlreadyExists,     ///< create collided with an existing entity
+  kOutOfRange,        ///< offset/size outside the entity bounds
+  kIoError,           ///< backing storage failed
+  kCorruption,        ///< on-disk or on-wire bytes failed validation
+  kUnimplemented,     ///< feature not available in this configuration
+  kFailedPrecondition,///< call sequencing violated (e.g. selection before data)
+  kResourceExhausted, ///< memory cap or capacity exceeded
+  kInternal,          ///< invariant broken inside the library
+};
+
+/// Human-readable name of a status code ("Ok", "NotFound", ...).
+std::string_view status_code_name(StatusCode code) noexcept;
+
+/// Lightweight error-or-success value.  Success carries no allocation.
+class [[nodiscard]] Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept = default;
+
+  /// Constructs an error status with a message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() noexcept { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return {StatusCode::kInvalidArgument, std::move(msg)};
+  }
+  static Status NotFound(std::string msg) {
+    return {StatusCode::kNotFound, std::move(msg)};
+  }
+  static Status AlreadyExists(std::string msg) {
+    return {StatusCode::kAlreadyExists, std::move(msg)};
+  }
+  static Status OutOfRange(std::string msg) {
+    return {StatusCode::kOutOfRange, std::move(msg)};
+  }
+  static Status IoError(std::string msg) {
+    return {StatusCode::kIoError, std::move(msg)};
+  }
+  static Status Corruption(std::string msg) {
+    return {StatusCode::kCorruption, std::move(msg)};
+  }
+  static Status Unimplemented(std::string msg) {
+    return {StatusCode::kUnimplemented, std::move(msg)};
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return {StatusCode::kFailedPrecondition, std::move(msg)};
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return {StatusCode::kResourceExhausted, std::move(msg)};
+  }
+  static Status Internal(std::string msg) {
+    return {StatusCode::kInternal, std::move(msg)};
+  }
+
+  [[nodiscard]] bool ok() const noexcept { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  /// "NotFound: object 42" or "Ok".
+  [[nodiscard]] std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Value-or-Status.  Mirrors the subset of std::expected we need on C++20.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /// Implicit from a value: `return 42;`
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  /// Implicit from an error status: `return Status::NotFound(...);`
+  /// Precondition: `status` is not OK (an OK status carries no value).
+  Result(Status status) : payload_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    if (std::get<Status>(payload_).ok()) {
+      payload_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  [[nodiscard]] bool ok() const noexcept {
+    return std::holds_alternative<T>(payload_);
+  }
+
+  [[nodiscard]] const Status& status() const noexcept {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(payload_);
+  }
+
+  /// Access the value.  Precondition: ok().
+  [[nodiscard]] T& value() & { return std::get<T>(payload_); }
+  [[nodiscard]] const T& value() const& { return std::get<T>(payload_); }
+  [[nodiscard]] T&& value() && { return std::get<T>(std::move(payload_)); }
+
+  [[nodiscard]] T& operator*() & { return value(); }
+  [[nodiscard]] const T& operator*() const& { return value(); }
+  [[nodiscard]] T* operator->() { return &value(); }
+  [[nodiscard]] const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+}  // namespace pdc
+
+/// Propagate a non-OK Status out of the current function.
+#define PDC_RETURN_IF_ERROR(expr)                  \
+  do {                                             \
+    ::pdc::Status pdc_status_ = (expr);            \
+    if (!pdc_status_.ok()) return pdc_status_;     \
+  } while (0)
+
+#define PDC_INTERNAL_CONCAT2(a, b) a##b
+#define PDC_INTERNAL_CONCAT(a, b) PDC_INTERNAL_CONCAT2(a, b)
+#define PDC_INTERNAL_ASSIGN_OR_RETURN(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value()
+
+/// Evaluate a Result expression; on error propagate, on success bind `lhs`.
+#define PDC_ASSIGN_OR_RETURN(lhs, expr) \
+  PDC_INTERNAL_ASSIGN_OR_RETURN(        \
+      PDC_INTERNAL_CONCAT(pdc_result_, __LINE__), lhs, expr)

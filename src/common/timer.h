@@ -1,0 +1,25 @@
+// Wall-clock stopwatch for the real-time measurements that accompany the
+// simulated CostLedger numbers in benchmark output.
+#pragma once
+
+#include <chrono>
+
+namespace pdc {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds since construction or last reset().
+  [[nodiscard]] double elapsed_seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace pdc

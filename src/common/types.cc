@@ -1,0 +1,28 @@
+#include "common/types.h"
+
+namespace pdc {
+
+std::string_view query_op_name(QueryOp op) noexcept {
+  switch (op) {
+    case QueryOp::kGT: return ">";
+    case QueryOp::kGTE: return ">=";
+    case QueryOp::kLT: return "<";
+    case QueryOp::kLTE: return "<=";
+    case QueryOp::kEQ: return "==";
+  }
+  return "?";
+}
+
+std::string_view pdc_type_name(PdcType type) noexcept {
+  switch (type) {
+    case PdcType::kFloat: return "float";
+    case PdcType::kDouble: return "double";
+    case PdcType::kInt32: return "int32";
+    case PdcType::kUInt32: return "uint32";
+    case PdcType::kInt64: return "int64";
+    case PdcType::kUInt64: return "uint64";
+  }
+  return "?";
+}
+
+}  // namespace pdc

@@ -1,0 +1,126 @@
+// Core identifier and runtime-type vocabulary shared by every PDC module.
+//
+// Mirrors the paper's public API surface (Fig. 1): `pdc_id_t` object ids,
+// `pdc_query_op_t` comparison operators and `pdc_type_t` element types.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace pdc {
+
+/// Globally unique id for containers, objects and metadata objects.
+/// Id 0 is reserved as "invalid".
+using ObjectId = std::uint64_t;
+inline constexpr ObjectId kInvalidObjectId = 0;
+
+/// Id of a PDC server within a deployment (dense, 0..num_servers-1).
+using ServerId = std::uint32_t;
+
+/// Index of a region within its object (dense, 0..num_regions-1).
+using RegionIndex = std::uint32_t;
+
+/// Comparison operator of a simple query condition (paper: pdc_query_op_t).
+enum class QueryOp : std::uint8_t {
+  kGT = 0,  ///<  >
+  kGTE,     ///<  >=
+  kLT,      ///<  <
+  kLTE,     ///<  <=
+  kEQ,      ///<  ==
+};
+
+std::string_view query_op_name(QueryOp op) noexcept;
+
+/// Runtime element type of an object (paper: pdc_type_t).
+enum class PdcType : std::uint8_t {
+  kFloat = 0,
+  kDouble,
+  kInt32,
+  kUInt32,
+  kInt64,
+  kUInt64,
+};
+
+/// Size in bytes of one element of `type`.
+constexpr std::size_t pdc_type_size(PdcType type) noexcept {
+  switch (type) {
+    case PdcType::kFloat: return 4;
+    case PdcType::kDouble: return 8;
+    case PdcType::kInt32: return 4;
+    case PdcType::kUInt32: return 4;
+    case PdcType::kInt64: return 8;
+    case PdcType::kUInt64: return 8;
+  }
+  return 0;
+}
+
+std::string_view pdc_type_name(PdcType type) noexcept;
+
+/// Compile-time map from C++ element type to PdcType tag.
+template <typename T> struct PdcTypeOf;
+template <> struct PdcTypeOf<float> {
+  static constexpr PdcType value = PdcType::kFloat;
+};
+template <> struct PdcTypeOf<double> {
+  static constexpr PdcType value = PdcType::kDouble;
+};
+template <> struct PdcTypeOf<std::int32_t> {
+  static constexpr PdcType value = PdcType::kInt32;
+};
+template <> struct PdcTypeOf<std::uint32_t> {
+  static constexpr PdcType value = PdcType::kUInt32;
+};
+template <> struct PdcTypeOf<std::int64_t> {
+  static constexpr PdcType value = PdcType::kInt64;
+};
+template <> struct PdcTypeOf<std::uint64_t> {
+  static constexpr PdcType value = PdcType::kUInt64;
+};
+
+template <typename T>
+inline constexpr PdcType kPdcTypeOf = PdcTypeOf<T>::value;
+
+/// Element types accepted by the templated query/data entry points.
+template <typename T>
+concept PdcElement = requires { PdcTypeOf<T>::value; };
+
+/// A half-open 1-D element range [offset, offset+count) within an object.
+/// Used both for region extents and for user spatial query constraints
+/// (paper: PDCquery_set_region).
+struct Extent1D {
+  std::uint64_t offset = 0;
+  std::uint64_t count = 0;
+
+  [[nodiscard]] std::uint64_t end() const noexcept { return offset + count; }
+  [[nodiscard]] bool empty() const noexcept { return count == 0; }
+
+  /// True if `pos` lies inside the extent.
+  [[nodiscard]] bool contains(std::uint64_t pos) const noexcept {
+    return pos >= offset && pos < end();
+  }
+
+  /// Intersection with another extent (possibly empty).
+  [[nodiscard]] Extent1D intersect(const Extent1D& other) const noexcept {
+    const std::uint64_t lo = offset > other.offset ? offset : other.offset;
+    const std::uint64_t hi = end() < other.end() ? end() : other.end();
+    return hi > lo ? Extent1D{lo, hi - lo} : Extent1D{lo, 0};
+  }
+
+  bool operator==(const Extent1D&) const = default;
+};
+
+/// Evaluate `value <op> rhs` for one element.
+template <typename T>
+[[nodiscard]] constexpr bool eval_op(T value, QueryOp op, T rhs) noexcept {
+  switch (op) {
+    case QueryOp::kGT: return value > rhs;
+    case QueryOp::kGTE: return value >= rhs;
+    case QueryOp::kLT: return value < rhs;
+    case QueryOp::kLTE: return value <= rhs;
+    case QueryOp::kEQ: return value == rhs;
+  }
+  return false;
+}
+
+}  // namespace pdc

@@ -1,0 +1,148 @@
+#include "h5lite/full_scan.h"
+
+#include <algorithm>
+
+#include "common/thread_pool.h"
+
+namespace pdc::h5lite {
+namespace {
+
+/// Apply `interval` to `flags` over one typed column slab.
+template <PdcElement T>
+void filter_slab(const std::uint8_t* column_bytes, const ValueInterval& q,
+                 std::uint64_t lo, std::uint64_t hi, std::uint8_t* flags) {
+  const T* values = reinterpret_cast<const T*>(column_bytes);
+  for (std::uint64_t i = lo; i < hi; ++i) {
+    flags[i] &= static_cast<std::uint8_t>(
+        q.contains(static_cast<double>(values[i])));
+  }
+}
+
+void filter_slab_dispatch(PdcType type, const std::uint8_t* bytes,
+                          const ValueInterval& q, std::uint64_t lo,
+                          std::uint64_t hi, std::uint8_t* flags) {
+  switch (type) {
+    case PdcType::kFloat:
+      return filter_slab<float>(bytes, q, lo, hi, flags);
+    case PdcType::kDouble:
+      return filter_slab<double>(bytes, q, lo, hi, flags);
+    case PdcType::kInt32:
+      return filter_slab<std::int32_t>(bytes, q, lo, hi, flags);
+    case PdcType::kUInt32:
+      return filter_slab<std::uint32_t>(bytes, q, lo, hi, flags);
+    case PdcType::kInt64:
+      return filter_slab<std::int64_t>(bytes, q, lo, hi, flags);
+    case PdcType::kUInt64:
+      return filter_slab<std::uint64_t>(bytes, q, lo, hi, flags);
+  }
+}
+
+}  // namespace
+
+ParallelFullScan::ParallelFullScan(const pfs::PfsCluster& cluster,
+                                   const H5LiteReader& reader,
+                                   std::uint32_t num_ranks)
+    : cluster_(cluster),
+      reader_(reader),
+      num_ranks_(std::max<std::uint32_t>(1, num_ranks)) {}
+
+Status ParallelFullScan::load(std::span<const std::string> dataset_names) {
+  // Resolve infos first so errors surface before any I/O.
+  std::vector<DatasetInfo> infos;
+  for (const std::string& name : dataset_names) {
+    PDC_ASSIGN_OR_RETURN(DatasetInfo info, reader_.dataset(name));
+    if (!infos.empty() && info.num_elements != infos.front().num_elements) {
+      return Status::InvalidArgument(
+          "datasets have mismatched element counts");
+    }
+    infos.push_back(std::move(info));
+  }
+  if (infos.empty()) {
+    return Status::InvalidArgument("no datasets requested");
+  }
+  num_elements_ = infos.front().num_elements;
+
+  ThreadPool pool(num_ranks_);
+  std::vector<CostLedger> rank_ledgers(num_ranks_);
+  Status first_error;
+  std::mutex error_mu;
+
+  for (const DatasetInfo& info : infos) {
+    Column& col = columns_[info.name];
+    col.type = info.type;
+    col.bytes.resize(static_cast<std::size_t>(info.byte_size()));
+    const std::uint64_t per_rank =
+        (num_elements_ + num_ranks_ - 1) / num_ranks_;
+    const std::size_t elem_size = pdc_type_size(info.type);
+    pool.parallel_for(num_ranks_, [&](std::size_t rank) {
+      const std::uint64_t lo = rank * per_rank;
+      const std::uint64_t hi = std::min(num_elements_, lo + per_rank);
+      if (lo >= hi) return;
+      const pfs::ReadContext ctx{&rank_ledgers[rank], num_ranks_};
+      const Status s = reader_.file_read_raw(
+          info, lo * elem_size,
+          {col.bytes.data() + lo * elem_size,
+           static_cast<std::size_t>((hi - lo) * elem_size)},
+          ctx);
+      if (!s.ok()) {
+        std::lock_guard lock(error_mu);
+        if (first_error.ok()) first_error = s;
+      }
+    });
+    bytes_loaded_ += info.byte_size();
+  }
+  PDC_RETURN_IF_ERROR(first_error);
+
+  for (const CostLedger& l : rank_ledgers) {
+    load_elapsed_s_ = std::max(load_elapsed_s_, l.io_seconds());
+  }
+  return Status::Ok();
+}
+
+Result<FullScanResult> ParallelFullScan::scan(
+    std::span<const ScanCondition> conditions, bool collect_positions) const {
+  if (columns_.empty()) {
+    return Status::FailedPrecondition("load() before scan()");
+  }
+  for (const ScanCondition& c : conditions) {
+    if (!columns_.contains(c.dataset)) {
+      return Status::NotFound("column not loaded: " + c.dataset);
+    }
+  }
+  if (conditions.empty()) {
+    return Status::InvalidArgument("empty condition list");
+  }
+
+  const std::uint64_t n = num_elements_;
+  std::vector<std::uint8_t> flags(static_cast<std::size_t>(n), 1);
+  ThreadPool pool(num_ranks_);
+  const std::uint64_t per_rank = (n + num_ranks_ - 1) / num_ranks_;
+  std::vector<double> rank_cpu(num_ranks_, 0.0);
+  const CostModel& cost = cluster_.config().cost;
+
+  pool.parallel_for(num_ranks_, [&](std::size_t rank) {
+    const std::uint64_t lo = rank * per_rank;
+    const std::uint64_t hi = std::min(n, lo + per_rank);
+    if (lo >= hi) return;
+    for (const ScanCondition& c : conditions) {
+      const Column& col = columns_.at(c.dataset);
+      filter_slab_dispatch(col.type, col.bytes.data(), c.interval, lo, hi,
+                           flags.data());
+      // The baseline scans every element for every conjunct.
+      rank_cpu[rank] +=
+          cost.scan_cost((hi - lo) * pdc_type_size(col.type));
+    }
+  });
+
+  FullScanResult result;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (flags[i]) {
+      ++result.num_hits;
+      if (collect_positions) result.positions.push_back(i);
+    }
+  }
+  result.scan_elapsed_s = *std::max_element(rank_cpu.begin(), rank_cpu.end());
+  return result;
+}
+
+}  // namespace pdc::h5lite

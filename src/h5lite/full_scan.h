@@ -1,0 +1,77 @@
+// The "HDF5-F" baseline: a hand-optimized parallel full scan over h5lite
+// files (paper §VI: read the entire dataset into memory once, then scan
+// every element per query).
+//
+// `num_ranks` emulates the paper's 64 MPI processes: each rank loads and
+// scans a contiguous slab.  Simulated elapsed times are the max over ranks
+// (ranks run concurrently); real work is done by a thread pool.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/cost_model.h"
+#include "common/interval.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "h5lite/h5lite.h"
+
+namespace pdc::h5lite {
+
+/// One conjunct of a compound scan condition.
+struct ScanCondition {
+  std::string dataset;
+  ValueInterval interval;
+};
+
+/// Outcome of one scan pass.
+struct FullScanResult {
+  std::uint64_t num_hits = 0;
+  std::vector<std::uint64_t> positions;  ///< filled if requested
+  double scan_elapsed_s = 0.0;           ///< simulated, max over ranks
+};
+
+class ParallelFullScan {
+ public:
+  ParallelFullScan(const pfs::PfsCluster& cluster, const H5LiteReader& reader,
+                   std::uint32_t num_ranks);
+
+  /// Read the named datasets fully into memory, slab-parallel across ranks.
+  /// All datasets must have the same element count.
+  Status load(std::span<const std::string> dataset_names);
+
+  /// Simulated time of the load phase (max over ranks).
+  [[nodiscard]] double load_elapsed_seconds() const noexcept {
+    return load_elapsed_s_;
+  }
+  [[nodiscard]] std::uint64_t bytes_loaded() const noexcept {
+    return bytes_loaded_;
+  }
+
+  /// Evaluate the AND of `conditions` over the loaded columns.
+  Result<FullScanResult> scan(std::span<const ScanCondition> conditions,
+                              bool collect_positions) const;
+
+  [[nodiscard]] std::uint64_t num_elements() const noexcept {
+    return num_elements_;
+  }
+
+ private:
+  struct Column {
+    PdcType type = PdcType::kFloat;
+    std::vector<std::uint8_t> bytes;
+  };
+
+  const pfs::PfsCluster& cluster_;
+  const H5LiteReader& reader_;
+  std::uint32_t num_ranks_;
+  std::map<std::string, Column> columns_;
+  std::uint64_t num_elements_ = 0;
+  std::uint64_t bytes_loaded_ = 0;
+  double load_elapsed_s_ = 0.0;
+};
+
+}  // namespace pdc::h5lite

@@ -1,0 +1,109 @@
+#include "h5lite/h5lite.h"
+
+#include <algorithm>
+
+#include "common/serial.h"
+
+namespace pdc::h5lite {
+
+Result<H5LiteWriter> H5LiteWriter::Create(pfs::PfsCluster& cluster,
+                                          std::string_view filename) {
+  PDC_ASSIGN_OR_RETURN(pfs::PfsFile file, cluster.create(filename));
+  return H5LiteWriter(std::move(file));
+}
+
+Status H5LiteWriter::add_dataset_raw(std::string_view name, PdcType type,
+                                     std::span<const std::uint8_t> bytes,
+                                     std::uint64_t num_elements) {
+  if (finished_) {
+    return Status::FailedPrecondition("writer already finished");
+  }
+  const auto dup = std::find_if(table_.begin(), table_.end(),
+                                [&](const DatasetInfo& d) {
+                                  return d.name == name;
+                                });
+  if (dup != table_.end()) {
+    return Status::AlreadyExists("dataset exists: " + std::string(name));
+  }
+  PDC_RETURN_IF_ERROR(file_.write(cursor_, bytes));
+  table_.push_back(DatasetInfo{std::string(name), type, num_elements, cursor_});
+  cursor_ += bytes.size();
+  return Status::Ok();
+}
+
+Status H5LiteWriter::finish() {
+  if (finished_) {
+    return Status::FailedPrecondition("writer already finished");
+  }
+  SerialWriter w;
+  w.put<std::uint64_t>(table_.size());
+  for (const DatasetInfo& d : table_) {
+    w.put_string(d.name);
+    w.put(static_cast<std::uint8_t>(d.type));
+    w.put(d.num_elements);
+    w.put(d.byte_offset);
+  }
+  // Trailer: table offset + magic (fixed 16 bytes at EOF).
+  w.put<std::uint64_t>(cursor_);
+  w.put<std::uint64_t>(kMagic);
+  PDC_RETURN_IF_ERROR(file_.write(cursor_, w.bytes()));
+  finished_ = true;
+  return Status::Ok();
+}
+
+Result<H5LiteReader> H5LiteReader::Open(const pfs::PfsCluster& cluster,
+                                        std::string_view filename) {
+  PDC_ASSIGN_OR_RETURN(pfs::PfsFile file, cluster.open(filename));
+  PDC_ASSIGN_OR_RETURN(const std::uint64_t fsize, file.size());
+  if (fsize < 16) {
+    return Status::Corruption("h5lite file too small");
+  }
+  std::uint8_t trailer[16];
+  PDC_RETURN_IF_ERROR(file.read(fsize - 16, trailer, {}));
+  SerialReader tr(trailer);
+  std::uint64_t table_offset = 0;
+  std::uint64_t magic = 0;
+  PDC_RETURN_IF_ERROR(tr.get(table_offset));
+  PDC_RETURN_IF_ERROR(tr.get(magic));
+  if (magic != kMagic) {
+    return Status::Corruption("h5lite magic mismatch");
+  }
+  if (table_offset + 16 > fsize) {
+    return Status::Corruption("h5lite table offset out of bounds");
+  }
+
+  std::vector<std::uint8_t> table_bytes(
+      static_cast<std::size_t>(fsize - 16 - table_offset));
+  PDC_RETURN_IF_ERROR(file.read(table_offset, table_bytes, {}));
+  SerialReader r(table_bytes);
+  std::uint64_t count = 0;
+  PDC_RETURN_IF_ERROR(r.get(count));
+  std::vector<DatasetInfo> table;
+  table.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    DatasetInfo d;
+    PDC_RETURN_IF_ERROR(r.get_string(d.name));
+    std::uint8_t type = 0;
+    PDC_RETURN_IF_ERROR(r.get(type));
+    if (type > static_cast<std::uint8_t>(PdcType::kUInt64)) {
+      return Status::Corruption("h5lite dataset type invalid");
+    }
+    d.type = static_cast<PdcType>(type);
+    PDC_RETURN_IF_ERROR(r.get(d.num_elements));
+    PDC_RETURN_IF_ERROR(r.get(d.byte_offset));
+    if (d.byte_offset + d.byte_size() > table_offset) {
+      return Status::Corruption("h5lite dataset extent out of bounds");
+    }
+    table.push_back(std::move(d));
+  }
+  return H5LiteReader(std::move(file), std::move(table));
+}
+
+Result<DatasetInfo> H5LiteReader::dataset(std::string_view name) const {
+  for (const DatasetInfo& d : table_) {
+    if (d.name == name) return d;
+  }
+  return Status::NotFound("dataset not found: " + std::string(name));
+}
+
+}  // namespace pdc::h5lite

@@ -1,0 +1,122 @@
+// h5lite: a minimal self-describing scientific container file format.
+//
+// Stands in for HDF5 in the paper's "HDF5-F" baseline: named, typed 1-D
+// datasets in a single file on the parallel file system.  Layout:
+//
+//   [dataset 0 raw bytes][dataset 1 raw bytes]...[dataset table][trailer]
+//
+// The trailer (fixed 16 bytes at EOF: u64 table offset + magic) locates the
+// dataset table, so files are written in one streaming pass.  All I/O goes
+// through the simulated PFS, which keeps the baseline and PDC on identical
+// storage footing.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "pfs/pfs.h"
+
+namespace pdc::h5lite {
+
+inline constexpr std::uint64_t kMagic = 0x4835'4C49'5445'3031ull;  // "H5LITE01"
+
+/// One named dataset inside a file.
+struct DatasetInfo {
+  std::string name;
+  PdcType type = PdcType::kFloat;
+  std::uint64_t num_elements = 0;
+  std::uint64_t byte_offset = 0;  ///< where the raw values start in the file
+
+  [[nodiscard]] std::uint64_t byte_size() const noexcept {
+    return num_elements * pdc_type_size(type);
+  }
+};
+
+/// Streaming writer; datasets are appended then finalized with finish().
+class H5LiteWriter {
+ public:
+  /// Create (truncate) `filename` on the cluster.
+  static Result<H5LiteWriter> Create(pfs::PfsCluster& cluster,
+                                     std::string_view filename);
+
+  /// Append one typed dataset.  Name must be unique within the file.
+  template <PdcElement T>
+  Status add_dataset(std::string_view name, std::span<const T> data) {
+    return add_dataset_raw(
+        name, kPdcTypeOf<T>,
+        {reinterpret_cast<const std::uint8_t*>(data.data()),
+         data.size_bytes()},
+        data.size());
+  }
+
+  /// Write the dataset table + trailer.  No datasets may follow.
+  Status finish();
+
+ private:
+  explicit H5LiteWriter(pfs::PfsFile file) : file_(std::move(file)) {}
+
+  Status add_dataset_raw(std::string_view name, PdcType type,
+                         std::span<const std::uint8_t> bytes,
+                         std::uint64_t num_elements);
+
+  pfs::PfsFile file_;
+  std::vector<DatasetInfo> table_;
+  std::uint64_t cursor_ = 0;
+  bool finished_ = false;
+};
+
+/// Reader over a finished file.
+class H5LiteReader {
+ public:
+  static Result<H5LiteReader> Open(const pfs::PfsCluster& cluster,
+                                   std::string_view filename);
+
+  [[nodiscard]] const std::vector<DatasetInfo>& datasets() const noexcept {
+    return table_;
+  }
+
+  [[nodiscard]] Result<DatasetInfo> dataset(std::string_view name) const;
+
+  /// Read `out.size()` elements starting at element `elem_offset`.
+  template <PdcElement T>
+  Status read(const DatasetInfo& ds, std::uint64_t elem_offset,
+              std::span<T> out, const pfs::ReadContext& ctx) const {
+    if (kPdcTypeOf<T> != ds.type) {
+      return Status::InvalidArgument("dataset type mismatch: " + ds.name);
+    }
+    if (elem_offset + out.size() > ds.num_elements) {
+      return Status::OutOfRange("read beyond dataset " + ds.name);
+    }
+    return file_.read(ds.byte_offset + elem_offset * sizeof(T),
+                      {reinterpret_cast<std::uint8_t*>(out.data()),
+                       out.size_bytes()},
+                      ctx);
+  }
+
+  /// Untyped read of a byte range within a dataset (offset relative to the
+  /// dataset's first byte).
+  Status file_read_raw(const DatasetInfo& ds, std::uint64_t byte_offset,
+                       std::span<std::uint8_t> out,
+                       const pfs::ReadContext& ctx) const {
+    if (byte_offset + out.size() > ds.byte_size()) {
+      return Status::OutOfRange("raw read beyond dataset " + ds.name);
+    }
+    return file_.read(ds.byte_offset + byte_offset, out, ctx);
+  }
+
+ private:
+  H5LiteReader(pfs::PfsFile file, std::vector<DatasetInfo> table)
+      : file_(std::move(file)), table_(std::move(table)) {}
+
+  pfs::PfsFile file_;
+  std::vector<DatasetInfo> table_;
+};
+
+}  // namespace pdc::h5lite

@@ -1,0 +1,195 @@
+#include "histogram/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace pdc::hist {
+
+double round_down_pow2(double x) noexcept {
+  if (!(x > 0.0) || !std::isfinite(x)) return 1.0;
+  int exp = 0;
+  std::frexp(x, &exp);  // x = m * 2^exp, m in [0.5, 1)
+  return std::ldexp(1.0, exp - 1);
+}
+
+namespace {
+
+/// floor(x / w) * w for w an exact power of two — exact in binary FP.
+double floor_to_lattice(double x, double w) noexcept {
+  return std::floor(x / w) * w;
+}
+
+}  // namespace
+
+template <PdcElement T>
+MergeableHistogram MergeableHistogram::Build(std::span<const T> data,
+                                             const HistogramConfig& config) {
+  MergeableHistogram h;
+  if (data.empty()) return h;
+
+  // Line 1: random-sample ~10 % of the data for approximate min/max.
+  const std::uint64_t n = data.size();
+  std::uint64_t sample_size = static_cast<std::uint64_t>(
+      config.sample_fraction * static_cast<double>(n));
+  sample_size = std::clamp<std::uint64_t>(sample_size, config.min_samples, n);
+
+  Rng rng(config.seed);
+  double approx_min = std::numeric_limits<double>::infinity();
+  double approx_max = -std::numeric_limits<double>::infinity();
+  if (sample_size >= n) {
+    for (const T& v : data) {
+      const double d = static_cast<double>(v);
+      approx_min = std::min(approx_min, d);
+      approx_max = std::max(approx_max, d);
+    }
+  } else {
+    for (std::uint64_t i = 0; i < sample_size; ++i) {
+      const double d = static_cast<double>(data[rng.bounded(n)]);
+      approx_min = std::min(approx_min, d);
+      approx_max = std::max(approx_max, d);
+    }
+  }
+
+  // Lines 2-3: bin width = span / target bins, rounded DOWN to a power of 2.
+  const std::uint32_t target = std::max<std::uint32_t>(1, config.target_bins);
+  double width = (approx_max - approx_min) / static_cast<double>(target);
+  width = round_down_pow2(width);  // maps non-positive spans to 1.0 too
+
+  // Lines 4-7: anchor the first boundary on the width lattice (the paper's
+  // "natural numbers" anchor generalised to the 2^x lattice) and derive the
+  // actual bin count, which may exceed the target.
+  const double first_edge = floor_to_lattice(approx_min, width);
+  std::size_t nbins = static_cast<std::size_t>(
+      std::ceil((approx_max - first_edge) / width));
+  nbins = std::max<std::size_t>(1, nbins);
+
+  h.bin_width_ = width;
+  h.first_edge_ = first_edge;
+  h.counts_.assign(nbins, 0);
+
+  // Lines 11-18: count every element.  Values outside the sampled range are
+  // absorbed by the first/last bin, which stretch to the true min/max.
+  double true_min = std::numeric_limits<double>::infinity();
+  double true_max = -std::numeric_limits<double>::infinity();
+  const double nbins_d = static_cast<double>(nbins);
+  for (const T& v : data) {
+    const double d = static_cast<double>(v);
+    true_min = std::min(true_min, d);
+    true_max = std::max(true_max, d);
+    double j = std::floor((d - first_edge) / width);
+    j = std::clamp(j, 0.0, nbins_d - 1.0);
+    ++h.counts_[static_cast<std::size_t>(j)];
+  }
+  h.min_ = true_min;
+  h.max_ = true_max;
+  h.total_ = n;
+  return h;
+}
+
+MergeableHistogram MergeableHistogram::Merge(
+    std::span<const MergeableHistogram> histograms) {
+  MergeableHistogram out;
+  double width = 0.0;
+  double min_edge = std::numeric_limits<double>::infinity();
+  double max_edge = -std::numeric_limits<double>::infinity();
+  double true_min = std::numeric_limits<double>::infinity();
+  double true_max = -std::numeric_limits<double>::infinity();
+  for (const MergeableHistogram& h : histograms) {
+    if (!h.valid()) continue;
+    width = std::max(width, h.bin_width_);
+    min_edge = std::min(min_edge, h.first_edge_);
+    max_edge = std::max(
+        max_edge, h.first_edge_ + static_cast<double>(h.counts_.size()) *
+                                      h.bin_width_);
+    true_min = std::min(true_min, h.min_);
+    true_max = std::max(true_max, h.max_);
+  }
+  if (width == 0.0) return out;  // no valid inputs
+
+  const double first_edge = floor_to_lattice(min_edge, width);
+  const std::size_t nbins = static_cast<std::size_t>(
+      std::ceil((max_edge - first_edge) / width));
+  out.bin_width_ = width;
+  out.first_edge_ = first_edge;
+  out.counts_.assign(std::max<std::size_t>(1, nbins), 0);
+  out.min_ = true_min;
+  out.max_ = true_max;
+
+  // Every input bin nests exactly inside one output bin: input edges lie on
+  // a finer power-of-two lattice that subdivides the output lattice.
+  for (const MergeableHistogram& h : histograms) {
+    if (!h.valid()) continue;
+    for (std::size_t i = 0; i < h.counts_.size(); ++i) {
+      const double left = h.bin_left_edge(i);
+      auto j = static_cast<std::size_t>(
+          std::floor((left - first_edge) / width));
+      j = std::min(j, out.counts_.size() - 1);
+      out.counts_[j] += h.counts_[i];
+    }
+    out.total_ += h.total_;
+  }
+  return out;
+}
+
+bool MergeableHistogram::may_overlap(const ValueInterval& q) const noexcept {
+  return valid() && q.overlaps_closed(min_, max_);
+}
+
+HitEstimate MergeableHistogram::estimate(const ValueInterval& q) const noexcept {
+  HitEstimate est;
+  if (!may_overlap(q)) return est;
+  const std::size_t last = counts_.size() - 1;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    // The first/last bin stretch to the true min/max (outlier absorption).
+    const double lo = i == 0 ? std::min(min_, bin_left_edge(0))
+                             : bin_left_edge(i);
+    const double hi = i == last
+                          ? std::max(max_, bin_left_edge(i) + bin_width_)
+                          : bin_left_edge(i) + bin_width_;
+    if (!q.overlaps_closed(lo, hi)) continue;
+    est.upper += counts_[i];
+    if (q.covers_closed(lo, hi)) est.lower += counts_[i];
+  }
+  return est;
+}
+
+void MergeableHistogram::serialize(SerialWriter& w) const {
+  w.put(bin_width_);
+  w.put(first_edge_);
+  w.put(min_);
+  w.put(max_);
+  w.put(total_);
+  w.put_vector(counts_);
+}
+
+Result<MergeableHistogram> MergeableHistogram::Deserialize(SerialReader& r) {
+  MergeableHistogram h;
+  PDC_RETURN_IF_ERROR(r.get(h.bin_width_));
+  PDC_RETURN_IF_ERROR(r.get(h.first_edge_));
+  PDC_RETURN_IF_ERROR(r.get(h.min_));
+  PDC_RETURN_IF_ERROR(r.get(h.max_));
+  PDC_RETURN_IF_ERROR(r.get(h.total_));
+  PDC_RETURN_IF_ERROR(r.get_vector(h.counts_));
+  if (h.total_ > 0 &&
+      (h.counts_.empty() || !(h.bin_width_ > 0.0) || h.min_ > h.max_)) {
+    return Status::Corruption("histogram fields inconsistent");
+  }
+  return h;
+}
+
+template MergeableHistogram MergeableHistogram::Build<float>(
+    std::span<const float>, const HistogramConfig&);
+template MergeableHistogram MergeableHistogram::Build<double>(
+    std::span<const double>, const HistogramConfig&);
+template MergeableHistogram MergeableHistogram::Build<std::int32_t>(
+    std::span<const std::int32_t>, const HistogramConfig&);
+template MergeableHistogram MergeableHistogram::Build<std::uint32_t>(
+    std::span<const std::uint32_t>, const HistogramConfig&);
+template MergeableHistogram MergeableHistogram::Build<std::int64_t>(
+    std::span<const std::int64_t>, const HistogramConfig&);
+template MergeableHistogram MergeableHistogram::Build<std::uint64_t>(
+    std::span<const std::uint64_t>, const HistogramConfig&);
+
+}  // namespace pdc::hist

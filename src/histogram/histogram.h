@@ -1,0 +1,127 @@
+// Mergeable histograms — the paper's core contribution (§III-D2, §IV).
+//
+// A "local" histogram is built for every region at ingest time using the
+// paper's Algorithm 1: the bin width is rounded DOWN to a power of two and
+// bin boundaries are anchored on the integer lattice of that width, so any
+// set of local histograms — even with different widths — can later be merged
+// into one "global" histogram of the whole object without touching the data
+// again and without any global communication at build time.
+//
+// The histogram serves two query-time purposes:
+//   1. region elimination — a region whose [min,max] misses the query
+//      interval is never read from storage;
+//   2. selectivity estimation — summing fully/partially overlapping bins
+//      gives lower/upper bounds on the hit count, which the planner uses to
+//      order multi-object query evaluation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/interval.h"
+#include "common/rng.h"
+#include "common/serial.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace pdc::hist {
+
+/// Build-time parameters (paper: 50–100 bins per region, 10 % sampling).
+struct HistogramConfig {
+  std::uint32_t target_bins = 64;  ///< lower bound on the number of bins
+  double sample_fraction = 0.1;    ///< fraction sampled for approx min/max
+  std::uint64_t min_samples = 1024;///< floor on the sample size
+  std::uint64_t seed = 0x5D7C0FFEEULL;  ///< sampling RNG seed
+};
+
+/// Lower/upper bound on the number of elements matching a query interval.
+struct HitEstimate {
+  std::uint64_t lower = 0;
+  std::uint64_t upper = 0;
+
+  /// Bounds divided by the element count -> selectivity bounds.
+  [[nodiscard]] double selectivity_mid(std::uint64_t total) const noexcept {
+    if (total == 0) return 0.0;
+    return 0.5 * (static_cast<double>(lower) + static_cast<double>(upper)) /
+           static_cast<double>(total);
+  }
+};
+
+/// A histogram whose bin boundaries lie on the lattice {k * bin_width} with
+/// bin_width an exact power of two, making any two instances mergeable.
+class MergeableHistogram {
+ public:
+  MergeableHistogram() = default;
+
+  /// Paper Algorithm 1.  Samples for approximate min/max, rounds the bin
+  /// width down to a power of two, anchors boundaries on the width lattice,
+  /// then counts all elements (outliers beyond the sampled range stretch
+  /// the first/last bin, as in the paper's lines 13–17).
+  template <PdcElement T>
+  static MergeableHistogram Build(std::span<const T> data,
+                                  const HistogramConfig& config = {});
+
+  /// Merge many histograms built by Build() into one.  The result uses the
+  /// largest input bin width; finer input bins nest exactly into coarser
+  /// output bins (power-of-two lattice), so no count is ever split.
+  static MergeableHistogram Merge(
+      std::span<const MergeableHistogram> histograms);
+
+  // --- query-side API ---
+
+  /// True if some element might satisfy `q` (min/max check; the region
+  /// cannot be pruned).
+  [[nodiscard]] bool may_overlap(const ValueInterval& q) const noexcept;
+
+  /// Lower/upper bound on the number of matching elements.
+  [[nodiscard]] HitEstimate estimate(const ValueInterval& q) const noexcept;
+
+  // --- observers ---
+  [[nodiscard]] bool valid() const noexcept { return total_ > 0; }
+  [[nodiscard]] std::uint64_t total_count() const noexcept { return total_; }
+  [[nodiscard]] double min_value() const noexcept { return min_; }
+  [[nodiscard]] double max_value() const noexcept { return max_; }
+  [[nodiscard]] double bin_width() const noexcept { return bin_width_; }
+  [[nodiscard]] std::size_t num_bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::span<const std::uint64_t> counts() const noexcept {
+    return counts_;
+  }
+  /// Left edge of bin `i` (right edge = left edge + bin_width, except the
+  /// first/last bin which are stretched to min/max).
+  [[nodiscard]] double bin_left_edge(std::size_t i) const noexcept {
+    return first_edge_ + static_cast<double>(i) * bin_width_;
+  }
+
+  // --- wire format ---
+  void serialize(SerialWriter& w) const;
+  static Result<MergeableHistogram> Deserialize(SerialReader& r);
+
+  bool operator==(const MergeableHistogram&) const = default;
+
+ private:
+  double bin_width_ = 0.0;   ///< exact power of two (possibly < 1)
+  double first_edge_ = 0.0;  ///< integer multiple of bin_width_
+  double min_ = 0.0;         ///< exact observed minimum
+  double max_ = 0.0;         ///< exact observed maximum
+  std::uint64_t total_ = 0;
+  std::vector<std::uint64_t> counts_;
+};
+
+/// Round `x` (> 0) down to the nearest exact power of two (2^k, k ∈ ℤ).
+[[nodiscard]] double round_down_pow2(double x) noexcept;
+
+extern template MergeableHistogram MergeableHistogram::Build<float>(
+    std::span<const float>, const HistogramConfig&);
+extern template MergeableHistogram MergeableHistogram::Build<double>(
+    std::span<const double>, const HistogramConfig&);
+extern template MergeableHistogram MergeableHistogram::Build<std::int32_t>(
+    std::span<const std::int32_t>, const HistogramConfig&);
+extern template MergeableHistogram MergeableHistogram::Build<std::uint32_t>(
+    std::span<const std::uint32_t>, const HistogramConfig&);
+extern template MergeableHistogram MergeableHistogram::Build<std::int64_t>(
+    std::span<const std::int64_t>, const HistogramConfig&);
+extern template MergeableHistogram MergeableHistogram::Build<std::uint64_t>(
+    std::span<const std::uint64_t>, const HistogramConfig&);
+
+}  // namespace pdc::hist

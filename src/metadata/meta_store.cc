@@ -1,0 +1,249 @@
+#include "metadata/meta_store.h"
+
+#include <algorithm>
+#include <mutex>
+
+namespace pdc::meta {
+namespace {
+
+std::optional<double> numeric_value(const MetaValue& v) {
+  if (const auto* d = std::get_if<double>(&v)) return *d;
+  if (const auto* i = std::get_if<std::int64_t>(&v)) {
+    return static_cast<double>(*i);
+  }
+  return std::nullopt;
+}
+
+void erase_id(std::vector<ObjectId>& ids, ObjectId id) {
+  ids.erase(std::remove(ids.begin(), ids.end(), id), ids.end());
+}
+
+void insert_sorted(std::vector<ObjectId>& ids, ObjectId id) {
+  const auto it = std::lower_bound(ids.begin(), ids.end(), id);
+  if (it == ids.end() || *it != id) ids.insert(it, id);
+}
+
+}  // namespace
+
+void MetaStore::set_attribute(ObjectId object, std::string_view attribute,
+                              MetaValue value) {
+  std::unique_lock lock(mu_);
+  const std::string attr(attribute);
+  auto& attrs = per_object_[object];
+  AttrIndex& index = indexes_[attr];
+
+  // Drop the old index entry if overwriting.
+  const auto old = attrs.find(attr);
+  if (old != attrs.end()) {
+    if (const auto* s = std::get_if<std::string>(&old->second)) {
+      erase_id(index.by_string[*s], object);
+    } else if (const auto num = numeric_value(old->second)) {
+      erase_id(index.by_number[*num], object);
+    }
+  }
+
+  if (const auto* s = std::get_if<std::string>(&value)) {
+    insert_sorted(index.by_string[*s], object);
+  } else if (const auto num = numeric_value(value)) {
+    insert_sorted(index.by_number[*num], object);
+  }
+  attrs[attr] = std::move(value);
+}
+
+std::optional<MetaValue> MetaStore::get_attribute(
+    ObjectId object, std::string_view attribute) const {
+  std::shared_lock lock(mu_);
+  const auto obj = per_object_.find(object);
+  if (obj == per_object_.end()) return std::nullopt;
+  const auto attr = obj->second.find(std::string(attribute));
+  if (attr == obj->second.end()) return std::nullopt;
+  return attr->second;
+}
+
+std::map<std::string, MetaValue> MetaStore::attributes(ObjectId object) const {
+  std::shared_lock lock(mu_);
+  const auto obj = per_object_.find(object);
+  if (obj == per_object_.end()) return {};
+  return obj->second;
+}
+
+std::vector<ObjectId> MetaStore::match_one(
+    const MetaCondition& condition) const {
+  const auto idx = indexes_.find(condition.attribute);
+  if (idx == indexes_.end()) return {};
+  const AttrIndex& index = idx->second;
+
+  if (const auto* s = std::get_if<std::string>(&condition.value)) {
+    if (condition.op != QueryOp::kEQ) return {};  // strings: equality only
+    const auto it = index.by_string.find(*s);
+    return it == index.by_string.end() ? std::vector<ObjectId>{} : it->second;
+  }
+
+  const auto num = numeric_value(condition.value);
+  if (!num) return {};
+  const auto& tree = index.by_number;
+  std::map<double, std::vector<ObjectId>>::const_iterator lo;
+  std::map<double, std::vector<ObjectId>>::const_iterator hi;
+  switch (condition.op) {
+    case QueryOp::kEQ:
+      lo = tree.find(*num);
+      hi = lo == tree.end() ? lo : std::next(lo);
+      break;
+    case QueryOp::kGT:
+      lo = tree.upper_bound(*num);
+      hi = tree.end();
+      break;
+    case QueryOp::kGTE:
+      lo = tree.lower_bound(*num);
+      hi = tree.end();
+      break;
+    case QueryOp::kLT:
+      lo = tree.begin();
+      hi = tree.lower_bound(*num);
+      break;
+    case QueryOp::kLTE:
+      lo = tree.begin();
+      hi = tree.upper_bound(*num);
+      break;
+  }
+  std::vector<ObjectId> out;
+  for (auto it = lo; it != hi; ++it) {
+    out.insert(out.end(), it->second.begin(), it->second.end());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<ObjectId> MetaStore::query(
+    std::span<const MetaCondition> conditions) const {
+  std::shared_lock lock(mu_);
+  if (conditions.empty()) return {};
+  std::vector<ObjectId> result = match_one(conditions[0]);
+  for (std::size_t i = 1; i < conditions.size() && !result.empty(); ++i) {
+    const std::vector<ObjectId> next = match_one(conditions[i]);
+    std::vector<ObjectId> merged;
+    std::set_intersection(result.begin(), result.end(), next.begin(),
+                          next.end(), std::back_inserter(merged));
+    result = std::move(merged);
+  }
+  return result;
+}
+
+std::vector<ObjectId> MetaStore::query_tag(std::string_view attribute,
+                                           const MetaValue& value) const {
+  const MetaCondition c{std::string(attribute), QueryOp::kEQ, value};
+  std::shared_lock lock(mu_);
+  return match_one(c);
+}
+
+namespace {
+
+void put_meta_value(SerialWriter& w, const MetaValue& value) {
+  if (const auto* s = std::get_if<std::string>(&value)) {
+    w.put<std::uint8_t>(0);
+    w.put_string(*s);
+  } else if (const auto* d = std::get_if<double>(&value)) {
+    w.put<std::uint8_t>(1);
+    w.put(*d);
+  } else {
+    w.put<std::uint8_t>(2);
+    w.put(std::get<std::int64_t>(value));
+  }
+}
+
+Status get_meta_value(SerialReader& r, MetaValue& out) {
+  std::uint8_t tag = 0;
+  PDC_RETURN_IF_ERROR(r.get(tag));
+  switch (tag) {
+    case 0: {
+      std::string s;
+      PDC_RETURN_IF_ERROR(r.get_string(s));
+      out = std::move(s);
+      return Status::Ok();
+    }
+    case 1: {
+      double d = 0;
+      PDC_RETURN_IF_ERROR(r.get(d));
+      out = d;
+      return Status::Ok();
+    }
+    case 2: {
+      std::int64_t i = 0;
+      PDC_RETURN_IF_ERROR(r.get(i));
+      out = i;
+      return Status::Ok();
+    }
+    default:
+      return Status::Corruption("meta value tag invalid");
+  }
+}
+
+}  // namespace
+
+void MetaStore::serialize(SerialWriter& w) const {
+  std::shared_lock lock(mu_);
+  w.put<std::uint64_t>(per_object_.size());
+  for (const auto& [object, attrs] : per_object_) {
+    w.put(object);
+    w.put<std::uint64_t>(attrs.size());
+    for (const auto& [name, value] : attrs) {
+      w.put_string(name);
+      put_meta_value(w, value);
+    }
+  }
+}
+
+Status MetaStore::load(SerialReader& r) {
+  {
+    std::shared_lock lock(mu_);
+    if (!per_object_.empty()) {
+      return Status::FailedPrecondition("metadata store is not empty");
+    }
+  }
+  std::uint64_t nobjects = 0;
+  PDC_RETURN_IF_ERROR(r.get(nobjects));
+  for (std::uint64_t o = 0; o < nobjects; ++o) {
+    ObjectId object = 0;
+    std::uint64_t nattrs = 0;
+    PDC_RETURN_IF_ERROR(r.get(object));
+    PDC_RETURN_IF_ERROR(r.get(nattrs));
+    for (std::uint64_t a = 0; a < nattrs; ++a) {
+      std::string name;
+      MetaValue value;
+      PDC_RETURN_IF_ERROR(r.get_string(name));
+      PDC_RETURN_IF_ERROR(get_meta_value(r, value));
+      set_attribute(object, name, std::move(value));  // rebuilds indexes
+    }
+  }
+  return Status::Ok();
+}
+
+Status MetaStore::persist_to(pfs::PfsCluster& cluster,
+                             std::string_view file) const {
+  SerialWriter w;
+  serialize(w);
+  PDC_ASSIGN_OR_RETURN(pfs::PfsFile out, cluster.create(file));
+  return out.write(0, w.bytes());
+}
+
+Status MetaStore::load_from(const pfs::PfsCluster& cluster,
+                            std::string_view file) {
+  PDC_ASSIGN_OR_RETURN(pfs::PfsFile in, cluster.open(file));
+  PDC_ASSIGN_OR_RETURN(const std::uint64_t size, in.size());
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  PDC_RETURN_IF_ERROR(in.read(0, bytes, {}));
+  SerialReader r(bytes);
+  return load(r);
+}
+
+std::size_t MetaStore::num_objects() const {
+  std::shared_lock lock(mu_);
+  return per_object_.size();
+}
+
+std::size_t MetaStore::num_attributes() const {
+  std::shared_lock lock(mu_);
+  return indexes_.size();
+}
+
+}  // namespace pdc::meta

@@ -1,0 +1,449 @@
+#include "obj/object_store.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "common/serial.h"
+#include "obj/type_dispatch.h"
+
+namespace pdc::obj {
+namespace {
+
+std::string data_file_name(ObjectId id) {
+  return "obj_" + std::to_string(id) + ".dat";
+}
+std::string index_file_name(ObjectId id) {
+  return "obj_" + std::to_string(id) + ".idx";
+}
+
+hist::MergeableHistogram build_histogram_erased(
+    PdcType type, std::span<const std::uint8_t> bytes, std::uint64_t count,
+    const hist::HistogramConfig& config) {
+  return dispatch_type(type, [&](auto tag) {
+    using T = decltype(tag);
+    return hist::MergeableHistogram::Build<T>(
+        {reinterpret_cast<const T*>(bytes.data()),
+         static_cast<std::size_t>(count)},
+        config);
+  });
+}
+
+void serialize_region(SerialWriter& w, const RegionDescriptor& r) {
+  w.put(r.index);
+  w.put(r.extent.offset);
+  w.put(r.extent.count);
+  w.put(static_cast<std::uint8_t>(r.tier));
+  r.histogram.serialize(w);
+  w.put(r.index_offset);
+  w.put(r.index_bytes);
+  w.put(r.index_header_bytes);
+  w.put_vector(r.index_header);
+}
+
+Status deserialize_region(SerialReader& r, RegionDescriptor& out) {
+  PDC_RETURN_IF_ERROR(r.get(out.index));
+  PDC_RETURN_IF_ERROR(r.get(out.extent.offset));
+  PDC_RETURN_IF_ERROR(r.get(out.extent.count));
+  std::uint8_t tier = 0;
+  PDC_RETURN_IF_ERROR(r.get(tier));
+  if (tier > static_cast<std::uint8_t>(StorageTier::kTape)) {
+    return Status::Corruption("region tier invalid");
+  }
+  out.tier = static_cast<StorageTier>(tier);
+  PDC_ASSIGN_OR_RETURN(out.histogram,
+                       hist::MergeableHistogram::Deserialize(r));
+  PDC_RETURN_IF_ERROR(r.get(out.index_offset));
+  PDC_RETURN_IF_ERROR(r.get(out.index_bytes));
+  PDC_RETURN_IF_ERROR(r.get(out.index_header_bytes));
+  PDC_RETURN_IF_ERROR(r.get_vector(out.index_header));
+  return Status::Ok();
+}
+
+void serialize_object(SerialWriter& w, const ObjectDescriptor& o) {
+  w.put(o.id);
+  w.put(o.container_id);
+  w.put_string(o.name);
+  w.put(static_cast<std::uint8_t>(o.type));
+  w.put(o.num_elements);
+  w.put(o.region_size_elements);
+  w.put_string(o.data_file);
+  w.put_string(o.index_file);
+  w.put<std::uint64_t>(o.regions.size());
+  for (const RegionDescriptor& r : o.regions) serialize_region(w, r);
+  o.global_histogram.serialize(w);
+  w.put(o.sorted_source);
+  w.put_string(o.permutation_file);
+}
+
+Status deserialize_object(SerialReader& r, ObjectDescriptor& o) {
+  PDC_RETURN_IF_ERROR(r.get(o.id));
+  PDC_RETURN_IF_ERROR(r.get(o.container_id));
+  PDC_RETURN_IF_ERROR(r.get_string(o.name));
+  std::uint8_t type = 0;
+  PDC_RETURN_IF_ERROR(r.get(type));
+  if (type > static_cast<std::uint8_t>(PdcType::kUInt64)) {
+    return Status::Corruption("object type invalid");
+  }
+  o.type = static_cast<PdcType>(type);
+  PDC_RETURN_IF_ERROR(r.get(o.num_elements));
+  PDC_RETURN_IF_ERROR(r.get(o.region_size_elements));
+  PDC_RETURN_IF_ERROR(r.get_string(o.data_file));
+  PDC_RETURN_IF_ERROR(r.get_string(o.index_file));
+  std::uint64_t nregions = 0;
+  PDC_RETURN_IF_ERROR(r.get(nregions));
+  o.regions.resize(static_cast<std::size_t>(nregions));
+  for (auto& region : o.regions) {
+    PDC_RETURN_IF_ERROR(deserialize_region(r, region));
+  }
+  PDC_ASSIGN_OR_RETURN(o.global_histogram,
+                       hist::MergeableHistogram::Deserialize(r));
+  PDC_RETURN_IF_ERROR(r.get(o.sorted_source));
+  PDC_RETURN_IF_ERROR(r.get_string(o.permutation_file));
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<ObjectId> ObjectStore::create_container(std::string_view name) {
+  std::unique_lock lock(mu_);
+  for (const auto& [id, existing] : containers_) {
+    if (existing == name) {
+      return Status::AlreadyExists("container exists: " + std::string(name));
+    }
+  }
+  const ObjectId id = next_id_locked();
+  containers_.emplace(id, std::string(name));
+  return id;
+}
+
+Result<ObjectId> ObjectStore::import_raw(ObjectId container,
+                                         std::string_view name, PdcType type,
+                                         std::span<const std::uint8_t> bytes,
+                                         std::uint64_t num_elements,
+                                         const ImportOptions& options) {
+  const std::size_t elem_size = pdc_type_size(type);
+  if (bytes.size() != num_elements * elem_size) {
+    return Status::InvalidArgument("byte size / element count mismatch");
+  }
+  if (num_elements == 0) {
+    return Status::InvalidArgument("cannot import an empty object");
+  }
+  {
+    std::shared_lock lock(mu_);
+    if (!containers_.contains(container)) {
+      return Status::NotFound("container " + std::to_string(container));
+    }
+    for (const auto& [id, o] : objects_) {
+      if (o->name == name) {
+        return Status::AlreadyExists("object exists: " + std::string(name));
+      }
+    }
+  }
+
+  auto desc = std::make_unique<ObjectDescriptor>();
+  {
+    std::unique_lock lock(mu_);
+    desc->id = next_id_locked();
+  }
+  desc->container_id = container;
+  desc->name = std::string(name);
+  desc->type = type;
+  desc->num_elements = num_elements;
+  desc->region_size_elements =
+      std::max<std::uint64_t>(1, options.region_size_bytes / elem_size);
+  desc->data_file = data_file_name(desc->id);
+
+  PDC_ASSIGN_OR_RETURN(pfs::PfsFile file, cluster_.create(desc->data_file));
+  PDC_RETURN_IF_ERROR(file.write(0, bytes));
+
+  // Decompose into regions and build one local histogram per region.
+  const std::uint64_t rsize = desc->region_size_elements;
+  const auto nregions =
+      static_cast<std::size_t>((num_elements + rsize - 1) / rsize);
+  desc->regions.reserve(nregions);
+  std::vector<hist::MergeableHistogram> locals;
+  locals.reserve(nregions);
+  hist::HistogramConfig hist_cfg = options.histogram;
+  for (std::size_t i = 0; i < nregions; ++i) {
+    RegionDescriptor region;
+    region.index = static_cast<RegionIndex>(i);
+    region.extent.offset = i * rsize;
+    region.extent.count = std::min(rsize, num_elements - region.extent.offset);
+    // Vary the sampling seed per region so identical regions do not sample
+    // identical offsets.
+    hist_cfg.seed = options.histogram.seed + i;
+    region.histogram = build_histogram_erased(
+        type, bytes.subspan(region.extent.offset * elem_size,
+                            region.extent.count * elem_size),
+        region.extent.count, hist_cfg);
+    locals.push_back(region.histogram);
+    desc->regions.push_back(std::move(region));
+  }
+  desc->global_histogram = hist::MergeableHistogram::Merge(locals);
+
+  const ObjectId id = desc->id;
+  std::unique_lock lock(mu_);
+  objects_.emplace(id, std::move(desc));
+  log_debug("imported object ", id, " '", name, "' with ", nregions,
+            " regions");
+  return id;
+}
+
+Status ObjectStore::build_bitmap_index(ObjectId id,
+                                       const bitmap::IndexConfig& config) {
+  ObjectDescriptor* desc = nullptr;
+  {
+    std::shared_lock lock(mu_);
+    auto it = objects_.find(id);
+    if (it == objects_.end()) {
+      return Status::NotFound("object " + std::to_string(id));
+    }
+    desc = it->second.get();
+  }
+  if (!desc->index_file.empty()) {
+    return Status::AlreadyExists("index already built for object " +
+                                 std::to_string(id));
+  }
+
+  const std::string fname = index_file_name(id);
+  PDC_ASSIGN_OR_RETURN(pfs::PfsFile file, cluster_.create(fname));
+  const std::size_t elem_size = desc->element_size();
+  std::vector<std::uint8_t> region_bytes;
+  std::uint64_t cursor = 0;
+  for (RegionDescriptor& region : desc->regions) {
+    region_bytes.resize(
+        static_cast<std::size_t>(region.extent.count * elem_size));
+    PDC_RETURN_IF_ERROR(read_region(*desc, region.index, region_bytes, {}));
+    SerialWriter w;
+    std::uint64_t header_bytes = 0;
+    dispatch_type(desc->type, [&](auto tag) {
+      using T = decltype(tag);
+      const auto idx = bitmap::BinnedBitmapIndex::Build<T>(
+          {reinterpret_cast<const T*>(region_bytes.data()),
+           static_cast<std::size_t>(region.extent.count)},
+          config);
+      idx.serialize(w);
+      header_bytes = idx.header_bytes();
+    });
+    PDC_RETURN_IF_ERROR(file.write(cursor, w.bytes()));
+    region.index_offset = cursor;
+    region.index_bytes = w.size();
+    region.index_header_bytes = header_bytes;
+    region.index_header.assign(
+        w.bytes().begin(),
+        w.bytes().begin() + static_cast<std::ptrdiff_t>(header_bytes));
+    cursor += w.size();
+  }
+  desc->index_file = fname;
+  return Status::Ok();
+}
+
+Status ObjectStore::link_sorted_replica(ObjectId replica, ObjectId source,
+                                        std::string permutation_file) {
+  std::unique_lock lock(mu_);
+  auto rep = objects_.find(replica);
+  if (rep == objects_.end() || !objects_.contains(source)) {
+    return Status::NotFound("replica or source object missing");
+  }
+  rep->second->sorted_source = source;
+  rep->second->permutation_file = std::move(permutation_file);
+  return Status::Ok();
+}
+
+Result<const ObjectDescriptor*> ObjectStore::get(ObjectId id) const {
+  std::shared_lock lock(mu_);
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return Status::NotFound("object " + std::to_string(id));
+  }
+  return static_cast<const ObjectDescriptor*>(it->second.get());
+}
+
+Result<const ObjectDescriptor*> ObjectStore::find_by_name(
+    std::string_view name) const {
+  std::shared_lock lock(mu_);
+  for (const auto& [id, o] : objects_) {
+    if (o->name == name) return static_cast<const ObjectDescriptor*>(o.get());
+  }
+  return Status::NotFound("object named " + std::string(name));
+}
+
+std::vector<ObjectId> ObjectStore::list_objects() const {
+  std::shared_lock lock(mu_);
+  std::vector<ObjectId> ids;
+  ids.reserve(objects_.size());
+  for (const auto& [id, o] : objects_) ids.push_back(id);
+  return ids;
+}
+
+std::optional<ObjectId> ObjectStore::sorted_replica_of(ObjectId source) const {
+  std::shared_lock lock(mu_);
+  for (const auto& [id, o] : objects_) {
+    if (o->sorted_source == source) return id;
+  }
+  return std::nullopt;
+}
+
+Status ObjectStore::set_region_tier(ObjectId id, RegionIndex region,
+                                    StorageTier tier) {
+  std::unique_lock lock(mu_);
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return Status::NotFound("object " + std::to_string(id));
+  }
+  if (region >= it->second->regions.size()) {
+    return Status::OutOfRange("region index " + std::to_string(region));
+  }
+  it->second->regions[region].tier = tier;
+  return Status::Ok();
+}
+
+Status ObjectStore::set_object_tier(ObjectId id, StorageTier tier) {
+  std::unique_lock lock(mu_);
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return Status::NotFound("object " + std::to_string(id));
+  }
+  for (RegionDescriptor& region : it->second->regions) region.tier = tier;
+  return Status::Ok();
+}
+
+Status ObjectStore::read_region(const ObjectDescriptor& object,
+                                RegionIndex region,
+                                std::span<std::uint8_t> out,
+                                const pfs::ReadContext& ctx) const {
+  if (region >= object.regions.size()) {
+    return Status::OutOfRange("region index " + std::to_string(region));
+  }
+  const RegionDescriptor& desc = object.regions[region];
+  if (desc.tier == StorageTier::kDisk || desc.tier == StorageTier::kTape) {
+    return read_elements(object, desc.extent, out, ctx);
+  }
+  // Faster tier: perform the real read uncharged, then charge the tier's
+  // own latency/bandwidth instead of the PFS cost model's.
+  PDC_RETURN_IF_ERROR(read_elements(object, desc.extent, out, {}));
+  if (ctx.ledger != nullptr) {
+    const CostModel& cost = cluster_.config().cost;
+    const bool memory = desc.tier == StorageTier::kMemory;
+    const double latency =
+        memory ? cost.memory_read_latency_s : cost.nvram_read_latency_s;
+    const double bandwidth =
+        memory ? cost.memory_bandwidth_bps : cost.nvram_bandwidth_bps;
+    ctx.ledger->add_io(latency + static_cast<double>(out.size()) / bandwidth);
+    ctx.ledger->add_read_ops(1);
+    ctx.ledger->add_bytes_read(out.size());
+  }
+  return Status::Ok();
+}
+
+Status ObjectStore::read_elements(const ObjectDescriptor& object,
+                                  Extent1D elements,
+                                  std::span<std::uint8_t> out,
+                                  const pfs::ReadContext& ctx) const {
+  const std::size_t elem_size = object.element_size();
+  if (elements.end() > object.num_elements) {
+    return Status::OutOfRange("element extent beyond object");
+  }
+  if (out.size() != elements.count * elem_size) {
+    return Status::InvalidArgument("output buffer size mismatch");
+  }
+  PDC_ASSIGN_OR_RETURN(pfs::PfsFile file, cluster_.open(object.data_file));
+  return file.read(elements.offset * elem_size, out, ctx);
+}
+
+Status ObjectStore::read_values_at(const ObjectDescriptor& object,
+                                   std::span<const std::uint64_t> positions,
+                                   std::span<std::uint8_t> out,
+                                   const pfs::AggregationPolicy& policy,
+                                   const pfs::ReadContext& ctx) const {
+  const std::size_t elem_size = object.element_size();
+  if (out.size() != positions.size() * elem_size) {
+    return Status::InvalidArgument("output buffer size mismatch");
+  }
+  if (positions.empty()) return Status::Ok();
+  std::vector<Extent1D> extents;
+  std::vector<std::span<std::uint8_t>> dests;
+  extents.reserve(positions.size());
+  dests.reserve(positions.size());
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    if (positions[i] >= object.num_elements) {
+      return Status::OutOfRange("position beyond object");
+    }
+    if (i > 0 && positions[i] <= positions[i - 1]) {
+      return Status::InvalidArgument("positions must be strictly ascending");
+    }
+    extents.push_back(
+        {positions[i] * elem_size, static_cast<std::uint64_t>(elem_size)});
+    dests.push_back(out.subspan(i * elem_size, elem_size));
+  }
+  PDC_ASSIGN_OR_RETURN(pfs::PfsFile file, cluster_.open(object.data_file));
+  return pfs::aggregated_read(file, extents, dests, policy, ctx);
+}
+
+Result<bitmap::BinnedBitmapIndex> ObjectStore::load_region_index(
+    const ObjectDescriptor& object, RegionIndex region,
+    const pfs::ReadContext& ctx) const {
+  if (object.index_file.empty()) {
+    return Status::FailedPrecondition("no bitmap index for object " +
+                                      std::to_string(object.id));
+  }
+  if (region >= object.regions.size()) {
+    return Status::OutOfRange("region index " + std::to_string(region));
+  }
+  const RegionDescriptor& r = object.regions[region];
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(r.index_bytes));
+  PDC_ASSIGN_OR_RETURN(pfs::PfsFile file, cluster_.open(object.index_file));
+  PDC_RETURN_IF_ERROR(file.read(r.index_offset, bytes, ctx));
+  SerialReader reader(bytes);
+  return bitmap::BinnedBitmapIndex::Deserialize(reader);
+}
+
+Status ObjectStore::persist_metadata(std::string_view checkpoint_file) const {
+  SerialWriter w;
+  std::shared_lock lock(mu_);
+  w.put(next_id_);
+  w.put<std::uint64_t>(containers_.size());
+  for (const auto& [id, name] : containers_) {
+    w.put(id);
+    w.put_string(name);
+  }
+  w.put<std::uint64_t>(objects_.size());
+  for (const auto& [id, o] : objects_) serialize_object(w, *o);
+  lock.unlock();
+  PDC_ASSIGN_OR_RETURN(pfs::PfsFile file, cluster_.create(checkpoint_file));
+  return file.write(0, w.bytes());
+}
+
+Status ObjectStore::load_metadata(std::string_view checkpoint_file) {
+  PDC_ASSIGN_OR_RETURN(pfs::PfsFile file, cluster_.open(checkpoint_file));
+  PDC_ASSIGN_OR_RETURN(const std::uint64_t fsize, file.size());
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(fsize));
+  PDC_RETURN_IF_ERROR(file.read(0, bytes, {}));
+  SerialReader r(bytes);
+
+  std::unique_lock lock(mu_);
+  if (!objects_.empty() || !containers_.empty()) {
+    return Status::FailedPrecondition("store is not empty");
+  }
+  PDC_RETURN_IF_ERROR(r.get(next_id_));
+  std::uint64_t ncontainers = 0;
+  PDC_RETURN_IF_ERROR(r.get(ncontainers));
+  for (std::uint64_t i = 0; i < ncontainers; ++i) {
+    ObjectId id = 0;
+    std::string name;
+    PDC_RETURN_IF_ERROR(r.get(id));
+    PDC_RETURN_IF_ERROR(r.get_string(name));
+    containers_.emplace(id, std::move(name));
+  }
+  std::uint64_t nobjects = 0;
+  PDC_RETURN_IF_ERROR(r.get(nobjects));
+  for (std::uint64_t i = 0; i < nobjects; ++i) {
+    auto o = std::make_unique<ObjectDescriptor>();
+    PDC_RETURN_IF_ERROR(deserialize_object(r, *o));
+    const ObjectId id = o->id;
+    objects_.emplace(id, std::move(o));
+  }
+  return Status::Ok();
+}
+
+}  // namespace pdc::obj

@@ -1,0 +1,186 @@
+// ODMS core: containers, data objects, and regions (paper §II, §III-B).
+//
+// A data object is a typed 1-D array.  Large objects are decomposed into
+// fixed-size *regions* — the basic unit of placement, I/O and parallel query
+// evaluation.  At ingest time every region gets a local mergeable histogram
+// (Algorithm 1) and the object gets the merged *global* histogram; both are
+// metadata, cheap to ship to query servers.
+//
+// Raw values live in one PFS file per object; an optional bitmap-index file
+// holds one serialized BinnedBitmapIndex per region.  Object/region metadata
+// can be persisted to a checkpoint file and reloaded (the paper's
+// "periodically persisted for fault tolerance").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bitmap/binned_index.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "histogram/histogram.h"
+#include "pfs/pfs.h"
+#include "pfs/read_aggregator.h"
+
+namespace pdc::obj {
+
+/// Memory/storage hierarchy layer a region currently resides on.
+enum class StorageTier : std::uint8_t { kMemory = 0, kNvram, kDisk, kTape };
+
+/// Metadata of one region of an object.
+struct RegionDescriptor {
+  RegionIndex index = 0;
+  Extent1D extent;                     ///< element range within the object
+  StorageTier tier = StorageTier::kDisk;
+  hist::MergeableHistogram histogram;  ///< local histogram (Algorithm 1)
+  std::uint64_t index_offset = 0;      ///< byte offset in the index file
+  std::uint64_t index_bytes = 0;       ///< 0 = no bitmap index built
+  std::uint64_t index_header_bytes = 0;  ///< prefix enabling partial loads
+  /// Copy of the index header (bin edges + bin sizes).  Small, kept with
+  /// the region metadata so query servers can plan partial bin reads
+  /// without a storage round trip (FastBit keeps this resident too).
+  std::vector<std::uint8_t> index_header;
+};
+
+/// Metadata of one data object.
+struct ObjectDescriptor {
+  ObjectId id = kInvalidObjectId;
+  ObjectId container_id = kInvalidObjectId;
+  std::string name;
+  PdcType type = PdcType::kFloat;
+  std::uint64_t num_elements = 0;
+  std::uint64_t region_size_elements = 0;
+  std::string data_file;    ///< PFS file with the raw values
+  std::string index_file;   ///< PFS file with per-region bitmap indexes ("" = none)
+  std::vector<RegionDescriptor> regions;
+  hist::MergeableHistogram global_histogram;
+
+  /// For sorted replicas: the object this is a value-sorted copy of, and the
+  /// PFS file holding the permutation (original element positions, u64 each).
+  ObjectId sorted_source = kInvalidObjectId;
+  std::string permutation_file;
+
+  [[nodiscard]] std::size_t element_size() const noexcept {
+    return pdc_type_size(type);
+  }
+  [[nodiscard]] std::uint64_t byte_size() const noexcept {
+    return num_elements * element_size();
+  }
+  [[nodiscard]] bool is_sorted_replica() const noexcept {
+    return sorted_source != kInvalidObjectId;
+  }
+};
+
+/// Ingest parameters.
+struct ImportOptions {
+  std::uint64_t region_size_bytes = 4ull << 20;  ///< paper sweeps 4–128 MB
+  hist::HistogramConfig histogram;               ///< local histogram params
+};
+
+/// The object directory + ingest/read paths.  Reads are thread-safe;
+/// create/import/build calls must not race with each other.
+class ObjectStore {
+ public:
+  explicit ObjectStore(pfs::PfsCluster& cluster) : cluster_(cluster) {}
+
+  // ---- containers ----
+  Result<ObjectId> create_container(std::string_view name);
+
+  // ---- ingest ----
+  /// Create an object inside `container` and import its data: write values
+  /// to a PFS file, decompose into regions, build local histograms and the
+  /// merged global histogram.
+  template <PdcElement T>
+  Result<ObjectId> import_object(ObjectId container, std::string_view name,
+                                 std::span<const T> data,
+                                 const ImportOptions& options = {}) {
+    return import_raw(container, name, kPdcTypeOf<T>,
+                      {reinterpret_cast<const std::uint8_t*>(data.data()),
+                       data.size_bytes()},
+                      data.size(), options);
+  }
+
+  /// Type-erased ingest (used by replicas and format converters).
+  Result<ObjectId> import_raw(ObjectId container, std::string_view name,
+                              PdcType type,
+                              std::span<const std::uint8_t> bytes,
+                              std::uint64_t num_elements,
+                              const ImportOptions& options);
+
+  /// Build the per-region bitmap index file for an object (§III-D4).
+  Status build_bitmap_index(ObjectId id,
+                            const bitmap::IndexConfig& config = {});
+
+  /// Register an already-built sorted replica (used by sortrep).
+  Status link_sorted_replica(ObjectId replica, ObjectId source,
+                             std::string permutation_file);
+
+  /// Move a region to another layer of the memory/storage hierarchy
+  /// (paper §II: "a region ... can reside on any layer").  Placement only
+  /// affects the simulated access cost; the backing bytes stay on the PFS
+  /// (standing in for the tier's media).
+  Status set_region_tier(ObjectId id, RegionIndex region, StorageTier tier);
+
+  /// Move every region of an object at once.
+  Status set_object_tier(ObjectId id, StorageTier tier);
+
+  // ---- lookup ----
+  [[nodiscard]] Result<const ObjectDescriptor*> get(ObjectId id) const;
+  [[nodiscard]] Result<const ObjectDescriptor*> find_by_name(
+      std::string_view name) const;
+  [[nodiscard]] std::vector<ObjectId> list_objects() const;
+  /// The sorted replica of `source`, if one has been linked.
+  [[nodiscard]] std::optional<ObjectId> sorted_replica_of(
+      ObjectId source) const;
+
+  // ---- data access (query side) ----
+  /// Read a whole region's raw bytes.  The region's storage tier decides
+  /// the charged cost: kDisk goes through the PFS cost model, kNvram and
+  /// kMemory charge that layer's latency/bandwidth instead.
+  Status read_region(const ObjectDescriptor& object, RegionIndex region,
+                     std::span<std::uint8_t> out,
+                     const pfs::ReadContext& ctx) const;
+
+  /// Read an arbitrary element extent's raw bytes.
+  Status read_elements(const ObjectDescriptor& object, Extent1D elements,
+                       std::span<std::uint8_t> out,
+                       const pfs::ReadContext& ctx) const;
+
+  /// Gather the values at sorted element `positions` (aggregated reads).
+  Status read_values_at(const ObjectDescriptor& object,
+                        std::span<const std::uint64_t> positions,
+                        std::span<std::uint8_t> out,
+                        const pfs::AggregationPolicy& policy,
+                        const pfs::ReadContext& ctx) const;
+
+  /// Load one region's serialized bitmap index.
+  Result<bitmap::BinnedBitmapIndex> load_region_index(
+      const ObjectDescriptor& object, RegionIndex region,
+      const pfs::ReadContext& ctx) const;
+
+  // ---- persistence ----
+  /// Checkpoint all metadata (descriptors + histograms) to a PFS file.
+  Status persist_metadata(std::string_view checkpoint_file) const;
+  /// Restore metadata from a checkpoint into an empty store.
+  Status load_metadata(std::string_view checkpoint_file);
+
+  [[nodiscard]] pfs::PfsCluster& cluster() const noexcept { return cluster_; }
+
+ private:
+  ObjectId next_id_locked() { return next_id_++; }
+
+  pfs::PfsCluster& cluster_;
+  mutable std::shared_mutex mu_;
+  ObjectId next_id_ = 1;
+  std::map<ObjectId, std::string> containers_;
+  std::map<ObjectId, std::unique_ptr<ObjectDescriptor>> objects_;
+};
+
+}  // namespace pdc::obj

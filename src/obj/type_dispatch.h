@@ -1,0 +1,26 @@
+// Runtime PdcType -> compile-time element type dispatch.
+#pragma once
+
+#include <utility>
+
+#include "common/types.h"
+
+namespace pdc::obj {
+
+/// Invoke `fn` with a value-initialized element of the C++ type matching
+/// `type` (use `decltype(tag)` inside a templated lambda).
+template <typename Fn>
+decltype(auto) dispatch_type(PdcType type, Fn&& fn) {
+  switch (type) {
+    case PdcType::kFloat: return std::forward<Fn>(fn)(float{});
+    case PdcType::kDouble: return std::forward<Fn>(fn)(double{});
+    case PdcType::kInt32: return std::forward<Fn>(fn)(std::int32_t{});
+    case PdcType::kUInt32: return std::forward<Fn>(fn)(std::uint32_t{});
+    case PdcType::kInt64: return std::forward<Fn>(fn)(std::int64_t{});
+    case PdcType::kUInt64: return std::forward<Fn>(fn)(std::uint64_t{});
+  }
+  // Enum is exhaustive; keep the compiler satisfied.
+  return std::forward<Fn>(fn)(float{});
+}
+
+}  // namespace pdc::obj

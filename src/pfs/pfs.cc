@@ -1,0 +1,208 @@
+#include "pfs/pfs.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+namespace pdc::pfs {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// RAII file descriptor.
+class Fd {
+ public:
+  explicit Fd(int fd) noexcept : fd_(fd) {}
+  ~Fd() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  [[nodiscard]] int get() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+
+ private:
+  int fd_;
+};
+
+std::string errno_message(std::string_view what, const std::string& path) {
+  std::string msg(what);
+  msg += " '";
+  msg += path;
+  msg += "': ";
+  msg += std::strerror(errno);
+  return msg;
+}
+
+/// Filenames may contain '/' (callers use hierarchical names); flatten them
+/// so every file lives directly under the root.
+std::string sanitize(std::string_view name) {
+  std::string out(name);
+  std::replace(out.begin(), out.end(), '/', '_');
+  return out;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<PfsCluster>> PfsCluster::Create(PfsConfig config) {
+  if (config.root_dir.empty()) {
+    return Status::InvalidArgument("PfsConfig.root_dir is empty");
+  }
+  if (config.num_osts == 0 || config.stripe_count == 0 ||
+      config.stripe_size == 0) {
+    return Status::InvalidArgument("PFS geometry parameters must be nonzero");
+  }
+  std::error_code ec;
+  fs::create_directories(config.root_dir, ec);
+  if (ec) {
+    return Status::IoError("cannot create PFS root '" + config.root_dir +
+                           "': " + ec.message());
+  }
+  return std::unique_ptr<PfsCluster>(new PfsCluster(std::move(config)));
+}
+
+std::string PfsCluster::backing_path(std::string_view name) const {
+  return config_.root_dir + "/" + sanitize(name);
+}
+
+Result<PfsFile> PfsCluster::create(std::string_view name, bool truncate) {
+  const std::string path = backing_path(name);
+  int flags = O_WRONLY | O_CREAT;
+  flags |= truncate ? O_TRUNC : O_EXCL;
+  Fd fd(::open(path.c_str(), flags, 0644));
+  if (!fd.valid()) {
+    if (errno == EEXIST) {
+      return Status::AlreadyExists("PFS file exists: " + std::string(name));
+    }
+    return Status::IoError(errno_message("create", path));
+  }
+  return PfsFile(this, std::string(name), path);
+}
+
+Result<PfsFile> PfsCluster::open(std::string_view name) const {
+  const std::string path = backing_path(name);
+  if (!fs::exists(path)) {
+    return Status::NotFound("PFS file not found: " + std::string(name));
+  }
+  return PfsFile(this, std::string(name), path);
+}
+
+Status PfsCluster::remove(std::string_view name) {
+  std::error_code ec;
+  fs::remove(backing_path(name), ec);
+  if (ec) {
+    return Status::IoError("remove failed: " + ec.message());
+  }
+  return Status::Ok();
+}
+
+bool PfsCluster::exists(std::string_view name) const {
+  return fs::exists(backing_path(name));
+}
+
+Result<std::uint64_t> PfsCluster::file_size(std::string_view name) const {
+  std::error_code ec;
+  const auto size = fs::file_size(backing_path(name), ec);
+  if (ec) {
+    return Status::NotFound("file_size failed for " + std::string(name) +
+                            ": " + ec.message());
+  }
+  return static_cast<std::uint64_t>(size);
+}
+
+double PfsCluster::effective_read_bandwidth(
+    std::uint32_t osts_touched, std::uint32_t concurrent_readers) const noexcept {
+  const double striped_bw =
+      config_.cost.ost_bandwidth_bps * std::max<std::uint32_t>(1, osts_touched);
+  if (!config_.model_contention) return striped_bw;
+  // Each of `concurrent_readers` readers drives ~stripe_count OSTs; the pool
+  // has num_osts of them.  Oversubscription divides per-reader bandwidth.
+  const double demand = static_cast<double>(concurrent_readers) *
+                        static_cast<double>(config_.stripe_count);
+  const double oversubscription =
+      std::max(1.0, demand / static_cast<double>(config_.num_osts));
+  return striped_bw / oversubscription;
+}
+
+std::uint32_t PfsFile::osts_touched(std::uint64_t offset,
+                                    std::uint64_t len) const noexcept {
+  if (len == 0) return 0;
+  const auto& cfg = cluster_->config();
+  const std::uint64_t first_unit = offset / cfg.stripe_size;
+  const std::uint64_t last_unit = (offset + len - 1) / cfg.stripe_size;
+  const std::uint64_t units = last_unit - first_unit + 1;
+  return static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(units, cfg.stripe_count));
+}
+
+Status PfsFile::write(std::uint64_t offset, std::span<const std::uint8_t> data,
+                      CostLedger* ledger) const {
+  Fd fd(::open(path_.c_str(), O_WRONLY));
+  if (!fd.valid()) {
+    return Status::IoError(errno_message("open for write", path_));
+  }
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const ssize_t n = ::pwrite(fd.get(), data.data() + done, data.size() - done,
+                               static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(errno_message("pwrite", path_));
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  if (ledger != nullptr) {
+    const auto& cost = cluster_->config().cost;
+    ledger->add_io(cost.disk_write_latency_s +
+                   static_cast<double>(data.size()) /
+                       cost.ost_write_bandwidth_bps);
+  }
+  return Status::Ok();
+}
+
+Status PfsFile::read(std::uint64_t offset, std::span<std::uint8_t> out,
+                     const ReadContext& ctx) const {
+  Fd fd(::open(path_.c_str(), O_RDONLY));
+  if (!fd.valid()) {
+    return Status::IoError(errno_message("open for read", path_));
+  }
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const ssize_t n = ::pread(fd.get(), out.data() + done, out.size() - done,
+                              static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(errno_message("pread", path_));
+    }
+    if (n == 0) {
+      return Status::OutOfRange("read past end of " + name_);
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  if (ctx.ledger != nullptr) {
+    const auto& cost = cluster_->config().cost;
+    const double bw = cluster_->effective_read_bandwidth(
+        osts_touched(offset, out.size()), ctx.concurrent_readers);
+    ctx.ledger->add_io(cost.disk_read_latency_s +
+                       static_cast<double>(out.size()) / bw);
+    ctx.ledger->add_read_ops(1);
+    ctx.ledger->add_bytes_read(out.size());
+  }
+  return Status::Ok();
+}
+
+Result<std::uint64_t> PfsFile::size() const {
+  std::error_code ec;
+  const auto size = fs::file_size(path_, ec);
+  if (ec) {
+    return Status::IoError("file_size failed: " + ec.message());
+  }
+  return static_cast<std::uint64_t>(size);
+}
+
+}  // namespace pdc::pfs

@@ -1,0 +1,114 @@
+// Simulated Lustre-like striped parallel file system.
+//
+// Data is genuinely stored in local files (one backing file per PFS file),
+// so reads return real bytes; what is *simulated* is the performance: every
+// read/write charges a modeled cost into a CostLedger that reflects
+//   - per-operation latency (seek + storage-server round trip),
+//   - striping (an extent spanning k OSTs streams at k * ost_bandwidth),
+//   - contention (many concurrent readers share the OST pool).
+//
+// This is the substrate both PDC and the HDF5-F baseline run on, which keeps
+// the comparison fair: they differ only in *which* bytes they read and in
+// how many operations they issue — exactly the levers the paper studies
+// (§III-E data retrieval, read aggregation).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "common/cost_model.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace pdc::pfs {
+
+/// Deployment-wide PFS parameters.
+struct PfsConfig {
+  std::string root_dir;            ///< local directory holding backing files
+  std::uint32_t num_osts = 16;     ///< object storage targets in the pool
+  std::uint64_t stripe_size = 1ull << 20;  ///< bytes per stripe unit
+  std::uint32_t stripe_count = 4;  ///< OSTs a single file is striped over
+  bool model_contention = true;    ///< scale bandwidth by concurrent readers
+  CostModel cost;                  ///< latency/bandwidth constants
+};
+
+/// Execution context of a read: where to charge cost and how many peers are
+/// reading at the same time (the server runtime passes its deployment size).
+struct ReadContext {
+  CostLedger* ledger = nullptr;          ///< may be null (cost not tracked)
+  std::uint32_t concurrent_readers = 1;  ///< servers active in this phase
+};
+
+class PfsFile;
+
+/// The OST pool plus a directory of files.  Thread-safe for concurrent
+/// opens/reads; file creation is expected from a single ingest thread.
+class PfsCluster {
+ public:
+  /// Creates (or reuses) `config.root_dir` on the local filesystem.
+  static Result<std::unique_ptr<PfsCluster>> Create(PfsConfig config);
+
+  /// Create a new file (fails if it exists and `truncate` is false).
+  Result<PfsFile> create(std::string_view name, bool truncate = true);
+
+  /// Open an existing file.
+  Result<PfsFile> open(std::string_view name) const;
+
+  /// Remove a file; OK if it does not exist.
+  Status remove(std::string_view name);
+
+  [[nodiscard]] bool exists(std::string_view name) const;
+  [[nodiscard]] Result<std::uint64_t> file_size(std::string_view name) const;
+
+  [[nodiscard]] const PfsConfig& config() const noexcept { return config_; }
+
+  /// Effective streaming bandwidth (bytes/s) seen by one reader whose extent
+  /// spans `osts_touched` OSTs while `concurrent_readers` peers are active.
+  [[nodiscard]] double effective_read_bandwidth(
+      std::uint32_t osts_touched, std::uint32_t concurrent_readers) const noexcept;
+
+ private:
+  explicit PfsCluster(PfsConfig config) : config_(std::move(config)) {}
+
+  [[nodiscard]] std::string backing_path(std::string_view name) const;
+
+  PfsConfig config_;
+
+  friend class PfsFile;
+};
+
+/// Handle to one striped file.  Cheap to copy; holds no open descriptor
+/// (each I/O op opens/closes the backing file, mirroring an RPC to a
+/// storage server).  Thread-safe for concurrent reads.
+class PfsFile {
+ public:
+  /// Write `data` at `offset`, extending the file as needed.
+  Status write(std::uint64_t offset, std::span<const std::uint8_t> data,
+               CostLedger* ledger = nullptr) const;
+
+  /// Read exactly `out.size()` bytes at `offset`.
+  Status read(std::uint64_t offset, std::span<std::uint8_t> out,
+              const ReadContext& ctx) const;
+
+  [[nodiscard]] Result<std::uint64_t> size() const;
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// Number of distinct OSTs the byte range [offset, offset+len) touches.
+  [[nodiscard]] std::uint32_t osts_touched(std::uint64_t offset,
+                                           std::uint64_t len) const noexcept;
+
+ private:
+  PfsFile(const PfsCluster* cluster, std::string name, std::string path)
+      : cluster_(cluster), name_(std::move(name)), path_(std::move(path)) {}
+
+  const PfsCluster* cluster_;
+  std::string name_;
+  std::string path_;
+
+  friend class PfsCluster;
+};
+
+}  // namespace pdc::pfs

@@ -1,0 +1,67 @@
+#include "pfs/read_aggregator.h"
+
+#include <cstring>
+
+namespace pdc::pfs {
+
+std::vector<Extent1D> plan_aggregated_reads(std::span<const Extent1D> extents,
+                                            const AggregationPolicy& policy) {
+  std::vector<Extent1D> runs;
+  for (const Extent1D& e : extents) {
+    if (e.empty()) continue;
+    if (!runs.empty()) {
+      Extent1D& last = runs.back();
+      const std::uint64_t gap = e.offset - last.end();
+      const std::uint64_t merged = e.end() - last.offset;
+      if (e.offset >= last.end() && gap <= policy.max_gap_bytes &&
+          merged <= policy.max_run_bytes) {
+        last.count = merged;
+        continue;
+      }
+    }
+    runs.push_back(e);
+  }
+  return runs;
+}
+
+Status aggregated_read(const PfsFile& file, std::span<const Extent1D> extents,
+                       std::span<const std::span<std::uint8_t>> dests,
+                       const AggregationPolicy& policy,
+                       const ReadContext& ctx) {
+  if (extents.size() != dests.size()) {
+    return Status::InvalidArgument("extents/dests size mismatch");
+  }
+  for (std::size_t i = 0; i < extents.size(); ++i) {
+    if (dests[i].size() != extents[i].count) {
+      return Status::InvalidArgument("dest buffer size != extent size");
+    }
+    if (i > 0 && extents[i].offset < extents[i - 1].end()) {
+      return Status::InvalidArgument("extents must be sorted, non-overlapping");
+    }
+  }
+
+  const std::vector<Extent1D> runs = plan_aggregated_reads(extents, policy);
+  std::vector<std::uint8_t> run_buf;
+  std::size_t next_extent = 0;
+  for (const Extent1D& run : runs) {
+    run_buf.resize(static_cast<std::size_t>(run.count));
+    PDC_RETURN_IF_ERROR(file.read(run.offset, run_buf, ctx));
+    // Scatter every requested extent that lies inside this run.
+    while (next_extent < extents.size() &&
+           extents[next_extent].end() <= run.end()) {
+      const Extent1D& e = extents[next_extent];
+      if (!e.empty()) {
+        std::memcpy(dests[next_extent].data(),
+                    run_buf.data() + (e.offset - run.offset),
+                    static_cast<std::size_t>(e.count));
+      }
+      ++next_extent;
+    }
+  }
+  if (next_extent != extents.size()) {
+    return Status::Internal("aggregation plan did not cover all extents");
+  }
+  return Status::Ok();
+}
+
+}  // namespace pdc::pfs

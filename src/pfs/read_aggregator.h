@@ -1,0 +1,44 @@
+// Read aggregation: merge many small reads into few large ones.
+//
+// The paper (§III-E) credits PDC's read performance to "aggregation methods
+// to merge small reads into bigger ones to reduce the data access
+// contention".  This module implements that: given the byte extents a query
+// actually needs, it plans a small number of covering reads (tolerating
+// bounded over-read in gaps) and scatters the results into per-extent
+// buffers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "pfs/pfs.h"
+
+namespace pdc::pfs {
+
+/// Aggregation policy.
+struct AggregationPolicy {
+  /// Two extents closer than this many bytes are fetched in one read (the
+  /// gap bytes are read and discarded).  0 disables coalescing of
+  /// non-adjacent extents.
+  std::uint64_t max_gap_bytes = 256 * 1024;
+
+  /// Upper bound on one aggregated read (keeps buffers bounded).
+  std::uint64_t max_run_bytes = 64ull << 20;
+};
+
+/// Plan covering reads for `extents` (byte ranges, must be sorted by offset
+/// and non-overlapping).  Pure function — unit-testable without I/O.
+[[nodiscard]] std::vector<Extent1D> plan_aggregated_reads(
+    std::span<const Extent1D> extents, const AggregationPolicy& policy);
+
+/// Read all `extents` from `file` using the aggregation plan and scatter
+/// each extent's bytes into the matching entry of `dests`
+/// (dests[i].size() must equal extents[i].count).
+Status aggregated_read(const PfsFile& file, std::span<const Extent1D> extents,
+                       std::span<const std::span<std::uint8_t>> dests,
+                       const AggregationPolicy& policy, const ReadContext& ctx);
+
+}  // namespace pdc::pfs

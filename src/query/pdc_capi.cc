@@ -1,0 +1,252 @@
+#include "query/pdc_capi.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "query/query.h"
+
+namespace pdc::capi {
+namespace {
+
+query::QueryService* g_service = nullptr;
+meta::MetaStore* g_meta = nullptr;
+
+thread_local std::string t_last_error;
+
+perr_t fail(std::string message) {
+  t_last_error = std::move(message);
+  return PDC_FAILURE;
+}
+
+QueryOp to_op(pdc_query_op_t op) {
+  switch (op) {
+    case PDC_GT: return QueryOp::kGT;
+    case PDC_GTE: return QueryOp::kGTE;
+    case PDC_LT: return QueryOp::kLT;
+    case PDC_LTE: return QueryOp::kLTE;
+    case PDC_EQ: return QueryOp::kEQ;
+  }
+  return QueryOp::kGT;
+}
+
+double value_as_double(pdc_type_t type, const void* value) {
+  switch (type) {
+    case PDC_FLOAT: return *static_cast<const float*>(value);
+    case PDC_DOUBLE: return *static_cast<const double*>(value);
+    case PDC_INT: return *static_cast<const std::int32_t*>(value);
+    case PDC_UINT: return *static_cast<const std::uint32_t*>(value);
+    case PDC_INT64:
+      return static_cast<double>(*static_cast<const std::int64_t*>(value));
+    case PDC_UINT64:
+      return static_cast<double>(*static_cast<const std::uint64_t*>(value));
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+struct pdcquery_t {
+  query::QueryPtr tree;
+};
+
+struct pdcselection_t {
+  query::Selection selection;
+};
+
+struct pdchistogram_t {
+  hist::MergeableHistogram histogram;
+};
+
+void PDC_attach(query::QueryService* service, meta::MetaStore* meta) {
+  g_service = service;
+  g_meta = meta;
+}
+
+void PDC_detach() {
+  g_service = nullptr;
+  g_meta = nullptr;
+}
+
+pdcquery_t* PDCquery_create(pdc_id_t obj_id, pdc_query_op_t op,
+                            pdc_type_t type, const void* value) {
+  if (value == nullptr) {
+    fail("PDCquery_create: null value");
+    return nullptr;
+  }
+  auto* q = new pdcquery_t;
+  q->tree = query::create(obj_id, to_op(op), value_as_double(type, value));
+  return q;
+}
+
+pdcquery_t* PDCquery_and(pdcquery_t* query1, pdcquery_t* query2) {
+  if (query1 == nullptr || query2 == nullptr) {
+    fail("PDCquery_and: null operand");
+    return nullptr;
+  }
+  auto* q = new pdcquery_t;
+  q->tree = query::q_and(query1->tree, query2->tree);
+  return q;
+}
+
+pdcquery_t* PDCquery_or(pdcquery_t* query1, pdcquery_t* query2) {
+  if (query1 == nullptr || query2 == nullptr) {
+    fail("PDCquery_or: null operand");
+    return nullptr;
+  }
+  auto* q = new pdcquery_t;
+  q->tree = query::q_or(query1->tree, query2->tree);
+  return q;
+}
+
+perr_t PDCquery_sel_region(pdcquery_t* query, const pdc_region_t* region) {
+  if (query == nullptr || region == nullptr) {
+    return fail("PDCquery_sel_region: null argument");
+  }
+  query->tree =
+      query::set_region(query->tree, Extent1D{region->offset, region->size});
+  return PDC_SUCCESS;
+}
+
+perr_t PDCquery_get_nhits(pdcquery_t* query, std::uint64_t* n) {
+  if (g_service == nullptr) return fail("no service attached");
+  if (query == nullptr || n == nullptr) {
+    return fail("PDCquery_get_nhits: null argument");
+  }
+  auto result = g_service->get_num_hits(query->tree);
+  if (!result.ok()) return fail(result.status().ToString());
+  *n = *result;
+  return PDC_SUCCESS;
+}
+
+perr_t PDCquery_get_selection(pdcquery_t* query, pdcselection_t** sel) {
+  if (g_service == nullptr) return fail("no service attached");
+  if (query == nullptr || sel == nullptr) {
+    return fail("PDCquery_get_selection: null argument");
+  }
+  auto result = g_service->get_selection(query->tree);
+  if (!result.ok()) return fail(result.status().ToString());
+  *sel = new pdcselection_t{std::move(*result)};
+  return PDC_SUCCESS;
+}
+
+perr_t PDCquery_get_data(pdc_id_t obj_id, pdcselection_t* sel, void* data) {
+  if (g_service == nullptr) return fail("no service attached");
+  if (sel == nullptr || data == nullptr) {
+    return fail("PDCquery_get_data: null argument");
+  }
+  // Element size comes from the target object's metadata.
+  const Status status = [&] {
+    auto desc = g_service->get_histogram(obj_id);  // existence check
+    if (!desc.ok()) return desc.status();
+    // Type-erased fetch: the templated entry ultimately routes here.
+    return g_service->get_data_bytes(obj_id, sel->selection,
+                                     static_cast<std::uint8_t*>(data));
+  }();
+  if (!status.ok()) return fail(status.ToString());
+  return PDC_SUCCESS;
+}
+
+perr_t PDCquery_get_data_batch(pdc_id_t obj_id, pdcselection_t* sel,
+                               std::uint64_t batch_size, void* data,
+                               std::uint64_t batch_index,
+                               std::uint64_t* batch_elements) {
+  if (g_service == nullptr) return fail("no service attached");
+  if (sel == nullptr || data == nullptr || batch_elements == nullptr ||
+      batch_size == 0) {
+    return fail("PDCquery_get_data_batch: bad argument");
+  }
+  const std::uint64_t first = batch_index * batch_size;
+  if (first >= sel->selection.num_hits) {
+    *batch_elements = 0;
+    return PDC_SUCCESS;
+  }
+  const std::uint64_t count =
+      std::min(batch_size, sel->selection.num_hits - first);
+  query::Selection batch;
+  batch.num_hits = count;
+  batch.positions.assign(
+      sel->selection.positions.begin() + static_cast<std::ptrdiff_t>(first),
+      sel->selection.positions.begin() +
+          static_cast<std::ptrdiff_t>(first + count));
+  const Status status = g_service->get_data_bytes(
+      obj_id, batch, static_cast<std::uint8_t*>(data));
+  if (!status.ok()) return fail(status.ToString());
+  *batch_elements = count;
+  return PDC_SUCCESS;
+}
+
+pdchistogram_t* PDCquery_get_histogram(pdc_id_t obj_id) {
+  if (g_service == nullptr) {
+    fail("no service attached");
+    return nullptr;
+  }
+  auto result = g_service->get_histogram(obj_id);
+  if (!result.ok()) {
+    fail(result.status().ToString());
+    return nullptr;
+  }
+  return new pdchistogram_t{std::move(*result)};
+}
+
+perr_t PDCquery_tag(const char* name, std::uint32_t val_size, const void* val,
+                    int* nobj, pdc_id_t** obj_ids) {
+  if (g_meta == nullptr) return fail("no metadata store attached");
+  if (name == nullptr || val == nullptr || nobj == nullptr ||
+      obj_ids == nullptr) {
+    return fail("PDCquery_tag: null argument");
+  }
+  meta::MetaValue value;
+  if (val_size == sizeof(double)) {
+    double d = 0;
+    std::memcpy(&d, val, sizeof(double));
+    value = d;
+  } else {
+    value = std::string(static_cast<const char*>(val), val_size);
+  }
+  const std::vector<ObjectId> ids = g_meta->query_tag(name, value);
+  *nobj = static_cast<int>(ids.size());
+  if (ids.empty()) {
+    *obj_ids = nullptr;
+    return PDC_SUCCESS;
+  }
+  auto* out = static_cast<pdc_id_t*>(
+      std::malloc(ids.size() * sizeof(pdc_id_t)));
+  if (out == nullptr) return fail("PDCquery_tag: allocation failed");
+  std::memcpy(out, ids.data(), ids.size() * sizeof(pdc_id_t));
+  *obj_ids = out;
+  return PDC_SUCCESS;
+}
+
+std::uint64_t PDCselection_nhits(const pdcselection_t* sel) {
+  return sel == nullptr ? 0 : sel->selection.num_hits;
+}
+
+const std::uint64_t* PDCselection_coords(const pdcselection_t* sel) {
+  return sel == nullptr || sel->selection.positions.empty()
+             ? nullptr
+             : sel->selection.positions.data();
+}
+
+std::uint64_t PDChistogram_nbins(const pdchistogram_t* hist) {
+  return hist == nullptr ? 0 : hist->histogram.num_bins();
+}
+
+std::uint64_t PDChistogram_bin_count(const pdchistogram_t* hist,
+                                     std::uint64_t bin) {
+  if (hist == nullptr || bin >= hist->histogram.num_bins()) return 0;
+  return hist->histogram.counts()[static_cast<std::size_t>(bin)];
+}
+
+double PDChistogram_bin_edge(const pdchistogram_t* hist, std::uint64_t bin) {
+  if (hist == nullptr) return 0.0;
+  return hist->histogram.bin_left_edge(static_cast<std::size_t>(bin));
+}
+
+void PDCquery_free(pdcquery_t* query) { delete query; }
+void PDCselection_free(pdcselection_t* sel) { delete sel; }
+void PDChistogram_free(pdchistogram_t* hist) { delete hist; }
+
+const char* PDC_last_error() { return t_last_error.c_str(); }
+
+}  // namespace pdc::capi

@@ -1,0 +1,114 @@
+// C-style compatibility API mirroring the paper's Fig. 1 exactly.
+//
+// The PDC system exposes a C interface; this shim reproduces those entry
+// points (names, argument shapes, ownership rules) on top of the C++
+// QueryService.  Like the real PDC client library, the service connection
+// is process-global state established once at startup:
+//
+//   pdc::capi::PDC_attach(&service, &meta_store);
+//   double v = 2.0;
+//   pdcquery_t* q = PDCquery_create(energy_id, PDC_GT, PDC_DOUBLE, &v);
+//   uint64_t n = 0;
+//   PDCquery_get_nhits(q, &n);
+//   PDCquery_free(q);
+//
+// All functions return perr_t (0 = success) or a pointer that is null on
+// failure, matching PDC conventions.  Callers own returned query/selection/
+// histogram objects and must release them with the matching *_free call;
+// PDCquery_get_data requires the caller to have allocated `data` large
+// enough for the selection's hit count (paper §III-A).
+#pragma once
+
+#include <cstdint>
+
+#include "metadata/meta_store.h"
+#include "query/service.h"
+
+namespace pdc::capi {
+
+using perr_t = int;
+inline constexpr perr_t PDC_SUCCESS = 0;
+inline constexpr perr_t PDC_FAILURE = -1;
+
+/// Comparison operators (paper: pdc_query_op_t).
+enum pdc_query_op_t {
+  PDC_GT = 0,
+  PDC_GTE,
+  PDC_LT,
+  PDC_LTE,
+  PDC_EQ,
+};
+
+/// Element types (paper: pdc_type_t).
+enum pdc_type_t {
+  PDC_FLOAT = 0,
+  PDC_DOUBLE,
+  PDC_INT,
+  PDC_UINT,
+  PDC_INT64,
+  PDC_UINT64,
+};
+
+using pdc_id_t = std::uint64_t;
+
+/// Opaque query-condition handle.
+struct pdcquery_t;
+
+/// Selection handle (paper: pdc_selection_t).
+struct pdcselection_t;
+
+/// 1-D region constraint (paper: pdc_region_t, restricted to 1-D).
+struct pdc_region_t {
+  std::uint64_t offset = 0;
+  std::uint64_t size = 0;  ///< element count
+};
+
+/// Histogram handle (paper: pdchistogram_t).
+struct pdchistogram_t;
+
+/// Bind the process-global service endpoints (the real PDC client does
+/// this inside PDCinit).  `meta` may be null if tag queries are unused.
+void PDC_attach(query::QueryService* service, meta::MetaStore* meta);
+void PDC_detach();
+
+// ---- query construction (paper Fig. 1) ----
+pdcquery_t* PDCquery_create(pdc_id_t obj_id, pdc_query_op_t op,
+                            pdc_type_t type, const void* value);
+pdcquery_t* PDCquery_and(pdcquery_t* query1, pdcquery_t* query2);
+pdcquery_t* PDCquery_or(pdcquery_t* query1, pdcquery_t* query2);
+perr_t PDCquery_sel_region(pdcquery_t* query, const pdc_region_t* region);
+
+// ---- query execution ----
+perr_t PDCquery_get_nhits(pdcquery_t* query, std::uint64_t* n);
+perr_t PDCquery_get_selection(pdcquery_t* query, pdcselection_t** sel);
+perr_t PDCquery_get_data(pdc_id_t obj_id, pdcselection_t* sel, void* data);
+perr_t PDCquery_get_data_batch(pdc_id_t obj_id, pdcselection_t* sel,
+                               std::uint64_t batch_size, void* data,
+                               std::uint64_t batch_index,
+                               std::uint64_t* batch_elements);
+pdchistogram_t* PDCquery_get_histogram(pdc_id_t obj_id);
+
+// ---- metadata (paper: PDCquery_tag) ----
+/// Objects whose attribute `name` equals the value (val_size selects the
+/// interpretation: sizeof(double) = numeric, else string bytes).
+/// On success `*obj_ids` is a malloc'd array the caller frees with free().
+perr_t PDCquery_tag(const char* name, std::uint32_t val_size, const void* val,
+                    int* nobj, pdc_id_t** obj_ids);
+
+// ---- selection / histogram accessors ----
+std::uint64_t PDCselection_nhits(const pdcselection_t* sel);
+const std::uint64_t* PDCselection_coords(const pdcselection_t* sel);
+std::uint64_t PDChistogram_nbins(const pdchistogram_t* hist);
+std::uint64_t PDChistogram_bin_count(const pdchistogram_t* hist,
+                                     std::uint64_t bin);
+double PDChistogram_bin_edge(const pdchistogram_t* hist, std::uint64_t bin);
+
+// ---- frees (not listed in the paper's figure, present in its API) ----
+void PDCquery_free(pdcquery_t* query);
+void PDCselection_free(pdcselection_t* sel);
+void PDChistogram_free(pdchistogram_t* hist);
+
+/// Last error message for diagnostics (thread-local).
+const char* PDC_last_error();
+
+}  // namespace pdc::capi

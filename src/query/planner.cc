@@ -1,0 +1,130 @@
+#include "query/planner.h"
+
+#include <algorithm>
+#include <map>
+
+namespace pdc::query {
+namespace {
+
+/// A DNF term under construction: object -> intersected interval.
+using TermMap = std::map<ObjectId, ValueInterval>;
+
+Status to_dnf(const Query& node, std::vector<TermMap>& out,
+              std::size_t max_terms) {
+  switch (node.kind) {
+    case Query::Kind::kLeaf: {
+      if (node.object == kInvalidObjectId) {
+        return Status::InvalidArgument("query leaf without object");
+      }
+      TermMap term;
+      term.emplace(node.object, ValueInterval::from_op(node.op, node.value));
+      out.push_back(std::move(term));
+      return Status::Ok();
+    }
+    case Query::Kind::kOr: {
+      PDC_RETURN_IF_ERROR(to_dnf(*node.left, out, max_terms));
+      PDC_RETURN_IF_ERROR(to_dnf(*node.right, out, max_terms));
+      if (out.size() > max_terms) {
+        return Status::ResourceExhausted("query DNF exceeds term limit");
+      }
+      return Status::Ok();
+    }
+    case Query::Kind::kAnd: {
+      std::vector<TermMap> left;
+      std::vector<TermMap> right;
+      PDC_RETURN_IF_ERROR(to_dnf(*node.left, left, max_terms));
+      PDC_RETURN_IF_ERROR(to_dnf(*node.right, right, max_terms));
+      if (left.size() * right.size() > max_terms) {
+        return Status::ResourceExhausted("query DNF exceeds term limit");
+      }
+      for (const TermMap& l : left) {
+        for (const TermMap& r : right) {
+          TermMap merged = l;
+          for (const auto& [object, interval] : r) {
+            const auto it = merged.find(object);
+            if (it == merged.end()) {
+              merged.emplace(object, interval);
+            } else {
+              it->second = it->second.intersect(interval);
+            }
+          }
+          out.push_back(std::move(merged));
+        }
+      }
+      return Status::Ok();
+    }
+  }
+  return Status::Internal("unreachable query kind");
+}
+
+}  // namespace
+
+double estimate_selectivity(const obj::ObjectDescriptor& object,
+                            const ValueInterval& interval) {
+  const hist::MergeableHistogram& h = object.global_histogram;
+  if (!h.valid()) return 1.0;  // unknown: assume worst
+  return h.estimate(interval).selectivity_mid(h.total_count());
+}
+
+Result<Plan> plan_query(const Query& query, const obj::ObjectStore& store,
+                        const PlanOptions& options) {
+  std::vector<TermMap> dnf;
+  PDC_RETURN_IF_ERROR(to_dnf(query, dnf, options.max_terms));
+
+  Plan plan;
+  if (query.region_constraint) {
+    plan.region_constraint = *query.region_constraint;
+  }
+  std::uint64_t common_dims = 0;
+  for (TermMap& term_map : dnf) {
+    server::AndTerm term;
+    term.conjuncts.reserve(term_map.size());
+    for (auto& [object_id, interval] : term_map) {
+      PDC_ASSIGN_OR_RETURN(const obj::ObjectDescriptor* object,
+                           store.get(object_id));
+      if (common_dims == 0) {
+        common_dims = object->num_elements;
+      } else if (object->num_elements != common_dims) {
+        return Status::InvalidArgument(
+            "query objects must have identical dimensions");
+      }
+      // Provably-empty conjunct: the whole AND-term selects nothing.
+      if (interval.empty()) {
+        term.conjuncts.clear();
+        break;
+      }
+      term.conjuncts.push_back({object_id, interval});
+    }
+    if (term.conjuncts.empty()) continue;  // term eliminated
+
+    if (options.order_by_selectivity && term.conjuncts.size() > 1) {
+      // Most selective first: estimated via global histograms.
+      std::vector<std::pair<double, server::Conjunct>> ranked;
+      ranked.reserve(term.conjuncts.size());
+      for (server::Conjunct& c : term.conjuncts) {
+        PDC_ASSIGN_OR_RETURN(const obj::ObjectDescriptor* object,
+                             store.get(c.object));
+        ranked.emplace_back(estimate_selectivity(*object, c.interval), c);
+      }
+      std::stable_sort(ranked.begin(), ranked.end(),
+                       [](const auto& a, const auto& b) {
+                         return a.first < b.first;
+                       });
+      term.conjuncts.clear();
+      for (auto& [sel, c] : ranked) term.conjuncts.push_back(c);
+    }
+
+    if (options.strategy == server::Strategy::kSortedHistogram) {
+      // The sorted replica applies only when the driver IS the sorted
+      // object; otherwise this term degrades to histogram evaluation.
+      if (const auto replica =
+              store.sorted_replica_of(term.conjuncts.front().object)) {
+        term.driver_replica = *replica;
+      }
+    }
+    plan.terms.push_back(std::move(term));
+  }
+  return plan;
+}
+
+}  // namespace pdc::query

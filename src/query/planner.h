@@ -1,0 +1,47 @@
+// Query planner: condition tree -> wire-level evaluation plan.
+//
+// 1. Normalize the AND/OR tree into disjunctive normal form (OR of
+//    AND-terms), intersecting conditions that target the same object into a
+//    single interval per object.
+// 2. Order each term's conjuncts by estimated selectivity, ascending, using
+//    the objects' *global histograms* (paper §III-D2: "execution order has a
+//    significant impact ... histogram provides an approximate estimation at
+//    very low cost").  The most selective conjunct becomes the driver.
+// 3. For the sorted strategy, attach the driver's sorted replica when one
+//    exists; terms whose driver has no replica fall back to histogram
+//    evaluation (paper Fig. 4: when the engine evaluates 'x' first, the
+//    sorted reorganization is less effective).
+#pragma once
+
+#include <vector>
+
+#include "obj/object_store.h"
+#include "query/query.h"
+#include "server/wire.h"
+
+namespace pdc::query {
+
+struct PlanOptions {
+  server::Strategy strategy = server::Strategy::kHistogram;
+  /// Safety valve for DNF blowup on adversarial trees.
+  std::size_t max_terms = 256;
+  /// If false, the planner keeps the user's condition order instead of
+  /// reordering by selectivity (ablation knob).
+  bool order_by_selectivity = true;
+};
+
+struct Plan {
+  std::vector<server::AndTerm> terms;
+  Extent1D region_constraint;  ///< {0,0} = none
+};
+
+/// Build the evaluation plan for `query`.
+Result<Plan> plan_query(const Query& query, const obj::ObjectStore& store,
+                        const PlanOptions& options);
+
+/// Estimated selectivity midpoint of `interval` on `object`'s global
+/// histogram (0 when the histogram proves no overlap).
+[[nodiscard]] double estimate_selectivity(const obj::ObjectDescriptor& object,
+                                          const ValueInterval& interval);
+
+}  // namespace pdc::query

@@ -1,0 +1,91 @@
+// Public query-condition API (paper Fig. 1).
+//
+// Users build a condition tree from three primitives — create (one
+// comparison on one object), q_and, q_or — optionally constrain it to an
+// element region, and hand it to the QueryService.  Trees are immutable and
+// shared; combining queries never mutates the inputs.
+//
+//   auto q = pdc::query::q_and(
+//       pdc::query::create(energy_id, QueryOp::kGT, 2.0),
+//       pdc::query::create(x_id, QueryOp::kLT, 200.0));
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "common/types.h"
+
+namespace pdc::query {
+
+class Query;
+using QueryPtr = std::shared_ptr<const Query>;
+
+/// Immutable query-condition tree node.
+class Query {
+ public:
+  enum class Kind : std::uint8_t { kLeaf, kAnd, kOr };
+
+  // -- leaf fields --
+  ObjectId object = kInvalidObjectId;
+  QueryOp op = QueryOp::kGT;
+  double value = 0.0;
+
+  // -- combiner fields --
+  Kind kind = Kind::kLeaf;
+  QueryPtr left;
+  QueryPtr right;
+
+  /// Spatial constraint: element extent, empty = whole object.  Applies to
+  /// the whole (sub)tree it is set on; the root's constraint wins.
+  std::optional<Extent1D> region_constraint;
+};
+
+/// One comparison on one object: `object <op> value`
+/// (paper: PDCquery_create).
+[[nodiscard]] inline QueryPtr create(ObjectId object, QueryOp op,
+                                     double value) {
+  auto q = std::make_shared<Query>();
+  q->kind = Query::Kind::kLeaf;
+  q->object = object;
+  q->op = op;
+  q->value = value;
+  return q;
+}
+
+/// Typed overload mirroring the paper's (type, value-pointer) signature.
+template <PdcElement T>
+[[nodiscard]] QueryPtr create(ObjectId object, QueryOp op, T value) {
+  return create(object, op, static_cast<double>(value));
+}
+
+/// Conjunction (paper: PDCquery_and).  Null inputs yield the other side.
+[[nodiscard]] inline QueryPtr q_and(QueryPtr a, QueryPtr b) {
+  if (!a) return b;
+  if (!b) return a;
+  auto q = std::make_shared<Query>();
+  q->kind = Query::Kind::kAnd;
+  q->left = std::move(a);
+  q->right = std::move(b);
+  return q;
+}
+
+/// Disjunction (paper: PDCquery_or).
+[[nodiscard]] inline QueryPtr q_or(QueryPtr a, QueryPtr b) {
+  if (!a) return b;
+  if (!b) return a;
+  auto q = std::make_shared<Query>();
+  q->kind = Query::Kind::kOr;
+  q->left = std::move(a);
+  q->right = std::move(b);
+  return q;
+}
+
+/// Attach a spatial constraint (paper: PDCquery_set_region).  Returns a new
+/// root; the input tree is unchanged.
+[[nodiscard]] inline QueryPtr set_region(const QueryPtr& q, Extent1D extent) {
+  auto copy = std::make_shared<Query>(*q);
+  copy->region_constraint = extent;
+  return copy;
+}
+
+}  // namespace pdc::query

@@ -1,0 +1,367 @@
+#include "query/service.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/timer.h"
+#include "server/region_assignment.h"
+
+namespace pdc::query {
+
+ServiceOptions ServiceOptions::from_env() {
+  ServiceOptions options;
+  if (const char* env = std::getenv("PDC_QUERY_STRATEGY")) {
+    const std::string value(env);
+    if (value == "fullscan") {
+      options.strategy = server::Strategy::kFullScan;
+    } else if (value == "histogram") {
+      options.strategy = server::Strategy::kHistogram;
+    } else if (value == "index") {
+      options.strategy = server::Strategy::kHistogramIndex;
+    } else if (value == "sorted") {
+      options.strategy = server::Strategy::kSortedHistogram;
+    }
+  }
+  return options;
+}
+
+QueryService::QueryService(const obj::ObjectStore& store,
+                           ServiceOptions options)
+    : store_(store),
+      options_(options),
+      bus_(std::max<std::uint32_t>(1, options.num_servers)),
+      client_(bus_) {
+  options_.num_servers = bus_.num_servers();
+  servers_.reserve(options_.num_servers);
+  runtimes_.reserve(options_.num_servers);
+  for (ServerId s = 0; s < options_.num_servers; ++s) {
+    server::ServerOptions server_options;
+    server_options.id = s;
+    server_options.num_servers = options_.num_servers;
+    server_options.cache_capacity_bytes = options_.cache_capacity_bytes;
+    server_options.aggregation = options_.aggregation;
+    servers_.push_back(
+        std::make_unique<server::QueryServer>(store_, server_options));
+    server::QueryServer* qs = servers_.back().get();
+    runtimes_.push_back(std::make_unique<rpc::ServerRuntime>(
+        bus_, s, [qs](std::span<const std::uint8_t> payload) {
+          return qs->handle(payload);
+        }));
+  }
+}
+
+QueryService::~QueryService() { bus_.shutdown(); }
+
+Result<Selection> QueryService::eval(const QueryPtr& query,
+                                     bool need_locations) {
+  if (!query) {
+    return Status::InvalidArgument("null query");
+  }
+  WallTimer wall;
+  stats_ = OpStats{};
+  const CostModel& cost = store_.cluster().config().cost;
+
+  PlanOptions plan_options;
+  plan_options.strategy = options_.strategy;
+  plan_options.order_by_selectivity = options_.order_by_selectivity;
+  PDC_ASSIGN_OR_RETURN(Plan plan, plan_query(*query, store_, plan_options));
+
+  Selection selection;
+  if (plan.terms.empty()) {
+    stats_.wall_seconds = wall.elapsed_seconds();
+    return selection;  // provably empty
+  }
+
+  server::EvalRequest request;
+  request.strategy = options_.strategy;
+  request.need_locations = need_locations;
+  request.region_constraint = plan.region_constraint;
+  request.terms = std::move(plan.terms);
+  std::vector<std::uint8_t> payload = request.serialize();
+  stats_.request_bytes = payload.size();
+  // Broadcast happens in parallel over the interconnect: one message cost.
+  stats_.net_seconds += cost.net_cost(payload.size());
+
+  std::vector<rpc::Message> responses =
+      client_.broadcast_wait(std::move(payload));
+  if (responses.size() != options_.num_servers) {
+    return Status::Internal("missing server responses");
+  }
+
+  for (const rpc::Message& message : responses) {
+    SerialReader reader(message.payload);
+    PDC_ASSIGN_OR_RETURN(server::EvalResponse response,
+                         server::EvalResponse::Deserialize(reader));
+    PDC_RETURN_IF_ERROR(response.status);
+    selection.num_hits += response.num_hits;
+    if (response.has_positions) {
+      selection.positions.insert(selection.positions.end(),
+                                 response.positions.begin(),
+                                 response.positions.end());
+    }
+    if (!response.sorted_extents.empty()) {
+      selection.replica_id = response.replica_id != kInvalidObjectId
+                                 ? response.replica_id
+                                 : selection.replica_id;
+      selection.sorted_extents.emplace_back(message.sender,
+                                            std::move(response.sorted_extents));
+    }
+    if (response.ledger.elapsed() > stats_.max_server_seconds) {
+      stats_.max_server_seconds = response.ledger.elapsed();
+      stats_.max_server_io_seconds = response.ledger.io_seconds;
+      stats_.max_server_cpu_seconds = response.ledger.cpu_seconds;
+    }
+    stats_.server_bytes_read += response.ledger.bytes_read;
+    stats_.server_read_ops += response.ledger.read_ops;
+    stats_.response_bytes += message.payload.size();
+  }
+
+  // Responses stream back to the one client NIC.
+  stats_.net_seconds +=
+      cost.net_latency_s +
+      static_cast<double>(stats_.response_bytes) / cost.net_bandwidth_bps;
+
+  // Client-side aggregation: merge per-server position lists.
+  if (!selection.positions.empty()) {
+    stats_.client_cpu_seconds += 2.0 * cost.scan_cost(
+        selection.positions.size() * sizeof(std::uint64_t));
+    std::sort(selection.positions.begin(), selection.positions.end());
+  }
+  // The replica id may be known even when extents were not retained.
+  if (selection.replica_id == kInvalidObjectId &&
+      options_.strategy == server::Strategy::kSortedHistogram &&
+      request.terms.size() == 1) {
+    selection.replica_id = request.terms.front().driver_replica;
+  }
+
+  stats_.sim_elapsed_seconds = stats_.net_seconds + stats_.max_server_seconds +
+                               stats_.client_cpu_seconds;
+  stats_.wall_seconds = wall.elapsed_seconds();
+  return selection;
+}
+
+Result<std::uint64_t> QueryService::get_num_hits(const QueryPtr& query) {
+  PDC_ASSIGN_OR_RETURN(Selection selection,
+                       eval(query, /*need_locations=*/false));
+  return selection.num_hits;
+}
+
+Result<Selection> QueryService::get_selection(const QueryPtr& query) {
+  return eval(query, /*need_locations=*/true);
+}
+
+Status QueryService::get_data_raw(ObjectId object, const Selection& selection,
+                                  std::span<std::uint8_t> out, PdcType type,
+                                  GetDataMode mode) {
+  WallTimer wall;
+  stats_ = OpStats{};
+  const CostModel& cost = store_.cluster().config().cost;
+  PDC_ASSIGN_OR_RETURN(const obj::ObjectDescriptor* target,
+                       store_.get(object));
+  if (target->type != type) {
+    return Status::InvalidArgument("get_data element type mismatch");
+  }
+  const std::size_t elem_size = target->element_size();
+  if (out.size() != selection.num_hits * elem_size) {
+    return Status::InvalidArgument(
+        "get_data buffer must hold num_hits elements");
+  }
+  if (selection.num_hits == 0) return Status::Ok();
+
+  // Resolve the fetch mode.
+  bool use_replica = false;
+  ObjectId replica_source = kInvalidObjectId;
+  if (selection.replica_id != kInvalidObjectId &&
+      !selection.sorted_extents.empty()) {
+    const auto replica = store_.get(selection.replica_id);
+    if (replica.ok()) replica_source = (*replica)->sorted_source;
+  }
+  switch (mode) {
+    case GetDataMode::kAuto:
+      use_replica = replica_source == object;
+      break;
+    case GetDataMode::kFromReplica:
+      if (replica_source != object) {
+        return Status::FailedPrecondition(
+            "selection has no replica extents for this object");
+      }
+      use_replica = true;
+      break;
+    case GetDataMode::kByPositions:
+      use_replica = false;
+      break;
+  }
+
+  std::vector<std::pair<ServerId, std::vector<std::uint8_t>>> requests;
+  if (use_replica) {
+    for (const auto& [server, extents] : selection.sorted_extents) {
+      server::GetDataRequest request;
+      request.object = selection.replica_id;
+      request.from_replica = true;
+      request.extents = extents;
+      requests.emplace_back(server, request.serialize());
+    }
+  } else {
+    if (selection.positions.size() != selection.num_hits) {
+      return Status::FailedPrecondition(
+          "selection has no locations; call get_selection first");
+    }
+    auto parts = server::partition_positions(*target, selection.positions,
+                                             options_.num_servers);
+    for (ServerId s = 0; s < options_.num_servers; ++s) {
+      if (parts[s].empty()) continue;
+      server::GetDataRequest request;
+      request.object = object;
+      request.positions = std::move(parts[s]);
+      requests.emplace_back(s, request.serialize());
+    }
+  }
+
+  double max_request_net = 0.0;
+  for (const auto& [server, payload] : requests) {
+    stats_.request_bytes += payload.size();
+    max_request_net = std::max(max_request_net, cost.net_cost(payload.size()));
+  }
+  stats_.net_seconds += max_request_net;
+
+  std::vector<rpc::Message> responses = client_.scatter_wait(std::move(requests));
+
+  std::vector<std::vector<std::uint8_t>> values_by_server(
+      options_.num_servers);
+  for (rpc::Message& message : responses) {
+    SerialReader reader(message.payload);
+    PDC_ASSIGN_OR_RETURN(server::GetDataResponse response,
+                         server::GetDataResponse::Deserialize(reader));
+    PDC_RETURN_IF_ERROR(response.status);
+    if (response.ledger.elapsed() > stats_.max_server_seconds) {
+      stats_.max_server_seconds = response.ledger.elapsed();
+      stats_.max_server_io_seconds = response.ledger.io_seconds;
+      stats_.max_server_cpu_seconds = response.ledger.cpu_seconds;
+    }
+    stats_.server_bytes_read += response.ledger.bytes_read;
+    stats_.server_read_ops += response.ledger.read_ops;
+    stats_.response_bytes += message.payload.size();
+    values_by_server[message.sender] = std::move(response.values);
+  }
+  stats_.net_seconds +=
+      cost.net_latency_s +
+      static_cast<double>(stats_.response_bytes) / cost.net_bandwidth_bps;
+
+  if (use_replica) {
+    // Slice each server's blob per extent, then lay extents out in
+    // ascending replica offset: the output is globally value-sorted.
+    struct Piece {
+      std::uint64_t offset;
+      const std::uint8_t* bytes;
+      std::uint64_t count;
+    };
+    std::vector<Piece> pieces;
+    for (const auto& [server, extents] : selection.sorted_extents) {
+      const std::uint8_t* cursor = values_by_server[server].data();
+      for (const Extent1D& e : extents) {
+        pieces.push_back({e.offset, cursor, e.count});
+        cursor += e.count * elem_size;
+      }
+    }
+    std::sort(pieces.begin(), pieces.end(),
+              [](const Piece& a, const Piece& b) {
+                return a.offset < b.offset;
+              });
+    std::uint8_t* dest = out.data();
+    for (const Piece& p : pieces) {
+      std::memcpy(dest, p.bytes, static_cast<std::size_t>(p.count * elem_size));
+      dest += p.count * elem_size;
+    }
+  } else {
+    // Merge per-server streams back into ascending-position order.
+    std::vector<std::size_t> cursor(options_.num_servers, 0);
+    std::uint8_t* dest = out.data();
+    for (const std::uint64_t pos : selection.positions) {
+      const ServerId owner = server::owner_of_region(
+          *target, server::region_of_position(*target, pos),
+          options_.num_servers);
+      std::memcpy(dest,
+                  values_by_server[owner].data() + cursor[owner] * elem_size,
+                  elem_size);
+      ++cursor[owner];
+      dest += elem_size;
+    }
+  }
+  stats_.client_cpu_seconds +=
+      static_cast<double>(out.size()) / cost.memcpy_bandwidth_bps;
+
+  stats_.sim_elapsed_seconds = stats_.net_seconds + stats_.max_server_seconds +
+                               stats_.client_cpu_seconds;
+  stats_.wall_seconds = wall.elapsed_seconds();
+  return Status::Ok();
+}
+
+Status QueryService::get_data_bytes(ObjectId object,
+                                    const Selection& selection,
+                                    std::uint8_t* out, GetDataMode mode) {
+  PDC_ASSIGN_OR_RETURN(const obj::ObjectDescriptor* target,
+                       store_.get(object));
+  return get_data_raw(
+      object, selection,
+      {out, static_cast<std::size_t>(selection.num_hits *
+                                     target->element_size())},
+      target->type, mode);
+}
+
+Status QueryService::get_data_batch(
+    ObjectId object, const Selection& selection, std::uint64_t batch_elements,
+    const std::function<void(std::span<const std::uint8_t>, std::uint64_t)>&
+        consume) {
+  if (batch_elements == 0) {
+    return Status::InvalidArgument("batch_elements must be positive");
+  }
+  if (selection.positions.size() != selection.num_hits) {
+    return Status::FailedPrecondition(
+        "selection has no locations; call get_selection first");
+  }
+  PDC_ASSIGN_OR_RETURN(const obj::ObjectDescriptor* target,
+                       store_.get(object));
+  const std::size_t elem_size = target->element_size();
+  std::vector<std::uint8_t> buffer;
+  OpStats accumulated;
+  for (std::uint64_t first = 0; first < selection.num_hits;
+       first += batch_elements) {
+    const std::uint64_t count =
+        std::min<std::uint64_t>(batch_elements, selection.num_hits - first);
+    Selection batch;
+    batch.num_hits = count;
+    batch.positions.assign(
+        selection.positions.begin() + static_cast<std::ptrdiff_t>(first),
+        selection.positions.begin() + static_cast<std::ptrdiff_t>(first + count));
+    buffer.resize(static_cast<std::size_t>(count * elem_size));
+    PDC_RETURN_IF_ERROR(get_data_raw(object, batch, buffer, target->type,
+                                     GetDataMode::kByPositions));
+    accumulated.sim_elapsed_seconds += stats_.sim_elapsed_seconds;
+    accumulated.wall_seconds += stats_.wall_seconds;
+    accumulated.net_seconds += stats_.net_seconds;
+    accumulated.max_server_seconds += stats_.max_server_seconds;
+    accumulated.client_cpu_seconds += stats_.client_cpu_seconds;
+    accumulated.request_bytes += stats_.request_bytes;
+    accumulated.response_bytes += stats_.response_bytes;
+    accumulated.server_bytes_read += stats_.server_bytes_read;
+    accumulated.server_read_ops += stats_.server_read_ops;
+    consume(buffer, first);
+  }
+  stats_ = accumulated;
+  return Status::Ok();
+}
+
+Result<hist::MergeableHistogram> QueryService::get_histogram(
+    ObjectId object) const {
+  PDC_ASSIGN_OR_RETURN(const obj::ObjectDescriptor* desc, store_.get(object));
+  return desc->global_histogram;
+}
+
+std::uint64_t QueryService::cached_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& server : servers_) total += server->cache().bytes();
+  return total;
+}
+
+}  // namespace pdc::query

@@ -1,0 +1,158 @@
+// PDC-Query service — the client-facing entry point (paper Fig. 1 & 2).
+//
+// Owns the deployment: a message bus, N QueryServer instances each on its
+// own thread, and the client endpoint with its background aggregator.  All
+// query traffic crosses the bus as serialized bytes.
+//
+// Every operation also produces an OpStats with the *simulated* end-to-end
+// elapsed time assembled the way the paper measures it (§V: "end-to-end
+// time from the client issues the query until it receives all the query
+// results"):
+//
+//   broadcast_net + max_over_servers(server io+cpu) + response_net +
+//   client merge cpu
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/cost_model.h"
+#include "histogram/histogram.h"
+#include "metadata/meta_store.h"
+#include "obj/object_store.h"
+#include "query/planner.h"
+#include "query/query.h"
+#include "rpc/message_bus.h"
+#include "rpc/server_runtime.h"
+#include "server/query_server.h"
+
+namespace pdc::query {
+
+/// Result-set handle (paper: pdc_selection_t).
+struct Selection {
+  std::uint64_t num_hits = 0;
+  /// Matching element coordinates, ascending.  For sorted-replica
+  /// evaluations obtained via get_num_hits this may be empty even when
+  /// num_hits > 0 (the fast path counts without materializing locations).
+  std::vector<std::uint64_t> positions;
+
+  /// Sorted-strategy extra: the replica object and the contiguous
+  /// replica-space extents of the hits, per server.
+  ObjectId replica_id = kInvalidObjectId;
+  std::vector<std::pair<ServerId, std::vector<Extent1D>>> sorted_extents;
+};
+
+/// How get_data fetches values.
+enum class GetDataMode : std::uint8_t {
+  kAuto = 0,      ///< replica fast path when available, else by positions
+  kByPositions,   ///< gather at original positions (selection order)
+  kFromReplica,   ///< sequential replica reads (values arrive value-sorted)
+};
+
+/// Per-operation performance summary.
+struct OpStats {
+  double sim_elapsed_seconds = 0.0;  ///< modeled end-to-end time
+  double wall_seconds = 0.0;         ///< actual wall time of the call
+  double max_server_seconds = 0.0;   ///< critical-path server io+cpu
+  double max_server_io_seconds = 0.0;   ///< io part of the critical server
+  double max_server_cpu_seconds = 0.0;  ///< cpu part of the critical server
+  double net_seconds = 0.0;
+  double client_cpu_seconds = 0.0;
+  std::uint64_t request_bytes = 0;
+  std::uint64_t response_bytes = 0;
+  std::uint64_t server_bytes_read = 0;
+  std::uint64_t server_read_ops = 0;
+};
+
+struct ServiceOptions {
+  std::uint32_t num_servers = 4;
+  server::Strategy strategy = server::Strategy::kHistogram;
+  /// Per-server region cache capacity (paper: 64 GB per server).
+  std::uint64_t cache_capacity_bytes = 1ull << 30;
+  pfs::AggregationPolicy aggregation;
+  /// Planner knob (ablation): reorder conjuncts by estimated selectivity.
+  bool order_by_selectivity = true;
+
+  /// Read strategy from the PDC_QUERY_STRATEGY environment variable
+  /// ("fullscan", "histogram", "index", "sorted"), mirroring the paper's
+  /// server configuration mechanism.  Unset/unknown keeps the default.
+  static ServiceOptions from_env();
+};
+
+class QueryService {
+ public:
+  QueryService(const obj::ObjectStore& store, ServiceOptions options);
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  // ---- query execution (paper: PDCquery_get_nhits / _get_selection) ----
+  Result<std::uint64_t> get_num_hits(const QueryPtr& query);
+  Result<Selection> get_selection(const QueryPtr& query);
+
+  // ---- data retrieval (paper: PDCquery_get_data / _get_data_batch) ----
+  /// Fetch the values of `selection` from `object` into `out`
+  /// (out.size() must equal selection.num_hits).
+  template <PdcElement T>
+  Status get_data(ObjectId object, const Selection& selection,
+                  std::span<T> out, GetDataMode mode = GetDataMode::kAuto) {
+    return get_data_raw(object, selection,
+                        {reinterpret_cast<std::uint8_t*>(out.data()),
+                         out.size_bytes()},
+                        kPdcTypeOf<T>, mode);
+  }
+
+  /// Type-erased get_data for language bindings: `out` must hold
+  /// selection.num_hits elements of the target object's element type.
+  Status get_data_bytes(ObjectId object, const Selection& selection,
+                        std::uint8_t* out,
+                        GetDataMode mode = GetDataMode::kAuto);
+
+  /// Stream the selection's values in batches of at most `batch_elements`
+  /// (paper: for results too large to fit in memory at once).  `consume` is
+  /// called with the raw bytes of each batch and the index of its first
+  /// element within the selection.
+  Status get_data_batch(
+      ObjectId object, const Selection& selection,
+      std::uint64_t batch_elements,
+      const std::function<void(std::span<const std::uint8_t>,
+                               std::uint64_t)>& consume);
+
+  // ---- metadata-side entry points ----
+  /// Global histogram of an object — generated by the system at ingest, so
+  /// retrieval is free (paper: PDCquery_get_histogram).
+  Result<hist::MergeableHistogram> get_histogram(ObjectId object) const;
+
+  /// Stats of the most recent operation.
+  [[nodiscard]] const OpStats& last_stats() const noexcept { return stats_; }
+
+  [[nodiscard]] const ServiceOptions& options() const noexcept {
+    return options_;
+  }
+  [[nodiscard]] std::uint32_t num_servers() const noexcept {
+    return options_.num_servers;
+  }
+  /// Cache occupancy across all servers (observability).
+  [[nodiscard]] std::uint64_t cached_bytes() const;
+
+ private:
+  Status get_data_raw(ObjectId object, const Selection& selection,
+                      std::span<std::uint8_t> out, PdcType type,
+                      GetDataMode mode);
+  Result<Selection> eval(const QueryPtr& query, bool need_locations);
+
+  const obj::ObjectStore& store_;
+  ServiceOptions options_;
+  rpc::MessageBus bus_;
+  std::vector<std::unique_ptr<server::QueryServer>> servers_;
+  std::vector<std::unique_ptr<rpc::ServerRuntime>> runtimes_;
+  rpc::Client client_;
+  OpStats stats_;
+};
+
+}  // namespace pdc::query

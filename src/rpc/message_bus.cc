@@ -1,0 +1,76 @@
+#include "rpc/message_bus.h"
+
+namespace pdc::rpc {
+
+bool Mailbox::push(Message message) {
+  {
+    std::lock_guard lock(mu_);
+    if (closed_) return false;
+    queue_.push_back(std::move(message));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+std::optional<Message> Mailbox::pop() {
+  std::unique_lock lock(mu_);
+  cv_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+  if (queue_.empty()) return std::nullopt;  // closed and drained
+  Message m = std::move(queue_.front());
+  queue_.pop_front();
+  return m;
+}
+
+void Mailbox::close() {
+  {
+    std::lock_guard lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::size_t Mailbox::pending() const {
+  std::lock_guard lock(mu_);
+  return queue_.size();
+}
+
+bool MessageBus::send_to_server(ServerId server,
+                                std::vector<std::uint8_t> payload) {
+  account(payload.size());
+  return servers_[server].push({kClientSender, std::move(payload)});
+}
+
+void MessageBus::broadcast(std::span<const std::uint8_t> payload) {
+  for (ServerId s = 0; s < num_servers(); ++s) {
+    send_to_server(s, std::vector<std::uint8_t>(payload.begin(), payload.end()));
+  }
+}
+
+bool MessageBus::send_to_client(ServerId server,
+                                std::vector<std::uint8_t> payload) {
+  account(payload.size());
+  return client_.push({server, std::move(payload)});
+}
+
+void MessageBus::shutdown() {
+  for (Mailbox& m : servers_) m.close();
+  client_.close();
+}
+
+std::uint64_t MessageBus::bytes_transferred() const noexcept {
+  std::lock_guard lock(stats_mu_);
+  return bytes_;
+}
+
+std::uint64_t MessageBus::messages_sent() const noexcept {
+  std::lock_guard lock(stats_mu_);
+  return messages_;
+}
+
+void MessageBus::account(std::size_t bytes) {
+  std::lock_guard lock(stats_mu_);
+  bytes_ += bytes;
+  ++messages_;
+}
+
+}  // namespace pdc::rpc

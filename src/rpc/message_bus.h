@@ -1,0 +1,93 @@
+// In-process message transport between one client and N PDC servers.
+//
+// Each server owns a mailbox (thread-safe queue of byte-buffer messages);
+// the client owns one too.  Everything that crosses a mailbox is a
+// serialized byte vector — no pointers are shared — which enforces the same
+// data-movement discipline as the real system's Mercury RPC transport and
+// lets the query layer meter network bytes for the cost model.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace pdc::rpc {
+
+/// Sender id used for messages originating at the client.
+inline constexpr std::uint32_t kClientSender = 0xFFFFFFFFu;
+
+struct Message {
+  std::uint32_t sender = kClientSender;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Unbounded MPSC queue with blocking pop and close semantics.
+class Mailbox {
+ public:
+  /// Enqueue; returns false if the mailbox is closed.
+  bool push(Message message);
+
+  /// Block until a message arrives or the mailbox is closed & drained;
+  /// nullopt means closed.
+  std::optional<Message> pop();
+
+  /// Wake all poppers; subsequent pushes are dropped.
+  void close();
+
+  [[nodiscard]] std::size_t pending() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+  bool closed_ = false;
+};
+
+/// One client + N server mailboxes, plus transfer statistics.
+class MessageBus {
+ public:
+  explicit MessageBus(std::uint32_t num_servers)
+      : servers_(num_servers) {}
+
+  [[nodiscard]] std::uint32_t num_servers() const noexcept {
+    return static_cast<std::uint32_t>(servers_.size());
+  }
+
+  /// Client -> one server.
+  bool send_to_server(ServerId server, std::vector<std::uint8_t> payload);
+
+  /// Client -> every server (payload copied per server).
+  void broadcast(std::span<const std::uint8_t> payload);
+
+  /// Server -> client.
+  bool send_to_client(ServerId server, std::vector<std::uint8_t> payload);
+
+  [[nodiscard]] Mailbox& server_mailbox(ServerId server) {
+    return servers_[server];
+  }
+  [[nodiscard]] Mailbox& client_mailbox() { return client_; }
+
+  /// Close every mailbox (shutdown).
+  void shutdown();
+
+  /// Total payload bytes that crossed the bus so far.
+  [[nodiscard]] std::uint64_t bytes_transferred() const noexcept;
+  [[nodiscard]] std::uint64_t messages_sent() const noexcept;
+
+ private:
+  void account(std::size_t bytes);
+
+  std::vector<Mailbox> servers_;
+  Mailbox client_;
+  mutable std::mutex stats_mu_;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t messages_ = 0;
+};
+
+}  // namespace pdc::rpc

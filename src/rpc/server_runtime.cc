@@ -1,0 +1,65 @@
+#include "rpc/server_runtime.h"
+
+#include <algorithm>
+
+namespace pdc::rpc {
+
+ServerRuntime::ServerRuntime(MessageBus& bus, ServerId id, Handler handler)
+    : bus_(bus), id_(id), handler_(std::move(handler)) {
+  thread_ = std::thread([this] { loop(); });
+}
+
+ServerRuntime::~ServerRuntime() {
+  bus_.server_mailbox(id_).close();
+  if (thread_.joinable()) thread_.join();
+}
+
+void ServerRuntime::loop() {
+  Mailbox& inbox = bus_.server_mailbox(id_);
+  while (auto message = inbox.pop()) {
+    std::vector<std::uint8_t> response = handler_(message->payload);
+    bus_.send_to_client(id_, std::move(response));
+  }
+}
+
+std::vector<Message> Client::scatter_wait(
+    std::vector<std::pair<ServerId, std::vector<std::uint8_t>>> requests) {
+  for (auto& [server, payload] : requests) {
+    bus_.send_to_server(server, std::move(payload));
+  }
+  std::vector<Message> responses;
+  responses.reserve(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    auto m = bus_.client_mailbox().pop();
+    if (!m) break;
+    responses.push_back(std::move(*m));
+  }
+  std::sort(responses.begin(), responses.end(),
+            [](const Message& a, const Message& b) {
+              return a.sender < b.sender;
+            });
+  return responses;
+}
+
+std::future<std::vector<Message>> Client::broadcast_collect(
+    std::vector<std::uint8_t> payload) {
+  bus_.broadcast(payload);
+  // Background aggregator: gather exactly one response per server.
+  return std::async(std::launch::async, [this] {
+    const std::uint32_t n = bus_.num_servers();
+    std::vector<Message> responses;
+    responses.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      auto m = bus_.client_mailbox().pop();
+      if (!m) break;  // bus shut down mid-collect
+      responses.push_back(std::move(*m));
+    }
+    std::sort(responses.begin(), responses.end(),
+              [](const Message& a, const Message& b) {
+                return a.sender < b.sender;
+              });
+    return responses;
+  });
+}
+
+}  // namespace pdc::rpc

@@ -1,0 +1,72 @@
+// Server event loop and client-side broadcast/gather helpers.
+//
+// Each PDC server is a dedicated thread draining its mailbox; every request
+// produces exactly one response message to the client.  The client's
+// broadcast-gather runs on a background thread (paper §III-C: "the client
+// has a background thread that aggregates the results received from all
+// servers"), so the application thread may continue working and only block
+// when it actually needs the result.
+#pragma once
+
+#include <functional>
+#include <future>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "rpc/message_bus.h"
+
+namespace pdc::rpc {
+
+/// Runs one server's request loop on a dedicated thread.
+class ServerRuntime {
+ public:
+  /// Handler: (request payload) -> response payload.  Invoked on the server
+  /// thread, one request at a time.
+  using Handler =
+      std::function<std::vector<std::uint8_t>(std::span<const std::uint8_t>)>;
+
+  ServerRuntime(MessageBus& bus, ServerId id, Handler handler);
+
+  /// Closes the mailbox and joins the thread.
+  ~ServerRuntime();
+
+  ServerRuntime(const ServerRuntime&) = delete;
+  ServerRuntime& operator=(const ServerRuntime&) = delete;
+
+  [[nodiscard]] ServerId id() const noexcept { return id_; }
+
+ private:
+  void loop();
+
+  MessageBus& bus_;
+  ServerId id_;
+  Handler handler_;
+  std::thread thread_;
+};
+
+/// Client endpoint: broadcast a request and gather one response per server.
+class Client {
+ public:
+  explicit Client(MessageBus& bus) : bus_(bus) {}
+
+  /// Broadcast `payload` and return a future that resolves once every
+  /// server has responded.  Responses are ordered by server id.
+  std::future<std::vector<Message>> broadcast_collect(
+      std::vector<std::uint8_t> payload);
+
+  /// Convenience synchronous form.
+  std::vector<Message> broadcast_wait(std::vector<std::uint8_t> payload) {
+    return broadcast_collect(std::move(payload)).get();
+  }
+
+  /// Send distinct payloads to a subset of servers and gather exactly one
+  /// response per request (ordered by server id).
+  std::vector<Message> scatter_wait(
+      std::vector<std::pair<ServerId, std::vector<std::uint8_t>>> requests);
+
+ private:
+  MessageBus& bus_;
+};
+
+}  // namespace pdc::rpc

@@ -1,0 +1,670 @@
+#include "server/query_server.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+#include "obj/type_dispatch.h"
+#include "server/region_assignment.h"
+#include "sortrep/sorted_replica.h"
+
+namespace pdc::server {
+namespace {
+
+/// Scan a region buffer for matches within the global element range
+/// `want` (a sub-extent of `region_extent`); appends global positions.
+void scan_buffer(PdcType type, const std::uint8_t* bytes,
+                 Extent1D region_extent, Extent1D want,
+                 const ValueInterval& interval,
+                 std::vector<std::uint64_t>& out) {
+  obj::dispatch_type(type, [&](auto tag) {
+    using T = decltype(tag);
+    const T* values = reinterpret_cast<const T*>(bytes);
+    for (std::uint64_t pos = want.offset; pos < want.end(); ++pos) {
+      if (interval.contains(
+              static_cast<double>(values[pos - region_extent.offset]))) {
+        out.push_back(pos);
+      }
+    }
+  });
+}
+
+/// Check `interval` against the value at buffer-local index `local`.
+bool check_value(PdcType type, const std::uint8_t* bytes, std::uint64_t local,
+                 const ValueInterval& interval) {
+  return obj::dispatch_type(type, [&](auto tag) {
+    using T = decltype(tag);
+    return interval.contains(static_cast<double>(
+        reinterpret_cast<const T*>(bytes)[local]));
+  });
+}
+
+/// Local [first, last) index range of values satisfying `interval` in a
+/// sorted buffer of `count` elements.
+std::pair<std::uint64_t, std::uint64_t> sorted_range(
+    PdcType type, const std::uint8_t* bytes, std::uint64_t count,
+    const ValueInterval& interval) {
+  return obj::dispatch_type(type, [&](auto tag) {
+    using T = decltype(tag);
+    const T* values = reinterpret_cast<const T*>(bytes);
+    const T* end = values + count;
+    const T* lo_it = values;
+    if (std::isfinite(interval.lo)) {
+      const T lo_val = static_cast<T>(interval.lo);
+      lo_it = interval.lo_inclusive ? std::lower_bound(values, end, lo_val)
+                                    : std::upper_bound(values, end, lo_val);
+    }
+    const T* hi_it = end;
+    if (std::isfinite(interval.hi)) {
+      const T hi_val = static_cast<T>(interval.hi);
+      hi_it = interval.hi_inclusive ? std::upper_bound(values, end, hi_val)
+                                    : std::lower_bound(values, end, hi_val);
+    }
+    if (hi_it < lo_it) hi_it = lo_it;
+    return std::pair<std::uint64_t, std::uint64_t>(
+        static_cast<std::uint64_t>(lo_it - values),
+        static_cast<std::uint64_t>(hi_it - values));
+  });
+}
+
+/// Union of two ascending position lists, deduplicated.
+std::vector<std::uint64_t> merge_union(std::vector<std::uint64_t> a,
+                                       std::vector<std::uint64_t> b) {
+  std::vector<std::uint64_t> out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> QueryServer::handle(
+    std::span<const std::uint8_t> payload) {
+  const auto type = peek_request_type(payload);
+  if (!type.ok()) {
+    EvalResponse resp;
+    resp.status = type.status();
+    return resp.serialize();
+  }
+  SerialReader reader(payload);
+  if (*type == RequestType::kEvalQuery) {
+    auto request = EvalRequest::Deserialize(reader);
+    if (!request.ok()) {
+      EvalResponse resp;
+      resp.status = request.status();
+      return resp.serialize();
+    }
+    return eval(*request).serialize();
+  }
+  auto request = GetDataRequest::Deserialize(reader);
+  if (!request.ok()) {
+    GetDataResponse resp;
+    resp.status = request.status();
+    return resp.serialize();
+  }
+  return get_data(*request).serialize();
+}
+
+EvalResponse QueryServer::eval(const EvalRequest& request) {
+  EvalResponse response;
+  CostLedger ledger;
+  std::vector<std::uint64_t> all_positions;
+  bool first_term = true;
+  for (const AndTerm& term : request.terms) {
+    std::vector<std::uint64_t> term_positions;
+    std::vector<Extent1D> term_extents;
+    const Status s =
+        eval_term(term, request, ledger, term_positions, term_extents);
+    if (!s.ok()) {
+      response.status = s;
+      return response;
+    }
+    if (first_term) {
+      all_positions = std::move(term_positions);
+      response.sorted_extents = std::move(term_extents);
+      first_term = false;
+    } else {
+      // OR across terms: merge + dedupe (paper: merge sort on results).
+      ledger.add_cpu(store_.cluster().config().cost.scan_cost(
+          (all_positions.size() + term_positions.size()) *
+          sizeof(std::uint64_t)));
+      all_positions = merge_union(std::move(all_positions),
+                                  std::move(term_positions));
+      response.sorted_extents.clear();  // extents only valid single-term
+    }
+  }
+
+  // Sorted single-conjunct fast path: hits are counted from extents and
+  // positions may not have been materialized.
+  if (!response.sorted_extents.empty() && all_positions.empty()) {
+    for (const Extent1D& e : response.sorted_extents) {
+      response.num_hits += e.count;
+    }
+    if (!request.terms.empty()) {
+      response.replica_id = request.terms.front().driver_replica;
+    }
+  } else {
+    response.num_hits = all_positions.size();
+  }
+  if (request.need_locations) {
+    response.has_positions = true;
+    response.positions = std::move(all_positions);
+  }
+  response.ledger = LedgerSummary::from(ledger);
+  response.status = Status::Ok();
+  return response;
+}
+
+Status QueryServer::eval_term(const AndTerm& term, const EvalRequest& request,
+                              CostLedger& ledger,
+                              std::vector<std::uint64_t>& positions,
+                              std::vector<Extent1D>& sorted_extents) {
+  if (term.conjuncts.empty()) {
+    return Status::InvalidArgument("AND-term with no conjuncts");
+  }
+  const Conjunct& driver = term.conjuncts.front();
+  PDC_ASSIGN_OR_RETURN(const obj::ObjectDescriptor* driver_obj,
+                       store_.get(driver.object));
+
+  const bool sorted_driver =
+      request.strategy == Strategy::kSortedHistogram &&
+      term.driver_replica != kInvalidObjectId;
+
+  if (sorted_driver) {
+    PDC_ASSIGN_OR_RETURN(const obj::ObjectDescriptor* replica,
+                         store_.get(term.driver_replica));
+    std::vector<Extent1D> extents;
+    PDC_RETURN_IF_ERROR(
+        eval_driver_sorted(*replica, driver.interval, ledger, extents));
+
+    const bool need_positions = request.need_locations ||
+                                term.conjuncts.size() > 1 ||
+                                request.region_constraint.count > 0;
+    if (!need_positions) {
+      sorted_extents = std::move(extents);
+      return Status::Ok();
+    }
+    // Map replica-space extents to original positions (contiguous
+    // permutation reads), then sort ascending.
+    for (const Extent1D& e : extents) {
+      PDC_ASSIGN_OR_RETURN(
+          std::vector<std::uint64_t> original,
+          sortrep::map_to_source_positions(store_, *replica, e,
+                                           read_ctx(ledger)));
+      positions.insert(positions.end(), original.begin(), original.end());
+    }
+    ledger.add_cpu(store_.cluster().config().cost.scan_cost(
+        positions.size() * sizeof(std::uint64_t)));
+    std::sort(positions.begin(), positions.end());
+    if (request.region_constraint.count > 0) {
+      std::erase_if(positions, [&](std::uint64_t p) {
+        return !request.region_constraint.contains(p);
+      });
+    }
+    sorted_extents = std::move(extents);
+  } else {
+    switch (request.strategy) {
+      case Strategy::kFullScan:
+        PDC_RETURN_IF_ERROR(eval_driver_scan(*driver_obj, driver.interval,
+                                             request.region_constraint,
+                                             /*prune=*/false, ledger,
+                                             positions));
+        break;
+      case Strategy::kHistogram:
+      case Strategy::kSortedHistogram:  // no replica available: histogram
+        PDC_RETURN_IF_ERROR(eval_driver_scan(*driver_obj, driver.interval,
+                                             request.region_constraint,
+                                             /*prune=*/true, ledger,
+                                             positions));
+        break;
+      case Strategy::kHistogramIndex:
+        PDC_RETURN_IF_ERROR(eval_driver_index(*driver_obj, driver.interval,
+                                              request.region_constraint,
+                                              ledger, positions));
+        break;
+    }
+  }
+
+  log_debug("server ", options_.id, " driver done: positions=",
+            positions.size(), " extents=", sorted_extents.size(),
+            " io=", ledger.io_seconds(), " ops=", ledger.read_ops());
+  // AND short-circuit: evaluate remaining conjuncts only at the selected
+  // locations; stop early if nothing is left (paper §III-C).
+  for (std::size_t c = 1; c < term.conjuncts.size() && !positions.empty();
+       ++c) {
+    PDC_ASSIGN_OR_RETURN(const obj::ObjectDescriptor* object,
+                         store_.get(term.conjuncts[c].object));
+    if (object->num_elements != driver_obj->num_elements) {
+      return Status::InvalidArgument(
+          "multi-object query requires identical dimensions");
+    }
+    PDC_RETURN_IF_ERROR(restrict_positions(
+        *object, term.conjuncts[c].interval,
+        request.strategy == Strategy::kFullScan, ledger, positions));
+  }
+  if (term.conjuncts.size() > 1) sorted_extents.clear();
+  return Status::Ok();
+}
+
+Status QueryServer::eval_driver_scan(const obj::ObjectDescriptor& object,
+                                     const ValueInterval& interval,
+                                     Extent1D constraint, bool prune,
+                                     CostLedger& ledger,
+                                     std::vector<std::uint64_t>& positions) {
+  const CostModel& cost = store_.cluster().config().cost;
+  for (const RegionIndex r :
+       regions_of_server(object, options_.id, options_.num_servers)) {
+    const obj::RegionDescriptor& region = object.regions[r];
+    Extent1D want = region.extent;
+    if (constraint.count > 0) {
+      want = want.intersect(constraint);
+      if (want.empty()) continue;
+    }
+    if (prune && !region.histogram.may_overlap(interval)) {
+      continue;  // region eliminated by min/max — no I/O at all
+    }
+    const bool all_hits =
+        prune && interval.covers_closed(region.histogram.min_value(),
+                                        region.histogram.max_value());
+    // Fetch through the cache (populates it for later queries/get-data).
+    PDC_ASSIGN_OR_RETURN(RegionCache::Buffer buffer,
+                         fetch_region(object, r, ledger, /*cacheable=*/true));
+    if (all_hits) {
+      // Histogram proves every element matches: skip the per-element scan.
+      for (std::uint64_t p = want.offset; p < want.end(); ++p) {
+        positions.push_back(p);
+      }
+      continue;
+    }
+    ledger.add_cpu(cost.scan_cost(want.count * object.element_size()));
+    scan_buffer(object.type, buffer->data(), region.extent, want, interval,
+                positions);
+  }
+  return Status::Ok();
+}
+
+Status QueryServer::eval_driver_index(const obj::ObjectDescriptor& object,
+                                      const ValueInterval& interval,
+                                      Extent1D constraint, CostLedger& ledger,
+                                      std::vector<std::uint64_t>& positions) {
+  if (object.index_file.empty()) {
+    return Status::FailedPrecondition("object has no bitmap index: " +
+                                      object.name);
+  }
+  const CostModel& cost = store_.cluster().config().cost;
+  PDC_ASSIGN_OR_RETURN(pfs::PfsFile index_file,
+                       store_.cluster().open(object.index_file));
+
+  // Pass 1 — plan.  Index headers (bin edges + sizes) travel with region
+  // metadata, so classifying bins needs no storage round trip.  Collect the
+  // byte extents of every needed bin across ALL surviving regions, then
+  // issue one aggregated read over the index file.
+  struct PlannedBin {
+    RegionIndex region;
+    std::uint32_t bin;
+    bool full;  ///< full bin: set bits are hits; else candidates
+    RegionCache::Buffer cached;  ///< non-null: no read needed
+    Extent1D extent;             ///< byte extent in the index file
+  };
+  std::vector<PlannedBin> planned;
+  for (const RegionIndex r :
+       regions_of_server(object, options_.id, options_.num_servers)) {
+    const obj::RegionDescriptor& region = object.regions[r];
+    Extent1D want = region.extent;
+    if (constraint.count > 0) {
+      want = want.intersect(constraint);
+      if (want.empty()) continue;
+    }
+    if (!region.histogram.may_overlap(interval)) continue;
+    if (interval.covers_closed(region.histogram.min_value(),
+                               region.histogram.max_value())) {
+      // Histogram proves the whole region matches: no index I/O needed.
+      for (std::uint64_t p = want.offset; p < want.end(); ++p) {
+        positions.push_back(p);
+      }
+      continue;
+    }
+    PDC_ASSIGN_OR_RETURN(
+        bitmap::PartitionedIndexView view,
+        bitmap::PartitionedIndexView::ParseHeader(region.index_header));
+    const auto selection = view.select_bins(interval);
+    std::vector<std::pair<std::uint32_t, bool>> bins;
+    bins.reserve(selection.full.size() + selection.partial.size());
+    for (const std::uint32_t b : selection.full) bins.emplace_back(b, true);
+    for (const std::uint32_t b : selection.partial) {
+      bins.emplace_back(b, false);
+    }
+    std::sort(bins.begin(), bins.end());
+    for (const auto& [b, full] : bins) {
+      Extent1D e = view.bin_extent(b);
+      e.offset += region.index_offset;
+      // Previously-read bins are served from the server's index cache.
+      const RegionCache::Key key{object.id,
+                                 static_cast<RegionIndex>(r * 2048 + b)};
+      planned.push_back({r, b, full, index_cache_.get(key), e});
+    }
+  }
+
+  if (!planned.empty()) {
+    // Read the uncached bins in one aggregated pass.
+    std::vector<Extent1D> missing_extents;
+    std::vector<std::size_t> missing_index;
+    for (std::size_t i = 0; i < planned.size(); ++i) {
+      if (planned[i].cached == nullptr) {
+        missing_extents.push_back(planned[i].extent);
+        missing_index.push_back(i);
+      }
+    }
+    if (!missing_extents.empty()) {
+      std::vector<std::shared_ptr<std::vector<std::uint8_t>>> buffers;
+      std::vector<std::span<std::uint8_t>> dests;
+      buffers.reserve(missing_extents.size());
+      for (const Extent1D& e : missing_extents) {
+        buffers.push_back(std::make_shared<std::vector<std::uint8_t>>(
+            static_cast<std::size_t>(e.count)));
+        dests.emplace_back(*buffers.back());
+      }
+      PDC_RETURN_IF_ERROR(pfs::aggregated_read(index_file, missing_extents,
+                                               dests,
+                                               options_.index_aggregation,
+                                               read_ctx(ledger)));
+      for (std::size_t k = 0; k < missing_index.size(); ++k) {
+        PlannedBin& p = planned[missing_index[k]];
+        p.cached = buffers[k];
+        index_cache_.put({object.id,
+                          static_cast<RegionIndex>(p.region * 2048 + p.bin)},
+                         buffers[k]);
+      }
+    }
+
+    // Pass 2 — decode bins; definite hits go straight to positions,
+    // candidates accumulate globally for one aggregated value check.
+    std::uint64_t decoded_bytes = 0;
+    std::vector<std::uint64_t> candidates;
+    for (std::size_t i = 0; i < planned.size(); ++i) {
+      PDC_ASSIGN_OR_RETURN(
+          bitmap::WahBitVector bv,
+          bitmap::PartitionedIndexView::DecodeBin(*planned[i].cached));
+      decoded_bytes += planned[i].cached->size();
+      const obj::RegionDescriptor& region = object.regions[planned[i].region];
+      Extent1D want = region.extent;
+      if (constraint.count > 0) want = want.intersect(constraint);
+      auto& sink = planned[i].full ? positions : candidates;
+      const std::uint64_t base = region.extent.offset;
+      bv.for_each_set([&sink, base, &want](std::uint64_t local) {
+        const std::uint64_t pos = base + local;
+        if (want.contains(pos)) sink.push_back(pos);
+      });
+    }
+    ledger.add_cpu(static_cast<double>(decoded_bytes) /
+                   cost.index_decode_bandwidth_bps);
+
+    log_debug("HI server ", options_.id, ": obj ", object.id, " bins=",
+              planned.size(), " definite=", positions.size(),
+              " candidates=", candidates.size());
+    if (!candidates.empty()) {
+      std::sort(candidates.begin(), candidates.end());
+      const std::size_t elem_size = object.element_size();
+      // Candidate values are fetched with the wide-gap policy: merging
+      // nearby candidates into one larger read costs extra bytes but far
+      // fewer op latencies (the block-read philosophy of §III-E).
+      std::vector<std::uint8_t> values(candidates.size() * elem_size);
+      PDC_RETURN_IF_ERROR(store_.read_values_at(object, candidates, values,
+                                                options_.aggregation,
+                                                read_ctx(ledger)));
+      ledger.add_cpu(cost.scan_cost(values.size()));
+      for (std::size_t i = 0; i < candidates.size(); ++i) {
+        if (check_value(object.type, values.data(), i, interval)) {
+          positions.push_back(candidates[i]);
+        }
+      }
+    }
+  }
+  std::sort(positions.begin(), positions.end());
+  return Status::Ok();
+}
+
+Status QueryServer::eval_driver_sorted(const obj::ObjectDescriptor& replica,
+                                       const ValueInterval& interval,
+                                       CostLedger& ledger,
+                                       std::vector<Extent1D>& extents) {
+  const CostModel& cost = store_.cluster().config().cost;
+  for (const RegionIndex r :
+       regions_of_server(replica, options_.id, options_.num_servers)) {
+    const obj::RegionDescriptor& region = replica.regions[r];
+    if (!region.histogram.may_overlap(interval)) continue;
+
+    Extent1D hit;
+    if (interval.covers_closed(region.histogram.min_value(),
+                               region.histogram.max_value())) {
+      hit = region.extent;  // interior region: all elements match
+    } else {
+      // Boundary region: fetch (cached) and binary-search the range.
+      PDC_ASSIGN_OR_RETURN(
+          RegionCache::Buffer buffer,
+          fetch_region(replica, r, ledger, /*cacheable=*/true));
+      const auto [lo, hi] = sorted_range(replica.type, buffer->data(),
+                                         region.extent.count, interval);
+      // Binary search touches O(log n) elements.
+      ledger.add_cpu(cost.scan_cost(
+          2 * 64 * replica.element_size() *
+          static_cast<std::uint64_t>(
+              std::ceil(std::log2(static_cast<double>(
+                  std::max<std::uint64_t>(2, region.extent.count)))))));
+      if (hi <= lo) continue;
+      hit = {region.extent.offset + lo, hi - lo};
+    }
+    // Coalesce extents adjacent across region boundaries.
+    if (!extents.empty() && extents.back().end() == hit.offset) {
+      extents.back().count += hit.count;
+    } else {
+      extents.push_back(hit);
+    }
+  }
+  return Status::Ok();
+}
+
+Status QueryServer::restrict_positions(const obj::ObjectDescriptor& object,
+                                       const ValueInterval& interval,
+                                       bool full_scan_mode, CostLedger& ledger,
+                                       std::vector<std::uint64_t>& positions) {
+  const CostModel& cost = store_.cluster().config().cost;
+  const std::size_t elem_size = object.element_size();
+  std::vector<std::uint64_t> kept;
+  kept.reserve(positions.size());
+
+  std::size_t i = 0;
+  while (i < positions.size()) {
+    const RegionIndex r = region_of_position(object, positions[i]);
+    std::size_t j = i;
+    while (j < positions.size() &&
+           region_of_position(object, positions[j]) == r) {
+      ++j;
+    }
+    const std::span<const std::uint64_t> group(&positions[i], j - i);
+    i = j;
+    const obj::RegionDescriptor& region = object.regions[r];
+
+    if (!full_scan_mode) {
+      if (!region.histogram.may_overlap(interval)) continue;  // drop group
+      if (interval.covers_closed(region.histogram.min_value(),
+                                 region.histogram.max_value())) {
+        kept.insert(kept.end(), group.begin(), group.end());
+        continue;
+      }
+    }
+
+    RegionCache::Buffer buffer = cache_.get({object.id, r});
+    // Treat the group as dense when it holds many positions OR when its
+    // positions span most of the region anyway: the aggregated point read
+    // would coalesce into a near-whole-region read, so reading the region
+    // through the cache costs the same now and is free next time.
+    const std::uint64_t span_bytes =
+        group.empty() ? 0
+                      : (group.back() - group.front() + 1) * elem_size;
+    const bool dense =
+        full_scan_mode ||
+        static_cast<double>(group.size()) >
+            options_.dense_read_threshold *
+                static_cast<double>(region.extent.count) ||
+        span_bytes * 2 >= region.extent.count * elem_size;
+    if (buffer == nullptr && dense) {
+      PDC_ASSIGN_OR_RETURN(buffer,
+                           fetch_region(object, r, ledger, /*cacheable=*/true));
+      if (full_scan_mode) {
+        // The baseline scans the whole region regardless of selectivity.
+        ledger.add_cpu(cost.scan_cost(region.extent.count * elem_size));
+      }
+    }
+    if (buffer != nullptr) {
+      ledger.add_cpu(static_cast<double>(group.size() * elem_size) /
+                     cost.memcpy_bandwidth_bps);
+      for (const std::uint64_t pos : group) {
+        if (check_value(object.type, buffer->data(),
+                        pos - region.extent.offset, interval)) {
+          kept.push_back(pos);
+        }
+      }
+    } else {
+      // Sparse group, cold region: aggregated point reads.
+      std::vector<std::uint8_t> values(group.size() * elem_size);
+      PDC_RETURN_IF_ERROR(store_.read_values_at(object, group, values,
+                                                options_.aggregation,
+                                                read_ctx(ledger)));
+      ledger.add_cpu(cost.scan_cost(values.size()));
+      for (std::size_t k = 0; k < group.size(); ++k) {
+        if (check_value(object.type, values.data(), k, interval)) {
+          kept.push_back(group[k]);
+        }
+      }
+    }
+  }
+  positions = std::move(kept);
+  return Status::Ok();
+}
+
+Result<RegionCache::Buffer> QueryServer::fetch_region(
+    const obj::ObjectDescriptor& object, RegionIndex region,
+    CostLedger& ledger, bool cacheable) {
+  const RegionCache::Key key{object.id, region};
+  if (RegionCache::Buffer hit = cache_.get(key)) return hit;
+  log_debug("server ", options_.id, " cache MISS obj ", object.id, " region ",
+            region);
+  const obj::RegionDescriptor& desc = object.regions[region];
+  auto buffer = std::make_shared<std::vector<std::uint8_t>>(
+      static_cast<std::size_t>(desc.extent.count * object.element_size()));
+  PDC_RETURN_IF_ERROR(
+      store_.read_region(object, region, *buffer, read_ctx(ledger)));
+  RegionCache::Buffer shared = std::move(buffer);
+  if (cacheable) cache_.put(key, shared);
+  return shared;
+}
+
+Status QueryServer::gather_values(const obj::ObjectDescriptor& object,
+                                  std::span<const std::uint64_t> positions,
+                                  std::span<std::uint8_t> out,
+                                  CostLedger& ledger) {
+  const CostModel& cost = store_.cluster().config().cost;
+  const std::size_t elem_size = object.element_size();
+  if (out.size() != positions.size() * elem_size) {
+    return Status::InvalidArgument("gather output size mismatch");
+  }
+  std::size_t i = 0;
+  while (i < positions.size()) {
+    const RegionIndex r = region_of_position(object, positions[i]);
+    std::size_t j = i;
+    while (j < positions.size() &&
+           region_of_position(object, positions[j]) == r) {
+      ++j;
+    }
+    const std::span<const std::uint64_t> group(&positions[i], j - i);
+    std::span<std::uint8_t> dest =
+        out.subspan(i * elem_size, group.size() * elem_size);
+    i = j;
+    const obj::RegionDescriptor& region = object.regions[r];
+
+    RegionCache::Buffer buffer = cache_.get({object.id, r});
+    const bool dense = static_cast<double>(group.size()) >
+                       options_.dense_read_threshold *
+                           static_cast<double>(region.extent.count);
+    if (buffer == nullptr && dense) {
+      PDC_ASSIGN_OR_RETURN(buffer,
+                           fetch_region(object, r, ledger, /*cacheable=*/true));
+    }
+    if (buffer != nullptr) {
+      ledger.add_cpu(static_cast<double>(dest.size()) /
+                     cost.memcpy_bandwidth_bps);
+      for (std::size_t k = 0; k < group.size(); ++k) {
+        const std::uint64_t local = group[k] - region.extent.offset;
+        std::copy_n(buffer->data() + local * elem_size, elem_size,
+                    dest.data() + k * elem_size);
+      }
+    } else {
+      PDC_RETURN_IF_ERROR(store_.read_values_at(
+          object, group, dest, options_.aggregation, read_ctx(ledger)));
+    }
+  }
+  return Status::Ok();
+}
+
+GetDataResponse QueryServer::get_data(const GetDataRequest& request) {
+  GetDataResponse response;
+  CostLedger ledger;
+  const auto object = store_.get(request.object);
+  if (!object.ok()) {
+    response.status = object.status();
+    return response;
+  }
+  const std::size_t elem_size = (*object)->element_size();
+
+  if (request.from_replica) {
+    // Sorted-selection fast path: contiguous replica-space extents.
+    std::uint64_t total = 0;
+    for (const Extent1D& e : request.extents) total += e.count;
+    response.values.resize(static_cast<std::size_t>(total * elem_size));
+    std::uint64_t written = 0;
+    const CostModel& cost = store_.cluster().config().cost;
+    for (const Extent1D& e : request.extents) {
+      std::uint64_t pos = e.offset;
+      while (pos < e.end()) {
+        const RegionIndex r = region_of_position(**object, pos);
+        const obj::RegionDescriptor& region = (*object)->regions[r];
+        const std::uint64_t take = std::min(e.end(), region.extent.end()) - pos;
+        std::span<std::uint8_t> dest(
+            response.values.data() + written * elem_size,
+            static_cast<std::size_t>(take * elem_size));
+        if (RegionCache::Buffer buffer = cache_.get({(*object)->id, r})) {
+          std::copy_n(
+              buffer->data() + (pos - region.extent.offset) * elem_size,
+              dest.size(), dest.data());
+          ledger.add_cpu(static_cast<double>(dest.size()) /
+                         cost.memcpy_bandwidth_bps);
+        } else {
+          const Status s =
+              store_.read_elements(**object, {pos, take}, dest,
+                                   read_ctx(ledger));
+          if (!s.ok()) {
+            response.status = s;
+            return response;
+          }
+        }
+        pos += take;
+        written += take;
+      }
+    }
+  } else {
+    response.values.resize(request.positions.size() * elem_size);
+    const Status s =
+        gather_values(**object, request.positions, response.values, ledger);
+    if (!s.ok()) {
+      response.status = s;
+      return response;
+    }
+  }
+  response.ledger = LedgerSummary::from(ledger);
+  response.status = Status::Ok();
+  return response;
+}
+
+}  // namespace pdc::server

@@ -1,0 +1,118 @@
+// One PDC server's query evaluation engine (paper §III-C, §III-D).
+//
+// A QueryServer owns the regions assigned to it (round-robin by region
+// index), a region data cache, and implements the four evaluation
+// strategies:
+//   PDC-F  — fetch every assigned region (through the cache) and scan;
+//   PDC-H  — histogram min/max pruning, fetch+scan only surviving regions,
+//            all-hit regions short-circuit the scan;
+//   PDC-HI — histogram pruning, then the region's WAH bitmap index: definite
+//            hits cost no data read, boundary-bin candidates are checked via
+//            aggregated point reads (the region data is NOT cached — the
+//            reason get-data is slower with an index, Fig. 3/4);
+//   PDC-SH — evaluate the driver condition on the sorted replica: interior
+//            regions are all-hits, boundary regions are binary-searched, and
+//            original positions come from one contiguous permutation read.
+//
+// Conjuncts after the driver are evaluated only at the already-selected
+// locations (paper's AND short-circuit), with per-region pruning.
+// All expensive actions charge a CostLedger; the response carries the
+// ledger summary so the client can compute max-over-servers elapsed time.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/cost_model.h"
+#include "obj/object_store.h"
+#include "pfs/read_aggregator.h"
+#include "server/region_cache.h"
+#include "server/wire.h"
+
+namespace pdc::server {
+
+struct ServerOptions {
+  ServerId id = 0;
+  std::uint32_t num_servers = 1;
+  /// Memory cap for cached region data (paper: 64 GB per server).
+  std::uint64_t cache_capacity_bytes = 1ull << 30;
+  /// Point-read coalescing for candidate checks / scattered get-data.
+  pfs::AggregationPolicy aggregation;
+  /// Tighter coalescing for bitmap-bin reads: bins from different regions
+  /// must not be bridged by reading the unneeded bins between them.
+  pfs::AggregationPolicy index_aggregation{.max_gap_bytes = 2048,
+                                           .max_run_bytes = 64ull << 20};
+  /// If a conjunct needs more than this fraction of a region's elements,
+  /// fetch the whole region (and cache it) instead of point reads.
+  double dense_read_threshold = 0.25;
+};
+
+class QueryServer {
+ public:
+  QueryServer(const obj::ObjectStore& store, ServerOptions options)
+      : store_(store),
+        options_(options),
+        cache_(options.cache_capacity_bytes),
+        index_cache_(options.cache_capacity_bytes / 4) {}
+
+  /// RPC entry point: dispatch on request type, return serialized response.
+  std::vector<std::uint8_t> handle(std::span<const std::uint8_t> payload);
+
+  EvalResponse eval(const EvalRequest& request);
+  GetDataResponse get_data(const GetDataRequest& request);
+
+  [[nodiscard]] const RegionCache& cache() const noexcept { return cache_; }
+  [[nodiscard]] ServerId id() const noexcept { return options_.id; }
+
+ private:
+  /// Evaluate one AND-term; appends this server's matching original-space
+  /// positions (ascending) and, for sorted drivers, replica-space extents.
+  Status eval_term(const AndTerm& term, const EvalRequest& request,
+                   CostLedger& ledger, std::vector<std::uint64_t>& positions,
+                   std::vector<Extent1D>& sorted_extents);
+
+  // Driver evaluators (first conjunct, region-parallel).
+  Status eval_driver_scan(const obj::ObjectDescriptor& object,
+                          const ValueInterval& interval, Extent1D constraint,
+                          bool prune, CostLedger& ledger,
+                          std::vector<std::uint64_t>& positions);
+  Status eval_driver_index(const obj::ObjectDescriptor& object,
+                           const ValueInterval& interval, Extent1D constraint,
+                           CostLedger& ledger,
+                           std::vector<std::uint64_t>& positions);
+  Status eval_driver_sorted(const obj::ObjectDescriptor& replica,
+                            const ValueInterval& interval,
+                            CostLedger& ledger,
+                            std::vector<Extent1D>& extents);
+
+  /// Restrict `positions` (ascending, original space) to those whose value
+  /// in `object` satisfies `interval`.
+  Status restrict_positions(const obj::ObjectDescriptor& object,
+                            const ValueInterval& interval, bool full_scan_mode,
+                            CostLedger& ledger,
+                            std::vector<std::uint64_t>& positions);
+
+  /// Region bytes through the cache; `cacheable=false` bypasses insertion.
+  Result<RegionCache::Buffer> fetch_region(const obj::ObjectDescriptor& object,
+                                           RegionIndex region,
+                                           CostLedger& ledger, bool cacheable);
+
+  /// Values at ascending positions, cache-aware, into `out`.
+  Status gather_values(const obj::ObjectDescriptor& object,
+                       std::span<const std::uint64_t> positions,
+                       std::span<std::uint8_t> out, CostLedger& ledger);
+
+  [[nodiscard]] pfs::ReadContext read_ctx(CostLedger& ledger) const {
+    return {&ledger, options_.num_servers};
+  }
+
+  const obj::ObjectStore& store_;
+  ServerOptions options_;
+  RegionCache cache_;
+  /// Serialized index bins stay resident once read (FastBit also caches
+  /// bitmaps); keyed by (object, region*2048+bin).
+  RegionCache index_cache_;
+};
+
+}  // namespace pdc::server

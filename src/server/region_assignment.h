@@ -1,0 +1,77 @@
+// Load-balanced region-to-server assignment (paper §III-C: "different
+// regions of the queried object are assigned to the servers in a
+// load-balanced fashion").
+//
+// Round-robin by region index.  Large objects (>= one region per server)
+// use owner(r) = r mod num_servers, so same-dimension objects (VPIC's
+// Energy/x/y/z) align: the server that owns Energy region r also owns x
+// region r, and cross-object position checks stay cache-local.  Small
+// objects (e.g. the BOSS catalog's single-region spectra) are offset by
+// their object id so they spread over the fleet instead of piling onto
+// server 0.  Both the client and every server compute this independently,
+// so after the initial metadata broadcast no server-to-server communication
+// is needed.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "obj/object_store.h"
+
+namespace pdc::server {
+
+/// Ownership offset: 0 for objects large enough to spread on their own.
+[[nodiscard]] inline std::uint32_t assignment_offset(
+    const obj::ObjectDescriptor& object, std::uint32_t num_servers) noexcept {
+  return object.regions.size() >= num_servers
+             ? 0u
+             : static_cast<std::uint32_t>(object.id % num_servers);
+}
+
+[[nodiscard]] inline ServerId owner_of_region(
+    const obj::ObjectDescriptor& object, RegionIndex region,
+    std::uint32_t num_servers) noexcept {
+  return static_cast<ServerId>(
+      (assignment_offset(object, num_servers) + region) % num_servers);
+}
+
+/// Region indexes of `object` owned by `server`.
+[[nodiscard]] inline std::vector<RegionIndex> regions_of_server(
+    const obj::ObjectDescriptor& object, ServerId server,
+    std::uint32_t num_servers) {
+  std::vector<RegionIndex> mine;
+  const std::uint32_t offset = assignment_offset(object, num_servers);
+  const RegionIndex first = static_cast<RegionIndex>(
+      (server + num_servers - offset) % num_servers);
+  for (RegionIndex r = first;
+       r < static_cast<RegionIndex>(object.regions.size());
+       r += num_servers) {
+    mine.push_back(r);
+  }
+  return mine;
+}
+
+/// Region index containing element `position` of `object`.
+[[nodiscard]] inline RegionIndex region_of_position(
+    const obj::ObjectDescriptor& object, std::uint64_t position) noexcept {
+  return static_cast<RegionIndex>(position / object.region_size_elements);
+}
+
+/// Split ascending `positions` into per-server sublists based on which
+/// server owns the containing region of `object`.
+[[nodiscard]] inline std::vector<std::vector<std::uint64_t>>
+partition_positions(const obj::ObjectDescriptor& object,
+                    std::span<const std::uint64_t> positions,
+                    std::uint32_t num_servers) {
+  std::vector<std::vector<std::uint64_t>> parts(num_servers);
+  for (const std::uint64_t pos : positions) {
+    parts[owner_of_region(object, region_of_position(object, pos),
+                          num_servers)]
+        .push_back(pos);
+  }
+  return parts;
+}
+
+}  // namespace pdc::server

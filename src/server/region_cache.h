@@ -1,0 +1,101 @@
+// Per-server region data cache (paper §V: 64 GB memory cap per server;
+// §VI-A: "an increasing number of the regions' data are cached in the PDC
+// servers' memory ... reducing the overall cost").
+//
+// LRU by bytes.  Entries are shared_ptr so a region being evicted while a
+// reader still holds it stays alive until the reader drops it.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace pdc::server {
+
+class RegionCache {
+ public:
+  using Key = std::pair<ObjectId, RegionIndex>;
+  using Buffer = std::shared_ptr<const std::vector<std::uint8_t>>;
+
+  /// `capacity_bytes` = 0 disables caching entirely.
+  explicit RegionCache(std::uint64_t capacity_bytes)
+      : capacity_(capacity_bytes) {}
+
+  /// Returns the cached buffer or nullptr; refreshes LRU position on hit.
+  [[nodiscard]] Buffer get(const Key& key) {
+    std::lock_guard lock(mu_);
+    const auto it = entries_.find(key);
+    if (it == entries_.end()) return nullptr;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    ++hits_;
+    return it->second.buffer;
+  }
+
+  /// Insert (or refresh) a buffer; evicts LRU entries beyond capacity.
+  void put(const Key& key, Buffer buffer) {
+    if (capacity_ == 0 || !buffer) return;
+    std::lock_guard lock(mu_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      return;
+    }
+    lru_.push_front(key);
+    bytes_ += buffer->size();
+    entries_.emplace(key, Entry{std::move(buffer), lru_.begin()});
+    while (bytes_ > capacity_ && !lru_.empty()) {
+      const Key victim = lru_.back();
+      lru_.pop_back();
+      const auto vit = entries_.find(victim);
+      bytes_ -= vit->second.buffer->size();
+      entries_.erase(vit);
+      ++evictions_;
+    }
+  }
+
+  void clear() {
+    std::lock_guard lock(mu_);
+    entries_.clear();
+    lru_.clear();
+    bytes_ = 0;
+  }
+
+  [[nodiscard]] std::uint64_t bytes() const {
+    std::lock_guard lock(mu_);
+    return bytes_;
+  }
+  [[nodiscard]] std::size_t entries() const {
+    std::lock_guard lock(mu_);
+    return entries_.size();
+  }
+  [[nodiscard]] std::uint64_t hits() const {
+    std::lock_guard lock(mu_);
+    return hits_;
+  }
+  [[nodiscard]] std::uint64_t evictions() const {
+    std::lock_guard lock(mu_);
+    return evictions_;
+  }
+
+ private:
+  struct Entry {
+    Buffer buffer;
+    std::list<Key>::iterator lru_it;
+  };
+
+  mutable std::mutex mu_;
+  std::uint64_t capacity_;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::list<Key> lru_;
+  std::map<Key, Entry> entries_;
+};
+
+}  // namespace pdc::server

@@ -1,0 +1,231 @@
+#include "server/wire.h"
+
+namespace pdc::server {
+namespace {
+
+void put_interval(SerialWriter& w, const ValueInterval& q) {
+  w.put(q.lo);
+  w.put(q.hi);
+  w.put<std::uint8_t>(q.lo_inclusive ? 1 : 0);
+  w.put<std::uint8_t>(q.hi_inclusive ? 1 : 0);
+}
+
+Status get_interval(SerialReader& r, ValueInterval& q) {
+  std::uint8_t lo_inc = 0;
+  std::uint8_t hi_inc = 0;
+  PDC_RETURN_IF_ERROR(r.get(q.lo));
+  PDC_RETURN_IF_ERROR(r.get(q.hi));
+  PDC_RETURN_IF_ERROR(r.get(lo_inc));
+  PDC_RETURN_IF_ERROR(r.get(hi_inc));
+  q.lo_inclusive = lo_inc != 0;
+  q.hi_inclusive = hi_inc != 0;
+  return Status::Ok();
+}
+
+void put_status(SerialWriter& w, const Status& s) {
+  w.put(static_cast<std::uint8_t>(s.code()));
+  w.put_string(s.message());
+}
+
+Status get_status(SerialReader& r, Status& out) {
+  std::uint8_t code = 0;
+  std::string message;
+  PDC_RETURN_IF_ERROR(r.get(code));
+  PDC_RETURN_IF_ERROR(r.get_string(message));
+  if (code > static_cast<std::uint8_t>(StatusCode::kInternal)) {
+    return Status::Corruption("status code invalid");
+  }
+  out = code == 0 ? Status::Ok()
+                  : Status(static_cast<StatusCode>(code), std::move(message));
+  return Status::Ok();
+}
+
+void put_ledger(SerialWriter& w, const LedgerSummary& l) {
+  w.put(l.io_seconds);
+  w.put(l.cpu_seconds);
+  w.put(l.bytes_read);
+  w.put(l.read_ops);
+}
+
+Status get_ledger(SerialReader& r, LedgerSummary& l) {
+  PDC_RETURN_IF_ERROR(r.get(l.io_seconds));
+  PDC_RETURN_IF_ERROR(r.get(l.cpu_seconds));
+  PDC_RETURN_IF_ERROR(r.get(l.bytes_read));
+  PDC_RETURN_IF_ERROR(r.get(l.read_ops));
+  return Status::Ok();
+}
+
+void put_extents(SerialWriter& w, const std::vector<Extent1D>& extents) {
+  w.put<std::uint64_t>(extents.size());
+  for (const Extent1D& e : extents) {
+    w.put(e.offset);
+    w.put(e.count);
+  }
+}
+
+Status get_extents(SerialReader& r, std::vector<Extent1D>& extents) {
+  std::uint64_t n = 0;
+  PDC_RETURN_IF_ERROR(r.get(n));
+  if (n > r.remaining() / (2 * sizeof(std::uint64_t))) {
+    return Status::Corruption("extent list length implausible");
+  }
+  extents.resize(static_cast<std::size_t>(n));
+  for (Extent1D& e : extents) {
+    PDC_RETURN_IF_ERROR(r.get(e.offset));
+    PDC_RETURN_IF_ERROR(r.get(e.count));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string_view strategy_name(Strategy s) noexcept {
+  switch (s) {
+    case Strategy::kFullScan: return "PDC-F";
+    case Strategy::kHistogram: return "PDC-H";
+    case Strategy::kHistogramIndex: return "PDC-HI";
+    case Strategy::kSortedHistogram: return "PDC-SH";
+  }
+  return "?";
+}
+
+std::vector<std::uint8_t> EvalRequest::serialize() const {
+  SerialWriter w;
+  w.put(static_cast<std::uint8_t>(RequestType::kEvalQuery));
+  w.put(static_cast<std::uint8_t>(strategy));
+  w.put<std::uint8_t>(need_locations ? 1 : 0);
+  w.put(region_constraint.offset);
+  w.put(region_constraint.count);
+  w.put<std::uint64_t>(terms.size());
+  for (const AndTerm& term : terms) {
+    w.put(term.driver_replica);
+    w.put<std::uint64_t>(term.conjuncts.size());
+    for (const Conjunct& c : term.conjuncts) {
+      w.put(c.object);
+      put_interval(w, c.interval);
+    }
+  }
+  return w.take();
+}
+
+Result<EvalRequest> EvalRequest::Deserialize(SerialReader& r) {
+  EvalRequest req;
+  std::uint8_t type = 0;
+  std::uint8_t strategy = 0;
+  std::uint8_t need_locations = 0;
+  PDC_RETURN_IF_ERROR(r.get(type));
+  if (type != static_cast<std::uint8_t>(RequestType::kEvalQuery)) {
+    return Status::Corruption("not an EvalRequest");
+  }
+  PDC_RETURN_IF_ERROR(r.get(strategy));
+  if (strategy > static_cast<std::uint8_t>(Strategy::kSortedHistogram)) {
+    return Status::Corruption("strategy invalid");
+  }
+  req.strategy = static_cast<Strategy>(strategy);
+  PDC_RETURN_IF_ERROR(r.get(need_locations));
+  req.need_locations = need_locations != 0;
+  PDC_RETURN_IF_ERROR(r.get(req.region_constraint.offset));
+  PDC_RETURN_IF_ERROR(r.get(req.region_constraint.count));
+  std::uint64_t nterms = 0;
+  PDC_RETURN_IF_ERROR(r.get(nterms));
+  if (nterms > 1'000'000) {
+    return Status::Corruption("term count implausible");
+  }
+  req.terms.resize(static_cast<std::size_t>(nterms));
+  for (AndTerm& term : req.terms) {
+    PDC_RETURN_IF_ERROR(r.get(term.driver_replica));
+    std::uint64_t nconjuncts = 0;
+    PDC_RETURN_IF_ERROR(r.get(nconjuncts));
+    if (nconjuncts > 1'000'000) {
+      return Status::Corruption("conjunct count implausible");
+    }
+    term.conjuncts.resize(static_cast<std::size_t>(nconjuncts));
+    for (Conjunct& c : term.conjuncts) {
+      PDC_RETURN_IF_ERROR(r.get(c.object));
+      PDC_RETURN_IF_ERROR(get_interval(r, c.interval));
+    }
+  }
+  return req;
+}
+
+std::vector<std::uint8_t> EvalResponse::serialize() const {
+  SerialWriter w;
+  put_status(w, status);
+  w.put(num_hits);
+  w.put<std::uint8_t>(has_positions ? 1 : 0);
+  w.put_vector(positions);
+  put_extents(w, sorted_extents);
+  w.put(replica_id);
+  put_ledger(w, ledger);
+  return w.take();
+}
+
+Result<EvalResponse> EvalResponse::Deserialize(SerialReader& r) {
+  EvalResponse resp;
+  PDC_RETURN_IF_ERROR(get_status(r, resp.status));
+  PDC_RETURN_IF_ERROR(r.get(resp.num_hits));
+  std::uint8_t has_positions = 0;
+  PDC_RETURN_IF_ERROR(r.get(has_positions));
+  resp.has_positions = has_positions != 0;
+  PDC_RETURN_IF_ERROR(r.get_vector(resp.positions));
+  PDC_RETURN_IF_ERROR(get_extents(r, resp.sorted_extents));
+  PDC_RETURN_IF_ERROR(r.get(resp.replica_id));
+  PDC_RETURN_IF_ERROR(get_ledger(r, resp.ledger));
+  return resp;
+}
+
+std::vector<std::uint8_t> GetDataRequest::serialize() const {
+  SerialWriter w;
+  w.put(static_cast<std::uint8_t>(RequestType::kGetData));
+  w.put(object);
+  w.put<std::uint8_t>(from_replica ? 1 : 0);
+  w.put_vector(positions);
+  put_extents(w, extents);
+  return w.take();
+}
+
+Result<GetDataRequest> GetDataRequest::Deserialize(SerialReader& r) {
+  GetDataRequest req;
+  std::uint8_t type = 0;
+  std::uint8_t from_replica = 0;
+  PDC_RETURN_IF_ERROR(r.get(type));
+  if (type != static_cast<std::uint8_t>(RequestType::kGetData)) {
+    return Status::Corruption("not a GetDataRequest");
+  }
+  PDC_RETURN_IF_ERROR(r.get(req.object));
+  PDC_RETURN_IF_ERROR(r.get(from_replica));
+  req.from_replica = from_replica != 0;
+  PDC_RETURN_IF_ERROR(r.get_vector(req.positions));
+  PDC_RETURN_IF_ERROR(get_extents(r, req.extents));
+  return req;
+}
+
+std::vector<std::uint8_t> GetDataResponse::serialize() const {
+  SerialWriter w;
+  put_status(w, status);
+  w.put_vector(values);
+  put_ledger(w, ledger);
+  return w.take();
+}
+
+Result<GetDataResponse> GetDataResponse::Deserialize(SerialReader& r) {
+  GetDataResponse resp;
+  PDC_RETURN_IF_ERROR(get_status(r, resp.status));
+  PDC_RETURN_IF_ERROR(r.get_vector(resp.values));
+  PDC_RETURN_IF_ERROR(get_ledger(r, resp.ledger));
+  return resp;
+}
+
+Result<RequestType> peek_request_type(std::span<const std::uint8_t> payload) {
+  if (payload.empty()) {
+    return Status::Corruption("empty request payload");
+  }
+  const std::uint8_t type = payload[0];
+  if (type != static_cast<std::uint8_t>(RequestType::kEvalQuery) &&
+      type != static_cast<std::uint8_t>(RequestType::kGetData)) {
+    return Status::Corruption("unknown request type");
+  }
+  return static_cast<RequestType>(type);
+}
+
+}  // namespace pdc::server

@@ -1,0 +1,120 @@
+// Client <-> server wire protocol for the query service.
+//
+// The client-side planner normalizes a user query tree into OR-of-AND
+// terms, each term's conjuncts ordered by estimated selectivity, and
+// broadcasts an EvalRequest to every server.  Servers evaluate their
+// assigned regions and reply with an EvalResponse (hit count, optional
+// locations, and a cost-ledger summary the client folds into the simulated
+// end-to-end time).  GetData requests retrieve the values of a previously
+// computed selection.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/cost_model.h"
+#include "common/interval.h"
+#include "common/serial.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace pdc::server {
+
+/// Query evaluation strategy (paper §III-D; selected per deployment via the
+/// PDC_QUERY_STRATEGY environment variable in the real system).
+enum class Strategy : std::uint8_t {
+  kFullScan = 0,         ///< PDC-F : read everything, scan everything
+  kHistogram,            ///< PDC-H : histogram pruning + scan survivors
+  kHistogramIndex,       ///< PDC-HI: histogram pruning + bitmap index
+  kSortedHistogram,      ///< PDC-SH: sorted replica + histogram
+};
+
+std::string_view strategy_name(Strategy s) noexcept;
+
+enum class RequestType : std::uint8_t {
+  kEvalQuery = 1,
+  kGetData = 2,
+};
+
+/// One conjunct: an interval condition on one object.
+struct Conjunct {
+  ObjectId object = kInvalidObjectId;
+  ValueInterval interval;
+};
+
+/// AND of conjuncts; the first conjunct is the *driver* the plan iterates
+/// region-wise (most selective first, per global-histogram estimates).
+struct AndTerm {
+  std::vector<Conjunct> conjuncts;
+  /// Sorted replica to evaluate the driver on (kSortedHistogram only).
+  ObjectId driver_replica = kInvalidObjectId;
+};
+
+/// Compact ledger representation carried in responses.
+struct LedgerSummary {
+  double io_seconds = 0.0;
+  double cpu_seconds = 0.0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t read_ops = 0;
+
+  static LedgerSummary from(const CostLedger& ledger) {
+    return {ledger.io_seconds(), ledger.cpu_seconds(), ledger.bytes_read(),
+            ledger.read_ops()};
+  }
+  [[nodiscard]] double elapsed() const noexcept {
+    return io_seconds + cpu_seconds;
+  }
+};
+
+struct EvalRequest {
+  Strategy strategy = Strategy::kHistogram;
+  bool need_locations = false;
+  /// Optional spatial constraint: element extent ({0,0} = whole object).
+  Extent1D region_constraint;
+  std::vector<AndTerm> terms;  ///< OR of AND-terms
+
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  static Result<EvalRequest> Deserialize(SerialReader& r);
+};
+
+struct EvalResponse {
+  Status status;  ///< server-side evaluation status
+  std::uint64_t num_hits = 0;
+  bool has_positions = false;
+  std::vector<std::uint64_t> positions;  ///< original-space, ascending
+  /// kSortedHistogram: contiguous replica-space extents of the hits, used
+  /// by get-data to read sorted values sequentially.
+  std::vector<Extent1D> sorted_extents;
+  ObjectId replica_id = kInvalidObjectId;
+  LedgerSummary ledger;
+
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  static Result<EvalResponse> Deserialize(SerialReader& r);
+};
+
+struct GetDataRequest {
+  ObjectId object = kInvalidObjectId;
+  /// True: `extents` (replica element space) identify the data; the server
+  /// reads from the replica object directly.  False: `positions`.
+  bool from_replica = false;
+  std::vector<std::uint64_t> positions;  ///< ascending original positions
+  std::vector<Extent1D> extents;         ///< replica-space extents
+
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  static Result<GetDataRequest> Deserialize(SerialReader& r);
+};
+
+struct GetDataResponse {
+  Status status;
+  std::vector<std::uint8_t> values;  ///< raw bytes, request order
+  LedgerSummary ledger;
+
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  static Result<GetDataResponse> Deserialize(SerialReader& r);
+};
+
+/// Peek the request type of an incoming payload.
+Result<RequestType> peek_request_type(std::span<const std::uint8_t> payload);
+
+}  // namespace pdc::server

@@ -1,0 +1,101 @@
+#include "sortrep/sorted_replica.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "obj/type_dispatch.h"
+
+namespace pdc::sortrep {
+
+Result<BuildReport> build_sorted_replica(obj::ObjectStore& store,
+                                         ObjectId source) {
+  PDC_ASSIGN_OR_RETURN(const obj::ObjectDescriptor* src, store.get(source));
+  obj::ImportOptions options;
+  options.region_size_bytes =
+      src->region_size_elements * src->element_size();
+  return build_sorted_replica(store, source, options);
+}
+
+Result<BuildReport> build_sorted_replica(obj::ObjectStore& store,
+                                         ObjectId source,
+                                         const obj::ImportOptions& options) {
+  PDC_ASSIGN_OR_RETURN(const obj::ObjectDescriptor* src, store.get(source));
+  if (src->is_sorted_replica()) {
+    return Status::InvalidArgument("source is itself a sorted replica");
+  }
+  if (store.sorted_replica_of(source).has_value()) {
+    return Status::AlreadyExists("sorted replica already exists");
+  }
+
+  const std::size_t elem_size = src->element_size();
+  const std::uint64_t n = src->num_elements;
+  std::vector<std::uint8_t> raw(static_cast<std::size_t>(n * elem_size));
+  PDC_RETURN_IF_ERROR(
+      store.read_elements(*src, {0, n}, raw, {}));
+
+  // argsort by value, stable so equal values keep original order.
+  std::vector<std::uint64_t> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), 0);
+  std::vector<std::uint8_t> sorted_bytes(raw.size());
+  obj::dispatch_type(src->type, [&](auto tag) {
+    using T = decltype(tag);
+    const T* values = reinterpret_cast<const T*>(raw.data());
+    std::stable_sort(perm.begin(), perm.end(),
+                     [values](std::uint64_t a, std::uint64_t b) {
+                       return values[a] < values[b];
+                     });
+    T* out = reinterpret_cast<T*>(sorted_bytes.data());
+    for (std::uint64_t i = 0; i < n; ++i) out[i] = values[perm[i]];
+  });
+
+  PDC_ASSIGN_OR_RETURN(
+      const ObjectId replica_id,
+      store.import_raw(src->container_id, src->name + ".sorted", src->type,
+                       sorted_bytes, n, options));
+
+  // Permutation file: u64 original position per sorted position.
+  const std::string perm_file = "obj_" + std::to_string(replica_id) + ".perm";
+  PDC_ASSIGN_OR_RETURN(pfs::PfsFile pf, store.cluster().create(perm_file));
+  PDC_RETURN_IF_ERROR(pf.write(
+      0, {reinterpret_cast<const std::uint8_t*>(perm.data()),
+          perm.size() * sizeof(std::uint64_t)}));
+  PDC_RETURN_IF_ERROR(store.link_sorted_replica(replica_id, source, perm_file));
+
+  // One-time cost: read source, comparison sort, write replica + perm.
+  const CostModel& cost = store.cluster().config().cost;
+  const double data_bytes = static_cast<double>(n) * elem_size;
+  const double perm_bytes = static_cast<double>(n) * sizeof(std::uint64_t);
+  BuildReport report;
+  report.replica_id = replica_id;
+  report.build_cost_seconds =
+      data_bytes / cost.ost_bandwidth_bps +            // read source
+      data_bytes / cost.sort_bandwidth_bps +           // sort
+      (data_bytes + perm_bytes) / cost.ost_write_bandwidth_bps;
+  report.extra_bytes =
+      static_cast<std::uint64_t>(data_bytes + perm_bytes);
+  return report;
+}
+
+Result<std::vector<std::uint64_t>> map_to_source_positions(
+    const obj::ObjectStore& store, const obj::ObjectDescriptor& replica,
+    Extent1D sorted_extent, const pfs::ReadContext& ctx) {
+  if (!replica.is_sorted_replica()) {
+    return Status::InvalidArgument("object is not a sorted replica");
+  }
+  if (sorted_extent.end() > replica.num_elements) {
+    return Status::OutOfRange("sorted extent beyond replica");
+  }
+  std::vector<std::uint64_t> positions(
+      static_cast<std::size_t>(sorted_extent.count));
+  if (sorted_extent.count == 0) return positions;
+  PDC_ASSIGN_OR_RETURN(pfs::PfsFile pf,
+                       store.cluster().open(replica.permutation_file));
+  PDC_RETURN_IF_ERROR(
+      pf.read(sorted_extent.offset * sizeof(std::uint64_t),
+              {reinterpret_cast<std::uint8_t*>(positions.data()),
+               positions.size() * sizeof(std::uint64_t)},
+              ctx));
+  return positions;
+}
+
+}  // namespace pdc::sortrep

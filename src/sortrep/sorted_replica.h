@@ -1,0 +1,52 @@
+// Data reorganization with sorting (paper §III-D3).
+//
+// Builds a value-sorted copy of an object plus a permutation file mapping
+// each sorted position back to the element's original position.  Range
+// queries on the sort key then touch a *contiguous* run of sorted elements:
+// interior regions are all-hits (min/max covers the query), only the two
+// boundary regions need a binary search, and the matching data is one
+// sequential read instead of scattered I/O.
+//
+// The replica is registered as a regular object in the ObjectStore (with
+// its own regions/histograms — which are extremely tight, since sorting
+// makes region min/max ranges disjoint) and linked to its source object.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/cost_model.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "obj/object_store.h"
+
+namespace pdc::sortrep {
+
+/// Outcome of a replica build.
+struct BuildReport {
+  ObjectId replica_id = kInvalidObjectId;
+  /// Simulated one-time cost: read source + sort + write replica +
+  /// write permutation.
+  double build_cost_seconds = 0.0;
+  /// Extra storage consumed (replica data + permutation), bytes.
+  std::uint64_t extra_bytes = 0;
+};
+
+/// Build (or fail if one exists) the sorted replica of `source`, using the
+/// given ingest options for the replica's region decomposition.
+/// The replica object is named "<source-name>.sorted".
+Result<BuildReport> build_sorted_replica(obj::ObjectStore& store,
+                                         ObjectId source,
+                                         const obj::ImportOptions& options);
+
+/// Overload that inherits the source object's region size.
+Result<BuildReport> build_sorted_replica(obj::ObjectStore& store,
+                                         ObjectId source);
+
+/// Translate a sorted-space element extent into the original element
+/// positions (reads the permutation file; one contiguous read).
+Result<std::vector<std::uint64_t>> map_to_source_positions(
+    const obj::ObjectStore& store, const obj::ObjectDescriptor& replica,
+    Extent1D sorted_extent, const pfs::ReadContext& ctx);
+
+}  // namespace pdc::sortrep

@@ -1,0 +1,52 @@
+// Synthetic BOSS/H5BOSS sky-survey workload (paper §V, §VI-C).
+//
+// The paper's dataset: ~25 million small objects (spectra of galaxies and
+// quasars), each with rich metadata (sky coordinates RADEG/DECDEG, plate,
+// fiber) and a flux array.  The Fig. 5 experiment runs a metadata query
+// that selects exactly 1000 objects ("RADEG=153.17 AND DECDEG=23.06") and
+// then a flux-range data query over those objects at 11 %–65 % selectivity.
+//
+// The generator groups objects into "sky cells": every object in a cell
+// shares one (RADEG, DECDEG) pair, so an equality metadata query on a cell
+// returns exactly `objects_per_cell` objects, as in the paper.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "metadata/meta_store.h"
+#include "obj/object_store.h"
+
+namespace pdc::workloads {
+
+struct BossConfig {
+  std::uint32_t num_objects = 10000;     ///< paper: 25 million (scaled)
+  std::uint32_t objects_per_cell = 1000; ///< metadata-query hit count
+  std::uint32_t flux_samples = 2048;     ///< spectrum length per object
+  std::uint64_t seed = 0xB055ULL;
+};
+
+/// Handles to the imported catalog.
+struct BossCatalog {
+  ObjectId container = kInvalidObjectId;
+  std::vector<ObjectId> flux_objects;  ///< one per survey object
+  /// Sky coordinates of cell 0 (the cell Fig. 5 queries).
+  double cell0_radeg = 0.0;
+  double cell0_decdeg = 0.0;
+};
+
+/// Generate and import the catalog: one small flux object per survey
+/// object (single region each), with RADEG/DECDEG/plate/fiber metadata
+/// registered in `meta`.
+Result<BossCatalog> import_boss(obj::ObjectStore& store, meta::MetaStore& meta,
+                                const BossConfig& config);
+
+/// Flux value whose lower tail holds `selectivity` of the flux mass (used
+/// by the Fig. 5 bench to build ranges of 11 %–65 % selectivity).  The flux
+/// distribution is Exp(1/8) scaled to [0, ~100), so the quantile has a
+/// closed form.
+[[nodiscard]] double boss_flux_quantile(double selectivity);
+
+}  // namespace pdc::workloads

@@ -1,0 +1,110 @@
+// Synthetic VPIC plasma-physics particle workload (paper §V).
+//
+// The paper's dataset: 125 billion particles from a magnetic-reconnection
+// simulation, 7 float properties (Energy, x, y, z, Ux, Uy, Uz), queried by
+// energy windows with selectivities 0.0004 %–1.3025 % and by compound
+// energy+position conditions at 0.0013 %–0.0442 %.
+//
+// This generator reproduces both the paper's *selectivities* and the
+// *spatial structure* the paper's optimizations rely on:
+//   - particles are emitted in cell-raster order (as VPIC writes them), so
+//     array order tracks spatial position — region min/max pruning and
+//     WAH-compressible value runs arise naturally, as for real VPIC data;
+//   - bulk energy follows a smooth per-cell temperature field below 2.0,
+//     plus an exponential tail above 2.0 calibrated so the paper's 15
+//     windows [2.1,2.2] ... [3.5,3.6] land on the paper's selectivity
+//     ladder (1.3 % down to 0.0004 %);
+//   - the tail concentrates in a "reconnection sheet" subvolume disjoint
+//     from the paper's compound-query window, reproducing the strong
+//     negative energy/position correlation implied by the paper's
+//     compound-query selectivities (0.0013 % for query 1);
+//   - momenta Ux/Uy/Uz: thermal gaussians (payload variables).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "h5lite/h5lite.h"
+#include "metadata/meta_store.h"
+#include "obj/object_store.h"
+
+namespace pdc::workloads {
+
+struct VpicConfig {
+  std::uint64_t num_particles = 1ull << 22;
+  std::uint64_t seed = 0x7591C0DEULL;
+
+  // Simulation box (paper's queries use 100<x<200, -90<y<0, 0<z<66).
+  double x_max = 330.0;
+  double y_min = -150.0, y_max = 150.0;
+  double z_max = 132.0;
+
+  // Spatial cell grid (particles are emitted cell by cell, raster order).
+  std::uint32_t grid_x = 32, grid_y = 32, grid_z = 16;
+
+  // Energy model: P(E > 2.0) = tail_fraction; above 2.0,
+  // E = 2 + Exp(tail_lambda).  Defaults calibrated to the paper's ladder.
+  double tail_fraction = 0.0526;
+  double tail_lambda = 5.78;
+  /// Overall fraction of particles that are energetic "leak" particles:
+  /// tail particles outside the main sheet, confined to a secondary zone
+  /// that contains the paper's query window.  Calibrated so compound
+  /// query 1 hits ~0.0013 %.  Cells outside both zones have NO energetic
+  /// particles, so their regions prune perfectly — as for real VPIC data,
+  /// where energization is spatially confined.
+  double leak_tail_fraction = 1.84e-5;
+};
+
+/// Columnar particle data (struct-of-arrays, as VPIC stores it).
+struct VpicData {
+  std::vector<float> energy, x, y, z, ux, uy, uz;
+
+  [[nodiscard]] std::uint64_t size() const noexcept { return energy.size(); }
+};
+
+/// Generate the dataset (deterministic for a given config).
+VpicData generate_vpic(const VpicConfig& config);
+
+/// Object ids after ingesting into a PDC object store.
+struct VpicObjects {
+  ObjectId container = kInvalidObjectId;
+  ObjectId energy = kInvalidObjectId;
+  ObjectId x = kInvalidObjectId, y = kInvalidObjectId, z = kInvalidObjectId;
+  ObjectId ux = kInvalidObjectId, uy = kInvalidObjectId,
+           uz = kInvalidObjectId;
+};
+
+/// Import all 7 variables as PDC objects (builds regions + histograms).
+Result<VpicObjects> import_vpic(obj::ObjectStore& store, const VpicData& data,
+                                const obj::ImportOptions& options);
+
+/// Write all 7 variables to one h5lite file (the HDF5-F baseline's input).
+Status write_vpic_h5(pfs::PfsCluster& cluster, const VpicData& data,
+                     std::string_view filename);
+
+// ---- the paper's query suites ----
+
+/// Energy window of one single-object query.
+struct SingleQuerySpec {
+  double lo = 0.0, hi = 0.0;  ///< lo < Energy < hi
+};
+
+/// The paper's 15 single-object queries: [2.1,2.2] up to [3.5,3.6],
+/// selectivity 1.3 % down to 0.0004 % under the calibrated energy model.
+std::vector<SingleQuerySpec> vpic_single_queries();
+
+/// One compound query: Energy > energy_min AND x,y,z windows.
+struct MultiQuerySpec {
+  double energy_min = 0.0;
+  double x_lo = 0.0, x_hi = 0.0;
+  double y_lo = 0.0, y_hi = 0.0;
+  double z_lo = 0.0, z_hi = 0.0;
+};
+
+/// The paper's 6 multi-object queries (§V): energy thresholds 2.0 down to
+/// 1.3 with narrowing x windows, selectivity 0.0013 %–0.0442 %.
+std::vector<MultiQuerySpec> vpic_multi_queries();
+
+}  // namespace pdc::workloads

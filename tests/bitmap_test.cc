@@ -1,0 +1,398 @@
+// Tests for the WAH bitvector and the binned bitmap index.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "bitmap/binned_index.h"
+#include "bitmap/wah.h"
+#include "common/rng.h"
+
+namespace pdc::bitmap {
+namespace {
+
+// A plain bool-vector reference model for property tests.
+WahBitVector from_bools(const std::vector<bool>& bits) {
+  WahBitVector v;
+  for (bool b : bits) v.append_bit(b);
+  return v;
+}
+
+std::vector<bool> random_bits(std::size_t n, double density, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<bool> bits(n);
+  for (std::size_t i = 0; i < n; ++i) bits[i] = rng.next_double() < density;
+  return bits;
+}
+
+TEST(Wah, EmptyVector) {
+  WahBitVector v;
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.count(), 0u);
+  EXPECT_TRUE(v.to_positions().empty());
+}
+
+TEST(Wah, AppendBitsRoundTrip) {
+  std::vector<bool> bits{true, false, false, true, true};
+  auto v = from_bools(bits);
+  EXPECT_EQ(v.size(), 5u);
+  EXPECT_EQ(v.count(), 3u);
+  EXPECT_EQ(v.to_positions(), (std::vector<std::uint64_t>{0, 3, 4}));
+}
+
+TEST(Wah, LongRunsCompress) {
+  WahBitVector v;
+  v.append_run(false, 1'000'000);
+  v.append_bit(true);
+  v.append_run(false, 1'000'000);
+  EXPECT_EQ(v.size(), 2'000'001u);
+  EXPECT_EQ(v.count(), 1u);
+  EXPECT_EQ(v.to_positions(), (std::vector<std::uint64_t>{1'000'000}));
+  // Two million bits in a handful of words.
+  EXPECT_LT(v.compressed_bytes(), 64u);
+}
+
+TEST(Wah, OnesRunCompresses) {
+  WahBitVector v;
+  v.append_run(true, 31 * 1000);
+  EXPECT_EQ(v.count(), 31000u);
+  EXPECT_LT(v.compressed_bytes(), 64u);
+  auto pos = v.to_positions();
+  ASSERT_EQ(pos.size(), 31000u);
+  EXPECT_EQ(pos.front(), 0u);
+  EXPECT_EQ(pos.back(), 30999u);
+}
+
+TEST(Wah, MixedRunsAndBitsMatchReference) {
+  Rng rng(17);
+  WahBitVector v;
+  std::vector<bool> ref;
+  for (int step = 0; step < 200; ++step) {
+    if (rng.next_double() < 0.5) {
+      const bool bit = rng.next_double() < 0.5;
+      const std::uint64_t n = rng.bounded(200);
+      v.append_run(bit, n);
+      ref.insert(ref.end(), n, bit);
+    } else {
+      const bool bit = rng.next_double() < 0.3;
+      v.append_bit(bit);
+      ref.push_back(bit);
+    }
+  }
+  EXPECT_EQ(v.size(), ref.size());
+  std::vector<std::uint64_t> expect;
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    if (ref[i]) expect.push_back(i);
+  }
+  EXPECT_EQ(v.to_positions(), expect);
+  EXPECT_EQ(v.count(), expect.size());
+}
+
+class WahLogicSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, double>> {};
+
+TEST_P(WahLogicSweep, AndOrMatchReferenceModel) {
+  const auto [n, density] = GetParam();
+  auto ba = random_bits(n, density, 101);
+  auto bb = random_bits(n, density * 0.5 + 0.25, 202);
+  auto va = from_bools(ba);
+  auto vb = from_bools(bb);
+
+  auto vand = WahBitVector::And(va, vb);
+  auto vor = WahBitVector::Or(va, vb);
+  ASSERT_TRUE(vand.ok());
+  ASSERT_TRUE(vor.ok());
+
+  std::vector<std::uint64_t> expect_and, expect_or;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (ba[i] && bb[i]) expect_and.push_back(i);
+    if (ba[i] || bb[i]) expect_or.push_back(i);
+  }
+  EXPECT_EQ(vand->to_positions(), expect_and);
+  EXPECT_EQ(vor->to_positions(), expect_or);
+  EXPECT_EQ(vand->count(), expect_and.size());
+  EXPECT_EQ(vor->count(), expect_or.size());
+  EXPECT_EQ(vand->size(), n);
+  EXPECT_EQ(vor->size(), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndDensities, WahLogicSweep,
+    ::testing::Combine(::testing::Values(0, 1, 30, 31, 32, 62, 1000, 12345),
+                       ::testing::Values(0.0, 0.01, 0.5, 0.99, 1.0)));
+
+TEST(Wah, AndSizeMismatchRejected) {
+  WahBitVector a, b;
+  a.append_run(false, 10);
+  b.append_run(false, 11);
+  EXPECT_FALSE(WahBitVector::And(a, b).ok());
+}
+
+TEST(Wah, SparseAndSparseStaysCompressed) {
+  WahBitVector a, b;
+  // Set bits far apart; AND should stream fills without blowup.
+  for (int i = 0; i < 100; ++i) {
+    a.append_run(false, 10000);
+    a.append_bit(true);
+    b.append_run(false, 10000);
+    b.append_bit(i % 2 == 0);
+  }
+  auto r = WahBitVector::And(a, b);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->count(), 50u);
+  EXPECT_LT(r->compressed_bytes(), 4096u);
+}
+
+TEST(WahSerial, RoundTrip) {
+  auto bits = random_bits(5000, 0.1, 77);
+  auto v = from_bools(bits);
+  SerialWriter w;
+  v.serialize(w);
+  auto bytes = w.take();
+  SerialReader r(bytes);
+  auto back = WahBitVector::Deserialize(r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, v);
+}
+
+// ------------------------------------------------------------ binned index
+
+std::vector<double> random_values(std::size_t n, double lo, double hi,
+                                  std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.uniform(lo, hi);
+  return v;
+}
+
+TEST(BinnedIndex, EmptyData) {
+  BinnedBitmapIndex idx =
+      BinnedBitmapIndex::Build<double>(std::span<const double>{});
+  EXPECT_EQ(idx.num_elements(), 0u);
+  auto probe = idx.probe(ValueInterval::from_op(QueryOp::kGT, 0.0));
+  EXPECT_TRUE(probe.definite.empty());
+  EXPECT_TRUE(probe.candidates.empty());
+}
+
+TEST(BinnedIndex, DefiniteHitsActuallyMatch) {
+  auto data = random_values(20000, 0.0, 100.0, 5);
+  auto idx = BinnedBitmapIndex::Build<double>(data);
+  auto q = ValueInterval::from_op(QueryOp::kGT, 25.0)
+               .intersect(ValueInterval::from_op(QueryOp::kLT, 75.0));
+  auto probe = idx.probe(q);
+  for (auto pos : probe.definite) {
+    EXPECT_TRUE(q.contains(data[pos])) << "pos " << pos;
+  }
+}
+
+TEST(BinnedIndex, DefinitePlusCandidatesCoverAllMatches) {
+  auto data = random_values(20000, 0.0, 100.0, 6);
+  auto idx = BinnedBitmapIndex::Build<double>(data);
+  for (double lo : {0.0, 10.5, 60.0, 99.5}) {
+    auto q = ValueInterval::from_op(QueryOp::kGTE, lo)
+                 .intersect(ValueInterval::from_op(QueryOp::kLT, lo + 15.0));
+    auto probe = idx.probe(q);
+    std::vector<std::uint64_t> covered = probe.definite;
+    covered.insert(covered.end(), probe.candidates.begin(),
+                   probe.candidates.end());
+    std::sort(covered.begin(), covered.end());
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      if (q.contains(data[i])) {
+        EXPECT_TRUE(std::binary_search(covered.begin(), covered.end(), i))
+            << "matching element " << i << " missed by index";
+      }
+    }
+  }
+}
+
+TEST(BinnedIndex, CandidatesAreBoundedByBoundaryBins) {
+  IndexConfig cfg;
+  cfg.num_bins = 64;
+  auto data = random_values(64000, 0.0, 100.0, 7);
+  auto idx = BinnedBitmapIndex::Build<double>(data, cfg);
+  auto q = ValueInterval::from_op(QueryOp::kGT, 30.2)
+               .intersect(ValueInterval::from_op(QueryOp::kLT, 60.8));
+  auto probe = idx.probe(q);
+  // At most the two boundary bins contribute candidates: ~2 * N / bins,
+  // allow generous slack for equi-depth placement error.
+  EXPECT_LT(probe.candidates.size(), 4u * 64000u / 64u);
+  EXPECT_GT(probe.definite.size(), 0u);
+}
+
+TEST(BinnedIndex, DisjointQueryProducesNothing) {
+  auto data = random_values(1000, 0.0, 1.0, 8);
+  auto idx = BinnedBitmapIndex::Build<double>(data);
+  auto probe = idx.probe(ValueInterval::from_op(QueryOp::kGT, 5.0));
+  EXPECT_TRUE(probe.definite.empty());
+  EXPECT_TRUE(probe.candidates.empty());
+}
+
+TEST(BinnedIndex, SkewedDataDoesNotLoseElements) {
+  // 99% of values identical; equi-depth edges collapse.
+  std::vector<double> data(10000, 5.0);
+  for (int i = 0; i < 100; ++i) data[i * 100] = static_cast<double>(i);
+  auto idx = BinnedBitmapIndex::Build<double>(data);
+  auto q = ValueInterval::from_op(QueryOp::kGTE, 0.0)
+               .intersect(ValueInterval::from_op(QueryOp::kLTE, 200.0));
+  auto probe = idx.probe(q);
+  EXPECT_EQ(probe.definite.size() + probe.candidates.size(), 10000u);
+}
+
+TEST(BinnedIndex, SerializeRoundTripProbesIdentically) {
+  auto data = random_values(5000, -50.0, 50.0, 9);
+  auto idx = BinnedBitmapIndex::Build<double>(data);
+  SerialWriter w;
+  idx.serialize(w);
+  auto bytes = w.take();
+  SerialReader r(bytes);
+  auto back = BinnedBitmapIndex::Deserialize(r);
+  ASSERT_TRUE(back.ok());
+  auto q = ValueInterval::from_op(QueryOp::kGT, -10.0)
+               .intersect(ValueInterval::from_op(QueryOp::kLT, 10.0));
+  auto p1 = idx.probe(q);
+  auto p2 = back->probe(q);
+  EXPECT_EQ(p1.definite, p2.definite);
+  EXPECT_EQ(p1.candidates, p2.candidates);
+  EXPECT_EQ(back->num_elements(), 5000u);
+}
+
+TEST(BinnedIndex, CorruptBytesRejected) {
+  std::vector<std::uint8_t> junk(32, 0x5A);
+  SerialReader r(junk);
+  EXPECT_FALSE(BinnedBitmapIndex::Deserialize(r).ok());
+}
+
+// ---------------------------------------- bin-classification edge cases
+
+TEST(BinnedIndexSemantics, AlignedOpenBoundsAreCandidateFree) {
+  // Positive data + precision grid: an open lower bound equal to a grid
+  // edge is treated as aligned (FastBit's precision guarantee).
+  Rng rng(21);
+  std::vector<float> data(20000);
+  for (auto& v : data) v = static_cast<float>(1.0 + 3.0 * rng.next_double());
+  auto idx = BinnedBitmapIndex::Build<float>(std::span<const float>(data));
+  const auto q = ValueInterval::from_op(QueryOp::kGT, 2.7)
+                     .intersect(ValueInterval::from_op(QueryOp::kLT, 2.8));
+  const auto probe = idx.probe(q);
+  EXPECT_TRUE(probe.candidates.empty());
+  std::size_t truth = 0;
+  for (const float v : data) truth += q.contains(v);
+  EXPECT_EQ(probe.definite.size(), truth);
+}
+
+TEST(BinnedIndexSemantics, QueryBeyondLastGridEdgeStaysExact) {
+  // Data whose max (2.75) is inside the closing grid cell [2.7, 2.8): the
+  // last bin must classify as half-open so (2.7, 2.8) resolves fully.
+  Rng rng(22);
+  std::vector<float> data(10000);
+  for (auto& v : data) {
+    v = static_cast<float>(1.0 + 1.75 * rng.next_double());
+  }
+  data[0] = 2.75F;  // pin the max inside the top grid cell
+  auto idx = BinnedBitmapIndex::Build<float>(std::span<const float>(data));
+  const auto q = ValueInterval::from_op(QueryOp::kGT, 2.7)
+                     .intersect(ValueInterval::from_op(QueryOp::kLT, 2.8));
+  const auto probe = idx.probe(q);
+  EXPECT_TRUE(probe.candidates.empty());
+  std::size_t truth = 0;
+  for (const float v : data) truth += q.contains(v);
+  EXPECT_EQ(probe.definite.size(), truth);
+}
+
+TEST(BinnedIndexSemantics, ExactMinimumKeepsStrictSemantics) {
+  // Elements equal to the exact observed minimum must NOT be reported as
+  // definite hits of an open lower-bound query at that minimum.
+  std::vector<float> data(1000, 0.0F);
+  Rng rng(23);
+  for (std::size_t i = 0; i < 500; ++i) {
+    data[i] = 2.0F;  // the exact min, many times
+  }
+  for (std::size_t i = 500; i < 1000; ++i) {
+    data[i] = static_cast<float>(2.0 + 2.0 * rng.next_double() + 0.001);
+  }
+  auto idx = BinnedBitmapIndex::Build<float>(std::span<const float>(data));
+  const auto q = ValueInterval::from_op(QueryOp::kGT, 2.0);
+  const auto probe = idx.probe(q);
+  for (const auto pos : probe.definite) {
+    EXPECT_GT(data[pos], 2.0F) << "exact-min element leaked into definite";
+  }
+  // Union still covers every true hit.
+  std::vector<std::uint64_t> covered = probe.definite;
+  covered.insert(covered.end(), probe.candidates.begin(),
+                 probe.candidates.end());
+  std::sort(covered.begin(), covered.end());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (data[i] > 2.0F) {
+      EXPECT_TRUE(std::binary_search(covered.begin(), covered.end(), i));
+    }
+  }
+}
+
+TEST(BinnedIndexSemantics, IntegerIndexesKeepStrictEdgeSemantics) {
+  // Integer values sit exactly on decimal edges, so the open-bound
+  // relaxation must not apply: "v > 20" must not count the 20s as
+  // definite hits.
+  std::vector<std::int32_t> data;
+  Rng rng(25);
+  for (int i = 0; i < 20000; ++i) {
+    data.push_back(static_cast<std::int32_t>(rng.bounded(100)));
+  }
+  auto idx =
+      BinnedBitmapIndex::Build<std::int32_t>(std::span<const std::int32_t>(data));
+  const auto q = ValueInterval::from_op(QueryOp::kGT, 20.0);
+  const auto probe = idx.probe(q);
+  for (const auto pos : probe.definite) {
+    EXPECT_GT(data[pos], 20) << "edge-valued int leaked into definite";
+  }
+  std::size_t truth = 0;
+  for (const auto v : data) truth += v > 20;
+  EXPECT_GE(probe.definite.size() + probe.candidates.size(), truth);
+  EXPECT_LE(probe.definite.size(), truth);
+}
+
+TEST(BinnedIndexSemantics, NegativeDataFallsBackAndStaysCorrect) {
+  // Precision grids need positive data; negative ranges use quantile bins
+  // and must remain exact via candidate checks.
+  Rng rng(24);
+  std::vector<float> data(20000);
+  for (auto& v : data) {
+    v = static_cast<float>(rng.uniform(-100.0, 100.0));
+  }
+  auto idx = BinnedBitmapIndex::Build<float>(std::span<const float>(data));
+  const auto q = ValueInterval::from_op(QueryOp::kGT, -10.0)
+                     .intersect(ValueInterval::from_op(QueryOp::kLT, 10.0));
+  const auto probe = idx.probe(q);
+  for (const auto pos : probe.definite) {
+    EXPECT_TRUE(q.contains(data[pos]));
+  }
+  std::size_t truth = 0;
+  for (const float v : data) truth += q.contains(v);
+  EXPECT_GE(probe.definite.size() + probe.candidates.size(), truth);
+  EXPECT_LE(probe.definite.size(), truth);
+}
+
+class BinnedIndexBinSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(BinnedIndexBinSweep, MoreBinsFewerCandidates) {
+  IndexConfig cfg;
+  cfg.num_bins = GetParam();
+  auto data = random_values(30000, 0.0, 1000.0, 11);
+  auto idx = BinnedBitmapIndex::Build<double>(data, cfg);
+  auto q = ValueInterval::from_op(QueryOp::kGT, 200.0)
+               .intersect(ValueInterval::from_op(QueryOp::kLT, 700.0));
+  auto probe = idx.probe(q);
+  // Candidates bounded by ~2 boundary bins' occupancy.
+  EXPECT_LE(probe.candidates.size(),
+            4u * 30000u / std::max(1u, GetParam()) + 64u);
+  // Correctness at every bin count: union covers truth.
+  std::size_t covered = probe.definite.size() + probe.candidates.size();
+  std::size_t truth = 0;
+  for (double v : data) truth += q.contains(v);
+  EXPECT_GE(covered, truth);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bins, BinnedIndexBinSweep,
+                         ::testing::Values(4, 16, 32, 64, 128));
+
+}  // namespace
+}  // namespace pdc::bitmap

@@ -1,0 +1,217 @@
+// Tests for the paper-faithful C-style API shim (Fig. 1 entry points).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <vector>
+
+#include "common/rng.h"
+#include "query/pdc_capi.h"
+
+namespace pdc::capi {
+namespace {
+
+class CapiTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = ::testing::TempDir() + "/capi_test_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(root_);
+    pfs::PfsConfig cfg;
+    cfg.root_dir = root_;
+    cluster_ = std::move(pfs::PfsCluster::Create(cfg)).value();
+    store_ = std::make_unique<obj::ObjectStore>(*cluster_);
+    const ObjectId container =
+        std::move(store_->create_container("c")).value();
+
+    Rng rng(3);
+    data_.resize(30000);
+    for (auto& v : data_) v = static_cast<float>(rng.uniform(0.0, 100.0));
+    obj::ImportOptions options;
+    options.region_size_bytes = 8192;
+    object_ = std::move(store_->import_object<float>(
+                            container, "values",
+                            std::span<const float>(data_), options))
+                  .value();
+    meta_.set_attribute(object_, "kind", std::string("demo"));
+    meta_.set_attribute(object_, "epoch", 42.0);
+
+    query::ServiceOptions service_options;
+    service_options.num_servers = 4;
+    service_ = std::make_unique<query::QueryService>(*store_, service_options);
+    PDC_attach(service_.get(), &meta_);
+  }
+
+  void TearDown() override {
+    PDC_detach();
+    std::filesystem::remove_all(root_);
+  }
+
+  std::uint64_t brute_count(double lo, double hi) const {
+    std::uint64_t n = 0;
+    for (const float v : data_) n += v > lo && v < hi;
+    return n;
+  }
+
+  std::string root_;
+  std::unique_ptr<pfs::PfsCluster> cluster_;
+  std::unique_ptr<obj::ObjectStore> store_;
+  meta::MetaStore meta_;
+  std::unique_ptr<query::QueryService> service_;
+  std::vector<float> data_;
+  ObjectId object_ = kInvalidObjectId;
+};
+
+TEST_F(CapiTest, CreateAndGetNhits) {
+  double lo = 20.0;
+  double hi = 30.0;
+  pdcquery_t* ql = PDCquery_create(object_, PDC_GT, PDC_DOUBLE, &lo);
+  pdcquery_t* qh = PDCquery_create(object_, PDC_LT, PDC_DOUBLE, &hi);
+  ASSERT_NE(ql, nullptr);
+  ASSERT_NE(qh, nullptr);
+  pdcquery_t* q = PDCquery_and(ql, qh);
+  ASSERT_NE(q, nullptr);
+
+  std::uint64_t n = 0;
+  ASSERT_EQ(PDCquery_get_nhits(q, &n), PDC_SUCCESS) << PDC_last_error();
+  EXPECT_EQ(n, brute_count(20.0, 30.0));
+
+  PDCquery_free(q);
+  PDCquery_free(ql);
+  PDCquery_free(qh);
+}
+
+TEST_F(CapiTest, TypedValuePointers) {
+  const float f = 50.0F;
+  pdcquery_t* qf = PDCquery_create(object_, PDC_GT, PDC_FLOAT, &f);
+  const std::int32_t i = 50;
+  pdcquery_t* qi = PDCquery_create(object_, PDC_GT, PDC_INT, &i);
+  std::uint64_t nf = 0;
+  std::uint64_t ni = 0;
+  ASSERT_EQ(PDCquery_get_nhits(qf, &nf), PDC_SUCCESS);
+  ASSERT_EQ(PDCquery_get_nhits(qi, &ni), PDC_SUCCESS);
+  EXPECT_EQ(nf, ni);
+  EXPECT_GT(nf, 0u);
+  PDCquery_free(qf);
+  PDCquery_free(qi);
+}
+
+TEST_F(CapiTest, SelectionAndGetData) {
+  double lo = 90.0;
+  pdcquery_t* q = PDCquery_create(object_, PDC_GT, PDC_DOUBLE, &lo);
+  pdcselection_t* sel = nullptr;
+  ASSERT_EQ(PDCquery_get_selection(q, &sel), PDC_SUCCESS) << PDC_last_error();
+  ASSERT_NE(sel, nullptr);
+  const std::uint64_t n = PDCselection_nhits(sel);
+  EXPECT_EQ(n, brute_count(90.0, 1e30));
+  const std::uint64_t* coords = PDCselection_coords(sel);
+  ASSERT_NE(coords, nullptr);
+
+  std::vector<float> values(n);
+  ASSERT_EQ(PDCquery_get_data(object_, sel, values.data()), PDC_SUCCESS)
+      << PDC_last_error();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    EXPECT_EQ(values[i], data_[coords[i]]);
+  }
+  PDCselection_free(sel);
+  PDCquery_free(q);
+}
+
+TEST_F(CapiTest, GetDataBatchWalksSelection) {
+  double lo = 70.0;
+  pdcquery_t* q = PDCquery_create(object_, PDC_GT, PDC_DOUBLE, &lo);
+  pdcselection_t* sel = nullptr;
+  ASSERT_EQ(PDCquery_get_selection(q, &sel), PDC_SUCCESS);
+  const std::uint64_t total = PDCselection_nhits(sel);
+  ASSERT_GT(total, 100u);
+
+  std::vector<float> batch(256);
+  std::uint64_t seen = 0;
+  for (std::uint64_t bi = 0;; ++bi) {
+    std::uint64_t got = 0;
+    ASSERT_EQ(PDCquery_get_data_batch(object_, sel, 256, batch.data(), bi,
+                                      &got),
+              PDC_SUCCESS)
+        << PDC_last_error();
+    if (got == 0) break;
+    for (std::uint64_t i = 0; i < got; ++i) {
+      EXPECT_GT(batch[i], 70.0F);
+    }
+    seen += got;
+  }
+  EXPECT_EQ(seen, total);
+  PDCselection_free(sel);
+  PDCquery_free(q);
+}
+
+TEST_F(CapiTest, RegionConstraint) {
+  double lo = 50.0;
+  pdcquery_t* q = PDCquery_create(object_, PDC_GT, PDC_DOUBLE, &lo);
+  const pdc_region_t region{1000, 5000};
+  ASSERT_EQ(PDCquery_sel_region(q, &region), PDC_SUCCESS);
+  pdcselection_t* sel = nullptr;
+  ASSERT_EQ(PDCquery_get_selection(q, &sel), PDC_SUCCESS);
+  const std::uint64_t* coords = PDCselection_coords(sel);
+  for (std::uint64_t i = 0; i < PDCselection_nhits(sel); ++i) {
+    EXPECT_GE(coords[i], 1000u);
+    EXPECT_LT(coords[i], 6000u);
+  }
+  PDCselection_free(sel);
+  PDCquery_free(q);
+}
+
+TEST_F(CapiTest, HistogramAccessors) {
+  pdchistogram_t* hist = PDCquery_get_histogram(object_);
+  ASSERT_NE(hist, nullptr);
+  const std::uint64_t nbins = PDChistogram_nbins(hist);
+  EXPECT_GT(nbins, 0u);
+  std::uint64_t total = 0;
+  for (std::uint64_t b = 0; b < nbins; ++b) {
+    total += PDChistogram_bin_count(hist, b);
+    if (b > 0) {
+      EXPECT_GT(PDChistogram_bin_edge(hist, b),
+                PDChistogram_bin_edge(hist, b - 1));
+    }
+  }
+  EXPECT_EQ(total, data_.size());
+  PDChistogram_free(hist);
+  EXPECT_EQ(PDCquery_get_histogram(999999), nullptr);
+}
+
+TEST_F(CapiTest, TagQuery) {
+  int nobj = 0;
+  pdc_id_t* ids = nullptr;
+  ASSERT_EQ(PDCquery_tag("kind", 4, "demo", &nobj, &ids), PDC_SUCCESS)
+      << PDC_last_error();
+  ASSERT_EQ(nobj, 1);
+  EXPECT_EQ(ids[0], object_);
+  std::free(ids);
+
+  const double epoch = 42.0;
+  ASSERT_EQ(PDCquery_tag("epoch", sizeof(double), &epoch, &nobj, &ids),
+            PDC_SUCCESS);
+  ASSERT_EQ(nobj, 1);
+  std::free(ids);
+
+  ASSERT_EQ(PDCquery_tag("kind", 4, "none", &nobj, &ids), PDC_SUCCESS);
+  EXPECT_EQ(nobj, 0);
+  EXPECT_EQ(ids, nullptr);
+}
+
+TEST_F(CapiTest, ErrorHandling) {
+  EXPECT_EQ(PDCquery_create(object_, PDC_GT, PDC_DOUBLE, nullptr), nullptr);
+  EXPECT_EQ(PDCquery_and(nullptr, nullptr), nullptr);
+  std::uint64_t n = 0;
+  EXPECT_EQ(PDCquery_get_nhits(nullptr, &n), PDC_FAILURE);
+  EXPECT_NE(std::string(PDC_last_error()), "");
+
+  PDC_detach();
+  double v = 1.0;
+  pdcquery_t* q = PDCquery_create(object_, PDC_GT, PDC_DOUBLE, &v);
+  EXPECT_EQ(PDCquery_get_nhits(q, &n), PDC_FAILURE);
+  PDCquery_free(q);
+  PDC_attach(service_.get(), &meta_);
+}
+
+}  // namespace
+}  // namespace pdc::capi

@@ -1,0 +1,241 @@
+// Tests for the h5lite container format and the HDF5-F full-scan baseline.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <vector>
+
+#include "common/rng.h"
+#include "h5lite/full_scan.h"
+#include "h5lite/h5lite.h"
+
+namespace pdc::h5lite {
+namespace {
+
+class H5LiteTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = ::testing::TempDir() + "/h5lite_test_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(root_);
+    pfs::PfsConfig cfg;
+    cfg.root_dir = root_;
+    auto cluster = pfs::PfsCluster::Create(cfg);
+    ASSERT_TRUE(cluster.ok());
+    cluster_ = std::move(cluster).value();
+  }
+  void TearDown() override { std::filesystem::remove_all(root_); }
+
+  std::string root_;
+  std::unique_ptr<pfs::PfsCluster> cluster_;
+};
+
+std::vector<float> make_floats(std::size_t n, std::uint64_t seed = 1) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.uniform(-10.0, 10.0));
+  return v;
+}
+
+TEST_F(H5LiteTest, WriteReadRoundTrip) {
+  auto floats = make_floats(10000);
+  std::vector<std::int64_t> ints(500);
+  for (std::size_t i = 0; i < ints.size(); ++i) {
+    ints[i] = static_cast<std::int64_t>(i) - 250;
+  }
+  {
+    auto writer = H5LiteWriter::Create(*cluster_, "test.h5");
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->add_dataset<float>("floats", floats).ok());
+    ASSERT_TRUE(writer->add_dataset<std::int64_t>("ints", ints).ok());
+    ASSERT_TRUE(writer->finish().ok());
+  }
+  auto reader = H5LiteReader::Open(*cluster_, "test.h5");
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_EQ(reader->datasets().size(), 2u);
+
+  auto info = reader->dataset("floats");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->num_elements, 10000u);
+  EXPECT_EQ(info->type, PdcType::kFloat);
+  std::vector<float> back(10000);
+  ASSERT_TRUE(reader->read<float>(*info, 0, back, {}).ok());
+  EXPECT_EQ(back, floats);
+
+  auto iinfo = reader->dataset("ints");
+  ASSERT_TRUE(iinfo.ok());
+  std::vector<std::int64_t> iback(100);
+  ASSERT_TRUE(reader->read<std::int64_t>(*iinfo, 400, iback, {}).ok());
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(iback[i], ints[400 + i]);
+  }
+}
+
+TEST_F(H5LiteTest, TypeMismatchRejected) {
+  auto floats = make_floats(100);
+  auto writer = H5LiteWriter::Create(*cluster_, "t.h5");
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->add_dataset<float>("d", floats).ok());
+  ASSERT_TRUE(writer->finish().ok());
+  auto reader = H5LiteReader::Open(*cluster_, "t.h5");
+  ASSERT_TRUE(reader.ok());
+  auto info = reader->dataset("d");
+  std::vector<double> wrong(100);
+  EXPECT_EQ(reader->read<double>(*info, 0, wrong, {}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(H5LiteTest, ReadBeyondDatasetRejected) {
+  auto writer = H5LiteWriter::Create(*cluster_, "t2.h5");
+  ASSERT_TRUE(writer.ok());
+  auto floats = make_floats(100);
+  ASSERT_TRUE(writer->add_dataset<float>("d", floats).ok());
+  ASSERT_TRUE(writer->finish().ok());
+  auto reader = H5LiteReader::Open(*cluster_, "t2.h5");
+  auto info = reader->dataset("d");
+  std::vector<float> out(50);
+  EXPECT_EQ(reader->read<float>(*info, 60, out, {}).code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST_F(H5LiteTest, DuplicateDatasetRejected) {
+  auto writer = H5LiteWriter::Create(*cluster_, "dup.h5");
+  ASSERT_TRUE(writer.ok());
+  auto floats = make_floats(10);
+  ASSERT_TRUE(writer->add_dataset<float>("d", floats).ok());
+  EXPECT_EQ(writer->add_dataset<float>("d", floats).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(H5LiteTest, WriteAfterFinishRejected) {
+  auto writer = H5LiteWriter::Create(*cluster_, "fin.h5");
+  ASSERT_TRUE(writer.ok());
+  auto floats = make_floats(10);
+  ASSERT_TRUE(writer->add_dataset<float>("d", floats).ok());
+  ASSERT_TRUE(writer->finish().ok());
+  EXPECT_EQ(writer->add_dataset<float>("e", floats).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(writer->finish().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(H5LiteTest, CorruptFileRejected) {
+  auto file = cluster_->create("junk.h5");
+  ASSERT_TRUE(file.ok());
+  std::vector<std::uint8_t> junk(64, 0xAA);
+  ASSERT_TRUE(file->write(0, junk).ok());
+  EXPECT_EQ(H5LiteReader::Open(*cluster_, "junk.h5").status().code(),
+            StatusCode::kCorruption);
+  EXPECT_EQ(H5LiteReader::Open(*cluster_, "absent.h5").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(H5LiteTest, MissingDatasetIsNotFound) {
+  auto writer = H5LiteWriter::Create(*cluster_, "m.h5");
+  ASSERT_TRUE(writer.ok());
+  auto floats = make_floats(10);
+  ASSERT_TRUE(writer->add_dataset<float>("d", floats).ok());
+  ASSERT_TRUE(writer->finish().ok());
+  auto reader = H5LiteReader::Open(*cluster_, "m.h5");
+  EXPECT_EQ(reader->dataset("nope").status().code(), StatusCode::kNotFound);
+}
+
+// ------------------------------------------------------------- full scan
+
+class FullScanTest : public H5LiteTest {
+ protected:
+  void write_data(std::size_t n) {
+    energy_ = make_floats(n, 7);
+    x_ = make_floats(n, 8);
+    auto writer = H5LiteWriter::Create(*cluster_, "scan.h5");
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->add_dataset<float>("Energy", energy_).ok());
+    ASSERT_TRUE(writer->add_dataset<float>("x", x_).ok());
+    ASSERT_TRUE(writer->finish().ok());
+    reader_.emplace(std::move(H5LiteReader::Open(*cluster_, "scan.h5")).value());
+  }
+
+  std::vector<float> energy_, x_;
+  std::optional<H5LiteReader> reader_;
+};
+
+TEST_F(FullScanTest, SingleConditionMatchesBruteForce) {
+  write_data(50000);
+  ParallelFullScan scan(*cluster_, *reader_, 4);
+  const std::vector<std::string> names{"Energy"};
+  ASSERT_TRUE(scan.load(names).ok());
+  EXPECT_GT(scan.load_elapsed_seconds(), 0.0);
+  EXPECT_EQ(scan.bytes_loaded(), 50000u * sizeof(float));
+
+  const ValueInterval q = ValueInterval::from_op(QueryOp::kGT, 5.0);
+  std::vector<ScanCondition> conditions{{"Energy", q}};
+  auto result = scan.scan(conditions, /*collect_positions=*/true);
+  ASSERT_TRUE(result.ok());
+  std::uint64_t truth = 0;
+  std::vector<std::uint64_t> expect;
+  for (std::size_t i = 0; i < energy_.size(); ++i) {
+    if (q.contains(energy_[i])) {
+      ++truth;
+      expect.push_back(i);
+    }
+  }
+  EXPECT_EQ(result->num_hits, truth);
+  EXPECT_EQ(result->positions, expect);
+  EXPECT_GT(result->scan_elapsed_s, 0.0);
+}
+
+TEST_F(FullScanTest, CompoundConditionIsConjunction) {
+  write_data(30000);
+  ParallelFullScan scan(*cluster_, *reader_, 3);
+  const std::vector<std::string> names{"Energy", "x"};
+  ASSERT_TRUE(scan.load(names).ok());
+  const auto qe = ValueInterval::from_op(QueryOp::kGT, 3.0);
+  const auto qx = ValueInterval::from_op(QueryOp::kLT, -2.0);
+  std::vector<ScanCondition> conditions{{"Energy", qe}, {"x", qx}};
+  auto result = scan.scan(conditions, false);
+  ASSERT_TRUE(result.ok());
+  std::uint64_t truth = 0;
+  for (std::size_t i = 0; i < energy_.size(); ++i) {
+    truth += qe.contains(energy_[i]) && qx.contains(x_[i]);
+  }
+  EXPECT_EQ(result->num_hits, truth);
+  EXPECT_TRUE(result->positions.empty());
+}
+
+TEST_F(FullScanTest, ScanBeforeLoadRejected) {
+  write_data(100);
+  ParallelFullScan scan(*cluster_, *reader_, 2);
+  std::vector<ScanCondition> conditions{
+      {"Energy", ValueInterval::from_op(QueryOp::kGT, 0.0)}};
+  EXPECT_EQ(scan.scan(conditions, false).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(FullScanTest, UnknownColumnRejected) {
+  write_data(100);
+  ParallelFullScan scan(*cluster_, *reader_, 2);
+  const std::vector<std::string> names{"Energy"};
+  ASSERT_TRUE(scan.load(names).ok());
+  std::vector<ScanCondition> conditions{
+      {"zzz", ValueInterval::from_op(QueryOp::kGT, 0.0)}};
+  EXPECT_EQ(scan.scan(conditions, false).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(FullScanTest, MoreRanksSameAnswerLessSimTime) {
+  write_data(60000);
+  ParallelFullScan one(*cluster_, *reader_, 1);
+  ParallelFullScan eight(*cluster_, *reader_, 8);
+  const std::vector<std::string> names{"Energy"};
+  ASSERT_TRUE(one.load(names).ok());
+  ASSERT_TRUE(eight.load(names).ok());
+  const auto q = ValueInterval::from_op(QueryOp::kLT, 0.0);
+  std::vector<ScanCondition> conditions{{"Energy", q}};
+  auto r1 = one.scan(conditions, false);
+  auto r8 = eight.scan(conditions, false);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r8.ok());
+  EXPECT_EQ(r1->num_hits, r8->num_hits);
+  EXPECT_GT(r1->scan_elapsed_s, r8->scan_elapsed_s);
+}
+
+}  // namespace
+}  // namespace pdc::h5lite

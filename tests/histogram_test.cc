@@ -1,0 +1,296 @@
+// Tests for Algorithm 1 histograms, global merging, pruning and estimation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "histogram/histogram.h"
+
+namespace pdc::hist {
+namespace {
+
+std::vector<double> uniform_data(std::size_t n, double lo, double hi,
+                                 std::uint64_t seed = 1) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.uniform(lo, hi);
+  return v;
+}
+
+TEST(RoundDownPow2, ExactAndInexact) {
+  EXPECT_DOUBLE_EQ(round_down_pow2(8.0), 8.0);
+  EXPECT_DOUBLE_EQ(round_down_pow2(9.5), 8.0);
+  EXPECT_DOUBLE_EQ(round_down_pow2(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(round_down_pow2(0.3), 0.25);
+  EXPECT_DOUBLE_EQ(round_down_pow2(0.125), 0.125);
+  EXPECT_DOUBLE_EQ(round_down_pow2(0.0), 1.0);   // degenerate span
+  EXPECT_DOUBLE_EQ(round_down_pow2(-3.0), 1.0);  // degenerate span
+}
+
+TEST(Histogram, EmptyDataIsInvalid) {
+  MergeableHistogram h =
+      MergeableHistogram::Build<double>(std::span<const double>{});
+  EXPECT_FALSE(h.valid());
+  EXPECT_EQ(h.total_count(), 0u);
+}
+
+TEST(Histogram, TotalCountAndMinMaxExact) {
+  auto data = uniform_data(10000, -3.0, 7.0);
+  auto h = MergeableHistogram::Build<double>(data);
+  EXPECT_EQ(h.total_count(), 10000u);
+  double mn = data[0], mx = data[0];
+  for (double v : data) {
+    mn = std::min(mn, v);
+    mx = std::max(mx, v);
+  }
+  EXPECT_DOUBLE_EQ(h.min_value(), mn);
+  EXPECT_DOUBLE_EQ(h.max_value(), mx);
+}
+
+TEST(Histogram, BinWidthIsPowerOfTwoAndEdgesAligned) {
+  auto data = uniform_data(5000, 0.0, 100.0);
+  auto h = MergeableHistogram::Build<double>(data);
+  const double w = h.bin_width();
+  // w is 2^k: frexp mantissa must be exactly 0.5.
+  int exp = 0;
+  EXPECT_DOUBLE_EQ(std::frexp(w, &exp), 0.5);
+  // First edge is an integer multiple of the width.
+  EXPECT_DOUBLE_EQ(std::fmod(h.bin_left_edge(0), w), 0.0);
+}
+
+TEST(Histogram, BinCountAtLeastTarget) {
+  HistogramConfig cfg;
+  cfg.target_bins = 50;
+  auto data = uniform_data(20000, 0.0, 1000.0);
+  auto h = MergeableHistogram::Build<double>(data, cfg);
+  // Rounding the width DOWN can only increase the bin count (paper: the
+  // result has at least Nbin bins).
+  EXPECT_GE(h.num_bins(), 50u);
+  // But not pathologically more than 2x (width is at most halved).
+  EXPECT_LE(h.num_bins(), 110u);
+}
+
+TEST(Histogram, CountsSumToTotal) {
+  auto data = uniform_data(12345, -5.0, 5.0);
+  auto h = MergeableHistogram::Build<double>(data);
+  std::uint64_t sum = 0;
+  for (auto c : h.counts()) sum += c;
+  EXPECT_EQ(sum, 12345u);
+}
+
+TEST(Histogram, ConstantDataSingleBin) {
+  std::vector<double> data(1000, 42.0);
+  auto h = MergeableHistogram::Build<double>(data);
+  EXPECT_TRUE(h.valid());
+  EXPECT_EQ(h.total_count(), 1000u);
+  EXPECT_DOUBLE_EQ(h.min_value(), 42.0);
+  EXPECT_DOUBLE_EQ(h.max_value(), 42.0);
+  auto est = h.estimate(ValueInterval::from_op(QueryOp::kEQ, 42.0));
+  EXPECT_EQ(est.upper, 1000u);
+}
+
+TEST(Histogram, OutliersBeyondSampleLandInEdgeBins) {
+  // Sampling may miss the single huge outlier; it must still be counted.
+  auto data = uniform_data(50000, 0.0, 1.0);
+  data.push_back(1e6);
+  data.push_back(-1e6);
+  auto h = MergeableHistogram::Build<double>(data);
+  EXPECT_EQ(h.total_count(), 50002u);
+  EXPECT_DOUBLE_EQ(h.max_value(), 1e6);
+  EXPECT_DOUBLE_EQ(h.min_value(), -1e6);
+  std::uint64_t sum = 0;
+  for (auto c : h.counts()) sum += c;
+  EXPECT_EQ(sum, 50002u);
+  // The outlier is findable: a query around 1e6 must not be pruned.
+  EXPECT_TRUE(h.may_overlap(ValueInterval::from_op(QueryOp::kGT, 999.0)));
+}
+
+TEST(Histogram, PruningRejectsDisjointQueries) {
+  auto data = uniform_data(1000, 10.0, 20.0);
+  auto h = MergeableHistogram::Build<double>(data);
+  EXPECT_FALSE(h.may_overlap(ValueInterval::from_op(QueryOp::kGT, 25.0)));
+  EXPECT_FALSE(h.may_overlap(ValueInterval::from_op(QueryOp::kLT, 5.0)));
+  EXPECT_TRUE(h.may_overlap(ValueInterval::from_op(QueryOp::kGT, 15.0)));
+}
+
+TEST(Histogram, EstimateBoundsBracketTruth) {
+  auto data = uniform_data(100000, 0.0, 10.0, 99);
+  auto h = MergeableHistogram::Build<double>(data);
+  for (const double lo : {1.0, 3.3, 7.9}) {
+    const double hi = lo + 1.7;
+    auto q = ValueInterval::from_op(QueryOp::kGT, lo)
+                 .intersect(ValueInterval::from_op(QueryOp::kLT, hi));
+    std::uint64_t truth = 0;
+    for (double v : data) truth += q.contains(v);
+    auto est = h.estimate(q);
+    EXPECT_LE(est.lower, truth) << "lo=" << lo;
+    EXPECT_GE(est.upper, truth) << "lo=" << lo;
+    // Bounds are useful: within a few bins' worth of slack.
+    const double bin_mass = static_cast<double>(h.total_count()) /
+                            static_cast<double>(h.num_bins()) * 4.0;
+    EXPECT_LT(static_cast<double>(est.upper - est.lower), bin_mass * 2);
+  }
+}
+
+TEST(Histogram, EstimateEmptyQueryIsZero) {
+  auto data = uniform_data(1000, 0.0, 1.0);
+  auto h = MergeableHistogram::Build<double>(data);
+  auto q = ValueInterval::from_op(QueryOp::kGT, 2.0);
+  auto est = h.estimate(q);
+  EXPECT_EQ(est.lower, 0u);
+  EXPECT_EQ(est.upper, 0u);
+}
+
+// ------------------------------------------------------------------ merge
+
+TEST(HistogramMerge, TwoRegionsSameDistribution) {
+  auto d1 = uniform_data(5000, 0.0, 10.0, 1);
+  auto d2 = uniform_data(5000, 0.0, 10.0, 2);
+  auto h1 = MergeableHistogram::Build<double>(d1);
+  auto h2 = MergeableHistogram::Build<double>(d2);
+  std::vector<MergeableHistogram> parts{h1, h2};
+  auto g = MergeableHistogram::Merge(parts);
+  EXPECT_EQ(g.total_count(), 10000u);
+  std::uint64_t sum = 0;
+  for (auto c : g.counts()) sum += c;
+  EXPECT_EQ(sum, 10000u);
+  EXPECT_DOUBLE_EQ(g.min_value(), std::min(h1.min_value(), h2.min_value()));
+  EXPECT_DOUBLE_EQ(g.max_value(), std::max(h1.max_value(), h2.max_value()));
+}
+
+TEST(HistogramMerge, DifferentWidthsAlignExactly) {
+  // Region A spans 1 unit, region B spans 1000 units: very different widths.
+  auto a = uniform_data(4000, 5.0, 6.0, 3);
+  auto b = uniform_data(4000, 0.0, 1000.0, 4);
+  auto ha = MergeableHistogram::Build<double>(a);
+  auto hb = MergeableHistogram::Build<double>(b);
+  EXPECT_NE(ha.bin_width(), hb.bin_width());
+  std::vector<MergeableHistogram> parts{ha, hb};
+  auto g = MergeableHistogram::Merge(parts);
+  EXPECT_DOUBLE_EQ(g.bin_width(), std::max(ha.bin_width(), hb.bin_width()));
+  EXPECT_EQ(g.total_count(), 8000u);
+  std::uint64_t sum = 0;
+  for (auto c : g.counts()) sum += c;
+  EXPECT_EQ(sum, 8000u);
+}
+
+TEST(HistogramMerge, GlobalEstimateBracketsTruth) {
+  // Build per-region histograms over disjoint subranges, merge, and verify
+  // the global estimate brackets the true global count.
+  std::vector<double> all;
+  std::vector<MergeableHistogram> parts;
+  for (int r = 0; r < 8; ++r) {
+    auto d = uniform_data(10000, r * 2.0, r * 2.0 + 4.0, 100 + r);
+    parts.push_back(MergeableHistogram::Build<double>(d));
+    all.insert(all.end(), d.begin(), d.end());
+  }
+  auto g = MergeableHistogram::Merge(parts);
+  auto q = ValueInterval::from_op(QueryOp::kGT, 6.5)
+               .intersect(ValueInterval::from_op(QueryOp::kLT, 9.25));
+  std::uint64_t truth = 0;
+  for (double v : all) truth += q.contains(v);
+  auto est = g.estimate(q);
+  EXPECT_LE(est.lower, truth);
+  EXPECT_GE(est.upper, truth);
+  EXPECT_GT(est.upper, 0u);
+}
+
+TEST(HistogramMerge, MergeOfNothingIsInvalid) {
+  auto g = MergeableHistogram::Merge({});
+  EXPECT_FALSE(g.valid());
+  std::vector<MergeableHistogram> empties(3);
+  EXPECT_FALSE(MergeableHistogram::Merge(empties).valid());
+}
+
+TEST(HistogramMerge, MergeIsAssociativeOnCounts) {
+  auto d1 = uniform_data(3000, 0.0, 8.0, 11);
+  auto d2 = uniform_data(3000, 4.0, 12.0, 12);
+  auto d3 = uniform_data(3000, -4.0, 2.0, 13);
+  auto h1 = MergeableHistogram::Build<double>(d1);
+  auto h2 = MergeableHistogram::Build<double>(d2);
+  auto h3 = MergeableHistogram::Build<double>(d3);
+
+  std::vector<MergeableHistogram> all{h1, h2, h3};
+  auto g_once = MergeableHistogram::Merge(all);
+
+  std::vector<MergeableHistogram> first_two{h1, h2};
+  std::vector<MergeableHistogram> staged{MergeableHistogram::Merge(first_two),
+                                         h3};
+  auto g_staged = MergeableHistogram::Merge(staged);
+
+  EXPECT_EQ(g_once.total_count(), g_staged.total_count());
+  EXPECT_DOUBLE_EQ(g_once.bin_width(), g_staged.bin_width());
+  // Same query -> same estimates regardless of merge order.
+  auto q = ValueInterval::from_op(QueryOp::kGT, 1.0)
+               .intersect(ValueInterval::from_op(QueryOp::kLT, 6.0));
+  EXPECT_EQ(g_once.estimate(q).upper, g_staged.estimate(q).upper);
+  EXPECT_EQ(g_once.estimate(q).lower, g_staged.estimate(q).lower);
+}
+
+// -------------------------------------------------------------- serialize
+
+TEST(HistogramSerial, RoundTrip) {
+  auto data = uniform_data(5000, -2.0, 9.0);
+  auto h = MergeableHistogram::Build<double>(data);
+  SerialWriter w;
+  h.serialize(w);
+  auto bytes = w.take();
+  SerialReader r(bytes);
+  auto back = MergeableHistogram::Deserialize(r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, h);
+}
+
+TEST(HistogramSerial, CorruptRejected) {
+  std::vector<std::uint8_t> junk(10, 0xAB);
+  SerialReader r(junk);
+  EXPECT_FALSE(MergeableHistogram::Deserialize(r).ok());
+}
+
+// -------------------------------------------------- parameterized sweeps
+
+class HistogramTypeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(HistogramTypeSweep, IntTypesBracketTruth) {
+  Rng rng(GetParam());
+  std::vector<std::int64_t> data(20000);
+  for (auto& v : data) v = static_cast<std::int64_t>(rng.bounded(1000)) - 500;
+  auto h = MergeableHistogram::Build<std::int64_t>(data);
+  auto q = ValueInterval::from_op(QueryOp::kGTE, -100.0)
+               .intersect(ValueInterval::from_op(QueryOp::kLTE, 100.0));
+  std::uint64_t truth = 0;
+  for (auto v : data) truth += q.contains(static_cast<double>(v));
+  auto est = h.estimate(q);
+  EXPECT_LE(est.lower, truth);
+  EXPECT_GE(est.upper, truth);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HistogramTypeSweep,
+                         ::testing::Values(1, 2, 3, 5, 8));
+
+class HistogramBinSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(HistogramBinSweep, MoreBinsTightenBounds) {
+  auto data = uniform_data(50000, 0.0, 100.0, 7);
+  HistogramConfig cfg;
+  cfg.target_bins = GetParam();
+  auto h = MergeableHistogram::Build<double>(data, cfg);
+  auto q = ValueInterval::from_op(QueryOp::kGT, 30.0)
+               .intersect(ValueInterval::from_op(QueryOp::kLT, 31.0));
+  auto est = h.estimate(q);
+  std::uint64_t truth = 0;
+  for (double v : data) truth += q.contains(v);
+  EXPECT_LE(est.lower, truth);
+  EXPECT_GE(est.upper, truth);
+  // Slack shrinks as bins grow: with B bins over span 100, the query edge
+  // bins hold ~2*N/B elements.
+  const double slack = static_cast<double>(est.upper - est.lower);
+  EXPECT_LE(slack, 4.0 * 50000.0 / GetParam() + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bins, HistogramBinSweep,
+                         ::testing::Values(16, 32, 64, 128, 256));
+
+}  // namespace
+}  // namespace pdc::hist

@@ -1,0 +1,122 @@
+// Tests for the metadata store (SoMeta-lite).
+#include <gtest/gtest.h>
+
+#include "metadata/meta_store.h"
+
+namespace pdc::meta {
+namespace {
+
+TEST(MetaStore, SetAndGetAttribute) {
+  MetaStore store;
+  store.set_attribute(1, "RADEG", 153.17);
+  store.set_attribute(1, "name", std::string("spectrum-1"));
+  store.set_attribute(1, "PLATE", std::int64_t{3586});
+
+  auto radeg = store.get_attribute(1, "RADEG");
+  ASSERT_TRUE(radeg.has_value());
+  EXPECT_DOUBLE_EQ(std::get<double>(*radeg), 153.17);
+  auto name = store.get_attribute(1, "name");
+  ASSERT_TRUE(name.has_value());
+  EXPECT_EQ(std::get<std::string>(*name), "spectrum-1");
+  EXPECT_FALSE(store.get_attribute(1, "nope").has_value());
+  EXPECT_FALSE(store.get_attribute(2, "RADEG").has_value());
+  EXPECT_EQ(store.attributes(1).size(), 3u);
+  EXPECT_EQ(store.num_objects(), 1u);
+}
+
+TEST(MetaStore, OverwriteUpdatesIndex) {
+  MetaStore store;
+  store.set_attribute(1, "v", 1.0);
+  store.set_attribute(1, "v", 2.0);
+  EXPECT_TRUE(store.query_tag("v", 1.0).empty());
+  EXPECT_EQ(store.query_tag("v", 2.0), (std::vector<ObjectId>{1}));
+}
+
+TEST(MetaStore, TagQueryStringAndNumeric) {
+  MetaStore store;
+  for (ObjectId id = 1; id <= 10; ++id) {
+    store.set_attribute(id, "kind",
+                        std::string(id % 2 == 0 ? "galaxy" : "quasar"));
+    store.set_attribute(id, "cell", static_cast<double>(id / 5));
+  }
+  EXPECT_EQ(store.query_tag("kind", std::string("galaxy")),
+            (std::vector<ObjectId>{2, 4, 6, 8, 10}));
+  EXPECT_EQ(store.query_tag("cell", 1.0), (std::vector<ObjectId>{5, 6, 7, 8, 9}));
+  EXPECT_TRUE(store.query_tag("kind", std::string("nebula")).empty());
+  EXPECT_TRUE(store.query_tag("missing", 1.0).empty());
+}
+
+TEST(MetaStore, ConjunctiveQueryIntersects) {
+  MetaStore store;
+  // 1000-object sky cell, as in Fig. 5.
+  for (ObjectId id = 1; id <= 3000; ++id) {
+    const double radeg = id <= 1000 ? 153.17 : 200.0;
+    const double decdeg = (id % 2 == 0) ? 23.06 : -5.0;
+    store.set_attribute(id, "RADEG", radeg);
+    store.set_attribute(id, "DECDEG", decdeg);
+  }
+  const std::vector<MetaCondition> conditions{
+      {"RADEG", QueryOp::kEQ, 153.17},
+      {"DECDEG", QueryOp::kEQ, 23.06},
+  };
+  const auto hits = store.query(conditions);
+  EXPECT_EQ(hits.size(), 500u);
+  for (const ObjectId id : hits) {
+    EXPECT_LE(id, 1000u);
+    EXPECT_EQ(id % 2, 0u);
+  }
+}
+
+TEST(MetaStore, NumericRangeOperators) {
+  MetaStore store;
+  for (ObjectId id = 1; id <= 9; ++id) {
+    store.set_attribute(id, "z", static_cast<double>(id));
+  }
+  const auto run = [&store](QueryOp op, double v) {
+    const std::vector<MetaCondition> c{{"z", op, v}};
+    return store.query(c);
+  };
+  EXPECT_EQ(run(QueryOp::kGT, 7.0), (std::vector<ObjectId>{8, 9}));
+  EXPECT_EQ(run(QueryOp::kGTE, 7.0), (std::vector<ObjectId>{7, 8, 9}));
+  EXPECT_EQ(run(QueryOp::kLT, 3.0), (std::vector<ObjectId>{1, 2}));
+  EXPECT_EQ(run(QueryOp::kLTE, 3.0), (std::vector<ObjectId>{1, 2, 3}));
+  EXPECT_EQ(run(QueryOp::kEQ, 5.0), (std::vector<ObjectId>{5}));
+}
+
+TEST(MetaStore, Int64AttributesQueryAsNumbers) {
+  MetaStore store;
+  store.set_attribute(1, "FIBER", std::int64_t{42});
+  store.set_attribute(2, "FIBER", std::int64_t{43});
+  const std::vector<MetaCondition> c{{"FIBER", QueryOp::kEQ, std::int64_t{42}}};
+  EXPECT_EQ(store.query(c), (std::vector<ObjectId>{1}));
+  const std::vector<MetaCondition> range{{"FIBER", QueryOp::kGT, 42.0}};
+  EXPECT_EQ(store.query(range), (std::vector<ObjectId>{2}));
+}
+
+TEST(MetaStore, StringRangeOperatorsMatchNothing) {
+  MetaStore store;
+  store.set_attribute(1, "name", std::string("abc"));
+  const std::vector<MetaCondition> c{
+      {"name", QueryOp::kGT, std::string("a")}};
+  EXPECT_TRUE(store.query(c).empty());
+}
+
+TEST(MetaStore, EmptyConditionsMatchNothing) {
+  MetaStore store;
+  store.set_attribute(1, "a", 1.0);
+  EXPECT_TRUE(store.query({}).empty());
+}
+
+TEST(MetaStore, ConjunctionShortCircuitsOnEmpty) {
+  MetaStore store;
+  store.set_attribute(1, "a", 1.0);
+  store.set_attribute(1, "b", 2.0);
+  const std::vector<MetaCondition> c{
+      {"a", QueryOp::kEQ, 99.0},  // empty
+      {"b", QueryOp::kEQ, 2.0},
+  };
+  EXPECT_TRUE(store.query(c).empty());
+}
+
+}  // namespace
+}  // namespace pdc::meta

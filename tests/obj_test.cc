@@ -1,0 +1,269 @@
+// Tests for the ODMS core: containers, objects, regions, ingest-time
+// histograms, bitmap index files, metadata persistence.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <vector>
+
+#include "common/rng.h"
+#include "obj/object_store.h"
+
+namespace pdc::obj {
+namespace {
+
+class ObjectStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = ::testing::TempDir() + "/obj_test_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(root_);
+    pfs::PfsConfig cfg;
+    cfg.root_dir = root_;
+    auto cluster = pfs::PfsCluster::Create(cfg);
+    ASSERT_TRUE(cluster.ok());
+    cluster_ = std::move(cluster).value();
+    store_ = std::make_unique<ObjectStore>(*cluster_);
+  }
+  void TearDown() override { std::filesystem::remove_all(root_); }
+
+  std::vector<float> make_data(std::size_t n, std::uint64_t seed = 3) {
+    Rng rng(seed);
+    std::vector<float> v(n);
+    for (auto& x : v) x = static_cast<float>(rng.uniform(0.0, 100.0));
+    return v;
+  }
+
+  Result<ObjectId> import(const std::vector<float>& data,
+                          std::uint64_t region_bytes = 4096,
+                          const char* name = "obj") {
+    auto container = store_->create_container(std::string("c_") + name);
+    if (!container.ok()) return container.status();
+    ImportOptions options;
+    options.region_size_bytes = region_bytes;
+    return store_->import_object<float>(*container, name,
+                                        std::span<const float>(data), options);
+  }
+
+  std::string root_;
+  std::unique_ptr<pfs::PfsCluster> cluster_;
+  std::unique_ptr<ObjectStore> store_;
+};
+
+TEST_F(ObjectStoreTest, ContainerLifecycle) {
+  auto c1 = store_->create_container("sim");
+  ASSERT_TRUE(c1.ok());
+  EXPECT_NE(*c1, kInvalidObjectId);
+  EXPECT_EQ(store_->create_container("sim").status().code(),
+            StatusCode::kAlreadyExists);
+  auto c2 = store_->create_container("sim2");
+  ASSERT_TRUE(c2.ok());
+  EXPECT_NE(*c1, *c2);
+}
+
+TEST_F(ObjectStoreTest, ImportCreatesRegionsAndHistograms) {
+  const auto data = make_data(10000);  // 40000 bytes
+  auto id = import(data, 4096);        // 1024 elements per region
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  auto desc = store_->get(*id);
+  ASSERT_TRUE(desc.ok());
+  EXPECT_EQ((*desc)->num_elements, 10000u);
+  EXPECT_EQ((*desc)->region_size_elements, 1024u);
+  EXPECT_EQ((*desc)->regions.size(), 10u);  // ceil(10000/1024)
+  // Last region is the remainder.
+  EXPECT_EQ((*desc)->regions.back().extent.count, 10000u - 9u * 1024u);
+  // Every region has a valid local histogram; global sums them.
+  std::uint64_t total = 0;
+  for (const auto& region : (*desc)->regions) {
+    EXPECT_TRUE(region.histogram.valid());
+    EXPECT_EQ(region.histogram.total_count(), region.extent.count);
+    total += region.histogram.total_count();
+  }
+  EXPECT_EQ(total, 10000u);
+  EXPECT_EQ((*desc)->global_histogram.total_count(), 10000u);
+}
+
+TEST_F(ObjectStoreTest, ImportValidation) {
+  auto container = store_->create_container("v");
+  ASSERT_TRUE(container.ok());
+  const auto data = make_data(100);
+  // empty object
+  EXPECT_EQ(store_
+                ->import_object<float>(*container, "empty",
+                                       std::span<const float>{}, {})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  // bad container
+  EXPECT_EQ(store_
+                ->import_object<float>(999999, "o",
+                                       std::span<const float>(data), {})
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+  // duplicate name
+  ASSERT_TRUE(store_
+                  ->import_object<float>(*container, "o",
+                                         std::span<const float>(data), {})
+                  .ok());
+  EXPECT_EQ(store_
+                ->import_object<float>(*container, "o",
+                                       std::span<const float>(data), {})
+                .status()
+                .code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(ObjectStoreTest, ReadRegionAndElementsRoundTrip) {
+  const auto data = make_data(5000);
+  auto id = import(data, 4096);
+  ASSERT_TRUE(id.ok());
+  auto desc = store_->get(*id);
+  ASSERT_TRUE(desc.ok());
+
+  // Whole region 2.
+  const auto& region = (*desc)->regions[2];
+  std::vector<float> buf(region.extent.count);
+  ASSERT_TRUE(store_
+                  ->read_region(**desc, 2,
+                                {reinterpret_cast<std::uint8_t*>(buf.data()),
+                                 buf.size() * sizeof(float)},
+                                {})
+                  .ok());
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    EXPECT_EQ(buf[i], data[region.extent.offset + i]);
+  }
+
+  // Arbitrary extent crossing region boundaries.
+  std::vector<float> ext(1500);
+  ASSERT_TRUE(store_
+                  ->read_elements(**desc, {700, 1500},
+                                  {reinterpret_cast<std::uint8_t*>(ext.data()),
+                                   ext.size() * sizeof(float)},
+                                  {})
+                  .ok());
+  for (std::size_t i = 0; i < ext.size(); ++i) {
+    EXPECT_EQ(ext[i], data[700 + i]);
+  }
+
+  // Out-of-range extent rejected.
+  std::vector<std::uint8_t> small(4);
+  EXPECT_EQ(store_->read_elements(**desc, {4999, 2}, small, {}).code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST_F(ObjectStoreTest, ReadValuesAtScatteredPositions) {
+  const auto data = make_data(5000);
+  auto id = import(data, 2048);
+  ASSERT_TRUE(id.ok());
+  auto desc = store_->get(*id);
+  std::vector<std::uint64_t> positions{3, 100, 101, 2047, 2048, 4999};
+  std::vector<float> values(positions.size());
+  CostLedger ledger;
+  ASSERT_TRUE(store_
+                  ->read_values_at(**desc, positions,
+                                   {reinterpret_cast<std::uint8_t*>(values.data()),
+                                    values.size() * sizeof(float)},
+                                   {}, {&ledger, 1})
+                  .ok());
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    EXPECT_EQ(values[i], data[positions[i]]);
+  }
+  EXPECT_GT(ledger.io_seconds(), 0.0);
+
+  // Non-ascending positions rejected.
+  std::vector<std::uint64_t> bad{10, 5};
+  std::vector<std::uint8_t> buf(8);
+  EXPECT_EQ(store_->read_values_at(**desc, bad, buf, {}, {}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(ObjectStoreTest, BitmapIndexBuildAndLoad) {
+  const auto data = make_data(8192);
+  auto id = import(data, 4096);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(store_->build_bitmap_index(*id).ok());
+  EXPECT_EQ(store_->build_bitmap_index(*id).code(),
+            StatusCode::kAlreadyExists);
+
+  auto desc = store_->get(*id);
+  ASSERT_TRUE(desc.ok());
+  EXPECT_FALSE((*desc)->index_file.empty());
+  for (RegionIndex r = 0; r < (*desc)->regions.size(); ++r) {
+    EXPECT_GT((*desc)->regions[r].index_bytes, 0u);
+    auto index = store_->load_region_index(**desc, r, {});
+    ASSERT_TRUE(index.ok()) << index.status().ToString();
+    EXPECT_EQ(index->num_elements(), (*desc)->regions[r].extent.count);
+    // Probe agrees with brute force over the region.
+    const auto q = ValueInterval::from_op(QueryOp::kGT, 80.0);
+    auto probe = index->probe(q);
+    std::size_t truth = 0;
+    for (std::uint64_t i = 0; i < (*desc)->regions[r].extent.count; ++i) {
+      truth += q.contains(data[(*desc)->regions[r].extent.offset + i]);
+    }
+    EXPECT_GE(probe.definite.size() + probe.candidates.size(), truth);
+    EXPECT_LE(probe.definite.size(), truth);
+  }
+}
+
+TEST_F(ObjectStoreTest, IndexOnMissingObjectFails) {
+  EXPECT_EQ(store_->build_bitmap_index(42).code(), StatusCode::kNotFound);
+}
+
+TEST_F(ObjectStoreTest, LookupByNameAndList) {
+  const auto data = make_data(100);
+  auto id = import(data, 4096, "energy");
+  ASSERT_TRUE(id.ok());
+  auto by_name = store_->find_by_name("energy");
+  ASSERT_TRUE(by_name.ok());
+  EXPECT_EQ((*by_name)->id, *id);
+  EXPECT_EQ(store_->find_by_name("nope").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(store_->list_objects().size(), 1u);
+}
+
+TEST_F(ObjectStoreTest, PersistAndReloadMetadata) {
+  const auto data = make_data(5000);
+  auto id = import(data, 2048);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(store_->build_bitmap_index(*id).ok());
+  ASSERT_TRUE(store_->persist_metadata("checkpoint.meta").ok());
+
+  ObjectStore restored(*cluster_);
+  ASSERT_TRUE(restored.load_metadata("checkpoint.meta").ok());
+  auto desc = restored.get(*id);
+  ASSERT_TRUE(desc.ok());
+  EXPECT_EQ((*desc)->num_elements, 5000u);
+  EXPECT_EQ((*desc)->regions.size(), 10u);
+  EXPECT_EQ((*desc)->global_histogram.total_count(), 5000u);
+  EXPECT_FALSE((*desc)->index_file.empty());
+
+  // Data still readable through the restored metadata.
+  std::vector<float> buf(10);
+  ASSERT_TRUE(restored
+                  .read_elements(**desc, {100, 10},
+                                 {reinterpret_cast<std::uint8_t*>(buf.data()),
+                                  buf.size() * sizeof(float)},
+                                 {})
+                  .ok());
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(buf[i], data[100 + i]);
+
+  // Restored index still probes.
+  auto index = restored.load_region_index(**desc, 0, {});
+  ASSERT_TRUE(index.ok());
+
+  // Loading into a non-empty store fails.
+  EXPECT_EQ(restored.load_metadata("checkpoint.meta").code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ObjectStoreTest, TinyRegionSizeClampsToOneElement) {
+  const auto data = make_data(16);
+  auto id = import(data, 1);  // smaller than one element
+  ASSERT_TRUE(id.ok());
+  auto desc = store_->get(*id);
+  EXPECT_EQ((*desc)->region_size_elements, 1u);
+  EXPECT_EQ((*desc)->regions.size(), 16u);
+}
+
+}  // namespace
+}  // namespace pdc::obj

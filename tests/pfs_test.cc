@@ -1,0 +1,253 @@
+// Tests for the simulated parallel file system and read aggregation.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <numeric>
+#include <vector>
+
+#include "pfs/pfs.h"
+#include "pfs/read_aggregator.h"
+
+namespace pdc::pfs {
+namespace {
+
+class PfsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = ::testing::TempDir() + "/pfs_test_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(root_);
+    PfsConfig cfg;
+    cfg.root_dir = root_;
+    cfg.num_osts = 8;
+    cfg.stripe_size = 1024;
+    cfg.stripe_count = 4;
+    auto cluster = PfsCluster::Create(cfg);
+    ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+    cluster_ = std::move(cluster).value();
+  }
+
+  void TearDown() override { std::filesystem::remove_all(root_); }
+
+  std::string root_;
+  std::unique_ptr<PfsCluster> cluster_;
+};
+
+TEST_F(PfsTest, CreateWriteReadRoundTrip) {
+  auto file = cluster_->create("obj_1.dat");
+  ASSERT_TRUE(file.ok());
+  std::vector<std::uint8_t> data(10000);
+  std::iota(data.begin(), data.end(), 0);
+  ASSERT_TRUE(file->write(0, data).ok());
+
+  std::vector<std::uint8_t> out(10000);
+  CostLedger ledger;
+  ASSERT_TRUE(file->read(0, out, {&ledger, 1}).ok());
+  EXPECT_EQ(out, data);
+  EXPECT_EQ(ledger.bytes_read(), 10000u);
+  EXPECT_EQ(ledger.read_ops(), 1u);
+  EXPECT_GT(ledger.io_seconds(), 0.0);
+}
+
+TEST_F(PfsTest, PartialReadAtOffset) {
+  auto file = cluster_->create("obj_2.dat");
+  ASSERT_TRUE(file.ok());
+  std::vector<std::uint8_t> data(4096);
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = i % 251;
+  ASSERT_TRUE(file->write(0, data).ok());
+
+  std::vector<std::uint8_t> out(100);
+  ASSERT_TRUE(file->read(1000, out, {}).ok());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], (1000 + i) % 251);
+  }
+}
+
+TEST_F(PfsTest, ReadPastEndFails) {
+  auto file = cluster_->create("small.dat");
+  ASSERT_TRUE(file.ok());
+  std::vector<std::uint8_t> data(10, 7);
+  ASSERT_TRUE(file->write(0, data).ok());
+  std::vector<std::uint8_t> out(20);
+  EXPECT_EQ(file->read(0, out, {}).code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(PfsTest, OpenMissingFileIsNotFound) {
+  EXPECT_EQ(cluster_->open("nope.dat").status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(cluster_->exists("nope.dat"));
+}
+
+TEST_F(PfsTest, CreateExclusiveCollision) {
+  ASSERT_TRUE(cluster_->create("dup.dat").ok());
+  EXPECT_EQ(cluster_->create("dup.dat", /*truncate=*/false).status().code(),
+            StatusCode::kAlreadyExists);
+  // Truncating create succeeds.
+  EXPECT_TRUE(cluster_->create("dup.dat", /*truncate=*/true).ok());
+}
+
+TEST_F(PfsTest, RemoveAndSize) {
+  auto file = cluster_->create("gone.dat");
+  ASSERT_TRUE(file.ok());
+  std::vector<std::uint8_t> data(123, 1);
+  ASSERT_TRUE(file->write(0, data).ok());
+  auto size = cluster_->file_size("gone.dat");
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 123u);
+  ASSERT_TRUE(cluster_->remove("gone.dat").ok());
+  EXPECT_FALSE(cluster_->exists("gone.dat"));
+  EXPECT_TRUE(cluster_->remove("gone.dat").ok());  // idempotent
+}
+
+TEST_F(PfsTest, StripedExtentTouchesMultipleOsts) {
+  auto file = cluster_->create("striped.dat");
+  ASSERT_TRUE(file.ok());
+  // stripe_size=1024, stripe_count=4.
+  EXPECT_EQ(file->osts_touched(0, 100), 1u);
+  EXPECT_EQ(file->osts_touched(0, 1025), 2u);
+  EXPECT_EQ(file->osts_touched(0, 4096), 4u);
+  EXPECT_EQ(file->osts_touched(0, 1 << 20), 4u);  // capped at stripe_count
+  EXPECT_EQ(file->osts_touched(0, 0), 0u);
+}
+
+TEST_F(PfsTest, ContentionReducesBandwidth) {
+  const double solo = cluster_->effective_read_bandwidth(4, 1);
+  const double busy = cluster_->effective_read_bandwidth(4, 64);
+  EXPECT_GT(solo, busy);
+  // 64 readers * 4 stripes over 8 OSTs -> 32x oversubscription.
+  EXPECT_NEAR(solo / busy, 32.0, 1e-9);
+}
+
+TEST_F(PfsTest, LargerReadsCostMoreButFewerOpsWin) {
+  auto file = cluster_->create("cost.dat");
+  ASSERT_TRUE(file.ok());
+  std::vector<std::uint8_t> data(64 * 1024, 9);
+  ASSERT_TRUE(file->write(0, data).ok());
+
+  // One 64 KiB read vs 64 x 1 KiB reads: same bytes, far fewer op latencies.
+  CostLedger one, many;
+  std::vector<std::uint8_t> buf(64 * 1024);
+  ASSERT_TRUE(file->read(0, buf, {&one, 1}).ok());
+  std::vector<std::uint8_t> small(1024);
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(file->read(i * 1024, small, {&many, 1}).ok());
+  }
+  EXPECT_LT(one.io_seconds(), many.io_seconds());
+  EXPECT_EQ(one.bytes_read(), many.bytes_read());
+}
+
+// ------------------------------------------------------------- aggregation
+
+TEST(ReadAggregatorPlan, MergesCloseExtents) {
+  AggregationPolicy policy;
+  policy.max_gap_bytes = 10;
+  policy.max_run_bytes = 1'000'000;
+  std::vector<Extent1D> extents{{0, 100}, {105, 50}, {300, 10}};
+  auto runs = plan_aggregated_reads(extents, policy);
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_EQ(runs[0].offset, 0u);
+  EXPECT_EQ(runs[0].count, 155u);  // merged across the 5-byte gap
+  EXPECT_EQ(runs[1].offset, 300u);
+}
+
+TEST(ReadAggregatorPlan, RespectsMaxRunBytes) {
+  AggregationPolicy policy;
+  policy.max_gap_bytes = 1000;
+  policy.max_run_bytes = 150;
+  std::vector<Extent1D> extents{{0, 100}, {110, 100}};
+  auto runs = plan_aggregated_reads(extents, policy);
+  EXPECT_EQ(runs.size(), 2u);  // merging would exceed 150 bytes
+}
+
+TEST(ReadAggregatorPlan, ZeroGapOnlyMergesAdjacent) {
+  AggregationPolicy policy;
+  policy.max_gap_bytes = 0;
+  std::vector<Extent1D> extents{{0, 10}, {10, 10}, {21, 10}};
+  auto runs = plan_aggregated_reads(extents, policy);
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_EQ(runs[0].count, 20u);
+}
+
+TEST(ReadAggregatorPlan, EmptyInput) {
+  EXPECT_TRUE(plan_aggregated_reads({}, {}).empty());
+}
+
+TEST_F(PfsTest, AggregatedReadScattersCorrectly) {
+  auto file = cluster_->create("agg.dat");
+  ASSERT_TRUE(file.ok());
+  std::vector<std::uint8_t> data(8192);
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = i % 253;
+  ASSERT_TRUE(file->write(0, data).ok());
+
+  std::vector<Extent1D> extents{{10, 20}, {50, 30}, {4000, 100}};
+  std::vector<std::vector<std::uint8_t>> bufs;
+  std::vector<std::span<std::uint8_t>> dests;
+  for (const auto& e : extents) {
+    bufs.emplace_back(e.count);
+    dests.emplace_back(bufs.back());
+  }
+  AggregationPolicy policy;
+  policy.max_gap_bytes = 64;
+  CostLedger ledger;
+  ASSERT_TRUE(
+      aggregated_read(*file, extents, dests, policy, {&ledger, 1}).ok());
+  for (std::size_t e = 0; e < extents.size(); ++e) {
+    for (std::size_t i = 0; i < extents[e].count; ++i) {
+      EXPECT_EQ(bufs[e][i], (extents[e].offset + i) % 253);
+    }
+  }
+  // Extents 0 and 1 merge (gap 20 <= 64); extent 2 stands alone.
+  EXPECT_EQ(ledger.read_ops(), 2u);
+}
+
+TEST_F(PfsTest, AggregatedReadValidatesArguments) {
+  auto file = cluster_->create("agg2.dat");
+  ASSERT_TRUE(file.ok());
+  std::vector<std::uint8_t> data(100, 1);
+  ASSERT_TRUE(file->write(0, data).ok());
+
+  std::vector<Extent1D> extents{{0, 10}};
+  std::vector<std::uint8_t> buf(5);  // wrong size
+  std::vector<std::span<std::uint8_t>> dests{std::span<std::uint8_t>(buf)};
+  EXPECT_EQ(aggregated_read(*file, extents, dests, {}, {}).code(),
+            StatusCode::kInvalidArgument);
+
+  // Unsorted extents rejected.
+  std::vector<Extent1D> bad{{50, 10}, {0, 10}};
+  std::vector<std::uint8_t> b1(10), b2(10);
+  std::vector<std::span<std::uint8_t>> d2{std::span<std::uint8_t>(b1),
+                                          std::span<std::uint8_t>(b2)};
+  EXPECT_EQ(aggregated_read(*file, bad, d2, {}, {}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(PfsTest, AggregationReducesSimulatedCost) {
+  auto file = cluster_->create("agg3.dat");
+  ASSERT_TRUE(file.ok());
+  std::vector<std::uint8_t> data(1 << 20, 3);
+  ASSERT_TRUE(file->write(0, data).ok());
+
+  // 256 scattered 64-byte extents, 4 KiB apart.
+  std::vector<Extent1D> extents;
+  std::vector<std::vector<std::uint8_t>> bufs;
+  std::vector<std::span<std::uint8_t>> dests;
+  for (int i = 0; i < 256; ++i) {
+    extents.push_back({static_cast<std::uint64_t>(i) * 4096, 64});
+    bufs.emplace_back(64);
+  }
+  for (auto& b : bufs) dests.emplace_back(b);
+
+  AggregationPolicy coalesce;
+  coalesce.max_gap_bytes = 1 << 16;
+  AggregationPolicy none;
+  none.max_gap_bytes = 0;
+
+  CostLedger agg, raw;
+  ASSERT_TRUE(aggregated_read(*file, extents, dests, coalesce, {&agg, 1}).ok());
+  ASSERT_TRUE(aggregated_read(*file, extents, dests, none, {&raw, 1}).ok());
+  EXPECT_LT(agg.read_ops(), raw.read_ops());
+  EXPECT_LT(agg.io_seconds(), raw.io_seconds());
+}
+
+}  // namespace
+}  // namespace pdc::pfs

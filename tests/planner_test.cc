@@ -1,0 +1,198 @@
+// Tests for DNF normalization and selectivity-ordered planning.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/rng.h"
+#include "query/planner.h"
+#include "sortrep/sorted_replica.h"
+
+namespace pdc::query {
+namespace {
+
+class PlannerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = ::testing::TempDir() + "/planner_test_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(root_);
+    pfs::PfsConfig cfg;
+    cfg.root_dir = root_;
+    cluster_ = std::move(pfs::PfsCluster::Create(cfg)).value();
+    store_ = std::make_unique<obj::ObjectStore>(*cluster_);
+    const ObjectId container =
+        std::move(store_->create_container("c")).value();
+
+    Rng rng(11);
+    // selective_: 95% of mass below 1, long tail above.
+    std::vector<float> selective(20000);
+    std::vector<float> broad(20000);
+    for (std::size_t i = 0; i < selective.size(); ++i) {
+      selective[i] = static_cast<float>(rng.exponential(3.0));
+      broad[i] = static_cast<float>(rng.uniform(0.0, 100.0));
+    }
+    obj::ImportOptions options;
+    options.region_size_bytes = 8192;
+    selective_id_ = std::move(store_->import_object<float>(
+                                  container, "selective",
+                                  std::span<const float>(selective), options))
+                        .value();
+    broad_id_ = std::move(store_->import_object<float>(
+                              container, "broad",
+                              std::span<const float>(broad), options))
+                    .value();
+  }
+  void TearDown() override { std::filesystem::remove_all(root_); }
+
+  std::string root_;
+  std::unique_ptr<pfs::PfsCluster> cluster_;
+  std::unique_ptr<obj::ObjectStore> store_;
+  ObjectId selective_id_ = kInvalidObjectId;
+  ObjectId broad_id_ = kInvalidObjectId;
+};
+
+TEST_F(PlannerTest, LeafPlansToSingleTerm) {
+  const auto q = create(selective_id_, QueryOp::kGT, 1.0);
+  auto plan = plan_query(*q, *store_, {});
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->terms.size(), 1u);
+  ASSERT_EQ(plan->terms[0].conjuncts.size(), 1u);
+  EXPECT_EQ(plan->terms[0].conjuncts[0].object, selective_id_);
+  EXPECT_DOUBLE_EQ(plan->terms[0].conjuncts[0].interval.lo, 1.0);
+}
+
+TEST_F(PlannerTest, SameObjectConditionsMergeToOneInterval) {
+  const auto q = q_and(create(selective_id_, QueryOp::kGT, 1.0),
+                       create(selective_id_, QueryOp::kLT, 2.0));
+  auto plan = plan_query(*q, *store_, {});
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->terms.size(), 1u);
+  ASSERT_EQ(plan->terms[0].conjuncts.size(), 1u);
+  const auto& interval = plan->terms[0].conjuncts[0].interval;
+  EXPECT_DOUBLE_EQ(interval.lo, 1.0);
+  EXPECT_DOUBLE_EQ(interval.hi, 2.0);
+}
+
+TEST_F(PlannerTest, ContradictionEliminatesTerm) {
+  const auto q = q_and(create(selective_id_, QueryOp::kGT, 5.0),
+                       create(selective_id_, QueryOp::kLT, 1.0));
+  auto plan = plan_query(*q, *store_, {});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->terms.empty());
+}
+
+TEST_F(PlannerTest, OrProducesTwoTerms) {
+  const auto q = q_or(create(selective_id_, QueryOp::kGT, 5.0),
+                      create(broad_id_, QueryOp::kLT, 10.0));
+  auto plan = plan_query(*q, *store_, {});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->terms.size(), 2u);
+}
+
+TEST_F(PlannerTest, AndOverOrDistributes) {
+  // a AND (b OR c) -> (a AND b) OR (a AND c)
+  const auto q = q_and(create(selective_id_, QueryOp::kGT, 1.0),
+                       q_or(create(broad_id_, QueryOp::kLT, 10.0),
+                            create(broad_id_, QueryOp::kGT, 90.0)));
+  auto plan = plan_query(*q, *store_, {});
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->terms.size(), 2u);
+  for (const auto& term : plan->terms) {
+    EXPECT_EQ(term.conjuncts.size(), 2u);
+  }
+}
+
+TEST_F(PlannerTest, SelectivityOrderingPutsSelectiveFirst) {
+  // selective > 2.0 keeps ~0.2% of an Exp(3) distribution;
+  // broad < 90 keeps ~90%.
+  const auto q = q_and(create(broad_id_, QueryOp::kLT, 90.0),
+                       create(selective_id_, QueryOp::kGT, 2.0));
+  auto plan = plan_query(*q, *store_, {});
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->terms.size(), 1u);
+  ASSERT_EQ(plan->terms[0].conjuncts.size(), 2u);
+  EXPECT_EQ(plan->terms[0].conjuncts[0].object, selective_id_)
+      << "planner must order the selective condition first";
+  EXPECT_EQ(plan->terms[0].conjuncts[1].object, broad_id_);
+
+  PlanOptions no_order;
+  no_order.order_by_selectivity = false;
+  auto naive = plan_query(*q, *store_, no_order);
+  ASSERT_TRUE(naive.ok());
+  // Without ordering, conjuncts follow object-id order (map order).
+  EXPECT_EQ(naive->terms[0].conjuncts[0].object,
+            std::min(selective_id_, broad_id_));
+}
+
+TEST_F(PlannerTest, EstimateSelectivityIsMonotone) {
+  auto object = store_->get(selective_id_);
+  ASSERT_TRUE(object.ok());
+  const double wide =
+      estimate_selectivity(**object, ValueInterval::from_op(QueryOp::kGT, 0.5));
+  const double narrow =
+      estimate_selectivity(**object, ValueInterval::from_op(QueryOp::kGT, 3.0));
+  EXPECT_GT(wide, narrow);
+  EXPECT_GE(narrow, 0.0);
+  EXPECT_LE(wide, 1.0);
+}
+
+TEST_F(PlannerTest, SortedStrategyAttachesReplicaOnlyForDriver) {
+  auto replica = sortrep::build_sorted_replica(*store_, selective_id_);
+  ASSERT_TRUE(replica.ok());
+
+  PlanOptions options;
+  options.strategy = server::Strategy::kSortedHistogram;
+
+  // Driver (most selective) = selective_id_ -> replica attached.
+  const auto q1 = q_and(create(selective_id_, QueryOp::kGT, 2.0),
+                        create(broad_id_, QueryOp::kLT, 90.0));
+  auto plan1 = plan_query(*q1, *store_, options);
+  ASSERT_TRUE(plan1.ok());
+  EXPECT_EQ(plan1->terms[0].driver_replica, replica->replica_id);
+
+  // Driver = broad (more selective here) -> replica NOT attached, exactly
+  // the paper's Fig. 4 "evaluates x first" situation.
+  const auto q2 = q_and(create(selective_id_, QueryOp::kGT, 0.01),
+                        create(broad_id_, QueryOp::kLT, 0.5));
+  auto plan2 = plan_query(*q2, *store_, options);
+  ASSERT_TRUE(plan2.ok());
+  EXPECT_EQ(plan2->terms[0].conjuncts[0].object, broad_id_);
+  EXPECT_EQ(plan2->terms[0].driver_replica, kInvalidObjectId);
+}
+
+TEST_F(PlannerTest, MismatchedDimensionsRejected) {
+  const ObjectId container = std::move(store_->create_container("c2")).value();
+  std::vector<float> small(100, 1.0F);
+  const ObjectId small_id =
+      std::move(store_->import_object<float>(container, "small",
+                                             std::span<const float>(small), {}))
+          .value();
+  const auto q = q_and(create(selective_id_, QueryOp::kGT, 1.0),
+                       create(small_id, QueryOp::kGT, 0.0));
+  EXPECT_EQ(plan_query(*q, *store_, {}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(PlannerTest, UnknownObjectRejected) {
+  const auto q = create(424242, QueryOp::kGT, 1.0);
+  EXPECT_EQ(plan_query(*q, *store_, {}).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(PlannerTest, DnfBlowupGuard) {
+  // (a1 OR a2) AND (b1 OR b2) AND ... with max_terms=4 must be rejected
+  // once the cross product exceeds the cap.
+  QueryPtr q = q_or(create(selective_id_, QueryOp::kGT, 1.0),
+                    create(selective_id_, QueryOp::kLT, 0.5));
+  for (int i = 0; i < 4; ++i) {
+    q = q_and(q, q_or(create(broad_id_, QueryOp::kGT, 10.0 + i),
+                      create(broad_id_, QueryOp::kLT, 5.0 - i)));
+  }
+  PlanOptions options;
+  options.max_terms = 4;
+  EXPECT_EQ(plan_query(*q, *store_, options).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace pdc::query

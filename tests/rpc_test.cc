@@ -1,0 +1,153 @@
+// Tests for the message bus, server runtime threads and client aggregation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+#include "rpc/message_bus.h"
+#include "rpc/server_runtime.h"
+
+namespace pdc::rpc {
+namespace {
+
+std::vector<std::uint8_t> bytes_of(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+std::string string_of(const std::vector<std::uint8_t>& b) {
+  return {b.begin(), b.end()};
+}
+
+TEST(Mailbox, PushPopFifo) {
+  Mailbox box;
+  ASSERT_TRUE(box.push({0, bytes_of("a")}));
+  ASSERT_TRUE(box.push({1, bytes_of("b")}));
+  EXPECT_EQ(box.pending(), 2u);
+  auto m1 = box.pop();
+  ASSERT_TRUE(m1.has_value());
+  EXPECT_EQ(string_of(m1->payload), "a");
+  auto m2 = box.pop();
+  EXPECT_EQ(string_of(m2->payload), "b");
+}
+
+TEST(Mailbox, CloseWakesBlockedPopper) {
+  Mailbox box;
+  std::atomic<bool> returned{false};
+  std::thread popper([&] {
+    auto m = box.pop();
+    EXPECT_FALSE(m.has_value());
+    returned = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  box.close();
+  popper.join();
+  EXPECT_TRUE(returned);
+  EXPECT_FALSE(box.push({0, {}}));  // pushes after close dropped
+}
+
+TEST(Mailbox, DrainsQueuedMessagesAfterClose) {
+  Mailbox box;
+  ASSERT_TRUE(box.push({0, bytes_of("x")}));
+  box.close();
+  auto m = box.pop();
+  ASSERT_TRUE(m.has_value());  // queued message still delivered
+  EXPECT_FALSE(box.pop().has_value());
+}
+
+TEST(MessageBus, BroadcastReachesAllServers) {
+  MessageBus bus(4);
+  bus.broadcast(bytes_of("hello"));
+  for (ServerId s = 0; s < 4; ++s) {
+    EXPECT_EQ(bus.server_mailbox(s).pending(), 1u);
+  }
+  EXPECT_EQ(bus.messages_sent(), 4u);
+  EXPECT_EQ(bus.bytes_transferred(), 20u);
+}
+
+TEST(ServerRuntime, EchoRoundTrip) {
+  MessageBus bus(3);
+  std::vector<std::unique_ptr<ServerRuntime>> servers;
+  for (ServerId s = 0; s < 3; ++s) {
+    servers.push_back(std::make_unique<ServerRuntime>(
+        bus, s, [s](std::span<const std::uint8_t> req) {
+          std::string reply = "server" + std::to_string(s) + ":" +
+                              std::string(req.begin(), req.end());
+          return bytes_of(reply);
+        }));
+  }
+  Client client(bus);
+  auto responses = client.broadcast_wait(bytes_of("ping"));
+  ASSERT_EQ(responses.size(), 3u);
+  // Sorted by sender id.
+  for (ServerId s = 0; s < 3; ++s) {
+    EXPECT_EQ(responses[s].sender, s);
+    EXPECT_EQ(string_of(responses[s].payload),
+              "server" + std::to_string(s) + ":ping");
+  }
+  servers.clear();
+  bus.shutdown();
+}
+
+TEST(ServerRuntime, ScatterToSubset) {
+  MessageBus bus(4);
+  std::vector<std::unique_ptr<ServerRuntime>> servers;
+  for (ServerId s = 0; s < 4; ++s) {
+    servers.push_back(std::make_unique<ServerRuntime>(
+        bus, s, [](std::span<const std::uint8_t> req) {
+          return std::vector<std::uint8_t>(req.begin(), req.end());
+        }));
+  }
+  Client client(bus);
+  std::vector<std::pair<ServerId, std::vector<std::uint8_t>>> requests;
+  requests.emplace_back(1, bytes_of("one"));
+  requests.emplace_back(3, bytes_of("three"));
+  auto responses = client.scatter_wait(std::move(requests));
+  ASSERT_EQ(responses.size(), 2u);
+  EXPECT_EQ(responses[0].sender, 1u);
+  EXPECT_EQ(string_of(responses[0].payload), "one");
+  EXPECT_EQ(responses[1].sender, 3u);
+  EXPECT_EQ(string_of(responses[1].payload), "three");
+  servers.clear();
+  bus.shutdown();
+}
+
+TEST(ServerRuntime, AsyncCollectOverlapsClientWork) {
+  MessageBus bus(2);
+  std::vector<std::unique_ptr<ServerRuntime>> servers;
+  for (ServerId s = 0; s < 2; ++s) {
+    servers.push_back(std::make_unique<ServerRuntime>(
+        bus, s, [](std::span<const std::uint8_t>) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(30));
+          return bytes_of("done");
+        }));
+  }
+  Client client(bus);
+  auto future = client.broadcast_collect(bytes_of("work"));
+  // The client thread is free while servers process.
+  int side_work = 0;
+  for (int i = 0; i < 1000; ++i) side_work += i;
+  EXPECT_EQ(side_work, 499500);
+  auto responses = future.get();
+  EXPECT_EQ(responses.size(), 2u);
+  servers.clear();
+  bus.shutdown();
+}
+
+TEST(ServerRuntime, SequentialRequestsProcessedInOrder) {
+  MessageBus bus(1);
+  std::vector<int> seen;
+  ServerRuntime server(bus, 0, [&seen](std::span<const std::uint8_t> req) {
+    seen.push_back(req[0]);
+    return std::vector<std::uint8_t>{req[0]};
+  });
+  Client client(bus);
+  for (std::uint8_t i = 0; i < 5; ++i) {
+    auto responses = client.broadcast_wait({i});
+    ASSERT_EQ(responses.size(), 1u);
+    EXPECT_EQ(responses[0].payload[0], i);
+  }
+  EXPECT_EQ(seen, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+}  // namespace
+}  // namespace pdc::rpc

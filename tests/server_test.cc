@@ -1,0 +1,273 @@
+// Tests for server-side pieces: region assignment, region cache, and the
+// wire protocol.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "server/region_assignment.h"
+#include "server/region_cache.h"
+#include "server/wire.h"
+
+namespace pdc::server {
+namespace {
+
+// ------------------------------------------------------------ assignment
+
+obj::ObjectDescriptor make_object(std::uint64_t num_elements,
+                                  std::uint64_t region_elems) {
+  obj::ObjectDescriptor o;
+  o.id = 1;
+  o.num_elements = num_elements;
+  o.region_size_elements = region_elems;
+  const auto nregions = (num_elements + region_elems - 1) / region_elems;
+  for (std::uint64_t r = 0; r < nregions; ++r) {
+    obj::RegionDescriptor region;
+    region.index = static_cast<RegionIndex>(r);
+    region.extent.offset = r * region_elems;
+    region.extent.count = std::min(region_elems,
+                                   num_elements - region.extent.offset);
+    o.regions.push_back(std::move(region));
+  }
+  return o;
+}
+
+TEST(RegionAssignment, RoundRobinCoversAllRegionsOnce) {
+  const auto object = make_object(10000, 512);  // 20 regions
+  const std::uint32_t num_servers = 3;
+  std::vector<int> covered(object.regions.size(), 0);
+  for (ServerId s = 0; s < num_servers; ++s) {
+    for (const RegionIndex r : regions_of_server(object, s, num_servers)) {
+      EXPECT_EQ(owner_of_region(object, r, num_servers), s);
+      ++covered[r];
+    }
+  }
+  for (const int c : covered) EXPECT_EQ(c, 1);
+}
+
+TEST(RegionAssignment, LoadIsBalanced) {
+  const auto object = make_object(64 * 512, 512);  // 64 regions
+  for (const std::uint32_t servers : {2u, 4u, 8u, 16u}) {
+    std::vector<std::size_t> counts(servers, 0);
+    for (ServerId s = 0; s < servers; ++s) {
+      counts[s] = regions_of_server(object, s, servers).size();
+    }
+    const auto [mn, mx] = std::minmax_element(counts.begin(), counts.end());
+    EXPECT_LE(*mx - *mn, 1u) << servers << " servers";
+  }
+}
+
+TEST(RegionAssignment, PositionPartitioning) {
+  const auto object = make_object(1000, 100);  // 10 regions
+  std::vector<std::uint64_t> positions{5, 105, 205, 206, 305, 999};
+  auto parts = partition_positions(object, positions, 2);
+  // Large object (10 regions >= 2 servers): aligned, owner = region % 2.
+  EXPECT_EQ(parts[0], (std::vector<std::uint64_t>{5, 205, 206}));
+  EXPECT_EQ(parts[1], (std::vector<std::uint64_t>{105, 305, 999}));
+  EXPECT_EQ(region_of_position(object, 999), 9u);
+}
+
+TEST(RegionAssignment, LargeObjectsAlignAcrossObjectIds) {
+  // Same-dimension objects must agree on region ownership regardless of
+  // their ids, so multi-object position checks stay on one server.
+  auto a = make_object(10000, 512);
+  auto b = make_object(10000, 512);
+  a.id = 2;
+  b.id = 7;
+  for (RegionIndex r = 0; r < a.regions.size(); ++r) {
+    EXPECT_EQ(owner_of_region(a, r, 4), owner_of_region(b, r, 4));
+  }
+}
+
+TEST(RegionAssignment, SmallObjectsSpreadByObjectId) {
+  // Single-region objects land on different servers by id.
+  std::set<ServerId> owners;
+  for (ObjectId id = 1; id <= 8; ++id) {
+    auto o = make_object(100, 100);  // one region
+    o.id = id;
+    owners.insert(owner_of_region(o, 0, 8));
+  }
+  EXPECT_EQ(owners.size(), 8u);
+}
+
+// ----------------------------------------------------------------- cache
+
+RegionCache::Buffer make_buffer(std::size_t bytes, std::uint8_t fill) {
+  return std::make_shared<std::vector<std::uint8_t>>(bytes, fill);
+}
+
+TEST(RegionCacheTest, HitAndMiss) {
+  RegionCache cache(1024);
+  EXPECT_EQ(cache.get({1, 0}), nullptr);
+  cache.put({1, 0}, make_buffer(100, 7));
+  auto hit = cache.get({1, 0});
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ((*hit)[0], 7);
+  EXPECT_EQ(cache.bytes(), 100u);
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(RegionCacheTest, EvictsLeastRecentlyUsed) {
+  RegionCache cache(250);
+  cache.put({1, 0}, make_buffer(100, 0));
+  cache.put({1, 1}, make_buffer(100, 1));
+  // Touch region 0 so region 1 is LRU.
+  EXPECT_NE(cache.get({1, 0}), nullptr);
+  cache.put({1, 2}, make_buffer(100, 2));  // exceeds 250 -> evict {1,1}
+  EXPECT_EQ(cache.get({1, 1}), nullptr);
+  EXPECT_NE(cache.get({1, 0}), nullptr);
+  EXPECT_NE(cache.get({1, 2}), nullptr);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_LE(cache.bytes(), 250u);
+}
+
+TEST(RegionCacheTest, ZeroCapacityDisables) {
+  RegionCache cache(0);
+  cache.put({1, 0}, make_buffer(10, 0));
+  EXPECT_EQ(cache.get({1, 0}), nullptr);
+  EXPECT_EQ(cache.bytes(), 0u);
+}
+
+TEST(RegionCacheTest, EvictedBufferSurvivesWhileHeld) {
+  RegionCache cache(100);
+  cache.put({1, 0}, make_buffer(100, 9));
+  auto held = cache.get({1, 0});
+  cache.put({1, 1}, make_buffer(100, 1));  // evicts {1,0}
+  EXPECT_EQ(cache.get({1, 0}), nullptr);
+  ASSERT_NE(held, nullptr);
+  EXPECT_EQ((*held)[0], 9);  // still alive through the shared_ptr
+}
+
+TEST(RegionCacheTest, DuplicatePutKeepsOneEntry) {
+  RegionCache cache(1000);
+  cache.put({1, 0}, make_buffer(100, 1));
+  cache.put({1, 0}, make_buffer(100, 2));
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(cache.bytes(), 100u);
+}
+
+TEST(RegionCacheTest, ClearResets) {
+  RegionCache cache(1000);
+  cache.put({1, 0}, make_buffer(100, 1));
+  cache.clear();
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
+  EXPECT_EQ(cache.get({1, 0}), nullptr);
+}
+
+// ------------------------------------------------------------------ wire
+
+TEST(Wire, EvalRequestRoundTrip) {
+  EvalRequest request;
+  request.strategy = Strategy::kHistogramIndex;
+  request.need_locations = true;
+  request.region_constraint = {100, 5000};
+  AndTerm term;
+  term.driver_replica = 42;
+  term.conjuncts.push_back({7, ValueInterval::from_op(QueryOp::kGT, 2.0)});
+  term.conjuncts.push_back({8, ValueInterval::from_op(QueryOp::kLT, 5.0)});
+  request.terms.push_back(term);
+  AndTerm term2;
+  term2.conjuncts.push_back({9, ValueInterval::from_op(QueryOp::kEQ, 1.0)});
+  request.terms.push_back(term2);
+
+  const auto bytes = request.serialize();
+  SerialReader reader(bytes);
+  auto back = EvalRequest::Deserialize(reader);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->strategy, Strategy::kHistogramIndex);
+  EXPECT_TRUE(back->need_locations);
+  EXPECT_EQ(back->region_constraint, (Extent1D{100, 5000}));
+  ASSERT_EQ(back->terms.size(), 2u);
+  EXPECT_EQ(back->terms[0].driver_replica, 42u);
+  ASSERT_EQ(back->terms[0].conjuncts.size(), 2u);
+  EXPECT_EQ(back->terms[0].conjuncts[0].object, 7u);
+  EXPECT_DOUBLE_EQ(back->terms[0].conjuncts[0].interval.lo, 2.0);
+  EXPECT_FALSE(back->terms[0].conjuncts[0].interval.lo_inclusive);
+  EXPECT_EQ(back->terms[1].conjuncts[0].object, 9u);
+}
+
+TEST(Wire, EvalResponseRoundTrip) {
+  EvalResponse response;
+  response.status = Status::Ok();
+  response.num_hits = 12345;
+  response.has_positions = true;
+  response.positions = {1, 5, 9};
+  response.sorted_extents = {{100, 50}, {300, 5}};
+  response.replica_id = 77;
+  response.ledger = {1.5, 0.25, 4096, 3};
+
+  const auto bytes = response.serialize();
+  SerialReader reader(bytes);
+  auto back = EvalResponse::Deserialize(reader);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->status.ok());
+  EXPECT_EQ(back->num_hits, 12345u);
+  EXPECT_EQ(back->positions, (std::vector<std::uint64_t>{1, 5, 9}));
+  ASSERT_EQ(back->sorted_extents.size(), 2u);
+  EXPECT_EQ(back->sorted_extents[1], (Extent1D{300, 5}));
+  EXPECT_EQ(back->replica_id, 77u);
+  EXPECT_DOUBLE_EQ(back->ledger.io_seconds, 1.5);
+  EXPECT_EQ(back->ledger.read_ops, 3u);
+}
+
+TEST(Wire, ErrorStatusSurvivesRoundTrip) {
+  EvalResponse response;
+  response.status = Status::NotFound("object 9");
+  const auto bytes = response.serialize();
+  SerialReader reader(bytes);
+  auto back = EvalResponse::Deserialize(reader);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(back->status.message(), "object 9");
+}
+
+TEST(Wire, GetDataRoundTrip) {
+  GetDataRequest request;
+  request.object = 5;
+  request.from_replica = true;
+  request.extents = {{0, 10}, {100, 20}};
+  const auto bytes = request.serialize();
+  SerialReader reader(bytes);
+  auto back = GetDataRequest::Deserialize(reader);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->object, 5u);
+  EXPECT_TRUE(back->from_replica);
+  EXPECT_EQ(back->extents.size(), 2u);
+
+  GetDataResponse response;
+  response.status = Status::Ok();
+  response.values = {1, 2, 3, 4};
+  const auto rbytes = response.serialize();
+  SerialReader rr(rbytes);
+  auto rback = GetDataResponse::Deserialize(rr);
+  ASSERT_TRUE(rback.ok());
+  EXPECT_EQ(rback->values, (std::vector<std::uint8_t>{1, 2, 3, 4}));
+}
+
+TEST(Wire, PeekAndCorruptionHandling) {
+  EvalRequest request;
+  const auto bytes = request.serialize();
+  auto type = peek_request_type(bytes);
+  ASSERT_TRUE(type.ok());
+  EXPECT_EQ(*type, RequestType::kEvalQuery);
+
+  EXPECT_FALSE(peek_request_type({}).ok());
+  std::vector<std::uint8_t> junk{0x77, 1, 2};
+  EXPECT_FALSE(peek_request_type(junk).ok());
+
+  // Truncated request fails cleanly.
+  std::vector<std::uint8_t> truncated(bytes.begin(), bytes.begin() + 4);
+  SerialReader reader(truncated);
+  EXPECT_FALSE(EvalRequest::Deserialize(reader).ok());
+}
+
+TEST(Wire, StrategyNames) {
+  EXPECT_EQ(strategy_name(Strategy::kFullScan), "PDC-F");
+  EXPECT_EQ(strategy_name(Strategy::kHistogram), "PDC-H");
+  EXPECT_EQ(strategy_name(Strategy::kHistogramIndex), "PDC-HI");
+  EXPECT_EQ(strategy_name(Strategy::kSortedHistogram), "PDC-SH");
+}
+
+}  // namespace
+}  // namespace pdc::server

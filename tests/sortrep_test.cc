@@ -1,0 +1,176 @@
+// Tests for sorted replica construction and permutation mapping.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <vector>
+
+#include "common/rng.h"
+#include "sortrep/sorted_replica.h"
+
+namespace pdc::sortrep {
+namespace {
+
+class SortRepTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = ::testing::TempDir() + "/sortrep_test_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(root_);
+    pfs::PfsConfig cfg;
+    cfg.root_dir = root_;
+    auto cluster = pfs::PfsCluster::Create(cfg);
+    ASSERT_TRUE(cluster.ok());
+    cluster_ = std::move(cluster).value();
+    store_ = std::make_unique<obj::ObjectStore>(*cluster_);
+    auto container = store_->create_container("c");
+    ASSERT_TRUE(container.ok());
+    container_ = *container;
+  }
+  void TearDown() override { std::filesystem::remove_all(root_); }
+
+  ObjectId import(const std::vector<float>& data, const char* name = "key") {
+    obj::ImportOptions options;
+    options.region_size_bytes = 1024;
+    auto id = store_->import_object<float>(container_, name,
+                                           std::span<const float>(data),
+                                           options);
+    EXPECT_TRUE(id.ok());
+    return id.ok() ? *id : kInvalidObjectId;
+  }
+
+  std::string root_;
+  std::unique_ptr<pfs::PfsCluster> cluster_;
+  std::unique_ptr<obj::ObjectStore> store_;
+  ObjectId container_ = kInvalidObjectId;
+};
+
+std::vector<float> random_floats(std::size_t n, std::uint64_t seed = 5) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.uniform(-100.0, 100.0));
+  return v;
+}
+
+TEST_F(SortRepTest, ReplicaIsSortedCopy) {
+  auto data = random_floats(4000);
+  const ObjectId source = import(data);
+  auto report = build_sorted_replica(*store_, source);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GT(report->build_cost_seconds, 0.0);
+  EXPECT_GT(report->extra_bytes, data.size() * sizeof(float));
+
+  auto replica = store_->get(report->replica_id);
+  ASSERT_TRUE(replica.ok());
+  EXPECT_TRUE((*replica)->is_sorted_replica());
+  EXPECT_EQ((*replica)->sorted_source, source);
+  EXPECT_EQ((*replica)->num_elements, data.size());
+
+  std::vector<float> sorted_back(data.size());
+  ASSERT_TRUE(store_
+                  ->read_elements(**replica, {0, data.size()},
+                                  {reinterpret_cast<std::uint8_t*>(
+                                       sorted_back.data()),
+                                   sorted_back.size() * sizeof(float)},
+                                  {})
+                  .ok());
+  std::vector<float> expect = data;
+  std::sort(expect.begin(), expect.end());
+  EXPECT_EQ(sorted_back, expect);
+}
+
+TEST_F(SortRepTest, PermutationMapsBackToOriginalPositions) {
+  auto data = random_floats(2000, 9);
+  const ObjectId source = import(data);
+  auto report = build_sorted_replica(*store_, source);
+  ASSERT_TRUE(report.ok());
+  auto replica = store_->get(report->replica_id);
+  ASSERT_TRUE(replica.ok());
+
+  std::vector<float> sorted(data.size());
+  ASSERT_TRUE(store_
+                  ->read_elements(**replica, {0, data.size()},
+                                  {reinterpret_cast<std::uint8_t*>(sorted.data()),
+                                   sorted.size() * sizeof(float)},
+                                  {})
+                  .ok());
+  // Sorted value i came from original position perm[i].
+  CostLedger ledger;
+  auto positions = map_to_source_positions(*store_, **replica,
+                                           {100, 500}, {&ledger, 1});
+  ASSERT_TRUE(positions.ok());
+  ASSERT_EQ(positions->size(), 500u);
+  for (std::size_t i = 0; i < positions->size(); ++i) {
+    EXPECT_EQ(data[(*positions)[i]], sorted[100 + i]);
+  }
+  EXPECT_GT(ledger.io_seconds(), 0.0);
+}
+
+TEST_F(SortRepTest, ReplicaRegionsHaveDisjointValueRanges) {
+  auto data = random_floats(8000, 13);
+  const ObjectId source = import(data);
+  auto report = build_sorted_replica(*store_, source);
+  ASSERT_TRUE(report.ok());
+  auto replica = store_->get(report->replica_id);
+  ASSERT_TRUE(replica.ok());
+  const auto& regions = (*replica)->regions;
+  ASSERT_GT(regions.size(), 4u);
+  for (std::size_t r = 1; r < regions.size(); ++r) {
+    EXPECT_LE(regions[r - 1].histogram.max_value(),
+              regions[r].histogram.min_value());
+  }
+}
+
+TEST_F(SortRepTest, DuplicateAndChainedReplicasRejected) {
+  auto data = random_floats(500);
+  const ObjectId source = import(data);
+  auto report = build_sorted_replica(*store_, source);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(build_sorted_replica(*store_, source).status().code(),
+            StatusCode::kAlreadyExists);
+  // Sorting a replica is disallowed.
+  EXPECT_EQ(build_sorted_replica(*store_, report->replica_id).status().code(),
+            StatusCode::kInvalidArgument);
+  // Lookup helper finds it.
+  auto found = store_->sorted_replica_of(source);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(*found, report->replica_id);
+}
+
+TEST_F(SortRepTest, MapValidation) {
+  auto data = random_floats(100);
+  const ObjectId source = import(data);
+  auto report = build_sorted_replica(*store_, source);
+  ASSERT_TRUE(report.ok());
+  auto replica = store_->get(report->replica_id);
+  auto source_desc = store_->get(source);
+  // Not a replica.
+  EXPECT_EQ(map_to_source_positions(*store_, **source_desc, {0, 10}, {})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  // Beyond end.
+  EXPECT_EQ(map_to_source_positions(*store_, **replica, {90, 20}, {})
+                .status()
+                .code(),
+            StatusCode::kOutOfRange);
+  // Empty extent is fine.
+  auto empty = map_to_source_positions(*store_, **replica, {0, 0}, {});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+}
+
+TEST_F(SortRepTest, StableSortKeepsEqualValuesInOriginalOrder) {
+  std::vector<float> data{3.0F, 1.0F, 3.0F, 1.0F, 2.0F};
+  const ObjectId source = import(data);
+  auto report = build_sorted_replica(*store_, source);
+  ASSERT_TRUE(report.ok());
+  auto replica = store_->get(report->replica_id);
+  auto positions = map_to_source_positions(*store_, **replica, {0, 5}, {});
+  ASSERT_TRUE(positions.ok());
+  // sorted: 1(idx1), 1(idx3), 2(idx4), 3(idx0), 3(idx2)
+  EXPECT_EQ(*positions, (std::vector<std::uint64_t>{1, 3, 4, 0, 2}));
+}
+
+}  // namespace
+}  // namespace pdc::sortrep

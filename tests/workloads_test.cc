@@ -1,0 +1,229 @@
+// Tests for the VPIC / BOSS workload generators: determinism, selectivity
+// calibration against the paper's ladder, ingest integration.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "workloads/boss.h"
+#include "workloads/vpic.h"
+
+namespace pdc::workloads {
+namespace {
+
+TEST(VpicGenerator, DeterministicForSeed) {
+  VpicConfig cfg;
+  cfg.num_particles = 10000;
+  const auto a = generate_vpic(cfg);
+  const auto b = generate_vpic(cfg);
+  EXPECT_EQ(a.energy, b.energy);
+  EXPECT_EQ(a.x, b.x);
+  cfg.seed += 1;
+  const auto c = generate_vpic(cfg);
+  EXPECT_NE(a.energy, c.energy);
+}
+
+TEST(VpicGenerator, ShapesAndBounds) {
+  VpicConfig cfg;
+  cfg.num_particles = 50000;
+  const auto data = generate_vpic(cfg);
+  EXPECT_EQ(data.size(), 50000u);
+  for (std::size_t i = 0; i < data.size(); i += 97) {
+    EXPECT_GE(data.energy[i], 0.0F);
+    EXPECT_GE(data.x[i], 0.0F);
+    EXPECT_LE(data.x[i], static_cast<float>(cfg.x_max));
+    EXPECT_GE(data.y[i], static_cast<float>(cfg.y_min));
+    EXPECT_LE(data.y[i], static_cast<float>(cfg.y_max));
+    EXPECT_GE(data.z[i], 0.0F);
+    EXPECT_LE(data.z[i], static_cast<float>(cfg.z_max));
+  }
+}
+
+TEST(VpicGenerator, SelectivityLadderMatchesPaper) {
+  VpicConfig cfg;
+  cfg.num_particles = 2'000'000;
+  const auto data = generate_vpic(cfg);
+  const auto selectivity = [&](double lo, double hi) {
+    std::uint64_t hits = 0;
+    for (const float e : data.energy) hits += e > lo && e < hi;
+    return static_cast<double>(hits) / static_cast<double>(data.size());
+  };
+  // Paper: 2.1<E<2.2 -> 1.3025 %; 3.5<E<3.6 -> 0.0004 %.
+  EXPECT_NEAR(selectivity(2.1, 2.2), 0.013025, 0.002);
+  EXPECT_NEAR(selectivity(3.5, 3.6), 0.000004, 0.00002);
+  // Ladder decreases monotonically (up to sampling noise at the extreme
+  // tail, where windows hold only a handful of the 2M particles).
+  const double noise = 5.0 / static_cast<double>(data.size());
+  double prev = 1.0;
+  for (const auto& q : vpic_single_queries()) {
+    const double s = selectivity(q.lo, q.hi);
+    EXPECT_LT(s, prev + noise);
+    prev = s;
+  }
+}
+
+TEST(VpicGenerator, CompoundQuerySelectivityMatchesPaper) {
+  VpicConfig cfg;
+  cfg.num_particles = 2'000'000;
+  const auto data = generate_vpic(cfg);
+  // Paper query 1: Energy>2.0 AND 100<x<200 AND -90<y<0 AND 0<z<66
+  // -> 0.0013 % (1.3e-5).
+  std::uint64_t hits = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    hits += data.energy[i] > 2.0F && data.x[i] > 100.0F && data.x[i] < 200.0F &&
+            data.y[i] > -90.0F && data.y[i] < 0.0F && data.z[i] > 0.0F &&
+            data.z[i] < 66.0F;
+  }
+  const double s = static_cast<double>(hits) / static_cast<double>(data.size());
+  EXPECT_LT(s, 1e-4);  // strongly anti-correlated, as in the paper
+  EXPECT_GT(s, 0.0);   // but not empty
+
+  // Query suite sanity: 6 multi-object queries defined.
+  EXPECT_EQ(vpic_multi_queries().size(), 6u);
+  EXPECT_EQ(vpic_single_queries().size(), 15u);
+}
+
+TEST(VpicGenerator, EnergeticParticlesClusterSpatially) {
+  VpicConfig cfg;
+  cfg.num_particles = 500000;
+  const auto data = generate_vpic(cfg);
+  // P(in paper window | E > 2) must be far below the uniform 4.55 %.
+  std::uint64_t tail = 0, tail_in_window = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (data.energy[i] <= 2.0F) continue;
+    ++tail;
+    tail_in_window += data.x[i] > 100.0F && data.x[i] < 200.0F &&
+                      data.y[i] > -90.0F && data.y[i] < 0.0F &&
+                      data.z[i] < 66.0F;
+  }
+  ASSERT_GT(tail, 0u);
+  const double conditional =
+      static_cast<double>(tail_in_window) / static_cast<double>(tail);
+  EXPECT_LT(conditional, 0.005);
+}
+
+class WorkloadIngestTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = ::testing::TempDir() + "/workload_test_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(root_);
+    pfs::PfsConfig cfg;
+    cfg.root_dir = root_;
+    cluster_ = std::move(pfs::PfsCluster::Create(cfg)).value();
+    store_ = std::make_unique<obj::ObjectStore>(*cluster_);
+  }
+  void TearDown() override { std::filesystem::remove_all(root_); }
+
+  std::string root_;
+  std::unique_ptr<pfs::PfsCluster> cluster_;
+  std::unique_ptr<obj::ObjectStore> store_;
+};
+
+TEST_F(WorkloadIngestTest, VpicImportCreatesSevenObjects) {
+  VpicConfig cfg;
+  cfg.num_particles = 20000;
+  const auto data = generate_vpic(cfg);
+  obj::ImportOptions options;
+  options.region_size_bytes = 16384;
+  auto objects = import_vpic(*store_, data, options);
+  ASSERT_TRUE(objects.ok()) << objects.status().ToString();
+  for (const ObjectId id : {objects->energy, objects->x, objects->y,
+                            objects->z, objects->ux, objects->uy,
+                            objects->uz}) {
+    auto desc = store_->get(id);
+    ASSERT_TRUE(desc.ok());
+    EXPECT_EQ((*desc)->num_elements, 20000u);
+    EXPECT_TRUE((*desc)->global_histogram.valid());
+  }
+  auto energy = store_->find_by_name("Energy");
+  ASSERT_TRUE(energy.ok());
+  EXPECT_EQ((*energy)->id, objects->energy);
+}
+
+TEST_F(WorkloadIngestTest, VpicH5FileReadableByBaseline) {
+  VpicConfig cfg;
+  cfg.num_particles = 5000;
+  const auto data = generate_vpic(cfg);
+  ASSERT_TRUE(write_vpic_h5(*cluster_, data, "vpic.h5").ok());
+  auto reader = h5lite::H5LiteReader::Open(*cluster_, "vpic.h5");
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader->datasets().size(), 7u);
+  auto info = reader->dataset("Energy");
+  ASSERT_TRUE(info.ok());
+  std::vector<float> back(5000);
+  ASSERT_TRUE(reader->read<float>(*info, 0, back, {}).ok());
+  EXPECT_EQ(back, data.energy);
+}
+
+TEST_F(WorkloadIngestTest, BossCatalogMetadataCells) {
+  meta::MetaStore meta;
+  BossConfig cfg;
+  cfg.num_objects = 600;
+  cfg.objects_per_cell = 100;
+  cfg.flux_samples = 64;
+  auto catalog = import_boss(*store_, meta, cfg);
+  ASSERT_TRUE(catalog.ok()) << catalog.status().ToString();
+  EXPECT_EQ(catalog->flux_objects.size(), 600u);
+  EXPECT_EQ(meta.num_objects(), 600u);
+
+  // The Fig. 5 metadata query returns exactly one cell's objects.
+  const std::vector<meta::MetaCondition> conditions{
+      {"RADEG", QueryOp::kEQ, catalog->cell0_radeg},
+      {"DECDEG", QueryOp::kEQ, catalog->cell0_decdeg},
+  };
+  const auto hits = meta.query(conditions);
+  EXPECT_EQ(hits.size(), 100u);
+  // Every hit has a readable single-region flux object.
+  for (const ObjectId id : hits) {
+    auto desc = store_->get(id);
+    ASSERT_TRUE(desc.ok());
+    EXPECT_EQ((*desc)->regions.size(), 1u);
+    EXPECT_EQ((*desc)->num_elements, 64u);
+  }
+}
+
+TEST_F(WorkloadIngestTest, BossFluxQuantileCalibratesSelectivity) {
+  meta::MetaStore meta;
+  BossConfig cfg;
+  cfg.num_objects = 50;
+  cfg.objects_per_cell = 50;
+  cfg.flux_samples = 4096;
+  auto catalog = import_boss(*store_, meta, cfg);
+  ASSERT_TRUE(catalog.ok());
+
+  // Measure actual flux selectivity of the quantile-derived threshold.
+  for (const double target : {0.11, 0.35, 0.65}) {
+    const double threshold = boss_flux_quantile(target);
+    std::uint64_t hits = 0, total = 0;
+    for (const ObjectId id : catalog->flux_objects) {
+      auto desc = store_->get(id);
+      ASSERT_TRUE(desc.ok());
+      std::vector<float> flux((*desc)->num_elements);
+      ASSERT_TRUE(store_
+                      ->read_elements(**desc, {0, flux.size()},
+                                      {reinterpret_cast<std::uint8_t*>(
+                                           flux.data()),
+                                       flux.size() * sizeof(float)},
+                                      {})
+                      .ok());
+      for (const float f : flux) {
+        hits += f < threshold;
+        ++total;
+      }
+    }
+    const double actual = static_cast<double>(hits) / static_cast<double>(total);
+    EXPECT_NEAR(actual, target, 0.02) << "target " << target;
+  }
+}
+
+TEST_F(WorkloadIngestTest, BossConfigValidation) {
+  meta::MetaStore meta;
+  BossConfig cfg;
+  cfg.num_objects = 0;
+  EXPECT_EQ(import_boss(*store_, meta, cfg).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace pdc::workloads
