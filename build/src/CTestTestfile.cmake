@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("pfs")
+subdirs("histogram")
+subdirs("bitmap")
+subdirs("h5lite")
+subdirs("obj")
+subdirs("metadata")
+subdirs("rpc")
+subdirs("sortrep")
+subdirs("server")
+subdirs("query")
+subdirs("workloads")
