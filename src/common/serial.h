@@ -91,11 +91,13 @@ class SerialReader {
     return Status::Ok();
   }
 
-  /// Read a length-prefixed string.
+  /// Read a length-prefixed string.  The length is validated against the
+  /// bytes actually remaining BEFORE any allocation, so a hostile prefix
+  /// can never trigger a large allocation (and `pos_ + n` can never wrap).
   Status get_string(std::string& out) {
     std::uint64_t n = 0;
     PDC_RETURN_IF_ERROR(get(n));
-    if (pos_ + n > bytes_.size()) {
+    if (n > remaining()) {
       return Status::Corruption("serial underrun reading string");
     }
     out.assign(reinterpret_cast<const char*>(bytes_.data() + pos_),
@@ -104,20 +106,22 @@ class SerialReader {
     return Status::Ok();
   }
 
-  /// Read a length-prefixed vector of trivially-copyable elements.
+  /// Read a length-prefixed vector of trivially-copyable elements.  The
+  /// element count is clamped to what the remaining bytes could possibly
+  /// hold before resizing, so untrusted input cannot force an allocation
+  /// larger than the input itself.
   template <typename T>
     requires std::is_trivially_copyable_v<T>
   Status get_vector(std::vector<T>& out) {
     std::uint64_t n = 0;
     PDC_RETURN_IF_ERROR(get(n));
-    const std::uint64_t nbytes = n * sizeof(T);
-    if (n > bytes_.size() || pos_ + nbytes > bytes_.size()) {
+    if (n > remaining() / sizeof(T)) {
       return Status::Corruption("serial underrun reading vector");
     }
+    const std::size_t nbytes = static_cast<std::size_t>(n) * sizeof(T);
     out.resize(static_cast<std::size_t>(n));
-    std::memcpy(out.data(), bytes_.data() + pos_,
-                static_cast<std::size_t>(nbytes));
-    pos_ += static_cast<std::size_t>(nbytes);
+    std::memcpy(out.data(), bytes_.data() + pos_, nbytes);
+    pos_ += nbytes;
     return Status::Ok();
   }
 
@@ -125,7 +129,7 @@ class SerialReader {
   Status get_bytes_view(std::span<const std::uint8_t>& out) {
     std::uint64_t n = 0;
     PDC_RETURN_IF_ERROR(get(n));
-    if (pos_ + n > bytes_.size()) {
+    if (n > remaining()) {
       return Status::Corruption("serial underrun reading bytes");
     }
     out = bytes_.subspan(pos_, static_cast<std::size_t>(n));

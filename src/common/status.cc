@@ -15,6 +15,7 @@ std::string_view status_code_name(StatusCode code) noexcept {
     case StatusCode::kFailedPrecondition: return "FailedPrecondition";
     case StatusCode::kResourceExhausted: return "ResourceExhausted";
     case StatusCode::kInternal: return "Internal";
+    case StatusCode::kUnavailable: return "Unavailable";
   }
   return "Unknown";
 }

@@ -27,6 +27,7 @@ enum class StatusCode : std::uint8_t {
   kFailedPrecondition,///< call sequencing violated (e.g. selection before data)
   kResourceExhausted, ///< memory cap or capacity exceeded
   kInternal,          ///< invariant broken inside the library
+  kUnavailable,       ///< no server can currently serve the request
 };
 
 /// Human-readable name of a status code ("Ok", "NotFound", ...).
@@ -72,6 +73,9 @@ class [[nodiscard]] Status {
   }
   static Status Internal(std::string msg) {
     return {StatusCode::kInternal, std::move(msg)};
+  }
+  static Status Unavailable(std::string msg) {
+    return {StatusCode::kUnavailable, std::move(msg)};
   }
 
   [[nodiscard]] bool ok() const noexcept { return code_ == StatusCode::kOk; }

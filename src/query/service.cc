@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/log.h"
 #include "common/timer.h"
 #include "server/region_assignment.h"
 
@@ -31,8 +32,10 @@ QueryService::QueryService(const obj::ObjectStore& store,
     : store_(store),
       options_(options),
       bus_(std::max<std::uint32_t>(1, options.num_servers)),
-      client_(bus_) {
+      client_(bus_, options.retry) {
   options_.num_servers = bus_.num_servers();
+  bus_.set_fault_injector(options_.fault_injector);
+  dead_.assign(options_.num_servers, false);
   servers_.reserve(options_.num_servers);
   runtimes_.reserve(options_.num_servers);
   for (ServerId s = 0; s < options_.num_servers; ++s) {
@@ -52,6 +55,36 @@ QueryService::QueryService(const obj::ObjectStore& store,
 }
 
 QueryService::~QueryService() { bus_.shutdown(); }
+
+std::vector<ServerId> QueryService::alive_servers() const {
+  std::vector<ServerId> alive;
+  for (ServerId s = 0; s < options_.num_servers; ++s) {
+    if (!dead_[s]) alive.push_back(s);
+  }
+  return alive;
+}
+
+std::vector<ServerId> QueryService::dead_servers() const {
+  std::vector<ServerId> dead;
+  for (ServerId s = 0; s < options_.num_servers; ++s) {
+    if (dead_[s]) dead.push_back(s);
+  }
+  return dead;
+}
+
+std::uint64_t QueryService::regions_of_identity(
+    const std::vector<server::AndTerm>& terms, ServerId identity) const {
+  std::uint64_t regions = 0;
+  for (const server::AndTerm& term : terms) {
+    if (term.conjuncts.empty()) continue;
+    const auto object = store_.get(term.conjuncts.front().object);
+    if (!object.ok()) continue;
+    regions += server::regions_of_server(**object, identity,
+                                         options_.num_servers)
+                   .size();
+  }
+  return regions;
+}
 
 Result<Selection> QueryService::eval(const QueryPtr& query,
                                      bool need_locations) {
@@ -78,44 +111,111 @@ Result<Selection> QueryService::eval(const QueryPtr& query,
   request.need_locations = need_locations;
   request.region_constraint = plan.region_constraint;
   request.terms = std::move(plan.terms);
-  std::vector<std::uint8_t> payload = request.serialize();
-  stats_.request_bytes = payload.size();
-  // Broadcast happens in parallel over the interconnect: one message cost.
-  stats_.net_seconds += cost.net_cost(payload.size());
 
-  std::vector<rpc::Message> responses =
-      client_.broadcast_wait(std::move(payload));
-  if (responses.size() != options_.num_servers) {
-    return Status::Internal("missing server responses");
+  // Degraded-mode dispatch loop.  Each alive server evaluates its own
+  // identity plus any previously-dead identities re-planned onto it.  When
+  // a server exhausts its retries it is marked dead and the identities it
+  // was covering are re-dispatched to the survivors — so the final answer
+  // is exactly the fault-free one, only slower.  Only when every server is
+  // dead does the call surface kUnavailable.
+  std::vector<ServerId> alive = alive_servers();
+  if (alive.empty()) {
+    return Status::Unavailable("all PDC servers are dead");
+  }
+  std::vector<std::pair<ServerId, std::vector<ServerId>>> work;
+  {
+    const auto extra =
+        server::plan_reassignment(dead_servers(), alive);
+    for (std::size_t i = 0; i < alive.size(); ++i) {
+      std::vector<ServerId> identities{alive[i]};
+      for (const ServerId dead_identity : extra[i]) {
+        identities.push_back(dead_identity);
+        stats_.redispatched_regions +=
+            regions_of_identity(request.terms, dead_identity);
+      }
+      work.emplace_back(alive[i], std::move(identities));
+    }
   }
 
-  for (const rpc::Message& message : responses) {
-    SerialReader reader(message.payload);
-    PDC_ASSIGN_OR_RETURN(server::EvalResponse response,
-                         server::EvalResponse::Deserialize(reader));
-    PDC_RETURN_IF_ERROR(response.status);
-    selection.num_hits += response.num_hits;
-    if (response.has_positions) {
-      selection.positions.insert(selection.positions.end(),
-                                 response.positions.begin(),
-                                 response.positions.end());
+  while (!work.empty()) {
+    std::vector<std::pair<ServerId, std::vector<std::uint8_t>>> requests;
+    requests.reserve(work.size());
+    double max_request_net = 0.0;
+    for (const auto& [target, identities] : work) {
+      request.act_as = identities;
+      std::vector<std::uint8_t> payload = request.serialize();
+      stats_.request_bytes += payload.size();
+      // Requests travel in parallel over the interconnect: max, not sum.
+      max_request_net = std::max(max_request_net,
+                                 cost.net_cost(payload.size()));
+      requests.emplace_back(target, std::move(payload));
     }
-    if (!response.sorted_extents.empty()) {
-      selection.replica_id = response.replica_id != kInvalidObjectId
-                                 ? response.replica_id
-                                 : selection.replica_id;
-      selection.sorted_extents.emplace_back(message.sender,
-                                            std::move(response.sorted_extents));
+    stats_.net_seconds += max_request_net;
+
+    const rpc::GatherResult gathered = client_.gather(requests);
+    stats_.retries += gathered.stats.retries;
+    stats_.timeouts += gathered.stats.timeouts;
+    if (gathered.bus_closed) {
+      return Status::Unavailable("message bus shut down mid-query");
     }
-    if (response.ledger.elapsed() > stats_.max_server_seconds) {
-      stats_.max_server_seconds = response.ledger.elapsed();
-      stats_.max_server_io_seconds = response.ledger.io_seconds;
-      stats_.max_server_cpu_seconds = response.ledger.cpu_seconds;
+
+    std::vector<ServerId> orphaned;
+    for (std::size_t i = 0; i < work.size(); ++i) {
+      const auto& message = gathered.responses[i];
+      if (!message.has_value()) {
+        dead_[work[i].first] = true;
+        orphaned.insert(orphaned.end(), work[i].second.begin(),
+                        work[i].second.end());
+        continue;
+      }
+      SerialReader reader(message->payload);
+      PDC_ASSIGN_OR_RETURN(server::EvalResponse response,
+                           server::EvalResponse::Deserialize(reader));
+      PDC_RETURN_IF_ERROR(response.status);
+      selection.num_hits += response.num_hits;
+      if (response.has_positions) {
+        selection.positions.insert(selection.positions.end(),
+                                   response.positions.begin(),
+                                   response.positions.end());
+      }
+      if (!response.sorted_extents.empty()) {
+        selection.replica_id = response.replica_id != kInvalidObjectId
+                                   ? response.replica_id
+                                   : selection.replica_id;
+        selection.sorted_extents.emplace_back(
+            message->sender, std::move(response.sorted_extents));
+      }
+      if (response.ledger.elapsed() > stats_.max_server_seconds) {
+        stats_.max_server_seconds = response.ledger.elapsed();
+        stats_.max_server_io_seconds = response.ledger.io_seconds;
+        stats_.max_server_cpu_seconds = response.ledger.cpu_seconds;
+      }
+      stats_.server_bytes_read += response.ledger.bytes_read;
+      stats_.server_read_ops += response.ledger.read_ops;
+      stats_.response_bytes += message->payload.size();
     }
-    stats_.server_bytes_read += response.ledger.bytes_read;
-    stats_.server_read_ops += response.ledger.read_ops;
-    stats_.response_bytes += message.payload.size();
+
+    if (orphaned.empty()) break;
+    alive = alive_servers();
+    if (alive.empty()) {
+      stats_.dead_servers = options_.num_servers;
+      return Status::Unavailable(
+          "all PDC servers failed; query cannot complete");
+    }
+    log_warn("query degraded: ", orphaned.size(),
+             " server identities re-dispatched onto ", alive.size(),
+             " survivors");
+    for (const ServerId identity : orphaned) {
+      stats_.redispatched_regions +=
+          regions_of_identity(request.terms, identity);
+    }
+    const auto extra = server::plan_reassignment(orphaned, alive);
+    work.clear();
+    for (std::size_t i = 0; i < alive.size(); ++i) {
+      if (!extra[i].empty()) work.emplace_back(alive[i], extra[i]);
+    }
   }
+  stats_.dead_servers = dead_servers().size();
 
   // Responses stream back to the one client NIC.
   stats_.net_seconds +=
@@ -193,57 +293,107 @@ Status QueryService::get_data_raw(ObjectId object, const Selection& selection,
       break;
   }
 
-  std::vector<std::pair<ServerId, std::vector<std::uint8_t>>> requests;
+  // Build one data-fetch part per nominal owner.  Any server can serve any
+  // part (requests carry explicit positions/extents), so when an owner is
+  // dead — or dies mid-fetch — its part is re-routed to a survivor.
+  struct Part {
+    ServerId owner;                  ///< nominal (cache-local) server
+    std::uint64_t regions;           ///< work units, for redispatch stats
+    std::vector<std::uint8_t> payload;
+  };
+  std::vector<Part> parts;
   if (use_replica) {
     for (const auto& [server, extents] : selection.sorted_extents) {
       server::GetDataRequest request;
       request.object = selection.replica_id;
       request.from_replica = true;
       request.extents = extents;
-      requests.emplace_back(server, request.serialize());
+      parts.push_back({server, extents.size(), request.serialize()});
     }
   } else {
     if (selection.positions.size() != selection.num_hits) {
       return Status::FailedPrecondition(
           "selection has no locations; call get_selection first");
     }
-    auto parts = server::partition_positions(*target, selection.positions,
+    auto split = server::partition_positions(*target, selection.positions,
                                              options_.num_servers);
     for (ServerId s = 0; s < options_.num_servers; ++s) {
-      if (parts[s].empty()) continue;
+      if (split[s].empty()) continue;
+      std::uint64_t regions = 0;
+      RegionIndex last = ~RegionIndex{0};
+      for (const std::uint64_t pos : split[s]) {
+        const RegionIndex r = server::region_of_position(*target, pos);
+        regions += r != last;
+        last = r;
+      }
       server::GetDataRequest request;
       request.object = object;
-      request.positions = std::move(parts[s]);
-      requests.emplace_back(s, request.serialize());
+      request.positions = std::move(split[s]);
+      parts.push_back({s, regions, request.serialize()});
     }
   }
 
-  double max_request_net = 0.0;
-  for (const auto& [server, payload] : requests) {
-    stats_.request_bytes += payload.size();
-    max_request_net = std::max(max_request_net, cost.net_cost(payload.size()));
-  }
-  stats_.net_seconds += max_request_net;
-
-  std::vector<rpc::Message> responses = client_.scatter_wait(std::move(requests));
-
-  std::vector<std::vector<std::uint8_t>> values_by_server(
+  std::vector<std::vector<std::uint8_t>> values_by_owner(
       options_.num_servers);
-  for (rpc::Message& message : responses) {
-    SerialReader reader(message.payload);
-    PDC_ASSIGN_OR_RETURN(server::GetDataResponse response,
-                         server::GetDataResponse::Deserialize(reader));
-    PDC_RETURN_IF_ERROR(response.status);
-    if (response.ledger.elapsed() > stats_.max_server_seconds) {
-      stats_.max_server_seconds = response.ledger.elapsed();
-      stats_.max_server_io_seconds = response.ledger.io_seconds;
-      stats_.max_server_cpu_seconds = response.ledger.cpu_seconds;
+  std::vector<std::size_t> pending(parts.size());
+  for (std::size_t i = 0; i < parts.size(); ++i) pending[i] = i;
+  while (!pending.empty()) {
+    const std::vector<ServerId> alive = alive_servers();
+    if (alive.empty()) {
+      stats_.dead_servers = options_.num_servers;
+      return Status::Unavailable(
+          "all PDC servers failed; get_data cannot complete");
     }
-    stats_.server_bytes_read += response.ledger.bytes_read;
-    stats_.server_read_ops += response.ledger.read_ops;
-    stats_.response_bytes += message.payload.size();
-    values_by_server[message.sender] = std::move(response.values);
+    // Route each pending part: its owner when alive, else a survivor.
+    std::vector<std::pair<ServerId, std::vector<std::uint8_t>>> requests;
+    std::vector<ServerId> targets;
+    double max_request_net = 0.0;
+    std::size_t reroute_index = 0;
+    for (const std::size_t p : pending) {
+      ServerId to = parts[p].owner;
+      if (dead_[to]) {
+        to = alive[reroute_index++ % alive.size()];
+        stats_.redispatched_regions += parts[p].regions;
+      }
+      stats_.request_bytes += parts[p].payload.size();
+      max_request_net = std::max(max_request_net,
+                                 cost.net_cost(parts[p].payload.size()));
+      requests.emplace_back(to, parts[p].payload);
+      targets.push_back(to);
+    }
+    stats_.net_seconds += max_request_net;
+
+    const rpc::GatherResult gathered = client_.gather(requests);
+    stats_.retries += gathered.stats.retries;
+    stats_.timeouts += gathered.stats.timeouts;
+    if (gathered.bus_closed) {
+      return Status::Unavailable("message bus shut down mid-fetch");
+    }
+    std::vector<std::size_t> still_pending;
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      const auto& message = gathered.responses[i];
+      if (!message.has_value()) {
+        dead_[targets[i]] = true;
+        still_pending.push_back(pending[i]);
+        continue;
+      }
+      SerialReader reader(message->payload);
+      PDC_ASSIGN_OR_RETURN(server::GetDataResponse response,
+                           server::GetDataResponse::Deserialize(reader));
+      PDC_RETURN_IF_ERROR(response.status);
+      if (response.ledger.elapsed() > stats_.max_server_seconds) {
+        stats_.max_server_seconds = response.ledger.elapsed();
+        stats_.max_server_io_seconds = response.ledger.io_seconds;
+        stats_.max_server_cpu_seconds = response.ledger.cpu_seconds;
+      }
+      stats_.server_bytes_read += response.ledger.bytes_read;
+      stats_.server_read_ops += response.ledger.read_ops;
+      stats_.response_bytes += message->payload.size();
+      values_by_owner[parts[pending[i]].owner] = std::move(response.values);
+    }
+    pending = std::move(still_pending);
   }
+  stats_.dead_servers = dead_servers().size();
   stats_.net_seconds +=
       cost.net_latency_s +
       static_cast<double>(stats_.response_bytes) / cost.net_bandwidth_bps;
@@ -258,7 +408,7 @@ Status QueryService::get_data_raw(ObjectId object, const Selection& selection,
     };
     std::vector<Piece> pieces;
     for (const auto& [server, extents] : selection.sorted_extents) {
-      const std::uint8_t* cursor = values_by_server[server].data();
+      const std::uint8_t* cursor = values_by_owner[server].data();
       for (const Extent1D& e : extents) {
         pieces.push_back({e.offset, cursor, e.count});
         cursor += e.count * elem_size;
@@ -282,7 +432,7 @@ Status QueryService::get_data_raw(ObjectId object, const Selection& selection,
           *target, server::region_of_position(*target, pos),
           options_.num_servers);
       std::memcpy(dest,
-                  values_by_server[owner].data() + cursor[owner] * elem_size,
+                  values_by_owner[owner].data() + cursor[owner] * elem_size,
                   elem_size);
       ++cursor[owner];
       dest += elem_size;
@@ -346,6 +496,10 @@ Status QueryService::get_data_batch(
     accumulated.response_bytes += stats_.response_bytes;
     accumulated.server_bytes_read += stats_.server_bytes_read;
     accumulated.server_read_ops += stats_.server_read_ops;
+    accumulated.retries += stats_.retries;
+    accumulated.timeouts += stats_.timeouts;
+    accumulated.dead_servers = stats_.dead_servers;
+    accumulated.redispatched_regions += stats_.redispatched_regions;
     consume(buffer, first);
   }
   stats_ = accumulated;

@@ -66,6 +66,12 @@ struct OpStats {
   std::uint64_t response_bytes = 0;
   std::uint64_t server_bytes_read = 0;
   std::uint64_t server_read_ops = 0;
+  // Degradation observability (nonzero only under faults).
+  std::uint64_t retries = 0;       ///< RPC requests re-sent after a timeout
+  std::uint64_t timeouts = 0;      ///< attempt windows that expired
+  std::uint64_t dead_servers = 0;  ///< servers considered dead after this op
+  std::uint64_t redispatched_regions = 0;  ///< regions re-planned onto
+                                           ///< surviving servers
 };
 
 struct ServiceOptions {
@@ -76,6 +82,13 @@ struct ServiceOptions {
   pfs::AggregationPolicy aggregation;
   /// Planner knob (ablation): reorder conjuncts by estimated selectivity.
   bool order_by_selectivity = true;
+  /// Optional fault injector wired into the message bus (chaos testing).
+  /// Must outlive the service.
+  rpc::FaultInjector* fault_injector = nullptr;
+  /// Client-side RPC deadlines/backoff.  After max_attempts expire for a
+  /// server, it is declared dead and its regions are re-planned onto the
+  /// survivors; results stay exactly the fault-free answer, only slower.
+  rpc::RetryPolicy retry;
 
   /// Read strategy from the PDC_QUERY_STRATEGY environment variable
   /// ("fullscan", "histogram", "index", "sorted"), mirroring the paper's
@@ -140,11 +153,23 @@ class QueryService {
   /// Cache occupancy across all servers (observability).
   [[nodiscard]] std::uint64_t cached_bytes() const;
 
+  /// Servers currently considered dead (exhausted their retries).  A dead
+  /// server stays dead for the lifetime of the service; its region share
+  /// is evaluated by survivors.
+  [[nodiscard]] std::vector<ServerId> dead_servers() const;
+
  private:
   Status get_data_raw(ObjectId object, const Selection& selection,
                       std::span<std::uint8_t> out, PdcType type,
                       GetDataMode mode);
   Result<Selection> eval(const QueryPtr& query, bool need_locations);
+
+  /// Servers not (yet) marked dead.
+  [[nodiscard]] std::vector<ServerId> alive_servers() const;
+  /// Count the regions of each term's driver object assigned to `identity`
+  /// (what a redispatch re-plans onto a survivor).
+  [[nodiscard]] std::uint64_t regions_of_identity(
+      const std::vector<server::AndTerm>& terms, ServerId identity) const;
 
   const obj::ObjectStore& store_;
   ServiceOptions options_;
@@ -153,6 +178,8 @@ class QueryService {
   std::vector<std::unique_ptr<rpc::ServerRuntime>> runtimes_;
   rpc::Client client_;
   OpStats stats_;
+  /// dead_[s]: server s exhausted its retries and is out of the rotation.
+  std::vector<bool> dead_;
 };
 
 }  // namespace pdc::query

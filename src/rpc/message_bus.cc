@@ -1,6 +1,66 @@
 #include "rpc/message_bus.h"
 
+#include <algorithm>
+
+#include "common/serial.h"
+
 namespace pdc::rpc {
+
+namespace {
+/// Frame magic: detects envelope-less or badly torn frames cheaply.
+constexpr std::uint32_t kEnvelopeMagic = 0x45434450u;  // "PDCE"
+}  // namespace
+
+std::uint64_t steady_now_us() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::uint64_t payload_checksum(
+    std::span<const std::uint8_t> payload) noexcept {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (const std::uint8_t b : payload) {
+    h ^= b;
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+std::vector<std::uint8_t> envelope_wrap(const Envelope& header,
+                                        std::span<const std::uint8_t> payload) {
+  SerialWriter w(sizeof(std::uint32_t) + 3 * sizeof(std::uint64_t) +
+                 sizeof(std::uint32_t) + payload.size());
+  w.put(kEnvelopeMagic);
+  w.put(header.request_id);
+  w.put(header.attempt);
+  w.put(header.deadline_us);
+  w.put(payload_checksum(payload));
+  w.put_raw(payload);
+  return w.take();
+}
+
+bool envelope_unwrap(std::span<const std::uint8_t> frame, Envelope& header,
+                     std::span<const std::uint8_t>& payload) {
+  SerialReader r(frame);
+  std::uint32_t magic = 0;
+  Envelope parsed;
+  std::uint64_t checksum = 0;
+  if (!r.get(magic).ok() || magic != kEnvelopeMagic) return false;
+  if (!r.get(parsed.request_id).ok() || !r.get(parsed.attempt).ok() ||
+      !r.get(parsed.deadline_us).ok() || !r.get(checksum).ok()) {
+    return false;
+  }
+  const std::span<const std::uint8_t> body =
+      frame.subspan(frame.size() - r.remaining());
+  if (payload_checksum(body) != checksum) return false;
+  header = parsed;
+  payload = body;
+  return true;
+}
+
+// ----------------------------------------------------------------- mailbox
 
 bool Mailbox::push(Message message) {
   {
@@ -21,6 +81,19 @@ std::optional<Message> Mailbox::pop() {
   return m;
 }
 
+std::optional<Message> Mailbox::pop_until(
+    std::chrono::steady_clock::time_point deadline) {
+  std::unique_lock lock(mu_);
+  if (!cv_.wait_until(lock, deadline,
+                      [this] { return closed_ || !queue_.empty(); })) {
+    return std::nullopt;  // timed out
+  }
+  if (queue_.empty()) return std::nullopt;  // closed and drained
+  Message m = std::move(queue_.front());
+  queue_.pop_front();
+  return m;
+}
+
 void Mailbox::close() {
   {
     std::lock_guard lock(mu_);
@@ -29,15 +102,109 @@ void Mailbox::close() {
   cv_.notify_all();
 }
 
+void Mailbox::wait_closed() {
+  std::unique_lock lock(mu_);
+  cv_.wait(lock, [this] { return closed_; });
+}
+
+bool Mailbox::closed() const {
+  std::lock_guard lock(mu_);
+  return closed_;
+}
+
 std::size_t Mailbox::pending() const {
   std::lock_guard lock(mu_);
   return queue_.size();
 }
 
+// ---------------------------------------------------------------------- bus
+
+MessageBus::~MessageBus() {
+  shutdown();
+  if (delay_thread_.joinable()) delay_thread_.join();
+}
+
+bool MessageBus::push_and_account(Mailbox& box, Message message) {
+  const std::size_t size = message.payload.size();
+  if (!box.push(std::move(message))) return false;
+  std::lock_guard lock(stats_mu_);
+  bytes_ += size;
+  ++messages_;
+  return true;
+}
+
+bool MessageBus::deliver(Mailbox& box, Direction direction, ServerId server,
+                         Message message) {
+  if (injector_ == nullptr) {
+    return push_and_account(box, std::move(message));
+  }
+  const SendDecision decision =
+      injector_->on_send(direction, server, message.payload);
+  if (decision.drop) return true;  // lost in transit: sender can't tell
+  if (decision.corrupt) injector_->corrupt(message.payload);
+  Message copy;
+  if (decision.duplicate) copy = message;
+  bool accepted;
+  if (decision.delay.count() > 0) {
+    deliver_later(box, std::move(message),
+                  std::chrono::steady_clock::now() + decision.delay);
+    accepted = true;
+  } else {
+    accepted = push_and_account(box, std::move(message));
+  }
+  if (decision.duplicate) {
+    // The duplicate arrives a little later, as real networks duplicate.
+    deliver_later(box, std::move(copy),
+                  std::chrono::steady_clock::now() +
+                      std::max(decision.delay,
+                               std::chrono::milliseconds(1)));
+  }
+  return accepted;
+}
+
+void MessageBus::deliver_later(Mailbox& box, Message message,
+                               std::chrono::steady_clock::time_point when) {
+  {
+    std::lock_guard lock(delay_mu_);
+    if (delay_stop_) return;
+    delayed_.push_back({when, &box, std::move(message)});
+    if (!delay_thread_.joinable()) {
+      delay_thread_ = std::thread([this] { delay_loop(); });
+    }
+  }
+  delay_cv_.notify_one();
+}
+
+void MessageBus::delay_loop() {
+  std::unique_lock lock(delay_mu_);
+  while (!delay_stop_) {
+    if (delayed_.empty()) {
+      delay_cv_.wait(lock,
+                     [this] { return delay_stop_ || !delayed_.empty(); });
+      continue;
+    }
+    auto next = std::min_element(delayed_.begin(), delayed_.end(),
+                                 [](const Delayed& a, const Delayed& b) {
+                                   return a.when < b.when;
+                                 });
+    const auto when = next->when;
+    if (std::chrono::steady_clock::now() < when) {
+      delay_cv_.wait_until(lock, when);
+      continue;  // re-scan: stop flag or an earlier message may have arrived
+    }
+    Delayed item = std::move(*next);
+    delayed_.erase(next);
+    lock.unlock();
+    push_and_account(*item.box, std::move(item.message));
+    lock.lock();
+  }
+  delayed_.clear();
+}
+
 bool MessageBus::send_to_server(ServerId server,
                                 std::vector<std::uint8_t> payload) {
-  account(payload.size());
-  return servers_[server].push({kClientSender, std::move(payload)});
+  return deliver(servers_[server], Direction::kClientToServer, server,
+                 {kClientSender, std::move(payload)});
 }
 
 void MessageBus::broadcast(std::span<const std::uint8_t> payload) {
@@ -48,11 +215,16 @@ void MessageBus::broadcast(std::span<const std::uint8_t> payload) {
 
 bool MessageBus::send_to_client(ServerId server,
                                 std::vector<std::uint8_t> payload) {
-  account(payload.size());
-  return client_.push({server, std::move(payload)});
+  return deliver(client_, Direction::kServerToClient, server,
+                 {server, std::move(payload)});
 }
 
 void MessageBus::shutdown() {
+  {
+    std::lock_guard lock(delay_mu_);
+    delay_stop_ = true;
+  }
+  delay_cv_.notify_all();
   for (Mailbox& m : servers_) m.close();
   client_.close();
 }
@@ -65,12 +237,6 @@ std::uint64_t MessageBus::bytes_transferred() const noexcept {
 std::uint64_t MessageBus::messages_sent() const noexcept {
   std::lock_guard lock(stats_mu_);
   return messages_;
-}
-
-void MessageBus::account(std::size_t bytes) {
-  std::lock_guard lock(stats_mu_);
-  bytes_ += bytes;
-  ++messages_;
 }
 
 }  // namespace pdc::rpc

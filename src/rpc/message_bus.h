@@ -5,17 +5,26 @@
 // serialized byte vector — no pointers are shared — which enforces the same
 // data-movement discipline as the real system's Mercury RPC transport and
 // lets the query layer meter network bytes for the cost model.
+//
+// Fault model: the bus optionally consults a FaultInjector on every send,
+// which may drop, delay, duplicate or corrupt the message in transit —
+// the in-process analogue of a lossy interconnect.  Reliability on top of
+// this lossy substrate comes from the request envelopes below plus the
+// deadline/retry logic in rpc::Client.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <mutex>
 #include <optional>
 #include <span>
+#include <thread>
 #include <vector>
 
 #include "common/types.h"
+#include "rpc/fault.h"
 
 namespace pdc::rpc {
 
@@ -27,19 +36,68 @@ struct Message {
   std::vector<std::uint8_t> payload;
 };
 
+// ---------------------------------------------------------------- envelope
+
+/// Transport header wrapped around every request/response payload.  Carries
+/// the request id (stable across retries, so stale/duplicate responses can
+/// be discarded), the attempt number, the absolute deadline after which the
+/// receiver may drop the message unprocessed, and a payload checksum so
+/// in-transit corruption is detected at the transport layer (the lost
+/// message is then recovered by the client's retry, exactly like a drop).
+struct Envelope {
+  std::uint64_t request_id = 0;
+  std::uint32_t attempt = 0;
+  /// Microseconds since the steady-clock epoch; 0 = no deadline.
+  std::uint64_t deadline_us = 0;
+};
+
+/// Current steady-clock time in the Envelope::deadline_us unit.
+[[nodiscard]] std::uint64_t steady_now_us() noexcept;
+
+/// FNV-1a over the payload bytes (transport checksum).
+[[nodiscard]] std::uint64_t payload_checksum(
+    std::span<const std::uint8_t> payload) noexcept;
+
+/// Serialize `header` + `payload` into one wire frame.
+[[nodiscard]] std::vector<std::uint8_t> envelope_wrap(
+    const Envelope& header, std::span<const std::uint8_t> payload);
+
+/// Parse a wire frame.  Returns false (and leaves outputs untouched) when
+/// the frame is malformed or fails its checksum — the caller must treat the
+/// message as lost.  On success `payload` borrows from `frame`.
+[[nodiscard]] bool envelope_unwrap(std::span<const std::uint8_t> frame,
+                                   Envelope& header,
+                                   std::span<const std::uint8_t>& payload);
+
+// ----------------------------------------------------------------- mailbox
+
 /// Unbounded MPSC queue with blocking pop and close semantics.
+///
+/// Shutdown contract: after close(), push() returns false and the message
+/// is NOT delivered; messages queued before close() still drain through
+/// pop().  Callers must treat a false push as "never sent" — in particular
+/// the MessageBus only accounts bytes/messages for pushes that succeeded.
 class Mailbox {
  public:
-  /// Enqueue; returns false if the mailbox is closed.
+  /// Enqueue; returns false if the mailbox is closed (message dropped).
   bool push(Message message);
 
   /// Block until a message arrives or the mailbox is closed & drained;
   /// nullopt means closed.
   std::optional<Message> pop();
 
+  /// Like pop(), but give up at `deadline`.  nullopt means timed out or
+  /// closed & drained — distinguish with closed().
+  std::optional<Message> pop_until(std::chrono::steady_clock::time_point deadline);
+
   /// Wake all poppers; subsequent pushes are dropped.
   void close();
 
+  /// Block until close() has been called (ignores queued messages).  Used
+  /// to model a wedged server thread that only "exits" at shutdown.
+  void wait_closed();
+
+  [[nodiscard]] bool closed() const;
   [[nodiscard]] std::size_t pending() const;
 
  private:
@@ -49,17 +107,38 @@ class Mailbox {
   bool closed_ = false;
 };
 
+// ---------------------------------------------------------------------- bus
+
 /// One client + N server mailboxes, plus transfer statistics.
+///
+/// bytes_transferred()/messages_sent() count only messages actually
+/// delivered into a mailbox: sends that were refused (mailbox closed) or
+/// dropped by the fault injector are not accounted.
 class MessageBus {
  public:
   explicit MessageBus(std::uint32_t num_servers)
       : servers_(num_servers) {}
+  ~MessageBus();
+
+  MessageBus(const MessageBus&) = delete;
+  MessageBus& operator=(const MessageBus&) = delete;
 
   [[nodiscard]] std::uint32_t num_servers() const noexcept {
     return static_cast<std::uint32_t>(servers_.size());
   }
 
-  /// Client -> one server.
+  /// Install a fault injector consulted on every send (nullptr = none).
+  /// Must outlive the bus; set before traffic starts.
+  void set_fault_injector(FaultInjector* injector) noexcept {
+    injector_ = injector;
+  }
+  [[nodiscard]] FaultInjector* fault_injector() const noexcept {
+    return injector_;
+  }
+
+  /// Client -> one server.  Returns false only if the mailbox refused the
+  /// message (closed); fault-injected drops still return true, because a
+  /// real sender cannot observe a lost packet.
   bool send_to_server(ServerId server, std::vector<std::uint8_t> payload);
 
   /// Client -> every server (payload copied per server).
@@ -73,21 +152,44 @@ class MessageBus {
   }
   [[nodiscard]] Mailbox& client_mailbox() { return client_; }
 
-  /// Close every mailbox (shutdown).
+  /// Close every mailbox (shutdown).  Pending delayed messages are
+  /// discarded.
   void shutdown();
 
-  /// Total payload bytes that crossed the bus so far.
+  /// Total payload bytes delivered across the bus so far.
   [[nodiscard]] std::uint64_t bytes_transferred() const noexcept;
   [[nodiscard]] std::uint64_t messages_sent() const noexcept;
 
  private:
-  void account(std::size_t bytes);
+  /// Route one message to `box`, applying the fault plan.  Returns false
+  /// only when the mailbox refused delivery.
+  bool deliver(Mailbox& box, Direction direction, ServerId server,
+               Message message);
+  bool push_and_account(Mailbox& box, Message message);
+  /// Hand a message to the delay line for delivery at `when`.
+  void deliver_later(Mailbox& box, Message message,
+                     std::chrono::steady_clock::time_point when);
+  void delay_loop();
 
   std::vector<Mailbox> servers_;
   Mailbox client_;
+  FaultInjector* injector_ = nullptr;
+
   mutable std::mutex stats_mu_;
   std::uint64_t bytes_ = 0;
   std::uint64_t messages_ = 0;
+
+  // Delayed-delivery line (started lazily on the first delayed message).
+  struct Delayed {
+    std::chrono::steady_clock::time_point when;
+    Mailbox* box;
+    Message message;
+  };
+  std::mutex delay_mu_;
+  std::condition_variable delay_cv_;
+  std::vector<Delayed> delayed_;
+  std::thread delay_thread_;
+  bool delay_stop_ = false;
 };
 
 }  // namespace pdc::rpc

@@ -1,6 +1,7 @@
 #include "rpc/server_runtime.h"
 
 #include <algorithm>
+#include <unordered_map>
 
 namespace pdc::rpc {
 
@@ -16,43 +17,118 @@ ServerRuntime::~ServerRuntime() {
 
 void ServerRuntime::loop() {
   Mailbox& inbox = bus_.server_mailbox(id_);
+  FaultInjector* injector = bus_.fault_injector();
   while (auto message = inbox.pop()) {
-    std::vector<std::uint8_t> response = handler_(message->payload);
-    bus_.send_to_client(id_, std::move(response));
+    if (injector != nullptr) {
+      switch (injector->on_server_request(id_)) {
+        case ServerFate::kAlive:
+          break;
+        case ServerFate::kKilled:
+          return;  // node crash: loop exits, requests go unanswered
+        case ServerFate::kStalled:
+          inbox.wait_closed();  // wedged daemon: holds the thread until
+          return;               // shutdown, never replies
+      }
+    }
+    Envelope envelope;
+    std::span<const std::uint8_t> request;
+    if (!envelope_unwrap(message->payload, envelope, request)) {
+      continue;  // corrupt in transit: treat as lost, client will retry
+    }
+    if (envelope.deadline_us != 0 && steady_now_us() > envelope.deadline_us) {
+      continue;  // client already gave up on this attempt
+    }
+    std::vector<std::uint8_t> response = handler_(request);
+    bus_.send_to_client(id_, envelope_wrap(envelope, response));
   }
 }
 
-std::vector<Message> Client::scatter_wait(
-    std::vector<std::pair<ServerId, std::vector<std::uint8_t>>> requests) {
-  for (auto& [server, payload] : requests) {
-    bus_.send_to_server(server, std::move(payload));
-  }
-  std::vector<Message> responses;
-  responses.reserve(requests.size());
+GatherResult Client::gather(
+    const std::vector<std::pair<ServerId, std::vector<std::uint8_t>>>&
+        requests) {
+  GatherResult result;
+  result.responses.resize(requests.size());
+  if (requests.empty()) return result;
+
+  // Request ids are stable across retries so a slow first-attempt response
+  // still satisfies the request; ids are globally unique so responses to
+  // *previous* operations are recognized as stale and discarded.
+  std::unordered_map<std::uint64_t, std::size_t> pending;
+  std::vector<std::uint64_t> ids(requests.size());
   for (std::size_t i = 0; i < requests.size(); ++i) {
-    auto m = bus_.client_mailbox().pop();
-    if (!m) break;
-    responses.push_back(std::move(*m));
+    ids[i] = next_request_id_.fetch_add(1, std::memory_order_relaxed);
+    pending.emplace(ids[i], i);
   }
-  std::sort(responses.begin(), responses.end(),
-            [](const Message& a, const Message& b) {
-              return a.sender < b.sender;
-            });
-  return responses;
+
+  for (std::uint32_t attempt = 0; attempt < policy_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      result.stats.retries += pending.size();
+      const auto backoff = std::min(
+          policy_.backoff_cap,
+          std::chrono::milliseconds(policy_.backoff_base.count()
+                                    << std::min<std::uint32_t>(attempt - 1,
+                                                               16)));
+      std::this_thread::sleep_for(backoff);
+    }
+    const auto deadline =
+        std::chrono::steady_clock::now() + policy_.attempt_timeout;
+    const std::uint64_t deadline_us =
+        steady_now_us() +
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                policy_.attempt_timeout)
+                .count());
+    for (const auto& [id, index] : pending) {
+      bus_.send_to_server(
+          requests[index].first,
+          envelope_wrap({id, attempt, deadline_us}, requests[index].second));
+    }
+
+    while (!pending.empty()) {
+      auto message = bus_.client_mailbox().pop_until(deadline);
+      if (!message.has_value()) {
+        if (bus_.client_mailbox().closed()) {
+          result.bus_closed = true;
+          return result;
+        }
+        ++result.stats.timeouts;  // attempt window expired
+        break;
+      }
+      Envelope envelope;
+      std::span<const std::uint8_t> payload;
+      if (!envelope_unwrap(message->payload, envelope, payload)) {
+        ++result.stats.corrupt_discarded;
+        continue;
+      }
+      const auto it = pending.find(envelope.request_id);
+      if (it == pending.end()) {
+        ++result.stats.duplicates_discarded;  // dup or stale response
+        continue;
+      }
+      result.responses[it->second] =
+          Message{message->sender,
+                  std::vector<std::uint8_t>(payload.begin(), payload.end())};
+      pending.erase(it);
+    }
+    if (pending.empty()) break;
+  }
+  return result;
 }
 
 std::future<std::vector<Message>> Client::broadcast_collect(
     std::vector<std::uint8_t> payload) {
-  bus_.broadcast(payload);
-  // Background aggregator: gather exactly one response per server.
-  return std::async(std::launch::async, [this] {
-    const std::uint32_t n = bus_.num_servers();
+  // Background aggregator: gather one response per server (paper §III-C).
+  return std::async(std::launch::async, [this,
+                                         payload = std::move(payload)] {
+    std::vector<std::pair<ServerId, std::vector<std::uint8_t>>> requests;
+    requests.reserve(bus_.num_servers());
+    for (ServerId s = 0; s < bus_.num_servers(); ++s) {
+      requests.emplace_back(s, payload);
+    }
+    GatherResult gathered = gather(requests);
     std::vector<Message> responses;
-    responses.reserve(n);
-    for (std::uint32_t i = 0; i < n; ++i) {
-      auto m = bus_.client_mailbox().pop();
-      if (!m) break;  // bus shut down mid-collect
-      responses.push_back(std::move(*m));
+    for (auto& r : gathered.responses) {
+      if (r.has_value()) responses.push_back(std::move(*r));
     }
     std::sort(responses.begin(), responses.end(),
               [](const Message& a, const Message& b) {
@@ -60,6 +136,20 @@ std::future<std::vector<Message>> Client::broadcast_collect(
               });
     return responses;
   });
+}
+
+std::vector<Message> Client::scatter_wait(
+    std::vector<std::pair<ServerId, std::vector<std::uint8_t>>> requests) {
+  GatherResult gathered = gather(requests);
+  std::vector<Message> responses;
+  for (auto& r : gathered.responses) {
+    if (r.has_value()) responses.push_back(std::move(*r));
+  }
+  std::sort(responses.begin(), responses.end(),
+            [](const Message& a, const Message& b) {
+              return a.sender < b.sender;
+            });
+  return responses;
 }
 
 }  // namespace pdc::rpc

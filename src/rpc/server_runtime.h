@@ -6,10 +6,21 @@
 // has a background thread that aggregates the results received from all
 // servers"), so the application thread may continue working and only block
 // when it actually needs the result.
+//
+// Reliability: requests and responses travel inside Envelopes (request id,
+// attempt, deadline, checksum).  The client's gather() enforces a per
+// attempt deadline with bounded exponential backoff between retries,
+// discards stale/duplicate/corrupt responses by request id, and reports
+// the servers that never answered so the query layer can enter degraded
+// mode.  Servers drop corrupt frames and requests whose deadline already
+// passed (the client has stopped listening for them).
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <functional>
 #include <future>
+#include <optional>
 #include <span>
 #include <thread>
 #include <vector>
@@ -45,13 +56,58 @@ class ServerRuntime {
   std::thread thread_;
 };
 
+/// Client-side timeout/retry configuration.
+struct RetryPolicy {
+  /// How long one attempt waits for all outstanding responses.
+  std::chrono::milliseconds attempt_timeout{250};
+  /// Total attempts per request (first try + retries).
+  std::uint32_t max_attempts = 4;
+  /// Exponential backoff between attempts: base * 2^attempt, capped.
+  std::chrono::milliseconds backoff_base{2};
+  std::chrono::milliseconds backoff_cap{50};
+};
+
+/// Transport-level counters accumulated by one gather().
+struct RpcStats {
+  std::uint64_t retries = 0;     ///< requests re-sent after a timeout
+  std::uint64_t timeouts = 0;    ///< attempt windows that expired
+  std::uint64_t duplicates_discarded = 0;  ///< dup/stale responses dropped
+  std::uint64_t corrupt_discarded = 0;     ///< frames failing checksum
+};
+
+/// Outcome of one gather: responses[i] answers requests[i] (nullopt after
+/// retries were exhausted, or the bus shut down mid-collect).
+struct GatherResult {
+  std::vector<std::optional<Message>> responses;
+  RpcStats stats;
+  bool bus_closed = false;
+
+  [[nodiscard]] bool complete() const {
+    for (const auto& r : responses) {
+      if (!r.has_value()) return false;
+    }
+    return true;
+  }
+};
+
 /// Client endpoint: broadcast a request and gather one response per server.
 class Client {
  public:
-  explicit Client(MessageBus& bus) : bus_(bus) {}
+  explicit Client(MessageBus& bus, RetryPolicy policy = {})
+      : bus_(bus), policy_(policy) {}
+
+  /// Send each (server, payload) request and gather the responses, with
+  /// per-attempt deadlines and bounded-backoff retries.  Message payloads
+  /// in the result are the bare inner payloads (envelopes stripped);
+  /// sender is the responding server.  Never blocks past
+  /// max_attempts * (attempt_timeout + backoff).
+  GatherResult gather(
+      const std::vector<std::pair<ServerId, std::vector<std::uint8_t>>>&
+          requests);
 
   /// Broadcast `payload` and return a future that resolves once every
-  /// server has responded.  Responses are ordered by server id.
+  /// server has responded or retries are exhausted.  Responses are ordered
+  /// by server id; unresponsive servers are simply absent.
   std::future<std::vector<Message>> broadcast_collect(
       std::vector<std::uint8_t> payload);
 
@@ -60,13 +116,17 @@ class Client {
     return broadcast_collect(std::move(payload)).get();
   }
 
-  /// Send distinct payloads to a subset of servers and gather exactly one
-  /// response per request (ordered by server id).
+  /// Send distinct payloads to a subset of servers and gather the
+  /// responses that arrived (ordered by server id).
   std::vector<Message> scatter_wait(
       std::vector<std::pair<ServerId, std::vector<std::uint8_t>>> requests);
 
+  [[nodiscard]] const RetryPolicy& policy() const noexcept { return policy_; }
+
  private:
   MessageBus& bus_;
+  RetryPolicy policy_;
+  std::atomic<std::uint64_t> next_request_id_{1};
 };
 
 }  // namespace pdc::rpc

@@ -109,16 +109,27 @@ std::vector<std::uint8_t> QueryServer::handle(
 EvalResponse QueryServer::eval(const EvalRequest& request) {
   EvalResponse response;
   CostLedger ledger;
+  // The identities whose region shares we evaluate: normally just our own;
+  // in degraded mode the client adds dead servers' identities (re-planned
+  // region assignment — see region_assignment.h::plan_reassignment).
+  std::vector<ServerId> identities = request.act_as;
+  if (identities.empty()) identities.push_back(options_.id);
   std::vector<std::uint64_t> all_positions;
   bool first_term = true;
   for (const AndTerm& term : request.terms) {
     std::vector<std::uint64_t> term_positions;
     std::vector<Extent1D> term_extents;
-    const Status s =
-        eval_term(term, request, ledger, term_positions, term_extents);
-    if (!s.ok()) {
-      response.status = s;
-      return response;
+    for (const ServerId identity : identities) {
+      const Status s = eval_term(term, request, identity, ledger,
+                                 term_positions, term_extents);
+      if (!s.ok()) {
+        response.status = s;
+        return response;
+      }
+    }
+    if (identities.size() > 1) {
+      // Per-identity sublists are each ascending; restore the global order.
+      std::sort(term_positions.begin(), term_positions.end());
     }
     if (first_term) {
       all_positions = std::move(term_positions);
@@ -157,12 +168,16 @@ EvalResponse QueryServer::eval(const EvalRequest& request) {
 }
 
 Status QueryServer::eval_term(const AndTerm& term, const EvalRequest& request,
-                              CostLedger& ledger,
-                              std::vector<std::uint64_t>& positions,
-                              std::vector<Extent1D>& sorted_extents) {
+                              ServerId identity, CostLedger& ledger,
+                              std::vector<std::uint64_t>& out_positions,
+                              std::vector<Extent1D>& out_extents) {
   if (term.conjuncts.empty()) {
     return Status::InvalidArgument("AND-term with no conjuncts");
   }
+  // Work on identity-local lists; the internal logic relies on ascending
+  // order, which only holds within one identity's region share.
+  std::vector<std::uint64_t> positions;
+  std::vector<Extent1D> sorted_extents;
   const Conjunct& driver = term.conjuncts.front();
   PDC_ASSIGN_OR_RETURN(const obj::ObjectDescriptor* driver_obj,
                        store_.get(driver.object));
@@ -175,14 +190,14 @@ Status QueryServer::eval_term(const AndTerm& term, const EvalRequest& request,
     PDC_ASSIGN_OR_RETURN(const obj::ObjectDescriptor* replica,
                          store_.get(term.driver_replica));
     std::vector<Extent1D> extents;
-    PDC_RETURN_IF_ERROR(
-        eval_driver_sorted(*replica, driver.interval, ledger, extents));
+    PDC_RETURN_IF_ERROR(eval_driver_sorted(*replica, driver.interval,
+                                           identity, ledger, extents));
 
     const bool need_positions = request.need_locations ||
                                 term.conjuncts.size() > 1 ||
                                 request.region_constraint.count > 0;
     if (!need_positions) {
-      sorted_extents = std::move(extents);
+      out_extents.insert(out_extents.end(), extents.begin(), extents.end());
       return Status::Ok();
     }
     // Map replica-space extents to original positions (contiguous
@@ -208,25 +223,25 @@ Status QueryServer::eval_term(const AndTerm& term, const EvalRequest& request,
       case Strategy::kFullScan:
         PDC_RETURN_IF_ERROR(eval_driver_scan(*driver_obj, driver.interval,
                                              request.region_constraint,
-                                             /*prune=*/false, ledger,
-                                             positions));
+                                             /*prune=*/false, identity,
+                                             ledger, positions));
         break;
       case Strategy::kHistogram:
       case Strategy::kSortedHistogram:  // no replica available: histogram
         PDC_RETURN_IF_ERROR(eval_driver_scan(*driver_obj, driver.interval,
                                              request.region_constraint,
-                                             /*prune=*/true, ledger,
-                                             positions));
+                                             /*prune=*/true, identity,
+                                             ledger, positions));
         break;
       case Strategy::kHistogramIndex:
         PDC_RETURN_IF_ERROR(eval_driver_index(*driver_obj, driver.interval,
                                               request.region_constraint,
-                                              ledger, positions));
+                                              identity, ledger, positions));
         break;
     }
   }
 
-  log_debug("server ", options_.id, " driver done: positions=",
+  log_debug("server ", options_.id, " as ", identity, " driver done: positions=",
             positions.size(), " extents=", sorted_extents.size(),
             " io=", ledger.io_seconds(), " ops=", ledger.read_ops());
   // AND short-circuit: evaluate remaining conjuncts only at the selected
@@ -244,17 +259,21 @@ Status QueryServer::eval_term(const AndTerm& term, const EvalRequest& request,
         request.strategy == Strategy::kFullScan, ledger, positions));
   }
   if (term.conjuncts.size() > 1) sorted_extents.clear();
+  out_positions.insert(out_positions.end(), positions.begin(),
+                       positions.end());
+  out_extents.insert(out_extents.end(), sorted_extents.begin(),
+                     sorted_extents.end());
   return Status::Ok();
 }
 
 Status QueryServer::eval_driver_scan(const obj::ObjectDescriptor& object,
                                      const ValueInterval& interval,
                                      Extent1D constraint, bool prune,
-                                     CostLedger& ledger,
+                                     ServerId identity, CostLedger& ledger,
                                      std::vector<std::uint64_t>& positions) {
   const CostModel& cost = store_.cluster().config().cost;
   for (const RegionIndex r :
-       regions_of_server(object, options_.id, options_.num_servers)) {
+       regions_of_server(object, identity, options_.num_servers)) {
     const obj::RegionDescriptor& region = object.regions[r];
     Extent1D want = region.extent;
     if (constraint.count > 0) {
@@ -286,7 +305,8 @@ Status QueryServer::eval_driver_scan(const obj::ObjectDescriptor& object,
 
 Status QueryServer::eval_driver_index(const obj::ObjectDescriptor& object,
                                       const ValueInterval& interval,
-                                      Extent1D constraint, CostLedger& ledger,
+                                      Extent1D constraint, ServerId identity,
+                                      CostLedger& ledger,
                                       std::vector<std::uint64_t>& positions) {
   if (object.index_file.empty()) {
     return Status::FailedPrecondition("object has no bitmap index: " +
@@ -309,7 +329,7 @@ Status QueryServer::eval_driver_index(const obj::ObjectDescriptor& object,
   };
   std::vector<PlannedBin> planned;
   for (const RegionIndex r :
-       regions_of_server(object, options_.id, options_.num_servers)) {
+       regions_of_server(object, identity, options_.num_servers)) {
     const obj::RegionDescriptor& region = object.regions[r];
     Extent1D want = region.extent;
     if (constraint.count > 0) {
@@ -427,11 +447,11 @@ Status QueryServer::eval_driver_index(const obj::ObjectDescriptor& object,
 
 Status QueryServer::eval_driver_sorted(const obj::ObjectDescriptor& replica,
                                        const ValueInterval& interval,
-                                       CostLedger& ledger,
+                                       ServerId identity, CostLedger& ledger,
                                        std::vector<Extent1D>& extents) {
   const CostModel& cost = store_.cluster().config().cost;
   for (const RegionIndex r :
-       regions_of_server(replica, options_.id, options_.num_servers)) {
+       regions_of_server(replica, identity, options_.num_servers)) {
     const obj::RegionDescriptor& region = replica.regions[r];
     if (!region.histogram.may_overlap(interval)) continue;
 

@@ -66,23 +66,27 @@ class QueryServer {
   [[nodiscard]] ServerId id() const noexcept { return options_.id; }
 
  private:
-  /// Evaluate one AND-term; appends this server's matching original-space
-  /// positions (ascending) and, for sorted drivers, replica-space extents.
+  /// Evaluate one AND-term while acting as server `identity` (normally our
+  /// own id; a dead server's id in degraded mode); appends that identity's
+  /// matching original-space positions (ascending) and, for sorted
+  /// drivers, replica-space extents.
   Status eval_term(const AndTerm& term, const EvalRequest& request,
-                   CostLedger& ledger, std::vector<std::uint64_t>& positions,
+                   ServerId identity, CostLedger& ledger,
+                   std::vector<std::uint64_t>& positions,
                    std::vector<Extent1D>& sorted_extents);
 
-  // Driver evaluators (first conjunct, region-parallel).
+  // Driver evaluators (first conjunct, region-parallel over the regions
+  // assigned to `identity`).
   Status eval_driver_scan(const obj::ObjectDescriptor& object,
                           const ValueInterval& interval, Extent1D constraint,
-                          bool prune, CostLedger& ledger,
+                          bool prune, ServerId identity, CostLedger& ledger,
                           std::vector<std::uint64_t>& positions);
   Status eval_driver_index(const obj::ObjectDescriptor& object,
                            const ValueInterval& interval, Extent1D constraint,
-                           CostLedger& ledger,
+                           ServerId identity, CostLedger& ledger,
                            std::vector<std::uint64_t>& positions);
   Status eval_driver_sorted(const obj::ObjectDescriptor& replica,
-                            const ValueInterval& interval,
+                            const ValueInterval& interval, ServerId identity,
                             CostLedger& ledger,
                             std::vector<Extent1D>& extents);
 

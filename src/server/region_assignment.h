@@ -59,6 +59,23 @@ namespace pdc::server {
   return static_cast<RegionIndex>(position / object.region_size_elements);
 }
 
+/// Degraded-mode re-planning: distribute the region assignments of `dead`
+/// server identities over the `alive` servers, round-robin for balance.
+/// Returns, per alive server (indexed as in `alive`), the list of dead
+/// identities whose regions that server must evaluate on their behalf.
+/// Identity-based reassignment keeps owner_of_region() stable — only who
+/// *executes* an identity's share changes, so client and survivors agree
+/// without any server-to-server communication.
+[[nodiscard]] inline std::vector<std::vector<ServerId>> plan_reassignment(
+    std::span<const ServerId> dead, std::span<const ServerId> alive) {
+  std::vector<std::vector<ServerId>> extra(alive.size());
+  if (alive.empty()) return extra;
+  for (std::size_t i = 0; i < dead.size(); ++i) {
+    extra[i % alive.size()].push_back(dead[i]);
+  }
+  return extra;
+}
+
 /// Split ascending `positions` into per-server sublists based on which
 /// server owns the containing region of `object`.
 [[nodiscard]] inline std::vector<std::vector<std::uint64_t>>

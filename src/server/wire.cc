@@ -32,7 +32,7 @@ Status get_status(SerialReader& r, Status& out) {
   std::string message;
   PDC_RETURN_IF_ERROR(r.get(code));
   PDC_RETURN_IF_ERROR(r.get_string(message));
-  if (code > static_cast<std::uint8_t>(StatusCode::kInternal)) {
+  if (code > static_cast<std::uint8_t>(StatusCode::kUnavailable)) {
     return Status::Corruption("status code invalid");
   }
   out = code == 0 ? Status::Ok()
@@ -105,6 +105,7 @@ std::vector<std::uint8_t> EvalRequest::serialize() const {
       put_interval(w, c.interval);
     }
   }
+  w.put_vector(act_as);
   return w.take();
 }
 
@@ -145,6 +146,7 @@ Result<EvalRequest> EvalRequest::Deserialize(SerialReader& r) {
       PDC_RETURN_IF_ERROR(get_interval(r, c.interval));
     }
   }
+  PDC_RETURN_IF_ERROR(r.get_vector(req.act_as));
   return req;
 }
 

@@ -73,6 +73,11 @@ struct EvalRequest {
   /// Optional spatial constraint: element extent ({0,0} = whole object).
   Extent1D region_constraint;
   std::vector<AndTerm> terms;  ///< OR of AND-terms
+  /// Server identities whose region assignments to evaluate.  Empty means
+  /// "your own id" (the fault-free fast path).  In degraded mode the client
+  /// re-plans a dead server's share onto a survivor by listing the dead
+  /// identity here — region ownership itself never moves.
+  std::vector<ServerId> act_as;
 
   [[nodiscard]] std::vector<std::uint8_t> serialize() const;
   static Result<EvalRequest> Deserialize(SerialReader& r);

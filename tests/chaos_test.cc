@@ -1,0 +1,269 @@
+// Chaos tests: the query service must return exactly the fault-free answer
+// under seeded fault plans (drops, delays, duplicates, corruption, server
+// kills/stalls) — only slower — and must surface kUnavailable rather than
+// hang when every server is dead.  The no-hang guarantee is enforced twice:
+// by the client's deadline-bounded retries, and by the ctest TIMEOUT set on
+// every test binary.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <vector>
+
+#include "common/rng.h"
+#include "query/service.h"
+#include "rpc/fault.h"
+
+namespace pdc {
+namespace {
+
+rpc::RetryPolicy tight_retry() {
+  rpc::RetryPolicy policy;
+  policy.attempt_timeout = std::chrono::milliseconds(100);
+  policy.max_attempts = 4;
+  policy.backoff_base = std::chrono::milliseconds(2);
+  policy.backoff_cap = std::chrono::milliseconds(20);
+  return policy;
+}
+
+class ChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = ::testing::TempDir() + "/chaos_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(root_);
+    pfs::PfsConfig cfg;
+    cfg.root_dir = root_;
+    cluster_ = std::move(pfs::PfsCluster::Create(cfg)).value();
+    store_ = std::make_unique<obj::ObjectStore>(*cluster_);
+    const ObjectId container =
+        std::move(store_->create_container("c")).value();
+    Rng rng(7);
+    data_.resize(40000);
+    for (auto& v : data_) v = static_cast<float>(rng.uniform(0.0, 10.0));
+    obj::ImportOptions options;
+    options.region_size_bytes = 4096;  // 40 regions across 4 servers
+    object_ = std::move(store_->import_object<float>(
+                            container, "v", std::span<const float>(data_),
+                            options))
+                  .value();
+  }
+  void TearDown() override { std::filesystem::remove_all(root_); }
+
+  /// The mixed query batch: alternating count-only and selection queries
+  /// over intervals of varying selectivity.
+  [[nodiscard]] std::vector<std::pair<double, double>> intervals() const {
+    return {{1.0, 9.0}, {4.5, 5.5}, {0.2, 0.3}, {7.9, 8.0}, {2.0, 6.0}};
+  }
+
+  query::QueryPtr make_query(double lo, double hi) const {
+    return query::q_and(query::create(object_, QueryOp::kGT, lo),
+                        query::create(object_, QueryOp::kLT, hi));
+  }
+
+  std::string root_;
+  std::unique_ptr<pfs::PfsCluster> cluster_;
+  std::unique_ptr<obj::ObjectStore> store_;
+  std::vector<float> data_;
+  ObjectId object_ = kInvalidObjectId;
+};
+
+// Acceptance criterion: a seeded plan that kills 1 of 4 servers and
+// drops/delays 10% of messages must change nothing about the answers —
+// hit counts, positions AND fetched values — while OpStats shows nonzero
+// retries and redispatched_regions.
+TEST_F(ChaosTest, DegradedQueriesMatchFaultFreeBaseline) {
+  query::ServiceOptions clean_options;
+  clean_options.num_servers = 4;
+  query::QueryService baseline(*store_, clean_options);
+
+  rpc::FaultPlan plan;
+  plan.seed = 42;
+  plan.drop_rate = 0.10;
+  plan.delay_rate = 0.10;
+  plan.duplicate_rate = 0.05;
+  plan.corrupt_rate = 0.05;
+  plan.min_delay = std::chrono::milliseconds(1);
+  plan.max_delay = std::chrono::milliseconds(10);
+  plan.server_faults.push_back({/*server=*/2, /*after_requests=*/2,
+                                rpc::ServerFate::kKilled});
+  rpc::FaultInjector injector(plan);
+
+  query::ServiceOptions faulty_options = clean_options;
+  faulty_options.fault_injector = &injector;
+  faulty_options.retry = tight_retry();
+  query::QueryService service(*store_, faulty_options);
+
+  std::uint64_t total_retries = 0;
+  std::uint64_t total_redispatched = 0;
+  bool use_count_only = true;
+  for (const auto& [lo, hi] : intervals()) {
+    const auto q = make_query(lo, hi);
+    if (use_count_only) {
+      auto want = baseline.get_num_hits(q);
+      auto got = service.get_num_hits(q);
+      ASSERT_TRUE(want.ok());
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      EXPECT_EQ(*got, *want) << "interval (" << lo << ", " << hi << ")";
+    } else {
+      auto want = baseline.get_selection(q);
+      auto got = service.get_selection(q);
+      ASSERT_TRUE(want.ok());
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      EXPECT_EQ(got->num_hits, want->num_hits);
+      EXPECT_EQ(got->positions, want->positions)
+          << "interval (" << lo << ", " << hi << ")";
+      // The data fetch must survive re-routing away from the dead server.
+      std::vector<float> want_values(want->num_hits);
+      std::vector<float> got_values(got->num_hits);
+      ASSERT_TRUE(baseline
+                      .get_data<float>(object_, *want,
+                                       std::span<float>(want_values))
+                      .ok());
+      auto fetch = service.get_data<float>(object_, *got,
+                                           std::span<float>(got_values));
+      ASSERT_TRUE(fetch.ok()) << fetch.ToString();
+      EXPECT_EQ(got_values, want_values);
+      total_retries += service.last_stats().retries;
+      total_redispatched += service.last_stats().redispatched_regions;
+    }
+    use_count_only = !use_count_only;
+    total_retries += service.last_stats().retries;
+    total_redispatched += service.last_stats().redispatched_regions;
+  }
+  // The killed server forces both retries and region redispatch.
+  EXPECT_GT(total_retries, 0u);
+  EXPECT_GT(total_redispatched, 0u);
+  EXPECT_EQ(service.dead_servers(), (std::vector<ServerId>{2}));
+  EXPECT_GT(injector.counters().dropped, 0u);
+  EXPECT_EQ(injector.counters().servers_failed, 1u);
+}
+
+// Lossy-but-alive fleet: randomized drop/delay/duplicate/corrupt plans
+// across several seeds never change a hit count.
+TEST_F(ChaosTest, RandomizedLossPlansPreserveCounts) {
+  query::ServiceOptions clean_options;
+  clean_options.num_servers = 4;
+  query::QueryService baseline(*store_, clean_options);
+  std::vector<std::uint64_t> want;
+  for (const auto& [lo, hi] : intervals()) {
+    want.push_back(*baseline.get_num_hits(make_query(lo, hi)));
+  }
+
+  for (const std::uint64_t seed : {1ull, 99ull, 2026ull}) {
+    rpc::FaultPlan plan;
+    plan.seed = seed;
+    plan.drop_rate = 0.15;
+    plan.delay_rate = 0.15;
+    plan.duplicate_rate = 0.10;
+    plan.corrupt_rate = 0.10;
+    plan.max_delay = std::chrono::milliseconds(8);
+    rpc::FaultInjector injector(plan);
+    query::ServiceOptions faulty_options = clean_options;
+    faulty_options.fault_injector = &injector;
+    faulty_options.retry = tight_retry();
+    faulty_options.retry.max_attempts = 6;  // loss, no kills: always recover
+    query::QueryService service(*store_, faulty_options);
+    std::size_t i = 0;
+    for (const auto& [lo, hi] : intervals()) {
+      auto got = service.get_num_hits(make_query(lo, hi));
+      ASSERT_TRUE(got.ok()) << "seed " << seed << ": "
+                            << got.status().ToString();
+      EXPECT_EQ(*got, want[i++]) << "seed " << seed;
+    }
+  }
+}
+
+// A stalled (wedged, never replying) server must degrade exactly like a
+// killed one: correct answers, no hang.
+TEST_F(ChaosTest, StalledServerDoesNotHangQueries) {
+  query::ServiceOptions clean_options;
+  clean_options.num_servers = 4;
+  query::QueryService baseline(*store_, clean_options);
+
+  rpc::FaultPlan plan;
+  plan.server_faults.push_back({/*server=*/1, /*after_requests=*/1,
+                                rpc::ServerFate::kStalled});
+  rpc::FaultInjector injector(plan);
+  query::ServiceOptions faulty_options = clean_options;
+  faulty_options.fault_injector = &injector;
+  faulty_options.retry = tight_retry();
+  query::QueryService service(*store_, faulty_options);
+
+  for (const auto& [lo, hi] : intervals()) {
+    const auto q = make_query(lo, hi);
+    auto want = baseline.get_selection(q);
+    auto got = service.get_selection(q);
+    ASSERT_TRUE(want.ok());
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(got->positions, want->positions);
+  }
+  EXPECT_EQ(service.dead_servers(), (std::vector<ServerId>{1}));
+}
+
+// When every server is dead the service must fail fast with kUnavailable
+// instead of hanging forever (the seed behaviour).
+TEST_F(ChaosTest, AllServersDeadReturnsUnavailable) {
+  rpc::FaultPlan plan;
+  for (ServerId s = 0; s < 4; ++s) {
+    plan.server_faults.push_back({s, /*after_requests=*/0,
+                                  rpc::ServerFate::kKilled});
+  }
+  rpc::FaultInjector injector(plan);
+  query::ServiceOptions options;
+  options.num_servers = 4;
+  options.fault_injector = &injector;
+  options.retry = tight_retry();
+  options.retry.attempt_timeout = std::chrono::milliseconds(50);
+  options.retry.max_attempts = 2;
+  query::QueryService service(*store_, options);
+
+  auto result = service.get_num_hits(make_query(1.0, 9.0));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(service.last_stats().dead_servers, 4u);
+
+  // Later operations fail fast too — no RPC round trips are attempted.
+  auto again = service.get_num_hits(make_query(4.0, 6.0));
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.status().code(), StatusCode::kUnavailable);
+}
+
+// A server that dies between the selection and the data fetch: get_data
+// re-routes its partition to a survivor and still returns correct bytes.
+TEST_F(ChaosTest, GetDataReroutesWhenOwnerDiesMidSession) {
+  query::ServiceOptions clean_options;
+  clean_options.num_servers = 4;
+  query::QueryService baseline(*store_, clean_options);
+  const auto q = make_query(2.0, 6.0);
+  auto want = baseline.get_selection(q);
+  ASSERT_TRUE(want.ok());
+  std::vector<float> want_values(want->num_hits);
+  ASSERT_TRUE(baseline
+                  .get_data<float>(object_, *want,
+                                   std::span<float>(want_values))
+                  .ok());
+
+  // Server 3 answers the eval, then dies before the data fetch.
+  rpc::FaultPlan plan;
+  plan.server_faults.push_back({/*server=*/3, /*after_requests=*/1,
+                                rpc::ServerFate::kKilled});
+  rpc::FaultInjector injector(plan);
+  query::ServiceOptions faulty_options = clean_options;
+  faulty_options.fault_injector = &injector;
+  faulty_options.retry = tight_retry();
+  query::QueryService service(*store_, faulty_options);
+
+  auto got = service.get_selection(q);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got->positions, want->positions);
+  std::vector<float> got_values(got->num_hits);
+  auto fetch =
+      service.get_data<float>(object_, *got, std::span<float>(got_values));
+  ASSERT_TRUE(fetch.ok()) << fetch.ToString();
+  EXPECT_EQ(got_values, want_values);
+  EXPECT_EQ(service.dead_servers(), (std::vector<ServerId>{3}));
+  EXPECT_GT(service.last_stats().redispatched_regions, 0u);
+}
+
+}  // namespace
+}  // namespace pdc

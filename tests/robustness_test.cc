@@ -64,14 +64,65 @@ TEST_P(WireFuzz, BitFlippedResponseFailsCleanly) {
   SerialReader reader(bytes);
   auto result = server::EvalResponse::Deserialize(reader);
   // Either parses (flip hit payload bytes) or errors — but never crashes;
-  // when it parses, containers have sane sizes.
+  // when it parses, allocation is bounded by the input: every container
+  // was length-checked against the remaining bytes before resizing.
   if (result.ok()) {
-    EXPECT_LE(result->positions.size(), bytes.size());
-    EXPECT_LE(result->sorted_extents.size(), bytes.size());
+    EXPECT_LE(result->positions.size(), bytes.size() / sizeof(std::uint64_t));
+    EXPECT_LE(result->sorted_extents.size(), bytes.size() / sizeof(Extent1D));
   }
 }
 
 INSTANTIATE_TEST_SUITE_P(Cuts, WireFuzz, ::testing::Range(0, 16));
+
+// A hostile length prefix (far beyond the buffer, or crafted so that
+// pos + n*sizeof(T) wraps around) must fail with kCorruption *before* any
+// allocation — the reader clamps the count to the remaining bytes.
+TEST(SerialFuzz, HostileLengthPrefixesFailWithoutAllocating) {
+  for (const std::uint64_t evil :
+       {std::uint64_t{1} << 60, ~std::uint64_t{0}, ~std::uint64_t{0} / 8,
+        std::uint64_t{0xFFFFFFFF00000000ull}}) {
+    SerialWriter w;
+    w.put<std::uint64_t>(evil);
+    w.put_raw(std::vector<std::uint8_t>(16, 0xAB));  // some trailing bytes
+    const auto blob = w.take();
+
+    std::vector<std::uint64_t> v{1, 2, 3};
+    SerialReader r1(blob);
+    EXPECT_EQ(r1.get_vector(v).code(), StatusCode::kCorruption) << evil;
+    EXPECT_EQ(v, (std::vector<std::uint64_t>{1, 2, 3}));  // untouched
+
+    std::string s = "keep";
+    SerialReader r2(blob);
+    EXPECT_EQ(r2.get_string(s).code(), StatusCode::kCorruption) << evil;
+    EXPECT_EQ(s, "keep");
+
+    std::span<const std::uint8_t> view;
+    SerialReader r3(blob);
+    EXPECT_EQ(r3.get_bytes_view(view).code(), StatusCode::kCorruption) << evil;
+  }
+}
+
+// Length prefix exactly at / one past the boundary: the largest admissible
+// count parses, one more is corruption.
+TEST(SerialFuzz, LengthPrefixBoundaryIsExact) {
+  SerialWriter w;
+  w.put<std::uint64_t>(2);  // two u64 elements = 16 payload bytes
+  w.put<std::uint64_t>(7);
+  w.put<std::uint64_t>(8);
+  const auto good = w.take();
+  std::vector<std::uint64_t> v;
+  SerialReader r(good);
+  ASSERT_TRUE(r.get_vector(v).ok());
+  EXPECT_EQ(v, (std::vector<std::uint64_t>{7, 8}));
+  EXPECT_TRUE(r.exhausted());
+
+  auto bad = good;
+  bad[0] = 3;  // claims one element more than the payload holds
+  std::vector<std::uint64_t> u;
+  SerialReader rb(bad);
+  EXPECT_EQ(rb.get_vector(u).code(), StatusCode::kCorruption);
+  EXPECT_TRUE(u.empty());
+}
 
 TEST(SerialFuzz, RandomBytesNeverParseAsHistogramCrash) {
   Rng rng(99);

@@ -133,6 +133,162 @@ TEST(ServerRuntime, AsyncCollectOverlapsClientWork) {
   bus.shutdown();
 }
 
+TEST(Mailbox, PopUntilTimesOutThenDelivers) {
+  Mailbox box;
+  const auto t0 = std::chrono::steady_clock::now();
+  auto none = box.pop_until(t0 + std::chrono::milliseconds(30));
+  EXPECT_FALSE(none.has_value());
+  EXPECT_FALSE(box.closed());  // timed out, not closed
+  EXPECT_GE(std::chrono::steady_clock::now() - t0,
+            std::chrono::milliseconds(30));
+  ASSERT_TRUE(box.push({0, bytes_of("late")}));
+  auto m = box.pop_until(std::chrono::steady_clock::now() +
+                         std::chrono::milliseconds(30));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(string_of(m->payload), "late");
+}
+
+TEST(MessageBus, PushAfterCloseNotDeliveredNotAccounted) {
+  MessageBus bus(2);
+  bus.broadcast(bytes_of("pre"));
+  const auto bytes_before = bus.bytes_transferred();
+  const auto messages_before = bus.messages_sent();
+  bus.server_mailbox(1).close();
+  // In-flight send during shutdown: refused, and stats unchanged.
+  EXPECT_FALSE(bus.send_to_server(1, bytes_of("during-shutdown")));
+  EXPECT_EQ(bus.bytes_transferred(), bytes_before);
+  EXPECT_EQ(bus.messages_sent(), messages_before);
+  // The open mailbox still accepts and accounts.
+  EXPECT_TRUE(bus.send_to_server(0, bytes_of("ok")));
+  EXPECT_EQ(bus.messages_sent(), messages_before + 1);
+  bus.shutdown();
+  EXPECT_FALSE(bus.send_to_client(0, bytes_of("reply")));
+}
+
+TEST(Envelope, WrapUnwrapRoundTrip) {
+  Envelope header;
+  header.request_id = 77;
+  header.attempt = 3;
+  header.deadline_us = steady_now_us() + 1000000;
+  const auto payload = bytes_of("payload bytes");
+  const auto frame = envelope_wrap(header, payload);
+  Envelope parsed;
+  std::span<const std::uint8_t> body;
+  ASSERT_TRUE(envelope_unwrap(frame, parsed, body));
+  EXPECT_EQ(parsed.request_id, 77u);
+  EXPECT_EQ(parsed.attempt, 3u);
+  EXPECT_EQ(parsed.deadline_us, header.deadline_us);
+  EXPECT_EQ(std::string(body.begin(), body.end()), "payload bytes");
+}
+
+TEST(Envelope, CorruptionDetectedAtEveryByte) {
+  Envelope header;
+  header.request_id = 1;
+  const auto frame = envelope_wrap(header, bytes_of("abc"));
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    auto bad = frame;
+    bad[i] ^= 0x5A;
+    Envelope parsed;
+    std::span<const std::uint8_t> body;
+    // A flipped byte either breaks the magic/lengths or the checksum; a
+    // frame that still parses must at least have an intact payload.
+    if (envelope_unwrap(bad, parsed, body)) {
+      EXPECT_EQ(std::string(body.begin(), body.end()), "abc") << "byte " << i;
+    }
+  }
+  // Truncated frames never parse.
+  for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+    std::vector<std::uint8_t> prefix(frame.begin(),
+                                     frame.begin() + static_cast<long>(cut));
+    Envelope parsed;
+    std::span<const std::uint8_t> body;
+    EXPECT_FALSE(envelope_unwrap(prefix, parsed, body)) << "cut " << cut;
+  }
+}
+
+TEST(ClientGather, RetriesRecoverFromDrops) {
+  MessageBus bus(2);
+  FaultPlan plan;
+  plan.seed = 17;
+  plan.drop_rate = 0.3;
+  FaultInjector injector(plan);
+  bus.set_fault_injector(&injector);
+  std::vector<std::unique_ptr<ServerRuntime>> servers;
+  for (ServerId s = 0; s < 2; ++s) {
+    servers.push_back(std::make_unique<ServerRuntime>(
+        bus, s, [](std::span<const std::uint8_t> req) {
+          return std::vector<std::uint8_t>(req.begin(), req.end());
+        }));
+  }
+  RetryPolicy policy;
+  policy.attempt_timeout = std::chrono::milliseconds(50);
+  policy.max_attempts = 10;  // 30% loss per direction: retries must win
+  Client client(bus, policy);
+  bool saw_retry = false;
+  for (int round = 0; round < 5; ++round) {
+    auto result = client.gather({{0, bytes_of("a")}, {1, bytes_of("b")}});
+    ASSERT_TRUE(result.complete()) << "round " << round;
+    EXPECT_EQ(string_of(result.responses[0]->payload), "a");
+    EXPECT_EQ(result.responses[1]->payload, bytes_of("b"));
+    saw_retry |= result.stats.retries > 0;
+  }
+  EXPECT_TRUE(saw_retry);
+  EXPECT_GT(injector.counters().dropped, 0u);
+  servers.clear();
+  bus.shutdown();
+}
+
+TEST(ClientGather, KilledServerReportedAsMissing) {
+  MessageBus bus(2);
+  FaultPlan plan;
+  plan.server_faults.push_back({/*server=*/1, /*after_requests=*/0,
+                                ServerFate::kKilled});
+  FaultInjector injector(plan);
+  bus.set_fault_injector(&injector);
+  std::vector<std::unique_ptr<ServerRuntime>> servers;
+  for (ServerId s = 0; s < 2; ++s) {
+    servers.push_back(std::make_unique<ServerRuntime>(
+        bus, s, [](std::span<const std::uint8_t> req) {
+          return std::vector<std::uint8_t>(req.begin(), req.end());
+        }));
+  }
+  RetryPolicy policy;
+  policy.attempt_timeout = std::chrono::milliseconds(40);
+  policy.max_attempts = 2;
+  Client client(bus, policy);
+  const auto t0 = std::chrono::steady_clock::now();
+  auto result = client.gather({{0, bytes_of("x")}, {1, bytes_of("y")}});
+  // Bounded: two attempts of 40ms plus backoff, not a hang.
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, std::chrono::seconds(5));
+  EXPECT_FALSE(result.complete());
+  ASSERT_TRUE(result.responses[0].has_value());
+  EXPECT_EQ(string_of(result.responses[0]->payload), "x");
+  EXPECT_FALSE(result.responses[1].has_value());
+  EXPECT_GT(result.stats.timeouts, 0u);
+  EXPECT_GT(result.stats.retries, 0u);
+  servers.clear();
+  bus.shutdown();
+}
+
+TEST(ClientGather, DuplicatedResponsesDiscardedBySequenceId) {
+  MessageBus bus(1);
+  FaultPlan plan;
+  plan.seed = 3;
+  plan.duplicate_rate = 1.0;  // every message sent twice
+  FaultInjector injector(plan);
+  bus.set_fault_injector(&injector);
+  ServerRuntime server(bus, 0, [](std::span<const std::uint8_t> req) {
+    return std::vector<std::uint8_t>(req.begin(), req.end());
+  });
+  Client client(bus);
+  for (std::uint8_t i = 0; i < 4; ++i) {
+    auto result = client.gather({{0, {i}}});
+    ASSERT_TRUE(result.complete());
+    EXPECT_EQ(result.responses[0]->payload, (std::vector<std::uint8_t>{i}));
+  }
+  EXPECT_GT(injector.counters().duplicated, 0u);
+}
+
 TEST(ServerRuntime, SequentialRequestsProcessedInOrder) {
   MessageBus bus(1);
   std::vector<int> seen;
