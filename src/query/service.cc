@@ -293,22 +293,33 @@ Status QueryService::get_data_raw(ObjectId object, const Selection& selection,
       break;
   }
 
-  // Build one data-fetch part per nominal owner.  Any server can serve any
-  // part (requests carry explicit positions/extents), so when an owner is
-  // dead — or dies mid-fetch — its part is re-routed to a survivor.
+  // Build the data-fetch parts.  Any server can serve any part (requests
+  // carry explicit positions/extents), so when an owner is dead — or dies
+  // mid-fetch — its part is re-routed to a survivor.  Fetched values are
+  // keyed by part, not by owner: in degraded mode two sorted_extents
+  // entries can name the same server (its own round-1 answer plus a dead
+  // identity it covered in round 2), and per-owner keying would let one
+  // response clobber the other.
   struct Part {
     ServerId owner;                  ///< nominal (cache-local) server
     std::uint64_t regions;           ///< work units, for redispatch stats
+    std::size_t expected_bytes;      ///< exact response size, validated
     std::vector<std::uint8_t> payload;
   };
   std::vector<Part> parts;
+  std::vector<std::size_t> part_of_owner;
   if (use_replica) {
+    // One part per sorted_extents entry, in order: entry i <-> parts[i].
     for (const auto& [server, extents] : selection.sorted_extents) {
       server::GetDataRequest request;
       request.object = selection.replica_id;
       request.from_replica = true;
       request.extents = extents;
-      parts.push_back({server, extents.size(), request.serialize()});
+      std::uint64_t count = 0;
+      for (const Extent1D& e : extents) count += e.count;
+      parts.push_back({server, extents.size(),
+                       static_cast<std::size_t>(count * elem_size),
+                       request.serialize()});
     }
   } else {
     if (selection.positions.size() != selection.num_hits) {
@@ -317,6 +328,7 @@ Status QueryService::get_data_raw(ObjectId object, const Selection& selection,
     }
     auto split = server::partition_positions(*target, selection.positions,
                                              options_.num_servers);
+    part_of_owner.assign(options_.num_servers, 0);
     for (ServerId s = 0; s < options_.num_servers; ++s) {
       if (split[s].empty()) continue;
       std::uint64_t regions = 0;
@@ -328,13 +340,14 @@ Status QueryService::get_data_raw(ObjectId object, const Selection& selection,
       }
       server::GetDataRequest request;
       request.object = object;
+      const std::size_t expected = split[s].size() * elem_size;
       request.positions = std::move(split[s]);
-      parts.push_back({s, regions, request.serialize()});
+      part_of_owner[s] = parts.size();
+      parts.push_back({s, regions, expected, request.serialize()});
     }
   }
 
-  std::vector<std::vector<std::uint8_t>> values_by_owner(
-      options_.num_servers);
+  std::vector<std::vector<std::uint8_t>> values_by_part(parts.size());
   std::vector<std::size_t> pending(parts.size());
   for (std::size_t i = 0; i < parts.size(); ++i) pending[i] = i;
   while (!pending.empty()) {
@@ -389,7 +402,11 @@ Status QueryService::get_data_raw(ObjectId object, const Selection& selection,
       stats_.server_bytes_read += response.ledger.bytes_read;
       stats_.server_read_ops += response.ledger.read_ops;
       stats_.response_bytes += message->payload.size();
-      values_by_owner[parts[pending[i]].owner] = std::move(response.values);
+      if (response.values.size() != parts[pending[i]].expected_bytes) {
+        return Status::Corruption(
+            "get_data response does not match requested element count");
+      }
+      values_by_part[pending[i]] = std::move(response.values);
     }
     pending = std::move(still_pending);
   }
@@ -407,9 +424,9 @@ Status QueryService::get_data_raw(ObjectId object, const Selection& selection,
       std::uint64_t count;
     };
     std::vector<Piece> pieces;
-    for (const auto& [server, extents] : selection.sorted_extents) {
-      const std::uint8_t* cursor = values_by_owner[server].data();
-      for (const Extent1D& e : extents) {
+    for (std::size_t pi = 0; pi < selection.sorted_extents.size(); ++pi) {
+      const std::uint8_t* cursor = values_by_part[pi].data();
+      for (const Extent1D& e : selection.sorted_extents[pi].second) {
         pieces.push_back({e.offset, cursor, e.count});
         cursor += e.count * elem_size;
       }
@@ -432,7 +449,8 @@ Status QueryService::get_data_raw(ObjectId object, const Selection& selection,
           *target, server::region_of_position(*target, pos),
           options_.num_servers);
       std::memcpy(dest,
-                  values_by_owner[owner].data() + cursor[owner] * elem_size,
+                  values_by_part[part_of_owner[owner]].data() +
+                      cursor[owner] * elem_size,
                   elem_size);
       ++cursor[owner];
       dest += elem_size;

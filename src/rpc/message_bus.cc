@@ -127,9 +127,8 @@ MessageBus::~MessageBus() {
 bool MessageBus::push_and_account(Mailbox& box, Message message) {
   const std::size_t size = message.payload.size();
   if (!box.push(std::move(message))) return false;
-  std::lock_guard lock(stats_mu_);
-  bytes_ += size;
-  ++messages_;
+  bytes_.fetch_add(size, std::memory_order_relaxed);
+  messages_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
@@ -230,13 +229,11 @@ void MessageBus::shutdown() {
 }
 
 std::uint64_t MessageBus::bytes_transferred() const noexcept {
-  std::lock_guard lock(stats_mu_);
-  return bytes_;
+  return bytes_.load(std::memory_order_relaxed);
 }
 
 std::uint64_t MessageBus::messages_sent() const noexcept {
-  std::lock_guard lock(stats_mu_);
-  return messages_;
+  return messages_.load(std::memory_order_relaxed);
 }
 
 }  // namespace pdc::rpc

@@ -13,6 +13,7 @@
 // deadline/retry logic in rpc::Client.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -175,9 +176,10 @@ class MessageBus {
   Mailbox client_;
   FaultInjector* injector_ = nullptr;
 
-  mutable std::mutex stats_mu_;
-  std::uint64_t bytes_ = 0;
-  std::uint64_t messages_ = 0;
+  // Atomic: bumped from sender threads and the delayed-delivery thread
+  // while readers poll without coordination.
+  std::atomic<std::uint64_t> bytes_{0};
+  std::atomic<std::uint64_t> messages_{0};
 
   // Delayed-delivery line (started lazily on the first delayed message).
   struct Delayed {

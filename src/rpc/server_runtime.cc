@@ -50,6 +50,11 @@ GatherResult Client::gather(
   result.responses.resize(requests.size());
   if (requests.empty()) return result;
 
+  // One popper at a time: a concurrent gather (e.g. from a
+  // broadcast_collect background thread) would otherwise consume this
+  // gather's responses and discard them as stale.
+  std::lock_guard gather_lock(gather_mu_);
+
   // Request ids are stable across retries so a slow first-attempt response
   // still satisfies the request; ids are globally unique so responses to
   // *previous* operations are recognized as stale and discarded.

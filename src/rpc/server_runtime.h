@@ -20,6 +20,7 @@
 #include <chrono>
 #include <functional>
 #include <future>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <thread>
@@ -91,6 +92,13 @@ struct GatherResult {
 };
 
 /// Client endpoint: broadcast a request and gather one response per server.
+///
+/// Thread safety: all entry points may be called concurrently (in
+/// particular while a broadcast_collect() future is outstanding).  There is
+/// a single client mailbox, so concurrent gathers are serialized on an
+/// internal mutex — without it, two poppers would each consume and discard
+/// the other's responses as stale.  A gather never blocks past its own
+/// retry budget, so waiting for the mutex is bounded too.
 class Client {
  public:
   explicit Client(MessageBus& bus, RetryPolicy policy = {})
@@ -127,6 +135,8 @@ class Client {
   MessageBus& bus_;
   RetryPolicy policy_;
   std::atomic<std::uint64_t> next_request_id_{1};
+  /// Serializes gather() bodies: only one popper on the client mailbox.
+  std::mutex gather_mu_;
 };
 
 }  // namespace pdc::rpc

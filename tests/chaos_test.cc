@@ -12,6 +12,7 @@
 #include "common/rng.h"
 #include "query/service.h"
 #include "rpc/fault.h"
+#include "sortrep/sorted_replica.h"
 
 namespace pdc {
 namespace {
@@ -263,6 +264,68 @@ TEST_F(ChaosTest, GetDataReroutesWhenOwnerDiesMidSession) {
   EXPECT_EQ(got_values, want_values);
   EXPECT_EQ(service.dead_servers(), (std::vector<ServerId>{3}));
   EXPECT_GT(service.last_stats().redispatched_regions, 0u);
+}
+
+// Regression: in degraded mode one surviving server contributes TWO
+// sorted_extents entries — its own round-1 answer plus the dead identity it
+// covered in round 2.  The replica fetch must key response buffers per
+// entry, not per sender; per-sender keying let the second response clobber
+// the first, corrupting fetched values (and reading past the buffer when
+// the entries differ in size).
+TEST_F(ChaosTest, SortedReplicaFetchSurvivesDuplicateSenderEntries) {
+  obj::ImportOptions options;
+  options.region_size_bytes = 4096;
+  ASSERT_TRUE(sortrep::build_sorted_replica(*store_, object_, options).ok());
+
+  query::ServiceOptions clean_options;
+  clean_options.num_servers = 4;
+  clean_options.strategy = server::Strategy::kSortedHistogram;
+  query::QueryService baseline(*store_, clean_options);
+  // Wide interval: every server identity owns part of the sorted range, so
+  // the dead identity's extents are guaranteed non-empty.
+  const auto q = make_query(1.0, 9.0);
+  auto want = baseline.get_selection(q);
+  ASSERT_TRUE(want.ok()) << want.status().ToString();
+  ASSERT_GT(want->num_hits, 0u);
+  ASSERT_FALSE(want->sorted_extents.empty());
+  std::vector<float> want_values(want->num_hits);
+  ASSERT_TRUE(baseline
+                  .get_data<float>(object_, *want,
+                                   std::span<float>(want_values),
+                                   query::GetDataMode::kFromReplica)
+                  .ok());
+
+  // Server 2 never answers: its identity is re-dispatched onto a survivor
+  // that already produced an extents entry of its own.
+  rpc::FaultPlan plan;
+  plan.server_faults.push_back({/*server=*/2, /*after_requests=*/0,
+                                rpc::ServerFate::kKilled});
+  rpc::FaultInjector injector(plan);
+  query::ServiceOptions faulty_options = clean_options;
+  faulty_options.fault_injector = &injector;
+  faulty_options.retry = tight_retry();
+  query::QueryService service(*store_, faulty_options);
+
+  auto got = service.get_selection(q);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got->num_hits, want->num_hits);
+  std::vector<int> entries_per_sender(4, 0);
+  for (const auto& [sender, extents] : got->sorted_extents) {
+    ++entries_per_sender[sender];
+  }
+  EXPECT_EQ(entries_per_sender[2], 0);  // the dead server answered nothing
+  bool some_sender_twice = false;
+  for (const int n : entries_per_sender) some_sender_twice |= n > 1;
+  EXPECT_TRUE(some_sender_twice)
+      << "degraded eval no longer produces duplicate-sender entries; "
+         "this regression test needs a new trigger";
+
+  std::vector<float> got_values(got->num_hits);
+  auto fetch = service.get_data<float>(object_, *got,
+                                       std::span<float>(got_values),
+                                       query::GetDataMode::kFromReplica);
+  ASSERT_TRUE(fetch.ok()) << fetch.ToString();
+  EXPECT_EQ(got_values, want_values);
 }
 
 }  // namespace

@@ -289,6 +289,36 @@ TEST(ClientGather, DuplicatedResponsesDiscardedBySequenceId) {
   EXPECT_GT(injector.counters().duplicated, 0u);
 }
 
+// Regression: a gather issued while a broadcast_collect future is still
+// outstanding shares the single client mailbox.  Without serialization the
+// two poppers consume and discard each other's responses as stale, causing
+// spurious timeouts; both must complete with their own responses intact.
+TEST(ClientGather, ConcurrentBroadcastAndGatherDoNotStealResponses) {
+  MessageBus bus(2);
+  std::vector<std::unique_ptr<ServerRuntime>> servers;
+  for (ServerId s = 0; s < 2; ++s) {
+    servers.push_back(std::make_unique<ServerRuntime>(
+        bus, s, [](std::span<const std::uint8_t> req) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+          return std::vector<std::uint8_t>(req.begin(), req.end());
+        }));
+  }
+  Client client(bus);
+  for (int round = 0; round < 10; ++round) {
+    auto future = client.broadcast_collect(bytes_of("bg"));
+    auto result = client.gather({{0, bytes_of("fg0")}, {1, bytes_of("fg1")}});
+    ASSERT_TRUE(result.complete()) << "round " << round;
+    EXPECT_EQ(string_of(result.responses[0]->payload), "fg0");
+    EXPECT_EQ(string_of(result.responses[1]->payload), "fg1");
+    EXPECT_EQ(result.stats.timeouts, 0u);
+    auto bg = future.get();
+    ASSERT_EQ(bg.size(), 2u) << "round " << round;
+    for (const auto& m : bg) EXPECT_EQ(string_of(m.payload), "bg");
+  }
+  servers.clear();
+  bus.shutdown();
+}
+
 TEST(ServerRuntime, SequentialRequestsProcessedInOrder) {
   MessageBus bus(1);
   std::vector<int> seen;
