@@ -23,22 +23,29 @@ BinnedBitmapIndex BinnedBitmapIndex::Build(std::span<const T> data,
   idx.max_ = -std::numeric_limits<double>::infinity();
   for (const T& v : data) {
     const double d = static_cast<double>(v);
+    if (d != d) continue;  // NaN: unordered, stays out of min/max
     idx.min_ = std::min(idx.min_, d);
     idx.max_ = std::max(idx.max_, d);
   }
 
-  // Equi-depth bin edges from a sample (FastBit picks one representative
-  // key per bin; quantile edges achieve the same balanced occupancy).
+  // Equi-depth bin edges from a finite-valued sample (FastBit picks one
+  // representative key per bin; quantile edges achieve the same balanced
+  // occupancy).  NaN would make the sort below UB and ±inf makes useless
+  // edges; both land in the grid's edge bins regardless.
   std::vector<double> sample;
   const std::uint64_t sample_size = std::min<std::uint64_t>(
       std::max<std::uint64_t>(config.edge_sample, 2 * config.num_bins), n);
   sample.reserve(static_cast<std::size_t>(sample_size));
   if (sample_size >= n) {
-    for (const T& v : data) sample.push_back(static_cast<double>(v));
+    for (const T& v : data) {
+      const double d = static_cast<double>(v);
+      if (std::isfinite(d)) sample.push_back(d);
+    }
   } else {
     Rng rng(config.seed);
     for (std::uint64_t i = 0; i < sample_size; ++i) {
-      sample.push_back(static_cast<double>(data[rng.bounded(n)]));
+      const double d = static_cast<double>(data[rng.bounded(n)]);
+      if (std::isfinite(d)) sample.push_back(d);
     }
   }
   std::sort(sample.begin(), sample.end());
@@ -64,7 +71,7 @@ BinnedBitmapIndex BinnedBitmapIndex::Build(std::span<const T> data,
                                      /*max_edges=*/2048);
     }
   }
-  if (edges.size() < 2) {
+  if (edges.size() < 2 && !sample.empty()) {
     edges.clear();
     edges.reserve(want_bins + 1);
     for (std::uint32_t i = 0; i <= want_bins; ++i) {
@@ -78,8 +85,11 @@ BinnedBitmapIndex BinnedBitmapIndex::Build(std::span<const T> data,
     }
   }
   if (edges.size() < 2) {
-    // Degenerate (near-constant data): a single bin covering everything.
-    edges = {sample.front(), sample.back() + 1.0};
+    // Degenerate (near-constant or finite-value-free data): a single bin
+    // covering everything.
+    edges = sample.empty()
+                ? std::vector<double>{0.0, 1.0}
+                : std::vector<double>{sample.front(), sample.back() + 1.0};
   }
   idx.edges_ = std::move(edges);
   const std::size_t nbins = idx.edges_.size() - 1;
@@ -88,13 +98,16 @@ BinnedBitmapIndex BinnedBitmapIndex::Build(std::span<const T> data,
   // position lists into WAH vectors (far cheaper than appending a 0-bit to
   // every other bin per element).
   std::vector<std::vector<std::uint64_t>> positions(nbins);
+  idx.edge_exact_.assign(nbins, 0);
   for (std::uint64_t i = 0; i < n; ++i) {
     const double v = static_cast<double>(data[i]);
+    if (v != v) continue;  // NaN matches no interval: set no bit anywhere
     auto it = std::upper_bound(idx.edges_.begin(), idx.edges_.end(), v);
     std::size_t bin = it == idx.edges_.begin()
                           ? 0
                           : static_cast<std::size_t>(it - idx.edges_.begin()) - 1;
     bin = std::min(bin, nbins - 1);
+    if (v == idx.edges_[bin]) idx.edge_exact_[bin] = 1;
     positions[bin].push_back(i);
   }
 
@@ -197,7 +210,9 @@ namespace {
 /// which is what makes precision-aligned query constants candidate-free on
 /// that side.
 void classify_bins(const std::vector<double>& edges, double min_v,
-                   double max_v, bool continuous, const ValueInterval& q,
+                   double max_v, bool continuous,
+                   const std::vector<std::uint8_t>& edge_exact,
+                   const ValueInterval& q,
                    std::vector<std::uint32_t>& full,
                    std::vector<std::uint32_t>& partial) {
   const std::size_t nbins = edges.size() - 1;
@@ -224,10 +239,15 @@ void classify_bins(const std::vector<double>& edges, double min_v,
     // full: a float value exactly equal to a decimal edge constant is
     // measure-zero, and this is FastBit's documented guarantee that
     // constants with <= precision digits are answered from bitmaps alone.
-    // The edge holding the exact observed minimum keeps strict semantics
-    // regardless (that value is guaranteed present), as do integer-typed
-    // indexes (values sit exactly on edges) and a closed last bin.
-    const bool relax_open_lower = continuous && lo != min_v;
+    // The relaxation is only sound when NO indexed value actually sits on
+    // the edge (edge_exact, recorded at build time): `x > edge` must not
+    // report an at-edge value as a definite hit.  The edge holding the
+    // exact observed minimum keeps strict semantics regardless (that value
+    // is guaranteed present), as do integer-typed indexes (values sit
+    // exactly on edges) and a closed last bin.
+    const bool relax_open_lower =
+        continuous && lo != min_v &&
+        (b >= edge_exact.size() || edge_exact[b] == 0);
     const bool lower_ok =
         q.lo < lo || (q.lo == lo && (q.lo_inclusive || relax_open_lower));
     const bool upper_ok =
@@ -248,7 +268,8 @@ IndexProbe BinnedBitmapIndex::probe(const ValueInterval& q) const {
   if (count_ == 0) return out;
   std::vector<std::uint32_t> full;
   std::vector<std::uint32_t> partial;
-  classify_bins(edges_, min_, max_, continuous_, q, full, partial);
+  classify_bins(edges_, min_, max_, continuous_, edge_exact_, q, full,
+                partial);
   for (const std::uint32_t b : full) {
     bins_[b].for_each_set(
         [&out](std::uint64_t pos) { out.definite.push_back(pos); });
@@ -274,12 +295,14 @@ namespace {
 void write_header_body(SerialWriter& w, std::uint64_t count, double min_v,
                        double max_v, bool continuous,
                        const std::vector<double>& edges,
+                       const std::vector<std::uint8_t>& edge_exact,
                        const std::vector<std::uint64_t>& bin_bytes) {
   w.put(count);
   w.put(min_v);
   w.put(max_v);
   w.put<std::uint8_t>(continuous ? 1 : 0);
   w.put_vector(edges);
+  w.put_vector(edge_exact);
   w.put_vector(bin_bytes);
 }
 
@@ -298,7 +321,7 @@ void BinnedBitmapIndex::serialize(SerialWriter& w) const {
   }
   SerialWriter header;
   write_header_body(header, count_, min_, max_, continuous_, edges_,
-                    bin_bytes);
+                    edge_exact_, bin_bytes);
   w.put<std::uint64_t>(header.size());
   const auto header_bytes = header.take();
   w.put_raw(header_bytes);
@@ -312,7 +335,7 @@ std::uint64_t BinnedBitmapIndex::header_bytes() const {
   std::vector<std::uint64_t> bin_bytes(bins_.size(), 0);
   SerialWriter header;
   write_header_body(header, count_, min_, max_, continuous_, edges_,
-                    bin_bytes);
+                    edge_exact_, bin_bytes);
   return sizeof(std::uint64_t) + header.size();
 }
 
@@ -328,9 +351,11 @@ Result<BinnedBitmapIndex> BinnedBitmapIndex::Deserialize(SerialReader& r) {
   PDC_RETURN_IF_ERROR(r.get(continuous));
   idx.continuous_ = continuous != 0;
   PDC_RETURN_IF_ERROR(r.get_vector(idx.edges_));
+  PDC_RETURN_IF_ERROR(r.get_vector(idx.edge_exact_));
   PDC_RETURN_IF_ERROR(r.get_vector(bin_bytes));
   if (idx.count_ > 0 &&
-      (idx.edges_.size() < 2 || bin_bytes.size() + 1 != idx.edges_.size())) {
+      (idx.edges_.size() < 2 || bin_bytes.size() + 1 != idx.edges_.size() ||
+       idx.edge_exact_.size() != bin_bytes.size())) {
     return Status::Corruption("bitmap index header inconsistent");
   }
   idx.bins_.reserve(bin_bytes.size());
@@ -357,10 +382,12 @@ Result<PartitionedIndexView> PartitionedIndexView::ParseHeader(
   PDC_RETURN_IF_ERROR(r.get(continuous));
   view.continuous_ = continuous != 0;
   PDC_RETURN_IF_ERROR(r.get_vector(view.edges_));
+  PDC_RETURN_IF_ERROR(r.get_vector(view.edge_exact_));
   PDC_RETURN_IF_ERROR(r.get_vector(view.bin_bytes_));
   if (view.count_ > 0 &&
       (view.edges_.size() < 2 ||
-       view.bin_bytes_.size() + 1 != view.edges_.size())) {
+       view.bin_bytes_.size() + 1 != view.edges_.size() ||
+       view.edge_exact_.size() != view.bin_bytes_.size())) {
     return Status::Corruption("bitmap index header inconsistent");
   }
   view.bin_offset_.resize(view.bin_bytes_.size());
@@ -376,8 +403,8 @@ PartitionedIndexView::BinSelection PartitionedIndexView::select_bins(
     const ValueInterval& q) const {
   BinSelection selection;
   if (count_ == 0) return selection;
-  classify_bins(edges_, min_, max_, continuous_, q, selection.full,
-                selection.partial);
+  classify_bins(edges_, min_, max_, continuous_, edge_exact_, q,
+                selection.full, selection.partial);
   return selection;
 }
 

@@ -103,6 +103,11 @@ class BinnedBitmapIndex {
   /// may be treated as aligned (value-at-edge is measure-zero).  Integer
   /// indexes keep strict edge semantics.
   bool continuous_ = true;
+  /// edge_exact_[b] != 0 when some indexed value sits EXACTLY on bin b's
+  /// left edge.  The measure-zero relaxation above is unsound for such
+  /// bins (`x > edge` must not report the at-edge value as a definite
+  /// hit), so they keep strict open-bound semantics.
+  std::vector<std::uint8_t> edge_exact_;
 };
 
 /// Header-only view over a serialized index: plans which bins a query
@@ -137,6 +142,7 @@ class PartitionedIndexView {
   double max_ = 0.0;
   bool continuous_ = true;
   std::vector<double> edges_;
+  std::vector<std::uint8_t> edge_exact_;   ///< value-on-edge flags (see index)
   std::vector<std::uint64_t> bin_bytes_;   ///< serialized size per bin
   std::vector<std::uint64_t> bin_offset_;  ///< absolute offset in the blob
 };

@@ -209,6 +209,50 @@ void WahBitVector::serialize(SerialWriter& w) const {
   w.put_vector(words_);
 }
 
+Status WahBitVector::check_invariants() const {
+  std::uint64_t groups = 0;
+  std::uint64_t set = 0;
+  bool prev_fill = false;
+  bool prev_fill_bit = false;
+  bool prev_fill_full = false;
+  for (const std::uint32_t w : words_) {
+    if (w & kFillFlag) {
+      const std::uint32_t count = w & kMaxFillGroups;
+      if (count == 0) return Status::Corruption("WAH: zero-length fill word");
+      const bool bit = (w & kFillBit) != 0;
+      if (prev_fill && prev_fill_bit == bit && !prev_fill_full) {
+        return Status::Corruption("WAH: uncoalesced same-polarity fills");
+      }
+      groups += count;
+      if (bit) set += static_cast<std::uint64_t>(count) * kGroupBits;
+      prev_fill = true;
+      prev_fill_bit = bit;
+      prev_fill_full = count == kMaxFillGroups;
+    } else {
+      if (w == 0 || w == kLiteralMask) {
+        return Status::Corruption("WAH: literal word should be a fill");
+      }
+      groups += 1;
+      set += static_cast<std::uint32_t>(std::popcount(w));
+      prev_fill = false;
+    }
+  }
+  if (active_bits_ >= kGroupBits) {
+    return Status::Corruption("WAH: active group overflows 31 bits");
+  }
+  if ((active_ & ~kLiteralMask) != 0 || (active_ >> active_bits_) != 0) {
+    return Status::Corruption("WAH: active bits beyond active length");
+  }
+  set += static_cast<std::uint32_t>(std::popcount(active_));
+  if (groups * kGroupBits + active_bits_ != num_bits_) {
+    return Status::Corruption("WAH: bit-count accounting mismatch");
+  }
+  if (set != num_set_) {
+    return Status::Corruption("WAH: set-bit accounting mismatch");
+  }
+  return Status::Ok();
+}
+
 Result<WahBitVector> WahBitVector::Deserialize(SerialReader& r) {
   WahBitVector v;
   PDC_RETURN_IF_ERROR(r.get(v.num_bits_));

@@ -51,6 +51,13 @@ class WahBitVector {
   void serialize(SerialWriter& w) const;
   static Result<WahBitVector> Deserialize(SerialReader& r);
 
+  /// Debug invariant check (QueryCheck harness): word/bit/set-count
+  /// accounting, fill canonicalization (no zero-length or uncoalesced
+  /// same-polarity fills, no all-0/all-1 literal words) and trailer
+  /// consistency.  Ok() for every vector produced by append_bit/append_run
+  /// or And/Or; Corruption with a description otherwise.
+  [[nodiscard]] Status check_invariants() const;
+
   bool operator==(const WahBitVector&) const = default;
 
  private:

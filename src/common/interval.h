@@ -53,6 +53,7 @@ struct ValueInterval {
   }
 
   [[nodiscard]] bool contains(double v) const noexcept {
+    if (v != v) return false;  // NaN satisfies no range condition
     if (v < lo || v > hi) return false;
     if (v == lo && !lo_inclusive) return false;
     if (v == hi && !hi_inclusive) return false;

@@ -34,21 +34,32 @@ MergeableHistogram MergeableHistogram::Build(std::span<const T> data,
       config.sample_fraction * static_cast<double>(n));
   sample_size = std::clamp<std::uint64_t>(sample_size, config.min_samples, n);
 
+  // Only finite values may anchor the bin lattice: a NaN or ±inf sample
+  // would poison the width/first-edge arithmetic below.  Non-finite
+  // elements are still counted (NaN separately; ±inf in the edge bins).
   Rng rng(config.seed);
   double approx_min = std::numeric_limits<double>::infinity();
   double approx_max = -std::numeric_limits<double>::infinity();
   if (sample_size >= n) {
     for (const T& v : data) {
       const double d = static_cast<double>(v);
+      if (!std::isfinite(d)) continue;
       approx_min = std::min(approx_min, d);
       approx_max = std::max(approx_max, d);
     }
   } else {
     for (std::uint64_t i = 0; i < sample_size; ++i) {
       const double d = static_cast<double>(data[rng.bounded(n)]);
+      if (!std::isfinite(d)) continue;
       approx_min = std::min(approx_min, d);
       approx_max = std::max(approx_max, d);
     }
+  }
+  if (!std::isfinite(approx_min)) {
+    // No finite value sampled (all-NaN/inf data): fall back to a trivial
+    // one-bin lattice anchored at zero.
+    approx_min = 0.0;
+    approx_max = 0.0;
   }
 
   // Lines 2-3: bin width = span / target bins, rounded DOWN to a power of 2.
@@ -75,10 +86,17 @@ MergeableHistogram MergeableHistogram::Build(std::span<const T> data,
   const double nbins_d = static_cast<double>(nbins);
   for (const T& v : data) {
     const double d = static_cast<double>(v);
+    if (d != d) {
+      // NaN: no bin can hold it and no range condition can match it.
+      // Counting it into a bin would both be UB (NaN -> size_t cast) and
+      // poison the all-hits fast path.
+      ++h.nan_count_;
+      continue;
+    }
     true_min = std::min(true_min, d);
     true_max = std::max(true_max, d);
     double j = std::floor((d - first_edge) / width);
-    j = std::clamp(j, 0.0, nbins_d - 1.0);
+    j = std::clamp(j, 0.0, nbins_d - 1.0);  // ±inf lands in the edge bins
     ++h.counts_[static_cast<std::size_t>(j)];
   }
   h.min_ = true_min;
@@ -128,12 +146,19 @@ MergeableHistogram MergeableHistogram::Merge(
       out.counts_[j] += h.counts_[i];
     }
     out.total_ += h.total_;
+    out.nan_count_ += h.nan_count_;
   }
   return out;
 }
 
 bool MergeableHistogram::may_overlap(const ValueInterval& q) const noexcept {
   return valid() && q.overlaps_closed(min_, max_);
+}
+
+bool MergeableHistogram::covers(const ValueInterval& q) const noexcept {
+  // A single NaN element breaks "every element matches": NaN satisfies no
+  // range condition, so the region must be scanned element by element.
+  return valid() && nan_count_ == 0 && q.covers_closed(min_, max_);
 }
 
 HitEstimate MergeableHistogram::estimate(const ValueInterval& q) const noexcept {
@@ -161,6 +186,7 @@ void MergeableHistogram::serialize(SerialWriter& w) const {
   w.put(min_);
   w.put(max_);
   w.put(total_);
+  w.put(nan_count_);
   w.put_vector(counts_);
 }
 
@@ -171,9 +197,16 @@ Result<MergeableHistogram> MergeableHistogram::Deserialize(SerialReader& r) {
   PDC_RETURN_IF_ERROR(r.get(h.min_));
   PDC_RETURN_IF_ERROR(r.get(h.max_));
   PDC_RETURN_IF_ERROR(r.get(h.total_));
+  PDC_RETURN_IF_ERROR(r.get(h.nan_count_));
   PDC_RETURN_IF_ERROR(r.get_vector(h.counts_));
+  if (h.nan_count_ > h.total_) {
+    return Status::Corruption("histogram NaN count exceeds total");
+  }
+  // min_ > max_ is the legitimate "no finite values seen" sentinel when
+  // every element is NaN; otherwise it marks corruption.
   if (h.total_ > 0 &&
-      (h.counts_.empty() || !(h.bin_width_ > 0.0) || h.min_ > h.max_)) {
+      (h.counts_.empty() || !(h.bin_width_ > 0.0) ||
+       (h.min_ > h.max_ && h.nan_count_ != h.total_))) {
     return Status::Corruption("histogram fields inconsistent");
   }
   return h;

@@ -74,12 +74,22 @@ class MergeableHistogram {
   /// cannot be pruned).
   [[nodiscard]] bool may_overlap(const ValueInterval& q) const noexcept;
 
+  /// True if EVERY element provably satisfies `q` (all-hits fast path:
+  /// the region can be accepted wholesale without reading its values).
+  /// Requires a NaN-free region — NaN satisfies no range condition — so
+  /// this is the check query paths must use instead of raw
+  /// `q.covers_closed(min, max)`.
+  [[nodiscard]] bool covers(const ValueInterval& q) const noexcept;
+
   /// Lower/upper bound on the number of matching elements.
   [[nodiscard]] HitEstimate estimate(const ValueInterval& q) const noexcept;
 
   // --- observers ---
   [[nodiscard]] bool valid() const noexcept { return total_ > 0; }
   [[nodiscard]] std::uint64_t total_count() const noexcept { return total_; }
+  /// Number of NaN elements (counted in total_ but in no bin; min/max
+  /// ignore them).
+  [[nodiscard]] std::uint64_t nan_count() const noexcept { return nan_count_; }
   [[nodiscard]] double min_value() const noexcept { return min_; }
   [[nodiscard]] double max_value() const noexcept { return max_; }
   [[nodiscard]] double bin_width() const noexcept { return bin_width_; }
@@ -102,9 +112,10 @@ class MergeableHistogram {
  private:
   double bin_width_ = 0.0;   ///< exact power of two (possibly < 1)
   double first_edge_ = 0.0;  ///< integer multiple of bin_width_
-  double min_ = 0.0;         ///< exact observed minimum
-  double max_ = 0.0;         ///< exact observed maximum
+  double min_ = 0.0;         ///< exact observed minimum (NaN ignored)
+  double max_ = 0.0;         ///< exact observed maximum (NaN ignored)
   std::uint64_t total_ = 0;
+  std::uint64_t nan_count_ = 0;  ///< NaN elements: binless, never match
   std::vector<std::uint64_t> counts_;
 };
 

@@ -1,5 +1,6 @@
 #include "pfs/read_aggregator.h"
 
+#include <algorithm>
 #include <cstring>
 
 namespace pdc::pfs {
@@ -11,10 +12,16 @@ std::vector<Extent1D> plan_aggregated_reads(std::span<const Extent1D> extents,
     if (e.empty()) continue;
     if (!runs.empty()) {
       Extent1D& last = runs.back();
+      if (e.offset < last.end()) {
+        // Overlapping extent: ALWAYS merge — the overlapped bytes are read
+        // once anyway, and the scatter phase requires each extent to lie
+        // inside a single run (max_run_bytes may be exceeded here).
+        last.count = std::max(last.end(), e.end()) - last.offset;
+        continue;
+      }
       const std::uint64_t gap = e.offset - last.end();
       const std::uint64_t merged = e.end() - last.offset;
-      if (e.offset >= last.end() && gap <= policy.max_gap_bytes &&
-          merged <= policy.max_run_bytes) {
+      if (gap <= policy.max_gap_bytes && merged <= policy.max_run_bytes) {
         last.count = merged;
         continue;
       }
@@ -31,32 +38,51 @@ Status aggregated_read(const PfsFile& file, std::span<const Extent1D> extents,
   if (extents.size() != dests.size()) {
     return Status::InvalidArgument("extents/dests size mismatch");
   }
+  bool sorted = true;
   for (std::size_t i = 0; i < extents.size(); ++i) {
     if (dests[i].size() != extents[i].count) {
       return Status::InvalidArgument("dest buffer size != extent size");
     }
-    if (i > 0 && extents[i].offset < extents[i - 1].end()) {
-      return Status::InvalidArgument("extents must be sorted, non-overlapping");
-    }
+    if (i > 0 && extents[i].offset < extents[i - 1].offset) sorted = false;
   }
 
-  const std::vector<Extent1D> runs = plan_aggregated_reads(extents, policy);
+  // Normalize: plan over an offset-sorted view (overlaps are merged by the
+  // planner), scatter through the permutation so each caller buffer gets
+  // its own extent's bytes regardless of input order or duplication.
+  std::vector<std::size_t> order(extents.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  if (!sorted) {
+    std::stable_sort(order.begin(), order.end(),
+                     [&extents](std::size_t a, std::size_t b) {
+                       return extents[a].offset < extents[b].offset;
+                     });
+  }
+  std::vector<Extent1D> in_order;
+  in_order.reserve(order.size());
+  for (const std::size_t i : order) in_order.push_back(extents[i]);
+
+  const std::vector<Extent1D> runs = plan_aggregated_reads(in_order, policy);
   std::vector<std::uint8_t> run_buf;
   std::size_t next_extent = 0;
   for (const Extent1D& run : runs) {
     run_buf.resize(static_cast<std::size_t>(run.count));
     PDC_RETURN_IF_ERROR(file.read(run.offset, run_buf, ctx));
     // Scatter every requested extent that lies inside this run.
-    while (next_extent < extents.size() &&
-           extents[next_extent].end() <= run.end()) {
-      const Extent1D& e = extents[next_extent];
+    while (next_extent < in_order.size() &&
+           (in_order[next_extent].empty() ||
+            in_order[next_extent].end() <= run.end())) {
+      const Extent1D& e = in_order[next_extent];
       if (!e.empty()) {
-        std::memcpy(dests[next_extent].data(),
+        std::memcpy(dests[order[next_extent]].data(),
                     run_buf.data() + (e.offset - run.offset),
                     static_cast<std::size_t>(e.count));
       }
       ++next_extent;
     }
+  }
+  // Trailing empty extents produce no run to visit.
+  while (next_extent < in_order.size() && in_order[next_extent].empty()) {
+    ++next_extent;
   }
   if (next_extent != extents.size()) {
     return Status::Internal("aggregation plan did not cover all extents");

@@ -29,14 +29,17 @@ struct AggregationPolicy {
   std::uint64_t max_run_bytes = 64ull << 20;
 };
 
-/// Plan covering reads for `extents` (byte ranges, must be sorted by offset
-/// and non-overlapping).  Pure function — unit-testable without I/O.
+/// Plan covering reads for `extents` (byte ranges, must be sorted by
+/// offset; overlapping extents are merged unconditionally, which may
+/// exceed max_run_bytes).  Pure function — unit-testable without I/O.
 [[nodiscard]] std::vector<Extent1D> plan_aggregated_reads(
     std::span<const Extent1D> extents, const AggregationPolicy& policy);
 
 /// Read all `extents` from `file` using the aggregation plan and scatter
 /// each extent's bytes into the matching entry of `dests`
-/// (dests[i].size() must equal extents[i].count).
+/// (dests[i].size() must equal extents[i].count).  Extents may be given in
+/// any order and may overlap or duplicate; they are normalized internally
+/// and each dest still receives exactly its own extent's bytes.
 Status aggregated_read(const PfsFile& file, std::span<const Extent1D> extents,
                        std::span<const std::span<std::uint8_t>> dests,
                        const AggregationPolicy& policy, const ReadContext& ctx);

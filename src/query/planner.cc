@@ -16,6 +16,12 @@ Status to_dnf(const Query& node, std::vector<TermMap>& out,
       if (node.object == kInvalidObjectId) {
         return Status::InvalidArgument("query leaf without object");
       }
+      if (node.value != node.value) {
+        // A NaN constant makes every comparison vacuously false in IEEE
+        // semantics but breaks interval/binary-search reasoning downstream;
+        // reject it up front instead of answering inconsistently per path.
+        return Status::InvalidArgument("query constant is NaN");
+      }
       TermMap term;
       term.emplace(node.object, ValueInterval::from_op(node.op, node.value));
       out.push_back(std::move(term));

@@ -108,7 +108,13 @@ Result<Selection> QueryService::eval(const QueryPtr& query,
 
   server::EvalRequest request;
   request.strategy = options_.strategy;
-  request.need_locations = need_locations;
+  // OR-terms whose drivers are different objects are evaluated on different
+  // servers (region ownership is per object), so one element can satisfy
+  // two terms on two servers and per-server hit counts would double-count
+  // it.  Multi-term queries therefore always materialize positions and the
+  // client dedupes the union below.
+  const bool multi_term = plan.terms.size() > 1;
+  request.need_locations = need_locations || multi_term;
   request.region_constraint = plan.region_constraint;
   request.terms = std::move(plan.terms);
 
@@ -227,6 +233,12 @@ Result<Selection> QueryService::eval(const QueryPtr& query,
     stats_.client_cpu_seconds += 2.0 * cost.scan_cost(
         selection.positions.size() * sizeof(std::uint64_t));
     std::sort(selection.positions.begin(), selection.positions.end());
+    if (multi_term) {
+      selection.positions.erase(
+          std::unique(selection.positions.begin(), selection.positions.end()),
+          selection.positions.end());
+      selection.num_hits = selection.positions.size();
+    }
   }
   // The replica id may be known even when extents were not retained.
   if (selection.replica_id == kInvalidObjectId &&

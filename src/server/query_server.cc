@@ -193,8 +193,13 @@ Status QueryServer::eval_term(const AndTerm& term, const EvalRequest& request,
     PDC_RETURN_IF_ERROR(eval_driver_sorted(*replica, driver.interval,
                                            identity, ledger, extents));
 
+    // Extents-only results are valid ONLY for a single-term request: the
+    // OR merge in eval() operates on positions and discards extents, so a
+    // multi-term query must materialize the driver hits or the whole first
+    // term would vanish from the union.
     const bool need_positions = request.need_locations ||
                                 term.conjuncts.size() > 1 ||
+                                request.terms.size() > 1 ||
                                 request.region_constraint.count > 0;
     if (!need_positions) {
       out_extents.insert(out_extents.end(), extents.begin(), extents.end());
@@ -216,8 +221,14 @@ Status QueryServer::eval_term(const AndTerm& term, const EvalRequest& request,
       std::erase_if(positions, [&](std::uint64_t p) {
         return !request.region_constraint.contains(p);
       });
+      // The extents describe the UNCONSTRAINED sorted hit range; after the
+      // position filter they no longer match the result and must not be
+      // reported — eval() counts hits from extents whenever positions are
+      // empty, so a server whose share was filtered out entirely would
+      // otherwise report phantom hits.
+    } else {
+      sorted_extents = std::move(extents);
     }
-    sorted_extents = std::move(extents);
   } else {
     switch (request.strategy) {
       case Strategy::kFullScan:
@@ -283,9 +294,7 @@ Status QueryServer::eval_driver_scan(const obj::ObjectDescriptor& object,
     if (prune && !region.histogram.may_overlap(interval)) {
       continue;  // region eliminated by min/max — no I/O at all
     }
-    const bool all_hits =
-        prune && interval.covers_closed(region.histogram.min_value(),
-                                        region.histogram.max_value());
+    const bool all_hits = prune && region.histogram.covers(interval);
     // Fetch through the cache (populates it for later queries/get-data).
     PDC_ASSIGN_OR_RETURN(RegionCache::Buffer buffer,
                          fetch_region(object, r, ledger, /*cacheable=*/true));
@@ -337,8 +346,7 @@ Status QueryServer::eval_driver_index(const obj::ObjectDescriptor& object,
       if (want.empty()) continue;
     }
     if (!region.histogram.may_overlap(interval)) continue;
-    if (interval.covers_closed(region.histogram.min_value(),
-                               region.histogram.max_value())) {
+    if (region.histogram.covers(interval)) {
       // Histogram proves the whole region matches: no index I/O needed.
       for (std::uint64_t p = want.offset; p < want.end(); ++p) {
         positions.push_back(p);
@@ -456,8 +464,7 @@ Status QueryServer::eval_driver_sorted(const obj::ObjectDescriptor& replica,
     if (!region.histogram.may_overlap(interval)) continue;
 
     Extent1D hit;
-    if (interval.covers_closed(region.histogram.min_value(),
-                               region.histogram.max_value())) {
+    if (region.histogram.covers(interval)) {
       hit = region.extent;  // interior region: all elements match
     } else {
       // Boundary region: fetch (cached) and binary-search the range.
@@ -508,8 +515,7 @@ Status QueryServer::restrict_positions(const obj::ObjectDescriptor& object,
 
     if (!full_scan_mode) {
       if (!region.histogram.may_overlap(interval)) continue;  // drop group
-      if (interval.covers_closed(region.histogram.min_value(),
-                                 region.histogram.max_value())) {
+      if (region.histogram.covers(interval)) {
         kept.insert(kept.end(), group.begin(), group.end());
         continue;
       }

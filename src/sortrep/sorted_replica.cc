@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <type_traits>
 
 #include "obj/type_dispatch.h"
 
@@ -32,6 +33,23 @@ Result<BuildReport> build_sorted_replica(obj::ObjectStore& store,
   std::vector<std::uint8_t> raw(static_cast<std::size_t>(n * elem_size));
   PDC_RETURN_IF_ERROR(
       store.read_elements(*src, {0, n}, raw, {}));
+
+  // NaN admits no strict weak ordering: std::stable_sort on it is UB and
+  // the replica's binary-search contract would be meaningless anyway.
+  const bool has_nan = obj::dispatch_type(src->type, [&](auto tag) {
+    using T = decltype(tag);
+    if constexpr (std::is_floating_point_v<T>) {
+      const T* values = reinterpret_cast<const T*>(raw.data());
+      for (std::uint64_t i = 0; i < n; ++i) {
+        if (values[i] != values[i]) return true;
+      }
+    }
+    return false;
+  });
+  if (has_nan) {
+    return Status::InvalidArgument(
+        "cannot build a sorted replica over NaN values");
+  }
 
   // argsort by value, stable so equal values keep original order.
   std::vector<std::uint64_t> perm(static_cast<std::size_t>(n));

@@ -1,0 +1,368 @@
+#include "testing/invariants.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "bitmap/wah.h"
+#include "common/interval.h"
+#include "common/rng.h"
+#include "common/serial.h"
+#include "histogram/histogram.h"
+#include "obj/type_dispatch.h"
+#include "query/planner.h"
+#include "sortrep/sorted_replica.h"
+
+namespace pdc::testing {
+
+namespace {
+
+Status fail(const char* what, const std::string& detail) {
+  return Status::Internal(std::string(what) + ": " + detail);
+}
+
+/// Random bitvector mixing dense literal stretches with long fills, plus
+/// the uncompressed reference bits.
+bitmap::WahBitVector random_wah(Rng& rng, std::uint64_t num_bits,
+                                std::vector<bool>& ref) {
+  bitmap::WahBitVector v;
+  ref.assign(static_cast<std::size_t>(num_bits), false);
+  std::uint64_t pos = 0;
+  while (pos < num_bits) {
+    const std::uint64_t remaining = num_bits - pos;
+    if (rng.bounded(2) == 0) {
+      // Long same-bit run — exercises fill words and coalescing.
+      const bool bit = rng.bounded(2) == 0;
+      const std::uint64_t len =
+          std::min<std::uint64_t>(1 + rng.bounded(40 * 31), remaining);
+      v.append_run(bit, len);
+      if (bit) {
+        std::fill_n(ref.begin() + static_cast<std::ptrdiff_t>(pos),
+                    static_cast<std::ptrdiff_t>(len), true);
+      }
+      pos += len;
+    } else {
+      // Dense noise — exercises literal words.
+      const std::uint64_t len =
+          std::min<std::uint64_t>(1 + rng.bounded(64), remaining);
+      for (std::uint64_t i = 0; i < len; ++i) {
+        const bool bit = rng.bounded(2) == 0;
+        v.append_bit(bit);
+        ref[static_cast<std::size_t>(pos + i)] = bit;
+      }
+      pos += len;
+    }
+  }
+  return v;
+}
+
+Status check_positions(const bitmap::WahBitVector& v,
+                       const std::vector<bool>& ref, const char* what) {
+  const std::vector<std::uint64_t> got = v.to_positions();
+  std::vector<std::uint64_t> want;
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    if (ref[i]) want.push_back(i);
+  }
+  if (got != want) {
+    std::ostringstream os;
+    os << "position set mismatch (" << got.size() << " got vs " << want.size()
+       << " expected set bits over " << ref.size() << ")";
+    return fail(what, os.str());
+  }
+  if (v.count() != want.size()) {
+    return fail(what, "count() disagrees with position set");
+  }
+  return Status::Ok();
+}
+
+/// Counts with trailing empty bins removed (merge associativity holds up
+/// to trailing padding: the intermediate merge order decides how far the
+/// coarser lattice extends past max).
+std::vector<std::uint64_t> trimmed_counts(const hist::MergeableHistogram& h) {
+  std::vector<std::uint64_t> c(h.counts().begin(), h.counts().end());
+  while (!c.empty() && c.back() == 0) c.pop_back();
+  return c;
+}
+
+Status check_hist_equal_mod_padding(const hist::MergeableHistogram& a,
+                                    const hist::MergeableHistogram& b,
+                                    const char* what) {
+  if (a.bin_width() != b.bin_width()) return fail(what, "bin_width differs");
+  if (a.total_count() != b.total_count()) return fail(what, "total differs");
+  if (a.nan_count() != b.nan_count()) return fail(what, "nan_count differs");
+  if (a.min_value() != b.min_value() || a.max_value() != b.max_value()) {
+    return fail(what, "min/max differ");
+  }
+  if (a.bin_left_edge(0) != b.bin_left_edge(0)) {
+    return fail(what, "first edge differs");
+  }
+  if (trimmed_counts(a) != trimmed_counts(b)) {
+    return fail(what, "bin counts differ");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status check_wah_random_algebra(std::uint64_t seed, std::uint64_t num_bits) {
+  if (num_bits == 0) return Status::InvalidArgument("num_bits must be > 0");
+  Rng rng(seed);
+  std::vector<bool> ref_a, ref_b;
+  const bitmap::WahBitVector a = random_wah(rng, num_bits, ref_a);
+  const bitmap::WahBitVector b = random_wah(rng, num_bits, ref_b);
+
+  PDC_RETURN_IF_ERROR(a.check_invariants());
+  PDC_RETURN_IF_ERROR(b.check_invariants());
+  PDC_RETURN_IF_ERROR(check_positions(a, ref_a, "wah build a"));
+  PDC_RETURN_IF_ERROR(check_positions(b, ref_b, "wah build b"));
+
+  // Idempotence.
+  PDC_ASSIGN_OR_RETURN(bitmap::WahBitVector aa, bitmap::WahBitVector::And(a, a));
+  PDC_ASSIGN_OR_RETURN(bitmap::WahBitVector oa, bitmap::WahBitVector::Or(a, a));
+  if (!(aa == a)) return fail("wah algebra", "a & a != a");
+  if (!(oa == a)) return fail("wah algebra", "a | a != a");
+
+  // And/Or against the set-algebra reference.
+  std::vector<bool> ref_and(ref_a.size()), ref_or(ref_a.size());
+  for (std::size_t i = 0; i < ref_a.size(); ++i) {
+    ref_and[i] = ref_a[i] && ref_b[i];
+    ref_or[i] = ref_a[i] || ref_b[i];
+  }
+  PDC_ASSIGN_OR_RETURN(bitmap::WahBitVector ab, bitmap::WahBitVector::And(a, b));
+  PDC_ASSIGN_OR_RETURN(bitmap::WahBitVector ob, bitmap::WahBitVector::Or(a, b));
+  PDC_RETURN_IF_ERROR(ab.check_invariants());
+  PDC_RETURN_IF_ERROR(ob.check_invariants());
+  PDC_RETURN_IF_ERROR(check_positions(ab, ref_and, "wah and"));
+  PDC_RETURN_IF_ERROR(check_positions(ob, ref_or, "wah or"));
+
+  // Complement algebra: a | ~a = all ones, a & ~a = empty.  There is no
+  // NOT operator, so build the complement bit by bit.
+  bitmap::WahBitVector c;
+  for (std::size_t i = 0; i < ref_a.size(); ++i) c.append_bit(!ref_a[i]);
+  PDC_RETURN_IF_ERROR(c.check_invariants());
+  PDC_ASSIGN_OR_RETURN(bitmap::WahBitVector all,
+                       bitmap::WahBitVector::Or(a, c));
+  PDC_ASSIGN_OR_RETURN(bitmap::WahBitVector none,
+                       bitmap::WahBitVector::And(a, c));
+  if (all.count() != num_bits) return fail("wah algebra", "a | ~a not full");
+  if (none.count() != 0) return fail("wah algebra", "a & ~a not empty");
+
+  // Serialize round trip.
+  SerialWriter w;
+  a.serialize(w);
+  std::vector<std::uint8_t> bytes = w.take();
+  SerialReader r(bytes);
+  PDC_ASSIGN_OR_RETURN(bitmap::WahBitVector back,
+                       bitmap::WahBitVector::Deserialize(r));
+  if (!(back == a)) return fail("wah serialize", "round trip not identical");
+  return Status::Ok();
+}
+
+Status check_histogram_merge_laws(std::uint64_t seed) {
+  Rng rng(seed);
+  const std::uint64_t n = 1000 + rng.bounded(2000);
+  const bool with_nan = rng.bounded(2) == 0;
+  std::vector<float> data;
+  data.reserve(n);
+  std::uint64_t true_nan = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (with_nan && rng.bounded(100) == 0) {
+      data.push_back(std::numeric_limits<float>::quiet_NaN());
+      ++true_nan;
+    } else if (rng.bounded(4) == 0) {
+      // Clustered values so some bins get heavy and some stay empty.
+      data.push_back(static_cast<float>(10.0 + rng.bounded(3)));
+    } else {
+      data.push_back(static_cast<float>(rng.uniform(-50.0, 50.0)));
+    }
+  }
+
+  // Split into chunks built with different target bin counts (hence
+  // different widths), the situation the lattice anchoring exists for.
+  const std::size_t num_chunks = 3 + static_cast<std::size_t>(rng.bounded(4));
+  std::vector<hist::MergeableHistogram> parts;
+  std::size_t start = 0;
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    std::size_t len = (c + 1 == num_chunks)
+                          ? data.size() - start
+                          : 1 + rng.bounded(data.size() / num_chunks);
+    len = std::min(len, data.size() - start);
+    if (len == 0) continue;
+    hist::HistogramConfig config;
+    config.target_bins = 16u << rng.bounded(3);
+    config.seed = seed + c;
+    parts.push_back(hist::MergeableHistogram::Build<float>(
+        {data.data() + start, len}, config));
+    start += len;
+  }
+  if (parts.size() < 3) return Status::Ok();  // degenerate draw, nothing to do
+
+  // Commutativity: exact equality.
+  {
+    std::vector<hist::MergeableHistogram> fwd{parts[0], parts[1]};
+    std::vector<hist::MergeableHistogram> rev{parts[1], parts[0]};
+    if (!(hist::MergeableHistogram::Merge(fwd) ==
+          hist::MergeableHistogram::Merge(rev))) {
+      return fail("histogram merge", "not commutative");
+    }
+  }
+
+  // Associativity up to trailing empty-bin padding.
+  {
+    std::vector<hist::MergeableHistogram> left01{parts[0], parts[1]};
+    std::vector<hist::MergeableHistogram> l{
+        hist::MergeableHistogram::Merge(left01), parts[2]};
+    std::vector<hist::MergeableHistogram> right12{parts[1], parts[2]};
+    std::vector<hist::MergeableHistogram> r{
+        parts[0], hist::MergeableHistogram::Merge(right12)};
+    PDC_RETURN_IF_ERROR(check_hist_equal_mod_padding(
+        hist::MergeableHistogram::Merge(l), hist::MergeableHistogram::Merge(r),
+        "histogram merge associativity"));
+  }
+
+  // Accounting on the full merge.
+  const hist::MergeableHistogram global = hist::MergeableHistogram::Merge(parts);
+  if (global.total_count() != n) return fail("histogram merge", "total != n");
+  if (global.nan_count() != true_nan) {
+    return fail("histogram merge", "nan_count wrong");
+  }
+  double true_min = std::numeric_limits<double>::infinity();
+  double true_max = -std::numeric_limits<double>::infinity();
+  for (const float v : data) {
+    if (v != v) continue;
+    true_min = std::min(true_min, static_cast<double>(v));
+    true_max = std::max(true_max, static_cast<double>(v));
+  }
+  if (global.min_value() != true_min || global.max_value() != true_max) {
+    return fail("histogram merge", "min/max wrong");
+  }
+
+  // Estimate soundness on a sweep of random intervals.
+  for (int q = 0; q < 40; ++q) {
+    ValueInterval interval;
+    if (rng.bounded(4) == 0) {
+      // Point interval at an exact data value.
+      float v = data[rng.bounded(n)];
+      while (v != v) v = data[rng.bounded(n)];
+      interval = ValueInterval::from_op(QueryOp::kEQ, static_cast<double>(v));
+    } else {
+      double lo = rng.uniform(-60.0, 60.0);
+      double hi = rng.uniform(-60.0, 60.0);
+      if (lo > hi) std::swap(lo, hi);
+      interval.lo = lo;
+      interval.hi = hi;
+      interval.lo_inclusive = rng.bounded(2) == 0;
+      interval.hi_inclusive = rng.bounded(2) == 0;
+    }
+    std::uint64_t truth = 0;
+    for (const float v : data) {
+      truth += interval.contains(static_cast<double>(v)) ? 1 : 0;
+    }
+    const hist::HitEstimate est = global.estimate(interval);
+    if (est.lower > truth || truth > est.upper) {
+      std::ostringstream os;
+      os << "estimate [" << est.lower << ", " << est.upper
+         << "] does not bracket true count " << truth << " for ["
+         << interval.lo << ", " << interval.hi << "]";
+      return fail("histogram estimate", os.str());
+    }
+    if (truth > 0 && !global.may_overlap(interval)) {
+      return fail("histogram may_overlap", "false negative");
+    }
+    if (global.covers(interval) && truth != n) {
+      return fail("histogram covers", "claimed all-hits but count < n");
+    }
+  }
+  return Status::Ok();
+}
+
+Status check_planner_monotonicity(const obj::ObjectStore& store,
+                                  const query::QueryPtr& query) {
+  query::PlanOptions options;
+  options.order_by_selectivity = true;
+  PDC_ASSIGN_OR_RETURN(query::Plan plan,
+                       query::plan_query(*query, store, options));
+  for (const server::AndTerm& term : plan.terms) {
+    double prev = -1.0;
+    for (const server::Conjunct& conjunct : term.conjuncts) {
+      PDC_ASSIGN_OR_RETURN(const obj::ObjectDescriptor* desc,
+                           store.get(conjunct.object));
+      const double est = query::estimate_selectivity(*desc, conjunct.interval);
+      if (est < prev) {
+        std::ostringstream os;
+        os << "conjunct on object " << conjunct.object << " has estimate "
+           << est << " after " << prev;
+        return fail("planner selectivity order", os.str());
+      }
+      prev = est;
+    }
+  }
+  return Status::Ok();
+}
+
+Status check_sorted_replica(const obj::ObjectStore& store, ObjectId source) {
+  const std::optional<ObjectId> replica_id = store.sorted_replica_of(source);
+  if (!replica_id) {
+    return Status::InvalidArgument("object has no sorted replica");
+  }
+  PDC_ASSIGN_OR_RETURN(const obj::ObjectDescriptor* src, store.get(source));
+  PDC_ASSIGN_OR_RETURN(const obj::ObjectDescriptor* rep,
+                       store.get(*replica_id));
+  const std::uint64_t n = src->num_elements;
+  if (rep->num_elements != n) {
+    return fail("sorted replica", "element count differs from source");
+  }
+  if (n == 0) return Status::Ok();
+  const std::size_t elem = src->element_size();
+  const pfs::ReadContext ctx{nullptr, 1};
+
+  std::vector<std::uint8_t> src_bytes(n * elem), rep_bytes(n * elem);
+  PDC_RETURN_IF_ERROR(store.read_elements(*src, {0, n}, src_bytes, ctx));
+  PDC_RETURN_IF_ERROR(store.read_elements(*rep, {0, n}, rep_bytes, ctx));
+
+  // Permutation file: one u64 original position per sorted position.
+  PDC_ASSIGN_OR_RETURN(pfs::PfsFile perm_file,
+                       store.cluster().open(rep->permutation_file));
+  std::vector<std::uint64_t> perm(n);
+  PDC_RETURN_IF_ERROR(perm_file.read(
+      0,
+      {reinterpret_cast<std::uint8_t*>(perm.data()), n * sizeof(std::uint64_t)},
+      ctx));
+
+  std::vector<bool> seen(n, false);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (perm[i] >= n || seen[perm[i]]) {
+      return fail("sorted replica", "permutation is not a bijection");
+    }
+    seen[perm[i]] = true;
+    if (std::memcmp(rep_bytes.data() + i * elem,
+                    src_bytes.data() + perm[i] * elem, elem) != 0) {
+      return fail("sorted replica", "replica[i] != source[perm[i]]");
+    }
+  }
+
+  const bool ascending = obj::dispatch_type(rep->type, [&](auto tag) {
+    using T = decltype(tag);
+    const T* values = reinterpret_cast<const T*>(rep_bytes.data());
+    for (std::uint64_t i = 1; i < n; ++i) {
+      if (values[i] < values[i - 1]) return false;
+    }
+    return true;
+  });
+  if (!ascending) return fail("sorted replica", "values not ascending");
+
+  std::uint64_t next = 0;
+  for (const obj::RegionDescriptor& region : rep->regions) {
+    if (region.extent.offset != next) {
+      return fail("sorted replica", "regions do not tile [0, n)");
+    }
+    next = region.extent.end();
+  }
+  if (next != n) return fail("sorted replica", "regions do not cover n");
+  return Status::Ok();
+}
+
+}  // namespace pdc::testing

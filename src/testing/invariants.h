@@ -1,0 +1,45 @@
+// Debug invariant checks for the core query data structures.
+//
+// Each check returns Ok() when the invariant holds and a descriptive
+// Corruption/Internal status naming the first violation otherwise, so the
+// QueryCheck harness (and unit tests) can assert them wholesale.  The
+// checks are property-style: seeded random inputs, algebraic laws, and
+// brute-force reference comparisons.
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "obj/object_store.h"
+#include "query/query.h"
+
+namespace pdc::testing {
+
+/// WAH bitvector laws over seeded random vectors (mixing dense noise and
+/// long runs): structural check_invariants(), idempotence (a&a == a,
+/// a|a == a), And/Or position sets equal set intersection/union of the
+/// operand position sets, complement algebra (a|~a all ones, a&~a empty)
+/// and serialize/deserialize round-trip identity.
+Status check_wah_random_algebra(std::uint64_t seed, std::uint64_t num_bits);
+
+/// Mergeable-histogram laws over seeded random partitions of one dataset:
+/// Merge commutativity (exact equality), associativity up to trailing
+/// empty-bin padding, merged total/min/max/nan accounting, and estimate()
+/// soundness (lower <= true hit count <= upper) against brute force for a
+/// sweep of intervals.
+Status check_histogram_merge_laws(std::uint64_t seed);
+
+/// Planner ordering invariant: in every AND-term of the plan for `query`,
+/// conjunct selectivity estimates are non-decreasing (the driver is the
+/// most selective conjunct).  Uses the same estimate the planner uses.
+Status check_planner_monotonicity(const obj::ObjectStore& store,
+                                  const query::QueryPtr& query);
+
+/// Sorted-replica structural invariants for the replica of `source`:
+/// replica values ascending, permutation is a bijection onto [0, n),
+/// replica[i] bit-identical to source[perm[i]], and the replica's regions
+/// tile [0, n) exactly.
+Status check_sorted_replica(const obj::ObjectStore& store, ObjectId source);
+
+}  // namespace pdc::testing

@@ -1,0 +1,818 @@
+#include "testing/querycheck.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "common/interval.h"
+#include "pfs/pfs.h"
+#include "query/planner.h"
+#include "query/query.h"
+#include "query/service.h"
+#include "rpc/fault.h"
+#include "sortrep/sorted_replica.h"
+#include "testing/invariants.h"
+#include "workloads/vpic.h"
+
+namespace pdc::testing {
+
+namespace {
+
+constexpr std::uint32_t kNumOps = 5;  // kGT..kEQ
+
+float finite_or_zero(float v) { return std::isfinite(v) ? v : 0.0f; }
+
+/// Finite min/max of a column ([0,1] fallback for all-non-finite columns).
+std::pair<double, double> finite_range(const std::vector<float>& column) {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const float v : column) {
+    if (!std::isfinite(v)) continue;
+    lo = std::min(lo, static_cast<double>(v));
+    hi = std::max(hi, static_cast<double>(v));
+  }
+  if (lo > hi) return {0.0, 1.0};
+  return {lo, hi};
+}
+
+void truncate_dataset(Dataset& dataset, std::uint64_t new_size) {
+  for (auto& column : dataset.columns) {
+    if (column.size() > new_size) {
+      column.resize(static_cast<std::size_t>(new_size));
+    }
+  }
+}
+
+/// Elements per region for a float dataset (region_size_bytes floor 4).
+std::uint64_t elements_per_region(const Dataset& dataset) {
+  return std::max<std::uint64_t>(1, dataset.region_size_bytes / sizeof(float));
+}
+
+std::uint64_t num_regions(const Dataset& dataset) {
+  const std::uint64_t per = elements_per_region(dataset);
+  return (dataset.size() + per - 1) / per;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- QueryGen
+
+Dataset QueryGen::draw_dataset() {
+  Dataset dataset;
+  const std::uint64_t shape = rng_.bounded(6);
+  switch (shape) {
+    case 0: {  // tiny: down to one element, sometimes one element per region
+      const std::uint64_t n = 1 + rng_.bounded(64);
+      dataset.region_size_bytes = rng_.bounded(2) == 0 ? 4 : 64;
+      dataset.names = {"key"};
+      std::vector<float> key;
+      key.reserve(n);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        key.push_back(static_cast<float>(rng_.uniform(-4.0, 4.0)));
+      }
+      dataset.columns.push_back(std::move(key));
+      break;
+    }
+    case 1: {  // VPIC-shaped: spatially ordered energy + position
+      const std::uint64_t n = 128 + rng_.bounded(384);
+      const workloads::VpicConfig config =
+          workloads::tiny_vpic_config(n, rng_.next_u64());
+      workloads::VpicData data = workloads::generate_vpic(config);
+      dataset.region_size_bytes = 256ull << rng_.bounded(3);
+      dataset.names = {"key", "x"};
+      dataset.columns.push_back(std::move(data.energy));
+      dataset.columns.push_back(std::move(data.x));
+      break;
+    }
+    case 2: {  // constant key column (degenerate histograms and bins)
+      const std::uint64_t n = 32 + rng_.bounded(200);
+      dataset.region_size_bytes = 128;
+      const float c = static_cast<float>(rng_.uniform(-10.0, 10.0));
+      dataset.names = {"key", "aux"};
+      dataset.columns.emplace_back(static_cast<std::size_t>(n), c);
+      std::vector<float> aux;
+      aux.reserve(n);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        aux.push_back(static_cast<float>(rng_.uniform(0.0, 1.0)));
+      }
+      dataset.columns.push_back(std::move(aux));
+      break;
+    }
+    case 3: {  // values straddling precision-2 bin edges (2.0, 2.1, ...)
+      const std::uint64_t n = 64 + rng_.bounded(256);
+      dataset.region_size_bytes = 256;
+      dataset.names = {"key"};
+      std::vector<float> key;
+      key.reserve(n);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        float v = static_cast<float>(
+            static_cast<double>(20 + rng_.bounded(17)) / 10.0);
+        const std::uint64_t nudge = rng_.bounded(4);
+        if (nudge == 1) {
+          v = std::nextafter(v, std::numeric_limits<float>::infinity());
+        } else if (nudge == 2) {
+          v = std::nextafter(v, -std::numeric_limits<float>::infinity());
+        }
+        key.push_back(v);
+      }
+      dataset.columns.push_back(std::move(key));
+      break;
+    }
+    case 4: {  // NaN / ±inf sprinkled into a non-key column
+      const std::uint64_t n = 64 + rng_.bounded(256);
+      dataset.region_size_bytes = 256;
+      dataset.names = {"key", "special"};
+      std::vector<float> key, special;
+      key.reserve(n);
+      special.reserve(n);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        key.push_back(static_cast<float>(rng_.uniform(0.0, 100.0)));
+        const std::uint64_t kind = rng_.bounded(8);
+        if (kind == 0) {
+          special.push_back(std::numeric_limits<float>::quiet_NaN());
+        } else if (kind == 1) {
+          special.push_back(rng_.bounded(2) == 0
+                                ? std::numeric_limits<float>::infinity()
+                                : -std::numeric_limits<float>::infinity());
+        } else {
+          special.push_back(static_cast<float>(rng_.uniform(-5.0, 5.0)));
+        }
+      }
+      dataset.columns.push_back(std::move(key));
+      dataset.columns.push_back(std::move(special));
+      break;
+    }
+    default: {  // multi-column uniform
+      const std::uint64_t n = 64 + rng_.bounded(512);
+      dataset.region_size_bytes = 128ull << rng_.bounded(3);
+      dataset.names = {"key", "a", "b"};
+      for (int c = 0; c < 3; ++c) {
+        std::vector<float> column;
+        column.reserve(n);
+        const double lo = rng_.uniform(-100.0, 0.0);
+        const double hi = lo + rng_.uniform(1.0, 200.0);
+        for (std::uint64_t i = 0; i < n; ++i) {
+          column.push_back(static_cast<float>(rng_.uniform(lo, hi)));
+        }
+        dataset.columns.push_back(std::move(column));
+      }
+      break;
+    }
+  }
+  return dataset;
+}
+
+QuerySpec QueryGen::draw_query(const Dataset& dataset) {
+  QuerySpec query;
+  const std::uint64_t n = dataset.size();
+  const std::size_t num_terms = 1 + (rng_.bounded(4) == 0 ? 1 : 0);
+  for (std::size_t t = 0; t < num_terms; ++t) {
+    TermSpec term;
+    const std::size_t num_leaves = 1 + rng_.bounded(3);
+    for (std::size_t l = 0; l < num_leaves; ++l) {
+      LeafSpec leaf;
+      leaf.column =
+          static_cast<std::uint32_t>(rng_.bounded(dataset.columns.size()));
+      leaf.op = static_cast<QueryOp>(rng_.bounded(kNumOps));
+      const std::vector<float>& column = dataset.columns[leaf.column];
+      const auto [lo, hi] = finite_range(column);
+      switch (rng_.bounded(4)) {
+        case 0:  // exact element value (bin-edge and equality stress)
+          leaf.value = static_cast<double>(
+              finite_or_zero(column[rng_.bounded(std::max<std::uint64_t>(
+                  1, column.size()))]));
+          break;
+        case 1:  // somewhere inside the value range
+          leaf.value = rng_.uniform(lo, hi + 1e-9);
+          break;
+        case 2:  // short-decimal constant, as a user would type
+          leaf.value =
+              static_cast<double>(static_cast<std::int64_t>(rng_.bounded(201)) -
+                                  100) /
+              10.0;
+          break;
+        default:  // beyond the range: empty or full result sets
+          leaf.value = rng_.bounded(2) == 0 ? lo - 1.0 - rng_.bounded(5)
+                                            : hi + 1.0 + rng_.bounded(5);
+          break;
+      }
+      term.leaves.push_back(leaf);
+    }
+    query.terms.push_back(std::move(term));
+  }
+  if (n > 0 && rng_.bounded(5) == 0) {
+    const std::uint64_t offset = rng_.bounded(n);
+    query.region = {offset, 1 + rng_.bounded(n - offset)};
+  }
+  return query;
+}
+
+Case QueryGen::draw_case() {
+  Case c;
+  c.seed = seed_;
+  c.dataset = draw_dataset();
+  const std::size_t num_queries = 1 + rng_.bounded(3);
+  for (std::size_t i = 0; i < num_queries; ++i) {
+    c.queries.push_back(draw_query(c.dataset));
+  }
+  return c;
+}
+
+// ------------------------------------------------------------------ oracle
+
+std::vector<std::uint64_t> oracle_hits(const Dataset& dataset,
+                                       const QuerySpec& query) {
+  std::vector<std::uint64_t> hits;
+  const std::uint64_t n = dataset.size();
+  const bool constrained = !query.region.empty();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (constrained && !query.region.contains(i)) continue;
+    bool any = false;
+    for (const TermSpec& term : query.terms) {
+      bool all = true;
+      for (const LeafSpec& leaf : term.leaves) {
+        const ValueInterval interval =
+            ValueInterval::from_op(leaf.op, leaf.value);
+        if (!interval.contains(
+                static_cast<double>(dataset.columns[leaf.column][i]))) {
+          all = false;
+          break;
+        }
+      }
+      if (all) {
+        any = true;
+        break;
+      }
+    }
+    if (any) hits.push_back(i);
+  }
+  return hits;
+}
+
+// ------------------------------------------------------------------ runner
+
+RunOptions RunOptions::all_paths() {
+  RunOptions options;
+  options.strategies = {
+      server::Strategy::kFullScan,
+      server::Strategy::kHistogram,
+      server::Strategy::kHistogramIndex,
+      server::Strategy::kSortedHistogram,
+  };
+  return options;
+}
+
+namespace {
+
+struct Env {
+  std::unique_ptr<pfs::PfsCluster> cluster;
+  std::unique_ptr<obj::ObjectStore> store;
+  std::vector<ObjectId> object_ids;
+  std::string dir;
+};
+
+Result<Env> build_env(const Case& c, const RunOptions& options,
+                      bool want_index, bool want_replica) {
+  static std::atomic<std::uint64_t> counter{0};
+  Env env;
+  std::ostringstream dir;
+  dir << options.temp_root << "/case_" << c.seed << "_"
+      << counter.fetch_add(1);
+  env.dir = dir.str();
+  std::error_code ec;
+  std::filesystem::remove_all(env.dir, ec);
+
+  pfs::PfsConfig config;
+  config.root_dir = env.dir;
+  PDC_ASSIGN_OR_RETURN(env.cluster, pfs::PfsCluster::Create(config));
+  env.store = std::make_unique<obj::ObjectStore>(*env.cluster);
+  PDC_ASSIGN_OR_RETURN(ObjectId container,
+                       env.store->create_container("querycheck"));
+
+  obj::ImportOptions import;
+  import.region_size_bytes = c.dataset.region_size_bytes;
+  for (std::size_t col = 0; col < c.dataset.columns.size(); ++col) {
+    PDC_ASSIGN_OR_RETURN(
+        ObjectId id,
+        env.store->import_object<float>(container, c.dataset.names[col],
+                                        c.dataset.columns[col], import));
+    env.object_ids.push_back(id);
+    if (want_index) {
+      PDC_RETURN_IF_ERROR(env.store->build_bitmap_index(id));
+    }
+  }
+  if (want_replica) {
+    PDC_RETURN_IF_ERROR(
+        sortrep::build_sorted_replica(*env.store, env.object_ids.front())
+            .status());
+  }
+  return env;
+}
+
+query::QueryPtr build_query(const QuerySpec& spec,
+                            const std::vector<ObjectId>& objects) {
+  query::QueryPtr root;
+  for (const TermSpec& term : spec.terms) {
+    query::QueryPtr conj;
+    for (const LeafSpec& leaf : term.leaves) {
+      conj = query::q_and(
+          std::move(conj),
+          query::create(objects[leaf.column], leaf.op, leaf.value));
+    }
+    root = query::q_or(std::move(root), std::move(conj));
+  }
+  if (!spec.region.empty()) {
+    root = query::set_region(root, spec.region);
+  }
+  return root;
+}
+
+std::string positions_summary(const std::vector<std::uint64_t>& want,
+                              const std::vector<std::uint64_t>& got) {
+  std::ostringstream os;
+  os << "expected " << want.size() << " hits, got " << got.size();
+  for (std::size_t i = 0; i < std::max(want.size(), got.size()); ++i) {
+    const bool w_ok = i < want.size();
+    const bool g_ok = i < got.size();
+    if (w_ok && g_ok && want[i] == got[i]) continue;
+    os << "; first divergence at rank " << i << " (expected ";
+    if (w_ok) {
+      os << want[i];
+    } else {
+      os << "<none>";
+    }
+    os << ", got ";
+    if (g_ok) {
+      os << got[i];
+    } else {
+      os << "<none>";
+    }
+    os << ")";
+    break;
+  }
+  return os.str();
+}
+
+/// Run all queries of `c` through one service; fills `mismatch` and returns
+/// true on the first divergence.
+Result<bool> run_service(const Case& c, const Env& env,
+                         query::QueryService& service, const std::string& path,
+                         bool is_sorted,
+                         const std::vector<std::vector<std::uint64_t>>& expected,
+                         std::optional<Mismatch>& mismatch) {
+  for (std::size_t qi = 0; qi < c.queries.size(); ++qi) {
+    const query::QueryPtr q = build_query(c.queries[qi], env.object_ids);
+    const std::vector<std::uint64_t>& want = expected[qi];
+
+    Result<std::uint64_t> nhits = service.get_num_hits(q);
+    if (!nhits.ok()) {
+      mismatch = Mismatch{qi, path,
+                          "get_num_hits failed: " + nhits.status().ToString()};
+      return true;
+    }
+    if (*nhits != want.size()) {
+      std::ostringstream os;
+      os << "get_num_hits = " << *nhits << ", oracle = " << want.size();
+      mismatch = Mismatch{qi, path, os.str()};
+      return true;
+    }
+
+    Result<query::Selection> sel = service.get_selection(q);
+    if (!sel.ok()) {
+      mismatch = Mismatch{qi, path,
+                          "get_selection failed: " + sel.status().ToString()};
+      return true;
+    }
+    if (sel->num_hits != want.size() || sel->positions != want) {
+      mismatch =
+          Mismatch{qi, path, positions_summary(want, sel->positions)};
+      return true;
+    }
+
+    // Fetched bytes must be bit-identical too, for every column (NaN
+    // payloads included — hence memcmp, not float compare).
+    for (std::size_t col = 0; col < c.dataset.columns.size(); ++col) {
+      std::vector<float> got(want.size());
+      const Status st =
+          service.get_data<float>(env.object_ids[col], *sel, got,
+                                  query::GetDataMode::kByPositions);
+      if (!st.ok()) {
+        mismatch = Mismatch{qi, path, "get_data failed: " + st.ToString()};
+        return true;
+      }
+      std::vector<float> exp;
+      exp.reserve(want.size());
+      for (const std::uint64_t pos : want) {
+        exp.push_back(c.dataset.columns[col][pos]);
+      }
+      if (!exp.empty() &&
+          std::memcmp(got.data(), exp.data(), exp.size() * sizeof(float)) !=
+              0) {
+        mismatch = Mismatch{
+            qi, path,
+            "get_data bytes differ on column " + c.dataset.names[col]};
+        return true;
+      }
+    }
+
+    // Sorted strategy: sequential replica reads return the same multiset,
+    // value-sorted.
+    std::uint64_t extent_hits = 0;
+    for (const auto& [server, extents] : sel->sorted_extents) {
+      (void)server;
+      for (const Extent1D& e : extents) extent_hits += e.count;
+    }
+    if (is_sorted && sel->replica_id != kInvalidObjectId &&
+        extent_hits == want.size() && !want.empty()) {
+      std::vector<float> got(want.size());
+      const Status st =
+          service.get_data<float>(env.object_ids.front(), *sel, got,
+                                  query::GetDataMode::kFromReplica);
+      if (!st.ok()) {
+        mismatch =
+            Mismatch{qi, path, "replica get_data failed: " + st.ToString()};
+        return true;
+      }
+      std::vector<float> exp;
+      exp.reserve(want.size());
+      for (const std::uint64_t pos : want) {
+        exp.push_back(c.dataset.columns.front()[pos]);
+      }
+      std::sort(exp.begin(), exp.end());  // key column is NaN-free
+      if (std::memcmp(got.data(), exp.data(), exp.size() * sizeof(float)) !=
+          0) {
+        mismatch = Mismatch{qi, path, "replica-read bytes differ"};
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<std::optional<Mismatch>> run_case(const Case& c,
+                                         const RunOptions& options) {
+  std::optional<Mismatch> mismatch;
+  if (c.dataset.size() == 0 || c.queries.empty()) return mismatch;
+  for (const std::vector<float>& column : c.dataset.columns) {
+    if (column.size() != c.dataset.size()) {
+      return Status::InvalidArgument("ragged dataset columns");
+    }
+  }
+
+  const auto uses = [&](server::Strategy s) {
+    return std::find(options.strategies.begin(), options.strategies.end(),
+                     s) != options.strategies.end();
+  };
+  PDC_ASSIGN_OR_RETURN(
+      Env env, build_env(c, options, uses(server::Strategy::kHistogramIndex),
+                         uses(server::Strategy::kSortedHistogram)));
+  if (options.post_build) {
+    PDC_RETURN_IF_ERROR(options.post_build(*env.store, env.object_ids));
+  }
+
+  std::vector<std::vector<std::uint64_t>> expected;
+  expected.reserve(c.queries.size());
+  for (const QuerySpec& q : c.queries) {
+    expected.push_back(oracle_hits(c.dataset, q));
+  }
+
+  for (const server::Strategy strategy : options.strategies) {
+    query::ServiceOptions service_options;
+    service_options.num_servers = options.num_servers;
+    service_options.strategy = strategy;
+    query::QueryService service(*env.store, service_options);
+    PDC_ASSIGN_OR_RETURN(
+        bool failed,
+        run_service(c, env, service,
+                    std::string(server::strategy_name(strategy)),
+                    strategy == server::Strategy::kSortedHistogram, expected,
+                    mismatch));
+    if (failed) break;
+  }
+
+  if (!mismatch && options.degraded && options.num_servers > 1) {
+    rpc::FaultPlan plan;
+    plan.server_faults.push_back(
+        {options.num_servers - 1, 0, rpc::ServerFate::kKilled});
+    rpc::FaultInjector injector(plan);
+    query::ServiceOptions service_options;
+    service_options.num_servers = options.num_servers;
+    service_options.strategy = server::Strategy::kHistogram;
+    service_options.fault_injector = &injector;
+    service_options.retry.attempt_timeout = std::chrono::milliseconds(100);
+    service_options.retry.max_attempts = 3;
+    service_options.retry.backoff_base = std::chrono::milliseconds(2);
+    service_options.retry.backoff_cap = std::chrono::milliseconds(20);
+    query::QueryService service(*env.store, service_options);
+    PDC_ASSIGN_OR_RETURN(bool failed,
+                         run_service(c, env, service, "degraded", false,
+                                     expected, mismatch));
+    (void)failed;
+  }
+
+  if (!mismatch && options.check_invariants) {
+    for (std::size_t qi = 0; qi < c.queries.size(); ++qi) {
+      const Status st = check_planner_monotonicity(
+          *env.store, build_query(c.queries[qi], env.object_ids));
+      if (!st.ok()) {
+        mismatch = Mismatch{qi, "invariant:planner", st.ToString()};
+        break;
+      }
+    }
+    if (!mismatch && uses(server::Strategy::kSortedHistogram)) {
+      const Status st =
+          check_sorted_replica(*env.store, env.object_ids.front());
+      if (!st.ok()) {
+        mismatch = Mismatch{0, "invariant:replica", st.ToString()};
+      }
+    }
+  }
+
+  env.store.reset();
+  env.cluster.reset();
+  std::error_code ec;
+  std::filesystem::remove_all(env.dir, ec);
+  return mismatch;
+}
+
+// --------------------------------------------------------------- shrinker
+
+namespace {
+
+/// Strictly decreasing under every accepted shrink step.
+std::uint64_t case_weight(const Case& c) {
+  std::uint64_t w = c.dataset.size() * (1 + c.dataset.columns.size());
+  for (const QuerySpec& q : c.queries) {
+    w += 8;
+    for (const TermSpec& t : q.terms) w += 4 + t.leaves.size();
+    if (!q.region.empty()) w += 1;
+  }
+  return w;
+}
+
+void clip_regions(Case& c) {
+  const std::uint64_t n = c.dataset.size();
+  for (QuerySpec& q : c.queries) {
+    if (q.region.empty()) continue;
+    if (q.region.offset >= n) {
+      q.region = {0, 0};
+    } else {
+      q.region.count = std::min(q.region.count, n - q.region.offset);
+    }
+  }
+}
+
+}  // namespace
+
+ShrinkResult shrink(Case failing,
+                    const std::function<bool(const Case&)>& still_fails,
+                    std::size_t max_attempts) {
+  ShrinkResult out;
+  out.minimal = std::move(failing);
+
+  const auto try_accept = [&](Case candidate) {
+    if (out.attempts >= max_attempts) return false;
+    ++out.attempts;
+    if (case_weight(candidate) >= case_weight(out.minimal)) return false;
+    if (!still_fails(candidate)) return false;
+    out.minimal = std::move(candidate);
+    ++out.accepted_steps;
+    return true;
+  };
+
+  bool progress = true;
+  while (progress && out.attempts < max_attempts) {
+    progress = false;
+
+    // 1. Fewer queries: first try each single query alone, then drop one.
+    if (out.minimal.queries.size() > 1) {
+      for (std::size_t i = 0; i < out.minimal.queries.size() && !progress;
+           ++i) {
+        Case candidate = out.minimal;
+        candidate.queries = {out.minimal.queries[i]};
+        progress = try_accept(std::move(candidate));
+      }
+      for (std::size_t i = 0; i < out.minimal.queries.size() && !progress;
+           ++i) {
+        Case candidate = out.minimal;
+        candidate.queries.erase(candidate.queries.begin() +
+                                static_cast<std::ptrdiff_t>(i));
+        progress = try_accept(std::move(candidate));
+      }
+      if (progress) continue;
+    }
+
+    // 2. Smaller dataset: halve, then drop the trailing partial region.
+    const std::uint64_t n = out.minimal.dataset.size();
+    if (n > 1) {
+      Case candidate = out.minimal;
+      truncate_dataset(candidate.dataset, n / 2);
+      clip_regions(candidate);
+      progress = try_accept(std::move(candidate));
+      if (!progress && num_regions(out.minimal.dataset) > 1) {
+        const std::uint64_t per = elements_per_region(out.minimal.dataset);
+        const std::uint64_t tail = n % per == 0 ? per : n % per;
+        Case chopped = out.minimal;
+        truncate_dataset(chopped.dataset, n - tail);
+        clip_regions(chopped);
+        progress = try_accept(std::move(chopped));
+      }
+      if (progress) continue;
+    }
+
+    // 3. Drop OR terms.
+    for (std::size_t qi = 0; qi < out.minimal.queries.size() && !progress;
+         ++qi) {
+      const QuerySpec& q = out.minimal.queries[qi];
+      for (std::size_t t = 0; t < q.terms.size() && q.terms.size() > 1;
+           ++t) {
+        Case candidate = out.minimal;
+        candidate.queries[qi].terms.erase(
+            candidate.queries[qi].terms.begin() +
+            static_cast<std::ptrdiff_t>(t));
+        if ((progress = try_accept(std::move(candidate)))) break;
+      }
+    }
+    if (progress) continue;
+
+    // 4. Drop conjunct leaves (keeping at least one per term).
+    for (std::size_t qi = 0; qi < out.minimal.queries.size() && !progress;
+         ++qi) {
+      const QuerySpec& q = out.minimal.queries[qi];
+      for (std::size_t t = 0; t < q.terms.size() && !progress; ++t) {
+        for (std::size_t l = 0;
+             l < q.terms[t].leaves.size() && q.terms[t].leaves.size() > 1;
+             ++l) {
+          Case candidate = out.minimal;
+          candidate.queries[qi].terms[t].leaves.erase(
+              candidate.queries[qi].terms[t].leaves.begin() +
+              static_cast<std::ptrdiff_t>(l));
+          if ((progress = try_accept(std::move(candidate)))) break;
+        }
+      }
+    }
+    if (progress) continue;
+
+    // 5. Drop region constraints.
+    for (std::size_t qi = 0; qi < out.minimal.queries.size() && !progress;
+         ++qi) {
+      if (out.minimal.queries[qi].region.empty()) continue;
+      Case candidate = out.minimal;
+      candidate.queries[qi].region = {0, 0};
+      progress = try_accept(std::move(candidate));
+    }
+  }
+  return out;
+}
+
+std::string repro_line(std::uint64_t seed) {
+  std::ostringstream os;
+  os << "PDC_QC_SEED=" << seed << " (re-run the querycheck binary with this "
+     << "environment variable to replay the failing case)";
+  return os.str();
+}
+
+std::string describe_case(const Case& c) {
+  std::ostringstream os;
+  os << "Case{seed=" << c.seed << ", n=" << c.dataset.size() << ", columns=[";
+  for (std::size_t i = 0; i < c.dataset.names.size(); ++i) {
+    os << (i ? "," : "") << c.dataset.names[i];
+  }
+  os << "], region_size_bytes=" << c.dataset.region_size_bytes << " ("
+     << num_regions(c.dataset) << " regions)";
+  for (std::size_t qi = 0; qi < c.queries.size(); ++qi) {
+    const QuerySpec& q = c.queries[qi];
+    os << ", q" << qi << "=";
+    for (std::size_t t = 0; t < q.terms.size(); ++t) {
+      if (t) os << " OR ";
+      os << "(";
+      for (std::size_t l = 0; l < q.terms[t].leaves.size(); ++l) {
+        const LeafSpec& leaf = q.terms[t].leaves[l];
+        if (l) os << " AND ";
+        os << c.dataset.names[leaf.column] << " "
+           << query_op_name(leaf.op) << " " << leaf.value;
+      }
+      os << ")";
+    }
+    if (!q.region.empty()) {
+      os << " in [" << q.region.offset << "," << q.region.end() << ")";
+    }
+  }
+  os << "}";
+  return os.str();
+}
+
+// ------------------------------------------------------------- entry point
+
+Status run_querycheck(std::uint64_t base_seed, std::size_t num_cases,
+                      const RunOptions& options) {
+  if (const char* env = std::getenv("PDC_QC_SEED")) {
+    base_seed = std::strtoull(env, nullptr, 10);
+    num_cases = 1;
+  }
+  if (const char* env = std::getenv("PDC_QC_CASES")) {
+    num_cases = std::strtoull(env, nullptr, 10);
+    if (num_cases == 0) num_cases = 1;
+  }
+
+  for (std::size_t i = 0; i < num_cases; ++i) {
+    const std::uint64_t seed = base_seed + i;
+    QueryGen gen(seed);
+    const Case c = gen.draw_case();
+    PDC_ASSIGN_OR_RETURN(std::optional<Mismatch> mismatch,
+                         run_case(c, options));
+    if (!mismatch) continue;
+
+    const auto pred = [&options](const Case& candidate) {
+      Result<std::optional<Mismatch>> r = run_case(candidate, options);
+      return r.ok() && r->has_value();
+    };
+    const ShrinkResult shrunk = shrink(c, pred);
+    Result<std::optional<Mismatch>> minimal_run =
+        run_case(shrunk.minimal, options);
+    const Mismatch& report =
+        (minimal_run.ok() && minimal_run->has_value()) ? **minimal_run
+                                                       : *mismatch;
+    std::ostringstream os;
+    os << "QueryCheck failure on path '" << report.path << "', query #"
+       << report.query_index << ": " << report.detail << "\n  "
+       << repro_line(seed) << "\n  minimal " << describe_case(shrunk.minimal)
+       << "\n  (shrunk in " << shrunk.accepted_steps << " steps, "
+       << shrunk.attempts << " attempts)";
+    return Status::Internal(os.str());
+  }
+  return Status::Ok();
+}
+
+// ------------------------------------------------------- fault injection
+
+Status corrupt_region_index(obj::ObjectStore& store, ObjectId object,
+                            RegionIndex region) {
+  PDC_ASSIGN_OR_RETURN(const obj::ObjectDescriptor* desc, store.get(object));
+  if (desc->index_file.empty() || region >= desc->regions.size()) {
+    return Status::InvalidArgument("object has no index for that region");
+  }
+  const obj::RegionDescriptor& rd = desc->regions[region];
+  if (rd.index_bytes == 0) {
+    return Status::InvalidArgument("region has no bitmap index");
+  }
+
+  PDC_ASSIGN_OR_RETURN(pfs::PfsFile file,
+                       store.cluster().open(desc->index_file));
+  std::vector<std::uint8_t> blob(static_cast<std::size_t>(rd.index_bytes));
+  const pfs::ReadContext ctx{nullptr, 1};
+  PDC_RETURN_IF_ERROR(file.read(rd.index_offset, blob, ctx));
+
+  PDC_ASSIGN_OR_RETURN(
+      bitmap::PartitionedIndexView view,
+      bitmap::PartitionedIndexView::ParseHeader(rd.index_header));
+
+  // Serialized WAH bin layout (see WahBitVector::serialize):
+  //   [num_bits u64][num_set u64][active u32][active_bits u32]
+  //   [word count u64][words u32 x count]
+  // Zero the active trailer and every literal word but leave num_set (and
+  // all sizes) intact — a silent corruption the decoder cannot reject.
+  bool mutated = false;
+  for (std::uint32_t b = 0; b < view.num_bins(); ++b) {
+    const Extent1D extent = view.bin_extent(b);
+    if (extent.end() > blob.size()) {
+      return Status::Corruption("bin extent outside the index blob");
+    }
+    std::uint8_t* bin = blob.data() + extent.offset;
+    if (extent.count < 32) continue;
+    std::uint32_t active;
+    std::memcpy(&active, bin + 16, sizeof(active));
+    if (active != 0) {
+      active = 0;
+      std::memcpy(bin + 16, &active, sizeof(active));
+      mutated = true;
+    }
+    std::uint64_t num_words;
+    std::memcpy(&num_words, bin + 24, sizeof(num_words));
+    for (std::uint64_t w = 0; w < num_words; ++w) {
+      std::uint32_t word;
+      std::memcpy(&word, bin + 32 + 4 * w, sizeof(word));
+      if ((word & 0x80000000u) == 0 && word != 0) {
+        word = 0;
+        std::memcpy(bin + 32 + 4 * w, &word, sizeof(word));
+        mutated = true;
+      }
+    }
+  }
+  if (!mutated) {
+    return Status::FailedPrecondition(
+        "region index has no set bits to corrupt");
+  }
+  return file.write(rd.index_offset, blob);
+}
+
+}  // namespace pdc::testing

@@ -1,0 +1,202 @@
+// QueryCheck — seed-reproducible property-based differential testing of
+// every query path.
+//
+// The paper's central correctness claim is that histogram pruning, the WAH
+// bitmap index, the sorted replica and (since the fault-tolerance work)
+// degraded-mode redispatch are *transparent* accelerations: every path must
+// return bit-identical results to a full scan.  QueryCheck turns that claim
+// into an executable property: a QueryGen draws random datasets (VPIC-shaped
+// plus adversarial shapes: constant columns, NaN/±inf values, values sitting
+// exactly on precision bin edges, single-element regions) and random range
+// queries (open/closed/half-open bounds, equality, empty-result, full-range,
+// multi-variable conjunctions, OR terms, region constraints), executes each
+// query through every strategy plus a fault-injected degraded run, and
+// compares positions and fetched bytes against an element-wise oracle.
+//
+// On mismatch the harness auto-shrinks the failing case — dropping queries,
+// halving the dataset region by region, dropping OR terms and conjuncts —
+// and reports a one-line `PDC_QC_SEED=<n>` reproduction.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "obj/object_store.h"
+#include "server/wire.h"
+
+namespace pdc::testing {
+
+// ------------------------------------------------------------------ model
+
+/// A generated dataset: equal-length float columns.  Column 0 is the "key"
+/// (always NaN-free so a sorted replica can be built over it); other
+/// columns may contain NaN/±inf.
+struct Dataset {
+  std::vector<std::string> names;
+  std::vector<std::vector<float>> columns;
+  std::uint64_t region_size_bytes = 512;
+
+  [[nodiscard]] std::uint64_t size() const noexcept {
+    return columns.empty() ? 0 : columns.front().size();
+  }
+
+  /// Bit-exact equality.  Float `==` would make a dataset containing NaN
+  /// unequal to itself, breaking the seed-replay reproducibility contract.
+  bool operator==(const Dataset& o) const noexcept {
+    if (names != o.names || region_size_bytes != o.region_size_bytes ||
+        columns.size() != o.columns.size()) {
+      return false;
+    }
+    for (std::size_t i = 0; i < columns.size(); ++i) {
+      if (columns[i].size() != o.columns[i].size()) return false;
+      if (!columns[i].empty() &&
+          std::memcmp(columns[i].data(), o.columns[i].data(),
+                      columns[i].size() * sizeof(float)) != 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+/// One comparison leaf: `column <op> value`.
+struct LeafSpec {
+  std::uint32_t column = 0;
+  QueryOp op = QueryOp::kGT;
+  double value = 0.0;
+  bool operator==(const LeafSpec&) const = default;
+};
+
+/// AND of leaves.
+struct TermSpec {
+  std::vector<LeafSpec> leaves;
+  bool operator==(const TermSpec&) const = default;
+};
+
+/// OR of AND-terms, optionally region-constrained ({0,0} = none).
+struct QuerySpec {
+  std::vector<TermSpec> terms;
+  Extent1D region{0, 0};
+  bool operator==(const QuerySpec&) const = default;
+};
+
+/// One complete generated test case.
+struct Case {
+  std::uint64_t seed = 0;
+  Dataset dataset;
+  std::vector<QuerySpec> queries;
+  bool operator==(const Case&) const = default;
+};
+
+// -------------------------------------------------------------- generator
+
+class QueryGen {
+ public:
+  explicit QueryGen(std::uint64_t seed) : seed_(seed), rng_(seed) {}
+
+  /// Draw a dataset plus a handful of queries against it.  Deterministic:
+  /// two QueryGens with the same seed produce identical cases.
+  Case draw_case();
+
+  Dataset draw_dataset();
+  QuerySpec draw_query(const Dataset& dataset);
+
+ private:
+  std::uint64_t seed_;
+  Rng rng_;
+};
+
+/// Element-wise reference evaluation with exactly the comparison semantics
+/// of the scan path (double-promoted ValueInterval::contains).
+[[nodiscard]] std::vector<std::uint64_t> oracle_hits(const Dataset& dataset,
+                                                     const QuerySpec& query);
+
+// ----------------------------------------------------------------- runner
+
+/// First observed divergence between a query path and the oracle.
+struct Mismatch {
+  std::size_t query_index = 0;
+  std::string path;    ///< which strategy / mode diverged
+  std::string detail;  ///< human-readable expected-vs-got summary
+};
+
+struct RunOptions {
+  /// Strategies to differentially execute (the full-scan oracle always
+  /// runs implicitly via oracle_hits).
+  std::vector<server::Strategy> strategies;
+  std::uint32_t num_servers = 3;
+  /// Also run a fault-injected degraded evaluation (one server killed at
+  /// startup; results must stay bit-identical).
+  bool degraded = true;
+  /// Also verify planner selectivity ordering and sorted-replica structure
+  /// on each case (invariants.h).
+  bool check_invariants = true;
+  /// Scratch directory root; each run uses a fresh subdirectory.
+  std::string temp_root = "/tmp/pdc_querycheck";
+  /// Applied after the store (objects + indexes + replica) is built and
+  /// before any query runs — the harness sanity check uses this to corrupt
+  /// an index and prove mismatch detection.  Receives the store and the
+  /// per-column object ids.
+  std::function<Status(obj::ObjectStore&, const std::vector<ObjectId>&)>
+      post_build;
+
+  /// Default strategy set: full scan, histogram, index, sorted.
+  static RunOptions all_paths();
+};
+
+/// Build the environment for `c`, run every query through every configured
+/// path and compare against the oracle.  Returns the first mismatch, or
+/// nullopt when all paths agree; non-Ok only on environment/setup errors
+/// (which are failures of the harness, not of the system under test).
+Result<std::optional<Mismatch>> run_case(const Case& c,
+                                         const RunOptions& options);
+
+// ---------------------------------------------------------------- shrinker
+
+struct ShrinkResult {
+  Case minimal;
+  std::size_t accepted_steps = 0;  ///< shrink transformations that kept failure
+  std::size_t attempts = 0;        ///< candidate evaluations performed
+};
+
+/// Greedily minimize `failing` while `still_fails` holds: keep only the
+/// failing query, halve the dataset, drop trailing regions, drop OR terms,
+/// drop conjunct leaves.  Every accepted step strictly shrinks the case, so
+/// the loop terminates; `max_attempts` additionally bounds the candidate
+/// evaluations for safety.
+ShrinkResult shrink(Case failing,
+                    const std::function<bool(const Case&)>& still_fails,
+                    std::size_t max_attempts = 400);
+
+/// The one-line reproduction string printed on failure.
+[[nodiscard]] std::string repro_line(std::uint64_t seed);
+
+// ------------------------------------------------------------ entry point
+
+/// Run `num_cases` generated cases starting at `base_seed` (case i uses
+/// seed base_seed + i).  On the first mismatch, shrinks it (re-running
+/// run_case as the predicate) and returns Internal with a report that
+/// includes the PDC_QC_SEED repro line and the minimal case; Ok() when
+/// every case passes.  PDC_QC_SEED / PDC_QC_CASES environment variables
+/// override the arguments (that is how a printed repro is replayed).
+Status run_querycheck(std::uint64_t base_seed, std::size_t num_cases,
+                      const RunOptions& options);
+
+/// Silently corrupt the on-disk bitmap index of `region` of `object`:
+/// zeroes every literal word and the active trailer of every bin while
+/// leaving sizes and the (now stale) set-bit counts intact — the shape of a
+/// real index bug.  Used by the harness sanity check.
+Status corrupt_region_index(obj::ObjectStore& store, ObjectId object,
+                            RegionIndex region);
+
+/// Render a Case for failure reports.
+[[nodiscard]] std::string describe_case(const Case& c);
+
+}  // namespace pdc::testing

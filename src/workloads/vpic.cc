@@ -29,6 +29,21 @@ constexpr Box kLeakZone{90.0, 210.0, -95.0, 5.0, 0.0, 70.0};
 
 }  // namespace
 
+VpicConfig tiny_vpic_config(std::uint64_t num_particles,
+                            std::uint64_t seed) noexcept {
+  VpicConfig config;
+  config.num_particles = num_particles;
+  config.seed = seed;
+  config.grid_x = 4;
+  config.grid_y = 4;
+  config.grid_z = 2;
+  // With only O(1k) particles the paper-calibrated tail fractions would
+  // leave the energetic range empty; inflate them so tail queries hit.
+  config.tail_fraction = 0.08;
+  config.leak_tail_fraction = 0.02;
+  return config;
+}
+
 VpicData generate_vpic(const VpicConfig& config) {
   VpicData data;
   const std::uint64_t n = config.num_particles;

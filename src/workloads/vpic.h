@@ -67,6 +67,12 @@ struct VpicData {
 /// Generate the dataset (deterministic for a given config).
 VpicData generate_vpic(const VpicConfig& config);
 
+/// Downscaled config for property-testing harnesses (QueryCheck): a small
+/// grid and `num_particles` particles with an inflated energetic tail so
+/// even tiny datasets exercise tail-query paths.  Deterministic in `seed`.
+[[nodiscard]] VpicConfig tiny_vpic_config(std::uint64_t num_particles,
+                                          std::uint64_t seed) noexcept;
+
 /// Object ids after ingesting into a PDC object store.
 struct VpicObjects {
   ObjectId container = kInvalidObjectId;

@@ -1,6 +1,7 @@
 // Tests for the simulated parallel file system and read aggregation.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <filesystem>
 #include <numeric>
@@ -211,14 +212,132 @@ TEST_F(PfsTest, AggregatedReadValidatesArguments) {
   std::vector<std::span<std::uint8_t>> dests{std::span<std::uint8_t>(buf)};
   EXPECT_EQ(aggregated_read(*file, extents, dests, {}, {}).code(),
             StatusCode::kInvalidArgument);
+}
 
-  // Unsorted extents rejected.
-  std::vector<Extent1D> bad{{50, 10}, {0, 10}};
-  std::vector<std::uint8_t> b1(10), b2(10);
-  std::vector<std::span<std::uint8_t>> d2{std::span<std::uint8_t>(b1),
-                                          std::span<std::uint8_t>(b2)};
-  EXPECT_EQ(aggregated_read(*file, bad, d2, {}, {}).code(),
-            StatusCode::kInvalidArgument);
+TEST(ReadAggregatorPlan, OverlappingExtentsAlwaysMerge) {
+  // Overlap merging ignores max_run_bytes: the scatter phase needs every
+  // extent inside a single run, and the overlapped bytes are read once.
+  AggregationPolicy policy;
+  policy.max_gap_bytes = 0;
+  policy.max_run_bytes = 50;
+  std::vector<Extent1D> extents{{0, 40}, {30, 40}, {60, 40}};
+  auto runs = plan_aggregated_reads(extents, policy);
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0].offset, 0u);
+  EXPECT_EQ(runs[0].count, 100u);
+}
+
+TEST(ReadAggregatorPlan, ContainedExtentDoesNotShrinkRun) {
+  AggregationPolicy policy;
+  policy.max_gap_bytes = 0;
+  std::vector<Extent1D> extents{{0, 100}, {10, 20}, {100, 10}};
+  auto runs = plan_aggregated_reads(extents, policy);
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0].count, 110u);
+}
+
+/// Reference for the normalization tests: one read per extent.
+void point_reads(const PfsFile& file, const std::vector<Extent1D>& extents,
+                 std::vector<std::vector<std::uint8_t>>& out,
+                 CostLedger* ledger) {
+  out.clear();
+  for (const Extent1D& e : extents) {
+    out.emplace_back(e.count);
+    if (e.count > 0) {
+      ASSERT_TRUE(file.read(e.offset, out.back(), {ledger, 1}).ok());
+    }
+  }
+}
+
+TEST_F(PfsTest, AggregatedReadAcceptsAnyExtentOrder) {
+  auto file = cluster_->create("agg_order.dat");
+  ASSERT_TRUE(file.ok());
+  std::vector<std::uint8_t> data(16384);
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = i % 241;
+  ASSERT_TRUE(file->write(0, data).ok());
+
+  // Out-of-order, adjacent, overlapping, duplicated and empty extents in
+  // one request: every buffer must still receive exactly its own bytes,
+  // with strictly fewer storage operations than one read per extent.
+  std::vector<Extent1D> extents{
+      {4000, 100},  // out of order
+      {0, 64},      // adjacent pair start
+      {64, 64},     // adjacent pair end
+      {90, 50},     // overlaps the previous extent
+      {4000, 100},  // exact duplicate
+      {500, 0},     // empty
+      {4010, 20},   // contained in an earlier extent
+  };
+  std::vector<std::vector<std::uint8_t>> bufs;
+  std::vector<std::span<std::uint8_t>> dests;
+  for (const auto& e : extents) {
+    bufs.emplace_back(e.count);
+    dests.emplace_back(bufs.back());
+  }
+  AggregationPolicy policy;
+  policy.max_gap_bytes = 64;
+  CostLedger agg;
+  ASSERT_TRUE(
+      aggregated_read(*file, extents, dests, policy, {&agg, 1}).ok());
+
+  std::vector<std::vector<std::uint8_t>> expected;
+  CostLedger raw;
+  point_reads(*file, extents, expected, &raw);
+  for (std::size_t e = 0; e < extents.size(); ++e) {
+    EXPECT_EQ(bufs[e], expected[e]) << "extent " << e;
+  }
+  EXPECT_LT(agg.read_ops(), raw.read_ops());
+  EXPECT_EQ(agg.read_ops(), 2u);  // {0..140} and {4000..4100}
+}
+
+TEST_F(PfsTest, AggregatedReadSortedAndShuffledAgree) {
+  auto file = cluster_->create("agg_shuffle.dat");
+  ASSERT_TRUE(file.ok());
+  std::vector<std::uint8_t> data(32768);
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = (i * 7) % 239;
+  ASSERT_TRUE(file->write(0, data).ok());
+
+  std::vector<Extent1D> sorted;
+  for (int i = 0; i < 32; ++i) {
+    sorted.push_back({static_cast<std::uint64_t>(i) * 1000, 128});
+  }
+  std::vector<Extent1D> shuffled = sorted;
+  // Deterministic shuffle: reverse then swap odd/even pairs.
+  std::reverse(shuffled.begin(), shuffled.end());
+  for (std::size_t i = 0; i + 1 < shuffled.size(); i += 2) {
+    std::swap(shuffled[i], shuffled[i + 1]);
+  }
+
+  const auto run = [&](const std::vector<Extent1D>& extents,
+                       CostLedger* ledger) {
+    std::vector<std::vector<std::uint8_t>> bufs;
+    std::vector<std::span<std::uint8_t>> dests;
+    for (const auto& e : extents) {
+      bufs.emplace_back(e.count);
+      dests.emplace_back(bufs.back());
+    }
+    AggregationPolicy policy;
+    policy.max_gap_bytes = 2048;
+    EXPECT_TRUE(
+        aggregated_read(*file, extents, dests, policy, {ledger, 1}).ok());
+    return bufs;
+  };
+
+  CostLedger a, b;
+  const auto got_sorted = run(sorted, &a);
+  const auto got_shuffled = run(shuffled, &b);
+  ASSERT_EQ(got_sorted.size(), got_shuffled.size());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    // shuffled[j] holds the same extent as some sorted[i]; match by offset.
+    for (std::size_t j = 0; j < shuffled.size(); ++j) {
+      if (shuffled[j].offset == sorted[i].offset) {
+        EXPECT_EQ(got_sorted[i], got_shuffled[j]);
+      }
+    }
+  }
+  // Same plan either way: identical operation count and bytes.
+  EXPECT_EQ(a.read_ops(), b.read_ops());
+  EXPECT_EQ(a.bytes_read(), b.bytes_read());
 }
 
 TEST_F(PfsTest, AggregationReducesSimulatedCost) {

@@ -1,0 +1,408 @@
+// QueryCheck: property-based differential testing across all query paths,
+// plus pinned regression tests for the bugs the harness originally found.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <limits>
+#include <vector>
+
+#include "bitmap/binned_index.h"
+#include "common/interval.h"
+#include "histogram/histogram.h"
+#include "obj/object_store.h"
+#include "pfs/pfs.h"
+#include "query/planner.h"
+#include "query/query.h"
+#include "sortrep/sorted_replica.h"
+#include "testing/invariants.h"
+#include "testing/querycheck.h"
+
+namespace pdc::testing {
+namespace {
+
+std::string test_temp_root() {
+  return ::testing::TempDir() + "/querycheck_" +
+         ::testing::UnitTest::GetInstance()->current_test_info()->name();
+}
+
+RunOptions fast_options() {
+  RunOptions options = RunOptions::all_paths();
+  options.temp_root = test_temp_root();
+  return options;
+}
+
+// ------------------------------------------------------------------ smoke
+
+// The headline property: every strategy, the degraded mode and the data
+// fetch paths agree bit-identically with the element-wise oracle on
+// generated datasets and queries.  PDC_QC_CASES / PDC_QC_SEED override the
+// defaults (that is how the extended suite and failure replays run).
+TEST(QueryCheck, AllPathsAgreeWithOracle) {
+  RunOptions options = fast_options();
+  const Status status = run_querycheck(/*base_seed=*/1, /*num_cases=*/20,
+                                       options);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+}
+
+// ------------------------------------------------------------- invariants
+
+TEST(QueryCheckInvariants, WahAlgebraAcrossSeeds) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const std::uint64_t num_bits = 1 + (seed * 977) % 5000;
+    const Status status = check_wah_random_algebra(seed, num_bits);
+    EXPECT_TRUE(status.ok()) << "seed " << seed << ": " << status.ToString();
+  }
+  // Sizes that land exactly on word boundaries.
+  for (const std::uint64_t num_bits : {31ull, 62ull, 31ull * 64, 1ull}) {
+    const Status status = check_wah_random_algebra(99, num_bits);
+    EXPECT_TRUE(status.ok()) << status.ToString();
+  }
+}
+
+TEST(QueryCheckInvariants, HistogramMergeLawsAcrossSeeds) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const Status status = check_histogram_merge_laws(seed);
+    EXPECT_TRUE(status.ok()) << "seed " << seed << ": " << status.ToString();
+  }
+}
+
+// --------------------------------------------------- sanity: finds planted bugs
+
+// Acceptance check for the harness itself: silently corrupt one region's
+// bitmap index, and QueryCheck must (a) catch the divergence and (b)
+// shrink the failing case to at most two regions.
+TEST(QueryCheckSanity, CatchesInjectedIndexCorruptionAndShrinks) {
+  Case c;
+  c.seed = 0;
+  c.dataset.names = {"key"};
+  c.dataset.region_size_bytes = 128;  // 32 floats per region, 8 regions
+  std::vector<float> key;
+  for (int i = 0; i < 256; ++i) {
+    key.push_back(static_cast<float>(i + 1) / 512.0f);
+  }
+  c.dataset.columns.push_back(std::move(key));
+  // Leaves region 0 PARTIAL (its min 0.002 < 0.015), so the index path
+  // must actually probe the corrupted bins instead of taking the
+  // histogram-covers fast path.
+  QuerySpec q;
+  q.terms.push_back(
+      TermSpec{{LeafSpec{0, QueryOp::kGT, 0.015},
+                LeafSpec{0, QueryOp::kLT, 0.35}}});
+  c.queries.push_back(q);
+
+  RunOptions options;
+  options.temp_root = test_temp_root();
+  options.strategies = {server::Strategy::kFullScan,
+                        server::Strategy::kHistogramIndex};
+  options.degraded = false;
+  options.check_invariants = false;
+  options.post_build = [](obj::ObjectStore& store,
+                          const std::vector<ObjectId>& ids) {
+    return corrupt_region_index(store, ids.front(), 0);
+  };
+
+  // Control: without corruption the case passes.
+  {
+    RunOptions clean = options;
+    clean.post_build = nullptr;
+    auto result = run_case(c, clean);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_FALSE(result->has_value())
+        << (*result)->path << ": " << (*result)->detail;
+  }
+
+  auto result = run_case(c, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_TRUE(result->has_value())
+      << "corrupted index was not detected as a mismatch";
+  EXPECT_EQ((*result)->path, "PDC-HI");
+
+  const ShrinkResult shrunk = shrink(c, [&options](const Case& candidate) {
+    auto r = run_case(candidate, options);
+    return r.ok() && r->has_value();
+  });
+  EXPECT_GT(shrunk.accepted_steps, 0u);
+  const std::uint64_t per_region =
+      std::max<std::uint64_t>(1, shrunk.minimal.dataset.region_size_bytes / 4);
+  const std::uint64_t regions =
+      (shrunk.minimal.dataset.size() + per_region - 1) / per_region;
+  EXPECT_LE(regions, 2u) << describe_case(shrunk.minimal);
+  EXPECT_LT(shrunk.minimal.dataset.size(), 256u);
+  // The minimal case still reproduces.
+  auto replay = run_case(shrunk.minimal, options);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_TRUE(replay->has_value());
+}
+
+// ------------------------------------- pinned regressions (harness finds)
+
+// NaN must satisfy no range condition on any path.  ValueInterval::contains
+// previously returned true for NaN on one-sided intervals because the
+// negated comparisons (v < lo || v > hi) are all false for NaN.
+TEST(QueryCheckRegression, NanSatisfiesNoInterval) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (const QueryOp op : {QueryOp::kGT, QueryOp::kGTE, QueryOp::kLT,
+                           QueryOp::kLTE, QueryOp::kEQ}) {
+    EXPECT_FALSE(ValueInterval::from_op(op, 2.0).contains(nan))
+        << query_op_name(op);
+  }
+  EXPECT_FALSE(ValueInterval{}.contains(nan));  // whole-line interval
+}
+
+// The binned index treats open lower bounds that align with a bin edge as
+// "bin fully covered" (value-at-edge is measure zero for continuous data).
+// That is unsound when an indexed value sits EXACTLY on the edge: for
+// `key > 2.5` with 2.5 stored, the at-edge elements were reported as
+// definite hits.  Probe soundness must hold regardless:
+//   definite ⊆ truth ⊆ definite ∪ candidates.
+TEST(QueryCheckRegression, ProbeSoundAtExactBinEdges) {
+  std::vector<float> data;
+  for (int rep = 0; rep < 8; ++rep) {
+    for (int k = 20; k <= 36; ++k) {
+      data.push_back(static_cast<float>(k) / 10.0f);  // 2.0, 2.1, ..., 3.6
+    }
+  }
+  const bitmap::BinnedBitmapIndex index =
+      bitmap::BinnedBitmapIndex::Build<float>(data);
+
+  for (const double edge : {2.5, 3.0, 2.1}) {
+    for (const QueryOp op : {QueryOp::kGT, QueryOp::kGTE, QueryOp::kLT,
+                             QueryOp::kLTE, QueryOp::kEQ}) {
+      const ValueInterval interval = ValueInterval::from_op(op, edge);
+      const bitmap::IndexProbe probe = index.probe(interval);
+      std::vector<bool> is_definite(data.size()), is_candidate(data.size());
+      for (const std::uint64_t p : probe.definite) is_definite[p] = true;
+      for (const std::uint64_t p : probe.candidates) is_candidate[p] = true;
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        const bool truth = interval.contains(static_cast<double>(data[i]));
+        if (is_definite[i]) {
+          EXPECT_TRUE(truth) << "false definite hit: " << data[i] << " "
+                             << query_op_name(op) << " " << edge;
+        }
+        if (truth) {
+          EXPECT_TRUE(is_definite[i] || is_candidate[i])
+              << "missed hit: " << data[i] << " " << query_op_name(op) << " "
+              << edge;
+        }
+      }
+    }
+  }
+}
+
+// Histogram construction previously hit UB on NaN (clamp of NaN then a
+// NaN->size_t cast) and could anchor an infinite bin lattice on ±inf.
+TEST(QueryCheckRegression, HistogramHandlesNanAndInf) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+  std::vector<float> data{1.0f, nan, 2.0f, inf, 3.0f, -inf, 4.0f, nan};
+  const auto h = hist::MergeableHistogram::Build<float>(data);
+  ASSERT_TRUE(h.valid());
+  EXPECT_EQ(h.total_count(), data.size());
+  EXPECT_EQ(h.nan_count(), 2u);
+
+  // Estimates must stay sound in the presence of the specials.
+  const ValueInterval all = ValueInterval{};  // whole line
+  const auto est = h.estimate(all);
+  EXPECT_LE(est.lower, 6u);   // 6 non-NaN elements actually match
+  EXPECT_GE(est.upper, 6u);
+  // covers() must refuse the all-hits shortcut: the NaN elements match
+  // no interval, so "every element matches" is false.
+  EXPECT_FALSE(h.covers(all));
+
+  // All-NaN input must not crash and must never claim covers().
+  std::vector<float> only_nan{nan, nan, nan};
+  const auto hn = hist::MergeableHistogram::Build<float>(only_nan);
+  EXPECT_EQ(hn.nan_count(), 3u);
+  EXPECT_FALSE(hn.covers(all));
+  EXPECT_EQ(hn.estimate(all).upper, 0u);
+}
+
+// The bitmap index previously binned NaN into the last bin (turning it
+// into a false definite hit for wide queries) and fed non-finite values
+// into the edge sampler.
+TEST(QueryCheckRegression, IndexNeverMatchesNan) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  std::vector<float> data{1.0f, 2.0f, nan, 3.0f, nan, 4.0f};
+  const auto index = bitmap::BinnedBitmapIndex::Build<float>(data);
+  const ValueInterval wide = ValueInterval{};  // matches every real value
+  const auto probe = index.probe(wide);
+  for (const std::uint64_t p : probe.definite) {
+    EXPECT_FALSE(std::isnan(data[p])) << "NaN reported as definite hit";
+  }
+  for (const std::uint64_t p : probe.candidates) {
+    EXPECT_FALSE(std::isnan(data[p])) << "NaN reported as candidate";
+  }
+}
+
+class StoreFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = ::testing::TempDir() + "/querycheck_store_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(root_);
+    pfs::PfsConfig config;
+    config.root_dir = root_;
+    auto cluster = pfs::PfsCluster::Create(config);
+    ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+    cluster_ = std::move(cluster).value();
+    store_ = std::make_unique<obj::ObjectStore>(*cluster_);
+    auto container = store_->create_container("c");
+    ASSERT_TRUE(container.ok());
+    container_ = *container;
+  }
+
+  void TearDown() override {
+    store_.reset();
+    cluster_.reset();
+    std::filesystem::remove_all(root_);
+  }
+
+  std::string root_;
+  std::unique_ptr<pfs::PfsCluster> cluster_;
+  std::unique_ptr<obj::ObjectStore> store_;
+  ObjectId container_ = kInvalidObjectId;
+};
+
+// Sorting NaN with operator< is UB (and the replica's binary search would
+// be meaningless), so replica builds must reject NaN sources outright.
+TEST_F(StoreFixture, SortedReplicaRejectsNan) {
+  std::vector<float> data{3.0f, std::numeric_limits<float>::quiet_NaN(),
+                          1.0f};
+  auto id = store_->import_object<float>(container_, "v", data, {});
+  ASSERT_TRUE(id.ok());
+  const auto report = sortrep::build_sorted_replica(*store_, *id);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+}
+
+// A NaN query constant compares false against everything in a scan but
+// breaks histogram pruning and replica binary search in path-dependent
+// ways; the planner now rejects it up front.
+TEST_F(StoreFixture, PlannerRejectsNanConstant) {
+  std::vector<float> data{1.0f, 2.0f, 3.0f};
+  auto id = store_->import_object<float>(container_, "v", data, {});
+  ASSERT_TRUE(id.ok());
+  const query::QueryPtr q = query::create(
+      *id, QueryOp::kGT, std::numeric_limits<double>::quiet_NaN());
+  const auto plan = query::plan_query(*q, *store_, {});
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kInvalidArgument);
+}
+
+// Importing an empty object is rejected cleanly (the harness relies on
+// this contract instead of generating empty datasets).
+TEST_F(StoreFixture, EmptyImportRejected) {
+  const std::vector<float> empty;
+  const auto id = store_->import_object<float>(container_, "e", empty, {});
+  ASSERT_FALSE(id.ok());
+  EXPECT_EQ(id.status().code(), StatusCode::kInvalidArgument);
+}
+
+// Pinned from PDC_QC_SEED=16 (found by the 20-case smoke run): under the
+// sorted strategy, a multi-term OR whose first term was answered by the
+// extents-only fast path lost that term's hits entirely — eval() merges
+// ORs on positions and discards extents, but the fast path had never
+// materialized positions.  Minimal shrunk case: one element, query
+// `(key > lo) OR (b > hi)` where only the sorted-driver term matches.
+TEST(QueryCheckRegression, SortedOrTermNotDropped) {
+  Case c;
+  c.seed = 16;
+  c.dataset.names = {"key", "b"};
+  c.dataset.region_size_bytes = 512;
+  c.dataset.columns = {{0.0f}, {1.0f}};
+  QuerySpec q;
+  q.terms.push_back(TermSpec{{LeafSpec{0, QueryOp::kGT, -82.6827}}});
+  q.terms.push_back(TermSpec{{LeafSpec{1, QueryOp::kGT, 28.292}}});
+  c.queries.push_back(q);
+
+  RunOptions options = fast_options();
+  auto result = run_case(c, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result->has_value())
+      << (*result)->path << ": " << (*result)->detail;
+}
+
+// Also pinned from PDC_QC_SEED=16: OR-terms whose drivers are different
+// objects are evaluated on different servers, and the client summed the
+// per-server hit counts — an element satisfying both terms was counted on
+// both servers (n=2 reported 3 hits).  The union must be deduplicated.
+TEST(QueryCheckRegression, CrossServerOrUnionDeduplicated) {
+  Case c;
+  c.seed = 16;
+  c.dataset.names = {"key", "b"};
+  c.dataset.region_size_bytes = 512;
+  c.dataset.columns = {{0.0f, 1.0f}, {100.0f, 1.0f}};
+  QuerySpec q;
+  // Element 0 satisfies both terms; element 1 only the first.
+  q.terms.push_back(TermSpec{{LeafSpec{0, QueryOp::kGT, -1.0}}});
+  q.terms.push_back(TermSpec{{LeafSpec{1, QueryOp::kGT, 50.0}}});
+  c.queries.push_back(q);
+
+  RunOptions options = fast_options();
+  auto result = run_case(c, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result->has_value())
+      << (*result)->path << ": " << (*result)->detail;
+}
+
+// Pinned from PDC_QC_SEED=97: under the sorted strategy with a region
+// constraint, servers filtered their POSITIONS by the constraint but still
+// returned the unconstrained replica-space extents; a server whose entire
+// share was filtered out reported the extent counts as phantom hits.
+// Layout: 34 matching elements spanning both replica regions, constraint
+// [10,16) that excludes the second region's share entirely.
+TEST(QueryCheckRegression, SortedRegionConstraintDropsExtents) {
+  Case c;
+  c.seed = 97;
+  c.dataset.names = {"key"};
+  c.dataset.region_size_bytes = 128;  // 32 floats per region, 2 regions
+  std::vector<float> key(35, -10.0f);
+  key[0] = 10.0f;  // the only non-match, sorted to the replica's tail
+  c.dataset.columns = {key};
+  QuerySpec q;
+  q.terms.push_back(TermSpec{{LeafSpec{0, QueryOp::kLTE, -5.0}}});
+  q.region = {10, 6};
+  c.queries.push_back(q);
+
+  RunOptions options = fast_options();
+  auto result = run_case(c, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result->has_value())
+      << (*result)->path << ": " << (*result)->detail;
+}
+
+// End-to-end pin for the all-hits shortcut: a region whose histogram range
+// is covered by the query but which contains NaN elements must not be
+// accepted wholesale.  All paths and the oracle agree on this dataset.
+TEST(QueryCheckRegression, NanRegionNotAcceptedWholesale) {
+  Case c;
+  c.seed = 0;
+  c.dataset.names = {"key", "special"};
+  c.dataset.region_size_bytes = 64;  // 16 floats per region
+  std::vector<float> key, special;
+  for (int i = 0; i < 64; ++i) {
+    key.push_back(static_cast<float>(i));
+    special.push_back(i % 5 == 0 ? std::numeric_limits<float>::quiet_NaN()
+                                 : static_cast<float>(i % 7));
+  }
+  c.dataset.columns = {key, special};
+  // Covers the whole finite range of "special": the buggy shortcut
+  // returned NaN positions as hits.
+  QuerySpec q;
+  q.terms.push_back(TermSpec{{LeafSpec{1, QueryOp::kGTE, -1.0e30}}});
+  c.queries.push_back(q);
+
+  RunOptions options = fast_options();
+  options.degraded = false;
+  auto result = run_case(c, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result->has_value())
+      << (*result)->path << ": " << (*result)->detail;
+}
+
+}  // namespace
+}  // namespace pdc::testing

@@ -1,0 +1,493 @@
+// Round-trip and robustness tests for every type that crosses a wire:
+// the four query-service messages, the serial primitives beneath them, the
+// RPC envelope, and the serialized histogram / WAH bitvector / bitmap
+// index.  Truncated and corrupted inputs must be rejected cleanly — never
+// crash, never allocate unbounded memory.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bitmap/binned_index.h"
+#include "bitmap/wah.h"
+#include "common/serial.h"
+#include "histogram/histogram.h"
+#include "rpc/message_bus.h"
+#include "server/wire.h"
+
+namespace pdc::server {
+namespace {
+
+void expect_status_eq(const Status& a, const Status& b) {
+  EXPECT_EQ(a.code(), b.code());
+  EXPECT_EQ(a.message(), b.message());
+}
+
+void expect_interval_eq(const ValueInterval& a, const ValueInterval& b) {
+  EXPECT_EQ(a.lo, b.lo);
+  EXPECT_EQ(a.hi, b.hi);
+  EXPECT_EQ(a.lo_inclusive, b.lo_inclusive);
+  EXPECT_EQ(a.hi_inclusive, b.hi_inclusive);
+}
+
+/// Every strict prefix of a well-formed message must fail to parse (all
+/// length prefixes are validated against the bytes actually present).
+template <typename Parse>
+void expect_all_prefixes_fail(const std::vector<std::uint8_t>& bytes,
+                              Parse parse) {
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    const std::span<const std::uint8_t> prefix{bytes.data(), len};
+    SerialReader r(prefix);
+    EXPECT_FALSE(parse(r)) << "prefix of length " << len << " parsed";
+  }
+}
+
+/// Flipping any single byte must never crash the parser (success or clean
+/// failure are both acceptable).
+template <typename Parse>
+void expect_no_crash_on_byte_flips(const std::vector<std::uint8_t>& bytes,
+                                   Parse parse) {
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    std::vector<std::uint8_t> mutated = bytes;
+    mutated[i] ^= 0xFF;
+    SerialReader r(mutated);
+    (void)parse(r);
+  }
+}
+
+EvalRequest sample_eval_request() {
+  EvalRequest req;
+  req.strategy = Strategy::kSortedHistogram;
+  req.need_locations = true;
+  req.region_constraint = {128, 4096};
+  AndTerm t1;
+  t1.driver_replica = 42;
+  t1.conjuncts.push_back({7, ValueInterval::from_op(QueryOp::kGT, 2.5)});
+  t1.conjuncts.push_back({8, ValueInterval::from_op(QueryOp::kLTE, 9.75)});
+  AndTerm t2;
+  t2.conjuncts.push_back({9, ValueInterval::from_op(QueryOp::kEQ, -1.0)});
+  req.terms = {t1, t2};
+  req.act_as = {1u, 2u, 5u};
+  return req;
+}
+
+EvalResponse sample_eval_response() {
+  EvalResponse resp;
+  resp.status = Status::NotFound("object 9 missing");
+  resp.num_hits = 12345;
+  resp.has_positions = true;
+  resp.positions = {1, 5, 7, 4096, 1ull << 40};
+  resp.sorted_extents = {{0, 16}, {100, 3}};
+  resp.replica_id = 77;
+  resp.ledger = {1.5, 0.25, 1ull << 30, 42};
+  return resp;
+}
+
+GetDataRequest sample_get_data_request() {
+  GetDataRequest req;
+  req.object = 11;
+  req.from_replica = true;
+  req.positions = {3, 9, 27};
+  req.extents = {{10, 20}, {50, 1}};
+  return req;
+}
+
+GetDataResponse sample_get_data_response() {
+  GetDataResponse resp;
+  resp.status = Status::IoError("ost 3 unreachable");
+  resp.values = {0x00, 0xFF, 0x10, 0x7F, 0x80};
+  resp.ledger = {0.125, 2.0, 4096, 7};
+  return resp;
+}
+
+// ------------------------------------------------------------ round trips
+
+TEST(WireRoundTrip, EvalRequest) {
+  const EvalRequest req = sample_eval_request();
+  const std::vector<std::uint8_t> bytes = req.serialize();
+  SerialReader r(bytes);
+  const auto back = EvalRequest::Deserialize(r);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->strategy, req.strategy);
+  EXPECT_EQ(back->need_locations, req.need_locations);
+  EXPECT_EQ(back->region_constraint, req.region_constraint);
+  EXPECT_EQ(back->act_as, req.act_as);
+  ASSERT_EQ(back->terms.size(), req.terms.size());
+  for (std::size_t t = 0; t < req.terms.size(); ++t) {
+    EXPECT_EQ(back->terms[t].driver_replica, req.terms[t].driver_replica);
+    ASSERT_EQ(back->terms[t].conjuncts.size(),
+              req.terms[t].conjuncts.size());
+    for (std::size_t c = 0; c < req.terms[t].conjuncts.size(); ++c) {
+      EXPECT_EQ(back->terms[t].conjuncts[c].object,
+                req.terms[t].conjuncts[c].object);
+      expect_interval_eq(back->terms[t].conjuncts[c].interval,
+                         req.terms[t].conjuncts[c].interval);
+    }
+  }
+}
+
+TEST(WireRoundTrip, EvalRequestEveryStrategy) {
+  for (const Strategy s :
+       {Strategy::kFullScan, Strategy::kHistogram, Strategy::kHistogramIndex,
+        Strategy::kSortedHistogram}) {
+    EvalRequest req;
+    req.strategy = s;
+    const auto bytes = req.serialize();
+    SerialReader r(bytes);
+    const auto back = EvalRequest::Deserialize(r);
+    ASSERT_TRUE(back.ok()) << strategy_name(s);
+    EXPECT_EQ(back->strategy, s);
+  }
+}
+
+TEST(WireRoundTrip, EvalResponse) {
+  const EvalResponse resp = sample_eval_response();
+  const auto bytes = resp.serialize();
+  SerialReader r(bytes);
+  const auto back = EvalResponse::Deserialize(r);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  expect_status_eq(back->status, resp.status);
+  EXPECT_EQ(back->num_hits, resp.num_hits);
+  EXPECT_EQ(back->has_positions, resp.has_positions);
+  EXPECT_EQ(back->positions, resp.positions);
+  EXPECT_EQ(back->sorted_extents, resp.sorted_extents);
+  EXPECT_EQ(back->replica_id, resp.replica_id);
+  EXPECT_EQ(back->ledger.io_seconds, resp.ledger.io_seconds);
+  EXPECT_EQ(back->ledger.cpu_seconds, resp.ledger.cpu_seconds);
+  EXPECT_EQ(back->ledger.bytes_read, resp.ledger.bytes_read);
+  EXPECT_EQ(back->ledger.read_ops, resp.ledger.read_ops);
+}
+
+TEST(WireRoundTrip, EvalResponseDefaultIsOk) {
+  const EvalResponse resp;  // Ok status, nothing set
+  const auto bytes = resp.serialize();
+  SerialReader r(bytes);
+  const auto back = EvalResponse::Deserialize(r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->status.ok());
+  EXPECT_EQ(back->num_hits, 0u);
+  EXPECT_FALSE(back->has_positions);
+  EXPECT_TRUE(back->positions.empty());
+}
+
+TEST(WireRoundTrip, GetDataRequestBothModes) {
+  for (const bool from_replica : {false, true}) {
+    GetDataRequest req = sample_get_data_request();
+    req.from_replica = from_replica;
+    const auto bytes = req.serialize();
+    SerialReader r(bytes);
+    const auto back = GetDataRequest::Deserialize(r);
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_EQ(back->object, req.object);
+    EXPECT_EQ(back->from_replica, req.from_replica);
+    EXPECT_EQ(back->positions, req.positions);
+    EXPECT_EQ(back->extents, req.extents);
+  }
+}
+
+TEST(WireRoundTrip, GetDataResponse) {
+  const GetDataResponse resp = sample_get_data_response();
+  const auto bytes = resp.serialize();
+  SerialReader r(bytes);
+  const auto back = GetDataResponse::Deserialize(r);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  expect_status_eq(back->status, resp.status);
+  EXPECT_EQ(back->values, resp.values);
+  EXPECT_EQ(back->ledger.bytes_read, resp.ledger.bytes_read);
+}
+
+// ------------------------------------------------------- type dispatching
+
+TEST(WireTypes, PeekRequestType) {
+  const auto eval = sample_eval_request().serialize();
+  const auto data = sample_get_data_request().serialize();
+  ASSERT_TRUE(peek_request_type(eval).ok());
+  EXPECT_EQ(*peek_request_type(eval), RequestType::kEvalQuery);
+  ASSERT_TRUE(peek_request_type(data).ok());
+  EXPECT_EQ(*peek_request_type(data), RequestType::kGetData);
+
+  EXPECT_FALSE(peek_request_type({}).ok());
+  const std::vector<std::uint8_t> unknown{0x7F, 0x00};
+  EXPECT_FALSE(peek_request_type(unknown).ok());
+  const std::vector<std::uint8_t> zero{0x00};
+  EXPECT_FALSE(peek_request_type(zero).ok());
+}
+
+TEST(WireTypes, CrossParseRejected) {
+  const auto eval = sample_eval_request().serialize();
+  const auto data = sample_get_data_request().serialize();
+  {
+    SerialReader r(data);
+    EXPECT_FALSE(EvalRequest::Deserialize(r).ok());
+  }
+  {
+    SerialReader r(eval);
+    EXPECT_FALSE(GetDataRequest::Deserialize(r).ok());
+  }
+}
+
+TEST(WireTypes, InvalidStrategyRejected) {
+  auto bytes = sample_eval_request().serialize();
+  bytes[1] = 0x07;  // strategy byte past kSortedHistogram
+  SerialReader r(bytes);
+  EXPECT_FALSE(EvalRequest::Deserialize(r).ok());
+}
+
+TEST(WireTypes, InvalidStatusCodeRejected) {
+  auto bytes = sample_eval_response().serialize();
+  bytes[0] = 0xC8;  // status code byte: 200 is not a StatusCode
+  SerialReader r(bytes);
+  EXPECT_FALSE(EvalResponse::Deserialize(r).ok());
+}
+
+// ------------------------------------------------- truncation / corruption
+
+TEST(WireTruncation, EveryStrictPrefixFails) {
+  expect_all_prefixes_fail(sample_eval_request().serialize(),
+                           [](SerialReader& r) {
+                             return EvalRequest::Deserialize(r).ok();
+                           });
+  expect_all_prefixes_fail(sample_eval_response().serialize(),
+                           [](SerialReader& r) {
+                             return EvalResponse::Deserialize(r).ok();
+                           });
+  expect_all_prefixes_fail(sample_get_data_request().serialize(),
+                           [](SerialReader& r) {
+                             return GetDataRequest::Deserialize(r).ok();
+                           });
+  expect_all_prefixes_fail(sample_get_data_response().serialize(),
+                           [](SerialReader& r) {
+                             return GetDataResponse::Deserialize(r).ok();
+                           });
+}
+
+TEST(WireTruncation, ByteFlipsNeverCrash) {
+  expect_no_crash_on_byte_flips(sample_eval_request().serialize(),
+                                [](SerialReader& r) {
+                                  return EvalRequest::Deserialize(r).ok();
+                                });
+  expect_no_crash_on_byte_flips(sample_eval_response().serialize(),
+                                [](SerialReader& r) {
+                                  return EvalResponse::Deserialize(r).ok();
+                                });
+  expect_no_crash_on_byte_flips(sample_get_data_request().serialize(),
+                                [](SerialReader& r) {
+                                  return GetDataRequest::Deserialize(r).ok();
+                                });
+  expect_no_crash_on_byte_flips(sample_get_data_response().serialize(),
+                                [](SerialReader& r) {
+                                  return GetDataResponse::Deserialize(r).ok();
+                                });
+}
+
+// -------------------------------------------------------- serial primitives
+
+TEST(SerialPrimitives, ScalarStringVectorRoundTrip) {
+  SerialWriter w;
+  w.put<std::uint8_t>(0xAB);
+  w.put<std::uint32_t>(0xDEADBEEFu);
+  w.put<std::uint64_t>(1ull << 60);
+  w.put<double>(-0.5);
+  w.put_string(std::string("with\0nul", 8));
+  const std::vector<std::uint64_t> vec{1, 2, 3};
+  w.put_vector(vec);
+  const std::vector<std::uint8_t> blob{9, 8, 7};
+  w.put_bytes(blob);
+  const auto bytes = w.take();
+
+  SerialReader r(bytes);
+  std::uint8_t u8 = 0;
+  std::uint32_t u32 = 0;
+  std::uint64_t u64 = 0;
+  double d = 0;
+  std::string s;
+  std::vector<std::uint64_t> v;
+  std::span<const std::uint8_t> view;
+  ASSERT_TRUE(r.get(u8).ok());
+  ASSERT_TRUE(r.get(u32).ok());
+  ASSERT_TRUE(r.get(u64).ok());
+  ASSERT_TRUE(r.get(d).ok());
+  ASSERT_TRUE(r.get_string(s).ok());
+  ASSERT_TRUE(r.get_vector(v).ok());
+  ASSERT_TRUE(r.get_bytes_view(view).ok());
+  EXPECT_EQ(u8, 0xAB);
+  EXPECT_EQ(u32, 0xDEADBEEFu);
+  EXPECT_EQ(u64, 1ull << 60);
+  EXPECT_EQ(d, -0.5);
+  EXPECT_EQ(s, std::string("with\0nul", 8));
+  EXPECT_EQ(v, vec);
+  ASSERT_EQ(view.size(), blob.size());
+  EXPECT_EQ(std::memcmp(view.data(), blob.data(), blob.size()), 0);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(SerialPrimitives, HostileLengthPrefixDoesNotAllocate) {
+  // A u64 length of ~2^64 followed by 4 real bytes: each read must reject
+  // before resizing anything.
+  SerialWriter w;
+  w.put<std::uint64_t>(std::numeric_limits<std::uint64_t>::max() - 8);
+  w.put<std::uint32_t>(0);
+  const auto bytes = w.take();
+
+  {
+    SerialReader r(bytes);
+    std::string s;
+    EXPECT_EQ(r.get_string(s).code(), StatusCode::kCorruption);
+  }
+  {
+    SerialReader r(bytes);
+    std::vector<std::uint64_t> v;
+    EXPECT_EQ(r.get_vector(v).code(), StatusCode::kCorruption);
+  }
+  {
+    SerialReader r(bytes);
+    std::span<const std::uint8_t> view;
+    EXPECT_EQ(r.get_bytes_view(view).code(), StatusCode::kCorruption);
+  }
+}
+
+TEST(SerialPrimitives, ScalarUnderrun) {
+  const std::vector<std::uint8_t> three{1, 2, 3};
+  SerialReader r(three);
+  std::uint64_t u = 0;
+  EXPECT_EQ(r.get(u).code(), StatusCode::kCorruption);
+}
+
+// ----------------------------------------------------------- rpc envelope
+
+TEST(EnvelopeTransport, WrapUnwrapRoundTrip) {
+  rpc::Envelope header;
+  header.request_id = 0xFEEDFACE;
+  header.attempt = 3;
+  header.deadline_us = 123456789;
+  const std::vector<std::uint8_t> payload{'h', 'e', 'l', 'l', 'o', 0x00,
+                                          0xFF};
+  const auto frame = rpc::envelope_wrap(header, payload);
+
+  rpc::Envelope got;
+  std::span<const std::uint8_t> got_payload;
+  ASSERT_TRUE(rpc::envelope_unwrap(frame, got, got_payload));
+  EXPECT_EQ(got.request_id, header.request_id);
+  EXPECT_EQ(got.attempt, header.attempt);
+  EXPECT_EQ(got.deadline_us, header.deadline_us);
+  ASSERT_EQ(got_payload.size(), payload.size());
+  EXPECT_EQ(std::memcmp(got_payload.data(), payload.data(), payload.size()),
+            0);
+}
+
+TEST(EnvelopeTransport, ChecksumCatchesPayloadCorruption) {
+  const std::vector<std::uint8_t> payload{1, 2, 3, 4, 5};
+  auto frame = rpc::envelope_wrap({}, payload);
+  frame.back() ^= 0x01;  // payload bytes sit at the end of the frame
+  rpc::Envelope header;
+  std::span<const std::uint8_t> got;
+  EXPECT_FALSE(rpc::envelope_unwrap(frame, header, got));
+}
+
+TEST(EnvelopeTransport, TruncatedFramesRejected) {
+  const std::vector<std::uint8_t> payload{1, 2, 3};
+  const auto frame = rpc::envelope_wrap({}, payload);
+  for (std::size_t len = 0; len < frame.size(); ++len) {
+    rpc::Envelope header;
+    std::span<const std::uint8_t> got;
+    EXPECT_FALSE(rpc::envelope_unwrap({frame.data(), len}, header, got))
+        << "prefix of length " << len << " accepted";
+  }
+}
+
+// ------------------------------------------- serialized index structures
+
+bitmap::WahBitVector sample_wah() {
+  bitmap::WahBitVector v;
+  v.append_run(false, 100);
+  v.append_run(true, 62);
+  for (int i = 0; i < 45; ++i) v.append_bit(i % 3 == 0);
+  v.append_run(true, 31 * 5);
+  v.append_bit(false);
+  return v;
+}
+
+TEST(SerializedStructures, WahRoundTripAndTruncation) {
+  const bitmap::WahBitVector v = sample_wah();
+  ASSERT_TRUE(v.check_invariants().ok());
+  SerialWriter w;
+  v.serialize(w);
+  const auto bytes = w.take();
+  {
+    SerialReader r(bytes);
+    const auto back = bitmap::WahBitVector::Deserialize(r);
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_EQ(*back, v);
+    EXPECT_TRUE(back->check_invariants().ok());
+  }
+  expect_all_prefixes_fail(bytes, [](SerialReader& r) {
+    return bitmap::WahBitVector::Deserialize(r).ok();
+  });
+  expect_no_crash_on_byte_flips(bytes, [](SerialReader& r) {
+    return bitmap::WahBitVector::Deserialize(r).ok();
+  });
+}
+
+TEST(SerializedStructures, HistogramRoundTripAndTruncation) {
+  std::vector<float> data;
+  for (int i = 0; i < 500; ++i) {
+    data.push_back(static_cast<float>(i % 97) * 0.25f);
+  }
+  data.push_back(std::numeric_limits<float>::quiet_NaN());
+  const auto h = hist::MergeableHistogram::Build<float>(data);
+  SerialWriter w;
+  h.serialize(w);
+  const auto bytes = w.take();
+  {
+    SerialReader r(bytes);
+    const auto back = hist::MergeableHistogram::Deserialize(r);
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_EQ(*back, h);
+  }
+  expect_all_prefixes_fail(bytes, [](SerialReader& r) {
+    return hist::MergeableHistogram::Deserialize(r).ok();
+  });
+  expect_no_crash_on_byte_flips(bytes, [](SerialReader& r) {
+    return hist::MergeableHistogram::Deserialize(r).ok();
+  });
+}
+
+TEST(SerializedStructures, BinnedIndexRoundTripAndTruncation) {
+  std::vector<float> data;
+  for (int i = 0; i < 1024; ++i) {
+    data.push_back(static_cast<float>((i * 37) % 211) * 0.5f);
+  }
+  const auto index = bitmap::BinnedBitmapIndex::Build<float>(data);
+  SerialWriter w;
+  index.serialize(w);
+  const auto bytes = w.take();
+
+  SerialReader r(bytes);
+  const auto back = bitmap::BinnedBitmapIndex::Deserialize(r);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->num_elements(), index.num_elements());
+  EXPECT_EQ(back->num_bins(), index.num_bins());
+  EXPECT_EQ(back->compressed_bytes(), index.compressed_bytes());
+  // Probes must decompose identically after the round trip.
+  for (const double lo : {0.0, 10.0, 52.5, 105.0}) {
+    const auto q = ValueInterval::from_op(QueryOp::kGT, lo);
+    const auto a = index.probe(q);
+    const auto b = back->probe(q);
+    EXPECT_EQ(a.definite, b.definite);
+    EXPECT_EQ(a.candidates, b.candidates);
+  }
+
+  expect_all_prefixes_fail(bytes, [](SerialReader& r2) {
+    return bitmap::BinnedBitmapIndex::Deserialize(r2).ok();
+  });
+  expect_no_crash_on_byte_flips(bytes, [](SerialReader& r2) {
+    return bitmap::BinnedBitmapIndex::Deserialize(r2).ok();
+  });
+}
+
+}  // namespace
+}  // namespace pdc::server
