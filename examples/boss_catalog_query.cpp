@@ -56,9 +56,8 @@ int main(int argc, char** argv) {
               catalog->cell0_radeg, catalog->cell0_decdeg, matching.size());
 
   // 2. Data query on each matching object: 0 < flux < 15.
-  query::ServiceOptions options;
+  query::ServiceOptions options = query::ServiceOptions::from_env();
   options.num_servers = 4;
-  options.strategy = server::Strategy::kHistogram;
   query::QueryService service(store, options);
 
   std::uint64_t total_hits = 0;

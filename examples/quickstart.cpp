@@ -52,9 +52,9 @@ int main() {
   }
 
   // 3. A query service: 4 PDC server threads, histogram strategy.
-  query::ServiceOptions service_options;
+  // (from_env honours PDC_QUERY_STRATEGY / PDC_QUERY_THREADS overrides.)
+  query::ServiceOptions service_options = query::ServiceOptions::from_env();
   service_options.num_servers = 4;
-  service_options.strategy = server::Strategy::kHistogram;
   query::QueryService service(store, service_options);
 
   // 4. Build and run "340 < temperature < 360" (paper Fig. 1 API shapes).

@@ -67,7 +67,8 @@ int main(int argc, char** argv) {
        {server::Strategy::kFullScan, server::Strategy::kHistogram,
         server::Strategy::kHistogramIndex,
         server::Strategy::kSortedHistogram}) {
-    query::ServiceOptions options;
+    // from_env picks up PDC_QUERY_THREADS (the strategy is swept here).
+    query::ServiceOptions options = query::ServiceOptions::from_env();
     options.strategy = strategy;
     options.num_servers = 8;
     query::QueryService service(store, options);
@@ -84,8 +85,7 @@ int main(int argc, char** argv) {
   }
 
   // The paper's compound query 1: energetic particles inside a spatial box.
-  query::ServiceOptions options;
-  options.strategy = server::Strategy::kHistogram;
+  query::ServiceOptions options = query::ServiceOptions::from_env();
   options.num_servers = 8;
   query::QueryService service(store, options);
   using query::create;

@@ -14,6 +14,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <span>
 
 namespace pdc {
 
@@ -57,13 +58,27 @@ struct CostModel {
   }
 };
 
+/// What a charged CPU interval was spent on.  Stage attribution feeds the
+/// per-stage OpStats breakdown (io/decode/scan/merge) without changing any
+/// total: every add_cpu lands in exactly one stage bucket.
+enum class CpuStage : std::uint8_t {
+  kOther = 0,  ///< uncategorized (setup, bookkeeping)
+  kScan,       ///< predicate evaluation over raw values
+  kDecode,     ///< WAH bitmap word decode/combine
+  kMerge,      ///< sorts, unions, gathers — result data movement
+};
+
 /// Per-actor accumulator of simulated seconds, split by resource.
-/// One ledger per server thread (or per client), so no locking is needed;
-/// aggregation happens after the parallel section.
+/// One ledger per task (or per client), so no locking is needed;
+/// aggregation happens after the parallel section — sequentially via
+/// merge(), or with the parallel accounting rule via merge_parallel().
 class CostLedger {
  public:
   void add_io(double seconds) noexcept { io_s_ += seconds; }
-  void add_cpu(double seconds) noexcept { cpu_s_ += seconds; }
+  void add_cpu(double seconds, CpuStage stage = CpuStage::kOther) noexcept {
+    cpu_s_ += seconds;
+    stage_s_[static_cast<std::size_t>(stage)] += seconds;
+  }
   void add_net(double seconds) noexcept { net_s_ += seconds; }
   void add_read_ops(std::uint64_t n) noexcept { read_ops_ += n; }
   void add_bytes_read(std::uint64_t n) noexcept { bytes_read_ += n; }
@@ -73,6 +88,9 @@ class CostLedger {
   [[nodiscard]] double net_seconds() const noexcept { return net_s_; }
   [[nodiscard]] double total_seconds() const noexcept {
     return io_s_ + cpu_s_ + net_s_;
+  }
+  [[nodiscard]] double stage_seconds(CpuStage stage) const noexcept {
+    return stage_s_[static_cast<std::size_t>(stage)];
   }
   [[nodiscard]] std::uint64_t read_ops() const noexcept { return read_ops_; }
   [[nodiscard]] std::uint64_t bytes_read() const noexcept {
@@ -84,16 +102,52 @@ class CostLedger {
     io_s_ += other.io_s_;
     cpu_s_ += other.cpu_s_;
     net_s_ += other.net_s_;
+    for (std::size_t i = 0; i < kStages; ++i) stage_s_[i] += other.stage_s_[i];
     read_ops_ += other.read_ops_;
     bytes_read_ += other.bytes_read_;
+  }
+
+  /// Parallel composition: `parts` ran concurrently on `threads` cores of
+  /// one server.  CPU elapsed time becomes the work-stealing bound
+  /// max(longest task, total work / threads) — ceil(work/threads) floored
+  /// by the critical task, so the reported time is monotonically
+  /// non-increasing in `threads` and never beats the slowest single task.
+  /// I/O, read ops and bytes stay summed: threads on one node share its
+  /// PFS link, and the OST-contention model (effective_read_bandwidth) is
+  /// deliberately unchanged by intra-server threading.  Per-stage CPU is
+  /// scaled proportionally so the stage breakdown still sums to the total.
+  void merge_parallel(std::span<const CostLedger> parts,
+                      std::uint32_t threads) noexcept {
+    CostLedger sum;
+    double max_task_cpu = 0.0;
+    for (const CostLedger& part : parts) {
+      sum.merge(part);
+      max_task_cpu = std::max(max_task_cpu, part.cpu_s_);
+    }
+    const double elapsed_cpu =
+        threads <= 1 ? sum.cpu_s_
+                     : std::max(max_task_cpu,
+                                sum.cpu_s_ / static_cast<double>(threads));
+    const double scale = sum.cpu_s_ > 0.0 ? elapsed_cpu / sum.cpu_s_ : 0.0;
+    io_s_ += sum.io_s_;
+    cpu_s_ += elapsed_cpu;
+    net_s_ += sum.net_s_;
+    for (std::size_t i = 0; i < kStages; ++i) {
+      stage_s_[i] += sum.stage_s_[i] * scale;
+    }
+    read_ops_ += sum.read_ops_;
+    bytes_read_ += sum.bytes_read_;
   }
 
   void reset() noexcept { *this = CostLedger{}; }
 
  private:
+  static constexpr std::size_t kStages = 4;
+
   double io_s_ = 0.0;
   double cpu_s_ = 0.0;
   double net_s_ = 0.0;
+  double stage_s_[kStages] = {0.0, 0.0, 0.0, 0.0};
   std::uint64_t read_ops_ = 0;
   std::uint64_t bytes_read_ = 0;
 };

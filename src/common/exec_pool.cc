@@ -1,0 +1,221 @@
+#include "common/exec_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace pdc::exec {
+namespace {
+
+/// Which worker deque the calling thread owns, or kNotWorker.
+constexpr std::uint32_t kNotWorker = ~std::uint32_t{0};
+thread_local const ThreadPool* tls_pool = nullptr;
+thread_local std::uint32_t tls_worker = kNotWorker;
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::uint32_t threads) {
+  const std::uint32_t n = std::max<std::uint32_t>(1, threads);
+  workers_.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  threads_.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(sleep_mu_);
+    stop_.store(true, std::memory_order_relaxed);
+  }
+  sleep_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::submit(Task task) {
+  // A worker submits to its own deque (front: depth-first, cache-warm);
+  // external threads scatter round-robin so no single deque becomes the
+  // bottleneck before stealing kicks in.
+  std::uint32_t target;
+  if (tls_pool == this && tls_worker != kNotWorker) {
+    target = tls_worker;
+  } else {
+    target = static_cast<std::uint32_t>(
+        submitted_.load(std::memory_order_relaxed) % workers_.size());
+  }
+  {
+    std::lock_guard lock(workers_[target]->mu);
+    workers_[target]->deque.push_front(std::move(task));
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t depth = queued_.fetch_add(1, std::memory_order_relaxed) + 1;
+  std::uint64_t peak = queue_peak_.load(std::memory_order_relaxed);
+  while (depth > peak &&
+         !queue_peak_.compare_exchange_weak(peak, depth,
+                                            std::memory_order_relaxed)) {
+  }
+  {
+    // Pairing the notify with the sleep mutex closes the lost-wakeup
+    // window between a worker's empty scan and its cv wait.
+    std::lock_guard lock(sleep_mu_);
+  }
+  sleep_cv_.notify_one();
+}
+
+bool ThreadPool::pop_or_steal(std::uint32_t self, Task& out) {
+  // Own deque first, newest-first.
+  if (self != kNotWorker) {
+    Worker& own = *workers_[self];
+    std::lock_guard lock(own.mu);
+    if (!own.deque.empty()) {
+      out = std::move(own.deque.front());
+      own.deque.pop_front();
+      queued_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  // Steal oldest-first from peers, starting after ourselves so victims
+  // rotate instead of everyone hammering worker 0.
+  const std::uint32_t n = static_cast<std::uint32_t>(workers_.size());
+  const std::uint32_t start = self == kNotWorker ? 0 : self + 1;
+  for (std::uint32_t k = 0; k < n; ++k) {
+    const std::uint32_t victim = (start + k) % n;
+    if (victim == self) continue;
+    Worker& w = *workers_[victim];
+    std::lock_guard lock(w.mu);
+    if (w.deque.empty()) continue;
+    out = std::move(w.deque.back());
+    w.deque.pop_back();
+    queued_.fetch_sub(1, std::memory_order_relaxed);
+    // External helper threads (TaskGroup::wait callers) count too: the
+    // task still migrated off the deque it was pushed to.
+    steals_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+bool ThreadPool::try_run_one() {
+  const std::uint32_t self = tls_pool == this ? tls_worker : kNotWorker;
+  Task task;
+  if (!pop_or_steal(self, task)) return false;
+  task();
+  executed_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void ThreadPool::worker_loop(std::uint32_t self) {
+  tls_pool = this;
+  tls_worker = self;
+  for (;;) {
+    Task task;
+    if (pop_or_steal(self, task)) {
+      task();
+      executed_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    std::unique_lock lock(sleep_mu_);
+    sleep_cv_.wait(lock, [this] {
+      return stop_.load(std::memory_order_relaxed) ||
+             queued_.load(std::memory_order_relaxed) > 0;
+    });
+    // Shutdown drains: exit only once every deque is empty so queued work
+    // still runs (the destructor's contract).
+    if (stop_.load(std::memory_order_relaxed) &&
+        queued_.load(std::memory_order_relaxed) == 0) {
+      return;
+    }
+  }
+}
+
+PoolStats ThreadPool::stats() const noexcept {
+  PoolStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.executed = executed_.load(std::memory_order_relaxed);
+  s.steals = steals_.load(std::memory_order_relaxed);
+  s.queue_peak = queue_peak_.load(std::memory_order_relaxed);
+  return s;
+}
+
+ThreadPool& ThreadPool::process_pool() {
+  static ThreadPool pool([] {
+    if (const char* env = std::getenv("PDC_THREADS")) {
+      const unsigned long v = std::strtoul(env, nullptr, 10);
+      if (v > 0) return static_cast<std::uint32_t>(std::min(v, 64ul));
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return std::clamp<std::uint32_t>(hw, 1, 8);
+  }());
+  return pool;
+}
+
+void TaskGroup::run_captured(const std::function<void()>& fn) noexcept {
+  try {
+    fn();
+  } catch (...) {
+    std::lock_guard lock(mu_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+}
+
+void TaskGroup::spawn(std::function<void()> fn) {
+  if (pool_ == nullptr) {
+    run_captured(fn);
+    return;
+  }
+  outstanding_.fetch_add(1, std::memory_order_acq_rel);
+  pool_->submit([this, fn = std::move(fn)] {
+    run_captured(fn);
+    if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last task out: wake the waiter.  Taking mu_ orders this notify
+      // after the waiter's predicate check, closing the lost-wakeup race.
+      std::lock_guard lock(mu_);
+      cv_.notify_all();
+    }
+  });
+}
+
+void TaskGroup::wait_no_throw() noexcept {
+  if (pool_ != nullptr) {
+    while (outstanding_.load(std::memory_order_acquire) > 0) {
+      // Help: run queued pool work (ours or anyone's) on this thread.  If
+      // nothing is queued, our tasks are mid-execution on other workers —
+      // block until the last one signals.
+      if (pool_->try_run_one()) continue;
+      // Safe to block without re-scanning the deques: tasks of this group
+      // can only be queued by tasks of this group, and those run on pool
+      // workers — which never sleep while work is queued.
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [this] {
+        return outstanding_.load(std::memory_order_acquire) == 0;
+      });
+    }
+  }
+}
+
+void TaskGroup::wait() {
+  wait_no_throw();
+  std::lock_guard lock(mu_);
+  if (first_error_) {
+    std::exception_ptr err = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+void parallel_for(ThreadPool* pool, std::size_t n,
+                  const std::function<void(std::size_t)>& body) {
+  if (pool == nullptr || n < 2) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  TaskGroup group(pool);
+  for (std::size_t i = 0; i < n; ++i) {
+    group.spawn([&body, i] { body(i); });
+  }
+  group.wait();
+}
+
+}  // namespace pdc::exec

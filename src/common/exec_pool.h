@@ -1,0 +1,147 @@
+// Work-stealing execution pool for intra-server parallelism.
+//
+// The paper's servers overlap region I/O and evaluation; this pool is the
+// lever that turns per-server latency from sum-of-regions into
+// max-over-workers.  Two layers use it:
+//   - QueryServer region loops (full scan, bitmap bin decode, sorted
+//     boundary search, conjunct restriction) submit per-region tasks;
+//   - ServerRuntime keeps up to K requests per server in flight so one
+//     slow query does not head-of-line-block metadata/get-data traffic.
+//
+// Design: fixed worker count, one mutex-protected deque per worker.  A
+// worker pushes and pops its own deque LIFO (cache-warm depth-first) and
+// steals FIFO from the backs of its peers (oldest, largest-grained work) —
+// the classic work-stealing discipline, with plain mutexes instead of a
+// lock-free Chase-Lev deque because tasks here are region-sized (>=
+// microseconds) and TSan-provable correctness matters more than nanosecond
+// push/pop latency.
+//
+// Nested parallelism is the norm (a request task spawns region tasks on
+// the same pool), so blocking a worker inside TaskGroup::wait() would
+// deadlock a size-1 pool.  wait() therefore *helps*: while its tasks are
+// outstanding it executes other queued pool tasks on the waiting thread.
+//
+// Distinct from pdc::ThreadPool (thread_pool.h), the simple shared-queue
+// pool used by the h5lite baseline importer; that one stays as-is because
+// the HDF5-F baseline's cost model assumes its exact behaviour.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pdc::exec {
+
+/// Lifetime counters (atomically maintained, monotone).
+struct PoolStats {
+  std::uint64_t submitted = 0;   ///< tasks accepted
+  std::uint64_t executed = 0;    ///< tasks completed
+  std::uint64_t steals = 0;      ///< tasks taken from another worker's deque
+  std::uint64_t queue_peak = 0;  ///< high-water mark of queued (not yet
+                                 ///< started) tasks
+};
+
+class ThreadPool {
+ public:
+  using Task = std::function<void()>;
+
+  /// Spawns `threads` workers (clamped to >= 1).
+  explicit ThreadPool(std::uint32_t threads);
+
+  /// Drains every queued task (shutdown-with-queued-work still runs the
+  /// work — submitters may be waiting on side effects), then joins.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::uint32_t size() const noexcept {
+    return static_cast<std::uint32_t>(workers_.size());
+  }
+
+  /// Enqueue a task.  Tasks must not throw (wrap user code in TaskGroup,
+  /// which captures exceptions and rethrows from wait()).  Safe from any
+  /// thread, including pool workers (goes to the local deque, LIFO).
+  void submit(Task task);
+
+  /// Execute one queued task on the calling thread; false if all deques
+  /// were empty.  This is the "helping" primitive TaskGroup::wait uses so
+  /// nested parallel sections cannot deadlock, even at pool size 1.
+  bool try_run_one();
+
+  [[nodiscard]] PoolStats stats() const noexcept;
+
+  /// Process-wide shared pool, created on first use.  Sized by the
+  /// PDC_THREADS environment variable; defaults to the hardware
+  /// concurrency (clamped to [1, 8] so a laptop does not oversubscribe).
+  static ThreadPool& process_pool();
+
+ private:
+  struct Worker {
+    std::mutex mu;
+    std::deque<Task> deque;  ///< front = newest (LIFO pop), back = steal end
+  };
+
+  void worker_loop(std::uint32_t self);
+  bool pop_or_steal(std::uint32_t self, Task& out);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  /// Sleep coordination: workers block here when every deque is empty.
+  std::mutex sleep_mu_;
+  std::condition_variable sleep_cv_;
+  std::atomic<std::uint64_t> queued_{0};  ///< tasks pushed, not yet popped
+  std::atomic<bool> stop_{false};
+
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> executed_{0};
+  std::atomic<std::uint64_t> steals_{0};
+  std::atomic<std::uint64_t> queue_peak_{0};
+};
+
+/// Fork-join scope over a pool.  spawn() forks tasks; wait() helps run
+/// queued work until every spawned task finished, then rethrows the first
+/// captured exception.  With a null pool, spawn() runs inline (serial
+/// fallback, used when a server is configured without parallelism).
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool* pool) noexcept : pool_(pool) {}
+  ~TaskGroup() { wait_no_throw(); }
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  void spawn(std::function<void()> fn);
+
+  /// Blocks (helping) until all spawned tasks completed; rethrows the
+  /// first exception any task threw.
+  void wait();
+
+ private:
+  void run_captured(const std::function<void()>& fn) noexcept;
+  void wait_no_throw() noexcept;
+
+  ThreadPool* pool_;
+  std::atomic<std::uint64_t> outstanding_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::exception_ptr first_error_;  ///< guarded by mu_
+};
+
+/// Run body(i) for i in [0, n): one pool task per index when `pool` is
+/// non-null, inline otherwise.  Blocks until every index completed.  The
+/// per-index granularity is deliberate — callers pass region-sized work
+/// items, and per-region tasks are what lets an imbalanced region list
+/// load-balance across workers.
+void parallel_for(ThreadPool* pool, std::size_t n,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace pdc::exec

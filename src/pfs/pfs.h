@@ -95,6 +95,9 @@ class PfsFile {
 
   [[nodiscard]] Result<std::uint64_t> size() const;
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const PfsConfig& config() const noexcept {
+    return cluster_->config();
+  }
 
   /// Number of distinct OSTs the byte range [offset, offset+len) touches.
   [[nodiscard]] std::uint32_t osts_touched(std::uint64_t offset,

@@ -64,6 +64,7 @@ Status aggregated_read(const PfsFile& file, std::span<const Extent1D> extents,
   const std::vector<Extent1D> runs = plan_aggregated_reads(in_order, policy);
   std::vector<std::uint8_t> run_buf;
   std::size_t next_extent = 0;
+  std::uint64_t scattered_bytes = 0;
   for (const Extent1D& run : runs) {
     run_buf.resize(static_cast<std::size_t>(run.count));
     PDC_RETURN_IF_ERROR(file.read(run.offset, run_buf, ctx));
@@ -76,9 +77,18 @@ Status aggregated_read(const PfsFile& file, std::span<const Extent1D> extents,
         std::memcpy(dests[order[next_extent]].data(),
                     run_buf.data() + (e.offset - run.offset),
                     static_cast<std::size_t>(e.count));
+        scattered_bytes += e.count;
       }
       ++next_extent;
     }
+  }
+  // The scatter copies are real work the aggregated path does that one-read-
+  // per-extent would not; charge them as merge-stage CPU so the trade-off
+  // (fewer op latencies vs extra copies) is visible in the ledger.
+  if (ctx.ledger != nullptr && scattered_bytes > 0) {
+    ctx.ledger->add_cpu(static_cast<double>(scattered_bytes) /
+                            file.config().cost.memcpy_bandwidth_bps,
+                        CpuStage::kMerge);
   }
   // Trailing empty extents produce no run to visit.
   while (next_extent < in_order.size() && in_order[next_extent].empty()) {

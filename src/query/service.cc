@@ -24,6 +24,12 @@ ServiceOptions ServiceOptions::from_env() {
       options.strategy = server::Strategy::kSortedHistogram;
     }
   }
+  if (const char* env = std::getenv("PDC_QUERY_THREADS")) {
+    const long threads = std::strtol(env, nullptr, 10);
+    if (threads >= 0 && threads <= 64) {
+      options.eval_threads = static_cast<std::uint32_t>(threads);
+    }
+  }
   return options;
 }
 
@@ -31,6 +37,9 @@ QueryService::QueryService(const obj::ObjectStore& store,
                            ServiceOptions options)
     : store_(store),
       options_(options),
+      pool_(options.eval_threads > 0
+                ? std::make_unique<exec::ThreadPool>(options.eval_threads)
+                : nullptr),
       bus_(std::max<std::uint32_t>(1, options.num_servers)),
       client_(bus_, options.retry) {
   options_.num_servers = bus_.num_servers();
@@ -44,30 +53,53 @@ QueryService::QueryService(const obj::ObjectStore& store,
     server_options.num_servers = options_.num_servers;
     server_options.cache_capacity_bytes = options_.cache_capacity_bytes;
     server_options.aggregation = options_.aggregation;
+    server_options.pool = pool_.get();
     servers_.push_back(
         std::make_unique<server::QueryServer>(store_, server_options));
     server::QueryServer* qs = servers_.back().get();
+    rpc::ServerRuntimeOptions runtime_options;
+    runtime_options.pool = pool_.get();
+    runtime_options.max_inflight = options_.max_inflight;
     runtimes_.push_back(std::make_unique<rpc::ServerRuntime>(
-        bus_, s, [qs](std::span<const std::uint8_t> payload) {
+        bus_, s,
+        [qs](std::span<const std::uint8_t> payload) {
           return qs->handle(payload);
-        }));
+        },
+        runtime_options));
   }
 }
 
 QueryService::~QueryService() { bus_.shutdown(); }
 
+void QueryService::publish_stats(const OpStats& stats) {
+  std::lock_guard lock(state_mu_);
+  stats_ = stats;
+}
+
+std::vector<bool> QueryService::dead_snapshot() const {
+  std::lock_guard lock(state_mu_);
+  return dead_;
+}
+
+void QueryService::mark_dead(ServerId server) {
+  std::lock_guard lock(state_mu_);
+  dead_[server] = true;
+}
+
 std::vector<ServerId> QueryService::alive_servers() const {
+  const std::vector<bool> dead = dead_snapshot();
   std::vector<ServerId> alive;
   for (ServerId s = 0; s < options_.num_servers; ++s) {
-    if (!dead_[s]) alive.push_back(s);
+    if (!dead[s]) alive.push_back(s);
   }
   return alive;
 }
 
 std::vector<ServerId> QueryService::dead_servers() const {
+  const std::vector<bool> dead_flags = dead_snapshot();
   std::vector<ServerId> dead;
   for (ServerId s = 0; s < options_.num_servers; ++s) {
-    if (dead_[s]) dead.push_back(s);
+    if (dead_flags[s]) dead.push_back(s);
   }
   return dead;
 }
@@ -92,7 +124,23 @@ Result<Selection> QueryService::eval(const QueryPtr& query,
     return Status::InvalidArgument("null query");
   }
   WallTimer wall;
-  stats_ = OpStats{};
+  // Per-operation stats stay local until the operation finishes, so
+  // concurrent queries never scribble over each other's counters; the
+  // publisher stores the finished snapshot for last_stats().
+  OpStats stats;
+  struct Publisher {
+    QueryService* service;
+    OpStats* stats;
+    WallTimer* wall;
+    ~Publisher() {
+      stats->wall_seconds = wall->elapsed_seconds();
+      if (service->pool_ != nullptr) {
+        stats->pool_threads = service->pool_->size();
+        stats->pool_queue_peak = service->pool_->stats().queue_peak;
+      }
+      service->publish_stats(*stats);
+    }
+  } publisher{this, &stats, &wall};
   const CostModel& cost = store_.cluster().config().cost;
 
   PlanOptions plan_options;
@@ -102,7 +150,6 @@ Result<Selection> QueryService::eval(const QueryPtr& query,
 
   Selection selection;
   if (plan.terms.empty()) {
-    stats_.wall_seconds = wall.elapsed_seconds();
     return selection;  // provably empty
   }
 
@@ -136,7 +183,7 @@ Result<Selection> QueryService::eval(const QueryPtr& query,
       std::vector<ServerId> identities{alive[i]};
       for (const ServerId dead_identity : extra[i]) {
         identities.push_back(dead_identity);
-        stats_.redispatched_regions +=
+        stats.redispatched_regions +=
             regions_of_identity(request.terms, dead_identity);
       }
       work.emplace_back(alive[i], std::move(identities));
@@ -150,17 +197,17 @@ Result<Selection> QueryService::eval(const QueryPtr& query,
     for (const auto& [target, identities] : work) {
       request.act_as = identities;
       std::vector<std::uint8_t> payload = request.serialize();
-      stats_.request_bytes += payload.size();
+      stats.request_bytes += payload.size();
       // Requests travel in parallel over the interconnect: max, not sum.
       max_request_net = std::max(max_request_net,
                                  cost.net_cost(payload.size()));
       requests.emplace_back(target, std::move(payload));
     }
-    stats_.net_seconds += max_request_net;
+    stats.net_seconds += max_request_net;
 
     const rpc::GatherResult gathered = client_.gather(requests);
-    stats_.retries += gathered.stats.retries;
-    stats_.timeouts += gathered.stats.timeouts;
+    stats.retries += gathered.stats.retries;
+    stats.timeouts += gathered.stats.timeouts;
     if (gathered.bus_closed) {
       return Status::Unavailable("message bus shut down mid-query");
     }
@@ -169,7 +216,7 @@ Result<Selection> QueryService::eval(const QueryPtr& query,
     for (std::size_t i = 0; i < work.size(); ++i) {
       const auto& message = gathered.responses[i];
       if (!message.has_value()) {
-        dead_[work[i].first] = true;
+        mark_dead(work[i].first);
         orphaned.insert(orphaned.end(), work[i].second.begin(),
                         work[i].second.end());
         continue;
@@ -191,20 +238,23 @@ Result<Selection> QueryService::eval(const QueryPtr& query,
         selection.sorted_extents.emplace_back(
             message->sender, std::move(response.sorted_extents));
       }
-      if (response.ledger.elapsed() > stats_.max_server_seconds) {
-        stats_.max_server_seconds = response.ledger.elapsed();
-        stats_.max_server_io_seconds = response.ledger.io_seconds;
-        stats_.max_server_cpu_seconds = response.ledger.cpu_seconds;
+      if (response.ledger.elapsed() > stats.max_server_seconds) {
+        stats.max_server_seconds = response.ledger.elapsed();
+        stats.max_server_io_seconds = response.ledger.io_seconds;
+        stats.max_server_cpu_seconds = response.ledger.cpu_seconds;
+        stats.max_server_scan_seconds = response.ledger.scan_seconds;
+        stats.max_server_decode_seconds = response.ledger.decode_seconds;
+        stats.max_server_merge_seconds = response.ledger.merge_seconds;
       }
-      stats_.server_bytes_read += response.ledger.bytes_read;
-      stats_.server_read_ops += response.ledger.read_ops;
-      stats_.response_bytes += message->payload.size();
+      stats.server_bytes_read += response.ledger.bytes_read;
+      stats.server_read_ops += response.ledger.read_ops;
+      stats.response_bytes += message->payload.size();
     }
 
     if (orphaned.empty()) break;
     alive = alive_servers();
     if (alive.empty()) {
-      stats_.dead_servers = options_.num_servers;
+      stats.dead_servers = options_.num_servers;
       return Status::Unavailable(
           "all PDC servers failed; query cannot complete");
     }
@@ -212,7 +262,7 @@ Result<Selection> QueryService::eval(const QueryPtr& query,
              " server identities re-dispatched onto ", alive.size(),
              " survivors");
     for (const ServerId identity : orphaned) {
-      stats_.redispatched_regions +=
+      stats.redispatched_regions +=
           regions_of_identity(request.terms, identity);
     }
     const auto extra = server::plan_reassignment(orphaned, alive);
@@ -221,16 +271,16 @@ Result<Selection> QueryService::eval(const QueryPtr& query,
       if (!extra[i].empty()) work.emplace_back(alive[i], extra[i]);
     }
   }
-  stats_.dead_servers = dead_servers().size();
+  stats.dead_servers = dead_servers().size();
 
   // Responses stream back to the one client NIC.
-  stats_.net_seconds +=
+  stats.net_seconds +=
       cost.net_latency_s +
-      static_cast<double>(stats_.response_bytes) / cost.net_bandwidth_bps;
+      static_cast<double>(stats.response_bytes) / cost.net_bandwidth_bps;
 
   // Client-side aggregation: merge per-server position lists.
   if (!selection.positions.empty()) {
-    stats_.client_cpu_seconds += 2.0 * cost.scan_cost(
+    stats.client_cpu_seconds += 2.0 * cost.scan_cost(
         selection.positions.size() * sizeof(std::uint64_t));
     std::sort(selection.positions.begin(), selection.positions.end());
     if (multi_term) {
@@ -247,9 +297,8 @@ Result<Selection> QueryService::eval(const QueryPtr& query,
     selection.replica_id = request.terms.front().driver_replica;
   }
 
-  stats_.sim_elapsed_seconds = stats_.net_seconds + stats_.max_server_seconds +
-                               stats_.client_cpu_seconds;
-  stats_.wall_seconds = wall.elapsed_seconds();
+  stats.sim_elapsed_seconds = stats.net_seconds + stats.max_server_seconds +
+                              stats.client_cpu_seconds;
   return selection;
 }
 
@@ -267,7 +316,20 @@ Status QueryService::get_data_raw(ObjectId object, const Selection& selection,
                                   std::span<std::uint8_t> out, PdcType type,
                                   GetDataMode mode) {
   WallTimer wall;
-  stats_ = OpStats{};
+  OpStats stats;
+  struct Publisher {
+    QueryService* service;
+    OpStats* stats;
+    WallTimer* wall;
+    ~Publisher() {
+      stats->wall_seconds = wall->elapsed_seconds();
+      if (service->pool_ != nullptr) {
+        stats->pool_threads = service->pool_->size();
+        stats->pool_queue_peak = service->pool_->stats().queue_peak;
+      }
+      service->publish_stats(*stats);
+    }
+  } publisher{this, &stats, &wall};
   const CostModel& cost = store_.cluster().config().cost;
   PDC_ASSIGN_OR_RETURN(const obj::ObjectDescriptor* target,
                        store_.get(object));
@@ -365,32 +427,33 @@ Status QueryService::get_data_raw(ObjectId object, const Selection& selection,
   while (!pending.empty()) {
     const std::vector<ServerId> alive = alive_servers();
     if (alive.empty()) {
-      stats_.dead_servers = options_.num_servers;
+      stats.dead_servers = options_.num_servers;
       return Status::Unavailable(
           "all PDC servers failed; get_data cannot complete");
     }
     // Route each pending part: its owner when alive, else a survivor.
+    const std::vector<bool> dead = dead_snapshot();
     std::vector<std::pair<ServerId, std::vector<std::uint8_t>>> requests;
     std::vector<ServerId> targets;
     double max_request_net = 0.0;
     std::size_t reroute_index = 0;
     for (const std::size_t p : pending) {
       ServerId to = parts[p].owner;
-      if (dead_[to]) {
+      if (dead[to]) {
         to = alive[reroute_index++ % alive.size()];
-        stats_.redispatched_regions += parts[p].regions;
+        stats.redispatched_regions += parts[p].regions;
       }
-      stats_.request_bytes += parts[p].payload.size();
+      stats.request_bytes += parts[p].payload.size();
       max_request_net = std::max(max_request_net,
                                  cost.net_cost(parts[p].payload.size()));
       requests.emplace_back(to, parts[p].payload);
       targets.push_back(to);
     }
-    stats_.net_seconds += max_request_net;
+    stats.net_seconds += max_request_net;
 
     const rpc::GatherResult gathered = client_.gather(requests);
-    stats_.retries += gathered.stats.retries;
-    stats_.timeouts += gathered.stats.timeouts;
+    stats.retries += gathered.stats.retries;
+    stats.timeouts += gathered.stats.timeouts;
     if (gathered.bus_closed) {
       return Status::Unavailable("message bus shut down mid-fetch");
     }
@@ -398,7 +461,7 @@ Status QueryService::get_data_raw(ObjectId object, const Selection& selection,
     for (std::size_t i = 0; i < pending.size(); ++i) {
       const auto& message = gathered.responses[i];
       if (!message.has_value()) {
-        dead_[targets[i]] = true;
+        mark_dead(targets[i]);
         still_pending.push_back(pending[i]);
         continue;
       }
@@ -406,14 +469,17 @@ Status QueryService::get_data_raw(ObjectId object, const Selection& selection,
       PDC_ASSIGN_OR_RETURN(server::GetDataResponse response,
                            server::GetDataResponse::Deserialize(reader));
       PDC_RETURN_IF_ERROR(response.status);
-      if (response.ledger.elapsed() > stats_.max_server_seconds) {
-        stats_.max_server_seconds = response.ledger.elapsed();
-        stats_.max_server_io_seconds = response.ledger.io_seconds;
-        stats_.max_server_cpu_seconds = response.ledger.cpu_seconds;
+      if (response.ledger.elapsed() > stats.max_server_seconds) {
+        stats.max_server_seconds = response.ledger.elapsed();
+        stats.max_server_io_seconds = response.ledger.io_seconds;
+        stats.max_server_cpu_seconds = response.ledger.cpu_seconds;
+        stats.max_server_scan_seconds = response.ledger.scan_seconds;
+        stats.max_server_decode_seconds = response.ledger.decode_seconds;
+        stats.max_server_merge_seconds = response.ledger.merge_seconds;
       }
-      stats_.server_bytes_read += response.ledger.bytes_read;
-      stats_.server_read_ops += response.ledger.read_ops;
-      stats_.response_bytes += message->payload.size();
+      stats.server_bytes_read += response.ledger.bytes_read;
+      stats.server_read_ops += response.ledger.read_ops;
+      stats.response_bytes += message->payload.size();
       if (response.values.size() != parts[pending[i]].expected_bytes) {
         return Status::Corruption(
             "get_data response does not match requested element count");
@@ -422,10 +488,10 @@ Status QueryService::get_data_raw(ObjectId object, const Selection& selection,
     }
     pending = std::move(still_pending);
   }
-  stats_.dead_servers = dead_servers().size();
-  stats_.net_seconds +=
+  stats.dead_servers = dead_servers().size();
+  stats.net_seconds +=
       cost.net_latency_s +
-      static_cast<double>(stats_.response_bytes) / cost.net_bandwidth_bps;
+      static_cast<double>(stats.response_bytes) / cost.net_bandwidth_bps;
 
   if (use_replica) {
     // Slice each server's blob per extent, then lay extents out in
@@ -468,12 +534,11 @@ Status QueryService::get_data_raw(ObjectId object, const Selection& selection,
       dest += elem_size;
     }
   }
-  stats_.client_cpu_seconds +=
+  stats.client_cpu_seconds +=
       static_cast<double>(out.size()) / cost.memcpy_bandwidth_bps;
 
-  stats_.sim_elapsed_seconds = stats_.net_seconds + stats_.max_server_seconds +
-                               stats_.client_cpu_seconds;
-  stats_.wall_seconds = wall.elapsed_seconds();
+  stats.sim_elapsed_seconds = stats.net_seconds + stats.max_server_seconds +
+                              stats.client_cpu_seconds;
   return Status::Ok();
 }
 
@@ -517,22 +582,25 @@ Status QueryService::get_data_batch(
     buffer.resize(static_cast<std::size_t>(count * elem_size));
     PDC_RETURN_IF_ERROR(get_data_raw(object, batch, buffer, target->type,
                                      GetDataMode::kByPositions));
-    accumulated.sim_elapsed_seconds += stats_.sim_elapsed_seconds;
-    accumulated.wall_seconds += stats_.wall_seconds;
-    accumulated.net_seconds += stats_.net_seconds;
-    accumulated.max_server_seconds += stats_.max_server_seconds;
-    accumulated.client_cpu_seconds += stats_.client_cpu_seconds;
-    accumulated.request_bytes += stats_.request_bytes;
-    accumulated.response_bytes += stats_.response_bytes;
-    accumulated.server_bytes_read += stats_.server_bytes_read;
-    accumulated.server_read_ops += stats_.server_read_ops;
-    accumulated.retries += stats_.retries;
-    accumulated.timeouts += stats_.timeouts;
-    accumulated.dead_servers = stats_.dead_servers;
-    accumulated.redispatched_regions += stats_.redispatched_regions;
+    const OpStats batch_stats = last_stats();
+    accumulated.sim_elapsed_seconds += batch_stats.sim_elapsed_seconds;
+    accumulated.wall_seconds += batch_stats.wall_seconds;
+    accumulated.net_seconds += batch_stats.net_seconds;
+    accumulated.max_server_seconds += batch_stats.max_server_seconds;
+    accumulated.client_cpu_seconds += batch_stats.client_cpu_seconds;
+    accumulated.request_bytes += batch_stats.request_bytes;
+    accumulated.response_bytes += batch_stats.response_bytes;
+    accumulated.server_bytes_read += batch_stats.server_bytes_read;
+    accumulated.server_read_ops += batch_stats.server_read_ops;
+    accumulated.retries += batch_stats.retries;
+    accumulated.timeouts += batch_stats.timeouts;
+    accumulated.dead_servers = batch_stats.dead_servers;
+    accumulated.redispatched_regions += batch_stats.redispatched_regions;
+    accumulated.pool_threads = batch_stats.pool_threads;
+    accumulated.pool_queue_peak = batch_stats.pool_queue_peak;
     consume(buffer, first);
   }
-  stats_ = accumulated;
+  publish_stats(accumulated);
   return Status::Ok();
 }
 

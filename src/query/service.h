@@ -16,11 +16,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "common/cost_model.h"
+#include "common/exec_pool.h"
 #include "histogram/histogram.h"
 #include "metadata/meta_store.h"
 #include "obj/object_store.h"
@@ -60,6 +62,11 @@ struct OpStats {
   double max_server_seconds = 0.0;   ///< critical-path server io+cpu
   double max_server_io_seconds = 0.0;   ///< io part of the critical server
   double max_server_cpu_seconds = 0.0;  ///< cpu part of the critical server
+  // Per-stage cpu split of the critical server (subset of its cpu time;
+  // the remainder was uncategorized work).
+  double max_server_scan_seconds = 0.0;    ///< value scanning / checking
+  double max_server_decode_seconds = 0.0;  ///< bitmap-index bin decode
+  double max_server_merge_seconds = 0.0;   ///< sorts, unions, result copies
   double net_seconds = 0.0;
   double client_cpu_seconds = 0.0;
   std::uint64_t request_bytes = 0;
@@ -72,6 +79,9 @@ struct OpStats {
   std::uint64_t dead_servers = 0;  ///< servers considered dead after this op
   std::uint64_t redispatched_regions = 0;  ///< regions re-planned onto
                                            ///< surviving servers
+  // Intra-server execution pool observability (zero when running serially).
+  std::uint32_t pool_threads = 0;     ///< workers in the evaluation pool
+  std::uint64_t pool_queue_peak = 0;  ///< high-water of queued pool tasks
 };
 
 struct ServiceOptions {
@@ -89,10 +99,21 @@ struct ServiceOptions {
   /// server, it is declared dead and its regions are re-planned onto the
   /// survivors; results stay exactly the fault-free answer, only slower.
   rpc::RetryPolicy retry;
+  /// Intra-server evaluation threads (paper §III-C: each server uses
+  /// "multiple threads to process the query in parallel").  0 = serial (no
+  /// pool).  N >= 1 creates one pool of N workers shared by every server
+  /// of this service: region loops fan out per region, up to
+  /// `max_inflight` requests per server overlap, and the simulated
+  /// per-server cpu time becomes max(critical task, total work / N).
+  /// Results are bit-identical to serial evaluation.
+  std::uint32_t eval_threads = 0;
+  /// With a pool: how many requests one server may process concurrently.
+  std::uint32_t max_inflight = 4;
 
   /// Read strategy from the PDC_QUERY_STRATEGY environment variable
   /// ("fullscan", "histogram", "index", "sorted"), mirroring the paper's
-  /// server configuration mechanism.  Unset/unknown keeps the default.
+  /// server configuration mechanism, and eval_threads from
+  /// PDC_QUERY_THREADS.  Unset/unknown keeps the defaults.
   static ServiceOptions from_env();
 };
 
@@ -141,8 +162,12 @@ class QueryService {
   /// retrieval is free (paper: PDCquery_get_histogram).
   Result<hist::MergeableHistogram> get_histogram(ObjectId object) const;
 
-  /// Stats of the most recent operation.
-  [[nodiscard]] const OpStats& last_stats() const noexcept { return stats_; }
+  /// Stats of the most recent completed operation (by value: under
+  /// concurrent queries a reference could be overwritten mid-read).
+  [[nodiscard]] OpStats last_stats() const {
+    std::lock_guard lock(state_mu_);
+    return stats_;
+  }
 
   [[nodiscard]] const ServiceOptions& options() const noexcept {
     return options_;
@@ -171,12 +196,25 @@ class QueryService {
   [[nodiscard]] std::uint64_t regions_of_identity(
       const std::vector<server::AndTerm>& terms, ServerId identity) const;
 
+  /// Publishes local per-operation stats into stats_ when done.
+  void publish_stats(const OpStats& stats);
+  /// Snapshot of dead_ under the lock.
+  [[nodiscard]] std::vector<bool> dead_snapshot() const;
+  void mark_dead(ServerId server);
+
   const obj::ObjectStore& store_;
   ServiceOptions options_;
+  /// Shared intra-server pool; declared before bus_/runtimes_ so it is
+  /// destroyed after them (in-flight server tasks run on it).
+  std::unique_ptr<exec::ThreadPool> pool_;
   rpc::MessageBus bus_;
   std::vector<std::unique_ptr<server::QueryServer>> servers_;
   std::vector<std::unique_ptr<rpc::ServerRuntime>> runtimes_;
   rpc::Client client_;
+
+  /// Guards stats_ and dead_ — the service state mutated by concurrent
+  /// client calls (QueryServer/RegionCache handle their own locking).
+  mutable std::mutex state_mu_;
   OpStats stats_;
   /// dead_[s]: server s exhausted its retries and is out of the rotation.
   std::vector<bool> dead_;

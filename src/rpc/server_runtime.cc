@@ -1,18 +1,24 @@
 #include "rpc/server_runtime.h"
 
 #include <algorithm>
-#include <unordered_map>
+#include <utility>
 
 namespace pdc::rpc {
 
-ServerRuntime::ServerRuntime(MessageBus& bus, ServerId id, Handler handler)
-    : bus_(bus), id_(id), handler_(std::move(handler)) {
+ServerRuntime::ServerRuntime(MessageBus& bus, ServerId id, Handler handler,
+                             ServerRuntimeOptions options)
+    : bus_(bus), id_(id), handler_(std::move(handler)), options_(options) {
+  if (options_.max_inflight == 0) options_.max_inflight = 1;
   thread_ = std::thread([this] { loop(); });
 }
 
 ServerRuntime::~ServerRuntime() {
   bus_.server_mailbox(id_).close();
   if (thread_.joinable()) thread_.join();
+  // Pooled requests capture `this`; wait until the last one has finished
+  // before the members they use go away.
+  std::unique_lock lock(inflight_mu_);
+  inflight_cv_.wait(lock, [this] { return inflight_ == 0; });
 }
 
 void ServerRuntime::loop() {
@@ -38,9 +44,75 @@ void ServerRuntime::loop() {
     if (envelope.deadline_us != 0 && steady_now_us() > envelope.deadline_us) {
       continue;  // client already gave up on this attempt
     }
-    std::vector<std::uint8_t> response = handler_(request);
-    bus_.send_to_client(id_, envelope_wrap(envelope, response));
+    if (options_.pool == nullptr) {
+      std::vector<std::uint8_t> response = handler_(request);
+      bus_.send_to_client(id_, envelope_wrap(envelope, response));
+      continue;
+    }
+    // Bounded admission: at most max_inflight requests of this server on
+    // the pool at once, so a burst at one server cannot starve the others.
+    {
+      std::unique_lock lock(inflight_mu_);
+      inflight_cv_.wait(
+          lock, [this] { return inflight_ < options_.max_inflight; });
+      ++inflight_;
+    }
+    // `request` borrows from the frame, so move the whole frame into the
+    // task and re-parse there (cheap: header check + checksum).
+    options_.pool->submit([this, frame = std::move(message->payload)] {
+      Envelope env;
+      std::span<const std::uint8_t> req;
+      if (envelope_unwrap(frame, env, req)) {
+        std::vector<std::uint8_t> response = handler_(req);
+        bus_.send_to_client(id_, envelope_wrap(env, response));
+      }
+      std::lock_guard lock(inflight_mu_);
+      --inflight_;
+      inflight_cv_.notify_all();
+    });
   }
+}
+
+Client::Client(MessageBus& bus, RetryPolicy policy)
+    : bus_(bus), policy_(policy) {
+  receiver_ = std::thread([this] { receive_loop(); });
+}
+
+Client::~Client() {
+  // The receiver is the mailbox's only consumer, so close it here (it may
+  // already be closed by MessageBus::shutdown(); close is idempotent).
+  bus_.client_mailbox().close();
+  if (receiver_.joinable()) receiver_.join();
+}
+
+void Client::receive_loop() {
+  while (auto message = bus_.client_mailbox().pop()) {
+    Envelope envelope;
+    std::span<const std::uint8_t> payload;
+    if (!envelope_unwrap(message->payload, envelope, payload)) {
+      corrupt_responses_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    std::lock_guard lock(mu_);
+    const auto it = pending_.find(envelope.request_id);
+    if (it == pending_.end()) {
+      // Duplicate, stale (an earlier attempt answered already), or the
+      // gather gave up on this id.
+      stray_responses_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    const Slot slot = it->second;
+    pending_.erase(it);
+    (*slot.waiter->responses)[slot.index] =
+        Message{message->sender,
+                std::vector<std::uint8_t>(payload.begin(), payload.end())};
+    if (--slot.waiter->remaining == 0) slot.waiter->cv.notify_all();
+  }
+  // Mailbox closed: wake every in-progress gather so none blocks until its
+  // full retry budget during shutdown.
+  std::lock_guard lock(mu_);
+  closed_ = true;
+  for (auto& [id, slot] : pending_) slot.waiter->cv.notify_all();
 }
 
 GatherResult Client::gather(
@@ -50,24 +122,42 @@ GatherResult Client::gather(
   result.responses.resize(requests.size());
   if (requests.empty()) return result;
 
-  // One popper at a time: a concurrent gather (e.g. from a
-  // broadcast_collect background thread) would otherwise consume this
-  // gather's responses and discard them as stale.
-  std::lock_guard gather_lock(gather_mu_);
+  const std::uint64_t corrupt_before =
+      corrupt_responses_.load(std::memory_order_relaxed);
+  const std::uint64_t stray_before =
+      stray_responses_.load(std::memory_order_relaxed);
 
   // Request ids are stable across retries so a slow first-attempt response
   // still satisfies the request; ids are globally unique so responses to
   // *previous* operations are recognized as stale and discarded.
-  std::unordered_map<std::uint64_t, std::size_t> pending;
+  Waiter waiter;
+  waiter.responses = &result.responses;
+  waiter.remaining = requests.size();
   std::vector<std::uint64_t> ids(requests.size());
-  for (std::size_t i = 0; i < requests.size(); ++i) {
-    ids[i] = next_request_id_.fetch_add(1, std::memory_order_relaxed);
-    pending.emplace(ids[i], i);
+  {
+    std::lock_guard lock(mu_);
+    if (closed_) {
+      result.bus_closed = true;
+      return result;
+    }
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      ids[i] = next_request_id_.fetch_add(1, std::memory_order_relaxed);
+      pending_.emplace(ids[i], Slot{&waiter, i});
+    }
   }
 
   for (std::uint32_t attempt = 0; attempt < policy_.max_attempts; ++attempt) {
+    // Which of our requests are still unanswered?
+    std::vector<std::size_t> todo;
+    {
+      std::lock_guard lock(mu_);
+      for (std::size_t i = 0; i < ids.size(); ++i) {
+        if (pending_.contains(ids[i])) todo.push_back(i);
+      }
+    }
+    if (todo.empty()) break;
     if (attempt > 0) {
-      result.stats.retries += pending.size();
+      result.stats.retries += todo.size();
       const auto backoff = std::min(
           policy_.backoff_cap,
           std::chrono::milliseconds(policy_.backoff_base.count()
@@ -83,40 +173,34 @@ GatherResult Client::gather(
             std::chrono::duration_cast<std::chrono::microseconds>(
                 policy_.attempt_timeout)
                 .count());
-    for (const auto& [id, index] : pending) {
+    for (const std::size_t i : todo) {
       bus_.send_to_server(
-          requests[index].first,
-          envelope_wrap({id, attempt, deadline_us}, requests[index].second));
+          requests[i].first,
+          envelope_wrap({ids[i], attempt, deadline_us}, requests[i].second));
     }
 
-    while (!pending.empty()) {
-      auto message = bus_.client_mailbox().pop_until(deadline);
-      if (!message.has_value()) {
-        if (bus_.client_mailbox().closed()) {
-          result.bus_closed = true;
-          return result;
-        }
-        ++result.stats.timeouts;  // attempt window expired
-        break;
-      }
-      Envelope envelope;
-      std::span<const std::uint8_t> payload;
-      if (!envelope_unwrap(message->payload, envelope, payload)) {
-        ++result.stats.corrupt_discarded;
-        continue;
-      }
-      const auto it = pending.find(envelope.request_id);
-      if (it == pending.end()) {
-        ++result.stats.duplicates_discarded;  // dup or stale response
-        continue;
-      }
-      result.responses[it->second] =
-          Message{message->sender,
-                  std::vector<std::uint8_t>(payload.begin(), payload.end())};
-      pending.erase(it);
+    std::unique_lock lock(mu_);
+    waiter.cv.wait_until(lock, deadline, [&] {
+      return waiter.remaining == 0 || closed_;
+    });
+    if (waiter.remaining == 0) break;
+    if (closed_) {
+      result.bus_closed = true;
+      break;
     }
-    if (pending.empty()) break;
+    ++result.stats.timeouts;  // attempt window expired
   }
+
+  // Withdraw unanswered ids before the stack-allocated waiter dies; late
+  // responses then count as stray instead of touching freed memory.
+  {
+    std::lock_guard lock(mu_);
+    for (const std::uint64_t id : ids) pending_.erase(id);
+  }
+  result.stats.corrupt_discarded =
+      corrupt_responses_.load(std::memory_order_relaxed) - corrupt_before;
+  result.stats.duplicates_discarded =
+      stray_responses_.load(std::memory_order_relaxed) - stray_before;
   return result;
 }
 

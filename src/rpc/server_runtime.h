@@ -1,11 +1,18 @@
 // Server event loop and client-side broadcast/gather helpers.
 //
-// Each PDC server is a dedicated thread draining its mailbox; every request
-// produces exactly one response message to the client.  The client's
-// broadcast-gather runs on a background thread (paper §III-C: "the client
-// has a background thread that aggregates the results received from all
-// servers"), so the application thread may continue working and only block
-// when it actually needs the result.
+// Each PDC server is a dedicated thread draining its mailbox.  With a
+// thread pool attached (ServerRuntimeOptions::pool) the mailbox thread
+// becomes a dispatcher: it admits up to `max_inflight` requests at a time
+// and hands each to the pool, so one server overlaps the CPU phases of
+// several requests — the intra-server parallelism of paper §III-C ("each
+// PDC server [uses] multiple threads to process the query in parallel").
+// Without a pool every request is handled inline, one at a time, in
+// arrival order.
+//
+// The client's broadcast-gather runs on a background thread (paper §III-C:
+// "the client has a background thread that aggregates the results received
+// from all servers"), so the application thread may continue working and
+// only block when it actually needs the result.
 //
 // Reliability: requests and responses travel inside Envelopes (request id,
 // attempt, deadline, checksum).  The client's gather() enforces a per
@@ -18,29 +25,46 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <functional>
 #include <future>
 #include <mutex>
 #include <optional>
 #include <span>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
+#include "common/exec_pool.h"
 #include "rpc/message_bus.h"
 
 namespace pdc::rpc {
 
+/// Execution options for one server runtime.
+struct ServerRuntimeOptions {
+  /// Pool the handler runs on (shared across servers; must outlive the
+  /// runtime).  Null = handle requests inline on the mailbox thread.
+  exec::ThreadPool* pool = nullptr;
+  /// With a pool: how many requests one server may process concurrently.
+  /// Admission is bounded so a burst cannot swamp the shared pool.
+  std::uint32_t max_inflight = 4;
+};
+
 /// Runs one server's request loop on a dedicated thread.
 class ServerRuntime {
  public:
-  /// Handler: (request payload) -> response payload.  Invoked on the server
-  /// thread, one request at a time.
+  /// Handler: (request payload) -> response payload.  Without a pool it is
+  /// invoked on the server thread, one request at a time.  With a pool it
+  /// runs on pool workers with up to `max_inflight` invocations in flight
+  /// concurrently — the handler must be thread-safe.
   using Handler =
       std::function<std::vector<std::uint8_t>(std::span<const std::uint8_t>)>;
 
-  ServerRuntime(MessageBus& bus, ServerId id, Handler handler);
+  ServerRuntime(MessageBus& bus, ServerId id, Handler handler,
+                ServerRuntimeOptions options = {});
 
-  /// Closes the mailbox and joins the thread.
+  /// Closes the mailbox, joins the thread, and waits for in-flight pooled
+  /// requests to finish (their replies may still be delivered).
   ~ServerRuntime();
 
   ServerRuntime(const ServerRuntime&) = delete;
@@ -54,6 +78,10 @@ class ServerRuntime {
   MessageBus& bus_;
   ServerId id_;
   Handler handler_;
+  ServerRuntimeOptions options_;
+  std::mutex inflight_mu_;
+  std::condition_variable inflight_cv_;
+  std::uint32_t inflight_ = 0;
   std::thread thread_;
 };
 
@@ -93,22 +121,30 @@ struct GatherResult {
 
 /// Client endpoint: broadcast a request and gather one response per server.
 ///
-/// Thread safety: all entry points may be called concurrently (in
-/// particular while a broadcast_collect() future is outstanding).  There is
-/// a single client mailbox, so concurrent gathers are serialized on an
-/// internal mutex — without it, two poppers would each consume and discard
-/// the other's responses as stale.  A gather never blocks past its own
-/// retry budget, so waiting for the mutex is bounded too.
+/// A dedicated receiver thread owns the single client mailbox and
+/// demultiplexes responses to the issuing gather by request id, so any
+/// number of gathers (application threads plus broadcast_collect
+/// background threads) may run concurrently without consuming each
+/// other's responses.  Responses whose request id matches no outstanding
+/// gather are discarded as duplicate/stale.  One Client per bus: the
+/// receiver is the mailbox's only consumer.
 class Client {
  public:
-  explicit Client(MessageBus& bus, RetryPolicy policy = {})
-      : bus_(bus), policy_(policy) {}
+  explicit Client(MessageBus& bus, RetryPolicy policy = {});
+
+  /// Closes the client mailbox and joins the receiver thread.  Safe to
+  /// destroy the Client before or after MessageBus::shutdown().
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
 
   /// Send each (server, payload) request and gather the responses, with
   /// per-attempt deadlines and bounded-backoff retries.  Message payloads
   /// in the result are the bare inner payloads (envelopes stripped);
   /// sender is the responding server.  Never blocks past
-  /// max_attempts * (attempt_timeout + backoff).
+  /// max_attempts * (attempt_timeout + backoff).  Thread-safe; concurrent
+  /// gathers proceed independently.
   GatherResult gather(
       const std::vector<std::pair<ServerId, std::vector<std::uint8_t>>>&
           requests);
@@ -132,11 +168,37 @@ class Client {
   [[nodiscard]] const RetryPolicy& policy() const noexcept { return policy_; }
 
  private:
+  /// One in-progress gather waiting for its responses.
+  struct Waiter {
+    std::vector<std::optional<Message>>* responses = nullptr;
+    std::condition_variable cv;
+    std::size_t remaining = 0;
+  };
+  /// pending_ value: where a response with that request id belongs.
+  struct Slot {
+    Waiter* waiter = nullptr;
+    std::size_t index = 0;
+  };
+
+  void receive_loop();
+
   MessageBus& bus_;
   RetryPolicy policy_;
   std::atomic<std::uint64_t> next_request_id_{1};
-  /// Serializes gather() bodies: only one popper on the client mailbox.
-  std::mutex gather_mu_;
+
+  /// Guards pending_, closed_, and every Waiter (receiver fills slots and
+  /// decrements `remaining` under this lock; gathers wait on their cv
+  /// with it).
+  std::mutex mu_;
+  std::unordered_map<std::uint64_t, Slot> pending_;
+  bool closed_ = false;
+
+  /// Client-wide discard counters; a gather reports the delta across its
+  /// own lifetime (attribution is approximate under concurrent gathers).
+  std::atomic<std::uint64_t> corrupt_responses_{0};
+  std::atomic<std::uint64_t> stray_responses_{0};
+
+  std::thread receiver_;
 };
 
 }  // namespace pdc::rpc

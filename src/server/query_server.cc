@@ -138,8 +138,9 @@ EvalResponse QueryServer::eval(const EvalRequest& request) {
     } else {
       // OR across terms: merge + dedupe (paper: merge sort on results).
       ledger.add_cpu(store_.cluster().config().cost.scan_cost(
-          (all_positions.size() + term_positions.size()) *
-          sizeof(std::uint64_t)));
+                         (all_positions.size() + term_positions.size()) *
+                         sizeof(std::uint64_t)),
+                     CpuStage::kMerge);
       all_positions = merge_union(std::move(all_positions),
                                   std::move(term_positions));
       response.sorted_extents.clear();  // extents only valid single-term
@@ -215,7 +216,8 @@ Status QueryServer::eval_term(const AndTerm& term, const EvalRequest& request,
       positions.insert(positions.end(), original.begin(), original.end());
     }
     ledger.add_cpu(store_.cluster().config().cost.scan_cost(
-        positions.size() * sizeof(std::uint64_t)));
+                       positions.size() * sizeof(std::uint64_t)),
+                   CpuStage::kMerge);
     std::sort(positions.begin(), positions.end());
     if (request.region_constraint.count > 0) {
       std::erase_if(positions, [&](std::uint64_t p) {
@@ -283,31 +285,50 @@ Status QueryServer::eval_driver_scan(const obj::ObjectDescriptor& object,
                                      ServerId identity, CostLedger& ledger,
                                      std::vector<std::uint64_t>& positions) {
   const CostModel& cost = store_.cluster().config().cost;
-  for (const RegionIndex r :
-       regions_of_server(object, identity, options_.num_servers)) {
-    const obj::RegionDescriptor& region = object.regions[r];
-    Extent1D want = region.extent;
-    if (constraint.count > 0) {
-      want = want.intersect(constraint);
-      if (want.empty()) continue;
-    }
-    if (prune && !region.histogram.may_overlap(interval)) {
-      continue;  // region eliminated by min/max — no I/O at all
-    }
-    const bool all_hits = prune && region.histogram.covers(interval);
-    // Fetch through the cache (populates it for later queries/get-data).
-    PDC_ASSIGN_OR_RETURN(RegionCache::Buffer buffer,
-                         fetch_region(object, r, ledger, /*cacheable=*/true));
-    if (all_hits) {
-      // Histogram proves every element matches: skip the per-element scan.
-      for (std::uint64_t p = want.offset; p < want.end(); ++p) {
-        positions.push_back(p);
+  const std::vector<RegionIndex> regions =
+      regions_of_server(object, identity, options_.num_servers);
+  // One pool task per region (fetch through the cache + scan).  Each task
+  // fills its own slot, so concatenating slots in region-index order below
+  // reproduces the serial loop bit-exactly: per-region hit lists are
+  // ascending and region extents are disjoint ascending.
+  std::vector<Status> statuses(regions.size());
+  std::vector<CostLedger> ledgers(regions.size());
+  std::vector<std::vector<std::uint64_t>> hits(regions.size());
+  exec::parallel_for(options_.pool, regions.size(), [&](std::size_t i) {
+    statuses[i] = [&]() -> Status {
+      const RegionIndex r = regions[i];
+      const obj::RegionDescriptor& region = object.regions[r];
+      Extent1D want = region.extent;
+      if (constraint.count > 0) {
+        want = want.intersect(constraint);
+        if (want.empty()) return Status::Ok();
       }
-      continue;
-    }
-    ledger.add_cpu(cost.scan_cost(want.count * object.element_size()));
-    scan_buffer(object.type, buffer->data(), region.extent, want, interval,
-                positions);
+      if (prune && !region.histogram.may_overlap(interval)) {
+        return Status::Ok();  // region eliminated by min/max — no I/O at all
+      }
+      const bool all_hits = prune && region.histogram.covers(interval);
+      // Fetch through the cache (populates it for later queries/get-data).
+      PDC_ASSIGN_OR_RETURN(
+          RegionCache::Buffer buffer,
+          fetch_region(object, r, ledgers[i], /*cacheable=*/true));
+      if (all_hits) {
+        // Histogram proves every element matches: skip the per-element scan.
+        for (std::uint64_t p = want.offset; p < want.end(); ++p) {
+          hits[i].push_back(p);
+        }
+        return Status::Ok();
+      }
+      ledgers[i].add_cpu(cost.scan_cost(want.count * object.element_size()),
+                         CpuStage::kScan);
+      scan_buffer(object.type, buffer->data(), region.extent, want, interval,
+                  hits[i]);
+      return Status::Ok();
+    }();
+  });
+  for (const Status& s : statuses) PDC_RETURN_IF_ERROR(s);
+  ledger.merge_parallel(ledgers, eval_threads());
+  for (const std::vector<std::uint64_t>& h : hits) {
+    positions.insert(positions.end(), h.begin(), h.end());
   }
   return Status::Ok();
 }
@@ -406,27 +427,43 @@ Status QueryServer::eval_driver_index(const obj::ObjectDescriptor& object,
       }
     }
 
-    // Pass 2 — decode bins; definite hits go straight to positions,
-    // candidates accumulate globally for one aggregated value check.
-    std::uint64_t decoded_bytes = 0;
+    // Pass 2 — decode bins in parallel (one task per planned bin); definite
+    // hits and candidates land in per-task slots, concatenated afterwards.
+    // Order does not matter for correctness: positions get a final sort and
+    // candidates are sorted before the aggregated value check.
+    std::vector<Status> statuses(planned.size());
+    std::vector<CostLedger> ledgers(planned.size());
+    std::vector<std::vector<std::uint64_t>> definite(planned.size());
+    std::vector<std::vector<std::uint64_t>> partial(planned.size());
+    exec::parallel_for(options_.pool, planned.size(), [&](std::size_t i) {
+      statuses[i] = [&]() -> Status {
+        PDC_ASSIGN_OR_RETURN(
+            bitmap::WahBitVector bv,
+            bitmap::PartitionedIndexView::DecodeBin(*planned[i].cached));
+        ledgers[i].add_cpu(static_cast<double>(planned[i].cached->size()) /
+                               cost.index_decode_bandwidth_bps,
+                           CpuStage::kDecode);
+        const obj::RegionDescriptor& region =
+            object.regions[planned[i].region];
+        Extent1D want = region.extent;
+        if (constraint.count > 0) want = want.intersect(constraint);
+        auto& sink = planned[i].full ? definite[i] : partial[i];
+        const std::uint64_t base = region.extent.offset;
+        bv.for_each_set([&sink, base, &want](std::uint64_t local) {
+          const std::uint64_t pos = base + local;
+          if (want.contains(pos)) sink.push_back(pos);
+        });
+        return Status::Ok();
+      }();
+    });
+    for (const Status& s : statuses) PDC_RETURN_IF_ERROR(s);
+    ledger.merge_parallel(ledgers, eval_threads());
     std::vector<std::uint64_t> candidates;
     for (std::size_t i = 0; i < planned.size(); ++i) {
-      PDC_ASSIGN_OR_RETURN(
-          bitmap::WahBitVector bv,
-          bitmap::PartitionedIndexView::DecodeBin(*planned[i].cached));
-      decoded_bytes += planned[i].cached->size();
-      const obj::RegionDescriptor& region = object.regions[planned[i].region];
-      Extent1D want = region.extent;
-      if (constraint.count > 0) want = want.intersect(constraint);
-      auto& sink = planned[i].full ? positions : candidates;
-      const std::uint64_t base = region.extent.offset;
-      bv.for_each_set([&sink, base, &want](std::uint64_t local) {
-        const std::uint64_t pos = base + local;
-        if (want.contains(pos)) sink.push_back(pos);
-      });
+      positions.insert(positions.end(), definite[i].begin(), definite[i].end());
+      candidates.insert(candidates.end(), partial[i].begin(),
+                        partial[i].end());
     }
-    ledger.add_cpu(static_cast<double>(decoded_bytes) /
-                   cost.index_decode_bandwidth_bps);
 
     log_debug("HI server ", options_.id, ": obj ", object.id, " bins=",
               planned.size(), " definite=", positions.size(),
@@ -441,7 +478,7 @@ Status QueryServer::eval_driver_index(const obj::ObjectDescriptor& object,
       PDC_RETURN_IF_ERROR(store_.read_values_at(object, candidates, values,
                                                 options_.aggregation,
                                                 read_ctx(ledger)));
-      ledger.add_cpu(cost.scan_cost(values.size()));
+      ledger.add_cpu(cost.scan_cost(values.size()), CpuStage::kScan);
       for (std::size_t i = 0; i < candidates.size(); ++i) {
         if (check_value(object.type, values.data(), i, interval)) {
           positions.push_back(candidates[i]);
@@ -458,30 +495,45 @@ Status QueryServer::eval_driver_sorted(const obj::ObjectDescriptor& replica,
                                        ServerId identity, CostLedger& ledger,
                                        std::vector<Extent1D>& extents) {
   const CostModel& cost = store_.cluster().config().cost;
-  for (const RegionIndex r :
-       regions_of_server(replica, identity, options_.num_servers)) {
-    const obj::RegionDescriptor& region = replica.regions[r];
-    if (!region.histogram.may_overlap(interval)) continue;
-
-    Extent1D hit;
-    if (region.histogram.covers(interval)) {
-      hit = region.extent;  // interior region: all elements match
-    } else {
+  const std::vector<RegionIndex> regions =
+      regions_of_server(replica, identity, options_.num_servers);
+  // Boundary regions fetch + binary-search in parallel; the extent list is
+  // then assembled serially in region-index order so cross-region
+  // coalescing sees the same adjacency as the serial loop.
+  std::vector<Status> statuses(regions.size());
+  std::vector<CostLedger> ledgers(regions.size());
+  std::vector<Extent1D> found(regions.size());  // count == 0: no hit
+  exec::parallel_for(options_.pool, regions.size(), [&](std::size_t i) {
+    statuses[i] = [&]() -> Status {
+      const RegionIndex r = regions[i];
+      const obj::RegionDescriptor& region = replica.regions[r];
+      if (!region.histogram.may_overlap(interval)) return Status::Ok();
+      if (region.histogram.covers(interval)) {
+        found[i] = region.extent;  // interior region: all elements match
+        return Status::Ok();
+      }
       // Boundary region: fetch (cached) and binary-search the range.
       PDC_ASSIGN_OR_RETURN(
           RegionCache::Buffer buffer,
-          fetch_region(replica, r, ledger, /*cacheable=*/true));
+          fetch_region(replica, r, ledgers[i], /*cacheable=*/true));
       const auto [lo, hi] = sorted_range(replica.type, buffer->data(),
                                          region.extent.count, interval);
       // Binary search touches O(log n) elements.
-      ledger.add_cpu(cost.scan_cost(
-          2 * 64 * replica.element_size() *
-          static_cast<std::uint64_t>(
-              std::ceil(std::log2(static_cast<double>(
-                  std::max<std::uint64_t>(2, region.extent.count)))))));
-      if (hi <= lo) continue;
-      hit = {region.extent.offset + lo, hi - lo};
-    }
+      ledgers[i].add_cpu(
+          cost.scan_cost(
+              2 * 64 * replica.element_size() *
+              static_cast<std::uint64_t>(
+                  std::ceil(std::log2(static_cast<double>(
+                      std::max<std::uint64_t>(2, region.extent.count)))))),
+          CpuStage::kScan);
+      if (hi > lo) found[i] = {region.extent.offset + lo, hi - lo};
+      return Status::Ok();
+    }();
+  });
+  for (const Status& s : statuses) PDC_RETURN_IF_ERROR(s);
+  ledger.merge_parallel(ledgers, eval_threads());
+  for (const Extent1D& hit : found) {
+    if (hit.count == 0) continue;
     // Coalesce extents adjacent across region boundaries.
     if (!extents.empty() && extents.back().end() == hit.offset) {
       extents.back().count += hit.count;
@@ -498,9 +550,17 @@ Status QueryServer::restrict_positions(const obj::ObjectDescriptor& object,
                                        std::vector<std::uint64_t>& positions) {
   const CostModel& cost = store_.cluster().config().cost;
   const std::size_t elem_size = object.element_size();
-  std::vector<std::uint64_t> kept;
-  kept.reserve(positions.size());
 
+  // Split the ascending position list into per-region groups serially
+  // (cheap), then check the groups in parallel.  Groups are disjoint
+  // ascending, so concatenating the per-group keep lists in group order
+  // reproduces the serial result bit-exactly.
+  struct Group {
+    std::size_t begin;
+    std::size_t end;
+    RegionIndex region;
+  };
+  std::vector<Group> groups;
   std::size_t i = 0;
   while (i < positions.size()) {
     const RegionIndex r = region_of_position(object, positions[i]);
@@ -509,62 +569,88 @@ Status QueryServer::restrict_positions(const obj::ObjectDescriptor& object,
            region_of_position(object, positions[j]) == r) {
       ++j;
     }
-    const std::span<const std::uint64_t> group(&positions[i], j - i);
+    groups.push_back({i, j, r});
     i = j;
-    const obj::RegionDescriptor& region = object.regions[r];
+  }
 
-    if (!full_scan_mode) {
-      if (!region.histogram.may_overlap(interval)) continue;  // drop group
-      if (region.histogram.covers(interval)) {
-        kept.insert(kept.end(), group.begin(), group.end());
-        continue;
-      }
-    }
+  std::vector<Status> statuses(groups.size());
+  std::vector<CostLedger> ledgers(groups.size());
+  std::vector<std::vector<std::uint64_t>> kept_parts(groups.size());
+  exec::parallel_for(options_.pool, groups.size(), [&](std::size_t gi) {
+    statuses[gi] = [&]() -> Status {
+      const std::span<const std::uint64_t> group(
+          &positions[groups[gi].begin], groups[gi].end - groups[gi].begin);
+      const RegionIndex r = groups[gi].region;
+      const obj::RegionDescriptor& region = object.regions[r];
+      std::vector<std::uint64_t>& kept = kept_parts[gi];
+      CostLedger& task_ledger = ledgers[gi];
 
-    RegionCache::Buffer buffer = cache_.get({object.id, r});
-    // Treat the group as dense when it holds many positions OR when its
-    // positions span most of the region anyway: the aggregated point read
-    // would coalesce into a near-whole-region read, so reading the region
-    // through the cache costs the same now and is free next time.
-    const std::uint64_t span_bytes =
-        group.empty() ? 0
-                      : (group.back() - group.front() + 1) * elem_size;
-    const bool dense =
-        full_scan_mode ||
-        static_cast<double>(group.size()) >
-            options_.dense_read_threshold *
-                static_cast<double>(region.extent.count) ||
-        span_bytes * 2 >= region.extent.count * elem_size;
-    if (buffer == nullptr && dense) {
-      PDC_ASSIGN_OR_RETURN(buffer,
-                           fetch_region(object, r, ledger, /*cacheable=*/true));
-      if (full_scan_mode) {
-        // The baseline scans the whole region regardless of selectivity.
-        ledger.add_cpu(cost.scan_cost(region.extent.count * elem_size));
-      }
-    }
-    if (buffer != nullptr) {
-      ledger.add_cpu(static_cast<double>(group.size() * elem_size) /
-                     cost.memcpy_bandwidth_bps);
-      for (const std::uint64_t pos : group) {
-        if (check_value(object.type, buffer->data(),
-                        pos - region.extent.offset, interval)) {
-          kept.push_back(pos);
+      if (!full_scan_mode) {
+        if (!region.histogram.may_overlap(interval)) {
+          return Status::Ok();  // drop group
+        }
+        if (region.histogram.covers(interval)) {
+          kept.insert(kept.end(), group.begin(), group.end());
+          return Status::Ok();
         }
       }
-    } else {
-      // Sparse group, cold region: aggregated point reads.
-      std::vector<std::uint8_t> values(group.size() * elem_size);
-      PDC_RETURN_IF_ERROR(store_.read_values_at(object, group, values,
-                                                options_.aggregation,
-                                                read_ctx(ledger)));
-      ledger.add_cpu(cost.scan_cost(values.size()));
-      for (std::size_t k = 0; k < group.size(); ++k) {
-        if (check_value(object.type, values.data(), k, interval)) {
-          kept.push_back(group[k]);
+
+      RegionCache::Buffer buffer = cache_.get({object.id, r});
+      // Treat the group as dense when it holds many positions OR when its
+      // positions span most of the region anyway: the aggregated point read
+      // would coalesce into a near-whole-region read, so reading the region
+      // through the cache costs the same now and is free next time.
+      const std::uint64_t span_bytes =
+          group.empty() ? 0
+                        : (group.back() - group.front() + 1) * elem_size;
+      const bool dense =
+          full_scan_mode ||
+          static_cast<double>(group.size()) >
+              options_.dense_read_threshold *
+                  static_cast<double>(region.extent.count) ||
+          span_bytes * 2 >= region.extent.count * elem_size;
+      if (buffer == nullptr && dense) {
+        PDC_ASSIGN_OR_RETURN(
+            buffer, fetch_region(object, r, task_ledger, /*cacheable=*/true));
+        if (full_scan_mode) {
+          // The baseline scans the whole region regardless of selectivity.
+          task_ledger.add_cpu(cost.scan_cost(region.extent.count * elem_size),
+                              CpuStage::kScan);
         }
       }
-    }
+      if (buffer != nullptr) {
+        task_ledger.add_cpu(static_cast<double>(group.size() * elem_size) /
+                                cost.memcpy_bandwidth_bps,
+                            CpuStage::kScan);
+        for (const std::uint64_t pos : group) {
+          if (check_value(object.type, buffer->data(),
+                          pos - region.extent.offset, interval)) {
+            kept.push_back(pos);
+          }
+        }
+      } else {
+        // Sparse group, cold region: aggregated point reads.
+        std::vector<std::uint8_t> values(group.size() * elem_size);
+        PDC_RETURN_IF_ERROR(store_.read_values_at(object, group, values,
+                                                  options_.aggregation,
+                                                  read_ctx(task_ledger)));
+        task_ledger.add_cpu(cost.scan_cost(values.size()), CpuStage::kScan);
+        for (std::size_t k = 0; k < group.size(); ++k) {
+          if (check_value(object.type, values.data(), k, interval)) {
+            kept.push_back(group[k]);
+          }
+        }
+      }
+      return Status::Ok();
+    }();
+  });
+  for (const Status& s : statuses) PDC_RETURN_IF_ERROR(s);
+  ledger.merge_parallel(ledgers, eval_threads());
+
+  std::vector<std::uint64_t> kept;
+  kept.reserve(positions.size());
+  for (const std::vector<std::uint64_t>& part : kept_parts) {
+    kept.insert(kept.end(), part.begin(), part.end());
   }
   positions = std::move(kept);
   return Status::Ok();
@@ -620,7 +706,8 @@ Status QueryServer::gather_values(const obj::ObjectDescriptor& object,
     }
     if (buffer != nullptr) {
       ledger.add_cpu(static_cast<double>(dest.size()) /
-                     cost.memcpy_bandwidth_bps);
+                         cost.memcpy_bandwidth_bps,
+                     CpuStage::kMerge);
       for (std::size_t k = 0; k < group.size(); ++k) {
         const std::uint64_t local = group[k] - region.extent.offset;
         std::copy_n(buffer->data() + local * elem_size, elem_size,
@@ -665,7 +752,8 @@ GetDataResponse QueryServer::get_data(const GetDataRequest& request) {
               buffer->data() + (pos - region.extent.offset) * elem_size,
               dest.size(), dest.data());
           ledger.add_cpu(static_cast<double>(dest.size()) /
-                         cost.memcpy_bandwidth_bps);
+                             cost.memcpy_bandwidth_bps,
+                         CpuStage::kMerge);
         } else {
           const Status s =
               store_.read_elements(**object, {pos, take}, dest,

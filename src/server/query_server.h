@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "common/cost_model.h"
+#include "common/exec_pool.h"
 #include "obj/object_store.h"
 #include "pfs/read_aggregator.h"
 #include "server/region_cache.h"
@@ -35,6 +36,12 @@ namespace pdc::server {
 struct ServerOptions {
   ServerId id = 0;
   std::uint32_t num_servers = 1;
+  /// Intra-server evaluation pool (shared across servers of a deployment;
+  /// must outlive the server).  Null = serial region loops.  The region
+  /// loops submit one task per region and join; per-task CostLedgers are
+  /// combined with CostLedger::merge_parallel so simulated time reports
+  /// max(critical task, work/threads) instead of sum-of-regions.
+  exec::ThreadPool* pool = nullptr;
   /// Memory cap for cached region data (paper: 64 GB per server).
   std::uint64_t cache_capacity_bytes = 1ull << 30;
   /// Point-read coalescing for candidate checks / scattered get-data.
@@ -109,6 +116,11 @@ class QueryServer {
 
   [[nodiscard]] pfs::ReadContext read_ctx(CostLedger& ledger) const {
     return {&ledger, options_.num_servers};
+  }
+
+  /// Modeled cores per server for parallel cost accounting.
+  [[nodiscard]] std::uint32_t eval_threads() const noexcept {
+    return options_.pool != nullptr ? options_.pool->size() : 1;
   }
 
   const obj::ObjectStore& store_;

@@ -38,17 +38,23 @@ class RegionCache {
   }
 
   /// Insert (or refresh) a buffer; evicts LRU entries beyond capacity.
+  /// Refreshing an existing key replaces its buffer (the new bytes are the
+  /// current ones — keeping the old buffer would serve stale data forever)
+  /// and reconciles `bytes_` with the size difference before evicting.
   void put(const Key& key, Buffer buffer) {
     if (capacity_ == 0 || !buffer) return;
     std::lock_guard lock(mu_);
     const auto it = entries_.find(key);
     if (it != entries_.end()) {
       lru_.splice(lru_.begin(), lru_, it->second.lru_it);
-      return;
+      bytes_ -= it->second.buffer->size();
+      bytes_ += buffer->size();
+      it->second.buffer = std::move(buffer);
+    } else {
+      lru_.push_front(key);
+      bytes_ += buffer->size();
+      entries_.emplace(key, Entry{std::move(buffer), lru_.begin()});
     }
-    lru_.push_front(key);
-    bytes_ += buffer->size();
-    entries_.emplace(key, Entry{std::move(buffer), lru_.begin()});
     while (bytes_ > capacity_ && !lru_.empty()) {
       const Key victim = lru_.back();
       lru_.pop_back();

@@ -45,6 +45,9 @@ void put_ledger(SerialWriter& w, const LedgerSummary& l) {
   w.put(l.cpu_seconds);
   w.put(l.bytes_read);
   w.put(l.read_ops);
+  w.put(l.scan_seconds);
+  w.put(l.decode_seconds);
+  w.put(l.merge_seconds);
 }
 
 Status get_ledger(SerialReader& r, LedgerSummary& l) {
@@ -52,6 +55,9 @@ Status get_ledger(SerialReader& r, LedgerSummary& l) {
   PDC_RETURN_IF_ERROR(r.get(l.cpu_seconds));
   PDC_RETURN_IF_ERROR(r.get(l.bytes_read));
   PDC_RETURN_IF_ERROR(r.get(l.read_ops));
+  PDC_RETURN_IF_ERROR(r.get(l.scan_seconds));
+  PDC_RETURN_IF_ERROR(r.get(l.decode_seconds));
+  PDC_RETURN_IF_ERROR(r.get(l.merge_seconds));
   return Status::Ok();
 }
 

@@ -51,16 +51,26 @@ struct AndTerm {
   ObjectId driver_replica = kInvalidObjectId;
 };
 
-/// Compact ledger representation carried in responses.
+/// Compact ledger representation carried in responses.  The stage fields
+/// split cpu_seconds by what it was spent on (decode/scan/merge; the
+/// remainder is uncategorized) so the client can report per-stage timings.
 struct LedgerSummary {
   double io_seconds = 0.0;
   double cpu_seconds = 0.0;
   std::uint64_t bytes_read = 0;
   std::uint64_t read_ops = 0;
+  double scan_seconds = 0.0;
+  double decode_seconds = 0.0;
+  double merge_seconds = 0.0;
 
   static LedgerSummary from(const CostLedger& ledger) {
-    return {ledger.io_seconds(), ledger.cpu_seconds(), ledger.bytes_read(),
-            ledger.read_ops()};
+    return {ledger.io_seconds(),
+            ledger.cpu_seconds(),
+            ledger.bytes_read(),
+            ledger.read_ops(),
+            ledger.stage_seconds(CpuStage::kScan),
+            ledger.stage_seconds(CpuStage::kDecode),
+            ledger.stage_seconds(CpuStage::kMerge)};
   }
   [[nodiscard]] double elapsed() const noexcept {
     return io_seconds + cpu_seconds;

@@ -458,6 +458,16 @@ Result<bool> run_service(const Case& c, const Env& env,
 
 }  // namespace
 
+static std::uint32_t effective_eval_threads(const RunOptions& options,
+                                            std::uint64_t seed) {
+  if (options.eval_threads != 0) return options.eval_threads;
+  // Derived deterministically from the seed so a replayed PDC_QC_SEED runs
+  // with the same pool width; spreads over 1..8 including the 1-worker
+  // pool (pooled code path, serial schedule).
+  return 1 +
+         static_cast<std::uint32_t>(((seed * 0x9E3779B97F4A7C15ull) >> 60) % 8);
+}
+
 Result<std::optional<Mismatch>> run_case(const Case& c,
                                          const RunOptions& options) {
   std::optional<Mismatch> mismatch;
@@ -485,10 +495,12 @@ Result<std::optional<Mismatch>> run_case(const Case& c,
     expected.push_back(oracle_hits(c.dataset, q));
   }
 
+  const std::uint32_t eval_threads = effective_eval_threads(options, c.seed);
   for (const server::Strategy strategy : options.strategies) {
     query::ServiceOptions service_options;
     service_options.num_servers = options.num_servers;
     service_options.strategy = strategy;
+    service_options.eval_threads = eval_threads;
     query::QueryService service(*env.store, service_options);
     PDC_ASSIGN_OR_RETURN(
         bool failed,
@@ -507,6 +519,7 @@ Result<std::optional<Mismatch>> run_case(const Case& c,
     query::ServiceOptions service_options;
     service_options.num_servers = options.num_servers;
     service_options.strategy = server::Strategy::kHistogram;
+    service_options.eval_threads = eval_threads;
     service_options.fault_injector = &injector;
     service_options.retry.attempt_timeout = std::chrono::milliseconds(100);
     service_options.retry.max_attempts = 3;
@@ -715,6 +728,7 @@ std::string describe_case(const Case& c) {
 
 Status run_querycheck(std::uint64_t base_seed, std::size_t num_cases,
                       const RunOptions& options) {
+  RunOptions run_options = options;
   if (const char* env = std::getenv("PDC_QC_SEED")) {
     base_seed = std::strtoull(env, nullptr, 10);
     num_cases = 1;
@@ -723,29 +737,38 @@ Status run_querycheck(std::uint64_t base_seed, std::size_t num_cases,
     num_cases = std::strtoull(env, nullptr, 10);
     if (num_cases == 0) num_cases = 1;
   }
+  if (const char* env = std::getenv("PDC_QC_THREADS")) {
+    // Repro knob: pin the pool width (a bare seed replay already derives
+    // the same width, this is for bisecting thread-count sensitivity).
+    run_options.eval_threads = static_cast<std::uint32_t>(
+        std::min(64ul, std::strtoul(env, nullptr, 10)));
+  }
 
   for (std::size_t i = 0; i < num_cases; ++i) {
     const std::uint64_t seed = base_seed + i;
     QueryGen gen(seed);
     const Case c = gen.draw_case();
     PDC_ASSIGN_OR_RETURN(std::optional<Mismatch> mismatch,
-                         run_case(c, options));
+                         run_case(c, run_options));
     if (!mismatch) continue;
 
-    const auto pred = [&options](const Case& candidate) {
-      Result<std::optional<Mismatch>> r = run_case(candidate, options);
+    const auto pred = [&run_options](const Case& candidate) {
+      Result<std::optional<Mismatch>> r = run_case(candidate, run_options);
       return r.ok() && r->has_value();
     };
     const ShrinkResult shrunk = shrink(c, pred);
     Result<std::optional<Mismatch>> minimal_run =
-        run_case(shrunk.minimal, options);
+        run_case(shrunk.minimal, run_options);
     const Mismatch& report =
         (minimal_run.ok() && minimal_run->has_value()) ? **minimal_run
                                                        : *mismatch;
     std::ostringstream os;
     os << "QueryCheck failure on path '" << report.path << "', query #"
        << report.query_index << ": " << report.detail << "\n  "
-       << repro_line(seed) << "\n  minimal " << describe_case(shrunk.minimal)
+       << repro_line(seed) << "\n  eval_threads="
+       << effective_eval_threads(run_options, shrunk.minimal.seed)
+       << (run_options.eval_threads == 0 ? " (seed-derived)" : " (pinned)")
+       << "\n  minimal " << describe_case(shrunk.minimal)
        << "\n  (shrunk in " << shrunk.accepted_steps << " steps, "
        << shrunk.attempts << " attempts)";
     return Status::Internal(os.str());

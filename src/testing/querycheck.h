@@ -135,6 +135,12 @@ struct RunOptions {
   /// Also run a fault-injected degraded evaluation (one server killed at
   /// startup; results must stay bit-identical).
   bool degraded = true;
+  /// Intra-server evaluation pool size for every service under test.
+  /// 0 = derive per seed (1..8, including the degenerate 1-worker pool),
+  /// so the battery covers serial-equivalence across pool widths for free.
+  /// Overridable with the PDC_QC_THREADS environment variable (repro knob:
+  /// a printed seed replays with the same derived width automatically).
+  std::uint32_t eval_threads = 0;
   /// Also verify planner selectivity ordering and sorted-replica structure
   /// on each case (invariants.h).
   bool check_invariants = true;

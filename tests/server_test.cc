@@ -146,6 +146,31 @@ TEST(RegionCacheTest, DuplicatePutKeepsOneEntry) {
   EXPECT_EQ(cache.bytes(), 100u);
 }
 
+TEST(RegionCacheTest, RefreshReplacesBufferAndReconcilesBytes) {
+  RegionCache cache(1000);
+  cache.put({1, 0}, make_buffer(100, 1));
+  // Refresh with new contents and a different size: the new bytes must be
+  // served (keeping the old buffer would return stale data forever) and
+  // the byte accounting must follow the size change.
+  cache.put({1, 0}, make_buffer(60, 2));
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(cache.bytes(), 60u);
+  auto buffer = cache.get({1, 0});
+  ASSERT_NE(buffer, nullptr);
+  ASSERT_EQ(buffer->size(), 60u);
+  EXPECT_EQ((*buffer)[0], 2);
+  // Growing refresh reconciles upward too, and may trigger eviction of
+  // other entries — never of the refreshed key itself.
+  cache.put({1, 1}, make_buffer(100, 3));
+  cache.put({1, 0}, make_buffer(950, 4));
+  EXPECT_EQ(cache.get({1, 1}), nullptr);  // evicted to make room
+  auto grown = cache.get({1, 0});
+  ASSERT_NE(grown, nullptr);
+  EXPECT_EQ(grown->size(), 950u);
+  EXPECT_EQ(cache.bytes(), 950u);
+  EXPECT_GE(cache.evictions(), 1u);
+}
+
 TEST(RegionCacheTest, ClearResets) {
   RegionCache cache(1000);
   cache.put({1, 0}, make_buffer(100, 1));
