@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <iterator>
 
 namespace pdc::exec {
 namespace {
@@ -34,7 +35,7 @@ ThreadPool::~ThreadPool() {
   for (std::thread& t : threads_) t.join();
 }
 
-void ThreadPool::submit(Task task) {
+void ThreadPool::submit(Task task, const void* tag) {
   // A worker submits to its own deque (front: depth-first, cache-warm);
   // external threads scatter round-robin so no single deque becomes the
   // bottleneck before stealing kicks in.
@@ -47,7 +48,7 @@ void ThreadPool::submit(Task task) {
   }
   {
     std::lock_guard lock(workers_[target]->mu);
-    workers_[target]->deque.push_front(std::move(task));
+    workers_[target]->deque.push_front(Entry{std::move(task), tag});
   }
   submitted_.fetch_add(1, std::memory_order_relaxed);
   const std::uint64_t depth = queued_.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -64,14 +65,17 @@ void ThreadPool::submit(Task task) {
   sleep_cv_.notify_one();
 }
 
-bool ThreadPool::pop_or_steal(std::uint32_t self, Task& out) {
-  // Own deque first, newest-first.
+bool ThreadPool::pop_or_steal(std::uint32_t self, const void* tag,
+                              Task& out) {
+  // Own deque first, newest-first.  With a tag filter, take the newest
+  // matching entry (the deque may hold other groups' tasks in between).
   if (self != kNotWorker) {
     Worker& own = *workers_[self];
     std::lock_guard lock(own.mu);
-    if (!own.deque.empty()) {
-      out = std::move(own.deque.front());
-      own.deque.pop_front();
+    for (auto it = own.deque.begin(); it != own.deque.end(); ++it) {
+      if (tag != nullptr && it->tag != tag) continue;
+      out = std::move(it->fn);
+      own.deque.erase(it);
       queued_.fetch_sub(1, std::memory_order_relaxed);
       return true;
     }
@@ -85,22 +89,24 @@ bool ThreadPool::pop_or_steal(std::uint32_t self, Task& out) {
     if (victim == self) continue;
     Worker& w = *workers_[victim];
     std::lock_guard lock(w.mu);
-    if (w.deque.empty()) continue;
-    out = std::move(w.deque.back());
-    w.deque.pop_back();
-    queued_.fetch_sub(1, std::memory_order_relaxed);
-    // External helper threads (TaskGroup::wait callers) count too: the
-    // task still migrated off the deque it was pushed to.
-    steals_.fetch_add(1, std::memory_order_relaxed);
-    return true;
+    for (auto it = w.deque.rbegin(); it != w.deque.rend(); ++it) {
+      if (tag != nullptr && it->tag != tag) continue;
+      out = std::move(it->fn);
+      w.deque.erase(std::next(it).base());
+      queued_.fetch_sub(1, std::memory_order_relaxed);
+      // External helper threads (TaskGroup::wait callers) count too: the
+      // task still migrated off the deque it was pushed to.
+      steals_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
   }
   return false;
 }
 
-bool ThreadPool::try_run_one() {
+bool ThreadPool::try_run_one(const void* tag) {
   const std::uint32_t self = tls_pool == this ? tls_worker : kNotWorker;
   Task task;
-  if (!pop_or_steal(self, task)) return false;
+  if (!pop_or_steal(self, tag, task)) return false;
   task();
   executed_.fetch_add(1, std::memory_order_relaxed);
   return true;
@@ -111,7 +117,7 @@ void ThreadPool::worker_loop(std::uint32_t self) {
   tls_worker = self;
   for (;;) {
     Task task;
-    if (pop_or_steal(self, task)) {
+    if (pop_or_steal(self, /*tag=*/nullptr, task)) {
       task();
       executed_.fetch_add(1, std::memory_order_relaxed);
       continue;
@@ -166,33 +172,44 @@ void TaskGroup::spawn(std::function<void()> fn) {
     return;
   }
   outstanding_.fetch_add(1, std::memory_order_acq_rel);
-  pool_->submit([this, fn = std::move(fn)] {
-    run_captured(fn);
-    if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      // Last task out: wake the waiter.  Taking mu_ orders this notify
-      // after the waiter's predicate check, closing the lost-wakeup race.
-      std::lock_guard lock(mu_);
-      cv_.notify_all();
-    }
-  });
+  pool_->submit(
+      [this, fn = std::move(fn)] {
+        run_captured(fn);
+        // Decrement and notify while holding mu_.  The waiter's exit path
+        // (wait_no_throw) also takes mu_ after observing outstanding_==0,
+        // so it cannot return — and destroy this group — until this block
+        // has released the mutex; without the lock the waiter could free
+        // the group between our decrement and the notify.
+        std::lock_guard lock(mu_);
+        if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          cv_.notify_all();
+        }
+      },
+      /*tag=*/this);
 }
 
 void TaskGroup::wait_no_throw() noexcept {
-  if (pool_ != nullptr) {
-    while (outstanding_.load(std::memory_order_acquire) > 0) {
-      // Help: run queued pool work (ours or anyone's) on this thread.  If
-      // nothing is queued, our tasks are mid-execution on other workers —
-      // block until the last one signals.
-      if (pool_->try_run_one()) continue;
-      // Safe to block without re-scanning the deques: tasks of this group
-      // can only be queued by tasks of this group, and those run on pool
-      // workers — which never sleep while work is queued.
-      std::unique_lock lock(mu_);
-      cv_.wait(lock, [this] {
-        return outstanding_.load(std::memory_order_acquire) == 0;
-      });
-    }
+  if (pool_ == nullptr) return;
+  while (outstanding_.load(std::memory_order_acquire) > 0) {
+    // Help: run queued tasks *of this group* on this thread (the tag
+    // filter keeps us from inlining an unrelated whole-request task).  If
+    // none is queued, our tasks are mid-execution on other workers —
+    // block until the last one signals.
+    if (pool_->try_run_one(/*tag=*/this)) continue;
+    // Safe to block without re-scanning the deques: if no group task is
+    // queued, the outstanding ones are running on pool workers; any they
+    // spawn into this group get drained by workers (which never sleep
+    // while work is queued), and the final completion signals cv_.
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [this] {
+      return outstanding_.load(std::memory_order_acquire) == 0;
+    });
   }
+  // The loop can exit on the bare atomic load while the last task's
+  // callback is still inside its mu_-protected decrement/notify block.
+  // Taking mu_ here orders our return — and the caller's destruction of
+  // this group — after that block has released the mutex.
+  std::lock_guard lock(mu_);
 }
 
 void TaskGroup::wait() {

@@ -19,7 +19,10 @@
 // Nested parallelism is the norm (a request task spawns region tasks on
 // the same pool), so blocking a worker inside TaskGroup::wait() would
 // deadlock a size-1 pool.  wait() therefore *helps*: while its tasks are
-// outstanding it executes other queued pool tasks on the waiting thread.
+// outstanding it executes queued tasks of its own group on the waiting
+// thread.  Helping is restricted to the waiting group so a region-level
+// wait never inlines an unrelated whole-request task (which would add
+// that request's full latency to this one and nest handler stacks).
 //
 // Distinct from pdc::ThreadPool (thread_pool.h), the simple shared-queue
 // pool used by the h5lite baseline importer; that one stays as-is because
@@ -69,12 +72,18 @@ class ThreadPool {
   /// Enqueue a task.  Tasks must not throw (wrap user code in TaskGroup,
   /// which captures exceptions and rethrows from wait()).  Safe from any
   /// thread, including pool workers (goes to the local deque, LIFO).
-  void submit(Task task);
+  /// `tag` labels the task for filtered helping (TaskGroup passes its own
+  /// address); workers ignore it.
+  void submit(Task task, const void* tag = nullptr);
 
-  /// Execute one queued task on the calling thread; false if all deques
-  /// were empty.  This is the "helping" primitive TaskGroup::wait uses so
-  /// nested parallel sections cannot deadlock, even at pool size 1.
-  bool try_run_one();
+  /// Execute one queued task on the calling thread; false if none was
+  /// eligible.  With a null `tag` any queued task qualifies; with a tag
+  /// only tasks submitted under that tag do.  This is the "helping"
+  /// primitive TaskGroup::wait uses so nested parallel sections cannot
+  /// deadlock, even at pool size 1 — the tag filter keeps a region-level
+  /// wait from inlining an unrelated whole-request task (which would
+  /// inflate its latency and nest handler stacks).
+  bool try_run_one(const void* tag = nullptr);
 
   [[nodiscard]] PoolStats stats() const noexcept;
 
@@ -84,13 +93,18 @@ class ThreadPool {
   static ThreadPool& process_pool();
 
  private:
+  /// A queued task plus the helping tag it was submitted under.
+  struct Entry {
+    Task fn;
+    const void* tag = nullptr;
+  };
   struct Worker {
     std::mutex mu;
-    std::deque<Task> deque;  ///< front = newest (LIFO pop), back = steal end
+    std::deque<Entry> deque;  ///< front = newest (LIFO pop), back = steal end
   };
 
   void worker_loop(std::uint32_t self);
-  bool pop_or_steal(std::uint32_t self, Task& out);
+  bool pop_or_steal(std::uint32_t self, const void* tag, Task& out);
 
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;

@@ -96,16 +96,22 @@ void Client::receive_loop() {
     std::lock_guard lock(mu_);
     const auto it = pending_.find(envelope.request_id);
     if (it == pending_.end()) {
-      // Duplicate, stale (an earlier attempt answered already), or the
-      // gather gave up on this id.
+      // The issuing gather already returned and withdrew this id (or it
+      // never existed) — unattributable, count client-wide.
       stray_responses_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
     const Slot slot = it->second;
-    pending_.erase(it);
-    (*slot.waiter->responses)[slot.index] =
-        Message{message->sender,
-                std::vector<std::uint8_t>(payload.begin(), payload.end())};
+    auto& cell = (*slot.waiter->responses)[slot.index];
+    if (cell.has_value()) {
+      // An earlier attempt answered already; the id stays registered until
+      // its gather withdraws it, so the duplicate is charged to the gather
+      // it belongs to — not smeared across concurrent gathers.
+      ++slot.waiter->duplicates;
+      continue;
+    }
+    cell = Message{message->sender,
+                   std::vector<std::uint8_t>(payload.begin(), payload.end())};
     if (--slot.waiter->remaining == 0) slot.waiter->cv.notify_all();
   }
   // Mailbox closed: wake every in-progress gather so none blocks until its
@@ -121,11 +127,6 @@ GatherResult Client::gather(
   GatherResult result;
   result.responses.resize(requests.size());
   if (requests.empty()) return result;
-
-  const std::uint64_t corrupt_before =
-      corrupt_responses_.load(std::memory_order_relaxed);
-  const std::uint64_t stray_before =
-      stray_responses_.load(std::memory_order_relaxed);
 
   // Request ids are stable across retries so a slow first-attempt response
   // still satisfies the request; ids are globally unique so responses to
@@ -147,12 +148,13 @@ GatherResult Client::gather(
   }
 
   for (std::uint32_t attempt = 0; attempt < policy_.max_attempts; ++attempt) {
-    // Which of our requests are still unanswered?
+    // Which of our requests are still unanswered?  (Filled slots keep
+    // their pending_ entry until the withdraw below, so check the slot.)
     std::vector<std::size_t> todo;
     {
       std::lock_guard lock(mu_);
       for (std::size_t i = 0; i < ids.size(); ++i) {
-        if (pending_.contains(ids[i])) todo.push_back(i);
+        if (!result.responses[i].has_value()) todo.push_back(i);
       }
     }
     if (todo.empty()) break;
@@ -191,16 +193,13 @@ GatherResult Client::gather(
     ++result.stats.timeouts;  // attempt window expired
   }
 
-  // Withdraw unanswered ids before the stack-allocated waiter dies; late
+  // Withdraw our ids before the stack-allocated waiter dies; late
   // responses then count as stray instead of touching freed memory.
   {
     std::lock_guard lock(mu_);
     for (const std::uint64_t id : ids) pending_.erase(id);
+    result.stats.duplicates_discarded = waiter.duplicates;
   }
-  result.stats.corrupt_discarded =
-      corrupt_responses_.load(std::memory_order_relaxed) - corrupt_before;
-  result.stats.duplicates_discarded =
-      stray_responses_.load(std::memory_order_relaxed) - stray_before;
   return result;
 }
 

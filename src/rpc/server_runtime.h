@@ -98,10 +98,13 @@ struct RetryPolicy {
 
 /// Transport-level counters accumulated by one gather().
 struct RpcStats {
-  std::uint64_t retries = 0;     ///< requests re-sent after a timeout
-  std::uint64_t timeouts = 0;    ///< attempt windows that expired
-  std::uint64_t duplicates_discarded = 0;  ///< dup/stale responses dropped
-  std::uint64_t corrupt_discarded = 0;     ///< frames failing checksum
+  std::uint64_t retries = 0;   ///< requests re-sent after a timeout
+  std::uint64_t timeouts = 0;  ///< attempt windows that expired
+  /// Extra responses to this gather's own request ids (an earlier attempt
+  /// answered already), dropped.  Corrupt frames and responses to already
+  /// finished gathers carry no attributable id — see
+  /// Client::corrupt_discarded() / Client::stray_discarded().
+  std::uint64_t duplicates_discarded = 0;
 };
 
 /// Outcome of one gather: responses[i] answers requests[i] (nullopt after
@@ -167,12 +170,26 @@ class Client {
 
   [[nodiscard]] const RetryPolicy& policy() const noexcept { return policy_; }
 
+  /// Client-wide count of frames dropped for a failed checksum.  A corrupt
+  /// frame has no readable request id, so it cannot be attributed to any
+  /// particular gather (monotone, process lifetime).
+  [[nodiscard]] std::uint64_t corrupt_discarded() const noexcept {
+    return corrupt_responses_.load(std::memory_order_relaxed);
+  }
+  /// Client-wide count of responses whose request id matched no live
+  /// gather (the issuing gather already returned and withdrew its ids).
+  [[nodiscard]] std::uint64_t stray_discarded() const noexcept {
+    return stray_responses_.load(std::memory_order_relaxed);
+  }
+
  private:
   /// One in-progress gather waiting for its responses.
   struct Waiter {
     std::vector<std::optional<Message>>* responses = nullptr;
     std::condition_variable cv;
     std::size_t remaining = 0;
+    /// Dup/stale responses to this gather's ids (guarded by mu_).
+    std::uint64_t duplicates = 0;
   };
   /// pending_ value: where a response with that request id belongs.
   struct Slot {
@@ -193,8 +210,10 @@ class Client {
   std::unordered_map<std::uint64_t, Slot> pending_;
   bool closed_ = false;
 
-  /// Client-wide discard counters; a gather reports the delta across its
-  /// own lifetime (attribution is approximate under concurrent gathers).
+  /// Client-wide discard counters for frames no gather can own: corrupt
+  /// frames (unreadable id) and responses to already withdrawn ids.
+  /// Duplicates addressed to a live gather are attributed to its Waiter
+  /// instead, so concurrent gathers never see each other's discards.
   std::atomic<std::uint64_t> corrupt_responses_{0};
   std::atomic<std::uint64_t> stray_responses_{0};
 

@@ -142,6 +142,52 @@ TEST(ThreadPoolTest, NestedGroupsOnSizeOnePoolDoNotDeadlock) {
   EXPECT_EQ(leaves.load(), 32);
 }
 
+TEST(ThreadPoolTest, RapidGroupTurnoverDoesNotRaceDestruction) {
+  // Regression: the last task's completion callback used to decrement
+  // outstanding_ outside mu_, so the waiter could observe 0 through the
+  // atomic fast path, return, and destroy the stack-allocated group while
+  // the worker was still locking the (now destroyed) mutex to notify.
+  // Tiny short-lived groups destroyed immediately after wait() maximize
+  // that window; under TSan a regression shows up as a destroyed-lock
+  // report, without TSan as a crash/hang under load.
+  ThreadPool pool(4);
+  std::atomic<std::uint64_t> ran{0};
+  for (int round = 0; round < 2000; ++round) {
+    exec::parallel_for(&pool, 2, [&](std::size_t) { ran++; });
+  }
+  EXPECT_EQ(ran.load(), 4000u);
+}
+
+TEST(ThreadPoolTest, HelpingWaitSkipsUnrelatedTasks) {
+  // A region-level wait must not inline a whole unrelated task (e.g. a
+  // full request ServerRuntime queued on the same pool): helping is
+  // filtered to the waiting group's own tasks.
+  std::atomic<bool> gate_entered{false};
+  std::atomic<bool> gate_release{false};
+  std::atomic<bool> unrelated_ran{false};
+  std::atomic<bool> own_ran{false};
+  {
+    ThreadPool pool(1);
+    pool.submit([&] {
+      gate_entered = true;
+      while (!gate_release.load()) {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+    });
+    while (!gate_entered.load()) std::this_thread::yield();
+    // The only worker is parked in the gate; both tasks below stay queued.
+    pool.submit([&] { unrelated_ran = true; });
+    TaskGroup group(&pool);
+    group.spawn([&] { own_ran = true; });
+    group.wait();  // helps: runs its own task, must skip the unrelated one
+    EXPECT_TRUE(own_ran.load());
+    EXPECT_FALSE(unrelated_ran.load());
+    gate_release = true;
+    // Pool destructor drains the still-queued unrelated task.
+  }
+  EXPECT_TRUE(unrelated_ran.load());
+}
+
 TEST(ThreadPoolTest, StatsCountersAreConsistent) {
   ThreadPool pool(3);
   exec::parallel_for(&pool, 100, [](std::size_t) {});
