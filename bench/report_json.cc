@@ -183,8 +183,10 @@ int run() {
     std::fprintf(stderr, "FATAL cannot open %s\n", path.c_str());
     return 1;
   }
+  const std::string bench_name =
+      env_str("PDC_BENCH_NAME", "pr3_intra_server_parallelism");
   std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"bench\": \"pr3_intra_server_parallelism\",\n");
+  std::fprintf(f, "  \"bench\": \"%s\",\n", bench_name.c_str());
   std::fprintf(f, "  \"particles\": %" PRIu64 ",\n",
                static_cast<std::uint64_t>(world.data.energy.size()));
   std::fprintf(f, "  \"region_bytes\": %" PRIu64 ",\n",

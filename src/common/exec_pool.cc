@@ -11,8 +11,13 @@ namespace {
 constexpr std::uint32_t kNotWorker = ~std::uint32_t{0};
 thread_local const ThreadPool* tls_pool = nullptr;
 thread_local std::uint32_t tls_worker = kNotWorker;
+/// Innermost executing task on this thread (helping nests execution, so
+/// run_task saves and restores around the body).
+thread_local TaskInfo tls_task;
 
 }  // namespace
+
+TaskInfo current_task() noexcept { return tls_task; }
 
 ThreadPool::ThreadPool(std::uint32_t threads) {
   const std::uint32_t n = std::max<std::uint32_t>(1, threads);
@@ -66,7 +71,7 @@ void ThreadPool::submit(Task task, const void* tag) {
 }
 
 bool ThreadPool::pop_or_steal(std::uint32_t self, const void* tag,
-                              Task& out) {
+                              Task& out, bool& stolen) {
   // Own deque first, newest-first.  With a tag filter, take the newest
   // matching entry (the deque may hold other groups' tasks in between).
   if (self != kNotWorker) {
@@ -77,6 +82,7 @@ bool ThreadPool::pop_or_steal(std::uint32_t self, const void* tag,
       out = std::move(it->fn);
       own.deque.erase(it);
       queued_.fetch_sub(1, std::memory_order_relaxed);
+      stolen = false;
       return true;
     }
   }
@@ -97,18 +103,29 @@ bool ThreadPool::pop_or_steal(std::uint32_t self, const void* tag,
       // External helper threads (TaskGroup::wait callers) count too: the
       // task still migrated off the deque it was pushed to.
       steals_.fetch_add(1, std::memory_order_relaxed);
+      stolen = true;
       return true;
     }
   }
   return false;
 }
 
+void ThreadPool::run_task(Task& task, bool stolen) {
+  const TaskInfo saved = tls_task;
+  tls_task.in_task = true;
+  tls_task.worker = tls_pool == this ? tls_worker : kNotWorker;
+  tls_task.stolen = stolen;
+  task();
+  tls_task = saved;
+  executed_.fetch_add(1, std::memory_order_relaxed);
+}
+
 bool ThreadPool::try_run_one(const void* tag) {
   const std::uint32_t self = tls_pool == this ? tls_worker : kNotWorker;
   Task task;
-  if (!pop_or_steal(self, tag, task)) return false;
-  task();
-  executed_.fetch_add(1, std::memory_order_relaxed);
+  bool stolen = false;
+  if (!pop_or_steal(self, tag, task, stolen)) return false;
+  run_task(task, stolen);
   return true;
 }
 
@@ -117,9 +134,9 @@ void ThreadPool::worker_loop(std::uint32_t self) {
   tls_worker = self;
   for (;;) {
     Task task;
-    if (pop_or_steal(self, /*tag=*/nullptr, task)) {
-      task();
-      executed_.fetch_add(1, std::memory_order_relaxed);
+    bool stolen = false;
+    if (pop_or_steal(self, /*tag=*/nullptr, task, stolen)) {
+      run_task(task, stolen);
       continue;
     }
     std::unique_lock lock(sleep_mu_);

@@ -42,6 +42,20 @@
 
 namespace pdc::exec {
 
+/// Execution context of the pool task running on the calling thread, for
+/// trace annotation (worker id, steal vs. own-pop).  Thread-local; valid
+/// only while a task body is executing.
+struct TaskInfo {
+  bool in_task = false;      ///< a pool task is executing on this thread
+  std::uint32_t worker = ~std::uint32_t{0};  ///< deque owner; ~0 = helper
+                                             ///< thread (TaskGroup::wait)
+  bool stolen = false;       ///< task migrated off the deque it was pushed to
+};
+
+/// Context of the innermost pool task on this thread (zero-initialized
+/// when none is running).
+[[nodiscard]] TaskInfo current_task() noexcept;
+
 /// Lifetime counters (atomically maintained, monotone).
 struct PoolStats {
   std::uint64_t submitted = 0;   ///< tasks accepted
@@ -104,7 +118,11 @@ class ThreadPool {
   };
 
   void worker_loop(std::uint32_t self);
-  bool pop_or_steal(std::uint32_t self, const void* tag, Task& out);
+  bool pop_or_steal(std::uint32_t self, const void* tag, Task& out,
+                    bool& stolen);
+  /// Run `task` with thread-local TaskInfo published for current_task(),
+  /// restoring the previous context afterwards (helping nests tasks).
+  void run_task(Task& task, bool stolen);
 
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;

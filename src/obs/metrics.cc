@@ -1,0 +1,137 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+namespace pdc::obs {
+
+const MetricSample* MetricsSnapshot::find(
+    std::string_view name) const noexcept {
+  for (const MetricSample& sample : samples) {
+    if (sample.name == name) return &sample;
+  }
+  return nullptr;
+}
+
+double MetricsSnapshot::value(std::string_view name,
+                              double fallback) const noexcept {
+  const MetricSample* sample = find(name);
+  return sample != nullptr ? sample->value : fallback;
+}
+
+void serialize_snapshot(SerialWriter& w, const MetricsSnapshot& snapshot) {
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(snapshot.samples.size()));
+  for (const MetricSample& sample : snapshot.samples) {
+    w.put_string(sample.name);
+    w.put(static_cast<std::uint8_t>(sample.kind));
+    w.put(sample.value);
+    w.put(sample.count);
+    w.put_vector(sample.buckets);
+  }
+}
+
+Status deserialize_snapshot(SerialReader& r, MetricsSnapshot& out) {
+  std::uint32_t count = 0;
+  PDC_RETURN_IF_ERROR(r.get(count));
+  // A sample costs >= 33 bytes on the wire; reject hostile counts.
+  if (count > r.remaining() / 33 + 1) {
+    return Status::Corruption("metric sample count exceeds remaining bytes");
+  }
+  out.samples.clear();
+  out.samples.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    MetricSample sample;
+    std::uint8_t kind = 0;
+    PDC_RETURN_IF_ERROR(r.get_string(sample.name));
+    PDC_RETURN_IF_ERROR(r.get(kind));
+    if (kind > static_cast<std::uint8_t>(MetricKind::kHistogram)) {
+      return Status::Corruption("unknown metric kind");
+    }
+    sample.kind = static_cast<MetricKind>(kind);
+    PDC_RETURN_IF_ERROR(r.get(sample.value));
+    PDC_RETURN_IF_ERROR(r.get(sample.count));
+    PDC_RETURN_IF_ERROR(r.get_vector(sample.buckets));
+    out.samples.push_back(std::move(sample));
+  }
+  return Status::Ok();
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+LatencyHistogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<LatencyHistogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+void MetricsRegistry::gauge_fn(std::string_view name,
+                               std::function<double()> fn) {
+  std::lock_guard lock(mu_);
+  gauge_fns_.insert_or_assign(std::string(name), std::move(fn));
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot out;
+  std::lock_guard lock(mu_);
+  out.samples.reserve(counters_.size() + gauges_.size() + gauge_fns_.size() +
+                      histograms_.size());
+  for (const auto& [name, counter] : counters_) {
+    MetricSample sample;
+    sample.name = name;
+    sample.kind = MetricKind::kCounter;
+    sample.value = static_cast<double>(counter->value());
+    out.samples.push_back(std::move(sample));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    MetricSample sample;
+    sample.name = name;
+    sample.kind = MetricKind::kGauge;
+    sample.value = gauge->value();
+    out.samples.push_back(std::move(sample));
+  }
+  for (const auto& [name, fn] : gauge_fns_) {
+    MetricSample sample;
+    sample.name = name;
+    sample.kind = MetricKind::kGauge;
+    sample.value = fn ? fn() : 0.0;
+    out.samples.push_back(std::move(sample));
+  }
+  for (const auto& [name, hist] : histograms_) {
+    MetricSample sample;
+    sample.name = name;
+    sample.kind = MetricKind::kHistogram;
+    sample.value = hist->sum();
+    sample.count = hist->count();
+    const auto buckets = hist->buckets();
+    sample.buckets.assign(buckets.begin(), buckets.end());
+    out.samples.push_back(std::move(sample));
+  }
+  std::sort(out.samples.begin(), out.samples.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+}  // namespace pdc::obs

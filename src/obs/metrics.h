@@ -1,0 +1,161 @@
+// Deployment-scoped metrics (PR 4 observability layer).
+//
+// A MetricsRegistry is owned by one QueryService deployment and shared by
+// its components: the bus and pool export polled gauges, each QueryServer
+// registers request/byte counters and latency histograms, the PFS exports
+// cumulative read totals, and region caches export occupancy gauges.  A
+// snapshot is serializable, and servers answer the kMetricsRequest RPC
+// with one — so examples and the bench scrape a *live* deployment over the
+// same wire discipline as queries, instead of poking library internals.
+//
+// Primitives are lock-free atomics (counters, gauges, fixed-bucket latency
+// histograms); the registry itself takes a mutex only on registration and
+// snapshot, never on the instrument hot path — instrumented code holds the
+// returned reference, whose address is stable for the registry's lifetime.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/serial.h"
+#include "common/status.h"
+
+namespace pdc::obs {
+
+/// Monotone counter.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double value) noexcept {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket latency histogram.  Bucket i counts observations strictly
+/// below kBounds[i] seconds (and at/above the previous bound); the last
+/// bucket is the +inf overflow.  Fixed bounds keep merging and wire
+/// encoding trivial — the paper's latencies span us..s, so decades fit.
+class LatencyHistogram {
+ public:
+  static constexpr std::array<double, 8> kBounds = {
+      1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0};
+  static constexpr std::size_t kNumBuckets = kBounds.size() + 1;
+
+  void observe(double seconds) noexcept {
+    std::size_t b = kNumBuckets - 1;
+    for (std::size_t i = 0; i < kBounds.size(); ++i) {
+      if (seconds < kBounds[i]) {
+        b = i;
+        break;
+      }
+    }
+    buckets_[b].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    // fetch_add(double) is C++20; relaxed is fine, sums are advisory.
+    sum_.fetch_add(seconds, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::array<std::uint64_t, kNumBuckets> buckets()
+      const noexcept {
+    std::array<std::uint64_t, kNumBuckets> out{};
+    for (std::size_t i = 0; i < kNumBuckets; ++i) {
+      out[i] = buckets_[i].load(std::memory_order_relaxed);
+    }
+    return out;
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+enum class MetricKind : std::uint8_t {
+  kCounter = 0,
+  kGauge = 1,
+  kHistogram = 2,
+};
+
+/// One metric's value at snapshot time (wire-serializable).
+struct MetricSample {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  /// Counter value / gauge value / histogram sum of observations.
+  double value = 0.0;
+  std::uint64_t count = 0;             ///< histogram observations
+  std::vector<std::uint64_t> buckets;  ///< histogram only
+};
+
+struct MetricsSnapshot {
+  std::vector<MetricSample> samples;  ///< sorted by name
+
+  [[nodiscard]] const MetricSample* find(std::string_view name) const noexcept;
+  /// Value of `name`, or `fallback` when absent.
+  [[nodiscard]] double value(std::string_view name,
+                             double fallback = 0.0) const noexcept;
+};
+
+void serialize_snapshot(SerialWriter& w, const MetricsSnapshot& snapshot);
+Status deserialize_snapshot(SerialReader& r, MetricsSnapshot& out);
+
+/// Name-keyed instrument registry.  counter()/gauge()/histogram() create on
+/// first use and return stable references; gauge_fn() registers a callback
+/// polled at snapshot time (for components that already keep their own
+/// atomics — bus, pool, caches — re-registering a name replaces the
+/// callback).  All methods are thread-safe.
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  LatencyHistogram& histogram(std::string_view name);
+  void gauge_fn(std::string_view name, std::function<double()> fn);
+
+  /// Point-in-time view of every registered metric, sorted by name.
+  /// Gauge callbacks run under the registry mutex: they must not call
+  /// back into this registry.
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  // unique_ptr values keep instrument addresses stable across rehashing.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>, std::less<>>
+      histograms_;
+  std::map<std::string, std::function<double()>, std::less<>> gauge_fns_;
+};
+
+}  // namespace pdc::obs

@@ -1,0 +1,366 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+
+#include "common/serial.h"
+
+namespace pdc::obs {
+
+namespace {
+/// One process-wide id well: trace ids and span ids never collide, so
+/// merging remote spans into a client tree needs no renumbering.
+std::atomic<std::uint64_t> g_next_id{1};
+
+/// Magic prefix of the binary trace-file format ("PDCT").
+constexpr std::uint32_t kTraceFileMagic = 0x54434450u;
+}  // namespace
+
+double Span::arg(std::string_view key, double fallback) const noexcept {
+  for (const auto& [k, v] : args) {
+    if (k == key) return v;
+  }
+  return fallback;
+}
+
+std::uint64_t now_us() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::uint64_t next_id() noexcept {
+  return g_next_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+SpanId Tracer::begin(SpanId parent, std::string_view name,
+                     std::string_view actor) {
+  Span span;
+  span.id = next_id();
+  span.parent = parent;
+  span.start_us = now_us();
+  span.name.assign(name);
+  span.actor.assign(actor);
+  std::lock_guard lock(mu_);
+  index_.emplace(span.id, spans_.size());
+  spans_.push_back(std::move(span));
+  return spans_.back().id;
+}
+
+void Tracer::add_arg(SpanId id, std::string_view key, double value) {
+  std::lock_guard lock(mu_);
+  const auto it = index_.find(id);
+  if (it == index_.end()) return;
+  spans_[it->second].args.emplace_back(std::string(key), value);
+}
+
+void Tracer::end(SpanId id) {
+  const std::uint64_t t = now_us();
+  std::lock_guard lock(mu_);
+  const auto it = index_.find(id);
+  if (it == index_.end()) return;
+  Span& span = spans_[it->second];
+  // Guard against double-close (keep the first end time).
+  if (span.end_us == 0) span.end_us = std::max(t, span.start_us);
+}
+
+void Tracer::record(Span span) {
+  std::lock_guard lock(mu_);
+  index_.emplace(span.id, spans_.size());
+  spans_.push_back(std::move(span));
+}
+
+void Tracer::adopt(std::vector<Span> spans) {
+  std::lock_guard lock(mu_);
+  for (Span& span : spans) {
+    // Remote duplicates (a response delivered twice) would corrupt the
+    // tree; keep the first copy of any id.
+    if (!index_.emplace(span.id, spans_.size()).second) continue;
+    spans_.push_back(std::move(span));
+  }
+}
+
+std::size_t Tracer::span_count() const {
+  std::lock_guard lock(mu_);
+  return spans_.size();
+}
+
+Trace Tracer::take() {
+  std::lock_guard lock(mu_);
+  Trace trace;
+  trace.trace_id = trace_id_;
+  trace.spans = std::move(spans_);
+  spans_.clear();
+  index_.clear();
+  return trace;
+}
+
+// ------------------------------------------------------------- wire blob
+
+namespace {
+
+void put_span(SerialWriter& w, const Span& span) {
+  w.put(span.id);
+  w.put(span.parent);
+  w.put(span.start_us);
+  w.put(span.end_us);
+  w.put_string(span.name);
+  w.put_string(span.actor);
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(span.args.size()));
+  for (const auto& [key, value] : span.args) {
+    w.put_string(key);
+    w.put(value);
+  }
+}
+
+Status get_span(SerialReader& r, Span& span) {
+  PDC_RETURN_IF_ERROR(r.get(span.id));
+  PDC_RETURN_IF_ERROR(r.get(span.parent));
+  PDC_RETURN_IF_ERROR(r.get(span.start_us));
+  PDC_RETURN_IF_ERROR(r.get(span.end_us));
+  PDC_RETURN_IF_ERROR(r.get_string(span.name));
+  PDC_RETURN_IF_ERROR(r.get_string(span.actor));
+  std::uint32_t num_args = 0;
+  PDC_RETURN_IF_ERROR(r.get(num_args));
+  // Each arg costs >= 16 bytes on the wire; reject hostile counts before
+  // reserving.
+  if (num_args > r.remaining() / 16) {
+    return Status::Corruption("span arg count exceeds remaining bytes");
+  }
+  span.args.clear();
+  span.args.reserve(num_args);
+  for (std::uint32_t i = 0; i < num_args; ++i) {
+    std::string key;
+    double value = 0.0;
+    PDC_RETURN_IF_ERROR(r.get_string(key));
+    PDC_RETURN_IF_ERROR(r.get(value));
+    span.args.emplace_back(std::move(key), value);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize_spans(std::span<const Span> spans) {
+  SerialWriter w(64 * spans.size());
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(spans.size()));
+  for (const Span& span : spans) put_span(w, span);
+  return w.take();
+}
+
+Status deserialize_spans(std::span<const std::uint8_t> blob,
+                         std::vector<Span>& out) {
+  SerialReader r(blob);
+  std::uint32_t count = 0;
+  PDC_RETURN_IF_ERROR(r.get(count));
+  // A span costs >= 40 bytes on the wire.
+  if (count > r.remaining() / 40) {
+    return Status::Corruption("span count exceeds remaining bytes");
+  }
+  out.clear();
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Span span;
+    PDC_RETURN_IF_ERROR(get_span(r, span));
+    out.push_back(std::move(span));
+  }
+  return Status::Ok();
+}
+
+Status write_trace_file(const Trace& trace, const std::string& path) {
+  SerialWriter w;
+  w.put(kTraceFileMagic);
+  w.put(trace.trace_id);
+  const std::vector<std::uint8_t> spans = serialize_spans(trace.spans);
+  w.put_bytes(spans);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open trace file for writing");
+  const auto bytes = w.bytes();
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) return Status::IoError("short write to trace file");
+  return Status::Ok();
+}
+
+Result<Trace> read_trace_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open trace file");
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  SerialReader r(bytes);
+  std::uint32_t magic = 0;
+  PDC_RETURN_IF_ERROR(r.get(magic));
+  if (magic != kTraceFileMagic) {
+    return Status::Corruption("not a PDC trace file");
+  }
+  Trace trace;
+  PDC_RETURN_IF_ERROR(r.get(trace.trace_id));
+  std::span<const std::uint8_t> blob;
+  PDC_RETURN_IF_ERROR(r.get_bytes_view(blob));
+  PDC_RETURN_IF_ERROR(deserialize_spans(blob, trace.spans));
+  return trace;
+}
+
+// ----------------------------------------------------------------- export
+
+namespace {
+
+void append_json_string(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void append_double(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const Trace& trace) {
+  // Stable actor -> tid mapping (tid order = first appearance).
+  std::vector<std::string> actors;
+  auto tid_of = [&actors](const std::string& actor) {
+    for (std::size_t i = 0; i < actors.size(); ++i) {
+      if (actors[i] == actor) return i + 1;
+    }
+    actors.push_back(actor);
+    return actors.size();
+  };
+  std::uint64_t t0 = std::numeric_limits<std::uint64_t>::max();
+  for (const Span& span : trace.spans) t0 = std::min(t0, span.start_us);
+  if (trace.spans.empty()) t0 = 0;
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const Span& span : trace.spans) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"ph\":\"X\",\"pid\":1,\"tid\":";
+    out += std::to_string(tid_of(span.actor));
+    out += ",\"name\":";
+    append_json_string(out, span.name);
+    out += ",\"cat\":";
+    const std::size_t dot = span.name.find('.');
+    append_json_string(out, dot == std::string::npos
+                                ? std::string_view(span.name)
+                                : std::string_view(span.name).substr(0, dot));
+    out += ",\"ts\":";
+    out += std::to_string(span.start_us - t0);
+    out += ",\"dur\":";
+    const std::uint64_t end = span.end_us == 0 ? span.start_us : span.end_us;
+    out += std::to_string(end - span.start_us);
+    out += ",\"args\":{\"span_id\":";
+    out += std::to_string(span.id);
+    out += ",\"parent\":";
+    out += std::to_string(span.parent);
+    for (const auto& [key, value] : span.args) {
+      out.push_back(',');
+      append_json_string(out, key);
+      out.push_back(':');
+      append_double(out, value);
+    }
+    out += "}}";
+  }
+  // Thread-name metadata rows so Perfetto labels tracks by actor.
+  for (std::size_t i = 0; i < actors.size(); ++i) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"ph\":\"M\",\"pid\":1,\"tid\":";
+    out += std::to_string(i + 1);
+    out += ",\"name\":\"thread_name\",\"args\":{\"name\":";
+    append_json_string(out, actors[i]);
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+// ------------------------------------------------------------- validation
+
+Status validate_trace(const Trace& trace, const ValidateOptions& options) {
+  if (trace.trace_id == 0) {
+    return Status::InvalidArgument("trace id is zero");
+  }
+  std::unordered_map<SpanId, const Span*> by_id;
+  by_id.reserve(trace.spans.size());
+  bool has_root = false;
+  for (const Span& span : trace.spans) {
+    if (span.id == 0) {
+      return Status::Corruption("span '" + span.name + "' has id 0");
+    }
+    if (!by_id.emplace(span.id, &span).second) {
+      return Status::Corruption("duplicate span id " + std::to_string(span.id) +
+                                " ('" + span.name + "')");
+    }
+    if (span.end_us == 0) {
+      return Status::Corruption("span '" + span.name + "' (id " +
+                                std::to_string(span.id) + ") was never closed");
+    }
+    if (span.end_us < span.start_us) {
+      return Status::Corruption("span '" + span.name + "' ends before it starts");
+    }
+    if (span.parent == 0) has_root = true;
+  }
+  if (!trace.spans.empty() && !has_root) {
+    return Status::Corruption("trace has spans but no root span");
+  }
+  for (const Span& span : trace.spans) {
+    if (span.parent == 0) continue;
+    const auto it = by_id.find(span.parent);
+    if (it == by_id.end()) {
+      return Status::Corruption("span '" + span.name + "' (id " +
+                                std::to_string(span.id) +
+                                ") references missing parent " +
+                                std::to_string(span.parent));
+    }
+    // Walk to the root; a cycle would loop longer than the span count.
+    const Span* cursor = it->second;
+    std::size_t hops = 0;
+    while (cursor->parent != 0) {
+      if (++hops > trace.spans.size()) {
+        return Status::Corruption("parent cycle involving span id " +
+                                  std::to_string(span.id));
+      }
+      const auto up = by_id.find(cursor->parent);
+      if (up == by_id.end()) break;  // reported above for that span
+      cursor = up->second;
+    }
+    if (options.require_nesting) {
+      const Span& parent = *it->second;
+      const std::uint64_t slack = options.nesting_slack_us;
+      if (span.start_us + slack < parent.start_us ||
+          span.end_us > parent.end_us + slack) {
+        return Status::Corruption(
+            "span '" + span.name + "' [" + std::to_string(span.start_us) +
+            ", " + std::to_string(span.end_us) + "] escapes parent '" +
+            parent.name + "' [" + std::to_string(parent.start_us) + ", " +
+            std::to_string(parent.end_us) + "]");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace pdc::obs

@@ -1,0 +1,185 @@
+// Per-query distributed tracing (PR 4 observability layer).
+//
+// A traced operation produces one span tree: the client opens a root span,
+// every layer it crosses (RPC gather, server runtime, query server phases,
+// pool tasks, PFS reads) opens child spans, and the trace id + parent span
+// id travel inside the rpc::Envelope so server-side spans attach to the
+// client-side tree.  Server spans come back to the client as a compact
+// serialized blob appended to the response frame — the transport carries
+// trace baggage, the wire protocol in server/wire.h is untouched.
+//
+// Span ids are allocated from one process-wide atomic counter, so spans
+// created by any actor (client thread, server threads, pool workers) in the
+// same process never collide and can be merged into one tree without
+// renumbering.  The Tracer is a mutex-protected span collector: concurrent
+// begin/end/adopt from pool workers is safe by construction (the TSan label
+// covers the traced paths).
+//
+// Everything is pay-for-what-you-use: a default TraceContext is disabled
+// and every instrumentation point is a branch on a null pointer, so the
+// untraced hot path stays within the <=2% overhead budget asserted by
+// obs_test.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace pdc::obs {
+
+using SpanId = std::uint64_t;
+
+/// One closed-or-open interval of work attributed to an actor.
+struct Span {
+  SpanId id = 0;
+  SpanId parent = 0;           ///< 0 = root of the trace
+  std::uint64_t start_us = 0;  ///< steady-clock microseconds
+  std::uint64_t end_us = 0;    ///< 0 = still open (a validation failure)
+  std::string name;            ///< taxonomy: "client.query", "rpc.gather", ...
+  std::string actor;           ///< "client", "server3", "pfs", ...
+  /// Numeric key/value annotations (ids, bytes, simulated seconds).
+  std::vector<std::pair<std::string, double>> args;
+
+  /// First arg named `key`, or `fallback` when absent.
+  [[nodiscard]] double arg(std::string_view key,
+                           double fallback = 0.0) const noexcept;
+};
+
+/// A completed span tree for one trace id.
+struct Trace {
+  std::uint64_t trace_id = 0;
+  std::vector<Span> spans;
+};
+
+/// Steady-clock now in Span time units.
+[[nodiscard]] std::uint64_t now_us() noexcept;
+
+/// Process-unique nonzero id (shared counter for trace ids and span ids).
+[[nodiscard]] std::uint64_t next_id() noexcept;
+
+/// Thread-safe span collector for one trace id.
+class Tracer {
+ public:
+  explicit Tracer(std::uint64_t trace_id) : trace_id_(trace_id) {}
+
+  [[nodiscard]] std::uint64_t trace_id() const noexcept { return trace_id_; }
+
+  /// Open a span now; returns its id.
+  SpanId begin(SpanId parent, std::string_view name, std::string_view actor);
+  /// Attach a numeric annotation to an open (or closed) span.
+  void add_arg(SpanId id, std::string_view key, double value);
+  /// Close a span now.  Unknown ids are ignored (a span adopted twice
+  /// under races would otherwise corrupt the tree).
+  void end(SpanId id);
+
+  /// Record a fully-formed span (used for intervals timed outside the
+  /// tracer, e.g. a queue wait measured before the tracer existed).
+  void record(Span span);
+  /// Merge spans deserialized from a remote blob into this trace.
+  void adopt(std::vector<Span> spans);
+
+  [[nodiscard]] std::size_t span_count() const;
+
+  /// Move the collected spans out as a Trace (the tracer is empty after).
+  [[nodiscard]] Trace take();
+
+ private:
+  mutable std::mutex mu_;
+  std::uint64_t trace_id_;
+  std::vector<Span> spans_;
+  std::unordered_map<SpanId, std::size_t> index_;  ///< id -> spans_ slot
+};
+
+/// Propagation handle passed down call stacks and across the wire.  A
+/// default-constructed context is disabled; every instrumentation point
+/// checks enabled() first, so untraced paths cost one branch.
+struct TraceContext {
+  Tracer* tracer = nullptr;
+  std::uint64_t trace_id = 0;
+  SpanId parent = 0;
+
+  [[nodiscard]] bool enabled() const noexcept { return tracer != nullptr; }
+  [[nodiscard]] TraceContext child_of(SpanId span) const noexcept {
+    return {tracer, trace_id, span};
+  }
+};
+
+/// RAII span: opens on construction (no-op when the context is disabled),
+/// closes on destruction or explicit close().
+class ScopedSpan {
+ public:
+  ScopedSpan() = default;
+  ScopedSpan(const TraceContext& ctx, std::string_view name,
+             std::string_view actor) {
+    if (!ctx.enabled()) return;
+    tracer_ = ctx.tracer;
+    id_ = tracer_->begin(ctx.parent, name, actor);
+    ctx_ = {tracer_, ctx.trace_id, id_};
+  }
+  ~ScopedSpan() { close(); }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  void arg(std::string_view key, double value) {
+    if (tracer_ != nullptr) tracer_->add_arg(id_, key, value);
+  }
+  void close() {
+    if (tracer_ != nullptr) tracer_->end(id_);
+    tracer_ = nullptr;
+  }
+
+  [[nodiscard]] SpanId id() const noexcept { return id_; }
+  /// Context for children of this span (disabled when this span is).
+  [[nodiscard]] const TraceContext& context() const noexcept { return ctx_; }
+
+ private:
+  Tracer* tracer_ = nullptr;
+  TraceContext ctx_{};
+  SpanId id_ = 0;
+};
+
+// ------------------------------------------------------------- wire blob
+
+/// Compact binary form of a span list (the response-frame baggage).
+[[nodiscard]] std::vector<std::uint8_t> serialize_spans(
+    std::span<const Span> spans);
+Status deserialize_spans(std::span<const std::uint8_t> blob,
+                         std::vector<Span>& out);
+
+/// Whole-trace binary file (tools/trace2json input).
+Status write_trace_file(const Trace& trace, const std::string& path);
+Result<Trace> read_trace_file(const std::string& path);
+
+// ----------------------------------------------------------- export
+
+/// Chrome trace_event JSON (open in chrome://tracing or Perfetto).  One
+/// complete ("ph":"X") event per span; actors map to tids with metadata
+/// naming events.
+[[nodiscard]] std::string chrome_trace_json(const Trace& trace);
+
+// ------------------------------------------------------------- validation
+
+struct ValidateOptions {
+  /// Child span intervals must lie within their parent's interval (up to
+  /// `nesting_slack_us`).  Disable for chaos runs where late/retried
+  /// server work may straddle client attempt windows.
+  bool require_nesting = true;
+  std::uint64_t nesting_slack_us = 0;
+};
+
+/// Well-formedness of a span tree: nonzero trace id, unique nonzero span
+/// ids, every span closed with end >= start, every nonzero parent resolves
+/// to a span in the trace, no parent cycles, at least one root, and
+/// (optionally) child intervals nested within their parents.  Returns the
+/// first violation as a descriptive error.
+Status validate_trace(const Trace& trace, const ValidateOptions& options = {});
+
+}  // namespace pdc::obs

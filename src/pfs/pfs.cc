@@ -167,6 +167,7 @@ Status PfsFile::write(std::uint64_t offset, std::span<const std::uint8_t> data,
 
 Status PfsFile::read(std::uint64_t offset, std::span<std::uint8_t> out,
                      const ReadContext& ctx) const {
+  obs::ScopedSpan span(ctx.trace, "pfs.read", "pfs");
   Fd fd(::open(path_.c_str(), O_RDONLY));
   if (!fd.valid()) {
     return Status::IoError(errno_message("open for read", path_));
@@ -184,14 +185,27 @@ Status PfsFile::read(std::uint64_t offset, std::span<std::uint8_t> out,
     }
     done += static_cast<std::size_t>(n);
   }
+  const std::uint32_t osts = osts_touched(offset, out.size());
+  double sim_io_s = 0.0;
   if (ctx.ledger != nullptr) {
     const auto& cost = cluster_->config().cost;
-    const double bw = cluster_->effective_read_bandwidth(
-        osts_touched(offset, out.size()), ctx.concurrent_readers);
-    ctx.ledger->add_io(cost.disk_read_latency_s +
-                       static_cast<double>(out.size()) / bw);
+    const double bw =
+        cluster_->effective_read_bandwidth(osts, ctx.concurrent_readers);
+    sim_io_s =
+        cost.disk_read_latency_s + static_cast<double>(out.size()) / bw;
+    ctx.ledger->add_io(sim_io_s);
     ctx.ledger->add_read_ops(1);
     ctx.ledger->add_bytes_read(out.size());
+  }
+  cluster_->read_ops_.fetch_add(1, std::memory_order_relaxed);
+  cluster_->bytes_read_.fetch_add(out.size(), std::memory_order_relaxed);
+  if (ctx.trace.enabled()) {
+    const auto& cfg = cluster_->config();
+    span.arg("bytes", static_cast<double>(out.size()));
+    span.arg("ost_first", static_cast<double>((offset / cfg.stripe_size) %
+                                              cfg.num_osts));
+    span.arg("osts", static_cast<double>(osts));
+    span.arg("sim_io_s", sim_io_s);
   }
   return Status::Ok();
 }

@@ -19,9 +19,12 @@
 #include <string>
 #include <string_view>
 
+#include <atomic>
+
 #include "common/cost_model.h"
 #include "common/status.h"
 #include "common/types.h"
+#include "obs/trace.h"
 
 namespace pdc::pfs {
 
@@ -40,6 +43,12 @@ struct PfsConfig {
 struct ReadContext {
   CostLedger* ledger = nullptr;          ///< may be null (cost not tracked)
   std::uint32_t concurrent_readers = 1;  ///< servers active in this phase
+  /// Trace context of the enclosing operation; a disabled (default)
+  /// context costs one branch per read.  Each read emits a "pfs.read"
+  /// span annotated with bytes, the first OST and OST count touched, and
+  /// the simulated I/O seconds charged (the span's own duration is the
+  /// wall cost).
+  obs::TraceContext trace;
 };
 
 class PfsFile;
@@ -70,12 +79,23 @@ class PfsCluster {
   [[nodiscard]] double effective_read_bandwidth(
       std::uint32_t osts_touched, std::uint32_t concurrent_readers) const noexcept;
 
+  /// Cumulative read totals across every file of this cluster (monotone;
+  /// exported as "pfs.*" gauges through the deployment MetricsRegistry).
+  [[nodiscard]] std::uint64_t total_read_ops() const noexcept {
+    return read_ops_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t total_bytes_read() const noexcept {
+    return bytes_read_.load(std::memory_order_relaxed);
+  }
+
  private:
   explicit PfsCluster(PfsConfig config) : config_(std::move(config)) {}
 
   [[nodiscard]] std::string backing_path(std::string_view name) const;
 
   PfsConfig config_;
+  mutable std::atomic<std::uint64_t> read_ops_{0};
+  mutable std::atomic<std::uint64_t> bytes_read_{0};
 
   friend class PfsFile;
 };

@@ -54,18 +54,49 @@ QueryService::QueryService(const obj::ObjectStore& store,
     server_options.cache_capacity_bytes = options_.cache_capacity_bytes;
     server_options.aggregation = options_.aggregation;
     server_options.pool = pool_.get();
+    server_options.metrics = &metrics_;
     servers_.push_back(
         std::make_unique<server::QueryServer>(store_, server_options));
     server::QueryServer* qs = servers_.back().get();
     rpc::ServerRuntimeOptions runtime_options;
     runtime_options.pool = pool_.get();
     runtime_options.max_inflight = options_.max_inflight;
+    runtime_options.metrics = &metrics_;
     runtimes_.push_back(std::make_unique<rpc::ServerRuntime>(
         bus_, s,
-        [qs](std::span<const std::uint8_t> payload) {
-          return qs->handle(payload);
-        },
+        rpc::ServerRuntime::TracedHandler(
+            [qs](std::span<const std::uint8_t> payload,
+                 const obs::TraceContext& trace) {
+              return qs->handle(payload, trace);
+            }),
         runtime_options));
+  }
+  // Components that keep their own atomics export polled gauges.
+  metrics_.gauge_fn("bus.bytes", [this] {
+    return static_cast<double>(bus_.bytes_transferred());
+  });
+  metrics_.gauge_fn("bus.messages", [this] {
+    return static_cast<double>(bus_.messages_sent());
+  });
+  metrics_.gauge_fn("pfs.read_ops", [this] {
+    return static_cast<double>(store_.cluster().total_read_ops());
+  });
+  metrics_.gauge_fn("pfs.bytes_read", [this] {
+    return static_cast<double>(store_.cluster().total_bytes_read());
+  });
+  if (pool_ != nullptr) {
+    metrics_.gauge_fn("pool.threads", [this] {
+      return static_cast<double>(pool_->size());
+    });
+    metrics_.gauge_fn("pool.executed", [this] {
+      return static_cast<double>(pool_->stats().executed);
+    });
+    metrics_.gauge_fn("pool.steals", [this] {
+      return static_cast<double>(pool_->stats().steals);
+    });
+    metrics_.gauge_fn("pool.queue_peak", [this] {
+      return static_cast<double>(pool_->stats().queue_peak);
+    });
   }
 }
 
@@ -118,12 +149,27 @@ std::uint64_t QueryService::regions_of_identity(
   return regions;
 }
 
+void QueryService::publish_trace(obs::Tracer& tracer, bool traced) {
+  if (!traced) return;
+  auto trace = std::make_shared<obs::Trace>(tracer.take());
+  std::lock_guard lock(state_mu_);
+  last_trace_ = std::move(trace);
+}
+
 Result<Selection> QueryService::eval(const QueryPtr& query,
-                                     bool need_locations) {
+                                     bool need_locations,
+                                     const QueryOptions& opts) {
   if (!query) {
     return Status::InvalidArgument("null query");
   }
   WallTimer wall;
+  // One tracer per traced operation; its spans (plus the server spans
+  // adopted from response baggage) become last_trace() when we finish.
+  obs::Tracer tracer(opts.trace ? obs::next_id() : 0);
+  const obs::TraceContext root =
+      opts.trace ? obs::TraceContext{&tracer, tracer.trace_id(), 0}
+                 : obs::TraceContext{};
+  obs::ScopedSpan query_span(root, "client.query", "client");
   // Per-operation stats stay local until the operation finishes, so
   // concurrent queries never scribble over each other's counters; the
   // publisher stores the finished snapshot for last_stats().
@@ -146,10 +192,15 @@ Result<Selection> QueryService::eval(const QueryPtr& query,
   PlanOptions plan_options;
   plan_options.strategy = options_.strategy;
   plan_options.order_by_selectivity = options_.order_by_selectivity;
+  obs::ScopedSpan plan_span(query_span.context(), "client.plan", "client");
   PDC_ASSIGN_OR_RETURN(Plan plan, plan_query(*query, store_, plan_options));
+  plan_span.arg("terms", static_cast<double>(plan.terms.size()));
+  plan_span.close();
 
   Selection selection;
   if (plan.terms.empty()) {
+    query_span.close();
+    publish_trace(tracer, opts.trace);
     return selection;  // provably empty
   }
 
@@ -205,13 +256,20 @@ Result<Selection> QueryService::eval(const QueryPtr& query,
     }
     stats.net_seconds += max_request_net;
 
-    const rpc::GatherResult gathered = client_.gather(requests);
+    const rpc::GatherResult gathered =
+        client_.gather(requests, query_span.context());
     stats.retries += gathered.stats.retries;
     stats.timeouts += gathered.stats.timeouts;
     if (gathered.bus_closed) {
       return Status::Unavailable("message bus shut down mid-query");
     }
 
+    // Per-ROUND critical server.  Degraded rounds run sequentially (round
+    // N+1 is dispatched only after round N's responses are in), so the
+    // modeled server time is the SUM of per-round maxima — taking one
+    // global max would credit redispatched work as free.
+    bool round_has_response = false;
+    server::LedgerSummary round_critical;
     std::vector<ServerId> orphaned;
     for (std::size_t i = 0; i < work.size(); ++i) {
       const auto& message = gathered.responses[i];
@@ -238,17 +296,22 @@ Result<Selection> QueryService::eval(const QueryPtr& query,
         selection.sorted_extents.emplace_back(
             message->sender, std::move(response.sorted_extents));
       }
-      if (response.ledger.elapsed() > stats.max_server_seconds) {
-        stats.max_server_seconds = response.ledger.elapsed();
-        stats.max_server_io_seconds = response.ledger.io_seconds;
-        stats.max_server_cpu_seconds = response.ledger.cpu_seconds;
-        stats.max_server_scan_seconds = response.ledger.scan_seconds;
-        stats.max_server_decode_seconds = response.ledger.decode_seconds;
-        stats.max_server_merge_seconds = response.ledger.merge_seconds;
+      if (!round_has_response ||
+          response.ledger.elapsed() > round_critical.elapsed()) {
+        round_critical = response.ledger;
+        round_has_response = true;
       }
       stats.server_bytes_read += response.ledger.bytes_read;
       stats.server_read_ops += response.ledger.read_ops;
       stats.response_bytes += message->payload.size();
+    }
+    if (round_has_response) {
+      stats.max_server_seconds += round_critical.elapsed();
+      stats.max_server_io_seconds += round_critical.io_seconds;
+      stats.max_server_cpu_seconds += round_critical.cpu_seconds;
+      stats.max_server_scan_seconds += round_critical.scan_seconds;
+      stats.max_server_decode_seconds += round_critical.decode_seconds;
+      stats.max_server_merge_seconds += round_critical.merge_seconds;
     }
 
     if (orphaned.empty()) break;
@@ -280,6 +343,8 @@ Result<Selection> QueryService::eval(const QueryPtr& query,
 
   // Client-side aggregation: merge per-server position lists.
   if (!selection.positions.empty()) {
+    obs::ScopedSpan merge_span(query_span.context(), "client.merge", "client");
+    merge_span.arg("positions", static_cast<double>(selection.positions.size()));
     stats.client_cpu_seconds += 2.0 * cost.scan_cost(
         selection.positions.size() * sizeof(std::uint64_t));
     std::sort(selection.positions.begin(), selection.positions.end());
@@ -299,23 +364,54 @@ Result<Selection> QueryService::eval(const QueryPtr& query,
 
   stats.sim_elapsed_seconds = stats.net_seconds + stats.max_server_seconds +
                               stats.client_cpu_seconds;
+  if (opts.trace) {
+    query_span.arg("sim_elapsed_s", stats.sim_elapsed_seconds);
+    query_span.arg("num_hits", static_cast<double>(selection.num_hits));
+    query_span.close();
+    publish_trace(tracer, /*traced=*/true);
+  }
   return selection;
 }
 
-Result<std::uint64_t> QueryService::get_num_hits(const QueryPtr& query) {
+Result<std::uint64_t> QueryService::get_num_hits(const QueryPtr& query,
+                                                 const QueryOptions& opts) {
   PDC_ASSIGN_OR_RETURN(Selection selection,
-                       eval(query, /*need_locations=*/false));
+                       eval(query, /*need_locations=*/false, opts));
   return selection.num_hits;
 }
 
-Result<Selection> QueryService::get_selection(const QueryPtr& query) {
-  return eval(query, /*need_locations=*/true);
+Result<Selection> QueryService::get_selection(const QueryPtr& query,
+                                              const QueryOptions& opts) {
+  return eval(query, /*need_locations=*/true, opts);
+}
+
+Result<obs::MetricsSnapshot> QueryService::scrape_metrics() {
+  const std::vector<ServerId> alive = alive_servers();
+  if (alive.empty()) {
+    return Status::Unavailable("all PDC servers are dead");
+  }
+  std::vector<std::pair<ServerId, std::vector<std::uint8_t>>> requests;
+  requests.emplace_back(alive.front(), server::MetricsRequest{}.serialize());
+  const rpc::GatherResult gathered = client_.gather(requests);
+  if (gathered.bus_closed || !gathered.responses.front().has_value()) {
+    return Status::Unavailable("metrics scrape received no response");
+  }
+  SerialReader reader(gathered.responses.front()->payload);
+  PDC_ASSIGN_OR_RETURN(server::MetricsResponse response,
+                       server::MetricsResponse::Deserialize(reader));
+  PDC_RETURN_IF_ERROR(response.status);
+  return std::move(response.snapshot);
 }
 
 Status QueryService::get_data_raw(ObjectId object, const Selection& selection,
                                   std::span<std::uint8_t> out, PdcType type,
-                                  GetDataMode mode) {
+                                  GetDataMode mode, const QueryOptions& opts) {
   WallTimer wall;
+  obs::Tracer tracer(opts.trace ? obs::next_id() : 0);
+  const obs::TraceContext root =
+      opts.trace ? obs::TraceContext{&tracer, tracer.trace_id(), 0}
+                 : obs::TraceContext{};
+  obs::ScopedSpan query_span(root, "client.get_data", "client");
   OpStats stats;
   struct Publisher {
     QueryService* service;
@@ -341,7 +437,11 @@ Status QueryService::get_data_raw(ObjectId object, const Selection& selection,
     return Status::InvalidArgument(
         "get_data buffer must hold num_hits elements");
   }
-  if (selection.num_hits == 0) return Status::Ok();
+  if (selection.num_hits == 0) {
+    query_span.close();
+    publish_trace(tracer, opts.trace);
+    return Status::Ok();
+  }
 
   // Resolve the fetch mode.
   bool use_replica = false;
@@ -451,12 +551,17 @@ Status QueryService::get_data_raw(ObjectId object, const Selection& selection,
     }
     stats.net_seconds += max_request_net;
 
-    const rpc::GatherResult gathered = client_.gather(requests);
+    const rpc::GatherResult gathered =
+        client_.gather(requests, query_span.context());
     stats.retries += gathered.stats.retries;
     stats.timeouts += gathered.stats.timeouts;
     if (gathered.bus_closed) {
       return Status::Unavailable("message bus shut down mid-fetch");
     }
+    // Same per-round maxima discipline as eval(): sequential redispatch
+    // rounds each add their critical server to the modeled elapsed time.
+    bool round_has_response = false;
+    server::LedgerSummary round_critical;
     std::vector<std::size_t> still_pending;
     for (std::size_t i = 0; i < pending.size(); ++i) {
       const auto& message = gathered.responses[i];
@@ -469,13 +574,10 @@ Status QueryService::get_data_raw(ObjectId object, const Selection& selection,
       PDC_ASSIGN_OR_RETURN(server::GetDataResponse response,
                            server::GetDataResponse::Deserialize(reader));
       PDC_RETURN_IF_ERROR(response.status);
-      if (response.ledger.elapsed() > stats.max_server_seconds) {
-        stats.max_server_seconds = response.ledger.elapsed();
-        stats.max_server_io_seconds = response.ledger.io_seconds;
-        stats.max_server_cpu_seconds = response.ledger.cpu_seconds;
-        stats.max_server_scan_seconds = response.ledger.scan_seconds;
-        stats.max_server_decode_seconds = response.ledger.decode_seconds;
-        stats.max_server_merge_seconds = response.ledger.merge_seconds;
+      if (!round_has_response ||
+          response.ledger.elapsed() > round_critical.elapsed()) {
+        round_critical = response.ledger;
+        round_has_response = true;
       }
       stats.server_bytes_read += response.ledger.bytes_read;
       stats.server_read_ops += response.ledger.read_ops;
@@ -485,6 +587,14 @@ Status QueryService::get_data_raw(ObjectId object, const Selection& selection,
             "get_data response does not match requested element count");
       }
       values_by_part[pending[i]] = std::move(response.values);
+    }
+    if (round_has_response) {
+      stats.max_server_seconds += round_critical.elapsed();
+      stats.max_server_io_seconds += round_critical.io_seconds;
+      stats.max_server_cpu_seconds += round_critical.cpu_seconds;
+      stats.max_server_scan_seconds += round_critical.scan_seconds;
+      stats.max_server_decode_seconds += round_critical.decode_seconds;
+      stats.max_server_merge_seconds += round_critical.merge_seconds;
     }
     pending = std::move(still_pending);
   }
@@ -539,6 +649,12 @@ Status QueryService::get_data_raw(ObjectId object, const Selection& selection,
 
   stats.sim_elapsed_seconds = stats.net_seconds + stats.max_server_seconds +
                               stats.client_cpu_seconds;
+  if (opts.trace) {
+    query_span.arg("sim_elapsed_s", stats.sim_elapsed_seconds);
+    query_span.arg("bytes", static_cast<double>(out.size()));
+    query_span.close();
+    publish_trace(tracer, true);
+  }
   return Status::Ok();
 }
 

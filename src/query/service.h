@@ -26,6 +26,8 @@
 #include "histogram/histogram.h"
 #include "metadata/meta_store.h"
 #include "obj/object_store.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/planner.h"
 #include "query/query.h"
 #include "rpc/message_bus.h"
@@ -53,6 +55,14 @@ enum class GetDataMode : std::uint8_t {
   kAuto = 0,      ///< replica fast path when available, else by positions
   kByPositions,   ///< gather at original positions (selection order)
   kFromReplica,   ///< sequential replica reads (values arrive value-sorted)
+};
+
+/// Per-operation execution options.
+struct QueryOptions {
+  /// Produce a span tree for this operation (client, RPC, server phases,
+  /// pool tasks, PFS reads), retrievable via QueryService::last_trace().
+  /// Off by default: tracing is strictly pay-for-what-you-use.
+  bool trace = false;
 };
 
 /// Per-operation performance summary.
@@ -126,19 +136,22 @@ class QueryService {
   QueryService& operator=(const QueryService&) = delete;
 
   // ---- query execution (paper: PDCquery_get_nhits / _get_selection) ----
-  Result<std::uint64_t> get_num_hits(const QueryPtr& query);
-  Result<Selection> get_selection(const QueryPtr& query);
+  Result<std::uint64_t> get_num_hits(const QueryPtr& query,
+                                     const QueryOptions& opts = {});
+  Result<Selection> get_selection(const QueryPtr& query,
+                                  const QueryOptions& opts = {});
 
   // ---- data retrieval (paper: PDCquery_get_data / _get_data_batch) ----
   /// Fetch the values of `selection` from `object` into `out`
   /// (out.size() must equal selection.num_hits).
   template <PdcElement T>
   Status get_data(ObjectId object, const Selection& selection,
-                  std::span<T> out, GetDataMode mode = GetDataMode::kAuto) {
+                  std::span<T> out, GetDataMode mode = GetDataMode::kAuto,
+                  const QueryOptions& opts = {}) {
     return get_data_raw(object, selection,
                         {reinterpret_cast<std::uint8_t*>(out.data()),
                          out.size_bytes()},
-                        kPdcTypeOf<T>, mode);
+                        kPdcTypeOf<T>, mode, opts);
   }
 
   /// Type-erased get_data for language bindings: `out` must hold
@@ -169,6 +182,25 @@ class QueryService {
     return stats_;
   }
 
+  /// Span tree of the most recent operation run with QueryOptions::trace
+  /// (null until one completes).  Shared ownership: a concurrent traced
+  /// query replaces the pointer but never mutates a published trace.
+  [[nodiscard]] std::shared_ptr<const obs::Trace> last_trace() const {
+    std::lock_guard lock(state_mu_);
+    return last_trace_;
+  }
+
+  /// Deployment metrics registry (bus/pool/pfs gauges, per-server counters
+  /// and latency histograms).  Live for the service's lifetime.
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const noexcept {
+    return metrics_;
+  }
+
+  /// Scrape a metrics snapshot from a live server over the kMetrics RPC —
+  /// the same path an external monitoring client would use.  The snapshot
+  /// is deployment-wide (every server shares one registry).
+  Result<obs::MetricsSnapshot> scrape_metrics();
+
   [[nodiscard]] const ServiceOptions& options() const noexcept {
     return options_;
   }
@@ -186,8 +218,11 @@ class QueryService {
  private:
   Status get_data_raw(ObjectId object, const Selection& selection,
                       std::span<std::uint8_t> out, PdcType type,
-                      GetDataMode mode);
-  Result<Selection> eval(const QueryPtr& query, bool need_locations);
+                      GetDataMode mode, const QueryOptions& opts = {});
+  Result<Selection> eval(const QueryPtr& query, bool need_locations,
+                         const QueryOptions& opts = {});
+  /// Move the tracer's spans into last_trace_ (no-op for a disabled run).
+  void publish_trace(obs::Tracer& tracer, bool traced);
 
   /// Servers not (yet) marked dead.
   [[nodiscard]] std::vector<ServerId> alive_servers() const;
@@ -204,6 +239,10 @@ class QueryService {
 
   const obj::ObjectStore& store_;
   ServiceOptions options_;
+  /// Deployment metrics.  Declared before the pool/bus/servers so it is
+  /// destroyed after them — every component holds instrument pointers into
+  /// this registry for its whole lifetime.
+  obs::MetricsRegistry metrics_;
   /// Shared intra-server pool; declared before bus_/runtimes_ so it is
   /// destroyed after them (in-flight server tasks run on it).
   std::unique_ptr<exec::ThreadPool> pool_;
@@ -216,6 +255,7 @@ class QueryService {
   /// client calls (QueryServer/RegionCache handle their own locking).
   mutable std::mutex state_mu_;
   OpStats stats_;
+  std::shared_ptr<const obs::Trace> last_trace_;
   /// dead_[s]: server s exhausted its retries and is out of the rotation.
   std::vector<bool> dead_;
 };

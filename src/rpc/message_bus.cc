@@ -29,35 +29,63 @@ std::uint64_t payload_checksum(
 }
 
 std::vector<std::uint8_t> envelope_wrap(const Envelope& header,
-                                        std::span<const std::uint8_t> payload) {
-  SerialWriter w(sizeof(std::uint32_t) + 3 * sizeof(std::uint64_t) +
-                 sizeof(std::uint32_t) + payload.size());
+                                        std::span<const std::uint8_t> payload,
+                                        std::span<const std::uint8_t> trace_blob) {
+  // Frame: magic, request_id, attempt, deadline_us, trace_id, parent_span,
+  // checksum, payload_len, payload bytes, trace baggage (remainder).  The
+  // checksum covers everything after itself, so a corrupted trace blob
+  // drops the whole frame — retries then recover trace and payload alike.
+  SerialWriter w(2 * sizeof(std::uint32_t) + 7 * sizeof(std::uint64_t) +
+                 payload.size() + trace_blob.size());
   w.put(kEnvelopeMagic);
   w.put(header.request_id);
   w.put(header.attempt);
   w.put(header.deadline_us);
-  w.put(payload_checksum(payload));
+  w.put(header.trace_id);
+  w.put(header.parent_span);
+  const std::size_t checksum_pos = w.size();
+  w.put<std::uint64_t>(0);  // checksum backpatched below
+  w.put<std::uint64_t>(payload.size());
   w.put_raw(payload);
-  return w.take();
+  w.put_raw(trace_blob);
+  std::vector<std::uint8_t> frame = w.take();
+  const std::uint64_t checksum = payload_checksum(
+      std::span<const std::uint8_t>(frame).subspan(checksum_pos +
+                                                   sizeof(std::uint64_t)));
+  std::memcpy(frame.data() + checksum_pos, &checksum, sizeof(checksum));
+  return frame;
 }
 
 bool envelope_unwrap(std::span<const std::uint8_t> frame, Envelope& header,
-                     std::span<const std::uint8_t>& payload) {
+                     std::span<const std::uint8_t>& payload,
+                     std::span<const std::uint8_t>& trace_blob) {
   SerialReader r(frame);
   std::uint32_t magic = 0;
   Envelope parsed;
   std::uint64_t checksum = 0;
+  std::uint64_t payload_len = 0;
   if (!r.get(magic).ok() || magic != kEnvelopeMagic) return false;
   if (!r.get(parsed.request_id).ok() || !r.get(parsed.attempt).ok() ||
-      !r.get(parsed.deadline_us).ok() || !r.get(checksum).ok()) {
+      !r.get(parsed.deadline_us).ok() || !r.get(parsed.trace_id).ok() ||
+      !r.get(parsed.parent_span).ok() || !r.get(checksum).ok()) {
     return false;
   }
   const std::span<const std::uint8_t> body =
       frame.subspan(frame.size() - r.remaining());
   if (payload_checksum(body) != checksum) return false;
+  if (!r.get(payload_len).ok() || payload_len > r.remaining()) return false;
   header = parsed;
-  payload = body;
+  payload = frame.subspan(frame.size() - r.remaining(),
+                          static_cast<std::size_t>(payload_len));
+  trace_blob = frame.subspan(frame.size() - r.remaining() +
+                             static_cast<std::size_t>(payload_len));
   return true;
+}
+
+bool envelope_unwrap(std::span<const std::uint8_t> frame, Envelope& header,
+                     std::span<const std::uint8_t>& payload) {
+  std::span<const std::uint8_t> trace_blob;
+  return envelope_unwrap(frame, header, payload, trace_blob);
 }
 
 // ----------------------------------------------------------------- mailbox

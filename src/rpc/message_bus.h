@@ -42,14 +42,20 @@ struct Message {
 /// Transport header wrapped around every request/response payload.  Carries
 /// the request id (stable across retries, so stale/duplicate responses can
 /// be discarded), the attempt number, the absolute deadline after which the
-/// receiver may drop the message unprocessed, and a payload checksum so
-/// in-transit corruption is detected at the transport layer (the lost
-/// message is then recovered by the client's retry, exactly like a drop).
+/// receiver may drop the message unprocessed, the trace id + parent span id
+/// of the issuing operation (zero when untraced), and a checksum over the
+/// frame body so in-transit corruption is detected at the transport layer
+/// (the lost message is then recovered by the client's retry, exactly like
+/// a drop).
 struct Envelope {
   std::uint64_t request_id = 0;
   std::uint32_t attempt = 0;
   /// Microseconds since the steady-clock epoch; 0 = no deadline.
   std::uint64_t deadline_us = 0;
+  /// Trace propagation (obs::Tracer): 0 = this request is not traced.
+  std::uint64_t trace_id = 0;
+  /// Client-side span that server-side spans attach under.
+  std::uint64_t parent_span = 0;
 };
 
 /// Current steady-clock time in the Envelope::deadline_us unit.
@@ -59,9 +65,13 @@ struct Envelope {
 [[nodiscard]] std::uint64_t payload_checksum(
     std::span<const std::uint8_t> payload) noexcept;
 
-/// Serialize `header` + `payload` into one wire frame.
+/// Serialize `header` + `payload` into one wire frame.  `trace_blob` is
+/// transport baggage appended after the payload (serialized obs spans on a
+/// response to a traced request); it travels under the same checksum but
+/// is invisible to the wire protocol above the transport.
 [[nodiscard]] std::vector<std::uint8_t> envelope_wrap(
-    const Envelope& header, std::span<const std::uint8_t> payload);
+    const Envelope& header, std::span<const std::uint8_t> payload,
+    std::span<const std::uint8_t> trace_blob = {});
 
 /// Parse a wire frame.  Returns false (and leaves outputs untouched) when
 /// the frame is malformed or fails its checksum — the caller must treat the
@@ -69,6 +79,12 @@ struct Envelope {
 [[nodiscard]] bool envelope_unwrap(std::span<const std::uint8_t> frame,
                                    Envelope& header,
                                    std::span<const std::uint8_t>& payload);
+
+/// As above, also exposing the trailing trace baggage (empty when none).
+[[nodiscard]] bool envelope_unwrap(std::span<const std::uint8_t> frame,
+                                   Envelope& header,
+                                   std::span<const std::uint8_t>& payload,
+                                   std::span<const std::uint8_t>& trace_blob);
 
 // ----------------------------------------------------------------- mailbox
 

@@ -5,10 +5,17 @@
 
 namespace pdc::rpc {
 
-ServerRuntime::ServerRuntime(MessageBus& bus, ServerId id, Handler handler,
+ServerRuntime::ServerRuntime(MessageBus& bus, ServerId id,
+                             TracedHandler handler,
                              ServerRuntimeOptions options)
     : bus_(bus), id_(id), handler_(std::move(handler)), options_(options) {
   if (options_.max_inflight == 0) options_.max_inflight = 1;
+  if (options_.metrics != nullptr) {
+    const std::string prefix = "rpc.server" + std::to_string(id_);
+    requests_metric_ = &options_.metrics->counter(prefix + ".requests");
+    handle_seconds_metric_ =
+        &options_.metrics->histogram(prefix + ".handle_seconds");
+  }
   thread_ = std::thread([this] { loop(); });
 }
 
@@ -44,9 +51,9 @@ void ServerRuntime::loop() {
     if (envelope.deadline_us != 0 && steady_now_us() > envelope.deadline_us) {
       continue;  // client already gave up on this attempt
     }
+    const std::uint64_t dequeued_us = obs::now_us();
     if (options_.pool == nullptr) {
-      std::vector<std::uint8_t> response = handler_(request);
-      bus_.send_to_client(id_, envelope_wrap(envelope, response));
+      handle_request(envelope, request, dequeued_us);
       continue;
     }
     // Bounded admission: at most max_inflight requests of this server on
@@ -59,18 +66,61 @@ void ServerRuntime::loop() {
     }
     // `request` borrows from the frame, so move the whole frame into the
     // task and re-parse there (cheap: header check + checksum).
-    options_.pool->submit([this, frame = std::move(message->payload)] {
-      Envelope env;
-      std::span<const std::uint8_t> req;
-      if (envelope_unwrap(frame, env, req)) {
-        std::vector<std::uint8_t> response = handler_(req);
-        bus_.send_to_client(id_, envelope_wrap(env, response));
-      }
-      std::lock_guard lock(inflight_mu_);
-      --inflight_;
-      inflight_cv_.notify_all();
-    });
+    options_.pool->submit(
+        [this, frame = std::move(message->payload), dequeued_us] {
+          Envelope env;
+          std::span<const std::uint8_t> req;
+          if (envelope_unwrap(frame, env, req)) {
+            handle_request(env, req, dequeued_us);
+          }
+          std::lock_guard lock(inflight_mu_);
+          --inflight_;
+          inflight_cv_.notify_all();
+        });
   }
+}
+
+void ServerRuntime::handle_request(const Envelope& envelope,
+                                   std::span<const std::uint8_t> request,
+                                   std::uint64_t dequeued_us) {
+  if (requests_metric_ != nullptr) requests_metric_->add();
+  const std::uint64_t start_us = obs::now_us();
+  if (envelope.trace_id == 0) {
+    std::vector<std::uint8_t> response = handler_(request, {});
+    if (handle_seconds_metric_ != nullptr) {
+      handle_seconds_metric_->observe(
+          static_cast<double>(obs::now_us() - start_us) * 1e-6);
+    }
+    bus_.send_to_client(id_, envelope_wrap(envelope, response));
+    return;
+  }
+  // Traced request: collect this request's server-side spans in a local
+  // tracer and ship them back as response-frame baggage.  The queue span
+  // covers dequeue -> handler start (admission wait + pool queueing).
+  obs::Tracer tracer(envelope.trace_id);
+  const std::string actor = "server" + std::to_string(id_);
+  obs::Span queue_span;
+  queue_span.id = obs::next_id();
+  queue_span.parent = envelope.parent_span;
+  queue_span.start_us = dequeued_us;
+  queue_span.end_us = std::max(start_us, dequeued_us);
+  queue_span.name = "server.queue";
+  queue_span.actor = actor;
+  tracer.record(std::move(queue_span));
+  obs::ScopedSpan handle(
+      obs::TraceContext{&tracer, envelope.trace_id, envelope.parent_span},
+      "server.handle", actor);
+  handle.arg("server", static_cast<double>(id_));
+  handle.arg("attempt", static_cast<double>(envelope.attempt));
+  std::vector<std::uint8_t> response = handler_(request, handle.context());
+  handle.close();
+  if (handle_seconds_metric_ != nullptr) {
+    handle_seconds_metric_->observe(
+        static_cast<double>(obs::now_us() - start_us) * 1e-6);
+  }
+  bus_.send_to_client(
+      id_, envelope_wrap(envelope, response,
+                         obs::serialize_spans(tracer.take().spans)));
 }
 
 Client::Client(MessageBus& bus, RetryPolicy policy)
@@ -89,7 +139,8 @@ void Client::receive_loop() {
   while (auto message = bus_.client_mailbox().pop()) {
     Envelope envelope;
     std::span<const std::uint8_t> payload;
-    if (!envelope_unwrap(message->payload, envelope, payload)) {
+    std::span<const std::uint8_t> trace_blob;
+    if (!envelope_unwrap(message->payload, envelope, payload, trace_blob)) {
       corrupt_responses_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
@@ -106,12 +157,20 @@ void Client::receive_loop() {
     if (cell.has_value()) {
       // An earlier attempt answered already; the id stays registered until
       // its gather withdraws it, so the duplicate is charged to the gather
-      // it belongs to — not smeared across concurrent gathers.
+      // it belongs to — not smeared across concurrent gathers.  Its span
+      // blob is dropped with it: each request contributes spans once.
       ++slot.waiter->duplicates;
       continue;
     }
     cell = Message{message->sender,
                    std::vector<std::uint8_t>(payload.begin(), payload.end())};
+    if (slot.waiter->tracer != nullptr && !trace_blob.empty()) {
+      std::vector<obs::Span> spans;
+      if (obs::deserialize_spans(trace_blob, spans).ok()) {
+        slot.waiter->tracer->adopt(std::move(spans));
+      }
+      // A malformed blob loses the server's spans, never the response.
+    }
     if (--slot.waiter->remaining == 0) slot.waiter->cv.notify_all();
   }
   // Mailbox closed: wake every in-progress gather so none blocks until its
@@ -123,10 +182,28 @@ void Client::receive_loop() {
 
 GatherResult Client::gather(
     const std::vector<std::pair<ServerId, std::vector<std::uint8_t>>>&
-        requests) {
+        requests,
+    const obs::TraceContext& trace) {
   GatherResult result;
   result.responses.resize(requests.size());
   if (requests.empty()) return result;
+
+  // Traced gathers get one "rpc.gather" span, one "rpc.request" span per
+  // request (open from first send until the gather returns — server-side
+  // spans parent under it, so their intervals nest), and one "rpc.attempt"
+  // span per retry round.
+  obs::ScopedSpan gather_span(trace, "rpc.gather", "client");
+  std::vector<obs::SpanId> request_spans(requests.size(), 0);
+  if (trace.enabled()) {
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      request_spans[i] =
+          trace.tracer->begin(gather_span.id(), "rpc.request", "client");
+      trace.tracer->add_arg(request_spans[i], "server",
+                            static_cast<double>(requests[i].first));
+      trace.tracer->add_arg(request_spans[i], "request_bytes",
+                            static_cast<double>(requests[i].second.size()));
+    }
+  }
 
   // Request ids are stable across retries so a slow first-attempt response
   // still satisfies the request; ids are globally unique so responses to
@@ -134,6 +211,7 @@ GatherResult Client::gather(
   Waiter waiter;
   waiter.responses = &result.responses;
   waiter.remaining = requests.size();
+  waiter.tracer = trace.tracer;
   std::vector<std::uint64_t> ids(requests.size());
   {
     std::lock_guard lock(mu_);
@@ -167,6 +245,10 @@ GatherResult Client::gather(
                                                                16)));
       std::this_thread::sleep_for(backoff);
     }
+    obs::ScopedSpan attempt_span(gather_span.context(), "rpc.attempt",
+                                 "client");
+    attempt_span.arg("attempt", static_cast<double>(attempt));
+    attempt_span.arg("outstanding", static_cast<double>(todo.size()));
     const auto deadline =
         std::chrono::steady_clock::now() + policy_.attempt_timeout;
     const std::uint64_t deadline_us =
@@ -178,7 +260,9 @@ GatherResult Client::gather(
     for (const std::size_t i : todo) {
       bus_.send_to_server(
           requests[i].first,
-          envelope_wrap({ids[i], attempt, deadline_us}, requests[i].second));
+          envelope_wrap({ids[i], attempt, deadline_us, trace.trace_id,
+                         request_spans[i]},
+                        requests[i].second));
     }
 
     std::unique_lock lock(mu_);
@@ -199,6 +283,15 @@ GatherResult Client::gather(
     std::lock_guard lock(mu_);
     for (const std::uint64_t id : ids) pending_.erase(id);
     result.stats.duplicates_discarded = waiter.duplicates;
+  }
+  if (trace.enabled()) {
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      trace.tracer->add_arg(request_spans[i], "responded",
+                            result.responses[i].has_value() ? 1.0 : 0.0);
+      trace.tracer->end(request_spans[i]);
+    }
+    gather_span.arg("retries", static_cast<double>(result.stats.retries));
+    gather_span.arg("timeouts", static_cast<double>(result.stats.timeouts));
   }
   return result;
 }

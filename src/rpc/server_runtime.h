@@ -36,6 +36,8 @@
 #include <vector>
 
 #include "common/exec_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rpc/message_bus.h"
 
 namespace pdc::rpc {
@@ -48,6 +50,10 @@ struct ServerRuntimeOptions {
   /// With a pool: how many requests one server may process concurrently.
   /// Admission is bounded so a burst cannot swamp the shared pool.
   std::uint32_t max_inflight = 4;
+  /// Deployment metrics (null = unmetered).  The runtime registers
+  /// "rpc.server<id>.requests" and a "rpc.server<id>.handle_seconds" wall
+  /// latency histogram.  Must outlive the runtime.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Runs one server's request loop on a dedicated thread.
@@ -59,9 +65,24 @@ class ServerRuntime {
   /// concurrently — the handler must be thread-safe.
   using Handler =
       std::function<std::vector<std::uint8_t>(std::span<const std::uint8_t>)>;
+  /// Trace-aware handler: for traced requests (Envelope::trace_id != 0)
+  /// the context is enabled and rooted at this runtime's "server.handle"
+  /// span; the handler's spans travel back in the response frame.
+  using TracedHandler = std::function<std::vector<std::uint8_t>(
+      std::span<const std::uint8_t>, const obs::TraceContext&)>;
 
-  ServerRuntime(MessageBus& bus, ServerId id, Handler handler,
+  ServerRuntime(MessageBus& bus, ServerId id, TracedHandler handler,
                 ServerRuntimeOptions options = {});
+  /// Convenience: wrap a trace-unaware handler (tests, simple servers).
+  ServerRuntime(MessageBus& bus, ServerId id, Handler handler,
+                ServerRuntimeOptions options = {})
+      : ServerRuntime(bus, id,
+                      TracedHandler([handler = std::move(handler)](
+                                        std::span<const std::uint8_t> payload,
+                                        const obs::TraceContext&) {
+                        return handler(payload);
+                      }),
+                      options) {}
 
   /// Closes the mailbox, joins the thread, and waits for in-flight pooled
   /// requests to finish (their replies may still be delivered).
@@ -74,11 +95,21 @@ class ServerRuntime {
 
  private:
   void loop();
+  /// Run the handler for one unwrapped request and send the reply,
+  /// opening server-side spans when the envelope carries a trace id.
+  /// `dequeued_us` timestamps when the request left the mailbox (the
+  /// "server.queue" span covers dequeue -> handler start, i.e. admission
+  /// wait plus pool queueing).
+  void handle_request(const Envelope& envelope,
+                      std::span<const std::uint8_t> request,
+                      std::uint64_t dequeued_us);
 
   MessageBus& bus_;
   ServerId id_;
-  Handler handler_;
+  TracedHandler handler_;
   ServerRuntimeOptions options_;
+  obs::Counter* requests_metric_ = nullptr;
+  obs::LatencyHistogram* handle_seconds_metric_ = nullptr;
   std::mutex inflight_mu_;
   std::condition_variable inflight_cv_;
   std::uint32_t inflight_ = 0;
@@ -150,7 +181,19 @@ class Client {
   /// gathers proceed independently.
   GatherResult gather(
       const std::vector<std::pair<ServerId, std::vector<std::uint8_t>>>&
-          requests);
+          requests) {
+    return gather(requests, obs::TraceContext{});
+  }
+
+  /// Traced gather: opens an "rpc.gather" span with one "rpc.request" child
+  /// per request (the envelope's parent span, stable across retries) and an
+  /// "rpc.attempt" child per retry round; span blobs returned by servers
+  /// are adopted into the issuing trace.  A disabled context makes this
+  /// identical to the untraced overload.
+  GatherResult gather(
+      const std::vector<std::pair<ServerId, std::vector<std::uint8_t>>>&
+          requests,
+      const obs::TraceContext& trace);
 
   /// Broadcast `payload` and return a future that resolves once every
   /// server has responded or retries are exhausted.  Responses are ordered
@@ -190,6 +233,10 @@ class Client {
     std::size_t remaining = 0;
     /// Dup/stale responses to this gather's ids (guarded by mu_).
     std::uint64_t duplicates = 0;
+    /// Destination for span blobs carried by this gather's responses
+    /// (null = untraced).  The receiver adopts a blob exactly once per
+    /// request id (duplicates are dropped before their spans).
+    obs::Tracer* tracer = nullptr;
   };
   /// pending_ value: where a response with that request id belongs.
   struct Slot {

@@ -80,7 +80,7 @@ std::vector<std::uint64_t> merge_union(std::vector<std::uint64_t> a,
 }  // namespace
 
 std::vector<std::uint8_t> QueryServer::handle(
-    std::span<const std::uint8_t> payload) {
+    std::span<const std::uint8_t> payload, const obs::TraceContext& trace) {
   const auto type = peek_request_type(payload);
   if (!type.ok()) {
     EvalResponse resp;
@@ -95,7 +95,10 @@ std::vector<std::uint8_t> QueryServer::handle(
       resp.status = request.status();
       return resp.serialize();
     }
-    return eval(*request).serialize();
+    return eval(*request, trace).serialize();
+  }
+  if (*type == RequestType::kMetrics) {
+    return metrics_snapshot().serialize();
   }
   auto request = GetDataRequest::Deserialize(reader);
   if (!request.ok()) {
@@ -103,12 +106,64 @@ std::vector<std::uint8_t> QueryServer::handle(
     resp.status = request.status();
     return resp.serialize();
   }
-  return get_data(*request).serialize();
+  return get_data(*request, trace).serialize();
 }
 
-EvalResponse QueryServer::eval(const EvalRequest& request) {
+void QueryServer::register_metrics() {
+  if (options_.metrics == nullptr) return;
+  eval_requests_metric_ = &options_.metrics->counter(actor_ + ".eval_requests");
+  getdata_requests_metric_ =
+      &options_.metrics->counter(actor_ + ".getdata_requests");
+  bytes_read_metric_ = &options_.metrics->counter(actor_ + ".bytes_read");
+  read_ops_metric_ = &options_.metrics->counter(actor_ + ".read_ops");
+  eval_latency_metric_ =
+      &options_.metrics->histogram(actor_ + ".eval_seconds");
+  options_.metrics->gauge_fn(actor_ + ".cache_bytes", [this] {
+    return static_cast<double>(cache_.bytes());
+  });
+  options_.metrics->gauge_fn(actor_ + ".cache_entries", [this] {
+    return static_cast<double>(cache_.entries());
+  });
+  options_.metrics->gauge_fn(actor_ + ".cache_hits", [this] {
+    return static_cast<double>(cache_.hits());
+  });
+  options_.metrics->gauge_fn(actor_ + ".index_cache_bytes", [this] {
+    return static_cast<double>(index_cache_.bytes());
+  });
+}
+
+MetricsResponse QueryServer::metrics_snapshot() const {
+  MetricsResponse response;
+  if (options_.metrics == nullptr) {
+    response.status =
+        Status::FailedPrecondition("server has no metrics registry");
+    return response;
+  }
+  response.snapshot = options_.metrics->snapshot();
+  response.status = Status::Ok();
+  return response;
+}
+
+void QueryServer::annotate_task_span(obs::ScopedSpan& span,
+                                     const CostLedger& task_ledger) {
+  if (span.id() == 0) return;
+  const exec::TaskInfo task = exec::current_task();
+  if (task.in_task) {
+    span.arg("worker", static_cast<double>(
+                           static_cast<std::int64_t>(task.worker)));
+    span.arg("stolen", task.stolen ? 1.0 : 0.0);
+  }
+  span.arg("io_s", task_ledger.io_seconds());
+  span.arg("cpu_s", task_ledger.cpu_seconds());
+}
+
+EvalResponse QueryServer::eval(const EvalRequest& request,
+                               const obs::TraceContext& trace) {
+  if (eval_requests_metric_ != nullptr) eval_requests_metric_->add();
+  obs::ScopedSpan eval_span(trace, "server.eval", actor_);
   EvalResponse response;
   CostLedger ledger;
+  std::uint64_t regions_evaluated = 0;
   // The identities whose region shares we evaluate: normally just our own;
   // in degraded mode the client adds dead servers' identities (re-planned
   // region assignment — see region_assignment.h::plan_reassignment).
@@ -120,8 +175,9 @@ EvalResponse QueryServer::eval(const EvalRequest& request) {
     std::vector<std::uint64_t> term_positions;
     std::vector<Extent1D> term_extents;
     for (const ServerId identity : identities) {
-      const Status s = eval_term(term, request, identity, ledger,
-                                 term_positions, term_extents);
+      const Status s =
+          eval_term(term, request, identity, ledger, term_positions,
+                    term_extents, regions_evaluated, eval_span.context());
       if (!s.ok()) {
         response.status = s;
         return response;
@@ -165,13 +221,39 @@ EvalResponse QueryServer::eval(const EvalRequest& request) {
   }
   response.ledger = LedgerSummary::from(ledger);
   response.status = Status::Ok();
+  if (bytes_read_metric_ != nullptr) {
+    bytes_read_metric_->add(response.ledger.bytes_read);
+    read_ops_metric_->add(response.ledger.read_ops);
+    // Simulated per-request latency: the same modeled elapsed time the
+    // client folds into OpStats, so snapshots are deterministic.
+    eval_latency_metric_->observe(response.ledger.elapsed());
+  }
+  if (trace.enabled()) {
+    // The span carries the FINAL ledger split (post merge_parallel
+    // rescaling), so span-summed stage times reconcile with the response
+    // summary the client folds into OpStats.
+    eval_span.arg("io_s", response.ledger.io_seconds);
+    eval_span.arg("cpu_s", response.ledger.cpu_seconds);
+    eval_span.arg("scan_s", response.ledger.scan_seconds);
+    eval_span.arg("decode_s", response.ledger.decode_seconds);
+    eval_span.arg("merge_s", response.ledger.merge_seconds);
+    eval_span.arg("elapsed_s", response.ledger.elapsed());
+    eval_span.arg("bytes", static_cast<double>(response.ledger.bytes_read));
+    eval_span.arg("ops", static_cast<double>(response.ledger.read_ops));
+    eval_span.arg("regions_evaluated",
+                  static_cast<double>(regions_evaluated));
+    eval_span.arg("identities", static_cast<double>(identities.size()));
+    eval_span.arg("num_hits", static_cast<double>(response.num_hits));
+  }
   return response;
 }
 
 Status QueryServer::eval_term(const AndTerm& term, const EvalRequest& request,
                               ServerId identity, CostLedger& ledger,
                               std::vector<std::uint64_t>& out_positions,
-                              std::vector<Extent1D>& out_extents) {
+                              std::vector<Extent1D>& out_extents,
+                              std::uint64_t& regions_evaluated,
+                              const obs::TraceContext& trace) {
   if (term.conjuncts.empty()) {
     return Status::InvalidArgument("AND-term with no conjuncts");
   }
@@ -190,9 +272,11 @@ Status QueryServer::eval_term(const AndTerm& term, const EvalRequest& request,
   if (sorted_driver) {
     PDC_ASSIGN_OR_RETURN(const obj::ObjectDescriptor* replica,
                          store_.get(term.driver_replica));
+    regions_evaluated +=
+        regions_of_server(*replica, identity, options_.num_servers).size();
     std::vector<Extent1D> extents;
     PDC_RETURN_IF_ERROR(eval_driver_sorted(*replica, driver.interval,
-                                           identity, ledger, extents));
+                                           identity, ledger, extents, trace));
 
     // Extents-only results are valid ONLY for a single-term request: the
     // OR merge in eval() operates on positions and discards extents, so a
@@ -212,7 +296,7 @@ Status QueryServer::eval_term(const AndTerm& term, const EvalRequest& request,
       PDC_ASSIGN_OR_RETURN(
           std::vector<std::uint64_t> original,
           sortrep::map_to_source_positions(store_, *replica, e,
-                                           read_ctx(ledger)));
+                                           read_ctx(ledger, trace)));
       positions.insert(positions.end(), original.begin(), original.end());
     }
     ledger.add_cpu(store_.cluster().config().cost.scan_cost(
@@ -232,24 +316,27 @@ Status QueryServer::eval_term(const AndTerm& term, const EvalRequest& request,
       sorted_extents = std::move(extents);
     }
   } else {
+    regions_evaluated +=
+        regions_of_server(*driver_obj, identity, options_.num_servers).size();
     switch (request.strategy) {
       case Strategy::kFullScan:
         PDC_RETURN_IF_ERROR(eval_driver_scan(*driver_obj, driver.interval,
                                              request.region_constraint,
                                              /*prune=*/false, identity,
-                                             ledger, positions));
+                                             ledger, positions, trace));
         break;
       case Strategy::kHistogram:
       case Strategy::kSortedHistogram:  // no replica available: histogram
         PDC_RETURN_IF_ERROR(eval_driver_scan(*driver_obj, driver.interval,
                                              request.region_constraint,
                                              /*prune=*/true, identity,
-                                             ledger, positions));
+                                             ledger, positions, trace));
         break;
       case Strategy::kHistogramIndex:
         PDC_RETURN_IF_ERROR(eval_driver_index(*driver_obj, driver.interval,
                                               request.region_constraint,
-                                              identity, ledger, positions));
+                                              identity, ledger, positions,
+                                              trace));
         break;
     }
   }
@@ -269,7 +356,7 @@ Status QueryServer::eval_term(const AndTerm& term, const EvalRequest& request,
     }
     PDC_RETURN_IF_ERROR(restrict_positions(
         *object, term.conjuncts[c].interval,
-        request.strategy == Strategy::kFullScan, ledger, positions));
+        request.strategy == Strategy::kFullScan, ledger, positions, trace));
   }
   if (term.conjuncts.size() > 1) sorted_extents.clear();
   out_positions.insert(out_positions.end(), positions.begin(),
@@ -283,10 +370,15 @@ Status QueryServer::eval_driver_scan(const obj::ObjectDescriptor& object,
                                      const ValueInterval& interval,
                                      Extent1D constraint, bool prune,
                                      ServerId identity, CostLedger& ledger,
-                                     std::vector<std::uint64_t>& positions) {
+                                     std::vector<std::uint64_t>& positions,
+                                     const obs::TraceContext& trace) {
   const CostModel& cost = store_.cluster().config().cost;
   const std::vector<RegionIndex> regions =
       regions_of_server(object, identity, options_.num_servers);
+  obs::ScopedSpan phase(
+      trace, prune ? "phase.histogram_prune" : "phase.region_scan", actor_);
+  phase.arg("regions", static_cast<double>(regions.size()));
+  phase.arg("identity", static_cast<double>(identity));
   // One pool task per region (fetch through the cache + scan).  Each task
   // fills its own slot, so concatenating slots in region-index order below
   // reproduces the serial loop bit-exactly: per-region hit lists are
@@ -295,6 +387,8 @@ Status QueryServer::eval_driver_scan(const obj::ObjectDescriptor& object,
   std::vector<CostLedger> ledgers(regions.size());
   std::vector<std::vector<std::uint64_t>> hits(regions.size());
   exec::parallel_for(options_.pool, regions.size(), [&](std::size_t i) {
+    obs::ScopedSpan region_span(phase.context(), "region", actor_);
+    region_span.arg("region", static_cast<double>(regions[i]));
     statuses[i] = [&]() -> Status {
       const RegionIndex r = regions[i];
       const obj::RegionDescriptor& region = object.regions[r];
@@ -304,14 +398,17 @@ Status QueryServer::eval_driver_scan(const obj::ObjectDescriptor& object,
         if (want.empty()) return Status::Ok();
       }
       if (prune && !region.histogram.may_overlap(interval)) {
+        region_span.arg("pruned", 1.0);
         return Status::Ok();  // region eliminated by min/max — no I/O at all
       }
       const bool all_hits = prune && region.histogram.covers(interval);
       // Fetch through the cache (populates it for later queries/get-data).
       PDC_ASSIGN_OR_RETURN(
           RegionCache::Buffer buffer,
-          fetch_region(object, r, ledgers[i], /*cacheable=*/true));
+          fetch_region(object, r, ledgers[i], /*cacheable=*/true,
+                       region_span.context()));
       if (all_hits) {
+        region_span.arg("all_hits", 1.0);
         // Histogram proves every element matches: skip the per-element scan.
         for (std::uint64_t p = want.offset; p < want.end(); ++p) {
           hits[i].push_back(p);
@@ -324,6 +421,7 @@ Status QueryServer::eval_driver_scan(const obj::ObjectDescriptor& object,
                   hits[i]);
       return Status::Ok();
     }();
+    annotate_task_span(region_span, ledgers[i]);
   });
   for (const Status& s : statuses) PDC_RETURN_IF_ERROR(s);
   ledger.merge_parallel(ledgers, eval_threads());
@@ -337,7 +435,8 @@ Status QueryServer::eval_driver_index(const obj::ObjectDescriptor& object,
                                       const ValueInterval& interval,
                                       Extent1D constraint, ServerId identity,
                                       CostLedger& ledger,
-                                      std::vector<std::uint64_t>& positions) {
+                                      std::vector<std::uint64_t>& positions,
+                                      const obs::TraceContext& trace) {
   if (object.index_file.empty()) {
     return Status::FailedPrecondition("object has no bitmap index: " +
                                       object.name);
@@ -358,16 +457,23 @@ Status QueryServer::eval_driver_index(const obj::ObjectDescriptor& object,
     Extent1D extent;             ///< byte extent in the index file
   };
   std::vector<PlannedBin> planned;
+  obs::ScopedSpan prune_phase(trace, "phase.histogram_prune", actor_);
   for (const RegionIndex r :
        regions_of_server(object, identity, options_.num_servers)) {
+    obs::ScopedSpan region_span(prune_phase.context(), "region", actor_);
+    region_span.arg("region", static_cast<double>(r));
     const obj::RegionDescriptor& region = object.regions[r];
     Extent1D want = region.extent;
     if (constraint.count > 0) {
       want = want.intersect(constraint);
       if (want.empty()) continue;
     }
-    if (!region.histogram.may_overlap(interval)) continue;
+    if (!region.histogram.may_overlap(interval)) {
+      region_span.arg("pruned", 1.0);
+      continue;
+    }
     if (region.histogram.covers(interval)) {
+      region_span.arg("all_hits", 1.0);
       // Histogram proves the whole region matches: no index I/O needed.
       for (std::uint64_t p = want.offset; p < want.end(); ++p) {
         positions.push_back(p);
@@ -385,6 +491,7 @@ Status QueryServer::eval_driver_index(const obj::ObjectDescriptor& object,
       bins.emplace_back(b, false);
     }
     std::sort(bins.begin(), bins.end());
+    region_span.arg("bins", static_cast<double>(bins.size()));
     for (const auto& [b, full] : bins) {
       Extent1D e = view.bin_extent(b);
       e.offset += region.index_offset;
@@ -394,8 +501,12 @@ Status QueryServer::eval_driver_index(const obj::ObjectDescriptor& object,
       planned.push_back({r, b, full, index_cache_.get(key), e});
     }
   }
+  prune_phase.arg("planned_bins", static_cast<double>(planned.size()));
+  prune_phase.close();
 
   if (!planned.empty()) {
+    obs::ScopedSpan decode_phase(trace, "phase.bin_decode", actor_);
+    decode_phase.arg("bins", static_cast<double>(planned.size()));
     // Read the uncached bins in one aggregated pass.
     std::vector<Extent1D> missing_extents;
     std::vector<std::size_t> missing_index;
@@ -414,10 +525,9 @@ Status QueryServer::eval_driver_index(const obj::ObjectDescriptor& object,
             static_cast<std::size_t>(e.count)));
         dests.emplace_back(*buffers.back());
       }
-      PDC_RETURN_IF_ERROR(pfs::aggregated_read(index_file, missing_extents,
-                                               dests,
-                                               options_.index_aggregation,
-                                               read_ctx(ledger)));
+      PDC_RETURN_IF_ERROR(pfs::aggregated_read(
+          index_file, missing_extents, dests, options_.index_aggregation,
+          read_ctx(ledger, decode_phase.context())));
       for (std::size_t k = 0; k < missing_index.size(); ++k) {
         PlannedBin& p = planned[missing_index[k]];
         p.cached = buffers[k];
@@ -436,6 +546,9 @@ Status QueryServer::eval_driver_index(const obj::ObjectDescriptor& object,
     std::vector<std::vector<std::uint64_t>> definite(planned.size());
     std::vector<std::vector<std::uint64_t>> partial(planned.size());
     exec::parallel_for(options_.pool, planned.size(), [&](std::size_t i) {
+      obs::ScopedSpan bin_span(decode_phase.context(), "bin", actor_);
+      bin_span.arg("region", static_cast<double>(planned[i].region));
+      bin_span.arg("bin", static_cast<double>(planned[i].bin));
       statuses[i] = [&]() -> Status {
         PDC_ASSIGN_OR_RETURN(
             bitmap::WahBitVector bv,
@@ -455,6 +568,7 @@ Status QueryServer::eval_driver_index(const obj::ObjectDescriptor& object,
         });
         return Status::Ok();
       }();
+      annotate_task_span(bin_span, ledgers[i]);
     });
     for (const Status& s : statuses) PDC_RETURN_IF_ERROR(s);
     ledger.merge_parallel(ledgers, eval_threads());
@@ -468,16 +582,20 @@ Status QueryServer::eval_driver_index(const obj::ObjectDescriptor& object,
     log_debug("HI server ", options_.id, ": obj ", object.id, " bins=",
               planned.size(), " definite=", positions.size(),
               " candidates=", candidates.size());
+    decode_phase.close();
     if (!candidates.empty()) {
+      obs::ScopedSpan check_phase(trace, "phase.candidate_check", actor_);
+      check_phase.arg("candidates", static_cast<double>(candidates.size()));
       std::sort(candidates.begin(), candidates.end());
       const std::size_t elem_size = object.element_size();
       // Candidate values are fetched with the wide-gap policy: merging
       // nearby candidates into one larger read costs extra bytes but far
       // fewer op latencies (the block-read philosophy of §III-E).
       std::vector<std::uint8_t> values(candidates.size() * elem_size);
-      PDC_RETURN_IF_ERROR(store_.read_values_at(object, candidates, values,
-                                                options_.aggregation,
-                                                read_ctx(ledger)));
+      PDC_RETURN_IF_ERROR(
+          store_.read_values_at(object, candidates, values,
+                                options_.aggregation,
+                                read_ctx(ledger, check_phase.context())));
       ledger.add_cpu(cost.scan_cost(values.size()), CpuStage::kScan);
       for (std::size_t i = 0; i < candidates.size(); ++i) {
         if (check_value(object.type, values.data(), i, interval)) {
@@ -493,10 +611,14 @@ Status QueryServer::eval_driver_index(const obj::ObjectDescriptor& object,
 Status QueryServer::eval_driver_sorted(const obj::ObjectDescriptor& replica,
                                        const ValueInterval& interval,
                                        ServerId identity, CostLedger& ledger,
-                                       std::vector<Extent1D>& extents) {
+                                       std::vector<Extent1D>& extents,
+                                       const obs::TraceContext& trace) {
   const CostModel& cost = store_.cluster().config().cost;
   const std::vector<RegionIndex> regions =
       regions_of_server(replica, identity, options_.num_servers);
+  obs::ScopedSpan phase(trace, "phase.sorted_boundary", actor_);
+  phase.arg("regions", static_cast<double>(regions.size()));
+  phase.arg("identity", static_cast<double>(identity));
   // Boundary regions fetch + binary-search in parallel; the extent list is
   // then assembled serially in region-index order so cross-region
   // coalescing sees the same adjacency as the serial loop.
@@ -504,18 +626,25 @@ Status QueryServer::eval_driver_sorted(const obj::ObjectDescriptor& replica,
   std::vector<CostLedger> ledgers(regions.size());
   std::vector<Extent1D> found(regions.size());  // count == 0: no hit
   exec::parallel_for(options_.pool, regions.size(), [&](std::size_t i) {
+    obs::ScopedSpan region_span(phase.context(), "region", actor_);
+    region_span.arg("region", static_cast<double>(regions[i]));
     statuses[i] = [&]() -> Status {
       const RegionIndex r = regions[i];
       const obj::RegionDescriptor& region = replica.regions[r];
-      if (!region.histogram.may_overlap(interval)) return Status::Ok();
+      if (!region.histogram.may_overlap(interval)) {
+        region_span.arg("pruned", 1.0);
+        return Status::Ok();
+      }
       if (region.histogram.covers(interval)) {
+        region_span.arg("all_hits", 1.0);
         found[i] = region.extent;  // interior region: all elements match
         return Status::Ok();
       }
       // Boundary region: fetch (cached) and binary-search the range.
       PDC_ASSIGN_OR_RETURN(
           RegionCache::Buffer buffer,
-          fetch_region(replica, r, ledgers[i], /*cacheable=*/true));
+          fetch_region(replica, r, ledgers[i], /*cacheable=*/true,
+                       region_span.context()));
       const auto [lo, hi] = sorted_range(replica.type, buffer->data(),
                                          region.extent.count, interval);
       // Binary search touches O(log n) elements.
@@ -529,6 +658,7 @@ Status QueryServer::eval_driver_sorted(const obj::ObjectDescriptor& replica,
       if (hi > lo) found[i] = {region.extent.offset + lo, hi - lo};
       return Status::Ok();
     }();
+    annotate_task_span(region_span, ledgers[i]);
   });
   for (const Status& s : statuses) PDC_RETURN_IF_ERROR(s);
   ledger.merge_parallel(ledgers, eval_threads());
@@ -547,7 +677,11 @@ Status QueryServer::eval_driver_sorted(const obj::ObjectDescriptor& replica,
 Status QueryServer::restrict_positions(const obj::ObjectDescriptor& object,
                                        const ValueInterval& interval,
                                        bool full_scan_mode, CostLedger& ledger,
-                                       std::vector<std::uint64_t>& positions) {
+                                       std::vector<std::uint64_t>& positions,
+                                       const obs::TraceContext& trace) {
+  obs::ScopedSpan phase(trace, "phase.restrict", actor_);
+  phase.arg("object", static_cast<double>(object.id));
+  phase.arg("positions_in", static_cast<double>(positions.size()));
   const CostModel& cost = store_.cluster().config().cost;
   const std::size_t elem_size = object.element_size();
 
@@ -577,6 +711,8 @@ Status QueryServer::restrict_positions(const obj::ObjectDescriptor& object,
   std::vector<CostLedger> ledgers(groups.size());
   std::vector<std::vector<std::uint64_t>> kept_parts(groups.size());
   exec::parallel_for(options_.pool, groups.size(), [&](std::size_t gi) {
+    obs::ScopedSpan group_span(phase.context(), "region_check", actor_);
+    group_span.arg("region", static_cast<double>(groups[gi].region));
     statuses[gi] = [&]() -> Status {
       const std::span<const std::uint64_t> group(
           &positions[groups[gi].begin], groups[gi].end - groups[gi].begin);
@@ -611,7 +747,8 @@ Status QueryServer::restrict_positions(const obj::ObjectDescriptor& object,
           span_bytes * 2 >= region.extent.count * elem_size;
       if (buffer == nullptr && dense) {
         PDC_ASSIGN_OR_RETURN(
-            buffer, fetch_region(object, r, task_ledger, /*cacheable=*/true));
+            buffer, fetch_region(object, r, task_ledger, /*cacheable=*/true,
+                                 group_span.context()));
         if (full_scan_mode) {
           // The baseline scans the whole region regardless of selectivity.
           task_ledger.add_cpu(cost.scan_cost(region.extent.count * elem_size),
@@ -631,9 +768,9 @@ Status QueryServer::restrict_positions(const obj::ObjectDescriptor& object,
       } else {
         // Sparse group, cold region: aggregated point reads.
         std::vector<std::uint8_t> values(group.size() * elem_size);
-        PDC_RETURN_IF_ERROR(store_.read_values_at(object, group, values,
-                                                  options_.aggregation,
-                                                  read_ctx(task_ledger)));
+        PDC_RETURN_IF_ERROR(store_.read_values_at(
+            object, group, values, options_.aggregation,
+            read_ctx(task_ledger, group_span.context())));
         task_ledger.add_cpu(cost.scan_cost(values.size()), CpuStage::kScan);
         for (std::size_t k = 0; k < group.size(); ++k) {
           if (check_value(object.type, values.data(), k, interval)) {
@@ -643,6 +780,7 @@ Status QueryServer::restrict_positions(const obj::ObjectDescriptor& object,
       }
       return Status::Ok();
     }();
+    annotate_task_span(group_span, ledgers[gi]);
   });
   for (const Status& s : statuses) PDC_RETURN_IF_ERROR(s);
   ledger.merge_parallel(ledgers, eval_threads());
@@ -653,12 +791,13 @@ Status QueryServer::restrict_positions(const obj::ObjectDescriptor& object,
     kept.insert(kept.end(), part.begin(), part.end());
   }
   positions = std::move(kept);
+  phase.arg("positions_out", static_cast<double>(positions.size()));
   return Status::Ok();
 }
 
 Result<RegionCache::Buffer> QueryServer::fetch_region(
     const obj::ObjectDescriptor& object, RegionIndex region,
-    CostLedger& ledger, bool cacheable) {
+    CostLedger& ledger, bool cacheable, const obs::TraceContext& trace) {
   const RegionCache::Key key{object.id, region};
   if (RegionCache::Buffer hit = cache_.get(key)) return hit;
   log_debug("server ", options_.id, " cache MISS obj ", object.id, " region ",
@@ -667,7 +806,7 @@ Result<RegionCache::Buffer> QueryServer::fetch_region(
   auto buffer = std::make_shared<std::vector<std::uint8_t>>(
       static_cast<std::size_t>(desc.extent.count * object.element_size()));
   PDC_RETURN_IF_ERROR(
-      store_.read_region(object, region, *buffer, read_ctx(ledger)));
+      store_.read_region(object, region, *buffer, read_ctx(ledger, trace)));
   RegionCache::Buffer shared = std::move(buffer);
   if (cacheable) cache_.put(key, shared);
   return shared;
@@ -676,7 +815,8 @@ Result<RegionCache::Buffer> QueryServer::fetch_region(
 Status QueryServer::gather_values(const obj::ObjectDescriptor& object,
                                   std::span<const std::uint64_t> positions,
                                   std::span<std::uint8_t> out,
-                                  CostLedger& ledger) {
+                                  CostLedger& ledger,
+                                  const obs::TraceContext& trace) {
   const CostModel& cost = store_.cluster().config().cost;
   const std::size_t elem_size = object.element_size();
   if (out.size() != positions.size() * elem_size) {
@@ -696,15 +836,20 @@ Status QueryServer::gather_values(const obj::ObjectDescriptor& object,
     i = j;
     const obj::RegionDescriptor& region = object.regions[r];
 
+    obs::ScopedSpan group_span(trace, "read_group", actor_);
+    group_span.arg("region", static_cast<double>(r));
+    group_span.arg("positions", static_cast<double>(group.size()));
     RegionCache::Buffer buffer = cache_.get({object.id, r});
     const bool dense = static_cast<double>(group.size()) >
                        options_.dense_read_threshold *
                            static_cast<double>(region.extent.count);
     if (buffer == nullptr && dense) {
       PDC_ASSIGN_OR_RETURN(buffer,
-                           fetch_region(object, r, ledger, /*cacheable=*/true));
+                           fetch_region(object, r, ledger, /*cacheable=*/true,
+                                        group_span.context()));
     }
     if (buffer != nullptr) {
+      group_span.arg("cached", 1.0);
       ledger.add_cpu(static_cast<double>(dest.size()) /
                          cost.memcpy_bandwidth_bps,
                      CpuStage::kMerge);
@@ -714,14 +859,18 @@ Status QueryServer::gather_values(const obj::ObjectDescriptor& object,
                     dest.data() + k * elem_size);
       }
     } else {
-      PDC_RETURN_IF_ERROR(store_.read_values_at(
-          object, group, dest, options_.aggregation, read_ctx(ledger)));
+      PDC_RETURN_IF_ERROR(
+          store_.read_values_at(object, group, dest, options_.aggregation,
+                                read_ctx(ledger, group_span.context())));
     }
   }
   return Status::Ok();
 }
 
-GetDataResponse QueryServer::get_data(const GetDataRequest& request) {
+GetDataResponse QueryServer::get_data(const GetDataRequest& request,
+                                      const obs::TraceContext& trace) {
+  if (getdata_requests_metric_ != nullptr) getdata_requests_metric_->add();
+  obs::ScopedSpan span(trace, "server.get_data", actor_);
   GetDataResponse response;
   CostLedger ledger;
   const auto object = store_.get(request.object);
@@ -757,7 +906,7 @@ GetDataResponse QueryServer::get_data(const GetDataRequest& request) {
         } else {
           const Status s =
               store_.read_elements(**object, {pos, take}, dest,
-                                   read_ctx(ledger));
+                                   read_ctx(ledger, span.context()));
           if (!s.ok()) {
             response.status = s;
             return response;
@@ -769,8 +918,8 @@ GetDataResponse QueryServer::get_data(const GetDataRequest& request) {
     }
   } else {
     response.values.resize(request.positions.size() * elem_size);
-    const Status s =
-        gather_values(**object, request.positions, response.values, ledger);
+    const Status s = gather_values(**object, request.positions,
+                                   response.values, ledger, span.context());
     if (!s.ok()) {
       response.status = s;
       return response;
@@ -778,6 +927,19 @@ GetDataResponse QueryServer::get_data(const GetDataRequest& request) {
   }
   response.ledger = LedgerSummary::from(ledger);
   response.status = Status::Ok();
+  if (bytes_read_metric_ != nullptr) {
+    bytes_read_metric_->add(response.ledger.bytes_read);
+    read_ops_metric_->add(response.ledger.read_ops);
+  }
+  if (trace.enabled()) {
+    span.arg("io_s", response.ledger.io_seconds);
+    span.arg("cpu_s", response.ledger.cpu_seconds);
+    span.arg("merge_s", response.ledger.merge_seconds);
+    span.arg("elapsed_s", response.ledger.elapsed());
+    span.arg("bytes", static_cast<double>(response.ledger.bytes_read));
+    span.arg("ops", static_cast<double>(response.ledger.read_ops));
+    span.arg("values_bytes", static_cast<double>(response.values.size()));
+  }
   return response;
 }
 

@@ -27,6 +27,8 @@
 #include "common/cost_model.h"
 #include "common/exec_pool.h"
 #include "obj/object_store.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pfs/read_aggregator.h"
 #include "server/region_cache.h"
 #include "server/wire.h"
@@ -53,6 +55,11 @@ struct ServerOptions {
   /// If a conjunct needs more than this fraction of a region's elements,
   /// fetch the whole region (and cache it) instead of point reads.
   double dense_read_threshold = 0.25;
+  /// Deployment metrics registry (null = unmetered).  The server registers
+  /// "server<id>.eval_requests" / ".getdata_requests" / ".bytes_read" /
+  /// ".read_ops" counters and cache occupancy gauges, and answers the
+  /// kMetrics RPC with a whole-registry snapshot.  Must outlive the server.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class QueryServer {
@@ -60,14 +67,25 @@ class QueryServer {
   QueryServer(const obj::ObjectStore& store, ServerOptions options)
       : store_(store),
         options_(options),
+        actor_("server" + std::to_string(options.id)),
         cache_(options.cache_capacity_bytes),
-        index_cache_(options.cache_capacity_bytes / 4) {}
+        index_cache_(options.cache_capacity_bytes / 4) {
+    register_metrics();
+  }
 
   /// RPC entry point: dispatch on request type, return serialized response.
-  std::vector<std::uint8_t> handle(std::span<const std::uint8_t> payload);
+  /// An enabled `trace` (the runtime's "server.handle" context) makes the
+  /// evaluation emit per-phase and per-region spans into it.
+  std::vector<std::uint8_t> handle(std::span<const std::uint8_t> payload,
+                                   const obs::TraceContext& trace = {});
 
-  EvalResponse eval(const EvalRequest& request);
-  GetDataResponse get_data(const GetDataRequest& request);
+  EvalResponse eval(const EvalRequest& request,
+                    const obs::TraceContext& trace = {});
+  GetDataResponse get_data(const GetDataRequest& request,
+                           const obs::TraceContext& trace = {});
+  /// kMetrics RPC: snapshot of the deployment registry (error status when
+  /// the server was built without one).
+  [[nodiscard]] MetricsResponse metrics_snapshot() const;
 
   [[nodiscard]] const RegionCache& cache() const noexcept { return cache_; }
   [[nodiscard]] ServerId id() const noexcept { return options_.id; }
@@ -77,45 +95,64 @@ class QueryServer {
   /// own id; a dead server's id in degraded mode); appends that identity's
   /// matching original-space positions (ascending) and, for sorted
   /// drivers, replica-space extents.
+  /// `regions_evaluated` accumulates the number of driver regions iterated
+  /// (one "region" span each when traced) for the response/span accounting.
   Status eval_term(const AndTerm& term, const EvalRequest& request,
                    ServerId identity, CostLedger& ledger,
                    std::vector<std::uint64_t>& positions,
-                   std::vector<Extent1D>& sorted_extents);
+                   std::vector<Extent1D>& sorted_extents,
+                   std::uint64_t& regions_evaluated,
+                   const obs::TraceContext& trace);
 
   // Driver evaluators (first conjunct, region-parallel over the regions
   // assigned to `identity`).
   Status eval_driver_scan(const obj::ObjectDescriptor& object,
                           const ValueInterval& interval, Extent1D constraint,
                           bool prune, ServerId identity, CostLedger& ledger,
-                          std::vector<std::uint64_t>& positions);
+                          std::vector<std::uint64_t>& positions,
+                          const obs::TraceContext& trace);
   Status eval_driver_index(const obj::ObjectDescriptor& object,
                            const ValueInterval& interval, Extent1D constraint,
                            ServerId identity, CostLedger& ledger,
-                           std::vector<std::uint64_t>& positions);
+                           std::vector<std::uint64_t>& positions,
+                           const obs::TraceContext& trace);
   Status eval_driver_sorted(const obj::ObjectDescriptor& replica,
                             const ValueInterval& interval, ServerId identity,
-                            CostLedger& ledger,
-                            std::vector<Extent1D>& extents);
+                            CostLedger& ledger, std::vector<Extent1D>& extents,
+                            const obs::TraceContext& trace);
 
   /// Restrict `positions` (ascending, original space) to those whose value
   /// in `object` satisfies `interval`.
   Status restrict_positions(const obj::ObjectDescriptor& object,
                             const ValueInterval& interval, bool full_scan_mode,
                             CostLedger& ledger,
-                            std::vector<std::uint64_t>& positions);
+                            std::vector<std::uint64_t>& positions,
+                            const obs::TraceContext& trace);
 
   /// Region bytes through the cache; `cacheable=false` bypasses insertion.
   Result<RegionCache::Buffer> fetch_region(const obj::ObjectDescriptor& object,
                                            RegionIndex region,
-                                           CostLedger& ledger, bool cacheable);
+                                           CostLedger& ledger, bool cacheable,
+                                           const obs::TraceContext& trace = {});
 
   /// Values at ascending positions, cache-aware, into `out`.
   Status gather_values(const obj::ObjectDescriptor& object,
                        std::span<const std::uint64_t> positions,
-                       std::span<std::uint8_t> out, CostLedger& ledger);
+                       std::span<std::uint8_t> out, CostLedger& ledger,
+                       const obs::TraceContext& trace = {});
 
-  [[nodiscard]] pfs::ReadContext read_ctx(CostLedger& ledger) const {
-    return {&ledger, options_.num_servers};
+  /// Register this server's counters and cache gauges (no-op when the
+  /// deployment is unmetered).
+  void register_metrics();
+
+  /// Annotate a per-region (or per-bin / per-group) span with the executing
+  /// pool worker and the task ledger's cost split; no-op when untraced.
+  static void annotate_task_span(obs::ScopedSpan& span,
+                                 const CostLedger& task_ledger);
+
+  [[nodiscard]] pfs::ReadContext read_ctx(
+      CostLedger& ledger, const obs::TraceContext& trace = {}) const {
+    return {&ledger, options_.num_servers, trace};
   }
 
   /// Modeled cores per server for parallel cost accounting.
@@ -125,6 +162,14 @@ class QueryServer {
 
   const obj::ObjectStore& store_;
   ServerOptions options_;
+  std::string actor_;  ///< span actor label ("server<id>")
+  // Deployment metric instruments (null when unmetered); addresses are
+  // stable for the registry's lifetime, so the hot path is one atomic add.
+  obs::Counter* eval_requests_metric_ = nullptr;
+  obs::Counter* getdata_requests_metric_ = nullptr;
+  obs::Counter* bytes_read_metric_ = nullptr;
+  obs::Counter* read_ops_metric_ = nullptr;
+  obs::LatencyHistogram* eval_latency_metric_ = nullptr;
   RegionCache cache_;
   /// Serialized index bins stay resident once read (FastBit also caches
   /// bitmaps); keyed by (object, region*2048+bin).

@@ -224,13 +224,43 @@ Result<GetDataResponse> GetDataResponse::Deserialize(SerialReader& r) {
   return resp;
 }
 
+std::vector<std::uint8_t> MetricsRequest::serialize() const {
+  SerialWriter w;
+  w.put(static_cast<std::uint8_t>(RequestType::kMetrics));
+  return w.take();
+}
+
+Result<MetricsRequest> MetricsRequest::Deserialize(SerialReader& r) {
+  std::uint8_t type = 0;
+  PDC_RETURN_IF_ERROR(r.get(type));
+  if (type != static_cast<std::uint8_t>(RequestType::kMetrics)) {
+    return Status::Corruption("not a MetricsRequest");
+  }
+  return MetricsRequest{};
+}
+
+std::vector<std::uint8_t> MetricsResponse::serialize() const {
+  SerialWriter w;
+  put_status(w, status);
+  obs::serialize_snapshot(w, snapshot);
+  return w.take();
+}
+
+Result<MetricsResponse> MetricsResponse::Deserialize(SerialReader& r) {
+  MetricsResponse resp;
+  PDC_RETURN_IF_ERROR(get_status(r, resp.status));
+  PDC_RETURN_IF_ERROR(obs::deserialize_snapshot(r, resp.snapshot));
+  return resp;
+}
+
 Result<RequestType> peek_request_type(std::span<const std::uint8_t> payload) {
   if (payload.empty()) {
     return Status::Corruption("empty request payload");
   }
   const std::uint8_t type = payload[0];
   if (type != static_cast<std::uint8_t>(RequestType::kEvalQuery) &&
-      type != static_cast<std::uint8_t>(RequestType::kGetData)) {
+      type != static_cast<std::uint8_t>(RequestType::kGetData) &&
+      type != static_cast<std::uint8_t>(RequestType::kMetrics)) {
     return Status::Corruption("unknown request type");
   }
   return static_cast<RequestType>(type);

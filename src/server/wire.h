@@ -18,6 +18,7 @@
 #include "common/serial.h"
 #include "common/status.h"
 #include "common/types.h"
+#include "obs/metrics.h"
 
 namespace pdc::server {
 
@@ -35,6 +36,7 @@ std::string_view strategy_name(Strategy s) noexcept;
 enum class RequestType : std::uint8_t {
   kEvalQuery = 1,
   kGetData = 2,
+  kMetrics = 3,  ///< scrape the server's live MetricsRegistry snapshot
 };
 
 /// One conjunct: an interval condition on one object.
@@ -127,6 +129,22 @@ struct GetDataResponse {
 
   [[nodiscard]] std::vector<std::uint8_t> serialize() const;
   static Result<GetDataResponse> Deserialize(SerialReader& r);
+};
+
+/// Ask a server for a snapshot of its deployment metrics (counters,
+/// gauges, latency histograms).  Examples and bench use this to scrape a
+/// live service without stopping it.
+struct MetricsRequest {
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  static Result<MetricsRequest> Deserialize(SerialReader& r);
+};
+
+struct MetricsResponse {
+  Status status;
+  obs::MetricsSnapshot snapshot;
+
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  static Result<MetricsResponse> Deserialize(SerialReader& r);
 };
 
 /// Peek the request type of an incoming payload.

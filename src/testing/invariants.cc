@@ -5,6 +5,7 @@
 #include <cstring>
 #include <limits>
 #include <sstream>
+#include <unordered_map>
 #include <vector>
 
 #include "bitmap/wah.h"
@@ -317,7 +318,7 @@ Status check_sorted_replica(const obj::ObjectStore& store, ObjectId source) {
   }
   if (n == 0) return Status::Ok();
   const std::size_t elem = src->element_size();
-  const pfs::ReadContext ctx{nullptr, 1};
+  const pfs::ReadContext ctx{nullptr, 1, {}};
 
   std::vector<std::uint8_t> src_bytes(n * elem), rep_bytes(n * elem);
   PDC_RETURN_IF_ERROR(store.read_elements(*src, {0, n}, src_bytes, ctx));
@@ -362,6 +363,90 @@ Status check_sorted_replica(const obj::ObjectStore& store, ObjectId source) {
     next = region.extent.end();
   }
   if (next != n) return fail("sorted replica", "regions do not cover n");
+  return Status::Ok();
+}
+
+Status check_trace_stats(const obs::Trace& trace, const query::OpStats& stats) {
+  std::unordered_map<obs::SpanId, const obs::Span*> by_id;
+  by_id.reserve(trace.spans.size());
+  for (const obs::Span& span : trace.spans) by_id.emplace(span.id, &span);
+
+  // Does `span` have ancestor `root`?  Parent chains are acyclic (validated
+  // separately), but guard with a depth cap anyway.
+  const auto descends_from = [&](const obs::Span& span, obs::SpanId root) {
+    obs::SpanId cursor = span.parent;
+    for (std::size_t depth = 0; cursor != 0 && depth < trace.spans.size();
+         ++depth) {
+      if (cursor == root) return true;
+      const auto it = by_id.find(cursor);
+      if (it == by_id.end()) return false;
+      cursor = it->second->parent;
+    }
+    return false;
+  };
+
+  double sum_elapsed = 0.0;
+  double sum_io = 0.0;
+  double sum_cpu = 0.0;
+  double sum_scan = 0.0;
+  double sum_decode = 0.0;
+  double sum_merge = 0.0;
+  for (const obs::Span& gather : trace.spans) {
+    if (gather.name != "rpc.gather") continue;
+    const obs::Span* critical = nullptr;
+    for (const obs::Span& span : trace.spans) {
+      if (span.name != "server.eval" && span.name != "server.get_data") {
+        continue;
+      }
+      if (!descends_from(span, gather.id)) continue;
+      if (critical == nullptr ||
+          span.arg("elapsed_s") > critical->arg("elapsed_s")) {
+        critical = &span;
+      }
+    }
+    if (critical == nullptr) continue;
+    sum_elapsed += critical->arg("elapsed_s");
+    sum_io += critical->arg("io_s");
+    sum_cpu += critical->arg("cpu_s");
+    sum_scan += critical->arg("scan_s");
+    sum_decode += critical->arg("decode_s");
+    sum_merge += critical->arg("merge_s");
+  }
+
+  const auto mismatch = [](const char* field, double from_trace,
+                           double from_stats) {
+    std::ostringstream os;
+    os << field << ": trace says " << from_trace << ", OpStats says "
+       << from_stats;
+    return fail("trace/stats reconciliation", os.str());
+  };
+  const auto close_enough = [](double a, double b) {
+    return std::abs(a - b) <= 1e-9 * std::max(1.0, std::max(a, b));
+  };
+  if (!close_enough(sum_elapsed, stats.max_server_seconds)) {
+    return mismatch("max_server_seconds", sum_elapsed,
+                    stats.max_server_seconds);
+  }
+  if (!close_enough(sum_io, stats.max_server_io_seconds)) {
+    return mismatch("max_server_io_seconds", sum_io,
+                    stats.max_server_io_seconds);
+  }
+  if (!close_enough(sum_cpu, stats.max_server_cpu_seconds)) {
+    return mismatch("max_server_cpu_seconds", sum_cpu,
+                    stats.max_server_cpu_seconds);
+  }
+  if (!close_enough(sum_scan, stats.max_server_scan_seconds)) {
+    return mismatch("max_server_scan_seconds", sum_scan,
+                    stats.max_server_scan_seconds);
+  }
+  if (!close_enough(sum_decode, stats.max_server_decode_seconds)) {
+    return mismatch("max_server_decode_seconds", sum_decode,
+                    stats.max_server_decode_seconds);
+  }
+  if (!close_enough(sum_merge, stats.max_server_merge_seconds)) {
+    return mismatch("max_server_merge_seconds", sum_merge,
+                    stats.max_server_merge_seconds);
+  }
   return Status::Ok();
 }
 

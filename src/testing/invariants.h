@@ -12,7 +12,9 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "obj/object_store.h"
+#include "obs/trace.h"
 #include "query/query.h"
+#include "query/service.h"
 
 namespace pdc::testing {
 
@@ -41,5 +43,14 @@ Status check_planner_monotonicity(const obj::ObjectStore& store,
 /// replica[i] bit-identical to source[perm[i]], and the replica's regions
 /// tile [0, n) exactly.
 Status check_sorted_replica(const obj::ObjectStore& store, ObjectId source);
+
+/// Trace-vs-ledger reconciliation: for each "rpc.gather" span in `trace`,
+/// take the critical (max elapsed_s) "server.eval" / "server.get_data"
+/// descendant and sum its per-stage args across gathers; the sums must
+/// match the OpStats max_server_* fields the same operation reported
+/// (within floating-point rounding).  This pins the invariant that span
+/// annotations carry the *final* post-rescale ledger split and that the
+/// per-round degraded-mode maxima accumulate the same way in both views.
+Status check_trace_stats(const obs::Trace& trace, const query::OpStats& stats);
 
 }  // namespace pdc::testing

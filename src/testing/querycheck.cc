@@ -6,12 +6,15 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <limits>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <utility>
 
 #include "common/interval.h"
+#include "obs/trace.h"
 #include "pfs/pfs.h"
 #include "query/planner.h"
 #include "query/query.h"
@@ -360,6 +363,34 @@ std::string positions_summary(const std::vector<std::uint64_t>& want,
   return os.str();
 }
 
+/// PDC_QC_TRACE=1: every generated case also runs its get_num_hits traced
+/// and checks the span tree (well-formedness + trace-vs-OpStats stage-time
+/// reconciliation) on top of the differential result comparison.
+bool trace_checks_enabled() {
+  const char* env = std::getenv("PDC_QC_TRACE");
+  return env != nullptr && env[0] == '1';
+}
+
+/// Validate the trace of the op that just finished on `service` against its
+/// OpStats.  Fault-injected paths use lenient nesting: retried server work
+/// may straddle the client's attempt windows.  On failure the offending
+/// trace is dumped as Chrome JSON for post-mortem and the message returned.
+std::optional<std::string> check_op_trace(query::QueryService& service,
+                                          bool lenient_nesting) {
+  const std::shared_ptr<const obs::Trace> trace = service.last_trace();
+  if (trace == nullptr) return "traced operation published no trace";
+  obs::ValidateOptions vopts;
+  vopts.require_nesting = !lenient_nesting;
+  Status st = obs::validate_trace(*trace, vopts);
+  if (st.ok()) st = check_trace_stats(*trace, service.last_stats());
+  if (st.ok()) return std::nullopt;
+  const std::string dump =
+      "/tmp/pdc_qc_trace_" + std::to_string(trace->trace_id) + ".json";
+  std::ofstream out(dump);
+  out << obs::chrome_trace_json(*trace);
+  return st.ToString() + " (trace JSON dumped to " + dump + ")";
+}
+
 /// Run all queries of `c` through one service; fills `mismatch` and returns
 /// true on the first divergence.
 Result<bool> run_service(const Case& c, const Env& env,
@@ -367,15 +398,26 @@ Result<bool> run_service(const Case& c, const Env& env,
                          bool is_sorted,
                          const std::vector<std::vector<std::uint64_t>>& expected,
                          std::optional<Mismatch>& mismatch) {
+  const bool traced = trace_checks_enabled();
   for (std::size_t qi = 0; qi < c.queries.size(); ++qi) {
     const query::QueryPtr q = build_query(c.queries[qi], env.object_ids);
     const std::vector<std::uint64_t>& want = expected[qi];
 
-    Result<std::uint64_t> nhits = service.get_num_hits(q);
+    Result<std::uint64_t> nhits =
+        service.get_num_hits(q, query::QueryOptions{.trace = traced});
     if (!nhits.ok()) {
       mismatch = Mismatch{qi, path,
                           "get_num_hits failed: " + nhits.status().ToString()};
       return true;
+    }
+    if (traced) {
+      // Check before the next operation overwrites last_stats()/last_trace().
+      const std::optional<std::string> trace_error =
+          check_op_trace(service, /*lenient_nesting=*/path == "degraded");
+      if (trace_error.has_value()) {
+        mismatch = Mismatch{qi, path + ":trace", *trace_error};
+        return true;
+      }
     }
     if (*nhits != want.size()) {
       std::ostringstream os;
@@ -792,7 +834,7 @@ Status corrupt_region_index(obj::ObjectStore& store, ObjectId object,
   PDC_ASSIGN_OR_RETURN(pfs::PfsFile file,
                        store.cluster().open(desc->index_file));
   std::vector<std::uint8_t> blob(static_cast<std::size_t>(rd.index_bytes));
-  const pfs::ReadContext ctx{nullptr, 1};
+  const pfs::ReadContext ctx{nullptr, 1, {}};
   PDC_RETURN_IF_ERROR(file.read(rd.index_offset, blob, ctx));
 
   PDC_ASSIGN_OR_RETURN(

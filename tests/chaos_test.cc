@@ -7,12 +7,15 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <string_view>
 #include <vector>
 
 #include "common/rng.h"
+#include "obs/trace.h"
 #include "query/service.h"
 #include "rpc/fault.h"
 #include "sortrep/sorted_replica.h"
+#include "testing/invariants.h"
 
 namespace pdc {
 namespace {
@@ -326,6 +329,85 @@ TEST_F(ChaosTest, SortedReplicaFetchSurvivesDuplicateSenderEntries) {
                                        query::GetDataMode::kFromReplica);
   ASSERT_TRUE(fetch.ok()) << fetch.ToString();
   EXPECT_EQ(got_values, want_values);
+}
+
+// Trace/fault interaction: a traced query against a deployment where one
+// of two servers is dead from the start still produces one coherent span
+// tree — every retry attempt gets its own span under the same trace, the
+// dead server contributes nothing, and the redispatched region share shows
+// up under the survivor's spans.  The span-vs-OpStats reconciliation must
+// hold in degraded mode too (per-round maxima sum identically both ways).
+TEST_F(ChaosTest, TracedQuerySurvivesServerDeath) {
+  rpc::FaultPlan plan;
+  plan.server_faults.push_back({/*server=*/1, /*after_requests=*/0,
+                                rpc::ServerFate::kKilled});
+  rpc::FaultInjector injector(plan);
+  query::ServiceOptions options;
+  options.num_servers = 2;
+  options.fault_injector = &injector;
+  options.retry = tight_retry();
+  query::QueryService service(*store_, options);
+
+  auto nhits = service.get_num_hits(make_query(2.0, 6.0), {.trace = true});
+  ASSERT_TRUE(nhits.ok()) << nhits.status().ToString();
+  const query::OpStats stats = service.last_stats();
+  EXPECT_GT(stats.retries, 0u);
+  EXPECT_EQ(stats.dead_servers, 1u);
+  EXPECT_GT(stats.redispatched_regions, 0u);
+
+  const std::shared_ptr<const obs::Trace> trace = service.last_trace();
+  ASSERT_NE(trace, nullptr);
+  // Structurally valid; strict nesting is not required under faults (late
+  // or retried server work may straddle the client's attempt windows).
+  const Status valid =
+      obs::validate_trace(*trace, {.require_nesting = false});
+  EXPECT_TRUE(valid.ok()) << valid.ToString();
+
+  const auto count = [&](std::string_view name) {
+    std::size_t n = 0;
+    for (const obs::Span& span : trace->spans) {
+      if (span.name == name) ++n;
+    }
+    return n;
+  };
+  // One query, two gather rounds (broadcast + redispatch), one span per
+  // retry attempt: the dead server burns every attempt of round one, the
+  // redispatch round succeeds on the first.
+  EXPECT_EQ(count("client.query"), 1u);
+  EXPECT_EQ(count("rpc.gather"), 2u);
+  EXPECT_EQ(count("rpc.attempt"),
+            static_cast<std::size_t>(tight_retry().max_attempts) + 1);
+  // Round one sends to both servers; the redispatch round targets one
+  // survivor.  Requests keep one span across attempts.
+  EXPECT_EQ(count("rpc.request"), 3u);
+
+  // All spans hang off the single client root — retries and redispatch
+  // link into the same trace, never a parallel tree.
+  std::size_t roots = 0;
+  for (const obs::Span& span : trace->spans) roots += span.parent == 0;
+  EXPECT_EQ(roots, 1u);
+
+  // The dead server never ran: every server-side span carries the
+  // survivor's actor, and the survivor covered the whole region space
+  // (its own share plus the redispatched share).
+  double regions_reported = 0.0;
+  std::size_t region_spans = 0;
+  for (const obs::Span& span : trace->spans) {
+    if (span.name == "server.eval" || span.name == "server.handle" ||
+        span.name == "server.queue" || span.name == "region") {
+      EXPECT_EQ(span.actor, "server0") << span.name;
+    }
+    if (span.name == "server.eval") {
+      regions_reported += span.arg("regions_evaluated");
+    }
+    if (span.name == "region") ++region_spans;
+  }
+  EXPECT_EQ(count("server.eval"), 2u);  // own round + redispatch round
+  EXPECT_EQ(static_cast<double>(region_spans), regions_reported);
+  EXPECT_EQ(regions_reported, 40.0);  // all 40 regions, nothing lost
+
+  const Status reconciled = testing::check_trace_stats(*trace, stats);
+  EXPECT_TRUE(reconciled.ok()) << reconciled.ToString();
 }
 
 }  // namespace

@@ -1,0 +1,612 @@
+// Observability test battery (PR 4).
+//
+// Three layers:
+//   1. Unit tests of the obs primitives: tracer lifecycle, validation
+//      failure modes, wire/file round-trips, Chrome JSON export, metric
+//      instruments and snapshot serialization.
+//   2. End-to-end span-tree invariants across all four strategies and pool
+//      widths 1/4/8: every span closed and nested, per-query span counts
+//      match the number of RPCs issued and regions evaluated, span-summed
+//      stage times reconcile with OpStats (testing::check_trace_stats).
+//   3. Overhead guarantees: tracing changes no simulated cost (bit-equal
+//      sim_elapsed_seconds traced vs. untraced) and the disabled-path
+//      instrumentation branch is cheap enough for the <=2% budget.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/serial.h"
+#include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "query/service.h"
+#include "sortrep/sorted_replica.h"
+#include "testing/invariants.h"
+#include "testing/querycheck.h"
+
+namespace pdc {
+namespace {
+
+using query::QueryOptions;
+using query::QueryService;
+using query::ServiceOptions;
+using server::Strategy;
+
+// --------------------------------------------------------------- helpers
+
+std::size_t count_spans(const obs::Trace& trace, std::string_view name) {
+  std::size_t n = 0;
+  for (const obs::Span& span : trace.spans) {
+    if (span.name == name) ++n;
+  }
+  return n;
+}
+
+double sum_span_arg(const obs::Trace& trace, std::string_view span_name,
+                    std::string_view arg) {
+  double sum = 0.0;
+  for (const obs::Span& span : trace.spans) {
+    if (span.name == span_name) sum += span.arg(arg);
+  }
+  return sum;
+}
+
+// ---------------------------------------------------------- tracer units
+
+TEST(TraceUnit, TracerCollectsWellFormedTree) {
+  obs::Tracer tracer(obs::next_id());
+  const obs::SpanId root = tracer.begin(0, "client.query", "client");
+  const obs::SpanId child = tracer.begin(root, "rpc.gather", "client");
+  tracer.add_arg(child, "retries", 0.0);
+  tracer.end(child);
+  tracer.end(root);
+
+  const obs::Trace trace = tracer.take();
+  EXPECT_EQ(trace.spans.size(), 2u);
+  EXPECT_TRUE(obs::validate_trace(trace).ok());
+  EXPECT_EQ(tracer.span_count(), 0u);  // take() empties the tracer
+}
+
+TEST(TraceUnit, ValidationCatchesUnclosedSpan) {
+  obs::Tracer tracer(obs::next_id());
+  const obs::SpanId root = tracer.begin(0, "client.query", "client");
+  tracer.begin(root, "rpc.gather", "client");  // never ended
+  tracer.end(root);
+  const Status st = obs::validate_trace(tracer.take());
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("never closed"), std::string::npos)
+      << st.ToString();
+}
+
+TEST(TraceUnit, ValidationCatchesMissingParentAndEscapedNesting) {
+  obs::Trace trace;
+  trace.trace_id = 7;
+  trace.spans.push_back({.id = 1, .parent = 99, .start_us = 0, .end_us = 1,
+                         .name = "orphan", .actor = "x", .args = {}});
+  EXPECT_FALSE(obs::validate_trace(trace).ok());
+
+  trace.spans.clear();
+  trace.spans.push_back({.id = 1, .parent = 0, .start_us = 100, .end_us = 200,
+                         .name = "parent", .actor = "x", .args = {}});
+  trace.spans.push_back({.id = 2, .parent = 1, .start_us = 150, .end_us = 250,
+                         .name = "child", .actor = "x", .args = {}});
+  EXPECT_FALSE(obs::validate_trace(trace).ok());  // child escapes parent
+  obs::ValidateOptions lenient;
+  lenient.require_nesting = false;
+  EXPECT_TRUE(obs::validate_trace(trace, lenient).ok());
+  lenient.require_nesting = true;
+  lenient.nesting_slack_us = 50;
+  EXPECT_TRUE(obs::validate_trace(trace, lenient).ok());
+}
+
+TEST(TraceUnit, AdoptSkipsDuplicateSpanIds) {
+  obs::Tracer tracer(obs::next_id());
+  const obs::SpanId root = tracer.begin(0, "client.query", "client");
+  tracer.end(root);
+  std::vector<obs::Span> remote;
+  remote.push_back({.id = 500, .parent = root, .start_us = 1, .end_us = 2,
+                    .name = "server.handle", .actor = "server0", .args = {}});
+  tracer.adopt(remote);
+  tracer.adopt(remote);  // duplicate blob (a retried response)
+  const obs::Trace trace = tracer.take();
+  EXPECT_EQ(trace.spans.size(), 2u);
+  // Structural validity only: the synthetic timestamps don't nest.
+  EXPECT_TRUE(
+      obs::validate_trace(trace, {.require_nesting = false}).ok());
+}
+
+TEST(TraceUnit, SpanBlobRoundTrip) {
+  obs::Tracer tracer(obs::next_id());
+  const obs::SpanId root = tracer.begin(0, "server.handle", "server3");
+  const obs::SpanId child = tracer.begin(root, "server.eval", "server3");
+  tracer.add_arg(child, "elapsed_s", 0.125);
+  tracer.add_arg(child, "bytes", 4096.0);
+  tracer.end(child);
+  tracer.end(root);
+  const obs::Trace original = tracer.take();
+
+  const std::vector<std::uint8_t> blob = obs::serialize_spans(original.spans);
+  std::vector<obs::Span> decoded;
+  ASSERT_TRUE(obs::deserialize_spans(blob, decoded).ok());
+  ASSERT_EQ(decoded.size(), original.spans.size());
+  for (std::size_t i = 0; i < decoded.size(); ++i) {
+    EXPECT_EQ(decoded[i].id, original.spans[i].id);
+    EXPECT_EQ(decoded[i].parent, original.spans[i].parent);
+    EXPECT_EQ(decoded[i].start_us, original.spans[i].start_us);
+    EXPECT_EQ(decoded[i].end_us, original.spans[i].end_us);
+    EXPECT_EQ(decoded[i].name, original.spans[i].name);
+    EXPECT_EQ(decoded[i].actor, original.spans[i].actor);
+    EXPECT_EQ(decoded[i].args, original.spans[i].args);
+  }
+
+  // Corrupted blobs must fail loudly, not crash.
+  std::vector<std::uint8_t> truncated(blob.begin(),
+                                      blob.begin() + blob.size() / 2);
+  std::vector<obs::Span> scratch;
+  EXPECT_FALSE(obs::deserialize_spans(truncated, scratch).ok());
+}
+
+TEST(TraceUnit, TraceFileRoundTrip) {
+  obs::Tracer tracer(obs::next_id());
+  const obs::SpanId root = tracer.begin(0, "client.query", "client");
+  tracer.add_arg(root, "num_hits", 42.0);
+  tracer.end(root);
+  obs::Trace original = tracer.take();
+
+  const std::string path = ::testing::TempDir() + "/obs_roundtrip.pdctrace";
+  ASSERT_TRUE(obs::write_trace_file(original, path).ok());
+  Result<obs::Trace> reread = obs::read_trace_file(path);
+  ASSERT_TRUE(reread.ok()) << reread.status().ToString();
+  EXPECT_EQ(reread->trace_id, original.trace_id);
+  ASSERT_EQ(reread->spans.size(), 1u);
+  EXPECT_EQ(reread->spans[0].name, "client.query");
+  EXPECT_EQ(reread->spans[0].arg("num_hits"), 42.0);
+  std::filesystem::remove(path);
+
+  EXPECT_FALSE(obs::read_trace_file("/nonexistent/trace").ok());
+}
+
+TEST(TraceUnit, ChromeJsonShape) {
+  obs::Tracer tracer(obs::next_id());
+  const obs::SpanId root = tracer.begin(0, "client.query", "client");
+  const obs::SpanId child = tracer.begin(root, "server.eval", "server\"1\"");
+  tracer.end(child);
+  tracer.end(root);
+  const std::string json = obs::chrome_trace_json(tracer.take());
+
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.substr(json.size() - 2), "]}");
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"client.query\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  // Quotes in actor names must be escaped (valid JSON).
+  EXPECT_NE(json.find("server\\\"1\\\""), std::string::npos);
+  // Balanced braces is a cheap proxy for structural validity.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(TraceUnit, DisabledInstrumentationIsCheap) {
+  // Untraced operations hit every instrumentation point with a disabled
+  // context: one null check, no locks, no allocation.  The loop below
+  // covers the cost of ~10 queries' worth of instrumentation per
+  // microsecond; the assert is a generous ceiling that still fails if the
+  // disabled path ever grows a lock or an allocation (both >= tens of ns).
+  constexpr int kIters = 1'000'000;
+  const obs::TraceContext disabled;
+  WallTimer timer;
+  for (int i = 0; i < kIters; ++i) {
+    obs::ScopedSpan span(disabled, "region", "server0");
+    span.arg("bytes", static_cast<double>(i));
+    asm volatile("" : : "r"(&span) : "memory");
+  }
+  const double per_op_ns = timer.elapsed_seconds() * 1e9 / kIters;
+  EXPECT_LT(per_op_ns, 250.0) << "disabled span cost " << per_op_ns << " ns";
+}
+
+// --------------------------------------------------------- metrics units
+
+TEST(MetricsUnit, InstrumentsAndSnapshot) {
+  obs::MetricsRegistry registry;
+  obs::Counter& c = registry.counter("server0.eval_requests");
+  c.add();
+  c.add(4);
+  EXPECT_EQ(&c, &registry.counter("server0.eval_requests"));  // stable ref
+  registry.gauge("pool.threads").set(8.0);
+  obs::LatencyHistogram& h = registry.histogram("server0.eval_seconds");
+  h.observe(5e-7);   // bucket 0 (< 1 us)
+  h.observe(5e-3);   // < 1e-2
+  h.observe(100.0);  // overflow bucket
+  double polled = 17.0;
+  registry.gauge_fn("bus.bytes", [&polled] { return polled; });
+
+  obs::MetricsSnapshot snap = registry.snapshot();
+  EXPECT_TRUE(std::is_sorted(snap.samples.begin(), snap.samples.end(),
+                             [](const auto& a, const auto& b) {
+                               return a.name < b.name;
+                             }));
+  EXPECT_EQ(snap.value("server0.eval_requests"), 5.0);
+  EXPECT_EQ(snap.value("pool.threads"), 8.0);
+  EXPECT_EQ(snap.value("bus.bytes"), 17.0);
+  EXPECT_EQ(snap.value("missing", -1.0), -1.0);
+  EXPECT_EQ(snap.find("missing"), nullptr);
+
+  const obs::MetricSample* hist = snap.find("server0.eval_seconds");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->kind, obs::MetricKind::kHistogram);
+  EXPECT_EQ(hist->count, 3u);
+  EXPECT_NEAR(hist->value, 100.0 + 5e-3 + 5e-7, 1e-12);
+  ASSERT_EQ(hist->buckets.size(), obs::LatencyHistogram::kNumBuckets);
+  EXPECT_EQ(hist->buckets.front(), 1u);
+  EXPECT_EQ(hist->buckets.back(), 1u);
+
+  // gauge_fn polls at snapshot time, not registration time.
+  polled = 99.0;
+  EXPECT_EQ(registry.snapshot().value("bus.bytes"), 99.0);
+}
+
+TEST(MetricsUnit, SnapshotWireRoundTrip) {
+  obs::MetricsRegistry registry;
+  registry.counter("a.count").add(7);
+  registry.gauge("b.gauge").set(-2.5);
+  registry.histogram("c.hist").observe(0.5);
+  const obs::MetricsSnapshot original = registry.snapshot();
+
+  SerialWriter w;
+  obs::serialize_snapshot(w, original);
+  const std::vector<std::uint8_t> bytes = w.take();
+  SerialReader r(bytes);
+  obs::MetricsSnapshot decoded;
+  ASSERT_TRUE(obs::deserialize_snapshot(r, decoded).ok());
+  ASSERT_EQ(decoded.samples.size(), original.samples.size());
+  for (std::size_t i = 0; i < decoded.samples.size(); ++i) {
+    EXPECT_EQ(decoded.samples[i].name, original.samples[i].name);
+    EXPECT_EQ(decoded.samples[i].kind, original.samples[i].kind);
+    EXPECT_EQ(decoded.samples[i].value, original.samples[i].value);
+    EXPECT_EQ(decoded.samples[i].count, original.samples[i].count);
+    EXPECT_EQ(decoded.samples[i].buckets, original.samples[i].buckets);
+  }
+
+  std::vector<std::uint8_t> truncated(bytes.begin(),
+                                      bytes.begin() + bytes.size() / 2);
+  SerialReader tr(truncated);
+  obs::MetricsSnapshot scratch;
+  EXPECT_FALSE(obs::deserialize_snapshot(tr, scratch).ok());
+}
+
+// ------------------------------------------------------------ e2e fixture
+
+/// Small three-column dataset with regions, histograms, bitmap indexes and
+/// a sorted replica — every strategy can run.  24576 floats at 4096-byte
+/// regions = exactly 24 regions per object.
+class ObsEnv {
+ public:
+  static constexpr std::uint64_t kN = 24576;
+  static constexpr std::uint64_t kRegions = 24;
+
+  explicit ObsEnv(const std::string& root) : root_(root) {
+    std::filesystem::remove_all(root_);
+    pfs::PfsConfig cfg;
+    cfg.root_dir = root_;
+    cluster_ = std::move(pfs::PfsCluster::Create(cfg)).value();
+    store_ = std::make_unique<obj::ObjectStore>(*cluster_);
+
+    Rng rng(0x0B5);
+    energy_.resize(kN);
+    x_.resize(kN);
+    for (std::uint64_t i = 0; i < kN; ++i) {
+      energy_[i] = static_cast<float>(
+          1.0 + std::sin(static_cast<double>(i) / 700.0) +
+          (rng.next_double() < 0.01 ? rng.exponential(3.0) : 0.0));
+      x_[i] = static_cast<float>(rng.uniform(0.0, 100.0));
+    }
+    obj::ImportOptions options;
+    options.region_size_bytes = 4096;
+    const ObjectId container =
+        std::move(store_->create_container("obs")).value();
+    energy_id_ = std::move(store_->import_object<float>(
+                               container, "Energy",
+                               std::span<const float>(energy_), options))
+                     .value();
+    x_id_ = std::move(store_->import_object<float>(
+                          container, "x", std::span<const float>(x_), options))
+                .value();
+    for (const ObjectId id : {energy_id_, x_id_}) {
+      if (!store_->build_bitmap_index(id).ok()) std::abort();
+    }
+    if (!sortrep::build_sorted_replica(*store_, energy_id_, options).ok()) {
+      std::abort();
+    }
+  }
+
+  ~ObsEnv() { std::filesystem::remove_all(root_); }
+
+  [[nodiscard]] query::QueryPtr range_query() const {
+    return query::q_and(query::create(energy_id_, QueryOp::kGT, 1.5),
+                        query::create(energy_id_, QueryOp::kLT, 2.5));
+  }
+
+  std::string root_;
+  std::unique_ptr<pfs::PfsCluster> cluster_;
+  std::unique_ptr<obj::ObjectStore> store_;
+  std::vector<float> energy_, x_;
+  ObjectId energy_id_ = kInvalidObjectId;
+  ObjectId x_id_ = kInvalidObjectId;
+};
+
+std::unique_ptr<ObsEnv> make_env() {
+  return std::make_unique<ObsEnv>(
+      ::testing::TempDir() + "/obs_e2e_" +
+      ::testing::UnitTest::GetInstance()->current_test_info()->name());
+}
+
+class TraceSweep
+    : public ::testing::TestWithParam<std::tuple<Strategy, std::uint32_t>> {
+ protected:
+  void SetUp() override {
+    env_ = make_env();
+    options_.strategy = std::get<0>(GetParam());
+    options_.num_servers = 3;
+    options_.eval_threads = std::get<1>(GetParam());
+    service_ = std::make_unique<QueryService>(*env_->store_, options_);
+  }
+
+  std::unique_ptr<ObsEnv> env_;
+  ServiceOptions options_;
+  std::unique_ptr<QueryService> service_;
+};
+
+TEST_P(TraceSweep, TracedQueryProducesWellFormedTree) {
+  auto nhits = service_->get_num_hits(env_->range_query(), {.trace = true});
+  ASSERT_TRUE(nhits.ok()) << nhits.status().ToString();
+
+  const std::shared_ptr<const obs::Trace> trace = service_->last_trace();
+  ASSERT_NE(trace, nullptr);
+  const Status valid = obs::validate_trace(*trace);
+  EXPECT_TRUE(valid.ok()) << valid.ToString();
+
+  // Per-query span counts match the RPCs issued: fault-free, one gather
+  // round, one request/handle/eval triple per server.
+  const std::uint32_t n = options_.num_servers;
+  EXPECT_EQ(count_spans(*trace, "client.query"), 1u);
+  EXPECT_EQ(count_spans(*trace, "client.plan"), 1u);
+  EXPECT_EQ(count_spans(*trace, "rpc.gather"), 1u);
+  EXPECT_EQ(count_spans(*trace, "rpc.request"), n);
+  EXPECT_EQ(count_spans(*trace, "rpc.attempt"), 1u);
+  EXPECT_EQ(count_spans(*trace, "server.queue"), n);
+  EXPECT_EQ(count_spans(*trace, "server.handle"), n);
+  EXPECT_EQ(count_spans(*trace, "server.eval"), n);
+
+  // Span-summed stage times reconcile with the OpStats the same operation
+  // reported (the CostLedger per-stage totals).
+  const Status stats_ok =
+      testing::check_trace_stats(*trace, service_->last_stats());
+  EXPECT_TRUE(stats_ok.ok()) << stats_ok.ToString();
+}
+
+TEST_P(TraceSweep, RegionSpanCountMatchesEvaluatedRegions) {
+  auto selection =
+      service_->get_selection(env_->range_query(), {.trace = true});
+  ASSERT_TRUE(selection.ok()) << selection.status().ToString();
+  const std::shared_ptr<const obs::Trace> trace = service_->last_trace();
+  ASSERT_NE(trace, nullptr);
+
+  // Every driver region iterated opens exactly one "region" span (pruned
+  // and all-hit regions included), and each server.eval reports its count.
+  const double reported =
+      sum_span_arg(*trace, "server.eval", "regions_evaluated");
+  EXPECT_EQ(static_cast<double>(count_spans(*trace, "region")), reported);
+  EXPECT_GT(reported, 0.0);
+  // The driver's regions partition across servers: each evaluated at most
+  // (and for scan/sorted paths exactly) once.
+  EXPECT_EQ(reported, static_cast<double>(ObsEnv::kRegions));
+}
+
+TEST_P(TraceSweep, TracedGetDataReconcilesWithStats) {
+  auto selection = service_->get_selection(env_->range_query());
+  ASSERT_TRUE(selection.ok());
+  ASSERT_GT(selection->num_hits, 0u);
+
+  std::vector<float> out(selection->num_hits);
+  const Status st = service_->get_data<float>(
+      env_->x_id_, *selection, out, query::GetDataMode::kByPositions,
+      {.trace = true});
+  ASSERT_TRUE(st.ok()) << st.ToString();
+
+  const std::shared_ptr<const obs::Trace> trace = service_->last_trace();
+  ASSERT_NE(trace, nullptr);
+  const Status valid = obs::validate_trace(*trace);
+  EXPECT_TRUE(valid.ok()) << valid.ToString();
+  EXPECT_EQ(count_spans(*trace, "client.get_data"), 1u);
+  EXPECT_GE(count_spans(*trace, "server.get_data"), 1u);
+  EXPECT_GE(count_spans(*trace, "read_group"), 1u);
+  const Status stats_ok =
+      testing::check_trace_stats(*trace, service_->last_stats());
+  EXPECT_TRUE(stats_ok.ok()) << stats_ok.ToString();
+}
+
+TEST_P(TraceSweep, TracingDoesNotPerturbSimulatedCost) {
+  // Fresh service per run: identical cold caches, so any difference can
+  // only come from tracing itself.  Tracing charges nothing to the cost
+  // ledgers, so the modeled time must be bit-identical — the strongest
+  // form of the <=2% tracing-off overhead budget for the simulated domain.
+  const auto run = [&](bool traced) {
+    QueryService service(*env_->store_, options_);
+    auto nhits = service.get_num_hits(env_->range_query(), {.trace = traced});
+    EXPECT_TRUE(nhits.ok()) << nhits.status().ToString();
+    return service.last_stats().sim_elapsed_seconds;
+  };
+  const double untraced_a = run(false);
+  const double untraced_b = run(false);
+  const double traced = run(true);
+  ASSERT_EQ(untraced_a, untraced_b);  // determinism baseline
+  EXPECT_EQ(untraced_a, traced);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategiesAllWidths, TraceSweep,
+    ::testing::Combine(::testing::Values(Strategy::kFullScan,
+                                         Strategy::kHistogram,
+                                         Strategy::kHistogramIndex,
+                                         Strategy::kSortedHistogram),
+                       ::testing::Values(1u, 4u, 8u)),
+    [](const auto& info) {
+      std::string name;
+      switch (std::get<0>(info.param)) {
+        case Strategy::kFullScan: name = "FullScan"; break;
+        case Strategy::kHistogram: name = "Histogram"; break;
+        case Strategy::kHistogramIndex: name = "HistogramIndex"; break;
+        case Strategy::kSortedHistogram: name = "SortedHistogram"; break;
+      }
+      return name + "_pool" + std::to_string(std::get<1>(info.param));
+    });
+
+// ------------------------------------------------------------ metrics e2e
+
+TEST(ObsE2E, MetricsSnapshotMatchesOpStats) {
+  const auto env = make_env();
+  ServiceOptions options;
+  options.strategy = Strategy::kHistogram;
+  options.num_servers = 3;
+  options.eval_threads = 4;
+  QueryService service(*env->store_, options);
+
+  auto nhits = service.get_num_hits(env->range_query());
+  ASSERT_TRUE(nhits.ok());
+  const query::OpStats stats = service.last_stats();
+
+  Result<obs::MetricsSnapshot> snap = service.scrape_metrics();
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+
+  double eval_requests = 0.0;
+  double bytes_read = 0.0;
+  double read_ops = 0.0;
+  std::uint64_t latency_count = 0;
+  for (std::uint32_t s = 0; s < options.num_servers; ++s) {
+    const std::string prefix = "server" + std::to_string(s);
+    eval_requests += snap->value(prefix + ".eval_requests");
+    bytes_read += snap->value(prefix + ".bytes_read");
+    read_ops += snap->value(prefix + ".read_ops");
+    const obs::MetricSample* hist = snap->find(prefix + ".eval_seconds");
+    ASSERT_NE(hist, nullptr);
+    latency_count += hist->count;
+  }
+  // One eval request per server; per-server ledgers sum to the OpStats
+  // cluster totals; one latency observation per eval request.
+  EXPECT_EQ(eval_requests, static_cast<double>(options.num_servers));
+  EXPECT_EQ(bytes_read, static_cast<double>(stats.server_bytes_read));
+  EXPECT_EQ(read_ops, static_cast<double>(stats.server_read_ops));
+  EXPECT_EQ(latency_count, options.num_servers);
+
+  // Deployment-wide gauges are present and sane.
+  EXPECT_GT(snap->value("bus.messages"), 0.0);
+  EXPECT_GT(snap->value("bus.bytes"), 0.0);
+  EXPECT_GT(snap->value("pfs.bytes_read"), 0.0);
+  EXPECT_GT(snap->value("pfs.read_ops"), 0.0);
+  EXPECT_EQ(snap->value("pool.threads"), 4.0);
+}
+
+TEST(ObsE2E, ScrapeMatchesLocalRegistryForServerCounters) {
+  const auto env = make_env();
+  ServiceOptions options;
+  options.num_servers = 2;
+  QueryService service(*env->store_, options);
+  ASSERT_TRUE(service.get_num_hits(env->range_query()).ok());
+
+  // The RPC-scraped snapshot and a direct registry snapshot agree on the
+  // monotone server counters (gauges may legitimately move between the
+  // two snapshots — the scrape itself crosses the bus).
+  Result<obs::MetricsSnapshot> remote = service.scrape_metrics();
+  ASSERT_TRUE(remote.ok());
+  const obs::MetricsSnapshot local = service.metrics().snapshot();
+  for (const obs::MetricSample& sample : local.samples) {
+    if (sample.name.find(".eval_requests") == std::string::npos &&
+        sample.name.find(".bytes_read") == std::string::npos) {
+      continue;
+    }
+    EXPECT_EQ(remote->value(sample.name, -1.0), sample.value) << sample.name;
+  }
+}
+
+TEST(ObsE2E, MetricsRpcWithoutRegistryFailsCleanly) {
+  const auto env = make_env();
+  server::ServerOptions options;  // metrics == nullptr
+  server::QueryServer server(*env->store_, options);
+  const server::MetricsResponse response = server.metrics_snapshot();
+  EXPECT_FALSE(response.status.ok());
+  EXPECT_TRUE(response.snapshot.samples.empty());
+}
+
+// ------------------------------------------------------- trace e2e extras
+
+TEST(ObsE2E, TraceExportsRoundTripAndRenderChromeJson) {
+  const auto env = make_env();
+  ServiceOptions options;
+  options.strategy = Strategy::kHistogram;
+  options.num_servers = 3;
+  QueryService service(*env->store_, options);
+  ASSERT_TRUE(service.get_num_hits(env->range_query(), {.trace = true}).ok());
+  const std::shared_ptr<const obs::Trace> trace = service.last_trace();
+  ASSERT_NE(trace, nullptr);
+
+  const std::string path = ::testing::TempDir() + "/obs_e2e.pdctrace";
+  ASSERT_TRUE(obs::write_trace_file(*trace, path).ok());
+  Result<obs::Trace> reread = obs::read_trace_file(path);
+  ASSERT_TRUE(reread.ok());
+  EXPECT_EQ(reread->spans.size(), trace->spans.size());
+  EXPECT_TRUE(obs::validate_trace(*reread).ok());
+  std::filesystem::remove(path);
+
+  const std::string json = obs::chrome_trace_json(*reread);
+  for (const char* name : {"client.query", "rpc.gather", "server.handle",
+                           "server.eval", "pfs.read"}) {
+    EXPECT_NE(json.find(std::string("\"") + name + "\""), std::string::npos)
+        << name;
+  }
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(ObsE2E, PoolTaskSpansCarryWorkerAnnotations) {
+  const auto env = make_env();
+  ServiceOptions options;
+  options.strategy = Strategy::kFullScan;
+  options.num_servers = 2;
+  options.eval_threads = 4;
+  QueryService service(*env->store_, options);
+  ASSERT_TRUE(service.get_num_hits(env->range_query(), {.trace = true}).ok());
+  const std::shared_ptr<const obs::Trace> trace = service.last_trace();
+  ASSERT_NE(trace, nullptr);
+
+  std::size_t with_worker = 0;
+  for (const obs::Span& span : trace->spans) {
+    if (span.name != "region") continue;
+    if (span.arg("worker", -1.0) >= 0.0) ++with_worker;
+    EXPECT_GE(span.arg("io_s", -1.0), 0.0);  // task ledger split attached
+  }
+  // Pooled evaluation runs region tasks on workers (helping-wait may run
+  // some inline on the server thread, so not necessarily all of them).
+  EXPECT_GT(with_worker, 0u);
+}
+
+TEST(ObsE2E, QueryCheckValidatesTracesWhenEnabled) {
+  // PDC_QC_TRACE=1 makes every generated QueryCheck case run traced and
+  // cross-check span invariants + trace-vs-ledger reconciliation across
+  // all four strategies and the degraded path.
+  ASSERT_EQ(setenv("PDC_QC_TRACE", "1", 1), 0);
+  testing::RunOptions options = testing::RunOptions::all_paths();
+  const Status st = testing::run_querycheck(0xB5EED, 3, options);
+  ASSERT_EQ(unsetenv("PDC_QC_TRACE"), 0);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+}  // namespace
+}  // namespace pdc

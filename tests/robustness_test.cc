@@ -244,6 +244,54 @@ class FailureInjectionTest : public ::testing::Test {
   ObjectId object_ = kInvalidObjectId;
 };
 
+// Regression test: OpStats per-stage maxima must COVER redispatched work.
+// Degraded rounds run sequentially — round N+1 is dispatched only after
+// round N's responses arrive — so the modeled critical-path server time is
+// the SUM of each round's critical server, not a global max over all
+// responses.  The old code took the global max, which under-reported the
+// degraded elapsed time by roughly the dead server's share.
+TEST_F(FailureInjectionTest, DegradedStageMaximaCoverRedispatchedWork) {
+  const auto q = query::q_and(query::create(object_, QueryOp::kGT, 2.0),
+                              query::create(object_, QueryOp::kLT, 8.0));
+  query::ServiceOptions options;
+  options.num_servers = 2;
+  options.strategy = server::Strategy::kFullScan;
+  query::QueryService baseline(*store_, options);
+  auto want = baseline.get_num_hits(q);
+  ASSERT_TRUE(want.ok());
+  const query::OpStats clean = baseline.last_stats();
+
+  rpc::FaultPlan plan;
+  plan.server_faults.push_back({/*server=*/1, /*after_requests=*/0,
+                                rpc::ServerFate::kKilled});
+  rpc::FaultInjector injector(plan);
+  query::ServiceOptions faulty = options;
+  faulty.fault_injector = &injector;
+  faulty.retry.attempt_timeout = std::chrono::milliseconds(100);
+  faulty.retry.max_attempts = 3;
+  faulty.retry.backoff_base = std::chrono::milliseconds(2);
+  faulty.retry.backoff_cap = std::chrono::milliseconds(20);
+  query::QueryService degraded_service(*store_, faulty);
+  auto got = degraded_service.get_num_hits(q);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(*got, *want);
+  const query::OpStats degraded = degraded_service.last_stats();
+  ASSERT_GT(degraded.redispatched_regions, 0u);
+
+  // The survivor scanned its own half in round one and the dead server's
+  // half in the redispatch round; both rounds must land in the maxima.
+  // (The global-max bug reported ~clean.max_server_seconds here.)
+  EXPECT_GT(degraded.max_server_seconds, clean.max_server_seconds * 1.5);
+  EXPECT_GT(degraded.max_server_scan_seconds,
+            clean.max_server_scan_seconds * 1.5);
+  // Consistency of the split: io + cpu composes the critical-path total.
+  EXPECT_NEAR(
+      degraded.max_server_io_seconds + degraded.max_server_cpu_seconds,
+      degraded.max_server_seconds, 1e-12);
+  // And the end-to-end model includes the summed rounds.
+  EXPECT_GE(degraded.sim_elapsed_seconds, degraded.max_server_seconds);
+}
+
 TEST_F(FailureInjectionTest, MissingDataFileSurfacesIoError) {
   auto desc = store_->get(object_);
   ASSERT_TRUE(desc.ok());

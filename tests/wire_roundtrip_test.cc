@@ -399,6 +399,121 @@ TEST(EnvelopeTransport, TruncatedFramesRejected) {
   }
 }
 
+/// The v2 frame carries trace propagation fields plus optional trailing
+/// trace baggage (serialized spans a server ships back to the client).
+TEST(EnvelopeTransport, TraceBaggageRoundTrip) {
+  rpc::Envelope header;
+  header.request_id = 42;
+  header.attempt = 1;
+  header.trace_id = 0xABCDEF0123456789ull;
+  header.parent_span = 0x1122334455667788ull;
+  const std::vector<std::uint8_t> payload{9, 8, 7};
+  const std::vector<std::uint8_t> baggage{'s', 'p', 'a', 'n', 's', 0x00};
+  const auto frame = rpc::envelope_wrap(header, payload, baggage);
+
+  rpc::Envelope got;
+  std::span<const std::uint8_t> got_payload;
+  std::span<const std::uint8_t> got_baggage;
+  ASSERT_TRUE(rpc::envelope_unwrap(frame, got, got_payload, got_baggage));
+  EXPECT_EQ(got.trace_id, header.trace_id);
+  EXPECT_EQ(got.parent_span, header.parent_span);
+  ASSERT_EQ(got_payload.size(), payload.size());
+  EXPECT_EQ(std::memcmp(got_payload.data(), payload.data(), payload.size()),
+            0);
+  ASSERT_EQ(got_baggage.size(), baggage.size());
+  EXPECT_EQ(std::memcmp(got_baggage.data(), baggage.data(), baggage.size()),
+            0);
+
+  // The 3-arg overload still parses the same frame (baggage ignored).
+  rpc::Envelope got3;
+  std::span<const std::uint8_t> got3_payload;
+  ASSERT_TRUE(rpc::envelope_unwrap(frame, got3, got3_payload));
+  EXPECT_EQ(got3.trace_id, header.trace_id);
+  ASSERT_EQ(got3_payload.size(), payload.size());
+}
+
+/// The checksum covers the trace baggage too: corrupting any byte of the
+/// frame — header fields, payload, or baggage — loses the whole frame.
+TEST(EnvelopeTransport, ChecksumCoversTraceBaggage) {
+  rpc::Envelope header;
+  header.trace_id = 7;
+  header.parent_span = 9;
+  const std::vector<std::uint8_t> payload{1, 2, 3};
+  const std::vector<std::uint8_t> baggage{4, 5, 6, 7};
+  const auto frame = rpc::envelope_wrap(header, payload, baggage);
+  // Flip the final byte (inside the baggage region).
+  auto mutated = frame;
+  mutated.back() ^= 0x01;
+  rpc::Envelope got;
+  std::span<const std::uint8_t> got_payload;
+  std::span<const std::uint8_t> got_baggage;
+  EXPECT_FALSE(rpc::envelope_unwrap(mutated, got, got_payload, got_baggage));
+  // Every strict prefix must also be rejected.
+  for (std::size_t len = 0; len < frame.size(); ++len) {
+    EXPECT_FALSE(
+        rpc::envelope_unwrap({frame.data(), len}, got, got_payload,
+                             got_baggage))
+        << "prefix of length " << len << " accepted";
+  }
+}
+
+// --------------------------------------------------- metrics RPC messages
+
+obs::MetricsSnapshot sample_snapshot() {
+  obs::MetricsRegistry registry;
+  registry.counter("bus.drops").add(17);
+  registry.gauge("cache.bytes").set(123456.5);
+  auto& h = registry.histogram("server0.eval_seconds");
+  h.observe(0.000'5);
+  h.observe(0.02);
+  h.observe(4.0);
+  return registry.snapshot();
+}
+
+TEST(WireRoundTrip, MetricsRequestAndResponse) {
+  {
+    MetricsRequest request;
+    const auto bytes = request.serialize();
+    const auto type = peek_request_type(bytes);
+    ASSERT_TRUE(type.ok());
+    EXPECT_EQ(*type, RequestType::kMetrics);
+    SerialReader r(bytes);
+    auto got = MetricsRequest::Deserialize(r);
+    ASSERT_TRUE(got.ok());
+  }
+  MetricsResponse response;
+  response.status = Status::Ok();
+  response.snapshot = sample_snapshot();
+  const auto bytes = response.serialize();
+
+  SerialReader r(bytes);
+  auto got = MetricsResponse::Deserialize(r);
+  ASSERT_TRUE(got.ok());
+  expect_status_eq(got->status, response.status);
+  ASSERT_EQ(got->snapshot.samples.size(), response.snapshot.samples.size());
+  for (std::size_t i = 0; i < response.snapshot.samples.size(); ++i) {
+    const auto& want = response.snapshot.samples[i];
+    const auto& have = got->snapshot.samples[i];
+    EXPECT_EQ(have.name, want.name);
+    EXPECT_EQ(have.kind, want.kind);
+    EXPECT_EQ(have.value, want.value);
+    EXPECT_EQ(have.count, want.count);
+    EXPECT_EQ(have.buckets, want.buckets);
+  }
+}
+
+TEST(WireTruncation, MetricsResponseEveryStrictPrefixFails) {
+  MetricsResponse response;
+  response.snapshot = sample_snapshot();
+  const auto bytes = response.serialize();
+  expect_all_prefixes_fail(bytes, [](SerialReader& r) {
+    return MetricsResponse::Deserialize(r).ok();
+  });
+  expect_no_crash_on_byte_flips(bytes, [](SerialReader& r) {
+    return MetricsResponse::Deserialize(r).ok();
+  });
+}
+
 // ------------------------------------------- serialized index structures
 
 bitmap::WahBitVector sample_wah() {

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Perf regression gate over report_json output.
+
+Compares the *simulated* times (deterministic cost-model output, immune to
+machine noise) of a candidate BENCH json against a committed baseline and
+fails when any matched row regresses by more than the threshold.
+
+Usage:
+    check_bench.py BASELINE.json CANDIDATE.json \
+        [--threshold 0.15] [--sections fig3,fig6]
+
+Rows are matched by (section, strategy, servers, threads, query).  Rows
+present in only one file are reported but do not fail the gate (new
+configurations may be added over time); a row that exists in both files
+with candidate sim_s > baseline sim_s * (1 + threshold) fails.  wall_s is
+ignored: wall clock on shared CI boxes is noise, the simulated model is
+the claim being protected.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path, sections):
+    with open(path) as f:
+        doc = json.load(f)
+    rows = {}
+    for section in sections:
+        for row in doc.get(section, []):
+            key = (section, row["strategy"], row["servers"], row["threads"],
+                   row["query"])
+            rows[key] = row
+    return rows
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="max allowed relative sim_s regression")
+    parser.add_argument("--sections", default="fig3,fig6",
+                        help="comma-separated row sections to compare")
+    args = parser.parse_args()
+
+    sections = [s for s in args.sections.split(",") if s]
+    base = load_rows(args.baseline, sections)
+    cand = load_rows(args.candidate, sections)
+
+    failures = []
+    compared = 0
+    for key, base_row in sorted(base.items()):
+        cand_row = cand.get(key)
+        if cand_row is None:
+            print(f"note: {key} missing from candidate (skipped)")
+            continue
+        compared += 1
+        b, c = base_row["sim_s"], cand_row["sim_s"]
+        limit = b * (1.0 + args.threshold)
+        marker = ""
+        if c > limit:
+            failures.append(key)
+            marker = "  <-- REGRESSION"
+        rel = (c - b) / b if b > 0 else 0.0
+        print(f"{'/'.join(str(k) for k in key):40s} "
+              f"base {b:.9f}  cand {c:.9f}  {rel:+7.1%}{marker}")
+    for key in sorted(set(cand) - set(base)):
+        print(f"note: {key} new in candidate (not gated)")
+
+    if compared == 0:
+        print("FAIL: no comparable rows — wrong files or sections?")
+        return 1
+    if failures:
+        print(f"FAIL: {len(failures)}/{compared} rows regressed more than "
+              f"{args.threshold:.0%} in simulated time")
+        return 1
+    print(f"OK: {compared} rows within {args.threshold:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

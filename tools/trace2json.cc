@@ -1,0 +1,43 @@
+// trace2json: convert a binary PDC trace file (obs::write_trace_file) to
+// Chrome trace_event JSON on stdout.  Open the result in chrome://tracing
+// or https://ui.perfetto.dev.
+//
+// Usage:
+//   trace2json <trace.pdct>            # JSON to stdout
+//   trace2json <trace.pdct> <out.json> # JSON to a file
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "obs/trace.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2 || argc > 3) {
+    std::fprintf(stderr,
+                 "usage: %s <trace-file> [out.json]\n"
+                 "  Converts a binary trace written by the query service\n"
+                 "  (QueryOptions::trace = true + obs::write_trace_file)\n"
+                 "  into Chrome trace_event JSON for chrome://tracing.\n",
+                 argv[0]);
+    return 2;
+  }
+  auto trace = pdc::obs::read_trace_file(argv[1]);
+  if (!trace.ok()) {
+    std::fprintf(stderr, "trace2json: %s\n",
+                 trace.status().ToString().c_str());
+    return 1;
+  }
+  const std::string json = pdc::obs::chrome_trace_json(*trace);
+  if (argc == 3) {
+    std::ofstream out(argv[2], std::ios::binary);
+    out << json;
+    if (!out) {
+      std::fprintf(stderr, "trace2json: cannot write %s\n", argv[2]);
+      return 1;
+    }
+  } else {
+    std::cout << json << "\n";
+  }
+  return 0;
+}
