@@ -50,7 +50,7 @@ struct Row {
 
 constexpr Strategy kStrategies[] = {
     Strategy::kFullScan, Strategy::kHistogram, Strategy::kHistogramIndex,
-    Strategy::kSortedHistogram};
+    Strategy::kSortedHistogram, Strategy::kAdaptive};
 
 Row measure(query::QueryService& service, const QueryPtr& q,
             const char* section, int query_index) {
@@ -177,14 +177,14 @@ int run() {
     }
   }
 
-  const std::string path = env_str("PDC_BENCH_JSON", "BENCH_pr3.json");
+  const std::string path = env_str("PDC_BENCH_JSON", "BENCH_pr5.json");
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "FATAL cannot open %s\n", path.c_str());
     return 1;
   }
   const std::string bench_name =
-      env_str("PDC_BENCH_NAME", "pr3_intra_server_parallelism");
+      env_str("PDC_BENCH_NAME", "pr5_adaptive_pipeline");
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"bench\": \"%s\",\n", bench_name.c_str());
   std::fprintf(f, "  \"particles\": %" PRIu64 ",\n",

@@ -24,9 +24,9 @@
 // wait never inlines an unrelated whole-request task (which would add
 // that request's full latency to this one and nest handler stacks).
 //
-// Distinct from pdc::ThreadPool (thread_pool.h), the simple shared-queue
-// pool used by the h5lite baseline importer; that one stays as-is because
-// the HDF5-F baseline's cost model assumes its exact behaviour.
+// This is the one pool implementation in the tree: the h5lite full-scan
+// baseline shares it (one short-lived pool per load/scan, sized to the
+// modeled rank count) via parallel_for.
 #pragma once
 
 #include <atomic>

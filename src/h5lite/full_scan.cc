@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "common/thread_pool.h"
+#include "common/exec_pool.h"
 
 namespace pdc::h5lite {
 namespace {
@@ -62,7 +62,7 @@ Status ParallelFullScan::load(std::span<const std::string> dataset_names) {
   }
   num_elements_ = infos.front().num_elements;
 
-  ThreadPool pool(num_ranks_);
+  exec::ThreadPool pool(num_ranks_);
   std::vector<CostLedger> rank_ledgers(num_ranks_);
   Status first_error;
   std::mutex error_mu;
@@ -74,11 +74,13 @@ Status ParallelFullScan::load(std::span<const std::string> dataset_names) {
     const std::uint64_t per_rank =
         (num_elements_ + num_ranks_ - 1) / num_ranks_;
     const std::size_t elem_size = pdc_type_size(info.type);
-    pool.parallel_for(num_ranks_, [&](std::size_t rank) {
+    // One task per MPI-style rank; each rank owns a contiguous slab, so
+    // task granularity matches the baseline's modeled rank partitioning.
+    exec::parallel_for(&pool, num_ranks_, [&](std::size_t rank) {
       const std::uint64_t lo = rank * per_rank;
       const std::uint64_t hi = std::min(num_elements_, lo + per_rank);
       if (lo >= hi) return;
-      const pfs::ReadContext ctx{&rank_ledgers[rank], num_ranks_};
+      const pfs::ReadContext ctx{&rank_ledgers[rank], num_ranks_, {}};
       const Status s = reader_.file_read_raw(
           info, lo * elem_size,
           {col.bytes.data() + lo * elem_size,
@@ -115,12 +117,12 @@ Result<FullScanResult> ParallelFullScan::scan(
 
   const std::uint64_t n = num_elements_;
   std::vector<std::uint8_t> flags(static_cast<std::size_t>(n), 1);
-  ThreadPool pool(num_ranks_);
+  exec::ThreadPool pool(num_ranks_);
   const std::uint64_t per_rank = (n + num_ranks_ - 1) / num_ranks_;
   std::vector<double> rank_cpu(num_ranks_, 0.0);
   const CostModel& cost = cluster_.config().cost;
 
-  pool.parallel_for(num_ranks_, [&](std::size_t rank) {
+  exec::parallel_for(&pool, num_ranks_, [&](std::size_t rank) {
     const std::uint64_t lo = rank * per_rank;
     const std::uint64_t hi = std::min(n, lo + per_rank);
     if (lo >= hi) return;

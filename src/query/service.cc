@@ -22,12 +22,21 @@ ServiceOptions ServiceOptions::from_env() {
       options.strategy = server::Strategy::kHistogramIndex;
     } else if (value == "sorted") {
       options.strategy = server::Strategy::kSortedHistogram;
+    } else if (value == "adaptive") {
+      options.strategy = server::Strategy::kAdaptive;
     }
   }
   if (const char* env = std::getenv("PDC_QUERY_THREADS")) {
     const long threads = std::strtol(env, nullptr, 10);
     if (threads >= 0 && threads <= 64) {
       options.eval_threads = static_cast<std::uint32_t>(threads);
+    }
+  }
+  if (const char* env = std::getenv("PDC_QUERY_DENSE_THRESHOLD")) {
+    char* end = nullptr;
+    const double threshold = std::strtod(env, &end);
+    if (end != env && threshold >= 0.0 && threshold <= 1.0) {
+      options.dense_read_threshold = threshold;
     }
   }
   return options;
@@ -52,6 +61,9 @@ QueryService::QueryService(const obj::ObjectStore& store,
     server_options.id = s;
     server_options.num_servers = options_.num_servers;
     server_options.cache_capacity_bytes = options_.cache_capacity_bytes;
+    server_options.index_cache_capacity_bytes =
+        options_.index_cache_capacity_bytes;
+    server_options.dense_read_threshold = options_.dense_read_threshold;
     server_options.aggregation = options_.aggregation;
     server_options.pool = pool_.get();
     server_options.metrics = &metrics_;
@@ -304,6 +316,9 @@ Result<Selection> QueryService::eval(const QueryPtr& query,
       stats.server_bytes_read += response.ledger.bytes_read;
       stats.server_read_ops += response.ledger.read_ops;
       stats.response_bytes += message->payload.size();
+      stats.regions_scanned += response.regions_scanned;
+      stats.regions_indexed += response.regions_indexed;
+      stats.regions_allhit += response.regions_allhit;
     }
     if (round_has_response) {
       stats.max_server_seconds += round_critical.elapsed();

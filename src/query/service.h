@@ -92,6 +92,11 @@ struct OpStats {
   // Intra-server execution pool observability (zero when running serially).
   std::uint32_t pool_threads = 0;     ///< workers in the evaluation pool
   std::uint64_t pool_queue_peak = 0;  ///< high-water of queued pool tasks
+  // Per-region access-path choices summed over all servers.  Populated only
+  // by Strategy::kAdaptive (PDC-A); fixed strategies leave all three zero.
+  std::uint64_t regions_scanned = 0;  ///< regions read whole + scanned
+  std::uint64_t regions_indexed = 0;  ///< regions probed via WAH bins
+  std::uint64_t regions_allhit = 0;   ///< regions proven all-hit (no I/O)
 };
 
 struct ServiceOptions {
@@ -99,6 +104,13 @@ struct ServiceOptions {
   server::Strategy strategy = server::Strategy::kHistogram;
   /// Per-server region cache capacity (paper: 64 GB per server).
   std::uint64_t cache_capacity_bytes = 1ull << 30;
+  /// Per-server cache capacity for serialized index bins.  0 (the default)
+  /// keeps the historical derivation `cache_capacity_bytes / 4`.
+  std::uint64_t index_cache_capacity_bytes = 0;
+  /// Dense-read crossover: conjuncts needing more than this fraction of a
+  /// region's elements fetch the whole region instead of point reads, and
+  /// PDC-A (kAdaptive) picks scan over index probing at the same fraction.
+  double dense_read_threshold = 0.25;
   pfs::AggregationPolicy aggregation;
   /// Planner knob (ablation): reorder conjuncts by estimated selectivity.
   bool order_by_selectivity = true;
@@ -121,9 +133,10 @@ struct ServiceOptions {
   std::uint32_t max_inflight = 4;
 
   /// Read strategy from the PDC_QUERY_STRATEGY environment variable
-  /// ("fullscan", "histogram", "index", "sorted"), mirroring the paper's
-  /// server configuration mechanism, and eval_threads from
-  /// PDC_QUERY_THREADS.  Unset/unknown keeps the defaults.
+  /// ("fullscan", "histogram", "index", "sorted", "adaptive"), mirroring
+  /// the paper's server configuration mechanism, eval_threads from
+  /// PDC_QUERY_THREADS, and dense_read_threshold from
+  /// PDC_QUERY_DENSE_THRESHOLD.  Unset/unknown keeps the defaults.
   static ServiceOptions from_env();
 };
 

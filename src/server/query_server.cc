@@ -1,71 +1,13 @@
 #include "server/query_server.h"
 
 #include <algorithm>
-#include <cmath>
 
 #include "common/log.h"
-#include "obj/type_dispatch.h"
 #include "server/region_assignment.h"
 #include "sortrep/sorted_replica.h"
 
 namespace pdc::server {
 namespace {
-
-/// Scan a region buffer for matches within the global element range
-/// `want` (a sub-extent of `region_extent`); appends global positions.
-void scan_buffer(PdcType type, const std::uint8_t* bytes,
-                 Extent1D region_extent, Extent1D want,
-                 const ValueInterval& interval,
-                 std::vector<std::uint64_t>& out) {
-  obj::dispatch_type(type, [&](auto tag) {
-    using T = decltype(tag);
-    const T* values = reinterpret_cast<const T*>(bytes);
-    for (std::uint64_t pos = want.offset; pos < want.end(); ++pos) {
-      if (interval.contains(
-              static_cast<double>(values[pos - region_extent.offset]))) {
-        out.push_back(pos);
-      }
-    }
-  });
-}
-
-/// Check `interval` against the value at buffer-local index `local`.
-bool check_value(PdcType type, const std::uint8_t* bytes, std::uint64_t local,
-                 const ValueInterval& interval) {
-  return obj::dispatch_type(type, [&](auto tag) {
-    using T = decltype(tag);
-    return interval.contains(static_cast<double>(
-        reinterpret_cast<const T*>(bytes)[local]));
-  });
-}
-
-/// Local [first, last) index range of values satisfying `interval` in a
-/// sorted buffer of `count` elements.
-std::pair<std::uint64_t, std::uint64_t> sorted_range(
-    PdcType type, const std::uint8_t* bytes, std::uint64_t count,
-    const ValueInterval& interval) {
-  return obj::dispatch_type(type, [&](auto tag) {
-    using T = decltype(tag);
-    const T* values = reinterpret_cast<const T*>(bytes);
-    const T* end = values + count;
-    const T* lo_it = values;
-    if (std::isfinite(interval.lo)) {
-      const T lo_val = static_cast<T>(interval.lo);
-      lo_it = interval.lo_inclusive ? std::lower_bound(values, end, lo_val)
-                                    : std::upper_bound(values, end, lo_val);
-    }
-    const T* hi_it = end;
-    if (std::isfinite(interval.hi)) {
-      const T hi_val = static_cast<T>(interval.hi);
-      hi_it = interval.hi_inclusive ? std::upper_bound(values, end, hi_val)
-                                    : std::lower_bound(values, end, hi_val);
-    }
-    if (hi_it < lo_it) hi_it = lo_it;
-    return std::pair<std::uint64_t, std::uint64_t>(
-        static_cast<std::uint64_t>(lo_it - values),
-        static_cast<std::uint64_t>(hi_it - values));
-  });
-}
 
 /// Union of two ascending position lists, deduplicated.
 std::vector<std::uint64_t> merge_union(std::vector<std::uint64_t> a,
@@ -144,19 +86,6 @@ MetricsResponse QueryServer::metrics_snapshot() const {
   return response;
 }
 
-void QueryServer::annotate_task_span(obs::ScopedSpan& span,
-                                     const CostLedger& task_ledger) {
-  if (span.id() == 0) return;
-  const exec::TaskInfo task = exec::current_task();
-  if (task.in_task) {
-    span.arg("worker", static_cast<double>(
-                           static_cast<std::int64_t>(task.worker)));
-    span.arg("stolen", task.stolen ? 1.0 : 0.0);
-  }
-  span.arg("io_s", task_ledger.io_seconds());
-  span.arg("cpu_s", task_ledger.cpu_seconds());
-}
-
 EvalResponse QueryServer::eval(const EvalRequest& request,
                                const obs::TraceContext& trace) {
   if (eval_requests_metric_ != nullptr) eval_requests_metric_->add();
@@ -164,6 +93,7 @@ EvalResponse QueryServer::eval(const EvalRequest& request,
   EvalResponse response;
   CostLedger ledger;
   std::uint64_t regions_evaluated = 0;
+  RegionChoiceCounts counts;
   // The identities whose region shares we evaluate: normally just our own;
   // in degraded mode the client adds dead servers' identities (re-planned
   // region assignment — see region_assignment.h::plan_reassignment).
@@ -177,7 +107,8 @@ EvalResponse QueryServer::eval(const EvalRequest& request,
     for (const ServerId identity : identities) {
       const Status s =
           eval_term(term, request, identity, ledger, term_positions,
-                    term_extents, regions_evaluated, eval_span.context());
+                    term_extents, regions_evaluated, counts,
+                    eval_span.context());
       if (!s.ok()) {
         response.status = s;
         return response;
@@ -220,6 +151,9 @@ EvalResponse QueryServer::eval(const EvalRequest& request,
     response.positions = std::move(all_positions);
   }
   response.ledger = LedgerSummary::from(ledger);
+  response.regions_scanned = counts.scanned;
+  response.regions_indexed = counts.indexed;
+  response.regions_allhit = counts.allhit;
   response.status = Status::Ok();
   if (bytes_read_metric_ != nullptr) {
     bytes_read_metric_->add(response.ledger.bytes_read);
@@ -244,6 +178,9 @@ EvalResponse QueryServer::eval(const EvalRequest& request,
                   static_cast<double>(regions_evaluated));
     eval_span.arg("identities", static_cast<double>(identities.size()));
     eval_span.arg("num_hits", static_cast<double>(response.num_hits));
+    eval_span.arg("regions_scanned", static_cast<double>(counts.scanned));
+    eval_span.arg("regions_indexed", static_cast<double>(counts.indexed));
+    eval_span.arg("regions_allhit", static_cast<double>(counts.allhit));
   }
   return response;
 }
@@ -253,6 +190,7 @@ Status QueryServer::eval_term(const AndTerm& term, const EvalRequest& request,
                               std::vector<std::uint64_t>& out_positions,
                               std::vector<Extent1D>& out_extents,
                               std::uint64_t& regions_evaluated,
+                              RegionChoiceCounts& counts,
                               const obs::TraceContext& trace) {
   if (term.conjuncts.empty()) {
     return Status::InvalidArgument("AND-term with no conjuncts");
@@ -275,8 +213,10 @@ Status QueryServer::eval_term(const AndTerm& term, const EvalRequest& request,
     regions_evaluated +=
         regions_of_server(*replica, identity, options_.num_servers).size();
     std::vector<Extent1D> extents;
-    PDC_RETURN_IF_ERROR(eval_driver_sorted(*replica, driver.interval,
-                                           identity, ledger, extents, trace));
+    PDC_RETURN_IF_ERROR(pipeline_.run(
+        *replica, driver.interval, /*constraint=*/{}, identity,
+        pipeline_config(request.strategy, /*sorted_driver=*/true), ledger,
+        positions, extents, counts, trace));
 
     // Extents-only results are valid ONLY for a single-term request: the
     // OR merge in eval() operates on positions and discards extents, so a
@@ -318,27 +258,10 @@ Status QueryServer::eval_term(const AndTerm& term, const EvalRequest& request,
   } else {
     regions_evaluated +=
         regions_of_server(*driver_obj, identity, options_.num_servers).size();
-    switch (request.strategy) {
-      case Strategy::kFullScan:
-        PDC_RETURN_IF_ERROR(eval_driver_scan(*driver_obj, driver.interval,
-                                             request.region_constraint,
-                                             /*prune=*/false, identity,
-                                             ledger, positions, trace));
-        break;
-      case Strategy::kHistogram:
-      case Strategy::kSortedHistogram:  // no replica available: histogram
-        PDC_RETURN_IF_ERROR(eval_driver_scan(*driver_obj, driver.interval,
-                                             request.region_constraint,
-                                             /*prune=*/true, identity,
-                                             ledger, positions, trace));
-        break;
-      case Strategy::kHistogramIndex:
-        PDC_RETURN_IF_ERROR(eval_driver_index(*driver_obj, driver.interval,
-                                              request.region_constraint,
-                                              identity, ledger, positions,
-                                              trace));
-        break;
-    }
+    PDC_RETURN_IF_ERROR(pipeline_.run(
+        *driver_obj, driver.interval, request.region_constraint, identity,
+        pipeline_config(request.strategy, /*sorted_driver=*/false), ledger,
+        positions, sorted_extents, counts, trace));
   }
 
   log_debug("server ", options_.id, " as ", identity, " driver done: positions=",
@@ -354,7 +277,7 @@ Status QueryServer::eval_term(const AndTerm& term, const EvalRequest& request,
       return Status::InvalidArgument(
           "multi-object query requires identical dimensions");
     }
-    PDC_RETURN_IF_ERROR(restrict_positions(
+    PDC_RETURN_IF_ERROR(pipeline_.restrict(
         *object, term.conjuncts[c].interval,
         request.strategy == Strategy::kFullScan, ledger, positions, trace));
   }
@@ -364,452 +287,6 @@ Status QueryServer::eval_term(const AndTerm& term, const EvalRequest& request,
   out_extents.insert(out_extents.end(), sorted_extents.begin(),
                      sorted_extents.end());
   return Status::Ok();
-}
-
-Status QueryServer::eval_driver_scan(const obj::ObjectDescriptor& object,
-                                     const ValueInterval& interval,
-                                     Extent1D constraint, bool prune,
-                                     ServerId identity, CostLedger& ledger,
-                                     std::vector<std::uint64_t>& positions,
-                                     const obs::TraceContext& trace) {
-  const CostModel& cost = store_.cluster().config().cost;
-  const std::vector<RegionIndex> regions =
-      regions_of_server(object, identity, options_.num_servers);
-  obs::ScopedSpan phase(
-      trace, prune ? "phase.histogram_prune" : "phase.region_scan", actor_);
-  phase.arg("regions", static_cast<double>(regions.size()));
-  phase.arg("identity", static_cast<double>(identity));
-  // One pool task per region (fetch through the cache + scan).  Each task
-  // fills its own slot, so concatenating slots in region-index order below
-  // reproduces the serial loop bit-exactly: per-region hit lists are
-  // ascending and region extents are disjoint ascending.
-  std::vector<Status> statuses(regions.size());
-  std::vector<CostLedger> ledgers(regions.size());
-  std::vector<std::vector<std::uint64_t>> hits(regions.size());
-  exec::parallel_for(options_.pool, regions.size(), [&](std::size_t i) {
-    obs::ScopedSpan region_span(phase.context(), "region", actor_);
-    region_span.arg("region", static_cast<double>(regions[i]));
-    statuses[i] = [&]() -> Status {
-      const RegionIndex r = regions[i];
-      const obj::RegionDescriptor& region = object.regions[r];
-      Extent1D want = region.extent;
-      if (constraint.count > 0) {
-        want = want.intersect(constraint);
-        if (want.empty()) return Status::Ok();
-      }
-      if (prune && !region.histogram.may_overlap(interval)) {
-        region_span.arg("pruned", 1.0);
-        return Status::Ok();  // region eliminated by min/max — no I/O at all
-      }
-      const bool all_hits = prune && region.histogram.covers(interval);
-      // Fetch through the cache (populates it for later queries/get-data).
-      PDC_ASSIGN_OR_RETURN(
-          RegionCache::Buffer buffer,
-          fetch_region(object, r, ledgers[i], /*cacheable=*/true,
-                       region_span.context()));
-      if (all_hits) {
-        region_span.arg("all_hits", 1.0);
-        // Histogram proves every element matches: skip the per-element scan.
-        for (std::uint64_t p = want.offset; p < want.end(); ++p) {
-          hits[i].push_back(p);
-        }
-        return Status::Ok();
-      }
-      ledgers[i].add_cpu(cost.scan_cost(want.count * object.element_size()),
-                         CpuStage::kScan);
-      scan_buffer(object.type, buffer->data(), region.extent, want, interval,
-                  hits[i]);
-      return Status::Ok();
-    }();
-    annotate_task_span(region_span, ledgers[i]);
-  });
-  for (const Status& s : statuses) PDC_RETURN_IF_ERROR(s);
-  ledger.merge_parallel(ledgers, eval_threads());
-  for (const std::vector<std::uint64_t>& h : hits) {
-    positions.insert(positions.end(), h.begin(), h.end());
-  }
-  return Status::Ok();
-}
-
-Status QueryServer::eval_driver_index(const obj::ObjectDescriptor& object,
-                                      const ValueInterval& interval,
-                                      Extent1D constraint, ServerId identity,
-                                      CostLedger& ledger,
-                                      std::vector<std::uint64_t>& positions,
-                                      const obs::TraceContext& trace) {
-  if (object.index_file.empty()) {
-    return Status::FailedPrecondition("object has no bitmap index: " +
-                                      object.name);
-  }
-  const CostModel& cost = store_.cluster().config().cost;
-  PDC_ASSIGN_OR_RETURN(pfs::PfsFile index_file,
-                       store_.cluster().open(object.index_file));
-
-  // Pass 1 — plan.  Index headers (bin edges + sizes) travel with region
-  // metadata, so classifying bins needs no storage round trip.  Collect the
-  // byte extents of every needed bin across ALL surviving regions, then
-  // issue one aggregated read over the index file.
-  struct PlannedBin {
-    RegionIndex region;
-    std::uint32_t bin;
-    bool full;  ///< full bin: set bits are hits; else candidates
-    RegionCache::Buffer cached;  ///< non-null: no read needed
-    Extent1D extent;             ///< byte extent in the index file
-  };
-  std::vector<PlannedBin> planned;
-  obs::ScopedSpan prune_phase(trace, "phase.histogram_prune", actor_);
-  for (const RegionIndex r :
-       regions_of_server(object, identity, options_.num_servers)) {
-    obs::ScopedSpan region_span(prune_phase.context(), "region", actor_);
-    region_span.arg("region", static_cast<double>(r));
-    const obj::RegionDescriptor& region = object.regions[r];
-    Extent1D want = region.extent;
-    if (constraint.count > 0) {
-      want = want.intersect(constraint);
-      if (want.empty()) continue;
-    }
-    if (!region.histogram.may_overlap(interval)) {
-      region_span.arg("pruned", 1.0);
-      continue;
-    }
-    if (region.histogram.covers(interval)) {
-      region_span.arg("all_hits", 1.0);
-      // Histogram proves the whole region matches: no index I/O needed.
-      for (std::uint64_t p = want.offset; p < want.end(); ++p) {
-        positions.push_back(p);
-      }
-      continue;
-    }
-    PDC_ASSIGN_OR_RETURN(
-        bitmap::PartitionedIndexView view,
-        bitmap::PartitionedIndexView::ParseHeader(region.index_header));
-    const auto selection = view.select_bins(interval);
-    std::vector<std::pair<std::uint32_t, bool>> bins;
-    bins.reserve(selection.full.size() + selection.partial.size());
-    for (const std::uint32_t b : selection.full) bins.emplace_back(b, true);
-    for (const std::uint32_t b : selection.partial) {
-      bins.emplace_back(b, false);
-    }
-    std::sort(bins.begin(), bins.end());
-    region_span.arg("bins", static_cast<double>(bins.size()));
-    for (const auto& [b, full] : bins) {
-      Extent1D e = view.bin_extent(b);
-      e.offset += region.index_offset;
-      // Previously-read bins are served from the server's index cache.
-      const RegionCache::Key key{object.id,
-                                 static_cast<RegionIndex>(r * 2048 + b)};
-      planned.push_back({r, b, full, index_cache_.get(key), e});
-    }
-  }
-  prune_phase.arg("planned_bins", static_cast<double>(planned.size()));
-  prune_phase.close();
-
-  if (!planned.empty()) {
-    obs::ScopedSpan decode_phase(trace, "phase.bin_decode", actor_);
-    decode_phase.arg("bins", static_cast<double>(planned.size()));
-    // Read the uncached bins in one aggregated pass.
-    std::vector<Extent1D> missing_extents;
-    std::vector<std::size_t> missing_index;
-    for (std::size_t i = 0; i < planned.size(); ++i) {
-      if (planned[i].cached == nullptr) {
-        missing_extents.push_back(planned[i].extent);
-        missing_index.push_back(i);
-      }
-    }
-    if (!missing_extents.empty()) {
-      std::vector<std::shared_ptr<std::vector<std::uint8_t>>> buffers;
-      std::vector<std::span<std::uint8_t>> dests;
-      buffers.reserve(missing_extents.size());
-      for (const Extent1D& e : missing_extents) {
-        buffers.push_back(std::make_shared<std::vector<std::uint8_t>>(
-            static_cast<std::size_t>(e.count)));
-        dests.emplace_back(*buffers.back());
-      }
-      PDC_RETURN_IF_ERROR(pfs::aggregated_read(
-          index_file, missing_extents, dests, options_.index_aggregation,
-          read_ctx(ledger, decode_phase.context())));
-      for (std::size_t k = 0; k < missing_index.size(); ++k) {
-        PlannedBin& p = planned[missing_index[k]];
-        p.cached = buffers[k];
-        index_cache_.put({object.id,
-                          static_cast<RegionIndex>(p.region * 2048 + p.bin)},
-                         buffers[k]);
-      }
-    }
-
-    // Pass 2 — decode bins in parallel (one task per planned bin); definite
-    // hits and candidates land in per-task slots, concatenated afterwards.
-    // Order does not matter for correctness: positions get a final sort and
-    // candidates are sorted before the aggregated value check.
-    std::vector<Status> statuses(planned.size());
-    std::vector<CostLedger> ledgers(planned.size());
-    std::vector<std::vector<std::uint64_t>> definite(planned.size());
-    std::vector<std::vector<std::uint64_t>> partial(planned.size());
-    exec::parallel_for(options_.pool, planned.size(), [&](std::size_t i) {
-      obs::ScopedSpan bin_span(decode_phase.context(), "bin", actor_);
-      bin_span.arg("region", static_cast<double>(planned[i].region));
-      bin_span.arg("bin", static_cast<double>(planned[i].bin));
-      statuses[i] = [&]() -> Status {
-        PDC_ASSIGN_OR_RETURN(
-            bitmap::WahBitVector bv,
-            bitmap::PartitionedIndexView::DecodeBin(*planned[i].cached));
-        ledgers[i].add_cpu(static_cast<double>(planned[i].cached->size()) /
-                               cost.index_decode_bandwidth_bps,
-                           CpuStage::kDecode);
-        const obj::RegionDescriptor& region =
-            object.regions[planned[i].region];
-        Extent1D want = region.extent;
-        if (constraint.count > 0) want = want.intersect(constraint);
-        auto& sink = planned[i].full ? definite[i] : partial[i];
-        const std::uint64_t base = region.extent.offset;
-        bv.for_each_set([&sink, base, &want](std::uint64_t local) {
-          const std::uint64_t pos = base + local;
-          if (want.contains(pos)) sink.push_back(pos);
-        });
-        return Status::Ok();
-      }();
-      annotate_task_span(bin_span, ledgers[i]);
-    });
-    for (const Status& s : statuses) PDC_RETURN_IF_ERROR(s);
-    ledger.merge_parallel(ledgers, eval_threads());
-    std::vector<std::uint64_t> candidates;
-    for (std::size_t i = 0; i < planned.size(); ++i) {
-      positions.insert(positions.end(), definite[i].begin(), definite[i].end());
-      candidates.insert(candidates.end(), partial[i].begin(),
-                        partial[i].end());
-    }
-
-    log_debug("HI server ", options_.id, ": obj ", object.id, " bins=",
-              planned.size(), " definite=", positions.size(),
-              " candidates=", candidates.size());
-    decode_phase.close();
-    if (!candidates.empty()) {
-      obs::ScopedSpan check_phase(trace, "phase.candidate_check", actor_);
-      check_phase.arg("candidates", static_cast<double>(candidates.size()));
-      std::sort(candidates.begin(), candidates.end());
-      const std::size_t elem_size = object.element_size();
-      // Candidate values are fetched with the wide-gap policy: merging
-      // nearby candidates into one larger read costs extra bytes but far
-      // fewer op latencies (the block-read philosophy of §III-E).
-      std::vector<std::uint8_t> values(candidates.size() * elem_size);
-      PDC_RETURN_IF_ERROR(
-          store_.read_values_at(object, candidates, values,
-                                options_.aggregation,
-                                read_ctx(ledger, check_phase.context())));
-      ledger.add_cpu(cost.scan_cost(values.size()), CpuStage::kScan);
-      for (std::size_t i = 0; i < candidates.size(); ++i) {
-        if (check_value(object.type, values.data(), i, interval)) {
-          positions.push_back(candidates[i]);
-        }
-      }
-    }
-  }
-  std::sort(positions.begin(), positions.end());
-  return Status::Ok();
-}
-
-Status QueryServer::eval_driver_sorted(const obj::ObjectDescriptor& replica,
-                                       const ValueInterval& interval,
-                                       ServerId identity, CostLedger& ledger,
-                                       std::vector<Extent1D>& extents,
-                                       const obs::TraceContext& trace) {
-  const CostModel& cost = store_.cluster().config().cost;
-  const std::vector<RegionIndex> regions =
-      regions_of_server(replica, identity, options_.num_servers);
-  obs::ScopedSpan phase(trace, "phase.sorted_boundary", actor_);
-  phase.arg("regions", static_cast<double>(regions.size()));
-  phase.arg("identity", static_cast<double>(identity));
-  // Boundary regions fetch + binary-search in parallel; the extent list is
-  // then assembled serially in region-index order so cross-region
-  // coalescing sees the same adjacency as the serial loop.
-  std::vector<Status> statuses(regions.size());
-  std::vector<CostLedger> ledgers(regions.size());
-  std::vector<Extent1D> found(regions.size());  // count == 0: no hit
-  exec::parallel_for(options_.pool, regions.size(), [&](std::size_t i) {
-    obs::ScopedSpan region_span(phase.context(), "region", actor_);
-    region_span.arg("region", static_cast<double>(regions[i]));
-    statuses[i] = [&]() -> Status {
-      const RegionIndex r = regions[i];
-      const obj::RegionDescriptor& region = replica.regions[r];
-      if (!region.histogram.may_overlap(interval)) {
-        region_span.arg("pruned", 1.0);
-        return Status::Ok();
-      }
-      if (region.histogram.covers(interval)) {
-        region_span.arg("all_hits", 1.0);
-        found[i] = region.extent;  // interior region: all elements match
-        return Status::Ok();
-      }
-      // Boundary region: fetch (cached) and binary-search the range.
-      PDC_ASSIGN_OR_RETURN(
-          RegionCache::Buffer buffer,
-          fetch_region(replica, r, ledgers[i], /*cacheable=*/true,
-                       region_span.context()));
-      const auto [lo, hi] = sorted_range(replica.type, buffer->data(),
-                                         region.extent.count, interval);
-      // Binary search touches O(log n) elements.
-      ledgers[i].add_cpu(
-          cost.scan_cost(
-              2 * 64 * replica.element_size() *
-              static_cast<std::uint64_t>(
-                  std::ceil(std::log2(static_cast<double>(
-                      std::max<std::uint64_t>(2, region.extent.count)))))),
-          CpuStage::kScan);
-      if (hi > lo) found[i] = {region.extent.offset + lo, hi - lo};
-      return Status::Ok();
-    }();
-    annotate_task_span(region_span, ledgers[i]);
-  });
-  for (const Status& s : statuses) PDC_RETURN_IF_ERROR(s);
-  ledger.merge_parallel(ledgers, eval_threads());
-  for (const Extent1D& hit : found) {
-    if (hit.count == 0) continue;
-    // Coalesce extents adjacent across region boundaries.
-    if (!extents.empty() && extents.back().end() == hit.offset) {
-      extents.back().count += hit.count;
-    } else {
-      extents.push_back(hit);
-    }
-  }
-  return Status::Ok();
-}
-
-Status QueryServer::restrict_positions(const obj::ObjectDescriptor& object,
-                                       const ValueInterval& interval,
-                                       bool full_scan_mode, CostLedger& ledger,
-                                       std::vector<std::uint64_t>& positions,
-                                       const obs::TraceContext& trace) {
-  obs::ScopedSpan phase(trace, "phase.restrict", actor_);
-  phase.arg("object", static_cast<double>(object.id));
-  phase.arg("positions_in", static_cast<double>(positions.size()));
-  const CostModel& cost = store_.cluster().config().cost;
-  const std::size_t elem_size = object.element_size();
-
-  // Split the ascending position list into per-region groups serially
-  // (cheap), then check the groups in parallel.  Groups are disjoint
-  // ascending, so concatenating the per-group keep lists in group order
-  // reproduces the serial result bit-exactly.
-  struct Group {
-    std::size_t begin;
-    std::size_t end;
-    RegionIndex region;
-  };
-  std::vector<Group> groups;
-  std::size_t i = 0;
-  while (i < positions.size()) {
-    const RegionIndex r = region_of_position(object, positions[i]);
-    std::size_t j = i;
-    while (j < positions.size() &&
-           region_of_position(object, positions[j]) == r) {
-      ++j;
-    }
-    groups.push_back({i, j, r});
-    i = j;
-  }
-
-  std::vector<Status> statuses(groups.size());
-  std::vector<CostLedger> ledgers(groups.size());
-  std::vector<std::vector<std::uint64_t>> kept_parts(groups.size());
-  exec::parallel_for(options_.pool, groups.size(), [&](std::size_t gi) {
-    obs::ScopedSpan group_span(phase.context(), "region_check", actor_);
-    group_span.arg("region", static_cast<double>(groups[gi].region));
-    statuses[gi] = [&]() -> Status {
-      const std::span<const std::uint64_t> group(
-          &positions[groups[gi].begin], groups[gi].end - groups[gi].begin);
-      const RegionIndex r = groups[gi].region;
-      const obj::RegionDescriptor& region = object.regions[r];
-      std::vector<std::uint64_t>& kept = kept_parts[gi];
-      CostLedger& task_ledger = ledgers[gi];
-
-      if (!full_scan_mode) {
-        if (!region.histogram.may_overlap(interval)) {
-          return Status::Ok();  // drop group
-        }
-        if (region.histogram.covers(interval)) {
-          kept.insert(kept.end(), group.begin(), group.end());
-          return Status::Ok();
-        }
-      }
-
-      RegionCache::Buffer buffer = cache_.get({object.id, r});
-      // Treat the group as dense when it holds many positions OR when its
-      // positions span most of the region anyway: the aggregated point read
-      // would coalesce into a near-whole-region read, so reading the region
-      // through the cache costs the same now and is free next time.
-      const std::uint64_t span_bytes =
-          group.empty() ? 0
-                        : (group.back() - group.front() + 1) * elem_size;
-      const bool dense =
-          full_scan_mode ||
-          static_cast<double>(group.size()) >
-              options_.dense_read_threshold *
-                  static_cast<double>(region.extent.count) ||
-          span_bytes * 2 >= region.extent.count * elem_size;
-      if (buffer == nullptr && dense) {
-        PDC_ASSIGN_OR_RETURN(
-            buffer, fetch_region(object, r, task_ledger, /*cacheable=*/true,
-                                 group_span.context()));
-        if (full_scan_mode) {
-          // The baseline scans the whole region regardless of selectivity.
-          task_ledger.add_cpu(cost.scan_cost(region.extent.count * elem_size),
-                              CpuStage::kScan);
-        }
-      }
-      if (buffer != nullptr) {
-        task_ledger.add_cpu(static_cast<double>(group.size() * elem_size) /
-                                cost.memcpy_bandwidth_bps,
-                            CpuStage::kScan);
-        for (const std::uint64_t pos : group) {
-          if (check_value(object.type, buffer->data(),
-                          pos - region.extent.offset, interval)) {
-            kept.push_back(pos);
-          }
-        }
-      } else {
-        // Sparse group, cold region: aggregated point reads.
-        std::vector<std::uint8_t> values(group.size() * elem_size);
-        PDC_RETURN_IF_ERROR(store_.read_values_at(
-            object, group, values, options_.aggregation,
-            read_ctx(task_ledger, group_span.context())));
-        task_ledger.add_cpu(cost.scan_cost(values.size()), CpuStage::kScan);
-        for (std::size_t k = 0; k < group.size(); ++k) {
-          if (check_value(object.type, values.data(), k, interval)) {
-            kept.push_back(group[k]);
-          }
-        }
-      }
-      return Status::Ok();
-    }();
-    annotate_task_span(group_span, ledgers[gi]);
-  });
-  for (const Status& s : statuses) PDC_RETURN_IF_ERROR(s);
-  ledger.merge_parallel(ledgers, eval_threads());
-
-  std::vector<std::uint64_t> kept;
-  kept.reserve(positions.size());
-  for (const std::vector<std::uint64_t>& part : kept_parts) {
-    kept.insert(kept.end(), part.begin(), part.end());
-  }
-  positions = std::move(kept);
-  phase.arg("positions_out", static_cast<double>(positions.size()));
-  return Status::Ok();
-}
-
-Result<RegionCache::Buffer> QueryServer::fetch_region(
-    const obj::ObjectDescriptor& object, RegionIndex region,
-    CostLedger& ledger, bool cacheable, const obs::TraceContext& trace) {
-  const RegionCache::Key key{object.id, region};
-  if (RegionCache::Buffer hit = cache_.get(key)) return hit;
-  log_debug("server ", options_.id, " cache MISS obj ", object.id, " region ",
-            region);
-  const obj::RegionDescriptor& desc = object.regions[region];
-  auto buffer = std::make_shared<std::vector<std::uint8_t>>(
-      static_cast<std::size_t>(desc.extent.count * object.element_size()));
-  PDC_RETURN_IF_ERROR(
-      store_.read_region(object, region, *buffer, read_ctx(ledger, trace)));
-  RegionCache::Buffer shared = std::move(buffer);
-  if (cacheable) cache_.put(key, shared);
-  return shared;
 }
 
 Status QueryServer::gather_values(const obj::ObjectDescriptor& object,
@@ -844,9 +321,10 @@ Status QueryServer::gather_values(const obj::ObjectDescriptor& object,
                        options_.dense_read_threshold *
                            static_cast<double>(region.extent.count);
     if (buffer == nullptr && dense) {
-      PDC_ASSIGN_OR_RETURN(buffer,
-                           fetch_region(object, r, ledger, /*cacheable=*/true,
-                                        group_span.context()));
+      PDC_ASSIGN_OR_RETURN(
+          buffer, pipeline_.fetch_region(object, r, ledger,
+                                         /*cacheable=*/true,
+                                         group_span.context()));
     }
     if (buffer != nullptr) {
       group_span.arg("cached", 1.0);

@@ -1,8 +1,10 @@
 // One PDC server's query evaluation engine (paper §III-C, §III-D).
 //
 // A QueryServer owns the regions assigned to it (round-robin by region
-// index), a region data cache, and implements the four evaluation
-// strategies:
+// index), a region data cache, and evaluates queries through the
+// composable RegionPipeline (region_pipeline.h): every strategy is an
+// operator configuration over the same Source -> Pruner -> AccessPath ->
+// Predicate -> Collector stages:
 //   PDC-F  — fetch every assigned region (through the cache) and scan;
 //   PDC-H  — histogram min/max pruning, fetch+scan only surviving regions,
 //            all-hit regions short-circuit the scan;
@@ -12,7 +14,10 @@
 //            reason get-data is slower with an index, Fig. 3/4);
 //   PDC-SH — evaluate the driver condition on the sorted replica: interior
 //            regions are all-hits, boundary regions are binary-searched, and
-//            original positions come from one contiguous permutation read.
+//            original positions come from one contiguous permutation read;
+//   PDC-A  — adaptive: pick scan vs. index vs. all-hit PER REGION from the
+//            region histogram's estimated selectivity (classify_region),
+//            reporting the choice tally in the response.
 //
 // Conjuncts after the driver are evaluated only at the already-selected
 // locations (paper's AND short-circuit), with per-region pruning.
@@ -31,6 +36,7 @@
 #include "obs/trace.h"
 #include "pfs/read_aggregator.h"
 #include "server/region_cache.h"
+#include "server/region_pipeline.h"
 #include "server/wire.h"
 
 namespace pdc::server {
@@ -46,6 +52,11 @@ struct ServerOptions {
   exec::ThreadPool* pool = nullptr;
   /// Memory cap for cached region data (paper: 64 GB per server).
   std::uint64_t cache_capacity_bytes = 1ull << 30;
+  /// Memory cap for cached serialized index bins.  0 (the default) derives
+  /// the historical `cache_capacity_bytes / 4`: bins are far smaller than
+  /// region data, a quarter of the data budget keeps every hot bin
+  /// resident without competing with region caching.
+  std::uint64_t index_cache_capacity_bytes = 0;
   /// Point-read coalescing for candidate checks / scattered get-data.
   pfs::AggregationPolicy aggregation;
   /// Tighter coalescing for bitmap-bin reads: bins from different regions
@@ -53,7 +64,8 @@ struct ServerOptions {
   pfs::AggregationPolicy index_aggregation{.max_gap_bytes = 2048,
                                            .max_run_bytes = 64ull << 20};
   /// If a conjunct needs more than this fraction of a region's elements,
-  /// fetch the whole region (and cache it) instead of point reads.
+  /// fetch the whole region (and cache it) instead of point reads.  Also
+  /// PDC-A's scan-vs-index crossover (see AdaptiveKnobs).
   double dense_read_threshold = 0.25;
   /// Deployment metrics registry (null = unmetered).  The server registers
   /// "server<id>.eval_requests" / ".getdata_requests" / ".bytes_read" /
@@ -69,7 +81,13 @@ class QueryServer {
         options_(options),
         actor_("server" + std::to_string(options.id)),
         cache_(options.cache_capacity_bytes),
-        index_cache_(options.cache_capacity_bytes / 4) {
+        index_cache_(options.index_cache_capacity_bytes != 0
+                         ? options.index_cache_capacity_bytes
+                         : options.cache_capacity_bytes / 4),
+        pipeline_(RegionPipeline::Env{
+            &store_, options_.pool, options_.id, options_.num_servers,
+            options_.aggregation, options_.index_aggregation,
+            options_.dense_read_threshold, &cache_, &index_cache_, &actor_}) {
     register_metrics();
   }
 
@@ -96,44 +114,14 @@ class QueryServer {
   /// matching original-space positions (ascending) and, for sorted
   /// drivers, replica-space extents.
   /// `regions_evaluated` accumulates the number of driver regions iterated
-  /// (one "region" span each when traced) for the response/span accounting.
+  /// (one "region" span each when traced) and `counts` the per-region
+  /// access-path choices, for the response/span accounting.
   Status eval_term(const AndTerm& term, const EvalRequest& request,
                    ServerId identity, CostLedger& ledger,
                    std::vector<std::uint64_t>& positions,
                    std::vector<Extent1D>& sorted_extents,
                    std::uint64_t& regions_evaluated,
-                   const obs::TraceContext& trace);
-
-  // Driver evaluators (first conjunct, region-parallel over the regions
-  // assigned to `identity`).
-  Status eval_driver_scan(const obj::ObjectDescriptor& object,
-                          const ValueInterval& interval, Extent1D constraint,
-                          bool prune, ServerId identity, CostLedger& ledger,
-                          std::vector<std::uint64_t>& positions,
-                          const obs::TraceContext& trace);
-  Status eval_driver_index(const obj::ObjectDescriptor& object,
-                           const ValueInterval& interval, Extent1D constraint,
-                           ServerId identity, CostLedger& ledger,
-                           std::vector<std::uint64_t>& positions,
-                           const obs::TraceContext& trace);
-  Status eval_driver_sorted(const obj::ObjectDescriptor& replica,
-                            const ValueInterval& interval, ServerId identity,
-                            CostLedger& ledger, std::vector<Extent1D>& extents,
-                            const obs::TraceContext& trace);
-
-  /// Restrict `positions` (ascending, original space) to those whose value
-  /// in `object` satisfies `interval`.
-  Status restrict_positions(const obj::ObjectDescriptor& object,
-                            const ValueInterval& interval, bool full_scan_mode,
-                            CostLedger& ledger,
-                            std::vector<std::uint64_t>& positions,
-                            const obs::TraceContext& trace);
-
-  /// Region bytes through the cache; `cacheable=false` bypasses insertion.
-  Result<RegionCache::Buffer> fetch_region(const obj::ObjectDescriptor& object,
-                                           RegionIndex region,
-                                           CostLedger& ledger, bool cacheable,
-                                           const obs::TraceContext& trace = {});
+                   RegionChoiceCounts& counts, const obs::TraceContext& trace);
 
   /// Values at ascending positions, cache-aware, into `out`.
   Status gather_values(const obj::ObjectDescriptor& object,
@@ -145,19 +133,9 @@ class QueryServer {
   /// deployment is unmetered).
   void register_metrics();
 
-  /// Annotate a per-region (or per-bin / per-group) span with the executing
-  /// pool worker and the task ledger's cost split; no-op when untraced.
-  static void annotate_task_span(obs::ScopedSpan& span,
-                                 const CostLedger& task_ledger);
-
   [[nodiscard]] pfs::ReadContext read_ctx(
       CostLedger& ledger, const obs::TraceContext& trace = {}) const {
     return {&ledger, options_.num_servers, trace};
-  }
-
-  /// Modeled cores per server for parallel cost accounting.
-  [[nodiscard]] std::uint32_t eval_threads() const noexcept {
-    return options_.pool != nullptr ? options_.pool->size() : 1;
   }
 
   const obj::ObjectStore& store_;
@@ -174,6 +152,9 @@ class QueryServer {
   /// Serialized index bins stay resident once read (FastBit also caches
   /// bitmaps); keyed by (object, region*2048+bin).
   RegionCache index_cache_;
+  /// The composable evaluation engine; holds references to the caches and
+  /// options above (declared last so they are initialized first).
+  RegionPipeline pipeline_;
 };
 
 }  // namespace pdc::server

@@ -1,0 +1,749 @@
+#include "server/region_pipeline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+#include <utility>
+
+#include "bitmap/binned_index.h"
+#include "common/log.h"
+#include "obj/type_dispatch.h"
+#include "server/region_assignment.h"
+
+namespace pdc::server {
+namespace {
+
+/// Scan a region buffer for matches within the global element range
+/// `want` (a sub-extent of `region_extent`); appends global positions.
+void scan_buffer(PdcType type, const std::uint8_t* bytes,
+                 Extent1D region_extent, Extent1D want,
+                 const ValueInterval& interval,
+                 std::vector<std::uint64_t>& out) {
+  obj::dispatch_type(type, [&](auto tag) {
+    using T = decltype(tag);
+    const T* values = reinterpret_cast<const T*>(bytes);
+    for (std::uint64_t pos = want.offset; pos < want.end(); ++pos) {
+      if (interval.contains(
+              static_cast<double>(values[pos - region_extent.offset]))) {
+        out.push_back(pos);
+      }
+    }
+  });
+}
+
+/// Check `interval` against the value at buffer-local index `local`.
+bool check_value(PdcType type, const std::uint8_t* bytes, std::uint64_t local,
+                 const ValueInterval& interval) {
+  return obj::dispatch_type(type, [&](auto tag) {
+    using T = decltype(tag);
+    return interval.contains(static_cast<double>(
+        reinterpret_cast<const T*>(bytes)[local]));
+  });
+}
+
+/// Local [first, last) index range of values satisfying `interval` in a
+/// sorted buffer of `count` elements.
+std::pair<std::uint64_t, std::uint64_t> sorted_range(
+    PdcType type, const std::uint8_t* bytes, std::uint64_t count,
+    const ValueInterval& interval) {
+  return obj::dispatch_type(type, [&](auto tag) {
+    using T = decltype(tag);
+    const T* values = reinterpret_cast<const T*>(bytes);
+    const T* end = values + count;
+    const T* lo_it = values;
+    if (std::isfinite(interval.lo)) {
+      const T lo_val = static_cast<T>(interval.lo);
+      lo_it = interval.lo_inclusive ? std::lower_bound(values, end, lo_val)
+                                    : std::upper_bound(values, end, lo_val);
+    }
+    const T* hi_it = end;
+    if (std::isfinite(interval.hi)) {
+      const T hi_val = static_cast<T>(interval.hi);
+      hi_it = interval.hi_inclusive ? std::upper_bound(values, end, hi_val)
+                                    : std::lower_bound(values, end, hi_val);
+    }
+    if (hi_it < lo_it) hi_it = lo_it;
+    return std::pair<std::uint64_t, std::uint64_t>(
+        static_cast<std::uint64_t>(lo_it - values),
+        static_cast<std::uint64_t>(hi_it - values));
+  });
+}
+
+}  // namespace
+
+RegionChoice classify_region(const hist::MergeableHistogram& histogram,
+                             const ValueInterval& interval,
+                             const AdaptiveKnobs& knobs) noexcept {
+  if (!histogram.may_overlap(interval)) return RegionChoice::kPruned;
+  if (histogram.covers(interval)) return RegionChoice::kAllHit;
+  if (!knobs.has_index) return RegionChoice::kScan;
+  // Dense regions: streaming the region costs one sequential read and a
+  // scan; probing would decode most bins AND point-read many candidates.
+  // Sparse regions: the index touches only the few relevant bins.
+  const double selectivity =
+      histogram.estimate(interval).selectivity_mid(histogram.total_count());
+  return selectivity >= knobs.dense_read_threshold ? RegionChoice::kScan
+                                                   : RegionChoice::kIndex;
+}
+
+PipelineConfig pipeline_config(Strategy strategy, bool sorted_driver) noexcept {
+  switch (strategy) {
+    case Strategy::kFullScan:
+      return {AccessPathKind::kScan, /*prune=*/false,
+              /*all_hit_fetches=*/false, "phase.region_scan"};
+    case Strategy::kHistogram:
+      return {AccessPathKind::kScan, /*prune=*/true,
+              /*all_hit_fetches=*/true, "phase.histogram_prune"};
+    case Strategy::kHistogramIndex:
+      return {AccessPathKind::kIndexProbe, /*prune=*/true,
+              /*all_hit_fetches=*/false, "phase.histogram_prune"};
+    case Strategy::kSortedHistogram:
+      if (sorted_driver) {
+        return {AccessPathKind::kSortedBoundary, /*prune=*/true,
+                /*all_hit_fetches=*/false, "phase.sorted_boundary"};
+      }
+      // No replica available: degrade to the histogram scan config.
+      return {AccessPathKind::kScan, /*prune=*/true,
+              /*all_hit_fetches=*/true, "phase.histogram_prune"};
+    case Strategy::kAdaptive:
+      return {AccessPathKind::kAdaptive, /*prune=*/true,
+              /*all_hit_fetches=*/false, "phase.adaptive_plan"};
+  }
+  return {};
+}
+
+void RegionPipeline::annotate_task_span(obs::ScopedSpan& span,
+                                        const CostLedger& task_ledger) {
+  if (span.id() == 0) return;
+  const exec::TaskInfo task = exec::current_task();
+  if (task.in_task) {
+    span.arg("worker", static_cast<double>(
+                           static_cast<std::int64_t>(task.worker)));
+    span.arg("stolen", task.stolen ? 1.0 : 0.0);
+  }
+  span.arg("io_s", task_ledger.io_seconds());
+  span.arg("cpu_s", task_ledger.cpu_seconds());
+}
+
+Status RegionPipeline::fan_out_join(std::size_t tasks,
+                                    const obs::TraceContext& phase,
+                                    const char* span_name, CostLedger& ledger,
+                                    const TaskBody& body) {
+  std::vector<Status> statuses(tasks);
+  std::vector<CostLedger> ledgers(tasks);
+  exec::parallel_for(env_.pool, tasks, [&](std::size_t i) {
+    obs::ScopedSpan task_span(phase, span_name, *env_.actor);
+    statuses[i] = body(i, ledgers[i], task_span);
+    annotate_task_span(task_span, ledgers[i]);
+  });
+  for (const Status& s : statuses) PDC_RETURN_IF_ERROR(s);
+  ledger.merge_parallel(ledgers, eval_threads());
+  return Status::Ok();
+}
+
+Status RegionPipeline::run(const obj::ObjectDescriptor& object,
+                           const ValueInterval& interval, Extent1D constraint,
+                           ServerId identity, const PipelineConfig& config,
+                           CostLedger& ledger,
+                           std::vector<std::uint64_t>& positions,
+                           std::vector<Extent1D>& extents,
+                           RegionChoiceCounts& counts,
+                           const obs::TraceContext& trace) {
+  switch (config.access) {
+    case AccessPathKind::kScan:
+      return run_scan(object, interval, constraint, config, identity, ledger,
+                      positions, counts, trace);
+    case AccessPathKind::kIndexProbe:
+      return run_index(object, interval, constraint, identity, ledger,
+                       positions, counts, trace);
+    case AccessPathKind::kSortedBoundary:
+      return run_sorted(object, interval, identity, ledger, extents, counts,
+                        trace);
+    case AccessPathKind::kAdaptive:
+      return run_adaptive(object, interval, constraint, identity, ledger,
+                          positions, counts, trace);
+  }
+  return Status::InvalidArgument("unknown access path");
+}
+
+Status RegionPipeline::run_scan(const obj::ObjectDescriptor& object,
+                                const ValueInterval& interval,
+                                Extent1D constraint,
+                                const PipelineConfig& config,
+                                ServerId identity, CostLedger& ledger,
+                                std::vector<std::uint64_t>& positions,
+                                RegionChoiceCounts& /*counts*/,
+                                const obs::TraceContext& trace) {
+  const CostModel& cost = env_.store->cluster().config().cost;
+  const bool prune = config.prune;
+  const std::vector<RegionIndex> regions =
+      regions_of_server(object, identity, env_.num_servers);
+  obs::ScopedSpan phase(trace, config.phase_name, *env_.actor);
+  phase.arg("regions", static_cast<double>(regions.size()));
+  phase.arg("identity", static_cast<double>(identity));
+  // One pool task per region (fetch through the cache + scan).  Each task
+  // fills its own slot, so concatenating slots in region-index order below
+  // reproduces the serial loop bit-exactly: per-region hit lists are
+  // ascending and region extents are disjoint ascending.
+  std::vector<std::vector<std::uint64_t>> hits(regions.size());
+  PDC_RETURN_IF_ERROR(fan_out_join(
+      regions.size(), phase.context(), "region", ledger,
+      [&](std::size_t i, CostLedger& task_ledger,
+          obs::ScopedSpan& region_span) -> Status {
+        region_span.arg("region", static_cast<double>(regions[i]));
+        const RegionIndex r = regions[i];
+        const obj::RegionDescriptor& region = object.regions[r];
+        Extent1D want = region.extent;
+        if (constraint.count > 0) {
+          want = want.intersect(constraint);
+          if (want.empty()) return Status::Ok();
+        }
+        if (prune && !region.histogram.may_overlap(interval)) {
+          region_span.arg("pruned", 1.0);
+          return Status::Ok();  // eliminated by min/max — no I/O at all
+        }
+        const bool all_hits = prune && region.histogram.covers(interval);
+        // Fetch through the cache (populates it for later queries/get-data).
+        PDC_ASSIGN_OR_RETURN(
+            RegionCache::Buffer buffer,
+            fetch_region(object, r, task_ledger, /*cacheable=*/true,
+                         region_span.context()));
+        if (all_hits) {
+          region_span.arg("all_hits", 1.0);
+          // Histogram proves every element matches: skip the scan.
+          for (std::uint64_t p = want.offset; p < want.end(); ++p) {
+            hits[i].push_back(p);
+          }
+          return Status::Ok();
+        }
+        task_ledger.add_cpu(
+            cost.scan_cost(want.count * object.element_size()),
+            CpuStage::kScan);
+        scan_buffer(object.type, buffer->data(), region.extent, want,
+                    interval, hits[i]);
+        return Status::Ok();
+      }));
+  for (const std::vector<std::uint64_t>& h : hits) {
+    positions.insert(positions.end(), h.begin(), h.end());
+  }
+  return Status::Ok();
+}
+
+Status RegionPipeline::plan_region_bins(const obj::ObjectDescriptor& object,
+                                        RegionIndex r,
+                                        const ValueInterval& interval,
+                                        std::vector<PlannedBin>& planned,
+                                        obs::ScopedSpan& region_span) {
+  const obj::RegionDescriptor& region = object.regions[r];
+  PDC_ASSIGN_OR_RETURN(
+      bitmap::PartitionedIndexView view,
+      bitmap::PartitionedIndexView::ParseHeader(region.index_header));
+  const auto selection = view.select_bins(interval);
+  std::vector<std::pair<std::uint32_t, bool>> bins;
+  bins.reserve(selection.full.size() + selection.partial.size());
+  for (const std::uint32_t b : selection.full) bins.emplace_back(b, true);
+  for (const std::uint32_t b : selection.partial) {
+    bins.emplace_back(b, false);
+  }
+  std::sort(bins.begin(), bins.end());
+  region_span.arg("bins", static_cast<double>(bins.size()));
+  for (const auto& [b, full] : bins) {
+    Extent1D e = view.bin_extent(b);
+    e.offset += region.index_offset;
+    // Previously-read bins are served from the server's index cache.
+    const RegionCache::Key key{object.id,
+                               static_cast<RegionIndex>(r * 2048 + b)};
+    planned.push_back({r, b, full, env_.index_cache->get(key), e});
+  }
+  return Status::Ok();
+}
+
+Status RegionPipeline::read_missing_bins(const obj::ObjectDescriptor& object,
+                                         std::vector<PlannedBin>& planned,
+                                         CostLedger& ledger,
+                                         const obs::TraceContext& trace) {
+  std::vector<Extent1D> missing_extents;
+  std::vector<std::size_t> missing_index;
+  for (std::size_t i = 0; i < planned.size(); ++i) {
+    if (planned[i].cached == nullptr) {
+      missing_extents.push_back(planned[i].extent);
+      missing_index.push_back(i);
+    }
+  }
+  if (missing_extents.empty()) return Status::Ok();
+  PDC_ASSIGN_OR_RETURN(pfs::PfsFile index_file,
+                       env_.store->cluster().open(object.index_file));
+  std::vector<std::shared_ptr<std::vector<std::uint8_t>>> buffers;
+  std::vector<std::span<std::uint8_t>> dests;
+  buffers.reserve(missing_extents.size());
+  for (const Extent1D& e : missing_extents) {
+    buffers.push_back(std::make_shared<std::vector<std::uint8_t>>(
+        static_cast<std::size_t>(e.count)));
+    dests.emplace_back(*buffers.back());
+  }
+  PDC_RETURN_IF_ERROR(pfs::aggregated_read(index_file, missing_extents, dests,
+                                           env_.index_aggregation,
+                                           read_ctx(ledger, trace)));
+  for (std::size_t k = 0; k < missing_index.size(); ++k) {
+    PlannedBin& p = planned[missing_index[k]];
+    p.cached = buffers[k];
+    env_.index_cache->put(
+        {object.id, static_cast<RegionIndex>(p.region * 2048 + p.bin)},
+        buffers[k]);
+  }
+  return Status::Ok();
+}
+
+Status RegionPipeline::decode_bins(const obj::ObjectDescriptor& object,
+                                   Extent1D constraint,
+                                   std::vector<PlannedBin>& planned,
+                                   CostLedger& ledger,
+                                   std::vector<std::uint64_t>& positions,
+                                   std::vector<std::uint64_t>& candidates,
+                                   const obs::TraceContext& trace) {
+  const CostModel& cost = env_.store->cluster().config().cost;
+  // One task per planned bin; definite hits and candidates land in
+  // per-task slots, concatenated afterwards.  Order does not matter for
+  // correctness: positions get a final sort and candidates are sorted
+  // before the aggregated value check.
+  std::vector<std::vector<std::uint64_t>> definite(planned.size());
+  std::vector<std::vector<std::uint64_t>> partial(planned.size());
+  PDC_RETURN_IF_ERROR(fan_out_join(
+      planned.size(), trace, "bin", ledger,
+      [&](std::size_t i, CostLedger& task_ledger,
+          obs::ScopedSpan& bin_span) -> Status {
+        bin_span.arg("region", static_cast<double>(planned[i].region));
+        bin_span.arg("bin", static_cast<double>(planned[i].bin));
+        PDC_ASSIGN_OR_RETURN(
+            bitmap::WahBitVector bv,
+            bitmap::PartitionedIndexView::DecodeBin(*planned[i].cached));
+        task_ledger.add_cpu(static_cast<double>(planned[i].cached->size()) /
+                                cost.index_decode_bandwidth_bps,
+                            CpuStage::kDecode);
+        const obj::RegionDescriptor& region =
+            object.regions[planned[i].region];
+        Extent1D want = region.extent;
+        if (constraint.count > 0) want = want.intersect(constraint);
+        auto& sink = planned[i].full ? definite[i] : partial[i];
+        const std::uint64_t base = region.extent.offset;
+        bv.for_each_set([&sink, base, &want](std::uint64_t local) {
+          const std::uint64_t pos = base + local;
+          if (want.contains(pos)) sink.push_back(pos);
+        });
+        return Status::Ok();
+      }));
+  for (std::size_t i = 0; i < planned.size(); ++i) {
+    positions.insert(positions.end(), definite[i].begin(), definite[i].end());
+    candidates.insert(candidates.end(), partial[i].begin(), partial[i].end());
+  }
+  return Status::Ok();
+}
+
+Status RegionPipeline::check_candidates(const obj::ObjectDescriptor& object,
+                                        const ValueInterval& interval,
+                                        std::vector<std::uint64_t>& candidates,
+                                        CostLedger& ledger,
+                                        std::vector<std::uint64_t>& positions,
+                                        const obs::TraceContext& trace) {
+  const CostModel& cost = env_.store->cluster().config().cost;
+  obs::ScopedSpan check_phase(trace, "phase.candidate_check", *env_.actor);
+  check_phase.arg("candidates", static_cast<double>(candidates.size()));
+  std::sort(candidates.begin(), candidates.end());
+  const std::size_t elem_size = object.element_size();
+  // Candidate values are fetched with the wide-gap policy: merging nearby
+  // candidates into one larger read costs extra bytes but far fewer op
+  // latencies (the block-read philosophy of §III-E).
+  std::vector<std::uint8_t> values(candidates.size() * elem_size);
+  PDC_RETURN_IF_ERROR(
+      env_.store->read_values_at(object, candidates, values, env_.aggregation,
+                                 read_ctx(ledger, check_phase.context())));
+  ledger.add_cpu(cost.scan_cost(values.size()), CpuStage::kScan);
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (check_value(object.type, values.data(), i, interval)) {
+      positions.push_back(candidates[i]);
+    }
+  }
+  return Status::Ok();
+}
+
+Status RegionPipeline::run_index(const obj::ObjectDescriptor& object,
+                                 const ValueInterval& interval,
+                                 Extent1D constraint, ServerId identity,
+                                 CostLedger& ledger,
+                                 std::vector<std::uint64_t>& positions,
+                                 RegionChoiceCounts& /*counts*/,
+                                 const obs::TraceContext& trace) {
+  if (object.index_file.empty()) {
+    return Status::FailedPrecondition("object has no bitmap index: " +
+                                      object.name);
+  }
+
+  // Pass 1 — plan.  Index headers (bin edges + sizes) travel with region
+  // metadata, so classifying bins needs no storage round trip.  Collect the
+  // byte extents of every needed bin across ALL surviving regions, then
+  // issue one aggregated read over the index file.
+  std::vector<PlannedBin> planned;
+  obs::ScopedSpan prune_phase(trace, "phase.histogram_prune", *env_.actor);
+  for (const RegionIndex r :
+       regions_of_server(object, identity, env_.num_servers)) {
+    obs::ScopedSpan region_span(prune_phase.context(), "region", *env_.actor);
+    region_span.arg("region", static_cast<double>(r));
+    const obj::RegionDescriptor& region = object.regions[r];
+    Extent1D want = region.extent;
+    if (constraint.count > 0) {
+      want = want.intersect(constraint);
+      if (want.empty()) continue;
+    }
+    if (!region.histogram.may_overlap(interval)) {
+      region_span.arg("pruned", 1.0);
+      continue;
+    }
+    if (region.histogram.covers(interval)) {
+      region_span.arg("all_hits", 1.0);
+      // Histogram proves the whole region matches: no index I/O needed.
+      for (std::uint64_t p = want.offset; p < want.end(); ++p) {
+        positions.push_back(p);
+      }
+      continue;
+    }
+    PDC_RETURN_IF_ERROR(
+        plan_region_bins(object, r, interval, planned, region_span));
+  }
+  prune_phase.arg("planned_bins", static_cast<double>(planned.size()));
+  prune_phase.close();
+
+  if (!planned.empty()) {
+    obs::ScopedSpan decode_phase(trace, "phase.bin_decode", *env_.actor);
+    decode_phase.arg("bins", static_cast<double>(planned.size()));
+    // Read the uncached bins in one aggregated pass, then decode.
+    PDC_RETURN_IF_ERROR(
+        read_missing_bins(object, planned, ledger, decode_phase.context()));
+    std::vector<std::uint64_t> candidates;
+    PDC_RETURN_IF_ERROR(decode_bins(object, constraint, planned, ledger,
+                                    positions, candidates,
+                                    decode_phase.context()));
+    log_debug("HI server ", env_.id, ": obj ", object.id, " bins=",
+              planned.size(), " definite=", positions.size(),
+              " candidates=", candidates.size());
+    decode_phase.close();
+    if (!candidates.empty()) {
+      PDC_RETURN_IF_ERROR(check_candidates(object, interval, candidates,
+                                           ledger, positions, trace));
+    }
+  }
+  std::sort(positions.begin(), positions.end());
+  return Status::Ok();
+}
+
+Status RegionPipeline::run_sorted(const obj::ObjectDescriptor& replica,
+                                  const ValueInterval& interval,
+                                  ServerId identity, CostLedger& ledger,
+                                  std::vector<Extent1D>& extents,
+                                  RegionChoiceCounts& /*counts*/,
+                                  const obs::TraceContext& trace) {
+  const CostModel& cost = env_.store->cluster().config().cost;
+  const std::vector<RegionIndex> regions =
+      regions_of_server(replica, identity, env_.num_servers);
+  obs::ScopedSpan phase(trace, "phase.sorted_boundary", *env_.actor);
+  phase.arg("regions", static_cast<double>(regions.size()));
+  phase.arg("identity", static_cast<double>(identity));
+  // Boundary regions fetch + binary-search in parallel; the extent list is
+  // then assembled serially in region-index order so cross-region
+  // coalescing sees the same adjacency as the serial loop.
+  std::vector<Extent1D> found(regions.size());  // count == 0: no hit
+  PDC_RETURN_IF_ERROR(fan_out_join(
+      regions.size(), phase.context(), "region", ledger,
+      [&](std::size_t i, CostLedger& task_ledger,
+          obs::ScopedSpan& region_span) -> Status {
+        region_span.arg("region", static_cast<double>(regions[i]));
+        const RegionIndex r = regions[i];
+        const obj::RegionDescriptor& region = replica.regions[r];
+        if (!region.histogram.may_overlap(interval)) {
+          region_span.arg("pruned", 1.0);
+          return Status::Ok();
+        }
+        if (region.histogram.covers(interval)) {
+          region_span.arg("all_hits", 1.0);
+          found[i] = region.extent;  // interior region: all elements match
+          return Status::Ok();
+        }
+        // Boundary region: fetch (cached) and binary-search the range.
+        PDC_ASSIGN_OR_RETURN(
+            RegionCache::Buffer buffer,
+            fetch_region(replica, r, task_ledger, /*cacheable=*/true,
+                         region_span.context()));
+        const auto [lo, hi] = sorted_range(replica.type, buffer->data(),
+                                           region.extent.count, interval);
+        // Binary search touches O(log n) elements.
+        task_ledger.add_cpu(
+            cost.scan_cost(
+                2 * 64 * replica.element_size() *
+                static_cast<std::uint64_t>(
+                    std::ceil(std::log2(static_cast<double>(
+                        std::max<std::uint64_t>(2, region.extent.count)))))),
+            CpuStage::kScan);
+        if (hi > lo) found[i] = {region.extent.offset + lo, hi - lo};
+        return Status::Ok();
+      }));
+  for (const Extent1D& hit : found) {
+    if (hit.count == 0) continue;
+    // Coalesce extents adjacent across region boundaries.
+    if (!extents.empty() && extents.back().end() == hit.offset) {
+      extents.back().count += hit.count;
+    } else {
+      extents.push_back(hit);
+    }
+  }
+  return Status::Ok();
+}
+
+Status RegionPipeline::run_adaptive(const obj::ObjectDescriptor& object,
+                                    const ValueInterval& interval,
+                                    Extent1D constraint, ServerId identity,
+                                    CostLedger& ledger,
+                                    std::vector<std::uint64_t>& positions,
+                                    RegionChoiceCounts& counts,
+                                    const obs::TraceContext& trace) {
+  const CostModel& cost = env_.store->cluster().config().cost;
+  const AdaptiveKnobs knobs{env_.dense_read_threshold,
+                            !object.index_file.empty()};
+  const std::vector<RegionIndex> regions =
+      regions_of_server(object, identity, env_.num_servers);
+
+  // Plan — classify every region from its histogram (serial: pure metadata
+  // work, one "region" span per region like the other strategies).
+  struct ScanItem {
+    RegionIndex region;
+    Extent1D want;
+  };
+  std::vector<ScanItem> scan_items;
+  std::vector<PlannedBin> planned;
+  obs::ScopedSpan plan_phase(trace, "phase.adaptive_plan", *env_.actor);
+  plan_phase.arg("regions", static_cast<double>(regions.size()));
+  plan_phase.arg("identity", static_cast<double>(identity));
+  for (const RegionIndex r : regions) {
+    obs::ScopedSpan region_span(plan_phase.context(), "region", *env_.actor);
+    region_span.arg("region", static_cast<double>(r));
+    const obj::RegionDescriptor& region = object.regions[r];
+    Extent1D want = region.extent;
+    if (constraint.count > 0) {
+      want = want.intersect(constraint);
+      if (want.empty()) continue;
+    }
+    const RegionChoice c = classify_region(region.histogram, interval, knobs);
+    counts.tally(c);
+    switch (c) {
+      case RegionChoice::kPruned:
+        region_span.arg("pruned", 1.0);
+        break;
+      case RegionChoice::kAllHit:
+        region_span.arg("all_hits", 1.0);
+        // Answered from metadata alone (like the index path): no I/O.
+        for (std::uint64_t p = want.offset; p < want.end(); ++p) {
+          positions.push_back(p);
+        }
+        break;
+      case RegionChoice::kScan:
+        region_span.arg("scan", 1.0);
+        scan_items.push_back({r, want});
+        break;
+      case RegionChoice::kIndex:
+        PDC_RETURN_IF_ERROR(
+            plan_region_bins(object, r, interval, planned, region_span));
+        break;
+    }
+  }
+  plan_phase.arg("scanned", static_cast<double>(scan_items.size()));
+  plan_phase.arg("indexed", static_cast<double>(counts.indexed));
+  plan_phase.arg("allhit", static_cast<double>(counts.allhit));
+  plan_phase.arg("planned_bins", static_cast<double>(planned.size()));
+  plan_phase.close();
+
+  // Scan group: dense regions stream through the cache like PDC-H.
+  if (!scan_items.empty()) {
+    obs::ScopedSpan scan_phase(trace, "phase.region_scan", *env_.actor);
+    scan_phase.arg("regions", static_cast<double>(scan_items.size()));
+    scan_phase.arg("identity", static_cast<double>(identity));
+    std::vector<std::vector<std::uint64_t>> hits(scan_items.size());
+    PDC_RETURN_IF_ERROR(fan_out_join(
+        scan_items.size(), scan_phase.context(), "region_fetch", ledger,
+        [&](std::size_t i, CostLedger& task_ledger,
+            obs::ScopedSpan& region_span) -> Status {
+          region_span.arg("region",
+                          static_cast<double>(scan_items[i].region));
+          const obj::RegionDescriptor& region =
+              object.regions[scan_items[i].region];
+          const Extent1D want = scan_items[i].want;
+          PDC_ASSIGN_OR_RETURN(
+              RegionCache::Buffer buffer,
+              fetch_region(object, scan_items[i].region, task_ledger,
+                           /*cacheable=*/true, region_span.context()));
+          task_ledger.add_cpu(
+              cost.scan_cost(want.count * object.element_size()),
+              CpuStage::kScan);
+          scan_buffer(object.type, buffer->data(), region.extent, want,
+                      interval, hits[i]);
+          return Status::Ok();
+        }));
+    for (const std::vector<std::uint64_t>& h : hits) {
+      positions.insert(positions.end(), h.begin(), h.end());
+    }
+  }
+
+  // Index group: sparse regions probe their WAH bins like PDC-HI.
+  if (!planned.empty()) {
+    obs::ScopedSpan decode_phase(trace, "phase.bin_decode", *env_.actor);
+    decode_phase.arg("bins", static_cast<double>(planned.size()));
+    PDC_RETURN_IF_ERROR(
+        read_missing_bins(object, planned, ledger, decode_phase.context()));
+    std::vector<std::uint64_t> candidates;
+    PDC_RETURN_IF_ERROR(decode_bins(object, constraint, planned, ledger,
+                                    positions, candidates,
+                                    decode_phase.context()));
+    decode_phase.close();
+    if (!candidates.empty()) {
+      PDC_RETURN_IF_ERROR(check_candidates(object, interval, candidates,
+                                           ledger, positions, trace));
+    }
+  }
+
+  // Collector: the three groups interleave in region space, so the final
+  // order is restored here (uncharged, like the index path's final sort).
+  std::sort(positions.begin(), positions.end());
+  return Status::Ok();
+}
+
+Status RegionPipeline::restrict(const obj::ObjectDescriptor& object,
+                                const ValueInterval& interval,
+                                bool full_scan_mode, CostLedger& ledger,
+                                std::vector<std::uint64_t>& positions,
+                                const obs::TraceContext& trace) {
+  obs::ScopedSpan phase(trace, "phase.restrict", *env_.actor);
+  phase.arg("object", static_cast<double>(object.id));
+  phase.arg("positions_in", static_cast<double>(positions.size()));
+  const CostModel& cost = env_.store->cluster().config().cost;
+  const std::size_t elem_size = object.element_size();
+
+  // Split the ascending position list into per-region groups serially
+  // (cheap), then check the groups in parallel.  Groups are disjoint
+  // ascending, so concatenating the per-group keep lists in group order
+  // reproduces the serial result bit-exactly.
+  struct Group {
+    std::size_t begin;
+    std::size_t end;
+    RegionIndex region;
+  };
+  std::vector<Group> groups;
+  std::size_t i = 0;
+  while (i < positions.size()) {
+    const RegionIndex r = region_of_position(object, positions[i]);
+    std::size_t j = i;
+    while (j < positions.size() &&
+           region_of_position(object, positions[j]) == r) {
+      ++j;
+    }
+    groups.push_back({i, j, r});
+    i = j;
+  }
+
+  std::vector<std::vector<std::uint64_t>> kept_parts(groups.size());
+  PDC_RETURN_IF_ERROR(fan_out_join(
+      groups.size(), phase.context(), "region_check", ledger,
+      [&](std::size_t gi, CostLedger& task_ledger,
+          obs::ScopedSpan& group_span) -> Status {
+        group_span.arg("region", static_cast<double>(groups[gi].region));
+        const std::span<const std::uint64_t> group(
+            &positions[groups[gi].begin], groups[gi].end - groups[gi].begin);
+        const RegionIndex r = groups[gi].region;
+        const obj::RegionDescriptor& region = object.regions[r];
+        std::vector<std::uint64_t>& kept = kept_parts[gi];
+
+        if (!full_scan_mode) {
+          if (!region.histogram.may_overlap(interval)) {
+            return Status::Ok();  // drop group
+          }
+          if (region.histogram.covers(interval)) {
+            kept.insert(kept.end(), group.begin(), group.end());
+            return Status::Ok();
+          }
+        }
+
+        RegionCache::Buffer buffer = env_.data_cache->get({object.id, r});
+        // Treat the group as dense when it holds many positions OR when its
+        // positions span most of the region anyway: the aggregated point
+        // read would coalesce into a near-whole-region read, so reading the
+        // region through the cache costs the same now and is free next time.
+        const std::uint64_t span_bytes =
+            group.empty() ? 0
+                          : (group.back() - group.front() + 1) * elem_size;
+        const bool dense =
+            full_scan_mode ||
+            static_cast<double>(group.size()) >
+                env_.dense_read_threshold *
+                    static_cast<double>(region.extent.count) ||
+            span_bytes * 2 >= region.extent.count * elem_size;
+        if (buffer == nullptr && dense) {
+          PDC_ASSIGN_OR_RETURN(
+              buffer, fetch_region(object, r, task_ledger,
+                                   /*cacheable=*/true, group_span.context()));
+          if (full_scan_mode) {
+            // The baseline scans the whole region regardless of selectivity.
+            task_ledger.add_cpu(
+                cost.scan_cost(region.extent.count * elem_size),
+                CpuStage::kScan);
+          }
+        }
+        if (buffer != nullptr) {
+          task_ledger.add_cpu(static_cast<double>(group.size() * elem_size) /
+                                  cost.memcpy_bandwidth_bps,
+                              CpuStage::kScan);
+          for (const std::uint64_t pos : group) {
+            if (check_value(object.type, buffer->data(),
+                            pos - region.extent.offset, interval)) {
+              kept.push_back(pos);
+            }
+          }
+        } else {
+          // Sparse group, cold region: aggregated point reads.
+          std::vector<std::uint8_t> values(group.size() * elem_size);
+          PDC_RETURN_IF_ERROR(env_.store->read_values_at(
+              object, group, values, env_.aggregation,
+              read_ctx(task_ledger, group_span.context())));
+          task_ledger.add_cpu(cost.scan_cost(values.size()), CpuStage::kScan);
+          for (std::size_t k = 0; k < group.size(); ++k) {
+            if (check_value(object.type, values.data(), k, interval)) {
+              kept.push_back(group[k]);
+            }
+          }
+        }
+        return Status::Ok();
+      }));
+
+  std::vector<std::uint64_t> kept;
+  kept.reserve(positions.size());
+  for (const std::vector<std::uint64_t>& part : kept_parts) {
+    kept.insert(kept.end(), part.begin(), part.end());
+  }
+  positions = std::move(kept);
+  phase.arg("positions_out", static_cast<double>(positions.size()));
+  return Status::Ok();
+}
+
+Result<RegionCache::Buffer> RegionPipeline::fetch_region(
+    const obj::ObjectDescriptor& object, RegionIndex region,
+    CostLedger& ledger, bool cacheable, const obs::TraceContext& trace) {
+  const RegionCache::Key key{object.id, region};
+  if (RegionCache::Buffer hit = env_.data_cache->get(key)) return hit;
+  log_debug("server ", env_.id, " cache MISS obj ", object.id, " region ",
+            region);
+  const obj::RegionDescriptor& desc = object.regions[region];
+  auto buffer = std::make_shared<std::vector<std::uint8_t>>(
+      static_cast<std::size_t>(desc.extent.count * object.element_size()));
+  PDC_RETURN_IF_ERROR(
+      env_.store->read_region(object, region, *buffer, read_ctx(ledger, trace)));
+  RegionCache::Buffer shared = std::move(buffer);
+  if (cacheable) env_.data_cache->put(key, shared);
+  return shared;
+}
+
+}  // namespace pdc::server

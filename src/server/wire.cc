@@ -91,6 +91,7 @@ std::string_view strategy_name(Strategy s) noexcept {
     case Strategy::kHistogram: return "PDC-H";
     case Strategy::kHistogramIndex: return "PDC-HI";
     case Strategy::kSortedHistogram: return "PDC-SH";
+    case Strategy::kAdaptive: return "PDC-A";
   }
   return "?";
 }
@@ -125,7 +126,7 @@ Result<EvalRequest> EvalRequest::Deserialize(SerialReader& r) {
     return Status::Corruption("not an EvalRequest");
   }
   PDC_RETURN_IF_ERROR(r.get(strategy));
-  if (strategy > static_cast<std::uint8_t>(Strategy::kSortedHistogram)) {
+  if (strategy > static_cast<std::uint8_t>(Strategy::kAdaptive)) {
     return Status::Corruption("strategy invalid");
   }
   req.strategy = static_cast<Strategy>(strategy);
@@ -165,6 +166,14 @@ std::vector<std::uint8_t> EvalResponse::serialize() const {
   put_extents(w, sorted_extents);
   w.put(replica_id);
   put_ledger(w, ledger);
+  // v2 trailer, emitted only when non-zero (PDC-A): fixed-strategy
+  // responses stay byte-identical to v1, so modeled transfer cost --
+  // and therefore simulated time -- is unchanged for them.
+  if ((regions_scanned | regions_indexed | regions_allhit) != 0) {
+    w.put(regions_scanned);
+    w.put(regions_indexed);
+    w.put(regions_allhit);
+  }
   return w.take();
 }
 
@@ -179,6 +188,13 @@ Result<EvalResponse> EvalResponse::Deserialize(SerialReader& r) {
   PDC_RETURN_IF_ERROR(get_extents(r, resp.sorted_extents));
   PDC_RETURN_IF_ERROR(r.get(resp.replica_id));
   PDC_RETURN_IF_ERROR(get_ledger(r, resp.ledger));
+  // Version-tolerant trailer: absent in v1 payloads (counts default to
+  // zero); if any trailer bytes are present, all three must parse.
+  if (r.remaining() > 0) {
+    PDC_RETURN_IF_ERROR(r.get(resp.regions_scanned));
+    PDC_RETURN_IF_ERROR(r.get(resp.regions_indexed));
+    PDC_RETURN_IF_ERROR(r.get(resp.regions_allhit));
+  }
   return resp;
 }
 

@@ -29,6 +29,7 @@ enum class Strategy : std::uint8_t {
   kHistogram,            ///< PDC-H : histogram pruning + scan survivors
   kHistogramIndex,       ///< PDC-HI: histogram pruning + bitmap index
   kSortedHistogram,      ///< PDC-SH: sorted replica + histogram
+  kAdaptive,             ///< PDC-A : per-region scan/index/all-hit choice
 };
 
 std::string_view strategy_name(Strategy s) noexcept;
@@ -105,6 +106,14 @@ struct EvalResponse {
   std::vector<Extent1D> sorted_extents;
   ObjectId replica_id = kInvalidObjectId;
   LedgerSummary ledger;
+  /// Per-region access-path tally of the driver evaluation.  Only kAdaptive
+  /// populates these (fixed strategies leave them zero).  Serialized as an
+  /// optional trailer emitted only when non-zero: fixed-strategy payloads
+  /// stay byte-identical to v1, and a v1 payload without the trailer
+  /// deserializes with all three zero, so mixed versions interoperate.
+  std::uint64_t regions_scanned = 0;
+  std::uint64_t regions_indexed = 0;
+  std::uint64_t regions_allhit = 0;
 
   [[nodiscard]] std::vector<std::uint8_t> serialize() const;
   static Result<EvalResponse> Deserialize(SerialReader& r);

@@ -268,6 +268,7 @@ RunOptions RunOptions::all_paths() {
       server::Strategy::kHistogram,
       server::Strategy::kHistogramIndex,
       server::Strategy::kSortedHistogram,
+      server::Strategy::kAdaptive,
   };
   return options;
 }
@@ -438,6 +439,34 @@ Result<bool> run_service(const Case& c, const Env& env,
       return true;
     }
 
+    // PDC-A determinism: per-region choices are a pure function of (region
+    // histogram, interval, knobs), so re-running the identical query must
+    // reproduce the exact choice tally and positions — pool width, steal
+    // order and cache state must not leak into the plan.
+    if (service.options().strategy == server::Strategy::kAdaptive) {
+      const query::OpStats first = service.last_stats();
+      Result<query::Selection> again = service.get_selection(q);
+      if (!again.ok()) {
+        mismatch = Mismatch{qi, path, "adaptive re-run failed: " +
+                                          again.status().ToString()};
+        return true;
+      }
+      const query::OpStats second = service.last_stats();
+      if (again->positions != sel->positions ||
+          second.regions_scanned != first.regions_scanned ||
+          second.regions_indexed != first.regions_indexed ||
+          second.regions_allhit != first.regions_allhit) {
+        std::ostringstream os;
+        os << "adaptive choices not deterministic: run1 (scan="
+           << first.regions_scanned << ", index=" << first.regions_indexed
+           << ", allhit=" << first.regions_allhit << ") run2 (scan="
+           << second.regions_scanned << ", index=" << second.regions_indexed
+           << ", allhit=" << second.regions_allhit << ")";
+        mismatch = Mismatch{qi, path + ":determinism", os.str()};
+        return true;
+      }
+    }
+
     // Fetched bytes must be bit-identical too, for every column (NaN
     // payloads included — hence memcmp, not float compare).
     for (std::size_t col = 0; col < c.dataset.columns.size(); ++col) {
@@ -525,7 +554,9 @@ Result<std::optional<Mismatch>> run_case(const Case& c,
                      s) != options.strategies.end();
   };
   PDC_ASSIGN_OR_RETURN(
-      Env env, build_env(c, options, uses(server::Strategy::kHistogramIndex),
+      Env env, build_env(c, options,
+                         uses(server::Strategy::kHistogramIndex) ||
+                             uses(server::Strategy::kAdaptive),
                          uses(server::Strategy::kSortedHistogram)));
   if (options.post_build) {
     PDC_RETURN_IF_ERROR(options.post_build(*env.store, env.object_ids));

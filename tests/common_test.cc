@@ -10,8 +10,8 @@
 #include "common/interval.h"
 #include "common/rng.h"
 #include "common/serial.h"
+#include "common/exec_pool.h"
 #include "common/status.h"
-#include "common/thread_pool.h"
 #include "common/types.h"
 
 namespace pdc {
@@ -261,26 +261,26 @@ TEST(Rng, ExponentialMean) {
 // ---------------------------------------------------------------- ThreadPool
 
 TEST(ThreadPool, RunsAllTasks) {
-  ThreadPool pool(4);
+  exec::ThreadPool pool(4);
   std::atomic<int> count{0};
-  std::vector<std::future<void>> futures;
+  exec::TaskGroup group(&pool);
   for (int i = 0; i < 64; ++i) {
-    futures.push_back(pool.submit([&count] { ++count; }));
+    group.spawn([&count] { ++count; });
   }
-  for (auto& f : futures) f.get();
+  group.wait();
   EXPECT_EQ(count.load(), 64);
 }
 
 TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
-  ThreadPool pool(3);
+  exec::ThreadPool pool(3);
   std::vector<std::atomic<int>> hits(1000);
-  pool.parallel_for(1000, [&hits](std::size_t i) { ++hits[i]; });
+  exec::parallel_for(&pool, 1000, [&hits](std::size_t i) { ++hits[i]; });
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
 TEST(ThreadPool, ZeroIterationsIsNoop) {
-  ThreadPool pool(2);
-  pool.parallel_for(0, [](std::size_t) { FAIL() << "must not run"; });
+  exec::ThreadPool pool(2);
+  exec::parallel_for(&pool, 0, [](std::size_t) { FAIL() << "must not run"; });
 }
 
 // ---------------------------------------------------------------- Cost model

@@ -384,7 +384,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(server::Strategy::kFullScan,
                       server::Strategy::kHistogram,
                       server::Strategy::kHistogramIndex,
-                      server::Strategy::kSortedHistogram),
+                      server::Strategy::kSortedHistogram,
+                      server::Strategy::kAdaptive),
     [](const ::testing::TestParamInfo<server::Strategy>& info) {
       switch (info.param) {
         case server::Strategy::kFullScan: return std::string("FullScan");
@@ -393,6 +394,7 @@ INSTANTIATE_TEST_SUITE_P(
           return std::string("HistogramIndex");
         case server::Strategy::kSortedHistogram:
           return std::string("SortedHistogram");
+        case server::Strategy::kAdaptive: return std::string("Adaptive");
       }
       return std::string("Unknown");
     });

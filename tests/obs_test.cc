@@ -456,7 +456,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(Strategy::kFullScan,
                                          Strategy::kHistogram,
                                          Strategy::kHistogramIndex,
-                                         Strategy::kSortedHistogram),
+                                         Strategy::kSortedHistogram,
+                                         Strategy::kAdaptive),
                        ::testing::Values(1u, 4u, 8u)),
     [](const auto& info) {
       std::string name;
@@ -465,6 +466,7 @@ INSTANTIATE_TEST_SUITE_P(
         case Strategy::kHistogram: name = "Histogram"; break;
         case Strategy::kHistogramIndex: name = "HistogramIndex"; break;
         case Strategy::kSortedHistogram: name = "SortedHistogram"; break;
+        case Strategy::kAdaptive: name = "Adaptive"; break;
       }
       return name + "_pool" + std::to_string(std::get<1>(info.param));
     });

@@ -1,0 +1,301 @@
+// RegionPipeline battery: classify_region unit laws, PDC-A determinism,
+// threshold-knob crossover at the service level, and traced-adaptive span
+// invariants (validate_trace + trace-vs-OpStats reconciliation).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "histogram/histogram.h"
+#include "obj/object_store.h"
+#include "obs/trace.h"
+#include "pfs/pfs.h"
+#include "query/query.h"
+#include "query/service.h"
+#include "server/region_pipeline.h"
+#include "testing/invariants.h"
+
+namespace pdc {
+namespace {
+
+using query::QueryService;
+using query::ServiceOptions;
+using server::AdaptiveKnobs;
+using server::RegionChoice;
+using server::Strategy;
+
+// ------------------------------------------------------- classify_region
+
+hist::MergeableHistogram constant_hist(float value, std::size_t n = 1024) {
+  const std::vector<float> data(n, value);
+  return hist::MergeableHistogram::Build<float>(data);
+}
+
+hist::MergeableHistogram uniform_hist(double lo, double hi,
+                                      std::size_t n = 4096) {
+  Rng rng(42);
+  std::vector<float> data(n);
+  for (float& v : data) v = static_cast<float>(rng.uniform(lo, hi));
+  return hist::MergeableHistogram::Build<float>(data);
+}
+
+TEST(ClassifyRegion, NonOverlappingRegionIsPruned) {
+  const auto h = constant_hist(90.0f);
+  const ValueInterval q{10.0, 40.0, /*lo_inclusive=*/true, /*hi_inclusive=*/false};
+  EXPECT_EQ(server::classify_region(h, q, {0.25, true}), RegionChoice::kPruned);
+  EXPECT_EQ(server::classify_region(h, q, {0.25, false}), RegionChoice::kPruned);
+}
+
+TEST(ClassifyRegion, CoveredRegionIsAllHitRegardlessOfIndex) {
+  const auto h = constant_hist(20.0f);
+  const ValueInterval q{10.0, 40.0, true, false};
+  EXPECT_EQ(server::classify_region(h, q, {0.25, true}), RegionChoice::kAllHit);
+  EXPECT_EQ(server::classify_region(h, q, {0.25, false}), RegionChoice::kAllHit);
+}
+
+TEST(ClassifyRegion, NoIndexAlwaysScans) {
+  const auto h = uniform_hist(0.0, 100.0);
+  const ValueInterval q{10.0, 40.0, true, false};
+  EXPECT_EQ(server::classify_region(h, q, {1e-9, false}), RegionChoice::kScan);
+  EXPECT_EQ(server::classify_region(h, q, {0.999, false}), RegionChoice::kScan);
+}
+
+TEST(ClassifyRegion, ThresholdSplitsScanFromIndex) {
+  // Uniform over [0,100): the query [10,40) matches ~30% of the region.
+  const auto h = uniform_hist(0.0, 100.0);
+  const ValueInterval q{10.0, 40.0, true, false};
+  const double sel =
+      h.estimate(q).selectivity_mid(h.total_count());
+  ASSERT_GT(sel, 0.1);
+  ASSERT_LT(sel, 0.9);
+  // Threshold below the selectivity: dense enough to scan.
+  EXPECT_EQ(server::classify_region(h, q, {sel - 0.05, true}), RegionChoice::kScan);
+  // Threshold above the selectivity: sparse enough to probe the index.
+  EXPECT_EQ(server::classify_region(h, q, {sel + 0.05, true}), RegionChoice::kIndex);
+  // Boundary: >= semantics, same as the dense-read crossover.
+  EXPECT_EQ(server::classify_region(h, q, {sel, true}), RegionChoice::kScan);
+}
+
+TEST(ClassifyRegion, ChoiceCountsTallyIgnoresPruned) {
+  server::RegionChoiceCounts counts;
+  counts.tally(RegionChoice::kPruned);
+  counts.tally(RegionChoice::kScan);
+  counts.tally(RegionChoice::kScan);
+  counts.tally(RegionChoice::kIndex);
+  counts.tally(RegionChoice::kAllHit);
+  EXPECT_EQ(counts.scanned, 2u);
+  EXPECT_EQ(counts.indexed, 1u);
+  EXPECT_EQ(counts.allhit, 1u);
+}
+
+// -------------------------------------------------------- service fixture
+
+/// Dataset engineered for mixed per-region choices: interleaves uniform
+/// "noise" regions (partial overlap, mid selectivity), constant in-range
+/// regions (all-hit) and constant out-of-range regions (pruned).
+class PipelineEnv {
+ public:
+  static constexpr std::uint64_t kRegionElems = 1024;  // 4096-byte regions
+  static constexpr std::uint64_t kRegions = 18;
+  static constexpr std::uint64_t kN = kRegionElems * kRegions;
+
+  explicit PipelineEnv(const std::string& root) : root_(root) {
+    std::filesystem::remove_all(root_);
+    pfs::PfsConfig cfg;
+    cfg.root_dir = root_;
+    cluster_ = std::move(pfs::PfsCluster::Create(cfg)).value();
+    store_ = std::make_unique<obj::ObjectStore>(*cluster_);
+
+    Rng rng(0x9195);
+    values_.resize(kN);
+    for (std::uint64_t r = 0; r < kRegions; ++r) {
+      for (std::uint64_t i = 0; i < kRegionElems; ++i) {
+        const std::uint64_t pos = r * kRegionElems + i;
+        switch (r % 3) {
+          case 0:  // mixed region: ~30% of values inside [10, 40)
+            values_[pos] = static_cast<float>(rng.uniform(0.0, 100.0));
+            break;
+          case 1:  // all-hit region: every value inside the interval
+            values_[pos] = 25.0f;
+            break;
+          default:  // prunable region: nothing overlaps
+            values_[pos] = 90.0f;
+            break;
+        }
+      }
+    }
+    obj::ImportOptions options;
+    options.region_size_bytes = kRegionElems * sizeof(float);
+    const ObjectId container =
+        std::move(store_->create_container("pipeline")).value();
+    object_ = std::move(store_->import_object<float>(
+                            container, "values",
+                            std::span<const float>(values_), options))
+                  .value();
+    if (!store_->build_bitmap_index(object_).ok()) std::abort();
+  }
+
+  ~PipelineEnv() { std::filesystem::remove_all(root_); }
+
+  [[nodiscard]] query::QueryPtr range_query() const {
+    return query::q_and(query::create(object_, QueryOp::kGTE, 10.0),
+                        query::create(object_, QueryOp::kLT, 40.0));
+  }
+
+  [[nodiscard]] std::vector<std::uint64_t> oracle_positions() const {
+    std::vector<std::uint64_t> hits;
+    for (std::uint64_t i = 0; i < kN; ++i) {
+      if (values_[i] >= 10.0f && values_[i] < 40.0f) hits.push_back(i);
+    }
+    return hits;
+  }
+
+  std::string root_;
+  std::unique_ptr<pfs::PfsCluster> cluster_;
+  std::unique_ptr<obj::ObjectStore> store_;
+  std::vector<float> values_;
+  ObjectId object_ = kInvalidObjectId;
+};
+
+std::unique_ptr<PipelineEnv> make_env() {
+  return std::make_unique<PipelineEnv>(
+      ::testing::TempDir() + "/pipeline_" +
+      ::testing::UnitTest::GetInstance()->current_test_info()->name());
+}
+
+ServiceOptions adaptive_options(std::uint32_t eval_threads = 4) {
+  ServiceOptions options;
+  options.strategy = Strategy::kAdaptive;
+  options.num_servers = 3;
+  options.eval_threads = eval_threads;
+  return options;
+}
+
+// ------------------------------------------------------------ adaptive
+
+TEST(AdaptivePipeline, MatchesOracleAndReportsMixedChoices) {
+  const auto env = make_env();
+  QueryService service(*env->store_, adaptive_options());
+  const auto selection = service.get_selection(env->range_query());
+  ASSERT_TRUE(selection.ok()) << selection.status().ToString();
+  EXPECT_EQ(selection->positions, env->oracle_positions());
+
+  const query::OpStats stats = service.last_stats();
+  // The dataset interleaves all three shapes; with the default 0.25
+  // threshold the ~30%-selective noise regions scan, and every third
+  // region is a provable all-hit.  Pruned regions appear in no counter.
+  EXPECT_GT(stats.regions_scanned, 0u);
+  EXPECT_GT(stats.regions_allhit, 0u);
+  EXPECT_LE(stats.regions_scanned + stats.regions_indexed +
+                stats.regions_allhit,
+            PipelineEnv::kRegions);
+}
+
+TEST(AdaptivePipeline, FixedStrategiesReportNoChoices) {
+  const auto env = make_env();
+  for (const Strategy s : {Strategy::kFullScan, Strategy::kHistogram,
+                           Strategy::kHistogramIndex}) {
+    ServiceOptions options = adaptive_options();
+    options.strategy = s;
+    QueryService service(*env->store_, options);
+    ASSERT_TRUE(service.get_num_hits(env->range_query()).ok());
+    const query::OpStats stats = service.last_stats();
+    EXPECT_EQ(stats.regions_scanned, 0u);
+    EXPECT_EQ(stats.regions_indexed, 0u);
+    EXPECT_EQ(stats.regions_allhit, 0u);
+  }
+}
+
+TEST(AdaptivePipeline, ChoicesAreDeterministicAcrossRunsAndPoolWidths) {
+  const auto env = make_env();
+  std::vector<std::uint64_t> first_positions;
+  std::uint64_t scanned = 0, indexed = 0, allhit = 0;
+  bool first = true;
+  for (const std::uint32_t threads : {1u, 4u, 8u}) {
+    QueryService service(*env->store_, adaptive_options(threads));
+    for (int run = 0; run < 2; ++run) {
+      const auto selection = service.get_selection(env->range_query());
+      ASSERT_TRUE(selection.ok()) << selection.status().ToString();
+      const query::OpStats stats = service.last_stats();
+      if (first) {
+        first_positions = selection->positions;
+        scanned = stats.regions_scanned;
+        indexed = stats.regions_indexed;
+        allhit = stats.regions_allhit;
+        first = false;
+        continue;
+      }
+      EXPECT_EQ(selection->positions, first_positions)
+          << "threads=" << threads << " run=" << run;
+      // Pool width must not change the plan, and within one width the warm
+      // cache must not change the choice vector (only the I/O charged).
+      EXPECT_EQ(stats.regions_scanned, scanned);
+      EXPECT_EQ(stats.regions_indexed, indexed);
+      EXPECT_EQ(stats.regions_allhit, allhit);
+    }
+  }
+}
+
+TEST(AdaptivePipeline, ThresholdKnobFlipsChoices) {
+  const auto env = make_env();
+  // Threshold below any mixed-region selectivity: everything scans.
+  ServiceOptions scan_side = adaptive_options();
+  scan_side.dense_read_threshold = 1e-9;
+  QueryService scan_service(*env->store_, scan_side);
+  const auto scan_sel = scan_service.get_selection(env->range_query());
+  ASSERT_TRUE(scan_sel.ok()) << scan_sel.status().ToString();
+  const query::OpStats scan_stats = scan_service.last_stats();
+
+  // Threshold above: every non-all-hit survivor probes the index.
+  ServiceOptions index_side = adaptive_options();
+  index_side.dense_read_threshold = 0.999;
+  QueryService index_service(*env->store_, index_side);
+  const auto index_sel = index_service.get_selection(env->range_query());
+  ASSERT_TRUE(index_sel.ok()) << index_sel.status().ToString();
+  const query::OpStats index_stats = index_service.last_stats();
+
+  // Same answer, opposite access paths.
+  EXPECT_EQ(scan_sel->positions, index_sel->positions);
+  EXPECT_GT(scan_stats.regions_scanned, 0u);
+  EXPECT_EQ(scan_stats.regions_indexed, 0u);
+  EXPECT_GT(index_stats.regions_indexed, 0u);
+  EXPECT_EQ(index_stats.regions_scanned, 0u);
+  EXPECT_EQ(scan_stats.regions_allhit, index_stats.regions_allhit);
+}
+
+TEST(AdaptivePipeline, TracedRunValidatesAndReconcilesStats) {
+  const auto env = make_env();
+  QueryService service(*env->store_, adaptive_options());
+  ASSERT_TRUE(service.get_num_hits(env->range_query(), {.trace = true}).ok());
+  const std::shared_ptr<const obs::Trace> trace = service.last_trace();
+  ASSERT_NE(trace, nullptr);
+  const Status valid = obs::validate_trace(*trace);
+  EXPECT_TRUE(valid.ok()) << valid.ToString();
+  const Status stats_ok =
+      testing::check_trace_stats(*trace, service.last_stats());
+  EXPECT_TRUE(stats_ok.ok()) << stats_ok.ToString();
+
+  // One adaptive-plan phase per server, annotated with the choice split
+  // that the response counters also report.
+  std::size_t plan_spans = 0;
+  double span_scanned = 0.0, span_indexed = 0.0, span_allhit = 0.0;
+  for (const obs::Span& span : trace->spans) {
+    if (span.name != "phase.adaptive_plan") continue;
+    ++plan_spans;
+    span_scanned += span.arg("scanned");
+    span_indexed += span.arg("indexed");
+    span_allhit += span.arg("allhit");
+  }
+  const query::OpStats stats = service.last_stats();
+  EXPECT_EQ(plan_spans, 3u);
+  EXPECT_EQ(span_scanned, static_cast<double>(stats.regions_scanned));
+  EXPECT_EQ(span_indexed, static_cast<double>(stats.regions_indexed));
+  EXPECT_EQ(span_allhit, static_cast<double>(stats.regions_allhit));
+}
+
+}  // namespace
+}  // namespace pdc

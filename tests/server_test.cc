@@ -2,8 +2,13 @@
 // wire protocol.
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <set>
 
+#include "common/rng.h"
+#include "obj/object_store.h"
+#include "pfs/pfs.h"
+#include "server/query_server.h"
 #include "server/region_assignment.h"
 #include "server/region_cache.h"
 #include "server/wire.h"
@@ -292,6 +297,86 @@ TEST(Wire, StrategyNames) {
   EXPECT_EQ(strategy_name(Strategy::kHistogram), "PDC-H");
   EXPECT_EQ(strategy_name(Strategy::kHistogramIndex), "PDC-HI");
   EXPECT_EQ(strategy_name(Strategy::kSortedHistogram), "PDC-SH");
+  EXPECT_EQ(strategy_name(Strategy::kAdaptive), "PDC-A");
+}
+
+// ------------------------------------------------- dense-read crossover
+
+// Crossing ServerOptions::dense_read_threshold switches PDC-A's per-region
+// access path, which must show up as a different read *shape*: whole-region
+// streaming reads below the crossover, bin probes + point reads above it.
+// Both sides must return the identical answer.
+TEST(QueryServerTest, DenseReadThresholdCrossoverSwitchesReadShape) {
+  const std::string root = ::testing::TempDir() + "/server_crossover";
+  std::filesystem::remove_all(root);
+  pfs::PfsConfig cfg;
+  cfg.root_dir = root;
+  auto cluster = std::move(pfs::PfsCluster::Create(cfg)).value();
+  obj::ObjectStore store(*cluster);
+
+  // 8 regions of 1024 floats, uniform over [0,100): the query [10,13)
+  // lands at ~3% selectivity in every region — between the two thresholds
+  // exercised below, and selective enough that bin probes + point reads
+  // genuinely move fewer bytes than whole-region streaming.
+  constexpr std::uint64_t kRegionElems = 1024;
+  constexpr std::uint64_t kRegions = 8;
+  Rng rng(0xC0DE);
+  std::vector<float> values(kRegionElems * kRegions);
+  for (float& v : values) v = static_cast<float>(rng.uniform(0.0, 100.0));
+  obj::ImportOptions import;
+  import.region_size_bytes = kRegionElems * sizeof(float);
+  const ObjectId container =
+      std::move(store.create_container("crossover")).value();
+  const ObjectId object =
+      std::move(store.import_object<float>(
+                    container, "values", std::span<const float>(values),
+                    import))
+          .value();
+  ASSERT_TRUE(store.build_bitmap_index(object).ok());
+
+  EvalRequest request;
+  request.strategy = Strategy::kAdaptive;
+  request.need_locations = true;
+  request.terms.push_back(
+      {{{object, ValueInterval::from_op(QueryOp::kGTE, 10.0).intersect(
+                     ValueInterval::from_op(QueryOp::kLT, 13.0))}},
+       kInvalidObjectId});
+
+  const auto eval_with_threshold = [&](double threshold) {
+    ServerOptions options;  // num_servers = 1: this server owns everything
+    options.dense_read_threshold = threshold;
+    QueryServer server(store, options);
+    return server.eval(request);
+  };
+
+  const EvalResponse scan_side = eval_with_threshold(1e-9);
+  const EvalResponse index_side = eval_with_threshold(0.999);
+  ASSERT_TRUE(scan_side.status.ok()) << scan_side.status.ToString();
+  ASSERT_TRUE(index_side.status.ok()) << index_side.status.ToString();
+
+  // Identical answer on both sides of the crossover.
+  EXPECT_GT(scan_side.num_hits, 0u);
+  EXPECT_EQ(scan_side.num_hits, index_side.num_hits);
+  EXPECT_EQ(scan_side.positions, index_side.positions);
+
+  // Choice counters flip entirely.
+  EXPECT_EQ(scan_side.regions_scanned, kRegions);
+  EXPECT_EQ(scan_side.regions_indexed, 0u);
+  EXPECT_EQ(index_side.regions_indexed, kRegions);
+  EXPECT_EQ(index_side.regions_scanned, 0u);
+
+  // Read shape: below the threshold every region streams in whole (exactly
+  // the object's bytes, one read per region); above it only index bins and
+  // coalesced candidate point-reads touch storage — a fraction of the
+  // bytes across at least as many ops, i.e. far fewer bytes per op.
+  EXPECT_EQ(scan_side.ledger.bytes_read, values.size() * sizeof(float));
+  EXPECT_EQ(scan_side.ledger.read_ops, kRegions);
+  EXPECT_LT(index_side.ledger.bytes_read * 2, scan_side.ledger.bytes_read);
+  EXPECT_GE(index_side.ledger.read_ops, scan_side.ledger.read_ops);
+  EXPECT_LT(index_side.ledger.bytes_read / index_side.ledger.read_ops,
+            scan_side.ledger.bytes_read / scan_side.ledger.read_ops);
+
+  std::filesystem::remove_all(root);
 }
 
 }  // namespace

@@ -84,6 +84,9 @@ EvalResponse sample_eval_response() {
   resp.sorted_extents = {{0, 16}, {100, 3}};
   resp.replica_id = 77;
   resp.ledger = {1.5, 0.25, 1ull << 30, 42};
+  resp.regions_scanned = 3;
+  resp.regions_indexed = 5;
+  resp.regions_allhit = 2;
   return resp;
 }
 
@@ -160,6 +163,23 @@ TEST(WireRoundTrip, EvalResponse) {
   EXPECT_EQ(back->ledger.cpu_seconds, resp.ledger.cpu_seconds);
   EXPECT_EQ(back->ledger.bytes_read, resp.ledger.bytes_read);
   EXPECT_EQ(back->ledger.read_ops, resp.ledger.read_ops);
+  EXPECT_EQ(back->regions_scanned, resp.regions_scanned);
+  EXPECT_EQ(back->regions_indexed, resp.regions_indexed);
+  EXPECT_EQ(back->regions_allhit, resp.regions_allhit);
+}
+
+// A v1 payload (no region-choice trailer) must parse with zeroed counts:
+// mixed-version deployments stay interoperable.
+TEST(WireRoundTrip, EvalResponseLegacyPayloadParsesWithZeroCounts) {
+  auto bytes = sample_eval_response().serialize();
+  bytes.resize(bytes.size() - 3 * sizeof(std::uint64_t));
+  SerialReader r(bytes);
+  const auto back = EvalResponse::Deserialize(r);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->num_hits, sample_eval_response().num_hits);
+  EXPECT_EQ(back->regions_scanned, 0u);
+  EXPECT_EQ(back->regions_indexed, 0u);
+  EXPECT_EQ(back->regions_allhit, 0u);
 }
 
 TEST(WireRoundTrip, EvalResponseDefaultIsOk) {
@@ -251,10 +271,20 @@ TEST(WireTruncation, EveryStrictPrefixFails) {
                            [](SerialReader& r) {
                              return EvalRequest::Deserialize(r).ok();
                            });
-  expect_all_prefixes_fail(sample_eval_response().serialize(),
-                           [](SerialReader& r) {
-                             return EvalResponse::Deserialize(r).ok();
-                           });
+  // EvalResponse has one legal strict prefix: the payload minus its v2
+  // trailer (regions_scanned/indexed/allhit) is exactly a v1 response and
+  // MUST keep parsing (version tolerance).  Every other prefix fails.
+  {
+    const auto bytes = sample_eval_response().serialize();
+    const std::size_t v1_len = bytes.size() - 3 * sizeof(std::uint64_t);
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+      const std::span<const std::uint8_t> prefix{bytes.data(), len};
+      SerialReader r(prefix);
+      const bool parsed = EvalResponse::Deserialize(r).ok();
+      EXPECT_EQ(parsed, len == v1_len)
+          << "prefix of length " << len << (parsed ? " parsed" : " rejected");
+    }
+  }
   expect_all_prefixes_fail(sample_get_data_request().serialize(),
                            [](SerialReader& r) {
                              return GetDataRequest::Deserialize(r).ok();

@@ -7,7 +7,8 @@ fails when any matched row regresses by more than the threshold.
 
 Usage:
     check_bench.py BASELINE.json CANDIDATE.json \
-        [--threshold 0.15] [--sections fig3,fig6]
+        [--threshold 0.15] [--sections fig3,fig6] \
+        [--require-strategy PDC-A]
 
 Rows are matched by (section, strategy, servers, threads, query).  Rows
 present in only one file are reported but do not fail the gate (new
@@ -15,6 +16,10 @@ configurations may be added over time); a row that exists in both files
 with candidate sim_s > baseline sim_s * (1 + threshold) fails.  wall_s is
 ignored: wall clock on shared CI boxes is noise, the simulated model is
 the claim being protected.
+
+--require-strategy NAME (repeatable) additionally fails the gate when the
+candidate has no row for the named strategy in any compared section —
+protecting against a new strategy silently dropping out of the bench.
 """
 
 import argparse
@@ -42,6 +47,10 @@ def main():
                         help="max allowed relative sim_s regression")
     parser.add_argument("--sections", default="fig3,fig6",
                         help="comma-separated row sections to compare")
+    parser.add_argument("--require-strategy", action="append", default=[],
+                        metavar="NAME",
+                        help="fail unless the candidate has rows for this "
+                             "strategy (repeatable)")
     args = parser.parse_args()
 
     sections = [s for s in args.sections.split(",") if s]
@@ -70,6 +79,13 @@ def main():
 
     if compared == 0:
         print("FAIL: no comparable rows — wrong files or sections?")
+        return 1
+    cand_strategies = {key[1] for key in cand}
+    missing = [s for s in args.require_strategy if s not in cand_strategies]
+    if missing:
+        print(f"FAIL: candidate has no rows for required "
+              f"strateg{'y' if len(missing) == 1 else 'ies'}: "
+              f"{', '.join(missing)}")
         return 1
     if failures:
         print(f"FAIL: {len(failures)}/{compared} rows regressed more than "
