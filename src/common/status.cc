@@ -16,6 +16,7 @@ std::string_view status_code_name(StatusCode code) noexcept {
     case StatusCode::kResourceExhausted: return "ResourceExhausted";
     case StatusCode::kInternal: return "Internal";
     case StatusCode::kUnavailable: return "Unavailable";
+    case StatusCode::kOverloaded: return "Overloaded";
   }
   return "Unknown";
 }

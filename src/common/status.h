@@ -28,6 +28,7 @@ enum class StatusCode : std::uint8_t {
   kResourceExhausted, ///< memory cap or capacity exceeded
   kInternal,          ///< invariant broken inside the library
   kUnavailable,       ///< no server can currently serve the request
+  kOverloaded,        ///< request shed by admission control; retry later
 };
 
 /// Human-readable name of a status code ("Ok", "NotFound", ...).
@@ -76,6 +77,9 @@ class [[nodiscard]] Status {
   }
   static Status Unavailable(std::string msg) {
     return {StatusCode::kUnavailable, std::move(msg)};
+  }
+  static Status Overloaded(std::string msg) {
+    return {StatusCode::kOverloaded, std::move(msg)};
   }
 
   [[nodiscard]] bool ok() const noexcept { return code_ == StatusCode::kOk; }

@@ -4,6 +4,41 @@
 
 namespace pdc::obs {
 
+double histogram_quantile(const std::vector<std::uint64_t>& buckets,
+                          double q) noexcept {
+  if (buckets.size() != LatencyHistogram::kNumBuckets) return 0.0;
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : buckets) total += c;
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target observation (1-based, ceil as in nearest-rank).
+  const double rank = q * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    const std::uint64_t below = cumulative;
+    cumulative += buckets[i];
+    if (static_cast<double>(cumulative) < rank) continue;
+    // Target rank lands in bucket i: interpolate within [lo, hi).
+    const double lo = i == 0 ? 0.0 : LatencyHistogram::kBounds[i - 1];
+    if (i == LatencyHistogram::kNumBuckets - 1) {
+      // Overflow bucket has no upper bound; clamp to the last finite one.
+      return LatencyHistogram::kBounds.back();
+    }
+    const double hi = LatencyHistogram::kBounds[i];
+    const double fraction =
+        (rank - static_cast<double>(below)) / static_cast<double>(buckets[i]);
+    return lo + (hi - lo) * std::clamp(fraction, 0.0, 1.0);
+  }
+  return LatencyHistogram::kBounds.back();
+}
+
+double LatencyHistogram::quantile(double q) const noexcept {
+  const auto counts = buckets();
+  return histogram_quantile(
+      std::vector<std::uint64_t>(counts.begin(), counts.end()), q);
+}
+
 const MetricSample* MetricsSnapshot::find(
     std::string_view name) const noexcept {
   for (const MetricSample& sample : samples) {
@@ -125,6 +160,16 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
     sample.count = hist->count();
     const auto buckets = hist->buckets();
     sample.buckets.assign(buckets.begin(), buckets.end());
+    // Synthesized percentile gauges ride along in the same scrape, so a
+    // remote reader gets tail latencies without re-deriving them.
+    for (const auto& [suffix, q] :
+         {std::pair{".p50", 0.50}, {".p95", 0.95}, {".p99", 0.99}}) {
+      MetricSample pct;
+      pct.name = name + suffix;
+      pct.kind = MetricKind::kGauge;
+      pct.value = histogram_quantile(sample.buckets, q);
+      out.samples.push_back(std::move(pct));
+    }
     out.samples.push_back(std::move(sample));
   }
   std::sort(out.samples.begin(), out.samples.end(),

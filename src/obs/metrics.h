@@ -97,11 +97,24 @@ class LatencyHistogram {
     return out;
   }
 
+  /// Estimated q-quantile (q in [0,1]) in seconds, interpolated linearly
+  /// within the bucket holding the target rank.  0 when empty.
+  [[nodiscard]] double quantile(double q) const noexcept;
+
  private:
   std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets_{};
   std::atomic<std::uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
 };
+
+/// Estimate the q-quantile of a LatencyHistogram-shaped bucket vector
+/// (kNumBuckets counts over kBounds).  The value is interpolated linearly
+/// inside the bucket containing the target rank; ranks landing in the
+/// overflow bucket clamp to the last finite bound.  Returns 0 for an empty
+/// or malformed histogram.  Shared by live histograms and scraped
+/// MetricSample buckets.
+[[nodiscard]] double histogram_quantile(
+    const std::vector<std::uint64_t>& buckets, double q) noexcept;
 
 enum class MetricKind : std::uint8_t {
   kCounter = 0,

@@ -39,6 +39,32 @@ ServiceOptions ServiceOptions::from_env() {
       options.dense_read_threshold = threshold;
     }
   }
+  if (const char* env = std::getenv("PDC_QUEUE_LIMIT")) {
+    const long limit = std::strtol(env, nullptr, 10);
+    if (limit >= 0 && limit <= 1 << 20) {
+      options.queue_limit = static_cast<std::uint32_t>(limit);
+    }
+  }
+  if (const char* env = std::getenv("PDC_SHED_POLICY")) {
+    if (const auto policy = rpc::parse_shed_policy(env)) {
+      options.shed_policy = *policy;
+    }
+  }
+  if (const char* env = std::getenv("PDC_TENANT_WEIGHTS")) {
+    // Comma-separated shares, e.g. "3,1,1"; a parse failure keeps the
+    // weights accumulated so far (trailing garbage is ignored).
+    std::vector<double> weights;
+    const char* cursor = env;
+    while (*cursor != '\0') {
+      char* end = nullptr;
+      const double w = std::strtod(cursor, &end);
+      if (end == cursor) break;
+      weights.push_back(w);
+      cursor = *end == ',' ? end + 1 : end;
+      if (end == cursor) break;
+    }
+    options.tenant_weights = std::move(weights);
+  }
   return options;
 }
 
@@ -73,6 +99,9 @@ QueryService::QueryService(const obj::ObjectStore& store,
     rpc::ServerRuntimeOptions runtime_options;
     runtime_options.pool = pool_.get();
     runtime_options.max_inflight = options_.max_inflight;
+    runtime_options.queue_limit = options_.queue_limit;
+    runtime_options.shed_policy = options_.shed_policy;
+    runtime_options.tenant_weights = options_.tenant_weights;
     runtime_options.metrics = &metrics_;
     runtimes_.push_back(std::make_unique<rpc::ServerRuntime>(
         bus_, s,
@@ -83,12 +112,25 @@ QueryService::QueryService(const obj::ObjectStore& store,
             }),
         runtime_options));
   }
+  if (options_.queue_limit != 0) {
+    // Transport backstop beneath admission control: large enough that
+    // normal shedding happens in the runtime (with explicit replies), the
+    // mailbox bound only catches pathological floods.
+    bus_.set_server_mailbox_capacity(
+        static_cast<std::size_t>(options_.queue_limit) * 4 + 64);
+  }
   // Components that keep their own atomics export polled gauges.
   metrics_.gauge_fn("bus.bytes", [this] {
     return static_cast<double>(bus_.bytes_transferred());
   });
   metrics_.gauge_fn("bus.messages", [this] {
     return static_cast<double>(bus_.messages_sent());
+  });
+  metrics_.gauge_fn("bus.mailbox_peak", [this] {
+    return static_cast<double>(bus_.peak_server_mailbox_depth());
+  });
+  metrics_.gauge_fn("bus.mailbox_rejects", [this] {
+    return static_cast<double>(bus_.mailbox_rejects());
   });
   metrics_.gauge_fn("pfs.read_ops", [this] {
     return static_cast<double>(store_.cluster().total_read_ops());
@@ -269,9 +311,10 @@ Result<Selection> QueryService::eval(const QueryPtr& query,
     stats.net_seconds += max_request_net;
 
     const rpc::GatherResult gathered =
-        client_.gather(requests, query_span.context());
+        client_.gather(requests, query_span.context(), opts.tenant);
     stats.retries += gathered.stats.retries;
     stats.timeouts += gathered.stats.timeouts;
+    stats.sheds += gathered.stats.sheds;
     if (gathered.bus_closed) {
       return Status::Unavailable("message bus shut down mid-query");
     }
@@ -286,6 +329,15 @@ Result<Selection> QueryService::eval(const QueryPtr& query,
     for (std::size_t i = 0; i < work.size(); ++i) {
       const auto& message = gathered.responses[i];
       if (!message.has_value()) {
+        if (gathered.shed[i]) {
+          // The server explicitly shed this request: it is overloaded, not
+          // dead.  Declaring it dead would trigger a redispatch storm onto
+          // the survivors — exactly the wrong move under overload — so the
+          // whole operation fails fast and the caller retries later.
+          return Status::Overloaded(
+              "server " + std::to_string(work[i].first) +
+              " shed the request; retry later");
+        }
         mark_dead(work[i].first);
         orphaned.insert(orphaned.end(), work[i].second.begin(),
                         work[i].second.end());
@@ -409,6 +461,9 @@ Result<obs::MetricsSnapshot> QueryService::scrape_metrics() {
   requests.emplace_back(alive.front(), server::MetricsRequest{}.serialize());
   const rpc::GatherResult gathered = client_.gather(requests);
   if (gathered.bus_closed || !gathered.responses.front().has_value()) {
+    if (!gathered.bus_closed && gathered.shed.front()) {
+      return Status::Overloaded("metrics scrape shed; retry later");
+    }
     return Status::Unavailable("metrics scrape received no response");
   }
   SerialReader reader(gathered.responses.front()->payload);
@@ -567,9 +622,10 @@ Status QueryService::get_data_raw(ObjectId object, const Selection& selection,
     stats.net_seconds += max_request_net;
 
     const rpc::GatherResult gathered =
-        client_.gather(requests, query_span.context());
+        client_.gather(requests, query_span.context(), opts.tenant);
     stats.retries += gathered.stats.retries;
     stats.timeouts += gathered.stats.timeouts;
+    stats.sheds += gathered.stats.sheds;
     if (gathered.bus_closed) {
       return Status::Unavailable("message bus shut down mid-fetch");
     }
@@ -581,6 +637,12 @@ Status QueryService::get_data_raw(ObjectId object, const Selection& selection,
     for (std::size_t i = 0; i < pending.size(); ++i) {
       const auto& message = gathered.responses[i];
       if (!message.has_value()) {
+        if (gathered.shed[i]) {
+          // Overloaded, not dead (see eval()): fail fast, caller retries.
+          return Status::Overloaded(
+              "server " + std::to_string(targets[i]) +
+              " shed the data fetch; retry later");
+        }
         mark_dead(targets[i]);
         still_pending.push_back(pending[i]);
         continue;

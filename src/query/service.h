@@ -63,6 +63,10 @@ struct QueryOptions {
   /// pool tasks, PFS reads), retrievable via QueryService::last_trace().
   /// Off by default: tracing is strictly pay-for-what-you-use.
   bool trace = false;
+  /// Fairness identity stamped on every RPC of this operation: the
+  /// server-side weighted-fair scheduler keys its per-tenant lanes on it
+  /// (ServiceOptions::tenant_weights).  0 = the default tenant.
+  std::uint32_t tenant = 0;
 };
 
 /// Per-operation performance summary.
@@ -86,6 +90,7 @@ struct OpStats {
   // Degradation observability (nonzero only under faults).
   std::uint64_t retries = 0;       ///< RPC requests re-sent after a timeout
   std::uint64_t timeouts = 0;      ///< attempt windows that expired
+  std::uint64_t sheds = 0;         ///< RPCs shed by server admission control
   std::uint64_t dead_servers = 0;  ///< servers considered dead after this op
   std::uint64_t redispatched_regions = 0;  ///< regions re-planned onto
                                            ///< surviving servers
@@ -131,12 +136,27 @@ struct ServiceOptions {
   std::uint32_t eval_threads = 0;
   /// With a pool: how many requests one server may process concurrently.
   std::uint32_t max_inflight = 4;
+  /// Per-server admission queue limit: requests allowed to wait for a
+  /// processing slot beyond the max_inflight already running.  Past the
+  /// limit the server sheds (kOverloaded reply with a retry-after hint)
+  /// instead of queueing unboundedly; server mailboxes get a transport
+  /// backstop of queue_limit*4+64 messages.  0 = unbounded (never sheds).
+  std::uint32_t queue_limit = 0;
+  /// Which request a full admission queue sheds.
+  rpc::ShedPolicy shed_policy = rpc::ShedPolicy::kRejectNew;
+  /// Weighted-fair scheduler shares, indexed by QueryOptions::tenant
+  /// (missing or non-positive entries default to weight 1; empty = all
+  /// tenants equal, FIFO-equivalent ordering).
+  std::vector<double> tenant_weights;
 
   /// Read strategy from the PDC_QUERY_STRATEGY environment variable
   /// ("fullscan", "histogram", "index", "sorted", "adaptive"), mirroring
   /// the paper's server configuration mechanism, eval_threads from
-  /// PDC_QUERY_THREADS, and dense_read_threshold from
-  /// PDC_QUERY_DENSE_THRESHOLD.  Unset/unknown keeps the defaults.
+  /// PDC_QUERY_THREADS, dense_read_threshold from
+  /// PDC_QUERY_DENSE_THRESHOLD, queue_limit from PDC_QUEUE_LIMIT,
+  /// shed_policy from PDC_SHED_POLICY ("reject-new" / "drop-oldest"), and
+  /// tenant_weights from PDC_TENANT_WEIGHTS (comma-separated, e.g.
+  /// "3,1,1").  Unset/unknown keeps the defaults.
   static ServiceOptions from_env();
 };
 

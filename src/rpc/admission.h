@@ -1,0 +1,180 @@
+// Bounded weighted-fair admission queue (overload-control subsystem).
+//
+// Sits in front of a server's evaluation pool: requests that cannot start
+// immediately wait here, ordered by weighted-fair queueing over tenants so
+// one heavy tenant cannot starve the rest, and bounded by a queue limit so
+// a burst is shed (with an explicit kOverloaded reply carrying a
+// retry-after hint) instead of queueing unboundedly.
+//
+// The scheduler is classic virtual-time WFQ: each entry of tenant t gets a
+// finish tag max(vtime, last_finish[t]) + 1/weight(t); pop() serves the
+// smallest tag.  Ties break deterministically on (tag, tenant, arrival
+// sequence) so a given arrival order always dispatches in the same order —
+// results stay reproducible.
+//
+// Not thread-safe: the owner (ServerRuntime, or the traffic simulator that
+// reuses this exact scheduler for its deterministic baseline) serializes
+// access under its own lock.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace pdc::rpc {
+
+/// What to do with a request that arrives at a full admission queue.
+enum class ShedPolicy : std::uint8_t {
+  kRejectNew = 0,   ///< shed the arriving request (tail drop)
+  kDropOldest = 1,  ///< admit it, shed the longest-waiting queued request
+};
+
+[[nodiscard]] constexpr std::string_view shed_policy_name(
+    ShedPolicy policy) noexcept {
+  return policy == ShedPolicy::kDropOldest ? "drop-oldest" : "reject-new";
+}
+
+/// Parse "reject-new" / "drop-oldest" (PDC_SHED_POLICY); nullopt otherwise.
+[[nodiscard]] inline std::optional<ShedPolicy> parse_shed_policy(
+    std::string_view name) noexcept {
+  if (name == "reject-new") return ShedPolicy::kRejectNew;
+  if (name == "drop-oldest") return ShedPolicy::kDropOldest;
+  return std::nullopt;
+}
+
+/// Bounded WFQ over payloads of type T.
+template <typename T>
+class WeightedFairQueue {
+ public:
+  /// `limit` = 0 means unbounded (never sheds).  `weights[t]` is tenant
+  /// t's share; missing or non-positive entries default to weight 1.
+  explicit WeightedFairQueue(std::size_t limit = 0,
+                             ShedPolicy policy = ShedPolicy::kRejectNew,
+                             std::vector<double> weights = {})
+      : limit_(limit), policy_(policy), weights_(std::move(weights)) {}
+
+  struct Shed {
+    std::uint32_t tenant = 0;
+    T item;
+  };
+  struct PushResult {
+    bool accepted = false;       ///< the arriving item was admitted
+    std::optional<Shed> victim;  ///< a previously queued item shed to make room
+  };
+
+  /// Admit (or shed, per policy) one arrival for `tenant`.
+  PushResult push(std::uint32_t tenant, T item) {
+    PushResult result;
+    if (limit_ != 0 && size_ >= limit_) {
+      ++sheds_;
+      if (policy_ == ShedPolicy::kRejectNew) {
+        result.victim = Shed{tenant, std::move(item)};
+        return result;
+      }
+      // kDropOldest: evict the entry that has waited longest (smallest
+      // arrival sequence across all tenants) — its client is the most
+      // likely to have given up already.
+      std::size_t victim_lane = lanes_.size();
+      std::uint64_t victim_seq = ~std::uint64_t{0};
+      for (std::size_t i = 0; i < lanes_.size(); ++i) {
+        if (!lanes_[i].entries.empty() &&
+            lanes_[i].entries.front().seq < victim_seq) {
+          victim_seq = lanes_[i].entries.front().seq;
+          victim_lane = i;
+        }
+      }
+      Lane& lane = lanes_[victim_lane];
+      result.victim = Shed{lane.tenant, std::move(lane.entries.front().item)};
+      lane.entries.pop_front();
+      --size_;
+    }
+    Lane& lane = lane_of(tenant);
+    const double w = weight_of(tenant);
+    lane.last_finish = std::max(vtime_, lane.last_finish) + 1.0 / w;
+    lane.entries.push_back({lane.last_finish, next_seq_++, std::move(item)});
+    ++size_;
+    peak_ = std::max(peak_, size_);
+    result.accepted = true;
+    return result;
+  }
+
+  /// Serve the queued item with the smallest finish tag (ties: lowest
+  /// tenant id, then arrival order).  nullopt when empty.
+  std::optional<std::pair<std::uint32_t, T>> pop() {
+    std::size_t best = lanes_.size();
+    for (std::size_t i = 0; i < lanes_.size(); ++i) {
+      if (lanes_[i].entries.empty()) continue;
+      if (best == lanes_.size() || tag_less(lanes_[i], lanes_[best])) best = i;
+    }
+    if (best == lanes_.size()) return std::nullopt;
+    Lane& lane = lanes_[best];
+    Entry entry = std::move(lane.entries.front());
+    lane.entries.pop_front();
+    --size_;
+    vtime_ = std::max(vtime_, entry.finish);
+    return std::make_pair(lane.tenant, std::move(entry.item));
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t peak() const noexcept { return peak_; }
+  [[nodiscard]] std::size_t limit() const noexcept { return limit_; }
+  /// Arrivals that caused a shed (of themselves or of an older victim).
+  [[nodiscard]] std::uint64_t sheds() const noexcept { return sheds_; }
+
+  void clear() {
+    for (Lane& lane : lanes_) lane.entries.clear();
+    size_ = 0;
+  }
+
+ private:
+  struct Entry {
+    double finish = 0.0;
+    std::uint64_t seq = 0;
+    T item;
+  };
+  struct Lane {
+    std::uint32_t tenant = 0;
+    double last_finish = 0.0;
+    std::deque<Entry> entries;
+  };
+
+  static bool tag_less(const Lane& a, const Lane& b) {
+    const Entry& ea = a.entries.front();
+    const Entry& eb = b.entries.front();
+    if (ea.finish != eb.finish) return ea.finish < eb.finish;
+    if (a.tenant != b.tenant) return a.tenant < b.tenant;
+    return ea.seq < eb.seq;
+  }
+
+  Lane& lane_of(std::uint32_t tenant) {
+    for (Lane& lane : lanes_) {
+      if (lane.tenant == tenant) return lane;
+    }
+    lanes_.push_back(Lane{tenant, vtime_, {}});
+    return lanes_.back();
+  }
+
+  [[nodiscard]] double weight_of(std::uint32_t tenant) const noexcept {
+    if (tenant < weights_.size() && weights_[tenant] > 0.0) {
+      return weights_[tenant];
+    }
+    return 1.0;
+  }
+
+  std::size_t limit_;
+  ShedPolicy policy_;
+  std::vector<double> weights_;
+  std::vector<Lane> lanes_;  ///< small tenant counts: linear scan is fine
+  double vtime_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t size_ = 0;
+  std::size_t peak_ = 0;
+  std::uint64_t sheds_ = 0;
+};
+
+}  // namespace pdc::rpc

@@ -31,15 +31,18 @@ std::uint64_t payload_checksum(
 std::vector<std::uint8_t> envelope_wrap(const Envelope& header,
                                         std::span<const std::uint8_t> payload,
                                         std::span<const std::uint8_t> trace_blob) {
-  // Frame: magic, request_id, attempt, deadline_us, trace_id, parent_span,
-  // checksum, payload_len, payload bytes, trace baggage (remainder).  The
-  // checksum covers everything after itself, so a corrupted trace blob
-  // drops the whole frame — retries then recover trace and payload alike.
-  SerialWriter w(2 * sizeof(std::uint32_t) + 7 * sizeof(std::uint64_t) +
+  // Frame: magic, request_id, attempt, tenant, flags, deadline_us,
+  // trace_id, parent_span, checksum, payload_len, payload bytes, trace
+  // baggage (remainder).  The checksum covers everything after itself, so
+  // a corrupted trace blob drops the whole frame — retries then recover
+  // trace and payload alike.
+  SerialWriter w(4 * sizeof(std::uint32_t) + 7 * sizeof(std::uint64_t) +
                  payload.size() + trace_blob.size());
   w.put(kEnvelopeMagic);
   w.put(header.request_id);
   w.put(header.attempt);
+  w.put(header.tenant);
+  w.put(header.flags);
   w.put(header.deadline_us);
   w.put(header.trace_id);
   w.put(header.parent_span);
@@ -66,6 +69,7 @@ bool envelope_unwrap(std::span<const std::uint8_t> frame, Envelope& header,
   std::uint64_t payload_len = 0;
   if (!r.get(magic).ok() || magic != kEnvelopeMagic) return false;
   if (!r.get(parsed.request_id).ok() || !r.get(parsed.attempt).ok() ||
+      !r.get(parsed.tenant).ok() || !r.get(parsed.flags).ok() ||
       !r.get(parsed.deadline_us).ok() || !r.get(parsed.trace_id).ok() ||
       !r.get(parsed.parent_span).ok() || !r.get(checksum).ok()) {
     return false;
@@ -90,20 +94,48 @@ bool envelope_unwrap(std::span<const std::uint8_t> frame, Envelope& header,
 
 // ----------------------------------------------------------------- mailbox
 
-bool Mailbox::push(Message message) {
+PushOutcome Mailbox::offer(Message message) {
   {
     std::lock_guard lock(mu_);
-    if (closed_) return false;
+    if (closed_) return PushOutcome::kClosed;
+    if (capacity_ != 0 && queue_.size() >= capacity_) {
+      rejected_full_.fetch_add(1, std::memory_order_relaxed);
+      return PushOutcome::kRejectedFull;
+    }
     queue_.push_back(std::move(message));
+    peak_ = std::max(peak_, queue_.size());
   }
   cv_.notify_one();
-  return true;
+  return PushOutcome::kAccepted;
+}
+
+void Mailbox::set_capacity(std::size_t capacity) {
+  std::lock_guard lock(mu_);
+  capacity_ = capacity;
+}
+
+std::size_t Mailbox::capacity() const {
+  std::lock_guard lock(mu_);
+  return capacity_;
+}
+
+std::size_t Mailbox::peak() const {
+  std::lock_guard lock(mu_);
+  return peak_;
 }
 
 std::optional<Message> Mailbox::pop() {
   std::unique_lock lock(mu_);
   cv_.wait(lock, [this] { return closed_ || !queue_.empty(); });
   if (queue_.empty()) return std::nullopt;  // closed and drained
+  Message m = std::move(queue_.front());
+  queue_.pop_front();
+  return m;
+}
+
+std::optional<Message> Mailbox::try_pop() {
+  std::lock_guard lock(mu_);
+  if (queue_.empty()) return std::nullopt;
   Message m = std::move(queue_.front());
   queue_.pop_front();
   return m;

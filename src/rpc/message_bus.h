@@ -13,6 +13,7 @@
 // deadline/retry logic in rpc::Client.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -50,6 +51,11 @@ struct Message {
 struct Envelope {
   std::uint64_t request_id = 0;
   std::uint32_t attempt = 0;
+  /// Requesting tenant (fairness identity for the server-side weighted-fair
+  /// scheduler; 0 = the default tenant).
+  std::uint32_t tenant = 0;
+  /// Transport flags (kFlagShed on a load-shed reply).
+  std::uint32_t flags = 0;
   /// Microseconds since the steady-clock epoch; 0 = no deadline.
   std::uint64_t deadline_us = 0;
   /// Trace propagation (obs::Tracer): 0 = this request is not traced.
@@ -57,6 +63,11 @@ struct Envelope {
   /// Client-side span that server-side spans attach under.
   std::uint64_t parent_span = 0;
 };
+
+/// Envelope::flags bit: this frame is a load-shed rejection, not a real
+/// response.  Its payload is the serialized retry-after hint
+/// (std::uint64_t microseconds) from the shedding server.
+inline constexpr std::uint32_t kFlagShed = 1u << 0;
 
 /// Current steady-clock time in the Envelope::deadline_us unit.
 [[nodiscard]] std::uint64_t steady_now_us() noexcept;
@@ -88,7 +99,19 @@ struct Envelope {
 
 // ----------------------------------------------------------------- mailbox
 
-/// Unbounded MPSC queue with blocking pop and close semantics.
+/// Outcome of a Mailbox::offer.  kClosed and kRejectedFull both mean "never
+/// delivered", but callers that implement backpressure need to tell the
+/// transient full condition (retryable) apart from shutdown (terminal).
+enum class PushOutcome : std::uint8_t {
+  kAccepted = 0,
+  kClosed,        ///< mailbox closed; message dropped
+  kRejectedFull,  ///< bounded mailbox at capacity; message dropped
+};
+
+/// MPSC queue with blocking pop, close semantics, and an optional capacity
+/// bound (the transport-level backstop beneath admission control: a burst
+/// past capacity is rejected at the door instead of growing memory without
+/// bound).
 ///
 /// Shutdown contract: after close(), push() returns false and the message
 /// is NOT delivered; messages queued before close() still drain through
@@ -96,12 +119,25 @@ struct Envelope {
 /// the MessageBus only accounts bytes/messages for pushes that succeeded.
 class Mailbox {
  public:
-  /// Enqueue; returns false if the mailbox is closed (message dropped).
-  bool push(Message message);
+  /// Enqueue with a distinguishable outcome; kAccepted means delivered.
+  PushOutcome offer(Message message);
+
+  /// Enqueue; returns false if the mailbox is closed or full (dropped).
+  bool push(Message message) {
+    return offer(std::move(message)) == PushOutcome::kAccepted;
+  }
+
+  /// Bound the queue to `capacity` messages (0 = unbounded, the default).
+  /// Applies to subsequent offers; already queued messages are kept.
+  void set_capacity(std::size_t capacity);
+  [[nodiscard]] std::size_t capacity() const;
 
   /// Block until a message arrives or the mailbox is closed & drained;
   /// nullopt means closed.
   std::optional<Message> pop();
+
+  /// Non-blocking pop; nullopt when the queue is currently empty.
+  std::optional<Message> try_pop();
 
   /// Like pop(), but give up at `deadline`.  nullopt means timed out or
   /// closed & drained — distinguish with closed().
@@ -116,12 +152,23 @@ class Mailbox {
 
   [[nodiscard]] bool closed() const;
   [[nodiscard]] std::size_t pending() const;
+  /// Alias of pending() under the metrics-facing name.
+  [[nodiscard]] std::size_t size() const { return pending(); }
+  /// High-water mark of the queue depth over the mailbox lifetime.
+  [[nodiscard]] std::size_t peak() const;
+  /// Messages rejected because the mailbox was at capacity (not closed).
+  [[nodiscard]] std::uint64_t rejected_full() const noexcept {
+    return rejected_full_.load(std::memory_order_relaxed);
+  }
 
  private:
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<Message> queue_;
   bool closed_ = false;
+  std::size_t capacity_ = 0;  ///< 0 = unbounded
+  std::size_t peak_ = 0;
+  std::atomic<std::uint64_t> rejected_full_{0};
 };
 
 // ---------------------------------------------------------------------- bus
@@ -168,6 +215,26 @@ class MessageBus {
     return servers_[server];
   }
   [[nodiscard]] Mailbox& client_mailbox() { return client_; }
+
+  /// Bound every server mailbox to `capacity` messages (0 = unbounded).
+  /// The transport backstop beneath admission control: offers past the
+  /// bound are rejected and the sender's retry recovers, exactly like a
+  /// fault-injected drop.
+  void set_server_mailbox_capacity(std::size_t capacity) {
+    for (Mailbox& m : servers_) m.set_capacity(capacity);
+  }
+  /// Highest queue depth any server mailbox ever reached.
+  [[nodiscard]] std::size_t peak_server_mailbox_depth() const {
+    std::size_t peak = 0;
+    for (const Mailbox& m : servers_) peak = std::max(peak, m.peak());
+    return peak;
+  }
+  /// Total messages refused by full server mailboxes.
+  [[nodiscard]] std::uint64_t mailbox_rejects() const noexcept {
+    std::uint64_t total = 0;
+    for (const Mailbox& m : servers_) total += m.rejected_full();
+    return total;
+  }
 
   /// Close every mailbox (shutdown).  Pending delayed messages are
   /// discarded.

@@ -38,6 +38,7 @@
 #include "common/exec_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "rpc/admission.h"
 #include "rpc/message_bus.h"
 
 namespace pdc::rpc {
@@ -50,9 +51,25 @@ struct ServerRuntimeOptions {
   /// With a pool: how many requests one server may process concurrently.
   /// Admission is bounded so a burst cannot swamp the shared pool.
   std::uint32_t max_inflight = 4;
+  /// Requests allowed to *wait* for a processing slot, beyond the
+  /// max_inflight already running.  When the wait queue is full the server
+  /// sheds per `shed_policy`: the victim gets an immediate kFlagShed reply
+  /// carrying a retry-after hint instead of queueing unboundedly.
+  /// 0 = unbounded (legacy behaviour: never sheds).
+  std::uint32_t queue_limit = 0;
+  /// Which request to shed when the wait queue is full.
+  ShedPolicy shed_policy = ShedPolicy::kRejectNew;
+  /// Base retry-after hint carried in shed replies; the actual hint scales
+  /// up to 2x with queue fullness.
+  std::uint64_t shed_retry_after_us = 2000;
+  /// Weighted-fair scheduler shares, indexed by Envelope::tenant (missing
+  /// or non-positive = weight 1).  With the default empty vector every
+  /// tenant weighs 1 and the wait queue degenerates to FIFO.
+  std::vector<double> tenant_weights;
   /// Deployment metrics (null = unmetered).  The runtime registers
-  /// "rpc.server<id>.requests" and a "rpc.server<id>.handle_seconds" wall
-  /// latency histogram.  Must outlive the runtime.
+  /// "rpc.server<id>.requests", ".shed", ".expired", a ".handle_seconds"
+  /// wall latency histogram, and queue/mailbox depth gauges.  Must outlive
+  /// the runtime.
   obs::MetricsRegistry* metrics = nullptr;
 };
 
@@ -93,8 +110,37 @@ class ServerRuntime {
 
   [[nodiscard]] ServerId id() const noexcept { return id_; }
 
+  /// Requests shed by this runtime's admission control so far.
+  [[nodiscard]] std::uint64_t sheds() const;
+  /// High-water mark of the admission wait queue.
+  [[nodiscard]] std::size_t queue_peak() const;
+
  private:
+  /// One admitted-but-not-yet-running request parked in the wait queue.
+  /// The frame owns the bytes; it is re-unwrapped at dispatch (cheap:
+  /// header check + checksum).
+  struct Pending {
+    Envelope envelope;
+    std::vector<std::uint8_t> frame;
+    std::uint64_t dequeued_us = 0;
+  };
+
   void loop();
+  /// Admission decision for one arrived request: start it, queue it, or
+  /// shed (per policy).  Inline runtimes only queue/shed here; serving
+  /// happens in loop().
+  void admit(Pending pending);
+  /// Submit `pending` to the pool; its completion dispatches the next
+  /// queued request, keeping exactly `inflight_` tasks running.
+  void dispatch_to_pool(Pending pending);
+  /// Run one pooled request, then chain into the next queued one (or
+  /// release the inflight slot).
+  void run_pooled(Pending pending);
+  /// Reply kFlagShed with a retry-after hint scaled by queue fullness.
+  void send_shed(const Envelope& envelope);
+  [[nodiscard]] bool expired(const Envelope& envelope) const noexcept {
+    return envelope.deadline_us != 0 && steady_now_us() > envelope.deadline_us;
+  }
   /// Run the handler for one unwrapped request and send the reply,
   /// opening server-side spans when the envelope carries a trace id.
   /// `dequeued_us` timestamps when the request left the mailbox (the
@@ -109,10 +155,17 @@ class ServerRuntime {
   TracedHandler handler_;
   ServerRuntimeOptions options_;
   obs::Counter* requests_metric_ = nullptr;
+  obs::Counter* shed_metric_ = nullptr;
+  obs::Counter* expired_metric_ = nullptr;
   obs::LatencyHistogram* handle_seconds_metric_ = nullptr;
-  std::mutex inflight_mu_;
+  /// Guards inflight_, queue_, and stopping_ (admission state).
+  mutable std::mutex inflight_mu_;
   std::condition_variable inflight_cv_;
   std::uint32_t inflight_ = 0;
+  WeightedFairQueue<Pending> queue_;
+  /// Set when the mailbox loop exits (shutdown, kill or stall fate):
+  /// queued requests are dropped and completions stop chaining.
+  bool stopping_ = false;
   std::thread thread_;
 };
 
@@ -125,12 +178,20 @@ struct RetryPolicy {
   /// Exponential backoff between attempts: base * 2^attempt, capped.
   std::chrono::milliseconds backoff_base{2};
   std::chrono::milliseconds backoff_cap{50};
+  /// Multiplicative backoff jitter in [0, jitter): each backoff sleep is
+  /// scaled by (1 + jitter * u) with u drawn deterministically from the
+  /// gather's first request id, so retry storms decorrelate across
+  /// clients while a given run stays reproducible.  0 = no jitter.
+  double backoff_jitter = 0.0;
 };
 
 /// Transport-level counters accumulated by one gather().
 struct RpcStats {
   std::uint64_t retries = 0;   ///< requests re-sent after a timeout
   std::uint64_t timeouts = 0;  ///< attempt windows that expired
+  /// kFlagShed replies received: the server was alive but shed the
+  /// request under overload; the retry honoured its retry-after hint.
+  std::uint64_t sheds = 0;
   /// Extra responses to this gather's own request ids (an earlier attempt
   /// answered already), dropped.  Corrupt frames and responses to already
   /// finished gathers carry no attributable id — see
@@ -142,6 +203,10 @@ struct RpcStats {
 /// retries were exhausted, or the bus shut down mid-collect).
 struct GatherResult {
   std::vector<std::optional<Message>> responses;
+  /// shed[i]: requests[i] went unanswered but the server explicitly shed
+  /// it at least once — the server is overloaded, NOT dead.  Callers must
+  /// surface kOverloaded instead of entering degraded mode.
+  std::vector<bool> shed;
   RpcStats stats;
   bool bus_closed = false;
 
@@ -190,10 +255,12 @@ class Client {
   /// "rpc.attempt" child per retry round; span blobs returned by servers
   /// are adopted into the issuing trace.  A disabled context makes this
   /// identical to the untraced overload.
+  /// `tenant` stamps every request envelope with the issuing tenant's
+  /// fairness identity for the server-side weighted-fair scheduler.
   GatherResult gather(
       const std::vector<std::pair<ServerId, std::vector<std::uint8_t>>>&
           requests,
-      const obs::TraceContext& trace);
+      const obs::TraceContext& trace, std::uint32_t tenant = 0);
 
   /// Broadcast `payload` and return a future that resolves once every
   /// server has responded or retries are exhausted.  Responses are ordered
@@ -229,10 +296,20 @@ class Client {
   /// One in-progress gather waiting for its responses.
   struct Waiter {
     std::vector<std::optional<Message>>* responses = nullptr;
+    /// Per-request shed marks (points into the GatherResult).
+    std::vector<bool>* shed = nullptr;
     std::condition_variable cv;
     std::size_t remaining = 0;
     /// Dup/stale responses to this gather's ids (guarded by mu_).
     std::uint64_t duplicates = 0;
+    /// Total kFlagShed replies received across all attempts.
+    std::uint64_t sheds = 0;
+    /// Shed replies since the current attempt started; when it reaches
+    /// `remaining` every outstanding request was shed and the gather wakes
+    /// early to retry after the hint.
+    std::size_t sheds_this_attempt = 0;
+    /// Largest retry-after hint seen this attempt (microseconds).
+    std::uint64_t retry_after_us = 0;
     /// Destination for span blobs carried by this gather's responses
     /// (null = untraced).  The receiver adopts a blob exactly once per
     /// request id (duplicates are dropped before their spans).

@@ -32,7 +32,7 @@ Status get_status(SerialReader& r, Status& out) {
   std::string message;
   PDC_RETURN_IF_ERROR(r.get(code));
   PDC_RETURN_IF_ERROR(r.get_string(message));
-  if (code > static_cast<std::uint8_t>(StatusCode::kUnavailable)) {
+  if (code > static_cast<std::uint8_t>(StatusCode::kOverloaded)) {
     return Status::Corruption("status code invalid");
   }
   out = code == 0 ? Status::Ok()

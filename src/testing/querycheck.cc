@@ -273,22 +273,13 @@ RunOptions RunOptions::all_paths() {
   return options;
 }
 
-namespace {
-
-struct Env {
-  std::unique_ptr<pfs::PfsCluster> cluster;
-  std::unique_ptr<obj::ObjectStore> store;
-  std::vector<ObjectId> object_ids;
-  std::string dir;
-};
-
-Result<Env> build_env(const Case& c, const RunOptions& options,
-                      bool want_index, bool want_replica) {
+Result<BuiltEnv> build_dataset_env(const Dataset& dataset, std::uint64_t tag,
+                                   const std::string& temp_root,
+                                   bool want_index, bool want_replica) {
   static std::atomic<std::uint64_t> counter{0};
-  Env env;
+  BuiltEnv env;
   std::ostringstream dir;
-  dir << options.temp_root << "/case_" << c.seed << "_"
-      << counter.fetch_add(1);
+  dir << temp_root << "/case_" << tag << "_" << counter.fetch_add(1);
   env.dir = dir.str();
   std::error_code ec;
   std::filesystem::remove_all(env.dir, ec);
@@ -301,12 +292,12 @@ Result<Env> build_env(const Case& c, const RunOptions& options,
                        env.store->create_container("querycheck"));
 
   obj::ImportOptions import;
-  import.region_size_bytes = c.dataset.region_size_bytes;
-  for (std::size_t col = 0; col < c.dataset.columns.size(); ++col) {
+  import.region_size_bytes = dataset.region_size_bytes;
+  for (std::size_t col = 0; col < dataset.columns.size(); ++col) {
     PDC_ASSIGN_OR_RETURN(
         ObjectId id,
-        env.store->import_object<float>(container, c.dataset.names[col],
-                                        c.dataset.columns[col], import));
+        env.store->import_object<float>(container, dataset.names[col],
+                                        dataset.columns[col], import));
     env.object_ids.push_back(id);
     if (want_index) {
       PDC_RETURN_IF_ERROR(env.store->build_bitmap_index(id));
@@ -320,8 +311,8 @@ Result<Env> build_env(const Case& c, const RunOptions& options,
   return env;
 }
 
-query::QueryPtr build_query(const QuerySpec& spec,
-                            const std::vector<ObjectId>& objects) {
+query::QueryPtr build_query_from_spec(const QuerySpec& spec,
+                                      const std::vector<ObjectId>& objects) {
   query::QueryPtr root;
   for (const TermSpec& term : spec.terms) {
     query::QueryPtr conj;
@@ -336,6 +327,21 @@ query::QueryPtr build_query(const QuerySpec& spec,
     root = query::set_region(root, spec.region);
   }
   return root;
+}
+
+namespace {
+
+using Env = BuiltEnv;
+
+Result<Env> build_env(const Case& c, const RunOptions& options,
+                      bool want_index, bool want_replica) {
+  return build_dataset_env(c.dataset, c.seed, options.temp_root, want_index,
+                           want_replica);
+}
+
+query::QueryPtr build_query(const QuerySpec& spec,
+                            const std::vector<ObjectId>& objects) {
+  return build_query_from_spec(spec, objects);
 }
 
 std::string positions_summary(const std::vector<std::uint64_t>& want,

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <cstring>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -29,6 +30,8 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "obj/object_store.h"
+#include "pfs/pfs.h"
+#include "query/query.h"
 #include "server/wire.h"
 
 namespace pdc::testing {
@@ -117,6 +120,33 @@ class QueryGen {
 /// of the scan path (double-promoted ValueInterval::contains).
 [[nodiscard]] std::vector<std::uint64_t> oracle_hits(const Dataset& dataset,
                                                      const QuerySpec& query);
+
+// ------------------------------------------------------------- environment
+
+/// A materialized dataset environment: PFS cluster + object store with the
+/// dataset's columns imported, ready to back a QueryService.  Public so
+/// workload drivers (the traffic generator, benches) reuse QueryGen
+/// datasets without duplicating the import pipeline.
+struct BuiltEnv {
+  std::unique_ptr<pfs::PfsCluster> cluster;
+  std::unique_ptr<obj::ObjectStore> store;
+  std::vector<ObjectId> object_ids;  ///< one per dataset column, in order
+  std::string dir;                   ///< on-disk root (left behind; /tmp)
+};
+
+/// Import `dataset` into a fresh PFS cluster under `temp_root` (a unique
+/// subdirectory is derived from `tag` plus a process-wide counter),
+/// optionally building bitmap indexes on every column and a sorted replica
+/// over column 0.
+Result<BuiltEnv> build_dataset_env(const Dataset& dataset, std::uint64_t tag,
+                                   const std::string& temp_root,
+                                   bool want_index = true,
+                                   bool want_replica = true);
+
+/// Compile a QuerySpec against the imported column objects
+/// (BuiltEnv::object_ids).
+[[nodiscard]] query::QueryPtr build_query_from_spec(
+    const QuerySpec& spec, const std::vector<ObjectId>& objects);
 
 // ----------------------------------------------------------------- runner
 

@@ -1,0 +1,409 @@
+#include "workloads/traffic.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <queue>
+#include <string>
+#include <thread>
+
+#include "common/rng.h"
+
+namespace pdc::workloads {
+
+namespace {
+
+/// Exact percentile of a sorted latency sample (nearest-rank).
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+/// Per-tenant latency samples -> TenantReport vector + overall percentiles.
+void finalize_latencies(std::vector<std::vector<double>>& by_tenant,
+                        const std::vector<std::uint64_t>& offered_by_tenant,
+                        const std::vector<std::uint64_t>& dropped_by_tenant,
+                        obs::MetricsRegistry& metrics, TrafficReport& report) {
+  std::vector<double> all;
+  for (std::uint32_t t = 0; t < by_tenant.size(); ++t) {
+    auto& lat = by_tenant[t];
+    std::sort(lat.begin(), lat.end());
+    all.insert(all.end(), lat.begin(), lat.end());
+    auto& hist = metrics.histogram("traffic.tenant" + std::to_string(t) +
+                                   ".latency_seconds");
+    double sum = 0.0;
+    for (const double s : lat) {
+      hist.observe(s);
+      sum += s;
+    }
+    TenantReport tenant;
+    tenant.tenant = t;
+    tenant.offered = offered_by_tenant[t];
+    tenant.completed = lat.size();
+    tenant.dropped = dropped_by_tenant[t];
+    tenant.p50_s = percentile(lat, 0.50);
+    tenant.p95_s = percentile(lat, 0.95);
+    tenant.p99_s = percentile(lat, 0.99);
+    tenant.mean_s = lat.empty() ? 0.0 : sum / static_cast<double>(lat.size());
+    report.tenants.push_back(tenant);
+  }
+  std::sort(all.begin(), all.end());
+  report.p50_s = percentile(all, 0.50);
+  report.p95_s = percentile(all, 0.95);
+  report.p99_s = percentile(all, 0.99);
+}
+
+}  // namespace
+
+TrafficConfig TrafficConfig::from_env() {
+  TrafficConfig config;
+  if (const char* env = std::getenv("PDC_TRAFFIC_SEED")) {
+    config.seed = std::strtoull(env, nullptr, 10);
+  }
+  return config;
+}
+
+std::vector<Arrival> make_schedule(const TrafficConfig& config,
+                                   double rate_qps) {
+  std::vector<Arrival> schedule;
+  if (rate_qps <= 0.0 || config.num_queries == 0) return schedule;
+  schedule.reserve(config.num_queries);
+  Rng rng(config.seed);
+  // Bursty arrivals are on/off modulated Poisson with the same mean rate:
+  // rate_on during the first burst_on_fraction of each period, rate_off
+  // (derived, floored at 1% of the mean) for the rest.
+  const double on_frac = std::clamp(config.burst_on_fraction, 0.01, 0.99);
+  const double rate_on = rate_qps * std::max(1.0, config.burst_multiplier);
+  const double rate_off = std::max(
+      rate_qps * 0.01,
+      rate_qps * (1.0 - on_frac * std::max(1.0, config.burst_multiplier)) /
+          (1.0 - on_frac));
+  double t = 0.0;
+  for (std::uint32_t i = 0; i < config.num_queries; ++i) {
+    double rate = rate_qps;
+    if (config.arrival == ArrivalProcess::kBursty &&
+        config.burst_period_s > 0.0) {
+      const double phase =
+          std::fmod(t, config.burst_period_s) / config.burst_period_s;
+      rate = phase < on_frac ? rate_on : rate_off;
+    }
+    t += rng.exponential(rate);
+    Arrival arrival;
+    arrival.time_s = t;
+    arrival.tenant = static_cast<std::uint32_t>(
+        rng.bounded(std::max<std::uint32_t>(1, config.num_tenants)));
+    arrival.query_index = i;
+    schedule.push_back(arrival);
+  }
+  return schedule;
+}
+
+TrafficDriver::TrafficDriver(TrafficConfig config)
+    : config_(std::move(config)) {
+  if (config_.num_clients == 0) config_.num_clients = 1;
+  if (config_.num_tenants == 0) config_.num_tenants = 1;
+}
+
+double TrafficDriver::measure_capacity_qps(
+    query::QueryService& service, const std::vector<TrafficQuery>& queries,
+    std::uint32_t probes, std::uint32_t threads) {
+  if (queries.empty() || probes == 0) return 0.0;
+  threads = std::max(1u, threads);
+  // Warm the region caches first so capacity reflects steady state.
+  (void)service.get_num_hits(queries.front().query);
+  std::atomic<std::uint32_t> next{0};
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (std::uint32_t w = 0; w < threads; ++w) {
+    workers.emplace_back([&] {
+      for (std::uint32_t i = next.fetch_add(1); i < probes;
+           i = next.fetch_add(1)) {
+        (void)service.get_num_hits(queries[i % queries.size()].query);
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return elapsed > 0.0 ? static_cast<double>(probes) / elapsed : 0.0;
+}
+
+TrafficReport TrafficDriver::run_live(query::QueryService& service,
+                                      const std::vector<TrafficQuery>& queries,
+                                      double rate_qps) {
+  TrafficReport report;
+  if (queries.empty()) return report;
+  const std::vector<Arrival> schedule = make_schedule(config_, rate_qps);
+  report.offered = schedule.size();
+
+  struct ClientState {
+    std::vector<std::vector<double>> latency_by_tenant;
+    std::vector<std::uint64_t> offered_by_tenant;
+    std::vector<std::uint64_t> dropped_by_tenant;
+    std::uint64_t completed = 0;
+    std::uint64_t mismatches = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t shed_retries = 0;
+    double last_completion_s = 0.0;
+  };
+  const std::uint32_t clients =
+      std::min<std::uint32_t>(config_.num_clients,
+                              static_cast<std::uint32_t>(schedule.size()));
+  std::vector<ClientState> states(clients);
+  for (ClientState& state : states) {
+    state.latency_by_tenant.resize(config_.num_tenants);
+    state.offered_by_tenant.assign(config_.num_tenants, 0);
+    state.dropped_by_tenant.assign(config_.num_tenants, 0);
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (std::uint32_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      ClientState& state = states[c];
+      Rng backoff_rng(config_.seed ^ (0x9E3779B97F4A7C15ull * (c + 1)));
+      // Round-robin assignment keeps each client's arrivals time-ordered.
+      for (std::size_t i = c; i < schedule.size(); i += clients) {
+        const Arrival& arrival = schedule[i];
+        ++state.offered_by_tenant[arrival.tenant];
+        const auto due =
+            start + std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(arrival.time_s));
+        std::this_thread::sleep_until(due);
+        const TrafficQuery& tq = queries[arrival.query_index % queries.size()];
+        query::QueryOptions opts;
+        opts.tenant = arrival.tenant;
+        bool done = false;
+        for (std::uint32_t attempt = 0; attempt <= config_.max_retries;
+             ++attempt) {
+          const auto result = service.get_num_hits(tq.query, opts);
+          if (result.ok()) {
+            const double now_s =
+                std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                              start)
+                    .count();
+            // Open-loop latency: scheduled arrival -> completion, so time
+            // spent queued behind this client's earlier queries counts.
+            state.latency_by_tenant[arrival.tenant].push_back(
+                std::max(0.0, now_s - arrival.time_s));
+            state.last_completion_s = std::max(state.last_completion_s, now_s);
+            ++state.completed;
+            if (*result != tq.expected_hits) ++state.mismatches;
+            done = true;
+            break;
+          }
+          if (result.status().code() != StatusCode::kOverloaded) {
+            ++state.failed;
+            done = true;
+            break;
+          }
+          ++state.shed_retries;
+          if (attempt == config_.max_retries) break;
+          // Jittered exponential backoff: base doubles per attempt, the
+          // jitter decorrelates this client's retry from the others'.  The
+          // cap keeps clients re-offering near the shed-retry-after scale
+          // so post-burst capacity is reclaimed instead of idling.
+          const std::uint64_t base = config_.retry_backoff_us
+                                     << std::min<std::uint32_t>(attempt, 4);
+          const auto sleep_us = static_cast<std::uint64_t>(
+              static_cast<double>(base) *
+              (1.0 + backoff_rng.next_double()));
+          std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
+        }
+        if (!done) ++state.dropped_by_tenant[arrival.tenant];
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  std::vector<std::vector<double>> latency_by_tenant(config_.num_tenants);
+  std::vector<std::uint64_t> offered_by_tenant(config_.num_tenants, 0);
+  std::vector<std::uint64_t> dropped_by_tenant(config_.num_tenants, 0);
+  double last_completion_s = 0.0;
+  for (const ClientState& state : states) {
+    report.completed += state.completed;
+    report.mismatches += state.mismatches;
+    report.failed += state.failed;
+    report.shed_retries += state.shed_retries;
+    last_completion_s = std::max(last_completion_s, state.last_completion_s);
+    for (std::uint32_t t = 0; t < config_.num_tenants; ++t) {
+      latency_by_tenant[t].insert(latency_by_tenant[t].end(),
+                                  state.latency_by_tenant[t].begin(),
+                                  state.latency_by_tenant[t].end());
+      offered_by_tenant[t] += state.offered_by_tenant[t];
+      dropped_by_tenant[t] += state.dropped_by_tenant[t];
+      report.dropped += state.dropped_by_tenant[t];
+    }
+  }
+  report.duration_s = std::max(last_completion_s, 1e-9);
+  report.goodput_qps =
+      static_cast<double>(report.completed) / report.duration_s;
+  finalize_latencies(latency_by_tenant, offered_by_tenant, dropped_by_tenant,
+                     metrics_, report);
+  metrics_.counter("traffic.offered").add(report.offered);
+  metrics_.counter("traffic.completed").add(report.completed);
+  metrics_.counter("traffic.shed_retries").add(report.shed_retries);
+  metrics_.counter("traffic.dropped").add(report.dropped);
+
+  // Scrape the service's overload counters/gauges for the report.
+  const obs::MetricsSnapshot snapshot = service.metrics().snapshot();
+  for (const obs::MetricSample& sample : snapshot.samples) {
+    const std::string_view name = sample.name;
+    if (name.starts_with("rpc.server") &&
+        name.ends_with(".shed")) {
+      report.server_sheds += sample.value;
+    } else if (name.starts_with("rpc.server") &&
+               name.ends_with(".queue_peak")) {
+      report.queue_peak = std::max(report.queue_peak, sample.value);
+    }
+  }
+  report.mailbox_peak = snapshot.value("bus.mailbox_peak");
+  report.mailbox_rejects = snapshot.value("bus.mailbox_rejects");
+  return report;
+}
+
+TrafficReport TrafficDriver::simulate(const SimParams& params,
+                                      double rate_qps) {
+  TrafficReport report;
+  const std::vector<Arrival> schedule = make_schedule(config_, rate_qps);
+  report.offered = schedule.size();
+  if (schedule.empty() || params.concurrency == 0) return report;
+
+  // Deterministic per-query service time: mean * [0.5, 1.5), drawn from a
+  // hash of (seed, query index) so it is independent of event order.
+  const auto service_time = [&](std::uint32_t query_index) {
+    std::uint64_t h = config_.seed ^ (0xD1B54A32D192ED03ull *
+                                      (static_cast<std::uint64_t>(query_index) + 1));
+    const double u = static_cast<double>(splitmix64(h) >> 11) * 0x1.0p-53;
+    return params.service_time_s * (0.5 + u);
+  };
+
+  struct Job {
+    double first_arrival_s = 0.0;
+    std::uint32_t tenant = 0;
+    std::uint32_t query_index = 0;
+    std::uint32_t attempt = 0;
+  };
+  struct Event {
+    double time_s = 0.0;
+    std::uint64_t seq = 0;  ///< deterministic tie-break
+    bool completion = false;
+    Job job;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time_s != b.time_s) return a.time_s > b.time_s;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Later> events;
+  std::uint64_t seq = 0;
+  for (const Arrival& arrival : schedule) {
+    Event ev;
+    ev.time_s = arrival.time_s;
+    ev.seq = seq++;
+    ev.job = Job{arrival.time_s, arrival.tenant,
+                 arrival.query_index, 0};
+    events.push(ev);
+  }
+
+  rpc::WeightedFairQueue<Job> queue(params.queue_limit, params.shed_policy,
+                                    params.tenant_weights);
+  std::uint32_t busy = 0;
+  std::vector<std::vector<double>> latency_by_tenant(config_.num_tenants);
+  std::vector<std::uint64_t> offered_by_tenant(config_.num_tenants, 0);
+  std::vector<std::uint64_t> dropped_by_tenant(config_.num_tenants, 0);
+  for (const Arrival& arrival : schedule) {
+    ++offered_by_tenant[arrival.tenant];
+  }
+  double last_completion_s = 0.0;
+
+  const auto start_job = [&](double now_s, Job job) {
+    ++busy;
+    Event done;
+    done.time_s = now_s + service_time(job.query_index);
+    done.seq = seq++;
+    done.completion = true;
+    done.job = job;
+    events.push(done);
+  };
+  const auto shed_job = [&](double now_s, Job job) {
+    ++report.shed_retries;
+    if (job.attempt >= config_.max_retries) {
+      ++report.dropped;
+      ++dropped_by_tenant[job.tenant];
+      return;
+    }
+    // The simulated client honours the retry-after hint, scaled up per
+    // attempt like the live jittered backoff (deterministically, from the
+    // job identity, so replays are bit-stable).  The exponent is capped
+    // low: a client pacing off retry-after keeps re-offering work at
+    // roughly the hint interval, so capacity freed after a burst is
+    // reclaimed promptly instead of sitting idle behind multi-second
+    // backoffs (which would collapse goodput past saturation).
+    std::uint64_t h = config_.seed ^
+                      (0xBF58476D1CE4E5B9ull * (job.query_index + 1)) ^
+                      (0x94D049BB133111EBull * (job.attempt + 1));
+    const double u = static_cast<double>(splitmix64(h) >> 11) * 0x1.0p-53;
+    const double delay_s = params.retry_after_s *
+                           static_cast<double>(1u << std::min(job.attempt, 4u)) *
+                           (1.0 + u);
+    Event retry;
+    retry.time_s = now_s + delay_s;
+    retry.seq = seq++;
+    retry.job = job;
+    ++retry.job.attempt;
+    events.push(retry);
+  };
+
+  while (!events.empty()) {
+    const Event ev = events.top();
+    events.pop();
+    if (ev.completion) {
+      --busy;
+      ++report.completed;
+      last_completion_s = std::max(last_completion_s, ev.time_s);
+      latency_by_tenant[ev.job.tenant].push_back(
+          std::max(0.0, ev.time_s - ev.job.first_arrival_s));
+      if (auto next = queue.pop()) {
+        start_job(ev.time_s, std::move(next->second));
+      }
+      continue;
+    }
+    // Arrival (or retry): start immediately when a slot is free and the
+    // fair queue is empty; otherwise queue, shedding per policy.
+    if (busy < params.concurrency && queue.empty()) {
+      start_job(ev.time_s, ev.job);
+      continue;
+    }
+    auto pushed = queue.push(ev.job.tenant, ev.job);
+    if (pushed.victim.has_value()) {
+      shed_job(ev.time_s, std::move(pushed.victim->item));
+    }
+  }
+
+  report.queue_peak = static_cast<double>(queue.peak());
+  report.server_sheds = static_cast<double>(queue.sheds());
+  report.duration_s = std::max(last_completion_s, 1e-9);
+  report.goodput_qps =
+      static_cast<double>(report.completed) / report.duration_s;
+  finalize_latencies(latency_by_tenant, offered_by_tenant, dropped_by_tenant,
+                     metrics_, report);
+  metrics_.counter("traffic.offered").add(report.offered);
+  metrics_.counter("traffic.completed").add(report.completed);
+  metrics_.counter("traffic.shed_retries").add(report.shed_retries);
+  metrics_.counter("traffic.dropped").add(report.dropped);
+  return report;
+}
+
+}  // namespace pdc::workloads

@@ -253,6 +253,71 @@ TEST(MetricsUnit, InstrumentsAndSnapshot) {
   EXPECT_EQ(registry.snapshot().value("bus.bytes"), 99.0);
 }
 
+// Percentile extraction against a known distribution: 1000 samples
+// uniform over [0, 1e-2) put 90% of the mass in the [1e-3, 1e-2) bucket,
+// where linear interpolation recovers the true quantiles exactly (a
+// uniform in-bucket distribution is the interpolation's model).
+TEST(MetricsUnit, HistogramQuantilesMatchKnownDistribution) {
+  obs::LatencyHistogram hist;
+  for (int i = 0; i < 1000; ++i) hist.observe(i * 1e-5);
+  EXPECT_NEAR(hist.quantile(0.50), 5e-3, 1e-4);
+  EXPECT_NEAR(hist.quantile(0.95), 9.5e-3, 1e-4);
+  EXPECT_NEAR(hist.quantile(0.99), 9.9e-3, 1e-4);
+  // Quantiles are monotone in q.
+  double prev = 0.0;
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    const double v = hist.quantile(q);
+    EXPECT_GE(v, prev) << "q=" << q;
+    prev = v;
+  }
+  // The free function agrees with the member on the same buckets.
+  const auto buckets = hist.buckets();
+  EXPECT_EQ(obs::histogram_quantile({buckets.begin(), buckets.end()}, 0.95),
+            hist.quantile(0.95));
+
+  // Edge cases: no data -> 0; all mass in the overflow bucket clamps to
+  // the last finite bound (10 s) rather than inventing a value.
+  obs::LatencyHistogram empty;
+  EXPECT_EQ(empty.quantile(0.99), 0.0);
+  obs::LatencyHistogram overflow;
+  overflow.observe(50.0);
+  overflow.observe(99.0);
+  EXPECT_EQ(overflow.quantile(0.50),
+            obs::LatencyHistogram::kBounds.back());
+  // Malformed bucket vectors (wrong arity) yield 0, not UB.
+  EXPECT_EQ(obs::histogram_quantile({1, 2, 3}, 0.5), 0.0);
+}
+
+// Every histogram's snapshot carries synthesized .p50/.p95/.p99 gauges so
+// scrapes (kMetrics RPC included) expose tail latency without shipping
+// raw buckets to the reader — and they survive the wire round trip.
+TEST(MetricsUnit, SnapshotSynthesizesPercentileGauges) {
+  obs::MetricsRegistry registry;
+  obs::LatencyHistogram& hist = registry.histogram("rpc.handle_seconds");
+  for (int i = 0; i < 1000; ++i) hist.observe(i * 1e-5);
+
+  const obs::MetricsSnapshot snap = registry.snapshot();
+  const obs::MetricSample* base = snap.find("rpc.handle_seconds");
+  ASSERT_NE(base, nullptr);
+  for (const auto& [suffix, q] :
+       {std::pair{".p50", 0.50}, {".p95", 0.95}, {".p99", 0.99}}) {
+    const obs::MetricSample* pct =
+        snap.find(std::string("rpc.handle_seconds") + suffix);
+    ASSERT_NE(pct, nullptr) << suffix;
+    EXPECT_EQ(pct->kind, obs::MetricKind::kGauge) << suffix;
+    EXPECT_EQ(pct->value, hist.quantile(q)) << suffix;
+  }
+
+  SerialWriter w;
+  obs::serialize_snapshot(w, snap);
+  const std::vector<std::uint8_t> bytes = w.take();
+  SerialReader r(bytes);
+  obs::MetricsSnapshot decoded;
+  ASSERT_TRUE(obs::deserialize_snapshot(r, decoded).ok());
+  EXPECT_EQ(decoded.value("rpc.handle_seconds.p99", -1.0),
+            snap.value("rpc.handle_seconds.p99", -2.0));
+}
+
 TEST(MetricsUnit, SnapshotWireRoundTrip) {
   obs::MetricsRegistry registry;
   registry.counter("a.count").add(7);

@@ -319,6 +319,217 @@ TEST(ClientGather, ConcurrentBroadcastAndGatherDoNotStealResponses) {
   bus.shutdown();
 }
 
+TEST(Mailbox, BoundedOfferRejectsAtCapacity) {
+  Mailbox box;
+  box.set_capacity(2);
+  EXPECT_EQ(box.capacity(), 2u);
+  EXPECT_EQ(box.offer({0, bytes_of("a")}), PushOutcome::kAccepted);
+  EXPECT_EQ(box.offer({1, bytes_of("b")}), PushOutcome::kAccepted);
+  EXPECT_EQ(box.offer({2, bytes_of("c")}), PushOutcome::kRejectedFull);
+  EXPECT_EQ(box.rejected_full(), 1u);
+  EXPECT_EQ(box.peak(), 2u);
+  // Draining frees capacity again.
+  ASSERT_TRUE(box.pop().has_value());
+  EXPECT_EQ(box.offer({3, bytes_of("d")}), PushOutcome::kAccepted);
+  box.close();
+  EXPECT_EQ(box.offer({4, bytes_of("e")}), PushOutcome::kClosed);
+}
+
+// Regression for the overload scenario the capacity exists for: a burst
+// far past the bound must not grow the queue (memory) beyond it — extra
+// messages are rejected at the door, visibly counted.
+TEST(Mailbox, BurstCannotGrowMemoryPastCapacity) {
+  Mailbox box;
+  box.set_capacity(8);
+  constexpr std::size_t kBurst = 10000;
+  std::size_t accepted = 0;
+  for (std::size_t i = 0; i < kBurst; ++i) {
+    if (box.offer({static_cast<std::uint32_t>(i), bytes_of("x")}) ==
+        PushOutcome::kAccepted) {
+      ++accepted;
+    }
+    ASSERT_LE(box.pending(), 8u) << "message " << i;
+  }
+  EXPECT_EQ(accepted, 8u);
+  EXPECT_EQ(box.peak(), 8u);
+  EXPECT_EQ(box.rejected_full(), kBurst - 8u);
+}
+
+TEST(WeightedFairQueue, SingleTenantIsFifo) {
+  WeightedFairQueue<int> queue;
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(queue.push(0, i).accepted);
+  }
+  for (int i = 0; i < 5; ++i) {
+    auto item = queue.pop();
+    ASSERT_TRUE(item.has_value());
+    EXPECT_EQ(item->first, 0u);
+    EXPECT_EQ(item->second, i);
+  }
+  EXPECT_FALSE(queue.pop().has_value());
+  EXPECT_EQ(queue.peak(), 5u);
+  EXPECT_EQ(queue.sheds(), 0u);
+}
+
+TEST(WeightedFairQueue, WeightsSplitServiceThreeToOne) {
+  // Both tenants stay backlogged; weight-3 tenant must receive ~3 of
+  // every 4 service slots under virtual-time WFQ.
+  WeightedFairQueue<int> queue(0, ShedPolicy::kRejectNew, {3.0, 1.0});
+  for (int i = 0; i < 40; ++i) {
+    queue.push(0, i);
+    queue.push(1, i);
+  }
+  int heavy_in_first_20 = 0;
+  for (int i = 0; i < 20; ++i) {
+    auto item = queue.pop();
+    ASSERT_TRUE(item.has_value());
+    if (item->first == 0) ++heavy_in_first_20;
+  }
+  EXPECT_EQ(heavy_in_first_20, 15);  // exactly 3:1 while both backlogged
+}
+
+TEST(WeightedFairQueue, PopOrderIsDeterministic) {
+  const auto run = [] {
+    WeightedFairQueue<int> queue(0, ShedPolicy::kRejectNew, {2.0, 1.0, 1.0});
+    int next = 0;
+    for (int round = 0; round < 10; ++round) {
+      for (std::uint32_t t = 0; t < 3; ++t) queue.push(t, next++);
+    }
+    std::vector<std::pair<std::uint32_t, int>> order;
+    while (auto item = queue.pop()) order.push_back(*item);
+    return order;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(WeightedFairQueue, RejectNewShedsTheArrival) {
+  WeightedFairQueue<int> queue(2, ShedPolicy::kRejectNew);
+  EXPECT_TRUE(queue.push(0, 1).accepted);
+  EXPECT_TRUE(queue.push(0, 2).accepted);
+  auto result = queue.push(7, 3);
+  EXPECT_FALSE(result.accepted);
+  ASSERT_TRUE(result.victim.has_value());
+  EXPECT_EQ(result.victim->tenant, 7u);
+  EXPECT_EQ(result.victim->item, 3);
+  EXPECT_EQ(queue.size(), 2u);
+  EXPECT_EQ(queue.sheds(), 1u);
+  // The queue itself is untouched: 1 then 2 still come out.
+  EXPECT_EQ(queue.pop()->second, 1);
+  EXPECT_EQ(queue.pop()->second, 2);
+}
+
+TEST(WeightedFairQueue, DropOldestEvictsLongestWaiting) {
+  WeightedFairQueue<int> queue(2, ShedPolicy::kDropOldest);
+  EXPECT_TRUE(queue.push(3, 1).accepted);
+  EXPECT_TRUE(queue.push(0, 2).accepted);
+  auto result = queue.push(0, 3);
+  EXPECT_TRUE(result.accepted);  // the arrival got in...
+  ASSERT_TRUE(result.victim.has_value());
+  EXPECT_EQ(result.victim->item, 1);  // ...at the oldest entry's expense
+  EXPECT_EQ(result.victim->tenant, 3u);
+  EXPECT_EQ(queue.size(), 2u);
+  EXPECT_EQ(queue.pop()->second, 2);
+  EXPECT_EQ(queue.pop()->second, 3);
+}
+
+// Overload end-to-end: a server with one slot and a one-deep wait queue
+// receives a burst of concurrent gathers.  Excess requests are shed with
+// kFlagShed (visible in server sheds() and client RpcStats), the shed
+// clients' retries honour the retry-after hint, and with generous retry
+// budgets every request eventually completes — overload degrades to
+// queueing delay, not to lost or wrongly-answered requests.
+TEST(ServerRuntime, ShedsPastQueueLimitAndRetriesRecover) {
+  MessageBus bus(1);
+  exec::ThreadPool pool(2);
+  ServerRuntimeOptions options;
+  options.pool = &pool;
+  options.max_inflight = 1;
+  options.queue_limit = 1;
+  options.shed_retry_after_us = 500;
+  ServerRuntime server(bus, 0, [](std::span<const std::uint8_t> req) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    return std::vector<std::uint8_t>(req.begin(), req.end());
+  }, options);
+  RetryPolicy policy;
+  policy.attempt_timeout = std::chrono::milliseconds(250);
+  policy.max_attempts = 30;
+  policy.backoff_jitter = 0.5;
+  Client client(bus, policy);
+
+  constexpr int kClients = 8;
+  std::atomic<std::uint64_t> total_sheds{0};
+  std::atomic<int> completed{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      auto result = client.gather({{0, {static_cast<std::uint8_t>(c)}}});
+      if (result.complete() &&
+          result.responses[0]->payload ==
+              std::vector<std::uint8_t>{static_cast<std::uint8_t>(c)}) {
+        ++completed;
+      }
+      total_sheds += result.stats.sheds;
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(completed.load(), kClients);
+  // 8 concurrent requests vs 1 running + 1 queued: someone was shed.
+  EXPECT_GT(server.sheds(), 0u);
+  EXPECT_GT(total_sheds.load(), 0u);
+  EXPECT_LE(server.queue_peak(), 1u);
+  bus.shutdown();
+}
+
+// A request that is only ever shed must be reported as shed (server
+// overloaded, alive) rather than as a timeout (server dead) — the signal
+// the query layer uses to return kOverloaded instead of degrading.
+TEST(ClientGather, ShedMarkedDistinctFromTimeout) {
+  MessageBus bus(1);
+  exec::ThreadPool pool(1);
+  ServerRuntimeOptions options;
+  options.pool = &pool;
+  options.max_inflight = 1;
+  options.queue_limit = 1;
+  std::promise<void> release;
+  std::shared_future<void> released(release.get_future());
+  ServerRuntime server(bus, 0,
+                       [released](std::span<const std::uint8_t> req) {
+                         released.wait();
+                         return std::vector<std::uint8_t>(req.begin(),
+                                                          req.end());
+                       },
+                       options);
+  RetryPolicy policy;
+  policy.attempt_timeout = std::chrono::milliseconds(500);
+  policy.max_attempts = 2;
+  Client client(bus, policy);
+  // Occupy the single slot, then the single queue entry.
+  auto slot = std::async(std::launch::async, [&] {
+    return client.gather({{0, bytes_of("slot")}});
+  });
+  auto queued = std::async(std::launch::async, [&] {
+    return client.gather({{0, bytes_of("wait")}});
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  // This one finds slot + queue full: shed on every attempt.
+  const auto t0 = std::chrono::steady_clock::now();
+  auto result = client.gather({{0, bytes_of("extra")}});
+  // Shed replies wake the gather early — it must not sit out full
+  // attempt windows.
+  EXPECT_LT(std::chrono::steady_clock::now() - t0,
+            std::chrono::milliseconds(900));
+  EXPECT_FALSE(result.complete());
+  ASSERT_EQ(result.shed.size(), 1u);
+  EXPECT_TRUE(result.shed[0]);
+  EXPECT_GT(result.stats.sheds, 0u);
+  EXPECT_EQ(result.stats.timeouts, 0u);
+  release.set_value();
+  EXPECT_TRUE(slot.get().complete());
+  EXPECT_TRUE(queued.get().complete());
+  bus.shutdown();
+}
+
 TEST(ServerRuntime, SequentialRequestsProcessedInOrder) {
   MessageBus bus(1);
   std::vector<int> seen;

@@ -409,6 +409,44 @@ TEST(EnvelopeTransport, WrapUnwrapRoundTrip) {
             0);
 }
 
+/// Overload-control fields: the tenant identity (weighted-fair scheduler
+/// key) and the flags word (kFlagShed marks a shed reply, whose payload is
+/// the retry-after hint) must survive the wire unchanged.
+TEST(EnvelopeTransport, TenantAndFlagsRoundTrip) {
+  rpc::Envelope header;
+  header.request_id = 11;
+  header.attempt = 2;
+  header.tenant = 0xDEADBEEF;
+  header.flags = rpc::kFlagShed | 0x80u;
+  header.deadline_us = 999;
+  const std::uint64_t retry_after_us = 4321;
+  std::vector<std::uint8_t> payload(sizeof(retry_after_us));
+  std::memcpy(payload.data(), &retry_after_us, sizeof(retry_after_us));
+  const auto frame = rpc::envelope_wrap(header, payload);
+
+  rpc::Envelope got;
+  std::span<const std::uint8_t> got_payload;
+  ASSERT_TRUE(rpc::envelope_unwrap(frame, got, got_payload));
+  EXPECT_EQ(got.tenant, header.tenant);
+  EXPECT_EQ(got.flags, header.flags);
+  EXPECT_NE(got.flags & rpc::kFlagShed, 0u);
+  ASSERT_EQ(got_payload.size(), sizeof(retry_after_us));
+  std::uint64_t got_hint = 0;
+  std::memcpy(&got_hint, got_payload.data(), sizeof(got_hint));
+  EXPECT_EQ(got_hint, retry_after_us);
+
+  // A default envelope reads back tenant 0 / no flags — untagged traffic
+  // stays untagged.
+  rpc::Envelope plain;
+  const auto plain_frame = rpc::envelope_wrap(plain, {});
+  rpc::Envelope got_plain;
+  std::span<const std::uint8_t> got_plain_payload;
+  ASSERT_TRUE(rpc::envelope_unwrap(plain_frame, got_plain,
+                                   got_plain_payload));
+  EXPECT_EQ(got_plain.tenant, 0u);
+  EXPECT_EQ(got_plain.flags, 0u);
+}
+
 TEST(EnvelopeTransport, ChecksumCatchesPayloadCorruption) {
   const std::vector<std::uint8_t> payload{1, 2, 3, 4, 5};
   auto frame = rpc::envelope_wrap({}, payload);

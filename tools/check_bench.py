@@ -20,6 +20,12 @@ the claim being protected.
 --require-strategy NAME (repeatable) additionally fails the gate when the
 candidate has no row for the named strategy in any compared section —
 protecting against a new strategy silently dropping out of the bench.
+
+--traffic switches to overload-robustness mode: rows come from the
+"traffic" section of traffic_bench output, matched by (arrival, load).
+Both numbers are deterministic virtual-time model output.  A row fails
+when its tail latency regresses (p99_s > baseline * (1 + threshold)) or
+its goodput under load drops (goodput_qps < baseline * (1 - threshold)).
 """
 
 import argparse
@@ -39,6 +45,54 @@ def load_rows(path, sections):
     return rows
 
 
+def load_traffic_rows(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {("traffic", row["arrival"], row["load"]): row
+            for row in doc.get("traffic", [])}
+
+
+def check_traffic(args):
+    base = load_traffic_rows(args.baseline)
+    cand = load_traffic_rows(args.candidate)
+    failures = []
+    compared = 0
+    for key, base_row in sorted(base.items()):
+        cand_row = cand.get(key)
+        if cand_row is None:
+            print(f"note: {key} missing from candidate (skipped)")
+            continue
+        compared += 1
+        label = "/".join(str(k) for k in key)
+        checks = [
+            ("p99_s", base_row["p99_s"], cand_row["p99_s"],
+             cand_row["p99_s"] > base_row["p99_s"] * (1.0 + args.threshold)),
+            ("goodput_qps", base_row["goodput_qps"], cand_row["goodput_qps"],
+             cand_row["goodput_qps"] <
+             base_row["goodput_qps"] * (1.0 - args.threshold)),
+        ]
+        for metric, b, c, failed in checks:
+            marker = ""
+            if failed:
+                failures.append((key, metric))
+                marker = "  <-- REGRESSION"
+            rel = (c - b) / b if b > 0 else 0.0
+            print(f"{label:28s} {metric:12s} base {b:12.6f}  "
+                  f"cand {c:12.6f}  {rel:+7.1%}{marker}")
+    for key in sorted(set(cand) - set(base)):
+        print(f"note: {key} new in candidate (not gated)")
+    if compared == 0:
+        print("FAIL: no comparable traffic rows — wrong files?")
+        return 1
+    if failures:
+        print(f"FAIL: {len(failures)} traffic metrics regressed more than "
+              f"{args.threshold:.0%}")
+        return 1
+    print(f"OK: {compared} traffic rows within {args.threshold:.0%} "
+          f"of baseline")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline")
@@ -51,7 +105,13 @@ def main():
                         metavar="NAME",
                         help="fail unless the candidate has rows for this "
                              "strategy (repeatable)")
+    parser.add_argument("--traffic", action="store_true",
+                        help="compare traffic_bench output (goodput + p99 "
+                             "by arrival/load) instead of figure rows")
     args = parser.parse_args()
+
+    if args.traffic:
+        return check_traffic(args)
 
     sections = [s for s in args.sections.split(",") if s]
     base = load_rows(args.baseline, sections)
