@@ -1,0 +1,254 @@
+// Wall-clock kernel microbenchmarks — the one bench in this suite that
+// measures THIS machine, not the simulated cluster.  The SIMD kernel layer
+// is real CPU work (the cost model charges it separately), so its claims
+// — scan GB/s, WAH decode MB/s, parallel-build scaling — are wall-clock
+// claims and are gated as such (tools/check_bench.py --kernels).
+//
+// Output JSON records the machine shape (hardware_threads, avx2) so the
+// gate can skip-not-fail SIMD floors on boxes without AVX2 and thread
+// floors on boxes without enough cores, and only diff throughput against
+// a baseline recorded on a matching machine.
+//
+// Environment knobs:
+//   PDC_BENCH_JSON   output path (default BENCH_kernels.json)
+//   PDC_BENCH_DIR    scratch directory for the build sweep
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "bitmap/wah.h"
+#include "common/exec_pool.h"
+#include "common/interval.h"
+#include "common/rng.h"
+#include "kernels/kernels.h"
+#include "sortrep/sorted_replica.h"
+
+namespace pdc::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Best-of-N wall seconds for `fn` (first call warms caches, then N timed).
+template <typename Fn>
+double best_seconds(int reps, Fn&& fn) {
+  fn();
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = Clock::now();
+    fn();
+    best = std::min(best,
+                    std::chrono::duration<double>(Clock::now() - t0).count());
+  }
+  return best;
+}
+
+struct KernelRow {
+  std::string name;
+  std::string backend;
+  std::string metric;  ///< "gb_per_s" | "mb_per_s" | "mprobes_per_s"
+  double value = 0.0;
+};
+
+struct BuildRow {
+  std::string name;
+  std::uint32_t threads = 0;
+  double seconds = 0.0;
+};
+
+template <typename T>
+KernelRow bench_scan(const char* name, kernels::Backend backend) {
+  constexpr std::size_t kN = 1u << 22;
+  Rng rng(11);
+  std::vector<T> values(kN);
+  for (auto& v : values) v = static_cast<T>(rng.uniform(-1.0, 1.0));
+  // ~50% selectivity: every element is branched on, half are appended.
+  const auto q = ValueInterval::from_op(QueryOp::kGT, -0.5)
+                     .intersect(ValueInterval::from_op(QueryOp::kLT, 0.5));
+  std::vector<std::uint64_t> out;
+  out.reserve(kN);
+  const kernels::ScopedBackend scoped(backend);
+  const double secs = best_seconds(5, [&] {
+    out.clear();
+    kernels::scan_interval(std::span<const T>(values), q, 0, out);
+  });
+  return {name, kernels::backend_name(kernels::active_backend()), "gb_per_s",
+          static_cast<double>(kN * sizeof(T)) / secs / 1e9};
+}
+
+KernelRow bench_wah_expand(kernels::Backend backend) {
+  // Mixed word stream: literal stretches at ~6% density plus 0- and
+  // 1-fills, the shape region bitmaps take after histogram pruning.
+  Rng rng(23);
+  bitmap::WahBitVector v;
+  for (int block = 0; block < 6000; ++block) {
+    switch (rng.bounded(4)) {
+      case 0:
+        v.append_run(false, 31 * (1 + rng.bounded(64)));
+        break;
+      case 1:
+        v.append_run(true, 31 * (1 + rng.bounded(8)));
+        break;
+      default:
+        for (int i = 0; i < 31 * 16; ++i) v.append_bit(rng.bounded(16) == 0);
+        break;
+    }
+  }
+  std::vector<std::uint64_t> out;
+  out.reserve(v.count());
+  const kernels::ScopedBackend scoped(backend);
+  const double secs = best_seconds(5, [&] {
+    out.clear();
+    v.append_set_positions(0, 0, v.size(), out);
+  });
+  const double word_bytes =
+      static_cast<double>(v.words().size()) * sizeof(std::uint32_t);
+  return {"wah_expand", kernels::backend_name(kernels::active_backend()),
+          "mb_per_s", word_bytes / secs / 1e6};
+}
+
+KernelRow bench_bound_batch(kernels::Backend backend) {
+  constexpr std::size_t kN = 1u << 20;
+  constexpr std::size_t kKeys = 1u << 16;
+  Rng rng(37);
+  std::vector<double> sorted(kN);
+  for (auto& v : sorted) v = rng.uniform(0.0, 1.0);
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> keys(kKeys);
+  for (auto& k : keys) k = rng.uniform(-0.1, 1.1);
+  std::vector<std::uint64_t> out(kKeys);
+  const kernels::ScopedBackend scoped(backend);
+  const double secs = best_seconds(5, [&] {
+    kernels::lower_bound_batch(std::span<const double>(sorted),
+                               std::span<const double>(keys), out);
+  });
+  return {"bound_batch_f64", kernels::backend_name(kernels::active_backend()),
+          "mprobes_per_s", static_cast<double>(kKeys) / secs / 1e6};
+}
+
+/// Sorted-replica build wall time at each pool width (one store per width:
+/// a replica may only be built once per source).
+std::vector<BuildRow> bench_sortrep_builds(const std::string& scratch) {
+  constexpr std::uint64_t kN = 1u << 21;
+  Rng rng(41);
+  std::vector<float> data(kN);
+  for (auto& v : data) v = static_cast<float>(rng.uniform(-100.0, 100.0));
+
+  std::vector<BuildRow> rows;
+  for (const std::uint32_t threads : {1u, 2u, 4u, 8u}) {
+    const std::string dir = scratch + "/sortrep_" + std::to_string(threads);
+    std::filesystem::remove_all(dir);
+    pfs::PfsConfig cfg;
+    cfg.root_dir = dir;
+    auto cluster = unwrap(pfs::PfsCluster::Create(cfg), "PFS create");
+    obj::ObjectStore store(*cluster);
+    const ObjectId container =
+        unwrap(store.create_container("bench"), "container");
+    obj::ImportOptions options;
+    options.region_size_bytes = 1u << 20;
+    const ObjectId source = unwrap(
+        store.import_object<float>(container, "key",
+                                   std::span<const float>(data), options),
+        "import");
+    exec::ThreadPool pool(threads);
+    options.pool = &pool;
+    const auto report = unwrap(
+        sortrep::build_sorted_replica(store, source, options), "build");
+    rows.push_back({"sortrep_build", threads, report.wall_seconds});
+    std::filesystem::remove_all(dir);
+  }
+  return rows;
+}
+
+std::vector<BuildRow> bench_histogram_builds() {
+  constexpr std::size_t kN = 1u << 23;
+  Rng rng(43);
+  std::vector<double> data(kN);
+  for (auto& v : data) v = rng.uniform(-5.0, 5.0);
+  std::vector<BuildRow> rows;
+  for (const std::uint32_t threads : {1u, 2u, 4u, 8u}) {
+    exec::ThreadPool pool(threads);
+    const double secs = best_seconds(3, [&] {
+      (void)hist::MergeableHistogram::Build<double>(
+          std::span<const double>(data), {}, &pool);
+    });
+    rows.push_back({"histogram_build", threads, secs});
+  }
+  return rows;
+}
+
+}  // namespace
+}  // namespace pdc::bench
+
+int main() {
+  using namespace pdc;
+  using namespace pdc::bench;
+
+  const bool avx2 = kernels::cpu_has_avx2();
+  std::vector<kernels::Backend> backends{kernels::Backend::kScalar};
+  if (avx2) backends.push_back(kernels::Backend::kAvx2);
+
+  std::vector<KernelRow> kernel_rows;
+  for (const kernels::Backend b : backends) {
+    kernel_rows.push_back(bench_scan<float>("scan_f32", b));
+    kernel_rows.push_back(bench_scan<double>("scan_f64", b));
+    kernel_rows.push_back(bench_wah_expand(b));
+    kernel_rows.push_back(bench_bound_batch(b));
+  }
+
+  const std::string scratch =
+      env_str("PDC_BENCH_DIR", "/tmp/pdc_bench") + "/kernels";
+  std::vector<BuildRow> build_rows = bench_sortrep_builds(scratch);
+  for (auto& row : bench_histogram_builds()) build_rows.push_back(row);
+
+  for (const KernelRow& row : kernel_rows) {
+    std::printf("%-16s %-8s %10.3f %s\n", row.name.c_str(),
+                row.backend.c_str(), row.value, row.metric.c_str());
+  }
+  for (const BuildRow& row : build_rows) {
+    std::printf("%-16s threads=%u %10.6f s\n", row.name.c_str(), row.threads,
+                row.seconds);
+  }
+
+  const std::string json_path =
+      env_str("PDC_BENCH_JSON", "BENCH_kernels.json");
+  std::FILE* out = std::fopen(json_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "FATAL: cannot open %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"machine\": {\n");
+  std::fprintf(out, "    \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(out, "    \"avx2\": %s,\n", avx2 ? "true" : "false");
+  std::fprintf(out, "    \"default_backend\": \"%s\"\n",
+               kernels::backend_name(kernels::active_backend()));
+  std::fprintf(out, "  },\n  \"kernels\": [\n");
+  for (std::size_t i = 0; i < kernel_rows.size(); ++i) {
+    const KernelRow& row = kernel_rows[i];
+    std::fprintf(out,
+                 "    {\"name\": \"%s\", \"backend\": \"%s\", "
+                 "\"%s\": %.6f}%s\n",
+                 row.name.c_str(), row.backend.c_str(), row.metric.c_str(),
+                 row.value, i + 1 < kernel_rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n  \"builds\": [\n");
+  for (std::size_t i = 0; i < build_rows.size(); ++i) {
+    const BuildRow& row = build_rows[i];
+    std::fprintf(out,
+                 "    {\"name\": \"%s\", \"threads\": %u, "
+                 "\"seconds\": %.9f}%s\n",
+                 row.name.c_str(), row.threads, row.seconds,
+                 i + 1 < build_rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}

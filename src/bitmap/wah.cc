@@ -1,6 +1,9 @@
 #include "bitmap/wah.h"
 
+#include <algorithm>
 #include <bit>
+
+#include "kernels/kernels.h"
 
 namespace pdc::bitmap {
 namespace {
@@ -35,6 +38,26 @@ class RunDecoder {
   [[nodiscard]] std::uint64_t groups_left() const { return groups_left_; }
   [[nodiscard]] std::uint32_t literal_group() const {
     return is_fill_ ? (fill_bit_ ? 0x7FFFFFFFu : 0u) : literal_;
+  }
+
+  /// Number of consecutive literal words starting at the current run
+  /// (current included); 0 when the current run is a fill.  Only valid
+  /// after ensure() returned true.
+  [[nodiscard]] std::size_t literal_stretch() const {
+    if (is_fill_) return 0;
+    std::size_t j = i_;  // the current literal lives at words_[i_ - 1]
+    while (j < words_.size() && (words_[j] & 0x80000000u) == 0) ++j;
+    return j - (i_ - 1);
+  }
+
+  [[nodiscard]] const std::uint32_t* literal_ptr() const {
+    return words_.data() + (i_ - 1);
+  }
+
+  /// Consume the current literal plus the next `k - 1` literal words.
+  void skip_literal_stretch(std::size_t k) {
+    groups_left_ = 0;
+    i_ += k - 1;
   }
 
  private:
@@ -152,6 +175,44 @@ std::vector<std::uint64_t> WahBitVector::to_positions() const {
   return out;
 }
 
+void WahBitVector::append_set_positions(std::uint64_t base,
+                                        std::uint64_t clip_lo,
+                                        std::uint64_t clip_hi,
+                                        std::vector<std::uint64_t>& out) const {
+  kernels::wah_expand(words_, active_, active_bits_, base, clip_lo, clip_hi,
+                      out);
+}
+
+void WahBitVector::combine_literal_stretch(std::span<const std::uint32_t> a,
+                                           std::span<const std::uint32_t> b,
+                                           bool is_or) {
+  constexpr std::size_t kChunk = 512;
+  std::uint32_t buf[kChunk];
+  for (std::size_t off = 0; off < a.size(); off += kChunk) {
+    const std::size_t m = std::min(kChunk, a.size() - off);
+    kernels::wah_combine_literals(a.data() + off, b.data() + off, buf, m,
+                                  is_or);
+    // Plain result words splice in bulk; all-0/all-1 results must go
+    // through push_group so fills coalesce canonically.
+    std::size_t s = 0;
+    while (s < m) {
+      if (buf[s] == 0 || buf[s] == kLiteralMask) {
+        push_group(buf[s]);
+        num_bits_ += kGroupBits;
+        num_set_ += static_cast<std::uint32_t>(std::popcount(buf[s]));
+        ++s;
+      } else {
+        std::size_t e = s + 1;
+        while (e < m && buf[e] != 0 && buf[e] != kLiteralMask) ++e;
+        words_.insert(words_.end(), buf + s, buf + e);
+        num_bits_ += static_cast<std::uint64_t>(e - s) * kGroupBits;
+        num_set_ += kernels::popcount_words(buf + s, e - s);
+        s = e;
+      }
+    }
+  }
+}
+
 template <bool kIsOr>
 Result<WahBitVector> WahBitVector::Combine(const WahBitVector& a,
                                            const WahBitVector& b) {
@@ -170,6 +231,17 @@ Result<WahBitVector> WahBitVector::Combine(const WahBitVector& a,
       da.consume(n);
       db.consume(n);
     } else {
+      // Both streams sitting on literal runs: AND/OR the whole aligned
+      // stretch through the SIMD kernel instead of word-at-a-time.
+      const std::size_t stretch =
+          std::min(da.literal_stretch(), db.literal_stretch());
+      if (stretch >= 2) {
+        out.combine_literal_stretch({da.literal_ptr(), stretch},
+                                    {db.literal_ptr(), stretch}, kIsOr);
+        da.skip_literal_stretch(stretch);
+        db.skip_literal_stretch(stretch);
+        continue;
+      }
       const std::uint32_t g =
           kIsOr ? (da.literal_group() | db.literal_group())
                 : (da.literal_group() & db.literal_group());
@@ -207,6 +279,14 @@ void WahBitVector::serialize(SerialWriter& w) const {
   w.put(active_);
   w.put(active_bits_);
   w.put_vector(words_);
+}
+
+void WahBitVector::serialize(GatherWriter& w) const {
+  w.put(num_bits_);
+  w.put(num_set_);
+  w.put(active_);
+  w.put(active_bits_);
+  w.put_vector_ref(std::span<const std::uint32_t>(words_));
 }
 
 Status WahBitVector::check_invariants() const {

@@ -44,11 +44,33 @@ class WahBitVector {
   /// All set-bit positions, ascending.
   [[nodiscard]] std::vector<std::uint64_t> to_positions() const;
 
+  /// Append `base + position` for every set bit whose absolute position
+  /// `base + position` lies in [clip_lo, clip_hi), ascending.  The
+  /// kernel-backed bulk form of for_each_set + filter (the bin-decode hot
+  /// path); SIMD/scalar per the active kernels backend, bit-identical.
+  void append_set_positions(std::uint64_t base, std::uint64_t clip_lo,
+                            std::uint64_t clip_hi,
+                            std::vector<std::uint64_t>& out) const;
+
+  /// Compressed word stream (complete groups), borrowed.  Exposed for the
+  /// kernel differential tests and zero-copy serialization.
+  [[nodiscard]] std::span<const std::uint32_t> words() const noexcept {
+    return words_;
+  }
+  [[nodiscard]] std::uint32_t active_word() const noexcept { return active_; }
+  [[nodiscard]] std::uint32_t active_bit_count() const noexcept {
+    return active_bits_;
+  }
+
   /// Bitwise AND / OR of two vectors of equal logical size.
   static Result<WahBitVector> And(const WahBitVector& a, const WahBitVector& b);
   static Result<WahBitVector> Or(const WahBitVector& a, const WahBitVector& b);
 
   void serialize(SerialWriter& w) const;
+  /// Zero-copy serialize: the word payload rides as a borrowed span until
+  /// the writer assembles.  Byte-identical to the SerialWriter overload;
+  /// `*this` must outlive `w.take()`.
+  void serialize(GatherWriter& w) const;
   static Result<WahBitVector> Deserialize(SerialReader& r);
 
   /// Debug invariant check (QueryCheck harness): word/bit/set-count
@@ -69,6 +91,12 @@ class WahBitVector {
 
   /// Append one complete 31-bit group, coalescing fills.
   void push_group(std::uint32_t literal);
+
+  /// Bulk-append the AND/OR of `n` literal words (kernel-backed): plain
+  /// result words are inserted in one splice, all-0/all-1 results go
+  /// through push_group so fills stay canonical.
+  void combine_literal_stretch(std::span<const std::uint32_t> a,
+                               std::span<const std::uint32_t> b, bool is_or);
 
   template <bool kIsOr>
   static Result<WahBitVector> Combine(const WahBitVector& a,

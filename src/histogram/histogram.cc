@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "common/exec_pool.h"
+
 namespace pdc::hist {
 
 double round_down_pow2(double x) noexcept {
@@ -24,7 +26,8 @@ double floor_to_lattice(double x, double w) noexcept {
 
 template <PdcElement T>
 MergeableHistogram MergeableHistogram::Build(std::span<const T> data,
-                                             const HistogramConfig& config) {
+                                             const HistogramConfig& config,
+                                             exec::ThreadPool* pool) {
   MergeableHistogram h;
   if (data.empty()) return h;
 
@@ -81,26 +84,62 @@ MergeableHistogram MergeableHistogram::Build(std::span<const T> data,
 
   // Lines 11-18: count every element.  Values outside the sampled range are
   // absorbed by the first/last bin, which stretch to the true min/max.
-  double true_min = std::numeric_limits<double>::infinity();
-  double true_max = -std::numeric_limits<double>::infinity();
+  struct Tally {
+    std::vector<std::uint64_t> counts;
+    std::uint64_t nan = 0;
+    double min = std::numeric_limits<double>::infinity();
+    double max = -std::numeric_limits<double>::infinity();
+  };
   const double nbins_d = static_cast<double>(nbins);
-  for (const T& v : data) {
-    const double d = static_cast<double>(v);
-    if (d != d) {
-      // NaN: no bin can hold it and no range condition can match it.
-      // Counting it into a bin would both be UB (NaN -> size_t cast) and
-      // poison the all-hits fast path.
-      ++h.nan_count_;
-      continue;
+  const auto count_range = [&](std::uint64_t lo, std::uint64_t hi, Tally& t) {
+    for (std::uint64_t i = lo; i < hi; ++i) {
+      const double d = static_cast<double>(data[i]);
+      if (d != d) {
+        // NaN: no bin can hold it and no range condition can match it.
+        // Counting it into a bin would both be UB (NaN -> size_t cast) and
+        // poison the all-hits fast path.
+        ++t.nan;
+        continue;
+      }
+      t.min = std::min(t.min, d);
+      t.max = std::max(t.max, d);
+      double j = std::floor((d - first_edge) / width);
+      j = std::clamp(j, 0.0, nbins_d - 1.0);  // ±inf lands in the edge bins
+      ++t.counts[static_cast<std::size_t>(j)];
     }
-    true_min = std::min(true_min, d);
-    true_max = std::max(true_max, d);
-    double j = std::floor((d - first_edge) / width);
-    j = std::clamp(j, 0.0, nbins_d - 1.0);  // ±inf lands in the edge bins
-    ++h.counts_[static_cast<std::size_t>(j)];
+  };
+
+  constexpr std::uint64_t kCountChunk = 1u << 16;
+  Tally total;
+  total.counts.assign(nbins, 0);
+  if (pool != nullptr && n > 2 * kCountChunk) {
+    // Parallel reduction over fixed chunks (boundaries independent of the
+    // thread count), partials folded in chunk order.  Bin counts are
+    // integer adds and min/max folded in index order keeps the serial
+    // tie representative, so the result is bit-identical to the serial
+    // pass below at any pool size.
+    const auto nchunks = static_cast<std::size_t>((n + kCountChunk - 1) /
+                                                  kCountChunk);
+    std::vector<Tally> parts(nchunks);
+    exec::parallel_for(pool, nchunks, [&](std::size_t c) {
+      Tally& t = parts[c];
+      t.counts.assign(nbins, 0);
+      count_range(c * kCountChunk, std::min<std::uint64_t>(n, (c + 1) * kCountChunk),
+                  t);
+    });
+    for (const Tally& t : parts) {
+      for (std::size_t b = 0; b < nbins; ++b) total.counts[b] += t.counts[b];
+      total.nan += t.nan;
+      total.min = std::min(total.min, t.min);
+      total.max = std::max(total.max, t.max);
+    }
+  } else {
+    count_range(0, n, total);
   }
-  h.min_ = true_min;
-  h.max_ = true_max;
+  h.counts_ = std::move(total.counts);
+  h.nan_count_ = total.nan;
+  h.min_ = total.min;
+  h.max_ = total.max;
   h.total_ = n;
   return h;
 }
@@ -213,16 +252,16 @@ Result<MergeableHistogram> MergeableHistogram::Deserialize(SerialReader& r) {
 }
 
 template MergeableHistogram MergeableHistogram::Build<float>(
-    std::span<const float>, const HistogramConfig&);
+    std::span<const float>, const HistogramConfig&, exec::ThreadPool*);
 template MergeableHistogram MergeableHistogram::Build<double>(
-    std::span<const double>, const HistogramConfig&);
+    std::span<const double>, const HistogramConfig&, exec::ThreadPool*);
 template MergeableHistogram MergeableHistogram::Build<std::int32_t>(
-    std::span<const std::int32_t>, const HistogramConfig&);
+    std::span<const std::int32_t>, const HistogramConfig&, exec::ThreadPool*);
 template MergeableHistogram MergeableHistogram::Build<std::uint32_t>(
-    std::span<const std::uint32_t>, const HistogramConfig&);
+    std::span<const std::uint32_t>, const HistogramConfig&, exec::ThreadPool*);
 template MergeableHistogram MergeableHistogram::Build<std::int64_t>(
-    std::span<const std::int64_t>, const HistogramConfig&);
+    std::span<const std::int64_t>, const HistogramConfig&, exec::ThreadPool*);
 template MergeableHistogram MergeableHistogram::Build<std::uint64_t>(
-    std::span<const std::uint64_t>, const HistogramConfig&);
+    std::span<const std::uint64_t>, const HistogramConfig&, exec::ThreadPool*);
 
 }  // namespace pdc::hist

@@ -25,6 +25,10 @@
 #include "common/status.h"
 #include "common/types.h"
 
+namespace pdc::exec {
+class ThreadPool;
+}  // namespace pdc::exec
+
 namespace pdc::hist {
 
 /// Build-time parameters (paper: 50–100 bins per region, 10 % sampling).
@@ -58,9 +62,16 @@ class MergeableHistogram {
   /// width down to a power of two, anchors boundaries on the width lattice,
   /// then counts all elements (outliers beyond the sampled range stretch
   /// the first/last bin, as in the paper's lines 13–17).
+  ///
+  /// With a non-null `pool` the counting pass runs as a parallel reduction
+  /// over fixed-size chunks whose partial tallies are folded in chunk
+  /// order; the result is bit-identical to the serial build for every
+  /// thread count (integer adds are exact, and in-order min/max folding
+  /// preserves which representative of a tie — e.g. ±0.0 — is kept).
   template <PdcElement T>
   static MergeableHistogram Build(std::span<const T> data,
-                                  const HistogramConfig& config = {});
+                                  const HistogramConfig& config = {},
+                                  exec::ThreadPool* pool = nullptr);
 
   /// Merge many histograms built by Build() into one.  The result uses the
   /// largest input bin width; finer input bins nest exactly into coarser
@@ -123,16 +134,16 @@ class MergeableHistogram {
 [[nodiscard]] double round_down_pow2(double x) noexcept;
 
 extern template MergeableHistogram MergeableHistogram::Build<float>(
-    std::span<const float>, const HistogramConfig&);
+    std::span<const float>, const HistogramConfig&, exec::ThreadPool*);
 extern template MergeableHistogram MergeableHistogram::Build<double>(
-    std::span<const double>, const HistogramConfig&);
+    std::span<const double>, const HistogramConfig&, exec::ThreadPool*);
 extern template MergeableHistogram MergeableHistogram::Build<std::int32_t>(
-    std::span<const std::int32_t>, const HistogramConfig&);
+    std::span<const std::int32_t>, const HistogramConfig&, exec::ThreadPool*);
 extern template MergeableHistogram MergeableHistogram::Build<std::uint32_t>(
-    std::span<const std::uint32_t>, const HistogramConfig&);
+    std::span<const std::uint32_t>, const HistogramConfig&, exec::ThreadPool*);
 extern template MergeableHistogram MergeableHistogram::Build<std::int64_t>(
-    std::span<const std::int64_t>, const HistogramConfig&);
+    std::span<const std::int64_t>, const HistogramConfig&, exec::ThreadPool*);
 extern template MergeableHistogram MergeableHistogram::Build<std::uint64_t>(
-    std::span<const std::uint64_t>, const HistogramConfig&);
+    std::span<const std::uint64_t>, const HistogramConfig&, exec::ThreadPool*);
 
 }  // namespace pdc::hist

@@ -1,0 +1,360 @@
+// Scalar reference kernels + runtime backend dispatch.
+//
+// This translation unit is compiled with -fno-tree-vectorize (see
+// CMakeLists.txt): the scalar implementations are the semantic reference
+// the differential battery compares AVX2 against AND the baseline the
+// bench gate measures speedups over, so the compiler must not quietly
+// vectorize them out from under either role.
+
+#include "kernels/kernels.h"
+
+#include <atomic>
+#include <bit>
+#include <cstdlib>
+#include <cstring>
+
+namespace pdc::kernels {
+
+namespace {
+
+/// Test-override slot: -1 = none, else a Backend value.
+std::atomic<int> g_override{-1};
+
+Backend detect_backend() noexcept {
+  if (const char* env = std::getenv("PDC_KERNELS")) {
+    if (std::strcmp(env, "scalar") == 0) return Backend::kScalar;
+    if (std::strcmp(env, "avx2") == 0) {
+      return cpu_has_avx2() ? Backend::kAvx2 : Backend::kScalar;
+    }
+    // Unrecognized value: fall through to auto-detection.
+  }
+  return cpu_has_avx2() ? Backend::kAvx2 : Backend::kScalar;
+}
+
+}  // namespace
+
+const char* backend_name(Backend b) noexcept {
+  return b == Backend::kAvx2 ? "avx2" : "scalar";
+}
+
+bool cpu_has_avx2() noexcept {
+#if defined(PDC_KERNELS_HAVE_AVX2) && defined(__x86_64__)
+  static const bool has = __builtin_cpu_supports("avx2") &&
+                          __builtin_cpu_supports("bmi") &&
+                          __builtin_cpu_supports("popcnt");
+  return has;
+#else
+  return false;
+#endif
+}
+
+Backend active_backend() noexcept {
+  const int o = g_override.load(std::memory_order_relaxed);
+  if (o >= 0) return static_cast<Backend>(o);
+  static const Backend detected = detect_backend();
+  return detected;
+}
+
+void set_backend_for_test(Backend b) noexcept {
+  if (b == Backend::kAvx2 && !cpu_has_avx2()) b = Backend::kScalar;
+  g_override.store(static_cast<int>(b), std::memory_order_relaxed);
+}
+
+void clear_backend_override() noexcept {
+  g_override.store(-1, std::memory_order_relaxed);
+}
+
+bool has_backend_override() noexcept {
+  return g_override.load(std::memory_order_relaxed) >= 0;
+}
+
+ScopedBackend::ScopedBackend(Backend b) noexcept
+    : previous_(g_override.load(std::memory_order_relaxed)) {
+  set_backend_for_test(b);
+}
+
+ScopedBackend::~ScopedBackend() {
+  g_override.store(previous_, std::memory_order_relaxed);
+}
+
+// --------------------------------------------------------------- scalar
+
+namespace scalar {
+
+void scan_interval_f32(std::span<const float> values, const ValueInterval& q,
+                       std::uint64_t base, std::vector<std::uint64_t>& out) {
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (q.contains(static_cast<double>(values[i]))) out.push_back(base + i);
+  }
+}
+
+void scan_interval_f64(std::span<const double> values, const ValueInterval& q,
+                       std::uint64_t base, std::vector<std::uint64_t>& out) {
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (q.contains(values[i])) out.push_back(base + i);
+  }
+}
+
+void append_range(std::vector<std::uint64_t>& out, std::uint64_t lo,
+                  std::uint64_t hi) {
+  for (std::uint64_t p = lo; p < hi; ++p) out.push_back(p);
+}
+
+namespace {
+
+/// Emit the set bits of one literal/active word at absolute position
+/// `pos`, clipped to [clip_lo, clip_hi).
+inline void expand_word(std::uint32_t bits, std::uint64_t pos,
+                        std::uint64_t clip_lo, std::uint64_t clip_hi,
+                        std::vector<std::uint64_t>& out) {
+  while (bits != 0) {
+    const std::uint64_t p =
+        pos + static_cast<std::uint64_t>(std::countr_zero(bits));
+    if (p >= clip_lo && p < clip_hi) out.push_back(p);
+    bits &= bits - 1;
+  }
+}
+
+}  // namespace
+
+void wah_expand(std::span<const std::uint32_t> words, std::uint32_t active,
+                std::uint32_t active_bits, std::uint64_t base,
+                std::uint64_t clip_lo, std::uint64_t clip_hi,
+                std::vector<std::uint64_t>& out) {
+  constexpr std::uint32_t kGroupBits = 31;
+  std::uint64_t pos = base;
+  for (const std::uint32_t w : words) {
+    if (w & 0x80000000u) {
+      const std::uint64_t bits =
+          static_cast<std::uint64_t>(w & 0x3FFFFFFFu) * kGroupBits;
+      if (w & 0x40000000u) {
+        const std::uint64_t lo = pos > clip_lo ? pos : clip_lo;
+        const std::uint64_t hi = pos + bits < clip_hi ? pos + bits : clip_hi;
+        append_range(out, lo, hi);
+      }
+      pos += bits;
+    } else {
+      // Skip clipped-out words without bit-walking them.
+      if (pos + kGroupBits > clip_lo && pos < clip_hi) {
+        expand_word(w, pos, clip_lo, clip_hi, out);
+      }
+      pos += kGroupBits;
+    }
+  }
+  if (active_bits > 0 && pos + active_bits > clip_lo && pos < clip_hi) {
+    expand_word(active, pos, clip_lo, clip_hi, out);
+  }
+}
+
+void wah_combine_literals(const std::uint32_t* a, const std::uint32_t* b,
+                          std::uint32_t* dst, std::size_t n, bool is_or) {
+  if (is_or) {
+    for (std::size_t i = 0; i < n; ++i) dst[i] = a[i] | b[i];
+  } else {
+    for (std::size_t i = 0; i < n; ++i) dst[i] = a[i] & b[i];
+  }
+}
+
+namespace {
+
+template <typename T, bool kUpper>
+void bound_batch(std::span<const T> sorted, std::span<const T> keys,
+                 std::span<std::uint64_t> out) {
+  for (std::size_t k = 0; k < keys.size(); ++k) {
+    out[k] = kUpper ? upper_bound_index(sorted, keys[k])
+                    : lower_bound_index(sorted, keys[k]);
+  }
+}
+
+}  // namespace
+
+void lower_bound_batch_f32(std::span<const float> sorted,
+                           std::span<const float> keys,
+                           std::span<std::uint64_t> out) {
+  bound_batch<float, false>(sorted, keys, out);
+}
+
+void lower_bound_batch_f64(std::span<const double> sorted,
+                           std::span<const double> keys,
+                           std::span<std::uint64_t> out) {
+  bound_batch<double, false>(sorted, keys, out);
+}
+
+void upper_bound_batch_f32(std::span<const float> sorted,
+                           std::span<const float> keys,
+                           std::span<std::uint64_t> out) {
+  bound_batch<float, true>(sorted, keys, out);
+}
+
+void upper_bound_batch_f64(std::span<const double> sorted,
+                           std::span<const double> keys,
+                           std::span<std::uint64_t> out) {
+  bound_batch<double, true>(sorted, keys, out);
+}
+
+}  // namespace scalar
+
+// ------------------------------------------- avx2 fallback (no codegen)
+//
+// When the toolchain cannot compile AVX2 (kernels_avx2.cc absent from the
+// build), the avx2 namespace still links — forwarding to scalar — and
+// cpu_has_avx2() is false, so dispatch never selects it and seed-derived
+// backend choices remain portable.
+
+#ifndef PDC_KERNELS_HAVE_AVX2
+namespace avx2 {
+
+void scan_interval_f32(std::span<const float> values, const ValueInterval& q,
+                       std::uint64_t base, std::vector<std::uint64_t>& out) {
+  scalar::scan_interval_f32(values, q, base, out);
+}
+
+void scan_interval_f64(std::span<const double> values, const ValueInterval& q,
+                       std::uint64_t base, std::vector<std::uint64_t>& out) {
+  scalar::scan_interval_f64(values, q, base, out);
+}
+
+void append_range(std::vector<std::uint64_t>& out, std::uint64_t lo,
+                  std::uint64_t hi) {
+  scalar::append_range(out, lo, hi);
+}
+
+void wah_expand(std::span<const std::uint32_t> words, std::uint32_t active,
+                std::uint32_t active_bits, std::uint64_t base,
+                std::uint64_t clip_lo, std::uint64_t clip_hi,
+                std::vector<std::uint64_t>& out) {
+  scalar::wah_expand(words, active, active_bits, base, clip_lo, clip_hi, out);
+}
+
+void wah_combine_literals(const std::uint32_t* a, const std::uint32_t* b,
+                          std::uint32_t* dst, std::size_t n, bool is_or) {
+  scalar::wah_combine_literals(a, b, dst, n, is_or);
+}
+
+void lower_bound_batch_f32(std::span<const float> sorted,
+                           std::span<const float> keys,
+                           std::span<std::uint64_t> out) {
+  scalar::lower_bound_batch_f32(sorted, keys, out);
+}
+
+void lower_bound_batch_f64(std::span<const double> sorted,
+                           std::span<const double> keys,
+                           std::span<std::uint64_t> out) {
+  scalar::lower_bound_batch_f64(sorted, keys, out);
+}
+
+void upper_bound_batch_f32(std::span<const float> sorted,
+                           std::span<const float> keys,
+                           std::span<std::uint64_t> out) {
+  scalar::upper_bound_batch_f32(sorted, keys, out);
+}
+
+void upper_bound_batch_f64(std::span<const double> sorted,
+                           std::span<const double> keys,
+                           std::span<std::uint64_t> out) {
+  scalar::upper_bound_batch_f64(sorted, keys, out);
+}
+
+}  // namespace avx2
+#endif  // !PDC_KERNELS_HAVE_AVX2
+
+// ------------------------------------------------------------- dispatch
+
+void scan_interval(std::span<const float> values, const ValueInterval& q,
+                   std::uint64_t base, std::vector<std::uint64_t>& out) {
+  if (active_backend() == Backend::kAvx2) {
+    avx2::scan_interval_f32(values, q, base, out);
+  } else {
+    scalar::scan_interval_f32(values, q, base, out);
+  }
+}
+
+void scan_interval(std::span<const double> values, const ValueInterval& q,
+                   std::uint64_t base, std::vector<std::uint64_t>& out) {
+  if (active_backend() == Backend::kAvx2) {
+    avx2::scan_interval_f64(values, q, base, out);
+  } else {
+    scalar::scan_interval_f64(values, q, base, out);
+  }
+}
+
+void append_range(std::vector<std::uint64_t>& out, std::uint64_t lo,
+                  std::uint64_t hi) {
+  if (active_backend() == Backend::kAvx2) {
+    avx2::append_range(out, lo, hi);
+  } else {
+    scalar::append_range(out, lo, hi);
+  }
+}
+
+void wah_expand(std::span<const std::uint32_t> words, std::uint32_t active,
+                std::uint32_t active_bits, std::uint64_t base,
+                std::uint64_t clip_lo, std::uint64_t clip_hi,
+                std::vector<std::uint64_t>& out) {
+  if (active_backend() == Backend::kAvx2) {
+    avx2::wah_expand(words, active, active_bits, base, clip_lo, clip_hi, out);
+  } else {
+    scalar::wah_expand(words, active, active_bits, base, clip_lo, clip_hi,
+                       out);
+  }
+}
+
+void wah_combine_literals(const std::uint32_t* a, const std::uint32_t* b,
+                          std::uint32_t* dst, std::size_t n, bool is_or) {
+  if (active_backend() == Backend::kAvx2) {
+    avx2::wah_combine_literals(a, b, dst, n, is_or);
+  } else {
+    scalar::wah_combine_literals(a, b, dst, n, is_or);
+  }
+}
+
+std::uint64_t popcount_words(const std::uint32_t* words,
+                             std::size_t n) noexcept {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += static_cast<std::uint32_t>(std::popcount(words[i]));
+  }
+  return total;
+}
+
+void lower_bound_batch(std::span<const float> sorted,
+                       std::span<const float> keys,
+                       std::span<std::uint64_t> out) {
+  if (active_backend() == Backend::kAvx2) {
+    avx2::lower_bound_batch_f32(sorted, keys, out);
+  } else {
+    scalar::lower_bound_batch_f32(sorted, keys, out);
+  }
+}
+
+void lower_bound_batch(std::span<const double> sorted,
+                       std::span<const double> keys,
+                       std::span<std::uint64_t> out) {
+  if (active_backend() == Backend::kAvx2) {
+    avx2::lower_bound_batch_f64(sorted, keys, out);
+  } else {
+    scalar::lower_bound_batch_f64(sorted, keys, out);
+  }
+}
+
+void upper_bound_batch(std::span<const float> sorted,
+                       std::span<const float> keys,
+                       std::span<std::uint64_t> out) {
+  if (active_backend() == Backend::kAvx2) {
+    avx2::upper_bound_batch_f32(sorted, keys, out);
+  } else {
+    scalar::upper_bound_batch_f32(sorted, keys, out);
+  }
+}
+
+void upper_bound_batch(std::span<const double> sorted,
+                       std::span<const double> keys,
+                       std::span<std::uint64_t> out) {
+  if (active_backend() == Backend::kAvx2) {
+    avx2::upper_bound_batch_f64(sorted, keys, out);
+  } else {
+    scalar::upper_bound_batch_f64(sorted, keys, out);
+  }
+}
+
+}  // namespace pdc::kernels

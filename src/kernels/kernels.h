@@ -1,0 +1,239 @@
+// Runtime-dispatched CPU kernels for the wall-clock hot paths.
+//
+// Every prior layer optimized *simulated* time; this library is where the
+// process actually burns cycles: predicate scan over region buffers, WAH
+// word expand/AND/OR, and sorted-replica bound probes.  Each kernel has a
+// scalar reference implementation and an AVX2 implementation; the backend
+// is selected once at startup from cpuid (overridable with
+// PDC_KERNELS=scalar|avx2) and the two are required to be bit-identical —
+// tests/kernels_test.cc runs them differentially on adversarial inputs and
+// QueryCheck differentials whole query paths under a seed-derived backend.
+//
+// Bit-exactness rules the implementations obey:
+//   - scans compare in the double domain, exactly like
+//     ValueInterval::contains(static_cast<double>(v)) — floats are widened
+//     before comparison (float-domain compares would diverge on bounds that
+//     are not representable in float);
+//   - all comparisons are ordered-quiet (NaN never matches, no traps);
+//   - emission order is ascending, matching the serial loops they replace.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/interval.h"
+
+namespace pdc::kernels {
+
+// ------------------------------------------------------------- dispatch
+
+enum class Backend : std::uint8_t {
+  kScalar = 0,
+  kAvx2 = 1,
+};
+
+[[nodiscard]] const char* backend_name(Backend b) noexcept;
+
+/// True when AVX2 kernels are compiled in AND the CPU supports them.
+[[nodiscard]] bool cpu_has_avx2() noexcept;
+
+/// The backend every dispatched kernel below uses.  Resolution order:
+/// test override (set_backend_for_test / ScopedBackend), then the
+/// PDC_KERNELS environment variable ("scalar" forces the reference,
+/// "avx2" requests SIMD and falls back to scalar when unsupported),
+/// then cpuid.  The non-override part is computed once and cached.
+[[nodiscard]] Backend active_backend() noexcept;
+
+/// Force a backend process-wide (tests only; atomic but not intended for
+/// concurrent flipping while kernels run).  kAvx2 is downgraded to
+/// kScalar when cpu_has_avx2() is false, so seed-derived choices are
+/// portable to machines without AVX2.
+void set_backend_for_test(Backend b) noexcept;
+
+/// Remove the test override; dispatch returns to env/cpuid selection.
+void clear_backend_override() noexcept;
+
+/// True while a test override (set_backend_for_test / ScopedBackend) is
+/// installed.  Harnesses that derive a per-case backend use this to let an
+/// enclosing pin win.
+[[nodiscard]] bool has_backend_override() noexcept;
+
+/// RAII backend override for differential tests.
+class ScopedBackend {
+ public:
+  explicit ScopedBackend(Backend b) noexcept;
+  ~ScopedBackend();
+  ScopedBackend(const ScopedBackend&) = delete;
+  ScopedBackend& operator=(const ScopedBackend&) = delete;
+
+ private:
+  int previous_;  ///< previous override slot (-1 = none)
+};
+
+// ------------------------------------------------------ predicate scan
+
+/// Append `base + i` for every i with `q.contains((double)values[i])`,
+/// ascending.  Drop-in replacement for the region_pipeline scan loop.
+void scan_interval(std::span<const float> values, const ValueInterval& q,
+                   std::uint64_t base, std::vector<std::uint64_t>& out);
+void scan_interval(std::span<const double> values, const ValueInterval& q,
+                   std::uint64_t base, std::vector<std::uint64_t>& out);
+
+/// Integral element types stay scalar (the datasets under test are
+/// float/double; int regions are rare and memory-bound anyway) but share
+/// the exact comparison semantics.
+template <typename T>
+  requires std::is_integral_v<T>
+void scan_interval(std::span<const T> values, const ValueInterval& q,
+                   std::uint64_t base, std::vector<std::uint64_t>& out) {
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (q.contains(static_cast<double>(values[i]))) out.push_back(base + i);
+  }
+}
+
+// ------------------------------------------------------------ iota fill
+
+/// Append lo, lo+1, ..., hi-1 (the all-hit region fast path).
+void append_range(std::vector<std::uint64_t>& out, std::uint64_t lo,
+                  std::uint64_t hi);
+
+// ------------------------------------------------------------------ WAH
+
+/// Expand the set bits of a WAH word stream (31-bit groups; literal words
+/// MSB=0, fill words MSB=1 with fill bit 30 and a 30-bit group count) plus
+/// a partial trailing group (`active`, low `active_bits` bits valid).
+/// Emits `base + bit_position` for every set bit whose absolute position
+/// lies in [clip_lo, clip_hi), ascending — the decode_bins contract.
+void wah_expand(std::span<const std::uint32_t> words, std::uint32_t active,
+                std::uint32_t active_bits, std::uint64_t base,
+                std::uint64_t clip_lo, std::uint64_t clip_hi,
+                std::vector<std::uint64_t>& out);
+
+/// dst[i] = a[i] OP b[i] for n literal words (no fill-flag handling; the
+/// caller guarantees every input word is a literal).  dst may not overlap
+/// the inputs.
+void wah_combine_literals(const std::uint32_t* a, const std::uint32_t* b,
+                          std::uint32_t* dst, std::size_t n, bool is_or);
+
+/// Sum of popcounts over a word array (literal accounting).
+[[nodiscard]] std::uint64_t popcount_words(const std::uint32_t* words,
+                                           std::size_t n) noexcept;
+
+// -------------------------------------------------- sorted bound probes
+
+/// Branchless std::lower_bound / std::upper_bound–equivalent index.  The
+/// iteration count depends only on `sorted.size()`, which is what makes
+/// the batch variants below lockstep-vectorizable; the scalar form is
+/// shared by both backends so single-key probes are trivially identical.
+template <typename T>
+[[nodiscard]] std::uint64_t lower_bound_index(std::span<const T> sorted,
+                                              T key) noexcept {
+  if (sorted.empty()) return 0;
+  const T* a = sorted.data();
+  std::size_t base = 0;
+  std::size_t len = sorted.size();
+  while (len > 1) {
+    const std::size_t half = len / 2;
+    if (a[base + half - 1] < key) base += half;
+    len -= half;
+  }
+  return base + (a[base] < key ? 1 : 0);
+}
+
+template <typename T>
+[[nodiscard]] std::uint64_t upper_bound_index(std::span<const T> sorted,
+                                              T key) noexcept {
+  if (sorted.empty()) return 0;
+  const T* a = sorted.data();
+  std::size_t base = 0;
+  std::size_t len = sorted.size();
+  while (len > 1) {
+    const std::size_t half = len / 2;
+    if (!(key < a[base + half - 1])) base += half;
+    len -= half;
+  }
+  return base + (!(key < a[base]) ? 1 : 0);
+}
+
+/// Batched probes: out[k] = lower/upper_bound_index(sorted, keys[k]).
+/// AVX2 runs 8 (float) / 4 (double) searches in gather lockstep — the
+/// replica build's merge-split searches and the planner's boundary probes
+/// are batch-shaped.  Keys need not be sorted.  NaN keys are allowed and
+/// produce the same (backend-identical) result as the scalar branchless
+/// form, which differs from std::lower_bound only when inputs break its
+/// partitioning precondition anyway.
+void lower_bound_batch(std::span<const float> sorted,
+                       std::span<const float> keys,
+                       std::span<std::uint64_t> out);
+void lower_bound_batch(std::span<const double> sorted,
+                       std::span<const double> keys,
+                       std::span<std::uint64_t> out);
+void upper_bound_batch(std::span<const float> sorted,
+                       std::span<const float> keys,
+                       std::span<std::uint64_t> out);
+void upper_bound_batch(std::span<const double> sorted,
+                       std::span<const double> keys,
+                       std::span<std::uint64_t> out);
+
+// ----------------------------------------------- per-backend namespaces
+//
+// The differential battery calls these directly; production code calls
+// the dispatched functions above.  In builds without AVX2 codegen the
+// avx2 functions forward to scalar (and cpu_has_avx2() is false).
+
+namespace scalar {
+void scan_interval_f32(std::span<const float> values, const ValueInterval& q,
+                       std::uint64_t base, std::vector<std::uint64_t>& out);
+void scan_interval_f64(std::span<const double> values, const ValueInterval& q,
+                       std::uint64_t base, std::vector<std::uint64_t>& out);
+void append_range(std::vector<std::uint64_t>& out, std::uint64_t lo,
+                  std::uint64_t hi);
+void wah_expand(std::span<const std::uint32_t> words, std::uint32_t active,
+                std::uint32_t active_bits, std::uint64_t base,
+                std::uint64_t clip_lo, std::uint64_t clip_hi,
+                std::vector<std::uint64_t>& out);
+void wah_combine_literals(const std::uint32_t* a, const std::uint32_t* b,
+                          std::uint32_t* dst, std::size_t n, bool is_or);
+void lower_bound_batch_f32(std::span<const float> sorted,
+                           std::span<const float> keys,
+                           std::span<std::uint64_t> out);
+void lower_bound_batch_f64(std::span<const double> sorted,
+                           std::span<const double> keys,
+                           std::span<std::uint64_t> out);
+void upper_bound_batch_f32(std::span<const float> sorted,
+                           std::span<const float> keys,
+                           std::span<std::uint64_t> out);
+void upper_bound_batch_f64(std::span<const double> sorted,
+                           std::span<const double> keys,
+                           std::span<std::uint64_t> out);
+}  // namespace scalar
+
+namespace avx2 {
+void scan_interval_f32(std::span<const float> values, const ValueInterval& q,
+                       std::uint64_t base, std::vector<std::uint64_t>& out);
+void scan_interval_f64(std::span<const double> values, const ValueInterval& q,
+                       std::uint64_t base, std::vector<std::uint64_t>& out);
+void append_range(std::vector<std::uint64_t>& out, std::uint64_t lo,
+                  std::uint64_t hi);
+void wah_expand(std::span<const std::uint32_t> words, std::uint32_t active,
+                std::uint32_t active_bits, std::uint64_t base,
+                std::uint64_t clip_lo, std::uint64_t clip_hi,
+                std::vector<std::uint64_t>& out);
+void wah_combine_literals(const std::uint32_t* a, const std::uint32_t* b,
+                          std::uint32_t* dst, std::size_t n, bool is_or);
+void lower_bound_batch_f32(std::span<const float> sorted,
+                           std::span<const float> keys,
+                           std::span<std::uint64_t> out);
+void lower_bound_batch_f64(std::span<const double> sorted,
+                           std::span<const double> keys,
+                           std::span<std::uint64_t> out);
+void upper_bound_batch_f32(std::span<const float> sorted,
+                           std::span<const float> keys,
+                           std::span<std::uint64_t> out);
+void upper_bound_batch_f64(std::span<const double> sorted,
+                           std::span<const double> keys,
+                           std::span<std::uint64_t> out);
+}  // namespace avx2
+
+}  // namespace pdc::kernels

@@ -1,0 +1,411 @@
+// AVX2 kernel implementations.
+//
+// Compiled with -mavx2 -mbmi -mpopcnt in its own translation unit; nothing
+// here runs unless cpu_has_avx2() confirmed support at startup (or a test
+// forced the backend, which set_backend_for_test only allows when the CPU
+// qualifies).
+//
+// Bit-exactness with the scalar reference:
+//   - float scans widen 8 floats to double via _mm256_cvtps_pd (exact) and
+//     compare in the double domain, because ValueInterval::contains
+//     promotes to double — comparing in float domain would diverge when a
+//     bound is not representable in float;
+//   - every compare is ordered-quiet (*_OQ), so NaN lanes never match and
+//     no FP exceptions are raised;
+//   - set-bit expansion uses a 256-entry packed-index byte LUT, widened
+//     with _mm256_cvtepu8_epi64 — emission stays ascending.
+
+#ifdef PDC_KERNELS_HAVE_AVX2
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "kernels/kernels.h"
+
+namespace pdc::kernels::avx2 {
+namespace {
+
+constexpr std::size_t kBlock = 2048;  ///< staging elements between flushes
+
+/// idx[m] = the bit positions set in m, packed ascending; cnt[m] = how many.
+struct ByteLut {
+  std::uint8_t idx[256][8];
+  std::uint8_t cnt[256];
+};
+
+constexpr ByteLut make_byte_lut() {
+  ByteLut lut{};
+  for (int m = 0; m < 256; ++m) {
+    int k = 0;
+    for (int b = 0; b < 8; ++b) {
+      if ((m >> b) & 1) lut.idx[m][k++] = static_cast<std::uint8_t>(b);
+    }
+    lut.cnt[m] = static_cast<std::uint8_t>(k);
+  }
+  return lut;
+}
+
+alignas(64) constexpr ByteLut kLut = make_byte_lut();
+
+/// Append `first + b` for every bit b set in the 8-bit mask `m` to
+/// tmp[cnt...].  May store up to 8 lanes beyond cnt; callers leave slack.
+inline void emit_mask8(unsigned m, std::uint64_t first, std::uint64_t* tmp,
+                       std::size_t& cnt) {
+  const __m128i packed =
+      _mm_loadl_epi64(reinterpret_cast<const __m128i*>(kLut.idx[m]));
+  const __m256i base = _mm256_set1_epi64x(static_cast<long long>(first));
+  _mm256_storeu_si256(
+      reinterpret_cast<__m256i*>(tmp + cnt),
+      _mm256_add_epi64(_mm256_cvtepu8_epi64(packed), base));
+  const unsigned c = kLut.cnt[m];
+  if (c > 4) {
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(tmp + cnt + 4),
+        _mm256_add_epi64(_mm256_cvtepu8_epi64(_mm_srli_si128(packed, 4)),
+                         base));
+  }
+  cnt += c;
+}
+
+template <bool kLoInc, bool kHiInc>
+void scan_f32_impl(const float* v, std::size_t n, const ValueInterval& q,
+                   std::uint64_t base, std::vector<std::uint64_t>& out) {
+  constexpr int kLoCmp = kLoInc ? _CMP_GE_OQ : _CMP_GT_OQ;
+  constexpr int kHiCmp = kHiInc ? _CMP_LE_OQ : _CMP_LT_OQ;
+  const __m256d lo = _mm256_set1_pd(q.lo);
+  const __m256d hi = _mm256_set1_pd(q.hi);
+  std::uint64_t tmp[kBlock + 8];
+  std::size_t i = 0;
+  while (i < n) {
+    const std::size_t end = std::min(n, i + kBlock);
+    std::size_t cnt = 0;
+    for (; i + 8 <= end; i += 8) {
+      const __m256d d0 = _mm256_cvtps_pd(_mm_loadu_ps(v + i));
+      const __m256d d1 = _mm256_cvtps_pd(_mm_loadu_ps(v + i + 4));
+      const unsigned m0 = static_cast<unsigned>(_mm256_movemask_pd(
+          _mm256_and_pd(_mm256_cmp_pd(d0, lo, kLoCmp),
+                        _mm256_cmp_pd(d0, hi, kHiCmp))));
+      const unsigned m1 = static_cast<unsigned>(_mm256_movemask_pd(
+          _mm256_and_pd(_mm256_cmp_pd(d1, lo, kLoCmp),
+                        _mm256_cmp_pd(d1, hi, kHiCmp))));
+      const unsigned m = m0 | (m1 << 4);
+      if (m != 0) emit_mask8(m, base + i, tmp, cnt);
+    }
+    for (; i < end; ++i) {
+      if (q.contains(static_cast<double>(v[i]))) tmp[cnt++] = base + i;
+    }
+    out.insert(out.end(), tmp, tmp + cnt);
+  }
+}
+
+template <bool kLoInc, bool kHiInc>
+void scan_f64_impl(const double* v, std::size_t n, const ValueInterval& q,
+                   std::uint64_t base, std::vector<std::uint64_t>& out) {
+  constexpr int kLoCmp = kLoInc ? _CMP_GE_OQ : _CMP_GT_OQ;
+  constexpr int kHiCmp = kHiInc ? _CMP_LE_OQ : _CMP_LT_OQ;
+  const __m256d lo = _mm256_set1_pd(q.lo);
+  const __m256d hi = _mm256_set1_pd(q.hi);
+  std::uint64_t tmp[kBlock + 8];
+  std::size_t i = 0;
+  while (i < n) {
+    const std::size_t end = std::min(n, i + kBlock);
+    std::size_t cnt = 0;
+    for (; i + 4 <= end; i += 4) {
+      const __m256d d = _mm256_loadu_pd(v + i);
+      const unsigned m = static_cast<unsigned>(_mm256_movemask_pd(
+          _mm256_and_pd(_mm256_cmp_pd(d, lo, kLoCmp),
+                        _mm256_cmp_pd(d, hi, kHiCmp))));
+      if (m != 0) emit_mask8(m, base + i, tmp, cnt);
+    }
+    for (; i < end; ++i) {
+      if (q.contains(v[i])) tmp[cnt++] = base + i;
+    }
+    out.insert(out.end(), tmp, tmp + cnt);
+  }
+}
+
+template <typename Impl>
+void dispatch_bounds(const ValueInterval& q, Impl&& impl) {
+  if (q.lo_inclusive) {
+    if (q.hi_inclusive) {
+      impl(std::true_type{}, std::true_type{});
+    } else {
+      impl(std::true_type{}, std::false_type{});
+    }
+  } else {
+    if (q.hi_inclusive) {
+      impl(std::false_type{}, std::true_type{});
+    } else {
+      impl(std::false_type{}, std::false_type{});
+    }
+  }
+}
+
+}  // namespace
+
+void scan_interval_f32(std::span<const float> values, const ValueInterval& q,
+                       std::uint64_t base, std::vector<std::uint64_t>& out) {
+  dispatch_bounds(q, [&](auto lo_inc, auto hi_inc) {
+    scan_f32_impl<decltype(lo_inc)::value, decltype(hi_inc)::value>(
+        values.data(), values.size(), q, base, out);
+  });
+}
+
+void scan_interval_f64(std::span<const double> values, const ValueInterval& q,
+                       std::uint64_t base, std::vector<std::uint64_t>& out) {
+  dispatch_bounds(q, [&](auto lo_inc, auto hi_inc) {
+    scan_f64_impl<decltype(lo_inc)::value, decltype(hi_inc)::value>(
+        values.data(), values.size(), q, base, out);
+  });
+}
+
+void append_range(std::vector<std::uint64_t>& out, std::uint64_t lo,
+                  std::uint64_t hi) {
+  if (hi <= lo) return;
+  const std::size_t n = static_cast<std::size_t>(hi - lo);
+  const std::size_t k = out.size();
+  out.resize(k + n);
+  std::uint64_t* p = out.data() + k;
+  __m256i cur = _mm256_add_epi64(
+      _mm256_set1_epi64x(static_cast<long long>(lo)),
+      _mm256_set_epi64x(3, 2, 1, 0));
+  const __m256i step = _mm256_set1_epi64x(4);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(p + i), cur);
+    cur = _mm256_add_epi64(cur, step);
+  }
+  for (; i < n; ++i) p[i] = lo + i;
+}
+
+void wah_expand(std::span<const std::uint32_t> words, std::uint32_t active,
+                std::uint32_t active_bits, std::uint64_t base,
+                std::uint64_t clip_lo, std::uint64_t clip_hi,
+                std::vector<std::uint64_t>& out) {
+  constexpr std::uint32_t kGroupBits = 31;
+  // Literal expansions stage into tmp (flushed in blocks); 1-fill runs
+  // bypass tmp and ramp directly into `out`.  Slack: one literal word can
+  // emit 31 positions through four emit_mask8 calls, each of which may
+  // store up to 8 lanes past cnt.
+  std::uint64_t tmp[kBlock + 40];
+  std::size_t cnt = 0;
+  const auto flush = [&] {
+    out.insert(out.end(), tmp, tmp + cnt);
+    cnt = 0;
+  };
+  std::uint64_t pos = base;
+  for (const std::uint32_t w : words) {
+    if (w & 0x80000000u) {
+      const std::uint64_t bits =
+          static_cast<std::uint64_t>(w & 0x3FFFFFFFu) * kGroupBits;
+      if (w & 0x40000000u) {
+        const std::uint64_t lo = pos > clip_lo ? pos : clip_lo;
+        const std::uint64_t hi = pos + bits < clip_hi ? pos + bits : clip_hi;
+        if (hi > lo) {
+          flush();
+          append_range(out, lo, hi);
+        }
+      }
+      pos += bits;
+    } else {
+      if (w != 0 && pos + kGroupBits > clip_lo && pos < clip_hi) {
+        if (cnt >= kBlock) flush();
+        if (pos >= clip_lo && pos + kGroupBits <= clip_hi) {
+          emit_mask8(w & 0xFFu, pos, tmp, cnt);
+          emit_mask8((w >> 8) & 0xFFu, pos + 8, tmp, cnt);
+          emit_mask8((w >> 16) & 0xFFu, pos + 16, tmp, cnt);
+          emit_mask8((w >> 24) & 0x7Fu, pos + 24, tmp, cnt);
+        } else {
+          // Word straddles a clip edge: per-bit with the clip check.
+          std::uint32_t bits = w;
+          while (bits != 0) {
+            const std::uint64_t p = pos + static_cast<std::uint64_t>(
+                                              __builtin_ctz(bits));
+            if (p >= clip_lo && p < clip_hi) tmp[cnt++] = p;
+            bits &= bits - 1;
+          }
+        }
+      }
+      pos += kGroupBits;
+    }
+  }
+  if (active_bits > 0 && active != 0 && pos + active_bits > clip_lo &&
+      pos < clip_hi) {
+    if (cnt >= kBlock) flush();
+    std::uint32_t bits = active;
+    while (bits != 0) {
+      const std::uint64_t p =
+          pos + static_cast<std::uint64_t>(__builtin_ctz(bits));
+      if (p >= clip_lo && p < clip_hi) tmp[cnt++] = p;
+      bits &= bits - 1;
+    }
+  }
+  flush();
+}
+
+void wah_combine_literals(const std::uint32_t* a, const std::uint32_t* b,
+                          std::uint32_t* dst, std::size_t n, bool is_or) {
+  std::size_t i = 0;
+  if (is_or) {
+    for (; i + 8 <= n; i += 8) {
+      _mm256_storeu_si256(
+          reinterpret_cast<__m256i*>(dst + i),
+          _mm256_or_si256(
+              _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i)),
+              _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i))));
+    }
+    for (; i < n; ++i) dst[i] = a[i] | b[i];
+  } else {
+    for (; i + 8 <= n; i += 8) {
+      _mm256_storeu_si256(
+          reinterpret_cast<__m256i*>(dst + i),
+          _mm256_and_si256(
+              _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i)),
+              _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i))));
+    }
+    for (; i < n; ++i) dst[i] = a[i] & b[i];
+  }
+}
+
+namespace {
+
+/// Lockstep branchless binary search over 8 float keys.  Every lane runs
+/// the identical `len` schedule (it depends only on n), so the whole batch
+/// advances with one gather + one compare per level.
+/// kUpper=false moves right on (a[m] < key); kUpper=true on !(key < a[m]),
+/// matching the scalar branchless forms bit-for-bit (including NaN keys).
+template <bool kUpper>
+void bound_batch_f32(std::span<const float> sorted,
+                     std::span<const float> keys,
+                     std::span<std::uint64_t> out) {
+  const float* a = sorted.data();
+  const std::size_t n = sorted.size();
+  std::size_t k = 0;
+  if (n >= 1 && n < (1ull << 31)) {
+    for (; k + 8 <= keys.size(); k += 8) {
+      const __m256 key = _mm256_loadu_ps(keys.data() + k);
+      __m256i base = _mm256_setzero_si256();
+      std::size_t len = n;
+      while (len > 1) {
+        const std::size_t half = len / 2;
+        const __m256i idx = _mm256_add_epi32(
+            base, _mm256_set1_epi32(static_cast<int>(half - 1)));
+        const __m256 vals = _mm256_i32gather_ps(a, idx, 4);
+        const __m256i halfv = _mm256_set1_epi32(static_cast<int>(half));
+        if constexpr (kUpper) {
+          const __m256i ge =
+              _mm256_castps_si256(_mm256_cmp_ps(key, vals, _CMP_LT_OQ));
+          base = _mm256_add_epi32(base, _mm256_andnot_si256(ge, halfv));
+        } else {
+          const __m256i lt =
+              _mm256_castps_si256(_mm256_cmp_ps(vals, key, _CMP_LT_OQ));
+          base = _mm256_add_epi32(base, _mm256_and_si256(lt, halfv));
+        }
+        len -= half;
+      }
+      const __m256 vals = _mm256_i32gather_ps(a, base, 4);
+      const __m256i one = _mm256_set1_epi32(1);
+      if constexpr (kUpper) {
+        const __m256i ge =
+            _mm256_castps_si256(_mm256_cmp_ps(key, vals, _CMP_LT_OQ));
+        base = _mm256_add_epi32(base, _mm256_andnot_si256(ge, one));
+      } else {
+        const __m256i lt =
+            _mm256_castps_si256(_mm256_cmp_ps(vals, key, _CMP_LT_OQ));
+        base = _mm256_add_epi32(base, _mm256_and_si256(lt, one));
+      }
+      alignas(32) std::int32_t lanes[8];
+      _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), base);
+      for (int j = 0; j < 8; ++j) {
+        out[k + j] = static_cast<std::uint32_t>(lanes[j]);
+      }
+    }
+  }
+  for (; k < keys.size(); ++k) {
+    out[k] = kUpper ? upper_bound_index(sorted, keys[k])
+                    : lower_bound_index(sorted, keys[k]);
+  }
+}
+
+/// 4-lane double variant (i64 indices, gather scale 8).
+template <bool kUpper>
+void bound_batch_f64(std::span<const double> sorted,
+                     std::span<const double> keys,
+                     std::span<std::uint64_t> out) {
+  const double* a = sorted.data();
+  const std::size_t n = sorted.size();
+  std::size_t k = 0;
+  if (n >= 1) {
+    for (; k + 4 <= keys.size(); k += 4) {
+      const __m256d key = _mm256_loadu_pd(keys.data() + k);
+      __m256i base = _mm256_setzero_si256();
+      std::size_t len = n;
+      while (len > 1) {
+        const std::size_t half = len / 2;
+        const __m256i idx = _mm256_add_epi64(
+            base, _mm256_set1_epi64x(static_cast<long long>(half - 1)));
+        const __m256d vals = _mm256_i64gather_pd(a, idx, 8);
+        const __m256i halfv =
+            _mm256_set1_epi64x(static_cast<long long>(half));
+        if constexpr (kUpper) {
+          const __m256i ge =
+              _mm256_castpd_si256(_mm256_cmp_pd(key, vals, _CMP_LT_OQ));
+          base = _mm256_add_epi64(base, _mm256_andnot_si256(ge, halfv));
+        } else {
+          const __m256i lt =
+              _mm256_castpd_si256(_mm256_cmp_pd(vals, key, _CMP_LT_OQ));
+          base = _mm256_add_epi64(base, _mm256_and_si256(lt, halfv));
+        }
+        len -= half;
+      }
+      const __m256d vals = _mm256_i64gather_pd(a, base, 8);
+      const __m256i one = _mm256_set1_epi64x(1);
+      if constexpr (kUpper) {
+        const __m256i ge =
+            _mm256_castpd_si256(_mm256_cmp_pd(key, vals, _CMP_LT_OQ));
+        base = _mm256_add_epi64(base, _mm256_andnot_si256(ge, one));
+      } else {
+        const __m256i lt =
+            _mm256_castpd_si256(_mm256_cmp_pd(vals, key, _CMP_LT_OQ));
+        base = _mm256_add_epi64(base, _mm256_and_si256(lt, one));
+      }
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out.data() + k), base);
+    }
+  }
+  for (; k < keys.size(); ++k) {
+    out[k] = kUpper ? upper_bound_index(sorted, keys[k])
+                    : lower_bound_index(sorted, keys[k]);
+  }
+}
+
+}  // namespace
+
+void lower_bound_batch_f32(std::span<const float> sorted,
+                           std::span<const float> keys,
+                           std::span<std::uint64_t> out) {
+  bound_batch_f32<false>(sorted, keys, out);
+}
+
+void lower_bound_batch_f64(std::span<const double> sorted,
+                           std::span<const double> keys,
+                           std::span<std::uint64_t> out) {
+  bound_batch_f64<false>(sorted, keys, out);
+}
+
+void upper_bound_batch_f32(std::span<const float> sorted,
+                           std::span<const float> keys,
+                           std::span<std::uint64_t> out) {
+  bound_batch_f32<true>(sorted, keys, out);
+}
+
+void upper_bound_batch_f64(std::span<const double> sorted,
+                           std::span<const double> keys,
+                           std::span<std::uint64_t> out) {
+  bound_batch_f64<true>(sorted, keys, out);
+}
+
+}  // namespace pdc::kernels::avx2
+
+#endif  // PDC_KERNELS_HAVE_AVX2

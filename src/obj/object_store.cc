@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/exec_pool.h"
 #include "common/log.h"
 #include "common/serial.h"
 #include "obj/type_dispatch.h"
@@ -18,13 +19,14 @@ std::string index_file_name(ObjectId id) {
 
 hist::MergeableHistogram build_histogram_erased(
     PdcType type, std::span<const std::uint8_t> bytes, std::uint64_t count,
-    const hist::HistogramConfig& config) {
+    const hist::HistogramConfig& config,
+    exec::ThreadPool* pool = nullptr) {
   return dispatch_type(type, [&](auto tag) {
     using T = decltype(tag);
     return hist::MergeableHistogram::Build<T>(
         {reinterpret_cast<const T*>(bytes.data()),
          static_cast<std::size_t>(count)},
-        config);
+        config, pool);
   });
 }
 
@@ -157,27 +159,33 @@ Result<ObjectId> ObjectStore::import_raw(ObjectId container,
   PDC_RETURN_IF_ERROR(file.write(0, bytes));
 
   // Decompose into regions and build one local histogram per region.
+  // Region seeds are independent (`seed + i`), so the per-region builds
+  // can run concurrently and still produce exactly the serial metadata.
+  // A single-region object has no region-level parallelism to exploit,
+  // so it hands the pool down into the histogram's counting pass instead.
   const std::uint64_t rsize = desc->region_size_elements;
   const auto nregions =
       static_cast<std::size_t>((num_elements + rsize - 1) / rsize);
-  desc->regions.reserve(nregions);
-  std::vector<hist::MergeableHistogram> locals;
-  locals.reserve(nregions);
-  hist::HistogramConfig hist_cfg = options.histogram;
-  for (std::size_t i = 0; i < nregions; ++i) {
-    RegionDescriptor region;
+  desc->regions.resize(nregions);
+  exec::parallel_for(options.pool, nregions, [&](std::size_t i) {
+    RegionDescriptor& region = desc->regions[i];
     region.index = static_cast<RegionIndex>(i);
     region.extent.offset = i * rsize;
     region.extent.count = std::min(rsize, num_elements - region.extent.offset);
     // Vary the sampling seed per region so identical regions do not sample
     // identical offsets.
+    hist::HistogramConfig hist_cfg = options.histogram;
     hist_cfg.seed = options.histogram.seed + i;
     region.histogram = build_histogram_erased(
         type, bytes.subspan(region.extent.offset * elem_size,
                             region.extent.count * elem_size),
-        region.extent.count, hist_cfg);
+        region.extent.count, hist_cfg,
+        nregions == 1 ? options.pool : nullptr);
+  });
+  std::vector<hist::MergeableHistogram> locals;
+  locals.reserve(nregions);
+  for (const RegionDescriptor& region : desc->regions) {
     locals.push_back(region.histogram);
-    desc->regions.push_back(std::move(region));
   }
   desc->global_histogram = hist::MergeableHistogram::Merge(locals);
 
@@ -190,7 +198,8 @@ Result<ObjectId> ObjectStore::import_raw(ObjectId container,
 }
 
 Status ObjectStore::build_bitmap_index(ObjectId id,
-                                       const bitmap::IndexConfig& config) {
+                                       const bitmap::IndexConfig& config,
+                                       exec::ThreadPool* pool) {
   ObjectDescriptor* desc = nullptr;
   {
     std::shared_lock lock(mu_);
@@ -208,14 +217,25 @@ Status ObjectStore::build_bitmap_index(ObjectId id,
   const std::string fname = index_file_name(id);
   PDC_ASSIGN_OR_RETURN(pfs::PfsFile file, cluster_.create(fname));
   const std::size_t elem_size = desc->element_size();
-  std::vector<std::uint8_t> region_bytes;
-  std::uint64_t cursor = 0;
-  for (RegionDescriptor& region : desc->regions) {
-    region_bytes.resize(
-        static_cast<std::size_t>(region.extent.count * elem_size));
-    PDC_RETURN_IF_ERROR(read_region(*desc, region.index, region_bytes, {}));
-    SerialWriter w;
+
+  // Per-region read + index build + serialize are independent, so they
+  // fan out over the pool; the offset assignment and file writes below
+  // stay serial and in region order, making the index file byte-identical
+  // to a serial build at any pool size.
+  struct BuiltIndex {
+    Status status;
+    std::vector<std::uint8_t> bytes;
     std::uint64_t header_bytes = 0;
+  };
+  std::vector<BuiltIndex> built(desc->regions.size());
+  exec::parallel_for(pool, desc->regions.size(), [&](std::size_t i) {
+    const RegionDescriptor& region = desc->regions[i];
+    BuiltIndex& b = built[i];
+    std::vector<std::uint8_t> region_bytes(
+        static_cast<std::size_t>(region.extent.count * elem_size));
+    b.status = read_region(*desc, region.index, region_bytes, {});
+    if (!b.status.ok()) return;
+    SerialWriter w;
     dispatch_type(desc->type, [&](auto tag) {
       using T = decltype(tag);
       const auto idx = bitmap::BinnedBitmapIndex::Build<T>(
@@ -223,16 +243,24 @@ Status ObjectStore::build_bitmap_index(ObjectId id,
            static_cast<std::size_t>(region.extent.count)},
           config);
       idx.serialize(w);
-      header_bytes = idx.header_bytes();
+      b.header_bytes = idx.header_bytes();
     });
-    PDC_RETURN_IF_ERROR(file.write(cursor, w.bytes()));
+    b.bytes = w.take();
+  });
+
+  std::uint64_t cursor = 0;
+  for (std::size_t i = 0; i < desc->regions.size(); ++i) {
+    RegionDescriptor& region = desc->regions[i];
+    BuiltIndex& b = built[i];
+    PDC_RETURN_IF_ERROR(b.status);
+    PDC_RETURN_IF_ERROR(file.write(cursor, b.bytes));
     region.index_offset = cursor;
-    region.index_bytes = w.size();
-    region.index_header_bytes = header_bytes;
+    region.index_bytes = b.bytes.size();
+    region.index_header_bytes = b.header_bytes;
     region.index_header.assign(
-        w.bytes().begin(),
-        w.bytes().begin() + static_cast<std::ptrdiff_t>(header_bytes));
-    cursor += w.size();
+        b.bytes.begin(),
+        b.bytes.begin() + static_cast<std::ptrdiff_t>(b.header_bytes));
+    cursor += b.bytes.size();
   }
   desc->index_file = fname;
   return Status::Ok();

@@ -82,6 +82,12 @@ struct ObjectDescriptor {
 struct ImportOptions {
   std::uint64_t region_size_bytes = 4ull << 20;  ///< paper sweeps 4–128 MB
   hist::HistogramConfig histogram;               ///< local histogram params
+  /// Optional worker pool for the build side of ingest (per-region
+  /// histogram construction).  Region seeds are independent (`seed + i`)
+  /// and each region's histogram build is deterministic, so any pool size
+  /// — including the null (serial) default — produces bit-identical
+  /// metadata.  Not owned; must outlive the call.
+  exec::ThreadPool* pool = nullptr;
 };
 
 /// The object directory + ingest/read paths.  Reads are thread-safe;
@@ -115,8 +121,13 @@ class ObjectStore {
                               const ImportOptions& options);
 
   /// Build the per-region bitmap index file for an object (§III-D4).
+  /// With a non-null `pool`, regions are read and their indexes built and
+  /// serialized concurrently; the file writes and offset assignment stay
+  /// serial and in region order, so the index file is byte-identical to a
+  /// serial build at any pool size.
   Status build_bitmap_index(ObjectId id,
-                            const bitmap::IndexConfig& config = {});
+                            const bitmap::IndexConfig& config = {},
+                            exec::ThreadPool* pool = nullptr);
 
   /// Register an already-built sorted replica (used by sortrep).
   Status link_sorted_replica(ObjectId replica, ObjectId source,

@@ -359,11 +359,13 @@ GetDataResponse QueryServer::get_data(const GetDataRequest& request,
   const std::size_t elem_size = (*object)->element_size();
 
   if (request.from_replica) {
-    // Sorted-selection fast path: contiguous replica-space extents.
-    std::uint64_t total = 0;
-    for (const Extent1D& e : request.extents) total += e.count;
-    response.values.resize(static_cast<std::size_t>(total * elem_size));
-    std::uint64_t written = 0;
+    // Sorted-selection fast path: contiguous replica-space extents, served
+    // zero-copy.  Cached region chunks are emitted as borrowed spans into
+    // the response (the cache buffer is pinned alongside); cold chunks are
+    // read into pinned staging buffers.  Either way the bulk bytes are
+    // copied exactly once — at wire assembly in serialize().  The modeled
+    // memcpy charge stays where the legacy copy was, so simulated time is
+    // unchanged.
     const CostModel& cost = store_.cluster().config().cost;
     for (const Extent1D& e : request.extents) {
       std::uint64_t pos = e.offset;
@@ -371,27 +373,28 @@ GetDataResponse QueryServer::get_data(const GetDataRequest& request,
         const RegionIndex r = region_of_position(**object, pos);
         const obj::RegionDescriptor& region = (*object)->regions[r];
         const std::uint64_t take = std::min(e.end(), region.extent.end()) - pos;
-        std::span<std::uint8_t> dest(
-            response.values.data() + written * elem_size,
-            static_cast<std::size_t>(take * elem_size));
+        const std::size_t nbytes = static_cast<std::size_t>(take * elem_size);
         if (RegionCache::Buffer buffer = cache_.get({(*object)->id, r})) {
-          std::copy_n(
+          response.value_parts.emplace_back(
               buffer->data() + (pos - region.extent.offset) * elem_size,
-              dest.size(), dest.data());
-          ledger.add_cpu(static_cast<double>(dest.size()) /
+              nbytes);
+          response.pins.push_back(std::move(buffer));
+          ledger.add_cpu(static_cast<double>(nbytes) /
                              cost.memcpy_bandwidth_bps,
                          CpuStage::kMerge);
         } else {
+          auto staging = std::make_shared<std::vector<std::uint8_t>>(nbytes);
           const Status s =
-              store_.read_elements(**object, {pos, take}, dest,
+              store_.read_elements(**object, {pos, take}, *staging,
                                    read_ctx(ledger, span.context()));
           if (!s.ok()) {
             response.status = s;
             return response;
           }
+          response.value_parts.emplace_back(staging->data(), nbytes);
+          response.pins.push_back(std::move(staging));
         }
         pos += take;
-        written += take;
       }
     }
   } else {
@@ -416,7 +419,7 @@ GetDataResponse QueryServer::get_data(const GetDataRequest& request,
     span.arg("elapsed_s", response.ledger.elapsed());
     span.arg("bytes", static_cast<double>(response.ledger.bytes_read));
     span.arg("ops", static_cast<double>(response.ledger.read_ops));
-    span.arg("values_bytes", static_cast<double>(response.values.size()));
+    span.arg("values_bytes", static_cast<double>(response.values_size()));
   }
   return response;
 }

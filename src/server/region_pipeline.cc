@@ -2,11 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <optional>
 #include <span>
+#include <type_traits>
 #include <utility>
 
 #include "bitmap/binned_index.h"
 #include "common/log.h"
+#include "kernels/kernels.h"
 #include "obj/type_dispatch.h"
 #include "server/region_assignment.h"
 
@@ -21,13 +25,10 @@ void scan_buffer(PdcType type, const std::uint8_t* bytes,
                  std::vector<std::uint64_t>& out) {
   obj::dispatch_type(type, [&](auto tag) {
     using T = decltype(tag);
-    const T* values = reinterpret_cast<const T*>(bytes);
-    for (std::uint64_t pos = want.offset; pos < want.end(); ++pos) {
-      if (interval.contains(
-              static_cast<double>(values[pos - region_extent.offset]))) {
-        out.push_back(pos);
-      }
-    }
+    const T* values = reinterpret_cast<const T*>(bytes) +
+                      (want.offset - region_extent.offset);
+    kernels::scan_interval(std::span<const T>(values, want.count), interval,
+                           want.offset, out);
   });
 }
 
@@ -41,31 +42,87 @@ bool check_value(PdcType type, const std::uint8_t* bytes, std::uint64_t local,
   });
 }
 
+/// Smallest T whose double value is >= b; nullopt when b exceeds every T.
+/// The scan path compares (double)element against the double bound, so the
+/// sorted path must search with a bound *rounded to the element domain in
+/// the right direction* — a plain static_cast<T>(b) rounds to nearest and
+/// silently moves the cutoff (e.g. (float)(1.0 + 1e-12) == 1.0f, flipping
+/// whether elements equal to 1.0f pass a `> 1.0 + 1e-12` query).
+template <typename T>
+std::optional<T> smallest_key_geq(double b) {
+  if constexpr (std::is_floating_point_v<T>) {
+    T t = static_cast<T>(b);  // round-to-nearest
+    if (static_cast<double>(t) < b) {
+      t = std::nextafter(t, std::numeric_limits<T>::infinity());
+    }
+    return t;  // +inf is fine: it selects exactly the +inf elements
+  } else {
+    const double c = std::ceil(b);
+    if (c > static_cast<double>(std::numeric_limits<T>::max())) {
+      return std::nullopt;
+    }
+    if (c < static_cast<double>(std::numeric_limits<T>::lowest())) {
+      return std::numeric_limits<T>::lowest();
+    }
+    return static_cast<T>(c);
+  }
+}
+
+/// Largest T whose double value is <= b; nullopt when b is below every T.
+template <typename T>
+std::optional<T> largest_key_leq(double b) {
+  if constexpr (std::is_floating_point_v<T>) {
+    T t = static_cast<T>(b);
+    if (static_cast<double>(t) > b) {
+      t = std::nextafter(t, -std::numeric_limits<T>::infinity());
+    }
+    return t;
+  } else {
+    const double f = std::floor(b);
+    if (f < static_cast<double>(std::numeric_limits<T>::lowest())) {
+      return std::nullopt;
+    }
+    if (f > static_cast<double>(std::numeric_limits<T>::max())) {
+      return std::numeric_limits<T>::max();
+    }
+    return static_cast<T>(f);
+  }
+}
+
 /// Local [first, last) index range of values satisfying `interval` in a
-/// sorted buffer of `count` elements.
+/// sorted buffer of `count` elements.  Exact in the double domain: agrees
+/// element-for-element with the scan path's contains((double)v) predicate.
 std::pair<std::uint64_t, std::uint64_t> sorted_range(
     PdcType type, const std::uint8_t* bytes, std::uint64_t count,
     const ValueInterval& interval) {
   return obj::dispatch_type(type, [&](auto tag) {
     using T = decltype(tag);
-    const T* values = reinterpret_cast<const T*>(bytes);
-    const T* end = values + count;
-    const T* lo_it = values;
+    const std::span<const T> values(reinterpret_cast<const T*>(bytes), count);
+    std::uint64_t lo_idx = 0;
     if (std::isfinite(interval.lo)) {
-      const T lo_val = static_cast<T>(interval.lo);
-      lo_it = interval.lo_inclusive ? std::lower_bound(values, end, lo_val)
-                                    : std::upper_bound(values, end, lo_val);
+      if (interval.lo_inclusive) {
+        // First v with (double)v >= lo.  Every such v is >= the smallest
+        // representable key >= lo (no T lives in (key_prev, lo)).
+        const auto key = smallest_key_geq<T>(interval.lo);
+        lo_idx = key ? kernels::lower_bound_index(values, *key) : count;
+      } else {
+        // First v with (double)v > lo: strictly past the largest key <= lo.
+        const auto key = largest_key_leq<T>(interval.lo);
+        lo_idx = key ? kernels::upper_bound_index(values, *key) : 0;
+      }
     }
-    const T* hi_it = end;
+    std::uint64_t hi_idx = count;
     if (std::isfinite(interval.hi)) {
-      const T hi_val = static_cast<T>(interval.hi);
-      hi_it = interval.hi_inclusive ? std::upper_bound(values, end, hi_val)
-                                    : std::lower_bound(values, end, hi_val);
+      if (interval.hi_inclusive) {
+        const auto key = largest_key_leq<T>(interval.hi);
+        hi_idx = key ? kernels::upper_bound_index(values, *key) : 0;
+      } else {
+        const auto key = smallest_key_geq<T>(interval.hi);
+        hi_idx = key ? kernels::lower_bound_index(values, *key) : count;
+      }
     }
-    if (hi_it < lo_it) hi_it = lo_it;
-    return std::pair<std::uint64_t, std::uint64_t>(
-        static_cast<std::uint64_t>(lo_it - values),
-        static_cast<std::uint64_t>(hi_it - values));
+    if (hi_idx < lo_idx) hi_idx = lo_idx;
+    return std::pair<std::uint64_t, std::uint64_t>(lo_idx, hi_idx);
   });
 }
 
@@ -211,9 +268,7 @@ Status RegionPipeline::run_scan(const obj::ObjectDescriptor& object,
         if (all_hits) {
           region_span.arg("all_hits", 1.0);
           // Histogram proves every element matches: skip the scan.
-          for (std::uint64_t p = want.offset; p < want.end(); ++p) {
-            hits[i].push_back(p);
-          }
+          kernels::append_range(hits[i], want.offset, want.end());
           return Status::Ok();
         }
         task_ledger.add_cpu(
@@ -325,11 +380,9 @@ Status RegionPipeline::decode_bins(const obj::ObjectDescriptor& object,
         Extent1D want = region.extent;
         if (constraint.count > 0) want = want.intersect(constraint);
         auto& sink = planned[i].full ? definite[i] : partial[i];
-        const std::uint64_t base = region.extent.offset;
-        bv.for_each_set([&sink, base, &want](std::uint64_t local) {
-          const std::uint64_t pos = base + local;
-          if (want.contains(pos)) sink.push_back(pos);
-        });
+        // Kernel-backed bulk expansion (for_each_set + clip filter).
+        bv.append_set_positions(region.extent.offset, want.offset, want.end(),
+                                sink);
         return Status::Ok();
       }));
   for (std::size_t i = 0; i < planned.size(); ++i) {
@@ -401,9 +454,7 @@ Status RegionPipeline::run_index(const obj::ObjectDescriptor& object,
     if (region.histogram.covers(interval)) {
       region_span.arg("all_hits", 1.0);
       // Histogram proves the whole region matches: no index I/O needed.
-      for (std::uint64_t p = want.offset; p < want.end(); ++p) {
-        positions.push_back(p);
-      }
+      kernels::append_range(positions, want.offset, want.end());
       continue;
     }
     PDC_RETURN_IF_ERROR(
@@ -539,9 +590,7 @@ Status RegionPipeline::run_adaptive(const obj::ObjectDescriptor& object,
       case RegionChoice::kAllHit:
         region_span.arg("all_hits", 1.0);
         // Answered from metadata alone (like the index path): no I/O.
-        for (std::uint64_t p = want.offset; p < want.end(); ++p) {
-          positions.push_back(p);
-        }
+        kernels::append_range(positions, want.offset, want.end());
         break;
       case RegionChoice::kScan:
         region_span.arg("scan", 1.0);

@@ -3,11 +3,12 @@
 namespace pdc::server {
 namespace {
 
-void put_interval(SerialWriter& w, const ValueInterval& q) {
+template <typename Writer>
+void put_interval(Writer& w, const ValueInterval& q) {
   w.put(q.lo);
   w.put(q.hi);
-  w.put<std::uint8_t>(q.lo_inclusive ? 1 : 0);
-  w.put<std::uint8_t>(q.hi_inclusive ? 1 : 0);
+  w.template put<std::uint8_t>(q.lo_inclusive ? 1 : 0);
+  w.template put<std::uint8_t>(q.hi_inclusive ? 1 : 0);
 }
 
 Status get_interval(SerialReader& r, ValueInterval& q) {
@@ -22,7 +23,8 @@ Status get_interval(SerialReader& r, ValueInterval& q) {
   return Status::Ok();
 }
 
-void put_status(SerialWriter& w, const Status& s) {
+template <typename Writer>
+void put_status(Writer& w, const Status& s) {
   w.put(static_cast<std::uint8_t>(s.code()));
   w.put_string(s.message());
 }
@@ -40,7 +42,8 @@ Status get_status(SerialReader& r, Status& out) {
   return Status::Ok();
 }
 
-void put_ledger(SerialWriter& w, const LedgerSummary& l) {
+template <typename Writer>
+void put_ledger(Writer& w, const LedgerSummary& l) {
   w.put(l.io_seconds);
   w.put(l.cpu_seconds);
   w.put(l.bytes_read);
@@ -61,8 +64,9 @@ Status get_ledger(SerialReader& r, LedgerSummary& l) {
   return Status::Ok();
 }
 
-void put_extents(SerialWriter& w, const std::vector<Extent1D>& extents) {
-  w.put<std::uint64_t>(extents.size());
+template <typename Writer>
+void put_extents(Writer& w, const std::vector<Extent1D>& extents) {
+  w.template put<std::uint64_t>(extents.size());
   for (const Extent1D& e : extents) {
     w.put(e.offset);
     w.put(e.count);
@@ -158,11 +162,14 @@ Result<EvalRequest> EvalRequest::Deserialize(SerialReader& r) {
 }
 
 std::vector<std::uint8_t> EvalResponse::serialize() const {
-  SerialWriter w;
+  // Scatter/gather path: the positions payload (the bulk of a located
+  // response) rides as a borrowed span and is copied exactly once, at
+  // take().  Bytes are identical to the legacy SerialWriter encoding.
+  GatherWriter w;
   put_status(w, status);
   w.put(num_hits);
   w.put<std::uint8_t>(has_positions ? 1 : 0);
-  w.put_vector(positions);
+  w.put_vector_ref(std::span<const std::uint64_t>(positions));
   put_extents(w, sorted_extents);
   w.put(replica_id);
   put_ledger(w, ledger);
@@ -225,9 +232,16 @@ Result<GetDataRequest> GetDataRequest::Deserialize(SerialReader& r) {
 }
 
 std::vector<std::uint8_t> GetDataResponse::serialize() const {
-  SerialWriter w;
+  GatherWriter w;
   put_status(w, status);
-  w.put_vector(values);
+  if (value_parts.empty()) {
+    w.put_vector_ref(std::span<const std::uint8_t>(values));
+  } else {
+    // Zero-copy form: same wire bytes as put_vector(values) — one u64
+    // total length, then the concatenated parts (pinned by `pins`).
+    w.put<std::uint64_t>(values_size());
+    for (const auto& part : value_parts) w.put_raw_ref(part);
+  }
   put_ledger(w, ledger);
   return w.take();
 }

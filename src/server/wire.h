@@ -10,6 +10,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -134,7 +136,23 @@ struct GetDataRequest {
 struct GetDataResponse {
   Status status;
   std::vector<std::uint8_t> values;  ///< raw bytes, request order
+  /// Zero-copy alternative to `values`: when non-empty, serialize() emits
+  /// these borrowed spans, concatenated in order, as the values payload —
+  /// byte-identical encoding (u64 total length + raw bytes), but each bulk
+  /// byte is copied exactly once, at wire assembly.  The spans must point
+  /// into storage kept alive by `pins` (region-cache entries or staging
+  /// read buffers); Deserialize always materializes into `values`.
+  std::vector<std::span<const std::uint8_t>> value_parts;
+  std::vector<std::shared_ptr<const std::vector<std::uint8_t>>> pins;
   LedgerSummary ledger;
+
+  /// Payload size in bytes, whichever representation is populated.
+  [[nodiscard]] std::uint64_t values_size() const noexcept {
+    if (value_parts.empty()) return values.size();
+    std::uint64_t total = 0;
+    for (const auto& part : value_parts) total += part.size();
+    return total;
+  }
 
   [[nodiscard]] std::vector<std::uint8_t> serialize() const;
   static Result<GetDataResponse> Deserialize(SerialReader& r);

@@ -1,12 +1,104 @@
 #include "sortrep/sorted_replica.h"
 
 #include <algorithm>
+#include <array>
+#include <atomic>
+#include <chrono>
 #include <numeric>
 #include <type_traits>
 
+#include "common/exec_pool.h"
 #include "obj/type_dispatch.h"
 
 namespace pdc::sortrep {
+namespace {
+
+/// Fixed chunk granule for the parallel argsort.  Chunk boundaries depend
+/// only on n — never on the thread count — and the (value, position)
+/// comparator below is a strict total order (positions are distinct), so
+/// the sorted permutation is unique: every schedule, and the serial
+/// std::stable_sort fallback, produces the same bytes.
+constexpr std::uint64_t kSortChunk = 1u << 15;
+
+/// PAM-style segmented two-run merge: split A evenly, binary-search each
+/// split key's rank in B, merge the resulting disjoint segment pairs into
+/// disjoint output slices concurrently.
+template <typename Less>
+void merge_runs(const std::uint64_t* a, std::size_t na,
+                const std::uint64_t* b, std::size_t nb, std::uint64_t* out,
+                const Less& less, exec::ThreadPool* pool) {
+  constexpr std::size_t kSegments = 8;
+  if (pool == nullptr || na < kSegments || na + nb < 4 * kSortChunk) {
+    std::merge(a, a + na, b, b + nb, out, less);
+    return;
+  }
+  std::array<std::size_t, kSegments + 1> sa{};
+  std::array<std::size_t, kSegments + 1> sb{};
+  for (std::size_t s = 0; s <= kSegments; ++s) {
+    sa[s] = na * s / kSegments;
+    sb[s] = s == 0 ? 0
+            : s == kSegments
+                ? nb
+                : static_cast<std::size_t>(
+                      std::lower_bound(b, b + nb, a[sa[s]], less) - b);
+  }
+  exec::parallel_for(pool, kSegments, [&](std::size_t s) {
+    std::merge(a + sa[s], a + sa[s + 1], b + sb[s], b + sb[s + 1],
+               out + sa[s] + sb[s], less);
+  });
+}
+
+/// Deterministic parallel argsort of [0, n) by (values[i], i): sort fixed
+/// chunks concurrently, then bottom-up pairwise merge rounds.  Falls back
+/// to the classic serial stable_sort when no pool is given.
+template <typename T>
+std::vector<std::uint64_t> parallel_argsort(const T* values, std::uint64_t n,
+                                            exec::ThreadPool* pool) {
+  std::vector<std::uint64_t> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), 0);
+  if (pool == nullptr || n <= 2 * kSortChunk) {
+    std::stable_sort(perm.begin(), perm.end(),
+                     [values](std::uint64_t a, std::uint64_t b) {
+                       return values[a] < values[b];
+                     });
+    return perm;
+  }
+  // Tie-break on the original position: total order, and exactly the
+  // order stable_sort-by-value produces.
+  const auto less = [values](std::uint64_t a, std::uint64_t b) {
+    return values[a] < values[b] || (values[a] == values[b] && a < b);
+  };
+  const auto nchunks =
+      static_cast<std::size_t>((n + kSortChunk - 1) / kSortChunk);
+  exec::parallel_for(pool, nchunks, [&](std::size_t c) {
+    const auto lo = static_cast<std::ptrdiff_t>(c * kSortChunk);
+    const auto hi = static_cast<std::ptrdiff_t>(
+        std::min<std::uint64_t>(n, (c + 1) * kSortChunk));
+    std::sort(perm.begin() + lo, perm.begin() + hi, less);
+  });
+  std::vector<std::uint64_t> tmp(perm.size());
+  std::uint64_t* src = perm.data();
+  std::uint64_t* dst = tmp.data();
+  for (std::uint64_t run = kSortChunk; run < n; run *= 2) {
+    const auto npairs = static_cast<std::size_t>((n + 2 * run - 1) / (2 * run));
+    exec::parallel_for(pool, npairs, [&](std::size_t p) {
+      const std::uint64_t lo = p * 2 * run;
+      const std::uint64_t mid = std::min(n, lo + run);
+      const std::uint64_t hi = std::min(n, lo + 2 * run);
+      // Late rounds have few pairs; let the merge itself go parallel then.
+      merge_runs(src + lo, static_cast<std::size_t>(mid - lo), src + mid,
+                 static_cast<std::size_t>(hi - mid), dst + lo, less,
+                 npairs <= 2 ? pool : nullptr);
+    });
+    std::swap(src, dst);
+  }
+  if (src != perm.data()) {
+    std::copy(src, src + n, perm.data());
+  }
+  return perm;
+}
+
+}  // namespace
 
 Result<BuildReport> build_sorted_replica(obj::ObjectStore& store,
                                          ObjectId source) {
@@ -30,19 +122,35 @@ Result<BuildReport> build_sorted_replica(obj::ObjectStore& store,
 
   const std::size_t elem_size = src->element_size();
   const std::uint64_t n = src->num_elements;
+  exec::ThreadPool* pool = options.pool;
+  const auto wall_start = std::chrono::steady_clock::now();
   std::vector<std::uint8_t> raw(static_cast<std::size_t>(n * elem_size));
   PDC_RETURN_IF_ERROR(
       store.read_elements(*src, {0, n}, raw, {}));
 
   // NaN admits no strict weak ordering: std::stable_sort on it is UB and
   // the replica's binary-search contract would be meaningless anyway.
+  // The pre-scan fans out over fixed chunks; "any NaN anywhere" is a
+  // commutative OR, so the verdict is schedule-independent.
   const bool has_nan = obj::dispatch_type(src->type, [&](auto tag) {
     using T = decltype(tag);
     if constexpr (std::is_floating_point_v<T>) {
       const T* values = reinterpret_cast<const T*>(raw.data());
-      for (std::uint64_t i = 0; i < n; ++i) {
-        if (values[i] != values[i]) return true;
-      }
+      std::atomic<bool> found{false};
+      constexpr std::uint64_t kNanChunk = 1u << 16;
+      const auto nchunks =
+          static_cast<std::size_t>((n + kNanChunk - 1) / kNanChunk);
+      exec::parallel_for(pool, nchunks, [&](std::size_t c) {
+        if (found.load(std::memory_order_relaxed)) return;
+        const std::uint64_t hi = std::min(n, (c + 1) * kNanChunk);
+        for (std::uint64_t i = c * kNanChunk; i < hi; ++i) {
+          if (values[i] != values[i]) {
+            found.store(true, std::memory_order_relaxed);
+            return;
+          }
+        }
+      });
+      return found.load();
     }
     return false;
   });
@@ -51,19 +159,24 @@ Result<BuildReport> build_sorted_replica(obj::ObjectStore& store,
         "cannot build a sorted replica over NaN values");
   }
 
-  // argsort by value, stable so equal values keep original order.
-  std::vector<std::uint64_t> perm(static_cast<std::size_t>(n));
-  std::iota(perm.begin(), perm.end(), 0);
+  // argsort by value, stable so equal values keep original order (the
+  // parallel form tie-breaks on position, which is the same order), then
+  // gather the values into sorted placement chunk-by-chunk.
+  std::vector<std::uint64_t> perm;
   std::vector<std::uint8_t> sorted_bytes(raw.size());
   obj::dispatch_type(src->type, [&](auto tag) {
     using T = decltype(tag);
     const T* values = reinterpret_cast<const T*>(raw.data());
-    std::stable_sort(perm.begin(), perm.end(),
-                     [values](std::uint64_t a, std::uint64_t b) {
-                       return values[a] < values[b];
-                     });
+    perm = parallel_argsort(values, n, pool);
     T* out = reinterpret_cast<T*>(sorted_bytes.data());
-    for (std::uint64_t i = 0; i < n; ++i) out[i] = values[perm[i]];
+    const auto nchunks =
+        static_cast<std::size_t>((n + kSortChunk - 1) / kSortChunk);
+    exec::parallel_for(pool, nchunks, [&](std::size_t c) {
+      const std::uint64_t hi = std::min(n, (c + 1) * kSortChunk);
+      for (std::uint64_t i = c * kSortChunk; i < hi; ++i) {
+        out[i] = values[perm[i]];
+      }
+    });
   });
 
   PDC_ASSIGN_OR_RETURN(
@@ -91,6 +204,11 @@ Result<BuildReport> build_sorted_replica(obj::ObjectStore& store,
       (data_bytes + perm_bytes) / cost.ost_write_bandwidth_bps;
   report.extra_bytes =
       static_cast<std::uint64_t>(data_bytes + perm_bytes);
+  report.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  report.build_threads = pool == nullptr ? 1 : pool->size();
   return report;
 }
 

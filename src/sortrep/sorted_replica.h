@@ -30,11 +30,22 @@ struct BuildReport {
   double build_cost_seconds = 0.0;
   /// Extra storage consumed (replica data + permutation), bytes.
   std::uint64_t extra_bytes = 0;
+  /// Real (wall-clock) seconds the build took, and the worker threads it
+  /// ran on (1 = serial).  Diagnostic only — never feeds simulated time.
+  double wall_seconds = 0.0;
+  std::uint32_t build_threads = 1;
 };
 
 /// Build (or fail if one exists) the sorted replica of `source`, using the
 /// given ingest options for the replica's region decomposition.
 /// The replica object is named "<source-name>.sorted".
+///
+/// When `options.pool` is set, the argsort runs as a parallel sample-free
+/// merge sort (sorted chunks + segmented merges) and the value gather and
+/// NaN pre-scan fan out over the pool.  Ties are broken on the original
+/// position, which makes the sort order a total order — so every pool
+/// size, including the serial default, produces byte-identical replica
+/// data and permutation files.
 Result<BuildReport> build_sorted_replica(obj::ObjectStore& store,
                                          ObjectId source,
                                          const obj::ImportOptions& options);

@@ -14,6 +14,7 @@
 #include <utility>
 
 #include "common/interval.h"
+#include "kernels/kernels.h"
 #include "obs/trace.h"
 #include "pfs/pfs.h"
 #include "query/planner.h"
@@ -545,6 +546,26 @@ static std::uint32_t effective_eval_threads(const RunOptions& options,
          static_cast<std::uint32_t>(((seed * 0x9E3779B97F4A7C15ull) >> 60) % 8);
 }
 
+/// Kernel backend for a case: alternate scalar / best-SIMD per seed so the
+/// full strategy matrix differentials the kernels end-to-end against the
+/// oracle (half the cases re-prove the scalar path, half the SIMD path).
+/// An explicit PDC_KERNELS pin wins — the usual repro / bisect knob — and
+/// a replayed PDC_QC_SEED re-derives the same backend automatically.
+static kernels::Backend effective_kernel_backend(std::uint64_t seed) {
+  // An enclosing ScopedBackend (pinned-regression sweeps) or an explicit
+  // PDC_KERNELS pin wins over the per-seed derivation.
+  if (kernels::has_backend_override() ||
+      std::getenv("PDC_KERNELS") != nullptr) {
+    return kernels::active_backend();
+  }
+  if (((seed * 0xD1B54A32D192ED03ull) >> 62) & 1) {
+    return kernels::Backend::kScalar;
+  }
+  // Best available: the override setter downgrades to scalar on hardware
+  // without AVX2, so this is safe everywhere.
+  return kernels::Backend::kAvx2;
+}
+
 Result<std::optional<Mismatch>> run_case(const Case& c,
                                          const RunOptions& options) {
   std::optional<Mismatch> mismatch;
@@ -575,6 +596,8 @@ Result<std::optional<Mismatch>> run_case(const Case& c,
   }
 
   const std::uint32_t eval_threads = effective_eval_threads(options, c.seed);
+  const kernels::ScopedBackend kernel_backend(
+      effective_kernel_backend(c.seed));
   for (const server::Strategy strategy : options.strategies) {
     query::ServiceOptions service_options;
     service_options.num_servers = options.num_servers;
@@ -847,6 +870,11 @@ Status run_querycheck(std::uint64_t base_seed, std::size_t num_cases,
        << repro_line(seed) << "\n  eval_threads="
        << effective_eval_threads(run_options, shrunk.minimal.seed)
        << (run_options.eval_threads == 0 ? " (seed-derived)" : " (pinned)")
+       << "\n  kernel_backend="
+       << kernels::backend_name(
+              effective_kernel_backend(shrunk.minimal.seed))
+       << (std::getenv("PDC_KERNELS") == nullptr ? " (seed-derived)"
+                                                 : " (PDC_KERNELS pin)")
        << "\n  minimal " << describe_case(shrunk.minimal)
        << "\n  (shrunk in " << shrunk.accepted_steps << " steps, "
        << shrunk.attempts << " attempts)";

@@ -2,8 +2,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
+#include "common/exec_pool.h"
 #include "common/rng.h"
 #include "histogram/histogram.h"
 
@@ -291,6 +293,55 @@ TEST_P(HistogramBinSweep, MoreBinsTightenBounds) {
 
 INSTANTIATE_TEST_SUITE_P(Bins, HistogramBinSweep,
                          ::testing::Values(16, 32, 64, 128, 256));
+
+// --------------------------------------------------- parallel count phase
+
+// The parallel count phase folds fixed-chunk partials in chunk order:
+// integer adds are exact and the min/max fold keeps the serial tie
+// representative, so the histogram is identical at any pool width.  The
+// ±0.0 values below would expose a wrong-representative min/max fold.
+TEST(HistogramParallel, BuildIdenticalAcrossPoolSizes) {
+  Rng rng(17);
+  std::vector<double> data(300'000);
+  for (auto& x : data) x = rng.uniform(-5.0, 5.0);
+  data[12345] = 0.0;
+  data[234567] = -0.0;
+  const auto serial = MergeableHistogram::Build<double>(data);
+  for (const std::uint32_t threads : {1u, 4u, 8u}) {
+    exec::ThreadPool pool(threads);
+    const auto parallel = MergeableHistogram::Build<double>(data, {}, &pool);
+    EXPECT_EQ(parallel, serial) << "threads=" << threads;
+    EXPECT_GT(pool.stats().executed, 0u);
+  }
+  // Below the parallel cutover the pooled build takes the serial path and
+  // trivially matches too.
+  std::vector<double> small(data.begin(), data.begin() + 1000);
+  exec::ThreadPool pool(4);
+  EXPECT_EQ(MergeableHistogram::Build<double>(small, {}, &pool),
+            MergeableHistogram::Build<double>(small));
+}
+
+// NaNs are excluded from bins/min/max but counted; the parallel fold adds
+// the per-chunk NaN tallies, so serialized bytes stay identical too.
+TEST(HistogramParallel, NanCountsSurviveParallelFold) {
+  Rng rng(29);
+  std::vector<double> data(200'000);
+  for (auto& x : data) x = rng.uniform(0.0, 1.0);
+  for (std::size_t i = 0; i < data.size(); i += 997) {
+    data[i] = std::numeric_limits<double>::quiet_NaN();
+  }
+  const auto serial = MergeableHistogram::Build<double>(data);
+  exec::ThreadPool pool(8);
+  const auto parallel = MergeableHistogram::Build<double>(data, {}, &pool);
+  EXPECT_EQ(parallel, serial);
+  EXPECT_EQ(parallel.nan_count(), serial.nan_count());
+  EXPECT_GT(serial.nan_count(), 0u);
+  SerialWriter sw;
+  serial.serialize(sw);
+  SerialWriter pw;
+  parallel.serialize(pw);
+  EXPECT_EQ(pw.take(), sw.take());
+}
 
 }  // namespace
 }  // namespace pdc::hist

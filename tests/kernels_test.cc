@@ -1,0 +1,574 @@
+// Kernel differential battery: every SIMD kernel against its scalar
+// reference on adversarial inputs, with exact equality on outputs.
+//
+// The contract under test is bit-identity: whatever backend
+// active_backend() picks, query results, WAH word streams and probe
+// indexes must not change.  On machines without AVX2 the avx2 entry
+// points forward to scalar, so the battery degrades to a self-check
+// instead of failing.
+//
+// Every randomized test derives its stream from one seed (overridable via
+// PDC_KERNELS_TEST_SEED) and puts that seed in the failure trace, so any
+// divergence is reproducible with a single env var.
+
+#include "kernels/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bitmap/wah.h"
+#include "common/interval.h"
+#include "common/rng.h"
+
+namespace pdc::kernels {
+namespace {
+
+std::uint64_t test_seed() {
+  if (const char* env = std::getenv("PDC_KERNELS_TEST_SEED")) {
+    return std::strtoull(env, nullptr, 0);
+  }
+  return 0xC0FFEE5EEDULL;
+}
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+/// Adversarial value pool: signed zeros, NaN payload carriers, infinities,
+/// denormals, extremes, and values straddling float<->double rounding.
+template <typename T>
+std::vector<T> value_pool() {
+  return {
+      T(0.0),
+      T(-0.0),
+      T(1.0),
+      T(-1.0),
+      std::numeric_limits<T>::quiet_NaN(),
+      std::numeric_limits<T>::infinity(),
+      -std::numeric_limits<T>::infinity(),
+      std::numeric_limits<T>::denorm_min(),
+      -std::numeric_limits<T>::denorm_min(),
+      std::numeric_limits<T>::max(),
+      std::numeric_limits<T>::lowest(),
+      T(0.1),  // not exactly representable
+      T(2.5),
+      T(-3.75),
+  };
+}
+
+template <typename T>
+std::vector<T> random_values(Rng& rng, std::size_t n) {
+  const std::vector<T> pool = value_pool<T>();
+  std::vector<T> v(n);
+  for (auto& x : v) {
+    if (rng.bounded(4) == 0) {
+      x = pool[rng.bounded(pool.size())];
+    } else {
+      x = static_cast<T>(rng.uniform(-100.0, 100.0));
+    }
+  }
+  return v;
+}
+
+ValueInterval random_interval(Rng& rng, double spread) {
+  ValueInterval q;
+  switch (rng.bounded(6)) {
+    case 0:  // whole line
+      break;
+    case 1:  // empty (inverted)
+      q.lo = 1.0;
+      q.hi = -1.0;
+      break;
+    case 2:  // point
+      q.lo = q.hi = rng.uniform(-spread, spread);
+      break;
+    default:
+      q.lo = rng.uniform(-spread, spread);
+      q.hi = rng.uniform(-spread, spread);
+      if (q.lo > q.hi) std::swap(q.lo, q.hi);
+      break;
+  }
+  q.lo_inclusive = rng.bounded(2) == 0;
+  q.hi_inclusive = rng.bounded(2) == 0;
+  return q;
+}
+
+// ----------------------------------------------------------- dispatch
+
+TEST(KernelDispatch, OverrideRoundTripAndNames) {
+  EXPECT_STREQ(backend_name(Backend::kScalar), "scalar");
+  EXPECT_STREQ(backend_name(Backend::kAvx2), "avx2");
+  {
+    ScopedBackend force(Backend::kScalar);
+    EXPECT_EQ(active_backend(), Backend::kScalar);
+    {
+      ScopedBackend inner(Backend::kAvx2);
+      // Downgraded to scalar when the CPU cannot run AVX2.
+      EXPECT_EQ(active_backend(),
+                cpu_has_avx2() ? Backend::kAvx2 : Backend::kScalar);
+    }
+    EXPECT_EQ(active_backend(), Backend::kScalar);
+  }
+}
+
+// ------------------------------------------------------ predicate scan
+
+template <typename T>
+void scan_with(bool use_avx2, std::span<const T> values,
+               const ValueInterval& q, std::uint64_t base,
+               std::vector<std::uint64_t>& out) {
+  if constexpr (std::is_same_v<T, float>) {
+    (use_avx2 ? avx2::scan_interval_f32 : scalar::scan_interval_f32)(
+        values, q, base, out);
+  } else {
+    (use_avx2 ? avx2::scan_interval_f64 : scalar::scan_interval_f64)(
+        values, q, base, out);
+  }
+}
+
+template <typename T>
+void run_scan_differential(std::uint64_t seed) {
+  Rng rng(seed);
+  // Shared backing buffer so subspans start at every lane alignment 0..7.
+  const std::vector<T> backing = random_values<T>(rng, 4096 + 160);
+  for (std::size_t len = 0; len <= 129; ++len) {
+    for (std::size_t rep = 0; rep < 4; ++rep) {
+      const std::size_t offset = rng.bounded(8);
+      std::span<const T> values(backing.data() + offset + rng.bounded(64),
+                                len);
+      ValueInterval q = random_interval(rng, 150.0);
+      // Half the time, pin a bound to an actual element so the ==bound
+      // inclusivity branches are exercised.
+      if (len > 0 && rng.bounded(2) == 0) {
+        const double v = static_cast<double>(values[rng.bounded(len)]);
+        if (v == v) (rng.bounded(2) == 0 ? q.lo : q.hi) = v;
+        if (q.lo > q.hi) std::swap(q.lo, q.hi);
+      }
+      const std::uint64_t base = rng.bounded(1u << 20);
+      SCOPED_TRACE("seed=" + std::to_string(seed) +
+                   " len=" + std::to_string(len) + " rep=" +
+                   std::to_string(rep) + " lo=" + std::to_string(q.lo) +
+                   " hi=" + std::to_string(q.hi));
+
+      std::vector<std::uint64_t> got_scalar;
+      std::vector<std::uint64_t> got_avx2;
+      scan_with<T>(false, values, q, base, got_scalar);
+      scan_with<T>(true, values, q, base, got_avx2);
+      ASSERT_EQ(got_scalar, got_avx2);
+
+      // Scalar reference is itself checked against the contains() oracle.
+      std::vector<std::uint64_t> oracle;
+      for (std::size_t i = 0; i < len; ++i) {
+        if (q.contains(static_cast<double>(values[i]))) {
+          oracle.push_back(base + i);
+        }
+      }
+      ASSERT_EQ(got_scalar, oracle);
+    }
+  }
+}
+
+TEST(KernelScan, DifferentialF32AdversarialLengths) {
+  run_scan_differential<float>(test_seed());
+}
+
+TEST(KernelScan, DifferentialF64AdversarialLengths) {
+  run_scan_differential<double>(test_seed() ^ 0x9E3779B97F4A7C15ULL);
+}
+
+TEST(KernelScan, AllHitAndNoHitRuns) {
+  for (const std::size_t len : {0u, 1u, 7u, 8u, 9u, 31u, 32u, 33u, 129u,
+                                4096u, 4099u}) {
+    const std::vector<double> values(len, 42.0);
+    const ValueInterval all{0.0, 100.0, true, true};
+    const ValueInterval none{43.0, 100.0, true, true};
+    std::vector<std::uint64_t> s;
+    std::vector<std::uint64_t> v;
+    scalar::scan_interval_f64(values, all, 10, s);
+    avx2::scan_interval_f64(values, all, 10, v);
+    ASSERT_EQ(s, v) << "len=" << len;
+    ASSERT_EQ(s.size(), len);
+    s.clear();
+    v.clear();
+    scalar::scan_interval_f64(values, none, 10, s);
+    avx2::scan_interval_f64(values, none, 10, v);
+    ASSERT_EQ(s, v) << "len=" << len;
+    ASSERT_TRUE(s.empty());
+  }
+}
+
+TEST(KernelScan, FloatBoundsNotRepresentableInFloat) {
+  // Bounds that fall strictly between adjacent floats: the kernel must
+  // compare in the double domain (widen floats) or these diverge.
+  const std::vector<float> values = {1.0f, std::nextafterf(1.0f, 2.0f),
+                                     2.0f, 0.1f};
+  ValueInterval q;
+  q.lo = 1.0 + 1e-12;  // between 1.0f and nextafter(1.0f)
+  q.hi = 2.0;
+  std::vector<std::uint64_t> s;
+  std::vector<std::uint64_t> v;
+  scalar::scan_interval_f32(values, q, 0, s);
+  avx2::scan_interval_f32(values, q, 0, v);
+  EXPECT_EQ(s, v);
+  const std::vector<std::uint64_t> expect = {1, 2};
+  EXPECT_EQ(s, expect);
+}
+
+TEST(KernelScan, DispatchedMatchesBothBackends) {
+  Rng rng(test_seed() + 7);
+  const std::vector<double> values = random_values<double>(rng, 1000);
+  const ValueInterval q = random_interval(rng, 120.0);
+  std::vector<std::uint64_t> via_scalar;
+  std::vector<std::uint64_t> via_avx2;
+  {
+    ScopedBackend b(Backend::kScalar);
+    scan_interval(std::span<const double>(values), q, 5, via_scalar);
+  }
+  {
+    ScopedBackend b(Backend::kAvx2);
+    scan_interval(std::span<const double>(values), q, 5, via_avx2);
+  }
+  EXPECT_EQ(via_scalar, via_avx2);
+}
+
+// ------------------------------------------------------------ iota fill
+
+TEST(KernelAppendRange, DifferentialAndExact) {
+  for (const std::uint64_t lo : {0ull, 1ull, 17ull, 1ull << 40}) {
+    for (std::uint64_t n = 0; n <= 130; ++n) {
+      std::vector<std::uint64_t> s = {999};  // non-empty prefix preserved
+      std::vector<std::uint64_t> v = {999};
+      scalar::append_range(s, lo, lo + n);
+      avx2::append_range(v, lo, lo + n);
+      ASSERT_EQ(s, v) << "lo=" << lo << " n=" << n;
+      ASSERT_EQ(s.size(), n + 1);
+      for (std::uint64_t i = 0; i < n; ++i) ASSERT_EQ(s[i + 1], lo + i);
+    }
+  }
+  // Degenerate: hi <= lo appends nothing.
+  std::vector<std::uint64_t> s;
+  std::vector<std::uint64_t> v;
+  scalar::append_range(s, 10, 10);
+  avx2::append_range(v, 10, 10);
+  EXPECT_TRUE(s.empty());
+  EXPECT_TRUE(v.empty());
+}
+
+// ------------------------------------------------------------------ WAH
+
+/// Oracle decoder: straightforward word walk, position filter.
+std::vector<std::uint64_t> wah_expand_oracle(
+    std::span<const std::uint32_t> words, std::uint32_t active,
+    std::uint32_t active_bits, std::uint64_t base, std::uint64_t clip_lo,
+    std::uint64_t clip_hi) {
+  std::vector<std::uint64_t> out;
+  std::uint64_t pos = base;
+  const auto emit = [&](std::uint64_t p) {
+    if (p >= clip_lo && p < clip_hi) out.push_back(p);
+  };
+  for (const std::uint32_t w : words) {
+    if (w & 0x80000000u) {
+      const std::uint64_t bits =
+          static_cast<std::uint64_t>(w & 0x3FFFFFFFu) * 31;
+      if (w & 0x40000000u) {
+        for (std::uint64_t i = 0; i < bits; ++i) emit(pos + i);
+      }
+      pos += bits;
+    } else {
+      for (std::uint32_t b = 0; b < 31; ++b) {
+        if (w & (1u << b)) emit(pos + b);
+      }
+      pos += 31;
+    }
+  }
+  for (std::uint32_t b = 0; b < active_bits; ++b) {
+    if (active & (1u << b)) emit(pos + b);
+  }
+  return out;
+}
+
+void check_expand(std::span<const std::uint32_t> words, std::uint32_t active,
+                  std::uint32_t active_bits, std::uint64_t base,
+                  std::uint64_t clip_lo, std::uint64_t clip_hi) {
+  std::vector<std::uint64_t> s;
+  std::vector<std::uint64_t> v;
+  scalar::wah_expand(words, active, active_bits, base, clip_lo, clip_hi, s);
+  avx2::wah_expand(words, active, active_bits, base, clip_lo, clip_hi, v);
+  ASSERT_EQ(s, v);
+  ASSERT_EQ(s, wah_expand_oracle(words, active, active_bits, base, clip_lo,
+                                 clip_hi));
+}
+
+TEST(KernelWah, ExpandCraftedFillBoundaries) {
+  const std::uint32_t lit = 0x2AAAAAAAu;      // alternating bits, literal
+  const std::uint32_t ones = 0xC0000000u;     // 1-fill, count 0 -> invalid;
+  const std::uint32_t fill1 = ones | 1u;      // 1-fill, one group
+  const std::uint32_t fill3 = ones | 3u;      // 1-fill, three groups
+  const std::uint32_t zfill2 = 0x80000002u;   // 0-fill, two groups
+  const std::vector<std::vector<std::uint32_t>> streams = {
+      {},                          // trailer only
+      {lit},                       // single literal
+      {fill1},                     // single 1-fill group
+      {zfill2},                    // only zeros
+      {lit, fill1, lit},           // literal / fill / literal
+      {fill3, zfill2, fill1},      // fills back to back
+      {lit, lit, lit, lit, lit},   // literal stretch
+      {fill1, lit, zfill2, lit, fill3},
+  };
+  for (std::size_t si = 0; si < streams.size(); ++si) {
+    const auto& words = streams[si];
+    std::uint64_t bits = 0;
+    for (const std::uint32_t w : words) {
+      bits += (w & 0x80000000u) ? 31ull * (w & 0x3FFFFFFFu) : 31ull;
+    }
+    for (const std::uint32_t active_bits : {0u, 1u, 17u, 30u}) {
+      const std::uint32_t active =
+          active_bits == 0 ? 0u : (0x15555555u & ((1u << active_bits) - 1));
+      const std::uint64_t total = bits + active_bits;
+      // Clip windows crossing every interesting edge: word boundaries,
+      // fill interiors, one-off-the-end.
+      const std::uint64_t base = 1000;
+      const std::vector<std::pair<std::uint64_t, std::uint64_t>> clips = {
+          {0, ~0ull},                       // no clipping
+          {base, base + total},             // exact extent
+          {base + 1, base + total},         // drop first position
+          {base + 31, base + 62},           // one whole group
+          {base + 30, base + 32},           // straddle a word boundary
+          {base + 17, base + (total > 5 ? total - 5 : total)},
+          {base + total, base + total + 9},  // fully past the end
+          {0, base},                         // fully before
+      };
+      for (const auto& [lo, hi] : clips) {
+        SCOPED_TRACE("stream=" + std::to_string(si) + " active_bits=" +
+                     std::to_string(active_bits) + " clip=[" +
+                     std::to_string(lo) + "," + std::to_string(hi) + ")");
+        check_expand(words, active, active_bits, base, lo, hi);
+      }
+    }
+  }
+}
+
+TEST(KernelWah, ExpandRandomVectorsDifferential) {
+  const std::uint64_t seed = test_seed() + 11;
+  Rng rng(seed);
+  for (int rep = 0; rep < 50; ++rep) {
+    bitmap::WahBitVector bv;
+    const std::uint64_t target = rng.bounded(5000) + 1;
+    while (bv.size() < target) {
+      if (rng.bounded(3) == 0) {
+        bv.append_run(rng.bounded(2) == 1, rng.bounded(200) + 1);
+      } else {
+        bv.append_bit(rng.bounded(2) == 1);
+      }
+    }
+    ASSERT_TRUE(bv.check_invariants().ok());
+    const std::uint64_t base = rng.bounded(1u << 16);
+    const std::uint64_t a = base + rng.bounded(bv.size() + 10);
+    const std::uint64_t b = base + rng.bounded(bv.size() + 10);
+    SCOPED_TRACE("seed=" + std::to_string(seed) + " rep=" +
+                 std::to_string(rep));
+    check_expand(bv.words(), bv.active_word(), bv.active_bit_count(), base,
+                 std::min(a, b), std::max(a, b));
+    // And through the public clip API against the for_each_set oracle.
+    std::vector<std::uint64_t> via_api;
+    bv.append_set_positions(base, std::min(a, b), std::max(a, b), via_api);
+    std::vector<std::uint64_t> oracle;
+    bv.for_each_set([&](std::uint64_t p) {
+      const std::uint64_t abs = base + p;
+      if (abs >= std::min(a, b) && abs < std::max(a, b)) {
+        oracle.push_back(abs);
+      }
+    });
+    ASSERT_EQ(via_api, oracle);
+  }
+}
+
+TEST(KernelWah, CombineLiteralsDifferential) {
+  Rng rng(test_seed() + 13);
+  for (std::size_t n = 0; n <= 129; ++n) {
+    std::vector<std::uint32_t> a(n);
+    std::vector<std::uint32_t> b(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      a[i] = static_cast<std::uint32_t>(rng.next_u64()) & 0x7FFFFFFFu;
+      b[i] = static_cast<std::uint32_t>(rng.next_u64()) & 0x7FFFFFFFu;
+    }
+    for (const bool is_or : {false, true}) {
+      std::vector<std::uint32_t> ds(n);
+      std::vector<std::uint32_t> dv(n);
+      scalar::wah_combine_literals(a.data(), b.data(), ds.data(), n, is_or);
+      avx2::wah_combine_literals(a.data(), b.data(), dv.data(), n, is_or);
+      ASSERT_EQ(ds, dv) << "n=" << n << " is_or=" << is_or;
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(ds[i], is_or ? (a[i] | b[i]) : (a[i] & b[i]));
+      }
+    }
+  }
+}
+
+TEST(KernelWah, LogicalOpsBackendIdentical) {
+  const std::uint64_t seed = test_seed() + 17;
+  Rng rng(seed);
+  for (int rep = 0; rep < 30; ++rep) {
+    const std::uint64_t nbits = rng.bounded(4000) + 64;
+    bitmap::WahBitVector a;
+    bitmap::WahBitVector b;
+    // Long literal stretches (per-bit appends) mixed with runs, so the
+    // SIMD literal-stretch path in Combine really triggers.
+    while (a.size() < nbits) a.append_bit(rng.bounded(3) == 0);
+    while (b.size() < nbits) {
+      if (rng.bounded(4) == 0) {
+        b.append_run(rng.bounded(2) == 1,
+                     std::min<std::uint64_t>(97, nbits - b.size()));
+      } else {
+        b.append_bit(rng.bounded(2) == 0);
+      }
+    }
+    SCOPED_TRACE("seed=" + std::to_string(seed) + " rep=" +
+                 std::to_string(rep));
+    bitmap::WahBitVector and_scalar;
+    bitmap::WahBitVector and_avx2;
+    bitmap::WahBitVector or_scalar;
+    bitmap::WahBitVector or_avx2;
+    {
+      ScopedBackend force(Backend::kScalar);
+      auto r_and = bitmap::WahBitVector::And(a, b);
+      auto r_or = bitmap::WahBitVector::Or(a, b);
+      ASSERT_TRUE(r_and.ok() && r_or.ok());
+      and_scalar = std::move(r_and).value();
+      or_scalar = std::move(r_or).value();
+    }
+    {
+      ScopedBackend force(Backend::kAvx2);
+      auto r_and = bitmap::WahBitVector::And(a, b);
+      auto r_or = bitmap::WahBitVector::Or(a, b);
+      ASSERT_TRUE(r_and.ok() && r_or.ok());
+      and_avx2 = std::move(r_and).value();
+      or_avx2 = std::move(r_or).value();
+    }
+    // Full structural equality: word streams, trailer, counts.
+    ASSERT_EQ(and_scalar, and_avx2);
+    ASSERT_EQ(or_scalar, or_avx2);
+    ASSERT_TRUE(and_scalar.check_invariants().ok())
+        << and_scalar.check_invariants().message();
+    ASSERT_TRUE(or_scalar.check_invariants().ok())
+        << or_scalar.check_invariants().message();
+  }
+}
+
+TEST(KernelWah, PopcountWordsMatchesLoop) {
+  Rng rng(test_seed() + 19);
+  for (const std::size_t n : {0u, 1u, 7u, 8u, 9u, 63u, 64u, 65u, 1000u}) {
+    std::vector<std::uint32_t> w(n);
+    for (auto& x : w) x = static_cast<std::uint32_t>(rng.next_u64());
+    std::uint64_t expect = 0;
+    for (const std::uint32_t x : w) {
+      expect += static_cast<std::uint64_t>(__builtin_popcount(x));
+    }
+    EXPECT_EQ(popcount_words(w.data(), n), expect) << "n=" << n;
+  }
+}
+
+// -------------------------------------------------- sorted bound probes
+
+template <typename T>
+void run_bound_batch_differential(std::uint64_t seed) {
+  Rng rng(seed);
+  for (const std::size_t n :
+       {0u, 1u, 2u, 3u, 7u, 8u, 9u, 64u, 127u, 128u, 129u, 1000u}) {
+    std::vector<T> sorted(n);
+    for (auto& x : sorted) {
+      // Plateaus of duplicates stress the lower/upper distinction.
+      x = static_cast<T>(std::floor(rng.uniform(-50.0, 50.0)));
+    }
+    std::sort(sorted.begin(), sorted.end());
+    std::vector<T> keys;
+    for (std::size_t k = 0; k < 100; ++k) {
+      keys.push_back(static_cast<T>(std::floor(rng.uniform(-60.0, 60.0))));
+    }
+    if (n > 0) {
+      keys.push_back(sorted.front());
+      keys.push_back(sorted.back());
+      keys.push_back(sorted[rng.bounded(n)]);
+    }
+    keys.push_back(std::numeric_limits<T>::infinity());
+    keys.push_back(-std::numeric_limits<T>::infinity());
+    keys.push_back(std::numeric_limits<T>::quiet_NaN());
+
+    std::vector<std::uint64_t> lo_s(keys.size());
+    std::vector<std::uint64_t> lo_v(keys.size());
+    std::vector<std::uint64_t> up_s(keys.size());
+    std::vector<std::uint64_t> up_v(keys.size());
+    if constexpr (std::is_same_v<T, float>) {
+      scalar::lower_bound_batch_f32(sorted, keys, lo_s);
+      avx2::lower_bound_batch_f32(sorted, keys, lo_v);
+      scalar::upper_bound_batch_f32(sorted, keys, up_s);
+      avx2::upper_bound_batch_f32(sorted, keys, up_v);
+    } else {
+      scalar::lower_bound_batch_f64(sorted, keys, lo_s);
+      avx2::lower_bound_batch_f64(sorted, keys, lo_v);
+      scalar::upper_bound_batch_f64(sorted, keys, up_s);
+      avx2::upper_bound_batch_f64(sorted, keys, up_v);
+    }
+    for (std::size_t k = 0; k < keys.size(); ++k) {
+      SCOPED_TRACE("seed=" + std::to_string(seed) + " n=" +
+                   std::to_string(n) + " k=" + std::to_string(k) + " key=" +
+                   std::to_string(static_cast<double>(keys[k])));
+      // Backend identity holds for every key, NaN included.
+      ASSERT_EQ(lo_s[k], lo_v[k]);
+      ASSERT_EQ(up_s[k], up_v[k]);
+      if (keys[k] == keys[k]) {
+        // Non-NaN keys must agree with the std algorithms exactly.
+        ASSERT_EQ(lo_s[k],
+                  static_cast<std::uint64_t>(
+                      std::lower_bound(sorted.begin(), sorted.end(),
+                                       keys[k]) -
+                      sorted.begin()));
+        ASSERT_EQ(up_s[k],
+                  static_cast<std::uint64_t>(
+                      std::upper_bound(sorted.begin(), sorted.end(),
+                                       keys[k]) -
+                      sorted.begin()));
+      }
+      // And with the shared single-key branchless form.
+      ASSERT_EQ(lo_s[k],
+                lower_bound_index(std::span<const T>(sorted), keys[k]));
+      ASSERT_EQ(up_s[k],
+                upper_bound_index(std::span<const T>(sorted), keys[k]));
+    }
+  }
+}
+
+TEST(KernelBounds, BatchDifferentialF32) {
+  run_bound_batch_differential<float>(test_seed() + 23);
+}
+
+TEST(KernelBounds, BatchDifferentialF64) {
+  run_bound_batch_differential<double>(test_seed() + 29);
+}
+
+TEST(KernelBounds, EmptyAndSingleElement) {
+  const std::vector<double> empty;
+  const std::vector<double> one = {5.0};
+  const std::vector<double> keys = {4.0, 5.0, 6.0, kNan, kInf, -kInf};
+  std::vector<std::uint64_t> out_s(keys.size());
+  std::vector<std::uint64_t> out_v(keys.size());
+  scalar::lower_bound_batch_f64(empty, keys, out_s);
+  avx2::lower_bound_batch_f64(empty, keys, out_v);
+  EXPECT_EQ(out_s, out_v);
+  for (const std::uint64_t i : out_s) EXPECT_EQ(i, 0u);
+  scalar::upper_bound_batch_f64(one, keys, out_s);
+  avx2::upper_bound_batch_f64(one, keys, out_v);
+  EXPECT_EQ(out_s, out_v);
+  EXPECT_EQ(out_s[0], 0u);  // 4.0 before 5.0
+  EXPECT_EQ(out_s[1], 1u);  // upper_bound(5.0) past the element
+  EXPECT_EQ(out_s[2], 1u);
+}
+
+}  // namespace
+}  // namespace pdc::kernels

@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <span>
+#include <string>
 #include <vector>
 
+#include "common/exec_pool.h"
 #include "common/rng.h"
 #include "obj/object_store.h"
 
@@ -207,6 +210,64 @@ TEST_F(ObjectStoreTest, BitmapIndexBuildAndLoad) {
 
 TEST_F(ObjectStoreTest, IndexOnMissingObjectFails) {
   EXPECT_EQ(store_->build_bitmap_index(42).code(), StatusCode::kNotFound);
+}
+
+// Parallel ingest and index builds are pure speedups: region metadata,
+// per-region histograms, and the on-disk index file must be byte-identical
+// to the serial build at every pool width.
+TEST_F(ObjectStoreTest, ParallelImportAndIndexBuildByteIdentical) {
+  const auto data = make_data(50'000, 21);
+
+  const auto index_file_bytes = [&](ObjectId id) {
+    auto desc = store_->get(id);
+    EXPECT_TRUE(desc.ok());
+    auto file = cluster_->open((*desc)->index_file);
+    EXPECT_TRUE(file.ok());
+    auto size = file->size();
+    EXPECT_TRUE(size.ok());
+    std::vector<std::uint8_t> bytes(static_cast<std::size_t>(*size));
+    EXPECT_TRUE(file->read(0, bytes, {}).ok());
+    return bytes;
+  };
+
+  // Serial baseline.
+  auto serial_id = import(data, 2048, "serial");
+  ASSERT_TRUE(serial_id.ok());
+  ASSERT_TRUE(store_->build_bitmap_index(*serial_id).ok());
+  const auto want_index = index_file_bytes(*serial_id);
+  ASSERT_FALSE(want_index.empty());
+  auto serial_desc = store_->get(*serial_id);
+  ASSERT_TRUE(serial_desc.ok());
+
+  for (const std::uint32_t threads : {1u, 4u, 8u}) {
+    exec::ThreadPool pool(threads);
+    const std::string name = "pool" + std::to_string(threads);
+    auto container = store_->create_container("c_" + name);
+    ASSERT_TRUE(container.ok());
+    ImportOptions options;
+    options.region_size_bytes = 2048;
+    options.pool = &pool;
+    auto id = store_->import_object<float>(*container, name,
+                                           std::span<const float>(data),
+                                           options);
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    ASSERT_TRUE(store_->build_bitmap_index(*id, {}, &pool).ok());
+    EXPECT_GT(pool.stats().executed, 0u);
+
+    auto desc = store_->get(*id);
+    ASSERT_TRUE(desc.ok());
+    ASSERT_EQ((*desc)->regions.size(), (*serial_desc)->regions.size());
+    for (std::size_t r = 0; r < (*desc)->regions.size(); ++r) {
+      const auto& got = (*desc)->regions[r];
+      const auto& want = (*serial_desc)->regions[r];
+      EXPECT_EQ(got.extent.offset, want.extent.offset);
+      EXPECT_EQ(got.extent.count, want.extent.count);
+      EXPECT_EQ(got.histogram, want.histogram) << "region " << r;
+      EXPECT_EQ(got.index_offset, want.index_offset);
+      EXPECT_EQ(got.index_bytes, want.index_bytes);
+    }
+    EXPECT_EQ(index_file_bytes(*id), want_index) << "threads=" << threads;
+  }
 }
 
 TEST_F(ObjectStoreTest, LookupByNameAndList) {

@@ -13,6 +13,7 @@
 #include "bitmap/binned_index.h"
 #include "common/interval.h"
 #include "histogram/histogram.h"
+#include "kernels/kernels.h"
 #include "obj/object_store.h"
 #include "pfs/pfs.h"
 #include "query/planner.h"
@@ -46,6 +47,43 @@ TEST(QueryCheck, AllPathsAgreeWithOracle) {
   const Status status = run_querycheck(/*base_seed=*/1, /*num_cases=*/20,
                                        options);
   EXPECT_TRUE(status.ok()) << status.ToString();
+}
+
+// Pinned from the kernel-backend sweep added with the SIMD layer.  The
+// query bound 1 + 1e-12 is not representable in float — every stored
+// float is either <= 1.0 or >= nextafter(1,2) — and the sorted strategy's
+// binary search cast the double bound to float with round-to-nearest:
+// `key < 1.0 + 1e-12` searched for 1.0f and dropped the elements equal to
+// 1.0 (PDC-SH returned 2 of the oracle's 5 hits, on BOTH backends — a
+// shared-path bug, not SIMD divergence).  sorted_range now rounds the
+// bound to the element domain directionally (smallest/largest
+// representable key on the correct side).  The scan-kernel half of the
+// same property lives in kernels_test (FloatBoundsNotRepresentableInFloat);
+// this pins it end-to-end across the full strategy matrix, explicitly on
+// each backend so a failure names the backend directly.
+TEST(QueryCheckRegression, DoubleDomainBoundsOnEveryBackend) {
+  Case c;
+  c.seed = 3;
+  c.dataset.names = {"key"};
+  c.dataset.region_size_bytes = 512;
+  c.dataset.columns = {{0.5f, 1.0f, 1.0f, 2.0f, 3.0f, 1.0f, 0.0f, 4.0f}};
+  QuerySpec q;
+  q.terms.push_back(TermSpec{{LeafSpec{0, QueryOp::kGT, 1.0 + 1e-12}}});
+  c.queries.push_back(q);
+  QuerySpec q2;  // and the mirrored upper bound
+  q2.terms.push_back(TermSpec{{LeafSpec{0, QueryOp::kLT, 1.0 + 1e-12}}});
+  c.queries.push_back(q2);
+
+  for (const kernels::Backend backend :
+       {kernels::Backend::kScalar, kernels::Backend::kAvx2}) {
+    const kernels::ScopedBackend scoped(backend);
+    RunOptions options = fast_options();
+    auto result = run_case(c, options);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_FALSE(result->has_value())
+        << kernels::backend_name(kernels::active_backend()) << ": "
+        << (*result)->path << ": " << (*result)->detail;
+  }
 }
 
 // ------------------------------------------------------------- invariants

@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <vector>
 
+#include "common/exec_pool.h"
 #include "common/rng.h"
 #include "sortrep/sorted_replica.h"
 
@@ -170,6 +171,73 @@ TEST_F(SortRepTest, StableSortKeepsEqualValuesInOriginalOrder) {
   ASSERT_TRUE(positions.ok());
   // sorted: 1(idx1), 1(idx3), 2(idx4), 3(idx0), 3(idx2)
   EXPECT_EQ(*positions, (std::vector<std::uint64_t>{1, 3, 4, 0, 2}));
+}
+
+// ------------------------------------- parallel-build determinism
+
+// The parallel sample-sort must be a pure speedup: replica bytes and the
+// permutation file are byte-identical at any pool width, and identical to
+// the serial stable_sort build.  Heavy value duplication makes this a real
+// test of the (value, position) tie-break, not just of the sort.
+TEST_F(SortRepTest, ParallelBuildBitIdenticalAcrossPoolSizes) {
+  Rng rng(77);
+  std::vector<float> data(200'000);
+  for (auto& x : data) x = static_cast<float>(rng.bounded(512)) * 0.25F;
+
+  const auto read_replica = [&](ObjectId rid) {
+    auto desc = store_->get(rid);
+    EXPECT_TRUE(desc.ok());
+    std::vector<float> out(data.size());
+    EXPECT_TRUE(store_
+                    ->read_elements(**desc, {0, data.size()},
+                                    {reinterpret_cast<std::uint8_t*>(out.data()),
+                                     out.size() * sizeof(float)},
+                                    {})
+                    .ok());
+    return out;
+  };
+  const auto read_perm = [&](ObjectId rid) {
+    auto desc = store_->get(rid);
+    EXPECT_TRUE(desc.ok());
+    auto perm = map_to_source_positions(*store_, **desc, {0, data.size()}, {});
+    EXPECT_TRUE(perm.ok());
+    return perm.ok() ? *perm : std::vector<std::uint64_t>{};
+  };
+
+  obj::ImportOptions options;
+  options.region_size_bytes = 1024;
+
+  // Serial baseline: null pool, the classic stable_sort path.
+  const ObjectId serial_src = import(data, "serial");
+  auto serial = build_sorted_replica(*store_, serial_src, options);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  EXPECT_EQ(serial->build_threads, 1u);
+  EXPECT_GT(serial->wall_seconds, 0.0);
+  const auto want_values = read_replica(serial->replica_id);
+  const auto want_perm = read_perm(serial->replica_id);
+  ASSERT_EQ(want_perm.size(), data.size());
+
+  for (const std::uint32_t threads : {1u, 4u, 8u}) {
+    exec::ThreadPool pool(threads);
+    obj::ImportOptions pooled = options;
+    pooled.pool = &pool;
+    const std::string name = "pool" + std::to_string(threads);
+    const ObjectId src = import(data, name.c_str());
+    auto report = build_sorted_replica(*store_, src, pooled);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_EQ(report->build_threads, threads);
+    EXPECT_GT(report->wall_seconds, 0.0);
+    // Same simulated cost: wall_seconds is diagnostic-only and must never
+    // leak into the deterministic cost model.
+    EXPECT_EQ(report->build_cost_seconds, serial->build_cost_seconds);
+    EXPECT_EQ(report->extra_bytes, serial->extra_bytes);
+    EXPECT_EQ(read_replica(report->replica_id), want_values)
+        << "threads=" << threads;
+    EXPECT_EQ(read_perm(report->replica_id), want_perm)
+        << "threads=" << threads;
+    // The pool really ran the build (n crosses every parallel threshold).
+    EXPECT_GT(pool.stats().executed, 0u) << "threads=" << threads;
+  }
 }
 
 }  // namespace

@@ -26,6 +26,20 @@ protecting against a new strategy silently dropping out of the bench.
 Both numbers are deterministic virtual-time model output.  A row fails
 when its tail latency regresses (p99_s > baseline * (1 + threshold)) or
 its goodput under load drops (goodput_qps < baseline * (1 - threshold)).
+
+--kernels switches to wall-clock kernel mode (kernels_bench output).
+These ARE machine-dependent, so every check is conditioned on the
+"machine" stanza each JSON records:
+  * SIMD floors (candidate only): scan_f32 avx2 >= 4x scalar GB/s and
+    wah_expand avx2 >= 2x scalar MB/s — applied only when the candidate
+    machine has AVX2, otherwise note-skipped.
+  * Parallel-build floor (candidate only): sortrep_build at 8 threads
+    >= 3x faster than at 1 thread — applied only when the candidate has
+    >= 8 hardware threads, otherwise note-skipped.
+  * Throughput regression vs baseline: a kernel row's GB/s / MB/s /
+    Mprobes/s dropping more than the threshold fails — applied only when
+    baseline and candidate were recorded on matching machines (same
+    hardware_threads and avx2 flag), otherwise note-skipped.
 """
 
 import argparse
@@ -93,6 +107,110 @@ def check_traffic(args):
     return 0
 
 
+KERNEL_METRICS = ("gb_per_s", "mb_per_s", "mprobes_per_s")
+
+
+def kernel_metric(row):
+    for name in KERNEL_METRICS:
+        if name in row:
+            return name, row[name]
+    raise KeyError(f"kernel row without a throughput metric: {row}")
+
+
+def check_kernels(args):
+    with open(args.baseline) as f:
+        base_doc = json.load(f)
+    with open(args.candidate) as f:
+        cand_doc = json.load(f)
+    cand_machine = cand_doc.get("machine", {})
+    base_machine = base_doc.get("machine", {})
+    failures = []
+
+    cand_kernels = {(r["name"], r["backend"]): r
+                    for r in cand_doc.get("kernels", [])}
+    cand_builds = {(r["name"], r["threads"]): r["seconds"]
+                   for r in cand_doc.get("builds", [])}
+
+    # ---- SIMD floors (candidate only, AVX2 hardware only) ----
+    floors = [("scan_f32", 4.0), ("wah_expand", 2.0)]
+    if cand_machine.get("avx2"):
+        for name, floor in floors:
+            scalar = cand_kernels.get((name, "scalar"))
+            simd = cand_kernels.get((name, "avx2"))
+            if scalar is None or simd is None:
+                failures.append((name, "missing scalar/avx2 rows"))
+                continue
+            _, s = kernel_metric(scalar)
+            _, v = kernel_metric(simd)
+            speedup = v / s if s > 0 else 0.0
+            ok = speedup >= floor
+            if not ok:
+                failures.append((name, f"avx2 speedup {speedup:.2f}x "
+                                       f"< {floor:.0f}x floor"))
+            print(f"{name:16s} avx2/scalar {speedup:6.2f}x  "
+                  f"(floor {floor:.0f}x){'' if ok else '  <-- BELOW FLOOR'}")
+    else:
+        print("note: candidate machine has no AVX2 — SIMD floors skipped")
+
+    # ---- parallel-build floor (candidate only, >= 8 hw threads) ----
+    if cand_machine.get("hardware_threads", 0) >= 8:
+        s1 = cand_builds.get(("sortrep_build", 1))
+        s8 = cand_builds.get(("sortrep_build", 8))
+        if s1 is None or s8 is None:
+            failures.append(("sortrep_build", "missing 1/8-thread rows"))
+        else:
+            speedup = s1 / s8 if s8 > 0 else 0.0
+            ok = speedup >= 3.0
+            if not ok:
+                failures.append(("sortrep_build",
+                                 f"8-thread speedup {speedup:.2f}x < 3x"))
+            print(f"{'sortrep_build':16s} 1t/8t       {speedup:6.2f}x  "
+                  f"(floor 3x){'' if ok else '  <-- BELOW FLOOR'}")
+    else:
+        print(f"note: candidate has "
+              f"{cand_machine.get('hardware_threads', 0)} hardware threads "
+              f"— 8-thread build floor skipped")
+
+    # ---- throughput regression vs baseline (matching machines only) ----
+    same_machine = (
+        base_machine.get("hardware_threads") ==
+        cand_machine.get("hardware_threads") and
+        base_machine.get("avx2") == cand_machine.get("avx2"))
+    compared = 0
+    if same_machine:
+        for key, base_row in sorted(
+                {(r["name"], r["backend"]): r
+                 for r in base_doc.get("kernels", [])}.items()):
+            cand_row = cand_kernels.get(key)
+            if cand_row is None:
+                print(f"note: {key} missing from candidate (skipped)")
+                continue
+            compared += 1
+            metric, b = kernel_metric(base_row)
+            _, c = kernel_metric(cand_row)
+            rel = (c - b) / b if b > 0 else 0.0
+            regressed = c < b * (1.0 - args.threshold)
+            if regressed:
+                failures.append((key, f"{metric} {rel:+.1%}"))
+            print(f"{'/'.join(key):24s} {metric:12s} base {b:10.3f}  "
+                  f"cand {c:10.3f}  {rel:+7.1%}"
+                  f"{'  <-- REGRESSION' if regressed else ''}")
+    else:
+        print("note: baseline recorded on a different machine "
+              f"(base {base_machine.get('hardware_threads')}t/"
+              f"avx2={base_machine.get('avx2')}, "
+              f"cand {cand_machine.get('hardware_threads')}t/"
+              f"avx2={cand_machine.get('avx2')}) — regression diff skipped")
+
+    if failures:
+        for what, why in failures:
+            print(f"FAIL: {what}: {why}")
+        return 1
+    print(f"OK: kernel floors satisfied"
+          f"{f', {compared} rows within {args.threshold:.0%}' if compared else ''}")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline")
@@ -108,10 +226,15 @@ def main():
     parser.add_argument("--traffic", action="store_true",
                         help="compare traffic_bench output (goodput + p99 "
                              "by arrival/load) instead of figure rows")
+    parser.add_argument("--kernels", action="store_true",
+                        help="compare kernels_bench output (wall-clock SIMD "
+                             "floors + machine-matched throughput diff)")
     args = parser.parse_args()
 
     if args.traffic:
         return check_traffic(args)
+    if args.kernels:
+        return check_kernels(args)
 
     sections = [s for s in args.sections.split(",") if s]
     base = load_rows(args.baseline, sections)
