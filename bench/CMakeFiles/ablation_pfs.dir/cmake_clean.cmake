@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pfs.dir/ablation_pfs.cc.o"
+  "CMakeFiles/ablation_pfs.dir/ablation_pfs.cc.o.d"
+  "ablation_pfs"
+  "ablation_pfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

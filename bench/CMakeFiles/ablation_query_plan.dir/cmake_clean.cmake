@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_query_plan.dir/ablation_query_plan.cc.o"
+  "CMakeFiles/ablation_query_plan.dir/ablation_query_plan.cc.o.d"
+  "ablation_query_plan"
+  "ablation_query_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_query_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_region_size.dir/ablation_region_size.cc.o"
+  "CMakeFiles/ablation_region_size.dir/ablation_region_size.cc.o.d"
+  "ablation_region_size"
+  "ablation_region_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_region_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

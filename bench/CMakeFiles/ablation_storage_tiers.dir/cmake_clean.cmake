@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_storage_tiers.dir/ablation_storage_tiers.cc.o"
+  "CMakeFiles/ablation_storage_tiers.dir/ablation_storage_tiers.cc.o.d"
+  "ablation_storage_tiers"
+  "ablation_storage_tiers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_storage_tiers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_single_object.dir/fig3_single_object.cc.o"
+  "CMakeFiles/fig3_single_object.dir/fig3_single_object.cc.o.d"
+  "fig3_single_object"
+  "fig3_single_object.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_single_object.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

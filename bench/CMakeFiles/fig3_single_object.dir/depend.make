@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3_single_object.
+# This may be replaced when dependencies are built.

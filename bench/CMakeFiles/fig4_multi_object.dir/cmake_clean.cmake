@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_multi_object.dir/fig4_multi_object.cc.o"
+  "CMakeFiles/fig4_multi_object.dir/fig4_multi_object.cc.o.d"
+  "fig4_multi_object"
+  "fig4_multi_object.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_multi_object.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_metadata_data.dir/fig5_metadata_data.cc.o"
+  "CMakeFiles/fig5_metadata_data.dir/fig5_metadata_data.cc.o.d"
+  "fig5_metadata_data"
+  "fig5_metadata_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_metadata_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

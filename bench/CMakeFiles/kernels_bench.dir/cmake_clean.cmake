@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernels_bench.dir/kernels_bench.cc.o"
+  "CMakeFiles/kernels_bench.dir/kernels_bench.cc.o.d"
+  "kernels_bench"
+  "kernels_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernels_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/report_json.dir/report_json.cc.o"
+  "CMakeFiles/report_json.dir/report_json.cc.o.d"
+  "report_json"
+  "report_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/report_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

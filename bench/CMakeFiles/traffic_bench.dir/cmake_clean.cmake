@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_bench.dir/traffic_bench.cc.o"
+  "CMakeFiles/traffic_bench.dir/traffic_bench.cc.o.d"
+  "traffic_bench"
+  "traffic_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

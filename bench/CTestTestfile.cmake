@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+if(CTEST_CONFIGURATION_TYPE MATCHES "^([Bb][Ee][Nn][Cc][Hh]-[Gg][Aa][Tt][Ee])$")
+  add_test(bench_report "/root/repo/bench/report_json")
+  set_tests_properties(bench_report PROPERTIES  ENVIRONMENT "PDC_BENCH_JSON=/root/repo/BENCH_pr5.json;PDC_BENCH_NAME=pr5_adaptive_pipeline" FIXTURES_SETUP "bench_json" LABELS "bench-gate" TIMEOUT "1200" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;45;add_test;/root/repo/bench/CMakeLists.txt;0;")
+endif()
+if(CTEST_CONFIGURATION_TYPE MATCHES "^([Bb][Ee][Nn][Cc][Hh]-[Gg][Aa][Tt][Ee])$")
+  add_test(bench_gate "/root/.pyenv/shims/python3" "/root/repo/tools/check_bench.py" "/root/repo/BENCH_pr4.json" "/root/repo/BENCH_pr5.json" "--threshold" "0.15" "--sections" "fig3,fig6" "--require-strategy" "PDC-A")
+  set_tests_properties(bench_gate PROPERTIES  FIXTURES_REQUIRED "bench_json" LABELS "bench-gate" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;53;add_test;/root/repo/bench/CMakeLists.txt;0;")
+endif()
+if(CTEST_CONFIGURATION_TYPE MATCHES "^([Bb][Ee][Nn][Cc][Hh]-[Gg][Aa][Tt][Ee])$")
+  add_test(bench_report_traffic "/root/repo/bench/traffic_bench")
+  set_tests_properties(bench_report_traffic PROPERTIES  ENVIRONMENT "PDC_BENCH_JSON=/root/repo/BENCH_traffic.json" FIXTURES_SETUP "bench_traffic_json" LABELS "bench-gate" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;68;add_test;/root/repo/bench/CMakeLists.txt;0;")
+endif()
+if(CTEST_CONFIGURATION_TYPE MATCHES "^([Bb][Ee][Nn][Cc][Hh]-[Gg][Aa][Tt][Ee])$")
+  add_test(bench_gate_traffic "/root/.pyenv/shims/python3" "/root/repo/tools/check_bench.py" "/root/repo/BENCH_traffic.json" "/root/repo/BENCH_traffic.json" "--threshold" "0.15" "--traffic")
+  set_tests_properties(bench_gate_traffic PROPERTIES  FIXTURES_REQUIRED "bench_traffic_json" LABELS "bench-gate" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;76;add_test;/root/repo/bench/CMakeLists.txt;0;")
+endif()
+if(CTEST_CONFIGURATION_TYPE MATCHES "^([Bb][Ee][Nn][Cc][Hh]-[Gg][Aa][Tt][Ee])$")
+  add_test(bench_report_kernels "/root/repo/bench/kernels_bench")
+  set_tests_properties(bench_report_kernels PROPERTIES  ENVIRONMENT "PDC_BENCH_JSON=/root/repo/BENCH_kernels.json" FIXTURES_SETUP "bench_kernels_json" LABELS "bench-gate" TIMEOUT "1200" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;93;add_test;/root/repo/bench/CMakeLists.txt;0;")
+endif()
+if(CTEST_CONFIGURATION_TYPE MATCHES "^([Bb][Ee][Nn][Cc][Hh]-[Gg][Aa][Tt][Ee])$")
+  add_test(bench_gate_kernels "/root/.pyenv/shims/python3" "/root/repo/tools/check_bench.py" "/root/repo/BENCH_kernels.json" "/root/repo/BENCH_kernels.json" "--threshold" "0.15" "--kernels")
+  set_tests_properties(bench_gate_kernels PROPERTIES  FIXTURES_REQUIRED "bench_kernels_json" LABELS "bench-gate" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;101;add_test;/root/repo/bench/CMakeLists.txt;0;")
+endif()

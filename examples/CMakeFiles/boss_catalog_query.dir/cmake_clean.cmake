@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boss_catalog_query.dir/boss_catalog_query.cpp.o"
+  "CMakeFiles/boss_catalog_query.dir/boss_catalog_query.cpp.o.d"
+  "boss_catalog_query"
+  "boss_catalog_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boss_catalog_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for boss_catalog_query.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for boss_catalog_query.
+# This may be replaced when dependencies are built.

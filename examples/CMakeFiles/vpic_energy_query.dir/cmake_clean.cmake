@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpic_energy_query.dir/vpic_energy_query.cpp.o"
+  "CMakeFiles/vpic_energy_query.dir/vpic_energy_query.cpp.o.d"
+  "vpic_energy_query"
+  "vpic_energy_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpic_energy_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

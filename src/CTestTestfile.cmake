@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("kernels")
+subdirs("obs")
+subdirs("pfs")
+subdirs("histogram")
+subdirs("bitmap")
+subdirs("h5lite")
+subdirs("obj")
+subdirs("metadata")
+subdirs("rpc")
+subdirs("sortrep")
+subdirs("server")
+subdirs("query")
+subdirs("workloads")
+subdirs("testing")

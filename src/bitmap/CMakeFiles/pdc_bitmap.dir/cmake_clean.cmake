@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdc_bitmap.dir/binned_index.cc.o"
+  "CMakeFiles/pdc_bitmap.dir/binned_index.cc.o.d"
+  "CMakeFiles/pdc_bitmap.dir/wah.cc.o"
+  "CMakeFiles/pdc_bitmap.dir/wah.cc.o.d"
+  "libpdc_bitmap.a"
+  "libpdc_bitmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdc_bitmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

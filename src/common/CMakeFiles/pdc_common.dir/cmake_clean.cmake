@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdc_common.dir/exec_pool.cc.o"
+  "CMakeFiles/pdc_common.dir/exec_pool.cc.o.d"
+  "CMakeFiles/pdc_common.dir/log.cc.o"
+  "CMakeFiles/pdc_common.dir/log.cc.o.d"
+  "CMakeFiles/pdc_common.dir/status.cc.o"
+  "CMakeFiles/pdc_common.dir/status.cc.o.d"
+  "CMakeFiles/pdc_common.dir/types.cc.o"
+  "CMakeFiles/pdc_common.dir/types.cc.o.d"
+  "libpdc_common.a"
+  "libpdc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdc_h5lite.dir/full_scan.cc.o"
+  "CMakeFiles/pdc_h5lite.dir/full_scan.cc.o.d"
+  "CMakeFiles/pdc_h5lite.dir/h5lite.cc.o"
+  "CMakeFiles/pdc_h5lite.dir/h5lite.cc.o.d"
+  "libpdc_h5lite.a"
+  "libpdc_h5lite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdc_h5lite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

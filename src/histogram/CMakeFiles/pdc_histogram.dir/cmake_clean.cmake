@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdc_histogram.dir/histogram.cc.o"
+  "CMakeFiles/pdc_histogram.dir/histogram.cc.o.d"
+  "libpdc_histogram.a"
+  "libpdc_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdc_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdc_kernels.dir/kernels.cc.o"
+  "CMakeFiles/pdc_kernels.dir/kernels.cc.o.d"
+  "CMakeFiles/pdc_kernels.dir/kernels_avx2.cc.o"
+  "CMakeFiles/pdc_kernels.dir/kernels_avx2.cc.o.d"
+  "libpdc_kernels.a"
+  "libpdc_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdc_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metadata/meta_store.cc" "src/metadata/CMakeFiles/pdc_metadata.dir/meta_store.cc.o" "gcc" "src/metadata/CMakeFiles/pdc_metadata.dir/meta_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/common/CMakeFiles/pdc_common.dir/DependInfo.cmake"
+  "/root/repo/src/pfs/CMakeFiles/pdc_pfs.dir/DependInfo.cmake"
+  "/root/repo/src/obs/CMakeFiles/pdc_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdc_metadata.dir/meta_store.cc.o"
+  "CMakeFiles/pdc_metadata.dir/meta_store.cc.o.d"
+  "libpdc_metadata.a"
+  "libpdc_metadata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdc_metadata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdc_obj.dir/object_store.cc.o"
+  "CMakeFiles/pdc_obj.dir/object_store.cc.o.d"
+  "libpdc_obj.a"
+  "libpdc_obj.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdc_obj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

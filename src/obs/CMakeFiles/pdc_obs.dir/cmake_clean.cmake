@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdc_obs.dir/metrics.cc.o"
+  "CMakeFiles/pdc_obs.dir/metrics.cc.o.d"
+  "CMakeFiles/pdc_obs.dir/trace.cc.o"
+  "CMakeFiles/pdc_obs.dir/trace.cc.o.d"
+  "libpdc_obs.a"
+  "libpdc_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdc_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdc_pfs.dir/pfs.cc.o"
+  "CMakeFiles/pdc_pfs.dir/pfs.cc.o.d"
+  "CMakeFiles/pdc_pfs.dir/read_aggregator.cc.o"
+  "CMakeFiles/pdc_pfs.dir/read_aggregator.cc.o.d"
+  "libpdc_pfs.a"
+  "libpdc_pfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdc_pfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

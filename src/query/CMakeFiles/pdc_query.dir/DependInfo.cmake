@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/pdc_capi.cc" "src/query/CMakeFiles/pdc_query.dir/pdc_capi.cc.o" "gcc" "src/query/CMakeFiles/pdc_query.dir/pdc_capi.cc.o.d"
+  "/root/repo/src/query/planner.cc" "src/query/CMakeFiles/pdc_query.dir/planner.cc.o" "gcc" "src/query/CMakeFiles/pdc_query.dir/planner.cc.o.d"
+  "/root/repo/src/query/service.cc" "src/query/CMakeFiles/pdc_query.dir/service.cc.o" "gcc" "src/query/CMakeFiles/pdc_query.dir/service.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/common/CMakeFiles/pdc_common.dir/DependInfo.cmake"
+  "/root/repo/src/obj/CMakeFiles/pdc_obj.dir/DependInfo.cmake"
+  "/root/repo/src/metadata/CMakeFiles/pdc_metadata.dir/DependInfo.cmake"
+  "/root/repo/src/server/CMakeFiles/pdc_server.dir/DependInfo.cmake"
+  "/root/repo/src/rpc/CMakeFiles/pdc_rpc.dir/DependInfo.cmake"
+  "/root/repo/src/histogram/CMakeFiles/pdc_histogram.dir/DependInfo.cmake"
+  "/root/repo/src/sortrep/CMakeFiles/pdc_sortrep.dir/DependInfo.cmake"
+  "/root/repo/src/pfs/CMakeFiles/pdc_pfs.dir/DependInfo.cmake"
+  "/root/repo/src/obs/CMakeFiles/pdc_obs.dir/DependInfo.cmake"
+  "/root/repo/src/bitmap/CMakeFiles/pdc_bitmap.dir/DependInfo.cmake"
+  "/root/repo/src/kernels/CMakeFiles/pdc_kernels.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

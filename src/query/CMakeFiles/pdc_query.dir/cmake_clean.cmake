@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdc_query.dir/pdc_capi.cc.o"
+  "CMakeFiles/pdc_query.dir/pdc_capi.cc.o.d"
+  "CMakeFiles/pdc_query.dir/planner.cc.o"
+  "CMakeFiles/pdc_query.dir/planner.cc.o.d"
+  "CMakeFiles/pdc_query.dir/service.cc.o"
+  "CMakeFiles/pdc_query.dir/service.cc.o.d"
+  "libpdc_query.a"
+  "libpdc_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdc_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

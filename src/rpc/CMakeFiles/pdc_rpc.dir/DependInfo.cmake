@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rpc/fault.cc" "src/rpc/CMakeFiles/pdc_rpc.dir/fault.cc.o" "gcc" "src/rpc/CMakeFiles/pdc_rpc.dir/fault.cc.o.d"
+  "/root/repo/src/rpc/message_bus.cc" "src/rpc/CMakeFiles/pdc_rpc.dir/message_bus.cc.o" "gcc" "src/rpc/CMakeFiles/pdc_rpc.dir/message_bus.cc.o.d"
+  "/root/repo/src/rpc/server_runtime.cc" "src/rpc/CMakeFiles/pdc_rpc.dir/server_runtime.cc.o" "gcc" "src/rpc/CMakeFiles/pdc_rpc.dir/server_runtime.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/common/CMakeFiles/pdc_common.dir/DependInfo.cmake"
+  "/root/repo/src/obs/CMakeFiles/pdc_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdc_rpc.dir/fault.cc.o"
+  "CMakeFiles/pdc_rpc.dir/fault.cc.o.d"
+  "CMakeFiles/pdc_rpc.dir/message_bus.cc.o"
+  "CMakeFiles/pdc_rpc.dir/message_bus.cc.o.d"
+  "CMakeFiles/pdc_rpc.dir/server_runtime.cc.o"
+  "CMakeFiles/pdc_rpc.dir/server_runtime.cc.o.d"
+  "libpdc_rpc.a"
+  "libpdc_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdc_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdc_server.dir/query_server.cc.o"
+  "CMakeFiles/pdc_server.dir/query_server.cc.o.d"
+  "CMakeFiles/pdc_server.dir/region_pipeline.cc.o"
+  "CMakeFiles/pdc_server.dir/region_pipeline.cc.o.d"
+  "CMakeFiles/pdc_server.dir/wire.cc.o"
+  "CMakeFiles/pdc_server.dir/wire.cc.o.d"
+  "libpdc_server.a"
+  "libpdc_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdc_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

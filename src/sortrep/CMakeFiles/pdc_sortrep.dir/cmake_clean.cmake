@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdc_sortrep.dir/sorted_replica.cc.o"
+  "CMakeFiles/pdc_sortrep.dir/sorted_replica.cc.o.d"
+  "libpdc_sortrep.a"
+  "libpdc_sortrep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdc_sortrep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

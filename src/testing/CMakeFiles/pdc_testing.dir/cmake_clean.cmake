@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdc_testing.dir/invariants.cc.o"
+  "CMakeFiles/pdc_testing.dir/invariants.cc.o.d"
+  "CMakeFiles/pdc_testing.dir/querycheck.cc.o"
+  "CMakeFiles/pdc_testing.dir/querycheck.cc.o.d"
+  "libpdc_testing.a"
+  "libpdc_testing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdc_testing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdc_workloads.dir/boss.cc.o"
+  "CMakeFiles/pdc_workloads.dir/boss.cc.o.d"
+  "CMakeFiles/pdc_workloads.dir/traffic.cc.o"
+  "CMakeFiles/pdc_workloads.dir/traffic.cc.o.d"
+  "CMakeFiles/pdc_workloads.dir/vpic.cc.o"
+  "CMakeFiles/pdc_workloads.dir/vpic.cc.o.d"
+  "libpdc_workloads.a"
+  "libpdc_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdc_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpdc_workloads.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capi_test.dir/capi_test.cc.o"
+  "CMakeFiles/capi_test.dir/capi_test.cc.o.d"
+  "capi_test"
+  "capi_test.pdb"
+  "capi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h5lite_test.dir/h5lite_test.cc.o"
+  "CMakeFiles/h5lite_test.dir/h5lite_test.cc.o.d"
+  "h5lite_test"
+  "h5lite_test.pdb"
+  "h5lite_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h5lite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obj_test.dir/obj_test.cc.o"
+  "CMakeFiles/obj_test.dir/obj_test.cc.o.d"
+  "obj_test"
+  "obj_test.pdb"
+  "obj_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obj_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

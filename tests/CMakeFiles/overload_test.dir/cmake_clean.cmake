@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overload_test.dir/overload_test.cc.o"
+  "CMakeFiles/overload_test.dir/overload_test.cc.o.d"
+  "overload_test"
+  "overload_test.pdb"
+  "overload_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

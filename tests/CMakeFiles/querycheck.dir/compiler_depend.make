@@ -1,0 +1,2 @@
+# Empty custom commands generated dependencies file for querycheck.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/querycheck_test.dir/querycheck_test.cc.o"
+  "CMakeFiles/querycheck_test.dir/querycheck_test.cc.o.d"
+  "querycheck_test"
+  "querycheck_test.pdb"
+  "querycheck_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/querycheck_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

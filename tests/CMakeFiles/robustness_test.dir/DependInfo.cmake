@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/robustness_test.cc" "tests/CMakeFiles/robustness_test.dir/robustness_test.cc.o" "gcc" "tests/CMakeFiles/robustness_test.dir/robustness_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/query/CMakeFiles/pdc_query.dir/DependInfo.cmake"
+  "/root/repo/src/sortrep/CMakeFiles/pdc_sortrep.dir/DependInfo.cmake"
+  "/root/repo/src/metadata/CMakeFiles/pdc_metadata.dir/DependInfo.cmake"
+  "/root/repo/src/server/CMakeFiles/pdc_server.dir/DependInfo.cmake"
+  "/root/repo/src/obj/CMakeFiles/pdc_obj.dir/DependInfo.cmake"
+  "/root/repo/src/pfs/CMakeFiles/pdc_pfs.dir/DependInfo.cmake"
+  "/root/repo/src/bitmap/CMakeFiles/pdc_bitmap.dir/DependInfo.cmake"
+  "/root/repo/src/kernels/CMakeFiles/pdc_kernels.dir/DependInfo.cmake"
+  "/root/repo/src/rpc/CMakeFiles/pdc_rpc.dir/DependInfo.cmake"
+  "/root/repo/src/obs/CMakeFiles/pdc_obs.dir/DependInfo.cmake"
+  "/root/repo/src/histogram/CMakeFiles/pdc_histogram.dir/DependInfo.cmake"
+  "/root/repo/src/common/CMakeFiles/pdc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

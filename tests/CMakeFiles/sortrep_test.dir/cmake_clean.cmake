@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sortrep_test.dir/sortrep_test.cc.o"
+  "CMakeFiles/sortrep_test.dir/sortrep_test.cc.o.d"
+  "sortrep_test"
+  "sortrep_test.pdb"
+  "sortrep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sortrep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

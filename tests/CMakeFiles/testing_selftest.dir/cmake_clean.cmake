@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/testing_selftest.dir/testing_selftest.cc.o"
+  "CMakeFiles/testing_selftest.dir/testing_selftest.cc.o.d"
+  "testing_selftest"
+  "testing_selftest.pdb"
+  "testing_selftest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/testing_selftest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for testing_selftest.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,3 @@
+foreach(t IN LISTS concurrency_test_TESTS)
+  set_tests_properties("${t}" PROPERTIES LABELS "tsan")
+endforeach()

@@ -1,0 +1,3 @@
+foreach(t IN LISTS kernels_test_TESTS)
+  set_tests_properties("${t}" PROPERTIES LABELS "tsan")
+endforeach()

@@ -1,0 +1,3 @@
+foreach(t IN LISTS traffic_test_TESTS)
+  set_tests_properties("${t}" PROPERTIES LABELS "traffic")
+endforeach()

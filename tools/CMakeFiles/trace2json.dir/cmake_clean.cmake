@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace2json.dir/trace2json.cc.o"
+  "CMakeFiles/trace2json.dir/trace2json.cc.o.d"
+  "trace2json"
+  "trace2json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace2json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for trace2json.
+# This may be replaced when dependencies are built.
