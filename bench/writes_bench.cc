@@ -1,0 +1,192 @@
+// Mixed read/write sweep: simulated cost of querying an object while a
+// fraction of operations mutate it through the kTransferWrite path.
+//
+// For each (strategy, write_fraction) cell a fresh store is built, then a
+// seeded op stream runs range queries interleaved with 64-element
+// overwrites.  Reported numbers are *simulated* seconds from the cost
+// model (deterministic), plus write-path observability: stale-region scan
+// fallbacks, inline delta compactions, and the final data epoch.
+//
+// Environment: PDC_BENCH_PARTICLES (default 2^18), PDC_BENCH_SERVERS
+// (default 8), PDC_BENCH_DIR, PDC_BENCH_JSON (default BENCH_writes.json).
+#include <cinttypes>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "sortrep/sorted_replica.h"
+
+namespace pdc::bench {
+namespace {
+
+struct WriteRow {
+  const char* strategy = "";
+  double write_fraction = 0.0;
+  std::uint64_t ops = 0;
+  std::uint64_t writes = 0;
+  double read_sim_s = 0.0;
+  double write_sim_s = 0.0;
+  std::uint64_t regions_stale = 0;
+  std::uint64_t compactions = 0;
+  std::uint64_t data_epoch = 0;
+};
+
+struct Cell {
+  server::Strategy strategy;
+  const char* name;
+};
+
+WriteRow run_cell(const std::string& scratch, const Cell& cell,
+                  double write_fraction, std::uint64_t num_elements,
+                  std::uint32_t num_servers) {
+  std::filesystem::remove_all(scratch);
+  pfs::PfsConfig cfg;
+  cfg.root_dir = scratch;
+  cfg.num_osts = 16;
+  cfg.stripe_count = 4;
+  cfg.stripe_size = 1ull << 20;
+  auto cluster = unwrap(pfs::PfsCluster::Create(cfg), "PFS create");
+  obj::ObjectStore store(*cluster);
+
+  Rng data_rng(0xBE7C);
+  std::vector<float> values(num_elements);
+  for (auto& v : values) v = static_cast<float>(data_rng.uniform(0.0, 10.0));
+
+  obj::ImportOptions import_options;
+  import_options.region_size_bytes = 16384;  // 4096 floats per region
+  const ObjectId container =
+      unwrap(store.create_container("wbench"), "container");
+  const ObjectId object = unwrap(
+      store.import_object<float>(container, "col",
+                                 std::span<const float>(values),
+                                 import_options),
+      "import");
+  check(store.build_bitmap_index(object), "index build");
+  (void)unwrap(sortrep::build_sorted_replica(store, object, import_options),
+               "replica build");
+
+  query::ServiceOptions options;
+  options.num_servers = num_servers;
+  options.strategy = cell.strategy;
+  options.compact_threshold = 8;
+  options.replica_rebuild_threshold = 64;
+  query::QueryService service(store, options);
+
+  WriteRow row;
+  row.strategy = cell.name;
+  row.write_fraction = write_fraction;
+
+  Rng op_rng(0x5EED);
+  constexpr std::uint64_t kOps = 200;
+  constexpr std::uint64_t kWriteElems = 64;
+  for (std::uint64_t i = 0; i < kOps; ++i) {
+    ++row.ops;
+    // The op mix is drawn identically for every cell (same seed), so
+    // cells differ only in strategy and fraction, not in the op stream.
+    const bool is_write = op_rng.next_double() < write_fraction;
+    if (is_write) {
+      const std::uint64_t offset = static_cast<std::uint64_t>(
+          op_rng.uniform(0.0,
+                         static_cast<double>(num_elements - kWriteElems)));
+      std::vector<float> repl(kWriteElems);
+      for (auto& v : repl) v = static_cast<float>(op_rng.uniform(0.0, 10.0));
+      auto report = service.overwrite(
+          object, Extent1D{offset, kWriteElems},
+          {reinterpret_cast<const std::uint8_t*>(repl.data()),
+           repl.size() * sizeof(float)});
+      if (!report.ok()) {
+        std::fprintf(stderr, "FATAL overwrite: %s\n",
+                     report.status().ToString().c_str());
+        std::abort();
+      }
+      ++row.writes;
+      if (report->compacted) ++row.compactions;
+      row.write_sim_s += service.last_stats().sim_elapsed_seconds;
+      row.data_epoch = report->data_epoch;
+    } else {
+      const double lo = op_rng.uniform(0.0, 9.0);
+      const double hi = lo + op_rng.uniform(0.1, 1.0);
+      const auto q = query::q_and(query::create(object, QueryOp::kGT, lo),
+                                  query::create(object, QueryOp::kLT, hi));
+      auto selection = service.get_selection(q);
+      if (!selection.ok()) {
+        std::fprintf(stderr, "FATAL query: %s\n",
+                     selection.status().ToString().c_str());
+        std::abort();
+      }
+      const query::OpStats stats = service.last_stats();
+      row.read_sim_s += stats.sim_elapsed_seconds;
+      row.regions_stale += stats.regions_stale;
+    }
+  }
+  return row;
+}
+
+}  // namespace
+}  // namespace pdc::bench
+
+int main() {
+  using namespace pdc::bench;
+
+  const std::uint64_t num_elements =
+      env_u64("PDC_BENCH_PARTICLES", 1ull << 18);
+  const auto num_servers =
+      static_cast<std::uint32_t>(env_u64("PDC_BENCH_SERVERS", 8));
+  const std::string scratch =
+      env_str("PDC_BENCH_DIR", "/tmp/pdc_bench") + "/writes";
+
+  const Cell cells[] = {
+      {pdc::server::Strategy::kHistogramIndex, "PDC-HI"},
+      {pdc::server::Strategy::kSortedHistogram, "PDC-SH"},
+      {pdc::server::Strategy::kAdaptive, "PDC-A"},
+  };
+  const double fractions[] = {0.0, 0.1, 0.5};
+
+  print_header("mixed read/write sweep (simulated seconds)",
+               "strategy  wfrac  reads_s  writes_s  stale  compact  epoch");
+  std::vector<WriteRow> rows;
+  for (const Cell& cell : cells) {
+    for (const double fraction : fractions) {
+      WriteRow row =
+          run_cell(scratch, cell, fraction, num_elements, num_servers);
+      std::printf("%-8s  %4.2f  %8.4f  %8.4f  %5" PRIu64 "  %7" PRIu64
+                  "  %5" PRIu64 "\n",
+                  row.strategy, row.write_fraction, row.read_sim_s,
+                  row.write_sim_s, row.regions_stale, row.compactions,
+                  row.data_epoch);
+      rows.push_back(row);
+    }
+  }
+  std::filesystem::remove_all(scratch);
+
+  const std::string json_path =
+      env_str("PDC_BENCH_JSON", "BENCH_writes.json");
+  std::FILE* out = std::fopen(json_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "FATAL: cannot open %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"writes\",\n");
+  std::fprintf(out, "  \"particles\": %llu,\n",
+               static_cast<unsigned long long>(num_elements));
+  std::fprintf(out, "  \"servers\": %u,\n", num_servers);
+  std::fprintf(out, "  \"writes\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const WriteRow& row = rows[i];
+    std::fprintf(out,
+                 "    {\"strategy\": \"%s\", \"write_fraction\": %.2f, "
+                 "\"ops\": %" PRIu64 ", \"write_ops\": %" PRIu64 ", "
+                 "\"read_sim_s\": %.9f, \"write_sim_s\": %.9f, "
+                 "\"regions_stale\": %" PRIu64 ", \"compactions\": %" PRIu64
+                 ", \"data_epoch\": %" PRIu64 "}%s\n",
+                 row.strategy, row.write_fraction, row.ops, row.writes,
+                 row.read_sim_s, row.write_sim_s, row.regions_stale,
+                 row.compactions, row.data_epoch,
+                 i + 1 == rows.size() ? "" : ",");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}

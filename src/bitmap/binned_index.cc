@@ -412,6 +412,27 @@ Extent1D PartitionedIndexView::bin_extent(std::uint32_t b) const {
   return {bin_offset_[b], bin_bytes_[b]};
 }
 
+std::optional<std::uint32_t> PartitionedIndexView::delta_bin_of(
+    double value) const noexcept {
+  if (count_ == 0 || edges_.size() < 2 || bin_bytes_.empty()) {
+    return std::nullopt;
+  }
+  // Strictly inside the observed range: the header's exact min/max stay
+  // valid bounds, and NaN fails both comparisons.
+  if (!(value > min_ && value < max_)) return std::nullopt;
+  // Exactly on any grid edge: classify_bins' edge_exact relaxation (open
+  // query bounds at an edge treated as aligned) would become unsound.
+  const auto at = std::lower_bound(edges_.begin(), edges_.end(), value);
+  if (at != edges_.end() && *at == value) return std::nullopt;
+  const auto it = std::upper_bound(edges_.begin(), edges_.end(), value);
+  std::size_t bin =
+      it == edges_.begin()
+          ? 0
+          : static_cast<std::size_t>(it - edges_.begin()) - 1;
+  bin = std::min(bin, bin_bytes_.size() - 1);
+  return static_cast<std::uint32_t>(bin);
+}
+
 Result<WahBitVector> PartitionedIndexView::DecodeBin(
     std::span<const std::uint8_t> bytes) {
   SerialReader r(bytes);

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -130,6 +131,16 @@ class PartitionedIndexView {
 
   /// Decode one bin previously located via bin_extent().
   static Result<WahBitVector> DecodeBin(std::span<const std::uint8_t> bytes);
+
+  /// Bin a freshly-written value would fall into under this header's edge
+  /// grid, for delta-WAH sidecar maintenance.  Returns nullopt when the
+  /// assignment would be unsafe and the region index must go stale
+  /// instead: NaN, values at or outside the observed [min, max] (the
+  /// header's exact bounds would no longer bound the data), or values
+  /// sitting exactly on a bin edge (the edge_exact relaxation recorded at
+  /// build time would become unsound).
+  [[nodiscard]] std::optional<std::uint32_t> delta_bin_of(
+      double value) const noexcept;
 
   [[nodiscard]] std::uint64_t num_elements() const noexcept { return count_; }
   [[nodiscard]] std::size_t num_bins() const noexcept {

@@ -1,0 +1,29 @@
+#include "bitmap/delta_wah.h"
+
+namespace pdc::bitmap {
+
+WahBitVector bits_at(std::span<const std::uint64_t> positions,
+                     std::uint64_t length, bool invert) {
+  WahBitVector bv;
+  std::uint64_t cursor = 0;
+  for (const std::uint64_t pos : positions) {
+    bv.append_run(invert, pos - cursor);
+    bv.append_bit(!invert);
+    cursor = pos + 1;
+  }
+  bv.append_run(invert, length - cursor);
+  return bv;
+}
+
+Result<WahBitVector> combine_base_delta(const WahBitVector& base,
+                                        std::span<const std::uint64_t> dirty,
+                                        std::span<const std::uint64_t> bin_delta) {
+  const std::uint64_t n = base.size();
+  PDC_ASSIGN_OR_RETURN(
+      WahBitVector masked,
+      WahBitVector::And(base, bits_at(dirty, n, /*invert=*/true)));
+  if (bin_delta.empty()) return masked;
+  return WahBitVector::Or(masked, bits_at(bin_delta, n));
+}
+
+}  // namespace pdc::bitmap

@@ -1,0 +1,37 @@
+// Delta-WAH sidecar combine for mutable regions.
+//
+// Overwrites do not rewrite a region's base bitmap index.  Instead the
+// region keeps a small delta: the set of overwritten (dirty) region-local
+// positions and, per bin, the dirty positions whose *current* value falls
+// in that bin.  A query-time bin is then
+//
+//   effective(bin) = (base(bin) AND NOT dirty) OR delta(bin)
+//
+// evaluated entirely on the compressed form with the kernel-backed
+// WahBitVector::And/Or (PR 7's wah_combine kernels), so the base index
+// stays immutable on disk and compaction merely folds the delta by
+// rebuilding the file.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "bitmap/wah.h"
+#include "common/status.h"
+
+namespace pdc::bitmap {
+
+/// WAH vector of `length` bits whose set bits are exactly the (sorted,
+/// strictly ascending, < length) `positions`; `invert` flips every bit
+/// (the NOT-dirty mask).  Cost is O(#positions) fill words, not O(length).
+[[nodiscard]] WahBitVector bits_at(std::span<const std::uint64_t> positions,
+                                   std::uint64_t length, bool invert = false);
+
+/// Effective bin bitvector of a region with a delta sidecar:
+/// (base AND NOT bits_at(dirty)) OR bits_at(bin_delta).  `dirty` and
+/// `bin_delta` are sorted region-local positions below base.size().
+[[nodiscard]] Result<WahBitVector> combine_base_delta(
+    const WahBitVector& base, std::span<const std::uint64_t> dirty,
+    std::span<const std::uint64_t> bin_delta);
+
+}  // namespace pdc::bitmap

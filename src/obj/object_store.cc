@@ -1,6 +1,8 @@
 #include "obj/object_store.h"
 
 #include <algorithm>
+#include <array>
+#include <cstring>
 
 #include "common/exec_pool.h"
 #include "common/log.h"
@@ -15,6 +17,16 @@ std::string data_file_name(ObjectId id) {
 }
 std::string index_file_name(ObjectId id) {
   return "obj_" + std::to_string(id) + ".idx";
+}
+
+double element_as_double(PdcType type, std::span<const std::uint8_t> bytes,
+                         std::uint64_t i) {
+  return dispatch_type(type, [&](auto tag) {
+    using T = decltype(tag);
+    T v;
+    std::memcpy(&v, bytes.data() + i * sizeof(T), sizeof(T));
+    return static_cast<double>(v);
+  });
 }
 
 hist::MergeableHistogram build_histogram_erased(
@@ -40,6 +52,14 @@ void serialize_region(SerialWriter& w, const RegionDescriptor& r) {
   w.put(r.index_bytes);
   w.put(r.index_header_bytes);
   w.put_vector(r.index_header);
+  w.put(r.data_epoch);
+  w.put(r.index_epoch);
+  w.put(r.index_synced_epoch);
+  w.put<std::uint64_t>(r.delta.entries.size());
+  for (const auto& [pos, bin] : r.delta.entries) {
+    w.put(pos);
+    w.put(bin);
+  }
 }
 
 Status deserialize_region(SerialReader& r, RegionDescriptor& out) {
@@ -58,6 +78,19 @@ Status deserialize_region(SerialReader& r, RegionDescriptor& out) {
   PDC_RETURN_IF_ERROR(r.get(out.index_bytes));
   PDC_RETURN_IF_ERROR(r.get(out.index_header_bytes));
   PDC_RETURN_IF_ERROR(r.get_vector(out.index_header));
+  PDC_RETURN_IF_ERROR(r.get(out.data_epoch));
+  PDC_RETURN_IF_ERROR(r.get(out.index_epoch));
+  PDC_RETURN_IF_ERROR(r.get(out.index_synced_epoch));
+  std::uint64_t ndelta = 0;
+  PDC_RETURN_IF_ERROR(r.get(ndelta));
+  if (ndelta > r.remaining() / (sizeof(std::uint64_t) + sizeof(std::uint32_t))) {
+    return Status::Corruption("region delta length implausible");
+  }
+  out.delta.entries.resize(static_cast<std::size_t>(ndelta));
+  for (auto& [pos, bin] : out.delta.entries) {
+    PDC_RETURN_IF_ERROR(r.get(pos));
+    PDC_RETURN_IF_ERROR(r.get(bin));
+  }
   return Status::Ok();
 }
 
@@ -75,6 +108,22 @@ void serialize_object(SerialWriter& w, const ObjectDescriptor& o) {
   o.global_histogram.serialize(w);
   w.put(o.sorted_source);
   w.put_string(o.permutation_file);
+  w.put(o.data_epoch);
+  w.put(o.last_write_seq);
+  w.put(o.hist_config.target_bins);
+  w.put(o.hist_config.sample_fraction);
+  w.put(o.hist_config.min_samples);
+  w.put(o.hist_config.seed);
+  w.put(o.index_config.num_bins);
+  w.put(o.index_config.edge_sample);
+  w.put(o.index_config.precision);
+  w.put(o.index_config.seed);
+  w.put<std::uint64_t>(o.sorted_delta.size());
+  for (const auto& [pos, bytes] : o.sorted_delta) {
+    w.put(pos);
+    w.put_vector(bytes);
+  }
+  w.put(o.replica_synced_epoch);
 }
 
 Status deserialize_object(SerialReader& r, ObjectDescriptor& o) {
@@ -101,6 +150,29 @@ Status deserialize_object(SerialReader& r, ObjectDescriptor& o) {
                        hist::MergeableHistogram::Deserialize(r));
   PDC_RETURN_IF_ERROR(r.get(o.sorted_source));
   PDC_RETURN_IF_ERROR(r.get_string(o.permutation_file));
+  PDC_RETURN_IF_ERROR(r.get(o.data_epoch));
+  PDC_RETURN_IF_ERROR(r.get(o.last_write_seq));
+  PDC_RETURN_IF_ERROR(r.get(o.hist_config.target_bins));
+  PDC_RETURN_IF_ERROR(r.get(o.hist_config.sample_fraction));
+  PDC_RETURN_IF_ERROR(r.get(o.hist_config.min_samples));
+  PDC_RETURN_IF_ERROR(r.get(o.hist_config.seed));
+  PDC_RETURN_IF_ERROR(r.get(o.index_config.num_bins));
+  PDC_RETURN_IF_ERROR(r.get(o.index_config.edge_sample));
+  PDC_RETURN_IF_ERROR(r.get(o.index_config.precision));
+  PDC_RETURN_IF_ERROR(r.get(o.index_config.seed));
+  std::uint64_t ndelta = 0;
+  PDC_RETURN_IF_ERROR(r.get(ndelta));
+  if (ndelta > r.remaining() / (2 * sizeof(std::uint64_t))) {
+    return Status::Corruption("sorted delta length implausible");
+  }
+  for (std::uint64_t i = 0; i < ndelta; ++i) {
+    std::uint64_t pos = 0;
+    std::vector<std::uint8_t> bytes;
+    PDC_RETURN_IF_ERROR(r.get(pos));
+    PDC_RETURN_IF_ERROR(r.get_vector(bytes));
+    o.sorted_delta.emplace(pos, std::move(bytes));
+  }
+  PDC_RETURN_IF_ERROR(r.get(o.replica_synced_epoch));
   return Status::Ok();
 }
 
@@ -154,47 +226,58 @@ Result<ObjectId> ObjectStore::import_raw(ObjectId container,
   desc->region_size_elements =
       std::max<std::uint64_t>(1, options.region_size_bytes / elem_size);
   desc->data_file = data_file_name(desc->id);
+  desc->hist_config = options.histogram;
 
   PDC_ASSIGN_OR_RETURN(pfs::PfsFile file, cluster_.create(desc->data_file));
   PDC_RETURN_IF_ERROR(file.write(0, bytes));
 
-  // Decompose into regions and build one local histogram per region.
-  // Region seeds are independent (`seed + i`), so the per-region builds
-  // can run concurrently and still produce exactly the serial metadata.
-  // A single-region object has no region-level parallelism to exploit,
-  // so it hands the pool down into the histogram's counting pass instead.
-  const std::uint64_t rsize = desc->region_size_elements;
-  const auto nregions =
-      static_cast<std::size_t>((num_elements + rsize - 1) / rsize);
-  desc->regions.resize(nregions);
-  exec::parallel_for(options.pool, nregions, [&](std::size_t i) {
-    RegionDescriptor& region = desc->regions[i];
-    region.index = static_cast<RegionIndex>(i);
-    region.extent.offset = i * rsize;
-    region.extent.count = std::min(rsize, num_elements - region.extent.offset);
-    // Vary the sampling seed per region so identical regions do not sample
-    // identical offsets.
-    hist::HistogramConfig hist_cfg = options.histogram;
-    hist_cfg.seed = options.histogram.seed + i;
-    region.histogram = build_histogram_erased(
-        type, bytes.subspan(region.extent.offset * elem_size,
-                            region.extent.count * elem_size),
-        region.extent.count, hist_cfg,
-        nregions == 1 ? options.pool : nullptr);
-  });
-  std::vector<hist::MergeableHistogram> locals;
-  locals.reserve(nregions);
-  for (const RegionDescriptor& region : desc->regions) {
-    locals.push_back(region.histogram);
-  }
-  desc->global_histogram = hist::MergeableHistogram::Merge(locals);
+  build_regions(*desc, bytes, options.pool);
 
   const ObjectId id = desc->id;
+  const std::size_t nregions = desc->regions.size();
   std::unique_lock lock(mu_);
   objects_.emplace(id, std::move(desc));
   log_debug("imported object ", id, " '", name, "' with ", nregions,
             " regions");
   return id;
+}
+
+void ObjectStore::build_regions(ObjectDescriptor& desc,
+                                std::span<const std::uint8_t> bytes,
+                                exec::ThreadPool* pool) const {
+  // Decompose into regions and build one local histogram per region.
+  // Region seeds are independent (`seed + i`), so the per-region builds
+  // can run concurrently and still produce exactly the serial metadata.
+  // A single-region object has no region-level parallelism to exploit,
+  // so it hands the pool down into the histogram's counting pass instead.
+  const std::size_t elem_size = desc.element_size();
+  const std::uint64_t num_elements = desc.num_elements;
+  const std::uint64_t rsize = desc.region_size_elements;
+  const auto nregions =
+      static_cast<std::size_t>((num_elements + rsize - 1) / rsize);
+  desc.regions.assign(nregions, RegionDescriptor{});
+  exec::parallel_for(pool, nregions, [&](std::size_t i) {
+    RegionDescriptor& region = desc.regions[i];
+    region.index = static_cast<RegionIndex>(i);
+    region.extent.offset = i * rsize;
+    region.extent.count = std::min(rsize, num_elements - region.extent.offset);
+    region.data_epoch = desc.data_epoch;
+    // Vary the sampling seed per region so identical regions do not sample
+    // identical offsets.
+    hist::HistogramConfig hist_cfg = desc.hist_config;
+    hist_cfg.seed = desc.hist_config.seed + i;
+    region.histogram = build_histogram_erased(
+        desc.type,
+        bytes.subspan(region.extent.offset * elem_size,
+                      region.extent.count * elem_size),
+        region.extent.count, hist_cfg, nregions == 1 ? pool : nullptr);
+  });
+  std::vector<hist::MergeableHistogram> locals;
+  locals.reserve(nregions);
+  for (const RegionDescriptor& region : desc.regions) {
+    locals.push_back(region.histogram);
+  }
+  desc.global_histogram = hist::MergeableHistogram::Merge(locals);
 }
 
 Status ObjectStore::build_bitmap_index(ObjectId id,
@@ -213,8 +296,31 @@ Status ObjectStore::build_bitmap_index(ObjectId id,
     return Status::AlreadyExists("index already built for object " +
                                  std::to_string(id));
   }
+  desc->index_config = config;
+  return build_index_into(desc, config, pool);
+}
 
-  const std::string fname = index_file_name(id);
+Status ObjectStore::rebuild_bitmap_index(ObjectId id, exec::ThreadPool* pool) {
+  ObjectDescriptor* desc = nullptr;
+  {
+    std::shared_lock lock(mu_);
+    auto it = objects_.find(id);
+    if (it == objects_.end()) {
+      return Status::NotFound("object " + std::to_string(id));
+    }
+    desc = it->second.get();
+  }
+  if (desc->index_file.empty()) {
+    return Status::FailedPrecondition("no index to rebuild for object " +
+                                      std::to_string(id));
+  }
+  return build_index_into(desc, desc->index_config, pool);
+}
+
+Status ObjectStore::build_index_into(ObjectDescriptor* desc,
+                                     const bitmap::IndexConfig& config,
+                                     exec::ThreadPool* pool) {
+  const std::string fname = index_file_name(desc->id);
   PDC_ASSIGN_OR_RETURN(pfs::PfsFile file, cluster_.create(fname));
   const std::size_t elem_size = desc->element_size();
 
@@ -260,6 +366,9 @@ Status ObjectStore::build_bitmap_index(ObjectId id,
     region.index_header.assign(
         b.bytes.begin(),
         b.bytes.begin() + static_cast<std::ptrdiff_t>(b.header_bytes));
+    region.index_epoch = region.data_epoch;
+    region.index_synced_epoch = region.data_epoch;
+    region.delta.entries.clear();
     cursor += b.bytes.size();
   }
   desc->index_file = fname;
@@ -270,11 +379,273 @@ Status ObjectStore::link_sorted_replica(ObjectId replica, ObjectId source,
                                         std::string permutation_file) {
   std::unique_lock lock(mu_);
   auto rep = objects_.find(replica);
-  if (rep == objects_.end() || !objects_.contains(source)) {
+  auto src = objects_.find(source);
+  if (rep == objects_.end() || src == objects_.end()) {
     return Status::NotFound("replica or source object missing");
   }
   rep->second->sorted_source = source;
   rep->second->permutation_file = std::move(permutation_file);
+  // The replica reflects the source's data as of right now.
+  src->second->replica_synced_epoch = src->second->data_epoch;
+  src->second->sorted_delta.clear();
+  return Status::Ok();
+}
+
+Result<WriteResult> ObjectStore::apply_write(ObjectId id, WriteKind kind,
+                                             Extent1D extent,
+                                             std::span<const std::uint8_t> bytes,
+                                             std::uint64_t write_seq,
+                                             const WriteOptions& options) {
+  std::unique_lock lock(mu_);
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return Status::NotFound("object " + std::to_string(id));
+  }
+  ObjectDescriptor* d = it->second.get();
+  if (d->is_sorted_replica()) {
+    return Status::InvalidArgument("cannot write a sorted replica directly");
+  }
+  WriteResult result;
+  for (const auto& [oid, o] : objects_) {
+    if (o->sorted_source == id) {
+      result.replica_id = oid;
+      break;
+    }
+  }
+  // Exactly-once: a replayed sequence number (retry, reroute, duplicated
+  // bus delivery) is acknowledged without touching data or indexes.
+  if (write_seq != 0 && write_seq <= d->last_write_seq) {
+    result.data_epoch = d->data_epoch;
+    result.duplicate = true;
+    result.sorted_delta_entries = d->sorted_delta.size();
+    return result;
+  }
+  const std::size_t elem_size = d->element_size();
+  if (bytes.empty() || bytes.size() % elem_size != 0) {
+    return Status::InvalidArgument(
+        "write payload is not a whole number of elements");
+  }
+  const std::uint64_t count = bytes.size() / elem_size;
+  if (kind == WriteKind::kOverwrite) {
+    if (extent.count != count) {
+      return Status::InvalidArgument("overwrite extent / payload mismatch");
+    }
+    if (extent.end() > d->num_elements) {
+      return Status::OutOfRange("overwrite extent beyond object");
+    }
+  } else {
+    extent = {d->num_elements, count};
+  }
+
+  PDC_ASSIGN_OR_RETURN(pfs::PfsFile file, cluster_.open(d->data_file));
+  PDC_RETURN_IF_ERROR(
+      file.write(extent.offset * elem_size, bytes, options.ledger));
+
+  const std::uint64_t epoch_before = d->data_epoch;
+  const std::uint64_t rsize = d->region_size_elements;
+  const std::size_t old_nregions = d->regions.size();
+  if (kind == WriteKind::kAppend) {
+    d->num_elements += count;
+    // Extend the trailing region up to its capacity, then add new regions.
+    if (!d->regions.empty()) {
+      RegionDescriptor& last = d->regions.back();
+      last.extent.count =
+          std::min(rsize, d->num_elements - last.extent.offset);
+    }
+    while (d->regions.back().extent.end() < d->num_elements) {
+      RegionDescriptor region;
+      region.index = static_cast<RegionIndex>(d->regions.size());
+      region.extent.offset = d->regions.back().extent.end();
+      region.extent.count =
+          std::min(rsize, d->num_elements - region.extent.offset);
+      region.tier = d->regions.back().tier;
+      d->regions.push_back(std::move(region));
+    }
+  }
+  const std::size_t first_touched =
+      static_cast<std::size_t>(extent.offset / rsize);
+  const std::size_t last_touched =
+      static_cast<std::size_t>((extent.end() - 1) / rsize);
+
+  // Snapshot per-region freshness before epochs advance: a region whose
+  // base+delta covered its own pre-write data can absorb this overwrite
+  // even when writes to *other* regions moved the object epoch since the
+  // region's index was last synced.
+  std::vector<bool> was_fresh_before(last_touched - first_touched + 1);
+  for (std::size_t r = first_touched; r <= last_touched; ++r) {
+    was_fresh_before[r - first_touched] = d->regions[r].index_fresh();
+  }
+
+  d->data_epoch += 1;
+  for (std::size_t r = first_touched; r <= last_touched; ++r) {
+    d->regions[r].data_epoch = d->data_epoch;
+  }
+
+  // ---- histograms (always maintained: pruning must stay sound) ----
+  for (std::size_t r = first_touched; r <= last_touched; ++r) {
+    RegionDescriptor& region = d->regions[r];
+    hist::HistogramConfig hist_cfg = d->hist_config;
+    hist_cfg.seed = d->hist_config.seed + r;
+    const std::uint64_t lo = std::max(extent.offset, region.extent.offset);
+    const std::uint64_t hi = std::min(extent.end(), region.extent.end());
+    const auto slice =
+        bytes.subspan((lo - extent.offset) * elem_size, (hi - lo) * elem_size);
+    if (kind == WriteKind::kAppend && r < old_nregions) {
+      // Algorithm-1 merge: old region histogram + histogram of the
+      // appended slice (power-of-two lattices nest exactly).
+      const std::array<hist::MergeableHistogram, 2> parts = {
+          region.histogram,
+          build_histogram_erased(d->type, slice, hi - lo, hist_cfg)};
+      region.histogram = hist::MergeableHistogram::Merge(parts);
+    } else if (lo == region.extent.offset && hi == region.extent.end()) {
+      // Whole region covered by the payload: build straight from it.
+      region.histogram =
+          build_histogram_erased(d->type, slice, hi - lo, hist_cfg);
+    } else {
+      // Partial overwrite: rebuild from the post-write region data.
+      std::vector<std::uint8_t> region_bytes(
+          static_cast<std::size_t>(region.extent.count * elem_size));
+      pfs::ReadContext rctx;
+      rctx.ledger = options.ledger;
+      PDC_RETURN_IF_ERROR(
+          read_region(*d, region.index, region_bytes, rctx));
+      region.histogram = build_histogram_erased(
+          d->type, region_bytes, region.extent.count, hist_cfg);
+    }
+  }
+  std::vector<hist::MergeableHistogram> locals;
+  locals.reserve(d->regions.size());
+  for (const RegionDescriptor& region : d->regions) {
+    locals.push_back(region.histogram);
+  }
+  d->global_histogram = hist::MergeableHistogram::Merge(locals);
+
+  // ---- bitmap-index delta sidecar ----
+  bool need_compact = false;
+  if (!d->index_file.empty()) {
+    for (std::size_t r = first_touched; r <= last_touched; ++r) {
+      RegionDescriptor& region = d->regions[r];
+      // Only overwrites of a region whose base+delta was in sync before
+      // this write can be absorbed into the sidecar; anything else
+      // (appends change the region's element count; an already-stale
+      // region has an incomplete delta) leaves the region stale until
+      // compaction, and queries scan it.
+      const bool was_fresh = was_fresh_before[r - first_touched];
+      if (kind != WriteKind::kOverwrite || !was_fresh ||
+          !options.maintain_accelerators) {
+        region.delta.entries.clear();
+        continue;
+      }
+      auto view = bitmap::PartitionedIndexView::ParseHeader(
+          region.index_header);
+      bool absorbed = view.ok();
+      auto entries = region.delta.entries;
+      const std::uint64_t lo = std::max(extent.offset, region.extent.offset);
+      const std::uint64_t hi = std::min(extent.end(), region.extent.end());
+      for (std::uint64_t p = lo; absorbed && p < hi; ++p) {
+        const double value =
+            element_as_double(d->type, bytes, p - extent.offset);
+        const auto bin = view.value().delta_bin_of(value);
+        if (!bin.has_value()) {
+          // Unsafe assignment (NaN / out of range / on a bin edge):
+          // the whole region falls back to scan instead.
+          absorbed = false;
+          break;
+        }
+        const std::uint64_t local = p - region.extent.offset;
+        const auto at = std::lower_bound(
+            entries.begin(), entries.end(), local,
+            [](const auto& e, std::uint64_t pos) { return e.first < pos; });
+        if (at != entries.end() && at->first == local) {
+          at->second = *bin;
+        } else {
+          entries.insert(at, {local, *bin});
+        }
+      }
+      if (absorbed) {
+        region.delta.entries = std::move(entries);
+        region.index_synced_epoch = d->data_epoch;
+        if (options.compact_threshold > 0 &&
+            region.delta.entries.size() >= options.compact_threshold) {
+          need_compact = true;
+        }
+      } else {
+        region.delta.entries.clear();
+      }
+    }
+  }
+
+  // ---- sorted-replica delta log ----
+  if (result.replica_id != kInvalidObjectId) {
+    if (options.maintain_accelerators &&
+        d->replica_synced_epoch == epoch_before) {
+      for (std::uint64_t i = 0; i < count; ++i) {
+        auto& slot = d->sorted_delta[extent.offset + i];
+        slot.assign(bytes.begin() + static_cast<std::ptrdiff_t>(i * elem_size),
+                    bytes.begin() +
+                        static_cast<std::ptrdiff_t>((i + 1) * elem_size));
+      }
+      d->replica_synced_epoch = d->data_epoch;
+    } else {
+      // Replica goes (or stays) stale; the planner stops using it.
+      d->sorted_delta.clear();
+    }
+    result.sorted_delta_entries = d->sorted_delta.size();
+  }
+
+  if (write_seq != 0) {
+    d->last_write_seq = std::max(d->last_write_seq, write_seq);
+  }
+  result.data_epoch = d->data_epoch;
+  result.regions_touched = last_touched - first_touched + 1;
+  lock.unlock();
+
+  // Compaction folds every delta by rebuilding the index file — joined
+  // here, before the write is acknowledged, so results are deterministic.
+  if (need_compact) {
+    PDC_RETURN_IF_ERROR(rebuild_bitmap_index(id, options.pool));
+    result.compacted = true;
+  }
+  return result;
+}
+
+Status ObjectStore::reset_object_data(ObjectId id,
+                                      std::span<const std::uint8_t> bytes,
+                                      std::uint64_t num_elements,
+                                      exec::ThreadPool* pool) {
+  ObjectDescriptor* desc = nullptr;
+  {
+    std::shared_lock lock(mu_);
+    auto it = objects_.find(id);
+    if (it == objects_.end()) {
+      return Status::NotFound("object " + std::to_string(id));
+    }
+    desc = it->second.get();
+  }
+  if (num_elements == 0 ||
+      bytes.size() != num_elements * desc->element_size()) {
+    return Status::InvalidArgument("byte size / element count mismatch");
+  }
+  PDC_ASSIGN_OR_RETURN(pfs::PfsFile file,
+                       cluster_.create(desc->data_file));
+  PDC_RETURN_IF_ERROR(file.write(0, bytes));
+  desc->num_elements = num_elements;
+  desc->data_epoch += 1;
+  build_regions(*desc, bytes, pool);
+  if (!desc->index_file.empty()) {
+    return build_index_into(desc, desc->index_config, pool);
+  }
+  return Status::Ok();
+}
+
+Status ObjectStore::mark_replica_synced(ObjectId source) {
+  std::unique_lock lock(mu_);
+  auto it = objects_.find(source);
+  if (it == objects_.end()) {
+    return Status::NotFound("object " + std::to_string(source));
+  }
+  it->second->sorted_delta.clear();
+  it->second->replica_synced_epoch = it->second->data_epoch;
   return Status::Ok();
 }
 

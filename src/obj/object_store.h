@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "bitmap/binned_index.h"
+#include "common/cost_model.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "histogram/histogram.h"
@@ -33,6 +34,34 @@ namespace pdc::obj {
 
 /// Memory/storage hierarchy layer a region currently resides on.
 enum class StorageTier : std::uint8_t { kMemory = 0, kNvram, kDisk, kTape };
+
+/// Delta-WAH sidecar of one region's bitmap index: the region-local
+/// positions overwritten since the base index was built, each paired with
+/// the bin its *current* value falls in under the base edge grid.  Entries
+/// stay sorted by position; queries combine them with the base bins via
+/// bitmap::combine_base_delta, and compaction folds them by rebuilding the
+/// index file.
+struct RegionDelta {
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> entries;
+
+  [[nodiscard]] bool empty() const noexcept { return entries.empty(); }
+  /// Sorted dirty positions (first of every entry).
+  [[nodiscard]] std::vector<std::uint64_t> dirty_positions() const {
+    std::vector<std::uint64_t> out;
+    out.reserve(entries.size());
+    for (const auto& [pos, bin] : entries) out.push_back(pos);
+    return out;
+  }
+  /// Sorted positions whose current value falls in bin `b`.
+  [[nodiscard]] std::vector<std::uint64_t> bin_positions(
+      std::uint32_t b) const {
+    std::vector<std::uint64_t> out;
+    for (const auto& [pos, bin] : entries) {
+      if (bin == b) out.push_back(pos);
+    }
+    return out;
+  }
+};
 
 /// Metadata of one region of an object.
 struct RegionDescriptor {
@@ -47,6 +76,22 @@ struct RegionDescriptor {
   /// the region metadata so query servers can plan partial bin reads
   /// without a storage round trip (FastBit keeps this resident too).
   std::vector<std::uint8_t> index_header;
+  /// Epoch of this region's data; starts at 1 at import and bumps to the
+  /// object's data epoch on every write touching the region.  Region
+  /// caches key their entries on it.
+  std::uint64_t data_epoch = 1;
+  /// Data epoch the base bitmap index was built at (0 = none).
+  std::uint64_t index_epoch = 0;
+  /// Data epoch the base index PLUS delta sidecar together account for.
+  /// The index is usable for queries iff index_bytes > 0 and this equals
+  /// data_epoch; otherwise the region is *stale* and the pipeline falls
+  /// back to scanning it.
+  std::uint64_t index_synced_epoch = 0;
+  RegionDelta delta;
+
+  [[nodiscard]] bool index_fresh() const noexcept {
+    return index_bytes > 0 && index_synced_epoch == data_epoch;
+  }
 };
 
 /// Metadata of one data object.
@@ -66,6 +111,27 @@ struct ObjectDescriptor {
   /// PFS file holding the permutation (original element positions, u64 each).
   ObjectId sorted_source = kInvalidObjectId;
   std::string permutation_file;
+
+  // ---- write path ----
+  /// Bumped on every applied write; region data epochs chase it.
+  std::uint64_t data_epoch = 1;
+  /// Exactly-once high-water mark of client write sequence numbers: a
+  /// transfer with write_seq at or below this is acknowledged as a
+  /// duplicate without re-applying.
+  std::uint64_t last_write_seq = 0;
+  /// Configs stored at import/index-build time so incremental maintenance
+  /// and compaction rebuild byte-identical metadata (region histogram
+  /// seeds derive from hist_config.seed + region index).
+  hist::HistogramConfig hist_config;
+  bitmap::IndexConfig index_config;
+  /// Log-structured sorted-replica delta (source objects only): source
+  /// position -> current raw value bytes for every element written since
+  /// the replica was built/rebuilt.  The sorted strategy merges it on
+  /// read; a bulk rebuild folds it.
+  std::map<std::uint64_t, std::vector<std::uint8_t>> sorted_delta;
+  /// Source data epoch the replica (base + sorted_delta) accounts for.
+  /// The planner uses the replica only when this equals data_epoch.
+  std::uint64_t replica_synced_epoch = 0;
 
   [[nodiscard]] std::size_t element_size() const noexcept {
     return pdc_type_size(type);
@@ -88,6 +154,38 @@ struct ImportOptions {
   /// — including the null (serial) default — produces bit-identical
   /// metadata.  Not owned; must outlive the call.
   exec::ThreadPool* pool = nullptr;
+};
+
+/// What a write transfer does to the target object.
+enum class WriteKind : std::uint8_t { kAppend = 0, kOverwrite = 1 };
+
+/// Per-write knobs (server-side policy, surfaced via PDC_COMPACT_THRESHOLD
+/// and PDC_WRITE_NO_MAINT).
+struct WriteOptions {
+  /// Maintain the bitmap-index delta sidecar and sorted-replica delta log.
+  /// Off: indexes/replicas simply go stale (queries fall back to scan and
+  /// the planner skips the replica) — correctness is never at stake,
+  /// histograms are always kept sound.
+  bool maintain_accelerators = true;
+  /// Dirty positions per region at which a write triggers a synchronous
+  /// index compaction (full rebuild folding every delta).
+  std::uint64_t compact_threshold = 64;
+  /// Pool for compaction rebuilds (byte-identical at any width).
+  exec::ThreadPool* pool = nullptr;
+  /// Where to charge the write + maintenance I/O (may be null).
+  CostLedger* ledger = nullptr;
+};
+
+/// Outcome of apply_write.
+struct WriteResult {
+  std::uint64_t data_epoch = 0;     ///< object epoch after the write
+  std::uint64_t regions_touched = 0;
+  bool duplicate = false;           ///< seq replay: acknowledged, not applied
+  bool compacted = false;           ///< triggered a delta-folding rebuild
+  /// Size of the sorted-replica delta log after this write (0 when no
+  /// replica is linked) — the caller's replica-rebuild decision input.
+  std::uint64_t sorted_delta_entries = 0;
+  ObjectId replica_id = kInvalidObjectId;  ///< linked replica, if any
 };
 
 /// The object directory + ingest/read paths.  Reads are thread-safe;
@@ -132,6 +230,41 @@ class ObjectStore {
   /// Register an already-built sorted replica (used by sortrep).
   Status link_sorted_replica(ObjectId replica, ObjectId source,
                              std::string permutation_file);
+
+  // ---- write path (mutable regions) ----
+  /// Apply a region transfer: append `bytes` to the object or overwrite
+  /// `extent` (element space) with them.  Updates the data file, region
+  /// decomposition and epochs, rebuilds/merges the affected local
+  /// histograms (always — pruning soundness is never traded away), and
+  /// incrementally maintains the bitmap-index delta sidecar and the
+  /// sorted-replica delta log per `options`.  Exactly-once: a write_seq at
+  /// or below the object's high-water mark returns duplicate=true without
+  /// re-applying (write_seq 0 opts out of dedup).  Writes serialize with
+  /// each other internally; callers must not overlap writes with queries
+  /// on the same object (descriptor fields are read lock-free by the
+  /// query pipeline).
+  Result<WriteResult> apply_write(ObjectId id, WriteKind kind,
+                                  Extent1D extent,
+                                  std::span<const std::uint8_t> bytes,
+                                  std::uint64_t write_seq,
+                                  const WriteOptions& options = {});
+
+  /// Fold every region's delta sidecar by rebuilding the object's bitmap
+  /// index file from current data with the stored IndexConfig — byte
+  /// identical to a from-scratch build.  Re-syncs every region's index
+  /// epoch (including regions stale from appends).
+  Status rebuild_bitmap_index(ObjectId id, exec::ThreadPool* pool = nullptr);
+
+  /// Replace an object's data wholesale: rewrite the data file, rebuild
+  /// regions/histograms (and the bitmap index, when one exists) from the
+  /// new bytes.  Used by the sorted-replica bulk rebuild.
+  Status reset_object_data(ObjectId id, std::span<const std::uint8_t> bytes,
+                           std::uint64_t num_elements,
+                           exec::ThreadPool* pool = nullptr);
+
+  /// Declare `source`'s replica fully synced: clears the sorted-delta log
+  /// and fast-forwards replica_synced_epoch (called after a bulk rebuild).
+  Status mark_replica_synced(ObjectId source);
 
   /// Move a region to another layer of the memory/storage hierarchy
   /// (paper §II: "a region ... can reside on any layer").  Placement only
@@ -186,6 +319,16 @@ class ObjectStore {
 
  private:
   ObjectId next_id_locked() { return next_id_++; }
+  /// Region decomposition + per-region/global histograms from raw bytes
+  /// (shared by import_raw, append growth and reset_object_data).
+  void build_regions(ObjectDescriptor& desc,
+                     std::span<const std::uint8_t> bytes,
+                     exec::ThreadPool* pool) const;
+  /// (Re)create the index file and fill every region's index fields +
+  /// epochs.  Caller owns locking discipline.
+  Status build_index_into(ObjectDescriptor* desc,
+                          const bitmap::IndexConfig& config,
+                          exec::ThreadPool* pool);
 
   pfs::PfsCluster& cluster_;
   mutable std::shared_mutex mu_;

@@ -125,7 +125,16 @@ Result<Plan> plan_query(const Query& query, const obj::ObjectStore& store,
       // object; otherwise this term degrades to histogram evaluation.
       if (const auto replica =
               store.sorted_replica_of(term.conjuncts.front().object)) {
-        term.driver_replica = *replica;
+        PDC_ASSIGN_OR_RETURN(const obj::ObjectDescriptor* source,
+                             store.get(term.conjuncts.front().object));
+        // A replica whose sync epoch lags the source data (a write missed
+        // its maintenance window) would answer from outdated bytes, and
+        // its delta log is gone — degrade to histogram evaluation until a
+        // rebuild catches it up.  A synced replica with a pending delta
+        // log stays usable: servers merge the log on read.
+        if (source->replica_synced_epoch == source->data_epoch) {
+          term.driver_replica = *replica;
+        }
       }
     }
     plan.terms.push_back(std::move(term));

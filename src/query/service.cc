@@ -65,12 +65,38 @@ ServiceOptions ServiceOptions::from_env() {
     }
     options.tenant_weights = std::move(weights);
   }
+  if (const char* env = std::getenv("PDC_COMPACT_THRESHOLD")) {
+    const long threshold = std::strtol(env, nullptr, 10);
+    if (threshold >= 0 && threshold <= 1 << 20) {
+      options.compact_threshold = static_cast<std::uint64_t>(threshold);
+    }
+  }
+  if (const char* env = std::getenv("PDC_WRITE_NO_MAINT")) {
+    const std::string value(env);
+    options.write_no_maint = value == "1" || value == "true";
+  }
+  if (const char* env = std::getenv("PDC_REPLICA_REBUILD_THRESHOLD")) {
+    const long threshold = std::strtol(env, nullptr, 10);
+    if (threshold >= 0 && threshold <= 1 << 24) {
+      options.replica_rebuild_threshold =
+          static_cast<std::uint64_t>(threshold);
+    }
+  }
   return options;
 }
 
 QueryService::QueryService(const obj::ObjectStore& store,
                            ServiceOptions options)
+    : QueryService(store, nullptr, std::move(options)) {}
+
+QueryService::QueryService(obj::ObjectStore& store, ServiceOptions options)
+    : QueryService(store, &store, std::move(options)) {}
+
+QueryService::QueryService(const obj::ObjectStore& store,
+                           obj::ObjectStore* mutable_store,
+                           ServiceOptions options)
     : store_(store),
+      mutable_store_(mutable_store),
       options_(options),
       pool_(options.eval_threads > 0
                 ? std::make_unique<exec::ThreadPool>(options.eval_threads)
@@ -93,6 +119,11 @@ QueryService::QueryService(const obj::ObjectStore& store,
     server_options.aggregation = options_.aggregation;
     server_options.pool = pool_.get();
     server_options.metrics = &metrics_;
+    server_options.mutable_store = mutable_store_;
+    server_options.compact_threshold = options_.compact_threshold;
+    server_options.maintain_accelerators = !options_.write_no_maint;
+    server_options.replica_rebuild_threshold =
+        options_.replica_rebuild_threshold;
     servers_.push_back(
         std::make_unique<server::QueryServer>(store_, server_options));
     server::QueryServer* qs = servers_.back().get();
@@ -371,6 +402,9 @@ Result<Selection> QueryService::eval(const QueryPtr& query,
       stats.regions_scanned += response.regions_scanned;
       stats.regions_indexed += response.regions_indexed;
       stats.regions_allhit += response.regions_allhit;
+      stats.regions_stale += response.regions_stale;
+      stats.max_data_epoch =
+          std::max(stats.max_data_epoch, response.max_data_epoch);
     }
     if (round_has_response) {
       stats.max_server_seconds += round_critical.elapsed();
@@ -795,6 +829,158 @@ Status QueryService::get_data_batch(
   }
   publish_stats(accumulated);
   return Status::Ok();
+}
+
+Result<WriteReport> QueryService::append(ObjectId object,
+                                         std::span<const std::uint8_t> values,
+                                         const QueryOptions& opts) {
+  return transfer_write(object, server::WriteKind::kAppend, Extent1D{}, values,
+                        opts);
+}
+
+Result<WriteReport> QueryService::overwrite(ObjectId object, Extent1D extent,
+                                            std::span<const std::uint8_t> values,
+                                            const QueryOptions& opts) {
+  return transfer_write(object, server::WriteKind::kOverwrite, extent, values,
+                        opts);
+}
+
+Result<WriteReport> QueryService::transfer_write(
+    ObjectId object, server::WriteKind kind, Extent1D extent,
+    std::span<const std::uint8_t> payload, const QueryOptions& opts) {
+  WallTimer wall;
+  obs::Tracer tracer(opts.trace ? obs::next_id() : 0);
+  const obs::TraceContext root =
+      opts.trace ? obs::TraceContext{&tracer, tracer.trace_id(), 0}
+                 : obs::TraceContext{};
+  obs::ScopedSpan write_span(root, "client.transfer_write", "client");
+  OpStats stats;
+  struct Publisher {
+    QueryService* service;
+    OpStats* stats;
+    WallTimer* wall;
+    ~Publisher() {
+      stats->wall_seconds = wall->elapsed_seconds();
+      if (service->pool_ != nullptr) {
+        stats->pool_threads = service->pool_->size();
+        stats->pool_queue_peak = service->pool_->stats().queue_peak;
+      }
+      service->publish_stats(*stats);
+    }
+  } publisher{this, &stats, &wall};
+  if (mutable_store_ == nullptr) {
+    return Status::FailedPrecondition(
+        "service opened read-only; use the writable constructor to enable "
+        "transfer_write");
+  }
+  const CostModel& cost = store_.cluster().config().cost;
+  PDC_ASSIGN_OR_RETURN(const obj::ObjectDescriptor* target,
+                       store_.get(object));
+
+  // Client-assigned per-object monotone sequence number: servers apply a
+  // seq at most once, so a retried or rerouted request (a write applied
+  // whose ack was lost) is acknowledged as a duplicate, never re-applied.
+  std::uint64_t seq = 0;
+  {
+    std::lock_guard lock(state_mu_);
+    seq = ++write_seq_[object];
+  }
+  server::TransferWriteRequest request;
+  request.object = object;
+  request.kind = kind;
+  request.extent = extent;
+  request.write_seq = seq;
+  request.payload = payload;
+  const std::vector<std::uint8_t> bytes = request.serialize();
+
+  // Nominal target: the owner of the first region the write lands in
+  // (appends: the trailing region).  Any server can apply a write — the
+  // store is shared and the mutation takes the store's writer lock — so a
+  // dead owner's write reroutes to a survivor instead of blocking.
+  const std::uint64_t anchor_pos =
+      kind == server::WriteKind::kOverwrite
+          ? extent.offset
+          : (target->num_elements == 0 ? 0 : target->num_elements - 1);
+  const ServerId owner = server::owner_of_region(
+      *target, server::region_of_position(*target, anchor_pos),
+      options_.num_servers);
+
+  std::size_t attempt = 0;
+  while (true) {
+    const std::vector<ServerId> alive = alive_servers();
+    if (alive.empty()) {
+      stats.dead_servers = options_.num_servers;
+      return Status::Unavailable(
+          "all PDC servers failed; transfer_write cannot complete");
+    }
+    const std::vector<bool> dead = dead_snapshot();
+    ServerId to = owner;
+    if (dead[to]) to = alive[attempt % alive.size()];
+    ++attempt;
+    stats.request_bytes += bytes.size();
+    stats.net_seconds += cost.net_cost(bytes.size());
+
+    std::vector<std::pair<ServerId, std::vector<std::uint8_t>>> requests;
+    requests.emplace_back(to, bytes);
+    const rpc::GatherResult gathered =
+        client_.gather(requests, write_span.context(), opts.tenant);
+    stats.retries += gathered.stats.retries;
+    stats.timeouts += gathered.stats.timeouts;
+    stats.sheds += gathered.stats.sheds;
+    if (gathered.bus_closed) {
+      return Status::Unavailable("message bus shut down mid-write");
+    }
+    const auto& message = gathered.responses.front();
+    if (!message.has_value()) {
+      if (gathered.shed.front()) {
+        // Overloaded, not dead: the write was rejected at admission, so it
+        // was NOT applied.  Fail fast; the caller may retry under the same
+        // seq only via a fresh call (which assigns a new one) — this call's
+        // seq is burned but never observed, which is harmless.
+        return Status::Overloaded("server " + std::to_string(to) +
+                                  " shed the write; retry later");
+      }
+      // No answer: the server may or may not have applied the write before
+      // dying.  Reroute under the SAME seq — a survivor either applies it
+      // (never happened) or acks it as a duplicate (happened; ack lost).
+      mark_dead(to);
+      stats.redispatched_regions += 1;
+      continue;
+    }
+    SerialReader reader(message->payload);
+    PDC_ASSIGN_OR_RETURN(server::TransferWriteResponse response,
+                         server::TransferWriteResponse::Deserialize(reader));
+    PDC_RETURN_IF_ERROR(response.status);
+    stats.response_bytes += message->payload.size();
+    stats.server_bytes_read += response.ledger.bytes_read;
+    stats.server_read_ops += response.ledger.read_ops;
+    stats.max_server_seconds += response.ledger.elapsed();
+    stats.max_server_io_seconds += response.ledger.io_seconds;
+    stats.max_server_cpu_seconds += response.ledger.cpu_seconds;
+    stats.max_server_scan_seconds += response.ledger.scan_seconds;
+    stats.max_server_decode_seconds += response.ledger.decode_seconds;
+    stats.max_server_merge_seconds += response.ledger.merge_seconds;
+    stats.net_seconds += cost.net_latency_s +
+                         static_cast<double>(message->payload.size()) /
+                             cost.net_bandwidth_bps;
+    stats.dead_servers = dead_servers().size();
+    stats.max_data_epoch = response.data_epoch;
+    stats.sim_elapsed_seconds = stats.net_seconds + stats.max_server_seconds;
+
+    WriteReport report;
+    report.data_epoch = response.data_epoch;
+    report.regions_touched = response.regions_touched;
+    report.duplicate = response.duplicate;
+    report.compacted = response.compacted;
+    if (opts.trace) {
+      write_span.arg("sim_elapsed_s", stats.sim_elapsed_seconds);
+      write_span.arg("bytes", static_cast<double>(payload.size()));
+      write_span.arg("data_epoch", static_cast<double>(response.data_epoch));
+      write_span.close();
+      publish_trace(tracer, true);
+    }
+    return report;
+  }
 }
 
 Result<hist::MergeableHistogram> QueryService::get_histogram(

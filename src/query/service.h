@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -102,6 +103,19 @@ struct OpStats {
   std::uint64_t regions_scanned = 0;  ///< regions read whole + scanned
   std::uint64_t regions_indexed = 0;  ///< regions probed via WAH bins
   std::uint64_t regions_allhit = 0;   ///< regions proven all-hit (no I/O)
+  // Write-path staleness observability (nonzero only after writes).
+  std::uint64_t regions_stale = 0;   ///< index-lagging regions that fell
+                                     ///< back to scan this operation
+  std::uint64_t max_data_epoch = 0;  ///< highest region data epoch any
+                                     ///< server reported (0 = never written)
+};
+
+/// Outcome of one transfer_write operation.
+struct WriteReport {
+  std::uint64_t data_epoch = 0;       ///< object's data epoch after the write
+  std::uint64_t regions_touched = 0;  ///< regions the write bytes landed in
+  bool duplicate = false;   ///< replayed write_seq: acknowledged, not applied
+  bool compacted = false;   ///< a delta-WAH sidecar was folded (index rebuilt)
 };
 
 struct ServiceOptions {
@@ -148,6 +162,17 @@ struct ServiceOptions {
   /// (missing or non-positive entries default to weight 1; empty = all
   /// tenants equal, FIFO-equivalent ordering).
   std::vector<double> tenant_weights;
+  /// Delta-WAH compaction threshold: a region whose sidecar reaches this
+  /// many entries has its bitmap index rebuilt inline with the write that
+  /// crossed the line.  0 disables compaction (deltas grow unbounded).
+  std::uint64_t compact_threshold = 64;
+  /// True: writes skip incremental index/replica maintenance entirely —
+  /// accelerators go stale (queries scan-fallback / skip the replica)
+  /// until an explicit rebuild.  Histograms are still always maintained.
+  bool write_no_maint = false;
+  /// Sorted-replica bulk rebuild once the write delta log reaches this
+  /// many entries.  0 disables rebuilds.
+  std::uint64_t replica_rebuild_threshold = 4096;
 
   /// Read strategy from the PDC_QUERY_STRATEGY environment variable
   /// ("fullscan", "histogram", "index", "sorted", "adaptive"), mirroring
@@ -156,13 +181,20 @@ struct ServiceOptions {
   /// PDC_QUERY_DENSE_THRESHOLD, queue_limit from PDC_QUEUE_LIMIT,
   /// shed_policy from PDC_SHED_POLICY ("reject-new" / "drop-oldest"), and
   /// tenant_weights from PDC_TENANT_WEIGHTS (comma-separated, e.g.
-  /// "3,1,1").  Unset/unknown keeps the defaults.
+  /// "3,1,1"), compact_threshold from PDC_COMPACT_THRESHOLD,
+  /// write_no_maint from PDC_WRITE_NO_MAINT ("1"/"true"), and
+  /// replica_rebuild_threshold from PDC_REPLICA_REBUILD_THRESHOLD.
+  /// Unset/unknown keeps the defaults.
   static ServiceOptions from_env();
 };
 
 class QueryService {
  public:
   QueryService(const obj::ObjectStore& store, ServiceOptions options);
+  /// Writable deployment: servers additionally accept kTransferWrite and
+  /// maintain accelerators incrementally.  The store reference is the same
+  /// one the read path uses.
+  QueryService(obj::ObjectStore& store, ServiceOptions options);
   ~QueryService();
 
   QueryService(const QueryService&) = delete;
@@ -202,6 +234,18 @@ class QueryService {
       std::uint64_t batch_elements,
       const std::function<void(std::span<const std::uint8_t>,
                                std::uint64_t)>& consume);
+
+  // ---- write path (kTransferWrite) ----
+  /// Append whole elements to `object` (all-new positions; trailing region
+  /// grows / new regions appear).  Requires the writable constructor.
+  Result<WriteReport> append(ObjectId object,
+                             std::span<const std::uint8_t> payload,
+                             const QueryOptions& opts = {});
+  /// Overwrite `extent` of `object` with `payload` (whole elements; extent
+  /// must lie inside the object).  Requires the writable constructor.
+  Result<WriteReport> overwrite(ObjectId object, Extent1D extent,
+                                std::span<const std::uint8_t> payload,
+                                const QueryOptions& opts = {});
 
   // ---- metadata-side entry points ----
   /// Global histogram of an object — generated by the system at ingest, so
@@ -249,6 +293,15 @@ class QueryService {
   [[nodiscard]] std::vector<ServerId> dead_servers() const;
 
  private:
+  /// Shared constructor body; `mutable_store` is null for the read-only
+  /// overload and &store for the writable one.
+  QueryService(const obj::ObjectStore& store, obj::ObjectStore* mutable_store,
+               ServiceOptions options);
+
+  Result<WriteReport> transfer_write(ObjectId object, server::WriteKind kind,
+                                     Extent1D extent,
+                                     std::span<const std::uint8_t> payload,
+                                     const QueryOptions& opts);
   Status get_data_raw(ObjectId object, const Selection& selection,
                       std::span<std::uint8_t> out, PdcType type,
                       GetDataMode mode, const QueryOptions& opts = {});
@@ -271,6 +324,9 @@ class QueryService {
   void mark_dead(ServerId server);
 
   const obj::ObjectStore& store_;
+  /// Non-null only for the writable constructor; servers get it as their
+  /// ServerOptions::mutable_store.
+  obj::ObjectStore* mutable_store_ = nullptr;
   ServiceOptions options_;
   /// Deployment metrics.  Declared before the pool/bus/servers so it is
   /// destroyed after them — every component holds instrument pointers into
@@ -291,6 +347,10 @@ class QueryService {
   std::shared_ptr<const obs::Trace> last_trace_;
   /// dead_[s]: server s exhausted its retries and is out of the rotation.
   std::vector<bool> dead_;
+  /// Per-object monotonically increasing write sequence numbers (guarded
+  /// by state_mu_): servers deduplicate on these, so a retried or rerouted
+  /// write RPC applies exactly once.
+  std::map<ObjectId, std::uint64_t> write_seq_;
 };
 
 }  // namespace pdc::query

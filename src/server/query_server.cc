@@ -1,13 +1,25 @@
 #include "server/query_server.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/log.h"
+#include "obj/type_dispatch.h"
 #include "server/region_assignment.h"
 #include "sortrep/sorted_replica.h"
 
 namespace pdc::server {
 namespace {
+
+/// Decode one raw element (a sorted-delta log entry) to double.
+double delta_value(PdcType type, std::span<const std::uint8_t> bytes) {
+  return obj::dispatch_type(type, [&](auto tag) {
+    using T = decltype(tag);
+    T v;
+    std::memcpy(&v, bytes.data(), sizeof(T));
+    return static_cast<double>(v);
+  });
+}
 
 /// Union of two ascending position lists, deduplicated.
 std::vector<std::uint64_t> merge_union(std::vector<std::uint64_t> a,
@@ -42,6 +54,15 @@ std::vector<std::uint8_t> QueryServer::handle(
   if (*type == RequestType::kMetrics) {
     return metrics_snapshot().serialize();
   }
+  if (*type == RequestType::kTransferWrite) {
+    auto request = TransferWriteRequest::Deserialize(reader);
+    if (!request.ok()) {
+      TransferWriteResponse resp;
+      resp.status = request.status();
+      return resp.serialize();
+    }
+    return transfer_write(*request, trace).serialize();
+  }
   auto request = GetDataRequest::Deserialize(reader);
   if (!request.ok()) {
     GetDataResponse resp;
@@ -60,6 +81,14 @@ void QueryServer::register_metrics() {
   read_ops_metric_ = &options_.metrics->counter(actor_ + ".read_ops");
   eval_latency_metric_ =
       &options_.metrics->histogram(actor_ + ".eval_seconds");
+  if (options_.mutable_store != nullptr) {
+    write_requests_metric_ =
+        &options_.metrics->counter(actor_ + ".write_requests");
+    write_bytes_metric_ = &options_.metrics->counter(actor_ + ".write_bytes");
+    compactions_metric_ = &options_.metrics->counter(actor_ + ".compactions");
+    replica_rebuilds_metric_ =
+        &options_.metrics->counter(actor_ + ".replica_rebuilds");
+  }
   options_.metrics->gauge_fn(actor_ + ".cache_bytes", [this] {
     return static_cast<double>(cache_.bytes());
   });
@@ -154,6 +183,11 @@ EvalResponse QueryServer::eval(const EvalRequest& request,
   response.regions_scanned = counts.scanned;
   response.regions_indexed = counts.indexed;
   response.regions_allhit = counts.allhit;
+  response.regions_stale = counts.stale;
+  // Epoch 1 is the never-written baseline; reporting it as 0 keeps
+  // read-only responses in the pre-write wire format byte-for-byte.
+  response.max_data_epoch =
+      counts.max_data_epoch > 1 ? counts.max_data_epoch : 0;
   response.status = Status::Ok();
   if (bytes_read_metric_ != nullptr) {
     bytes_read_metric_->add(response.ledger.bytes_read);
@@ -181,6 +215,7 @@ EvalResponse QueryServer::eval(const EvalRequest& request,
     eval_span.arg("regions_scanned", static_cast<double>(counts.scanned));
     eval_span.arg("regions_indexed", static_cast<double>(counts.indexed));
     eval_span.arg("regions_allhit", static_cast<double>(counts.allhit));
+    eval_span.arg("regions_stale", static_cast<double>(counts.stale));
   }
   return response;
 }
@@ -218,6 +253,10 @@ Status QueryServer::eval_term(const AndTerm& term, const EvalRequest& request,
         pipeline_config(request.strategy, /*sorted_driver=*/true), ledger,
         positions, extents, counts, trace));
 
+    // A non-empty delta log means the replica's data lags the source:
+    // base results must be merged with the log element-wise, which needs
+    // materialized positions (and makes extent fast-path hits stale).
+    const bool delta_active = !driver_obj->sorted_delta.empty();
     // Extents-only results are valid ONLY for a single-term request: the
     // OR merge in eval() operates on positions and discards extents, so a
     // multi-term query must materialize the driver hits or the whole first
@@ -225,7 +264,8 @@ Status QueryServer::eval_term(const AndTerm& term, const EvalRequest& request,
     const bool need_positions = request.need_locations ||
                                 term.conjuncts.size() > 1 ||
                                 request.terms.size() > 1 ||
-                                request.region_constraint.count > 0;
+                                request.region_constraint.count > 0 ||
+                                delta_active;
     if (!need_positions) {
       out_extents.insert(out_extents.end(), extents.begin(), extents.end());
       return Status::Ok();
@@ -238,6 +278,30 @@ Status QueryServer::eval_term(const AndTerm& term, const EvalRequest& request,
           sortrep::map_to_source_positions(store_, *replica, e,
                                            read_ctx(ledger, trace)));
       positions.insert(positions.end(), original.begin(), original.end());
+    }
+    if (delta_active) {
+      // Log-structured merge: positions overwritten (or appended) since
+      // the replica was built answer from the log's CURRENT value; the
+      // base result's stale hits for those positions are dropped.  Log
+      // entries are partitioned by source-region owner so that across
+      // identities each entry is decided exactly once.
+      std::erase_if(positions, [&](std::uint64_t p) {
+        return driver_obj->sorted_delta.contains(p);
+      });
+      for (const auto& [pos, raw] : driver_obj->sorted_delta) {
+        if (owner_of_region(*driver_obj,
+                            region_of_position(*driver_obj, pos),
+                            options_.num_servers) != identity) {
+          continue;
+        }
+        if (driver.interval.contains(delta_value(driver_obj->type, raw))) {
+          positions.push_back(pos);
+        }
+      }
+      ledger.add_cpu(store_.cluster().config().cost.scan_cost(
+                         driver_obj->sorted_delta.size() *
+                         driver_obj->element_size()),
+                     CpuStage::kScan);
     }
     ledger.add_cpu(store_.cluster().config().cost.scan_cost(
                        positions.size() * sizeof(std::uint64_t)),
@@ -252,7 +316,9 @@ Status QueryServer::eval_term(const AndTerm& term, const EvalRequest& request,
       // reported — eval() counts hits from extents whenever positions are
       // empty, so a server whose share was filtered out entirely would
       // otherwise report phantom hits.
-    } else {
+    } else if (!delta_active) {
+      // Delta-merged results must never advertise replica extents: the
+      // extent fast path serves raw replica bytes, which lag the log.
       sorted_extents = std::move(extents);
     }
   } else {
@@ -316,7 +382,7 @@ Status QueryServer::gather_values(const obj::ObjectDescriptor& object,
     obs::ScopedSpan group_span(trace, "read_group", actor_);
     group_span.arg("region", static_cast<double>(r));
     group_span.arg("positions", static_cast<double>(group.size()));
-    RegionCache::Buffer buffer = cache_.get({object.id, r});
+    RegionCache::Buffer buffer = cache_.get({object.id, r}, region.data_epoch);
     const bool dense = static_cast<double>(group.size()) >
                        options_.dense_read_threshold *
                            static_cast<double>(region.extent.count);
@@ -343,6 +409,68 @@ Status QueryServer::gather_values(const obj::ObjectDescriptor& object,
     }
   }
   return Status::Ok();
+}
+
+TransferWriteResponse QueryServer::transfer_write(
+    const TransferWriteRequest& request, const obs::TraceContext& trace) {
+  obs::ScopedSpan span(trace, "server.transfer_write", actor_);
+  TransferWriteResponse response;
+  if (options_.mutable_store == nullptr) {
+    response.status =
+        Status::FailedPrecondition("server deployed without a write path");
+    return response;
+  }
+  if (write_requests_metric_ != nullptr) {
+    write_requests_metric_->add();
+    write_bytes_metric_->add(request.payload.size());
+  }
+  CostLedger ledger;
+  obj::WriteOptions write_options;
+  write_options.maintain_accelerators = options_.maintain_accelerators;
+  write_options.compact_threshold = options_.compact_threshold;
+  write_options.pool = options_.pool;
+  write_options.ledger = &ledger;
+  const auto result = options_.mutable_store->apply_write(
+      request.object,
+      request.kind == WriteKind::kOverwrite ? obj::WriteKind::kOverwrite
+                                            : obj::WriteKind::kAppend,
+      request.extent, request.payload, request.write_seq, write_options);
+  if (!result.ok()) {
+    response.status = result.status();
+    return response;
+  }
+  response.data_epoch = result->data_epoch;
+  response.regions_touched = result->regions_touched;
+  response.duplicate = result->duplicate;
+  response.compacted = result->compacted;
+  if (result->compacted && compactions_metric_ != nullptr) {
+    compactions_metric_->add();
+  }
+  // Delta log past its threshold: fold it into a fresh sorted replica.
+  // A rebuild can legitimately fail (writes introduced NaN) — the delta
+  // log is kept and merged reads continue, so the write still succeeds.
+  if (!result->duplicate && result->replica_id != kInvalidObjectId &&
+      options_.replica_rebuild_threshold > 0 &&
+      result->sorted_delta_entries >= options_.replica_rebuild_threshold) {
+    const Status rebuilt = sortrep::rebuild_sorted_replica(
+        *options_.mutable_store, request.object, options_.pool);
+    if (rebuilt.ok() && replica_rebuilds_metric_ != nullptr) {
+      replica_rebuilds_metric_->add();
+    }
+    span.arg("replica_rebuilt", rebuilt.ok() ? 1.0 : 0.0);
+  }
+  response.ledger = LedgerSummary::from(ledger);
+  response.status = Status::Ok();
+  if (trace.enabled()) {
+    span.arg("object", static_cast<double>(request.object));
+    span.arg("bytes", static_cast<double>(request.payload.size()));
+    span.arg("epoch", static_cast<double>(response.data_epoch));
+    span.arg("regions_touched",
+             static_cast<double>(response.regions_touched));
+    span.arg("duplicate", response.duplicate ? 1.0 : 0.0);
+    span.arg("compacted", response.compacted ? 1.0 : 0.0);
+  }
+  return response;
 }
 
 GetDataResponse QueryServer::get_data(const GetDataRequest& request,
@@ -374,7 +502,8 @@ GetDataResponse QueryServer::get_data(const GetDataRequest& request,
         const obj::RegionDescriptor& region = (*object)->regions[r];
         const std::uint64_t take = std::min(e.end(), region.extent.end()) - pos;
         const std::size_t nbytes = static_cast<std::size_t>(take * elem_size);
-        if (RegionCache::Buffer buffer = cache_.get({(*object)->id, r})) {
+        if (RegionCache::Buffer buffer =
+                cache_.get({(*object)->id, r}, region.data_epoch)) {
           response.value_parts.emplace_back(
               buffer->data() + (pos - region.extent.offset) * elem_size,
               nbytes);

@@ -72,6 +72,20 @@ struct ServerOptions {
   /// ".read_ops" counters and cache occupancy gauges, and answers the
   /// kMetrics RPC with a whole-registry snapshot.  Must outlive the server.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Write path (kTransferWrite).  Null = read-only deployment: writes are
+  /// rejected with FailedPrecondition.  When set it must reference the
+  /// same store as the read path.
+  obj::ObjectStore* mutable_store = nullptr;
+  /// Fold a region's delta-WAH sidecar back into the base index (full
+  /// rebuild) once it reaches this many entries.  0 disables compaction.
+  std::uint64_t compact_threshold = 64;
+  /// False: writes leave bitmap index and sorted replica stale (scan
+  /// fallback / planner skip) instead of maintaining them incrementally.
+  /// Histograms are ALWAYS maintained — pruning soundness is not a knob.
+  bool maintain_accelerators = true;
+  /// Bulk-rebuild the sorted replica once the source's delta log reaches
+  /// this many entries.  0 disables rebuilds.
+  std::uint64_t replica_rebuild_threshold = 4096;
 };
 
 class QueryServer {
@@ -101,6 +115,12 @@ class QueryServer {
                     const obs::TraceContext& trace = {});
   GetDataResponse get_data(const GetDataRequest& request,
                            const obs::TraceContext& trace = {});
+  /// kTransferWrite: append/overwrite one object's elements with
+  /// incremental accelerator maintenance (delta-WAH sidecar, histogram
+  /// merge, sorted-replica delta log) and threshold-driven compaction /
+  /// replica rebuild.  Exactly-once via the request's write_seq.
+  TransferWriteResponse transfer_write(const TransferWriteRequest& request,
+                                       const obs::TraceContext& trace = {});
   /// kMetrics RPC: snapshot of the deployment registry (error status when
   /// the server was built without one).
   [[nodiscard]] MetricsResponse metrics_snapshot() const;
@@ -148,6 +168,10 @@ class QueryServer {
   obs::Counter* bytes_read_metric_ = nullptr;
   obs::Counter* read_ops_metric_ = nullptr;
   obs::LatencyHistogram* eval_latency_metric_ = nullptr;
+  obs::Counter* write_requests_metric_ = nullptr;
+  obs::Counter* write_bytes_metric_ = nullptr;
+  obs::Counter* compactions_metric_ = nullptr;
+  obs::Counter* replica_rebuilds_metric_ = nullptr;
   RegionCache cache_;
   /// Serialized index bins stay resident once read (FastBit also caches
   /// bitmaps); keyed by (object, region*2048+bin).

@@ -28,10 +28,21 @@ class RegionCache {
       : capacity_(capacity_bytes) {}
 
   /// Returns the cached buffer or nullptr; refreshes LRU position on hit.
-  [[nodiscard]] Buffer get(const Key& key) {
+  /// `epoch` is the caller's view of the region's current epoch (data
+  /// epoch for data buffers, index epoch for index bytes): an entry cached
+  /// under a different epoch was invalidated by a write — it is dropped
+  /// and the lookup misses, so stale bytes can never be served.
+  [[nodiscard]] Buffer get(const Key& key, std::uint64_t epoch = 0) {
     std::lock_guard lock(mu_);
     const auto it = entries_.find(key);
     if (it == entries_.end()) return nullptr;
+    if (it->second.epoch != epoch) {
+      bytes_ -= it->second.buffer->size();
+      lru_.erase(it->second.lru_it);
+      entries_.erase(it);
+      ++invalidations_;
+      return nullptr;
+    }
     lru_.splice(lru_.begin(), lru_, it->second.lru_it);
     ++hits_;
     return it->second.buffer;
@@ -41,7 +52,7 @@ class RegionCache {
   /// Refreshing an existing key replaces its buffer (the new bytes are the
   /// current ones — keeping the old buffer would serve stale data forever)
   /// and reconciles `bytes_` with the size difference before evicting.
-  void put(const Key& key, Buffer buffer) {
+  void put(const Key& key, Buffer buffer, std::uint64_t epoch = 0) {
     if (capacity_ == 0 || !buffer) return;
     std::lock_guard lock(mu_);
     const auto it = entries_.find(key);
@@ -50,10 +61,11 @@ class RegionCache {
       bytes_ -= it->second.buffer->size();
       bytes_ += buffer->size();
       it->second.buffer = std::move(buffer);
+      it->second.epoch = epoch;
     } else {
       lru_.push_front(key);
       bytes_ += buffer->size();
-      entries_.emplace(key, Entry{std::move(buffer), lru_.begin()});
+      entries_.emplace(key, Entry{std::move(buffer), lru_.begin(), epoch});
     }
     while (bytes_ > capacity_ && !lru_.empty()) {
       const Key victim = lru_.back();
@@ -88,11 +100,16 @@ class RegionCache {
     std::lock_guard lock(mu_);
     return evictions_;
   }
+  [[nodiscard]] std::uint64_t invalidations() const {
+    std::lock_guard lock(mu_);
+    return invalidations_;
+  }
 
  private:
   struct Entry {
     Buffer buffer;
     std::list<Key>::iterator lru_it;
+    std::uint64_t epoch = 0;
   };
 
   mutable std::mutex mu_;
@@ -100,6 +117,7 @@ class RegionCache {
   std::uint64_t bytes_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t evictions_ = 0;
+  std::uint64_t invalidations_ = 0;
   std::list<Key> lru_;
   std::map<Key, Entry> entries_;
 };

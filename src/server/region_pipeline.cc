@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "bitmap/binned_index.h"
+#include "bitmap/delta_wah.h"
 #include "common/log.h"
 #include "kernels/kernels.h"
 #include "obj/type_dispatch.h"
@@ -206,6 +207,13 @@ Status RegionPipeline::run(const obj::ObjectDescriptor& object,
                            std::vector<Extent1D>& extents,
                            RegionChoiceCounts& counts,
                            const obs::TraceContext& trace) {
+  // Staleness accounting: the response reports the highest data epoch this
+  // evaluation saw, so clients can tell which snapshot answered them.
+  for (const RegionIndex r :
+       regions_of_server(object, identity, env_.num_servers)) {
+    counts.max_data_epoch =
+        std::max(counts.max_data_epoch, object.regions[r].data_epoch);
+  }
   switch (config.access) {
     case AccessPathKind::kScan:
       return run_scan(object, interval, constraint, config, identity, ledger,
@@ -284,6 +292,40 @@ Status RegionPipeline::run_scan(const obj::ObjectDescriptor& object,
   return Status::Ok();
 }
 
+Status RegionPipeline::scan_group(const obj::ObjectDescriptor& object,
+                                  const ValueInterval& interval,
+                                  const std::vector<ScanItem>& items,
+                                  CostLedger& ledger,
+                                  std::vector<std::uint64_t>& positions,
+                                  const obs::TraceContext& trace) {
+  const CostModel& cost = env_.store->cluster().config().cost;
+  obs::ScopedSpan scan_phase(trace, "phase.region_scan", *env_.actor);
+  scan_phase.arg("regions", static_cast<double>(items.size()));
+  std::vector<std::vector<std::uint64_t>> hits(items.size());
+  PDC_RETURN_IF_ERROR(fan_out_join(
+      items.size(), scan_phase.context(), "region_fetch", ledger,
+      [&](std::size_t i, CostLedger& task_ledger,
+          obs::ScopedSpan& region_span) -> Status {
+        region_span.arg("region", static_cast<double>(items[i].region));
+        const obj::RegionDescriptor& region = object.regions[items[i].region];
+        const Extent1D want = items[i].want;
+        PDC_ASSIGN_OR_RETURN(
+            RegionCache::Buffer buffer,
+            fetch_region(object, items[i].region, task_ledger,
+                         /*cacheable=*/true, region_span.context()));
+        task_ledger.add_cpu(
+            cost.scan_cost(want.count * object.element_size()),
+            CpuStage::kScan);
+        scan_buffer(object.type, buffer->data(), region.extent, want,
+                    interval, hits[i]);
+        return Status::Ok();
+      }));
+  for (const std::vector<std::uint64_t>& h : hits) {
+    positions.insert(positions.end(), h.begin(), h.end());
+  }
+  return Status::Ok();
+}
+
 Status RegionPipeline::plan_region_bins(const obj::ObjectDescriptor& object,
                                         RegionIndex r,
                                         const ValueInterval& interval,
@@ -305,10 +347,12 @@ Status RegionPipeline::plan_region_bins(const obj::ObjectDescriptor& object,
   for (const auto& [b, full] : bins) {
     Extent1D e = view.bin_extent(b);
     e.offset += region.index_offset;
-    // Previously-read bins are served from the server's index cache.
+    // Previously-read bins are served from the server's index cache; an
+    // entry cached under an older index epoch (pre-compaction) misses.
     const RegionCache::Key key{object.id,
                                static_cast<RegionIndex>(r * 2048 + b)};
-    planned.push_back({r, b, full, env_.index_cache->get(key), e});
+    planned.push_back(
+        {r, b, full, env_.index_cache->get(key, region.index_epoch), e});
   }
   return Status::Ok();
 }
@@ -344,7 +388,7 @@ Status RegionPipeline::read_missing_bins(const obj::ObjectDescriptor& object,
     p.cached = buffers[k];
     env_.index_cache->put(
         {object.id, static_cast<RegionIndex>(p.region * 2048 + p.bin)},
-        buffers[k]);
+        buffers[k], object.regions[p.region].index_epoch);
   }
   return Status::Ok();
 }
@@ -377,6 +421,20 @@ Status RegionPipeline::decode_bins(const obj::ObjectDescriptor& object,
                             CpuStage::kDecode);
         const obj::RegionDescriptor& region =
             object.regions[planned[i].region];
+        if (!region.delta.empty()) {
+          // Overwritten positions: mask the base bitmap's dirty bits and
+          // add the delta bits of positions whose current value is in this
+          // bin.  Delta-absorbed values are strictly bin-interior (see
+          // delta_bin_of), so full-bin "definite hit" semantics still hold.
+          PDC_ASSIGN_OR_RETURN(
+              bv, bitmap::combine_base_delta(
+                      bv, region.delta.dirty_positions(),
+                      region.delta.bin_positions(planned[i].bin)));
+          task_ledger.add_cpu(
+              static_cast<double>(region.delta.entries.size() * 8) /
+                  cost.index_decode_bandwidth_bps,
+              CpuStage::kDecode);
+        }
         Extent1D want = region.extent;
         if (constraint.count > 0) want = want.intersect(constraint);
         auto& sink = planned[i].full ? definite[i] : partial[i];
@@ -424,7 +482,7 @@ Status RegionPipeline::run_index(const obj::ObjectDescriptor& object,
                                  Extent1D constraint, ServerId identity,
                                  CostLedger& ledger,
                                  std::vector<std::uint64_t>& positions,
-                                 RegionChoiceCounts& /*counts*/,
+                                 RegionChoiceCounts& counts,
                                  const obs::TraceContext& trace) {
   if (object.index_file.empty()) {
     return Status::FailedPrecondition("object has no bitmap index: " +
@@ -436,6 +494,7 @@ Status RegionPipeline::run_index(const obj::ObjectDescriptor& object,
   // byte extents of every needed bin across ALL surviving regions, then
   // issue one aggregated read over the index file.
   std::vector<PlannedBin> planned;
+  std::vector<ScanItem> stale_items;
   obs::ScopedSpan prune_phase(trace, "phase.histogram_prune", *env_.actor);
   for (const RegionIndex r :
        regions_of_server(object, identity, env_.num_servers)) {
@@ -454,14 +513,32 @@ Status RegionPipeline::run_index(const obj::ObjectDescriptor& object,
     if (region.histogram.covers(interval)) {
       region_span.arg("all_hits", 1.0);
       // Histogram proves the whole region matches: no index I/O needed.
+      // (Histograms are maintained on every write, so this stays sound
+      // even when the region's bitmap index is stale.)
       kernels::append_range(positions, want.offset, want.end());
+      continue;
+    }
+    if (!region.index_fresh()) {
+      // The bitmap index lags the region's data (append / missed
+      // maintenance / unsafe delta): fall back to fetch+scan for this
+      // region only; fresh regions still probe their bins.
+      region_span.arg("stale", 1.0);
+      ++counts.stale;
+      ++counts.scanned;
+      stale_items.push_back({r, want});
       continue;
     }
     PDC_RETURN_IF_ERROR(
         plan_region_bins(object, r, interval, planned, region_span));
   }
   prune_phase.arg("planned_bins", static_cast<double>(planned.size()));
+  prune_phase.arg("stale_regions", static_cast<double>(stale_items.size()));
   prune_phase.close();
+
+  if (!stale_items.empty()) {
+    PDC_RETURN_IF_ERROR(
+        scan_group(object, interval, stale_items, ledger, positions, trace));
+  }
 
   if (!planned.empty()) {
     obs::ScopedSpan decode_phase(trace, "phase.bin_decode", *env_.actor);
@@ -555,7 +632,6 @@ Status RegionPipeline::run_adaptive(const obj::ObjectDescriptor& object,
                                     std::vector<std::uint64_t>& positions,
                                     RegionChoiceCounts& counts,
                                     const obs::TraceContext& trace) {
-  const CostModel& cost = env_.store->cluster().config().cost;
   const AdaptiveKnobs knobs{env_.dense_read_threshold,
                             !object.index_file.empty()};
   const std::vector<RegionIndex> regions =
@@ -563,10 +639,6 @@ Status RegionPipeline::run_adaptive(const obj::ObjectDescriptor& object,
 
   // Plan — classify every region from its histogram (serial: pure metadata
   // work, one "region" span per region like the other strategies).
-  struct ScanItem {
-    RegionIndex region;
-    Extent1D want;
-  };
   std::vector<ScanItem> scan_items;
   std::vector<PlannedBin> planned;
   obs::ScopedSpan plan_phase(trace, "phase.adaptive_plan", *env_.actor);
@@ -581,7 +653,14 @@ Status RegionPipeline::run_adaptive(const obj::ObjectDescriptor& object,
       want = want.intersect(constraint);
       if (want.empty()) continue;
     }
-    const RegionChoice c = classify_region(region.histogram, interval, knobs);
+    RegionChoice c = classify_region(region.histogram, interval, knobs);
+    if (c == RegionChoice::kIndex && !region.index_fresh()) {
+      // The region's base+delta index lags its data epoch (append, missed
+      // maintenance window, or unsafe delta assignment): scan instead.
+      c = RegionChoice::kScan;
+      ++counts.stale;
+      region_span.arg("stale", 1.0);
+    }
     counts.tally(c);
     switch (c) {
       case RegionChoice::kPruned:
@@ -608,35 +687,11 @@ Status RegionPipeline::run_adaptive(const obj::ObjectDescriptor& object,
   plan_phase.arg("planned_bins", static_cast<double>(planned.size()));
   plan_phase.close();
 
-  // Scan group: dense regions stream through the cache like PDC-H.
+  // Scan group: dense (or index-stale) regions stream through the cache
+  // like PDC-H.
   if (!scan_items.empty()) {
-    obs::ScopedSpan scan_phase(trace, "phase.region_scan", *env_.actor);
-    scan_phase.arg("regions", static_cast<double>(scan_items.size()));
-    scan_phase.arg("identity", static_cast<double>(identity));
-    std::vector<std::vector<std::uint64_t>> hits(scan_items.size());
-    PDC_RETURN_IF_ERROR(fan_out_join(
-        scan_items.size(), scan_phase.context(), "region_fetch", ledger,
-        [&](std::size_t i, CostLedger& task_ledger,
-            obs::ScopedSpan& region_span) -> Status {
-          region_span.arg("region",
-                          static_cast<double>(scan_items[i].region));
-          const obj::RegionDescriptor& region =
-              object.regions[scan_items[i].region];
-          const Extent1D want = scan_items[i].want;
-          PDC_ASSIGN_OR_RETURN(
-              RegionCache::Buffer buffer,
-              fetch_region(object, scan_items[i].region, task_ledger,
-                           /*cacheable=*/true, region_span.context()));
-          task_ledger.add_cpu(
-              cost.scan_cost(want.count * object.element_size()),
-              CpuStage::kScan);
-          scan_buffer(object.type, buffer->data(), region.extent, want,
-                      interval, hits[i]);
-          return Status::Ok();
-        }));
-    for (const std::vector<std::uint64_t>& h : hits) {
-      positions.insert(positions.end(), h.begin(), h.end());
-    }
+    PDC_RETURN_IF_ERROR(
+        scan_group(object, interval, scan_items, ledger, positions, trace));
   }
 
   // Index group: sparse regions probe their WAH bins like PDC-HI.
@@ -717,7 +772,8 @@ Status RegionPipeline::restrict(const obj::ObjectDescriptor& object,
           }
         }
 
-        RegionCache::Buffer buffer = env_.data_cache->get({object.id, r});
+        RegionCache::Buffer buffer =
+            env_.data_cache->get({object.id, r}, region.data_epoch);
         // Treat the group as dense when it holds many positions OR when its
         // positions span most of the region anyway: the aggregated point
         // read would coalesce into a near-whole-region read, so reading the
@@ -782,16 +838,18 @@ Result<RegionCache::Buffer> RegionPipeline::fetch_region(
     const obj::ObjectDescriptor& object, RegionIndex region,
     CostLedger& ledger, bool cacheable, const obs::TraceContext& trace) {
   const RegionCache::Key key{object.id, region};
-  if (RegionCache::Buffer hit = env_.data_cache->get(key)) return hit;
+  const obj::RegionDescriptor& desc = object.regions[region];
+  if (RegionCache::Buffer hit = env_.data_cache->get(key, desc.data_epoch)) {
+    return hit;
+  }
   log_debug("server ", env_.id, " cache MISS obj ", object.id, " region ",
             region);
-  const obj::RegionDescriptor& desc = object.regions[region];
   auto buffer = std::make_shared<std::vector<std::uint8_t>>(
       static_cast<std::size_t>(desc.extent.count * object.element_size()));
   PDC_RETURN_IF_ERROR(
       env_.store->read_region(object, region, *buffer, read_ctx(ledger, trace)));
   RegionCache::Buffer shared = std::move(buffer);
-  if (cacheable) env_.data_cache->put(key, shared);
+  if (cacheable) env_.data_cache->put(key, shared, desc.data_epoch);
   return shared;
 }
 

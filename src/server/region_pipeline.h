@@ -78,6 +78,12 @@ struct RegionChoiceCounts {
   std::uint64_t scanned = 0;
   std::uint64_t indexed = 0;
   std::uint64_t allhit = 0;
+  /// Regions whose bitmap index lagged the data epoch and therefore fell
+  /// back to scan (they also count under `scanned`).
+  std::uint64_t stale = 0;
+  /// Highest data epoch among the regions this evaluation visited; 1 on a
+  /// never-written object.
+  std::uint64_t max_data_epoch = 0;
 
   void tally(RegionChoice c) noexcept {
     switch (c) {
@@ -179,6 +185,13 @@ class RegionPipeline {
     Extent1D extent;             ///< byte extent in the index file
   };
 
+  /// One region assigned to the scan access path (dense under PDC-A, or
+  /// an index-stale fallback under PDC-HI/PDC-A).
+  struct ScanItem {
+    RegionIndex region;
+    Extent1D want;
+  };
+
   /// Task body: fills its slot(s), charges `task_ledger`, annotates the
   /// already-open task span.  Returned status joins via fan_out_join.
   using TaskBody =
@@ -215,6 +228,14 @@ class RegionPipeline {
                       std::vector<std::uint64_t>& positions,
                       RegionChoiceCounts& counts,
                       const obs::TraceContext& trace);
+
+  /// Fetch + scan a group of regions in parallel (the PDC-A dense group
+  /// and the index paths' stale-region fallback share this).
+  Status scan_group(const obj::ObjectDescriptor& object,
+                    const ValueInterval& interval,
+                    const std::vector<ScanItem>& items, CostLedger& ledger,
+                    std::vector<std::uint64_t>& positions,
+                    const obs::TraceContext& trace);
 
   // Index-probe stages, shared by run_index and run_adaptive.
   /// Plan the bins of one surviving region (header parse + bin selection +

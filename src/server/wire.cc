@@ -175,11 +175,19 @@ std::vector<std::uint8_t> EvalResponse::serialize() const {
   put_ledger(w, ledger);
   // v2 trailer, emitted only when non-zero (PDC-A): fixed-strategy
   // responses stay byte-identical to v1, so modeled transfer cost --
-  // and therefore simulated time -- is unchanged for them.
-  if ((regions_scanned | regions_indexed | regions_allhit) != 0) {
+  // and therefore simulated time -- is unchanged for them.  The v3
+  // trailer (write-path staleness) likewise only appears once an object
+  // has actually been written (max_data_epoch > 1 or a stale fallback
+  // happened), and forces the v2 trailer out so field order is fixed.
+  const bool v3 = (regions_stale | max_data_epoch) != 0;
+  if (v3 || (regions_scanned | regions_indexed | regions_allhit) != 0) {
     w.put(regions_scanned);
     w.put(regions_indexed);
     w.put(regions_allhit);
+  }
+  if (v3) {
+    w.put(regions_stale);
+    w.put(max_data_epoch);
   }
   return w.take();
 }
@@ -195,12 +203,17 @@ Result<EvalResponse> EvalResponse::Deserialize(SerialReader& r) {
   PDC_RETURN_IF_ERROR(get_extents(r, resp.sorted_extents));
   PDC_RETURN_IF_ERROR(r.get(resp.replica_id));
   PDC_RETURN_IF_ERROR(get_ledger(r, resp.ledger));
-  // Version-tolerant trailer: absent in v1 payloads (counts default to
-  // zero); if any trailer bytes are present, all three must parse.
+  // Version-tolerant trailers: absent in v1 payloads (counts default to
+  // zero); if any trailer bytes are present, the whole v2 block must
+  // parse, and any bytes beyond it must form a whole v3 block.
   if (r.remaining() > 0) {
     PDC_RETURN_IF_ERROR(r.get(resp.regions_scanned));
     PDC_RETURN_IF_ERROR(r.get(resp.regions_indexed));
     PDC_RETURN_IF_ERROR(r.get(resp.regions_allhit));
+  }
+  if (r.remaining() > 0) {
+    PDC_RETURN_IF_ERROR(r.get(resp.regions_stale));
+    PDC_RETURN_IF_ERROR(r.get(resp.max_data_epoch));
   }
   return resp;
 }
@@ -254,6 +267,70 @@ Result<GetDataResponse> GetDataResponse::Deserialize(SerialReader& r) {
   return resp;
 }
 
+std::vector<std::uint8_t> TransferWriteRequest::serialize() const {
+  // The bulk payload rides as a borrowed span (single copy at take());
+  // everything before it is fixed-size header.
+  GatherWriter w;
+  w.put(static_cast<std::uint8_t>(RequestType::kTransferWrite));
+  w.put(object);
+  w.put(static_cast<std::uint8_t>(kind));
+  w.put(extent.offset);
+  w.put(extent.count);
+  w.put(write_seq);
+  w.put_bytes_ref(payload);
+  return w.take();
+}
+
+Result<TransferWriteRequest> TransferWriteRequest::Deserialize(
+    SerialReader& r) {
+  TransferWriteRequest req;
+  std::uint8_t type = 0;
+  std::uint8_t kind = 0;
+  PDC_RETURN_IF_ERROR(r.get(type));
+  if (type != static_cast<std::uint8_t>(RequestType::kTransferWrite)) {
+    return Status::Corruption("not a TransferWriteRequest");
+  }
+  PDC_RETURN_IF_ERROR(r.get(req.object));
+  PDC_RETURN_IF_ERROR(r.get(kind));
+  if (kind > static_cast<std::uint8_t>(WriteKind::kOverwrite)) {
+    return Status::Corruption("write kind invalid");
+  }
+  req.kind = static_cast<WriteKind>(kind);
+  PDC_RETURN_IF_ERROR(r.get(req.extent.offset));
+  PDC_RETURN_IF_ERROR(r.get(req.extent.count));
+  PDC_RETURN_IF_ERROR(r.get(req.write_seq));
+  PDC_RETURN_IF_ERROR(r.get_vector(req.payload_storage));
+  req.payload = req.payload_storage;
+  return req;
+}
+
+std::vector<std::uint8_t> TransferWriteResponse::serialize() const {
+  SerialWriter w;
+  put_status(w, status);
+  w.put(data_epoch);
+  w.put(regions_touched);
+  w.put<std::uint8_t>(duplicate ? 1 : 0);
+  w.put<std::uint8_t>(compacted ? 1 : 0);
+  put_ledger(w, ledger);
+  return w.take();
+}
+
+Result<TransferWriteResponse> TransferWriteResponse::Deserialize(
+    SerialReader& r) {
+  TransferWriteResponse resp;
+  PDC_RETURN_IF_ERROR(get_status(r, resp.status));
+  PDC_RETURN_IF_ERROR(r.get(resp.data_epoch));
+  PDC_RETURN_IF_ERROR(r.get(resp.regions_touched));
+  std::uint8_t duplicate = 0;
+  std::uint8_t compacted = 0;
+  PDC_RETURN_IF_ERROR(r.get(duplicate));
+  PDC_RETURN_IF_ERROR(r.get(compacted));
+  resp.duplicate = duplicate != 0;
+  resp.compacted = compacted != 0;
+  PDC_RETURN_IF_ERROR(get_ledger(r, resp.ledger));
+  return resp;
+}
+
 std::vector<std::uint8_t> MetricsRequest::serialize() const {
   SerialWriter w;
   w.put(static_cast<std::uint8_t>(RequestType::kMetrics));
@@ -290,7 +367,8 @@ Result<RequestType> peek_request_type(std::span<const std::uint8_t> payload) {
   const std::uint8_t type = payload[0];
   if (type != static_cast<std::uint8_t>(RequestType::kEvalQuery) &&
       type != static_cast<std::uint8_t>(RequestType::kGetData) &&
-      type != static_cast<std::uint8_t>(RequestType::kMetrics)) {
+      type != static_cast<std::uint8_t>(RequestType::kMetrics) &&
+      type != static_cast<std::uint8_t>(RequestType::kTransferWrite)) {
     return Status::Corruption("unknown request type");
   }
   return static_cast<RequestType>(type);

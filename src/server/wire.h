@@ -40,6 +40,7 @@ enum class RequestType : std::uint8_t {
   kEvalQuery = 1,
   kGetData = 2,
   kMetrics = 3,  ///< scrape the server's live MetricsRegistry snapshot
+  kTransferWrite = 4,  ///< region append/overwrite transfer (write path)
 };
 
 /// One conjunct: an interval condition on one object.
@@ -116,6 +117,13 @@ struct EvalResponse {
   std::uint64_t regions_scanned = 0;
   std::uint64_t regions_indexed = 0;
   std::uint64_t regions_allhit = 0;
+  /// Write-path staleness observability (v3 trailer, emitted only when
+  /// non-zero — read-only deployments stay byte-identical to v2/v1):
+  /// regions whose accelerator epoch lagged the data epoch and were
+  /// evaluated by scan fallback, plus the highest data epoch this server
+  /// saw among the regions it touched (1 on a never-written object).
+  std::uint64_t regions_stale = 0;
+  std::uint64_t max_data_epoch = 0;
 
   [[nodiscard]] std::vector<std::uint8_t> serialize() const;
   static Result<EvalResponse> Deserialize(SerialReader& r);
@@ -156,6 +164,55 @@ struct GetDataResponse {
 
   [[nodiscard]] std::vector<std::uint8_t> serialize() const;
   static Result<GetDataResponse> Deserialize(SerialReader& r);
+};
+
+/// What a TransferWriteRequest does to the target object.
+enum class WriteKind : std::uint8_t {
+  kAppend = 0,     ///< extend the object with `payload` (extent ignored)
+  kOverwrite = 1,  ///< replace `extent` (element space) with `payload`
+};
+
+/// Region transfer carrying new data into an object (paper: the region
+/// transfer API, PDCregion_transfer_start/wait).  Routed to the server
+/// owning the first affected region; the payload rides as a borrowed span
+/// through GatherWriter so bulk bytes are copied exactly once at wire
+/// assembly.
+struct TransferWriteRequest {
+  ObjectId object = kInvalidObjectId;
+  WriteKind kind = WriteKind::kAppend;
+  /// Overwrite target in element space (ignored for appends).
+  Extent1D extent;
+  /// Client-assigned monotone sequence number per object.  Servers apply a
+  /// write at most once: a seq at or below the object's high-water mark is
+  /// acknowledged as a duplicate without re-applying (exactly-once under
+  /// retries, reroutes and bus duplication).
+  std::uint64_t write_seq = 0;
+  /// Raw element bytes.  serialize() emits `payload` as a borrowed span —
+  /// it must stay alive until the serialized buffer is assembled.
+  std::span<const std::uint8_t> payload;
+  /// Deserialize materializes the payload here and points `payload` at it.
+  std::vector<std::uint8_t> payload_storage;
+
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  static Result<TransferWriteRequest> Deserialize(SerialReader& r);
+};
+
+struct TransferWriteResponse {
+  Status status;
+  /// Object data epoch after the write (or current epoch for a duplicate).
+  std::uint64_t data_epoch = 0;
+  /// Regions whose data changed (appends: created/extended regions).
+  std::uint64_t regions_touched = 0;
+  /// True when write_seq was at or below the object's high-water mark and
+  /// the write was acknowledged without re-applying.
+  bool duplicate = false;
+  /// True when this write triggered a synchronous delta compaction
+  /// (full index rebuild folding the delta sidecar).
+  bool compacted = false;
+  LedgerSummary ledger;
+
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  static Result<TransferWriteResponse> Deserialize(SerialReader& r);
 };
 
 /// Ask a server for a snapshot of its deployment metrics (counters,

@@ -212,6 +212,65 @@ Result<BuildReport> build_sorted_replica(obj::ObjectStore& store,
   return report;
 }
 
+Status rebuild_sorted_replica(obj::ObjectStore& store, ObjectId source,
+                              exec::ThreadPool* pool) {
+  PDC_ASSIGN_OR_RETURN(const obj::ObjectDescriptor* src, store.get(source));
+  const auto replica_id = store.sorted_replica_of(source);
+  if (!replica_id.has_value()) {
+    return Status::NotFound("no sorted replica to rebuild");
+  }
+  PDC_ASSIGN_OR_RETURN(const obj::ObjectDescriptor* rep,
+                       store.get(*replica_id));
+
+  const std::size_t elem_size = src->element_size();
+  const std::uint64_t n = src->num_elements;
+  std::vector<std::uint8_t> raw(static_cast<std::size_t>(n * elem_size));
+  PDC_RETURN_IF_ERROR(store.read_elements(*src, {0, n}, raw, {}));
+
+  const bool has_nan = obj::dispatch_type(src->type, [&](auto tag) {
+    using T = decltype(tag);
+    if constexpr (std::is_floating_point_v<T>) {
+      const T* values = reinterpret_cast<const T*>(raw.data());
+      for (std::uint64_t i = 0; i < n; ++i) {
+        if (values[i] != values[i]) return true;
+      }
+    }
+    return false;
+  });
+  if (has_nan) {
+    // Writes introduced NaN; the replica stays on the merged-read path
+    // (delta log) rather than absorbing an unsortable dataset.
+    return Status::InvalidArgument(
+        "cannot rebuild a sorted replica over NaN values");
+  }
+
+  std::vector<std::uint64_t> perm;
+  std::vector<std::uint8_t> sorted_bytes(raw.size());
+  obj::dispatch_type(src->type, [&](auto tag) {
+    using T = decltype(tag);
+    const T* values = reinterpret_cast<const T*>(raw.data());
+    perm = parallel_argsort(values, n, pool);
+    T* out = reinterpret_cast<T*>(sorted_bytes.data());
+    const auto nchunks =
+        static_cast<std::size_t>((n + kSortChunk - 1) / kSortChunk);
+    exec::parallel_for(pool, nchunks, [&](std::size_t c) {
+      const std::uint64_t hi = std::min(n, (c + 1) * kSortChunk);
+      for (std::uint64_t i = c * kSortChunk; i < hi; ++i) {
+        out[i] = values[perm[i]];
+      }
+    });
+  });
+
+  PDC_RETURN_IF_ERROR(
+      store.reset_object_data(*replica_id, sorted_bytes, n, pool));
+  PDC_ASSIGN_OR_RETURN(pfs::PfsFile pf,
+                       store.cluster().create(rep->permutation_file));
+  PDC_RETURN_IF_ERROR(pf.write(
+      0, {reinterpret_cast<const std::uint8_t*>(perm.data()),
+          perm.size() * sizeof(std::uint64_t)}));
+  return store.mark_replica_synced(source);
+}
+
 Result<std::vector<std::uint64_t>> map_to_source_positions(
     const obj::ObjectStore& store, const obj::ObjectDescriptor& replica,
     Extent1D sorted_extent, const pfs::ReadContext& ctx) {

@@ -54,6 +54,15 @@ Result<BuildReport> build_sorted_replica(obj::ObjectStore& store,
 Result<BuildReport> build_sorted_replica(obj::ObjectStore& store,
                                          ObjectId source);
 
+/// Rebuild an existing sorted replica from the source's *current* data
+/// (PAM-style bulk rebuild once the write delta log grows past its
+/// threshold): re-sorts, overwrites the replica's data and permutation
+/// files in place, and clears the source's delta log / marks the replica
+/// synced to the source's data epoch.  Fails (leaving the delta log
+/// intact, so merged reads keep working) if the data now contains NaN.
+Status rebuild_sorted_replica(obj::ObjectStore& store, ObjectId source,
+                              exec::ThreadPool* pool = nullptr);
+
 /// Translate a sorted-space element extent into the original element
 /// positions (reads the permutation file; one contiguous read).
 Result<std::vector<std::uint64_t>> map_to_source_positions(

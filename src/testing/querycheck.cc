@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <span>
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
@@ -229,6 +230,114 @@ Case QueryGen::draw_case() {
   return c;
 }
 
+WriteSpec QueryGen::draw_write(const Dataset& dataset) {
+  WriteSpec w;
+  const std::uint64_t n = dataset.size();
+  w.is_append = rng_.bounded(3) == 0;
+  if (w.is_append) {
+    // Rectangular: the same count for every column so the objects keep
+    // identical dimensions (a query-plan precondition).
+    const std::uint64_t count = 1 + rng_.bounded(48);
+    for (std::size_t col = 0; col < dataset.columns.size(); ++col) {
+      const auto [lo, hi] = finite_range(dataset.columns[col]);
+      std::vector<float> vals;
+      vals.reserve(static_cast<std::size_t>(count));
+      for (std::uint64_t i = 0; i < count; ++i) {
+        if (col != 0 && rng_.bounded(10) == 0) {
+          // Specials in non-key columns only (the key stays finite so the
+          // sorted replica remains rebuildable).
+          vals.push_back(rng_.bounded(3) == 0
+                             ? std::numeric_limits<float>::quiet_NaN()
+                             : (rng_.bounded(2) == 0
+                                    ? std::numeric_limits<float>::infinity()
+                                    : -std::numeric_limits<float>::infinity()));
+        } else if (rng_.bounded(4) == 0) {
+          // Outside the historical range: appended histograms/bins must
+          // actually extend coverage, not clamp.
+          vals.push_back(static_cast<float>(hi + 1.0 + rng_.uniform(0.0, 4.0)));
+        } else {
+          vals.push_back(static_cast<float>(rng_.uniform(lo, hi + 1e-9)));
+        }
+      }
+      w.values.push_back(std::move(vals));
+    }
+    return w;
+  }
+  w.column = static_cast<std::uint32_t>(rng_.bounded(dataset.columns.size()));
+  const std::vector<float>& column = dataset.columns[w.column];
+  const auto [lo, hi] = finite_range(column);
+  w.extent.offset = rng_.bounded(n);
+  w.extent.count =
+      1 + rng_.bounded(std::min<std::uint64_t>(n - w.extent.offset, 32));
+  std::vector<float> vals;
+  vals.reserve(static_cast<std::size_t>(w.extent.count));
+  for (std::uint64_t i = 0; i < w.extent.count; ++i) {
+    switch (rng_.bounded(5)) {
+      case 0:  // exact existing value (bin-edge / equality stress)
+        vals.push_back(finite_or_zero(column[rng_.bounded(column.size())]));
+        break;
+      case 1:  // beyond the indexed range: forces the delta-WAH sidecar to
+               // reject the value and the region to fall back to scans
+        vals.push_back(static_cast<float>(
+            rng_.bounded(2) == 0 ? lo - 1.0 - rng_.bounded(5)
+                                 : hi + 1.0 + rng_.bounded(5)));
+        break;
+      case 2:  // specials (non-key columns; key writes stay finite)
+        if (w.column != 0) {
+          vals.push_back(rng_.bounded(3) == 0
+                             ? std::numeric_limits<float>::quiet_NaN()
+                             : (rng_.bounded(2) == 0
+                                    ? std::numeric_limits<float>::infinity()
+                                    : -std::numeric_limits<float>::infinity()));
+          break;
+        }
+        [[fallthrough]];
+      default:  // inside the historical range: delta-WAH absorbable
+        vals.push_back(static_cast<float>(rng_.uniform(lo, hi + 1e-9)));
+        break;
+    }
+  }
+  w.values.push_back(std::move(vals));
+  return w;
+}
+
+Case QueryGen::draw_write_case() {
+  Case c;
+  c.seed = seed_;
+  c.dataset = draw_dataset();
+  // Queries are drawn against the MODEL state at their point in the
+  // sequence, so their constants chase the mutated data.
+  Dataset model = c.dataset;
+  const std::size_t num_ops = 4 + rng_.bounded(7);
+  bool wrote = false;
+  for (std::size_t i = 0; i < num_ops; ++i) {
+    OpSpec op;
+    op.is_write = rng_.bounded(2) == 0;
+    if (op.is_write) {
+      op.write = draw_write(model);
+      apply_write_model(model, op.write);  // generator writes always fit
+      wrote = true;
+    } else {
+      op.query = draw_query(model);
+    }
+    c.ops.push_back(std::move(op));
+  }
+  if (!wrote) {
+    OpSpec op;
+    op.is_write = true;
+    op.write = draw_write(model);
+    apply_write_model(model, op.write);
+    c.ops.push_back(std::move(op));
+  }
+  if (c.ops.back().is_write) {
+    // Always end on a query: the final mutation prefix gets checked.
+    OpSpec op;
+    op.query = draw_query(model);
+    c.ops.push_back(std::move(op));
+  }
+  return c;
+}
+
 // ------------------------------------------------------------------ oracle
 
 std::vector<std::uint64_t> oracle_hits(const Dataset& dataset,
@@ -258,6 +367,38 @@ std::vector<std::uint64_t> oracle_hits(const Dataset& dataset,
     if (any) hits.push_back(i);
   }
   return hits;
+}
+
+bool apply_write_model(Dataset& dataset, const WriteSpec& write) {
+  if (write.is_append) {
+    if (write.values.empty() ||
+        write.values.size() != dataset.columns.size()) {
+      return false;
+    }
+    const std::size_t count = write.values.front().size();
+    if (count == 0) return false;
+    for (const std::vector<float>& v : write.values) {
+      if (v.size() != count) return false;
+    }
+    for (std::size_t col = 0; col < dataset.columns.size(); ++col) {
+      dataset.columns[col].insert(dataset.columns[col].end(),
+                                  write.values[col].begin(),
+                                  write.values[col].end());
+    }
+    return true;
+  }
+  if (write.values.size() != 1 || write.column >= dataset.columns.size()) {
+    return false;
+  }
+  const std::vector<float>& vals = write.values.front();
+  if (write.extent.count == 0 || vals.size() != write.extent.count ||
+      write.extent.end() > dataset.size()) {
+    return false;
+  }
+  std::copy(vals.begin(), vals.end(),
+            dataset.columns[write.column].begin() +
+                static_cast<std::ptrdiff_t>(write.extent.offset));
+  return true;
 }
 
 // ------------------------------------------------------------------ runner
@@ -399,17 +540,18 @@ std::optional<std::string> check_op_trace(query::QueryService& service,
   return st.ToString() + " (trace JSON dumped to " + dump + ")";
 }
 
-/// Run all queries of `c` through one service; fills `mismatch` and returns
-/// true on the first divergence.
-Result<bool> run_service(const Case& c, const Env& env,
+/// Differentially check ONE query against the oracle hits `want` computed
+/// on `dataset` (write mode: the model with the mutation prefix applied).
+/// Fills `mismatch` and returns true on the first divergence.
+Result<bool> check_query(const Dataset& dataset, const QuerySpec& spec,
+                         std::size_t op_index, const Env& env,
                          query::QueryService& service, const std::string& path,
-                         bool is_sorted,
-                         const std::vector<std::vector<std::uint64_t>>& expected,
+                         bool is_sorted, const std::vector<std::uint64_t>& want,
                          std::optional<Mismatch>& mismatch) {
   const bool traced = trace_checks_enabled();
-  for (std::size_t qi = 0; qi < c.queries.size(); ++qi) {
-    const query::QueryPtr q = build_query(c.queries[qi], env.object_ids);
-    const std::vector<std::uint64_t>& want = expected[qi];
+  const std::size_t qi = op_index;
+  {
+    const query::QueryPtr q = build_query(spec, env.object_ids);
 
     Result<std::uint64_t> nhits =
         service.get_num_hits(q, query::QueryOptions{.trace = traced});
@@ -476,7 +618,7 @@ Result<bool> run_service(const Case& c, const Env& env,
 
     // Fetched bytes must be bit-identical too, for every column (NaN
     // payloads included — hence memcmp, not float compare).
-    for (std::size_t col = 0; col < c.dataset.columns.size(); ++col) {
+    for (std::size_t col = 0; col < dataset.columns.size(); ++col) {
       std::vector<float> got(want.size());
       const Status st =
           service.get_data<float>(env.object_ids[col], *sel, got,
@@ -488,14 +630,14 @@ Result<bool> run_service(const Case& c, const Env& env,
       std::vector<float> exp;
       exp.reserve(want.size());
       for (const std::uint64_t pos : want) {
-        exp.push_back(c.dataset.columns[col][pos]);
+        exp.push_back(dataset.columns[col][pos]);
       }
       if (!exp.empty() &&
           std::memcmp(got.data(), exp.data(), exp.size() * sizeof(float)) !=
               0) {
         mismatch = Mismatch{
             qi, path,
-            "get_data bytes differ on column " + c.dataset.names[col]};
+            "get_data bytes differ on column " + dataset.names[col]};
         return true;
       }
     }
@@ -521,12 +663,83 @@ Result<bool> run_service(const Case& c, const Env& env,
       std::vector<float> exp;
       exp.reserve(want.size());
       for (const std::uint64_t pos : want) {
-        exp.push_back(c.dataset.columns.front()[pos]);
+        exp.push_back(dataset.columns.front()[pos]);
       }
       std::sort(exp.begin(), exp.end());  // key column is NaN-free
       if (std::memcmp(got.data(), exp.data(), exp.size() * sizeof(float)) !=
           0) {
         mismatch = Mismatch{qi, path, "replica-read bytes differ"};
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+/// Run all queries of `c` through one service; fills `mismatch` and returns
+/// true on the first divergence.
+Result<bool> run_service(const Case& c, const Env& env,
+                         query::QueryService& service, const std::string& path,
+                         bool is_sorted,
+                         const std::vector<std::vector<std::uint64_t>>& expected,
+                         std::optional<Mismatch>& mismatch) {
+  for (std::size_t qi = 0; qi < c.queries.size(); ++qi) {
+    PDC_ASSIGN_OR_RETURN(
+        const bool failed,
+        check_query(c.dataset, c.queries[qi], qi, env, service, path,
+                    is_sorted, expected[qi], mismatch));
+    if (failed) return true;
+  }
+  return false;
+}
+
+[[nodiscard]] std::span<const std::uint8_t> float_bytes(
+    const std::vector<float>& values) {
+  return {reinterpret_cast<const std::uint8_t*>(values.data()),
+          values.size() * sizeof(float)};
+}
+
+/// Replay the write-interleaved op sequence of `c` through one service,
+/// maintaining the element-wise oracle model in lockstep; every query op
+/// is checked against the oracle on the mutation prefix applied so far.
+Result<bool> run_write_ops(const Case& c, const Env& env,
+                           query::QueryService& service,
+                           const std::string& path, bool is_sorted,
+                           std::optional<Mismatch>& mismatch) {
+  Dataset model = c.dataset;
+  for (std::size_t i = 0; i < c.ops.size(); ++i) {
+    const OpSpec& op = c.ops[i];
+    if (!op.is_write) {
+      const std::vector<std::uint64_t> want = oracle_hits(model, op.query);
+      PDC_ASSIGN_OR_RETURN(const bool failed,
+                           check_query(model, op.query, i, env, service, path,
+                                       is_sorted, want, mismatch));
+      if (failed) return true;
+      continue;
+    }
+    // Fit check and model application are one step: a write that no longer
+    // fits (shrinker-truncated dataset) is skipped on BOTH sides — the
+    // decision is a pure function of the model, so model and store never
+    // diverge.
+    if (!apply_write_model(model, op.write)) continue;
+    if (op.write.is_append) {
+      for (std::size_t col = 0; col < op.write.values.size(); ++col) {
+        const auto report =
+            service.append(env.object_ids[col], float_bytes(op.write.values[col]));
+        if (!report.ok()) {
+          mismatch = Mismatch{i, path, "append failed on column " +
+                                           model.names[col] + ": " +
+                                           report.status().ToString()};
+          return true;
+        }
+      }
+    } else {
+      const auto report =
+          service.overwrite(env.object_ids[op.write.column], op.write.extent,
+                            float_bytes(op.write.values.front()));
+      if (!report.ok()) {
+        mismatch = Mismatch{i, path,
+                            "overwrite failed: " + report.status().ToString()};
         return true;
       }
     }
@@ -566,8 +779,130 @@ static kernels::Backend effective_kernel_backend(std::uint64_t seed) {
   return kernels::Backend::kAvx2;
 }
 
+/// Write-mode accelerator maintenance knobs for a case: explicit pins
+/// (RunOptions or PDC_QC_COMPACT / PDC_QC_REBUILD) win; otherwise derived
+/// from the seed so the battery cycles disabled / aggressive / default
+/// coverage and a replayed PDC_QC_SEED re-derives the same knobs.
+struct WriteKnobs {
+  std::uint64_t compact = 0;
+  std::uint64_t rebuild = 0;
+};
+
+static WriteKnobs effective_write_knobs(const RunOptions& options,
+                                        std::uint64_t seed) {
+  WriteKnobs k{options.compact_threshold, options.replica_rebuild_threshold};
+  if (const char* env = std::getenv("PDC_QC_COMPACT")) {
+    k.compact = std::strtoull(env, nullptr, 10);
+  }
+  if (const char* env = std::getenv("PDC_QC_REBUILD")) {
+    k.rebuild = std::strtoull(env, nullptr, 10);
+  }
+  if (k.compact == ~0ull) {
+    // 0 = never compact (pure base+delta combine reads), 1 = compact on
+    // every absorbed write (rebuild path), 8 = threshold crossing.
+    static constexpr std::uint64_t kCompact[3] = {0, 1, 8};
+    k.compact = kCompact[((seed * 0xBF58476D1CE4E5B9ull) >> 59) % 3];
+  }
+  if (k.rebuild == ~0ull) {
+    // 0 = never rebuild (merged delta-log reads only), 1 = rebuild after
+    // every write, 16 = threshold crossing.
+    static constexpr std::uint64_t kRebuild[3] = {0, 1, 16};
+    k.rebuild = kRebuild[((seed * 0x94D049BB133111EBull) >> 59) % 3];
+  }
+  return k;
+}
+
+/// Write-interleaved evaluation of one case: every strategy (plus the
+/// degraded mode) replays the FULL op sequence on a fresh environment —
+/// writes go through the kTransferWrite RPC path with incremental index
+/// maintenance — and must match the element-wise oracle after every
+/// mutation prefix.  Indexes and the sorted replica are always built:
+/// write-path maintenance must keep them correct (or correctly marked
+/// stale) regardless of which strategy reads them.
+static Result<std::optional<Mismatch>> run_write_case(
+    const Case& c, const RunOptions& options) {
+  std::optional<Mismatch> mismatch;
+  if (c.dataset.size() == 0 || c.ops.empty()) return mismatch;
+  for (const std::vector<float>& column : c.dataset.columns) {
+    if (column.size() != c.dataset.size()) {
+      return Status::InvalidArgument("ragged dataset columns");
+    }
+  }
+
+  const std::uint32_t eval_threads = effective_eval_threads(options, c.seed);
+  const kernels::ScopedBackend kernel_backend(
+      effective_kernel_backend(c.seed));
+  const WriteKnobs knobs = effective_write_knobs(options, c.seed);
+
+  const auto drop_env = [](Env& env) {
+    env.store.reset();
+    env.cluster.reset();
+    std::error_code ec;
+    std::filesystem::remove_all(env.dir, ec);
+  };
+
+  for (const server::Strategy strategy : options.strategies) {
+    PDC_ASSIGN_OR_RETURN(Env env, build_env(c, options, /*want_index=*/true,
+                                            /*want_replica=*/true));
+    if (options.post_build) {
+      PDC_RETURN_IF_ERROR(options.post_build(*env.store, env.object_ids));
+    }
+    query::ServiceOptions service_options;
+    service_options.num_servers = options.num_servers;
+    service_options.strategy = strategy;
+    service_options.eval_threads = eval_threads;
+    service_options.compact_threshold = knobs.compact;
+    service_options.replica_rebuild_threshold = knobs.rebuild;
+    {
+      query::QueryService service(*env.store, service_options);
+      PDC_ASSIGN_OR_RETURN(
+          const bool failed,
+          run_write_ops(c, env, service,
+                        std::string(server::strategy_name(strategy)),
+                        strategy == server::Strategy::kSortedHistogram,
+                        mismatch));
+      (void)failed;
+    }
+    drop_env(env);
+    if (mismatch) break;
+  }
+
+  if (!mismatch && options.degraded && options.num_servers > 1) {
+    PDC_ASSIGN_OR_RETURN(Env env, build_env(c, options, /*want_index=*/true,
+                                            /*want_replica=*/true));
+    if (options.post_build) {
+      PDC_RETURN_IF_ERROR(options.post_build(*env.store, env.object_ids));
+    }
+    rpc::FaultPlan plan;
+    plan.server_faults.push_back(
+        {options.num_servers - 1, 0, rpc::ServerFate::kKilled});
+    rpc::FaultInjector injector(plan);
+    query::ServiceOptions service_options;
+    service_options.num_servers = options.num_servers;
+    service_options.strategy = server::Strategy::kHistogram;
+    service_options.eval_threads = eval_threads;
+    service_options.compact_threshold = knobs.compact;
+    service_options.replica_rebuild_threshold = knobs.rebuild;
+    service_options.fault_injector = &injector;
+    service_options.retry.attempt_timeout = std::chrono::milliseconds(100);
+    service_options.retry.max_attempts = 3;
+    service_options.retry.backoff_base = std::chrono::milliseconds(2);
+    service_options.retry.backoff_cap = std::chrono::milliseconds(20);
+    {
+      query::QueryService service(*env.store, service_options);
+      PDC_ASSIGN_OR_RETURN(const bool failed,
+                           run_write_ops(c, env, service, "degraded", false,
+                                         mismatch));
+      (void)failed;
+    }
+    drop_env(env);
+  }
+  return mismatch;
+}
+
 Result<std::optional<Mismatch>> run_case(const Case& c,
                                          const RunOptions& options) {
+  if (!c.ops.empty()) return run_write_case(c, options);
   std::optional<Mismatch> mismatch;
   if (c.dataset.size() == 0 || c.queries.empty()) return mismatch;
   for (const std::vector<float>& column : c.dataset.columns) {
@@ -663,27 +998,57 @@ Result<std::optional<Mismatch>> run_case(const Case& c,
 
 namespace {
 
+std::uint64_t query_weight(const QuerySpec& q) {
+  std::uint64_t w = 8;
+  for (const TermSpec& t : q.terms) w += 4 + t.leaves.size();
+  if (!q.region.empty()) w += 1;
+  return w;
+}
+
 /// Strictly decreasing under every accepted shrink step.
 std::uint64_t case_weight(const Case& c) {
   std::uint64_t w = c.dataset.size() * (1 + c.dataset.columns.size());
-  for (const QuerySpec& q : c.queries) {
+  for (const QuerySpec& q : c.queries) w += query_weight(q);
+  for (const OpSpec& op : c.ops) {
+    if (!op.is_write) {
+      w += query_weight(op.query);
+      continue;
+    }
     w += 8;
-    for (const TermSpec& t : q.terms) w += 4 + t.leaves.size();
-    if (!q.region.empty()) w += 1;
+    for (const std::vector<float>& v : op.write.values) w += v.size();
   }
   return w;
 }
 
+void clip_query_region(QuerySpec& q, std::uint64_t n) {
+  if (q.region.empty()) return;
+  if (q.region.offset >= n) {
+    q.region = {0, 0};
+  } else {
+    q.region.count = std::min(q.region.count, n - q.region.offset);
+  }
+}
+
 void clip_regions(Case& c) {
   const std::uint64_t n = c.dataset.size();
-  for (QuerySpec& q : c.queries) {
-    if (q.region.empty()) continue;
-    if (q.region.offset >= n) {
-      q.region = {0, 0};
-    } else {
-      q.region.count = std::min(q.region.count, n - q.region.offset);
-    }
+  for (QuerySpec& q : c.queries) clip_query_region(q, n);
+  for (OpSpec& op : c.ops) {
+    if (!op.is_write) clip_query_region(op.query, n);
+    // Writes that no longer fit the truncated dataset are skipped at
+    // replay time (apply_write_model), identically on the model and the
+    // store — no clipping needed here.
   }
+}
+
+/// Pointers to every query spec of a case (standalone queries plus query
+/// ops of the write-interleaved sequence), for the structural shrink steps.
+std::vector<QuerySpec*> query_slots(Case& c) {
+  std::vector<QuerySpec*> slots;
+  for (QuerySpec& q : c.queries) slots.push_back(&q);
+  for (OpSpec& op : c.ops) {
+    if (!op.is_write) slots.push_back(&op.query);
+  }
+  return slots;
 }
 
 }  // namespace
@@ -708,7 +1073,26 @@ ShrinkResult shrink(Case failing,
   while (progress && out.attempts < max_attempts) {
     progress = false;
 
-    // 1. Fewer queries: first try each single query alone, then drop one.
+    // 1a. Fewer ops (write-interleaved cases shrink over the combined op
+    //     sequence): each single op alone — one cheap attempt, usually
+    //     rejected because a failure needs a write AND a query — then
+    //     drop one op at a time.
+    if (out.minimal.ops.size() > 1) {
+      for (std::size_t i = 0; i < out.minimal.ops.size() && !progress; ++i) {
+        Case candidate = out.minimal;
+        candidate.ops = {out.minimal.ops[i]};
+        progress = try_accept(std::move(candidate));
+      }
+      for (std::size_t i = 0; i < out.minimal.ops.size() && !progress; ++i) {
+        Case candidate = out.minimal;
+        candidate.ops.erase(candidate.ops.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+        progress = try_accept(std::move(candidate));
+      }
+      if (progress) continue;
+    }
+
+    // 1b. Fewer queries: first try each single query alone, then drop one.
     if (out.minimal.queries.size() > 1) {
       for (std::size_t i = 0; i < out.minimal.queries.size() && !progress;
            ++i) {
@@ -744,33 +1128,30 @@ ShrinkResult shrink(Case failing,
       if (progress) continue;
     }
 
-    // 3. Drop OR terms.
-    for (std::size_t qi = 0; qi < out.minimal.queries.size() && !progress;
-         ++qi) {
-      const QuerySpec& q = out.minimal.queries[qi];
-      for (std::size_t t = 0; t < q.terms.size() && q.terms.size() > 1;
-           ++t) {
+    // 3. Drop OR terms (standalone queries and query ops alike).
+    const std::size_t num_slots = query_slots(out.minimal).size();
+    for (std::size_t qi = 0; qi < num_slots && !progress; ++qi) {
+      const std::size_t num_terms = query_slots(out.minimal)[qi]->terms.size();
+      for (std::size_t t = 0; t < num_terms && num_terms > 1; ++t) {
         Case candidate = out.minimal;
-        candidate.queries[qi].terms.erase(
-            candidate.queries[qi].terms.begin() +
-            static_cast<std::ptrdiff_t>(t));
+        QuerySpec& q = *query_slots(candidate)[qi];
+        q.terms.erase(q.terms.begin() + static_cast<std::ptrdiff_t>(t));
         if ((progress = try_accept(std::move(candidate)))) break;
       }
     }
     if (progress) continue;
 
     // 4. Drop conjunct leaves (keeping at least one per term).
-    for (std::size_t qi = 0; qi < out.minimal.queries.size() && !progress;
-         ++qi) {
-      const QuerySpec& q = out.minimal.queries[qi];
-      for (std::size_t t = 0; t < q.terms.size() && !progress; ++t) {
-        for (std::size_t l = 0;
-             l < q.terms[t].leaves.size() && q.terms[t].leaves.size() > 1;
+    for (std::size_t qi = 0; qi < num_slots && !progress; ++qi) {
+      const QuerySpec snapshot = *query_slots(out.minimal)[qi];
+      for (std::size_t t = 0; t < snapshot.terms.size() && !progress; ++t) {
+        for (std::size_t l = 0; l < snapshot.terms[t].leaves.size() &&
+                                snapshot.terms[t].leaves.size() > 1;
              ++l) {
           Case candidate = out.minimal;
-          candidate.queries[qi].terms[t].leaves.erase(
-              candidate.queries[qi].terms[t].leaves.begin() +
-              static_cast<std::ptrdiff_t>(l));
+          TermSpec& term = query_slots(candidate)[qi]->terms[t];
+          term.leaves.erase(term.leaves.begin() +
+                            static_cast<std::ptrdiff_t>(l));
           if ((progress = try_accept(std::move(candidate)))) break;
         }
       }
@@ -778,11 +1159,30 @@ ShrinkResult shrink(Case failing,
     if (progress) continue;
 
     // 5. Drop region constraints.
-    for (std::size_t qi = 0; qi < out.minimal.queries.size() && !progress;
-         ++qi) {
-      if (out.minimal.queries[qi].region.empty()) continue;
+    for (std::size_t qi = 0; qi < num_slots && !progress; ++qi) {
+      if (query_slots(out.minimal)[qi]->region.empty()) continue;
       Case candidate = out.minimal;
-      candidate.queries[qi].region = {0, 0};
+      query_slots(candidate)[qi]->region = {0, 0};
+      progress = try_accept(std::move(candidate));
+    }
+    if (progress) continue;
+
+    // 6. Halve write payloads: appends truncate every column in lockstep
+    //    (rectangularity), overwrites shrink the extent and values
+    //    together.
+    for (std::size_t oi = 0; oi < out.minimal.ops.size() && !progress;
+         ++oi) {
+      if (!out.minimal.ops[oi].is_write) continue;
+      const WriteSpec& w = out.minimal.ops[oi].write;
+      if (w.values.empty()) continue;
+      const std::size_t count = w.values.front().size();
+      if (count <= 1) continue;
+      Case candidate = out.minimal;
+      WriteSpec& cw = candidate.ops[oi].write;
+      for (std::vector<float>& v : cw.values) {
+        v.resize(std::min(v.size(), count / 2));
+      }
+      if (!cw.is_append) cw.extent.count = count / 2;
       progress = try_accept(std::move(candidate));
     }
   }
@@ -804,9 +1204,7 @@ std::string describe_case(const Case& c) {
   }
   os << "], region_size_bytes=" << c.dataset.region_size_bytes << " ("
      << num_regions(c.dataset) << " regions)";
-  for (std::size_t qi = 0; qi < c.queries.size(); ++qi) {
-    const QuerySpec& q = c.queries[qi];
-    os << ", q" << qi << "=";
+  const auto render_query = [&os, &c](const QuerySpec& q) {
     for (std::size_t t = 0; t < q.terms.size(); ++t) {
       if (t) os << " OR ";
       os << "(";
@@ -820,6 +1218,25 @@ std::string describe_case(const Case& c) {
     }
     if (!q.region.empty()) {
       os << " in [" << q.region.offset << "," << q.region.end() << ")";
+    }
+  };
+  for (std::size_t qi = 0; qi < c.queries.size(); ++qi) {
+    os << ", q" << qi << "=";
+    render_query(c.queries[qi]);
+  }
+  for (std::size_t oi = 0; oi < c.ops.size(); ++oi) {
+    const OpSpec& op = c.ops[oi];
+    os << ", op" << oi << "=";
+    if (!op.is_write) {
+      os << "query ";
+      render_query(op.query);
+    } else if (op.write.is_append) {
+      os << "append(+"
+         << (op.write.values.empty() ? 0 : op.write.values.front().size())
+         << " elements/column)";
+    } else {
+      os << "overwrite(" << c.dataset.names[op.write.column] << "["
+         << op.write.extent.offset << "," << op.write.extent.end() << "))";
     }
   }
   os << "}";
@@ -849,7 +1266,8 @@ Status run_querycheck(std::uint64_t base_seed, std::size_t num_cases,
   for (std::size_t i = 0; i < num_cases; ++i) {
     const std::uint64_t seed = base_seed + i;
     QueryGen gen(seed);
-    const Case c = gen.draw_case();
+    const Case c = run_options.write_interleaved ? gen.draw_write_case()
+                                                 : gen.draw_case();
     PDC_ASSIGN_OR_RETURN(std::optional<Mismatch> mismatch,
                          run_case(c, run_options));
     if (!mismatch) continue;
@@ -874,8 +1292,15 @@ Status run_querycheck(std::uint64_t base_seed, std::size_t num_cases,
        << kernels::backend_name(
               effective_kernel_backend(shrunk.minimal.seed))
        << (std::getenv("PDC_KERNELS") == nullptr ? " (seed-derived)"
-                                                 : " (PDC_KERNELS pin)")
-       << "\n  minimal " << describe_case(shrunk.minimal)
+                                                 : " (PDC_KERNELS pin)");
+    if (run_options.write_interleaved) {
+      const WriteKnobs knobs =
+          effective_write_knobs(run_options, shrunk.minimal.seed);
+      os << "\n  write knobs: compact_threshold=" << knobs.compact
+         << ", replica_rebuild_threshold=" << knobs.rebuild
+         << " (pin with PDC_QC_COMPACT / PDC_QC_REBUILD)";
+    }
+    os << "\n  minimal " << describe_case(shrunk.minimal)
        << "\n  (shrunk in " << shrunk.accepted_steps << " steps, "
        << shrunk.attempts << " attempts)";
     return Status::Internal(os.str());

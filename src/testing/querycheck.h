@@ -90,11 +90,59 @@ struct QuerySpec {
   bool operator==(const QuerySpec&) const = default;
 };
 
-/// One complete generated test case.
+/// One mutation in a write-interleaved case.  Appends are rectangular —
+/// one value vector per dataset column, equal lengths, so every column
+/// keeps the common element count — and the key column stays finite (the
+/// sorted-replica source contract).  Overwrites target one column's
+/// element extent.
+struct WriteSpec {
+  bool is_append = false;
+  std::uint32_t column = 0;  ///< overwrite target (ignored for appends)
+  Extent1D extent{0, 0};     ///< overwrite target range (element space)
+  /// Append: values[col], one per column.  Overwrite: values[0] holds the
+  /// extent.count replacement values.
+  std::vector<std::vector<float>> values;
+
+  /// Bit-exact equality (same NaN rationale as Dataset).
+  bool operator==(const WriteSpec& o) const noexcept {
+    if (is_append != o.is_append || column != o.column ||
+        extent.offset != o.extent.offset || extent.count != o.extent.count ||
+        values.size() != o.values.size()) {
+      return false;
+    }
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (values[i].size() != o.values[i].size()) return false;
+      if (!values[i].empty() &&
+          std::memcmp(values[i].data(), o.values[i].data(),
+                      values[i].size() * sizeof(float)) != 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+/// One step of a write-interleaved op sequence: run a query or apply a
+/// mutation.
+struct OpSpec {
+  bool is_write = false;
+  QuerySpec query;  ///< executed when !is_write
+  WriteSpec write;  ///< applied when is_write
+  bool operator==(const OpSpec&) const = default;
+};
+
+/// One complete generated test case.  `ops` empty: the original read-only
+/// mode — every query in `queries` runs against the immutable dataset.
+/// `ops` non-empty: write-interleaved mode — `dataset` is the INITIAL
+/// state, the op sequence replays in order through the full RPC write path
+/// on every strategy, each query op is differentially checked against the
+/// element-wise oracle on the mutation prefix applied so far, and
+/// `queries` is ignored.
 struct Case {
   std::uint64_t seed = 0;
   Dataset dataset;
   std::vector<QuerySpec> queries;
+  std::vector<OpSpec> ops;
   bool operator==(const Case&) const = default;
 };
 
@@ -108,8 +156,19 @@ class QueryGen {
   /// two QueryGens with the same seed produce identical cases.
   Case draw_case();
 
+  /// Write-interleaved variant: an initial dataset plus an op sequence of
+  /// mutations and queries (always ends on a query, always contains at
+  /// least one write).  Queries are drawn against the model state at their
+  /// point in the sequence so their constants exercise the mutated data.
+  Case draw_write_case();
+
   Dataset draw_dataset();
   QuerySpec draw_query(const Dataset& dataset);
+  /// A mutation valid against the current model state: 1/3 rectangular
+  /// appends, 2/3 single-column overwrites mixing in-range values
+  /// (delta-WAH absorbable), exact existing values, out-of-range values
+  /// (force index staleness) and — on non-key columns — NaN/±inf.
+  WriteSpec draw_write(const Dataset& dataset);
 
  private:
   std::uint64_t seed_;
@@ -120,6 +179,14 @@ class QueryGen {
 /// of the scan path (double-promoted ValueInterval::contains).
 [[nodiscard]] std::vector<std::uint64_t> oracle_hits(const Dataset& dataset,
                                                      const QuerySpec& query);
+
+/// Oracle-side mutation replay: validate `write` against the CURRENT model
+/// shape and, when it fits, apply it element-wise.  Returns false — with
+/// the model untouched — when it does not fit (possible after shrinking
+/// truncated the dataset).  The fit decision is a pure function of the
+/// model state, so the service-side replay skips exactly the same ops and
+/// the two stay in lockstep.
+bool apply_write_model(Dataset& dataset, const WriteSpec& write);
 
 // ------------------------------------------------------------- environment
 
@@ -172,8 +239,22 @@ struct RunOptions {
   /// a printed seed replays with the same derived width automatically).
   std::uint32_t eval_threads = 0;
   /// Also verify planner selectivity ordering and sorted-replica structure
-  /// on each case (invariants.h).
+  /// on each case (invariants.h).  Ignored for write-interleaved cases:
+  /// mid-sequence accelerator staleness is expected there and the
+  /// differential prefix checks are the property.
   bool check_invariants = true;
+  /// run_querycheck generator mode: draw write-interleaved cases
+  /// (draw_write_case) instead of read-only ones.  Replays of a printed
+  /// PDC_QC_SEED must use the same mode they were found under (the
+  /// write-mode test/binary sets this).
+  bool write_interleaved = false;
+  /// Write-mode accelerator maintenance knobs, passed to every service
+  /// under test.  ~0 (the default) derives both per seed, cycling
+  /// disabled / aggressive / default so the battery covers pure delta-WAH
+  /// reads, constant compaction and threshold-crossing rebuilds; pin them
+  /// here (or via PDC_QC_COMPACT / PDC_QC_REBUILD) to bisect.
+  std::uint64_t compact_threshold = ~0ull;
+  std::uint64_t replica_rebuild_threshold = ~0ull;
   /// Scratch directory root; each run uses a fresh subdirectory.
   std::string temp_root = "/tmp/pdc_querycheck";
   /// Applied after the store (objects + indexes + replica) is built and

@@ -410,5 +410,159 @@ TEST_F(ChaosTest, TracedQuerySurvivesServerDeath) {
   EXPECT_TRUE(reconciled.ok()) << reconciled.ToString();
 }
 
+// ---------------------------------------------------------------------------
+// Write-during-fault battery: every write is applied exactly once or
+// cleanly rejected — duplicated, dropped or rerouted transfers never
+// double-apply and never leave a torn index (queries stay exact through
+// scan fallback on whatever went stale).
+// ---------------------------------------------------------------------------
+
+TEST_F(ChaosTest, WritesUnderLossyNetworkApplyExactlyOnce) {
+  ASSERT_TRUE(store_->build_bitmap_index(object_).ok());
+
+  rpc::FaultPlan plan;
+  plan.seed = 1234;
+  plan.drop_rate = 0.05;
+  plan.delay_rate = 0.10;
+  plan.duplicate_rate = 0.20;  // the interesting case: replayed transfers
+  plan.min_delay = std::chrono::milliseconds(1);
+  plan.max_delay = std::chrono::milliseconds(5);
+  rpc::FaultInjector injector(plan);
+
+  query::ServiceOptions options;
+  options.num_servers = 4;
+  options.fault_injector = &injector;
+  options.retry = tight_retry();
+  query::QueryService service(*store_, options);
+
+  Rng rng(0xD00D);
+  std::uint64_t applied = 0;
+  for (int i = 0; i < 20; ++i) {
+    // Mix of single-region and region-straddling overwrites.
+    const std::uint64_t count = (i % 3 == 0) ? 1500 : 7;
+    const std::uint64_t offset = static_cast<std::uint64_t>(
+        rng.uniform(0.0, static_cast<double>(data_.size() - count)));
+    std::vector<float> repl(count);
+    for (auto& v : repl) v = static_cast<float>(rng.uniform(0.0, 10.0));
+    auto report = service.overwrite(
+        object_, Extent1D{offset, count},
+        {reinterpret_cast<const std::uint8_t*>(repl.data()),
+         repl.size() * sizeof(float)});
+    ASSERT_TRUE(report.ok()) << "write " << i << ": "
+                             << report.status().ToString();
+    // report->duplicate may legitimately be true here: when the wire
+    // duplicates a transfer and the first response is lost, the client
+    // sees the replay's duplicate-ack.  Either way the write landed
+    // exactly once — the epoch check below is the real invariant.
+    std::copy(repl.begin(), repl.end(),
+              data_.begin() + static_cast<std::ptrdiff_t>(offset));
+    ++applied;
+    // Exactly-once: the epoch advances by one per applied write, no
+    // matter how many duplicated transfers the wire delivered.
+    EXPECT_EQ(report->data_epoch, 1 + applied) << "write " << i;
+  }
+  const auto* desc = std::move(store_->get(object_)).value();
+  EXPECT_EQ(desc->data_epoch, 1 + applied);
+
+  // No torn state: a clean service over the same store answers every
+  // query exactly (stale regions fall back to scan; fresh ones use their
+  // base+delta index).
+  query::ServiceOptions clean_options;
+  clean_options.num_servers = 4;
+  for (const auto strategy :
+       {server::Strategy::kFullScan, server::Strategy::kHistogramIndex,
+        server::Strategy::kAdaptive}) {
+    clean_options.strategy = strategy;
+    query::QueryService clean(*store_, clean_options);
+    for (const auto& [lo, hi] : intervals()) {
+      std::vector<std::uint64_t> want;
+      for (std::uint64_t p = 0; p < data_.size(); ++p) {
+        if (data_[p] > lo && data_[p] < hi) want.push_back(p);
+      }
+      auto got = clean.get_selection(make_query(lo, hi));
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      EXPECT_EQ(got->positions, want)
+          << "strategy " << static_cast<int>(strategy) << " interval ("
+          << lo << ", " << hi << ")";
+    }
+  }
+}
+
+TEST_F(ChaosTest, WriteReroutesWhenOwnerDiesAndAppliesOnce) {
+  ASSERT_TRUE(store_->build_bitmap_index(object_).ok());
+
+  // Kill server 1 before it handles anything; a write anchored in its
+  // region share must reroute to a survivor and apply exactly once.
+  rpc::FaultPlan plan;
+  plan.server_faults.push_back({/*server=*/1, /*after_requests=*/0,
+                                rpc::ServerFate::kKilled});
+  rpc::FaultInjector injector(plan);
+  query::ServiceOptions options;
+  options.num_servers = 2;
+  options.fault_injector = &injector;
+  options.retry = tight_retry();
+  query::QueryService service(*store_, options);
+
+  // 40 regions over 2 servers: region 21 belongs to server 1.
+  const std::uint64_t offset = 21 * 1024 + 5;
+  const std::vector<float> repl{3.25f, 7.75f};
+  auto report = service.overwrite(
+      object_, Extent1D{offset, 2},
+      {reinterpret_cast<const std::uint8_t*>(repl.data()),
+       repl.size() * sizeof(float)});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_FALSE(report->duplicate);
+  EXPECT_EQ(report->data_epoch, 2u);
+  data_[offset] = repl[0];
+  data_[offset + 1] = repl[1];
+
+  const query::OpStats stats = service.last_stats();
+  EXPECT_EQ(stats.dead_servers, 1u);
+  EXPECT_GT(stats.redispatched_regions, 0u);
+
+  // The value landed exactly once and queries see it.
+  auto got = service.get_selection(make_query(7.74, 7.76));
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  std::vector<std::uint64_t> want;
+  for (std::uint64_t p = 0; p < data_.size(); ++p) {
+    if (data_[p] > 7.74 && data_[p] < 7.76) want.push_back(p);
+  }
+  EXPECT_EQ(got->positions, want);
+}
+
+TEST_F(ChaosTest, AllServersDeadWriteIsCleanlyRejected) {
+  rpc::FaultPlan plan;
+  for (std::uint32_t s = 0; s < 3; ++s) {
+    plan.server_faults.push_back({s, /*after_requests=*/0,
+                                  rpc::ServerFate::kKilled});
+  }
+  rpc::FaultInjector injector(plan);
+  query::ServiceOptions options;
+  options.num_servers = 3;
+  options.fault_injector = &injector;
+  options.retry = tight_retry();
+  query::QueryService service(*store_, options);
+
+  const std::vector<float> repl{1.5f};
+  auto report = service.overwrite(
+      object_, Extent1D{100, 1},
+      {reinterpret_cast<const std::uint8_t*>(repl.data()),
+       repl.size() * sizeof(float)});
+  ASSERT_FALSE(report.ok());
+
+  // Cleanly rejected: nothing was applied, the store is untouched.
+  const auto* desc = std::move(store_->get(object_)).value();
+  EXPECT_EQ(desc->data_epoch, 1u);
+  float got = 0.0f;
+  const pfs::ReadContext ctx{};
+  ASSERT_TRUE(store_
+                  ->read_elements(*desc, Extent1D{100, 1},
+                                  {reinterpret_cast<std::uint8_t*>(&got),
+                                   sizeof(got)},
+                                  ctx)
+                  .ok());
+  EXPECT_EQ(got, data_[100]);
+}
+
 }  // namespace
 }  // namespace pdc

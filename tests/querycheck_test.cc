@@ -86,6 +86,171 @@ TEST(QueryCheckRegression, DoubleDomainBoundsOnEveryBackend) {
   }
 }
 
+// -------------------------------------------------------------- write mode
+
+// The write-path headline property: with mutations interleaved between
+// queries — appends and overwrites through the full kTransferWrite RPC
+// path, with incremental maintenance of histograms, the delta-WAH index
+// sidecar and the sorted-replica delta log — every strategy plus the
+// degraded mode must stay bit-identical to the element-wise oracle after
+// EVERY mutation prefix.  Maintenance thresholds (compaction, replica
+// rebuild) are seed-derived so the battery cycles disabled / aggressive /
+// threshold-crossing coverage; PDC_QC_CASES / PDC_QC_SEED replay as in
+// the read-only suite, PDC_QC_COMPACT / PDC_QC_REBUILD pin the knobs.
+TEST(QueryCheckWrites, AllPathsAgreeAfterEveryPrefix) {
+  RunOptions options = fast_options();
+  options.write_interleaved = true;
+  const Status status = run_querycheck(/*base_seed=*/1001, /*num_cases=*/10,
+                                       options);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+}
+
+// Pinned end-to-end: an overwrite whose replacement values fall outside
+// the region's indexed range cannot be absorbed into the delta-WAH
+// sidecar; the region must be marked stale and served by scan fallback —
+// on every strategy — until a compaction rebuild (disabled here) folds it.
+TEST(QueryCheckWrites, OutOfRangeOverwriteFallsBackToScan) {
+  Case c;
+  c.seed = 7;
+  c.dataset.names = {"key"};
+  c.dataset.region_size_bytes = 64;  // 16 floats per region, 4 regions
+  std::vector<float> key;
+  for (int i = 0; i < 64; ++i) {
+    key.push_back(static_cast<float>(i) / 64.0f);
+  }
+  c.dataset.columns.push_back(std::move(key));
+
+  OpSpec before;  // baseline prefix: fresh indexes answer this one
+  before.query.terms.push_back(
+      TermSpec{{LeafSpec{0, QueryOp::kGT, 0.5}}});
+  c.ops.push_back(before);
+
+  OpSpec write;  // 9.5 / -3.0 lie outside [0, ~1): delta-WAH must reject
+  write.is_write = true;
+  write.write.column = 0;
+  write.write.extent = {5, 2};
+  write.write.values = {{9.5f, -3.0f}};
+  c.ops.push_back(write);
+
+  OpSpec after;  // the new out-of-range value must be found by the scan
+  after.query.terms.push_back(
+      TermSpec{{LeafSpec{0, QueryOp::kGT, 0.5}}});
+  c.ops.push_back(after);
+
+  RunOptions options = fast_options();
+  options.compact_threshold = 0;          // keep the region stale
+  options.replica_rebuild_threshold = 0;  // keep the delta log pending
+  auto result = run_case(c, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result->has_value())
+      << (*result)->path << ": " << (*result)->detail;
+}
+
+// Write-mode harness acceptance: a silently corrupted base index must
+// still be caught when reads combine it with the delta sidecar, and the
+// shrinker must minimize over the COMBINED op sequence (the irrelevant
+// write op gets dropped, the dataset still halves).
+TEST(QueryCheckWritesSanity, CatchesCorruptionAndShrinksOpSequence) {
+  Case c;
+  c.seed = 0;
+  c.dataset.names = {"key"};
+  c.dataset.region_size_bytes = 128;  // 32 floats per region, 8 regions
+  std::vector<float> key;
+  for (int i = 0; i < 256; ++i) {
+    key.push_back(static_cast<float>(i + 1) / 512.0f);
+  }
+  c.dataset.columns.push_back(std::move(key));
+
+  OpSpec write;  // interior values: absorbed into region 1's delta sidecar
+  write.is_write = true;
+  write.write.column = 0;
+  write.write.extent = {40, 4};
+  write.write.values = {{0.25f, 0.26f, 0.27f, 0.28f}};
+  c.ops.push_back(write);
+  OpSpec probe;  // region 0 stays partial: the corrupted bins get probed
+  probe.query.terms.push_back(TermSpec{{LeafSpec{0, QueryOp::kGT, 0.015},
+                                        LeafSpec{0, QueryOp::kLT, 0.35}}});
+  c.ops.push_back(probe);
+
+  RunOptions options;
+  options.temp_root = test_temp_root();
+  options.strategies = {server::Strategy::kFullScan,
+                        server::Strategy::kHistogramIndex};
+  options.degraded = false;
+  options.compact_threshold = 0;  // a compaction rebuild would heal it
+  options.replica_rebuild_threshold = 0;
+  options.post_build = [](obj::ObjectStore& store,
+                          const std::vector<ObjectId>& ids) {
+    return corrupt_region_index(store, ids.front(), 0);
+  };
+
+  // Control: without the corruption the whole op sequence passes.
+  {
+    RunOptions clean = options;
+    clean.post_build = nullptr;
+    auto result = run_case(c, clean);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_FALSE(result->has_value())
+        << (*result)->path << ": " << (*result)->detail;
+  }
+
+  auto result = run_case(c, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_TRUE(result->has_value())
+      << "corrupted base index was not detected through the delta combine";
+  EXPECT_EQ((*result)->path, "PDC-HI");
+
+  const ShrinkResult shrunk = shrink(c, [&options](const Case& candidate) {
+    auto r = run_case(candidate, options);
+    return r.ok() && r->has_value();
+  });
+  EXPECT_GT(shrunk.accepted_steps, 0u);
+  EXPECT_LE(shrunk.minimal.ops.size(), 1u)
+      << "irrelevant write op not dropped: " << describe_case(shrunk.minimal);
+  EXPECT_LT(shrunk.minimal.dataset.size(), 256u);
+  auto replay = run_case(shrunk.minimal, options);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_TRUE(replay->has_value());
+}
+
+// The oracle model replay is the write-mode ground truth; pin its
+// semantics: appends extend every column, overwrites replace in place,
+// and ill-fitting writes are rejected without touching the model.
+TEST(QueryCheckWrites, ModelReplaySemantics) {
+  Dataset d;
+  d.names = {"key", "aux"};
+  d.columns = {{1.0f, 2.0f}, {3.0f, 4.0f}};
+
+  WriteSpec append;
+  append.is_append = true;
+  append.values = {{5.0f}, {6.0f}};
+  EXPECT_TRUE(apply_write_model(d, append));
+  EXPECT_EQ(d.size(), 3u);
+  EXPECT_EQ(d.columns[0][2], 5.0f);
+  EXPECT_EQ(d.columns[1][2], 6.0f);
+
+  WriteSpec over;
+  over.column = 1;
+  over.extent = {1, 2};
+  over.values = {{7.0f, 8.0f}};
+  EXPECT_TRUE(apply_write_model(d, over));
+  EXPECT_EQ(d.columns[1][1], 7.0f);
+  EXPECT_EQ(d.columns[1][2], 8.0f);
+  EXPECT_EQ(d.columns[0][1], 2.0f);  // other column untouched
+
+  const Dataset snapshot = d;
+  WriteSpec bad;  // extent past the end: rejected, model untouched
+  bad.column = 0;
+  bad.extent = {2, 2};
+  bad.values = {{9.0f, 9.0f}};
+  EXPECT_FALSE(apply_write_model(d, bad));
+  WriteSpec ragged;  // column-count mismatch: rejected
+  ragged.is_append = true;
+  ragged.values = {{1.0f}};
+  EXPECT_FALSE(apply_write_model(d, ragged));
+  EXPECT_TRUE(d == snapshot);
+}
+
 // ------------------------------------------------------------- invariants
 
 TEST(QueryCheckInvariants, WahAlgebraAcrossSeeds) {

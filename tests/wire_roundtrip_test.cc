@@ -840,6 +840,155 @@ TEST(GatherWriter, PartsFormTruncationAndCorruptionRejected) {
 #define PDC_HAS_ASAN 0
 #endif
 
+// ---------------------------------------------------- write-path messages
+
+TransferWriteRequest sample_transfer_write_request(WriteKind kind) {
+  TransferWriteRequest req;
+  req.object = 17;
+  req.kind = kind;
+  req.extent = {4096, 16};
+  req.write_seq = 99;
+  req.payload_storage = {0x01, 0x02, 0x03, 0x7F, 0x80, 0xFF, 0x00, 0x41};
+  req.payload = req.payload_storage;
+  return req;
+}
+
+TransferWriteResponse sample_transfer_write_response() {
+  TransferWriteResponse resp;
+  resp.status = Status::OutOfRange("overwrite extent beyond object");
+  resp.data_epoch = 7;
+  resp.regions_touched = 3;
+  resp.duplicate = true;
+  resp.compacted = true;
+  resp.ledger = {0.5, 0.125, 1ull << 20, 9};
+  return resp;
+}
+
+TEST(WireRoundTrip, TransferWriteRequestBothKinds) {
+  for (const WriteKind kind : {WriteKind::kAppend, WriteKind::kOverwrite}) {
+    const TransferWriteRequest req = sample_transfer_write_request(kind);
+    const auto bytes = req.serialize();
+    SerialReader r(bytes);
+    const auto back = TransferWriteRequest::Deserialize(r);
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_EQ(back->object, req.object);
+    EXPECT_EQ(back->kind, req.kind);
+    EXPECT_EQ(back->extent, req.extent);
+    EXPECT_EQ(back->write_seq, req.write_seq);
+    EXPECT_EQ(back->payload_storage, req.payload_storage);
+    // The deserialized payload span must alias its own storage.
+    ASSERT_EQ(back->payload.size(), req.payload_storage.size());
+    EXPECT_EQ(back->payload.data(), back->payload_storage.data());
+  }
+}
+
+TEST(WireRoundTrip, TransferWriteResponse) {
+  const TransferWriteResponse resp = sample_transfer_write_response();
+  const auto bytes = resp.serialize();
+  SerialReader r(bytes);
+  const auto back = TransferWriteResponse::Deserialize(r);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  expect_status_eq(back->status, resp.status);
+  EXPECT_EQ(back->data_epoch, resp.data_epoch);
+  EXPECT_EQ(back->regions_touched, resp.regions_touched);
+  EXPECT_EQ(back->duplicate, resp.duplicate);
+  EXPECT_EQ(back->compacted, resp.compacted);
+  EXPECT_EQ(back->ledger.bytes_read, resp.ledger.bytes_read);
+  EXPECT_EQ(back->ledger.read_ops, resp.ledger.read_ops);
+}
+
+TEST(WireTypes, PeekTransferWriteAndCrossParseRejected) {
+  const auto bytes =
+      sample_transfer_write_request(WriteKind::kOverwrite).serialize();
+  ASSERT_TRUE(peek_request_type(bytes).ok());
+  EXPECT_EQ(*peek_request_type(bytes), RequestType::kTransferWrite);
+  {
+    SerialReader r(bytes);
+    EXPECT_FALSE(EvalRequest::Deserialize(r).ok());
+  }
+  {
+    SerialReader r(bytes);
+    EXPECT_FALSE(GetDataRequest::Deserialize(r).ok());
+  }
+  {
+    const auto eval = sample_eval_request().serialize();
+    SerialReader r(eval);
+    EXPECT_FALSE(TransferWriteRequest::Deserialize(r).ok());
+  }
+}
+
+TEST(WireTypes, InvalidWriteKindRejected) {
+  auto bytes =
+      sample_transfer_write_request(WriteKind::kOverwrite).serialize();
+  bytes[9] = 0x07;  // kind byte sits after type (u8) + object (u64)
+  SerialReader r(bytes);
+  EXPECT_FALSE(TransferWriteRequest::Deserialize(r).ok());
+}
+
+TEST(WireTruncation, TransferWriteEveryStrictPrefixFails) {
+  expect_all_prefixes_fail(
+      sample_transfer_write_request(WriteKind::kAppend).serialize(),
+      [](SerialReader& r) {
+        return TransferWriteRequest::Deserialize(r).ok();
+      });
+  expect_all_prefixes_fail(sample_transfer_write_response().serialize(),
+                           [](SerialReader& r) {
+                             return TransferWriteResponse::Deserialize(r).ok();
+                           });
+}
+
+TEST(WireTruncation, TransferWriteByteFlipsNeverCrash) {
+  expect_no_crash_on_byte_flips(
+      sample_transfer_write_request(WriteKind::kOverwrite).serialize(),
+      [](SerialReader& r) {
+        return TransferWriteRequest::Deserialize(r).ok();
+      });
+  expect_no_crash_on_byte_flips(sample_transfer_write_response().serialize(),
+                                [](SerialReader& r) {
+                                  return TransferWriteResponse::Deserialize(r)
+                                      .ok();
+                                });
+}
+
+// EvalResponse v3 trailer (regions_stale / max_data_epoch): emitted only
+// when non-zero so read-only deployments stay byte-identical to v2, a v2
+// payload parses with zeroed staleness fields, and the only legal strict
+// prefixes of a v3 payload are exactly the v2 and v1 encodings.
+TEST(WireRoundTrip, EvalResponseStaleTrailerRoundTrip) {
+  EvalResponse resp = sample_eval_response();
+  resp.regions_stale = 4;
+  resp.max_data_epoch = 12;
+  const auto bytes = resp.serialize();
+  {
+    SerialReader r(bytes);
+    const auto back = EvalResponse::Deserialize(r);
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_EQ(back->regions_stale, 4u);
+    EXPECT_EQ(back->max_data_epoch, 12u);
+    EXPECT_EQ(back->num_hits, resp.num_hits);
+  }
+  // Read-only responses carry no v3 trailer: byte-identical to v2.
+  const auto v2_bytes = sample_eval_response().serialize();
+  EXPECT_EQ(bytes.size(), v2_bytes.size() + 2 * sizeof(std::uint64_t));
+  EXPECT_TRUE(std::equal(v2_bytes.begin(), v2_bytes.end(), bytes.begin()));
+
+  const std::size_t v2_len = bytes.size() - 2 * sizeof(std::uint64_t);
+  const std::size_t v1_len = v2_len - 3 * sizeof(std::uint64_t);
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    const std::span<const std::uint8_t> prefix{bytes.data(), len};
+    SerialReader r(prefix);
+    const auto back = EvalResponse::Deserialize(r);
+    EXPECT_EQ(back.ok(), len == v1_len || len == v2_len)
+        << "prefix of length " << len;
+    if (back.ok()) {
+      // Older encodings parse with zeroed newer fields.
+      EXPECT_EQ(back->regions_stale, 0u);
+      EXPECT_EQ(back->max_data_epoch, 0u);
+      if (len == v1_len) EXPECT_EQ(back->regions_scanned, 0u);
+    }
+  }
+}
+
 TEST(GatherWriterDeathTest, BorrowedSpanOutlivingBufferIsCaughtByAsan) {
   if (!PDC_HAS_ASAN) {
     GTEST_SKIP() << "span-lifetime enforcement needs an ASan build "
@@ -854,6 +1003,30 @@ TEST(GatherWriterDeathTest, BorrowedSpanOutlivingBufferIsCaughtByAsan) {
           w.put_bytes_ref(doomed);
         }  // doomed freed; the writer still borrows its storage
         const auto bytes = w.take();  // reads freed memory -> ASan aborts
+        (void)bytes;
+      },
+      "heap-use-after-free");
+}
+
+// TransferWriteRequest::serialize borrows `payload` the same way: the
+// span must point at live storage when serialize() assembles the wire
+// bytes.  Enforced under ASan like the GatherWriter contract above.
+TEST(GatherWriterDeathTest, TransferWritePayloadOutlivingBufferIsCaught) {
+  if (!PDC_HAS_ASAN) {
+    GTEST_SKIP() << "span-lifetime enforcement needs an ASan build "
+                    "(-DPDC_SANITIZE=address or address-undefined)";
+  }
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_DEATH(
+      {
+        TransferWriteRequest req;
+        req.object = 1;
+        req.kind = WriteKind::kAppend;
+        {
+          std::vector<std::uint8_t> doomed(256, 0xCD);
+          req.payload = doomed;
+        }  // doomed freed; the request still borrows its storage
+        const auto bytes = req.serialize();  // reads freed memory
         (void)bytes;
       },
       "heap-use-after-free");

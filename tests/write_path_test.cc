@@ -1,0 +1,495 @@
+// Write-path tests (mutable regions): epoch/staleness bookkeeping,
+// delta-WAH compaction byte-identity, sorted-delta merge determinism, and
+// epoch-keyed region-cache invalidation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "obj/object_store.h"
+#include "query/service.h"
+#include "server/region_cache.h"
+#include "sortrep/sorted_replica.h"
+
+namespace pdc::query {
+namespace {
+
+using server::Strategy;
+
+[[nodiscard]] std::span<const std::uint8_t> float_bytes(
+    const std::vector<float>& values) {
+  return {reinterpret_cast<const std::uint8_t*>(values.data()),
+          values.size() * sizeof(float)};
+}
+
+/// One small float column (64 elements, 16 per region = 4 regions) with a
+/// bitmap index and optionally a sorted replica, plus a shadow copy of the
+/// values for brute-force checks.
+class WriteEnv {
+ public:
+  static constexpr std::uint64_t kN = 64;
+  static constexpr std::uint64_t kRegionBytes = 64;  // 16 floats per region
+
+  explicit WriteEnv(const std::string& root, bool with_replica = false)
+      : root_(root) {
+    std::filesystem::remove_all(root_);
+    pfs::PfsConfig cfg;
+    cfg.root_dir = root_;
+    cluster_ = std::move(pfs::PfsCluster::Create(cfg)).value();
+    store_ = std::make_unique<obj::ObjectStore>(*cluster_);
+
+    values_.resize(kN);
+    for (std::uint64_t i = 0; i < kN; ++i) {
+      values_[i] = static_cast<float>(i) / static_cast<float>(kN);
+    }
+    obj::ImportOptions options;
+    options.region_size_bytes = kRegionBytes;
+    const ObjectId container =
+        std::move(store_->create_container("wtest")).value();
+    id_ = std::move(store_->import_object<float>(
+                        container, "col", std::span<const float>(values_),
+                        options))
+              .value();
+    if (!store_->build_bitmap_index(id_).ok()) std::abort();
+    if (with_replica) {
+      auto replica = sortrep::build_sorted_replica(*store_, id_, options);
+      if (!replica.ok()) std::abort();
+    }
+  }
+
+  ~WriteEnv() { std::filesystem::remove_all(root_); }
+
+  // Overwrite the shadow copy in lockstep with the store.
+  void shadow_overwrite(std::uint64_t offset,
+                        const std::vector<float>& values) {
+    std::copy(values.begin(), values.end(), values_.begin() + offset);
+  }
+  void shadow_append(const std::vector<float>& values) {
+    values_.insert(values_.end(), values.begin(), values.end());
+  }
+
+  [[nodiscard]] std::vector<std::uint64_t> brute_force_gt(double x) const {
+    std::vector<std::uint64_t> hits;
+    for (std::uint64_t i = 0; i < values_.size(); ++i) {
+      if (values_[i] > x) hits.push_back(i);
+    }
+    return hits;
+  }
+
+  [[nodiscard]] const obj::ObjectDescriptor& desc() const {
+    return *std::move(store_->get(id_)).value();
+  }
+
+  std::string root_;
+  std::unique_ptr<pfs::PfsCluster> cluster_;
+  std::unique_ptr<obj::ObjectStore> store_;
+  std::vector<float> values_;
+  ObjectId id_ = kInvalidObjectId;
+};
+
+[[nodiscard]] std::string test_root(const std::string& leaf) {
+  return ::testing::TempDir() + "/write_path_" + leaf;
+}
+
+/// Run a kGT query through every read strategy and require the exact
+/// brute-force answer; returns the stats of the last strategy run.
+OpStats check_all_strategies(WriteEnv& env, double threshold) {
+  OpStats last{};
+  for (const Strategy strategy :
+       {Strategy::kFullScan, Strategy::kHistogram, Strategy::kHistogramIndex,
+        Strategy::kSortedHistogram, Strategy::kAdaptive}) {
+    ServiceOptions options;
+    options.num_servers = 3;
+    options.strategy = strategy;
+    QueryService service(std::as_const(*env.store_), options);
+    const auto q = create(env.id_, QueryOp::kGT, threshold);
+    auto selection = service.get_selection(q);
+    EXPECT_TRUE(selection.ok()) << selection.status().ToString();
+    if (!selection.ok()) continue;
+    const auto want = env.brute_force_gt(threshold);
+    EXPECT_EQ(selection->num_hits, want.size())
+        << "strategy " << static_cast<int>(strategy);
+    EXPECT_EQ(selection->positions, want)
+        << "strategy " << static_cast<int>(strategy);
+    last = service.last_stats();
+  }
+  return last;
+}
+
+// ---------------------------------------------------------------------------
+// Group 1: epoch-staleness fallback table.
+// ---------------------------------------------------------------------------
+
+TEST(WritePathEpochs, AbsorbableOverwriteKeepsIndexFresh) {
+  WriteEnv env(test_root("absorb"));
+  // Region 0 holds values 0/64 .. 15/64; both replacement values lie
+  // strictly inside that range and off every bin edge, so the delta-WAH
+  // sidecar absorbs them and the index stays usable.
+  const std::vector<float> repl{0.1234567f, 0.0712345f};
+  auto result = env.store_->apply_write(env.id_, obj::WriteKind::kOverwrite,
+                                        Extent1D{5, 2}, float_bytes(repl),
+                                        /*write_seq=*/1, {});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  env.shadow_overwrite(5, repl);
+
+  EXPECT_EQ(result->data_epoch, 2u);
+  EXPECT_EQ(result->regions_touched, 1u);
+  EXPECT_FALSE(result->duplicate);
+  EXPECT_FALSE(result->compacted);
+
+  const auto& desc = env.desc();
+  EXPECT_EQ(desc.data_epoch, 2u);
+  EXPECT_EQ(desc.regions[0].data_epoch, 2u);
+  EXPECT_TRUE(desc.regions[0].index_fresh());
+  EXPECT_EQ(desc.regions[0].delta.entries.size(), 2u);
+  for (std::size_t r = 1; r < desc.regions.size(); ++r) {
+    EXPECT_EQ(desc.regions[r].data_epoch, 1u) << "region " << r;
+    EXPECT_TRUE(desc.regions[r].index_fresh()) << "region " << r;
+    EXPECT_TRUE(desc.regions[r].delta.empty()) << "region " << r;
+  }
+
+  const OpStats stats = check_all_strategies(env, 0.07);
+  EXPECT_EQ(stats.regions_stale, 0u);
+  EXPECT_EQ(stats.max_data_epoch, 2u);
+}
+
+TEST(WritePathEpochs, OutOfRangeOverwriteFallsBackToScan) {
+  WriteEnv env(test_root("oor"));
+  // 7.5 is far outside region 1's base bin range: the delta cannot encode
+  // it, so the region goes stale and every indexed read must scan it.
+  const std::vector<float> repl{7.5f};
+  auto result = env.store_->apply_write(env.id_, obj::WriteKind::kOverwrite,
+                                        Extent1D{20, 1}, float_bytes(repl),
+                                        /*write_seq=*/1, {});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  env.shadow_overwrite(20, repl);
+
+  const auto& desc = env.desc();
+  EXPECT_EQ(desc.regions[1].data_epoch, 2u);
+  EXPECT_FALSE(desc.regions[1].index_fresh());
+
+  // Queries must still be exact — including the new out-of-band hit.
+  const auto want = env.brute_force_gt(5.0);
+  ASSERT_EQ(want, std::vector<std::uint64_t>{20});
+  ServiceOptions options;
+  options.num_servers = 3;
+  options.strategy = Strategy::kHistogramIndex;
+  QueryService service(std::as_const(*env.store_), options);
+  auto selection = service.get_selection(create(env.id_, QueryOp::kGT, 5.0));
+  ASSERT_TRUE(selection.ok()) << selection.status().ToString();
+  EXPECT_EQ(selection->positions, want);
+  const OpStats stats = service.last_stats();
+  EXPECT_GE(stats.regions_stale, 1u);
+  EXPECT_EQ(stats.max_data_epoch, 2u);
+
+  check_all_strategies(env, 0.3);
+}
+
+TEST(WritePathEpochs, MaintenanceOffGoesStaleWithEmptyDelta) {
+  WriteEnv env(test_root("nomaint"));
+  const std::vector<float> repl{0.1234567f};
+  obj::WriteOptions wopts;
+  wopts.maintain_accelerators = false;
+  auto result = env.store_->apply_write(env.id_, obj::WriteKind::kOverwrite,
+                                        Extent1D{5, 1}, float_bytes(repl),
+                                        /*write_seq=*/1, wopts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  env.shadow_overwrite(5, repl);
+
+  const auto& desc = env.desc();
+  EXPECT_FALSE(desc.regions[0].index_fresh());
+  EXPECT_TRUE(desc.regions[0].delta.empty());
+  // Histograms are always maintained, so pruning stays sound and every
+  // strategy still returns the exact answer via scan fallback.
+  const OpStats stats = check_all_strategies(env, 0.07);
+  EXPECT_EQ(stats.max_data_epoch, 2u);
+}
+
+TEST(WritePathEpochs, AppendGrowsObjectAndMarksNewRegionsStale) {
+  WriteEnv env(test_root("append"));
+  std::vector<float> extra(20);
+  for (std::size_t i = 0; i < extra.size(); ++i) {
+    extra[i] = 2.0f + static_cast<float>(i) * 0.125f;
+  }
+  auto result = env.store_->apply_write(env.id_, obj::WriteKind::kAppend,
+                                        Extent1D{}, float_bytes(extra),
+                                        /*write_seq=*/1, {});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  env.shadow_append(extra);
+
+  const auto& desc = env.desc();
+  EXPECT_EQ(desc.num_elements, WriteEnv::kN + 20);
+  ASSERT_GE(desc.regions.size(), 5u);
+  // Appended elements have no base index coverage: their regions are stale.
+  bool any_stale = false;
+  for (const auto& region : desc.regions) {
+    if (!region.index_fresh()) any_stale = true;
+  }
+  EXPECT_TRUE(any_stale);
+  // Every query over the grown object is exact, including appended hits.
+  const auto want = env.brute_force_gt(1.5);
+  ASSERT_EQ(want.size(), 20u);
+  check_all_strategies(env, 1.5);
+  check_all_strategies(env, 0.3);
+}
+
+TEST(WritePathEpochs, DuplicateWriteSeqAcknowledgedWithoutReapply) {
+  WriteEnv env(test_root("dup"));
+  const std::vector<float> first{0.1234567f};
+  auto r1 = env.store_->apply_write(env.id_, obj::WriteKind::kOverwrite,
+                                    Extent1D{5, 1}, float_bytes(first),
+                                    /*write_seq=*/7, {});
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  env.shadow_overwrite(5, first);
+
+  // A replay under the same sequence number — even with different bytes,
+  // as a confused retry might carry — must be acknowledged, not applied.
+  const std::vector<float> imposter{0.9f};
+  auto r2 = env.store_->apply_write(env.id_, obj::WriteKind::kOverwrite,
+                                    Extent1D{6, 1}, float_bytes(imposter),
+                                    /*write_seq=*/7, {});
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  EXPECT_TRUE(r2->duplicate);
+  EXPECT_EQ(r2->data_epoch, r1->data_epoch);
+  EXPECT_EQ(env.desc().data_epoch, r1->data_epoch);
+
+  // Position 6 still holds its original value.
+  float got = 0.0f;
+  const pfs::ReadContext ctx{};
+  ASSERT_TRUE(env.store_
+                  ->read_elements(env.desc(), Extent1D{6, 1},
+                                  {reinterpret_cast<std::uint8_t*>(&got),
+                                   sizeof(got)},
+                                  ctx)
+                  .ok());
+  EXPECT_EQ(got, 6.0f / 64.0f);
+  check_all_strategies(env, 0.07);
+}
+
+// ---------------------------------------------------------------------------
+// Group 2: delta-WAH compaction is byte-identical to a fresh build.
+// ---------------------------------------------------------------------------
+
+[[nodiscard]] std::vector<std::uint8_t> read_whole_file(
+    pfs::PfsCluster& cluster, const std::string& name) {
+  auto size = cluster.file_size(name);
+  EXPECT_TRUE(size.ok()) << size.status().ToString();
+  auto file = cluster.open(name);
+  EXPECT_TRUE(file.ok()) << file.status().ToString();
+  std::vector<std::uint8_t> bytes(*size);
+  const pfs::ReadContext ctx{};
+  EXPECT_TRUE(file->read(0, bytes, ctx).ok());
+  return bytes;
+}
+
+TEST(WritePathCompaction, CompactedIndexMatchesFreshBuildByteForByte) {
+  // Store A: import, build, then overwrite through the write path with
+  // compaction firing on every write (threshold 1).
+  WriteEnv env(test_root("compact_a"));
+  obj::WriteOptions wopts;
+  wopts.compact_threshold = 1;
+  const std::vector<std::pair<std::uint64_t, float>> writes{
+      {3, 0.1234567f}, {17, 0.3177777f}, {40, 0.7012345f}, {62, 0.9712311f}};
+  std::uint64_t seq = 0;
+  bool saw_compaction = false;
+  for (const auto& [pos, value] : writes) {
+    const std::vector<float> one{value};
+    auto result = env.store_->apply_write(env.id_, obj::WriteKind::kOverwrite,
+                                          Extent1D{pos, 1}, float_bytes(one),
+                                          ++seq, wopts);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    saw_compaction |= result->compacted;
+    env.shadow_overwrite(pos, one);
+  }
+  EXPECT_TRUE(saw_compaction);
+
+  // Store B: import the final data directly and build the index once.
+  const std::string root_b = test_root("compact_b");
+  std::filesystem::remove_all(root_b);
+  pfs::PfsConfig cfg;
+  cfg.root_dir = root_b;
+  auto cluster_b = std::move(pfs::PfsCluster::Create(cfg)).value();
+  obj::ObjectStore store_b(*cluster_b);
+  obj::ImportOptions import_options;
+  import_options.region_size_bytes = WriteEnv::kRegionBytes;
+  const ObjectId container =
+      std::move(store_b.create_container("wtest")).value();
+  const ObjectId id_b =
+      std::move(store_b.import_object<float>(
+                    container, "col", std::span<const float>(env.values_),
+                    import_options))
+          .value();
+  ASSERT_TRUE(store_b.build_bitmap_index(id_b).ok());
+
+  const auto& desc_a = env.desc();
+  const auto& desc_b = *std::move(store_b.get(id_b)).value();
+
+  // Region metadata: identical layout, headers, and epochs-all-synced.
+  ASSERT_EQ(desc_a.regions.size(), desc_b.regions.size());
+  for (std::size_t r = 0; r < desc_a.regions.size(); ++r) {
+    const auto& ra = desc_a.regions[r];
+    const auto& rb = desc_b.regions[r];
+    EXPECT_TRUE(ra.index_fresh()) << "region " << r;
+    EXPECT_TRUE(ra.delta.empty()) << "region " << r;
+    EXPECT_EQ(ra.index_offset, rb.index_offset) << "region " << r;
+    EXPECT_EQ(ra.index_bytes, rb.index_bytes) << "region " << r;
+    EXPECT_EQ(ra.index_header, rb.index_header) << "region " << r;
+  }
+
+  // The whole index file is byte-for-byte the fresh build.
+  const auto bytes_a = read_whole_file(*env.cluster_, desc_a.index_file);
+  const auto bytes_b = read_whole_file(*cluster_b, desc_b.index_file);
+  EXPECT_EQ(bytes_a, bytes_b);
+
+  // And an explicit rebuild on top of the compacted state is a no-op at
+  // the byte level.
+  ASSERT_TRUE(env.store_->rebuild_bitmap_index(env.id_).ok());
+  const auto bytes_a2 = read_whole_file(*env.cluster_, env.desc().index_file);
+  EXPECT_EQ(bytes_a2, bytes_b);
+
+  check_all_strategies(env, 0.3);
+  std::filesystem::remove_all(root_b);
+}
+
+// ---------------------------------------------------------------------------
+// Group 3: sorted-delta merge is deterministic across pool widths.
+// ---------------------------------------------------------------------------
+
+TEST(WritePathSortedDelta, MergeDeterministicAcrossPoolWidths) {
+  WriteEnv env(test_root("sorted"), /*with_replica=*/true);
+  // Leave a delta log pending: writes maintain the log but no rebuild
+  // (threshold far above the write count), so the sorted strategy must
+  // merge base + delta on every read.
+  const std::vector<std::pair<std::uint64_t, float>> writes{
+      {2, 0.8412345f}, {33, 0.0212345f}, {50, 0.4312345f}};
+  std::uint64_t seq = 0;
+  for (const auto& [pos, value] : writes) {
+    const std::vector<float> one{value};
+    auto result = env.store_->apply_write(env.id_, obj::WriteKind::kOverwrite,
+                                          Extent1D{pos, 1}, float_bytes(one),
+                                          ++seq, {});
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    env.shadow_overwrite(pos, one);
+  }
+  ASSERT_FALSE(env.desc().sorted_delta.empty());
+
+  const auto want = env.brute_force_gt(0.4);
+  std::vector<std::uint64_t> first_positions;
+  std::vector<float> first_values;
+  for (const std::uint32_t threads : {1u, 4u, 8u}) {
+    ServiceOptions options;
+    options.num_servers = 3;
+    options.strategy = Strategy::kSortedHistogram;
+    options.eval_threads = threads;
+    QueryService service(std::as_const(*env.store_), options);
+    auto selection = service.get_selection(create(env.id_, QueryOp::kGT, 0.4));
+    ASSERT_TRUE(selection.ok()) << selection.status().ToString();
+    EXPECT_EQ(selection->positions, want) << "threads " << threads;
+
+    std::vector<float> got(selection->num_hits);
+    ASSERT_TRUE(service
+                    .get_data<float>(env.id_, *selection, got,
+                                     GetDataMode::kByPositions)
+                    .ok());
+    if (first_positions.empty() && !want.empty()) {
+      first_positions = selection->positions;
+      first_values = got;
+    } else {
+      EXPECT_EQ(selection->positions, first_positions)
+          << "threads " << threads;
+      EXPECT_EQ(std::memcmp(got.data(), first_values.data(),
+                            got.size() * sizeof(float)),
+                0)
+          << "threads " << threads;
+    }
+  }
+}
+
+TEST(WritePathSortedDelta, BulkRebuildFoldsDeltaLog) {
+  WriteEnv env(test_root("rebuild"), /*with_replica=*/true);
+  const std::vector<float> repl{0.8412345f};
+  auto result = env.store_->apply_write(env.id_, obj::WriteKind::kOverwrite,
+                                        Extent1D{2, 1}, float_bytes(repl),
+                                        /*write_seq=*/1, {});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  env.shadow_overwrite(2, repl);
+  ASSERT_FALSE(env.desc().sorted_delta.empty());
+
+  ASSERT_TRUE(sortrep::rebuild_sorted_replica(*env.store_, env.id_).ok());
+  EXPECT_TRUE(env.desc().sorted_delta.empty());
+  EXPECT_EQ(env.desc().replica_synced_epoch, env.desc().data_epoch);
+  check_all_strategies(env, 0.4);
+}
+
+// ---------------------------------------------------------------------------
+// Group 4: epoch-keyed cache invalidation.
+// ---------------------------------------------------------------------------
+
+TEST(WritePathCache, EpochMismatchDropsEntryAndCountsInvalidation) {
+  server::RegionCache cache(1 << 20);
+  const server::RegionCache::Key key{42, 3};
+  auto buffer = std::make_shared<const std::vector<std::uint8_t>>(
+      std::vector<std::uint8_t>{1, 2, 3, 4});
+  cache.put(key, buffer, /*epoch=*/1);
+  ASSERT_NE(cache.get(key, 1), nullptr);
+  EXPECT_EQ(cache.invalidations(), 0u);
+
+  // A write bumped the region's epoch: the cached entry must be dropped,
+  // never served.
+  EXPECT_EQ(cache.get(key, 2), nullptr);
+  EXPECT_EQ(cache.invalidations(), 1u);
+  EXPECT_EQ(cache.entries(), 0u);
+
+  // Re-populating under the new epoch serves again.
+  cache.put(key, buffer, /*epoch=*/2);
+  EXPECT_NE(cache.get(key, 2), nullptr);
+}
+
+TEST(WritePathCache, OverwriteThroughServiceInvalidatesWarmCache) {
+  WriteEnv env(test_root("cache_e2e"));
+  ServiceOptions options;
+  options.num_servers = 3;
+  options.strategy = Strategy::kFullScan;
+  QueryService service(*env.store_, options);  // writable
+
+  // Warm the region caches.
+  const auto q = create(env.id_, QueryOp::kGT, 0.9);
+  auto before = service.get_selection(q);
+  ASSERT_TRUE(before.ok()) << before.status().ToString();
+  EXPECT_EQ(before->positions, env.brute_force_gt(0.9));
+
+  // Push a value across the query threshold through the service.
+  const std::vector<float> repl{0.9512345f};
+  auto report = service.overwrite(env.id_, Extent1D{10, 1},
+                                  float_bytes(repl));
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->data_epoch, 2u);
+  EXPECT_EQ(report->regions_touched, 1u);
+  env.shadow_overwrite(10, repl);
+
+  // The re-run must see the new bytes (stale cache would miss position 10).
+  auto after = service.get_selection(q);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  const auto want = env.brute_force_gt(0.9);
+  ASSERT_TRUE(std::find(want.begin(), want.end(), 10u) != want.end());
+  EXPECT_EQ(after->positions, want);
+  EXPECT_EQ(service.last_stats().max_data_epoch, 2u);
+}
+
+TEST(WritePathCache, ReadOnlyServiceRejectsWrites) {
+  WriteEnv env(test_root("readonly"));
+  ServiceOptions options;
+  options.num_servers = 2;
+  QueryService service(std::as_const(*env.store_), options);
+  const std::vector<float> repl{0.5f};
+  auto report = service.overwrite(env.id_, Extent1D{0, 1}, float_bytes(repl));
+  EXPECT_FALSE(report.ok());
+}
+
+}  // namespace
+}  // namespace pdc::query

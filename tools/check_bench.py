@@ -107,6 +107,60 @@ def check_traffic(args):
     return 0
 
 
+def load_write_rows(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {("writes", row["strategy"], row["write_fraction"]): row
+            for row in doc.get("writes", [])}
+
+
+def check_writes(args):
+    base = load_write_rows(args.baseline)
+    cand = load_write_rows(args.candidate)
+    failures = []
+    compared = 0
+    for key, base_row in sorted(base.items()):
+        cand_row = cand.get(key)
+        if cand_row is None:
+            print(f"note: {key} missing from candidate (skipped)")
+            continue
+        compared += 1
+        label = "/".join(str(k) for k in key)
+        checks = [("read_sim_s", base_row["read_sim_s"],
+                   cand_row["read_sim_s"])]
+        # Write cost is only meaningful on cells that actually write.
+        if base_row.get("write_ops", 0) > 0:
+            checks.append(("write_sim_s", base_row["write_sim_s"],
+                           cand_row["write_sim_s"]))
+        for metric, b, c in checks:
+            regressed = c > b * (1.0 + args.threshold)
+            marker = ""
+            if regressed:
+                failures.append((key, metric))
+                marker = "  <-- REGRESSION"
+            rel = (c - b) / b if b > 0 else 0.0
+            print(f"{label:28s} {metric:12s} base {b:12.6f}  "
+                  f"cand {c:12.6f}  {rel:+7.1%}{marker}")
+    for key in sorted(set(cand) - set(base)):
+        print(f"note: {key} new in candidate (not gated)")
+    if compared == 0:
+        print("FAIL: no comparable write rows — wrong files?")
+        return 1
+    # The pure-read column must exist: it pins the read path's cost while
+    # the write machinery is present but idle.
+    if not any(key[2] == 0.0 for key in cand):
+        print("FAIL: candidate has no write_fraction=0 rows — the "
+              "read-only baseline dropped out of the bench")
+        return 1
+    if failures:
+        print(f"FAIL: {len(failures)} write-sweep metrics regressed more "
+              f"than {args.threshold:.0%}")
+        return 1
+    print(f"OK: {compared} write-sweep rows within {args.threshold:.0%} "
+          f"of baseline")
+    return 0
+
+
 KERNEL_METRICS = ("gb_per_s", "mb_per_s", "mprobes_per_s")
 
 
@@ -229,12 +283,18 @@ def main():
     parser.add_argument("--kernels", action="store_true",
                         help="compare kernels_bench output (wall-clock SIMD "
                              "floors + machine-matched throughput diff)")
+    parser.add_argument("--writes", action="store_true",
+                        help="compare writes_bench output (simulated "
+                             "read/write cost by strategy and write "
+                             "fraction)")
     args = parser.parse_args()
 
     if args.traffic:
         return check_traffic(args)
     if args.kernels:
         return check_kernels(args)
+    if args.writes:
+        return check_writes(args)
 
     sections = [s for s in args.sections.split(",") if s]
     base = load_rows(args.baseline, sections)

@@ -2,7 +2,7 @@
 # ThreadSanitizer job: rebuild the concurrency-heavy test binaries with
 # -fsanitize=thread and run every ctest entry carrying the `tsan` label
 # (rpc_test, chaos_test, concurrency_test, querycheck_test, obs_test,
-# pipeline_test).
+# pipeline_test, kernels_test, overload_test, write_path_test).
 #
 # Usage:  tools/run_tsan.sh [extra ctest args...]
 #
@@ -16,7 +16,7 @@ BUILD_DIR=build-tsan
 cmake -B "${BUILD_DIR}" -S . -DPDC_SANITIZE=thread >/dev/null
 cmake --build "${BUILD_DIR}" -j"$(nproc)" \
       --target rpc_test chaos_test concurrency_test querycheck_test obs_test \
-               pipeline_test
+               pipeline_test kernels_test overload_test write_path_test
 
 # halt_on_error keeps the first race report at the top of the log instead
 # of burying it under cascading follow-ups.
