@@ -1,0 +1,144 @@
+// Cross-match join sweep: zone-shuffle vs broadcast exchange over the BOSS
+// two-catalog workload, swept across server counts and catalog sizes.
+//
+// For each catalog size a fresh store is built once; every (strategy,
+// servers) cell then runs the same epsilon join.  Reported sim_s is the
+// deterministic cost-model time (MPC shuffle terms included); the shuffle
+// columns are exact wire accounting from the exchange ports.  The
+// committed BENCH_join.json is the gate baseline: tools/check_bench.py
+// --join enforces that zone-shuffle ships strictly fewer bytes than
+// broadcast at >= 4 servers and that both strategies agree on the pair
+// count in every cell.
+//
+// Environment: PDC_BENCH_JOIN_SOURCES (per-side catalog size; 0 = the
+// default {2000, 8000} sweep), PDC_BENCH_DIR, PDC_BENCH_JSON (default
+// BENCH_join.json).
+#include <cinttypes>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "workloads/boss.h"
+
+namespace pdc::bench {
+namespace {
+
+struct JoinRow {
+  const char* strategy = "";
+  std::uint32_t servers = 0;
+  std::uint32_t sources = 0;  ///< per-side catalog size
+  double sim_s = 0.0;
+  std::uint64_t shuffle_bytes = 0;
+  std::uint64_t shuffle_msgs = 0;
+  std::uint64_t shuffle_rounds = 0;
+  std::uint64_t pairs = 0;
+  std::uint64_t zones = 0;
+};
+
+struct StrategyCell {
+  server::JoinStrategy strategy;
+  const char* name;
+};
+
+}  // namespace
+}  // namespace pdc::bench
+
+int main() {
+  using namespace pdc::bench;
+
+  const std::string scratch =
+      env_str("PDC_BENCH_DIR", "/tmp/pdc_bench") + "/join";
+  const std::uint64_t override_sources =
+      env_u64("PDC_BENCH_JOIN_SOURCES", 0);
+  std::vector<std::uint32_t> sizes{2000, 8000};
+  if (override_sources > 0) {
+    sizes = {static_cast<std::uint32_t>(override_sources)};
+  }
+  const std::uint32_t server_counts[] = {2, 4, 8};
+  const StrategyCell strategies[] = {
+      {pdc::server::JoinStrategy::kZoneShuffle, "zone"},
+      {pdc::server::JoinStrategy::kBroadcast, "broadcast"},
+  };
+
+  print_header("BOSS cross-match: zone-shuffle vs broadcast",
+               "strategy   srv  sources     sim_s  shuf_bytes  msgs  "
+               "rounds      pairs  zones");
+  std::vector<JoinRow> rows;
+  for (const std::uint32_t sources : sizes) {
+    std::filesystem::remove_all(scratch);
+    pdc::pfs::PfsConfig cfg;
+    cfg.root_dir = scratch;
+    cfg.num_osts = 16;
+    cfg.stripe_count = 4;
+    cfg.stripe_size = 1ull << 20;
+    auto cluster = unwrap(pdc::pfs::PfsCluster::Create(cfg), "PFS create");
+    pdc::obj::ObjectStore store(*cluster);
+
+    pdc::workloads::BossJoinConfig config;
+    config.num_a = sources;
+    config.num_b = sources;
+    const auto pair =
+        unwrap(pdc::workloads::import_boss_join_pair(store, config),
+               "BOSS join import");
+
+    pdc::query::JoinSpec spec;
+    spec.left = pair.ra_a;
+    spec.right = pair.ra_b;
+    spec.epsilon = 0.125;
+    spec.zone_height = config.zone_height;
+
+    for (const std::uint32_t servers : server_counts) {
+      for (const StrategyCell& cell : strategies) {
+        // A fresh service per cell: every run pays the same cold region
+        // cache, so cells differ only in strategy, never in cache warmth.
+        pdc::query::ServiceOptions options;
+        options.num_servers = servers;
+        pdc::query::QueryService service(store, options);
+        spec.strategy = cell.strategy;
+        const auto result = unwrap(service.join(spec), "join");
+        const pdc::query::OpStats stats = service.last_stats();
+        JoinRow row;
+        row.strategy = cell.name;
+        row.servers = servers;
+        row.sources = sources;
+        row.sim_s = stats.sim_elapsed_seconds;
+        row.shuffle_bytes = stats.shuffle_bytes;
+        row.shuffle_msgs = stats.shuffle_msgs;
+        row.shuffle_rounds = stats.shuffle_rounds;
+        row.pairs = result.pairs.size();
+        row.zones = result.num_zones;
+        std::printf("%-9s  %3u  %7u  %8.4f  %10" PRIu64 "  %4" PRIu64
+                    "  %6" PRIu64 "  %9" PRIu64 "  %5" PRIu64 "\n",
+                    row.strategy, row.servers, row.sources, row.sim_s,
+                    row.shuffle_bytes, row.shuffle_msgs, row.shuffle_rounds,
+                    row.pairs, row.zones);
+        rows.push_back(row);
+      }
+    }
+  }
+  std::filesystem::remove_all(scratch);
+
+  const std::string json_path = env_str("PDC_BENCH_JSON", "BENCH_join.json");
+  std::FILE* out = std::fopen(json_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "FATAL: cannot open %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"join\",\n  \"join\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const JoinRow& row = rows[i];
+    std::fprintf(out,
+                 "    {\"strategy\": \"%s\", \"servers\": %u, "
+                 "\"sources\": %u, \"sim_s\": %.9f, "
+                 "\"shuffle_bytes\": %" PRIu64 ", \"shuffle_msgs\": %" PRIu64
+                 ", \"shuffle_rounds\": %" PRIu64 ", \"pairs\": %" PRIu64
+                 ", \"zones\": %" PRIu64 "}%s\n",
+                 row.strategy, row.servers, row.sources, row.sim_s,
+                 row.shuffle_bytes, row.shuffle_msgs, row.shuffle_rounds,
+                 row.pairs, row.zones, i + 1 == rows.size() ? "" : ",");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}

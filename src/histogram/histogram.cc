@@ -66,17 +66,32 @@ MergeableHistogram MergeableHistogram::Build(std::span<const T> data,
   }
 
   // Lines 2-3: bin width = span / target bins, rounded DOWN to a power of 2.
+  // The span itself can overflow to +inf when the endpoints sit near
+  // ±DBL_MAX; clamping it only widens the bins, which estimation tolerates.
   const std::uint32_t target = std::max<std::uint32_t>(1, config.target_bins);
-  double width = (approx_max - approx_min) / static_cast<double>(target);
+  double span = approx_max - approx_min;
+  if (!std::isfinite(span)) span = std::numeric_limits<double>::max();
+  double width = span / static_cast<double>(target);
   width = round_down_pow2(width);  // maps non-positive spans to 1.0 too
 
   // Lines 4-7: anchor the first boundary on the width lattice (the paper's
   // "natural numbers" anchor generalised to the 2^x lattice) and derive the
-  // actual bin count, which may exceed the target.
-  const double first_edge = floor_to_lattice(approx_min, width);
-  std::size_t nbins = static_cast<std::size_t>(
-      std::ceil((approx_max - first_edge) / width));
-  nbins = std::max<std::size_t>(1, nbins);
+  // actual bin count, which may exceed the target.  Near -DBL_MAX the
+  // lattice anchor one step below approx_min can overflow to -inf;
+  // anchoring on approx_min itself only misaligns the lattice, it never
+  // miscounts.
+  const double lattice_edge = floor_to_lattice(approx_min, width);
+  const double first_edge =
+      std::isfinite(lattice_edge) ? lattice_edge : approx_min;
+  double nbins_f = std::ceil((approx_max - first_edge) / width);
+  if (!std::isfinite(nbins_f)) {
+    // max - first_edge overflowed: divide the endpoints separately (each
+    // quotient is bounded by DBL_MAX / width, so the difference is a small
+    // multiple of the target).
+    nbins_f = std::ceil(approx_max / width - first_edge / width);
+  }
+  if (!(nbins_f >= 1.0)) nbins_f = 1.0;
+  auto nbins = static_cast<std::size_t>(std::min(nbins_f, 1.0e7));
 
   h.bin_width_ = width;
   h.first_edge_ = first_edge;
@@ -164,9 +179,17 @@ MergeableHistogram MergeableHistogram::Merge(
   }
   if (width == 0.0) return out;  // no valid inputs
 
-  const double first_edge = floor_to_lattice(min_edge, width);
-  const std::size_t nbins = static_cast<std::size_t>(
-      std::ceil((max_edge - first_edge) / width));
+  // Same overflow guards as Build: inputs anchored near ±DBL_MAX can push
+  // the lattice anchor or the edge difference past the double range.
+  const double lattice_edge = floor_to_lattice(min_edge, width);
+  const double first_edge =
+      std::isfinite(lattice_edge) ? lattice_edge : min_edge;
+  double nbins_f = std::ceil((max_edge - first_edge) / width);
+  if (!std::isfinite(nbins_f)) {
+    nbins_f = std::ceil(max_edge / width - first_edge / width);
+  }
+  if (!(nbins_f >= 1.0)) nbins_f = 1.0;
+  const auto nbins = static_cast<std::size_t>(std::min(nbins_f, 1.0e7));
   out.bin_width_ = width;
   out.first_edge_ = first_edge;
   out.counts_.assign(std::max<std::size_t>(1, nbins), 0);
@@ -179,9 +202,12 @@ MergeableHistogram MergeableHistogram::Merge(
     if (!h.valid()) continue;
     for (std::size_t i = 0; i < h.counts_.size(); ++i) {
       const double left = h.bin_left_edge(i);
-      auto j = static_cast<std::size_t>(
-          std::floor((left - first_edge) / width));
-      j = std::min(j, out.counts_.size() - 1);
+      // Clamp in the double domain: the edge difference can overflow and a
+      // size_t cast of an out-of-range double is UB.
+      double j_f = std::floor((left - first_edge) / width);
+      j_f = std::clamp(j_f, 0.0,
+                       static_cast<double>(out.counts_.size() - 1));
+      const auto j = static_cast<std::size_t>(j_f);
       out.counts_[j] += h.counts_[i];
     }
     out.total_ += h.total_;

@@ -82,6 +82,20 @@ ServiceOptions ServiceOptions::from_env() {
           static_cast<std::uint64_t>(threshold);
     }
   }
+  if (const char* env = std::getenv("PDC_JOIN_STRATEGY")) {
+    const std::string value(env);
+    if (value == "zone") {
+      options.join_strategy = server::JoinStrategy::kZoneShuffle;
+    } else if (value == "broadcast") {
+      options.join_strategy = server::JoinStrategy::kBroadcast;
+    }
+  }
+  if (const char* env = std::getenv("PDC_JOIN_SHUFFLE_DEADLINE_MS")) {
+    const long ms = std::strtol(env, nullptr, 10);
+    if (ms > 0 && ms <= 60'000) {
+      options.join_shuffle_deadline_ms = static_cast<std::uint32_t>(ms);
+    }
+  }
   return options;
 }
 
@@ -108,6 +122,14 @@ QueryService::QueryService(const obj::ObjectStore& store,
   dead_.assign(options_.num_servers, false);
   servers_.reserve(options_.num_servers);
   runtimes_.reserve(options_.num_servers);
+  ports_.reserve(options_.num_servers);
+  rpc::ExchangePort::Options port_options;
+  port_options.deadline =
+      std::chrono::milliseconds(options_.join_shuffle_deadline_ms);
+  for (ServerId s = 0; s < options_.num_servers; ++s) {
+    ports_.push_back(
+        std::make_unique<rpc::ExchangePort>(bus_, s, port_options));
+  }
   for (ServerId s = 0; s < options_.num_servers; ++s) {
     server::ServerOptions server_options;
     server_options.id = s;
@@ -124,6 +146,7 @@ QueryService::QueryService(const obj::ObjectStore& store,
     server_options.maintain_accelerators = !options_.write_no_maint;
     server_options.replica_rebuild_threshold =
         options_.replica_rebuild_threshold;
+    server_options.exchange = ports_[s].get();
     servers_.push_back(
         std::make_unique<server::QueryServer>(store_, server_options));
     server::QueryServer* qs = servers_.back().get();
@@ -134,6 +157,14 @@ QueryService::QueryService(const obj::ObjectStore& store,
     runtime_options.shed_policy = options_.shed_policy;
     runtime_options.tenant_weights = options_.tenant_weights;
     runtime_options.metrics = &metrics_;
+    // Join rounds block waiting for tuples from OTHER servers' handlers;
+    // dispatching them through the shared pool could park every worker in
+    // collect() with no thread left to produce, so they run inline on the
+    // mailbox thread.
+    runtime_options.inline_only = [](std::span<const std::uint8_t> payload) {
+      const auto type = server::peek_request_type(payload);
+      return type.ok() && *type == server::RequestType::kJoinEval;
+    };
     runtimes_.push_back(std::make_unique<rpc::ServerRuntime>(
         bus_, s,
         rpc::ServerRuntime::TracedHandler(
@@ -185,7 +216,12 @@ QueryService::QueryService(const obj::ObjectStore& store,
   }
 }
 
-QueryService::~QueryService() { bus_.shutdown(); }
+QueryService::~QueryService() {
+  // Close the exchange endpoints first: a join handler blocked in
+  // collect()/ship() wakes with failure and its runtime thread can drain.
+  for (auto& port : ports_) port->close();
+  bus_.shutdown();
+}
 
 void QueryService::publish_stats(const OpStats& stats) {
   std::lock_guard lock(state_mu_);

@@ -13,11 +13,13 @@
 //   client merge cpu
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -31,6 +33,7 @@
 #include "obs/trace.h"
 #include "query/planner.h"
 #include "query/query.h"
+#include "rpc/exchange.h"
 #include "rpc/message_bus.h"
 #include "rpc/server_runtime.h"
 #include "server/query_server.h"
@@ -68,6 +71,36 @@ struct QueryOptions {
   /// server-side weighted-fair scheduler keys its per-tenant lanes on it
   /// (ServiceOptions::tenant_weights).  0 = the default tenant.
   std::uint32_t tenant = 0;
+};
+
+/// One cross-object epsilon join (paper ROADMAP item 4): all pairs
+/// (pa, pb) with |left.value(pa) - right.value(pb)| <= epsilon, subject to
+/// the optional per-side value pre-filters.
+struct JoinSpec {
+  ObjectId left = kInvalidObjectId;   ///< build side (pairs live in its zone)
+  ObjectId right = kInvalidObjectId;  ///< probe side (band-expanded)
+  double epsilon = 0.0;
+  /// Zone bucket height; must be finite, positive and >= epsilon (the MSR
+  /// zone-algorithm rule).  Rejected at plan time otherwise (NaN included).
+  double zone_height = 1.0;
+  /// Per-side value pre-filters (default: whole line).
+  ValueInterval left_filter;
+  ValueInterval right_filter;
+  /// Override the service-level shuffle strategy for this join only.
+  std::optional<server::JoinStrategy> strategy;
+};
+
+struct JoinPair {
+  std::uint64_t left_pos = 0;   ///< original-space position in `left`
+  std::uint64_t right_pos = 0;  ///< original-space position in `right`
+};
+
+/// Join result: pairs concatenated in ascending zone order, each zone's
+/// pairs sorted by (left_pos, right_pos) — deterministic at any pool
+/// width, server count and shuffle strategy.
+struct JoinResult {
+  std::vector<JoinPair> pairs;
+  std::uint64_t num_zones = 0;  ///< non-empty zones across all servers
 };
 
 /// Per-operation performance summary.
@@ -108,6 +141,15 @@ struct OpStats {
                                      ///< back to scan this operation
   std::uint64_t max_data_epoch = 0;  ///< highest region data epoch any
                                      ///< server reported (0 = never written)
+  // Join/shuffle observability (nonzero only for join()).  The MPC-style
+  // communication model folds rounds * net_latency plus the busiest
+  // sender's bytes / net_bandwidth into sim_elapsed_seconds.
+  std::uint64_t shuffle_bytes = 0;       ///< exchange bytes, incl. rexmits
+  std::uint64_t shuffle_msgs = 0;        ///< exchange frames sent
+  std::uint64_t shuffle_retransmits = 0; ///< frames re-sent (faults only)
+  std::uint64_t shuffle_rounds = 0;      ///< communication rounds (1)
+  std::uint64_t join_candidates_left = 0;   ///< build tuples produced
+  std::uint64_t join_candidates_right = 0;  ///< probe tuples produced
 };
 
 /// Outcome of one transfer_write operation.
@@ -173,6 +215,12 @@ struct ServiceOptions {
   /// Sorted-replica bulk rebuild once the write delta log reaches this
   /// many entries.  0 disables rebuilds.
   std::uint64_t replica_rebuild_threshold = 4096;
+  /// Default shuffle strategy for join() (JoinSpec::strategy overrides).
+  server::JoinStrategy join_strategy = server::JoinStrategy::kZoneShuffle;
+  /// Exchange-lane reliability deadline: how long a server's ship/collect
+  /// keeps retransmitting/waiting before the epoch fails (kUnavailable and
+  /// the client re-plans onto the survivors).
+  std::uint32_t join_shuffle_deadline_ms = 500;
 
   /// Read strategy from the PDC_QUERY_STRATEGY environment variable
   /// ("fullscan", "histogram", "index", "sorted", "adaptive"), mirroring
@@ -184,7 +232,9 @@ struct ServiceOptions {
   /// "3,1,1"), compact_threshold from PDC_COMPACT_THRESHOLD,
   /// write_no_maint from PDC_WRITE_NO_MAINT ("1"/"true"), and
   /// replica_rebuild_threshold from PDC_REPLICA_REBUILD_THRESHOLD.
-  /// Unset/unknown keeps the defaults.
+  /// Unset/unknown keeps the defaults.  Joins: join_strategy from
+  /// PDC_JOIN_STRATEGY ("zone" / "broadcast") and join_shuffle_deadline_ms
+  /// from PDC_JOIN_SHUFFLE_DEADLINE_MS.
   static ServiceOptions from_env();
 };
 
@@ -205,6 +255,14 @@ class QueryService {
                                      const QueryOptions& opts = {});
   Result<Selection> get_selection(const QueryPtr& query,
                                   const QueryOptions& opts = {});
+
+  // ---- cross-object join (ROADMAP item 4; implemented in service_join.cc)
+  /// All (left_pos, right_pos) pairs within epsilon, zone cross-matched:
+  /// every server produces its candidates locally, the exchange operator
+  /// shuffles them by zone (or broadcasts, per the strategy), and each
+  /// server joins its owned zones.  The result is bit-identical at any
+  /// pool width, server count and shuffle strategy.
+  Result<JoinResult> join(const JoinSpec& spec, const QueryOptions& opts = {});
 
   // ---- data retrieval (paper: PDCquery_get_data / _get_data_batch) ----
   /// Fetch the values of `selection` from `object` into `out`
@@ -336,9 +394,16 @@ class QueryService {
   /// destroyed after them (in-flight server tasks run on it).
   std::unique_ptr<exec::ThreadPool> pool_;
   rpc::MessageBus bus_;
+  /// Exchange endpoints (one per server), created before the servers that
+  /// hold pointers to them and closed FIRST in the destructor so join
+  /// handlers blocked in collect() wake before anything is torn down.
+  std::vector<std::unique_ptr<rpc::ExchangePort>> ports_;
   std::vector<std::unique_ptr<server::QueryServer>> servers_;
   std::vector<std::unique_ptr<rpc::ServerRuntime>> runtimes_;
   rpc::Client client_;
+  /// Client-assigned join ids, unique per service instance: epoch state on
+  /// the exchange lane is keyed by (join_id, epoch).
+  std::atomic<std::uint64_t> next_join_id_{1};
 
   /// Guards stats_ and dead_ — the service state mutated by concurrent
   /// client calls (QueryServer/RegionCache handle their own locking).

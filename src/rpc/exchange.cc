@@ -1,0 +1,302 @@
+#include "rpc/exchange.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace pdc::rpc {
+
+namespace {
+
+std::uint64_t ack_key(std::uint32_t dest, std::uint32_t seq) noexcept {
+  return (static_cast<std::uint64_t>(dest) << 32) | seq;
+}
+
+/// Keep state for at most this many (join, epoch) buckets; abandoned
+/// epochs (failed rounds whose late frames still arrive) are pruned
+/// oldest-first so a long-lived server cannot accumulate them.
+constexpr std::size_t kMaxEpochStates = 64;
+
+}  // namespace
+
+// ------------------------------------------------------------------ frame
+
+std::vector<std::uint8_t> ExchangeFrame::serialize() const {
+  GatherWriter w;
+  w.put(kExchangeFrameTag);
+  w.put(static_cast<std::uint8_t>(kind));
+  w.put(join_id);
+  w.put(epoch);
+  w.put(from);
+  w.put(seq);
+  switch (kind) {
+    case ExchangeFrameKind::kBatch:
+      w.put(side);
+      // Borrowed span: the bulk tuple bytes are copied exactly once, at
+      // wire assembly (PR 7 zero-copy discipline).
+      w.put_vector_ref(tuples);
+      break;
+    case ExchangeFrameKind::kEos:
+      w.put(batches_total);
+      break;
+    case ExchangeFrameKind::kAck:
+      break;
+  }
+  return w.take();
+}
+
+Result<ExchangeFrame> ExchangeFrame::Deserialize(SerialReader& r) {
+  std::uint8_t tag = 0;
+  PDC_RETURN_IF_ERROR(r.get(tag));
+  if (tag != kExchangeFrameTag) {
+    return Status::Corruption("not an exchange frame");
+  }
+  ExchangeFrame f;
+  std::uint8_t kind = 0;
+  PDC_RETURN_IF_ERROR(r.get(kind));
+  if (kind < static_cast<std::uint8_t>(ExchangeFrameKind::kBatch) ||
+      kind > static_cast<std::uint8_t>(ExchangeFrameKind::kAck)) {
+    return Status::Corruption("bad exchange frame kind");
+  }
+  f.kind = static_cast<ExchangeFrameKind>(kind);
+  PDC_RETURN_IF_ERROR(r.get(f.join_id));
+  PDC_RETURN_IF_ERROR(r.get(f.epoch));
+  PDC_RETURN_IF_ERROR(r.get(f.from));
+  PDC_RETURN_IF_ERROR(r.get(f.seq));
+  switch (f.kind) {
+    case ExchangeFrameKind::kBatch: {
+      PDC_RETURN_IF_ERROR(r.get(f.side));
+      if (f.side != kSideA && f.side != kSideB) {
+        return Status::Corruption("bad exchange batch side");
+      }
+      PDC_RETURN_IF_ERROR(r.get_vector(f.tuple_storage));
+      f.tuples = f.tuple_storage;
+      break;
+    }
+    case ExchangeFrameKind::kEos:
+      PDC_RETURN_IF_ERROR(r.get(f.batches_total));
+      if (f.seq != kEosSeq) {
+        return Status::Corruption("EOS frame with a batch seq");
+      }
+      break;
+    case ExchangeFrameKind::kAck:
+      break;
+  }
+  return f;
+}
+
+// ------------------------------------------------------------------- port
+
+ExchangePort::ExchangePort(MessageBus& bus, ServerId id, Options options)
+    : bus_(bus), id_(id), options_(options) {
+  receiver_ = std::thread([this] { receive_loop(); });
+}
+
+ExchangePort::~ExchangePort() {
+  close();
+  if (receiver_.joinable()) receiver_.join();
+}
+
+void ExchangePort::close() {
+  {
+    std::lock_guard lock(mu_);
+    closed_ = true;
+  }
+  bus_.exchange_mailbox(id_).close();
+  cv_.notify_all();
+}
+
+void ExchangePort::receive_loop() {
+  Mailbox& inbox = bus_.exchange_mailbox(id_);
+  while (auto message = inbox.pop()) {
+    Envelope envelope;
+    std::span<const std::uint8_t> payload;
+    if (!envelope_unwrap(message->payload, envelope, payload)) {
+      continue;  // checksum failure: corrupted in transit == lost
+    }
+    SerialReader reader(payload);
+    auto frame = ExchangeFrame::Deserialize(reader);
+    if (!frame.ok()) continue;
+    if (frame->kind == ExchangeFrameKind::kAck) {
+      {
+        std::lock_guard lock(mu_);
+        acks_[{frame->join_id, frame->epoch}].insert(
+            ack_key(frame->from, frame->seq));
+      }
+      cv_.notify_all();
+      continue;
+    }
+    // Batch or EOS: record it exactly once, ack it every time (the ack for
+    // an earlier delivery may itself have been dropped).
+    {
+      std::lock_guard lock(mu_);
+      if (!closed_) {
+        EpochState& state = states_[{frame->join_id, frame->epoch}];
+        if (state.stamp == 0) state.stamp = ++stamp_;
+        ProducerStream& stream = state.producers[frame->from];
+        if (frame->kind == ExchangeFrameKind::kEos) {
+          stream.total = frame->batches_total;
+        } else if (stream.seqs.insert(frame->seq).second) {
+          auto& out = frame->side == kSideA ? state.a : state.b;
+          out.insert(out.end(), frame->tuple_storage.begin(),
+                     frame->tuple_storage.end());
+        }
+        if (states_.size() > kMaxEpochStates) {
+          auto oldest = states_.begin();
+          for (auto it = states_.begin(); it != states_.end(); ++it) {
+            if (it->second.stamp < oldest->second.stamp) oldest = it;
+          }
+          states_.erase(oldest);
+        }
+      }
+    }
+    ExchangeFrame ack;
+    ack.kind = ExchangeFrameKind::kAck;
+    ack.join_id = frame->join_id;
+    ack.epoch = frame->epoch;
+    ack.from = id_;
+    ack.seq = frame->seq;
+    std::uint64_t frame_id;
+    {
+      std::lock_guard lock(mu_);
+      frame_id = next_frame_id_++;
+    }
+    bus_.send_to_exchange(
+        id_, frame->from,
+        envelope_wrap(Envelope{.request_id = frame_id}, ack.serialize()));
+    cv_.notify_all();
+  }
+  // Mailbox closed: fail every waiter.
+  {
+    std::lock_guard lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool ExchangePort::ship(std::uint64_t join_id, std::uint32_t epoch,
+                        const std::vector<OutboundFrame>& frames,
+                        ShuffleStats& stats) {
+  if (frames.empty()) return true;
+  const EpochKey key{join_id, epoch};
+  const auto deadline = std::chrono::steady_clock::now() + options_.deadline;
+  std::uint32_t attempt = 0;
+  while (true) {
+    // (Re)transmit every frame not yet acked.
+    std::vector<const OutboundFrame*> unacked;
+    {
+      std::lock_guard lock(mu_);
+      if (closed_) return false;
+      const auto it = acks_.find(key);
+      for (const OutboundFrame& f : frames) {
+        if (it == acks_.end() ||
+            it->second.count(ack_key(f.dest, f.seq)) == 0) {
+          unacked.push_back(&f);
+        }
+      }
+    }
+    if (unacked.empty()) {
+      std::lock_guard lock(mu_);
+      acks_.erase(key);
+      return true;
+    }
+    for (const OutboundFrame* f : unacked) {
+      std::uint64_t frame_id;
+      {
+        std::lock_guard lock(mu_);
+        frame_id = next_frame_id_++;
+      }
+      bus_.send_to_exchange(
+          id_, f->dest,
+          envelope_wrap(Envelope{.request_id = frame_id, .attempt = attempt},
+                        f->bytes));
+      stats.bytes_sent += f->bytes.size();
+      ++stats.msgs_sent;
+      if (attempt > 0) ++stats.retransmits;
+    }
+    const auto wake = std::min(
+        deadline,
+        std::chrono::steady_clock::now() + options_.retransmit_interval);
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait_until(lock, wake, [&] {
+        if (closed_) return true;
+        const auto it = acks_.find(key);
+        if (it == acks_.end()) return false;
+        return std::all_of(frames.begin(), frames.end(),
+                           [&](const OutboundFrame& f) {
+                             return it->second.count(
+                                        ack_key(f.dest, f.seq)) != 0;
+                           });
+      });
+      if (closed_) return false;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      bool done;
+      {
+        std::lock_guard lock(mu_);
+        const auto it = acks_.find(key);
+        done = it != acks_.end() &&
+               std::all_of(frames.begin(), frames.end(),
+                           [&](const OutboundFrame& f) {
+                             return it->second.count(
+                                        ack_key(f.dest, f.seq)) != 0;
+                           });
+        acks_.erase(key);
+      }
+      return done;
+    }
+    ++attempt;
+  }
+}
+
+bool ExchangePort::stream_complete(
+    const EpochState& state, const std::vector<ServerId>& producers) const {
+  for (const ServerId p : producers) {
+    if (p == id_) continue;
+    const auto it = state.producers.find(p);
+    if (it == state.producers.end() || !it->second.complete()) return false;
+  }
+  return true;
+}
+
+std::optional<CollectedTuples> ExchangePort::collect(
+    std::uint64_t join_id, std::uint32_t epoch,
+    const std::vector<ServerId>& producers) {
+  const EpochKey key{join_id, epoch};
+  const auto deadline = std::chrono::steady_clock::now() + options_.deadline;
+  std::unique_lock lock(mu_);
+  const bool complete = cv_.wait_until(lock, deadline, [&] {
+    if (closed_) return true;
+    const auto it = states_.find(key);
+    // An epoch with no remote producers completes vacuously on an absent
+    // state bucket.
+    return stream_complete(it != states_.end() ? it->second : EpochState{},
+                           producers);
+  });
+  if (closed_) return std::nullopt;
+  const auto it = states_.find(key);
+  if (!complete &&
+      !stream_complete(it != states_.end() ? it->second : EpochState{},
+                       producers)) {
+    return std::nullopt;
+  }
+  CollectedTuples out;
+  if (it != states_.end()) {
+    out.a = std::move(it->second.a);
+    out.b = std::move(it->second.b);
+    states_.erase(it);
+  }
+  return out;
+}
+
+void ExchangePort::forget(std::uint64_t join_id) {
+  std::lock_guard lock(mu_);
+  for (auto it = states_.begin(); it != states_.end();) {
+    it = it->first.first == join_id ? states_.erase(it) : std::next(it);
+  }
+  for (auto it = acks_.begin(); it != acks_.end();) {
+    it = it->first.first == join_id ? acks_.erase(it) : std::next(it);
+  }
+}
+
+}  // namespace pdc::rpc

@@ -1,0 +1,197 @@
+// Exchange operator transport: reliable server-to-server tuple shuffle.
+//
+// Cross-object joins partition candidate tuples by zone id and ship each
+// partition to the server that owns the zone (ParGRES-style exchange).  The
+// MessageBus provides only a lossy, per-server exchange mailbox; this port
+// layers exactly-once delivery on top of it with the same envelope
+// machinery the client RPC path uses:
+//
+//   - every frame travels inside an Envelope (FNV-1a checksum), so
+//     in-transit corruption is detected and treated as loss;
+//   - the sender retransmits every unacked frame until the receiver acks
+//     it or
+//     the shuffle deadline expires;
+//   - the receiver dedups frames by (producer, seq) per (join_id, epoch)
+//     and re-acks duplicates, so fault-injected duplication and sender
+//     retransmits deliver each batch exactly once;
+//   - an EOS frame per producer carries the total batch count, so the
+//     consumer knows when a producer's stream is complete.
+//
+// Epochs: the client re-runs a failed join round under a fresh epoch.
+// Frames are keyed by (join_id, epoch); a late frame from a failed epoch
+// lands in that epoch's state bucket and is never mixed into the retry.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "common/serial.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "rpc/message_bus.h"
+
+namespace pdc::rpc {
+
+/// One join candidate flowing through the exchange.  `zone` is the TARGET
+/// zone bucket (for band-expanded probe tuples this differs from the zone
+/// the value itself falls in), `pos` the element's original-space position.
+struct JoinTuple {
+  std::int64_t zone = 0;
+  double value = 0.0;
+  std::uint64_t pos = 0;
+};
+static_assert(std::is_trivially_copyable_v<JoinTuple> &&
+                  sizeof(JoinTuple) == 24,
+              "JoinTuple is shipped as raw bytes");
+
+/// Leading wire byte of every exchange frame.  Numerically equal to
+/// server::RequestType::kExchange so peek_request_type classifies exchange
+/// frames without the rpc layer depending on server wire headers.
+inline constexpr std::uint8_t kExchangeFrameTag = 6;
+
+enum class ExchangeFrameKind : std::uint8_t {
+  kBatch = 1,  ///< one batch of tuples for one side
+  kEos = 2,    ///< producer finished; carries its total batch count
+  kAck = 3,    ///< receiver acknowledges (producer retransmits until seen)
+};
+
+/// Sequence number reserved for the EOS frame (batches use 0..n-1).
+inline constexpr std::uint32_t kEosSeq = 0xFFFFFFFFu;
+
+/// Which join side a batch belongs to (0 = build/A, 1 = probe/B).
+inline constexpr std::uint8_t kSideA = 0;
+inline constexpr std::uint8_t kSideB = 1;
+
+struct ExchangeFrame {
+  ExchangeFrameKind kind = ExchangeFrameKind::kBatch;
+  std::uint64_t join_id = 0;
+  std::uint32_t epoch = 0;
+  /// kBatch/kEos: producing server.  kAck: the acking server.
+  std::uint32_t from = 0;
+  /// kBatch: batch index.  kEos: kEosSeq.  kAck: the seq being acked.
+  std::uint32_t seq = 0;
+  std::uint8_t side = kSideA;         ///< kBatch only
+  std::uint32_t batches_total = 0;    ///< kEos only
+  /// kBatch payload.  serialize() emits this as a borrowed GatherWriter
+  /// span (the single bulk copy happens at wire assembly), so the span
+  /// must stay alive until serialize() returns.
+  std::span<const JoinTuple> tuples;
+  /// Deserialize materializes the batch here and points `tuples` at it.
+  std::vector<JoinTuple> tuple_storage;
+
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  static Result<ExchangeFrame> Deserialize(SerialReader& r);
+};
+
+/// What one reliable shipment actually cost (feeds the MPC shuffle terms
+/// of the cost model and the join response's observability fields).
+struct ShuffleStats {
+  std::uint64_t bytes_sent = 0;  ///< envelope payload bytes, incl. rexmits
+  std::uint64_t msgs_sent = 0;
+  std::uint64_t retransmits = 0;
+};
+
+/// Tuples collected from every remote producer of one (join_id, epoch).
+struct CollectedTuples {
+  std::vector<JoinTuple> a;
+  std::vector<JoinTuple> b;
+};
+
+/// A serialized frame scheduled for reliable delivery.
+struct OutboundFrame {
+  ServerId dest = 0;
+  std::uint32_t seq = 0;
+  std::vector<std::uint8_t> bytes;  ///< ExchangeFrame::serialize() output
+};
+
+/// How long ship()/collect() keep retrying before giving up; the join
+/// handler surfaces expiry as kUnavailable and the client re-plans.
+struct ExchangeOptions {
+  std::chrono::milliseconds deadline{500};
+  std::chrono::milliseconds retransmit_interval{25};
+};
+
+/// Per-server endpoint of the exchange: owns a receiver thread draining the
+/// server's exchange mailbox, acking and buffering incoming batches, and
+/// recording acks for in-flight shipments.
+class ExchangePort {
+ public:
+  using Options = ExchangeOptions;
+
+  ExchangePort(MessageBus& bus, ServerId id, Options options = {});
+  ~ExchangePort();
+
+  ExchangePort(const ExchangePort&) = delete;
+  ExchangePort& operator=(const ExchangePort&) = delete;
+
+  [[nodiscard]] ServerId id() const noexcept { return id_; }
+
+  /// Reliably deliver `frames` (batches + one EOS per destination),
+  /// retransmitting unacked frames every retransmit_interval until all are
+  /// acked or the deadline expires.  Returns false on deadline/closure;
+  /// `stats` accumulates bytes/messages including retransmits either way.
+  bool ship(std::uint64_t join_id, std::uint32_t epoch,
+            const std::vector<OutboundFrame>& frames, ShuffleStats& stats);
+
+  /// Block until every producer in `producers` (excluding this server) has
+  /// delivered a complete stream (all batches + EOS) for (join_id, epoch),
+  /// then return the buffered tuples and drop the state.  nullopt on
+  /// deadline expiry or port closure — the epoch failed.
+  std::optional<CollectedTuples> collect(std::uint64_t join_id,
+                                         std::uint32_t epoch,
+                                         const std::vector<ServerId>& producers);
+
+  /// Drop any buffered state for `join_id` (all epochs).  Called once the
+  /// join's response is cached so abandoned epochs cannot accumulate.
+  void forget(std::uint64_t join_id);
+
+  /// Wake every ship()/collect() waiter with failure and stop accepting
+  /// frames.  Idempotent; also closes the underlying exchange mailbox.
+  void close();
+
+ private:
+  struct ProducerStream {
+    std::set<std::uint32_t> seqs;  ///< batch seqs received (deduped)
+    std::optional<std::uint32_t> total;  ///< from EOS
+    [[nodiscard]] bool complete() const noexcept {
+      return total.has_value() && seqs.size() == *total;
+    }
+  };
+  struct EpochState {
+    std::vector<JoinTuple> a;
+    std::vector<JoinTuple> b;
+    std::map<std::uint32_t, ProducerStream> producers;
+    std::uint64_t stamp = 0;  ///< insertion order, for pruning
+  };
+  using EpochKey = std::pair<std::uint64_t, std::uint32_t>;
+
+  void receive_loop();
+  [[nodiscard]] bool stream_complete(const EpochState& state,
+                                     const std::vector<ServerId>& producers)
+      const;
+
+  MessageBus& bus_;
+  const ServerId id_;
+  const Options options_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool closed_ = false;
+  std::uint64_t stamp_ = 0;
+  std::map<EpochKey, EpochState> states_;
+  /// Acks seen, keyed (join, epoch) -> set of (dest << 32 | seq).
+  std::map<EpochKey, std::set<std::uint64_t>> acks_;
+  std::uint64_t next_frame_id_ = 1;
+
+  std::thread receiver_;
+};
+
+}  // namespace pdc::rpc

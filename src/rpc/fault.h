@@ -30,6 +30,7 @@ namespace pdc::rpc {
 enum class Direction : std::uint8_t {
   kClientToServer = 0,
   kServerToClient = 1,
+  kServerToServer = 2,  ///< exchange-operator shuffle traffic
 };
 
 /// What happens to a server's request loop when it reaches its scripted

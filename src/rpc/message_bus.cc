@@ -278,6 +278,12 @@ bool MessageBus::send_to_client(ServerId server,
                  {server, std::move(payload)});
 }
 
+bool MessageBus::send_to_exchange(ServerId from, ServerId to,
+                                  std::vector<std::uint8_t> payload) {
+  return deliver(exchange_[to], Direction::kServerToServer, to,
+                 {from, std::move(payload)});
+}
+
 void MessageBus::shutdown() {
   {
     std::lock_guard lock(delay_mu_);
@@ -285,6 +291,7 @@ void MessageBus::shutdown() {
   }
   delay_cv_.notify_all();
   for (Mailbox& m : servers_) m.close();
+  for (Mailbox& m : exchange_) m.close();
   client_.close();
 }
 

@@ -173,7 +173,8 @@ class Mailbox {
 
 // ---------------------------------------------------------------------- bus
 
-/// One client + N server mailboxes, plus transfer statistics.
+/// One client + N server mailboxes (plus one exchange mailbox per server
+/// for server-to-server shuffle traffic), and transfer statistics.
 ///
 /// bytes_transferred()/messages_sent() count only messages actually
 /// delivered into a mailbox: sends that were refused (mailbox closed) or
@@ -181,7 +182,7 @@ class Mailbox {
 class MessageBus {
  public:
   explicit MessageBus(std::uint32_t num_servers)
-      : servers_(num_servers) {}
+      : servers_(num_servers), exchange_(num_servers) {}
   ~MessageBus();
 
   MessageBus(const MessageBus&) = delete;
@@ -211,8 +212,19 @@ class MessageBus {
   /// Server -> client.
   bool send_to_client(ServerId server, std::vector<std::uint8_t> payload);
 
+  /// Server `from` -> server `to`, onto the destination's *exchange*
+  /// mailbox (a separate lane from client RPC so shuffle traffic can never
+  /// deadlock against request handling).  Same fault model as every other
+  /// send: the injector may drop/delay/duplicate/corrupt the frame, and
+  /// reliability comes from the ExchangePort's ack/retransmit layer.
+  bool send_to_exchange(ServerId from, ServerId to,
+                        std::vector<std::uint8_t> payload);
+
   [[nodiscard]] Mailbox& server_mailbox(ServerId server) {
     return servers_[server];
+  }
+  [[nodiscard]] Mailbox& exchange_mailbox(ServerId server) {
+    return exchange_[server];
   }
   [[nodiscard]] Mailbox& client_mailbox() { return client_; }
 
@@ -256,6 +268,7 @@ class MessageBus {
   void delay_loop();
 
   std::vector<Mailbox> servers_;
+  std::vector<Mailbox> exchange_;
   Mailbox client_;
   FaultInjector* injector_ = nullptr;
 

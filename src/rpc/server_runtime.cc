@@ -152,6 +152,13 @@ void ServerRuntime::loop() {
       handle_request(envelope, request, dequeued_us);
       continue;
     }
+    if (options_.inline_only && options_.inline_only(request)) {
+      // Exchange-coordinating request: serve it here, on this server's own
+      // thread, so N such handlers across N servers always make progress
+      // regardless of pool width (see ServerRuntimeOptions::inline_only).
+      handle_request(envelope, request, dequeued_us);
+      continue;
+    }
     // `request` borrows from the frame, so Pending owns the whole frame and
     // re-parses at dispatch (cheap: header check + checksum).
     admit(Pending{envelope, std::move(message->payload), dequeued_us});

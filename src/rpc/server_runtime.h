@@ -66,6 +66,13 @@ struct ServerRuntimeOptions {
   /// or non-positive = weight 1).  With the default empty vector every
   /// tenant weighs 1 and the wait queue degenerates to FIFO.
   std::vector<double> tenant_weights;
+  /// Requests matching this predicate (on the unwrapped request payload)
+  /// are handled inline on the mailbox thread, bypassing pool dispatch and
+  /// admission.  Needed for exchange-coordinating requests (kJoinEval):
+  /// their handlers block on tuples from *other* servers' handlers, so
+  /// running them through a shared pool of fewer workers than servers
+  /// would deadlock.  Null = dispatch everything normally.
+  std::function<bool(std::span<const std::uint8_t>)> inline_only;
   /// Deployment metrics (null = unmetered).  The runtime registers
   /// "rpc.server<id>.requests", ".shed", ".expired", a ".handle_seconds"
   /// wall latency histogram, and queue/mailbox depth gauges.  Must outlive

@@ -63,6 +63,35 @@ std::vector<std::uint8_t> QueryServer::handle(
     }
     return transfer_write(*request, trace).serialize();
   }
+  if (*type == RequestType::kJoinEval) {
+    auto request = JoinEvalRequest::Deserialize(reader);
+    if (!request.ok()) {
+      JoinEvalResponse resp;
+      resp.status = request.status();
+      return resp.serialize();
+    }
+    // Exactly-once per (join_id, epoch): a duplicate (bus duplication or
+    // client retry) is answered from the cached bytes — the exchange state
+    // behind the original answer is gone, re-running would deadlock-wait.
+    const std::pair<std::uint64_t, std::uint32_t> key{request->join_id,
+                                                      request->epoch};
+    {
+      std::lock_guard lock(join_cache_mu_);
+      for (const auto& [k, bytes] : join_cache_) {
+        if (k == key) return bytes;
+      }
+    }
+    std::vector<std::uint8_t> bytes = join_eval(*request, trace).serialize();
+    {
+      constexpr std::size_t kJoinCacheEntries = 32;
+      std::lock_guard lock(join_cache_mu_);
+      if (join_cache_.size() >= kJoinCacheEntries) {
+        join_cache_.erase(join_cache_.begin());
+      }
+      join_cache_.emplace_back(key, bytes);
+    }
+    return bytes;
+  }
   auto request = GetDataRequest::Deserialize(reader);
   if (!request.ok()) {
     GetDataResponse resp;

@@ -26,7 +26,9 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "common/cost_model.h"
@@ -35,6 +37,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "pfs/read_aggregator.h"
+#include "rpc/exchange.h"
 #include "server/region_cache.h"
 #include "server/region_pipeline.h"
 #include "server/wire.h"
@@ -86,6 +89,15 @@ struct ServerOptions {
   /// Bulk-rebuild the sorted replica once the source's delta log reaches
   /// this many entries.  0 disables rebuilds.
   std::uint64_t replica_rebuild_threshold = 4096;
+  /// This server's endpoint on the exchange lane (server-to-server tuple
+  /// shuffle for cross-object joins).  Null = single-server deployments
+  /// only: a multi-participant kJoinEval is rejected with
+  /// FailedPrecondition.  Must outlive the server.
+  rpc::ExchangePort* exchange = nullptr;
+  /// Tuples per exchange batch frame.  Small enough that a corrupted or
+  /// dropped frame retransmits cheaply, large enough to amortize envelope
+  /// overhead.
+  std::uint32_t exchange_batch_tuples = 512;
 };
 
 class QueryServer {
@@ -124,6 +136,14 @@ class QueryServer {
   /// kMetrics RPC: snapshot of the deployment registry (error status when
   /// the server was built without one).
   [[nodiscard]] MetricsResponse metrics_snapshot() const;
+  /// kJoinEval: one epoch of a cross-object zone join — produce candidate
+  /// tuples for this server's identities, shuffle them over the exchange
+  /// lane per the request's strategy, sort-merge join the owned zones.
+  /// Blocks (bounded by the exchange deadline) until every other
+  /// participant's stream arrived; kUnavailable on expiry.  Implemented in
+  /// join_eval.cc.
+  JoinEvalResponse join_eval(const JoinEvalRequest& request,
+                             const obs::TraceContext& trace = {});
 
   [[nodiscard]] const RegionCache& cache() const noexcept { return cache_; }
   [[nodiscard]] ServerId id() const noexcept { return options_.id; }
@@ -148,6 +168,19 @@ class QueryServer {
                        std::span<const std::uint64_t> positions,
                        std::span<std::uint8_t> out, CostLedger& ledger,
                        const obs::TraceContext& trace = {});
+
+  /// Join candidate production: evaluate `filter` on `object` for every
+  /// identity (pipeline run with locations), gather the matching values and
+  /// append finite ones as (zone, value, pos) tuples.  Non-finite values
+  /// are skipped — they can never satisfy |va - vb| <= eps, exactly as in
+  /// the element-wise oracle.
+  Status produce_join_candidates(ObjectId object_id,
+                                 const ValueInterval& filter,
+                                 Strategy eval_strategy,
+                                 const std::vector<ServerId>& identities,
+                                 double zone_height, CostLedger& ledger,
+                                 std::vector<rpc::JoinTuple>& out,
+                                 const obs::TraceContext& trace);
 
   /// Register this server's counters and cache gauges (no-op when the
   /// deployment is unmetered).
@@ -176,6 +209,14 @@ class QueryServer {
   /// Serialized index bins stay resident once read (FastBit also caches
   /// bitmaps); keyed by (object, region*2048+bin).
   RegionCache index_cache_;
+  /// Serialized kJoinEval responses by (join_id, epoch), bounded FIFO.  A
+  /// bus-duplicated or client-retried join request for an epoch this server
+  /// already answered must get the SAME bytes without re-running the
+  /// shuffle (whose exchange state was dropped with the first answer).
+  std::mutex join_cache_mu_;
+  std::vector<std::pair<std::pair<std::uint64_t, std::uint32_t>,
+                        std::vector<std::uint8_t>>>
+      join_cache_;
   /// The composable evaluation engine; holds references to the caches and
   /// options above (declared last so they are initialized first).
   RegionPipeline pipeline_;

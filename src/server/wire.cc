@@ -331,6 +331,110 @@ Result<TransferWriteResponse> TransferWriteResponse::Deserialize(
   return resp;
 }
 
+std::string_view join_strategy_name(JoinStrategy s) noexcept {
+  switch (s) {
+    case JoinStrategy::kZoneShuffle: return "zone";
+    case JoinStrategy::kBroadcast: return "broadcast";
+  }
+  return "?";
+}
+
+std::vector<std::uint8_t> JoinEvalRequest::serialize() const {
+  SerialWriter w;
+  w.put(static_cast<std::uint8_t>(RequestType::kJoinEval));
+  w.put(join_id);
+  w.put(epoch);
+  w.put(static_cast<std::uint8_t>(strategy));
+  w.put(static_cast<std::uint8_t>(eval_strategy));
+  w.put(object_a);
+  w.put(object_b);
+  w.put(epsilon);
+  w.put(zone_height);
+  put_interval(w, filter_a);
+  put_interval(w, filter_b);
+  w.put_vector(participants);
+  w.put_vector(act_as);
+  return w.take();
+}
+
+Result<JoinEvalRequest> JoinEvalRequest::Deserialize(SerialReader& r) {
+  JoinEvalRequest req;
+  std::uint8_t type = 0;
+  std::uint8_t strategy = 0;
+  std::uint8_t eval_strategy = 0;
+  PDC_RETURN_IF_ERROR(r.get(type));
+  if (type != static_cast<std::uint8_t>(RequestType::kJoinEval)) {
+    return Status::Corruption("not a JoinEvalRequest");
+  }
+  PDC_RETURN_IF_ERROR(r.get(req.join_id));
+  PDC_RETURN_IF_ERROR(r.get(req.epoch));
+  PDC_RETURN_IF_ERROR(r.get(strategy));
+  if (strategy > static_cast<std::uint8_t>(JoinStrategy::kBroadcast)) {
+    return Status::Corruption("join strategy invalid");
+  }
+  req.strategy = static_cast<JoinStrategy>(strategy);
+  PDC_RETURN_IF_ERROR(r.get(eval_strategy));
+  if (eval_strategy > static_cast<std::uint8_t>(Strategy::kAdaptive)) {
+    return Status::Corruption("strategy invalid");
+  }
+  req.eval_strategy = static_cast<Strategy>(eval_strategy);
+  PDC_RETURN_IF_ERROR(r.get(req.object_a));
+  PDC_RETURN_IF_ERROR(r.get(req.object_b));
+  PDC_RETURN_IF_ERROR(r.get(req.epsilon));
+  PDC_RETURN_IF_ERROR(r.get(req.zone_height));
+  PDC_RETURN_IF_ERROR(get_interval(r, req.filter_a));
+  PDC_RETURN_IF_ERROR(get_interval(r, req.filter_b));
+  PDC_RETURN_IF_ERROR(r.get_vector(req.participants));
+  PDC_RETURN_IF_ERROR(r.get_vector(req.act_as));
+  if (req.participants.empty()) {
+    return Status::Corruption("join epoch without participants");
+  }
+  return req;
+}
+
+std::vector<std::uint8_t> JoinEvalResponse::serialize() const {
+  // The per-zone pair vectors are the bulk of a join response; they ride
+  // as borrowed spans and are copied exactly once, at take().
+  GatherWriter w;
+  put_status(w, status);
+  w.put<std::uint64_t>(zones.size());
+  for (const ZonePairs& z : zones) {
+    w.put(z.zone);
+    w.put_vector_ref(std::span<const JoinPairWire>(z.pairs));
+  }
+  put_ledger(w, ledger);
+  w.put(shuffle_bytes_sent);
+  w.put(shuffle_msgs_sent);
+  w.put(shuffle_retransmits);
+  w.put(shuffle_rounds);
+  w.put(candidates_a);
+  w.put(candidates_b);
+  return w.take();
+}
+
+Result<JoinEvalResponse> JoinEvalResponse::Deserialize(SerialReader& r) {
+  JoinEvalResponse resp;
+  PDC_RETURN_IF_ERROR(get_status(r, resp.status));
+  std::uint64_t nzones = 0;
+  PDC_RETURN_IF_ERROR(r.get(nzones));
+  if (nzones > r.remaining() / sizeof(std::int64_t)) {
+    return Status::Corruption("zone count implausible");
+  }
+  resp.zones.resize(static_cast<std::size_t>(nzones));
+  for (ZonePairs& z : resp.zones) {
+    PDC_RETURN_IF_ERROR(r.get(z.zone));
+    PDC_RETURN_IF_ERROR(r.get_vector(z.pairs));
+  }
+  PDC_RETURN_IF_ERROR(get_ledger(r, resp.ledger));
+  PDC_RETURN_IF_ERROR(r.get(resp.shuffle_bytes_sent));
+  PDC_RETURN_IF_ERROR(r.get(resp.shuffle_msgs_sent));
+  PDC_RETURN_IF_ERROR(r.get(resp.shuffle_retransmits));
+  PDC_RETURN_IF_ERROR(r.get(resp.shuffle_rounds));
+  PDC_RETURN_IF_ERROR(r.get(resp.candidates_a));
+  PDC_RETURN_IF_ERROR(r.get(resp.candidates_b));
+  return resp;
+}
+
 std::vector<std::uint8_t> MetricsRequest::serialize() const {
   SerialWriter w;
   w.put(static_cast<std::uint8_t>(RequestType::kMetrics));
@@ -368,7 +472,9 @@ Result<RequestType> peek_request_type(std::span<const std::uint8_t> payload) {
   if (type != static_cast<std::uint8_t>(RequestType::kEvalQuery) &&
       type != static_cast<std::uint8_t>(RequestType::kGetData) &&
       type != static_cast<std::uint8_t>(RequestType::kMetrics) &&
-      type != static_cast<std::uint8_t>(RequestType::kTransferWrite)) {
+      type != static_cast<std::uint8_t>(RequestType::kTransferWrite) &&
+      type != static_cast<std::uint8_t>(RequestType::kJoinEval) &&
+      type != static_cast<std::uint8_t>(RequestType::kExchange)) {
     return Status::Corruption("unknown request type");
   }
   return static_cast<RequestType>(type);

@@ -41,6 +41,11 @@ enum class RequestType : std::uint8_t {
   kGetData = 2,
   kMetrics = 3,  ///< scrape the server's live MetricsRegistry snapshot
   kTransferWrite = 4,  ///< region append/overwrite transfer (write path)
+  kJoinEval = 5,  ///< cross-object zone join round (produce/shuffle/join)
+  /// Server-to-server exchange frame (rpc::ExchangeFrame).  Never arrives
+  /// on a server's request mailbox — it travels on the exchange lane — but
+  /// shares the type-byte space so peek_request_type classifies it.
+  kExchange = 6,
 };
 
 /// One conjunct: an interval condition on one object.
@@ -213,6 +218,87 @@ struct TransferWriteResponse {
 
   [[nodiscard]] std::vector<std::uint8_t> serialize() const;
   static Result<TransferWriteResponse> Deserialize(SerialReader& r);
+};
+
+/// How a JoinQuery moves probe-side candidates to the zone owners.
+enum class JoinStrategy : std::uint8_t {
+  /// Partition by zone: each candidate is shipped only to the server
+  /// owning its (band-expanded) zone — O(|B|) cross-server bytes.
+  kZoneShuffle = 0,
+  /// Trivially-correct baseline: every probe candidate goes to every
+  /// participant, which keeps only its owned zones — O(P * |B|) bytes.
+  kBroadcast = 1,
+};
+
+std::string_view join_strategy_name(JoinStrategy s) noexcept;
+
+/// One epoch of a cross-object epsilon join (paper ROADMAP item 4; zone
+/// algorithm after Nieto-Santisteban et al., MSR-TR-2005-169).  Every
+/// participant receives the same request, produces candidate tuples for
+/// its identities via the local pipeline, shuffles them over the exchange
+/// lane, then sort-merge joins the zones it owns.
+struct JoinEvalRequest {
+  std::uint64_t join_id = 0;
+  /// Client-chosen round number; bumped when a round fails so stale
+  /// shuffle frames can never leak into the retry.
+  std::uint32_t epoch = 1;
+  JoinStrategy strategy = JoinStrategy::kZoneShuffle;
+  /// Candidate-production strategy for the local pipeline runs.
+  Strategy eval_strategy = Strategy::kHistogram;
+  ObjectId object_a = kInvalidObjectId;  ///< build side (owns pair zones)
+  ObjectId object_b = kInvalidObjectId;  ///< probe side (band-expanded)
+  double epsilon = 0.0;
+  /// Zone bucket height; must be finite, positive and >= epsilon (the MSR
+  /// zone-algorithm admissibility rule), validated at plan time.
+  double zone_height = 0.0;
+  /// Optional per-side value pre-filters (default: whole line).
+  ValueInterval filter_a;
+  ValueInterval filter_b;
+  /// Physical servers participating in this epoch, ascending.  Zone z is
+  /// owned by participants[z mod |participants|]; every participant
+  /// expects a complete tuple stream from every other one.
+  std::vector<ServerId> participants;
+  /// Extra identities this server evaluates (degraded mode), exactly as
+  /// in EvalRequest::act_as.
+  std::vector<ServerId> act_as;
+
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  static Result<JoinEvalRequest> Deserialize(SerialReader& r);
+};
+
+/// One matched (left, right) original-space position pair.
+struct JoinPairWire {
+  std::uint64_t left_pos = 0;
+  std::uint64_t right_pos = 0;
+};
+static_assert(std::is_trivially_copyable_v<JoinPairWire> &&
+              sizeof(JoinPairWire) == 16);
+
+/// All pairs of one owned zone, sorted by (left_pos, right_pos).
+struct ZonePairs {
+  std::int64_t zone = 0;
+  std::vector<JoinPairWire> pairs;
+};
+
+struct JoinEvalResponse {
+  Status status;
+  /// Owned zones ascending; concatenating responses across participants in
+  /// zone order yields the deterministic global result.
+  std::vector<ZonePairs> zones;
+  LedgerSummary ledger;
+  // Shuffle observability (MPC communication model): bytes/messages this
+  // server sent across the exchange lane (self-destined tuples are local
+  // and free), and the number of communication rounds (1 for both
+  // strategies here).
+  std::uint64_t shuffle_bytes_sent = 0;
+  std::uint64_t shuffle_msgs_sent = 0;
+  std::uint64_t shuffle_retransmits = 0;
+  std::uint64_t shuffle_rounds = 0;
+  std::uint64_t candidates_a = 0;  ///< build tuples this server produced
+  std::uint64_t candidates_b = 0;  ///< probe tuples this server produced
+
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  static Result<JoinEvalResponse> Deserialize(SerialReader& r);
 };
 
 /// Ask a server for a snapshot of its deployment metrics (counters,

@@ -1,0 +1,92 @@
+#include "server/zone_join.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace pdc::server {
+
+namespace {
+
+/// Zone ids stay within ±2e18: far inside int64 (±9.2e18) so ±1 band
+/// steps and modulo arithmetic can never overflow.
+constexpr double kZoneLimit = 2.0e18;
+
+double widen_down(double v) noexcept {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  return std::nextafter(std::nextafter(v, -kInf), -kInf);
+}
+
+double widen_up(double v) noexcept {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  return std::nextafter(std::nextafter(v, kInf), kInf);
+}
+
+}  // namespace
+
+std::int64_t zone_of(double value, double zone_height) noexcept {
+  const double z = std::floor(value / zone_height);
+  if (!(z > -kZoneLimit)) return static_cast<std::int64_t>(-kZoneLimit);
+  if (z >= kZoneLimit) return static_cast<std::int64_t>(kZoneLimit);
+  return static_cast<std::int64_t>(z);
+}
+
+std::pair<std::int64_t, std::int64_t> zone_band(double value, double epsilon,
+                                                double zone_height) noexcept {
+  const double lo = widen_down(value - epsilon);
+  const double hi = widen_up(value + epsilon);
+  return {zone_of(lo, zone_height), zone_of(hi, zone_height)};
+}
+
+Status validate_join_params(double epsilon, double zone_height) noexcept {
+  if (!std::isfinite(epsilon) || epsilon < 0.0) {
+    return Status::InvalidArgument("join epsilon must be finite and >= 0");
+  }
+  if (!std::isfinite(zone_height) || zone_height <= 0.0) {
+    return Status::InvalidArgument("zone height must be finite and > 0");
+  }
+  if (zone_height < epsilon) {
+    return Status::InvalidArgument(
+        "zone height must be >= epsilon (zone-algorithm rule)");
+  }
+  return Status::Ok();
+}
+
+ServerId zone_owner(std::int64_t zone,
+                    const std::vector<ServerId>& participants) noexcept {
+  const auto p = static_cast<std::int64_t>(participants.size());
+  return participants[static_cast<std::size_t>(((zone % p) + p) % p)];
+}
+
+std::vector<JoinPairWire> zone_merge_join(std::vector<rpc::JoinTuple> a,
+                                          std::vector<rpc::JoinTuple> b,
+                                          double epsilon) {
+  const auto by_value = [](const rpc::JoinTuple& x, const rpc::JoinTuple& y) {
+    return x.value != y.value ? x.value < y.value : x.pos < y.pos;
+  };
+  std::sort(a.begin(), a.end(), by_value);
+  std::sort(b.begin(), b.end(), by_value);
+  std::vector<JoinPairWire> out;
+  std::size_t lo = 0;
+  for (const rpc::JoinTuple& ta : a) {
+    // Band bounds are 2-ulp widened so the window can only be too wide;
+    // the exact predicate below decides membership, identically to the
+    // element-wise oracle.
+    const double lo_bound = widen_down(ta.value - epsilon);
+    const double hi_bound = widen_up(ta.value + epsilon);
+    while (lo < b.size() && b[lo].value < lo_bound) ++lo;
+    for (std::size_t j = lo; j < b.size() && b[j].value <= hi_bound; ++j) {
+      if (std::fabs(ta.value - b[j].value) <= epsilon) {
+        out.push_back({ta.pos, b[j].pos});
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const JoinPairWire& x, const JoinPairWire& y) {
+              return x.left_pos != y.left_pos ? x.left_pos < y.left_pos
+                                              : x.right_pos < y.right_pos;
+            });
+  return out;
+}
+
+}  // namespace pdc::server

@@ -1,0 +1,61 @@
+// Zone cross-match primitives for the epsilon join (Nieto-Santisteban et
+// al., "When Database Systems Meet the Grid", MSR-TR-2005-169: the zones
+// algorithm).
+//
+// The value line is cut into fixed-height zones; a build-side tuple lives
+// in the zone its value falls in, and a matched pair is emitted in the
+// BUILD tuple's zone — each pair therefore materializes in exactly one
+// zone, no cross-zone dedup needed.  A probe-side tuple must reach every
+// zone its epsilon ball can touch; with zone_height >= epsilon that band
+// spans at most three consecutive zones.  The band bounds are widened by
+// two ulps per side so double rounding of `value ± epsilon` can only ever
+// OVER-ship a tuple (harmless: the final exact predicate rejects it),
+// never under-ship one (which would silently lose a pair).
+//
+// All functions are pure; determinism at any pool width comes from sorting
+// both sides by (value, pos) before the merge and the pair list by
+// (left_pos, right_pos) after it, which erases arrival order entirely.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "rpc/exchange.h"
+#include "server/wire.h"
+
+namespace pdc::server {
+
+/// Zone id of `value`: floor(value / zone_height), clamped to a range with
+/// enough headroom that band expansion (±1 zone) and modulo routing can
+/// never overflow.  Clamping only coarsens the partitioning of extreme
+/// values — the exact join predicate is unaffected.
+[[nodiscard]] std::int64_t zone_of(double value, double zone_height) noexcept;
+
+/// Inclusive zone range [first, last] a probe value's epsilon ball can
+/// touch (2-ulp guarded, see file comment).
+[[nodiscard]] std::pair<std::int64_t, std::int64_t> zone_band(
+    double value, double epsilon, double zone_height) noexcept;
+
+/// Plan-time parameter validation: epsilon must be finite and >= 0,
+/// zone_height finite, positive and >= epsilon (the zone-algorithm
+/// admissibility rule; NaNs fail every comparison and are rejected here).
+[[nodiscard]] Status validate_join_params(double epsilon,
+                                          double zone_height) noexcept;
+
+/// Which participant owns zone `zone` (participants must be non-empty).
+[[nodiscard]] ServerId zone_owner(std::int64_t zone,
+                                  const std::vector<ServerId>& participants)
+    noexcept;
+
+/// Sort-merge epsilon join of one zone's tuples: sorts both sides by
+/// (value, pos), band-merges with the exact predicate
+/// |a.value - b.value| <= epsilon, and returns the pairs sorted by
+/// (left_pos, right_pos).  Takes the inputs by value because it sorts them.
+[[nodiscard]] std::vector<JoinPairWire> zone_merge_join(
+    std::vector<rpc::JoinTuple> a, std::vector<rpc::JoinTuple> b,
+    double epsilon);
+
+}  // namespace pdc::server

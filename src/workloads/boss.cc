@@ -71,4 +71,50 @@ Result<BossCatalog> import_boss(obj::ObjectStore& store, meta::MetaStore& meta,
   return catalog;
 }
 
+Result<BossJoinPair> import_boss_join_pair(obj::ObjectStore& store,
+                                           const BossJoinConfig& config) {
+  if (config.num_a == 0 || config.num_b == 0 ||
+      config.region_size_bytes == 0) {
+    return Status::InvalidArgument("BossJoinConfig fields must be nonzero");
+  }
+  if (!(config.zone_height > 0.0) || !(config.ra_max > config.ra_min)) {
+    return Status::InvalidArgument("BossJoinConfig ranges must be ordered");
+  }
+  BossJoinPair pair;
+  PDC_ASSIGN_OR_RETURN(pair.container, store.create_container("boss_join"));
+
+  Rng rng(config.seed);
+  const auto draw_catalog = [&](std::uint32_t n) {
+    std::vector<double> ra;
+    ra.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const std::uint64_t pick = rng.bounded(8);
+      double v = rng.uniform(config.ra_min, config.ra_max);
+      if (pick == 0) {
+        // Exact zone edge: k * zone_height, the boundary case the band
+        // expansion must get right.
+        v = std::floor(v / config.zone_height) * config.zone_height;
+      } else if (pick == 1 && !ra.empty()) {
+        // Duplicate coordinate (same cell observed twice).
+        v = ra[rng.bounded(ra.size())];
+      }
+      ra.push_back(v);
+    }
+    return ra;
+  };
+  const std::vector<double> ra_a = draw_catalog(config.num_a);
+  const std::vector<double> ra_b = draw_catalog(config.num_b);
+
+  obj::ImportOptions options;
+  options.region_size_bytes = config.region_size_bytes;
+  options.histogram.target_bins = 32;
+  PDC_ASSIGN_OR_RETURN(
+      pair.ra_a,
+      store.import_object<double>(pair.container, "boss_ra_a", ra_a, options));
+  PDC_ASSIGN_OR_RETURN(
+      pair.ra_b,
+      store.import_object<double>(pair.container, "boss_ra_b", ra_b, options));
+  return pair;
+}
+
 }  // namespace pdc::workloads

@@ -49,4 +49,31 @@ Result<BossCatalog> import_boss(obj::ObjectStore& store, meta::MetaStore& meta,
 /// closed form.
 [[nodiscard]] double boss_flux_quantile(double selectivity);
 
+/// Two-catalog cross-match input (paper §VI-C meets the zones algorithm):
+/// two RADEG column objects with overlapping sky coverage, the classic
+/// "match survey A sources to survey B sources within epsilon" workload.
+struct BossJoinConfig {
+  std::uint32_t num_a = 4000;  ///< sources in catalog A (build side)
+  std::uint32_t num_b = 4000;  ///< sources in catalog B (probe side)
+  double ra_min = 10.0;
+  double ra_max = 350.0;
+  /// Zone height the adversarial values are snapped against: ~1/8 of the
+  /// sources sit EXACTLY on a k*zone_height edge and ~1/8 duplicate an
+  /// earlier coordinate, so epsilon joins exercise boundary and duplicate
+  /// handling rather than only generic interior matches.
+  double zone_height = 0.5;
+  std::uint64_t region_size_bytes = 4096;
+  std::uint64_t seed = 0xB055u;
+};
+
+struct BossJoinPair {
+  ObjectId container = kInvalidObjectId;
+  ObjectId ra_a = kInvalidObjectId;  ///< f64 RADEG column of catalog A
+  ObjectId ra_b = kInvalidObjectId;  ///< f64 RADEG column of catalog B
+};
+
+/// Generate and import the two RADEG columns (multi-region f64 objects).
+Result<BossJoinPair> import_boss_join_pair(obj::ObjectStore& store,
+                                           const BossJoinConfig& config);
+
 }  // namespace pdc::workloads

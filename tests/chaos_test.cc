@@ -16,6 +16,7 @@
 #include "rpc/fault.h"
 #include "sortrep/sorted_replica.h"
 #include "testing/invariants.h"
+#include "workloads/boss.h"
 
 namespace pdc {
 namespace {
@@ -562,6 +563,175 @@ TEST_F(ChaosTest, AllServersDeadWriteIsCleanlyRejected) {
                                   ctx)
                   .ok());
   EXPECT_EQ(got, data_[100]);
+}
+
+// ---------------------------------------------------------------------------
+// Join-under-fault battery: the exchange shuffle must deliver every batch
+// exactly once through drops/duplicates/corruption (the checksum turns
+// corruption into loss, acks turn loss into retransmits, seq dedup turns
+// duplication into a no-op), and a server dying mid-shuffle must end in
+// either the exact fault-free pair list (re-planned epoch) or a clean
+// kUnavailable — never a partial or duplicated result.
+// ---------------------------------------------------------------------------
+
+class JoinChaosTest : public ChaosTest {
+ protected:
+  void SetUp() override {
+    ChaosTest::SetUp();
+    workloads::BossJoinConfig config;
+    config.num_a = 600;
+    config.num_b = 800;
+    config.region_size_bytes = 1024;
+    pair_ = std::move(workloads::import_boss_join_pair(*store_, config))
+                .value();
+  }
+
+  [[nodiscard]] query::JoinSpec join_spec() const {
+    query::JoinSpec spec;
+    spec.left = pair_.ra_a;
+    spec.right = pair_.ra_b;
+    spec.epsilon = 0.125;
+    spec.zone_height = 0.5;
+    return spec;
+  }
+
+  static void expect_same_pairs(const query::JoinResult& got,
+                                const query::JoinResult& want,
+                                std::string_view label) {
+    ASSERT_EQ(got.pairs.size(), want.pairs.size()) << label;
+    for (std::size_t i = 0; i < want.pairs.size(); ++i) {
+      ASSERT_EQ(got.pairs[i].left_pos, want.pairs[i].left_pos)
+          << label << " pair " << i;
+      ASSERT_EQ(got.pairs[i].right_pos, want.pairs[i].right_pos)
+          << label << " pair " << i;
+    }
+    EXPECT_EQ(got.num_zones, want.num_zones) << label;
+  }
+
+  workloads::BossJoinPair pair_;
+};
+
+// Lossy-but-alive fleet: dropped shuffle frames are retransmitted,
+// duplicated ones deduped by (producer, seq), corrupted ones rejected by
+// the envelope checksum and retransmitted — the pair list is bit-identical
+// to the fault-free run for BOTH strategies, across several seeds.
+TEST_F(JoinChaosTest, LossyShuffleDeliversExactlyOnce) {
+  query::ServiceOptions clean_options;
+  clean_options.num_servers = 4;
+  query::QueryService baseline(*store_, clean_options);
+  const auto want = baseline.join(join_spec());
+  ASSERT_TRUE(want.ok()) << want.status().ToString();
+  ASSERT_GT(want->pairs.size(), 0u);
+
+  for (const std::uint64_t seed : {7ull, 1234ull}) {
+    rpc::FaultPlan plan;
+    plan.seed = seed;
+    plan.drop_rate = 0.10;
+    plan.delay_rate = 0.10;
+    plan.duplicate_rate = 0.15;  // the interesting case: replayed batches
+    plan.corrupt_rate = 0.05;
+    plan.min_delay = std::chrono::milliseconds(1);
+    plan.max_delay = std::chrono::milliseconds(5);
+    rpc::FaultInjector injector(plan);
+    query::ServiceOptions faulty_options = clean_options;
+    faulty_options.fault_injector = &injector;
+    faulty_options.retry = tight_retry();
+    query::QueryService service(*store_, faulty_options);
+
+    for (const auto strategy : {server::JoinStrategy::kZoneShuffle,
+                                server::JoinStrategy::kBroadcast}) {
+      auto spec = join_spec();
+      spec.strategy = strategy;
+      auto got = service.join(spec);
+      ASSERT_TRUE(got.ok())
+          << "seed " << seed << " strategy "
+          << server::join_strategy_name(strategy) << ": "
+          << got.status().ToString();
+      expect_same_pairs(*got, *want,
+                        server::join_strategy_name(strategy));
+    }
+    EXPECT_GT(injector.counters().dropped + injector.counters().corrupted,
+              0u)
+        << "seed " << seed << ": plan injected nothing — tighten rates";
+  }
+}
+
+// A server killed mid-join (it answers a couple of requests, then dies —
+// possibly between producing candidates and finishing its shuffle): the
+// client must converge to the exact fault-free answer via a re-planned
+// epoch, or fail cleanly with kUnavailable.  Never a wrong pair list.
+TEST_F(JoinChaosTest, ServerDeathMidShuffleDegradesOrFailsClean) {
+  query::ServiceOptions clean_options;
+  clean_options.num_servers = 4;
+  query::QueryService baseline(*store_, clean_options);
+  const auto want = baseline.join(join_spec());
+  ASSERT_TRUE(want.ok()) << want.status().ToString();
+
+  for (const std::uint32_t after : {0u, 1u, 2u}) {
+    for (const auto strategy : {server::JoinStrategy::kZoneShuffle,
+                                server::JoinStrategy::kBroadcast}) {
+      rpc::FaultPlan plan;
+      plan.server_faults.push_back(
+          {/*server=*/2, /*after_requests=*/after, rpc::ServerFate::kKilled});
+      rpc::FaultInjector injector(plan);
+      query::ServiceOptions faulty_options = clean_options;
+      faulty_options.fault_injector = &injector;
+      faulty_options.retry = tight_retry();
+      // The shuffle deadline must sit INSIDE the client's per-request retry
+      // budget (~400 ms under tight_retry): survivors wedged shipping to
+      // the dead server then fail their epoch with kUnavailable instead of
+      // looking dead themselves and collapsing the whole fleet.
+      faulty_options.join_shuffle_deadline_ms = 50;
+      query::QueryService service(*store_, faulty_options);
+
+      auto spec = join_spec();
+      spec.strategy = strategy;
+      auto got = service.join(spec);
+      const std::string label =
+          std::string(server::join_strategy_name(strategy)) +
+          " after_requests=" + std::to_string(after);
+      if (got.ok()) {
+        expect_same_pairs(*got, *want, label);
+      } else {
+        EXPECT_EQ(got.status().code(), StatusCode::kUnavailable) << label;
+      }
+      // Whether this attempt degraded or failed, retries on the same
+      // service must keep producing the exact answer.  Depending on
+      // `after`, server 2 may die only after answering the joins above, so
+      // keep joining until the service has actually observed the death.
+      for (int retries = 0; retries < 3; ++retries) {
+        auto again = service.join(spec);
+        ASSERT_TRUE(again.ok())
+            << label << " retry " << retries << ": "
+            << again.status().ToString();
+        expect_same_pairs(*again, *want, label + " (retry)");
+        if (!service.dead_servers().empty()) break;
+      }
+      EXPECT_EQ(service.dead_servers(), (std::vector<ServerId>{2})) << label;
+    }
+  }
+}
+
+// Every server dead: join must fail fast with kUnavailable, not hang on
+// the shuffle deadline forever.
+TEST_F(JoinChaosTest, AllServersDeadJoinReturnsUnavailable) {
+  rpc::FaultPlan plan;
+  for (ServerId s = 0; s < 4; ++s) {
+    plan.server_faults.push_back({s, /*after_requests=*/0,
+                                  rpc::ServerFate::kKilled});
+  }
+  rpc::FaultInjector injector(plan);
+  query::ServiceOptions options;
+  options.num_servers = 4;
+  options.fault_injector = &injector;
+  options.retry = tight_retry();
+  options.retry.attempt_timeout = std::chrono::milliseconds(50);
+  options.retry.max_attempts = 2;
+  query::QueryService service(*store_, options);
+
+  auto result = service.join(join_spec());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
 }
 
 }  // namespace

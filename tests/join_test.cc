@@ -1,0 +1,330 @@
+// Cross-object epsilon join: zone math unit battery plus service-level
+// determinism — pairs must be byte-identical at any pool width, server
+// count and shuffle strategy, and equal to the nested-loop oracle.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "query/service.h"
+#include "server/zone_join.h"
+#include "testing/joincheck.h"
+#include "workloads/boss.h"
+
+namespace pdc {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// ------------------------------------------------------------- zone math
+
+TEST(ZoneMath, AssignmentAtBoundaries) {
+  EXPECT_EQ(server::zone_of(0.0, 1.0), 0);
+  EXPECT_EQ(server::zone_of(-0.0, 1.0), 0);
+  EXPECT_EQ(server::zone_of(0.5, 1.0), 0);
+  // Exact zone edges belong to the upper zone (floor semantics).
+  EXPECT_EQ(server::zone_of(1.0, 1.0), 1);
+  EXPECT_EQ(server::zone_of(std::nextafter(1.0, 0.0), 1.0), 0);
+  EXPECT_EQ(server::zone_of(-1.0, 1.0), -1);
+  EXPECT_EQ(server::zone_of(std::nextafter(-1.0, 0.0), 1.0), -1);
+  EXPECT_EQ(server::zone_of(-0.25, 0.5), -1);
+  EXPECT_EQ(server::zone_of(7.75, 0.25), 31);
+  // Extreme magnitudes clamp instead of overflowing.
+  EXPECT_LE(server::zone_of(1e300, 1e-3), std::int64_t{2000000000000000000});
+  EXPECT_GE(server::zone_of(-1e300, 1e-3),
+            std::int64_t{-2000000000000000000});
+}
+
+TEST(ZoneMath, BandCoversEveryReachablePartner) {
+  // Property: for any probe value vb, every va with |va - vb| <= eps has
+  // zone_of(va) inside zone_band(vb).  Sampled densely around edges.
+  Rng rng(11);
+  const double heights[] = {0.25, 1.0, 1.0 / 1024.0, 64.0};
+  for (const double h : heights) {
+    for (const double eps : {0.0, h / 2.0, std::nextafter(h, 0.0), h}) {
+      for (int trial = 0; trial < 200; ++trial) {
+        double vb = rng.uniform(-8.0 * h, 8.0 * h);
+        if (trial % 4 == 0) {
+          vb = std::floor(vb / h) * h;  // exact edge
+        }
+        const auto [first, last] = server::zone_band(vb, eps, h);
+        for (const double va :
+             {vb - eps, vb + eps, vb,
+              std::nextafter(vb - eps, vb), std::nextafter(vb + eps, vb)}) {
+          if (!(std::fabs(va - vb) <= eps)) continue;
+          const std::int64_t z = server::zone_of(va, h);
+          EXPECT_GE(z, first) << "h=" << h << " eps=" << eps << " vb=" << vb;
+          EXPECT_LE(z, last) << "h=" << h << " eps=" << eps << " vb=" << vb;
+        }
+        // Nominally 3 consecutive zones for zone_height >= epsilon; the
+        // 2-ulp safety widening may cross one more boundary when
+        // value -/+ epsilon lands exactly on a zone edge.
+        EXPECT_LE(last - first, 3);
+      }
+    }
+  }
+}
+
+TEST(ZoneMath, ParamValidation) {
+  EXPECT_TRUE(server::validate_join_params(0.0, 1.0).ok());
+  EXPECT_TRUE(server::validate_join_params(0.5, 0.5).ok());
+  const auto bad = [](double eps, double h) {
+    return server::validate_join_params(eps, h).code() ==
+           StatusCode::kInvalidArgument;
+  };
+  EXPECT_TRUE(bad(kNan, 1.0));
+  EXPECT_TRUE(bad(0.0, kNan));
+  EXPECT_TRUE(bad(-0.5, 1.0));
+  EXPECT_TRUE(bad(kInf, 1.0));
+  EXPECT_TRUE(bad(0.0, 0.0));
+  EXPECT_TRUE(bad(0.0, -1.0));
+  EXPECT_TRUE(bad(0.0, kInf));
+  EXPECT_TRUE(bad(1.0, 0.5));  // zone_height < epsilon inadmissible
+}
+
+TEST(ZoneMath, OwnerMapsNegativeZones) {
+  const std::vector<ServerId> participants{0, 1, 2};
+  for (std::int64_t z = -9; z <= 9; ++z) {
+    const ServerId owner = server::zone_owner(z, participants);
+    EXPECT_TRUE(owner == 0 || owner == 1 || owner == 2);
+    // Consecutive zones round-robin (adjacent band zones spread out).
+    EXPECT_NE(owner, server::zone_owner(z + 1, participants));
+  }
+  EXPECT_EQ(server::zone_owner(-3, participants),
+            server::zone_owner(0, participants));
+}
+
+TEST(ZoneMergeJoin, Degenerates) {
+  const auto t = [](double v, std::uint64_t pos) {
+    return rpc::JoinTuple{0, v, pos};
+  };
+  // Empty sides.
+  EXPECT_TRUE(server::zone_merge_join({}, {t(1.0, 0)}, 1.0).empty());
+  EXPECT_TRUE(server::zone_merge_join({t(1.0, 0)}, {}, 1.0).empty());
+  // All-match with duplicates: cross product, sorted by (left, right).
+  const auto pairs = server::zone_merge_join(
+      {t(1.0, 5), t(1.0, 2)}, {t(1.0, 9), t(1.5, 1), t(1.0, 9)}, 0.5);
+  ASSERT_EQ(pairs.size(), 6u);
+  for (std::size_t i = 1; i < pairs.size(); ++i) {
+    EXPECT_TRUE(pairs[i - 1].left_pos < pairs[i].left_pos ||
+                (pairs[i - 1].left_pos == pairs[i].left_pos &&
+                 pairs[i - 1].right_pos <= pairs[i].right_pos));
+  }
+  EXPECT_EQ(pairs.front().left_pos, 2u);
+  // Inclusive epsilon boundary.
+  EXPECT_EQ(server::zone_merge_join({t(0.0, 0)}, {t(0.5, 0)}, 0.5).size(), 1u);
+  EXPECT_TRUE(server::zone_merge_join({t(0.0, 0)},
+                                      {t(std::nextafter(0.5, 1.0), 0)}, 0.5)
+                  .empty());
+}
+
+// --------------------------------------------------------- service level
+
+class JoinServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = ::testing::TempDir() + "/join_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(root_);
+    pfs::PfsConfig cfg;
+    cfg.root_dir = root_;
+    cluster_ = std::move(pfs::PfsCluster::Create(cfg)).value();
+    store_ = std::make_unique<obj::ObjectStore>(*cluster_);
+
+    workloads::BossJoinConfig config;
+    config.num_a = 900;
+    config.num_b = 1100;
+    config.zone_height = 0.5;
+    config.region_size_bytes = 1024;
+    pair_ = std::move(workloads::import_boss_join_pair(*store_, config))
+                .value();
+
+    // Mirror the catalogs for the oracle (same generator, same seed).
+    oracle_case_.a = regenerate(config, config.num_a, /*first=*/true);
+    oracle_case_.b = regenerate(config, config.num_b, /*first=*/false);
+    oracle_case_.epsilon = 0.125;
+    oracle_case_.zone_height = config.zone_height;
+  }
+  void TearDown() override { std::filesystem::remove_all(root_); }
+
+  /// Re-draws import_boss_join_pair's catalogs (same Rng stream): catalog A
+  /// is drawn first, catalog B continues the stream.
+  static std::vector<double> regenerate(const workloads::BossJoinConfig& c,
+                                        std::uint32_t n, bool first) {
+    Rng rng(c.seed);
+    std::vector<double> a, b;
+    const auto draw = [&](std::vector<double>& out, std::uint32_t count) {
+      for (std::uint32_t i = 0; i < count; ++i) {
+        const std::uint64_t pick = rng.bounded(8);
+        double v = rng.uniform(c.ra_min, c.ra_max);
+        if (pick == 0) {
+          v = std::floor(v / c.zone_height) * c.zone_height;
+        } else if (pick == 1 && !out.empty()) {
+          v = out[rng.bounded(out.size())];
+        }
+        out.push_back(v);
+      }
+    };
+    draw(a, c.num_a);
+    if (first) return a;
+    draw(b, c.num_b);
+    return b;
+  }
+
+  query::JoinSpec spec(server::JoinStrategy strategy) const {
+    query::JoinSpec s;
+    s.left = pair_.ra_a;
+    s.right = pair_.ra_b;
+    s.epsilon = oracle_case_.epsilon;
+    s.zone_height = oracle_case_.zone_height;
+    s.strategy = strategy;
+    return s;
+  }
+
+  query::JoinResult run(std::uint32_t servers, std::uint32_t threads,
+                        server::JoinStrategy strategy,
+                        query::OpStats* stats = nullptr) const {
+    query::ServiceOptions options;
+    options.num_servers = servers;
+    options.eval_threads = threads;
+    query::QueryService service(*store_, options);
+    auto result = service.join(spec(strategy));
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    if (stats != nullptr) *stats = service.last_stats();
+    return result.ok() ? std::move(*result) : query::JoinResult{};
+  }
+
+  static bool identical(const query::JoinResult& x,
+                        const query::JoinResult& y) {
+    return x.num_zones == y.num_zones &&
+           x.pairs.size() == y.pairs.size() &&
+           (x.pairs.empty() ||
+            std::memcmp(x.pairs.data(), y.pairs.data(),
+                        x.pairs.size() * sizeof(query::JoinPair)) == 0);
+  }
+
+  std::string root_;
+  std::unique_ptr<pfs::PfsCluster> cluster_;
+  std::unique_ptr<obj::ObjectStore> store_;
+  workloads::BossJoinPair pair_;
+  testing::JoinCase oracle_case_;
+};
+
+// Acceptance criterion: bit-identical pairs at pool widths 1/4/8 and
+// server counts 1/2/4, both strategies, all equal to the oracle.
+TEST_F(JoinServiceTest, DeterministicAcrossWidthsServersAndStrategies) {
+  const auto want = testing::join_oracle(oracle_case_);
+  ASSERT_FALSE(want.empty());  // the catalogs overlap by construction
+
+  query::JoinResult reference;
+  bool have_reference = false;
+  for (const std::uint32_t servers : {1u, 2u, 4u}) {
+    for (const std::uint32_t threads : {1u, 4u, 8u}) {
+      for (const auto strategy : {server::JoinStrategy::kZoneShuffle,
+                                  server::JoinStrategy::kBroadcast}) {
+        const query::JoinResult got = run(servers, threads, strategy);
+        ASSERT_EQ(got.pairs.size(), want.size())
+            << "servers=" << servers << " threads=" << threads;
+        for (std::size_t i = 0; i < want.size(); ++i) {
+          ASSERT_EQ(got.pairs[i].left_pos, want[i].left_pos) << "rank " << i;
+          ASSERT_EQ(got.pairs[i].right_pos, want[i].right_pos) << "rank " << i;
+        }
+        if (!have_reference) {
+          reference = got;
+          have_reference = true;
+        } else {
+          EXPECT_TRUE(identical(reference, got));
+        }
+      }
+    }
+  }
+}
+
+// The whole point of the exchange: at 4 servers the zone shuffle moves
+// strictly fewer bytes than broadcasting both sides everywhere.
+TEST_F(JoinServiceTest, ZoneShuffleBeatsBroadcastBytes) {
+  query::OpStats zone_stats, broadcast_stats;
+  const query::JoinResult zone =
+      run(4, 2, server::JoinStrategy::kZoneShuffle, &zone_stats);
+  const query::JoinResult broadcast =
+      run(4, 2, server::JoinStrategy::kBroadcast, &broadcast_stats);
+  EXPECT_TRUE(identical(zone, broadcast));
+  EXPECT_GT(broadcast_stats.shuffle_bytes, 0u);
+  EXPECT_LT(zone_stats.shuffle_bytes, broadcast_stats.shuffle_bytes);
+  EXPECT_EQ(zone_stats.join_candidates_left,
+            broadcast_stats.join_candidates_left);
+}
+
+// Single server: no cross-server traffic at all under zone shuffle.
+TEST_F(JoinServiceTest, SingleServerShipsNothing) {
+  query::OpStats stats;
+  run(1, 2, server::JoinStrategy::kZoneShuffle, &stats);
+  EXPECT_EQ(stats.shuffle_bytes, 0u);
+  EXPECT_EQ(stats.shuffle_msgs, 0u);
+}
+
+// Pre-filters that exclude everything produce a clean empty result.
+TEST_F(JoinServiceTest, EmptySideViaFilter) {
+  query::ServiceOptions options;
+  options.num_servers = 2;
+  query::QueryService service(*store_, options);
+  query::JoinSpec s = spec(server::JoinStrategy::kZoneShuffle);
+  s.left_filter = ValueInterval::from_op(QueryOp::kLT, -1.0e6);
+  const auto result = service.join(s);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->pairs.empty());
+  EXPECT_EQ(result->num_zones, 0u);
+}
+
+// Plan-time rejections surface before any server work happens.
+TEST_F(JoinServiceTest, PlanTimeValidation) {
+  query::ServiceOptions options;
+  options.num_servers = 2;
+  query::QueryService service(*store_, options);
+
+  query::JoinSpec s = spec(server::JoinStrategy::kZoneShuffle);
+  s.epsilon = kNan;
+  EXPECT_EQ(service.join(s).status().code(), StatusCode::kInvalidArgument);
+
+  s = spec(server::JoinStrategy::kZoneShuffle);
+  s.zone_height = 0.0;
+  EXPECT_EQ(service.join(s).status().code(), StatusCode::kInvalidArgument);
+
+  s = spec(server::JoinStrategy::kZoneShuffle);
+  s.zone_height = s.epsilon / 2.0;
+  EXPECT_EQ(service.join(s).status().code(), StatusCode::kInvalidArgument);
+
+  s = spec(server::JoinStrategy::kZoneShuffle);
+  s.right = 999999;
+  EXPECT_EQ(service.join(s).status().code(), StatusCode::kNotFound);
+}
+
+// import_boss_join_pair rejects nonsense configurations.
+TEST(BossJoinWorkload, ConfigValidation) {
+  const std::string root = ::testing::TempDir() + "/boss_join_cfg";
+  std::filesystem::remove_all(root);
+  pfs::PfsConfig cfg;
+  cfg.root_dir = root;
+  auto cluster = std::move(pfs::PfsCluster::Create(cfg)).value();
+  obj::ObjectStore store(*cluster);
+
+  workloads::BossJoinConfig config;
+  config.num_a = 0;
+  EXPECT_FALSE(workloads::import_boss_join_pair(store, config).ok());
+  config = {};
+  config.zone_height = 0.0;
+  EXPECT_FALSE(workloads::import_boss_join_pair(store, config).ok());
+  config = {};
+  config.ra_max = config.ra_min;
+  EXPECT_FALSE(workloads::import_boss_join_pair(store, config).ok());
+  std::filesystem::remove_all(root);
+}
+
+}  // namespace
+}  // namespace pdc

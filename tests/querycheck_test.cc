@@ -20,6 +20,7 @@
 #include "query/query.h"
 #include "sortrep/sorted_replica.h"
 #include "testing/invariants.h"
+#include "testing/joincheck.h"
 #include "testing/querycheck.h"
 
 namespace pdc::testing {
@@ -605,6 +606,65 @@ TEST(QueryCheckRegression, NanRegionNotAcceptedWholesale) {
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   EXPECT_FALSE(result->has_value())
       << (*result)->path << ": " << (*result)->detail;
+}
+
+// ------------------------------------------------------------- join check
+
+// The join headline property: zone-shuffle and broadcast, at every server
+// count, pool width and candidate-production strategy in the sweep, return
+// byte-identical pairs equal to the nested-loop oracle on adversarial
+// two-catalog cases (exact zone edges, |va-vb| == epsilon boundaries,
+// duplicates, non-finite values, negative zones, pre-filters).  The
+// extended configuration re-runs this at PDC_QC_CASES=200.
+TEST(JoinCheck, BothShuffleStrategiesAgreeWithOracle) {
+  JoinRunOptions options;
+  options.temp_root = test_temp_root();
+  const Status status =
+      run_joincheck(/*base_seed=*/1, /*num_cases=*/12, options);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+}
+
+// Harness sanity: the oracle itself honors the exact inclusive predicate
+// and the skip-non-finite rule, and the two-catalog shrinker converges to
+// a minimal failing case.
+TEST(JoinCheckSanity, OracleSemanticsAndShrinkerConverge) {
+  JoinCase c;
+  c.epsilon = 0.5;
+  c.zone_height = 1.0;
+  c.a = {0.0, 10.0, std::numeric_limits<double>::quiet_NaN(),
+         std::numeric_limits<double>::infinity()};
+  c.b = {0.5,  // exactly epsilon away: inclusive boundary -> pair
+         std::nextafter(0.5, 1.0),  // one ulp past: no pair
+         10.0, std::numeric_limits<double>::quiet_NaN()};
+  const auto pairs = join_oracle(c);
+  ASSERT_EQ(pairs.size(), 2u);
+  EXPECT_EQ(pairs[0].left_pos, 0u);
+  EXPECT_EQ(pairs[0].right_pos, 0u);
+  EXPECT_EQ(pairs[1].left_pos, 1u);
+  EXPECT_EQ(pairs[1].right_pos, 2u);
+
+  // Filters narrow the oracle with ValueInterval semantics.
+  c.filter_a = ValueInterval::from_op(QueryOp::kGT, 0.0);
+  EXPECT_EQ(join_oracle(c).size(), 1u);
+
+  // Shrinker: against a synthetic predicate ("some a value equals some b
+  // value"), a big case collapses to one element per side.
+  JoinGen gen(0xD1FFu);
+  JoinCase big = gen.draw_case();
+  big.a.push_back(42.25);
+  big.b.push_back(42.25);
+  const auto pred = [](const JoinCase& candidate) {
+    for (const double va : candidate.a) {
+      for (const double vb : candidate.b) {
+        if (va == vb) return true;
+      }
+    }
+    return false;
+  };
+  const JoinShrinkResult shrunk = shrink_join(big, pred, /*max_attempts=*/600);
+  EXPECT_TRUE(pred(shrunk.minimal));
+  EXPECT_LE(shrunk.minimal.a.size(), 2u);
+  EXPECT_LE(shrunk.minimal.b.size(), 2u);
 }
 
 }  // namespace

@@ -18,6 +18,7 @@
 #include "bitmap/wah.h"
 #include "common/serial.h"
 #include "histogram/histogram.h"
+#include "rpc/exchange.h"
 #include "rpc/message_bus.h"
 #include "server/wire.h"
 
@@ -1027,6 +1028,253 @@ TEST(GatherWriterDeathTest, TransferWritePayloadOutlivingBufferIsCaught) {
           req.payload = doomed;
         }  // doomed freed; the request still borrows its storage
         const auto bytes = req.serialize();  // reads freed memory
+        (void)bytes;
+      },
+      "heap-use-after-free");
+}
+
+// ----------------------------------------------------------- join messages
+
+JoinEvalRequest sample_join_eval_request() {
+  JoinEvalRequest req;
+  req.join_id = 0xABCDEF01u;
+  req.epoch = 3;
+  req.strategy = JoinStrategy::kBroadcast;
+  req.eval_strategy = Strategy::kFullScan;
+  req.object_a = 11;
+  req.object_b = 12;
+  req.epsilon = 0.25;
+  req.zone_height = 0.5;
+  req.filter_a = ValueInterval::from_op(QueryOp::kGT, 1.5);
+  req.filter_b = ValueInterval::from_op(QueryOp::kLTE, 9.0);
+  req.participants = {0u, 1u, 2u, 3u};
+  req.act_as = {1u, 3u};
+  return req;
+}
+
+JoinEvalResponse sample_join_eval_response() {
+  JoinEvalResponse resp;
+  resp.zones.push_back({-4, {{1, 2}, {1, 7}, {3, 2}}});
+  resp.zones.push_back({9, {{5, 5}}});
+  resp.ledger = {0.25, 0.5, 1024, 3};
+  resp.shuffle_bytes_sent = 4096;
+  resp.shuffle_msgs_sent = 7;
+  resp.shuffle_retransmits = 1;
+  resp.shuffle_rounds = 1;
+  resp.candidates_a = 42;
+  resp.candidates_b = 77;
+  return resp;
+}
+
+rpc::ExchangeFrame sample_exchange_batch() {
+  rpc::ExchangeFrame f;
+  f.kind = rpc::ExchangeFrameKind::kBatch;
+  f.join_id = 0x1122334455667788u;
+  f.epoch = 2;
+  f.from = 1;
+  f.seq = 5;
+  f.side = rpc::kSideB;
+  f.tuple_storage = {{-3, -1.5, 10}, {0, 0.0, 11}, {7, 3.75, 12}};
+  f.tuples = f.tuple_storage;
+  return f;
+}
+
+TEST(WireRoundTrip, JoinEvalRequest) {
+  const JoinEvalRequest req = sample_join_eval_request();
+  const auto bytes = req.serialize();
+  SerialReader r(bytes);
+  const auto back = JoinEvalRequest::Deserialize(r);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->join_id, req.join_id);
+  EXPECT_EQ(back->epoch, req.epoch);
+  EXPECT_EQ(back->strategy, req.strategy);
+  EXPECT_EQ(back->eval_strategy, req.eval_strategy);
+  EXPECT_EQ(back->object_a, req.object_a);
+  EXPECT_EQ(back->object_b, req.object_b);
+  EXPECT_EQ(back->epsilon, req.epsilon);
+  EXPECT_EQ(back->zone_height, req.zone_height);
+  expect_interval_eq(back->filter_a, req.filter_a);
+  expect_interval_eq(back->filter_b, req.filter_b);
+  EXPECT_EQ(back->participants, req.participants);
+  EXPECT_EQ(back->act_as, req.act_as);
+}
+
+TEST(WireRoundTrip, JoinEvalResponse) {
+  const JoinEvalResponse resp = sample_join_eval_response();
+  const auto bytes = resp.serialize();
+  SerialReader r(bytes);
+  const auto back = JoinEvalResponse::Deserialize(r);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  expect_status_eq(back->status, resp.status);
+  ASSERT_EQ(back->zones.size(), resp.zones.size());
+  for (std::size_t z = 0; z < resp.zones.size(); ++z) {
+    EXPECT_EQ(back->zones[z].zone, resp.zones[z].zone);
+    ASSERT_EQ(back->zones[z].pairs.size(), resp.zones[z].pairs.size());
+    for (std::size_t i = 0; i < resp.zones[z].pairs.size(); ++i) {
+      EXPECT_EQ(back->zones[z].pairs[i].left_pos,
+                resp.zones[z].pairs[i].left_pos);
+      EXPECT_EQ(back->zones[z].pairs[i].right_pos,
+                resp.zones[z].pairs[i].right_pos);
+    }
+  }
+  EXPECT_EQ(back->ledger.io_seconds, resp.ledger.io_seconds);
+  EXPECT_EQ(back->shuffle_bytes_sent, resp.shuffle_bytes_sent);
+  EXPECT_EQ(back->shuffle_msgs_sent, resp.shuffle_msgs_sent);
+  EXPECT_EQ(back->shuffle_retransmits, resp.shuffle_retransmits);
+  EXPECT_EQ(back->shuffle_rounds, resp.shuffle_rounds);
+  EXPECT_EQ(back->candidates_a, resp.candidates_a);
+  EXPECT_EQ(back->candidates_b, resp.candidates_b);
+}
+
+TEST(WireRoundTrip, ExchangeFrameAllKinds) {
+  {
+    const rpc::ExchangeFrame f = sample_exchange_batch();
+    const auto bytes = f.serialize();
+    SerialReader r(bytes);
+    const auto back = rpc::ExchangeFrame::Deserialize(r);
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_EQ(back->kind, f.kind);
+    EXPECT_EQ(back->join_id, f.join_id);
+    EXPECT_EQ(back->epoch, f.epoch);
+    EXPECT_EQ(back->from, f.from);
+    EXPECT_EQ(back->seq, f.seq);
+    EXPECT_EQ(back->side, f.side);
+    ASSERT_EQ(back->tuples.size(), f.tuple_storage.size());
+    // The deserialized span must alias its own storage.
+    EXPECT_EQ(back->tuples.data(), back->tuple_storage.data());
+    for (std::size_t i = 0; i < f.tuple_storage.size(); ++i) {
+      EXPECT_EQ(back->tuples[i].zone, f.tuple_storage[i].zone);
+      EXPECT_EQ(back->tuples[i].value, f.tuple_storage[i].value);
+      EXPECT_EQ(back->tuples[i].pos, f.tuple_storage[i].pos);
+    }
+  }
+  {
+    rpc::ExchangeFrame eos;
+    eos.kind = rpc::ExchangeFrameKind::kEos;
+    eos.join_id = 9;
+    eos.epoch = 1;
+    eos.from = 2;
+    eos.seq = rpc::kEosSeq;
+    eos.batches_total = 17;
+    const auto bytes = eos.serialize();
+    SerialReader r(bytes);
+    const auto back = rpc::ExchangeFrame::Deserialize(r);
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_EQ(back->kind, rpc::ExchangeFrameKind::kEos);
+    EXPECT_EQ(back->seq, rpc::kEosSeq);
+    EXPECT_EQ(back->batches_total, 17u);
+    EXPECT_TRUE(back->tuples.empty());
+  }
+  {
+    rpc::ExchangeFrame ack;
+    ack.kind = rpc::ExchangeFrameKind::kAck;
+    ack.join_id = 9;
+    ack.epoch = 1;
+    ack.from = 3;
+    ack.seq = 4;
+    const auto bytes = ack.serialize();
+    SerialReader r(bytes);
+    const auto back = rpc::ExchangeFrame::Deserialize(r);
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_EQ(back->kind, rpc::ExchangeFrameKind::kAck);
+    EXPECT_EQ(back->from, 3u);
+    EXPECT_EQ(back->seq, 4u);
+  }
+}
+
+TEST(WireTypes, PeekJoinAndExchangeTypes) {
+  const auto join_bytes = sample_join_eval_request().serialize();
+  ASSERT_TRUE(peek_request_type(join_bytes).ok());
+  EXPECT_EQ(*peek_request_type(join_bytes), RequestType::kJoinEval);
+
+  const auto frame_bytes = sample_exchange_batch().serialize();
+  ASSERT_TRUE(peek_request_type(frame_bytes).ok());
+  EXPECT_EQ(*peek_request_type(frame_bytes), RequestType::kExchange);
+
+  EXPECT_EQ(join_strategy_name(JoinStrategy::kZoneShuffle), "zone");
+  EXPECT_EQ(join_strategy_name(JoinStrategy::kBroadcast), "broadcast");
+}
+
+TEST(WireTypes, InvalidJoinStrategyRejected) {
+  auto bytes = sample_join_eval_request().serialize();
+  // Strategy byte sits after type (u8) + join_id (u64) + epoch (u32).
+  bytes[13] = 0x09;
+  SerialReader r(bytes);
+  EXPECT_FALSE(JoinEvalRequest::Deserialize(r).ok());
+}
+
+TEST(WireTypes, JoinCrossParseRejected) {
+  const auto join_bytes = sample_join_eval_request().serialize();
+  {
+    SerialReader r(join_bytes);
+    EXPECT_FALSE(EvalRequest::Deserialize(r).ok());
+  }
+  {
+    SerialReader r(join_bytes);
+    EXPECT_FALSE(rpc::ExchangeFrame::Deserialize(r).ok());
+  }
+  {
+    const auto eval = sample_eval_request().serialize();
+    SerialReader r(eval);
+    EXPECT_FALSE(JoinEvalRequest::Deserialize(r).ok());
+  }
+  {
+    const auto frame = sample_exchange_batch().serialize();
+    SerialReader r(frame);
+    EXPECT_FALSE(JoinEvalRequest::Deserialize(r).ok());
+  }
+}
+
+TEST(WireTruncation, JoinEveryStrictPrefixFails) {
+  expect_all_prefixes_fail(sample_join_eval_request().serialize(),
+                           [](SerialReader& r) {
+                             return JoinEvalRequest::Deserialize(r).ok();
+                           });
+  expect_all_prefixes_fail(sample_join_eval_response().serialize(),
+                           [](SerialReader& r) {
+                             return JoinEvalResponse::Deserialize(r).ok();
+                           });
+  expect_all_prefixes_fail(sample_exchange_batch().serialize(),
+                           [](SerialReader& r) {
+                             return rpc::ExchangeFrame::Deserialize(r).ok();
+                           });
+}
+
+TEST(WireTruncation, JoinByteFlipsNeverCrash) {
+  expect_no_crash_on_byte_flips(sample_join_eval_request().serialize(),
+                                [](SerialReader& r) {
+                                  return JoinEvalRequest::Deserialize(r).ok();
+                                });
+  expect_no_crash_on_byte_flips(sample_join_eval_response().serialize(),
+                                [](SerialReader& r) {
+                                  return JoinEvalResponse::Deserialize(r).ok();
+                                });
+  expect_no_crash_on_byte_flips(sample_exchange_batch().serialize(),
+                                [](SerialReader& r) {
+                                  return rpc::ExchangeFrame::Deserialize(r)
+                                      .ok();
+                                });
+}
+
+// ExchangeFrame::serialize borrows `tuples` exactly like GatherWriter's
+// put_vector_ref (it IS that mechanism): the span must outlive wire
+// assembly.  Enforced under ASan like the other borrowed-span contracts.
+TEST(GatherWriterDeathTest, ExchangeTupleSpanOutlivingBufferIsCaught) {
+  if (!PDC_HAS_ASAN) {
+    GTEST_SKIP() << "span-lifetime enforcement needs an ASan build "
+                    "(-DPDC_SANITIZE=address or address-undefined)";
+  }
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_DEATH(
+      {
+        rpc::ExchangeFrame f;
+        f.kind = rpc::ExchangeFrameKind::kBatch;
+        f.join_id = 1;
+        {
+          std::vector<rpc::JoinTuple> doomed(64, rpc::JoinTuple{1, 2.0, 3});
+          f.tuples = doomed;
+        }  // doomed freed; the frame still borrows its storage
+        const auto bytes = f.serialize();  // reads freed memory
         (void)bytes;
       },
       "heap-use-after-free");

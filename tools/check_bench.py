@@ -161,6 +161,76 @@ def check_writes(args):
     return 0
 
 
+def load_join_rows(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {("join", row["strategy"], row["servers"], row["sources"]): row
+            for row in doc.get("join", [])}
+
+
+def check_join(args):
+    """Join-sweep mode: sim_s regression diff plus hard invariants on the
+    candidate alone — both strategies must produce the same pair count in
+    every (servers, sources) cell, and zone-shuffle must ship strictly
+    fewer bytes than broadcast wherever >= 4 servers participate (the
+    core claim of the zones algorithm over naive broadcast)."""
+    base = load_join_rows(args.baseline)
+    cand = load_join_rows(args.candidate)
+    failures = []
+    compared = 0
+    for key, base_row in sorted(base.items()):
+        cand_row = cand.get(key)
+        if cand_row is None:
+            print(f"note: {key} missing from candidate (skipped)")
+            continue
+        compared += 1
+        label = "/".join(str(k) for k in key)
+        b, c = base_row["sim_s"], cand_row["sim_s"]
+        regressed = c > b * (1.0 + args.threshold)
+        if regressed:
+            failures.append((key, "sim_s"))
+        rel = (c - b) / b if b > 0 else 0.0
+        print(f"{label:32s} sim_s  base {b:12.6f}  cand {c:12.6f}  "
+              f"{rel:+7.1%}{'  <-- REGRESSION' if regressed else ''}")
+    for key in sorted(set(cand) - set(base)):
+        print(f"note: {key} new in candidate (not gated)")
+
+    # Hard invariants over the candidate, independent of any baseline.
+    cells = sorted({(k[2], k[3]) for k in cand})
+    for servers, sources in cells:
+        zone = cand.get(("join", "zone", servers, sources))
+        bcast = cand.get(("join", "broadcast", servers, sources))
+        if zone is None or bcast is None:
+            failures.append(((servers, sources), "missing strategy row"))
+            print(f"FAILCHECK {servers}srv/{sources}: a strategy row "
+                  f"dropped out of the bench")
+            continue
+        if zone["pairs"] != bcast["pairs"]:
+            failures.append(((servers, sources), "pair count mismatch"))
+            print(f"FAILCHECK {servers}srv/{sources}: zone pairs "
+                  f"{zone['pairs']} != broadcast pairs {bcast['pairs']}")
+        if servers >= 4 and zone["shuffle_bytes"] >= bcast["shuffle_bytes"]:
+            failures.append(((servers, sources), "zone shuffle not smaller"))
+            print(f"FAILCHECK {servers}srv/{sources}: zone shuffle "
+                  f"{zone['shuffle_bytes']}B >= broadcast "
+                  f"{bcast['shuffle_bytes']}B")
+        if servers >= 2 and bcast["shuffle_bytes"] == 0:
+            failures.append(((servers, sources), "broadcast shipped 0B"))
+            print(f"FAILCHECK {servers}srv/{sources}: broadcast shipped "
+                  f"nothing — exchange accounting broken")
+
+    if compared == 0 and not cells:
+        print("FAIL: no join rows — wrong files?")
+        return 1
+    if failures:
+        print(f"FAIL: {len(failures)} join checks failed "
+              f"(threshold {args.threshold:.0%})")
+        return 1
+    print(f"OK: {compared} join rows within {args.threshold:.0%} of "
+          f"baseline; invariants hold in {len(cells)} cells")
+    return 0
+
+
 KERNEL_METRICS = ("gb_per_s", "mb_per_s", "mprobes_per_s")
 
 
@@ -287,6 +357,10 @@ def main():
                         help="compare writes_bench output (simulated "
                              "read/write cost by strategy and write "
                              "fraction)")
+    parser.add_argument("--join", action="store_true",
+                        help="compare join_bench output (simulated join "
+                             "cost by strategy/servers/sources, plus "
+                             "zone-vs-broadcast shuffle invariants)")
     args = parser.parse_args()
 
     if args.traffic:
@@ -295,6 +369,8 @@ def main():
         return check_kernels(args)
     if args.writes:
         return check_writes(args)
+    if args.join:
+        return check_join(args)
 
     sections = [s for s in args.sections.split(",") if s]
     base = load_rows(args.baseline, sections)
