@@ -1,0 +1,300 @@
+#include "metadata/affix_trie.h"
+
+#include <algorithm>
+
+namespace pdc::meta {
+namespace {
+
+std::string reversed(std::string_view s) {
+  return {s.rbegin(), s.rend()};
+}
+
+void insert_sorted(std::vector<ObjectId>& ids, ObjectId id) {
+  const auto it = std::lower_bound(ids.begin(), ids.end(), id);
+  if (it == ids.end() || *it != id) ids.insert(it, id);
+}
+
+void erase_sorted(std::vector<ObjectId>& ids, ObjectId id) {
+  const auto it = std::lower_bound(ids.begin(), ids.end(), id);
+  if (it != ids.end() && *it == id) ids.erase(it);
+}
+
+/// Length of the common prefix of two strings.
+std::size_t common_prefix(std::string_view a, std::string_view b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  std::size_t i = 0;
+  while (i < n && a[i] == b[i]) ++i;
+  return i;
+}
+
+void sort_dedupe(std::vector<ObjectId>& ids) {
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+}
+
+}  // namespace
+
+void AffixTrie::insert_key(Node& root, std::string_view key, bool int_origin,
+                           ObjectId id) {
+  Node* node = &root;
+  std::string_view rest = key;
+  for (;;) {
+    if (rest.empty()) {
+      insert_sorted(int_origin ? node->int_ids : node->str_ids, id);
+      ++postings_;
+      return;
+    }
+    // Find the child whose edge starts with rest[0].
+    auto it = std::lower_bound(
+        node->children.begin(), node->children.end(), rest[0],
+        [](const std::unique_ptr<Node>& c, char b) { return c->edge[0] < b; });
+    if (it == node->children.end() || (*it)->edge[0] != rest[0]) {
+      auto child = std::make_unique<Node>();
+      child->edge = std::string(rest);
+      insert_sorted(int_origin ? child->int_ids : child->str_ids, id);
+      node->children.insert(it, std::move(child));
+      ++nodes_;
+      ++postings_;
+      return;
+    }
+    Node* child = it->get();
+    const std::size_t shared = common_prefix(child->edge, rest);
+    if (shared < child->edge.size()) {
+      // Split the edge: child keeps the tail, a new interior node takes
+      // the shared head and adopts the child.
+      auto split = std::make_unique<Node>();
+      split->edge = child->edge.substr(0, shared);
+      child->edge = child->edge.substr(shared);
+      split->children.push_back(std::move(*it));
+      *it = std::move(split);
+      child = it->get();
+      ++nodes_;
+    }
+    node = child;
+    rest = rest.substr(shared);
+  }
+}
+
+void AffixTrie::remove_key(Node& root, std::string_view key, bool int_origin,
+                           ObjectId id) {
+  std::uint64_t probes = 0;
+  // find_exact walks the const structure; removal only shrinks a posting
+  // list in place (nodes are left behind — metadata churn is tiny compared
+  // to the index, and empty nodes cost one pointer chase, not a rescan).
+  const Node* found = find_exact(root, key, probes);
+  if (found == nullptr) return;
+  auto* node = const_cast<Node*>(found);
+  std::vector<ObjectId>& ids = int_origin ? node->int_ids : node->str_ids;
+  const std::size_t before = ids.size();
+  erase_sorted(ids, id);
+  postings_ -= before - ids.size();
+}
+
+const AffixTrie::Node* AffixTrie::find_exact(const Node& root,
+                                             std::string_view key,
+                                             std::uint64_t& probes) {
+  const Node* node = &root;
+  std::string_view rest = key;
+  ++probes;
+  while (!rest.empty()) {
+    const Node* next = nullptr;
+    for (const auto& child : node->children) {
+      if (child->edge[0] == rest[0]) {
+        next = child.get();
+        break;
+      }
+    }
+    ++probes;
+    if (next == nullptr) return nullptr;
+    if (rest.size() < next->edge.size() ||
+        rest.substr(0, next->edge.size()) != next->edge) {
+      return nullptr;
+    }
+    rest = rest.substr(next->edge.size());
+    node = next;
+  }
+  return node;
+}
+
+void AffixTrie::collect_subtree(const Node& node, std::vector<ObjectId>& out,
+                                std::uint64_t& probes) {
+  ++probes;
+  out.insert(out.end(), node.str_ids.begin(), node.str_ids.end());
+  out.insert(out.end(), node.int_ids.begin(), node.int_ids.end());
+  for (const auto& child : node.children) {
+    collect_subtree(*child, out, probes);
+  }
+}
+
+void AffixTrie::collect_prefix(const Node& root, std::string_view prefix,
+                               std::vector<ObjectId>& out,
+                               std::uint64_t& probes) {
+  const Node* node = &root;
+  std::string_view rest = prefix;
+  while (!rest.empty()) {
+    const Node* next = nullptr;
+    for (const auto& child : node->children) {
+      if (child->edge[0] == rest[0]) {
+        next = child.get();
+        break;
+      }
+    }
+    ++probes;
+    if (next == nullptr) return;  // nothing starts with `prefix`
+    if (rest.size() <= next->edge.size()) {
+      // The prefix ends inside this edge: it matches iff the edge starts
+      // with the remainder, and then the whole subtree qualifies.
+      if (next->edge.substr(0, rest.size()) != rest) return;
+      collect_subtree(*next, out, probes);
+      return;
+    }
+    if (rest.substr(0, next->edge.size()) != next->edge) return;
+    rest = rest.substr(next->edge.size());
+    node = next;
+  }
+  collect_subtree(*node, out, probes);
+}
+
+void AffixTrie::insert_string(std::string_view attribute,
+                              std::string_view value, bool int_origin,
+                              ObjectId id) {
+  insert_key(attrs_[std::string(attribute)].forward, value, int_origin, id);
+}
+
+void AffixTrie::remove_string(std::string_view attribute,
+                              std::string_view value, bool int_origin,
+                              ObjectId id) {
+  const auto it = attrs_.find(std::string(attribute));
+  if (it != attrs_.end()) {
+    remove_key(it->second.forward, value, int_origin, id);
+  }
+}
+
+void AffixTrie::insert_suffix(std::string_view attribute,
+                              std::string_view value, bool int_origin,
+                              ObjectId id) {
+  insert_key(attrs_[std::string(attribute)].reversed, reversed(value),
+             int_origin, id);
+}
+
+void AffixTrie::remove_suffix(std::string_view attribute,
+                              std::string_view value, bool int_origin,
+                              ObjectId id) {
+  const auto it = attrs_.find(std::string(attribute));
+  if (it != attrs_.end()) {
+    remove_key(it->second.reversed, reversed(value), int_origin, id);
+  }
+}
+
+void AffixTrie::insert_number(std::string_view attribute, double value,
+                              ObjectId id) {
+  insert_sorted(attrs_[std::string(attribute)].numbers[value], id);
+  ++postings_;
+}
+
+void AffixTrie::remove_number(std::string_view attribute, double value,
+                              ObjectId id) {
+  const auto it = attrs_.find(std::string(attribute));
+  if (it == attrs_.end()) return;
+  const auto num = it->second.numbers.find(value);
+  if (num == it->second.numbers.end()) return;
+  const std::size_t before = num->second.size();
+  erase_sorted(num->second, id);
+  postings_ -= before - num->second.size();
+}
+
+std::uint64_t AffixTrie::exact_string(std::string_view attribute,
+                                      std::string_view value,
+                                      std::vector<ObjectId>& out) const {
+  std::uint64_t probes = 1;
+  const auto it = attrs_.find(std::string(attribute));
+  if (it == attrs_.end()) return probes;
+  const Node* node = find_exact(it->second.forward, value, probes);
+  if (node != nullptr) {
+    out.insert(out.end(), node->str_ids.begin(), node->str_ids.end());
+    sort_dedupe(out);
+  }
+  return probes;
+}
+
+std::uint64_t AffixTrie::match_prefix(std::string_view attribute,
+                                      std::string_view prefix,
+                                      std::vector<ObjectId>& out) const {
+  std::uint64_t probes = 1;
+  const auto it = attrs_.find(std::string(attribute));
+  if (it == attrs_.end()) return probes;
+  collect_prefix(it->second.forward, prefix, out, probes);
+  sort_dedupe(out);
+  return probes;
+}
+
+std::uint64_t AffixTrie::match_suffix(std::string_view attribute,
+                                      std::string_view suffix,
+                                      std::vector<ObjectId>& out) const {
+  std::uint64_t probes = 1;
+  const auto it = attrs_.find(std::string(attribute));
+  if (it == attrs_.end()) return probes;
+  collect_prefix(it->second.reversed, reversed(suffix), out, probes);
+  sort_dedupe(out);
+  return probes;
+}
+
+std::uint64_t AffixTrie::range_number(std::string_view attribute, QueryOp op,
+                                      double bound,
+                                      std::vector<ObjectId>& out) const {
+  std::uint64_t probes = 1;
+  const auto it = attrs_.find(std::string(attribute));
+  if (it == attrs_.end()) return probes;
+  const auto& tree = it->second.numbers;
+  std::map<double, std::vector<ObjectId>>::const_iterator lo;
+  std::map<double, std::vector<ObjectId>>::const_iterator hi;
+  switch (op) {
+    case QueryOp::kEQ:
+      lo = tree.find(bound);
+      hi = lo == tree.end() ? lo : std::next(lo);
+      break;
+    case QueryOp::kGT:
+      lo = tree.upper_bound(bound);
+      hi = tree.end();
+      break;
+    case QueryOp::kGTE:
+      lo = tree.lower_bound(bound);
+      hi = tree.end();
+      break;
+    case QueryOp::kLT:
+      lo = tree.begin();
+      hi = tree.lower_bound(bound);
+      break;
+    case QueryOp::kLTE:
+      lo = tree.begin();
+      hi = tree.upper_bound(bound);
+      break;
+  }
+  for (auto iter = lo; iter != hi; ++iter) {
+    ++probes;
+    out.insert(out.end(), iter->second.begin(), iter->second.end());
+  }
+  sort_dedupe(out);
+  return probes;
+}
+
+std::uint64_t AffixTrie::range_interval(std::string_view attribute,
+                                        const ValueInterval& interval,
+                                        std::vector<ObjectId>& out) const {
+  std::uint64_t probes = 1;
+  const auto it = attrs_.find(std::string(attribute));
+  if (it == attrs_.end() || interval.empty()) return probes;
+  const auto& tree = it->second.numbers;
+  const auto lo = interval.lo_inclusive ? tree.lower_bound(interval.lo)
+                                        : tree.upper_bound(interval.lo);
+  const auto hi = interval.hi_inclusive ? tree.upper_bound(interval.hi)
+                                        : tree.lower_bound(interval.hi);
+  for (auto iter = lo; iter != hi; ++iter) {
+    ++probes;
+    out.insert(out.end(), iter->second.begin(), iter->second.end());
+  }
+  sort_dedupe(out);
+  return probes;
+}
+
+}  // namespace pdc::meta

@@ -1,0 +1,120 @@
+// Adaptive radix (Patricia) trie over attribute values — the DART-style
+// affix index behind the distributed metadata service (ROADMAP item 2).
+//
+// One AffixTrie instance holds every posting of one metadata *vnode*: for
+// each attribute it keeps
+//   - a path-compressed forward trie over value strings (exact + prefix),
+//   - a reversed-key twin over the same strings (suffix: `*DEG` reverses
+//     to a prefix walk), and
+//   - an ordered numeric map (int64 folded into double keys exactly like
+//     MetaStore::AttrIndex, so both sides of the differential agree on
+//     values straddling 2^53).
+//
+// Affix (prefix/suffix) matching is defined over string values AND the
+// decimal stringification of int64 values ("plate=53*" matches the int64
+// 5340); doubles never participate in affix matching (their shortest
+// round-trip representation is not a stable search key).  Exact string
+// equality matches only string-origin postings — the int64 5340 is not
+// equal to the string "5340", exactly as in the MetaStore oracle.
+//
+// Every query reports the number of trie/map nodes it visited ("probes"),
+// which is what the shard charges to the cost model: traversal work is
+// O(key length + output), independent of the total object count — the
+// near-flat 10^4 -> 10^6 latency property the bench gate pins.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/interval.h"
+#include "common/types.h"
+
+namespace pdc::meta {
+
+class AffixTrie {
+ public:
+  // ---- maintenance (string lanes carry an int-origin flag) ----
+  void insert_string(std::string_view attribute, std::string_view value,
+                     bool int_origin, ObjectId id);
+  void remove_string(std::string_view attribute, std::string_view value,
+                     bool int_origin, ObjectId id);
+  void insert_suffix(std::string_view attribute, std::string_view value,
+                     bool int_origin, ObjectId id);
+  void remove_suffix(std::string_view attribute, std::string_view value,
+                     bool int_origin, ObjectId id);
+  void insert_number(std::string_view attribute, double value, ObjectId id);
+  void remove_number(std::string_view attribute, double value, ObjectId id);
+
+  // ---- queries: append matches (then sort+dedupe) into `out`, return the
+  // number of nodes visited ----
+  /// String-origin postings whose value equals `value` exactly.
+  std::uint64_t exact_string(std::string_view attribute,
+                             std::string_view value,
+                             std::vector<ObjectId>& out) const;
+  /// Postings (string or int origin) whose value starts with `prefix`.
+  std::uint64_t match_prefix(std::string_view attribute,
+                             std::string_view prefix,
+                             std::vector<ObjectId>& out) const;
+  /// Postings (string or int origin) whose value ends with `suffix`.
+  std::uint64_t match_suffix(std::string_view attribute,
+                             std::string_view suffix,
+                             std::vector<ObjectId>& out) const;
+  /// Numeric postings satisfying `value <op> bound` (QueryOp semantics of
+  /// MetaStore::match_one: kEQ/kGT/kGTE/kLT/kLTE over folded doubles).
+  std::uint64_t range_number(std::string_view attribute, QueryOp op,
+                             double bound, std::vector<ObjectId>& out) const;
+  /// Numeric postings inside `interval` — a FUSED conjunction of range
+  /// conditions on one attribute.  One ordered-map walk bounded on both
+  /// sides, so a closed range never materializes a half-open side's
+  /// posting list (the difference between O(output) and O(objects)).
+  std::uint64_t range_interval(std::string_view attribute,
+                               const ValueInterval& interval,
+                               std::vector<ObjectId>& out) const;
+
+  [[nodiscard]] std::uint64_t num_postings() const noexcept {
+    return postings_;
+  }
+  [[nodiscard]] std::uint64_t num_nodes() const noexcept { return nodes_; }
+
+ private:
+  /// Path-compressed trie node.  `edge` is the compressed label from the
+  /// parent; children are kept sorted by the first byte of their edge.
+  struct Node {
+    std::string edge;
+    std::vector<ObjectId> str_ids;  ///< string-origin postings, ascending
+    std::vector<ObjectId> int_ids;  ///< int64-origin postings, ascending
+    std::vector<std::unique_ptr<Node>> children;
+  };
+
+  struct AttrIndex {
+    Node forward;   ///< keyed by value
+    Node reversed;  ///< keyed by reversed value
+    std::map<double, std::vector<ObjectId>> numbers;
+  };
+
+  void insert_key(Node& root, std::string_view key, bool int_origin,
+                  ObjectId id);
+  void remove_key(Node& root, std::string_view key, bool int_origin,
+                  ObjectId id);
+  /// Walk `key` from `root`; null when no node spells exactly `key`.
+  static const Node* find_exact(const Node& root, std::string_view key,
+                                std::uint64_t& probes);
+  /// Collect every posting at or below the node reached by `prefix` (the
+  /// node may be reached mid-edge).
+  static void collect_prefix(const Node& root, std::string_view prefix,
+                             std::vector<ObjectId>& out,
+                             std::uint64_t& probes);
+  static void collect_subtree(const Node& node, std::vector<ObjectId>& out,
+                              std::uint64_t& probes);
+
+  std::unordered_map<std::string, AttrIndex> attrs_;
+  std::uint64_t postings_ = 0;
+  std::uint64_t nodes_ = 0;
+};
+
+}  // namespace pdc::meta

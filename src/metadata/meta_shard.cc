@@ -1,0 +1,347 @@
+#include "metadata/meta_shard.h"
+
+#include <algorithm>
+
+namespace pdc::meta {
+namespace {
+
+std::optional<double> numeric_value(const MetaValue& v) {
+  if (const auto* d = std::get_if<double>(&v)) return *d;
+  if (const auto* i = std::get_if<std::int64_t>(&v)) {
+    return static_cast<double>(*i);
+  }
+  return std::nullopt;
+}
+
+std::uint8_t first_bucket(std::string_view s) {
+  return s.empty() ? 0 : static_cast<std::uint8_t>(s.front());
+}
+
+std::uint8_t last_bucket(std::string_view s) {
+  return s.empty() ? 0 : static_cast<std::uint8_t>(s.back());
+}
+
+void sort_dedupe(std::vector<ObjectId>& ids) {
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+}
+
+/// One lane entry of an attribute value: where it lives and how.
+struct LaneEntry {
+  MetaLane lane;
+  std::uint8_t bucket;
+};
+
+/// Enumerate the lane entries of `value` into `fn(entry)`.
+template <typename Fn>
+void for_each_lane(const MetaValue& value, Fn&& fn) {
+  if (const auto* s = std::get_if<std::string>(&value)) {
+    fn(LaneEntry{MetaLane::kPrefix, first_bucket(*s)});
+    fn(LaneEntry{MetaLane::kSuffix, last_bucket(*s)});
+    return;
+  }
+  fn(LaneEntry{MetaLane::kNumeric, 0});
+  if (const auto* i = std::get_if<std::int64_t>(&value)) {
+    const std::string decimal = std::to_string(*i);
+    fn(LaneEntry{MetaLane::kPrefix, first_bucket(decimal)});
+    fn(LaneEntry{MetaLane::kSuffix, last_bucket(decimal)});
+  }
+}
+
+}  // namespace
+
+std::uint64_t meta_hash64(std::string_view bytes) noexcept {
+  std::uint64_t h = 0xCBF29CE484222325ULL;  // FNV-1a 64
+  for (const char c : bytes) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+std::uint32_t vnode_of(std::string_view attribute, MetaLane lane,
+                       std::uint8_t bucket, const MetaRingConfig& ring) {
+  std::string key;
+  key.reserve(attribute.size() + 3);
+  key.append(attribute);
+  key.push_back('\x1f');
+  key.push_back(static_cast<char>(lane));
+  key.push_back(static_cast<char>(bucket));
+  return static_cast<std::uint32_t>(meta_hash64(key) %
+                                    std::max<std::uint32_t>(1, ring.vnodes));
+}
+
+std::vector<ServerId> replicas_of(std::uint32_t vnode,
+                                  const MetaRingConfig& ring) {
+  const std::uint32_t servers = std::max<std::uint32_t>(1, ring.num_servers);
+  const std::uint32_t copies =
+      std::min(std::max<std::uint32_t>(1, ring.replicas), servers);
+  // Rendezvous: rank servers by h(vnode, server) descending; ties (hash
+  // collisions) break by server id for determinism.
+  std::vector<std::pair<std::uint64_t, ServerId>> ranked;
+  ranked.reserve(servers);
+  for (ServerId s = 0; s < servers; ++s) {
+    char key[8];
+    key[0] = static_cast<char>(vnode);
+    key[1] = static_cast<char>(vnode >> 8);
+    key[2] = static_cast<char>(vnode >> 16);
+    key[3] = static_cast<char>(vnode >> 24);
+    key[4] = static_cast<char>(s);
+    key[5] = static_cast<char>(s >> 8);
+    key[6] = static_cast<char>(s >> 16);
+    key[7] = static_cast<char>(s >> 24);
+    ranked.emplace_back(meta_hash64({key, sizeof key}), s);
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    return a.first != b.first ? a.first > b.first : a.second < b.second;
+  });
+  std::vector<ServerId> out;
+  out.reserve(copies);
+  for (std::uint32_t i = 0; i < copies; ++i) out.push_back(ranked[i].second);
+  return out;
+}
+
+std::vector<std::uint32_t> vnodes_of_condition(const MetaCondition& condition,
+                                               const MetaRingConfig& ring) {
+  std::vector<std::uint32_t> out;
+  if (condition.kind == MetaMatchKind::kValue) {
+    if (const auto* s = std::get_if<std::string>(&condition.value)) {
+      if (condition.op != QueryOp::kEQ) return {};  // strings: kEQ only
+      out.push_back(
+          vnode_of(condition.attribute, MetaLane::kPrefix, first_bucket(*s),
+                   ring));
+      return out;
+    }
+    if (!numeric_value(condition.value)) return {};
+    out.push_back(vnode_of(condition.attribute, MetaLane::kNumeric, 0, ring));
+    return out;
+  }
+  const auto pattern = affix_pattern(condition.value);
+  if (!pattern) return {};  // double-valued affix patterns match nothing
+  const MetaLane lane = condition.kind == MetaMatchKind::kPrefix
+                            ? MetaLane::kPrefix
+                            : MetaLane::kSuffix;
+  if (pattern->empty()) {
+    // Match-anything affix: fan over every bucket of the lane.
+    for (std::uint32_t b = 0; b < 256; ++b) {
+      out.push_back(vnode_of(condition.attribute, lane,
+                             static_cast<std::uint8_t>(b), ring));
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+  }
+  const std::uint8_t bucket = condition.kind == MetaMatchKind::kPrefix
+                                  ? first_bucket(*pattern)
+                                  : last_bucket(*pattern);
+  out.push_back(vnode_of(condition.attribute, lane, bucket, ring));
+  return out;
+}
+
+std::vector<std::uint32_t> vnodes_of_value(std::string_view attribute,
+                                           const MetaValue& value,
+                                           const MetaRingConfig& ring) {
+  std::vector<std::uint32_t> out;
+  for_each_lane(value, [&](const LaneEntry& e) {
+    out.push_back(vnode_of(attribute, e.lane, e.bucket, ring));
+  });
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+MetaShard::MetaShard(const MetaRingConfig& ring, ServerId self)
+    : ring_(ring), self_(self) {
+  for (std::uint32_t v = 0; v < std::max<std::uint32_t>(1, ring_.vnodes);
+       ++v) {
+    const std::vector<ServerId> copies = replicas_of(v, ring_);
+    if (std::find(copies.begin(), copies.end(), self_) != copies.end()) {
+      vnodes_.emplace(v, Vnode{});
+    }
+  }
+}
+
+bool MetaShard::owns(std::uint32_t vnode) const {
+  std::lock_guard lock(mu_);
+  return vnodes_.contains(vnode);
+}
+
+void MetaShard::index_into(Vnode& vn, std::uint32_t vnode, ObjectId object,
+                           std::string_view attribute, const MetaValue& value,
+                           bool insert) {
+  const auto apply = [&](const LaneEntry& entry, auto&& do_apply) {
+    if (vnode_of(attribute, entry.lane, entry.bucket, ring_) == vnode) {
+      do_apply();
+    }
+  };
+  if (const auto* s = std::get_if<std::string>(&value)) {
+    for_each_lane(value, [&](const LaneEntry& e) {
+      apply(e, [&] {
+        if (e.lane == MetaLane::kPrefix) {
+          insert ? vn.trie.insert_string(attribute, *s, false, object)
+                 : vn.trie.remove_string(attribute, *s, false, object);
+        } else {
+          insert ? vn.trie.insert_suffix(attribute, *s, false, object)
+                 : vn.trie.remove_suffix(attribute, *s, false, object);
+        }
+      });
+    });
+    return;
+  }
+  const auto folded = numeric_value(value);
+  const auto* i = std::get_if<std::int64_t>(&value);
+  const std::string decimal = i != nullptr ? std::to_string(*i) : "";
+  for_each_lane(value, [&](const LaneEntry& e) {
+    apply(e, [&] {
+      switch (e.lane) {
+        case MetaLane::kNumeric:
+          insert ? vn.trie.insert_number(attribute, *folded, object)
+                 : vn.trie.remove_number(attribute, *folded, object);
+          break;
+        case MetaLane::kPrefix:
+          insert ? vn.trie.insert_string(attribute, decimal, true, object)
+                 : vn.trie.remove_string(attribute, decimal, true, object);
+          break;
+        case MetaLane::kSuffix:
+          insert ? vn.trie.insert_suffix(attribute, decimal, true, object)
+                 : vn.trie.remove_suffix(attribute, decimal, true, object);
+          break;
+      }
+    });
+  });
+}
+
+void MetaShard::index_attribute(ObjectId object, std::string_view attribute,
+                                const MetaValue& value) {
+  std::lock_guard lock(mu_);
+  for (auto& [vnode, vn] : vnodes_) {
+    index_into(vn, vnode, object, attribute, value, /*insert=*/true);
+  }
+}
+
+Result<std::uint64_t> MetaShard::apply(std::uint32_t vnode, std::uint64_t seq,
+                                       const std::vector<UpdateOp>& ops,
+                                       bool& applied) {
+  std::lock_guard lock(mu_);
+  const auto it = vnodes_.find(vnode);
+  if (it == vnodes_.end()) {
+    return Status::FailedPrecondition(
+        "meta update routed to a non-replica of vnode " +
+        std::to_string(vnode));
+  }
+  Vnode& vn = it->second;
+  if (seq <= vn.applied_seq) {
+    applied = false;  // duplicate (retry/reroute/bus duplication)
+    return vn.epoch;
+  }
+  for (const UpdateOp& op : ops) {
+    if (op.old_value) {
+      index_into(vn, vnode, op.object, op.attribute, *op.old_value,
+                 /*insert=*/false);
+    }
+    index_into(vn, vnode, op.object, op.attribute, op.new_value,
+               /*insert=*/true);
+  }
+  vn.applied_seq = seq;
+  ++vn.epoch;
+  applied = true;
+  return vn.epoch;
+}
+
+std::optional<double> meta_numeric_fold(const MetaValue& value) {
+  return numeric_value(value);
+}
+
+Status MetaShard::query(
+    const MetaCondition& condition, std::span<const std::uint32_t> vnodes,
+    std::vector<ObjectId>& out,
+    std::vector<std::pair<std::uint32_t, std::uint64_t>>& epochs,
+    CostLedger& ledger, std::uint64_t& probes) const {
+  std::lock_guard lock(mu_);
+  std::uint64_t visited = 0;
+  for (const std::uint32_t vnode : vnodes) {
+    const auto it = vnodes_.find(vnode);
+    if (it == vnodes_.end()) {
+      // Refusing outranks guessing: answering for a vnode we do not own
+      // would return a silently truncated posting list.
+      return Status::FailedPrecondition(
+          "meta query routed to a non-replica of vnode " +
+          std::to_string(vnode));
+    }
+    const Vnode& vn = it->second;
+    switch (condition.kind) {
+      case MetaMatchKind::kValue: {
+        if (const auto* s = std::get_if<std::string>(&condition.value)) {
+          if (condition.op == QueryOp::kEQ) {
+            visited += vn.trie.exact_string(condition.attribute, *s, out);
+          }
+          break;
+        }
+        if (const auto folded = numeric_value(condition.value)) {
+          visited += vn.trie.range_number(condition.attribute, condition.op,
+                                          *folded, out);
+        }
+        break;
+      }
+      case MetaMatchKind::kPrefix:
+      case MetaMatchKind::kSuffix: {
+        const auto pattern = affix_pattern(condition.value);
+        if (!pattern) break;
+        visited += condition.kind == MetaMatchKind::kPrefix
+                       ? vn.trie.match_prefix(condition.attribute, *pattern,
+                                              out)
+                       : vn.trie.match_suffix(condition.attribute, *pattern,
+                                              out);
+        break;
+      }
+    }
+    epochs.emplace_back(vnode, vn.epoch);
+  }
+  sort_dedupe(out);
+  probes += visited;
+  ledger.add_cpu(static_cast<double>(visited + out.size()) *
+                     kMetaProbeSeconds,
+                 CpuStage::kScan);
+  return Status::Ok();
+}
+
+Status MetaShard::query_interval(
+    std::string_view attribute, const ValueInterval& interval,
+    std::span<const std::uint32_t> vnodes, std::vector<ObjectId>& out,
+    std::vector<std::pair<std::uint32_t, std::uint64_t>>& epochs,
+    CostLedger& ledger, std::uint64_t& probes) const {
+  std::lock_guard lock(mu_);
+  std::uint64_t visited = 0;
+  for (const std::uint32_t vnode : vnodes) {
+    const auto it = vnodes_.find(vnode);
+    if (it == vnodes_.end()) {
+      return Status::FailedPrecondition(
+          "meta query routed to a non-replica of vnode " +
+          std::to_string(vnode));
+    }
+    const Vnode& vn = it->second;
+    visited += vn.trie.range_interval(attribute, interval, out);
+    epochs.emplace_back(vnode, vn.epoch);
+  }
+  sort_dedupe(out);
+  probes += visited;
+  ledger.add_cpu(static_cast<double>(visited + out.size()) *
+                     kMetaProbeSeconds,
+                 CpuStage::kScan);
+  return Status::Ok();
+}
+
+std::uint64_t MetaShard::epoch(std::uint32_t vnode) const {
+  std::lock_guard lock(mu_);
+  const auto it = vnodes_.find(vnode);
+  return it == vnodes_.end() ? 0 : it->second.epoch;
+}
+
+std::uint64_t MetaShard::num_postings() const {
+  std::lock_guard lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& entry : vnodes_) total += entry.second.trie.num_postings();
+  return total;
+}
+
+}  // namespace pdc::meta

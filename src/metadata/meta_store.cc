@@ -23,7 +23,51 @@ void insert_sorted(std::vector<ObjectId>& ids, ObjectId id) {
   if (it == ids.end() || *it != id) ids.insert(it, id);
 }
 
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
 }  // namespace
+
+std::optional<std::string> affix_pattern(const MetaValue& value) {
+  if (const auto* s = std::get_if<std::string>(&value)) return *s;
+  if (const auto* i = std::get_if<std::int64_t>(&value)) {
+    return std::to_string(*i);
+  }
+  return std::nullopt;  // doubles never affix-match
+}
+
+bool value_matches(const MetaValue& value, const MetaCondition& condition) {
+  if (condition.kind != MetaMatchKind::kValue) {
+    const auto pattern = affix_pattern(condition.value);
+    const auto subject = affix_pattern(value);
+    if (!pattern || !subject) return false;
+    return condition.kind == MetaMatchKind::kPrefix
+               ? starts_with(*subject, *pattern)
+               : ends_with(*subject, *pattern);
+  }
+  if (const auto* s = std::get_if<std::string>(&condition.value)) {
+    if (condition.op != QueryOp::kEQ) return false;  // strings: kEQ only
+    const auto* v = std::get_if<std::string>(&value);
+    return v != nullptr && *v == *s;
+  }
+  const auto bound = numeric_value(condition.value);
+  const auto v = numeric_value(value);
+  if (!bound || !v) return false;
+  switch (condition.op) {
+    case QueryOp::kEQ: return *v == *bound;
+    case QueryOp::kGT: return *v > *bound;
+    case QueryOp::kGTE: return *v >= *bound;
+    case QueryOp::kLT: return *v < *bound;
+    case QueryOp::kLTE: return *v <= *bound;
+  }
+  return false;
+}
 
 void MetaStore::set_attribute(ObjectId object, std::string_view attribute,
                               MetaValue value) {
@@ -69,6 +113,19 @@ std::map<std::string, MetaValue> MetaStore::attributes(ObjectId object) const {
 
 std::vector<ObjectId> MetaStore::match_one(
     const MetaCondition& condition) const {
+  if (condition.kind != MetaMatchKind::kValue) {
+    // Affix kinds are answered by a full linear scan — this IS the oracle
+    // the distributed trie is differentially tested (and benched) against.
+    std::vector<ObjectId> out;
+    for (const auto& [object, attrs] : per_object_) {
+      const auto attr = attrs.find(condition.attribute);
+      if (attr != attrs.end() && value_matches(attr->second, condition)) {
+        out.push_back(object);
+      }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
   const auto idx = indexes_.find(condition.attribute);
   if (idx == indexes_.end()) return {};
   const AttrIndex& index = idx->second;
@@ -114,17 +171,87 @@ std::vector<ObjectId> MetaStore::match_one(
   return out;
 }
 
+std::uint64_t MetaStore::estimate_one(const MetaCondition& condition) const {
+  if (condition.kind != MetaMatchKind::kValue) {
+    // Affix estimates pay the scan: they have no index to size-probe.
+    return match_one(condition).size();
+  }
+  const auto idx = indexes_.find(condition.attribute);
+  if (idx == indexes_.end()) return 0;
+  const AttrIndex& index = idx->second;
+  if (const auto* s = std::get_if<std::string>(&condition.value)) {
+    if (condition.op != QueryOp::kEQ) return 0;
+    const auto it = index.by_string.find(*s);
+    return it == index.by_string.end() ? 0 : it->second.size();
+  }
+  const auto num = numeric_value(condition.value);
+  if (!num) return 0;
+  const auto& tree = index.by_number;
+  std::uint64_t total = 0;
+  switch (condition.op) {
+    case QueryOp::kEQ: {
+      const auto it = tree.find(*num);
+      return it == tree.end() ? 0 : it->second.size();
+    }
+    case QueryOp::kGT:
+      for (auto it = tree.upper_bound(*num); it != tree.end(); ++it) {
+        total += it->second.size();
+      }
+      return total;
+    case QueryOp::kGTE:
+      for (auto it = tree.lower_bound(*num); it != tree.end(); ++it) {
+        total += it->second.size();
+      }
+      return total;
+    case QueryOp::kLT:
+      for (auto it = tree.begin(); it != tree.lower_bound(*num); ++it) {
+        total += it->second.size();
+      }
+      return total;
+    case QueryOp::kLTE:
+      for (auto it = tree.begin(); it != tree.upper_bound(*num); ++it) {
+        total += it->second.size();
+      }
+      return total;
+  }
+  return 0;
+}
+
+bool MetaStore::object_matches(ObjectId object,
+                               const MetaCondition& condition) const {
+  const auto obj = per_object_.find(object);
+  if (obj == per_object_.end()) return false;
+  const auto attr = obj->second.find(condition.attribute);
+  if (attr == obj->second.end()) return false;
+  return value_matches(attr->second, condition);
+}
+
 std::vector<ObjectId> MetaStore::query(
     std::span<const MetaCondition> conditions) const {
   std::shared_lock lock(mu_);
   if (conditions.empty()) return {};
-  std::vector<ObjectId> result = match_one(conditions[0]);
-  for (std::size_t i = 1; i < conditions.size() && !result.empty(); ++i) {
-    const std::vector<ObjectId> next = match_one(conditions[i]);
-    std::vector<ObjectId> merged;
-    std::set_intersection(result.begin(), result.end(), next.begin(),
-                          next.end(), std::back_inserter(merged));
-    result = std::move(merged);
+  // Order conjuncts by estimated posting-list size: only the smallest list
+  // is ever materialized; every other conjunct is verified per surviving
+  // candidate.  A query whose first conjunct matches 3 objects costs
+  // O(3 * conjuncts) probes no matter how popular the other conjuncts are.
+  std::vector<std::pair<std::uint64_t, std::size_t>> order;
+  order.reserve(conditions.size());
+  for (std::size_t i = 0; i < conditions.size(); ++i) {
+    const std::uint64_t estimate = estimate_one(conditions[i]);
+    probes_.fetch_add(1, std::memory_order_relaxed);
+    if (estimate == 0) return {};  // empty conjunct: intersection is empty
+    order.emplace_back(estimate, i);
+  }
+  std::sort(order.begin(), order.end());
+  std::vector<ObjectId> result = match_one(conditions[order.front().second]);
+  probes_.fetch_add(result.size(), std::memory_order_relaxed);
+  for (std::size_t k = 1; k < order.size(); ++k) {
+    if (result.empty()) return {};
+    const MetaCondition& condition = conditions[order[k].second];
+    probes_.fetch_add(result.size(), std::memory_order_relaxed);
+    std::erase_if(result, [&](ObjectId id) {
+      return !object_matches(id, condition);
+    });
   }
   return result;
 }
@@ -135,8 +262,6 @@ std::vector<ObjectId> MetaStore::query_tag(std::string_view attribute,
   std::shared_lock lock(mu_);
   return match_one(c);
 }
-
-namespace {
 
 void put_meta_value(SerialWriter& w, const MetaValue& value) {
   if (const auto* s = std::get_if<std::string>(&value)) {
@@ -178,8 +303,6 @@ Status get_meta_value(SerialReader& r, MetaValue& out) {
   }
 }
 
-}  // namespace
-
 void MetaStore::serialize(SerialWriter& w) const {
   std::shared_lock lock(mu_);
   w.put<std::uint64_t>(per_object_.size());
@@ -215,6 +338,9 @@ Status MetaStore::load(SerialReader& r) {
       set_attribute(object, name, std::move(value));  // rebuilds indexes
     }
   }
+  if (!r.exhausted()) {
+    return Status::Corruption("metadata checkpoint has trailing bytes");
+  }
   return Status::Ok();
 }
 
@@ -244,6 +370,16 @@ std::size_t MetaStore::num_objects() const {
 std::size_t MetaStore::num_attributes() const {
   std::shared_lock lock(mu_);
   return indexes_.size();
+}
+
+void MetaStore::for_each(
+    const std::function<void(ObjectId,
+                             const std::map<std::string, MetaValue>&)>& fn)
+    const {
+  std::shared_lock lock(mu_);
+  for (const auto& [object, attrs] : per_object_) {
+    fn(object, attrs);
+  }
 }
 
 }  // namespace pdc::meta

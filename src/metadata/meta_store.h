@@ -10,7 +10,9 @@
 // attributes to PDC over the HDF5 file-walk.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 #include <shared_mutex>
@@ -31,12 +33,40 @@ namespace pdc::meta {
 /// Attribute value: text or numeric.
 using MetaValue = std::variant<std::string, double, std::int64_t>;
 
+/// How a condition's value matches an attribute (affix search, DART-style).
+/// Affix kinds match string values and the decimal stringification of
+/// int64 values ("plate=53*" matches the int64 5340); doubles never affix-
+/// match.  A `*` in a value is a literal byte, never a wildcard — the kind
+/// field IS the wildcard.
+enum class MetaMatchKind : std::uint8_t {
+  kValue = 0,  ///< exact / range on the typed value (op applies)
+  kPrefix,     ///< value starts with the pattern (op ignored)
+  kSuffix,     ///< value ends with the pattern (op ignored)
+};
+
 /// One conjunct of a metadata query.  String values support kEQ only.
 struct MetaCondition {
   std::string attribute;
   QueryOp op = QueryOp::kEQ;
   MetaValue value;
+  MetaMatchKind kind = MetaMatchKind::kValue;
 };
+
+/// The affix pattern of a condition: string values as-is, int64 values as
+/// decimal text; nullopt for doubles (never affix-matched).
+std::optional<std::string> affix_pattern(const MetaValue& value);
+
+/// Does one attribute value satisfy `condition`?  The single definition of
+/// condition semantics — the linear-scan oracle, the candidate-probe fast
+/// path and the sharded trie all agree by construction or by test against
+/// this function.
+bool value_matches(const MetaValue& value, const MetaCondition& condition);
+
+/// Wire/persistence encoding of one MetaValue (tag byte + payload); shared
+/// by the MetaStore checkpoint format and the kMetaQuery/kMetaUpdate
+/// messages.
+void put_meta_value(SerialWriter& w, const MetaValue& value);
+Status get_meta_value(SerialReader& r, MetaValue& out);
 
 class MetaStore {
  public:
@@ -63,6 +93,25 @@ class MetaStore {
   [[nodiscard]] std::size_t num_objects() const;
   [[nodiscard]] std::size_t num_attributes() const;
 
+  /// Visit every object's attribute map under the read lock (snapshot
+  /// iteration for shard builds).  `fn` must not call back into the store.
+  void for_each(const std::function<void(ObjectId,
+                                         const std::map<std::string,
+                                                        MetaValue>&)>& fn)
+      const;
+
+  /// Index probes charged by queries since construction (or the last
+  /// reset): one per posting-list size estimate, plus one per materialized
+  /// posting entry, plus one per candidate re-check.  Pins the conjunct-
+  /// ordering optimization — a tiny first conjunct must keep the probe
+  /// count near its own size, not the largest list's.
+  [[nodiscard]] std::uint64_t index_probes() const noexcept {
+    return probes_.load(std::memory_order_relaxed);
+  }
+  void reset_index_probes() noexcept {
+    probes_.store(0, std::memory_order_relaxed);
+  }
+
   // ---- fault tolerance (paper §II: metadata "is periodically persisted
   // to the storage system") ----
   /// Serialize every object's attributes (indexes rebuild on load).
@@ -77,6 +126,14 @@ class MetaStore {
   /// Objects matching one condition, ascending (unlocked).
   [[nodiscard]] std::vector<ObjectId> match_one(
       const MetaCondition& condition) const;
+  /// Estimated posting-list size of one condition without materializing it
+  /// (unlocked).  Exact for kValue conditions; affix kinds pay their
+  /// linear scan here (they ARE the linear-scan oracle).
+  [[nodiscard]] std::uint64_t estimate_one(
+      const MetaCondition& condition) const;
+  /// Does `object` satisfy `condition`? (unlocked, per-candidate probe).
+  [[nodiscard]] bool object_matches(ObjectId object,
+                                    const MetaCondition& condition) const;
 
   struct AttrIndex {
     // String equality.
@@ -87,6 +144,7 @@ class MetaStore {
   };
 
   mutable std::shared_mutex mu_;
+  mutable std::atomic<std::uint64_t> probes_{0};
   std::unordered_map<ObjectId, std::map<std::string, MetaValue>> per_object_;
   std::unordered_map<std::string, AttrIndex> indexes_;
 };

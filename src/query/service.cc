@@ -96,6 +96,18 @@ ServiceOptions ServiceOptions::from_env() {
       options.join_shuffle_deadline_ms = static_cast<std::uint32_t>(ms);
     }
   }
+  if (const char* env = std::getenv("PDC_META_VNODES")) {
+    const long vnodes = std::strtol(env, nullptr, 10);
+    if (vnodes >= 1 && vnodes <= 1 << 16) {
+      options.meta_vnodes = static_cast<std::uint32_t>(vnodes);
+    }
+  }
+  if (const char* env = std::getenv("PDC_META_REPLICAS")) {
+    const long replicas = std::strtol(env, nullptr, 10);
+    if (replicas >= 1 && replicas <= 64) {
+      options.meta_replicas = static_cast<std::uint32_t>(replicas);
+    }
+  }
   return options;
 }
 
@@ -130,6 +142,7 @@ QueryService::QueryService(const obj::ObjectStore& store,
     ports_.push_back(
         std::make_unique<rpc::ExchangePort>(bus_, s, port_options));
   }
+  build_meta_shards();
   for (ServerId s = 0; s < options_.num_servers; ++s) {
     server::ServerOptions server_options;
     server_options.id = s;
@@ -147,6 +160,9 @@ QueryService::QueryService(const obj::ObjectStore& store,
     server_options.replica_rebuild_threshold =
         options_.replica_rebuild_threshold;
     server_options.exchange = ports_[s].get();
+    if (!meta_shards_.empty()) {
+      server_options.meta_shard = meta_shards_[s].get();
+    }
     servers_.push_back(
         std::make_unique<server::QueryServer>(store_, server_options));
     server::QueryServer* qs = servers_.back().get();
@@ -1001,13 +1017,22 @@ Result<WriteReport> QueryService::transfer_write(
                              cost.net_bandwidth_bps;
     stats.dead_servers = dead_servers().size();
     stats.max_data_epoch = response.data_epoch;
-    stats.sim_elapsed_seconds = stats.net_seconds + stats.max_server_seconds;
 
     WriteReport report;
     report.data_epoch = response.data_epoch;
     report.regions_touched = response.regions_touched;
     report.duplicate = response.duplicate;
     report.compacted = response.compacted;
+    if (!report.duplicate && metadata_enabled()) {
+      // Write-path hook: the object's new data epoch propagates into the
+      // metadata service through the same replicated update path (per-
+      // vnode seq, epoch bump on every replica), so metadata queries can
+      // see write recency (`__data_epoch >= N`) with exact semantics.
+      PDC_RETURN_IF_ERROR(meta_apply_update(
+          object, "__data_epoch",
+          static_cast<std::int64_t>(response.data_epoch), opts, &stats));
+    }
+    stats.sim_elapsed_seconds = stats.net_seconds + stats.max_server_seconds;
     if (opts.trace) {
       write_span.arg("sim_elapsed_s", stats.sim_elapsed_seconds);
       write_span.arg("bytes", static_cast<double>(payload.size()));

@@ -27,6 +27,7 @@
 #include "common/cost_model.h"
 #include "common/exec_pool.h"
 #include "histogram/histogram.h"
+#include "metadata/meta_shard.h"
 #include "metadata/meta_store.h"
 #include "obj/object_store.h"
 #include "obs/metrics.h"
@@ -150,6 +151,11 @@ struct OpStats {
   std::uint64_t shuffle_rounds = 0;      ///< communication rounds (1)
   std::uint64_t join_candidates_left = 0;   ///< build tuples produced
   std::uint64_t join_candidates_right = 0;  ///< probe tuples produced
+  // Metadata-service observability (nonzero only for meta operations).
+  std::uint64_t meta_probes = 0;          ///< trie/map nodes visited
+  std::uint64_t meta_vnodes_queried = 0;  ///< vnode consultations (with dup
+                                          ///< retries), not a broadcast
+  std::uint64_t meta_max_epoch = 0;       ///< highest vnode epoch observed
 };
 
 /// Outcome of one transfer_write operation.
@@ -221,6 +227,19 @@ struct ServiceOptions {
   /// keeps retransmitting/waiting before the epoch fails (kUnavailable and
   /// the client re-plans onto the survivors).
   std::uint32_t join_shuffle_deadline_ms = 500;
+  /// Distributed metadata service (ROADMAP item 2).  Non-null: each server
+  /// hosts a MetaShard partition of this store's attributes (vnode ring,
+  /// N-way replication) and the service answers meta_query()/
+  /// meta_set_attribute() over kMetaQuery/kMetaUpdate RPC fan-outs.  Null
+  /// (the default): no shards are built and the data path is untouched.
+  /// Must outlive the service; it stays the authoritative copy (updates
+  /// through the service write it too).
+  meta::MetaStore* metadata = nullptr;
+  /// Vnode count of the metadata hash ring (more vnodes = finer balance).
+  std::uint32_t meta_vnodes = 64;
+  /// Replicas per metadata vnode (clamped to num_servers); ≥2 keeps exact
+  /// metadata answers available across a single server death.
+  std::uint32_t meta_replicas = 2;
 
   /// Read strategy from the PDC_QUERY_STRATEGY environment variable
   /// ("fullscan", "histogram", "index", "sorted", "adaptive"), mirroring
@@ -234,7 +253,10 @@ struct ServiceOptions {
   /// replica_rebuild_threshold from PDC_REPLICA_REBUILD_THRESHOLD.
   /// Unset/unknown keeps the defaults.  Joins: join_strategy from
   /// PDC_JOIN_STRATEGY ("zone" / "broadcast") and join_shuffle_deadline_ms
-  /// from PDC_JOIN_SHUFFLE_DEADLINE_MS.
+  /// from PDC_JOIN_SHUFFLE_DEADLINE_MS.  Metadata ring geometry:
+  /// meta_vnodes from PDC_META_VNODES, meta_replicas from
+  /// PDC_META_REPLICAS (the metadata store pointer itself cannot come from
+  /// the environment).
   static ServiceOptions from_env();
 };
 
@@ -310,6 +332,36 @@ class QueryService {
   /// retrieval is free (paper: PDCquery_get_histogram).
   Result<hist::MergeableHistogram> get_histogram(ObjectId object) const;
 
+  // ---- distributed metadata service (ROADMAP item 2; service_meta.cc) ----
+  /// Evaluate metadata conjuncts (exact / range / affix, see MetaMatchKind)
+  /// over the sharded server-resident index: each condition is routed to
+  /// the vnodes that can own it (never a broadcast), a load-aware replica
+  /// answers per vnode, posting lists are unioned per condition and
+  /// intersected across conditions client-side.  Returns the matching
+  /// ObjectIds ascending — byte-identical to MetaStore::query on the
+  /// authoritative store.  Requires ServiceOptions::metadata;
+  /// FailedPrecondition otherwise.  Under faults the fan-out retries the
+  /// surviving replicas of each vnode; with no replica left it returns
+  /// kUnavailable — never a silently truncated result.
+  Result<std::vector<ObjectId>> meta_query(
+      std::span<const meta::MetaCondition> conditions,
+      const QueryOptions& opts = {});
+  /// Set (or overwrite) one attribute of one object through the replicated
+  /// update path: the affected vnodes' replicas each apply the change
+  /// exactly once (per-vnode sequence dedup) and bump their epoch; the
+  /// authoritative MetaStore is updated after every replica acknowledged.
+  /// Requires ServiceOptions::metadata.
+  Status meta_set_attribute(ObjectId object, std::string_view attribute,
+                            meta::MetaValue value, const QueryOptions& opts = {});
+  /// True when this deployment hosts metadata shards.
+  [[nodiscard]] bool metadata_enabled() const noexcept {
+    return !meta_shards_.empty();
+  }
+  /// Ring geometry actually in effect (replicas clamped to num_servers).
+  [[nodiscard]] const meta::MetaRingConfig& meta_ring() const noexcept {
+    return meta_ring_;
+  }
+
   /// Stats of the most recent completed operation (by value: under
   /// concurrent queries a reference could be overwritten mid-read).
   [[nodiscard]] OpStats last_stats() const {
@@ -375,6 +427,14 @@ class QueryService {
   [[nodiscard]] std::uint64_t regions_of_identity(
       const std::vector<server::AndTerm>& terms, ServerId identity) const;
 
+  /// Build the per-server MetaShard partitions from options_.metadata
+  /// (constructor helper; parallel across servers when a pool exists).
+  void build_meta_shards();
+  /// Shared update path for meta_set_attribute and the write-path hook.
+  Status meta_apply_update(ObjectId object, std::string_view attribute,
+                           meta::MetaValue value, const QueryOptions& opts,
+                           OpStats* stats_out);
+
   /// Publishes local per-operation stats into stats_ when done.
   void publish_stats(const OpStats& stats);
   /// Snapshot of dead_ under the lock.
@@ -398,6 +458,13 @@ class QueryService {
   /// hold pointers to them and closed FIRST in the destructor so join
   /// handlers blocked in collect() wake before anything is torn down.
   std::vector<std::unique_ptr<rpc::ExchangePort>> ports_;
+  /// Metadata ring geometry in effect (replicas clamped to num_servers);
+  /// meaningful only when meta_shards_ is non-empty.
+  meta::MetaRingConfig meta_ring_;
+  /// Per-server metadata partitions (empty without ServiceOptions::
+  /// metadata).  Declared before servers_, which hold raw pointers into
+  /// them, so the shards outlive every in-flight request.
+  std::vector<std::unique_ptr<meta::MetaShard>> meta_shards_;
   std::vector<std::unique_ptr<server::QueryServer>> servers_;
   std::vector<std::unique_ptr<rpc::ServerRuntime>> runtimes_;
   rpc::Client client_;
@@ -416,6 +483,14 @@ class QueryService {
   /// by state_mu_): servers deduplicate on these, so a retried or rerouted
   /// write RPC applies exactly once.
   std::map<ObjectId, std::uint64_t> write_seq_;
+  /// Per-vnode metadata update sequence numbers (guarded by state_mu_):
+  /// every replica of a vnode sees the same seq, so retried kMetaUpdate
+  /// RPCs apply exactly once on each.
+  std::map<std::uint32_t, std::uint64_t> meta_seq_;
+  /// Accumulated simulated shard time charged to each server by meta
+  /// queries (guarded by state_mu_) — the load-aware replica selector
+  /// picks the least-loaded alive replica of each vnode.
+  std::vector<double> meta_load_;
 };
 
 }  // namespace pdc::query

@@ -1,0 +1,431 @@
+// Distributed metadata service — the client side (ROADMAP item 2).
+//
+// The authoritative MetaStore stays where it always was; what moves to the
+// servers is the INDEX.  Each QueryServer hosts a MetaShard: the affix-trie
+// postings of every vnode whose rendezvous replica set contains it
+// (meta_shard.h).  meta_query() routes each conjunct to the vnodes that
+// can own it — exact string lookups to one prefix bucket, numeric
+// equality/ranges to the attribute's numeric vnode, affix walks to the
+// first/last-byte bucket — so the fan-out touches the owning servers only,
+// never a broadcast.  Replica selection is load-aware: among the alive
+// replicas of a vnode, the one with the least accumulated simulated shard
+// time answers.  Posting lists come back per condition, are unioned across
+// vnodes and intersected across conditions client-side, and the final
+// ascending ObjectId list is byte-identical to MetaStore::query on the
+// authoritative copy (pinned by the MetaCheck differential battery).
+//
+// Updates (meta_set_attribute and the write-path hook) go to EVERY alive
+// replica of each affected vnode under a client-assigned per-vnode
+// sequence number: a retried or rerouted kMetaUpdate applies exactly once
+// per replica (MetaShard::apply's high-water dedup), and every
+// application bumps the vnode epoch that queries report back.
+//
+// Degraded mode mirrors the data path: a replica that exhausts its
+// retries is marked dead and its (condition, vnode) work re-routes to the
+// surviving replicas; only a vnode with NO replica left surfaces
+// kUnavailable — a truncated posting list is never an answer.
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "common/log.h"
+#include "common/timer.h"
+#include "query/service.h"
+
+namespace pdc::query {
+
+void QueryService::build_meta_shards() {
+  if (options_.metadata == nullptr) return;
+  meta_ring_.vnodes = std::max<std::uint32_t>(1, options_.meta_vnodes);
+  meta_ring_.num_servers = options_.num_servers;
+  meta_ring_.replicas =
+      std::min(std::max<std::uint32_t>(1, options_.meta_replicas),
+               options_.num_servers);
+  // Reflect the effective geometry back into options() for observability.
+  options_.meta_vnodes = meta_ring_.vnodes;
+  options_.meta_replicas = meta_ring_.replicas;
+  meta_shards_.reserve(options_.num_servers);
+  for (ServerId s = 0; s < options_.num_servers; ++s) {
+    meta_shards_.push_back(std::make_unique<meta::MetaShard>(meta_ring_, s));
+  }
+  // Each server walks the authoritative store once and keeps only the
+  // postings of the vnodes it replicates; servers build in parallel.
+  exec::parallel_for(pool_.get(), options_.num_servers, [&](std::size_t s) {
+    meta::MetaShard& shard = *meta_shards_[s];
+    options_.metadata->for_each(
+        [&](ObjectId id, const std::map<std::string, meta::MetaValue>& attrs) {
+          for (const auto& [name, value] : attrs) {
+            shard.index_attribute(id, name, value);
+          }
+        });
+  });
+  meta_load_.assign(options_.num_servers, 0.0);
+}
+
+Result<std::vector<ObjectId>> QueryService::meta_query(
+    std::span<const meta::MetaCondition> conditions, const QueryOptions& opts) {
+  WallTimer wall;
+  obs::Tracer tracer(opts.trace ? obs::next_id() : 0);
+  const obs::TraceContext root =
+      opts.trace ? obs::TraceContext{&tracer, tracer.trace_id(), 0}
+                 : obs::TraceContext{};
+  obs::ScopedSpan query_span(root, "client.meta_query", "client");
+  OpStats stats;
+  struct Publisher {
+    QueryService* service;
+    OpStats* stats;
+    WallTimer* wall;
+    ~Publisher() {
+      stats->wall_seconds = wall->elapsed_seconds();
+      service->publish_stats(*stats);
+    }
+  } publisher{this, &stats, &wall};
+  if (meta_shards_.empty()) {
+    return Status::FailedPrecondition(
+        "no metadata service in this deployment; set "
+        "ServiceOptions::metadata");
+  }
+  const CostModel& cost = store_.cluster().config().cost;
+  std::vector<ObjectId> result;
+  if (conditions.empty()) {
+    publish_trace(tracer, opts.trace);
+    return result;  // mirrors MetaStore::query on an empty conjunction
+  }
+
+  // Route every conjunct to the vnodes that can own it.  An empty route
+  // means the condition provably matches nothing — the whole conjunction
+  // is empty without a single RPC.
+  const std::size_t num_conditions = conditions.size();
+  std::vector<std::vector<std::uint32_t>> routes(num_conditions);
+  for (std::size_t i = 0; i < num_conditions; ++i) {
+    routes[i] = meta::vnodes_of_condition(conditions[i], meta_ring_);
+    if (routes[i].empty()) {
+      query_span.close();
+      publish_trace(tracer, opts.trace);
+      return result;
+    }
+  }
+
+  struct Pending {
+    std::size_t cond;
+    std::uint32_t vnode;
+  };
+  std::vector<Pending> pending;
+  for (std::size_t i = 0; i < num_conditions; ++i) {
+    for (const std::uint32_t v : routes[i]) pending.push_back({i, v});
+  }
+  std::vector<std::vector<ObjectId>> postings(num_conditions);
+
+  while (!pending.empty()) {
+    // Load-aware replica selection: the alive replica with the least
+    // accumulated shard time answers; ties break toward the lowest id so
+    // the choice is deterministic.
+    const std::vector<bool> dead = dead_snapshot();
+    std::vector<double> load;
+    {
+      std::lock_guard lock(state_mu_);
+      load = meta_load_;
+    }
+    std::map<ServerId, std::vector<Pending>> assignment;
+    for (const Pending& p : pending) {
+      const std::vector<ServerId> replicas =
+          meta::replicas_of(p.vnode, meta_ring_);
+      ServerId best = 0;
+      double best_load = std::numeric_limits<double>::infinity();
+      bool found = false;
+      for (const ServerId r : replicas) {
+        if (dead[r]) continue;
+        if (!found || load[r] < best_load) {
+          best = r;
+          best_load = load[r];
+          found = true;
+        }
+      }
+      if (!found) {
+        stats.dead_servers = dead_servers().size();
+        return Status::Unavailable("metadata vnode " +
+                                   std::to_string(p.vnode) +
+                                   " lost all replicas");
+      }
+      assignment[best].push_back(p);
+    }
+
+    // One kMetaQuery per chosen server, carrying only the conditions (and
+    // vnodes) assigned to it; remember the global condition index of every
+    // request slot for the merge.
+    std::vector<std::pair<ServerId, std::vector<std::uint8_t>>> requests;
+    std::vector<std::vector<std::size_t>> slot_cond;
+    std::vector<std::vector<Pending>> request_pending;
+    double max_request_net = 0.0;
+    for (auto& [target, assigned] : assignment) {
+      std::map<std::size_t, std::vector<std::uint32_t>> by_condition;
+      for (const Pending& p : assigned) by_condition[p.cond].push_back(p.vnode);
+      server::MetaQueryRequest request;
+      std::vector<std::size_t> mapping;
+      for (auto& [cond, vnodes] : by_condition) {
+        request.conditions.push_back(conditions[cond]);
+        request.vnodes.push_back(std::move(vnodes));
+        mapping.push_back(cond);
+      }
+      std::vector<std::uint8_t> payload = request.serialize();
+      stats.request_bytes += payload.size();
+      max_request_net =
+          std::max(max_request_net, cost.net_cost(payload.size()));
+      requests.emplace_back(target, std::move(payload));
+      slot_cond.push_back(std::move(mapping));
+      request_pending.push_back(std::move(assigned));
+    }
+    stats.net_seconds += max_request_net;
+
+    const rpc::GatherResult gathered =
+        client_.gather(requests, query_span.context(), opts.tenant);
+    stats.retries += gathered.stats.retries;
+    stats.timeouts += gathered.stats.timeouts;
+    stats.sheds += gathered.stats.sheds;
+    if (gathered.bus_closed) {
+      return Status::Unavailable("message bus shut down mid-query");
+    }
+
+    bool round_has_response = false;
+    server::LedgerSummary round_critical;
+    std::vector<Pending> requeued;
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      const ServerId target = requests[i].first;
+      const auto& message = gathered.responses[i];
+      if (!message.has_value()) {
+        if (gathered.shed[i]) {
+          // Overloaded, not dead: fail fast instead of piling the load
+          // onto the other replicas.
+          return Status::Overloaded("server " + std::to_string(target) +
+                                    " shed the metadata query; retry later");
+        }
+        mark_dead(target);
+        requeued.insert(requeued.end(), request_pending[i].begin(),
+                        request_pending[i].end());
+        continue;
+      }
+      SerialReader reader(message->payload);
+      PDC_ASSIGN_OR_RETURN(server::MetaQueryResponse response,
+                           server::MetaQueryResponse::Deserialize(reader));
+      PDC_RETURN_IF_ERROR(response.status);
+      if (response.postings.size() != slot_cond[i].size()) {
+        return Status::Corruption(
+            "meta query response misaligned with its request");
+      }
+      for (std::size_t j = 0; j < slot_cond[i].size(); ++j) {
+        std::vector<ObjectId>& sink = postings[slot_cond[i][j]];
+        sink.insert(sink.end(), response.postings[j].begin(),
+                    response.postings[j].end());
+      }
+      stats.meta_probes += response.probes;
+      stats.meta_vnodes_queried += response.epochs.size();
+      for (const auto& [vnode, epoch] : response.epochs) {
+        (void)vnode;
+        stats.meta_max_epoch = std::max(stats.meta_max_epoch, epoch);
+      }
+      stats.response_bytes += message->payload.size();
+      if (!round_has_response ||
+          response.ledger.elapsed() > round_critical.elapsed()) {
+        round_critical = response.ledger;
+        round_has_response = true;
+      }
+      {
+        std::lock_guard lock(state_mu_);
+        meta_load_[target] += response.ledger.elapsed();
+      }
+    }
+    if (round_has_response) {
+      stats.max_server_seconds += round_critical.elapsed();
+      stats.max_server_io_seconds += round_critical.io_seconds;
+      stats.max_server_cpu_seconds += round_critical.cpu_seconds;
+      stats.max_server_scan_seconds += round_critical.scan_seconds;
+      stats.max_server_merge_seconds += round_critical.merge_seconds;
+    }
+    if (!requeued.empty()) {
+      log_warn("meta query degraded: ", requeued.size(),
+               " vnode consultations re-routed to surviving replicas");
+    }
+    pending = std::move(requeued);
+  }
+  stats.dead_servers = dead_servers().size();
+
+  // Responses stream back to the one client NIC.
+  stats.net_seconds +=
+      cost.net_latency_s +
+      static_cast<double>(stats.response_bytes) / cost.net_bandwidth_bps;
+
+  // Client-side merge: union each condition's per-vnode lists, then
+  // intersect across conditions smallest-first.
+  obs::ScopedSpan merge_span(query_span.context(), "client.meta_merge",
+                             "client");
+  std::uint64_t merged_elements = 0;
+  for (std::vector<ObjectId>& list : postings) {
+    merged_elements += list.size();
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+  std::sort(postings.begin(), postings.end(),
+            [](const auto& a, const auto& b) { return a.size() < b.size(); });
+  result = std::move(postings.front());
+  std::vector<ObjectId> scratch;
+  for (std::size_t i = 1; i < postings.size() && !result.empty(); ++i) {
+    scratch.clear();
+    std::set_intersection(result.begin(), result.end(), postings[i].begin(),
+                          postings[i].end(), std::back_inserter(scratch));
+    result.swap(scratch);
+  }
+  stats.client_cpu_seconds +=
+      2.0 * cost.scan_cost(merged_elements * sizeof(ObjectId));
+  merge_span.arg("postings", static_cast<double>(merged_elements));
+  merge_span.close();
+
+  stats.sim_elapsed_seconds = stats.net_seconds + stats.max_server_seconds +
+                              stats.client_cpu_seconds;
+  if (opts.trace) {
+    query_span.arg("sim_elapsed_s", stats.sim_elapsed_seconds);
+    query_span.arg("num_hits", static_cast<double>(result.size()));
+    query_span.close();
+    publish_trace(tracer, /*traced=*/true);
+  }
+  return result;
+}
+
+Status QueryService::meta_apply_update(ObjectId object,
+                                       std::string_view attribute,
+                                       meta::MetaValue value,
+                                       const QueryOptions& opts,
+                                       OpStats* stats_out) {
+  if (meta_shards_.empty()) {
+    return Status::FailedPrecondition(
+        "no metadata service in this deployment; set "
+        "ServiceOptions::metadata");
+  }
+  const CostModel& cost = store_.cluster().config().cost;
+  const std::optional<meta::MetaValue> old_value =
+      options_.metadata->get_attribute(object, attribute);
+  // Affected vnodes: wherever the new value will be indexed, plus wherever
+  // the old value must be removed from.
+  std::vector<std::uint32_t> vnodes =
+      meta::vnodes_of_value(attribute, value, meta_ring_);
+  if (old_value.has_value()) {
+    const std::vector<std::uint32_t> stale =
+        meta::vnodes_of_value(attribute, *old_value, meta_ring_);
+    vnodes.insert(vnodes.end(), stale.begin(), stale.end());
+    std::sort(vnodes.begin(), vnodes.end());
+    vnodes.erase(std::unique(vnodes.begin(), vnodes.end()), vnodes.end());
+  }
+
+  server::MetaUpdateOpWire op;
+  op.object = object;
+  op.attribute = std::string(attribute);
+  op.has_old = old_value.has_value();
+  if (old_value.has_value()) op.old_value = *old_value;
+  op.new_value = value;
+
+  for (const std::uint32_t vnode : vnodes) {
+    // Client-assigned per-vnode sequence: every replica sees the same seq,
+    // so a retried or bus-duplicated request applies exactly once each.
+    std::uint64_t seq = 0;
+    {
+      std::lock_guard lock(state_mu_);
+      seq = ++meta_seq_[vnode];
+    }
+    server::MetaUpdateRequest request;
+    request.vnode = vnode;
+    request.seq = seq;
+    request.ops.push_back(op);
+    const std::vector<std::uint8_t> bytes = request.serialize();
+
+    const std::vector<bool> dead = dead_snapshot();
+    std::vector<std::pair<ServerId, std::vector<std::uint8_t>>> requests;
+    for (const ServerId r : meta::replicas_of(vnode, meta_ring_)) {
+      if (!dead[r]) requests.emplace_back(r, bytes);
+    }
+    if (requests.empty()) {
+      return Status::Unavailable("metadata vnode " + std::to_string(vnode) +
+                                 " lost all replicas");
+    }
+    if (stats_out != nullptr) {
+      stats_out->request_bytes += bytes.size() * requests.size();
+      // Replica copies travel in parallel: one message's cost, not the sum.
+      stats_out->net_seconds += cost.net_cost(bytes.size());
+    }
+    const rpc::GatherResult gathered =
+        client_.gather(requests, obs::TraceContext{}, opts.tenant);
+    if (gathered.bus_closed) {
+      return Status::Unavailable("message bus shut down mid-update");
+    }
+    if (stats_out != nullptr) {
+      stats_out->retries += gathered.stats.retries;
+      stats_out->timeouts += gathered.stats.timeouts;
+      stats_out->sheds += gathered.stats.sheds;
+    }
+    bool acknowledged = false;
+    double round_max = 0.0;
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      const ServerId target = requests[i].first;
+      const auto& message = gathered.responses[i];
+      if (!message.has_value()) {
+        if (gathered.shed[i]) {
+          return Status::Overloaded("server " + std::to_string(target) +
+                                    " shed the metadata update; retry later");
+        }
+        // A dead replica stays dead for the service lifetime, so its shard
+        // never serves again — missing this update is harmless.
+        mark_dead(target);
+        continue;
+      }
+      SerialReader reader(message->payload);
+      PDC_ASSIGN_OR_RETURN(server::MetaUpdateResponse response,
+                           server::MetaUpdateResponse::Deserialize(reader));
+      PDC_RETURN_IF_ERROR(response.status);
+      acknowledged = true;
+      round_max = std::max(round_max, response.ledger.elapsed());
+      if (stats_out != nullptr) {
+        stats_out->response_bytes += message->payload.size();
+        stats_out->meta_max_epoch =
+            std::max(stats_out->meta_max_epoch, response.epoch);
+        stats_out->meta_vnodes_queried += 1;
+      }
+    }
+    if (!acknowledged) {
+      return Status::Unavailable("metadata vnode " + std::to_string(vnode) +
+                                 " lost all replicas");
+    }
+    if (stats_out != nullptr) {
+      stats_out->max_server_seconds += round_max;
+      stats_out->max_server_cpu_seconds += round_max;
+      stats_out->net_seconds += cost.net_latency_s;
+    }
+  }
+
+  // The authoritative copy is written LAST — only after every affected
+  // vnode's surviving replicas acknowledged — so the oracle never claims
+  // an update the shards could still lose.
+  options_.metadata->set_attribute(object, attribute, std::move(value));
+  return Status::Ok();
+}
+
+Status QueryService::meta_set_attribute(ObjectId object,
+                                        std::string_view attribute,
+                                        meta::MetaValue value,
+                                        const QueryOptions& opts) {
+  WallTimer wall;
+  OpStats stats;
+  struct Publisher {
+    QueryService* service;
+    OpStats* stats;
+    WallTimer* wall;
+    ~Publisher() {
+      stats->wall_seconds = wall->elapsed_seconds();
+      service->publish_stats(*stats);
+    }
+  } publisher{this, &stats, &wall};
+  PDC_RETURN_IF_ERROR(
+      meta_apply_update(object, attribute, std::move(value), opts, &stats));
+  stats.dead_servers = dead_servers().size();
+  stats.sim_elapsed_seconds = stats.net_seconds + stats.max_server_seconds;
+  return Status::Ok();
+}
+
+}  // namespace pdc::query

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cstring>
+#include <map>
+#include <utility>
 
+#include "common/interval.h"
 #include "common/log.h"
 #include "obj/type_dispatch.h"
 #include "server/region_assignment.h"
@@ -92,6 +95,24 @@ std::vector<std::uint8_t> QueryServer::handle(
     }
     return bytes;
   }
+  if (*type == RequestType::kMetaQuery) {
+    auto request = MetaQueryRequest::Deserialize(reader);
+    if (!request.ok()) {
+      MetaQueryResponse resp;
+      resp.status = request.status();
+      return resp.serialize();
+    }
+    return meta_query(*request, trace).serialize();
+  }
+  if (*type == RequestType::kMetaUpdate) {
+    auto request = MetaUpdateRequest::Deserialize(reader);
+    if (!request.ok()) {
+      MetaUpdateResponse resp;
+      resp.status = request.status();
+      return resp.serialize();
+    }
+    return meta_update(*request, trace).serialize();
+  }
   auto request = GetDataRequest::Deserialize(reader);
   if (!request.ok()) {
     GetDataResponse resp;
@@ -99,6 +120,125 @@ std::vector<std::uint8_t> QueryServer::handle(
     return resp.serialize();
   }
   return get_data(*request, trace).serialize();
+}
+
+MetaQueryResponse QueryServer::meta_query(const MetaQueryRequest& request,
+                                          const obs::TraceContext& trace) {
+  MetaQueryResponse response;
+  if (meta_query_requests_metric_ != nullptr) {
+    meta_query_requests_metric_->add(1);
+  }
+  if (options_.meta_shard == nullptr) {
+    response.status = Status::FailedPrecondition(
+        "server has no metadata shard");
+    return response;
+  }
+  obs::ScopedSpan span(trace, "server.meta_query", actor_);
+  CostLedger ledger;
+  response.postings.resize(request.conditions.size());
+
+  // Numeric range conjuncts on the same attribute all route to that
+  // attribute's single numeric vnode, so they arrive here together.  Fuse
+  // each such group into one interval and evaluate it with a single
+  // both-sided ordered-map walk: `3502 <= PLATE <= 3504` costs O(output),
+  // not one half-open posting-list materialization per conjunct.  Every
+  // member slot gets the fused (intersected) list — a subset of that
+  // conjunct's matches, so the client's cross-condition intersection is
+  // unchanged.
+  struct FusedGroup {
+    ValueInterval interval;
+    std::vector<std::size_t> members;
+  };
+  std::map<std::pair<std::string, std::vector<std::uint32_t>>, FusedGroup>
+      fused;
+  for (std::size_t i = 0; i < request.conditions.size(); ++i) {
+    const meta::MetaCondition& c = request.conditions[i];
+    if (c.kind != meta::MetaMatchKind::kValue) continue;
+    const auto folded = meta::meta_numeric_fold(c.value);
+    if (!folded) continue;
+    auto [it, inserted] = fused.try_emplace(
+        std::make_pair(c.attribute, request.vnodes[i]));
+    const ValueInterval one = ValueInterval::from_op(c.op, *folded);
+    it->second.interval =
+        inserted ? one : it->second.interval.intersect(one);
+    it->second.members.push_back(i);
+  }
+  std::vector<bool> handled(request.conditions.size(), false);
+  for (const auto& [key, group] : fused) {
+    if (group.members.size() < 2) continue;
+    std::vector<ObjectId> shared;
+    const Status status = options_.meta_shard->query_interval(
+        key.first, group.interval, key.second, shared, response.epochs,
+        ledger, response.probes);
+    if (!status.ok()) {
+      response.status = status;
+      response.postings.clear();
+      response.epochs.clear();
+      return response;
+    }
+    for (const std::size_t i : group.members) {
+      response.postings[i] = shared;
+      handled[i] = true;
+    }
+  }
+
+  for (std::size_t i = 0; i < request.conditions.size(); ++i) {
+    if (handled[i]) continue;
+    const Status status = options_.meta_shard->query(
+        request.conditions[i], request.vnodes[i], response.postings[i],
+        response.epochs, ledger, response.probes);
+    if (!status.ok()) {
+      response.status = status;
+      response.postings.clear();
+      response.epochs.clear();
+      return response;
+    }
+  }
+  if (meta_probes_metric_ != nullptr) {
+    meta_probes_metric_->add(response.probes);
+  }
+  response.ledger = LedgerSummary::from(ledger);
+  span.arg("probes", static_cast<double>(response.probes));
+  return response;
+}
+
+MetaUpdateResponse QueryServer::meta_update(const MetaUpdateRequest& request,
+                                            const obs::TraceContext& trace) {
+  MetaUpdateResponse response;
+  if (meta_update_requests_metric_ != nullptr) {
+    meta_update_requests_metric_->add(1);
+  }
+  if (options_.meta_shard == nullptr) {
+    response.status = Status::FailedPrecondition(
+        "server has no metadata shard");
+    return response;
+  }
+  obs::ScopedSpan span(trace, "server.meta_update", actor_);
+  std::vector<meta::MetaShard::UpdateOp> ops;
+  ops.reserve(request.ops.size());
+  for (const MetaUpdateOpWire& op : request.ops) {
+    meta::MetaShard::UpdateOp out;
+    out.object = op.object;
+    out.attribute = op.attribute;
+    if (op.has_old) out.old_value = op.old_value;
+    out.new_value = op.new_value;
+    ops.push_back(std::move(out));
+  }
+  bool applied = false;
+  const auto epoch =
+      options_.meta_shard->apply(request.vnode, request.seq, ops, applied);
+  if (!epoch.ok()) {
+    response.status = epoch.status();
+    return response;
+  }
+  response.epoch = *epoch;
+  response.duplicate = !applied;
+  CostLedger ledger;
+  ledger.add_cpu(static_cast<double>(request.ops.size() + 1) *
+                     meta::kMetaProbeSeconds,
+                 CpuStage::kMerge);
+  response.ledger = LedgerSummary::from(ledger);
+  return response;
 }
 
 void QueryServer::register_metrics() {
@@ -110,6 +250,13 @@ void QueryServer::register_metrics() {
   read_ops_metric_ = &options_.metrics->counter(actor_ + ".read_ops");
   eval_latency_metric_ =
       &options_.metrics->histogram(actor_ + ".eval_seconds");
+  if (options_.meta_shard != nullptr) {
+    meta_query_requests_metric_ =
+        &options_.metrics->counter(actor_ + ".meta_query_requests");
+    meta_update_requests_metric_ =
+        &options_.metrics->counter(actor_ + ".meta_update_requests");
+    meta_probes_metric_ = &options_.metrics->counter(actor_ + ".meta_probes");
+  }
   if (options_.mutable_store != nullptr) {
     write_requests_metric_ =
         &options_.metrics->counter(actor_ + ".write_requests");

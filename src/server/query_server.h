@@ -33,6 +33,7 @@
 
 #include "common/cost_model.h"
 #include "common/exec_pool.h"
+#include "metadata/meta_shard.h"
 #include "obj/object_store.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -94,6 +95,10 @@ struct ServerOptions {
   /// only: a multi-participant kJoinEval is rejected with
   /// FailedPrecondition.  Must outlive the server.
   rpc::ExchangePort* exchange = nullptr;
+  /// This server's metadata partition (distributed metadata service).
+  /// Null = metadata-less deployment: kMetaQuery/kMetaUpdate are rejected
+  /// with FailedPrecondition.  Must outlive the server.
+  meta::MetaShard* meta_shard = nullptr;
   /// Tuples per exchange batch frame.  Small enough that a corrupted or
   /// dropped frame retransmits cheaply, large enough to amortize envelope
   /// overhead.
@@ -144,6 +149,15 @@ class QueryServer {
   /// join_eval.cc.
   JoinEvalResponse join_eval(const JoinEvalRequest& request,
                              const obs::TraceContext& trace = {});
+  /// kMetaQuery: evaluate metadata conjuncts over this server's vnode
+  /// partition (FailedPrecondition without a shard, or when a listed vnode
+  /// is not replicated here — never a silently truncated posting list).
+  MetaQueryResponse meta_query(const MetaQueryRequest& request,
+                               const obs::TraceContext& trace = {});
+  /// kMetaUpdate: apply one replicated attribute-update batch exactly once
+  /// (per-vnode seq dedup), bumping the vnode epoch.
+  MetaUpdateResponse meta_update(const MetaUpdateRequest& request,
+                                 const obs::TraceContext& trace = {});
 
   [[nodiscard]] const RegionCache& cache() const noexcept { return cache_; }
   [[nodiscard]] ServerId id() const noexcept { return options_.id; }
@@ -205,6 +219,9 @@ class QueryServer {
   obs::Counter* write_bytes_metric_ = nullptr;
   obs::Counter* compactions_metric_ = nullptr;
   obs::Counter* replica_rebuilds_metric_ = nullptr;
+  obs::Counter* meta_query_requests_metric_ = nullptr;
+  obs::Counter* meta_update_requests_metric_ = nullptr;
+  obs::Counter* meta_probes_metric_ = nullptr;
   RegionCache cache_;
   /// Serialized index bins stay resident once read (FastBit also caches
   /// bitmaps); keyed by (object, region*2048+bin).

@@ -464,6 +464,193 @@ Result<MetricsResponse> MetricsResponse::Deserialize(SerialReader& r) {
   return resp;
 }
 
+namespace {
+
+void put_meta_condition(SerialWriter& w, const meta::MetaCondition& c) {
+  w.put_string(c.attribute);
+  w.put(static_cast<std::uint8_t>(c.op));
+  w.put(static_cast<std::uint8_t>(c.kind));
+  meta::put_meta_value(w, c.value);
+}
+
+Status get_meta_condition(SerialReader& r, meta::MetaCondition& c) {
+  std::uint8_t op = 0;
+  std::uint8_t kind = 0;
+  PDC_RETURN_IF_ERROR(r.get_string(c.attribute));
+  PDC_RETURN_IF_ERROR(r.get(op));
+  PDC_RETURN_IF_ERROR(r.get(kind));
+  if (op > static_cast<std::uint8_t>(QueryOp::kEQ)) {
+    return Status::Corruption("meta condition op invalid");
+  }
+  if (kind > static_cast<std::uint8_t>(meta::MetaMatchKind::kSuffix)) {
+    return Status::Corruption("meta condition kind invalid");
+  }
+  c.op = static_cast<QueryOp>(op);
+  c.kind = static_cast<meta::MetaMatchKind>(kind);
+  return meta::get_meta_value(r, c.value);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> MetaQueryRequest::serialize() const {
+  SerialWriter w;
+  w.put(static_cast<std::uint8_t>(RequestType::kMetaQuery));
+  w.put<std::uint64_t>(conditions.size());
+  for (std::size_t i = 0; i < conditions.size(); ++i) {
+    put_meta_condition(w, conditions[i]);
+    w.put_vector(i < vnodes.size() ? vnodes[i]
+                                   : std::vector<std::uint32_t>{});
+  }
+  return w.take();
+}
+
+Result<MetaQueryRequest> MetaQueryRequest::Deserialize(SerialReader& r) {
+  std::uint8_t type = 0;
+  PDC_RETURN_IF_ERROR(r.get(type));
+  if (type != static_cast<std::uint8_t>(RequestType::kMetaQuery)) {
+    return Status::Corruption("not a meta-query request");
+  }
+  MetaQueryRequest request;
+  std::uint64_t n = 0;
+  PDC_RETURN_IF_ERROR(r.get(n));
+  if (n > r.remaining()) {
+    return Status::Corruption("meta condition count implausible");
+  }
+  request.conditions.resize(static_cast<std::size_t>(n));
+  request.vnodes.resize(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    PDC_RETURN_IF_ERROR(get_meta_condition(r, request.conditions[i]));
+    PDC_RETURN_IF_ERROR(r.get_vector(request.vnodes[i]));
+  }
+  if (!r.exhausted()) {
+    return Status::Corruption("meta-query request has trailing bytes");
+  }
+  return request;
+}
+
+std::vector<std::uint8_t> MetaQueryResponse::serialize() const {
+  SerialWriter w;
+  put_status(w, status);
+  w.put<std::uint64_t>(postings.size());
+  for (const std::vector<ObjectId>& ids : postings) {
+    w.put_vector(ids);
+  }
+  w.put<std::uint64_t>(epochs.size());
+  for (const auto& [vnode, epoch] : epochs) {
+    w.put(vnode);
+    w.put(epoch);
+  }
+  w.put(probes);
+  put_ledger(w, ledger);
+  return w.take();
+}
+
+Result<MetaQueryResponse> MetaQueryResponse::Deserialize(SerialReader& r) {
+  MetaQueryResponse response;
+  PDC_RETURN_IF_ERROR(get_status(r, response.status));
+  std::uint64_t n = 0;
+  PDC_RETURN_IF_ERROR(r.get(n));
+  if (n > r.remaining()) {
+    return Status::Corruption("meta posting count implausible");
+  }
+  response.postings.resize(static_cast<std::size_t>(n));
+  for (std::vector<ObjectId>& ids : response.postings) {
+    PDC_RETURN_IF_ERROR(r.get_vector(ids));
+  }
+  PDC_RETURN_IF_ERROR(r.get(n));
+  if (n > r.remaining() / (sizeof(std::uint32_t) + sizeof(std::uint64_t))) {
+    return Status::Corruption("meta epoch count implausible");
+  }
+  response.epochs.resize(static_cast<std::size_t>(n));
+  for (auto& [vnode, epoch] : response.epochs) {
+    PDC_RETURN_IF_ERROR(r.get(vnode));
+    PDC_RETURN_IF_ERROR(r.get(epoch));
+  }
+  PDC_RETURN_IF_ERROR(r.get(response.probes));
+  PDC_RETURN_IF_ERROR(get_ledger(r, response.ledger));
+  if (!r.exhausted()) {
+    return Status::Corruption("meta-query response has trailing bytes");
+  }
+  return response;
+}
+
+std::vector<std::uint8_t> MetaUpdateRequest::serialize() const {
+  SerialWriter w;
+  w.put(static_cast<std::uint8_t>(RequestType::kMetaUpdate));
+  w.put(vnode);
+  w.put(seq);
+  w.put<std::uint64_t>(ops.size());
+  for (const MetaUpdateOpWire& op : ops) {
+    w.put(op.object);
+    w.put_string(op.attribute);
+    w.put<std::uint8_t>(op.has_old ? 1 : 0);
+    if (op.has_old) meta::put_meta_value(w, op.old_value);
+    meta::put_meta_value(w, op.new_value);
+  }
+  return w.take();
+}
+
+Result<MetaUpdateRequest> MetaUpdateRequest::Deserialize(SerialReader& r) {
+  std::uint8_t type = 0;
+  PDC_RETURN_IF_ERROR(r.get(type));
+  if (type != static_cast<std::uint8_t>(RequestType::kMetaUpdate)) {
+    return Status::Corruption("not a meta-update request");
+  }
+  MetaUpdateRequest request;
+  PDC_RETURN_IF_ERROR(r.get(request.vnode));
+  PDC_RETURN_IF_ERROR(r.get(request.seq));
+  std::uint64_t n = 0;
+  PDC_RETURN_IF_ERROR(r.get(n));
+  if (n > r.remaining()) {
+    return Status::Corruption("meta update op count implausible");
+  }
+  request.ops.resize(static_cast<std::size_t>(n));
+  for (MetaUpdateOpWire& op : request.ops) {
+    std::uint8_t has_old = 0;
+    PDC_RETURN_IF_ERROR(r.get(op.object));
+    PDC_RETURN_IF_ERROR(r.get_string(op.attribute));
+    PDC_RETURN_IF_ERROR(r.get(has_old));
+    if (has_old > 1) {
+      return Status::Corruption("meta update has_old flag invalid");
+    }
+    op.has_old = has_old != 0;
+    if (op.has_old) {
+      PDC_RETURN_IF_ERROR(meta::get_meta_value(r, op.old_value));
+    }
+    PDC_RETURN_IF_ERROR(meta::get_meta_value(r, op.new_value));
+  }
+  if (!r.exhausted()) {
+    return Status::Corruption("meta-update request has trailing bytes");
+  }
+  return request;
+}
+
+std::vector<std::uint8_t> MetaUpdateResponse::serialize() const {
+  SerialWriter w;
+  put_status(w, status);
+  w.put(epoch);
+  w.put<std::uint8_t>(duplicate ? 1 : 0);
+  put_ledger(w, ledger);
+  return w.take();
+}
+
+Result<MetaUpdateResponse> MetaUpdateResponse::Deserialize(SerialReader& r) {
+  MetaUpdateResponse response;
+  PDC_RETURN_IF_ERROR(get_status(r, response.status));
+  PDC_RETURN_IF_ERROR(r.get(response.epoch));
+  std::uint8_t duplicate = 0;
+  PDC_RETURN_IF_ERROR(r.get(duplicate));
+  if (duplicate > 1) {
+    return Status::Corruption("meta update duplicate flag invalid");
+  }
+  response.duplicate = duplicate != 0;
+  PDC_RETURN_IF_ERROR(get_ledger(r, response.ledger));
+  if (!r.exhausted()) {
+    return Status::Corruption("meta-update response has trailing bytes");
+  }
+  return response;
+}
+
 Result<RequestType> peek_request_type(std::span<const std::uint8_t> payload) {
   if (payload.empty()) {
     return Status::Corruption("empty request payload");
@@ -474,7 +661,9 @@ Result<RequestType> peek_request_type(std::span<const std::uint8_t> payload) {
       type != static_cast<std::uint8_t>(RequestType::kMetrics) &&
       type != static_cast<std::uint8_t>(RequestType::kTransferWrite) &&
       type != static_cast<std::uint8_t>(RequestType::kJoinEval) &&
-      type != static_cast<std::uint8_t>(RequestType::kExchange)) {
+      type != static_cast<std::uint8_t>(RequestType::kExchange) &&
+      type != static_cast<std::uint8_t>(RequestType::kMetaQuery) &&
+      type != static_cast<std::uint8_t>(RequestType::kMetaUpdate)) {
     return Status::Corruption("unknown request type");
   }
   return static_cast<RequestType>(type);

@@ -20,6 +20,7 @@
 #include "common/serial.h"
 #include "common/status.h"
 #include "common/types.h"
+#include "metadata/meta_store.h"
 #include "obs/metrics.h"
 
 namespace pdc::server {
@@ -46,6 +47,8 @@ enum class RequestType : std::uint8_t {
   /// on a server's request mailbox — it travels on the exchange lane — but
   /// shares the type-byte space so peek_request_type classifies it.
   kExchange = 6,
+  kMetaQuery = 7,   ///< metadata conjuncts against this server's vnodes
+  kMetaUpdate = 8,  ///< replicated metadata attribute update batch
 };
 
 /// One conjunct: an interval condition on one object.
@@ -299,6 +302,70 @@ struct JoinEvalResponse {
 
   [[nodiscard]] std::vector<std::uint8_t> serialize() const;
   static Result<JoinEvalResponse> Deserialize(SerialReader& r);
+};
+
+/// Metadata conjuncts for the vnodes this server replicates (distributed
+/// metadata service, ROADMAP item 2).  The client router restricts
+/// `vnodes[i]` to the owning vnodes of `conditions[i]` that the target
+/// server replicates — a fan-out to owners, never a broadcast.
+struct MetaQueryRequest {
+  std::vector<meta::MetaCondition> conditions;
+  /// Per-condition vnode lists, aligned with `conditions`.
+  std::vector<std::vector<std::uint32_t>> vnodes;
+
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  static Result<MetaQueryRequest> Deserialize(SerialReader& r);
+};
+
+struct MetaQueryResponse {
+  Status status;
+  /// Per-condition sorted, deduplicated ObjectId posting lists (aligned
+  /// with the request's conditions), restricted to the requested vnodes.
+  std::vector<std::vector<ObjectId>> postings;
+  /// Epoch of every consulted vnode (staleness observability; bumped by
+  /// each applied kMetaUpdate batch).
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> epochs;
+  std::uint64_t probes = 0;  ///< trie/map nodes visited server-side
+  LedgerSummary ledger;
+
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  static Result<MetaQueryResponse> Deserialize(SerialReader& r);
+};
+
+/// One attribute assignment inside a replicated update batch.  The old
+/// value (when present) is removed from the vnode's lanes before the new
+/// value is inserted — the client knows both sides because it fronts the
+/// authoritative MetaStore.
+struct MetaUpdateOpWire {
+  ObjectId object = kInvalidObjectId;
+  std::string attribute;
+  bool has_old = false;
+  meta::MetaValue old_value;
+  meta::MetaValue new_value;
+};
+
+/// Update batch for ONE vnode, sent to every replica.  `seq` is a client-
+/// assigned monotone sequence per vnode; replicas apply a batch at most
+/// once (a seq at or below the vnode's high-water mark is acknowledged as
+/// a duplicate without re-indexing) — exactly-once under retries,
+/// reroutes and bus duplication, mirroring TransferWriteRequest.
+struct MetaUpdateRequest {
+  std::uint32_t vnode = 0;
+  std::uint64_t seq = 0;
+  std::vector<MetaUpdateOpWire> ops;
+
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  static Result<MetaUpdateRequest> Deserialize(SerialReader& r);
+};
+
+struct MetaUpdateResponse {
+  Status status;
+  std::uint64_t epoch = 0;  ///< vnode epoch after the call
+  bool duplicate = false;   ///< seq at/below high-water: not re-applied
+  LedgerSummary ledger;
+
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  static Result<MetaUpdateResponse> Deserialize(SerialReader& r);
 };
 
 /// Ask a server for a snapshot of its deployment metrics (counters,

@@ -1,0 +1,527 @@
+#include "testing/metacheck.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "obj/object_store.h"
+#include "pfs/pfs.h"
+#include "query/service.h"
+#include "rpc/fault.h"
+
+namespace pdc::testing {
+namespace {
+
+// Adversarial building blocks.  Shared prefixes stress trie edge
+// splitting; high bytes stress byte-exact bucket routing; '*' stresses
+// literal-wildcard separation; the 2^53 family stresses the numeric fold.
+constexpr std::string_view kPrefixBases[] = {"53", "obs_20", "run",
+                                             "plate53"};
+constexpr std::string_view kUnicodeish[] = {
+    "caf\xC3\xA9", "\xE2\x98\x85", "\xC3\xA9clair", "x\xF0\x9F\x9A\x80"};
+constexpr std::string_view kStarLiterals[] = {"*", "*DEG", "53*", "a*b"};
+constexpr std::int64_t kTwoPow53 = 9007199254740992LL;  // 2^53
+
+std::string printable(const std::string& s) {
+  std::ostringstream os;
+  for (const char c : s) {
+    const auto b = static_cast<unsigned char>(c);
+    if (b >= 0x20 && b < 0x7F) {
+      os << c;
+    } else {
+      static const char* hex = "0123456789ABCDEF";
+      os << "\\x" << hex[b >> 4] << hex[b & 0xF];
+    }
+  }
+  return os.str();
+}
+
+std::string value_repr(const meta::MetaValue& v) {
+  std::ostringstream os;
+  if (const auto* s = std::get_if<std::string>(&v)) {
+    os << '"' << printable(*s) << '"';
+  } else if (const auto* d = std::get_if<double>(&v)) {
+    os << *d;
+  } else {
+    os << std::get<std::int64_t>(v) << "i64";
+  }
+  return os.str();
+}
+
+std::string condition_repr(const meta::MetaCondition& c) {
+  std::ostringstream os;
+  os << printable(c.attribute);
+  switch (c.kind) {
+    case meta::MetaMatchKind::kValue:
+      os << " op" << static_cast<int>(c.op) << " ";
+      break;
+    case meta::MetaMatchKind::kPrefix:
+      os << " prefix* ";
+      break;
+    case meta::MetaMatchKind::kSuffix:
+      os << " *suffix ";
+      break;
+  }
+  os << value_repr(c.value);
+  return os.str();
+}
+
+std::string ids_summary(const std::vector<ObjectId>& want,
+                        const std::vector<ObjectId>& got) {
+  std::ostringstream os;
+  os << "expected " << want.size() << " ids, got " << got.size();
+  for (std::size_t i = 0; i < std::max(want.size(), got.size()); ++i) {
+    const bool w = i < want.size();
+    const bool g = i < got.size();
+    if (w && g && want[i] == got[i]) continue;
+    os << "; first divergence at rank " << i << " (expected "
+       << (w ? std::to_string(want[i]) : std::string("<end>")) << ", got "
+       << (g ? std::to_string(got[i]) : std::string("<end>")) << ")";
+    break;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+// -------------------------------------------------------------- generator
+
+MetaGen::MetaGen(std::uint64_t seed) : seed_(seed), rng_(seed) {}
+
+std::string MetaGen::draw_attribute_name() {
+  // A small pool with deliberate shared prefixes ("run" / "run_id").
+  static const char* kNames[] = {"PLATE", "run", "run_id", "tag", "RADEG"};
+  return kNames[rng_.bounded(std::size(kNames))];
+}
+
+meta::MetaValue MetaGen::draw_value() {
+  switch (rng_.bounded(6)) {
+    case 0: {  // shared-prefix string: base + a few digits
+      std::string v(kPrefixBases[rng_.bounded(std::size(kPrefixBases))]);
+      const std::uint64_t extra = rng_.bounded(4);
+      for (std::uint64_t i = 0; i < extra; ++i) {
+        v.push_back(static_cast<char>('0' + rng_.bounded(10)));
+      }
+      return v;
+    }
+    case 1:  // unicode-adjacent bytes
+      return std::string(kUnicodeish[rng_.bounded(std::size(kUnicodeish))]);
+    case 2:  // '*' as a literal value byte
+      return std::string(kStarLiterals[rng_.bounded(std::size(kStarLiterals))]);
+    case 3: {  // int64 straddling 2^53 (plus small/negative ints)
+      switch (rng_.bounded(4)) {
+        case 0:
+          return kTwoPow53 + static_cast<std::int64_t>(rng_.bounded(3)) - 1;
+        case 1:
+          return -(kTwoPow53 + static_cast<std::int64_t>(rng_.bounded(3)) - 1);
+        case 2:
+          return static_cast<std::int64_t>(rng_.bounded(100)) - 50;
+        default:
+          return static_cast<std::int64_t>(5340);
+      }
+    }
+    case 4:  // doubles, including the paper's query constants
+      switch (rng_.bounded(3)) {
+        case 0:
+          return 153.17;
+        case 1:
+          return -0.0;
+        default:
+          return std::round(rng_.uniform(-10.0, 10.0) * 4.0) / 4.0;
+      }
+    default:  // empty and single-byte strings (degenerate trie keys)
+      return rng_.bounded(2) == 0 ? std::string()
+                                  : std::string(1, static_cast<char>(
+                                                       rng_.bounded(256)));
+  }
+}
+
+std::string MetaGen::draw_pattern(const MetaCatalog& catalog) {
+  // Mostly an affix of a value that actually exists (so matches happen);
+  // sometimes a fresh adversarial string; sometimes empty (full fan-out).
+  const std::uint64_t pick = rng_.bounded(8);
+  if (pick == 0) return std::string();
+  if (pick <= 5 && !catalog.objects.empty()) {
+    const auto& attrs =
+        catalog.objects[rng_.bounded(catalog.objects.size())];
+    if (!attrs.empty()) {
+      auto it = attrs.begin();
+      std::advance(it, static_cast<long>(rng_.bounded(attrs.size())));
+      if (const auto pattern = meta::affix_pattern(it->second)) {
+        if (pattern->empty()) return std::string();
+        // Chop to a random prefix/suffix length >= 1.
+        const std::size_t len = 1 + rng_.bounded(pattern->size());
+        return rng_.bounded(2) == 0 ? pattern->substr(0, len)
+                                    : pattern->substr(pattern->size() - len);
+      }
+    }
+  }
+  const auto fresh = draw_value();
+  return meta::affix_pattern(fresh).value_or("5");
+}
+
+meta::MetaCondition MetaGen::draw_condition(const MetaCatalog& catalog) {
+  meta::MetaCondition c;
+  // 1/8 of conditions target an attribute nobody has (matches nothing on
+  // both paths).
+  c.attribute =
+      rng_.bounded(8) == 0 ? std::string("nope") : draw_attribute_name();
+  const std::uint64_t kind = rng_.bounded(10);
+  if (kind < 4) {
+    c.kind = meta::MetaMatchKind::kValue;
+    // Mostly a value that exists somewhere, for non-trivial hit sets.
+    if (rng_.bounded(4) != 0 && !catalog.objects.empty()) {
+      const auto& attrs =
+          catalog.objects[rng_.bounded(catalog.objects.size())];
+      const auto it = attrs.find(c.attribute);
+      if (it != attrs.end()) c.value = it->second;
+      else c.value = draw_value();
+    } else {
+      c.value = draw_value();
+    }
+    if (std::holds_alternative<std::string>(c.value)) {
+      // Strings support kEQ only; occasionally draw kGT to pin the
+      // "matches nothing" agreement between both paths.
+      c.op = rng_.bounded(8) == 0 ? QueryOp::kGT : QueryOp::kEQ;
+    } else {
+      static const QueryOp kOps[] = {QueryOp::kEQ, QueryOp::kGT,
+                                     QueryOp::kGTE, QueryOp::kLT,
+                                     QueryOp::kLTE};
+      c.op = kOps[rng_.bounded(std::size(kOps))];
+    }
+  } else {
+    c.kind = kind < 7 ? meta::MetaMatchKind::kPrefix
+                      : meta::MetaMatchKind::kSuffix;
+    c.op = QueryOp::kEQ;
+    // Affix patterns ride in the value: usually a string, sometimes an
+    // int64 (decimal-text pattern), rarely a double (provably empty).
+    const std::uint64_t form = rng_.bounded(8);
+    if (form == 0) {
+      c.value = kTwoPow53 + static_cast<std::int64_t>(rng_.bounded(3)) - 1;
+    } else if (form == 1) {
+      c.value = 1.5;
+    } else {
+      c.value = draw_pattern(catalog);
+    }
+  }
+  return c;
+}
+
+MetaCase MetaGen::draw_case() {
+  MetaCase c;
+  c.seed = seed_;
+  c.catalog.first_object = 1 + rng_.bounded(100);
+  const std::size_t num_objects = 8 + rng_.bounded(40);
+  c.catalog.objects.resize(num_objects);
+  for (auto& attrs : c.catalog.objects) {
+    const std::size_t num_attrs = 1 + rng_.bounded(4);
+    for (std::size_t a = 0; a < num_attrs; ++a) {
+      attrs[draw_attribute_name()] = draw_value();
+    }
+  }
+  const std::size_t num_ops = 4 + rng_.bounded(6);
+  for (std::size_t i = 0; i < num_ops; ++i) {
+    MetaOpSpec op;
+    op.is_update = rng_.bounded(3) == 0;
+    if (op.is_update) {
+      op.target = static_cast<std::uint32_t>(rng_.bounded(num_objects));
+      op.attribute = draw_attribute_name();
+      op.value = draw_value();  // type changes included
+    } else {
+      const std::size_t conjuncts = 1 + rng_.bounded(3);
+      for (std::size_t k = 0; k < conjuncts; ++k) {
+        op.query.push_back(draw_condition(c.catalog));
+      }
+    }
+    c.ops.push_back(std::move(op));
+  }
+  // Always end on a query so updates get observed.
+  if (c.ops.back().is_update) {
+    MetaOpSpec final_query;
+    final_query.query.push_back(draw_condition(c.catalog));
+    c.ops.push_back(std::move(final_query));
+  }
+  return c;
+}
+
+// ----------------------------------------------------------------- runner
+
+namespace {
+
+struct MetaEnv {
+  std::unique_ptr<pfs::PfsCluster> cluster;
+  std::unique_ptr<obj::ObjectStore> store;
+  std::string dir;
+};
+
+Result<MetaEnv> build_meta_env(std::uint64_t tag,
+                               const std::string& temp_root) {
+  static std::atomic<std::uint64_t> counter{0};
+  MetaEnv env;
+  std::ostringstream dir;
+  dir << temp_root << "/case_" << tag << "_" << counter.fetch_add(1);
+  env.dir = dir.str();
+  std::error_code ec;
+  std::filesystem::remove_all(env.dir, ec);
+  pfs::PfsConfig config;
+  config.root_dir = env.dir;
+  PDC_ASSIGN_OR_RETURN(env.cluster, pfs::PfsCluster::Create(config));
+  env.store = std::make_unique<obj::ObjectStore>(*env.cluster);
+  return env;
+}
+
+/// Replay the case against one deployment.  `degraded` relaxes the
+/// contract from "must succeed and match" to "must match or fail with a
+/// clean kUnavailable/kOverloaded".
+Result<std::optional<MetaMismatch>> run_deployment(
+    const MetaCase& c, const MetaRunOptions& options,
+    std::uint32_t num_servers, bool degraded) {
+  PDC_ASSIGN_OR_RETURN(MetaEnv env,
+                       build_meta_env(c.seed, options.temp_root));
+  meta::MetaStore authoritative;
+  for (std::size_t i = 0; i < c.catalog.objects.size(); ++i) {
+    const ObjectId id = c.catalog.first_object + i;
+    for (const auto& [name, value] : c.catalog.objects[i]) {
+      authoritative.set_attribute(id, name, value);
+    }
+  }
+
+  rpc::FaultPlan plan;
+  std::optional<rpc::FaultInjector> injector;
+  query::ServiceOptions service_options;
+  service_options.num_servers = num_servers;
+  service_options.metadata = &authoritative;
+  service_options.meta_vnodes = options.vnodes;
+  service_options.meta_replicas = options.replicas;
+  if (degraded) {
+    // Kill the highest server after a couple of requests — mid-case, so
+    // some vnode replicas vanish while queries are in flight.
+    plan.server_faults.push_back({/*server=*/num_servers - 1,
+                                  /*after_requests=*/2,
+                                  rpc::ServerFate::kKilled});
+    injector.emplace(plan);
+    service_options.fault_injector = &*injector;
+    service_options.retry.attempt_timeout = std::chrono::milliseconds(100);
+    service_options.retry.max_attempts = 3;
+    service_options.retry.backoff_base = std::chrono::milliseconds(2);
+    service_options.retry.backoff_cap = std::chrono::milliseconds(20);
+  }
+  query::QueryService service(*env.store, service_options);
+
+  const std::string path = "servers=" + std::to_string(num_servers) +
+                           (degraded ? " (degraded)" : "");
+  for (std::size_t i = 0; i < c.ops.size(); ++i) {
+    const MetaOpSpec& op = c.ops[i];
+    if (op.is_update) {
+      if (op.target >= c.catalog.objects.size()) continue;  // shrunk away
+      const ObjectId id = c.catalog.first_object + op.target;
+      const Status status =
+          service.meta_set_attribute(id, op.attribute, op.value);
+      if (!status.ok()) {
+        if (degraded && (status.code() == StatusCode::kUnavailable ||
+                         status.code() == StatusCode::kOverloaded)) {
+          // Clean refusal; the authoritative store was written last, so
+          // it was NOT updated and later queries stay consistent.
+          continue;
+        }
+        return std::optional<MetaMismatch>(
+            MetaMismatch{i, path, "update failed: " + status.ToString()});
+      }
+      continue;
+    }
+    const std::vector<ObjectId> want = authoritative.query(op.query);
+    const Result<std::vector<ObjectId>> got = service.meta_query(op.query);
+    if (!got.ok()) {
+      if (degraded && (got.status().code() == StatusCode::kUnavailable ||
+                       got.status().code() == StatusCode::kOverloaded)) {
+        continue;  // clean refusal beats a truncated posting list
+      }
+      return std::optional<MetaMismatch>(MetaMismatch{
+          i, path, "query failed: " + got.status().ToString()});
+    }
+    if (*got != want) {
+      return std::optional<MetaMismatch>(
+          MetaMismatch{i, path, ids_summary(want, *got)});
+    }
+  }
+  return std::optional<MetaMismatch>(std::nullopt);
+}
+
+}  // namespace
+
+Result<std::optional<MetaMismatch>> run_meta_case(
+    const MetaCase& c, const MetaRunOptions& options) {
+  for (const std::uint32_t servers : options.server_counts) {
+    PDC_ASSIGN_OR_RETURN(
+        std::optional<MetaMismatch> mismatch,
+        run_deployment(c, options, servers, /*degraded=*/false));
+    if (mismatch) return mismatch;
+  }
+  if (options.degraded && !options.server_counts.empty()) {
+    const std::uint32_t servers = *std::max_element(
+        options.server_counts.begin(), options.server_counts.end());
+    PDC_ASSIGN_OR_RETURN(
+        std::optional<MetaMismatch> mismatch,
+        run_deployment(c, options, servers, /*degraded=*/true));
+    if (mismatch) return mismatch;
+  }
+  return std::optional<MetaMismatch>(std::nullopt);
+}
+
+// ---------------------------------------------------------------- shrinker
+
+MetaShrinkResult shrink_meta(
+    MetaCase failing, const std::function<bool(const MetaCase&)>& still_fails,
+    std::size_t max_attempts) {
+  MetaShrinkResult result;
+  bool progress = true;
+  while (progress && result.attempts < max_attempts) {
+    progress = false;
+
+    // Drop ops, last first (later ops depend on earlier updates).
+    for (std::size_t i = failing.ops.size(); i-- > 0;) {
+      if (result.attempts >= max_attempts) break;
+      MetaCase candidate = failing;
+      candidate.ops.erase(candidate.ops.begin() + static_cast<long>(i));
+      ++result.attempts;
+      if (!candidate.ops.empty() && still_fails(candidate)) {
+        failing = std::move(candidate);
+        ++result.accepted_steps;
+        progress = true;
+      }
+    }
+
+    // Halve the catalog (object indices in update ops stay valid or are
+    // skipped by the runner).
+    while (failing.catalog.objects.size() > 1 &&
+           result.attempts < max_attempts) {
+      MetaCase candidate = failing;
+      candidate.catalog.objects.resize(candidate.catalog.objects.size() / 2);
+      ++result.attempts;
+      if (!still_fails(candidate)) break;
+      failing = std::move(candidate);
+      ++result.accepted_steps;
+      progress = true;
+    }
+
+    // Drop attributes object by object.
+    for (std::size_t o = 0; o < failing.catalog.objects.size(); ++o) {
+      std::vector<std::string> names;
+      for (const auto& [name, value] : failing.catalog.objects[o]) {
+        names.push_back(name);
+      }
+      for (const std::string& name : names) {
+        if (result.attempts >= max_attempts) break;
+        MetaCase candidate = failing;
+        candidate.catalog.objects[o].erase(name);
+        ++result.attempts;
+        if (still_fails(candidate)) {
+          failing = std::move(candidate);
+          ++result.accepted_steps;
+          progress = true;
+        }
+      }
+    }
+
+    // Drop conjuncts from query ops.
+    for (std::size_t i = 0; i < failing.ops.size(); ++i) {
+      if (failing.ops[i].is_update) continue;
+      for (std::size_t k = failing.ops[i].query.size(); k-- > 0;) {
+        if (result.attempts >= max_attempts) break;
+        if (failing.ops[i].query.size() <= 1) break;
+        MetaCase candidate = failing;
+        candidate.ops[i].query.erase(candidate.ops[i].query.begin() +
+                                     static_cast<long>(k));
+        ++result.attempts;
+        if (still_fails(candidate)) {
+          failing = std::move(candidate);
+          ++result.accepted_steps;
+          progress = true;
+        }
+      }
+    }
+  }
+  result.minimal = std::move(failing);
+  return result;
+}
+
+std::string describe_meta_case(const MetaCase& c) {
+  std::ostringstream os;
+  os << "case seed=" << c.seed << ": " << c.catalog.objects.size()
+     << " objects (first id " << c.catalog.first_object << "), "
+     << c.ops.size() << " ops\n";
+  for (std::size_t i = 0; i < c.catalog.objects.size(); ++i) {
+    os << "  obj " << c.catalog.first_object + i << ":";
+    for (const auto& [name, value] : c.catalog.objects[i]) {
+      os << " " << printable(name) << "=" << value_repr(value);
+    }
+    os << "\n";
+  }
+  for (std::size_t i = 0; i < c.ops.size(); ++i) {
+    const MetaOpSpec& op = c.ops[i];
+    os << "  op " << i << ": ";
+    if (op.is_update) {
+      os << "update obj+" << op.target << " " << printable(op.attribute)
+         << " := " << value_repr(op.value);
+    } else {
+      os << "query";
+      for (const auto& cond : op.query) {
+        os << " [" << condition_repr(cond) << "]";
+      }
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+// ------------------------------------------------------------ entry point
+
+Status run_metacheck(std::uint64_t base_seed, std::size_t num_cases,
+                     const MetaRunOptions& options) {
+  if (const char* env = std::getenv("PDC_QC_SEED")) {
+    base_seed = std::strtoull(env, nullptr, 10);
+    num_cases = 1;
+  }
+  if (const char* env = std::getenv("PDC_QC_CASES")) {
+    num_cases = std::strtoull(env, nullptr, 10);
+    if (num_cases == 0) num_cases = 1;
+  }
+
+  for (std::size_t i = 0; i < num_cases; ++i) {
+    const std::uint64_t seed = base_seed + i;
+    MetaGen gen(seed);
+    const MetaCase c = gen.draw_case();
+    PDC_ASSIGN_OR_RETURN(std::optional<MetaMismatch> mismatch,
+                         run_meta_case(c, options));
+    if (!mismatch) continue;
+
+    const auto pred = [&options](const MetaCase& candidate) {
+      Result<std::optional<MetaMismatch>> r =
+          run_meta_case(candidate, options);
+      return r.ok() && r->has_value();
+    };
+    const MetaShrinkResult shrunk = shrink_meta(c, pred);
+    Result<std::optional<MetaMismatch>> minimal_run =
+        run_meta_case(shrunk.minimal, options);
+    const MetaMismatch& report =
+        (minimal_run.ok() && minimal_run->has_value()) ? **minimal_run
+                                                       : *mismatch;
+    std::ostringstream os;
+    os << "MetaCheck failure on path '" << report.path << "', op #"
+       << report.op_index << ": " << report.detail
+       << "\n  rerun with PDC_QC_SEED=" << seed
+       << "\n  minimal " << describe_meta_case(shrunk.minimal)
+       << "  (shrunk in " << shrunk.accepted_steps << " steps, "
+       << shrunk.attempts << " attempts)";
+    return Status::Internal(os.str());
+  }
+  return Status::Ok();
+}
+
+}  // namespace pdc::testing

@@ -1,0 +1,136 @@
+// MetaCheck — seed-reproducible differential testing of the distributed
+// metadata service against the MetaStore linear-scan oracle.
+//
+// The sharded affix-trie path (meta_shard.h + QueryService::meta_query)
+// must return the EXACT posting lists MetaStore::query computes, for every
+// condition kind (exact, numeric range, prefix/suffix affix), at every
+// server count, through replicated updates, and in degraded mode.  The
+// attribute generator is adversarial by construction: values share long
+// common prefixes (trie edge-splitting), contain unicode-adjacent bytes
+// (≥ 0x80 — bucket routing must be byte-exact, not ASCII-lucky), use `*`
+// as a literal byte (the kind field is the wildcard, the value never is),
+// and int64s straddle 2^53 (where the double fold of the numeric lane
+// stops being exact — both paths must agree on the SAME fold).
+//
+// On mismatch the harness shrinks the failing case (dropping ops, objects,
+// attributes and conjuncts) and prints a one-line PDC_QC_SEED repro.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "metadata/meta_store.h"
+
+namespace pdc::testing {
+
+// ------------------------------------------------------------------ model
+
+/// A generated catalog: object i (id = first_object + i) carries the
+/// attribute map objects[i].
+struct MetaCatalog {
+  ObjectId first_object = 1;
+  std::vector<std::map<std::string, meta::MetaValue>> objects;
+};
+
+/// One step of a case: run a metadata query (conjunction of conditions)
+/// or update one attribute of one object through the replicated path.
+struct MetaOpSpec {
+  bool is_update = false;
+  std::vector<meta::MetaCondition> query;  ///< executed when !is_update
+  std::uint32_t target = 0;                ///< object INDEX (is_update)
+  std::string attribute;                   ///< update target attribute
+  meta::MetaValue value;                   ///< update replacement value
+};
+
+struct MetaCase {
+  std::uint64_t seed = 0;
+  MetaCatalog catalog;
+  std::vector<MetaOpSpec> ops;
+};
+
+// -------------------------------------------------------------- generator
+
+class MetaGen {
+ public:
+  explicit MetaGen(std::uint64_t seed);
+
+  /// Deterministic: two MetaGens with the same seed produce identical
+  /// cases (values, queries and updates included).
+  MetaCase draw_case();
+
+ private:
+  std::string draw_attribute_name();
+  meta::MetaValue draw_value();
+  std::string draw_pattern(const MetaCatalog& catalog);
+  meta::MetaCondition draw_condition(const MetaCatalog& catalog);
+
+  std::uint64_t seed_;
+  Rng rng_;
+};
+
+// ----------------------------------------------------------------- runner
+
+struct MetaMismatch {
+  std::size_t op_index = 0;
+  std::string path;    ///< which deployment diverged ("servers=4" etc.)
+  std::string detail;  ///< human-readable expected-vs-got summary
+};
+
+struct MetaRunOptions {
+  /// Deployments to differentially execute; the oracle is the (fresh per
+  /// deployment) authoritative MetaStore itself.
+  std::vector<std::uint32_t> server_counts{1, 2, 4};
+  std::uint32_t vnodes = 32;
+  std::uint32_t replicas = 2;
+  /// Also run a fault-injected deployment at the LARGEST server count: one
+  /// server is killed after a few requests.  Every op must still match the
+  /// oracle exactly, or fail with a clean kUnavailable/kOverloaded —
+  /// never a silently truncated posting list.
+  bool degraded = false;
+  /// Scratch directory root; each run uses a fresh subdirectory (the
+  /// service needs a PFS-backed object store even though no data objects
+  /// exist in a metadata-only case).
+  std::string temp_root = "/tmp/pdc_metacheck";
+};
+
+/// Replay `c` against every configured deployment, comparing each query op
+/// to MetaStore::query on the deployment's authoritative store.  Returns
+/// the first mismatch, or nullopt; non-Ok only on harness/setup errors.
+Result<std::optional<MetaMismatch>> run_meta_case(const MetaCase& c,
+                                                  const MetaRunOptions& options);
+
+// ---------------------------------------------------------------- shrinker
+
+struct MetaShrinkResult {
+  MetaCase minimal;
+  std::size_t accepted_steps = 0;
+  std::size_t attempts = 0;
+};
+
+/// Greedily minimize `failing` while `still_fails` holds: drop ops, halve
+/// the catalog, drop attributes, drop conjuncts.
+MetaShrinkResult shrink_meta(
+    MetaCase failing, const std::function<bool(const MetaCase&)>& still_fails,
+    std::size_t max_attempts = 300);
+
+// ------------------------------------------------------------ entry point
+
+/// Run `num_cases` generated cases starting at `base_seed`; shrink and
+/// report (with a PDC_QC_SEED repro line) on the first mismatch.
+/// PDC_QC_SEED / PDC_QC_CASES environment variables override the
+/// arguments, exactly as in run_querycheck.
+Status run_metacheck(std::uint64_t base_seed, std::size_t num_cases,
+                     const MetaRunOptions& options);
+
+/// Render a MetaCase for failure reports (non-printable value bytes are
+/// hex-escaped so unicode-adjacent reproductions survive a terminal).
+[[nodiscard]] std::string describe_meta_case(const MetaCase& c);
+
+}  // namespace pdc::testing

@@ -1,5 +1,6 @@
 #include "workloads/boss.h"
 
+#include <algorithm>
 #include <cmath>
 #include <string>
 
@@ -69,6 +70,61 @@ Result<BossCatalog> import_boss(obj::ObjectStore& store, meta::MetaStore& meta,
     }
   }
   return catalog;
+}
+
+Result<BossMetaSummary> generate_boss_metadata(meta::MetaStore& meta,
+                                               const BossMetaConfig& config,
+                                               exec::ThreadPool* pool) {
+  if (config.num_objects == 0 || config.objects_per_cell == 0) {
+    return Status::InvalidArgument("BossMetaConfig fields must be nonzero");
+  }
+  BossMetaSummary summary;
+  summary.num_cells = (config.num_objects + config.objects_per_cell - 1) /
+                      config.objects_per_cell;
+
+  // Stage the formatted attribute tuples in parallel (the string builds
+  // dominate generation at 1M objects), then insert in ascending object
+  // order — the store contents never depend on the pool width.
+  struct Staged {
+    double radeg = 0.0;
+    double decdeg = 0.0;
+    std::int64_t plate = 0;
+    std::int64_t fiber = 0;
+    std::string run;
+  };
+  std::vector<Staged> staged(config.num_objects);
+  constexpr std::uint32_t kChunk = 65536;
+  const std::size_t chunks = (config.num_objects + kChunk - 1) / kChunk;
+  exec::parallel_for(pool, chunks, [&](std::size_t chunk) {
+    const std::uint32_t begin = static_cast<std::uint32_t>(chunk) * kChunk;
+    const std::uint32_t end =
+        std::min(config.num_objects, begin + kChunk);
+    for (std::uint32_t i = begin; i < end; ++i) {
+      const std::uint32_t cell = i / config.objects_per_cell;
+      const std::uint32_t fiber = i % config.objects_per_cell;
+      Staged& s = staged[i];
+      s.radeg = std::round((10.0 + 340.0 * cell / summary.num_cells) * 100.0) /
+                100.0;
+      s.decdeg = std::round((-5.0 + 60.0 * cell / summary.num_cells) * 100.0) /
+                 100.0;
+      s.plate = 3500 + cell;
+      s.fiber = fiber;
+      s.run = "r" + std::to_string(cell) + "_" + std::to_string(fiber);
+    }
+  });
+  summary.cell0_radeg = staged.front().radeg;
+  summary.cell0_decdeg = staged.front().decdeg;
+
+  for (std::uint32_t i = 0; i < config.num_objects; ++i) {
+    const ObjectId id = config.first_object + i;
+    Staged& s = staged[i];
+    meta.set_attribute(id, "RADEG", s.radeg);
+    meta.set_attribute(id, "DECDEG", s.decdeg);
+    meta.set_attribute(id, "PLATE", s.plate);
+    meta.set_attribute(id, "FIBER", s.fiber);
+    meta.set_attribute(id, "RUN", std::move(s.run));
+  }
+  return summary;
 }
 
 Result<BossJoinPair> import_boss_join_pair(obj::ObjectStore& store,

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/exec_pool.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "metadata/meta_store.h"
@@ -42,6 +43,34 @@ struct BossCatalog {
 /// registered in `meta`.
 Result<BossCatalog> import_boss(obj::ObjectStore& store, meta::MetaStore& meta,
                                 const BossConfig& config);
+
+/// Metadata-only BOSS catalog at 1M+ object scale (the distributed-
+/// metadata pipeline: no flux payloads are imported, so a million-object
+/// catalog costs megabytes, not gigabytes).  Object ids are synthetic and
+/// contiguous from `first_object`.  Every object gets the survey
+/// attributes of import_boss (RADEG/DECDEG per cell, PLATE = 3500 + cell,
+/// FIBER = position in cell) plus a RUN string "r<cell>_<fiber>" — the
+/// affix-query target ("r5_*" selects exactly cell 5 at any scale).
+struct BossMetaConfig {
+  std::uint32_t num_objects = 100000;
+  std::uint32_t objects_per_cell = 1000;  ///< metadata-query hit count
+  ObjectId first_object = 1;
+};
+
+struct BossMetaSummary {
+  std::uint32_t num_cells = 0;
+  double cell0_radeg = 0.0;
+  double cell0_decdeg = 0.0;
+};
+
+/// Populate `meta` with the metadata-only catalog.  Deterministic (no RNG:
+/// every attribute is a function of the object index); the per-object
+/// attribute tuples are formatted in parallel on `pool` (null = serial)
+/// and inserted in ascending object order, so the store contents are
+/// identical at any pool width.
+Result<BossMetaSummary> generate_boss_metadata(meta::MetaStore& meta,
+                                               const BossMetaConfig& config,
+                                               exec::ThreadPool* pool = nullptr);
 
 /// Flux value whose lower tail holds `selectivity` of the flux mass (used
 /// by the Fig. 5 bench to build ranges of 11 %–65 % selectivity).  The flux

@@ -734,5 +734,156 @@ TEST_F(JoinChaosTest, AllServersDeadJoinReturnsUnavailable) {
   EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
 }
 
+// ------------------------------------------------- distributed metadata
+
+/// Metadata chaos helpers: a small BOSS metadata catalog (12 cells) and
+/// the three condition shapes the sharded trie routes differently (exact
+/// lane, numeric-range lane, prefix lane).
+std::vector<meta::MetaCondition> meta_exact() {
+  return {{"PLATE", QueryOp::kEQ, std::int64_t{3505},
+           meta::MetaMatchKind::kValue}};
+}
+std::vector<meta::MetaCondition> meta_range() {
+  return {{"PLATE", QueryOp::kGTE, std::int64_t{3502},
+           meta::MetaMatchKind::kValue},
+          {"PLATE", QueryOp::kLTE, std::int64_t{3504},
+           meta::MetaMatchKind::kValue}};
+}
+std::vector<meta::MetaCondition> meta_prefix() {
+  return {{"RUN", QueryOp::kEQ, std::string("r5_"),
+           meta::MetaMatchKind::kPrefix}};
+}
+
+// Lossy-but-alive fleet: metadata queries retried through drops,
+// duplicates and corrupted payloads must return exactly the oracle's
+// posting lists — corruption is detected by checksum and retried, never
+// silently decoded into a truncated answer.
+TEST_F(ChaosTest, MetadataQueriesUnderLossyNetworkStayExact) {
+  meta::MetaStore meta;
+  workloads::BossMetaConfig cfg;
+  cfg.num_objects = 3000;
+  cfg.objects_per_cell = 250;
+  ASSERT_TRUE(workloads::generate_boss_metadata(meta, cfg).ok());
+
+  std::uint64_t injected = 0;
+  for (const std::uint64_t seed : {3u, 17u, 99u}) {
+    rpc::FaultPlan plan;
+    plan.seed = seed;
+    plan.drop_rate = 0.08;
+    plan.duplicate_rate = 0.08;
+    plan.corrupt_rate = 0.08;
+    rpc::FaultInjector injector(plan);
+
+    query::ServiceOptions options;
+    options.num_servers = 4;
+    options.metadata = &meta;
+    options.meta_vnodes = 32;
+    options.fault_injector = &injector;
+    options.retry = tight_retry();
+    query::QueryService service(*store_, options);
+
+    for (const auto& conditions : {meta_exact(), meta_range(),
+                                   meta_prefix()}) {
+      const std::vector<ObjectId> want = meta.query(conditions);
+      ASSERT_FALSE(want.empty());
+      auto got = service.meta_query(conditions);
+      ASSERT_TRUE(got.ok()) << "seed " << seed << ": "
+                            << got.status().ToString();
+      EXPECT_EQ(*got, want) << "seed " << seed;
+    }
+    injected += injector.counters().dropped + injector.counters().corrupted +
+                injector.counters().duplicated;
+  }
+  // Across the three seeds the plans must actually have injected faults —
+  // otherwise the "stays exact" half of the property proved nothing.
+  EXPECT_GT(injected, 0u);
+}
+
+// One replica of every vnode dies mid-session (replicas=2): each metadata
+// query either matches the oracle exactly (served by the surviving
+// replica) or fails with a clean kUnavailable/kOverloaded — NEVER a
+// silently truncated posting list.  Once the death is observed the
+// service must settle back to exact answers, including through a
+// replicated update.
+TEST_F(ChaosTest, MetadataQueriesSurviveServerDeathOrFailClean) {
+  meta::MetaStore meta;
+  workloads::BossMetaConfig cfg;
+  cfg.num_objects = 3000;
+  cfg.objects_per_cell = 250;
+  ASSERT_TRUE(workloads::generate_boss_metadata(meta, cfg).ok());
+
+  rpc::FaultPlan plan;
+  plan.seed = 5;
+  plan.server_faults.push_back({/*server=*/1, /*after_requests=*/3,
+                                rpc::ServerFate::kKilled});
+  rpc::FaultInjector injector(plan);
+
+  query::ServiceOptions options;
+  options.num_servers = 4;
+  options.metadata = &meta;
+  options.meta_vnodes = 32;
+  options.meta_replicas = 2;
+  options.fault_injector = &injector;
+  options.retry = tight_retry();
+  query::QueryService service(*store_, options);
+
+  const auto conditions = {meta_exact(), meta_range(), meta_prefix()};
+  for (int round = 0; round < 4; ++round) {
+    for (const auto& c : conditions) {
+      const std::vector<ObjectId> want = meta.query(c);
+      auto got = service.meta_query(c);
+      if (got.ok()) {
+        EXPECT_EQ(*got, want) << "round " << round;
+      } else {
+        EXPECT_TRUE(got.status().code() == StatusCode::kUnavailable ||
+                    got.status().code() == StatusCode::kOverloaded)
+            << got.status().ToString();
+      }
+    }
+    if (!service.dead_servers().empty()) break;
+  }
+  EXPECT_EQ(service.dead_servers(), (std::vector<ServerId>{1}));
+
+  // With the death observed, the surviving replicas answer exactly — and
+  // keep doing so through a replicated attribute update.
+  ASSERT_TRUE(
+      service.meta_set_attribute(/*object=*/1, "RUN", std::string("r0_X"))
+          .ok());
+  for (const auto& c : conditions) {
+    auto got = service.meta_query(c);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(*got, meta.query(c));
+  }
+}
+
+// Every server dead: metadata queries fail fast with kUnavailable (all
+// replicas of some vnode are gone), not a hang and not an empty answer.
+TEST_F(ChaosTest, MetadataAllServersDeadReturnsUnavailable) {
+  meta::MetaStore meta;
+  workloads::BossMetaConfig cfg;
+  cfg.num_objects = 500;
+  cfg.objects_per_cell = 250;
+  ASSERT_TRUE(workloads::generate_boss_metadata(meta, cfg).ok());
+
+  rpc::FaultPlan plan;
+  for (ServerId s = 0; s < 4; ++s) {
+    plan.server_faults.push_back({s, /*after_requests=*/0,
+                                  rpc::ServerFate::kKilled});
+  }
+  rpc::FaultInjector injector(plan);
+  query::ServiceOptions options;
+  options.num_servers = 4;
+  options.metadata = &meta;
+  options.fault_injector = &injector;
+  options.retry = tight_retry();
+  options.retry.attempt_timeout = std::chrono::milliseconds(50);
+  options.retry.max_attempts = 2;
+  query::QueryService service(*store_, options);
+
+  auto result = service.meta_query(meta_exact());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+}
+
 }  // namespace
 }  // namespace pdc

@@ -1,0 +1,176 @@
+// MetaCheck: differential testing of the distributed metadata service
+// (sharded affix tries behind kMetaQuery/kMetaUpdate) against the
+// MetaStore linear-scan oracle, across server counts and degraded mode.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "metadata/meta_store.h"
+#include "testing/metacheck.h"
+
+namespace pdc::testing {
+namespace {
+
+std::string test_temp_root() {
+  return ::testing::TempDir() + "/metacheck_" +
+         ::testing::UnitTest::GetInstance()->current_test_info()->name();
+}
+
+MetaRunOptions fast_options() {
+  MetaRunOptions options;
+  options.temp_root = test_temp_root();
+  return options;
+}
+
+// ------------------------------------------------------------------ smoke
+
+// The headline property: the sharded trie path returns the exact posting
+// lists the linear-scan oracle computes at 1, 2 and 4 servers, through
+// replicated updates, including the fault-injected deployment (one server
+// killed mid-case) at the largest server count.  PDC_QC_CASES /
+// PDC_QC_SEED override the defaults — that is how the extended suite and
+// failure replays run.
+TEST(MetaCheck, DistributedMatchesOracle) {
+  MetaRunOptions options = fast_options();
+  options.degraded = true;
+  const Status status = run_metacheck(/*base_seed=*/1, /*num_cases=*/8,
+                                      options);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+}
+
+// Replays are only possible if the generator is a pure function of the
+// seed: same seed, same catalog bytes, same ops.
+TEST(MetaCheck, GeneratorIsDeterministic) {
+  MetaGen a(0xC0FFEEu);
+  MetaGen b(0xC0FFEEu);
+  const std::string first = describe_meta_case(a.draw_case());
+  const std::string second = describe_meta_case(b.draw_case());
+  EXPECT_EQ(first, second);
+  MetaGen c(0xC0FFEFu);
+  EXPECT_NE(first, describe_meta_case(c.draw_case()));
+}
+
+// Adversarial coverage: across a handful of seeds the generator must
+// actually emit the families the harness exists for — affix conditions,
+// values with non-ASCII bytes, literal '*' bytes, and int64 magnitudes at
+// or beyond 2^53 (where the numeric lane's double fold goes inexact).
+TEST(MetaCheck, GeneratorCoversAdversarialFamilies) {
+  bool saw_affix = false;
+  bool saw_high_byte = false;
+  bool saw_star = false;
+  bool saw_big_int = false;
+  constexpr std::int64_t kTwoPow53 = 9007199254740992LL;
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    MetaGen gen(seed);
+    const MetaCase c = gen.draw_case();
+    const auto scan_value = [&](const meta::MetaValue& v) {
+      if (const auto* s = std::get_if<std::string>(&v)) {
+        for (const char ch : *s) {
+          if (static_cast<unsigned char>(ch) >= 0x80) saw_high_byte = true;
+          if (ch == '*') saw_star = true;
+        }
+      }
+      if (const auto* i = std::get_if<std::int64_t>(&v)) {
+        if (*i >= kTwoPow53 || *i <= -kTwoPow53) saw_big_int = true;
+      }
+    };
+    for (const auto& object : c.catalog.objects) {
+      for (const auto& [name, value] : object) scan_value(value);
+    }
+    for (const auto& op : c.ops) {
+      if (op.is_update) {
+        scan_value(op.value);
+        continue;
+      }
+      for (const auto& cond : op.query) {
+        if (cond.kind != meta::MetaMatchKind::kValue) saw_affix = true;
+        scan_value(cond.value);
+      }
+    }
+  }
+  EXPECT_TRUE(saw_affix);
+  EXPECT_TRUE(saw_high_byte);
+  EXPECT_TRUE(saw_star);
+  EXPECT_TRUE(saw_big_int);
+}
+
+// --------------------------------------------------------------- shrinker
+
+// The shrinker must converge to a small case while preserving the failure
+// predicate, and never return a case the predicate rejects.
+TEST(MetaCheck, ShrinkerPreservesPredicate) {
+  MetaGen gen(11);
+  MetaCase big = gen.draw_case();
+  // Synthetic "failure": the case still contains at least one query op.
+  const auto still_fails = [](const MetaCase& c) {
+    for (const auto& op : c.ops) {
+      if (!op.is_update) return true;
+    }
+    return false;
+  };
+  ASSERT_TRUE(still_fails(big));
+  const MetaShrinkResult result = shrink_meta(big, still_fails);
+  EXPECT_TRUE(still_fails(result.minimal));
+  EXPECT_LE(result.minimal.ops.size(), 1u);
+  EXPECT_GT(result.attempts, 0u);
+}
+
+// ------------------------------------------------------------- pinned case
+
+// Pinned adversarial case run end-to-end: shared prefixes that force trie
+// edge splits, a literal '*' value (the kind field is the wildcard — the
+// byte never is), and an int64 at 2^53 + 1 that a double fold would
+// collapse onto 2^53.  Both paths must agree exactly at every server
+// count, so this fails loudly if either side starts treating '*' as a
+// wildcard or folds int64 exactness away.
+TEST(MetaCheck, PinnedEdgeSplitStarAndBigIntCase) {
+  constexpr std::int64_t kTwoPow53 = 9007199254740992LL;
+  MetaCase c;
+  c.seed = 0;
+  c.catalog.first_object = 1;
+  c.catalog.objects.resize(4);
+  c.catalog.objects[0] = {{"run", std::string("plate53")},
+                          {"n", kTwoPow53}};
+  c.catalog.objects[1] = {{"run", std::string("plate537")},
+                          {"n", kTwoPow53 + 1}};
+  c.catalog.objects[2] = {{"run", std::string("*")}, {"n", kTwoPow53 - 1}};
+  c.catalog.objects[3] = {{"run", std::string("plate5")}, {"n", std::int64_t{53}}};
+
+  MetaOpSpec exact;
+  exact.query.push_back(
+      {"run", QueryOp::kEQ, std::string("*"), meta::MetaMatchKind::kValue});
+  c.ops.push_back(exact);
+
+  MetaOpSpec prefix;
+  prefix.query.push_back({"run", QueryOp::kEQ, std::string("plate53"),
+                          meta::MetaMatchKind::kPrefix});
+  c.ops.push_back(prefix);
+
+  MetaOpSpec update;  // replicated update, then re-query the prefix
+  update.is_update = true;
+  update.target = 3;
+  update.attribute = "run";
+  update.value = std::string("plate53x");
+  c.ops.push_back(update);
+  c.ops.push_back(prefix);
+
+  MetaOpSpec big;
+  big.query.push_back({"n", QueryOp::kGT,
+                       static_cast<std::int64_t>(kTwoPow53 - 1),
+                       meta::MetaMatchKind::kValue});
+  c.ops.push_back(big);
+
+  const auto result = run_meta_case(c, fast_options());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  if (result.value().has_value()) {
+    const MetaMismatch& m = *result.value();
+    FAIL() << "mismatch at op " << m.op_index << " [" << m.path
+           << "]: " << m.detail;
+  }
+}
+
+}  // namespace
+}  // namespace pdc::testing

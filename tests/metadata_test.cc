@@ -1,6 +1,13 @@
-// Tests for the metadata store (SoMeta-lite).
+// Tests for the metadata store (SoMeta-lite), the affix trie and the
+// vnode-partitioned shard beneath the distributed metadata service.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
+#include "common/cost_model.h"
+#include "metadata/affix_trie.h"
+#include "metadata/meta_shard.h"
 #include "metadata/meta_store.h"
 
 namespace pdc::meta {
@@ -116,6 +123,321 @@ TEST(MetaStore, ConjunctionShortCircuitsOnEmpty) {
       {"b", QueryOp::kEQ, 2.0},
   };
   EXPECT_TRUE(store.query(c).empty());
+}
+
+TEST(MetaStore, AffixConditionsMatchOracleSemantics) {
+  MetaStore store;
+  store.set_attribute(1, "RUN", std::string("r5_12"));
+  store.set_attribute(2, "RUN", std::string("r51_2"));
+  store.set_attribute(3, "RUN", std::string("x_r5_12"));
+  store.set_attribute(4, "PLATE", std::int64_t{5340});
+  store.set_attribute(5, "RADEG", 53.4);
+
+  const MetaCondition prefix{"RUN", QueryOp::kEQ, std::string("r5_"),
+                             MetaMatchKind::kPrefix};
+  EXPECT_EQ(store.query({&prefix, 1}), (std::vector<ObjectId>{1}));
+  const MetaCondition suffix{"RUN", QueryOp::kEQ, std::string("_12"),
+                             MetaMatchKind::kSuffix};
+  EXPECT_EQ(store.query({&suffix, 1}), (std::vector<ObjectId>{1, 3}));
+  // Affix patterns see the DECIMAL form of int64 values...
+  const MetaCondition int_prefix{"PLATE", QueryOp::kEQ, std::string("53"),
+                                 MetaMatchKind::kPrefix};
+  EXPECT_EQ(store.query({&int_prefix, 1}), (std::vector<ObjectId>{4}));
+  // ...but doubles never affix-match.
+  const MetaCondition dbl_prefix{"RADEG", QueryOp::kEQ, std::string("53"),
+                                 MetaMatchKind::kPrefix};
+  EXPECT_TRUE(store.query({&dbl_prefix, 1}).empty());
+}
+
+// Pins the conjunct-ordering optimization: probes = one estimate per
+// conjunct + the SMALLEST posting list materialized + one re-check per
+// surviving candidate.  With a 2000-object conjunct listed FIRST and a
+// 3-object conjunct second, the ordered plan costs 2 + 3 + 3 = 8 probes;
+// the naive left-to-right plan would cost 2 + 2000 + 2000.
+TEST(MetaStore, ConjunctOrderingKeepsProbesNearSmallestList) {
+  MetaStore store;
+  for (ObjectId id = 1; id <= 2000; ++id) {
+    store.set_attribute(id, "popular", 1.0);
+  }
+  for (ObjectId id = 1; id <= 3; ++id) {
+    store.set_attribute(id, "rare", 7.0);
+  }
+  const std::vector<MetaCondition> conditions{
+      {"popular", QueryOp::kEQ, 1.0},  // huge list deliberately first
+      {"rare", QueryOp::kEQ, 7.0},
+  };
+  store.reset_index_probes();
+  EXPECT_EQ(store.query(conditions), (std::vector<ObjectId>{1, 2, 3}));
+  EXPECT_EQ(store.index_probes(), 8u);
+}
+
+// ----------------------------------------------------------- affix trie
+
+TEST(AffixTrie, ExactPrefixAndEdgeSplitting) {
+  AffixTrie trie;
+  // Insertion order forces an edge split: "plate53" extends "plate5",
+  // then "plate537" splits the "53" edge again.
+  trie.insert_string("RUN", "plate5", /*int_origin=*/false, 10);
+  trie.insert_string("RUN", "plate53", /*int_origin=*/false, 11);
+  trie.insert_string("RUN", "plate537", /*int_origin=*/false, 12);
+  trie.insert_string("RUN", "quasar", /*int_origin=*/false, 13);
+
+  std::vector<ObjectId> out;
+  trie.exact_string("RUN", "plate53", out);
+  EXPECT_EQ(out, (std::vector<ObjectId>{11}));
+  out.clear();
+  trie.exact_string("RUN", "plate", out);  // interior node, no posting
+  EXPECT_TRUE(out.empty());
+  out.clear();
+  trie.match_prefix("RUN", "plate53", out);
+  EXPECT_EQ(out, (std::vector<ObjectId>{11, 12}));
+  out.clear();
+  trie.match_prefix("RUN", "", out);  // empty prefix = whole attribute
+  EXPECT_EQ(out, (std::vector<ObjectId>{10, 11, 12, 13}));
+  out.clear();
+  trie.match_prefix("OTHER", "plate", out);  // unknown attribute
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(AffixTrie, SuffixTwinMatchesReversedKeys) {
+  AffixTrie trie;
+  trie.insert_suffix("name", "RADEG", /*int_origin=*/false, 1);
+  trie.insert_suffix("name", "DECDEG", /*int_origin=*/false, 2);
+  trie.insert_suffix("name", "DEGREE", /*int_origin=*/false, 3);
+  std::vector<ObjectId> out;
+  trie.match_suffix("name", "DEG", out);
+  EXPECT_EQ(out, (std::vector<ObjectId>{1, 2}));
+  out.clear();
+  trie.match_suffix("name", "", out);
+  EXPECT_EQ(out, (std::vector<ObjectId>{1, 2, 3}));
+}
+
+TEST(AffixTrie, IntOriginAffixMatchesButExactStringDoesNot) {
+  AffixTrie trie;
+  trie.insert_string("PLATE", "5340", /*int_origin=*/true, 4);
+  trie.insert_string("PLATE", "5340", /*int_origin=*/false, 5);
+  std::vector<ObjectId> out;
+  trie.exact_string("PLATE", "5340", out);
+  EXPECT_EQ(out, (std::vector<ObjectId>{5}));  // string EQ: str-origin only
+  out.clear();
+  trie.match_prefix("PLATE", "53", out);
+  EXPECT_EQ(out, (std::vector<ObjectId>{4, 5}));  // affix: both origins
+}
+
+TEST(AffixTrie, NumericRangeOperators) {
+  AffixTrie trie;
+  trie.insert_number("v", 1.0, 1);
+  trie.insert_number("v", 2.0, 2);
+  trie.insert_number("v", 2.0, 3);
+  trie.insert_number("v", 3.0, 4);
+  std::vector<ObjectId> out;
+  trie.range_number("v", QueryOp::kGT, 1.0, out);
+  EXPECT_EQ(out, (std::vector<ObjectId>{2, 3, 4}));
+  out.clear();
+  trie.range_number("v", QueryOp::kLTE, 2.0, out);
+  EXPECT_EQ(out, (std::vector<ObjectId>{1, 2, 3}));
+  out.clear();
+  trie.range_number("v", QueryOp::kEQ, 2.0, out);
+  EXPECT_EQ(out, (std::vector<ObjectId>{2, 3}));
+}
+
+TEST(AffixTrie, RemoveUndoesInsertCompletely) {
+  AffixTrie trie;
+  trie.insert_string("a", "shared_prefix_x", false, 1);
+  trie.insert_string("a", "shared_prefix_y", false, 2);
+  trie.insert_suffix("a", "shared_prefix_x", false, 1);
+  trie.insert_number("a", 5.0, 1);
+  trie.remove_string("a", "shared_prefix_x", false, 1);
+  trie.remove_suffix("a", "shared_prefix_x", false, 1);
+  trie.remove_number("a", 5.0, 1);
+  std::vector<ObjectId> out;
+  trie.match_prefix("a", "shared", out);
+  EXPECT_EQ(out, (std::vector<ObjectId>{2}));
+  out.clear();
+  trie.match_suffix("a", "x", out);
+  EXPECT_TRUE(out.empty());
+  out.clear();
+  trie.range_number("a", QueryOp::kEQ, 5.0, out);
+  EXPECT_TRUE(out.empty());
+}
+
+// --------------------------------------------------------- vnode routing
+
+TEST(MetaRing, PlacementIsDeterministicWithDistinctReplicas) {
+  MetaRingConfig ring;
+  ring.vnodes = 64;
+  ring.replicas = 3;
+  ring.num_servers = 8;
+  for (std::uint32_t v = 0; v < ring.vnodes; ++v) {
+    const auto a = replicas_of(v, ring);
+    const auto b = replicas_of(v, ring);
+    EXPECT_EQ(a, b);
+    ASSERT_EQ(a.size(), 3u);
+    for (const ServerId s : a) EXPECT_LT(s, ring.num_servers);
+    auto sorted = a;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(std::unique(sorted.begin(), sorted.end()), sorted.end())
+        << "vnode " << v << " placed twice on one server";
+  }
+  // Replica count clamps to the fleet.
+  ring.num_servers = 2;
+  EXPECT_EQ(replicas_of(0, ring).size(), 2u);
+}
+
+TEST(MetaRing, ConditionRoutingIsRestrictedNeverBroadcast) {
+  MetaRingConfig ring;
+  ring.vnodes = 64;
+  ring.num_servers = 4;
+
+  // Exact string EQ: exactly one vnode (prefix lane, first byte).
+  const MetaCondition exact{"RUN", QueryOp::kEQ, std::string("r5_12")};
+  EXPECT_EQ(vnodes_of_condition(exact, ring).size(), 1u);
+  // A prefix pattern routes to the SAME vnode as exact values sharing its
+  // first byte.
+  const MetaCondition prefix{"RUN", QueryOp::kEQ, std::string("r5_"),
+                             MetaMatchKind::kPrefix};
+  EXPECT_EQ(vnodes_of_condition(prefix, ring),
+            vnodes_of_condition(exact, ring));
+  // Suffix: last byte of the pattern, suffix lane.
+  const MetaCondition suffix{"RUN", QueryOp::kEQ, std::string("_12"),
+                             MetaMatchKind::kSuffix};
+  EXPECT_EQ(vnodes_of_condition(suffix, ring).size(), 1u);
+  // Numeric conjuncts: the attribute's single numeric vnode.
+  const MetaCondition range{"PLATE", QueryOp::kGTE, std::int64_t{3500}};
+  EXPECT_EQ(vnodes_of_condition(range, ring).size(), 1u);
+
+  // Provably-empty conditions route NOWHERE (empty set, not broadcast):
+  // doubles never affix-match, and string values support kEQ only.
+  const MetaCondition dbl_affix{"RADEG", QueryOp::kEQ, 153.17,
+                                MetaMatchKind::kPrefix};
+  EXPECT_TRUE(vnodes_of_condition(dbl_affix, ring).empty());
+  const MetaCondition str_range{"RUN", QueryOp::kGT, std::string("a")};
+  EXPECT_TRUE(vnodes_of_condition(str_range, ring).empty());
+
+  // The one degenerate fan-out: an empty pattern consults every bucket of
+  // the lane, still bounded by the ring size.
+  const MetaCondition empty_prefix{"RUN", QueryOp::kEQ, std::string(""),
+                                   MetaMatchKind::kPrefix};
+  const auto fan = vnodes_of_condition(empty_prefix, ring);
+  EXPECT_FALSE(fan.empty());
+  EXPECT_LE(fan.size(), static_cast<std::size_t>(ring.vnodes));
+  EXPECT_TRUE(std::is_sorted(fan.begin(), fan.end()));
+
+  // Update routing covers query routing: the vnodes that index a value
+  // include the vnode every matching condition consults.
+  const auto write_set =
+      vnodes_of_value("RUN", std::string("r5_12"), ring);
+  for (const std::uint32_t v : vnodes_of_condition(exact, ring)) {
+    EXPECT_NE(std::find(write_set.begin(), write_set.end(), v),
+              write_set.end());
+  }
+  for (const std::uint32_t v : vnodes_of_condition(suffix, ring)) {
+    // "_12" ends where "r5_12" ends: same last byte, same suffix vnode.
+    EXPECT_NE(std::find(write_set.begin(), write_set.end(), v),
+              write_set.end());
+  }
+}
+
+// ------------------------------------------------------------ meta shard
+
+TEST(MetaShard, ApplyIsExactlyOnceAndBumpsEpochs) {
+  MetaRingConfig ring;
+  ring.vnodes = 8;
+  ring.replicas = 1;
+  ring.num_servers = 1;  // one server owns everything
+  MetaShard shard(ring, /*self=*/0);
+
+  // An assignment touches one vnode per lane (prefix, suffix, numeric);
+  // the client replicates the batch to each of them, so the test does too.
+  const auto touched =
+      vnodes_of_value("RUN", std::string("r5_12"), ring);
+  ASSERT_FALSE(touched.empty());
+
+  std::vector<MetaShard::UpdateOp> ops;
+  ops.push_back({/*object=*/7, "RUN", std::nullopt,
+                 std::string("r5_12")});
+  std::uint64_t after_first = 0;
+  for (const std::uint32_t vnode : touched) {
+    bool applied = false;
+    auto epoch = shard.apply(vnode, /*seq=*/1, ops, applied);
+    ASSERT_TRUE(epoch.ok());
+    EXPECT_TRUE(applied);
+    after_first = epoch.value();
+
+    // Same seq again (a retried/duplicated batch): acknowledged, NOT
+    // re-applied, epoch unchanged.
+    applied = true;
+    epoch = shard.apply(vnode, /*seq=*/1, ops, applied);
+    ASSERT_TRUE(epoch.ok());
+    EXPECT_FALSE(applied);
+    EXPECT_EQ(epoch.value(), after_first);
+  }
+
+  // The posting is queryable exactly once.
+  const MetaCondition exact{"RUN", QueryOp::kEQ, std::string("r5_12")};
+  std::vector<ObjectId> out;
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> epochs;
+  CostLedger ledger;
+  std::uint64_t probes = 0;
+  const auto route = vnodes_of_condition(exact, ring);
+  ASSERT_TRUE(shard.query(exact, route, out, epochs, ledger, probes).ok());
+  EXPECT_EQ(out, (std::vector<ObjectId>{7}));
+  ASSERT_FALSE(epochs.empty());
+  EXPECT_EQ(epochs.front().second, after_first);
+
+  // A later seq replacing the value removes the old posting; the route
+  // vnode's epoch moves past its post-insert value.
+  ops.clear();
+  ops.push_back({/*object=*/7, "RUN", std::string("r5_12"),
+                 std::string("r6_0")});
+  auto replaced =
+      vnodes_of_value("RUN", std::string("r6_0"), ring);
+  replaced.insert(replaced.end(), touched.begin(), touched.end());
+  std::sort(replaced.begin(), replaced.end());
+  replaced.erase(std::unique(replaced.begin(), replaced.end()),
+                 replaced.end());
+  for (const std::uint32_t vnode : replaced) {
+    bool applied = false;
+    ASSERT_TRUE(shard.apply(vnode, /*seq=*/2, ops, applied).ok());
+    EXPECT_TRUE(applied);
+  }
+  out.clear();
+  epochs.clear();
+  ASSERT_TRUE(shard.query(exact, route, out, epochs, ledger, probes).ok());
+  EXPECT_TRUE(out.empty());
+  ASSERT_FALSE(epochs.empty());
+  EXPECT_GT(epochs.front().second, after_first);
+}
+
+TEST(MetaShard, RefusesUnownedVnodes) {
+  MetaRingConfig ring;
+  ring.vnodes = 64;
+  ring.replicas = 1;
+  ring.num_servers = 4;
+  MetaShard shard(ring, /*self=*/0);
+
+  std::uint32_t unowned = ring.vnodes;
+  for (std::uint32_t v = 0; v < ring.vnodes; ++v) {
+    if (!shard.owns(v)) {
+      unowned = v;
+      break;
+    }
+  }
+  ASSERT_LT(unowned, ring.vnodes) << "server 0 owns every vnode?";
+
+  const MetaCondition exact{"RUN", QueryOp::kEQ, std::string("x")};
+  std::vector<ObjectId> out;
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> epochs;
+  CostLedger ledger;
+  std::uint64_t probes = 0;
+  const std::vector<std::uint32_t> route{unowned};
+  const Status status =
+      shard.query(exact, route, out, epochs, ledger, probes);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+
+  bool applied = false;
+  EXPECT_FALSE(shard.apply(unowned, 1, {}, applied).ok());
 }
 
 }  // namespace

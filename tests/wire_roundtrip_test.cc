@@ -1280,5 +1280,236 @@ TEST(GatherWriterDeathTest, ExchangeTupleSpanOutlivingBufferIsCaught) {
       "heap-use-after-free");
 }
 
+// ------------------------------------------- metadata service messages
+
+// The samples are deliberately hostile: attribute bytes >= 0x80 (bucket
+// routing is byte-exact, not ASCII), a literal '*' value (the kind field
+// is the wildcard, the byte never is), an embedded NUL, and int64s at the
+// edges of the domain (2^53 straddle, INT64_MIN/MAX).
+MetaQueryRequest sample_meta_query_request() {
+  MetaQueryRequest req;
+  req.conditions.push_back({"RADEG", QueryOp::kEQ, 153.17,
+                            meta::MetaMatchKind::kValue});
+  req.conditions.push_back({std::string("run\xC3\xA9", 5), QueryOp::kEQ,
+                            std::string("*"), meta::MetaMatchKind::kPrefix});
+  req.conditions.push_back({std::string("n\0l", 3), QueryOp::kGT,
+                            std::int64_t{9007199254740993LL},
+                            meta::MetaMatchKind::kValue});
+  req.conditions.push_back({"tail", QueryOp::kEQ,
+                            std::string("\x80\xFF suffix"),
+                            meta::MetaMatchKind::kSuffix});
+  req.vnodes = {{0}, {7, 31}, {0, 1, 2}, {255}};
+  return req;
+}
+
+MetaQueryResponse sample_meta_query_response() {
+  MetaQueryResponse resp;
+  resp.status = Status::FailedPrecondition("vnode 31 not owned here");
+  resp.postings = {{1, 5, 1ull << 40}, {}, {2}, {3, 4}};
+  resp.epochs = {{0u, 3ull}, {31u, 1ull << 33}};
+  resp.probes = 1234;
+  resp.ledger = {0.0, 0.5, 0, 0, 0.0, 0.0, 0.25};
+  return resp;
+}
+
+MetaUpdateRequest sample_meta_update_request() {
+  MetaUpdateRequest req;
+  req.vnode = 19;
+  req.seq = 1ull << 50;
+  MetaUpdateOpWire with_old;
+  with_old.object = 7;
+  with_old.attribute = "RUN";
+  with_old.has_old = true;
+  with_old.old_value = std::string("r5_\xE2\x98\x83");
+  with_old.new_value = std::int64_t{std::numeric_limits<std::int64_t>::min()};
+  MetaUpdateOpWire fresh;
+  fresh.object = 1ull << 45;
+  fresh.attribute = std::string("a*b");
+  fresh.new_value = -0.0;
+  req.ops = {with_old, fresh};
+  return req;
+}
+
+MetaUpdateResponse sample_meta_update_response() {
+  MetaUpdateResponse resp;
+  resp.status = Status();
+  resp.epoch = 42;
+  resp.duplicate = true;
+  resp.ledger = {0.0, 0.125, 0, 0, 0.0, 0.0, 0.125};
+  return resp;
+}
+
+void expect_meta_value_eq(const meta::MetaValue& a, const meta::MetaValue& b) {
+  ASSERT_EQ(a.index(), b.index());
+  EXPECT_EQ(a, b);
+}
+
+TEST(WireRoundTrip, MetaQueryRequest) {
+  const MetaQueryRequest req = sample_meta_query_request();
+  const auto bytes = req.serialize();
+  SerialReader r(bytes);
+  const auto parsed = MetaQueryRequest::Deserialize(r);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed.value().conditions.size(), req.conditions.size());
+  for (std::size_t i = 0; i < req.conditions.size(); ++i) {
+    EXPECT_EQ(parsed.value().conditions[i].attribute,
+              req.conditions[i].attribute);
+    EXPECT_EQ(parsed.value().conditions[i].op, req.conditions[i].op);
+    EXPECT_EQ(parsed.value().conditions[i].kind, req.conditions[i].kind);
+    expect_meta_value_eq(parsed.value().conditions[i].value,
+                         req.conditions[i].value);
+  }
+  EXPECT_EQ(parsed.value().vnodes, req.vnodes);
+}
+
+TEST(WireRoundTrip, MetaQueryResponse) {
+  const MetaQueryResponse resp = sample_meta_query_response();
+  const auto bytes = resp.serialize();
+  SerialReader r(bytes);
+  const auto parsed = MetaQueryResponse::Deserialize(r);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  expect_status_eq(parsed.value().status, resp.status);
+  EXPECT_EQ(parsed.value().postings, resp.postings);
+  EXPECT_EQ(parsed.value().epochs, resp.epochs);
+  EXPECT_EQ(parsed.value().probes, resp.probes);
+  EXPECT_EQ(parsed.value().ledger.merge_seconds, resp.ledger.merge_seconds);
+}
+
+TEST(WireRoundTrip, MetaUpdateRequestAndResponse) {
+  const MetaUpdateRequest req = sample_meta_update_request();
+  {
+    const auto bytes = req.serialize();
+    SerialReader r(bytes);
+    const auto parsed = MetaUpdateRequest::Deserialize(r);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    EXPECT_EQ(parsed.value().vnode, req.vnode);
+    EXPECT_EQ(parsed.value().seq, req.seq);
+    ASSERT_EQ(parsed.value().ops.size(), req.ops.size());
+    for (std::size_t i = 0; i < req.ops.size(); ++i) {
+      EXPECT_EQ(parsed.value().ops[i].object, req.ops[i].object);
+      EXPECT_EQ(parsed.value().ops[i].attribute, req.ops[i].attribute);
+      EXPECT_EQ(parsed.value().ops[i].has_old, req.ops[i].has_old);
+      if (req.ops[i].has_old) {
+        expect_meta_value_eq(parsed.value().ops[i].old_value,
+                             req.ops[i].old_value);
+      }
+      expect_meta_value_eq(parsed.value().ops[i].new_value,
+                           req.ops[i].new_value);
+    }
+  }
+  const MetaUpdateResponse resp = sample_meta_update_response();
+  const auto bytes = resp.serialize();
+  SerialReader r(bytes);
+  const auto parsed = MetaUpdateResponse::Deserialize(r);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  expect_status_eq(parsed.value().status, resp.status);
+  EXPECT_EQ(parsed.value().epoch, resp.epoch);
+  EXPECT_EQ(parsed.value().duplicate, resp.duplicate);
+}
+
+TEST(WireTypes, PeekMetaTypesAndCrossParseRejected) {
+  const auto query_bytes = sample_meta_query_request().serialize();
+  const auto update_bytes = sample_meta_update_request().serialize();
+  EXPECT_EQ(peek_request_type(query_bytes).value(), RequestType::kMetaQuery);
+  EXPECT_EQ(peek_request_type(update_bytes).value(),
+            RequestType::kMetaUpdate);
+  {
+    SerialReader r(query_bytes);
+    EXPECT_FALSE(MetaUpdateRequest::Deserialize(r).ok());
+  }
+  {
+    SerialReader r(update_bytes);
+    EXPECT_FALSE(MetaQueryRequest::Deserialize(r).ok());
+  }
+  {
+    SerialReader r(query_bytes);
+    EXPECT_FALSE(EvalRequest::Deserialize(r).ok());
+  }
+}
+
+TEST(WireTruncation, MetaEveryStrictPrefixFails) {
+  expect_all_prefixes_fail(sample_meta_query_request().serialize(),
+                           [](SerialReader& r) {
+                             return MetaQueryRequest::Deserialize(r).ok();
+                           });
+  expect_all_prefixes_fail(sample_meta_query_response().serialize(),
+                           [](SerialReader& r) {
+                             return MetaQueryResponse::Deserialize(r).ok();
+                           });
+  expect_all_prefixes_fail(sample_meta_update_request().serialize(),
+                           [](SerialReader& r) {
+                             return MetaUpdateRequest::Deserialize(r).ok();
+                           });
+  expect_all_prefixes_fail(sample_meta_update_response().serialize(),
+                           [](SerialReader& r) {
+                             return MetaUpdateResponse::Deserialize(r).ok();
+                           });
+}
+
+TEST(WireTruncation, MetaByteFlipsNeverCrash) {
+  expect_no_crash_on_byte_flips(sample_meta_query_request().serialize(),
+                                [](SerialReader& r) {
+                                  return MetaQueryRequest::Deserialize(r).ok();
+                                });
+  expect_no_crash_on_byte_flips(sample_meta_query_response().serialize(),
+                                [](SerialReader& r) {
+                                  return MetaQueryResponse::Deserialize(r)
+                                      .ok();
+                                });
+  expect_no_crash_on_byte_flips(sample_meta_update_request().serialize(),
+                                [](SerialReader& r) {
+                                  return MetaUpdateRequest::Deserialize(r)
+                                      .ok();
+                                });
+  expect_no_crash_on_byte_flips(sample_meta_update_response().serialize(),
+                                [](SerialReader& r) {
+                                  return MetaUpdateResponse::Deserialize(r)
+                                      .ok();
+                                });
+}
+
+// The MetaStore checkpoint ("periodically persisted to the storage
+// system") must reject truncation and trailing garbage the same way the
+// wire messages do: a damaged checkpoint is a load error, never a
+// silently smaller catalog.
+TEST(WireTruncation, MetaStoreCheckpointRejectsTruncationAndTrailingBytes) {
+  meta::MetaStore store;
+  store.set_attribute(1, "RUN", std::string("r5_\xC3\xA9*"));
+  store.set_attribute(1, "PLATE", std::int64_t{9007199254740993LL});
+  store.set_attribute(2, "RADEG", 153.17);
+  SerialWriter w;
+  store.serialize(w);
+  const std::vector<std::uint8_t> bytes = w.take();
+
+  {  // intact round trip first, so the rejections below mean something
+    SerialReader r(bytes);
+    meta::MetaStore loaded;
+    ASSERT_TRUE(loaded.load(r).ok());
+    EXPECT_EQ(loaded.num_objects(), store.num_objects());
+    EXPECT_EQ(loaded.query_tag("RADEG", 153.17),
+              (std::vector<ObjectId>{2}));
+  }
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    const std::span<const std::uint8_t> prefix{bytes.data(), len};
+    SerialReader r(prefix);
+    meta::MetaStore loaded;
+    EXPECT_FALSE(loaded.load(r).ok()) << "prefix of length " << len;
+  }
+  {
+    std::vector<std::uint8_t> padded = bytes;
+    padded.push_back(0x00);
+    SerialReader r(padded);
+    meta::MetaStore loaded;
+    EXPECT_FALSE(loaded.load(r).ok()) << "trailing byte accepted";
+  }
+  for (std::size_t i = 0; i < bytes.size(); ++i) {  // flips never crash
+    std::vector<std::uint8_t> mutated = bytes;
+    mutated[i] ^= 0xFF;
+    SerialReader r(mutated);
+    meta::MetaStore loaded;
+    (void)loaded.load(r);
+  }
+}
+
 }  // namespace
 }  // namespace pdc::server

@@ -234,6 +234,95 @@ def check_join(args):
 KERNEL_METRICS = ("gb_per_s", "mb_per_s", "mprobes_per_s")
 
 
+def load_meta_rows(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {("meta", row["shape"], row["servers"], row["objects"]): row
+            for row in doc.get("meta", [])}
+
+
+def check_meta(args):
+    """Metadata-scaling mode: sim_s regression diff plus hard invariants
+    on the candidate alone — for every (shape, servers) the trie query at
+    the largest catalog must cost <= 3x the smallest catalog (traversal is
+    O(pattern + output), not O(objects)); the modeled linear oracle must
+    actually scale linearly (>= half the catalog ratio); and every server
+    count must report the same hit count per (shape, objects)."""
+    base = load_meta_rows(args.baseline)
+    cand = load_meta_rows(args.candidate)
+    failures = []
+    compared = 0
+    for key, base_row in sorted(base.items()):
+        cand_row = cand.get(key)
+        if cand_row is None:
+            print(f"note: {key} missing from candidate (skipped)")
+            continue
+        compared += 1
+        label = "/".join(str(k) for k in key)
+        b, c = base_row["sim_s"], cand_row["sim_s"]
+        regressed = c > b * (1.0 + args.threshold)
+        if regressed:
+            failures.append((key, "sim_s"))
+        rel = (c - b) / b if b > 0 else 0.0
+        print(f"{label:32s} sim_s  base {b:12.9f}  cand {c:12.9f}  "
+              f"{rel:+7.1%}{'  <-- REGRESSION' if regressed else ''}")
+    for key in sorted(set(cand) - set(base)):
+        print(f"note: {key} new in candidate (not gated)")
+
+    # Hard invariants over the candidate, independent of any baseline.
+    shapes = sorted({k[1] for k in cand})
+    servers = sorted({k[2] for k in cand})
+    sizes = sorted({k[3] for k in cand})
+    if len(sizes) >= 2:
+        small, large = sizes[0], sizes[-1]
+        ratio = large / small
+        for shape in shapes:
+            for srv in servers:
+                lo = cand.get(("meta", shape, srv, small))
+                hi = cand.get(("meta", shape, srv, large))
+                if lo is None or hi is None:
+                    failures.append(((shape, srv), "missing size row"))
+                    print(f"FAILCHECK {shape}/{srv}srv: a catalog-size row "
+                          f"dropped out of the bench")
+                    continue
+                if hi["sim_s"] > 3.0 * lo["sim_s"]:
+                    failures.append(((shape, srv), "trie not flat"))
+                    print(f"FAILCHECK {shape}/{srv}srv: trie sim_s at "
+                          f"{large} = {hi['sim_s']:.9f} > 3x "
+                          f"{lo['sim_s']:.9f} at {small}")
+                if hi["oracle_s"] < 0.5 * ratio * lo["oracle_s"]:
+                    failures.append(((shape, srv), "oracle not linear"))
+                    print(f"FAILCHECK {shape}/{srv}srv: oracle_s grew "
+                          f"{hi['oracle_s'] / lo['oracle_s']:.1f}x over a "
+                          f"{ratio:.0f}x catalog — not a linear model")
+                if hi["sim_s"] >= hi["oracle_s"]:
+                    failures.append(((shape, srv), "trie not beating oracle"))
+                    print(f"FAILCHECK {shape}/{srv}srv: trie sim_s "
+                          f"{hi['sim_s']:.9f} >= oracle "
+                          f"{hi['oracle_s']:.9f} at {large} objects")
+    for shape in shapes:
+        for size in sizes:
+            hits = {cand[("meta", shape, srv, size)]["hits"]
+                    for srv in servers
+                    if ("meta", shape, srv, size) in cand}
+            if len(hits) > 1:
+                failures.append(((shape, size), "hit counts disagree"))
+                print(f"FAILCHECK {shape}/{size}: server counts disagree "
+                      f"on hits: {sorted(hits)}")
+
+    if compared == 0 and not cand:
+        print("FAIL: no meta rows — wrong files?")
+        return 1
+    if failures:
+        print(f"FAIL: {len(failures)} metadata checks failed "
+              f"(threshold {args.threshold:.0%})")
+        return 1
+    print(f"OK: {compared} meta rows within {args.threshold:.0%} of "
+          f"baseline; flat-trie, linear-oracle and hit-agreement "
+          f"invariants hold")
+    return 0
+
+
 def kernel_metric(row):
     for name in KERNEL_METRICS:
         if name in row:
@@ -361,6 +450,10 @@ def main():
                         help="compare join_bench output (simulated join "
                              "cost by strategy/servers/sources, plus "
                              "zone-vs-broadcast shuffle invariants)")
+    parser.add_argument("--meta", action="store_true",
+                        help="compare meta_bench output (simulated metadata "
+                             "query cost by shape/servers/objects, plus "
+                             "flat-trie vs linear-oracle invariants)")
     args = parser.parse_args()
 
     if args.traffic:
@@ -371,6 +464,8 @@ def main():
         return check_writes(args)
     if args.join:
         return check_join(args)
+    if args.meta:
+        return check_meta(args)
 
     sections = [s for s in args.sections.split(",") if s]
     base = load_rows(args.baseline, sections)
